@@ -1,0 +1,41 @@
+//===- bench/BenchCommon.h - Shared experiment-runner helpers --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure/table reproduction binaries: run the full
+/// pipeline for every benchmark once and hand the per-mode results to a
+/// renderer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_BENCH_BENCHCOMMON_H
+#define SPECSYNC_BENCH_BENCHCOMMON_H
+
+#include "harness/Pipeline.h"
+#include "harness/Report.h"
+#include "support/TextTable.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+namespace specsync {
+
+/// Runs \p Body with a prepared pipeline for every benchmark.
+inline void forEachBenchmark(
+    const MachineConfig &Config,
+    const std::function<void(BenchmarkPipeline &)> &Body) {
+  for (const Workload &W : allWorkloads()) {
+    BenchmarkPipeline Pipeline(W, Config);
+    Pipeline.prepare();
+    Body(Pipeline);
+  }
+}
+
+} // namespace specsync
+
+#endif // SPECSYNC_BENCH_BENCHCOMMON_H

@@ -1,0 +1,125 @@
+//===- bench/ablation_design.cpp - Design-choice ablations -------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablations for the design choices called out in DESIGN.md, measured on
+// the compiler-sync-sensitive benchmarks:
+//
+//  1. synchronization threshold: 1% / 5% (paper) / 25% — over- versus
+//     under-synchronization;
+//  2. forwarding-path scheduling of scalar induction updates: on/off;
+//  3. unrolling of small loops: decided-by-heuristic versus disabled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "compiler/PassManager.h"
+#include "interp/Interpreter.h"
+#include "sim/SeqSimulator.h"
+
+using namespace specsync;
+
+namespace {
+
+/// Runs one benchmark with explicit pass options and returns the C-mode
+/// normalized region time.
+double runConfigured(const Workload &W, const MachineConfig &Config,
+                     double Threshold, bool ScheduleInduction,
+                     bool AllowUnroll) {
+  ContextTable Contexts;
+
+  // Loop selection on the original program.
+  unsigned Factor = 1;
+  {
+    std::unique_ptr<Program> P = W.Build(InputKind::Ref);
+    Interpreter I(*P, Contexts);
+    LoopProfiler LP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    I.run(Opts, &LP);
+    LoopSelectionResult Sel = selectLoop(LP.profile());
+    Factor = (Sel.Selected && AllowUnroll) ? Sel.UnrollFactor : 1;
+  }
+
+  ScalarSyncOptions SS;
+  SS.ScheduleInduction = ScheduleInduction;
+
+  // Profile on the base-transformed ref binary.
+  DepProfile Profile;
+  {
+    std::unique_ptr<Program> P = W.Build(InputKind::Ref);
+    applyBaseTransforms(*P, Factor, SS);
+    Interpreter I(*P, Contexts);
+    DepProfiler DP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    I.run(Opts, &DP);
+    Profile = DP.takeProfile();
+  }
+
+  // Sequential baseline.
+  uint64_t SeqRegion = 0;
+  {
+    std::unique_ptr<Program> P = W.Build(InputKind::Ref);
+    P->assignIds();
+    Interpreter I(*P, Contexts);
+    InterpResult R = I.run();
+    SeqRegion = simulateSequential(Config, R.Trace).regionCyclesTotal();
+  }
+
+  // C binary with the configured threshold.
+  std::unique_ptr<Program> P = W.Build(InputKind::Ref);
+  BaseTransformResult Base = applyBaseTransforms(*P, Factor, SS);
+  MemSyncOptions MS;
+  MS.FreqThresholdPercent = Threshold;
+  MemSyncResult Mem = applyMemSync(*P, Contexts, Profile, MS);
+
+  Interpreter I(*P, Contexts);
+  InterpResult R = I.run();
+
+  TLSSimOptions Opts;
+  Opts.NumScalarChannels = Base.Scalar.NumChannels;
+  Opts.NumMemGroups = Mem.NumGroups;
+  TLSSimulator Sim(Config, Opts);
+  TLSSimResult Total;
+  for (const RegionTrace &Region : R.Trace.Regions)
+    Total.accumulate(Sim.simulateRegion(Region));
+
+  return SeqRegion ? 100.0 * static_cast<double>(Total.Cycles) /
+                         static_cast<double>(SeqRegion)
+                   : 0.0;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablations: threshold / scheduling / unrolling "
+              "(C-mode normalized region time) ===\n\n");
+
+  MachineConfig Config;
+  const char *Names[] = {"GO", "GZIP_COMP", "GCC", "PARSER", "PERLBMK",
+                         "GAP"};
+
+  TextTable T;
+  T.setHeader({"benchmark", "C @1%", "C @5% (paper)", "C @25%",
+               "no sched", "no unroll"});
+  for (const char *Name : Names) {
+    const Workload *W = findWorkload(Name);
+    T.addRow({Name,
+              TextTable::formatDouble(
+                  runConfigured(*W, Config, 1.0, true, true)),
+              TextTable::formatDouble(
+                  runConfigured(*W, Config, 5.0, true, true)),
+              TextTable::formatDouble(
+                  runConfigured(*W, Config, 25.0, true, true)),
+              TextTable::formatDouble(
+                  runConfigured(*W, Config, 5.0, false, true)),
+              TextTable::formatDouble(
+                  runConfigured(*W, Config, 5.0, true, false))});
+  }
+  std::printf("%s\n", T.render().c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+//===- bench/fig08_compiler_sync.cpp - Figure 8 reproduction -----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 8: region execution time of the baseline TLS execution (U) versus
+// compiler-inserted memory synchronization profiled on the train input (T)
+// and on the ref input (C), all measured on the ref input and normalized
+// to sequential execution of the same regions.
+//
+// Paper's qualitative result: C improves about half the benchmarks by
+// shrinking the failed-speculation segment (average fail reduction ~68%
+// among the winners), trading some of it for sync stalls; T tracks C
+// everywhere except GZIP_COMP, whose input-sensitive control flow makes
+// the train profile pick different load/store pairs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace specsync;
+
+int main() {
+  std::printf("=== Figure 8: U vs T vs C (region time, normalized; ref "
+              "input) ===\n%s\n",
+              barLegend().c_str());
+
+  MachineConfig Config;
+  TextTable Summary;
+  Summary.setHeader({"benchmark", "U", "T", "C", "fail U%", "fail C%",
+                     "sync C%", "C speedup"});
+
+  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+    ModeRunResult U = P.run(ExecMode::U);
+    ModeRunResult T = P.run(ExecMode::T);
+    ModeRunResult C = P.run(ExecMode::C);
+
+    std::printf("%s\n", renderBenchmarkBars(P.workload().Name, {U, T, C})
+                            .c_str());
+
+    Summary.addRow({P.workload().Name,
+                    TextTable::formatDouble(U.normalizedRegionTime()),
+                    TextTable::formatDouble(T.normalizedRegionTime()),
+                    TextTable::formatDouble(C.normalizedRegionTime()),
+                    TextTable::formatDouble(U.failPct()),
+                    TextTable::formatDouble(C.failPct()),
+                    TextTable::formatDouble(C.syncPct()),
+                    TextTable::formatDouble(C.regionSpeedup(), 2)});
+  });
+
+  std::printf("%s\n", Summary.render().c_str());
+  return 0;
+}

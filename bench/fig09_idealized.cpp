@@ -1,0 +1,51 @@
+//===- bench/fig09_idealized.cpp - Figure 9 reproduction ---------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 9: the cost of the synchronization the compiler inserts.
+// E = idealized consumer that perfectly predicts every synchronized value
+// (no sync stall at all); C = the real scheme (forward at the signal);
+// L = a conservative scheme where synchronized loads stall until the
+// previous epoch completes.
+//
+// Paper's qualitative result: for several benchmarks execution time is
+// positively correlated with synchronization cost (E <= C <= L) — stalling
+// until the previous thread completes serializes unnecessarily, while
+// forwarding the value early recovers the loss.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace specsync;
+
+int main() {
+  std::printf("=== Figure 9: E (perfect value) vs C (forwarded) vs L "
+              "(stall to completion) ===\n%s\n",
+              barLegend().c_str());
+
+  MachineConfig Config;
+  TextTable Summary;
+  Summary.setHeader({"benchmark", "E", "C", "L", "sync E%", "sync C%",
+                     "sync L%"});
+
+  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+    ModeRunResult E = P.run(ExecMode::E);
+    ModeRunResult C = P.run(ExecMode::C);
+    ModeRunResult L = P.run(ExecMode::L);
+    std::printf("%s\n",
+                renderBenchmarkBars(P.workload().Name, {E, C, L}).c_str());
+    Summary.addRow({P.workload().Name,
+                    TextTable::formatDouble(E.normalizedRegionTime()),
+                    TextTable::formatDouble(C.normalizedRegionTime()),
+                    TextTable::formatDouble(L.normalizedRegionTime()),
+                    TextTable::formatDouble(E.syncPct()),
+                    TextTable::formatDouble(C.syncPct()),
+                    TextTable::formatDouble(L.syncPct())});
+  });
+
+  std::printf("%s\n", Summary.render().c_str());
+  return 0;
+}

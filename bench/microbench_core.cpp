@@ -1,0 +1,105 @@
+//===- bench/microbench_core.cpp - Core-primitive throughput -----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for the infrastructure's hot paths:
+// interpreter throughput, TLS simulator throughput, cache tag array, and
+// the speculative-state tracking structures. These guard against
+// performance regressions in the tools themselves (the figure benches
+// above measure the *simulated* machine, not the host).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "sim/CacheModel.h"
+#include "sim/SpecState.h"
+#include "sim/TLSSimulator.h"
+#include "support/Random.h"
+#include "workloads/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace specsync;
+
+static void BM_InterpreterThroughput(benchmark::State &State) {
+  const Workload *W = findWorkload("PARSER");
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    std::unique_ptr<Program> P = W->Build(InputKind::Train);
+    ContextTable Contexts;
+    Interpreter I(*P, Contexts);
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    InterpResult R = I.run(Opts);
+    benchmark::DoNotOptimize(R.DynInstCount);
+    Insts += R.DynInstCount;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insts));
+}
+BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+static void BM_TLSSimulatorThroughput(benchmark::State &State) {
+  const Workload *W = findWorkload("PARSER");
+  std::unique_ptr<Program> P = W->Build(InputKind::Train);
+  P->assignIds();
+  ContextTable Contexts;
+  Interpreter I(*P, Contexts);
+  InterpResult R = I.run();
+  MachineConfig Config;
+  TLSSimOptions Opts;
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    TLSSimulator Sim(Config, Opts);
+    for (const RegionTrace &Region : R.Trace.Regions) {
+      TLSSimResult SR = Sim.simulateRegion(Region);
+      benchmark::DoNotOptimize(SR.Cycles);
+      Insts += SR.Slots.Busy;
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Insts));
+}
+BENCHMARK(BM_TLSSimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+static void BM_CacheTagArray(benchmark::State &State) {
+  MachineConfig Config;
+  CacheModel Caches(Config);
+  Random Rng(42);
+  uint64_t Sum = 0;
+  for (auto _ : State)
+    Sum += Caches.accessLatency(0, Rng.nextBelow(1 << 20) * 8);
+  benchmark::DoNotOptimize(Sum);
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_CacheTagArray);
+
+static void BM_SpecStateMarkAndClear(benchmark::State &State) {
+  SpecState Spec(5);
+  Random Rng(42);
+  uint64_t Epoch = 0;
+  for (auto _ : State) {
+    ++Epoch;
+    for (int I = 0; I < 16; ++I)
+      Spec.markRead(Rng.nextBelow(4096) * 8, Epoch, 1, 0, -1, Epoch);
+    benchmark::DoNotOptimize(Spec.findViolatedReader(64, Epoch - 1));
+    if (Epoch > 4)
+      Spec.clearEpoch(Epoch - 4);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_SpecStateMarkAndClear);
+
+static void BM_FullPipelinePrepare(benchmark::State &State) {
+  MachineConfig Config;
+  const Workload *W = findWorkload("GCC");
+  for (auto _ : State) {
+    BenchmarkPipeline P(*W, Config);
+    P.prepare();
+    benchmark::DoNotOptimize(P.refMemSync().NumGroups);
+  }
+}
+BENCHMARK(BM_FullPipelinePrepare)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+//===- bench/table1_params.cpp - Table 1 reproduction ------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 1: the simulated machine's parameters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MachineConfig.h"
+
+#include <cstdio>
+
+using namespace specsync;
+
+int main() {
+  std::printf("=== Table 1: simulation parameters ===\n\n%s\n",
+              describeMachine(MachineConfig()).c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===- bench/table2_speedups.cpp - Table 2 reproduction ----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 2: region coverage, parallel-region speedup, sequential-region
+// speedup (the modeled instrumentation artifact), and program speedup,
+// for compiler-only synchronization (C) and the software+hardware hybrid
+// (B), all relative to sequential execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace specsync;
+
+int main() {
+  std::printf("=== Table 2: coverage and speedups (relative to sequential "
+              "execution) ===\n\n");
+
+  MachineConfig Config;
+  TextTable T;
+  T.setHeader({"benchmark", "coverage%", "region x (B)", "region x (C)",
+               "seq-region x", "program x (B)", "program x (C)"});
+
+  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+    ModeRunResult C = P.run(ExecMode::C);
+    ModeRunResult B = P.run(ExecMode::B);
+    T.addRow({P.workload().Name,
+              TextTable::formatDouble(C.CoveragePercent),
+              TextTable::formatDouble(B.regionSpeedup(), 2),
+              TextTable::formatDouble(C.regionSpeedup(), 2),
+              TextTable::formatDouble(C.SeqRegionSpeedup, 2),
+              TextTable::formatDouble(B.ProgramSpeedup, 2),
+              TextTable::formatDouble(C.ProgramSpeedup, 2)});
+  });
+
+  std::printf("%s\n", T.render().c_str());
+  return 0;
+}

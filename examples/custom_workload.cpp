@@ -1,0 +1,121 @@
+//===- examples/custom_workload.cpp - Bring your own benchmark ---*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Shows how to study your own loop under the full methodology: write the
+// kernel with IRBuilder, wrap it in a Workload, and hand it to
+// BenchmarkPipeline — every execution mode, profile and statistic then
+// works exactly as for the built-in SPEC analogs.
+//
+// The kernel here is a tiny "database": epochs append records to a shared
+// log tail (a frequent early-store dependence the compiler handles well)
+// and occasionally rebalance an index (a rare late store the hardware
+// catches).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+#include "harness/Report.h"
+#include "workloads/KernelCommon.h"
+
+#include <cstdio>
+
+using namespace specsync;
+
+static std::unique_ptr<Program> buildLogAppend(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0xfeed : 0xf00d);
+
+  uint64_t Tail = P->addGlobal("log_tail", 8);
+  uint64_t Log = P->addGlobal("log", 8192 * 8);
+  uint64_t Index = P->addGlobal("index", 64 * 8);
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  B.emitStore(Tail, Log);
+
+  int64_t Epochs = Ref ? 700 : 280;
+  emitCoverageFiller(B, 70000, 60, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  BasicBlock *Rebalance = &Main.addBlock("rebalance");
+  BasicBlock *Skip = &Main.addBlock("skip");
+  BasicBlock *Join = &Main.addBlock("join");
+  {
+    Reg R = B.emitRand();
+
+    // Append: read the tail, bump it, write the record (early store ->
+    // the compiler forwards the new tail almost immediately).
+    Reg T = B.emitLoad(Tail);
+    Reg NewT = B.emitAdd(T, 16);
+    Reg Wrapped = B.emitAdd(
+        B.emitAnd(B.emitSub(NewT, Log), 8191 * 8), Log);
+    B.emitStore(Tail, Wrapped);
+    B.emitStore(T, R);
+    B.emitStore(B.emitAdd(T, 8), L.IndVar);
+
+    // Rare index rebalance with a late store.
+    Reg DoReb = emitPercentFlag(B, R, 0, 6);
+    B.emitCondBr(DoReb, *Rebalance, *Skip);
+    B.setInsertPoint(&Main, Rebalance);
+    {
+      Reg Slot = B.emitAnd(B.emitShr(R, 8), 63);
+      Reg V = B.emitLoad(B.emitAdd(B.emitShl(Slot, 3), Index));
+      Reg W = emitAluWork(B, 80, B.emitXor(V, R));
+      B.emitStore(B.emitAdd(B.emitShl(Slot, 3), Index), B.emitOr(W, 1));
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, Skip);
+    {
+      Reg W = emitAluWork(B, 80, R);
+      B.emitStore(Scratch + 8, W);
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, Join);
+    Reg W = emitAluWork(B, 40, R);
+    B.emitStore(Scratch + 16, W);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, 70000, 60, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}
+
+int main() {
+  Workload Custom;
+  Custom.Name = "LOG_APPEND";
+  Custom.SpecName = "(custom)";
+  Custom.Character = "shared log tail appended every epoch (early store)";
+  Custom.SeqDilation = 1.0;
+  Custom.Build = buildLogAppend;
+
+  MachineConfig Config;
+  BenchmarkPipeline Pipeline(Custom, Config);
+  Pipeline.prepare();
+
+  std::printf("=== custom workload '%s' under the full methodology ===\n\n",
+              Custom.Name.c_str());
+  std::printf("loop: coverage %.1f%%, %.0f insts/epoch; compiler formed "
+              "%u group(s), %u synced load(s)\n\n",
+              Pipeline.loopProfile().coveragePercent(),
+              Pipeline.loopProfile().avgInstsPerEpoch(),
+              Pipeline.refMemSync().NumGroups,
+              Pipeline.refMemSync().NumSyncedLoads);
+  std::printf("%s\n", barLegend().c_str());
+  for (ExecMode M : {ExecMode::U, ExecMode::O, ExecMode::C, ExecMode::H,
+                     ExecMode::B})
+    std::printf("%s\n",
+                renderModeBar(modeName(M), Pipeline.run(M)).c_str());
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- examples/dep_explorer.cpp - Inspect one benchmark's pipeline -------===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: dep_explorer [BENCHMARK]
+//
+// Dumps everything the compiler learns and decides for one benchmark:
+// loop-selection numbers, the dependence profile (pairs with frequencies
+// and distances), the grouping, the synchronization insertion statistics,
+// and per-mode simulator counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+#include "harness/Report.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace specsync;
+
+int main(int argc, char **argv) {
+  const char *Name = argc > 1 ? argv[1] : "PARSER";
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown benchmark '%s'; available:", Name);
+    for (const Workload &Each : allWorkloads())
+      std::fprintf(stderr, " %s", Each.Name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  MachineConfig Config;
+  BenchmarkPipeline Pipeline(*W, Config);
+  Pipeline.prepare();
+
+  std::printf("=== %s (%s) ===\n%s\n\n", W->Name.c_str(),
+              W->SpecName.c_str(), W->Character.c_str());
+
+  const LoopProfile &LP = Pipeline.loopProfile();
+  std::printf("loop: coverage %.1f%%, %.1f epochs/instance, %.1f insts/"
+              "epoch, unroll x%u\n\n",
+              LP.coveragePercent(), LP.avgEpochsPerInstance(),
+              LP.avgInstsPerEpoch(), Pipeline.selection().UnrollFactor);
+
+  const DepProfile &DP = Pipeline.refProfile();
+  std::printf("dependence pairs (ref input, %llu epochs):\n",
+              static_cast<unsigned long long>(DP.TotalEpochs));
+  TextTable Pairs;
+  Pairs.setHeader({"load(id:ctx)", "store(id:ctx)", "freq%", "count",
+                   "dist1%"});
+  for (const auto &[Key, Stat] : DP.Pairs) {
+    if (DP.pairFrequencyPercent(Stat) < 1.0)
+      continue; // Keep the table readable.
+    Pairs.addRow(
+        {std::to_string(Stat.Load.InstId) + ":" +
+             std::to_string(Stat.Load.Context),
+         std::to_string(Stat.Store.InstId) + ":" +
+             std::to_string(Stat.Store.Context),
+         TextTable::formatDouble(DP.pairFrequencyPercent(Stat)),
+         std::to_string(Stat.Count),
+         TextTable::formatDouble(100.0 * static_cast<double>(
+                                             Stat.Distance1Count) /
+                                 static_cast<double>(Stat.Count))});
+  }
+  std::printf("%s\n", Pairs.render().c_str());
+
+  const MemSyncResult &MS = Pipeline.refMemSync();
+  std::printf("compiler decisions: %u group(s), %u synced load(s), %u "
+              "synced store(s), %u signal point(s), %u clone(s), code "
+              "expansion %.2f%%\n\n",
+              MS.NumGroups, MS.NumSyncedLoads, MS.NumSyncedStores,
+              MS.NumSignalsPlaced, MS.NumClonedFunctions,
+              MS.CodeExpansionPercent);
+
+  TextTable Modes;
+  Modes.setHeader({"mode", "norm time", "busy", "fail", "sync.scalar",
+                   "sync.mem", "other", "violations", "sab.viol",
+                   "epochs"});
+  for (ExecMode M : {ExecMode::U, ExecMode::O, ExecMode::T, ExecMode::C,
+                     ExecMode::E, ExecMode::L, ExecMode::P, ExecMode::H,
+                     ExecMode::B}) {
+    ModeRunResult R = Pipeline.run(M);
+    double Scale = R.Sim.Slots.Total
+                       ? R.normalizedRegionTime() /
+                             static_cast<double>(R.Sim.Slots.Total)
+                       : 0.0;
+    Modes.addRow(
+        {modeName(M), TextTable::formatDouble(R.normalizedRegionTime()),
+         TextTable::formatDouble(R.busyPct()),
+         TextTable::formatDouble(R.failPct()),
+         TextTable::formatDouble(Scale *
+                                 static_cast<double>(R.Sim.Slots.SyncScalar)),
+         TextTable::formatDouble(Scale *
+                                 static_cast<double>(R.Sim.Slots.SyncMem)),
+         TextTable::formatDouble(R.otherPct()),
+         std::to_string(R.Sim.Violations),
+         std::to_string(R.Sim.SabViolations),
+         std::to_string(R.Sim.EpochsCommitted)});
+  }
+  std::printf("%s", Modes.render().c_str());
+  std::printf("%s", barLegend().c_str());
+  return 0;
+}

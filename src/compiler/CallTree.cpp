@@ -1,0 +1,48 @@
+//===- compiler/CallTree.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/CallTree.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace specsync;
+
+InstrIndex::InstrIndex(const Program &P) {
+  for (unsigned FI = 0; FI < P.getNumFunctions(); ++FI) {
+    const Function &F = P.getFunction(FI);
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      const BasicBlock &BB = F.getBlock(BI);
+      for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+        uint32_t Id = BB.instructions()[Pos].getId();
+        if (Id != 0)
+          Map[Id] = InstrLoc{FI, BI, Pos};
+      }
+    }
+  }
+}
+
+const InstrLoc *InstrIndex::lookup(uint32_t Id) const {
+  auto It = Map.find(Id);
+  return It == Map.end() ? nullptr : &It->second;
+}
+
+std::vector<uint32_t>
+specsync::contextAncestorClosure(const ContextTable &Contexts,
+                                 std::vector<uint32_t> Needed) {
+  std::set<uint32_t> Closure;
+  for (uint32_t C : Needed)
+    while (C != ContextTable::RootContext && Closure.insert(C).second)
+      C = Contexts.parentOf(C);
+
+  std::vector<uint32_t> Result(Closure.begin(), Closure.end());
+  std::sort(Result.begin(), Result.end(), [&](uint32_t A, uint32_t B) {
+    size_t DA = Contexts.pathOf(A).size();
+    size_t DB = Contexts.pathOf(B).size();
+    return DA != DB ? DA < DB : A < B;
+  });
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===- compiler/CallTree.h - Instruction index & context closure -*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Utilities over the call tree rooted at the parallelized loop:
+/// a static-id -> location index, and the ancestor closure of a context set
+/// (the paper clones "that node and its parents" for every node containing
+/// frequently-occurring dependences).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_CALLTREE_H
+#define SPECSYNC_COMPILER_CALLTREE_H
+
+#include "interp/ContextTable.h"
+#include "ir/Program.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace specsync {
+
+/// Location of a static instruction.
+struct InstrLoc {
+  unsigned Func = 0;
+  unsigned Block = 0;
+  size_t Pos = 0;
+};
+
+/// Maps static instruction ids to locations. A snapshot: invalidated by
+/// instruction insertion.
+class InstrIndex {
+public:
+  explicit InstrIndex(const Program &P);
+
+  /// Returns the location of \p Id, or nullptr.
+  const InstrLoc *lookup(uint32_t Id) const;
+
+private:
+  std::unordered_map<uint32_t, InstrLoc> Map;
+};
+
+/// Returns \p Contexts closed under parents (root excluded), ordered by
+/// path depth so parents precede children; duplicates removed.
+std::vector<uint32_t> contextAncestorClosure(const ContextTable &Contexts,
+                                             std::vector<uint32_t> Needed);
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_CALLTREE_H

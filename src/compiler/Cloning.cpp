@@ -1,0 +1,81 @@
+//===- compiler/Cloning.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Cloning.h"
+
+using namespace specsync;
+
+namespace {
+
+/// Finds the call instruction named \p ProfileId within function \p F.
+/// Exact static-id matches win (needed in the region function, where loop
+/// unrolling creates several calls sharing one OrigId); otherwise fall back
+/// to OrigId, which identifies instructions inside clones.
+Instruction *findCallByProfileId(Function &F, uint32_t ProfileId) {
+  Instruction *OrigMatch = nullptr;
+  for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI)
+    for (Instruction &I : F.getBlock(BI).instructions()) {
+      if (I.getOpcode() != Opcode::Call)
+        continue;
+      if (I.getId() == ProfileId)
+        return &I;
+      if (!OrigMatch && I.getOrigId() == ProfileId)
+        OrigMatch = &I;
+    }
+  return OrigMatch;
+}
+
+uint32_t countInsts(const Program &P) {
+  uint32_t N = 0;
+  for (unsigned FI = 0; FI < P.getNumFunctions(); ++FI) {
+    const Function &F = P.getFunction(FI);
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI)
+      N += static_cast<uint32_t>(F.getBlock(BI).size());
+  }
+  return N;
+}
+
+} // namespace
+
+CloneResult specsync::cloneForContexts(
+    Program &P, const ContextTable &Contexts,
+    const std::vector<uint32_t> &NeededContexts) {
+  CloneResult Result;
+  Result.InstsBefore = countInsts(P);
+  assert(P.getRegion().isValid() && "cloning requires a parallel region");
+  Result.ContextFunc[ContextTable::RootContext] = P.getRegion().Func;
+
+  std::vector<uint32_t> Closure =
+      contextAncestorClosure(Contexts, NeededContexts);
+
+  for (uint32_t Ctx : Closure) {
+    uint32_t Parent = Contexts.parentOf(Ctx);
+    uint32_t CallSiteOrigId = Contexts.callSiteOf(Ctx);
+    assert(Result.ContextFunc.count(Parent) &&
+           "closure must process parents first");
+    Function &ParentFunc = P.getFunction(Result.ContextFunc[Parent]);
+
+    Instruction *CallSite = findCallByProfileId(ParentFunc, CallSiteOrigId);
+    assert(CallSite && "profiled call site not found in parent clone");
+
+    const Function &Orig = P.getFunction(CallSite->getCallee());
+    Function &Clone =
+        P.addFunction(Orig.getName() + ".ctx" + std::to_string(Ctx),
+                      Orig.getNumParams());
+    Orig.cloneInto(Clone);
+    // Fresh ids for the clone body so traces can distinguish it.
+    for (unsigned BI = 0; BI < Clone.getNumBlocks(); ++BI)
+      for (Instruction &I : Clone.getBlock(BI).instructions())
+        I.setId(0);
+    CallSite->setCallee(Clone.getIndex());
+    Result.ContextFunc[Ctx] = Clone.getIndex();
+    ++Result.NumClonedFunctions;
+  }
+
+  P.assignIds();
+  Result.InstsAfter = countInsts(P);
+  return Result;
+}

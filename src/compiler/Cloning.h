@@ -1,0 +1,45 @@
+//===- compiler/Cloning.h - Call-path procedure cloning ---------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code specialization from the paper (Section 2.3): synchronization must
+/// execute only when a memory reference is reached on its profiled call
+/// path. The compiler clones every procedure on the call stack of a
+/// synchronized reference and redirects the original call instructions to
+/// the clones, so that marking the cloned instructions suffices — no
+/// runtime path check is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_CLONING_H
+#define SPECSYNC_COMPILER_CLONING_H
+
+#include "compiler/CallTree.h"
+
+#include <map>
+
+namespace specsync {
+
+struct CloneResult {
+  unsigned NumClonedFunctions = 0;
+  /// Context -> index of the function whose body executes that context
+  /// after cloning. The root context maps to the region function.
+  std::map<uint32_t, unsigned> ContextFunc;
+  /// Static instructions (ids) before vs after cloning, for code-expansion
+  /// reporting (the paper reports < 1% growth on average).
+  uint32_t InstsBefore = 0;
+  uint32_t InstsAfter = 0;
+};
+
+/// Clones the call chains of every context in \p NeededContexts (ids from
+/// \p Contexts, recorded on the *original* program, so call-site ids equal
+/// OrigIds). Re-runs Program::assignIds.
+CloneResult cloneForContexts(Program &P, const ContextTable &Contexts,
+                             const std::vector<uint32_t> &NeededContexts);
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_CLONING_H

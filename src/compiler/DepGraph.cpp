@@ -1,0 +1,108 @@
+//===- compiler/DepGraph.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/DepGraph.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace specsync;
+
+const SyncGroup *DepGrouping::groupOfLoad(const RefName &Name) const {
+  for (const SyncGroup &G : Groups)
+    if (std::find(G.Loads.begin(), G.Loads.end(), Name) != G.Loads.end())
+      return &G;
+  return nullptr;
+}
+
+const SyncGroup *DepGrouping::groupOfStore(const RefName &Name) const {
+  for (const SyncGroup &G : Groups)
+    if (std::find(G.Stores.begin(), G.Stores.end(), Name) != G.Stores.end())
+      return &G;
+  return nullptr;
+}
+
+namespace {
+
+/// Minimal union-find over dense indices.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    for (size_t I = 0; I < N; ++I)
+      Parent[I] = I;
+  }
+  size_t find(size_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void unite(size_t A, size_t B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<size_t> Parent;
+};
+
+} // namespace
+
+DepGrouping specsync::buildGroups(const DepProfile &Profile,
+                                  double FreqThresholdPercent) {
+  DepGrouping Result;
+  std::vector<DepPairStat> Frequent =
+      Profile.pairsAboveThreshold(FreqThresholdPercent);
+  if (Frequent.empty())
+    return Result;
+
+  // Vertices: loads and stores are distinct roles of possibly the same
+  // instruction, so tag them. (A reference that both loads and stores does
+  // not exist in this IR; a load and a store from the same context are
+  // distinct instructions.)
+  std::map<std::pair<RefName, bool>, size_t> VertexIdx; // (name, isLoad).
+  auto vertex = [&](const RefName &Name, bool IsLoad) {
+    auto Key = std::make_pair(Name, IsLoad);
+    auto It = VertexIdx.find(Key);
+    if (It != VertexIdx.end())
+      return It->second;
+    size_t Idx = VertexIdx.size();
+    VertexIdx.emplace(Key, Idx);
+    return Idx;
+  };
+
+  for (const DepPairStat &P : Frequent) {
+    vertex(P.Load, /*IsLoad=*/true);
+    vertex(P.Store, /*IsLoad=*/false);
+  }
+
+  UnionFind UF(VertexIdx.size());
+  for (const DepPairStat &P : Frequent)
+    UF.unite(vertex(P.Load, true), vertex(P.Store, false));
+
+  // Component root -> group id, densely numbered in deterministic map
+  // order.
+  std::map<size_t, int> RootToGroup;
+  for (const auto &[Key, Idx] : VertexIdx) {
+    size_t Root = UF.find(Idx);
+    if (!RootToGroup.count(Root)) {
+      int Id = static_cast<int>(Result.Groups.size());
+      RootToGroup[Root] = Id;
+      Result.Groups.push_back(SyncGroup());
+      Result.Groups.back().GroupId = Id;
+    }
+    SyncGroup &G = Result.Groups[static_cast<size_t>(RootToGroup[Root])];
+    if (Key.second)
+      G.Loads.push_back(Key.first);
+    else
+      G.Stores.push_back(Key.first);
+  }
+
+  for (const DepPairStat &P : Frequent) {
+    size_t Root = UF.find(vertex(P.Load, true));
+    Result.Groups[static_cast<size_t>(RootToGroup[Root])].TotalDepCount +=
+        P.Count;
+  }
+  return Result;
+}

@@ -1,0 +1,51 @@
+//===- compiler/DepGraph.h - Frequent-dependence grouping -------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the paper's dependence graph (Figure 5): each load or store with a
+/// distinct call stack is a vertex, each frequently-occurring dependence an
+/// edge, and each connected component becomes a *group* that the compiler
+/// synchronizes as a single entity. Infrequent dependences are deliberately
+/// ignored — including them would merge groups and over-synchronize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_DEPGRAPH_H
+#define SPECSYNC_COMPILER_DEPGRAPH_H
+
+#include "profile/DepProfiler.h"
+
+#include <vector>
+
+namespace specsync {
+
+/// One synchronization group: a connected component of the frequent-
+/// dependence graph.
+struct SyncGroup {
+  int GroupId = -1;
+  std::vector<RefName> Loads;
+  std::vector<RefName> Stores;
+  uint64_t TotalDepCount = 0; ///< Sum of member-pair dynamic counts.
+};
+
+/// The grouping result plus reverse lookup.
+struct DepGrouping {
+  std::vector<SyncGroup> Groups;
+
+  /// Returns the group containing \p Name (as a load), or nullptr.
+  const SyncGroup *groupOfLoad(const RefName &Name) const;
+  /// Returns the group containing \p Name (as a store), or nullptr.
+  const SyncGroup *groupOfStore(const RefName &Name) const;
+};
+
+/// Forms groups from all dependences whose frequency exceeds
+/// \p FreqThresholdPercent of epochs (the paper settles on 5%).
+DepGrouping buildGroups(const DepProfile &Profile,
+                        double FreqThresholdPercent);
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_DEPGRAPH_H

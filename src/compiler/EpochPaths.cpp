@@ -1,0 +1,69 @@
+//===- compiler/EpochPaths.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/EpochPaths.h"
+
+using namespace specsync;
+
+SiteFlowResult
+specsync::analyzeSiteFlow(const Function &F,
+                          const std::vector<unsigned> &LoopBlocks,
+                          unsigned Header, const SitePredicate &IsSite) {
+  SiteFlowResult Result;
+  std::vector<bool> InScope(F.getNumBlocks(), false);
+  for (unsigned B : LoopBlocks)
+    InScope[B] = true;
+
+  // Collect sites per block.
+  std::vector<std::vector<size_t>> Sites(F.getNumBlocks());
+  Result.HasSite.assign(F.getNumBlocks(), false);
+  for (unsigned B : LoopBlocks) {
+    const BasicBlock &BB = F.getBlock(B);
+    for (size_t Pos = 0; Pos < BB.size(); ++Pos)
+      if (IsSite(BB.instructions()[Pos], SitePos{B, Pos}))
+        Sites[B].push_back(Pos);
+    Result.HasSite[B] = !Sites[B].empty();
+  }
+
+  // Backward fixpoint: MayFollowOut[b] = does any site possibly execute
+  // strictly after block b within the scope? Edges into the header are
+  // epoch boundaries (contribute nothing); edges leaving the scope end the
+  // path.
+  Result.MayFollowOut.assign(F.getNumBlocks(), false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B : LoopBlocks) {
+      bool Out = false;
+      for (unsigned S : F.getBlock(B).successors()) {
+        if (!InScope[S] || S == Header)
+          continue;
+        if (Result.HasSite[S] || Result.MayFollowOut[S])
+          Out = true;
+      }
+      if (Out != Result.MayFollowOut[B]) {
+        Result.MayFollowOut[B] = Out;
+        Changed = true;
+      }
+    }
+  }
+
+  for (unsigned B : LoopBlocks) {
+    for (size_t I = 0; I < Sites[B].size(); ++I) {
+      bool HasLaterInBlock = I + 1 < Sites[B].size();
+      if (!HasLaterInBlock && !Result.MayFollowOut[B])
+        Result.LastSites.push_back(SitePos{B, Sites[B][I]});
+    }
+  }
+  return Result;
+}
+
+std::vector<SitePos>
+specsync::findLastSites(const Function &F,
+                        const std::vector<unsigned> &LoopBlocks,
+                        unsigned Header, const SitePredicate &IsSite) {
+  return analyzeSiteFlow(F, LoopBlocks, Header, IsSite).LastSites;
+}

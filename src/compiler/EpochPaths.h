@@ -1,0 +1,80 @@
+//===- compiler/EpochPaths.h - Signal placement data-flow -------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper places a signal "at least once per group on every execution
+/// path through the epoch ... after the last store instruction from that
+/// group" via data-flow analysis (Section 2.3). The core question is: given
+/// a set of *sites* (stores of a group, defs of a scalar, or calls that may
+/// reach such instructions), which sites can be followed by another site on
+/// some path to the end of the scope?
+///
+/// Sites with no possible follower are "last sites": signaling after each of
+/// them fires at most once per dynamic path (the may-follow relation is an
+/// over-approximation, so enabling only follower-free sites can suppress a
+/// signal on some path — the runtime's epoch-end NULL signal restores
+/// liveness — but can never duplicate one).
+///
+/// Two scopes are supported:
+///  - epoch scope: paths through a loop body truncated at back edges into
+///    the header and at loop exits;
+///  - function scope: paths to any return (used inside cloned callees).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_EPOCHPATHS_H
+#define SPECSYNC_COMPILER_EPOCHPATHS_H
+
+#include "ir/Function.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace specsync {
+
+/// A position within a function: instruction \p Pos of block \p Block.
+struct SitePos {
+  unsigned Block = 0;
+  size_t Pos = 0;
+
+  bool operator==(const SitePos &RHS) const {
+    return Block == RHS.Block && Pos == RHS.Pos;
+  }
+  bool operator<(const SitePos &RHS) const {
+    return Block != RHS.Block ? Block < RHS.Block : Pos < RHS.Pos;
+  }
+};
+
+/// Identifies site instructions; receives the instruction and its position.
+using SitePredicate = std::function<bool(const Instruction &, SitePos)>;
+
+/// Full result of the site-flow analysis over one scope.
+struct SiteFlowResult {
+  /// Sites with no possible following site (signal points).
+  std::vector<SitePos> LastSites;
+  /// Per block: does the block contain a site?
+  std::vector<bool> HasSite;
+  /// Per block: may a site execute strictly after the block, within scope?
+  std::vector<bool> MayFollowOut;
+};
+
+/// Runs the backward site-flow analysis. Scope semantics as described in
+/// the file comment: epoch scope when \p Header names the loop header
+/// (paths truncated at back edges and loop exits), function scope when
+/// Header = ~0u (paths to returns; \p LoopBlocks lists every block).
+SiteFlowResult analyzeSiteFlow(const Function &F,
+                               const std::vector<unsigned> &LoopBlocks,
+                               unsigned Header, const SitePredicate &IsSite);
+
+/// Convenience wrapper returning only the last sites.
+std::vector<SitePos> findLastSites(const Function &F,
+                                   const std::vector<unsigned> &LoopBlocks,
+                                   unsigned Header, const SitePredicate &IsSite);
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_EPOCHPATHS_H

@@ -1,0 +1,41 @@
+//===- compiler/LoopSelection.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/LoopSelection.h"
+
+#include <cmath>
+
+using namespace specsync;
+
+LoopSelectionResult specsync::selectLoop(const LoopProfile &Profile,
+                                         const LoopSelectionParams &Params) {
+  LoopSelectionResult R;
+
+  if (Profile.coveragePercent() < Params.MinCoveragePercent) {
+    R.Reason = "coverage below threshold";
+    return R;
+  }
+  if (Profile.avgEpochsPerInstance() < Params.MinEpochsPerInstance) {
+    R.Reason = "too few epochs per loop instance";
+    return R;
+  }
+  if (Profile.avgInstsPerEpoch() < Params.MinInstsPerEpoch) {
+    R.Reason = "epochs too small";
+    return R;
+  }
+
+  R.Selected = true;
+  double Avg = Profile.avgInstsPerEpoch();
+  if (Avg < Params.UnrollTargetInstsPerEpoch) {
+    double Factor = std::ceil(Params.UnrollTargetInstsPerEpoch / Avg);
+    R.UnrollFactor = static_cast<unsigned>(Factor);
+    if (R.UnrollFactor > Params.MaxUnrollFactor)
+      R.UnrollFactor = Params.MaxUnrollFactor;
+    if (R.UnrollFactor < 1)
+      R.UnrollFactor = 1;
+  }
+  return R;
+}

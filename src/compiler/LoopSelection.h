@@ -1,0 +1,47 @@
+//===- compiler/LoopSelection.h - Parallel loop selection -------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's loop-selection heuristics (Section 3.1): a loop is considered
+/// for speculative parallelization when it covers at least 0.1% of execution
+/// time, averages at least 1.5 epochs per instance, and at least 15
+/// instructions per epoch; small loops are unrolled to amortize
+/// parallelization overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_LOOPSELECTION_H
+#define SPECSYNC_COMPILER_LOOPSELECTION_H
+
+#include "profile/LoopProfiler.h"
+
+#include <string>
+
+namespace specsync {
+
+struct LoopSelectionParams {
+  double MinCoveragePercent = 0.1;
+  double MinEpochsPerInstance = 1.5;
+  double MinInstsPerEpoch = 15.0;
+  /// Epochs smaller than this are unrolled up to MaxUnrollFactor so the
+  /// unrolled epoch reaches the target size.
+  double UnrollTargetInstsPerEpoch = 30.0;
+  unsigned MaxUnrollFactor = 8;
+};
+
+struct LoopSelectionResult {
+  bool Selected = false;
+  unsigned UnrollFactor = 1;
+  std::string Reason; ///< Why the loop was rejected (empty if selected).
+};
+
+/// Applies the selection heuristics to the profiled parallel loop.
+LoopSelectionResult selectLoop(const LoopProfile &Profile,
+                               const LoopSelectionParams &Params = {});
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_LOOPSELECTION_H

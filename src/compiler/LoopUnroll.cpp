@@ -1,0 +1,89 @@
+//===- compiler/LoopUnroll.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/LoopUnroll.h"
+
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+
+#include <map>
+
+using namespace specsync;
+
+bool specsync::unrollParallelLoop(Program &P, unsigned Factor) {
+  assert(Factor >= 1 && "unroll factor must be at least 1");
+  if (Factor == 1)
+    return true;
+  const RegionSpec &Region = P.getRegion();
+  if (!Region.isValid())
+    return false;
+
+  Function &F = P.getFunction(Region.Func);
+  CFG G(F);
+  Dominators DT(G);
+  LoopInfo LI(F, G, DT);
+  const Loop *L = LI.getLoopByHeader(Region.Header);
+  if (!L)
+    return false;
+
+  std::vector<unsigned> LoopBlocks = L->Blocks;
+  unsigned Header = Region.Header;
+
+  // BlockMap[k][orig] = index of copy k's version of orig. Copy 0 is the
+  // original body itself.
+  std::vector<std::map<unsigned, unsigned>> BlockMap(Factor);
+  for (unsigned B : LoopBlocks)
+    BlockMap[0][B] = B;
+  for (unsigned K = 1; K < Factor; ++K)
+    for (unsigned B : LoopBlocks)
+      BlockMap[K][B] =
+          F.addBlock(F.getBlock(B).getName() + ".u" + std::to_string(K))
+              .getIndex();
+
+  // Populate copies 1..Factor-1 with remapped instructions.
+  for (unsigned K = 1; K < Factor; ++K) {
+    for (unsigned B : LoopBlocks) {
+      const BasicBlock &Src = F.getBlock(B);
+      BasicBlock &Dst = F.getBlock(BlockMap[K][B]);
+      for (const Instruction &I : Src.instructions()) {
+        Instruction Copy = I;
+        Copy.setId(0); // Fresh id assigned below.
+        Copy.setOrigId(I.getOrigId());
+        Dst.append(std::move(Copy));
+      }
+    }
+  }
+
+  // Rewire branch targets. Within copy k: edges to the header advance to
+  // copy (k+1) % Factor's header (the last copy returns to the original
+  // header, forming the new back edge); edges to other loop blocks stay in
+  // copy k; exits are unchanged.
+  auto remapTargets = [&](Instruction &Term, unsigned K) {
+    unsigned NumTargets = Term.getOpcode() == Opcode::Br        ? 1u
+                          : Term.getOpcode() == Opcode::CondBr  ? 2u
+                                                                : 0u;
+    for (unsigned T = 0; T < NumTargets; ++T) {
+      unsigned Orig = Term.getTarget(T);
+      if (Orig == Header) {
+        unsigned NextK = (K + 1) % Factor;
+        Term.setTarget(T, NextK == 0 ? Header : BlockMap[NextK][Header]);
+      } else if (BlockMap[K].count(Orig)) {
+        Term.setTarget(T, BlockMap[K][Orig]);
+      }
+      // Else: loop exit; leave the target alone.
+    }
+  };
+
+  for (unsigned K = 0; K < Factor; ++K)
+    for (unsigned B : LoopBlocks) {
+      BasicBlock &BB = F.getBlock(BlockMap[K][B]);
+      assert(BB.isTerminated() && "loop block must be terminated");
+      remapTargets(BB.back(), K);
+    }
+
+  P.assignIds();
+  return true;
+}

@@ -1,0 +1,35 @@
+//===- compiler/LoopUnroll.h - Unrolling of the parallel loop ---*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unrolls the annotated parallel loop by a given factor so that each epoch
+/// (header-to-header span) executes several original iterations, amortizing
+/// speculative-parallelization overheads for small loops (Section 3.1).
+///
+/// The loop body is replicated Factor-1 times; back edges of copy k are
+/// rewired to copy k+1's header, and the last copy's back edges return to
+/// the original header. Loop exits from any copy branch to the original
+/// exit targets. Because iterations share the function's register file,
+/// loop-carried values flow through unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_LOOPUNROLL_H
+#define SPECSYNC_COMPILER_LOOPUNROLL_H
+
+#include "ir/Program.h"
+
+namespace specsync {
+
+/// Unrolls the program's parallel region loop by \p Factor (>= 1). A factor
+/// of 1 is a no-op. Returns false (leaving the program unchanged) when the
+/// region is not annotated or is not a natural loop. Re-runs
+/// Program::assignIds for the newly created instructions.
+bool unrollParallelLoop(Program &P, unsigned Factor);
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_LOOPUNROLL_H

@@ -1,0 +1,317 @@
+//===- compiler/MemSync.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/MemSync.h"
+
+#include "compiler/Cloning.h"
+#include "compiler/EpochPaths.h"
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace specsync;
+
+namespace {
+
+/// A deferred insertion: instruction \p I at position \p Pos of
+/// (\p Func, \p Block). Seq orders same-position inserts (lower Seq ends up
+/// earlier in the final code).
+struct PendingInsert {
+  unsigned Func;
+  unsigned Block;
+  size_t Pos;
+  unsigned Seq;
+  Instruction I;
+};
+
+Instruction makeSync(Opcode Op, int Group, std::vector<Operand> Ops) {
+  Instruction I(Op, -1, std::move(Ops));
+  I.setSyncId(Group);
+  return I;
+}
+
+/// Locates the instruction named \p ProfileId (a static id recorded during
+/// profiling) within function \p F. In un-cloned functions the id matches
+/// exactly; in clones (whose ids were re-assigned after profiling) the
+/// match is by OrigId, which is unique within a clone because callees are
+/// never unrolled. Exact-id matches are preferred: clone ids are allocated
+/// after profiling, so they can never collide with a profile id.
+bool findByProfileId(const Function &F, uint32_t ProfileId, Opcode Op,
+                     SitePos &Loc) {
+  bool FoundOrig = false;
+  for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+    const BasicBlock &BB = F.getBlock(BI);
+    for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+      const Instruction &I = BB.instructions()[Pos];
+      if (I.getOpcode() != Op)
+        continue;
+      if (I.getId() == ProfileId) {
+        Loc = SitePos{BI, Pos};
+        return true;
+      }
+      if (!FoundOrig && I.getOrigId() == ProfileId) {
+        Loc = SitePos{BI, Pos};
+        FoundOrig = true;
+      }
+    }
+  }
+  return FoundOrig;
+}
+
+} // namespace
+
+MemSyncResult specsync::insertMemSync(Program &P,
+                                      const ContextTable &Contexts,
+                                      const DepProfile &Profile,
+                                      const MemSyncOptions &Opts) {
+  MemSyncResult Result;
+  const RegionSpec &Region = P.getRegion();
+  if (!Region.isValid())
+    return Result;
+
+  Result.Grouping = buildGroups(Profile, Opts.FreqThresholdPercent);
+  Result.NumGroups = static_cast<unsigned>(Result.Grouping.Groups.size());
+  if (Result.NumGroups == 0)
+    return Result;
+
+  // --- Cloning ----------------------------------------------------------
+  std::vector<uint32_t> NeededContexts;
+  for (const SyncGroup &G : Result.Grouping.Groups) {
+    for (const RefName &R : G.Loads)
+      NeededContexts.push_back(R.Context);
+    for (const RefName &R : G.Stores)
+      NeededContexts.push_back(R.Context);
+  }
+  CloneResult Clones = cloneForContexts(P, Contexts, NeededContexts);
+  Result.NumClonedFunctions = Clones.NumClonedFunctions;
+  if (Clones.InstsBefore > 0)
+    Result.CodeExpansionPercent =
+        100.0 *
+        (static_cast<double>(Clones.InstsAfter) - Clones.InstsBefore) /
+        static_cast<double>(Clones.InstsBefore);
+
+  // --- Marking ----------------------------------------------------------
+  // Tag each synchronized reference's executing instance (in the clone for
+  // its context) with its group id.
+  for (const SyncGroup &G : Result.Grouping.Groups) {
+    auto mark = [&](const RefName &R, Opcode Op) {
+      unsigned FuncIdx = Clones.ContextFunc.at(R.Context);
+      Function &F = P.getFunction(FuncIdx);
+      SitePos Loc;
+      bool Found = findByProfileId(F, R.InstId, Op, Loc);
+      assert(Found && "profiled reference not found in its context clone");
+      if (!Found)
+        return;
+      F.getBlock(Loc.Block).instructions()[Loc.Pos].setSyncId(G.GroupId);
+      if (Op == Opcode::Load) {
+        ++Result.NumSyncedLoads;
+        Result.SyncedLoadSet.emplace_back(R, G.GroupId);
+      } else {
+        ++Result.NumSyncedStores;
+      }
+    };
+    for (const RefName &R : G.Loads)
+      mark(R, Opcode::Load);
+    for (const RefName &R : G.Stores)
+      mark(R, Opcode::Store);
+  }
+
+  // --- Analysis for insertion (before any mutation) ----------------------
+  std::vector<PendingInsert> Inserts;
+  unsigned Seq = 0;
+
+  // Consumer side: wait.mem + check.fwd before each synchronized load,
+  // select.fwd after it.
+  for (unsigned FI = 0; FI < P.getNumFunctions(); ++FI) {
+    Function &F = P.getFunction(FI);
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      BasicBlock &BB = F.getBlock(BI);
+      for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+        const Instruction &I = BB.instructions()[Pos];
+        if (I.getOpcode() != Opcode::Load || I.getSyncId() < 0)
+          continue;
+        int G = I.getSyncId();
+        Operand AddrOp = I.getOperand(0);
+        Inserts.push_back(
+            {FI, BI, Pos, Seq++, makeSync(Opcode::WaitMem, G, {})});
+        Inserts.push_back(
+            {FI, BI, Pos, Seq++, makeSync(Opcode::CheckFwd, G, {AddrOp})});
+        Inserts.push_back(
+            {FI, BI, Pos + 1, Seq++, makeSync(Opcode::SelectFwd, G, {})});
+      }
+    }
+  }
+
+  // Producer side. First compute, per function, which groups it may store
+  // to (directly or transitively through calls).
+  unsigned NumFuncs = P.getNumFunctions();
+  std::vector<std::set<int>> MayStore(NumFuncs);
+  for (unsigned FI = 0; FI < NumFuncs; ++FI) {
+    const Function &F = P.getFunction(FI);
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI)
+      for (const Instruction &I : F.getBlock(BI).instructions())
+        if (I.getOpcode() == Opcode::Store && I.getSyncId() >= 0)
+          MayStore[FI].insert(I.getSyncId());
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned FI = 0; FI < NumFuncs; ++FI) {
+      const Function &F = P.getFunction(FI);
+      for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI)
+        for (const Instruction &I : F.getBlock(BI).instructions()) {
+          if (I.getOpcode() != Opcode::Call)
+            continue;
+          for (int G : MayStore[I.getCallee()])
+            if (MayStore[FI].insert(G).second)
+              Changed = true;
+        }
+    }
+  }
+
+  // Epoch scope for the region function.
+  Function &RegionFunc = P.getFunction(Region.Func);
+  CFG RG(RegionFunc);
+  Dominators RDT(RG);
+  LoopInfo RLI(RegionFunc, RG, RDT);
+  const Loop *L = RLI.getLoopByHeader(Region.Header);
+  assert(L && "region header is not a loop header");
+
+  // Recursive placement: signal after each last g-site; descend into
+  // callees when the last site is a call. Every analyzed scope is recorded
+  // so the NULL-signal pass below can reuse its data flow.
+  struct Scope {
+    unsigned Func;
+    int Group;
+    std::vector<unsigned> Blocks;
+    unsigned Header;
+    SiteFlowResult Flow;
+  };
+  std::vector<Scope> Scopes;
+  std::set<std::pair<unsigned, int>> Visited; // (func, group).
+
+  std::function<void(unsigned, int, const std::vector<unsigned> &, unsigned)>
+      placeSignals = [&](unsigned FuncIdx, int G,
+                         const std::vector<unsigned> &ScopeBlocks,
+                         unsigned Header) {
+        Function &F = P.getFunction(FuncIdx);
+        auto IsSite = [&](const Instruction &I, SitePos) {
+          if (I.getOpcode() == Opcode::Store && I.getSyncId() == G)
+            return true;
+          return I.getOpcode() == Opcode::Call &&
+                 MayStore[I.getCallee()].count(G) > 0;
+        };
+        SiteFlowResult Flow = analyzeSiteFlow(F, ScopeBlocks, Header, IsSite);
+        for (const SitePos &S : Flow.LastSites) {
+          const Instruction &I =
+              F.getBlock(S.Block).instructions()[S.Pos];
+          if (I.getOpcode() == Opcode::Store) {
+            Inserts.push_back(
+                {FuncIdx, S.Block, S.Pos + 1, Seq++,
+                 makeSync(Opcode::SignalMem, G,
+                          {I.getOperand(0), I.getOperand(1)})});
+            ++Result.NumSignalsPlaced;
+            continue;
+          }
+          // Last site is a call: place the signal inside the callee, after
+          // its own last sites (function scope: all paths to return).
+          unsigned Callee = I.getCallee();
+          if (!Visited.insert({Callee, G}).second)
+            continue;
+          const Function &CF = P.getFunction(Callee);
+          std::vector<unsigned> AllBlocks(CF.getNumBlocks());
+          for (unsigned B = 0; B < CF.getNumBlocks(); ++B)
+            AllBlocks[B] = B;
+          placeSignals(Callee, G, AllBlocks, ~0u);
+        }
+        Scopes.push_back(
+            Scope{FuncIdx, G, ScopeBlocks, Header, std::move(Flow)});
+      };
+
+  for (const SyncGroup &G : Result.Grouping.Groups)
+    placeSignals(Region.Func, G.GroupId, L->Blocks, Region.Header);
+
+  // NULL signals on store-free paths: the consumer must not wait for the
+  // producer's commit just because the producer took a path that never
+  // stores. We place signal.mem(NULL) at the earliest CFG edge where
+  // "a group site may still follow" flips from true to false — i.e.
+  // immediately after the branch that bypasses the (last possible) store.
+  // Flips never precede a real signal on the same path (the may-follow
+  // relation over-approximates), so at most one signal fires per path.
+  struct EdgeSplit {
+    unsigned Func;
+    unsigned Pred;
+    unsigned Slot; ///< Terminator target slot to redirect.
+    int Group;
+  };
+  std::vector<EdgeSplit> Splits;
+  for (const Scope &S : Scopes) {
+    const Function &F = P.getFunction(S.Func);
+    std::vector<bool> InScope(F.getNumBlocks(), false);
+    for (unsigned B : S.Blocks)
+      InScope[B] = true;
+    for (unsigned B : S.Blocks) {
+      if (!S.Flow.MayFollowOut[B])
+        continue; // No flip can originate here.
+      const Instruction &Term = F.getBlock(B).back();
+      unsigned NumTargets = Term.getOpcode() == Opcode::Br       ? 1u
+                            : Term.getOpcode() == Opcode::CondBr ? 2u
+                                                                 : 0u;
+      for (unsigned Slot = 0; Slot < NumTargets; ++Slot) {
+        unsigned Succ = Term.getTarget(Slot);
+        if (!InScope[Succ] || Succ == S.Header)
+          continue; // Epoch/region boundary: no consumer to notify.
+        bool MayMoreIn = S.Flow.HasSite[Succ] || S.Flow.MayFollowOut[Succ];
+        if (!MayMoreIn)
+          Splits.push_back(EdgeSplit{S.Func, B, Slot, S.Group});
+      }
+    }
+  }
+
+  // --- Apply insertions ---------------------------------------------------
+  // Highest position first; among equal positions, higher Seq first so that
+  // lower Seq ends up earlier in the final instruction order.
+  std::sort(Inserts.begin(), Inserts.end(),
+            [](const PendingInsert &A, const PendingInsert &B) {
+              if (A.Func != B.Func)
+                return A.Func < B.Func;
+              if (A.Block != B.Block)
+                return A.Block < B.Block;
+              if (A.Pos != B.Pos)
+                return A.Pos > B.Pos;
+              return A.Seq > B.Seq;
+            });
+  for (PendingInsert &PI : Inserts)
+    P.getFunction(PI.Func).getBlock(PI.Block).insertAt(PI.Pos,
+                                                       std::move(PI.I));
+
+  // Apply the edge splits after the instruction insertions (splits append
+  // new blocks and only touch terminator targets, so the recorded
+  // positions stay valid; chained splits on one edge compose naturally).
+  for (const EdgeSplit &ES : Splits) {
+    Function &F = P.getFunction(ES.Func);
+    Instruction &Term = F.getBlock(ES.Pred).back();
+    unsigned OldTarget = Term.getTarget(ES.Slot);
+    BasicBlock &NullBB = F.addBlock(
+        "sig.null.g" + std::to_string(ES.Group) + "." +
+        std::to_string(ES.Pred) + "." + std::to_string(ES.Slot));
+    Instruction Null = makeSync(Opcode::SignalMem, ES.Group,
+                                {Operand::imm(0), Operand::imm(0)});
+    NullBB.append(std::move(Null));
+    Instruction Br(Opcode::Br, -1, {});
+    Br.setTarget(0, OldTarget);
+    NullBB.append(std::move(Br));
+    // Re-fetch the terminator: addBlock may not invalidate it, but be safe.
+    F.getBlock(ES.Pred).back().setTarget(ES.Slot, NullBB.getIndex());
+    ++Result.NumSignalsPlaced;
+  }
+
+  P.assignIds();
+  return Result;
+}

@@ -1,0 +1,36 @@
+//===- compiler/PassManager.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/PassManager.h"
+
+#include "compiler/LoopUnroll.h"
+#include "ir/Verifier.h"
+
+#include <cassert>
+
+using namespace specsync;
+
+BaseTransformResult specsync::applyBaseTransforms(
+    Program &P, unsigned UnrollFactor, const ScalarSyncOptions &Scalar) {
+  BaseTransformResult Result;
+  P.assignIds();
+  assert(isWellFormed(P) && "malformed input program");
+
+  if (UnrollFactor > 1 && unrollParallelLoop(P, UnrollFactor))
+    Result.UnrollFactor = UnrollFactor;
+
+  Result.Scalar = insertScalarSync(P, Scalar);
+  assert(isWellFormed(P) && "base TLS transforms broke the program");
+  return Result;
+}
+
+MemSyncResult specsync::applyMemSync(Program &P, const ContextTable &Contexts,
+                                     const DepProfile &Profile,
+                                     const MemSyncOptions &Opts) {
+  MemSyncResult Result = insertMemSync(P, Contexts, Profile, Opts);
+  assert(isWellFormed(P) && "memory synchronization broke the program");
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- compiler/PassManager.h - TLS compilation driver ----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orchestrates the paper's compilation phases (Section 3.1):
+///  1. decide where to parallelize (loop selection + unrolling),
+///  2. transform to exploit TLS (scalar synchronization with
+///     forwarding-path scheduling),
+///  3. insert synchronization for memory-resident values (profile-driven,
+///     this paper's contribution).
+///
+/// Phases 1-2 form the baseline ("U") binary; phase 3 produces the
+/// compiler-synchronized ("C"/"T") binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_PASSMANAGER_H
+#define SPECSYNC_COMPILER_PASSMANAGER_H
+
+#include "compiler/LoopSelection.h"
+#include "compiler/MemSync.h"
+#include "compiler/ScalarSync.h"
+
+namespace specsync {
+
+/// Result of the base (phases 1-2) transformation.
+struct BaseTransformResult {
+  unsigned UnrollFactor = 1;
+  ScalarSyncResult Scalar;
+};
+
+/// Applies unrolling (by \p UnrollFactor) and scalar synchronization to a
+/// freshly built program. Verifies the result in assert builds.
+BaseTransformResult applyBaseTransforms(Program &P, unsigned UnrollFactor,
+                                        const ScalarSyncOptions &Scalar = {});
+
+/// Applies the memory-resident synchronization phase on top of the base
+/// transforms, using a dependence profile gathered on an identically-built
+/// program. Verifies the result in assert builds.
+MemSyncResult applyMemSync(Program &P, const ContextTable &Contexts,
+                           const DepProfile &Profile,
+                           const MemSyncOptions &Opts = {});
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_PASSMANAGER_H

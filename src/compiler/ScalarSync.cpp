@@ -1,0 +1,226 @@
+//===- compiler/ScalarSync.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/ScalarSync.h"
+
+#include "compiler/EpochPaths.h"
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace specsync;
+
+namespace {
+
+/// Registers read / written by one instruction.
+struct RegAccess {
+  std::vector<unsigned> Uses;
+  int Def = -1;
+};
+
+RegAccess accessOf(const Instruction &I) {
+  RegAccess A;
+  for (unsigned OI = 0; OI < I.getNumOperands(); ++OI)
+    if (I.getOperand(OI).isReg())
+      A.Uses.push_back(I.getOperand(OI).getReg());
+  if (I.hasDest())
+    A.Def = static_cast<int>(I.getDest());
+  return A;
+}
+
+} // namespace
+
+ScalarSyncResult specsync::insertScalarSync(Program &P,
+                                            const ScalarSyncOptions &Opts) {
+  ScalarSyncResult Result;
+  const RegionSpec &Region = P.getRegion();
+  if (!Region.isValid())
+    return Result;
+
+  Function &F = P.getFunction(Region.Func);
+  CFG G(F);
+  Dominators DT(G);
+  LoopInfo LI(F, G, DT);
+  const Loop *L = LI.getLoopByHeader(Region.Header);
+  if (!L)
+    return Result;
+  const std::vector<unsigned> &LoopBlocks = L->Blocks;
+  unsigned Header = Region.Header;
+
+  // Per-block upward-exposed uses and kills, restricted to loop blocks.
+  std::map<unsigned, std::set<unsigned>> UEVar, Kill;
+  std::set<unsigned> DefsInLoop;
+  for (unsigned B : LoopBlocks) {
+    const BasicBlock &BB = F.getBlock(B);
+    std::set<unsigned> &UE = UEVar[B];
+    std::set<unsigned> &KillB = Kill[B];
+    for (const Instruction &I : BB.instructions()) {
+      RegAccess A = accessOf(I);
+      for (unsigned U : A.Uses)
+        if (!KillB.count(U))
+          UE.insert(U);
+      if (A.Def >= 0) {
+        KillB.insert(static_cast<unsigned>(A.Def));
+        DefsInLoop.insert(static_cast<unsigned>(A.Def));
+      }
+    }
+  }
+
+  // Liveness over the loop subgraph (cyclic through the back edge). A
+  // register live into the header that is also defined inside the loop is a
+  // communicating scalar.
+  std::vector<bool> InLoop(F.getNumBlocks(), false);
+  for (unsigned B : LoopBlocks)
+    InLoop[B] = true;
+  std::map<unsigned, std::set<unsigned>> LiveIn;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B : LoopBlocks) {
+      std::set<unsigned> LiveOut;
+      for (unsigned S : F.getBlock(B).successors()) {
+        if (!InLoop[S])
+          continue;
+        const std::set<unsigned> &SuccIn = LiveIn[S];
+        LiveOut.insert(SuccIn.begin(), SuccIn.end());
+      }
+      std::set<unsigned> NewIn = UEVar[B];
+      for (unsigned R : LiveOut)
+        if (!Kill[B].count(R))
+          NewIn.insert(R);
+      if (NewIn != LiveIn[B]) {
+        LiveIn[B] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+
+  std::vector<unsigned> CommScalars;
+  for (unsigned R : LiveIn[Header])
+    if (DefsInLoop.count(R))
+      CommScalars.push_back(R);
+  std::sort(CommScalars.begin(), CommScalars.end());
+  if (CommScalars.empty())
+    return Result;
+
+  // Pending edits: per block, inserts (descending position) and in-place
+  // replacements.
+  std::map<unsigned, std::vector<std::pair<size_t, Instruction>>> Inserts;
+
+  auto makeSync = [](Opcode Op, int Channel, std::vector<Operand> Ops,
+                     int Dst = -1) {
+    Instruction I(Op, Dst, std::move(Ops));
+    I.setSyncId(Channel);
+    return I;
+  };
+
+  unsigned NumHeaderPrefix = 0; // Instructions prepended at header top.
+  std::vector<Instruction> HeaderPrefix;
+
+  for (unsigned Ch = 0; Ch < CommScalars.size(); ++Ch) {
+    unsigned R = CommScalars[Ch];
+    Result.ChannelRegs.push_back(R);
+
+    // Wait at epoch start.
+    HeaderPrefix.push_back(
+        makeSync(Opcode::WaitScalar, static_cast<int>(Ch), {}));
+
+    // Find all defs of R in the loop.
+    std::vector<SitePos> Defs;
+    for (unsigned B : LoopBlocks) {
+      const BasicBlock &BB = F.getBlock(B);
+      for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+        const Instruction &I = BB.instructions()[Pos];
+        if (I.hasDest() && I.getDest() == R)
+          Defs.push_back(SitePos{B, Pos});
+      }
+    }
+
+    // Forwarding-path scheduling: when every in-loop definition of R is an
+    // induction update (r = r +/- imm) that executes on every path to the
+    // back edge, the next epoch's value is r + (sum of increments), which
+    // can be computed and signaled at the very top of the epoch. The
+    // original updates are left in place (the hoisted computation is pure),
+    // so this works for any unroll factor.
+    bool Hoisted = false;
+    if (Opts.ScheduleInduction && !Defs.empty()) {
+      bool AllInduction = true;
+      int64_t Total = 0;
+      for (const SitePos &D : Defs) {
+        const Instruction &DefI =
+            F.getBlock(D.Block).instructions()[D.Pos];
+        bool IsInduction =
+            (DefI.getOpcode() == Opcode::Add ||
+             DefI.getOpcode() == Opcode::Sub) &&
+            DefI.getOperand(0).isReg() && DefI.getOperand(0).getReg() == R &&
+            DefI.getOperand(1).isImm();
+        if (!IsInduction) {
+          AllInduction = false;
+          break;
+        }
+        int64_t Inc = DefI.getOperand(1).getImm();
+        Total += DefI.getOpcode() == Opcode::Add ? Inc : -Inc;
+        // Each update must execute on every complete iteration: its block
+        // has to dominate every latch (back-edge source).
+        for (unsigned Latch : L->Latches)
+          if (!DT.dominates(D.Block, Latch)) {
+            AllInduction = false;
+            break;
+          }
+        if (!AllInduction)
+          break;
+      }
+      if (AllInduction) {
+        unsigned Tmp = F.newReg();
+        HeaderPrefix.push_back(Instruction(
+            Opcode::Add, static_cast<int>(Tmp),
+            {Operand::reg(R), Operand::imm(Total)}));
+        HeaderPrefix.push_back(makeSync(Opcode::SignalScalar,
+                                        static_cast<int>(Ch),
+                                        {Operand::reg(Tmp)}));
+        Hoisted = true;
+        ++Result.NumHoistedUpdates;
+      }
+    }
+
+    if (!Hoisted) {
+      // Signal after each definition not followed by another definition of
+      // R on any path through the epoch.
+      std::vector<SitePos> Last = findLastSites(
+          F, LoopBlocks, Header, [&](const Instruction &I, SitePos) {
+            return I.hasDest() && I.getDest() == R;
+          });
+      for (const SitePos &S : Last)
+        Inserts[S.Block].emplace_back(
+            S.Pos + 1, makeSync(Opcode::SignalScalar, static_cast<int>(Ch),
+                                {Operand::reg(R)}));
+    }
+  }
+
+  // Apply per-block inserts from the highest position down so earlier
+  // positions stay valid.
+  for (auto &[Block, List] : Inserts) {
+    std::sort(List.begin(), List.end(),
+              [](const auto &A, const auto &B) { return A.first > B.first; });
+    for (auto &[Pos, I] : List)
+      F.getBlock(Block).insertAt(Pos, std::move(I));
+  }
+
+  // Prepend the header prefix (waits, then hoisted updates/signals) in
+  // order.
+  BasicBlock &HeaderBB = F.getBlock(Header);
+  for (size_t I = HeaderPrefix.size(); I > 0; --I)
+    HeaderBB.insertAt(0, std::move(HeaderPrefix[I - 1]));
+  NumHeaderPrefix = static_cast<unsigned>(HeaderPrefix.size());
+  (void)NumHeaderPrefix;
+
+  Result.NumChannels = static_cast<unsigned>(CommScalars.size());
+  P.assignIds();
+  return Result;
+}

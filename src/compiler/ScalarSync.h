@@ -1,0 +1,53 @@
+//===- compiler/ScalarSync.h - Scalar wait/signal insertion -----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-resident scalar synchronization from the paper's prior work
+/// (Zhai et al. [32]), which this paper requires as a substrate: every
+/// *communicating scalar* — a register live between epochs and defined
+/// inside the parallelized loop — is forwarded with a wait/signal pair.
+///
+/// The wait is placed at the top of the loop header (epoch start). The
+/// signal is placed after the last definition on each path (same data-flow
+/// as memory signal placement). For simple induction updates
+/// (r = r +/- constant) the pass additionally performs the critical
+/// forwarding-path scheduling of [32]: the next iteration's value is
+/// computed and signaled at the very top of the epoch, and the original
+/// update becomes a move, shrinking the stall its consumer sees to nearly
+/// zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_SCALARSYNC_H
+#define SPECSYNC_COMPILER_SCALARSYNC_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace specsync {
+
+struct ScalarSyncOptions {
+  /// Apply the forwarding-path scheduling for induction updates. Disabling
+  /// this models unscheduled scalar synchronization.
+  bool ScheduleInduction = true;
+};
+
+struct ScalarSyncResult {
+  unsigned NumChannels = 0;
+  unsigned NumHoistedUpdates = 0;
+  std::vector<unsigned> ChannelRegs; ///< Register communicated per channel.
+};
+
+/// Inserts scalar synchronization into the program's parallel region.
+/// Re-runs Program::assignIds. Returns zero channels when the region is
+/// missing or has no communicating scalars.
+ScalarSyncResult insertScalarSync(Program &P,
+                                  const ScalarSyncOptions &Opts = {});
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_SCALARSYNC_H

@@ -1,0 +1,50 @@
+//===- harness/Experiment.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+using namespace specsync;
+
+const char *specsync::modeName(ExecMode Mode) {
+  switch (Mode) {
+  case ExecMode::U: return "U";
+  case ExecMode::O: return "O";
+  case ExecMode::T: return "T";
+  case ExecMode::C: return "C";
+  case ExecMode::E: return "E";
+  case ExecMode::L: return "L";
+  case ExecMode::P: return "P";
+  case ExecMode::H: return "H";
+  case ExecMode::B: return "B";
+  }
+  return "?";
+}
+
+double ModeRunResult::normalizedRegionTime() const {
+  if (SeqRegionCycles == 0)
+    return 0.0;
+  return 100.0 * static_cast<double>(Sim.Cycles) /
+         static_cast<double>(SeqRegionCycles);
+}
+
+static double segmentPct(const ModeRunResult &R, uint64_t Slots) {
+  if (R.Sim.Slots.Total == 0)
+    return 0.0;
+  return R.normalizedRegionTime() * static_cast<double>(Slots) /
+         static_cast<double>(R.Sim.Slots.Total);
+}
+
+double ModeRunResult::busyPct() const { return segmentPct(*this, Sim.Slots.Busy); }
+double ModeRunResult::failPct() const { return segmentPct(*this, Sim.Slots.Fail); }
+double ModeRunResult::syncPct() const { return segmentPct(*this, Sim.Slots.sync()); }
+double ModeRunResult::otherPct() const { return segmentPct(*this, Sim.Slots.other()); }
+
+double ModeRunResult::regionSpeedup() const {
+  if (Sim.Cycles == 0)
+    return 0.0;
+  return static_cast<double>(SeqRegionCycles) /
+         static_cast<double>(Sim.Cycles);
+}

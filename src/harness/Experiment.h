@@ -1,0 +1,63 @@
+//===- harness/Experiment.h - Execution modes and results ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution modes used throughout the paper's evaluation and the
+/// per-mode result record the benchmark binaries produce. See DESIGN.md
+/// Section 4 for the mode glossary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_HARNESS_EXPERIMENT_H
+#define SPECSYNC_HARNESS_EXPERIMENT_H
+
+#include "sim/TLSSimulator.h"
+
+#include <string>
+
+namespace specsync {
+
+enum class ExecMode {
+  U, ///< TLS with scalar sync only (baseline parallel execution).
+  O, ///< Oracle: perfect memory value communication (Figure 2).
+  T, ///< Compiler memory sync, profiled on the train input (Figure 8).
+  C, ///< Compiler memory sync, profiled on the ref input.
+  E, ///< C with perfectly predicted synchronized values (Figure 9).
+  L, ///< C with synchronized loads stalling to commit (Figure 9).
+  P, ///< Hardware value prediction (Figure 10).
+  H, ///< Hardware-inserted synchronization (Figure 10).
+  B, ///< Hybrid: compiler sync + hardware sync (Figures 10-12).
+};
+
+const char *modeName(ExecMode Mode);
+
+/// One mode's measurement for one benchmark.
+struct ModeRunResult {
+  ExecMode Mode = ExecMode::U;
+  TLSSimResult Sim; ///< Accumulated over all region instances.
+
+  uint64_t SeqRegionCycles = 0; ///< Sequential baseline for the regions.
+
+  /// Region execution time normalized to sequential (the paper's bars;
+  /// < 100 means the parallelized regions sped up).
+  double normalizedRegionTime() const;
+  /// The four bar segments in normalized units (sum = the bar height).
+  double busyPct() const;
+  double failPct() const;
+  double syncPct() const;
+  double otherPct() const;
+
+  double regionSpeedup() const;
+
+  /// Whole-program numbers (coverage + sequential dilation applied).
+  double ProgramSpeedup = 0.0;
+  double CoveragePercent = 0.0;
+  double SeqRegionSpeedup = 1.0; ///< The modeled dilation artifact.
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_HARNESS_EXPERIMENT_H

@@ -1,0 +1,180 @@
+//===- harness/Pipeline.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+
+#include "compiler/PassManager.h"
+#include "interp/Interpreter.h"
+
+#include <cassert>
+
+using namespace specsync;
+
+BenchmarkPipeline::BenchmarkPipeline(const Workload &W,
+                                     const MachineConfig &Config,
+                                     double FreqThresholdPercent)
+    : Bench(W), Config(Config), FreqThreshold(FreqThresholdPercent) {}
+
+void BenchmarkPipeline::prepare() {
+  // Phase 1: profile the original program and pick the unroll factor.
+  {
+    std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
+    Interpreter I(*P, Contexts);
+    LoopProfiler LP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    InterpResult R = I.run(Opts, &LP);
+    assert(R.Completed && "original program did not terminate");
+    (void)R;
+    RefLoop = LP.profile();
+    Selection = selectLoop(RefLoop);
+  }
+
+  unsigned Factor = Selection.Selected ? Selection.UnrollFactor : 1;
+
+  // Phase 2: dependence profiles on base-transformed binaries. The same
+  // ContextTable serves both runs so context ids line up; the builds are
+  // deterministic so static ids line up too.
+  {
+    std::unique_ptr<Program> P = Bench.Build(InputKind::Train);
+    applyBaseTransforms(*P, Factor);
+    Interpreter I(*P, Contexts);
+    DepProfiler DP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    I.run(Opts, &DP);
+    TrainProfile = DP.takeProfile();
+  }
+  {
+    std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
+    BaseTransformResult Base = applyBaseTransforms(*P, Factor);
+    NumScalarChannels = Base.Scalar.NumChannels;
+    Interpreter I(*P, Contexts);
+    DepProfiler DP;
+    InterpOptions Opts;
+    Opts.CollectTrace = true; // Doubles as the U binary's trace.
+    InterpResult R = I.run(Opts, &DP);
+    assert(R.Completed && "U binary did not terminate");
+    RefProfile = DP.takeProfile();
+    UTrace = std::make_unique<ProgramTrace>(std::move(R.Trace));
+  }
+
+  // Phase 3: sequential baseline on the original program.
+  {
+    std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
+    P->assignIds();
+    Interpreter I(*P, Contexts);
+    InterpResult R = I.run();
+    assert(R.Completed && "sequential baseline did not terminate");
+    SeqBaseline = simulateSequential(Config, R.Trace);
+  }
+
+  // Phase 4: compiler-synchronized binaries (ref and train profiles).
+  MemSyncOptions MSOpts;
+  MSOpts.FreqThresholdPercent = FreqThreshold;
+  {
+    std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
+    applyBaseTransforms(*P, Factor);
+    RefMemSync = applyMemSync(*P, Contexts, RefProfile, MSOpts);
+    for (const auto &[Name, Group] : RefMemSync.SyncedLoadSet)
+      RefSyncSet.insert({Name.InstId, Name.Context});
+    Interpreter I(*P, Contexts);
+    InterpResult R = I.run();
+    assert(R.Completed && "C binary did not terminate");
+    CTrace = std::make_unique<ProgramTrace>(std::move(R.Trace));
+  }
+  {
+    std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
+    applyBaseTransforms(*P, Factor);
+    TrainMemSync = applyMemSync(*P, Contexts, TrainProfile, MSOpts);
+    Interpreter I(*P, Contexts);
+    InterpResult R = I.run();
+    assert(R.Completed && "T binary did not terminate");
+    TTrace = std::make_unique<ProgramTrace>(std::move(R.Trace));
+  }
+
+  Prepared = true;
+}
+
+ModeRunResult BenchmarkPipeline::simulate(const ProgramTrace &Trace,
+                                          TLSSimOptions Opts, ExecMode Mode) {
+  Opts.NumScalarChannels = NumScalarChannels;
+  Opts.CompilerSyncSet = &RefSyncSet;
+
+  ModeRunResult Result;
+  Result.Mode = Mode;
+  TLSSimulator Sim(Config, Opts);
+  for (const RegionTrace &R : Trace.Regions)
+    Result.Sim.accumulate(Sim.simulateRegion(R));
+
+  Result.SeqRegionCycles = SeqBaseline.regionCyclesTotal();
+  Result.CoveragePercent = RefLoop.coveragePercent();
+  Result.SeqRegionSpeedup = Bench.SeqDilation;
+
+  // Whole-program accounting: sequential portions dilated by the modeled
+  // instrumentation artifact, regions replaced by their parallel time.
+  double DilatedSeq =
+      static_cast<double>(SeqBaseline.SeqCycles) / Bench.SeqDilation;
+  double Par = DilatedSeq + static_cast<double>(Result.Sim.Cycles);
+  if (Par > 0)
+    Result.ProgramSpeedup =
+        static_cast<double>(SeqBaseline.TotalCycles) / Par;
+  return Result;
+}
+
+ModeRunResult BenchmarkPipeline::run(ExecMode Mode) {
+  assert(Prepared && "call prepare() first");
+  TLSSimOptions Opts;
+  const ProgramTrace *Trace = UTrace.get();
+
+  switch (Mode) {
+  case ExecMode::U:
+    break;
+  case ExecMode::O:
+    Opts.OraclePerfectMemory = true;
+    break;
+  case ExecMode::T:
+    Trace = TTrace.get();
+    Opts.NumMemGroups = TrainMemSync.NumGroups;
+    break;
+  case ExecMode::C:
+    Trace = CTrace.get();
+    Opts.NumMemGroups = RefMemSync.NumGroups;
+    break;
+  case ExecMode::E:
+    Trace = CTrace.get();
+    Opts.NumMemGroups = RefMemSync.NumGroups;
+    Opts.PerfectSyncedValues = true;
+    break;
+  case ExecMode::L:
+    Trace = CTrace.get();
+    Opts.NumMemGroups = RefMemSync.NumGroups;
+    Opts.StallSyncedUntilDone = true;
+    break;
+  case ExecMode::P:
+    Opts.HwValuePredict = true;
+    break;
+  case ExecMode::H:
+    Opts.HwSyncStall = true;
+    break;
+  case ExecMode::B:
+    Trace = CTrace.get();
+    Opts.NumMemGroups = RefMemSync.NumGroups;
+    Opts.HwSyncStall = true;
+    break;
+  }
+  return simulate(*Trace, Opts, Mode);
+}
+
+ModeRunResult BenchmarkPipeline::runWithPerfectLoads(double Percent) {
+  assert(Prepared && "call prepare() first");
+  LoadNameSet Immune; // Outlives the simulate() call below.
+  for (const RefName &Name : RefProfile.loadsAboveThreshold(Percent))
+    Immune.insert({Name.InstId, Name.Context});
+  TLSSimOptions Opts;
+  Opts.ImmuneLoads = &Immune;
+  return simulate(*UTrace, Opts, ExecMode::U);
+}

@@ -1,0 +1,94 @@
+//===- harness/Pipeline.h - Benchmark pipeline driver ----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives one benchmark through the full methodology:
+///  1. profile the original program (loop selection + unroll factor),
+///  2. apply the base TLS transforms (unroll + scalar sync) and gather
+///     train- and ref-input dependence profiles with a shared context
+///     table,
+///  3. time the original sequential program (normalization baseline),
+///  4. build per-mode binaries (memory sync from the chosen profile),
+///     interpret them to traces, and run the TLS timing simulator.
+///
+/// Traces are cached: all hardware-side modes share the U binary's trace,
+/// and C/E/L/B share the ref-profiled binary's trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_HARNESS_PIPELINE_H
+#define SPECSYNC_HARNESS_PIPELINE_H
+
+#include "compiler/LoopSelection.h"
+#include "compiler/MemSync.h"
+#include "harness/Experiment.h"
+#include "interp/ContextTable.h"
+#include "profile/DepProfiler.h"
+#include "profile/LoopProfiler.h"
+#include "sim/SeqSimulator.h"
+#include "workloads/Workload.h"
+
+#include <memory>
+
+namespace specsync {
+
+class BenchmarkPipeline {
+public:
+  BenchmarkPipeline(const Workload &W, const MachineConfig &Config,
+                    double FreqThresholdPercent = 5.0);
+
+  /// Runs phases 1-3. Must be called before run().
+  void prepare();
+
+  /// Runs one execution mode on the ref input.
+  ModeRunResult run(ExecMode Mode);
+
+  /// Figure 2/6 limit study: U-mode execution with perfect prediction of
+  /// all loads whose dependence frequency exceeds \p Percent.
+  ModeRunResult runWithPerfectLoads(double Percent);
+
+  // Introspection for benches and tests.
+  const LoopProfile &loopProfile() const { return RefLoop; }
+  const LoopSelectionResult &selection() const { return Selection; }
+  const DepProfile &refProfile() const { return RefProfile; }
+  const DepProfile &trainProfile() const { return TrainProfile; }
+  const MemSyncResult &refMemSync() const { return RefMemSync; }
+  const MemSyncResult &trainMemSync() const { return TrainMemSync; }
+  const SeqSimResult &seqBaseline() const { return SeqBaseline; }
+  unsigned numScalarChannels() const { return NumScalarChannels; }
+  const Workload &workload() const { return Bench; }
+
+private:
+  ModeRunResult simulate(const ProgramTrace &Trace, TLSSimOptions Opts,
+                         ExecMode Mode);
+
+  const Workload &Bench;
+  const MachineConfig &Config;
+  double FreqThreshold;
+
+  ContextTable Contexts;
+  LoopProfile RefLoop;
+  LoopSelectionResult Selection;
+  DepProfile TrainProfile;
+  DepProfile RefProfile;
+  MemSyncResult RefMemSync;
+  MemSyncResult TrainMemSync;
+  unsigned NumScalarChannels = 0;
+  SeqSimResult SeqBaseline;
+
+  LoadNameSet RefSyncSet;
+
+  // Cached traces (ref input).
+  std::unique_ptr<ProgramTrace> UTrace; ///< Base-transformed binary.
+  std::unique_ptr<ProgramTrace> CTrace; ///< + mem sync (ref profile).
+  std::unique_ptr<ProgramTrace> TTrace; ///< + mem sync (train profile).
+
+  bool Prepared = false;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_HARNESS_PIPELINE_H

@@ -1,0 +1,131 @@
+//===- harness/RegionSelect.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/RegionSelect.h"
+
+#include "compiler/PassManager.h"
+#include "interp/Interpreter.h"
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+#include "profile/DepProfiler.h"
+#include "profile/LoopProfiler.h"
+#include "sim/SeqSimulator.h"
+#include "sim/TLSSimulator.h"
+
+using namespace specsync;
+
+std::vector<RegionCandidate> specsync::findCandidateLoops(Program &P) {
+  std::vector<RegionCandidate> Candidates;
+  const Function &Entry = P.getFunction(P.getEntry());
+  CFG G(Entry);
+  Dominators DT(G);
+  LoopInfo LI(Entry, G, DT);
+  for (const Loop &L : LI.loops())
+    Candidates.push_back(RegionCandidate{Entry.getIndex(), L.Header});
+  return Candidates;
+}
+
+RegionChoice specsync::chooseRegion(
+    const std::function<std::unique_ptr<Program>(const RegionCandidate *)>
+        &Build,
+    const MachineConfig &Config, const LoopSelectionParams &Params) {
+  RegionChoice Choice;
+
+  // Sequential baseline: no region annotated at all.
+  {
+    std::unique_ptr<Program> P = Build(nullptr);
+    P->assignIds();
+    ContextTable Ctx;
+    InterpResult R = Interpreter(*P, Ctx).run();
+    if (!R.Completed)
+      return Choice;
+    Choice.SequentialCycles =
+        simulateSequential(Config, R.Trace).TotalCycles;
+  }
+
+  // Candidate discovery on a throwaway build.
+  std::vector<RegionCandidate> Candidates;
+  {
+    std::unique_ptr<Program> P = Build(nullptr);
+    P->assignIds();
+    Candidates = findCandidateLoops(*P);
+  }
+
+  uint64_t BestCycles = ~0ull;
+  for (const RegionCandidate &Cand : Candidates) {
+    CandidateScore Score;
+    Score.Candidate = Cand;
+
+    ContextTable Ctx;
+    std::unique_ptr<Program> P = Build(&Cand);
+    P->assignIds();
+
+    // Screen with the paper's heuristics.
+    LoopProfiler LP;
+    DepProfiler DP;
+    ObserverList Obs;
+    Obs.add(&LP);
+    Obs.add(&DP);
+    InterpOptions NoTrace;
+    NoTrace.CollectTrace = false;
+    InterpResult ProfRun = Interpreter(*P, Ctx).run(NoTrace, &Obs);
+    if (!ProfRun.Completed) {
+      Score.RejectReason = "did not terminate";
+      Choice.Scores.push_back(Score);
+      continue;
+    }
+    Score.CoveragePercent = LP.profile().coveragePercent();
+    LoopSelectionResult Sel = selectLoop(LP.profile(), Params);
+    if (!Sel.Selected) {
+      Score.RejectReason = Sel.Reason;
+      Choice.Scores.push_back(Score);
+      continue;
+    }
+    Score.PassedHeuristics = true;
+    DepProfile Profile = DP.takeProfile();
+
+    // The optimistic bound: scalar-synchronized TLS with every >5%-
+    // frequency load perfectly predicted.
+    std::unique_ptr<Program> PB = Build(&Cand);
+    BaseTransformResult Base =
+        applyBaseTransforms(*PB, Sel.UnrollFactor);
+    InterpResult TraceRun = Interpreter(*PB, Ctx).run();
+    if (!TraceRun.Completed) {
+      Score.RejectReason = "transformed program did not terminate";
+      Score.PassedHeuristics = false;
+      Choice.Scores.push_back(Score);
+      continue;
+    }
+
+    LoadNameSet Immune;
+    for (const RefName &Name : Profile.loadsAboveThreshold(5.0))
+      Immune.insert({Name.InstId, Name.Context});
+
+    TLSSimOptions Opts;
+    Opts.NumScalarChannels = Base.Scalar.NumChannels;
+    Opts.ImmuneLoads = &Immune;
+    TLSSimulator Sim(Config, Opts);
+    uint64_t ParallelRegion = 0;
+    for (const RegionTrace &R : TraceRun.Trace.Regions)
+      ParallelRegion += Sim.simulateRegion(R).Cycles;
+
+    SeqSimResult Seq = simulateSequential(Config, TraceRun.Trace);
+    uint64_t Outside = Seq.TotalCycles - Seq.regionCyclesTotal();
+    Score.OptimisticProgramCycles = Outside + ParallelRegion;
+    Choice.Scores.push_back(Score);
+
+    if (Score.OptimisticProgramCycles < BestCycles) {
+      BestCycles = Score.OptimisticProgramCycles;
+      Choice.Chosen = Cand;
+      Choice.Found = true;
+    }
+  }
+
+  // Parallelization must actually pay off against plain sequential.
+  if (Choice.Found && BestCycles >= Choice.SequentialCycles)
+    Choice.Found = false;
+  return Choice;
+}

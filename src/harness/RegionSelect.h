@@ -1,0 +1,78 @@
+//===- harness/RegionSelect.h - Choosing where to parallelize --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 3.1 "Deciding Where to Parallelize": candidate
+/// loops are screened by the coverage / trip-count / epoch-size
+/// heuristics, then each survivor is evaluated under an optimistic upper
+/// bound — TLS execution in which every load with a dependence frequency
+/// above 5% is perfectly predicted — and the loop that minimizes total
+/// program execution time is selected.
+///
+/// The benchmark kernels annotate their loop by hand (the paper's choice
+/// is known); this module provides the *automatic* procedure for programs
+/// with several candidates, exercised by tests and the examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_HARNESS_REGIONSELECT_H
+#define SPECSYNC_HARNESS_REGIONSELECT_H
+
+#include "compiler/LoopSelection.h"
+#include "sim/MachineConfig.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+class Program;
+
+/// A candidate region: a natural-loop header in some function.
+struct RegionCandidate {
+  unsigned Func = ~0u;
+  unsigned Header = ~0u;
+};
+
+/// One candidate's evaluation.
+struct CandidateScore {
+  RegionCandidate Candidate;
+  bool PassedHeuristics = false;
+  std::string RejectReason;
+  double CoveragePercent = 0.0;
+  /// Whole-program cycles under the optimistic bound (sequential outside
+  /// the candidate region, perfectly-predicted TLS inside).
+  uint64_t OptimisticProgramCycles = 0;
+};
+
+struct RegionChoice {
+  bool Found = false;
+  RegionCandidate Chosen;
+  uint64_t SequentialCycles = 0;
+  std::vector<CandidateScore> Scores; ///< Every candidate, evaluated.
+};
+
+/// Enumerates every natural-loop header of \p P's entry function
+/// (outermost-first by header index).
+std::vector<RegionCandidate> findCandidateLoops(Program &P);
+
+/// Evaluates every candidate loop of the program produced by \p Build
+/// (a deterministic builder invoked once per candidate so each evaluation
+/// gets a fresh program with only that region annotated) and returns the
+/// loop minimizing optimistic whole-program time. \p Build receives the
+/// candidate to annotate, or no region for the sequential baseline when
+/// passed std::nullopt semantics via an invalid candidate.
+RegionChoice chooseRegion(
+    const std::function<std::unique_ptr<Program>(const RegionCandidate *)>
+        &Build,
+    const MachineConfig &Config,
+    const LoopSelectionParams &Params = {});
+
+} // namespace specsync
+
+#endif // SPECSYNC_HARNESS_REGIONSELECT_H

@@ -1,0 +1,39 @@
+//===- harness/Report.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Report.h"
+
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace specsync;
+
+std::string specsync::renderModeBar(const std::string &Label,
+                                    const ModeRunResult &R) {
+  std::vector<BarSegment> Segs = {
+      {'B', R.busyPct()},
+      {'F', R.failPct()},
+      {'S', R.syncPct()},
+      {'O', R.otherPct()},
+  };
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "  %-3s |", Label.c_str());
+  return Buf + renderStackedBar(Segs, /*UnitsPerCell=*/4.0);
+}
+
+std::string specsync::barLegend() {
+  return "  bars: B=busy F=failed-speculation S=sync-stall O=other, "
+         "normalized to sequential = 100\n";
+}
+
+std::string specsync::renderBenchmarkBars(
+    const std::string &Benchmark, const std::vector<ModeRunResult> &Results) {
+  std::string Out = Benchmark + "\n";
+  for (const ModeRunResult &R : Results)
+    Out += renderModeBar(modeName(R.Mode), R) + "\n";
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- harness/Report.h - Figure/table rendering ---------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders benchmark results in the paper's style: normalized stacked bars
+/// (busy / fail / sync / other) per execution mode, and summary tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_HARNESS_REPORT_H
+#define SPECSYNC_HARNESS_REPORT_H
+
+#include "harness/Experiment.h"
+
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+/// Renders one mode's bar: "U  |BBBBBFFFFSSOO| 123.4" style, where
+/// B=busy, F=fail, S=sync, O=other, scaled so 100 units = 25 cells.
+std::string renderModeBar(const std::string &Label, const ModeRunResult &R);
+
+/// Renders a legend line for the bar tags.
+std::string barLegend();
+
+/// Renders a group of bars under a benchmark heading.
+std::string renderBenchmarkBars(const std::string &Benchmark,
+                                const std::vector<ModeRunResult> &Results);
+
+} // namespace specsync
+
+#endif // SPECSYNC_HARNESS_REPORT_H

@@ -1,0 +1,45 @@
+//===- interp/ContextTable.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/ContextTable.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specsync;
+
+uint32_t ContextTable::child(uint32_t Parent, uint32_t CallSiteId) {
+  assert(Parent < Parents.size() && "unknown parent context");
+  auto Key = std::make_pair(Parent, CallSiteId);
+  auto It = Intern.find(Key);
+  if (It != Intern.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Parents.size());
+  Parents.push_back(Parent);
+  CallSites.push_back(CallSiteId);
+  Intern.emplace(Key, Id);
+  return Id;
+}
+
+uint32_t ContextTable::parentOf(uint32_t Context) const {
+  assert(Context < Parents.size() && "unknown context");
+  return Parents[Context];
+}
+
+uint32_t ContextTable::callSiteOf(uint32_t Context) const {
+  assert(Context < CallSites.size() && "unknown context");
+  return CallSites[Context];
+}
+
+std::vector<uint32_t> ContextTable::pathOf(uint32_t Context) const {
+  std::vector<uint32_t> Path;
+  while (Context != RootContext) {
+    Path.push_back(callSiteOf(Context));
+    Context = parentOf(Context);
+  }
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}

@@ -1,0 +1,55 @@
+//===- interp/ContextTable.h - Call-path context interning ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper names every memory reference by (static instruction, call
+/// stack), where the call stack is the list of call sites rooted at the
+/// parallelized loop. This table interns such call paths into dense ids:
+/// context 0 is the region root ("executing directly in the loop body") and
+/// child contexts are formed by (parent context, call-site instruction id).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_INTERP_CONTEXTTABLE_H
+#define SPECSYNC_INTERP_CONTEXTTABLE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace specsync {
+
+class ContextTable {
+public:
+  static constexpr uint32_t RootContext = 0;
+
+  /// Returns the context reached by calling through \p CallSiteId from
+  /// \p Parent, interning it on first use.
+  uint32_t child(uint32_t Parent, uint32_t CallSiteId);
+
+  /// Returns the parent context, or RootContext for the root.
+  uint32_t parentOf(uint32_t Context) const;
+
+  /// Returns the call-site id that formed \p Context (0 for the root).
+  uint32_t callSiteOf(uint32_t Context) const;
+
+  /// Reconstructs the full call path (outermost call site first).
+  std::vector<uint32_t> pathOf(uint32_t Context) const;
+
+  uint32_t numContexts() const {
+    return static_cast<uint32_t>(Parents.size());
+  }
+
+private:
+  // Index 0 is the root. Parents/CallSites are parallel arrays.
+  std::vector<uint32_t> Parents = {0};
+  std::vector<uint32_t> CallSites = {0};
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Intern;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_INTERP_CONTEXTTABLE_H

@@ -1,0 +1,334 @@
+//===- interp/Interpreter.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+
+#include <vector>
+
+using namespace specsync;
+
+ExecutionObserver::~ExecutionObserver() = default;
+
+namespace {
+
+struct Frame {
+  const Function *Func = nullptr;
+  unsigned Block = 0;
+  size_t InstIdx = 0;
+  std::vector<int64_t> Regs;
+  int RetReg = -1;            ///< Destination register in the caller.
+  uint32_t SavedContext = 0;  ///< Context to restore on return.
+};
+
+} // namespace
+
+InterpResult Interpreter::run(const InterpOptions &Opts,
+                              ExecutionObserver *Observer) {
+  InterpResult Result;
+
+  // Resolve the parallel region's loop body, if annotated.
+  const RegionSpec &Region = Prog.getRegion();
+  std::vector<bool> LoopBlocks;
+  if (Region.isValid()) {
+    const Function &RF = Prog.getFunction(Region.Func);
+    CFG G(RF);
+    Dominators DT(G);
+    LoopInfo LI(RF, G, DT);
+    const Loop *L = LI.getLoopByHeader(Region.Header);
+    assert(L && "region header is not a natural loop header");
+    LoopBlocks.assign(RF.getNumBlocks(), false);
+    for (unsigned B : L->Blocks)
+      LoopBlocks[B] = true;
+  }
+
+  std::vector<Frame> Stack;
+  {
+    const Function &Entry = Prog.getFunction(Prog.getEntry());
+    assert(Entry.getNumParams() == 0 && "entry function takes no parameters");
+    Frame F;
+    F.Func = &Entry;
+    F.Regs.assign(Entry.getNumRegs(), 0);
+    Stack.push_back(std::move(F));
+  }
+
+  bool RegionActive = false;
+  size_t RegionDepth = 0;
+  uint64_t EpochIndex = 0;
+  uint32_t CurContext = ContextTable::RootContext;
+  unsigned RegionInstance = 0;
+
+  ProgramTrace &Trace = Result.Trace;
+  uint64_t SeqSegStart = 0;
+  EpochTrace *CurEpoch = nullptr;
+
+  auto closeSeqSegment = [&] {
+    if (!Opts.CollectTrace)
+      return;
+    if (Trace.SeqInsts.size() > SeqSegStart) {
+      ProgramTrace::Segment S;
+      S.IsRegion = false;
+      S.SeqBegin = SeqSegStart;
+      S.SeqEnd = Trace.SeqInsts.size();
+      Trace.Segments.push_back(S);
+    }
+    SeqSegStart = Trace.SeqInsts.size();
+  };
+
+  auto beginRegion = [&](size_t Depth) {
+    RegionActive = true;
+    RegionDepth = Depth;
+    CurContext = ContextTable::RootContext;
+    EpochIndex = 0;
+    if (Opts.CollectTrace) {
+      closeSeqSegment();
+      ProgramTrace::Segment S;
+      S.IsRegion = true;
+      S.RegionIdx = static_cast<unsigned>(Trace.Regions.size());
+      Trace.Segments.push_back(S);
+      Trace.Regions.emplace_back();
+      Trace.Regions.back().Epochs.emplace_back();
+      CurEpoch = &Trace.Regions.back().Epochs.back();
+    }
+    if (Observer) {
+      Observer->onRegionBegin(RegionInstance);
+      Observer->onEpochBegin(0);
+    }
+    ++RegionInstance;
+  };
+
+  auto beginEpoch = [&] {
+    ++EpochIndex;
+    if (Opts.CollectTrace) {
+      Trace.Regions.back().Epochs.emplace_back();
+      CurEpoch = &Trace.Regions.back().Epochs.back();
+    }
+    if (Observer)
+      Observer->onEpochBegin(EpochIndex);
+  };
+
+  auto endRegion = [&] {
+    RegionActive = false;
+    CurContext = ContextTable::RootContext;
+    CurEpoch = nullptr;
+    if (Opts.CollectTrace)
+      SeqSegStart = Trace.SeqInsts.size();
+    if (Observer)
+      Observer->onRegionEnd();
+  };
+
+  auto emit = [&](DynInst DI) {
+    ++Result.DynInstCount;
+    if (RegionActive)
+      ++Result.RegionDynInstCount;
+    if (Observer)
+      Observer->onDynInst(DI, RegionActive, EpochIndex);
+    if (!Opts.CollectTrace)
+      return;
+    if (RegionActive)
+      CurEpoch->Insts.push_back(DI);
+    else
+      Trace.SeqInsts.push_back(DI);
+  };
+
+  uint64_t Steps = 0;
+  while (!Stack.empty()) {
+    if (++Steps > Opts.MaxSteps) {
+      Result.Completed = false;
+      return Result;
+    }
+
+    Frame &F = Stack.back();
+    const BasicBlock &BB = F.Func->getBlock(F.Block);
+    assert(F.InstIdx < BB.size() && "fell off the end of a block");
+    const Instruction &I = BB.instructions()[F.InstIdx];
+
+    auto val = [&](const Operand &Op) -> int64_t {
+      return Op.isReg() ? F.Regs[Op.getReg()] : Op.getImm();
+    };
+
+    DynInst DI;
+    DI.StaticId = I.getId();
+    DI.OrigId = I.getOrigId();
+    DI.Context = RegionActive ? CurContext : ContextTable::RootContext;
+    DI.Op = I.getOpcode();
+    DI.SyncId = I.getSyncId();
+
+    switch (I.getOpcode()) {
+    case Opcode::Const:
+      F.Regs[I.getDest()] = I.getOperand(0).getImm();
+      break;
+    case Opcode::Move:
+      F.Regs[I.getDest()] = val(I.getOperand(0));
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::CmpEQ:
+    case Opcode::CmpNE:
+    case Opcode::CmpLT:
+    case Opcode::CmpLE:
+    case Opcode::CmpGT:
+    case Opcode::CmpGE: {
+      int64_t A = val(I.getOperand(0));
+      int64_t B = val(I.getOperand(1));
+      int64_t R = 0;
+      switch (I.getOpcode()) {
+      case Opcode::Add: R = A + B; break;
+      case Opcode::Sub: R = A - B; break;
+      case Opcode::Mul: R = A * B; break;
+      // Division/modulo by zero are defined to yield 0 so that arbitrary
+      // (e.g. randomly generated) programs have total semantics.
+      case Opcode::Div: R = B == 0 ? 0 : A / B; break;
+      case Opcode::Mod: R = B == 0 ? 0 : A % B; break;
+      case Opcode::And: R = A & B; break;
+      case Opcode::Or:  R = A | B; break;
+      case Opcode::Xor: R = A ^ B; break;
+      case Opcode::Shl:
+        R = static_cast<int64_t>(static_cast<uint64_t>(A)
+                                 << (static_cast<uint64_t>(B) & 63));
+        break;
+      case Opcode::Shr:
+        R = static_cast<int64_t>(static_cast<uint64_t>(A) >>
+                                 (static_cast<uint64_t>(B) & 63));
+        break;
+      case Opcode::CmpEQ: R = A == B; break;
+      case Opcode::CmpNE: R = A != B; break;
+      case Opcode::CmpLT: R = A < B; break;
+      case Opcode::CmpLE: R = A <= B; break;
+      case Opcode::CmpGT: R = A > B; break;
+      case Opcode::CmpGE: R = A >= B; break;
+      default: break;
+      }
+      F.Regs[I.getDest()] = R;
+      break;
+    }
+    case Opcode::Select:
+      F.Regs[I.getDest()] =
+          val(I.getOperand(0)) != 0 ? val(I.getOperand(1))
+                                    : val(I.getOperand(2));
+      break;
+    case Opcode::Rand:
+      // Keep the value non-negative so Mod-based bucketing behaves.
+      F.Regs[I.getDest()] =
+          static_cast<int64_t>(Rng.next() & 0x7fffffffffffffffull);
+      break;
+    case Opcode::Load: {
+      uint64_t Addr = static_cast<uint64_t>(val(I.getOperand(0)));
+      int64_t V = Mem.loadWord(Addr);
+      F.Regs[I.getDest()] = V;
+      DI.Addr = Addr;
+      DI.Value = static_cast<uint64_t>(V);
+      break;
+    }
+    case Opcode::Store: {
+      uint64_t Addr = static_cast<uint64_t>(val(I.getOperand(0)));
+      int64_t V = val(I.getOperand(1));
+      Mem.storeWord(Addr, V);
+      DI.Addr = Addr;
+      DI.Value = static_cast<uint64_t>(V);
+      break;
+    }
+    case Opcode::WaitScalar:
+    case Opcode::WaitMem:
+    case Opcode::SelectFwd:
+      break; // Timing-only markers; functionally no-ops.
+    case Opcode::SignalScalar:
+      if (I.getNumOperands() == 1)
+        DI.Value = static_cast<uint64_t>(val(I.getOperand(0)));
+      break;
+    case Opcode::CheckFwd:
+      DI.Addr = static_cast<uint64_t>(val(I.getOperand(0)));
+      break;
+    case Opcode::SignalMem:
+      DI.Addr = static_cast<uint64_t>(val(I.getOperand(0)));
+      DI.Value = static_cast<uint64_t>(val(I.getOperand(1)));
+      break;
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Call:
+    case Opcode::Ret:
+      break; // Handled below, after the trace event is emitted.
+    }
+
+    // Control flow.
+    switch (I.getOpcode()) {
+    case Opcode::Br:
+    case Opcode::CondBr: {
+      unsigned T = I.getOpcode() == Opcode::Br
+                       ? I.getTarget(0)
+                       : (val(I.getOperand(0)) != 0 ? I.getTarget(0)
+                                                    : I.getTarget(1));
+      emit(DI);
+      bool AtRegionFunc = Region.isValid() &&
+                          F.Func->getIndex() == Region.Func;
+      if (AtRegionFunc && !RegionActive && T == Region.Header) {
+        beginRegion(Stack.size());
+      } else if (RegionActive && Stack.size() == RegionDepth && AtRegionFunc) {
+        if (T == Region.Header)
+          beginEpoch();
+        else if (!LoopBlocks[T])
+          endRegion();
+      }
+      F.Block = T;
+      F.InstIdx = 0;
+      continue;
+    }
+    case Opcode::Call: {
+      emit(DI);
+      const Function &Callee = Prog.getFunction(I.getCallee());
+      Frame NF;
+      NF.Func = &Callee;
+      NF.Regs.assign(Callee.getNumRegs(), 0);
+      for (unsigned A = 0; A < I.getNumOperands(); ++A)
+        NF.Regs[A] = val(I.getOperand(A));
+      NF.RetReg = static_cast<int>(I.getDest());
+      NF.SavedContext = CurContext;
+      if (RegionActive)
+        CurContext = Contexts.child(CurContext, I.getId());
+      ++F.InstIdx;
+      Stack.push_back(std::move(NF));
+      continue;
+    }
+    case Opcode::Ret: {
+      int64_t RetVal = I.getNumOperands() == 1 ? val(I.getOperand(0)) : 0;
+      emit(DI);
+      uint32_t Restore = F.SavedContext;
+      int RetReg = F.RetReg;
+      if (RegionActive && Stack.size() == RegionDepth)
+        endRegion(); // Loop exited via return (degenerate but legal).
+      Stack.pop_back();
+      if (Stack.empty()) {
+        Result.ExitValue = RetVal;
+        break;
+      }
+      CurContext = RegionActive ? Restore : ContextTable::RootContext;
+      if (RetReg >= 0)
+        Stack.back().Regs[static_cast<unsigned>(RetReg)] = RetVal;
+      continue;
+    }
+    default:
+      emit(DI);
+      ++F.InstIdx;
+      continue;
+    }
+    break; // Only reached when the stack emptied after Ret.
+  }
+
+  closeSeqSegment();
+  Result.Completed = true;
+  Result.MemoryChecksum = Mem.checksum();
+  return Result;
+}

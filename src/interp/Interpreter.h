@@ -1,0 +1,88 @@
+//===- interp/Interpreter.h - IR interpreter --------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a program sequentially, producing architectural results and an
+/// execution trace partitioned into epochs of the annotated parallel region.
+/// This plays two roles from the paper:
+///  - the "software-only instrumentation-based tool" used for dependence
+///    profiling (via the ExecutionObserver hook), and
+///  - the trace generator feeding the TLS timing simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_INTERP_INTERPRETER_H
+#define SPECSYNC_INTERP_INTERPRETER_H
+
+#include "interp/ContextTable.h"
+#include "interp/Memory.h"
+#include "interp/Trace.h"
+#include "ir/Program.h"
+#include "support/Random.h"
+
+#include <cstdint>
+
+namespace specsync {
+
+/// Callback interface for instrumentation (the dependence profiler).
+class ExecutionObserver {
+public:
+  virtual ~ExecutionObserver();
+
+  /// Called when control enters the parallelized loop.
+  virtual void onRegionBegin(unsigned RegionInstance) { (void)RegionInstance; }
+  /// Called at the start of each epoch (loop iteration), including the
+  /// first.
+  virtual void onEpochBegin(uint64_t EpochIndex) { (void)EpochIndex; }
+  /// Called for every executed instruction.
+  virtual void onDynInst(const DynInst &DI, bool InRegion,
+                         uint64_t EpochIndex) {
+    (void)DI;
+    (void)InRegion;
+    (void)EpochIndex;
+  }
+  /// Called when control leaves the parallelized loop.
+  virtual void onRegionEnd() {}
+};
+
+struct InterpOptions {
+  bool CollectTrace = true;
+  uint64_t MaxSteps = 200'000'000; ///< Runaway guard.
+};
+
+struct InterpResult {
+  bool Completed = false; ///< False if MaxSteps was exceeded.
+  int64_t ExitValue = 0;
+  uint64_t DynInstCount = 0;
+  uint64_t RegionDynInstCount = 0;
+  uint64_t MemoryChecksum = 0;
+  ProgramTrace Trace; ///< Populated when InterpOptions::CollectTrace.
+};
+
+/// The interpreter. A fresh instance should be used per run; the shared
+/// ContextTable (owned by the caller) keeps context ids consistent across
+/// runs (e.g. the train-profiling run and the ref measurement run).
+class Interpreter {
+public:
+  Interpreter(const Program &P, ContextTable &Contexts)
+      : Prog(P), Contexts(Contexts), Rng(P.getRandSeed()) {}
+
+  /// Adds a pre-execution memory initialization (workload input data).
+  void initWord(uint64_t Addr, int64_t Value) { Mem.storeWord(Addr, Value); }
+
+  InterpResult run(const InterpOptions &Opts = InterpOptions(),
+                   ExecutionObserver *Observer = nullptr);
+
+private:
+  const Program &Prog;
+  ContextTable &Contexts;
+  Memory Mem;
+  Random Rng;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_INTERP_INTERPRETER_H

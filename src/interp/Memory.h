@@ -1,0 +1,43 @@
+//===- interp/Memory.h - Flat word-addressable memory -----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_INTERP_MEMORY_H
+#define SPECSYNC_INTERP_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace specsync {
+
+/// Sparse paged memory holding 8-byte words. Uninitialized memory reads 0.
+/// All accesses must be 8-byte aligned (the IR is a word machine).
+class Memory {
+public:
+  static constexpr unsigned PageShift = 16; // 64 KiB pages.
+  static constexpr uint64_t PageBytes = 1ull << PageShift;
+  static constexpr uint64_t WordsPerPage = PageBytes / 8;
+
+  int64_t loadWord(uint64_t Addr) const;
+  void storeWord(uint64_t Addr, int64_t Value);
+
+  /// Order-independent digest of all touched pages; used by tests to check
+  /// that transformed programs compute the same final memory image.
+  uint64_t checksum() const;
+
+  void clear() { Pages.clear(); }
+
+private:
+  struct Page {
+    int64_t Words[WordsPerPage] = {};
+  };
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_INTERP_MEMORY_H

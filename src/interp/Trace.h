@@ -1,0 +1,81 @@
+//===- interp/Trace.h - Dynamic execution traces ----------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace containers produced by the interpreter and consumed by the timing
+/// simulators. A program trace alternates sequential segments with parallel
+/// region instances; each region instance is a list of epoch traces (one per
+/// iteration of the parallelized loop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_INTERP_TRACE_H
+#define SPECSYNC_INTERP_TRACE_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specsync {
+
+/// One dynamically executed instruction.
+struct DynInst {
+  uint32_t StaticId = 0; ///< Program-unique static instruction id.
+  uint32_t OrigId = 0;   ///< Pre-cloning id (stable across transformations).
+  uint32_t Context = 0;  ///< Call-path context relative to the region root.
+  Opcode Op = Opcode::Const;
+  int32_t SyncId = -1;   ///< Scalar channel / memory group, -1 = none.
+  uint64_t Addr = 0;     ///< Load/Store/SignalMem/CheckFwd address.
+  uint64_t Value = 0;    ///< Load result / stored / forwarded value.
+};
+
+/// Dynamic instructions of one epoch (one iteration of the parallel loop),
+/// including everything executed in functions called from the loop body.
+struct EpochTrace {
+  std::vector<DynInst> Insts;
+};
+
+/// One dynamic instance of the parallelized region (one entry of the loop).
+struct RegionTrace {
+  std::vector<EpochTrace> Epochs;
+  uint64_t numDynInsts() const {
+    uint64_t N = 0;
+    for (const EpochTrace &E : Epochs)
+      N += E.Insts.size();
+    return N;
+  }
+};
+
+/// A whole-program trace: ordered segments referencing either a slice of
+/// SeqInsts or a region instance.
+struct ProgramTrace {
+  struct Segment {
+    bool IsRegion = false;
+    uint64_t SeqBegin = 0; ///< Valid when !IsRegion.
+    uint64_t SeqEnd = 0;
+    unsigned RegionIdx = 0; ///< Valid when IsRegion.
+  };
+
+  std::vector<DynInst> SeqInsts;
+  std::vector<RegionTrace> Regions;
+  std::vector<Segment> Segments;
+
+  uint64_t numSeqDynInsts() const { return SeqInsts.size(); }
+  uint64_t numRegionDynInsts() const {
+    uint64_t N = 0;
+    for (const RegionTrace &R : Regions)
+      N += R.numDynInsts();
+    return N;
+  }
+  uint64_t numDynInsts() const {
+    return numSeqDynInsts() + numRegionDynInsts();
+  }
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_INTERP_TRACE_H

@@ -1,0 +1,29 @@
+//===- ir/BasicBlock.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+using namespace specsync;
+
+std::vector<unsigned> BasicBlock::successors() const {
+  std::vector<unsigned> Succs;
+  if (Insts.empty())
+    return Succs;
+  const Instruction &Term = Insts.back();
+  switch (Term.getOpcode()) {
+  case Opcode::Br:
+    Succs.push_back(Term.getTarget(0));
+    break;
+  case Opcode::CondBr:
+    Succs.push_back(Term.getTarget(0));
+    if (Term.getTarget(1) != Term.getTarget(0))
+      Succs.push_back(Term.getTarget(1));
+    break;
+  default:
+    break;
+  }
+  return Succs;
+}

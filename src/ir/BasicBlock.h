@@ -1,0 +1,66 @@
+//===- ir/BasicBlock.h - IR basic blocks ------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_BASICBLOCK_H
+#define SPECSYNC_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+/// A straight-line sequence of instructions ending in a terminator.
+///
+/// Blocks are identified by their index within the enclosing function;
+/// branch targets refer to these indices, so blocks are never reordered
+/// once created (passes append new blocks instead).
+class BasicBlock {
+public:
+  BasicBlock(std::string Name, unsigned Index)
+      : Name(std::move(Name)), Index(Index) {}
+
+  const std::string &getName() const { return Name; }
+  unsigned getIndex() const { return Index; }
+
+  std::vector<Instruction> &instructions() { return Insts; }
+  const std::vector<Instruction> &instructions() const { return Insts; }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction &back() { return Insts.back(); }
+  const Instruction &back() const { return Insts.back(); }
+
+  /// Appends \p I. Asserts the block is not already terminated.
+  void append(Instruction I) {
+    assert(!isTerminated() && "appending past a terminator");
+    Insts.push_back(std::move(I));
+  }
+
+  /// Inserts \p I before position \p Pos.
+  void insertAt(size_t Pos, Instruction I) {
+    assert(Pos <= Insts.size() && "insert position out of range");
+    Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Pos), std::move(I));
+  }
+
+  /// Returns true if the block ends in a terminator.
+  bool isTerminated() const { return !Insts.empty() && Insts.back().isTerminator(); }
+
+  /// Successor block indices (0, 1 or 2 of them).
+  std::vector<unsigned> successors() const;
+
+private:
+  std::string Name;
+  unsigned Index;
+  std::vector<Instruction> Insts;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_BASICBLOCK_H

@@ -1,0 +1,46 @@
+//===- ir/CFG.cpp ---------------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include <algorithm>
+
+using namespace specsync;
+
+CFG::CFG(const Function &F) {
+  unsigned N = F.getNumBlocks();
+  Succs.resize(N);
+  Preds.resize(N);
+  Reachable.assign(N, false);
+  for (unsigned B = 0; B < N; ++B)
+    Succs[B] = F.getBlock(B).successors();
+  for (unsigned B = 0; B < N; ++B)
+    for (unsigned S : Succs[B])
+      Preds[S].push_back(B);
+
+  if (N == 0)
+    return;
+
+  // Iterative post-order DFS from the entry block.
+  std::vector<unsigned> PostOrder;
+  std::vector<std::pair<unsigned, unsigned>> Stack; // (block, next succ idx)
+  Reachable[0] = true;
+  Stack.emplace_back(0, 0);
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    if (NextSucc < Succs[Block].size()) {
+      unsigned S = Succs[Block][NextSucc++];
+      if (!Reachable[S]) {
+        Reachable[S] = true;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    PostOrder.push_back(Block);
+    Stack.pop_back();
+  }
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+}

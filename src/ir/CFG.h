@@ -1,0 +1,46 @@
+//===- ir/CFG.h - Control-flow graph utilities ------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_CFG_H
+#define SPECSYNC_IR_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace specsync {
+
+/// Predecessor/successor lists and traversal orders for one function.
+///
+/// A snapshot: invalidated by any CFG edit; recompute after passes.
+class CFG {
+public:
+  explicit CFG(const Function &F);
+
+  unsigned getNumBlocks() const { return static_cast<unsigned>(Succs.size()); }
+  const std::vector<unsigned> &successors(unsigned Block) const {
+    return Succs[Block];
+  }
+  const std::vector<unsigned> &predecessors(unsigned Block) const {
+    return Preds[Block];
+  }
+
+  /// Blocks in reverse post-order from the entry; unreachable blocks are
+  /// omitted.
+  const std::vector<unsigned> &reversePostOrder() const { return RPO; }
+
+  bool isReachable(unsigned Block) const { return Reachable[Block]; }
+
+private:
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+  std::vector<unsigned> RPO;
+  std::vector<bool> Reachable;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_CFG_H

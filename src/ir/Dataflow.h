@@ -1,0 +1,107 @@
+//===- ir/Dataflow.h - Generic iterative data-flow solver -------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-point solver over per-block boolean facts, parameterized by
+/// direction and transfer functions. Used by the scalar-sync pass (last-def
+/// analysis) and the memory-sync pass (may-store-later analysis for signal
+/// placement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_DATAFLOW_H
+#define SPECSYNC_IR_DATAFLOW_H
+
+#include "ir/CFG.h"
+
+#include <functional>
+#include <vector>
+
+namespace specsync {
+
+/// Solves a backward "may" (union) problem over single-bit facts:
+/// In[b] = Gen[b] || (!Kill[b] && Out[b]);  Out[b] = OR over succs' In.
+///
+/// \p Restrict limits propagation to a block subset (e.g. a loop body);
+/// successors outside the subset contribute \p BoundaryValue.
+/// \returns the In[] vector indexed by block.
+std::vector<bool> solveBackwardMay(const CFG &G, const std::vector<bool> &Gen,
+                                   const std::vector<bool> &Kill,
+                                   const std::vector<bool> &Restrict,
+                                   bool BoundaryValue);
+
+/// Solves a forward "may" (union) problem over single-bit facts:
+/// Out[b] = Gen[b] || (!Kill[b] && In[b]);  In[b] = OR over preds' Out.
+/// \returns the Out[] vector indexed by block.
+std::vector<bool> solveForwardMay(const CFG &G, const std::vector<bool> &Gen,
+                                  const std::vector<bool> &Kill,
+                                  const std::vector<bool> &Restrict,
+                                  bool BoundaryValue);
+
+inline std::vector<bool> solveBackwardMay(const CFG &G,
+                                          const std::vector<bool> &Gen,
+                                          const std::vector<bool> &Kill,
+                                          const std::vector<bool> &Restrict,
+                                          bool BoundaryValue) {
+  unsigned N = G.getNumBlocks();
+  std::vector<bool> In(N, false), Out(N, false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = 0; B < N; ++B) {
+      if (!Restrict[B])
+        continue;
+      bool NewOut = false;
+      for (unsigned S : G.successors(B))
+        NewOut = NewOut || (Restrict[S] ? In[S] : BoundaryValue);
+      if (G.successors(B).empty())
+        NewOut = BoundaryValue;
+      bool NewIn = Gen[B] || (!Kill[B] && NewOut);
+      if (NewIn != In[B] || NewOut != Out[B]) {
+        In[B] = NewIn;
+        Out[B] = NewOut;
+        Changed = true;
+      }
+    }
+  }
+  return In;
+}
+
+inline std::vector<bool> solveForwardMay(const CFG &G,
+                                         const std::vector<bool> &Gen,
+                                         const std::vector<bool> &Kill,
+                                         const std::vector<bool> &Restrict,
+                                         bool BoundaryValue) {
+  unsigned N = G.getNumBlocks();
+  std::vector<bool> In(N, false), Out(N, false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned B = 0; B < N; ++B) {
+      if (!Restrict[B])
+        continue;
+      bool NewIn = false;
+      bool HasPred = false;
+      for (unsigned P : G.predecessors(B)) {
+        HasPred = true;
+        NewIn = NewIn || (Restrict[P] ? Out[P] : BoundaryValue);
+      }
+      if (!HasPred)
+        NewIn = BoundaryValue;
+      bool NewOut = Gen[B] || (!Kill[B] && NewIn);
+      if (NewIn != In[B] || NewOut != Out[B]) {
+        In[B] = NewIn;
+        Out[B] = NewOut;
+        Changed = true;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_DATAFLOW_H

@@ -1,0 +1,65 @@
+//===- ir/Dominators.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+using namespace specsync;
+
+Dominators::Dominators(const CFG &G) {
+  unsigned N = G.getNumBlocks();
+  IDom.assign(N, ~0u);
+  RPONumber.assign(N, ~0u);
+  const std::vector<unsigned> &RPO = G.reversePostOrder();
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    RPONumber[RPO[I]] = I;
+  if (RPO.empty())
+    return;
+
+  unsigned Entry = RPO[0];
+  IDom[Entry] = Entry;
+
+  auto intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (RPONumber[A] > RPONumber[B])
+        A = IDom[A];
+      while (RPONumber[B] > RPONumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1; I < RPO.size(); ++I) {
+      unsigned B = RPO[I];
+      unsigned NewIDom = ~0u;
+      for (unsigned P : G.predecessors(B)) {
+        if (IDom[P] == ~0u)
+          continue; // Not yet processed or unreachable.
+        NewIDom = NewIDom == ~0u ? P : intersect(P, NewIDom);
+      }
+      if (NewIDom != ~0u && IDom[B] != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Dominators::dominates(unsigned A, unsigned B) const {
+  if (IDom[B] == ~0u || IDom[A] == ~0u)
+    return false; // Unreachable blocks dominate nothing.
+  unsigned Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    unsigned Next = IDom[Cur];
+    if (Next == Cur)
+      return false; // Reached the entry block.
+    Cur = Next;
+  }
+}

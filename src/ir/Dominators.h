@@ -1,0 +1,34 @@
+//===- ir/Dominators.h - Dominator tree -------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_DOMINATORS_H
+#define SPECSYNC_IR_DOMINATORS_H
+
+#include "ir/CFG.h"
+
+namespace specsync {
+
+/// Dominator tree computed with the Cooper-Harvey-Kennedy iterative
+/// algorithm over reverse post-order.
+class Dominators {
+public:
+  explicit Dominators(const CFG &G);
+
+  /// Immediate dominator of \p Block; the entry block is its own idom.
+  /// Returns ~0u for unreachable blocks.
+  unsigned getIDom(unsigned Block) const { return IDom[Block]; }
+
+  /// Returns true if \p A dominates \p B (reflexive).
+  bool dominates(unsigned A, unsigned B) const;
+
+private:
+  std::vector<unsigned> IDom;
+  std::vector<unsigned> RPONumber;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_DOMINATORS_H

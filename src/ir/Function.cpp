@@ -1,0 +1,24 @@
+//===- ir/Function.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+using namespace specsync;
+
+void Function::cloneInto(Function &Dest) const {
+  assert(Dest.getNumBlocks() == 0 && "clone destination must be empty");
+  assert(Dest.getNumParams() == NumParams && "parameter count mismatch");
+  Dest.setNumRegs(NumRegs);
+  for (const auto &BB : Blocks) {
+    BasicBlock &NewBB = Dest.addBlock(BB->getName());
+    for (const Instruction &I : BB->instructions()) {
+      Instruction Copy = I;
+      // The clone remembers its origin; a fresh unique id is assigned later.
+      Copy.setOrigId(I.getOrigId());
+      NewBB.append(std::move(Copy));
+    }
+  }
+}

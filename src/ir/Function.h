@@ -1,0 +1,78 @@
+//===- ir/Function.h - IR functions -----------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_FUNCTION_H
+#define SPECSYNC_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+/// A function: a CFG of basic blocks over a private virtual register file.
+///
+/// Parameters occupy registers [0, getNumParams()). Block 0 is the entry
+/// block. Functions are identified by their index within the Program.
+class Function {
+public:
+  Function(std::string Name, unsigned Index, unsigned NumParams)
+      : Name(std::move(Name)), Index(Index), NumParams(NumParams),
+        NumRegs(NumParams) {}
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  unsigned getIndex() const { return Index; }
+  void setIndex(unsigned NewIndex) { Index = NewIndex; }
+  unsigned getNumParams() const { return NumParams; }
+  unsigned getNumRegs() const { return NumRegs; }
+
+  /// Allocates a fresh virtual register.
+  unsigned newReg() { return NumRegs++; }
+
+  /// Reserves register indices up to \p Count (used by cloning).
+  void setNumRegs(unsigned Count) {
+    assert(Count >= NumParams && "fewer registers than parameters");
+    NumRegs = Count;
+  }
+
+  BasicBlock &addBlock(std::string BlockName) {
+    Blocks.push_back(std::make_unique<BasicBlock>(
+        std::move(BlockName), static_cast<unsigned>(Blocks.size())));
+    return *Blocks.back();
+  }
+
+  unsigned getNumBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+  BasicBlock &getBlock(unsigned I) {
+    assert(I < Blocks.size() && "block index out of range");
+    return *Blocks[I];
+  }
+  const BasicBlock &getBlock(unsigned I) const {
+    assert(I < Blocks.size() && "block index out of range");
+    return *Blocks[I];
+  }
+
+  BasicBlock &getEntryBlock() { return getBlock(0); }
+  const BasicBlock &getEntryBlock() const { return getBlock(0); }
+
+  /// Deep-copies this function's body into \p Dest (which must be empty).
+  /// Cloned instructions keep their OrigId; ids must be reassigned by
+  /// Program::assignIds afterwards.
+  void cloneInto(Function &Dest) const;
+
+private:
+  std::string Name;
+  unsigned Index;
+  unsigned NumParams;
+  unsigned NumRegs;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_FUNCTION_H

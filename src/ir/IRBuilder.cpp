@@ -1,0 +1,95 @@
+//===- ir/IRBuilder.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace specsync;
+
+Reg IRBuilder::append(Opcode Op, bool HasDest, std::vector<Operand> Ops) {
+  assert(CurFunc && CurBlock && "no insertion point");
+  Reg Dest;
+  if (HasDest)
+    Dest = Reg{CurFunc->newReg()};
+  CurBlock->append(
+      Instruction(Op, HasDest ? static_cast<int>(Dest.Id) : -1, std::move(Ops)));
+  return Dest;
+}
+
+Reg IRBuilder::emitConst(int64_t Value) {
+  return append(Opcode::Const, /*HasDest=*/true, {Operand::imm(Value)});
+}
+
+Reg IRBuilder::emitMove(V Value) {
+  return append(Opcode::Move, /*HasDest=*/true, {Value.Op});
+}
+
+Reg IRBuilder::emitBinary(Opcode Op, V LHS, V RHS) {
+  assert(opcodeIsBinary(Op) && "not a binary opcode");
+  return append(Op, /*HasDest=*/true, {LHS.Op, RHS.Op});
+}
+
+Reg IRBuilder::emitSelect(V Cond, V True, V False) {
+  return append(Opcode::Select, /*HasDest=*/true, {Cond.Op, True.Op, False.Op});
+}
+
+Reg IRBuilder::emitRand() { return append(Opcode::Rand, /*HasDest=*/true, {}); }
+
+Reg IRBuilder::emitLoad(V Addr) {
+  return append(Opcode::Load, /*HasDest=*/true, {Addr.Op});
+}
+
+void IRBuilder::emitStore(V Addr, V Value) {
+  append(Opcode::Store, /*HasDest=*/false, {Addr.Op, Value.Op});
+}
+
+void IRBuilder::emitBinaryInto(Reg Dest, Opcode Op, V LHS, V RHS) {
+  assert(opcodeIsBinary(Op) && "not a binary opcode");
+  assert(Dest.isValid() && "invalid destination register");
+  CurBlock->append(
+      Instruction(Op, static_cast<int>(Dest.Id), {LHS.Op, RHS.Op}));
+}
+
+void IRBuilder::emitMoveInto(Reg Dest, V Value) {
+  assert(Dest.isValid() && "invalid destination register");
+  CurBlock->append(Instruction(Opcode::Move, static_cast<int>(Dest.Id), {Value.Op}));
+}
+
+void IRBuilder::emitLoadInto(Reg Dest, V Addr) {
+  assert(Dest.isValid() && "invalid destination register");
+  CurBlock->append(Instruction(Opcode::Load, static_cast<int>(Dest.Id), {Addr.Op}));
+}
+
+void IRBuilder::emitBr(BasicBlock &Target) {
+  Instruction I(Opcode::Br, -1, {});
+  I.setTarget(0, Target.getIndex());
+  CurBlock->append(std::move(I));
+}
+
+void IRBuilder::emitCondBr(V Cond, BasicBlock &TrueBB, BasicBlock &FalseBB) {
+  Instruction I(Opcode::CondBr, -1, {Cond.Op});
+  I.setTarget(0, TrueBB.getIndex());
+  I.setTarget(1, FalseBB.getIndex());
+  CurBlock->append(std::move(I));
+}
+
+Reg IRBuilder::emitCall(Function &Callee, std::vector<V> Args) {
+  assert(Args.size() == Callee.getNumParams() && "argument count mismatch");
+  std::vector<Operand> Ops;
+  Ops.reserve(Args.size());
+  for (const V &A : Args)
+    Ops.push_back(A.Op);
+  Reg Dest{CurFunc->newReg()};
+  Instruction I(Opcode::Call, static_cast<int>(Dest.Id), std::move(Ops));
+  I.setCallee(Callee.getIndex());
+  CurBlock->append(std::move(I));
+  return Dest;
+}
+
+void IRBuilder::emitRet(V Value) {
+  append(Opcode::Ret, /*HasDest=*/false, {Value.Op});
+}
+
+void IRBuilder::emitRet() { append(Opcode::Ret, /*HasDest=*/false, {}); }

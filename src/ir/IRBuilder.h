@@ -1,0 +1,101 @@
+//===- ir/IRBuilder.h - Convenience IR emitter ------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A builder that appends instructions at an insertion point, used by the
+/// workload kernels and by tests. Value-producing emitters allocate and
+/// return a fresh virtual register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_IRBUILDER_H
+#define SPECSYNC_IR_IRBUILDER_H
+
+#include "ir/Program.h"
+
+namespace specsync {
+
+/// Strongly-typed virtual register handle returned by the builder.
+struct Reg {
+  unsigned Id = ~0u;
+  bool isValid() const { return Id != ~0u; }
+};
+
+/// Converts a Reg into an Operand implicitly at builder call sites.
+inline Operand regOp(Reg R) { return Operand::reg(R.Id); }
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Program &P) : Prog(P) {}
+
+  Program &getProgram() { return Prog; }
+
+  /// Value wrapper accepted by emitters: either a Reg or an immediate.
+  struct V {
+    V(Reg R) : Op(Operand::reg(R.Id)) {}
+    V(int64_t I) : Op(Operand::imm(I)) {}
+    V(int I) : Op(Operand::imm(I)) {}
+    V(unsigned I) : Op(Operand::imm(static_cast<int64_t>(I))) {}
+    V(uint64_t I) : Op(Operand::imm(static_cast<int64_t>(I))) {}
+    Operand Op;
+  };
+
+  void setInsertPoint(Function *F, BasicBlock *BB) {
+    CurFunc = F;
+    CurBlock = BB;
+  }
+  Function *getFunction() { return CurFunc; }
+  BasicBlock *getBlock() { return CurBlock; }
+
+  /// Returns the register holding parameter \p I of the current function.
+  Reg param(unsigned I) {
+    assert(CurFunc && I < CurFunc->getNumParams() && "bad parameter index");
+    return Reg{I};
+  }
+
+  Reg emitConst(int64_t Value);
+  Reg emitMove(V Value);
+  Reg emitBinary(Opcode Op, V LHS, V RHS);
+  Reg emitAdd(V LHS, V RHS) { return emitBinary(Opcode::Add, LHS, RHS); }
+  Reg emitSub(V LHS, V RHS) { return emitBinary(Opcode::Sub, LHS, RHS); }
+  Reg emitMul(V LHS, V RHS) { return emitBinary(Opcode::Mul, LHS, RHS); }
+  Reg emitDiv(V LHS, V RHS) { return emitBinary(Opcode::Div, LHS, RHS); }
+  Reg emitMod(V LHS, V RHS) { return emitBinary(Opcode::Mod, LHS, RHS); }
+  Reg emitAnd(V LHS, V RHS) { return emitBinary(Opcode::And, LHS, RHS); }
+  Reg emitOr(V LHS, V RHS) { return emitBinary(Opcode::Or, LHS, RHS); }
+  Reg emitXor(V LHS, V RHS) { return emitBinary(Opcode::Xor, LHS, RHS); }
+  Reg emitShl(V LHS, V RHS) { return emitBinary(Opcode::Shl, LHS, RHS); }
+  Reg emitShr(V LHS, V RHS) { return emitBinary(Opcode::Shr, LHS, RHS); }
+  Reg emitCmp(Opcode Op, V LHS, V RHS) { return emitBinary(Op, LHS, RHS); }
+  Reg emitSelect(V Cond, V True, V False);
+  Reg emitRand();
+
+  Reg emitLoad(V Addr);
+  void emitStore(V Addr, V Value);
+
+  /// Redefines an existing register (used for loop-carried updates, e.g.
+  /// `i = i + 1`): emits `Op` writing into \p Dest instead of a fresh reg.
+  void emitBinaryInto(Reg Dest, Opcode Op, V LHS, V RHS);
+  void emitMoveInto(Reg Dest, V Value);
+  void emitLoadInto(Reg Dest, V Addr);
+
+  void emitBr(BasicBlock &Target);
+  void emitCondBr(V Cond, BasicBlock &TrueBB, BasicBlock &FalseBB);
+  Reg emitCall(Function &Callee, std::vector<V> Args);
+  void emitRet(V Value);
+  void emitRet();
+
+private:
+  Reg append(Opcode Op, bool HasDest, std::vector<Operand> Ops);
+
+  Program &Prog;
+  Function *CurFunc = nullptr;
+  BasicBlock *CurBlock = nullptr;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_IRBUILDER_H

@@ -1,0 +1,287 @@
+//===- ir/IRParser.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/IRPrinter.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace specsync;
+
+namespace {
+
+/// Line-oriented parser state with one-token-lookahead within a line.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : In(Text) {}
+
+  ParseResult run() {
+    auto P = std::make_unique<Program>();
+
+    // First pass over the whole text: function names in declaration order,
+    // so call targets `@N` can be validated at the end.
+    std::string Line;
+    while (nextLine(Line)) {
+      if (Line.rfind("global @", 0) == 0) {
+        if (!parseGlobal(*P, Line))
+          return fail();
+      } else if (Line.rfind("region ", 0) == 0) {
+        if (!parseRegion(*P, Line))
+          return fail();
+      } else if (Line.rfind("entry ", 0) == 0) {
+        P->setEntry(static_cast<unsigned>(std::strtoul(
+            Line.c_str() + 6, nullptr, 10)));
+      } else if (Line.rfind("randseed ", 0) == 0) {
+        P->setRandSeed(std::strtoull(Line.c_str() + 9, nullptr, 0));
+      } else if (Line.rfind("func @", 0) == 0) {
+        if (!parseFunction(*P, Line))
+          return fail();
+      } else if (!Line.empty()) {
+        return error("unexpected line: " + Line), fail();
+      }
+    }
+
+    // Validate call targets now that every function exists.
+    for (unsigned FI = 0; FI < P->getNumFunctions(); ++FI) {
+      Function &F = P->getFunction(FI);
+      for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI)
+        for (Instruction &I : F.getBlock(BI).instructions())
+          if (I.getOpcode() == Opcode::Call &&
+              I.getCallee() >= P->getNumFunctions())
+            return error("call to unknown function @" +
+                         std::to_string(I.getCallee())),
+                   fail();
+    }
+
+    P->assignIds();
+    ParseResult R;
+    R.Prog = std::move(P);
+    return R;
+  }
+
+private:
+  std::istringstream In;
+  unsigned LineNo = 0;
+  std::string Err;
+
+  bool nextLine(std::string &Line) {
+    if (!std::getline(In, Line))
+      return false;
+    ++LineNo;
+    // Trim trailing whitespace.
+    while (!Line.empty() && std::isspace(static_cast<unsigned char>(
+                                Line.back())))
+      Line.pop_back();
+    return true;
+  }
+
+  void error(const std::string &Msg) {
+    if (Err.empty())
+      Err = "line " + std::to_string(LineNo) + ": " + Msg;
+  }
+
+  ParseResult fail() {
+    ParseResult R;
+    R.Error = Err.empty() ? "parse error" : Err;
+    return R;
+  }
+
+  bool parseGlobal(Program &P, const std::string &Line) {
+    // global @NAME size=N addr=0xHEX
+    std::istringstream LS(Line);
+    std::string Kw, Name, SizeTok, AddrTok;
+    LS >> Kw >> Name >> SizeTok >> AddrTok;
+    if (Name.size() < 2 || Name[0] != '@' ||
+        SizeTok.rfind("size=", 0) != 0 || AddrTok.rfind("addr=", 0) != 0)
+      return error("malformed global"), false;
+    uint64_t Size = std::strtoull(SizeTok.c_str() + 5, nullptr, 10);
+    uint64_t Addr = std::strtoull(AddrTok.c_str() + 5, nullptr, 0);
+    if (Size == 0)
+      return error("global with zero size"), false;
+    uint64_t Got = P.addGlobal(Name.substr(1), Size);
+    if (Got != Addr)
+      return error("global address mismatch (layout is canonical)"), false;
+    return true;
+  }
+
+  bool parseRegion(Program &P, const std::string &Line) {
+    // region func=N header=N
+    std::istringstream LS(Line);
+    std::string Kw, FuncTok, HeaderTok;
+    LS >> Kw >> FuncTok >> HeaderTok;
+    if (FuncTok.rfind("func=", 0) != 0 || HeaderTok.rfind("header=", 0) != 0)
+      return error("malformed region"), false;
+    RegionSpec R;
+    R.Func = static_cast<unsigned>(
+        std::strtoul(FuncTok.c_str() + 5, nullptr, 10));
+    R.Header = static_cast<unsigned>(
+        std::strtoul(HeaderTok.c_str() + 7, nullptr, 10));
+    P.setRegion(R);
+    return true;
+  }
+
+  bool parseFunction(Program &P, const std::string &Header) {
+    // func @NAME(P params, R regs) {
+    size_t NameEnd = Header.find('(');
+    if (NameEnd == std::string::npos || Header.back() != '{')
+      return error("malformed function header"), false;
+    std::string Name = Header.substr(6, NameEnd - 6);
+    unsigned Params = 0, Regs = 0;
+    if (std::sscanf(Header.c_str() + NameEnd, "(%u params, %u regs) {",
+                    &Params, &Regs) != 2)
+      return error("malformed function signature"), false;
+
+    // Buffer the body up to the closing brace.
+    std::vector<std::string> Body;
+    std::string Line;
+    bool Closed = false;
+    while (nextLine(Line)) {
+      if (Line == "}") {
+        Closed = true;
+        break;
+      }
+      Body.push_back(Line);
+    }
+    if (!Closed)
+      return error("unterminated function " + Name), false;
+
+    Function &F = P.addFunction(Name, Params);
+    if (Regs < Params)
+      return error("fewer registers than parameters"), false;
+    F.setNumRegs(Regs);
+
+    // Pre-scan block labels (lines ending in ':' with no leading spaces).
+    std::map<std::string, unsigned> Labels;
+    for (const std::string &L : Body)
+      if (!L.empty() && L.back() == ':' && L[0] != ' ') {
+        std::string Label = L.substr(0, L.size() - 1);
+        if (Labels.count(Label))
+          return error("duplicate block label " + Label), false;
+        Labels[Label] = F.addBlock(Label).getIndex();
+      }
+
+    BasicBlock *Cur = nullptr;
+    for (const std::string &L : Body) {
+      if (!L.empty() && L.back() == ':' && L[0] != ' ') {
+        Cur = &F.getBlock(Labels.at(L.substr(0, L.size() - 1)));
+        continue;
+      }
+      if (L.find_first_not_of(' ') == std::string::npos)
+        continue;
+      if (!Cur)
+        return error("instruction before first block label"), false;
+      if (!parseInstruction(F, *Cur, L, Labels))
+        return false;
+    }
+    return true;
+  }
+
+  bool parseInstruction(Function &F, BasicBlock &BB, const std::string &Line,
+                        const std::map<std::string, unsigned> &Labels) {
+    // Tokenize, dropping commas.
+    std::vector<std::string> Tokens;
+    {
+      std::string Clean = Line;
+      for (char &C : Clean)
+        if (C == ',')
+          C = ' ';
+      std::istringstream TS(Clean);
+      std::string T;
+      while (TS >> T)
+        Tokens.push_back(T);
+    }
+    if (Tokens.empty())
+      return true;
+
+    size_t Pos = 0;
+    int Dest = -1;
+    if (Tokens.size() >= 3 && Tokens[1] == "=" && Tokens[0][0] == 'r') {
+      Dest = static_cast<int>(
+          std::strtoul(Tokens[0].c_str() + 1, nullptr, 10));
+      Pos = 2;
+    }
+    if (Pos >= Tokens.size())
+      return error("missing mnemonic"), false;
+
+    static const std::map<std::string, Opcode> Mnemonics = [] {
+      std::map<std::string, Opcode> M;
+      for (unsigned I = 0; I < NumOpcodes; ++I)
+        M[opcodeName(static_cast<Opcode>(I))] = static_cast<Opcode>(I);
+      return M;
+    }();
+    auto OpIt = Mnemonics.find(Tokens[Pos]);
+    if (OpIt == Mnemonics.end())
+      return error("unknown mnemonic '" + Tokens[Pos] + "'"), false;
+    Opcode Op = OpIt->second;
+    ++Pos;
+
+    std::vector<Operand> Ops;
+    std::vector<unsigned> Targets;
+    unsigned Callee = ~0u;
+    int SyncId = -1;
+
+    for (; Pos < Tokens.size(); ++Pos) {
+      const std::string &T = Tokens[Pos];
+      if (T[0] == '@') {
+        Callee = static_cast<unsigned>(
+            std::strtoul(T.c_str() + 1, nullptr, 10));
+      } else if (T[0] == '^') {
+        auto It = Labels.find(T.substr(1));
+        if (It == Labels.end())
+          return error("unknown block label " + T), false;
+        Targets.push_back(It->second);
+      } else if (T.rfind("#sync", 0) == 0) {
+        SyncId = static_cast<int>(std::strtol(T.c_str() + 5, nullptr, 10));
+      } else if (T[0] == 'r' && T.size() > 1 &&
+                 std::isdigit(static_cast<unsigned char>(T[1]))) {
+        Ops.push_back(Operand::reg(static_cast<unsigned>(
+            std::strtoul(T.c_str() + 1, nullptr, 10))));
+      } else {
+        char *End = nullptr;
+        long long V = std::strtoll(T.c_str(), &End, 10);
+        if (End == T.c_str() || *End != '\0')
+          return error("bad operand '" + T + "'"), false;
+        Ops.push_back(Operand::imm(V));
+      }
+    }
+
+    bool HasDest = Dest >= 0;
+    if (opcodeHasDest(Op) != HasDest)
+      return error("destination mismatch for " +
+                   std::string(opcodeName(Op))),
+             false;
+    if (Targets.size() > 2)
+      return error("too many branch targets"), false;
+
+    Instruction I(Op, Dest, std::move(Ops));
+    for (unsigned TI = 0; TI < Targets.size(); ++TI)
+      I.setTarget(TI, Targets[TI]);
+    if (Op == Opcode::Call) {
+      if (Callee == ~0u)
+        return error("call without callee"), false;
+      I.setCallee(Callee);
+    }
+    I.setSyncId(SyncId);
+    if (BB.isTerminated())
+      return error("instruction after terminator in block " +
+                   BB.getName()),
+             false;
+    BB.append(std::move(I));
+    (void)F;
+    return true;
+  }
+};
+
+} // namespace
+
+ParseResult specsync::parseProgram(const std::string &Text) {
+  return Parser(Text).run();
+}

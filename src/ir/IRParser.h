@@ -1,0 +1,40 @@
+//===- ir/IRParser.h - Textual IR parsing -----------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by IRPrinter back into a Program, so
+/// kernels and test cases can live as `.sir` text and transformations can
+/// be diffed as text. `parseProgram(printProgram(P))` reconstructs a
+/// program with identical semantics and (after assignIds) identical
+/// static-id assignment for identically-structured programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_IRPARSER_H
+#define SPECSYNC_IR_IRPARSER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+
+namespace specsync {
+
+/// Result of a parse: either a program or a diagnostic.
+struct ParseResult {
+  std::unique_ptr<Program> Prog; ///< Null on failure.
+  std::string Error;             ///< "line N: message" on failure.
+
+  explicit operator bool() const { return Prog != nullptr; }
+};
+
+/// Parses the IRPrinter textual format. On success the returned program
+/// has ids assigned.
+ParseResult parseProgram(const std::string &Text);
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_IRPARSER_H

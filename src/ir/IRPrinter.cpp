@@ -1,0 +1,77 @@
+//===- ir/IRPrinter.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+using namespace specsync;
+
+static std::string printOperand(const Operand &Op) {
+  if (Op.isReg())
+    return "r" + std::to_string(Op.getReg());
+  return std::to_string(Op.getImm());
+}
+
+std::string specsync::printInstruction(const Function &F, const Instruction &I) {
+  std::string Out;
+  if (I.hasDest())
+    Out += "r" + std::to_string(I.getDest()) + " = ";
+  Out += opcodeName(I.getOpcode());
+
+  if (I.getOpcode() == Opcode::Call) {
+    Out += " @" + std::to_string(I.getCallee());
+  }
+  for (unsigned OI = 0; OI < I.getNumOperands(); ++OI)
+    Out += (OI == 0 ? " " : ", ") + printOperand(I.getOperand(OI));
+
+  switch (I.getOpcode()) {
+  case Opcode::Br:
+    Out += " ^" + F.getBlock(I.getTarget(0)).getName();
+    break;
+  case Opcode::CondBr:
+    Out += " ^" + F.getBlock(I.getTarget(0)).getName() + ", ^" +
+           F.getBlock(I.getTarget(1)).getName();
+    break;
+  default:
+    break;
+  }
+  if (I.getSyncId() >= 0)
+    Out += " #sync" + std::to_string(I.getSyncId());
+  return Out;
+}
+
+std::string specsync::printFunction(const Function &F) {
+  std::string Out =
+      "func @" + F.getName() + "(" + std::to_string(F.getNumParams()) +
+      " params, " + std::to_string(F.getNumRegs()) + " regs) {\n";
+  for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+    const BasicBlock &BB = F.getBlock(BI);
+    Out += BB.getName() + ":\n";
+    for (const Instruction &I : BB.instructions())
+      Out += "  " + printInstruction(F, I) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string specsync::printProgram(const Program &P) {
+  std::string Out;
+  for (const GlobalVar &G : P.globals())
+    Out += "global @" + G.Name + " size=" + std::to_string(G.SizeBytes) +
+           " addr=0x" + [&] {
+             char Buf[32];
+             std::snprintf(Buf, sizeof(Buf), "%llx",
+                           static_cast<unsigned long long>(G.BaseAddr));
+             return std::string(Buf);
+           }() + "\n";
+  if (P.getRegion().isValid())
+    Out += "region func=" + std::to_string(P.getRegion().Func) +
+           " header=" + std::to_string(P.getRegion().Header) + "\n";
+  Out += "entry " + std::to_string(P.getEntry()) + "\n";
+  Out += "randseed " + std::to_string(P.getRandSeed()) + "\n";
+  for (unsigned FI = 0; FI < P.getNumFunctions(); ++FI)
+    Out += printFunction(P.getFunction(FI));
+  return Out;
+}

@@ -1,0 +1,27 @@
+//===- ir/IRPrinter.h - Textual IR dump -------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_IRPRINTER_H
+#define SPECSYNC_IR_IRPRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace specsync {
+
+/// Renders one instruction as text, e.g. "r3 = add r1, 8".
+std::string printInstruction(const Function &F, const Instruction &I);
+
+/// Renders a whole function.
+std::string printFunction(const Function &F);
+
+/// Renders the whole program (globals, region annotation, functions).
+std::string printProgram(const Program &P);
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_IRPRINTER_H

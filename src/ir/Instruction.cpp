@@ -1,0 +1,123 @@
+//===- ir/Instruction.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+using namespace specsync;
+
+const char *specsync::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const: return "const";
+  case Opcode::Move: return "move";
+  case Opcode::Add: return "add";
+  case Opcode::Sub: return "sub";
+  case Opcode::Mul: return "mul";
+  case Opcode::Div: return "div";
+  case Opcode::Mod: return "mod";
+  case Opcode::And: return "and";
+  case Opcode::Or: return "or";
+  case Opcode::Xor: return "xor";
+  case Opcode::Shl: return "shl";
+  case Opcode::Shr: return "shr";
+  case Opcode::CmpEQ: return "cmpeq";
+  case Opcode::CmpNE: return "cmpne";
+  case Opcode::CmpLT: return "cmplt";
+  case Opcode::CmpLE: return "cmple";
+  case Opcode::CmpGT: return "cmpgt";
+  case Opcode::CmpGE: return "cmpge";
+  case Opcode::Select: return "select";
+  case Opcode::Rand: return "rand";
+  case Opcode::Load: return "load";
+  case Opcode::Store: return "store";
+  case Opcode::Br: return "br";
+  case Opcode::CondBr: return "condbr";
+  case Opcode::Call: return "call";
+  case Opcode::Ret: return "ret";
+  case Opcode::WaitScalar: return "wait.scalar";
+  case Opcode::SignalScalar: return "signal.scalar";
+  case Opcode::WaitMem: return "wait.mem";
+  case Opcode::CheckFwd: return "check.fwd";
+  case Opcode::SelectFwd: return "select.fwd";
+  case Opcode::SignalMem: return "signal.mem";
+  }
+  return "<invalid>";
+}
+
+bool specsync::opcodeHasDest(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+  case Opcode::Move:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+  case Opcode::Select:
+  case Opcode::Rand:
+  case Opcode::Load:
+  case Opcode::Call:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool specsync::opcodeIsTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+bool specsync::opcodeIsMemory(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store;
+}
+
+bool specsync::opcodeIsBinary(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool specsync::opcodeIsSync(Opcode Op) {
+  switch (Op) {
+  case Opcode::WaitScalar:
+  case Opcode::SignalScalar:
+  case Opcode::WaitMem:
+  case Opcode::CheckFwd:
+  case Opcode::SelectFwd:
+  case Opcode::SignalMem:
+    return true;
+  default:
+    return false;
+  }
+}

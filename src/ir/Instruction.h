@@ -1,0 +1,132 @@
+//===- ir/Instruction.h - IR instructions -----------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_INSTRUCTION_H
+#define SPECSYNC_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace specsync {
+
+/// An instruction operand: either a virtual register or an immediate.
+class Operand {
+public:
+  enum class Kind : uint8_t { Reg, Imm };
+
+  /// Implicit construction from an immediate keeps builder call sites terse
+  /// (e.g. B.emitAdd(X, 1)).
+  Operand(int64_t Imm) : K(Kind::Imm), Val(Imm) {}
+  Operand(int Imm) : K(Kind::Imm), Val(Imm) {}
+
+  static Operand reg(unsigned R) {
+    Operand O(static_cast<int64_t>(R));
+    O.K = Kind::Reg;
+    return O;
+  }
+  static Operand imm(int64_t V) { return Operand(V); }
+
+  bool isReg() const { return K == Kind::Reg; }
+  bool isImm() const { return K == Kind::Imm; }
+
+  unsigned getReg() const {
+    assert(isReg() && "not a register operand");
+    return static_cast<unsigned>(Val);
+  }
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return Val;
+  }
+
+  bool operator==(const Operand &RHS) const {
+    return K == RHS.K && Val == RHS.Val;
+  }
+
+private:
+  Kind K;
+  int64_t Val;
+};
+
+/// A single IR instruction.
+///
+/// Instructions are stored by value inside basic blocks. Every instruction
+/// carries a program-unique static identifier (assigned by
+/// Program::assignIds) which names it in profiles, traces and sync sets —
+/// the analog of a PC in the paper. Clones receive fresh ids but remember
+/// the id they were cloned from.
+class Instruction {
+public:
+  Instruction(Opcode Op, int Dst, std::vector<Operand> Ops)
+      : Op(Op), Dst(Dst), Ops(std::move(Ops)) {}
+
+  Opcode getOpcode() const { return Op; }
+  bool hasDest() const { return Dst >= 0; }
+  unsigned getDest() const {
+    assert(hasDest() && "instruction has no destination");
+    return static_cast<unsigned>(Dst);
+  }
+
+  unsigned getNumOperands() const { return static_cast<unsigned>(Ops.size()); }
+  const Operand &getOperand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  Operand &getOperand(unsigned I) {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  const std::vector<Operand> &operands() const { return Ops; }
+
+  /// Branch targets (block indices within the enclosing function).
+  unsigned getTarget(unsigned I) const {
+    assert(I < 2 && Targets[I] != ~0u && "invalid branch target");
+    return Targets[I];
+  }
+  void setTarget(unsigned I, unsigned Block) {
+    assert(I < 2 && "at most two branch targets");
+    Targets[I] = Block;
+  }
+
+  /// Callee function index for Call instructions.
+  unsigned getCallee() const {
+    assert(Op == Opcode::Call && "not a call");
+    return Callee;
+  }
+  void setCallee(unsigned F) { Callee = F; }
+
+  /// Program-unique static id (valid after Program::assignIds).
+  uint32_t getId() const { return Id; }
+  void setId(uint32_t NewId) { Id = NewId; }
+
+  /// The id of the instruction this one was cloned from, or its own id.
+  uint32_t getOrigId() const { return OrigId; }
+  void setOrigId(uint32_t NewId) { OrigId = NewId; }
+
+  /// Scalar channel (WaitScalar/SignalScalar) or memory group
+  /// (WaitMem/SignalMem/CheckFwd/SelectFwd and synchronized Load/Store).
+  /// -1 means "none"; for loads/stores it means "not synchronized".
+  int getSyncId() const { return SyncId; }
+  void setSyncId(int NewSyncId) { SyncId = NewSyncId; }
+
+  bool isTerminator() const { return opcodeIsTerminator(Op); }
+
+private:
+  Opcode Op;
+  int Dst = -1;
+  std::vector<Operand> Ops;
+  unsigned Targets[2] = {~0u, ~0u};
+  unsigned Callee = ~0u;
+  uint32_t Id = 0;
+  uint32_t OrigId = 0;
+  int SyncId = -1;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_INSTRUCTION_H

@@ -1,0 +1,66 @@
+//===- ir/LoopInfo.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace specsync;
+
+bool Loop::contains(unsigned Block) const {
+  return std::find(Blocks.begin(), Blocks.end(), Block) != Blocks.end();
+}
+
+LoopInfo::LoopInfo(const Function &F, const CFG &G, const Dominators &DT) {
+  (void)F;
+  // Collect back edges grouped by header.
+  std::map<unsigned, std::vector<unsigned>> HeaderToLatches;
+  for (unsigned B = 0; B < G.getNumBlocks(); ++B) {
+    if (!G.isReachable(B))
+      continue;
+    for (unsigned S : G.successors(B))
+      if (DT.dominates(S, B))
+        HeaderToLatches[S].push_back(B);
+  }
+
+  for (auto &[Header, Latches] : HeaderToLatches) {
+    Loop L;
+    L.Header = Header;
+    L.Latches = Latches;
+
+    // Standard natural-loop body computation: walk predecessors backward
+    // from each latch until the header.
+    std::set<unsigned> Body = {Header};
+    std::vector<unsigned> Work = Latches;
+    while (!Work.empty()) {
+      unsigned B = Work.back();
+      Work.pop_back();
+      if (!Body.insert(B).second)
+        continue;
+      for (unsigned P : G.predecessors(B))
+        Work.push_back(P);
+    }
+    L.Blocks.assign(Body.begin(), Body.end());
+
+    for (unsigned B : L.Blocks)
+      for (unsigned S : G.successors(B))
+        if (!Body.count(S)) {
+          L.ExitBlocks.push_back(B);
+          break;
+        }
+
+    Loops.push_back(std::move(L));
+  }
+}
+
+const Loop *LoopInfo::getLoopByHeader(unsigned Header) const {
+  for (const Loop &L : Loops)
+    if (L.Header == Header)
+      return &L;
+  return nullptr;
+}

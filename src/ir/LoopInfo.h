@@ -1,0 +1,44 @@
+//===- ir/LoopInfo.h - Natural loop discovery -------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_LOOPINFO_H
+#define SPECSYNC_IR_LOOPINFO_H
+
+#include "ir/Dominators.h"
+
+#include <vector>
+
+namespace specsync {
+
+/// A natural loop: header plus the union of all back-edge loop bodies.
+struct Loop {
+  unsigned Header = ~0u;
+  std::vector<unsigned> Blocks;     ///< Includes the header.
+  std::vector<unsigned> Latches;    ///< Sources of back edges to the header.
+  std::vector<unsigned> ExitBlocks; ///< Loop blocks with a successor outside.
+
+  bool contains(unsigned Block) const;
+};
+
+/// Finds all natural loops of a function (back edges a->h where h dominates
+/// a). Nested loops are reported separately by header; bodies of loops
+/// sharing a header are merged, as usual.
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const CFG &G, const Dominators &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Returns the loop with header \p Header, or nullptr.
+  const Loop *getLoopByHeader(unsigned Header) const;
+
+private:
+  std::vector<Loop> Loops;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_LOOPINFO_H

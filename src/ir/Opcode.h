@@ -1,0 +1,78 @@
+//===- ir/Opcode.h - Instruction opcodes ------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SpecSync IR instruction set. The IR is a register machine over 64-bit
+/// integers with a flat byte-addressable memory, designed to be just rich
+/// enough to express the paper's workloads and transformations:
+/// arithmetic, comparisons, loads/stores, structured control flow, calls,
+/// and the TLS synchronization primitives the compiler inserts
+/// (scalar wait/signal and memory-resident wait/signal with forwarding).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_OPCODE_H
+#define SPECSYNC_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace specsync {
+
+enum class Opcode : uint8_t {
+  // Value-producing.
+  Const,  ///< dst = imm
+  Move,   ///< dst = op0
+  Add, Sub, Mul, Div, Mod,      ///< dst = op0 <op> op1 (Div/Mod by 0 -> 0)
+  And, Or, Xor, Shl, Shr,       ///< bitwise / shifts (shift amount mod 64)
+  CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE, ///< dst = (op0 cmp op1) ? 1 : 0
+  Select, ///< dst = op0 ? op1 : op2
+  Rand,   ///< dst = next value of the program's deterministic PRNG
+
+  // Memory (8-byte words).
+  Load,  ///< dst = mem[op0]
+  Store, ///< mem[op0] = op1
+
+  // Control flow.
+  Br,     ///< goto block(target0)
+  CondBr, ///< if (op0) goto block(target0) else goto block(target1)
+  Call,   ///< dst = call callee(operands...)
+  Ret,    ///< return op0 (or 0 if no operand)
+
+  // TLS scalar synchronization (compiler-inserted; see Zhai et al. [32]).
+  WaitScalar,   ///< stall until scalar channel op-imm0 has been signaled
+  SignalScalar, ///< forward scalar channel imm0 to the next epoch
+
+  // TLS memory-resident synchronization (this paper).
+  WaitMem,   ///< stall until memory group imm0's (addr, value) arrives
+  CheckFwd,  ///< compare forwarded address against op0; sets use-fwd flag
+  SelectFwd, ///< choose forwarded vs memory value (timing overhead marker)
+  SignalMem, ///< forward (addr=op0, value=op1) for group imm0; addr 0 = NULL
+};
+
+/// Number of distinct opcodes (for table sizing).
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::SignalMem) + 1;
+
+/// Returns the mnemonic for \p Op (e.g. "add").
+const char *opcodeName(Opcode Op);
+
+/// Returns true if the opcode writes a destination register.
+bool opcodeHasDest(Opcode Op);
+
+/// Returns true for Br / CondBr / Ret.
+bool opcodeIsTerminator(Opcode Op);
+
+/// Returns true for Load / Store.
+bool opcodeIsMemory(Opcode Op);
+
+/// Returns true for binary arithmetic / comparison opcodes.
+bool opcodeIsBinary(Opcode Op);
+
+/// Returns true for the TLS synchronization family.
+bool opcodeIsSync(Opcode Op);
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_OPCODE_H

@@ -1,0 +1,63 @@
+//===- ir/Program.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+using namespace specsync;
+
+Function &Program::addFunction(std::string Name, unsigned NumParams) {
+  Funcs.push_back(std::make_unique<Function>(
+      std::move(Name), static_cast<unsigned>(Funcs.size()), NumParams));
+  return *Funcs.back();
+}
+
+uint64_t Program::addGlobal(std::string Name, uint64_t SizeBytes) {
+  assert(SizeBytes > 0 && "global must have nonzero size");
+  GlobalVar G;
+  G.Name = std::move(Name);
+  G.SizeBytes = SizeBytes;
+  G.BaseAddr = NextGlobalAddr;
+  NextGlobalAddr += (SizeBytes + GlobalAlign - 1) / GlobalAlign * GlobalAlign;
+  Globals.push_back(G);
+  return G.BaseAddr;
+}
+
+Function *Program::findFunction(const std::string &Name) {
+  for (auto &F : Funcs)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+void Program::assignIds() {
+  for (auto &F : Funcs) {
+    for (unsigned B = 0; B < F->getNumBlocks(); ++B) {
+      for (Instruction &I : F->getBlock(B).instructions()) {
+        if (I.getId() == 0) {
+          I.setId(NextId++);
+          if (I.getOrigId() == 0)
+            I.setOrigId(I.getId());
+        }
+      }
+    }
+  }
+}
+
+std::string Program::describeInstruction(uint32_t Id) const {
+  for (const auto &F : Funcs) {
+    for (unsigned B = 0; B < F->getNumBlocks(); ++B) {
+      const BasicBlock &BB = F->getBlock(B);
+      for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+        const Instruction &I = BB.instructions()[Pos];
+        if (I.getId() != Id)
+          continue;
+        return F->getName() + ":" + BB.getName() + ":" + std::to_string(Pos) +
+               " (" + opcodeName(I.getOpcode()) + ")";
+      }
+    }
+  }
+  return "<unknown>";
+}

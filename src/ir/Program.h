@@ -1,0 +1,106 @@
+//===- ir/Program.h - Whole-program container -------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_PROGRAM_H
+#define SPECSYNC_IR_PROGRAM_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+/// A named global data object with an assigned base address.
+struct GlobalVar {
+  std::string Name;
+  uint64_t SizeBytes;
+  uint64_t BaseAddr;
+};
+
+/// Marks the loop the compiler speculatively parallelizes.
+///
+/// Epochs are iterations of the natural loop whose header is block
+/// \p Header of function \p Func (the paper parallelizes loops only).
+struct RegionSpec {
+  unsigned Func = ~0u;
+  unsigned Header = ~0u;
+  bool isValid() const { return Func != ~0u; }
+};
+
+/// A whole program: functions, globals, the entry point, and the parallel
+/// region annotation.
+///
+/// Globals are laid out from GlobalBase upward, each aligned to 64 bytes so
+/// that distinct globals never share a cache line (false sharing *within* a
+/// global array is a workload property, not a layout accident). Address 0
+/// is never mapped: it is the NULL forwarding address of SignalMem.
+class Program {
+public:
+  static constexpr uint64_t GlobalBase = 0x10000;
+  static constexpr uint64_t GlobalAlign = 64;
+  static constexpr unsigned WordBytes = 8;
+
+  Function &addFunction(std::string Name, unsigned NumParams);
+
+  /// Adds a global of \p SizeBytes bytes and returns its base address.
+  uint64_t addGlobal(std::string Name, uint64_t SizeBytes);
+
+  unsigned getNumFunctions() const {
+    return static_cast<unsigned>(Funcs.size());
+  }
+  Function &getFunction(unsigned I) {
+    assert(I < Funcs.size() && "function index out of range");
+    return *Funcs[I];
+  }
+  const Function &getFunction(unsigned I) const {
+    assert(I < Funcs.size() && "function index out of range");
+    return *Funcs[I];
+  }
+
+  /// Returns the function named \p Name, or nullptr.
+  Function *findFunction(const std::string &Name);
+
+  const std::vector<GlobalVar> &globals() const { return Globals; }
+
+  void setEntry(unsigned FuncIndex) { Entry = FuncIndex; }
+  unsigned getEntry() const { return Entry; }
+
+  void setRegion(RegionSpec R) { Region = R; }
+  const RegionSpec &getRegion() const { return Region; }
+
+  /// Seed for the program's Rand instruction stream (deterministic).
+  void setRandSeed(uint64_t Seed) { RandSeed = Seed; }
+  uint64_t getRandSeed() const { return RandSeed; }
+
+  /// Assigns a program-unique id to every instruction (and sets OrigId for
+  /// instructions that do not have one yet). Must be re-run after any pass
+  /// that adds instructions or functions; ids of existing instructions are
+  /// preserved.
+  void assignIds();
+
+  /// Total number of assigned static ids (ids are in [1, numIds]).
+  uint32_t numIds() const { return NextId - 1; }
+
+  /// Returns a human-readable "func:block:pos" locator for static id \p Id,
+  /// or "<unknown>"; linear scan, for diagnostics only.
+  std::string describeInstruction(uint32_t Id) const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::vector<GlobalVar> Globals;
+  uint64_t NextGlobalAddr = GlobalBase;
+  unsigned Entry = 0;
+  RegionSpec Region;
+  uint64_t RandSeed = 1;
+  uint32_t NextId = 1;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_PROGRAM_H

@@ -1,0 +1,172 @@
+//===- ir/Verifier.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+using namespace specsync;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Program &P) : Prog(P) {}
+
+  std::vector<std::string> run() {
+    for (unsigned FI = 0; FI < Prog.getNumFunctions(); ++FI)
+      checkFunction(Prog.getFunction(FI));
+    checkRegion();
+    return std::move(Problems);
+  }
+
+private:
+  void report(const Function &F, const BasicBlock &BB, size_t Pos,
+              const std::string &Msg) {
+    Problems.push_back(F.getName() + ":" + BB.getName() + ":" +
+                       std::to_string(Pos) + ": " + Msg);
+  }
+
+  void checkFunction(const Function &F) {
+    if (F.getNumBlocks() == 0) {
+      Problems.push_back(F.getName() + ": function has no blocks");
+      return;
+    }
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI)
+      checkBlock(F, F.getBlock(BI));
+  }
+
+  void checkBlock(const Function &F, const BasicBlock &BB) {
+    if (!BB.isTerminated()) {
+      report(F, BB, BB.size(), "block is not terminated");
+      return;
+    }
+    for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+      const Instruction &I = BB.instructions()[Pos];
+      if (I.isTerminator() && Pos + 1 != BB.size())
+        report(F, BB, Pos, "terminator in the middle of a block");
+      checkInstruction(F, BB, Pos, I);
+    }
+  }
+
+  void checkArity(const Function &F, const BasicBlock &BB, size_t Pos,
+                  const Instruction &I, unsigned Expected) {
+    if (I.getNumOperands() != Expected)
+      report(F, BB, Pos,
+             std::string(opcodeName(I.getOpcode())) + ": expected " +
+                 std::to_string(Expected) + " operands, found " +
+                 std::to_string(I.getNumOperands()));
+  }
+
+  void checkInstruction(const Function &F, const BasicBlock &BB, size_t Pos,
+                        const Instruction &I) {
+    // Destination presence must match the opcode.
+    if (opcodeHasDest(I.getOpcode()) != I.hasDest())
+      report(F, BB, Pos,
+             std::string(opcodeName(I.getOpcode())) +
+                 ": destination register presence mismatch");
+    if (I.hasDest() && I.getDest() >= F.getNumRegs())
+      report(F, BB, Pos, "destination register out of range");
+
+    for (unsigned OI = 0; OI < I.getNumOperands(); ++OI) {
+      const Operand &Op = I.getOperand(OI);
+      if (Op.isReg() && Op.getReg() >= F.getNumRegs())
+        report(F, BB, Pos, "operand register out of range");
+    }
+
+    switch (I.getOpcode()) {
+    case Opcode::Const:
+      checkArity(F, BB, Pos, I, 1);
+      if (I.getNumOperands() == 1 && !I.getOperand(0).isImm())
+        report(F, BB, Pos, "const requires an immediate operand");
+      break;
+    case Opcode::Move:
+    case Opcode::Load:
+      checkArity(F, BB, Pos, I, 1);
+      break;
+    case Opcode::Rand:
+      checkArity(F, BB, Pos, I, 0);
+      break;
+    case Opcode::Store:
+      checkArity(F, BB, Pos, I, 2);
+      break;
+    case Opcode::Select:
+      checkArity(F, BB, Pos, I, 3);
+      break;
+    case Opcode::Br:
+      checkArity(F, BB, Pos, I, 0);
+      if (I.getTarget(0) >= F.getNumBlocks())
+        report(F, BB, Pos, "branch target out of range");
+      break;
+    case Opcode::CondBr:
+      checkArity(F, BB, Pos, I, 1);
+      for (unsigned T = 0; T < 2; ++T)
+        if (I.getTarget(T) >= F.getNumBlocks())
+          report(F, BB, Pos, "branch target out of range");
+      break;
+    case Opcode::Call: {
+      if (I.getCallee() >= Prog.getNumFunctions()) {
+        report(F, BB, Pos, "callee index out of range");
+        break;
+      }
+      const Function &Callee = Prog.getFunction(I.getCallee());
+      if (I.getNumOperands() != Callee.getNumParams())
+        report(F, BB, Pos, "call argument count mismatch with " +
+                               Callee.getName());
+      break;
+    }
+    case Opcode::Ret:
+      if (I.getNumOperands() > 1)
+        report(F, BB, Pos, "ret takes at most one operand");
+      break;
+    case Opcode::WaitScalar:
+    case Opcode::SignalScalar:
+    case Opcode::WaitMem:
+      if (I.getSyncId() < 0)
+        report(F, BB, Pos, "sync instruction without a channel/group id");
+      break;
+    case Opcode::CheckFwd:
+      checkArity(F, BB, Pos, I, 1);
+      if (I.getSyncId() < 0)
+        report(F, BB, Pos, "check.fwd without a group id");
+      break;
+    case Opcode::SelectFwd:
+      if (I.getSyncId() < 0)
+        report(F, BB, Pos, "select.fwd without a group id");
+      break;
+    case Opcode::SignalMem:
+      checkArity(F, BB, Pos, I, 2);
+      if (I.getSyncId() < 0)
+        report(F, BB, Pos, "signal.mem without a group id");
+      break;
+    default:
+      if (opcodeIsBinary(I.getOpcode()))
+        checkArity(F, BB, Pos, I, 2);
+      break;
+    }
+  }
+
+  void checkRegion() {
+    const RegionSpec &R = Prog.getRegion();
+    if (!R.isValid())
+      return;
+    if (R.Func >= Prog.getNumFunctions()) {
+      Problems.push_back("region: function index out of range");
+      return;
+    }
+    if (R.Header >= Prog.getFunction(R.Func).getNumBlocks())
+      Problems.push_back("region: header block out of range");
+  }
+
+  const Program &Prog;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> specsync::verifyProgram(const Program &P) {
+  return VerifierImpl(P).run();
+}
+
+bool specsync::isWellFormed(const Program &P) { return verifyProgram(P).empty(); }

@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_VERIFIER_H
+#define SPECSYNC_IR_VERIFIER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+/// Checks structural invariants of a program:
+///  - every reachable block is terminated, terminators only at block ends;
+///  - branch targets and callee indices are in range;
+///  - register operands are within the function's register file;
+///  - operand/destination arity matches each opcode;
+///  - call argument counts match callee parameter counts;
+///  - the region annotation (if set) names a real function/block.
+///
+/// \returns a list of human-readable problems; empty means well-formed.
+std::vector<std::string> verifyProgram(const Program &P);
+
+/// Convenience wrapper: true when verifyProgram reports nothing.
+bool isWellFormed(const Program &P);
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_VERIFIER_H

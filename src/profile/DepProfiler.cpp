@@ -1,0 +1,105 @@
+//===- profile/DepProfiler.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/DepProfiler.h"
+
+#include <algorithm>
+
+using namespace specsync;
+
+double DepProfile::pairFrequencyPercent(const DepPairStat &P) const {
+  return percentOf(P.EpochsWithDep, TotalEpochs);
+}
+
+double DepProfile::loadFrequencyPercent(const LoadStat &L) const {
+  return percentOf(L.EpochsWithDep, TotalEpochs);
+}
+
+std::vector<RefName> DepProfile::loadsAboveThreshold(double Percent) const {
+  std::vector<RefName> Result;
+  for (const auto &[Name, Stat] : Loads)
+    if (loadFrequencyPercent(Stat) > Percent)
+      Result.push_back(Name);
+  return Result;
+}
+
+std::vector<DepPairStat> DepProfile::pairsAboveThreshold(double Percent) const {
+  std::vector<DepPairStat> Result;
+  for (const auto &[Key, Stat] : Pairs)
+    if (pairFrequencyPercent(Stat) > Percent)
+      Result.push_back(Stat);
+  return Result;
+}
+
+void DepProfiler::onRegionBegin(unsigned) {
+  // Dependences never cross region instances: writers from sequential code
+  // or earlier instances are not inter-epoch dependences.
+  LastWriter.clear();
+  LocalWriteEpoch.clear();
+  InRegionNow = true;
+}
+
+void DepProfiler::onEpochBegin(uint64_t) {
+  ++GlobalEpoch;
+  ++Profile.TotalEpochs;
+}
+
+void DepProfiler::onRegionEnd() { InRegionNow = false; }
+
+void DepProfiler::onDynInst(const DynInst &DI, bool InRegion, uint64_t) {
+  if (!InRegion || !InRegionNow)
+    return;
+  if (DI.Op == Opcode::Store) {
+    LastWriter[DI.Addr] = WriterInfo{GlobalEpoch, {DI.StaticId, DI.Context}};
+    LocalWriteEpoch[DI.Addr] = GlobalEpoch;
+    return;
+  }
+  if (DI.Op != Opcode::Load)
+    return;
+
+  // A load whose word was already written by its own epoch is not exposed.
+  auto LocalIt = LocalWriteEpoch.find(DI.Addr);
+  if (LocalIt != LocalWriteEpoch.end() && LocalIt->second == GlobalEpoch)
+    return;
+
+  auto WriterIt = LastWriter.find(DI.Addr);
+  if (WriterIt == LastWriter.end())
+    return;
+  const WriterInfo &W = WriterIt->second;
+  assert(W.Epoch < GlobalEpoch && "exposed load with same-epoch writer");
+
+  RefName LoadName{DI.StaticId, DI.Context};
+  uint64_t Distance = GlobalEpoch - W.Epoch;
+
+  auto Key = std::make_pair(LoadName, W.Store);
+  DepPairStat &P = Pairs[Key];
+  if (P.Count == 0) {
+    P.Load = LoadName;
+    P.Store = W.Store;
+  }
+  ++P.Count;
+  if (Distance == 1)
+    ++P.Distance1Count;
+  if (PairLastEpoch[Key] != GlobalEpoch) {
+    PairLastEpoch[Key] = GlobalEpoch;
+    ++P.EpochsWithDep;
+  }
+
+  LoadStat &L = Loads[LoadName];
+  ++L.Count;
+  if (LoadLastEpoch[LoadName] != GlobalEpoch) {
+    LoadLastEpoch[LoadName] = GlobalEpoch;
+    ++L.EpochsWithDep;
+  }
+
+  Profile.DistanceHist.addSample(Distance);
+}
+
+DepProfile DepProfiler::takeProfile() {
+  Profile.Pairs = std::move(Pairs);
+  Profile.Loads = std::move(Loads);
+  return std::move(Profile);
+}

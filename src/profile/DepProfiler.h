@@ -1,0 +1,121 @@
+//===- profile/DepProfiler.h - Inter-epoch dependence profiling -*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "software-only instrumentation-based tool [that] records all
+/// accesses to the memory and matches all dependent load and store
+/// instructions" (Section 1.1 / 2.3). Implemented as an ExecutionObserver
+/// attached to a sequential interpretation of the program.
+///
+/// Every memory reference is named by (static instruction id, call-stack
+/// context rooted at the parallelized loop) — context-sensitive but
+/// flow-insensitive, as in the paper. For each read-after-write dependence
+/// that crosses an epoch boundary within one region instance, the profiler
+/// records the (load, store) pair, the number of distinct epochs in which
+/// the pair occurs (the paper's dependence *frequency* denominator is the
+/// total number of epochs), and the epoch distance (Figure 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_PROFILE_DEPPROFILER_H
+#define SPECSYNC_PROFILE_DEPPROFILER_H
+
+#include "interp/Interpreter.h"
+#include "support/Statistics.h"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace specsync {
+
+/// A memory reference name: static instruction + call-stack context.
+struct RefName {
+  uint32_t InstId = 0;
+  uint32_t Context = 0;
+
+  bool operator<(const RefName &RHS) const {
+    return std::tie(InstId, Context) < std::tie(RHS.InstId, RHS.Context);
+  }
+  bool operator==(const RefName &RHS) const {
+    return InstId == RHS.InstId && Context == RHS.Context;
+  }
+};
+
+/// Aggregated statistics for one (store -> load) dependence pair.
+struct DepPairStat {
+  RefName Load;
+  RefName Store;
+  uint64_t Count = 0;          ///< Dynamic occurrences.
+  uint64_t EpochsWithDep = 0;  ///< Distinct consumer epochs (<= TotalEpochs).
+  uint64_t Distance1Count = 0; ///< Occurrences with epoch distance == 1.
+};
+
+/// Aggregated statistics for one load.
+struct LoadStat {
+  uint64_t EpochsWithDep = 0; ///< Epochs in which this load consumed an
+                              ///< inter-epoch dependence.
+  uint64_t Count = 0;
+};
+
+/// The complete dependence profile of one program run.
+struct DepProfile {
+  uint64_t TotalEpochs = 0;
+  std::map<std::pair<RefName, RefName>, DepPairStat> Pairs; ///< (load,store).
+  std::map<RefName, LoadStat> Loads;
+  Histogram DistanceHist{17}; ///< Buckets 0..15, last = ">=16".
+
+  /// Paper definition: fraction of all epochs in which the pair's
+  /// dependence occurs, in percent.
+  double pairFrequencyPercent(const DepPairStat &P) const;
+
+  /// Fraction of all epochs in which the load consumes any inter-epoch
+  /// dependence, in percent.
+  double loadFrequencyPercent(const LoadStat &L) const;
+
+  /// Loads whose dependence frequency exceeds \p Percent (Figures 2/6 use
+  /// 5/15/25).
+  std::vector<RefName> loadsAboveThreshold(double Percent) const;
+
+  /// Pairs whose frequency exceeds \p Percent (compiler sync candidates).
+  std::vector<DepPairStat> pairsAboveThreshold(double Percent) const;
+};
+
+/// Observer implementation that builds a DepProfile.
+class DepProfiler : public ExecutionObserver {
+public:
+  void onRegionBegin(unsigned RegionInstance) override;
+  void onEpochBegin(uint64_t EpochIndex) override;
+  void onDynInst(const DynInst &DI, bool InRegion,
+                 uint64_t EpochIndex) override;
+  void onRegionEnd() override;
+
+  /// Finalizes and returns the collected profile.
+  DepProfile takeProfile();
+
+private:
+  struct WriterInfo {
+    uint64_t Epoch = 0;
+    RefName Store;
+  };
+
+  DepProfile Profile;
+  std::map<std::pair<RefName, RefName>, DepPairStat> Pairs;
+  std::map<RefName, LoadStat> Loads;
+  std::map<std::pair<RefName, RefName>, uint64_t> PairLastEpoch;
+  std::map<RefName, uint64_t> LoadLastEpoch;
+  std::unordered_map<uint64_t, WriterInfo> LastWriter; ///< By word address.
+  std::unordered_map<uint64_t, uint64_t> LocalWriteEpoch; ///< addr -> epoch.
+  uint64_t GlobalEpoch = 0; ///< Monotonic across region instances.
+  bool InRegionNow = false;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_PROFILE_DEPPROFILER_H

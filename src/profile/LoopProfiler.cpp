@@ -1,0 +1,60 @@
+//===- profile/LoopProfiler.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/LoopProfiler.h"
+
+#include "support/Statistics.h"
+
+using namespace specsync;
+
+double LoopProfile::coveragePercent() const {
+  return percentOf(RegionDynInsts, TotalDynInsts);
+}
+
+double LoopProfile::avgEpochsPerInstance() const {
+  if (RegionInstances == 0)
+    return 0.0;
+  return static_cast<double>(TotalEpochs) /
+         static_cast<double>(RegionInstances);
+}
+
+double LoopProfile::avgInstsPerEpoch() const {
+  if (TotalEpochs == 0)
+    return 0.0;
+  return static_cast<double>(RegionDynInsts) /
+         static_cast<double>(TotalEpochs);
+}
+
+void LoopProfiler::onRegionBegin(unsigned) { ++Profile.RegionInstances; }
+
+void LoopProfiler::onEpochBegin(uint64_t) { ++Profile.TotalEpochs; }
+
+void LoopProfiler::onDynInst(const DynInst &, bool InRegion, uint64_t) {
+  ++Profile.TotalDynInsts;
+  if (InRegion)
+    ++Profile.RegionDynInsts;
+}
+
+void ObserverList::onRegionBegin(unsigned RegionInstance) {
+  for (ExecutionObserver *O : Observers)
+    O->onRegionBegin(RegionInstance);
+}
+
+void ObserverList::onEpochBegin(uint64_t EpochIndex) {
+  for (ExecutionObserver *O : Observers)
+    O->onEpochBegin(EpochIndex);
+}
+
+void ObserverList::onDynInst(const DynInst &DI, bool InRegion,
+                             uint64_t EpochIndex) {
+  for (ExecutionObserver *O : Observers)
+    O->onDynInst(DI, InRegion, EpochIndex);
+}
+
+void ObserverList::onRegionEnd() {
+  for (ExecutionObserver *O : Observers)
+    O->onRegionEnd();
+}

@@ -1,0 +1,68 @@
+//===- profile/LoopProfiler.h - Region coverage profiling -------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gathers the per-loop statistics the paper's loop-selection heuristics
+/// consume (Section 3.1): fraction of overall execution spent in the loop
+/// (coverage), average epochs per loop instance, and average instructions
+/// per epoch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_PROFILE_LOOPPROFILER_H
+#define SPECSYNC_PROFILE_LOOPPROFILER_H
+
+#include "interp/Interpreter.h"
+
+#include <cstdint>
+
+namespace specsync {
+
+/// Aggregate statistics for the annotated parallel loop.
+struct LoopProfile {
+  uint64_t TotalDynInsts = 0;
+  uint64_t RegionDynInsts = 0;
+  uint64_t TotalEpochs = 0;
+  uint64_t RegionInstances = 0;
+
+  /// Fraction of program execution spent in the parallelized loop, percent.
+  double coveragePercent() const;
+  double avgEpochsPerInstance() const;
+  double avgInstsPerEpoch() const;
+};
+
+class LoopProfiler : public ExecutionObserver {
+public:
+  void onRegionBegin(unsigned RegionInstance) override;
+  void onEpochBegin(uint64_t EpochIndex) override;
+  void onDynInst(const DynInst &DI, bool InRegion,
+                 uint64_t EpochIndex) override;
+
+  const LoopProfile &profile() const { return Profile; }
+
+private:
+  LoopProfile Profile;
+};
+
+/// Fans one execution out to several observers (so dependence and loop
+/// profiling happen in a single interpreter run).
+class ObserverList : public ExecutionObserver {
+public:
+  void add(ExecutionObserver *Observer) { Observers.push_back(Observer); }
+
+  void onRegionBegin(unsigned RegionInstance) override;
+  void onEpochBegin(uint64_t EpochIndex) override;
+  void onDynInst(const DynInst &DI, bool InRegion,
+                 uint64_t EpochIndex) override;
+  void onRegionEnd() override;
+
+private:
+  std::vector<ExecutionObserver *> Observers;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_PROFILE_LOOPPROFILER_H

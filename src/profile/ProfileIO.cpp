@@ -1,0 +1,89 @@
+//===- profile/ProfileIO.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileIO.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+using namespace specsync;
+
+std::string specsync::serializeDepProfile(const DepProfile &Profile) {
+  std::string Out = "specsync-depprofile v1\n";
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "epochs %" PRIu64 "\n",
+                Profile.TotalEpochs);
+  Out += Buf;
+  for (const auto &[Key, P] : Profile.Pairs) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "pair %u %u %u %u %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+                  P.Load.InstId, P.Load.Context, P.Store.InstId,
+                  P.Store.Context, P.Count, P.EpochsWithDep,
+                  P.Distance1Count);
+    Out += Buf;
+  }
+  for (const auto &[Name, L] : Profile.Loads) {
+    std::snprintf(Buf, sizeof(Buf), "load %u %u %" PRIu64 " %" PRIu64 "\n",
+                  Name.InstId, Name.Context, L.Count, L.EpochsWithDep);
+    Out += Buf;
+  }
+  for (unsigned B = 0; B < Profile.DistanceHist.numBuckets(); ++B) {
+    uint64_t N = Profile.DistanceHist.bucketCount(B);
+    if (N == 0)
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "dist %u %" PRIu64 "\n", B, N);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::optional<DepProfile>
+specsync::parseDepProfile(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "specsync-depprofile v1")
+    return std::nullopt;
+
+  DepProfile Profile;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string Kind;
+    LS >> Kind;
+    if (Kind == "epochs") {
+      if (!(LS >> Profile.TotalEpochs))
+        return std::nullopt;
+    } else if (Kind == "pair") {
+      DepPairStat P;
+      if (!(LS >> P.Load.InstId >> P.Load.Context >> P.Store.InstId >>
+            P.Store.Context >> P.Count >> P.EpochsWithDep >>
+            P.Distance1Count))
+        return std::nullopt;
+      Profile.Pairs[{P.Load, P.Store}] = P;
+    } else if (Kind == "load") {
+      RefName Name;
+      LoadStat L;
+      if (!(LS >> Name.InstId >> Name.Context >> L.Count >>
+            L.EpochsWithDep))
+        return std::nullopt;
+      Profile.Loads[Name] = L;
+    } else if (Kind == "dist") {
+      unsigned Bucket;
+      uint64_t N;
+      if (!(LS >> Bucket >> N) ||
+          Bucket >= Profile.DistanceHist.numBuckets())
+        return std::nullopt;
+      // Re-add: the overflow bucket round-trips because addSample
+      // saturates at the same index.
+      Profile.DistanceHist.addSample(Bucket, N);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return Profile;
+}

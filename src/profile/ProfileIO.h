@@ -1,0 +1,41 @@
+//===- profile/ProfileIO.h - Profile serialization --------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of dependence profiles, so profiling runs and
+/// compilation runs can be separate processes (the usual
+/// profile-guided-optimization workflow; the paper's train-input profile
+/// is exactly such an artifact).
+///
+/// Format: line-oriented, one record per line.
+///   specsync-depprofile v1
+///   epochs <N>
+///   pair <loadId> <loadCtx> <storeId> <storeCtx> <count> <epochs> <d1>
+///   load <loadId> <loadCtx> <count> <epochs>
+///   dist <bucket> <count>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_PROFILE_PROFILEIO_H
+#define SPECSYNC_PROFILE_PROFILEIO_H
+
+#include "profile/DepProfiler.h"
+
+#include <optional>
+#include <string>
+
+namespace specsync {
+
+/// Renders \p Profile in the textual format above.
+std::string serializeDepProfile(const DepProfile &Profile);
+
+/// Parses the textual format; returns std::nullopt on any malformed
+/// input (wrong magic, bad record, trailing garbage).
+std::optional<DepProfile> parseDepProfile(const std::string &Text);
+
+} // namespace specsync
+
+#endif // SPECSYNC_PROFILE_PROFILEIO_H

@@ -1,0 +1,78 @@
+//===- sim/CacheModel.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheModel.h"
+
+#include <cassert>
+
+using namespace specsync;
+
+static unsigned log2Exact(unsigned V) {
+  unsigned L = 0;
+  while ((1u << L) < V)
+    ++L;
+  assert((1u << L) == V && "value must be a power of two");
+  return L;
+}
+
+TagArray::TagArray(unsigned SizeKB, unsigned Assoc, unsigned LineBytes)
+    : Assoc(Assoc), NumSets(SizeKB * 1024 / LineBytes / Assoc),
+      LineShift(log2Exact(LineBytes)), Tags(NumSets * Assoc, 0),
+      LRU(NumSets * Assoc, 0) {
+  assert(NumSets > 0 && "cache too small for its associativity");
+}
+
+bool TagArray::probe(uint64_t Addr) const {
+  uint64_t Line = Addr >> LineShift;
+  unsigned Set = static_cast<unsigned>(Line % NumSets);
+  uint64_t Tag = Line / NumSets + 1; // +1 keeps 0 as "invalid".
+  for (unsigned W = 0; W < Assoc; ++W)
+    if (Tags[Set * Assoc + W] == Tag)
+      return true;
+  return false;
+}
+
+bool TagArray::accessAndFill(uint64_t Addr) {
+  uint64_t Line = Addr >> LineShift;
+  unsigned Set = static_cast<unsigned>(Line % NumSets);
+  uint64_t Tag = Line / NumSets + 1;
+  ++Stamp;
+  unsigned VictimWay = 0;
+  uint64_t VictimStamp = ~0ull;
+  for (unsigned W = 0; W < Assoc; ++W) {
+    unsigned Idx = Set * Assoc + W;
+    if (Tags[Idx] == Tag) {
+      LRU[Idx] = Stamp;
+      return true;
+    }
+    if (LRU[Idx] < VictimStamp) {
+      VictimStamp = LRU[Idx];
+      VictimWay = W;
+    }
+  }
+  unsigned Idx = Set * Assoc + VictimWay;
+  Tags[Idx] = Tag;
+  LRU[Idx] = Stamp;
+  return false;
+}
+
+CacheModel::CacheModel(const MachineConfig &Config)
+    : Config(Config),
+      L2(Config.L2SizeKB, Config.L2Assoc, Config.CacheLineBytes) {
+  for (unsigned C = 0; C < Config.NumCores; ++C)
+    L1s.emplace_back(Config.L1SizeKB, Config.L1Assoc, Config.CacheLineBytes);
+}
+
+unsigned CacheModel::accessLatency(unsigned Core, uint64_t Addr) {
+  assert(Core < L1s.size() && "core index out of range");
+  if (L1s[Core].accessAndFill(Addr))
+    return Config.L1HitLatency;
+  ++L1Misses;
+  if (L2.accessAndFill(Addr))
+    return Config.L2HitLatency;
+  ++L2Misses;
+  return Config.MemLatency;
+}

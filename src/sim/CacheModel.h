@@ -1,0 +1,67 @@
+//===- sim/CacheModel.h - Two-level cache timing model ----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Set-associative LRU tag arrays for the private per-core L1 data caches
+/// and the shared unified L2, used purely for access-latency classification
+/// (hit / L2 / memory). Coherence-invalidation timing is not modeled; the
+/// TLS dependence-violation machinery lives in SpecState.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SIM_CACHEMODEL_H
+#define SPECSYNC_SIM_CACHEMODEL_H
+
+#include "sim/MachineConfig.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specsync {
+
+/// One set-associative LRU tag array.
+class TagArray {
+public:
+  TagArray(unsigned SizeKB, unsigned Assoc, unsigned LineBytes);
+
+  /// Probes for \p Addr; fills the line on miss. Returns true on hit.
+  bool accessAndFill(uint64_t Addr);
+
+  /// Probe without filling.
+  bool probe(uint64_t Addr) const;
+
+private:
+  unsigned Assoc;
+  unsigned NumSets;
+  unsigned LineShift;
+  std::vector<uint64_t> Tags; ///< NumSets * Assoc entries; 0 = invalid.
+  std::vector<uint64_t> LRU;  ///< Per-entry last-touch stamp.
+  uint64_t Stamp = 0;
+};
+
+/// The full hierarchy: per-core L1s in front of one shared L2.
+class CacheModel {
+public:
+  explicit CacheModel(const MachineConfig &Config);
+
+  /// Simulates an access by \p Core; returns its latency in cycles and
+  /// whether it stalls the core (anything beyond an L1 hit does).
+  unsigned accessLatency(unsigned Core, uint64_t Addr);
+
+  uint64_t l1Misses() const { return L1Misses; }
+  uint64_t l2Misses() const { return L2Misses; }
+
+private:
+  const MachineConfig &Config;
+  std::vector<TagArray> L1s;
+  TagArray L2;
+  uint64_t L1Misses = 0;
+  uint64_t L2Misses = 0;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_SIM_CACHEMODEL_H

@@ -1,0 +1,90 @@
+//===- sim/HwSync.cpp -------------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/HwSync.h"
+
+#include <cassert>
+
+using namespace specsync;
+
+void HwViolationTable::maybeReset(uint64_t Cycle) {
+  if (ResetInterval == 0 || Cycle - LastReset < ResetInterval)
+    return;
+  // Sticky entries (compiler-hinted frequent violators) survive the reset.
+  for (auto It = Lru.begin(); It != Lru.end();) {
+    uint32_t Id = *It;
+    auto Sticky = StickyFlags.find(Id);
+    if (Sticky != StickyFlags.end() && Sticky->second) {
+      ++It;
+      continue;
+    }
+    Index.erase(Id);
+    StickyFlags.erase(Id);
+    It = Lru.erase(It);
+  }
+  LastReset = Cycle;
+  ++Resets;
+}
+
+void HwViolationTable::erase(uint32_t LoadId) {
+  auto It = Index.find(LoadId);
+  if (It == Index.end())
+    return;
+  Lru.erase(It->second);
+  Index.erase(It);
+  StickyFlags.erase(LoadId);
+}
+
+void HwViolationTable::recordViolation(uint32_t LoadId, uint64_t Cycle,
+                                       bool Sticky) {
+  maybeReset(Cycle);
+  erase(LoadId);
+  if (Lru.size() >= Capacity) {
+    uint32_t Victim = Lru.back();
+    Lru.pop_back();
+    Index.erase(Victim);
+    StickyFlags.erase(Victim);
+  }
+  Lru.push_front(LoadId);
+  Index[LoadId] = Lru.begin();
+  StickyFlags[LoadId] = Sticky;
+}
+
+bool HwViolationTable::contains(uint32_t LoadId, uint64_t Cycle) {
+  maybeReset(Cycle);
+  return Index.count(LoadId) > 0;
+}
+
+HwSyncTables::HwSyncTables(unsigned NumCores, unsigned CapacityPerTable,
+                           uint64_t ResetInterval, bool Shared)
+    : Shared(Shared) {
+  unsigned NumTables = Shared ? 1 : NumCores;
+  for (unsigned I = 0; I < NumTables; ++I)
+    Tables.emplace_back(CapacityPerTable, ResetInterval);
+}
+
+void HwSyncTables::recordViolation(unsigned Core, uint32_t LoadId,
+                                   uint64_t Cycle, bool Sticky) {
+  Tables[Shared ? 0 : Core].recordViolation(LoadId, Cycle, Sticky);
+}
+
+bool HwSyncTables::contains(unsigned Core, uint32_t LoadId, uint64_t Cycle) {
+  return Tables[Shared ? 0 : Core].contains(LoadId, Cycle);
+}
+
+bool HwSyncTables::containsAny(uint32_t LoadId, uint64_t Cycle) {
+  for (HwViolationTable &T : Tables)
+    if (T.contains(LoadId, Cycle))
+      return true;
+  return false;
+}
+
+uint64_t HwSyncTables::numResets() const {
+  uint64_t N = 0;
+  for (const HwViolationTable &T : Tables)
+    N += T.numResets();
+  return N;
+}

@@ -1,0 +1,86 @@
+//===- sim/HwSync.h - Hardware-inserted synchronization ---------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison technique from the paper's prior work [25]: the hardware
+/// identifies loads that frequently cause speculation to fail (a bounded
+/// table of violating load PCs) and stalls those loads until the previous
+/// epoch completes. The table is reset periodically so that loads whose
+/// dependences become infrequent do not stay over-synchronized.
+///
+/// Both organizations from the literature are modeled: per-CPU tables
+/// (each core learns from the violations of the epochs it ran — the
+/// distributed design [25] argues for) and a single shared table (an
+/// idealization of coherent broadcast-updated replicas). Per-CPU is the
+/// default; the difference is measured in bench/ext_hybrid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SIM_HWSYNC_H
+#define SPECSYNC_SIM_HWSYNC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace specsync {
+
+class HwViolationTable {
+public:
+  HwViolationTable(unsigned Capacity, uint64_t ResetInterval)
+      : Capacity(Capacity), ResetInterval(ResetInterval) {}
+
+  /// Records that load \p LoadId caused a violation at \p Cycle. A
+  /// \p Sticky entry survives periodic resets (the paper's future-work
+  /// item iv: "reset a violating load less frequently if the compiler
+  /// hints that it will occur frequently").
+  void recordViolation(uint32_t LoadId, uint64_t Cycle, bool Sticky = false);
+
+  /// Returns true if \p LoadId is currently marked for synchronization.
+  /// Applies the lazy periodic reset.
+  bool contains(uint32_t LoadId, uint64_t Cycle);
+
+  uint64_t numResets() const { return Resets; }
+  size_t size() const { return Lru.size(); }
+
+private:
+  void maybeReset(uint64_t Cycle);
+  void erase(uint32_t LoadId);
+
+  unsigned Capacity;
+  uint64_t ResetInterval;
+  uint64_t LastReset = 0;
+  uint64_t Resets = 0;
+  std::list<uint32_t> Lru; ///< Front = most recent.
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> Index;
+  std::unordered_map<uint32_t, bool> StickyFlags;
+};
+
+/// The per-core organization: each core consults and trains its own
+/// table (the core that ran the violated epoch learns the load).
+class HwSyncTables {
+public:
+  HwSyncTables(unsigned NumCores, unsigned CapacityPerTable,
+               uint64_t ResetInterval, bool Shared);
+
+  void recordViolation(unsigned Core, uint32_t LoadId, uint64_t Cycle,
+                       bool Sticky = false);
+  bool contains(unsigned Core, uint32_t LoadId, uint64_t Cycle);
+  /// True if any core's table holds the load (used for attribution).
+  bool containsAny(uint32_t LoadId, uint64_t Cycle);
+
+  uint64_t numResets() const;
+
+private:
+  bool Shared;
+  std::vector<HwViolationTable> Tables; ///< One, or one per core.
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_SIM_HWSYNC_H

@@ -1,0 +1,54 @@
+//===- sim/MachineConfig.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MachineConfig.h"
+
+#include "support/TextTable.h"
+
+using namespace specsync;
+
+std::string specsync::describeMachine(const MachineConfig &C) {
+  TextTable T;
+  T.setHeader({"Parameter", "Value"});
+  T.addRow({"Number of cores", std::to_string(C.NumCores)});
+  T.addRow({"Issue width", std::to_string(C.IssueWidth)});
+  T.addRow({"Reorder buffer size", std::to_string(C.ReorderBuffer)});
+  T.addRow({"Integer multiply", std::to_string(C.IntMulLatency) + " cycles"});
+  T.addRow({"Integer divide", std::to_string(C.IntDivLatency) + " cycles"});
+  T.addRow({"All other integer", "1 cycle"});
+  T.addRow({"Cache line size", std::to_string(C.CacheLineBytes) + " B"});
+  T.addRow({"Data cache (per core)", std::to_string(C.L1SizeKB) + " KB, " +
+                                         std::to_string(C.L1Assoc) +
+                                         "-way, hit " +
+                                         std::to_string(C.L1HitLatency) +
+                                         " cycle"});
+  T.addRow({"Unified secondary cache", std::to_string(C.L2SizeKB) + " KB, " +
+                                           std::to_string(C.L2Assoc) +
+                                           "-way"});
+  T.addRow({"Miss latency to secondary cache",
+            std::to_string(C.L2HitLatency) + " cycles"});
+  T.addRow({"Miss latency to local memory",
+            std::to_string(C.MemLatency) + " cycles"});
+  T.addRow({"Epoch spawn overhead",
+            std::to_string(C.EpochSpawnOverhead) + " cycles"});
+  T.addRow({"Violation detection latency",
+            std::to_string(C.ViolationDetectLatency) + " cycles"});
+  T.addRow({"Violation restart penalty",
+            std::to_string(C.ViolationRestartPenalty) + " cycles"});
+  T.addRow({"Commit (homefree) latency",
+            std::to_string(C.CommitLatency) + " cycles"});
+  T.addRow({"Signal forwarding latency",
+            std::to_string(C.SignalLatency) + " cycles"});
+  T.addRow({"Signal address buffer",
+            std::to_string(C.SignalAddrBufferEntries) + " entries"});
+  T.addRow({"HW sync tables", std::to_string(C.HwSyncTableEntries) +
+                                  " entries, reset every " +
+                                  std::to_string(C.HwSyncResetInterval) +
+                                  " cycles"});
+  T.addRow({"Value predictor", std::to_string(C.PredictorTableEntries) +
+                                   " entries, last-value"});
+  return T.render();
+}

@@ -1,0 +1,91 @@
+//===- sim/SeqSimulator.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SeqSimulator.h"
+
+#include "sim/CacheModel.h"
+
+using namespace specsync;
+
+namespace {
+
+/// Single-core pipeline state using the shared cost model.
+class SeqCore {
+public:
+  SeqCore(const MachineConfig &Config)
+      : Config(Config), Caches(Config) {}
+
+  void execute(const DynInst &DI) {
+    switch (DI.Op) {
+    case Opcode::Load:
+    case Opcode::Store: {
+      graduate();
+      unsigned Lat = Caches.accessLatency(/*Core=*/0, DI.Addr);
+      if (Lat > Config.L1HitLatency)
+        stall(Lat);
+      break;
+    }
+    case Opcode::Div:
+    case Opcode::Mod:
+      graduate();
+      stall(Config.IntDivLatency);
+      break;
+    default:
+      graduate();
+      break;
+    }
+  }
+
+  uint64_t cycles() const { return Cycle + (SlotsUsed > 0 ? 1 : 0); }
+
+private:
+  void graduate() {
+    if (SlotsUsed == Config.IssueWidth) {
+      ++Cycle;
+      SlotsUsed = 0;
+    }
+    ++SlotsUsed;
+  }
+
+  void stall(uint64_t N) {
+    Cycle += N;
+    SlotsUsed = 0;
+  }
+
+  const MachineConfig &Config;
+  CacheModel Caches;
+  uint64_t Cycle = 0;
+  unsigned SlotsUsed = 0;
+};
+
+} // namespace
+
+SeqSimResult specsync::simulateSequential(const MachineConfig &Config,
+                                          const ProgramTrace &Trace) {
+  SeqSimResult Result;
+  SeqCore Core(Config);
+
+  uint64_t Before = 0;
+  for (const ProgramTrace::Segment &Seg : Trace.Segments) {
+    if (!Seg.IsRegion) {
+      for (uint64_t I = Seg.SeqBegin; I < Seg.SeqEnd; ++I)
+        Core.execute(Trace.SeqInsts[I]);
+      uint64_t Now = Core.cycles();
+      Result.SeqCycles += Now - Before;
+      Before = Now;
+      continue;
+    }
+    const RegionTrace &R = Trace.Regions[Seg.RegionIdx];
+    for (const EpochTrace &E : R.Epochs)
+      for (const DynInst &DI : E.Insts)
+        Core.execute(DI);
+    uint64_t Now = Core.cycles();
+    Result.RegionCycles.push_back(Now - Before);
+    Before = Now;
+  }
+  Result.TotalCycles = Core.cycles();
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- sim/SeqSimulator.h - Sequential baseline timing ----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Times the original sequential program on one core with exactly the same
+/// instruction cost model as the TLS simulator — the normalization baseline
+/// for every figure ("each bar is normalized to the execution time of the
+/// original sequential version").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SIM_SEQSIMULATOR_H
+#define SPECSYNC_SIM_SEQSIMULATOR_H
+
+#include "interp/Trace.h"
+#include "sim/MachineConfig.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specsync {
+
+struct SeqSimResult {
+  uint64_t TotalCycles = 0;
+  uint64_t SeqCycles = 0;                  ///< Outside the parallel region.
+  std::vector<uint64_t> RegionCycles;      ///< Per region instance.
+  uint64_t regionCyclesTotal() const {
+    uint64_t N = 0;
+    for (uint64_t C : RegionCycles)
+      N += C;
+    return N;
+  }
+};
+
+/// Simulates the whole program trace on a single core.
+SeqSimResult simulateSequential(const MachineConfig &Config,
+                                const ProgramTrace &Trace);
+
+} // namespace specsync
+
+#endif // SPECSYNC_SIM_SEQSIMULATOR_H

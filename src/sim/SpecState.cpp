@@ -1,0 +1,60 @@
+//===- sim/SpecState.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SpecState.h"
+
+#include <algorithm>
+
+using namespace specsync;
+
+void SpecState::markRead(uint64_t Addr, uint64_t Epoch, uint32_t LoadStaticId,
+                         uint32_t LoadContext, int32_t LoadSyncId,
+                         uint64_t Cycle) {
+  uint64_t Line = lineOf(Addr);
+  std::vector<ReadMark> &Marks = Readers[Line];
+  for (const ReadMark &M : Marks)
+    if (M.Epoch == Epoch)
+      return; // Already marked by this epoch; first reader wins.
+  Marks.push_back(ReadMark{Epoch, LoadStaticId, LoadContext, LoadSyncId,
+                           Cycle});
+  EpochLines[Epoch].push_back(Line);
+}
+
+std::optional<ReadMark>
+SpecState::findViolatedReader(uint64_t Addr, uint64_t WriterEpoch) const {
+  auto It = Readers.find(lineOf(Addr));
+  if (It == Readers.end())
+    return std::nullopt;
+  const ReadMark *Best = nullptr;
+  for (const ReadMark &M : It->second) {
+    if (M.Epoch <= WriterEpoch)
+      continue;
+    if (!Best || M.Epoch < Best->Epoch)
+      Best = &M;
+  }
+  if (!Best)
+    return std::nullopt;
+  return *Best;
+}
+
+void SpecState::clearEpoch(uint64_t Epoch) {
+  auto It = EpochLines.find(Epoch);
+  if (It == EpochLines.end())
+    return;
+  for (uint64_t Line : It->second) {
+    auto RIt = Readers.find(Line);
+    if (RIt == Readers.end())
+      continue;
+    std::vector<ReadMark> &Marks = RIt->second;
+    Marks.erase(std::remove_if(
+                    Marks.begin(), Marks.end(),
+                    [&](const ReadMark &M) { return M.Epoch == Epoch; }),
+                Marks.end());
+    if (Marks.empty())
+      Readers.erase(RIt);
+  }
+  EpochLines.erase(It);
+}

@@ -1,0 +1,68 @@
+//===- sim/SpecState.h - Speculative dependence tracking --------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the TLS hardware's dependence tracking: extended invalidation-
+/// based coherence that records, per cache line, which in-flight epochs
+/// have performed exposed speculative reads. When an earlier epoch stores
+/// to a line that a later active epoch has already read, the later epoch is
+/// violated. Tracking is at cache-line granularity — exactly what makes
+/// false sharing visible (the paper's M88KSIM discussion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SIM_SPECSTATE_H
+#define SPECSYNC_SIM_SPECSTATE_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace specsync {
+
+/// Identity of the load that established a speculative read mark (kept for
+/// violation attribution, Figure 11).
+struct ReadMark {
+  uint64_t Epoch = 0;
+  uint32_t LoadStaticId = 0;
+  uint32_t LoadContext = 0;
+  int32_t LoadSyncId = -1; ///< The load's compiler sync group, if any.
+  uint64_t Cycle = 0;
+};
+
+class SpecState {
+public:
+  explicit SpecState(unsigned LineShift) : LineShift(LineShift) {}
+
+  uint64_t lineOf(uint64_t Addr) const { return Addr >> LineShift; }
+
+  /// Records an exposed speculative read of \p Addr by \p Epoch.
+  void markRead(uint64_t Addr, uint64_t Epoch, uint32_t LoadStaticId,
+                uint32_t LoadContext, int32_t LoadSyncId, uint64_t Cycle);
+
+  /// Returns the oldest active reader of \p Addr's line that is logically
+  /// later than \p WriterEpoch (a violation candidate), if any.
+  std::optional<ReadMark> findViolatedReader(uint64_t Addr,
+                                             uint64_t WriterEpoch) const;
+
+  /// Removes all read marks of \p Epoch (on commit or squash).
+  void clearEpoch(uint64_t Epoch);
+
+  /// Number of lines currently carrying marks (for tests).
+  size_t numMarkedLines() const { return Readers.size(); }
+
+private:
+  unsigned LineShift;
+  /// Line -> active read marks (at most one per epoch).
+  std::unordered_map<uint64_t, std::vector<ReadMark>> Readers;
+  /// Epoch -> lines it marked (for O(marks) cleanup).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> EpochLines;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_SIM_SPECSTATE_H

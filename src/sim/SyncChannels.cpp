@@ -1,0 +1,80 @@
+//===- sim/SyncChannels.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SyncChannels.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specsync;
+
+void SyncChannels::sendScalar(int Channel, uint64_t ConsumerEpoch,
+                              uint64_t Arrival) {
+  // Keep the earliest arrival: a signal beats the commit-time auto-signal.
+  auto Key = std::make_pair(Channel, ConsumerEpoch);
+  auto It = Scalars.find(Key);
+  if (It == Scalars.end() || Arrival < It->second.ArrivalCycle)
+    Scalars[Key] = ScalarForward{Arrival};
+}
+
+std::optional<ScalarForward>
+SyncChannels::getScalar(int Channel, uint64_t ConsumerEpoch) const {
+  auto It = Scalars.find(std::make_pair(Channel, ConsumerEpoch));
+  if (It == Scalars.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void SyncChannels::sendMem(int Group, uint64_t ConsumerEpoch, uint64_t Addr,
+                           uint64_t Value, uint64_t Arrival) {
+  auto Key = std::make_pair(Group, ConsumerEpoch);
+  auto It = Mems.find(Key);
+  if (It == Mems.end() || Arrival < It->second.ArrivalCycle)
+    Mems[Key] = MemForward{Addr, Value, Arrival};
+}
+
+std::optional<MemForward> SyncChannels::getMem(int Group,
+                                               uint64_t ConsumerEpoch) const {
+  auto It = Mems.find(std::make_pair(Group, ConsumerEpoch));
+  if (It == Mems.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void SyncChannels::updateMemValue(int Group, uint64_t ConsumerEpoch,
+                                  uint64_t Addr, uint64_t Value) {
+  auto It = Mems.find(std::make_pair(Group, ConsumerEpoch));
+  assert(It != Mems.end() && "updating a forward that was never sent");
+  It->second.Addr = Addr;
+  It->second.Value = Value;
+}
+
+void SyncChannels::clearForConsumer(uint64_t ConsumerEpoch) {
+  for (auto It = Scalars.begin(); It != Scalars.end();)
+    It = It->first.second == ConsumerEpoch ? Scalars.erase(It)
+                                           : std::next(It);
+  for (auto It = Mems.begin(); It != Mems.end();)
+    It = It->first.second == ConsumerEpoch ? Mems.erase(It) : std::next(It);
+}
+
+void SyncChannels::collectUpTo(uint64_t Epoch) {
+  for (auto It = Scalars.begin(); It != Scalars.end();)
+    It = It->first.second <= Epoch ? Scalars.erase(It) : std::next(It);
+  for (auto It = Mems.begin(); It != Mems.end();)
+    It = It->first.second <= Epoch ? Mems.erase(It) : std::next(It);
+}
+
+bool SignalAddressBuffer::recordSignal(int Group, uint64_t Addr) {
+  Entries.emplace_back(Group, Addr);
+  return Entries.size() <= Capacity;
+}
+
+bool SignalAddressBuffer::conflictsWithStore(uint64_t Addr) const {
+  for (const auto &[Group, A] : Entries)
+    if (A == Addr && A != 0)
+      return true;
+  return false;
+}

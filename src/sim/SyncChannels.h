@@ -1,0 +1,95 @@
+//===- sim/SyncChannels.h - Wait/signal forwarding channels -----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Point-to-point forwarding between consecutive epochs, for both scalar
+/// channels ([32]) and memory-resident groups (this paper). Each (channel,
+/// consumer-epoch) mailbox carries an arrival cycle; memory mailboxes also
+/// carry the forwarded (address, value) pair, where address 0 is the NULL
+/// signal ("value never produced on this path").
+///
+/// Also implements the producer-side signal address buffer: the small
+/// per-CPU structure that detects a later store in the producer epoch
+/// overwriting an already-forwarded location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SIM_SYNCCHANNELS_H
+#define SPECSYNC_SIM_SYNCCHANNELS_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace specsync {
+
+/// A forwarded memory-resident value.
+struct MemForward {
+  uint64_t Addr = 0; ///< 0 = NULL signal.
+  uint64_t Value = 0;
+  uint64_t ArrivalCycle = 0;
+};
+
+/// A forwarded scalar (timing only; values live in the trace).
+struct ScalarForward {
+  uint64_t ArrivalCycle = 0;
+};
+
+class SyncChannels {
+public:
+  // --- Scalar channels --------------------------------------------------
+  void sendScalar(int Channel, uint64_t ConsumerEpoch, uint64_t Arrival);
+  std::optional<ScalarForward> getScalar(int Channel,
+                                         uint64_t ConsumerEpoch) const;
+
+  // --- Memory groups ----------------------------------------------------
+  void sendMem(int Group, uint64_t ConsumerEpoch, uint64_t Addr,
+               uint64_t Value, uint64_t Arrival);
+  std::optional<MemForward> getMem(int Group, uint64_t ConsumerEpoch) const;
+  /// Updates an already-sent forward in place (producer stored again before
+  /// the consumer started).
+  void updateMemValue(int Group, uint64_t ConsumerEpoch, uint64_t Addr,
+                      uint64_t Value);
+
+  /// Drops everything produced *for* \p ConsumerEpoch (called when that
+  /// epoch's producer is squashed and will re-send).
+  void clearForConsumer(uint64_t ConsumerEpoch);
+
+  /// Drops everything for consumers at or below \p Epoch (commit-time GC).
+  void collectUpTo(uint64_t Epoch);
+
+private:
+  std::map<std::pair<int, uint64_t>, ScalarForward> Scalars;
+  std::map<std::pair<int, uint64_t>, MemForward> Mems;
+};
+
+/// The producer-side signal address buffer (bounded; the paper observes 10
+/// entries always suffice). One instance per in-flight epoch.
+class SignalAddressBuffer {
+public:
+  explicit SignalAddressBuffer(unsigned Capacity) : Capacity(Capacity) {}
+
+  /// Records a forwarded address; returns false if the buffer overflowed
+  /// (the entry is still tracked so correctness is preserved; overflow is
+  /// reported as a statistic).
+  bool recordSignal(int Group, uint64_t Addr);
+
+  /// Returns true when \p Addr was already forwarded by this epoch — the
+  /// "signaled, then overwritten" hazard that must restart the consumer.
+  bool conflictsWithStore(uint64_t Addr) const;
+
+  size_t size() const { return Entries.size(); }
+  void clear() { Entries.clear(); }
+
+private:
+  unsigned Capacity;
+  std::vector<std::pair<int, uint64_t>> Entries; ///< (group, word addr).
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_SIM_SYNCCHANNELS_H

@@ -1,0 +1,610 @@
+//===- sim/TLSSimulator.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TLSSimulator.h"
+
+#include <cassert>
+#include <map>
+
+using namespace specsync;
+
+void TLSSimResult::accumulate(const TLSSimResult &RHS) {
+  Completed = Completed && RHS.Completed;
+  Cycles += RHS.Cycles;
+  Slots.Busy += RHS.Slots.Busy;
+  Slots.Fail += RHS.Slots.Fail;
+  Slots.SyncScalar += RHS.Slots.SyncScalar;
+  Slots.SyncMem += RHS.Slots.SyncMem;
+  Slots.Total += RHS.Slots.Total;
+  EpochsCommitted += RHS.EpochsCommitted;
+  Violations += RHS.Violations;
+  SabViolations += RHS.SabViolations;
+  PredictRestarts += RHS.PredictRestarts;
+  ViolCompilerOnly += RHS.ViolCompilerOnly;
+  ViolHwOnly += RHS.ViolHwOnly;
+  ViolBoth += RHS.ViolBoth;
+  ViolNeither += RHS.ViolNeither;
+  SabMaxOccupancy = std::max(SabMaxOccupancy, RHS.SabMaxOccupancy);
+  SabOverflows += RHS.SabOverflows;
+  HwTableResets = std::max(HwTableResets, RHS.HwTableResets);
+  PredictorCorrect += RHS.PredictorCorrect;
+  PredictorWrong += RHS.PredictorWrong;
+}
+
+namespace {
+
+unsigned log2OfPow2(unsigned V) {
+  unsigned L = 0;
+  while ((1u << L) < V)
+    ++L;
+  return L;
+}
+
+} // namespace
+
+struct TLSSimulator::Impl {
+  const MachineConfig &Config;
+  const TLSSimOptions &Opts;
+
+  // State persisting across region instances.
+  CacheModel Caches;
+  HwSyncTables HwTables;
+  ValuePredictor Predictor;
+  /// Per-group check.fwd outcome counters for the hybrid filter (iii).
+  std::map<int, std::pair<uint64_t, uint64_t>> FwdChecks; // (total, hits).
+
+  // Per-region state (reset in simulateRegion).
+  SpecState Spec;
+  SyncChannels Channels;
+
+  Impl(const MachineConfig &Config, const TLSSimOptions &Opts)
+      : Config(Config), Opts(Opts), Caches(Config),
+        HwTables(Config.NumCores, Config.HwSyncTableEntries,
+                 Config.HwSyncResetInterval, Opts.HwSyncSharedTable),
+        Predictor(Config.PredictorTableEntries),
+        Spec(log2OfPow2(Config.CacheLineBytes)) {}
+
+  // ----------------------------------------------------------------------
+  struct EpochRun {
+    uint64_t Epoch = 0;
+    const EpochTrace *Trace = nullptr;
+    size_t Idx = 0;
+    uint64_t Cycle = 0;
+    unsigned SlotsUsed = 0;
+    uint64_t AttemptStart = 0;
+    uint64_t BusyInsts = 0;
+    uint64_t SyncScalarSlots = 0;
+    uint64_t SyncMemSlots = 0;
+    std::unordered_set<uint64_t> LocalWrites; ///< Word addresses.
+    SignalAddressBuffer Sab;
+    std::set<int> SignaledScalars;
+    std::set<int> SignaledGroups;
+    std::unordered_map<int, bool> UseFwd;
+
+    enum class St { Running, ParkedChannel, ParkedCommit, Finished };
+    St State = St::Running;
+    bool ParkIsMem = false;
+    int ParkId = -1;                ///< Channel / group parked on.
+    uint64_t ParkCommitTarget = 0;  ///< Epoch whose commit we await.
+    uint64_t FinishCycle = 0;
+
+    EpochRun(unsigned SabEntries) : Sab(SabEntries) {}
+  };
+
+  std::map<uint64_t, EpochRun> Active;
+  std::vector<uint64_t> StartCycle; ///< First-dispatch time per epoch.
+  uint64_t NextToCommit = 0;
+  uint64_t NumEpochs = 0;
+  uint64_t TokenFreeAt = 0; ///< When the homefree token is next available.
+  const RegionTrace *Region = nullptr;
+  TLSSimResult Stats;
+
+  unsigned width() const { return Config.IssueWidth; }
+
+  // --- Per-instruction slot helpers --------------------------------------
+  void graduate(EpochRun &R) {
+    if (R.SlotsUsed == width()) {
+      ++R.Cycle;
+      R.SlotsUsed = 0;
+    }
+    ++R.SlotsUsed;
+    ++R.BusyInsts;
+  }
+
+  void stall(EpochRun &R, uint64_t Cycles) {
+    if (Cycles == 0)
+      return;
+    R.Cycle += Cycles;
+    R.SlotsUsed = 0;
+  }
+
+  void syncStall(EpochRun &R, uint64_t Cycles, bool IsMem) {
+    if (Cycles == 0)
+      return;
+    stall(R, Cycles);
+    if (IsMem)
+      R.SyncMemSlots += Cycles * width();
+    else
+      R.SyncScalarSlots += Cycles * width();
+  }
+
+  // --- Epoch lifecycle ----------------------------------------------------
+  void dispatch(uint64_t Epoch, uint64_t EarliestStart) {
+    assert(Epoch < NumEpochs && "dispatching past the region");
+    uint64_t SpawnReady =
+        Epoch == 0 ? 0 : StartCycle[Epoch - 1] + Config.EpochSpawnOverhead;
+    EpochRun R(Config.SignalAddrBufferEntries);
+    R.Epoch = Epoch;
+    R.Trace = &Region->Epochs[Epoch];
+    R.Cycle = std::max(EarliestStart, SpawnReady);
+    R.AttemptStart = R.Cycle;
+    StartCycle[Epoch] = R.Cycle;
+    Active.emplace(Epoch, std::move(R));
+  }
+
+  void resetAttempt(EpochRun &R, uint64_t RestartAt) {
+    R.Idx = 0;
+    R.Cycle = RestartAt;
+    R.SlotsUsed = 0;
+    R.AttemptStart = RestartAt;
+    R.BusyInsts = 0;
+    R.SyncScalarSlots = 0;
+    R.SyncMemSlots = 0;
+    R.LocalWrites.clear();
+    R.Sab.clear();
+    R.SignaledScalars.clear();
+    R.SignaledGroups.clear();
+    R.UseFwd.clear();
+    R.State = EpochRun::St::Running;
+  }
+
+  /// Squashes epochs \p From and all later in-flight epochs at time \p Now.
+  void squashFrom(uint64_t From, uint64_t Now) {
+    for (auto &[E, R] : Active) {
+      if (E < From)
+        continue;
+      uint64_t Wasted = Now > R.AttemptStart ? Now - R.AttemptStart : 0;
+      Stats.Slots.Fail += Wasted * width();
+      Spec.clearEpoch(E);
+      Channels.clearForConsumer(E + 1);
+      clearMarkAttribution(E);
+      resetAttempt(R, Now + Config.ViolationRestartPenalty);
+    }
+  }
+
+  /// Handles a store by \p R hitting a line read by a later epoch.
+  void checkStoreViolation(EpochRun &R, const DynInst &DI) {
+    std::optional<ReadMark> Reader =
+        Spec.findViolatedReader(DI.Addr, R.Epoch);
+    if (!Reader)
+      return;
+    ++Stats.Violations;
+
+    bool CompilerWould =
+        MarkCompilerSynced[{Reader->Epoch, Spec.lineOf(DI.Addr)}];
+    bool HwWould = HwTables.containsAny(Reader->LoadStaticId, R.Cycle);
+    if (CompilerWould && HwWould)
+      ++Stats.ViolBoth;
+    else if (CompilerWould)
+      ++Stats.ViolCompilerOnly;
+    else if (HwWould)
+      ++Stats.ViolHwOnly;
+    else
+      ++Stats.ViolNeither;
+
+    // Negative feedback for the hybrid filter (iii): if a filtered
+    // group's load just got violated, its synchronization was not useless
+    // after all — forget the low match-rate history so waits resume.
+    if (Opts.HybridFilterUselessSync && Reader->LoadSyncId >= 0)
+      FwdChecks.erase(Reader->LoadSyncId);
+
+    // The core that ran the violated epoch learns the load; a
+    // compiler-hinted frequent violator survives periodic resets (iv).
+    unsigned ReaderCore =
+        static_cast<unsigned>(Reader->Epoch % Config.NumCores);
+    bool Sticky = Opts.HybridStickyHints && CompilerWould;
+    HwTables.recordViolation(ReaderCore, Reader->LoadStaticId, R.Cycle,
+                             Sticky);
+    // The squash takes effect when the invalidation reaches the reader.
+    squashFrom(Reader->Epoch, R.Cycle + Config.ViolationDetectLatency);
+  }
+
+  // Whether the mark (epoch, line) was made by a compiler-synchronized
+  // load; consulted for Figure 11 attribution.
+  std::map<std::pair<uint64_t, uint64_t>, bool> MarkCompilerSynced;
+
+  void clearMarkAttribution(uint64_t Epoch) {
+    auto Begin = MarkCompilerSynced.lower_bound({Epoch, 0});
+    auto End = MarkCompilerSynced.lower_bound({Epoch + 1, 0});
+    MarkCompilerSynced.erase(Begin, End);
+  }
+
+  bool isCompilerSyncedLoad(const DynInst &DI) const {
+    if (DI.SyncId >= 0)
+      return true;
+    if (Opts.CompilerSyncSet &&
+        Opts.CompilerSyncSet->count({DI.StaticId, DI.Context}))
+      return true;
+    return false;
+  }
+
+  bool isOracleImmune(const DynInst &DI) const {
+    if (Opts.OraclePerfectMemory)
+      return true;
+    if (Opts.ImmuneLoads &&
+        Opts.ImmuneLoads->count({DI.StaticId, DI.Context}))
+      return true;
+    return false;
+  }
+
+  bool isCommitted(uint64_t Epoch) const { return Epoch < NextToCommit; }
+
+  // --- Parking / waking ---------------------------------------------------
+  void parkOnChannel(EpochRun &R, int Id, bool IsMem) {
+    R.State = EpochRun::St::ParkedChannel;
+    R.ParkId = Id;
+    R.ParkIsMem = IsMem;
+  }
+
+  void parkOnCommit(EpochRun &R, uint64_t TargetEpoch, bool IsMem) {
+    if (isCommitted(TargetEpoch))
+      return;
+    R.State = EpochRun::St::ParkedCommit;
+    R.ParkCommitTarget = TargetEpoch;
+    R.ParkIsMem = IsMem;
+  }
+
+  void wake(EpochRun &R, uint64_t Arrival, bool IsMem) {
+    uint64_t NewCycle = std::max(R.Cycle, Arrival);
+    uint64_t Stalled = NewCycle - R.Cycle;
+    if (IsMem)
+      R.SyncMemSlots += Stalled * width();
+    else
+      R.SyncScalarSlots += Stalled * width();
+    R.Cycle = NewCycle;
+    R.SlotsUsed = 0;
+    R.State = EpochRun::St::Running;
+  }
+
+  void tryWakeChannelWaiters(uint64_t Epoch, uint64_t /*Now*/) {
+    auto It = Active.find(Epoch);
+    if (It == Active.end())
+      return;
+    EpochRun &R = It->second;
+    if (R.State != EpochRun::St::ParkedChannel)
+      return;
+    if (R.ParkIsMem) {
+      if (auto F = Channels.getMem(R.ParkId, Epoch))
+        wake(R, F->ArrivalCycle, /*IsMem=*/true);
+    } else {
+      if (auto F = Channels.getScalar(R.ParkId, Epoch))
+        wake(R, F->ArrivalCycle, /*IsMem=*/false);
+    }
+  }
+
+  // --- Commit -------------------------------------------------------------
+  void commitHead() {
+    EpochRun &R = Active.at(NextToCommit);
+    assert(R.State == EpochRun::St::Finished && "committing unfinished epoch");
+    uint64_t CommitStart = std::max(R.FinishCycle, TokenFreeAt);
+    uint64_t CommitEnd = CommitStart + Config.CommitLatency;
+    TokenFreeAt = CommitEnd;
+
+    // Fold attempt statistics.
+    Stats.Slots.Busy += R.BusyInsts;
+    Stats.Slots.SyncScalar += R.SyncScalarSlots;
+    Stats.Slots.SyncMem += R.SyncMemSlots;
+    Stats.SabMaxOccupancy =
+        std::max<uint64_t>(Stats.SabMaxOccupancy, R.Sab.size());
+    ++Stats.EpochsCommitted;
+
+    uint64_t E = R.Epoch;
+
+    // Auto-signals: any channel/group this epoch never signaled forwards at
+    // commit time (the paper's epoch-end NULL signal for memory groups; for
+    // scalars the committed value is architecturally visible).
+    for (unsigned Ch = 0; Ch < Opts.NumScalarChannels; ++Ch)
+      if (!R.SignaledScalars.count(static_cast<int>(Ch)))
+        Channels.sendScalar(static_cast<int>(Ch), E + 1, CommitEnd);
+    for (unsigned G = 0; G < Opts.NumMemGroups; ++G)
+      if (!R.SignaledGroups.count(static_cast<int>(G)))
+        Channels.sendMem(static_cast<int>(G), E + 1, /*Addr=*/0, /*Value=*/0,
+                         CommitEnd);
+
+    Spec.clearEpoch(E);
+    clearMarkAttribution(E);
+    Active.erase(NextToCommit);
+    ++NextToCommit;
+    Channels.collectUpTo(E);
+
+    // Wake successors blocked on this commit or on the auto-signals.
+    for (auto &[OE, OR] : Active) {
+      if (OR.State == EpochRun::St::ParkedCommit && OR.ParkCommitTarget <= E)
+        wake(OR, CommitEnd, OR.ParkIsMem);
+    }
+    tryWakeChannelWaiters(E + 1, CommitEnd);
+
+    // The freed core picks up the next epoch.
+    uint64_t Next = E + Config.NumCores;
+    if (Next < NumEpochs)
+      dispatch(Next, CommitEnd);
+  }
+
+  // --- Instruction execution ----------------------------------------------
+  /// Executes the next instruction of \p R. May park, squash or finish.
+  void step(EpochRun &R) {
+    assert(R.State == EpochRun::St::Running && "stepping a non-running epoch");
+    if (R.Idx >= R.Trace->Insts.size()) {
+      R.FinishCycle = R.Cycle + (R.SlotsUsed > 0 ? 1 : 0);
+      R.State = EpochRun::St::Finished;
+      return;
+    }
+    const DynInst &DI = R.Trace->Insts[R.Idx];
+    unsigned Core = static_cast<unsigned>(R.Epoch % Config.NumCores);
+
+    switch (DI.Op) {
+    case Opcode::WaitScalar: {
+      if (R.Epoch == 0) {
+        graduate(R);
+        break;
+      }
+      auto F = Channels.getScalar(DI.SyncId, R.Epoch);
+      if (!F) {
+        parkOnChannel(R, DI.SyncId, /*IsMem=*/false);
+        return; // Re-executed after wake.
+      }
+      graduate(R);
+      if (F->ArrivalCycle > R.Cycle)
+        syncStall(R, F->ArrivalCycle - R.Cycle, /*IsMem=*/false);
+      break;
+    }
+
+    case Opcode::WaitMem: {
+      if (Opts.PerfectSyncedValues || Opts.OraclePerfectMemory) {
+        graduate(R); // E: the consumer predicts the value perfectly.
+        break;
+      }
+      if (Opts.StallSyncedUntilDone) {
+        // L: conservative scheme — wait until the previous epoch commits.
+        if (R.Epoch > 0 && !isCommitted(R.Epoch - 1)) {
+          parkOnCommit(R, R.Epoch - 1, /*IsMem=*/true);
+          if (R.State == EpochRun::St::ParkedCommit)
+            return;
+        }
+        graduate(R);
+        break;
+      }
+      if (R.Epoch == 0) {
+        graduate(R);
+        break;
+      }
+      if (Opts.HybridFilterUselessSync) {
+        // (iii) The hardware filters compiler synchronization that rarely
+        // forwards a useful value: once enough check.fwd outcomes show a
+        // low match rate, waits on this group proceed speculatively.
+        auto It = FwdChecks.find(DI.SyncId);
+        if (It != FwdChecks.end() && It->second.first >= 32 &&
+            It->second.second * 4 < It->second.first) {
+          ++Stats.FilteredWaits;
+          graduate(R);
+          break;
+        }
+      }
+      auto F = Channels.getMem(DI.SyncId, R.Epoch);
+      if (!F) {
+        parkOnChannel(R, DI.SyncId, /*IsMem=*/true);
+        return;
+      }
+      graduate(R);
+      if (F->ArrivalCycle > R.Cycle)
+        syncStall(R, F->ArrivalCycle - R.Cycle, /*IsMem=*/true);
+      break;
+    }
+
+    case Opcode::CheckFwd: {
+      graduate(R);
+      bool Use = false;
+      if (!Opts.StallSyncedUntilDone && !Opts.PerfectSyncedValues &&
+          R.Epoch > 0) {
+        if (auto F = Channels.getMem(DI.SyncId, R.Epoch))
+          Use = F->Addr != 0 && F->Addr == DI.Addr;
+      }
+      R.UseFwd[DI.SyncId] = Use;
+      auto &Counts = FwdChecks[DI.SyncId];
+      ++Counts.first;
+      if (Use)
+        ++Counts.second;
+      break;
+    }
+
+    case Opcode::SelectFwd:
+      graduate(R);
+      break;
+
+    case Opcode::SignalScalar:
+      graduate(R);
+      if (!R.SignaledScalars.count(DI.SyncId)) {
+        R.SignaledScalars.insert(DI.SyncId);
+        Channels.sendScalar(DI.SyncId, R.Epoch + 1,
+                            R.Cycle + Config.SignalLatency);
+        tryWakeChannelWaiters(R.Epoch + 1, R.Cycle);
+      }
+      break;
+
+    case Opcode::SignalMem: {
+      graduate(R);
+      if (R.SignaledGroups.count(DI.SyncId))
+        break; // At most one signal per group per epoch reaches the wire.
+      R.SignaledGroups.insert(DI.SyncId);
+      Channels.sendMem(DI.SyncId, R.Epoch + 1, DI.Addr, DI.Value,
+                       R.Cycle + Config.SignalLatency);
+      if (DI.Addr != 0 && !R.Sab.recordSignal(DI.SyncId, DI.Addr))
+        ++Stats.SabOverflows;
+      tryWakeChannelWaiters(R.Epoch + 1, R.Cycle);
+      break;
+    }
+
+    case Opcode::Load: {
+      // Hardware-inserted synchronization: a load known to violate stalls
+      // until the previous epoch completes.
+      if (Opts.HwSyncStall && R.Epoch > 0 &&
+          HwTables.contains(Core, DI.StaticId, R.Cycle) &&
+          !isCommitted(R.Epoch - 1)) {
+        parkOnCommit(R, R.Epoch - 1, /*IsMem=*/true);
+        return;
+      }
+
+      bool Immune = isOracleImmune(DI);
+
+      // Compiler-forwarded value: use it when the checked address matched
+      // and the location was not overwritten locally since.
+      bool SyncedLoad = DI.SyncId >= 0;
+      if (SyncedLoad && (Opts.PerfectSyncedValues))
+        Immune = true;
+      if (SyncedLoad && !Immune) {
+        auto It = R.UseFwd.find(DI.SyncId);
+        if (It != R.UseFwd.end() && It->second &&
+            !R.LocalWrites.count(DI.Addr)) {
+          Immune = true; // Reads the forwarded value; cannot be violated.
+          It->second = false;
+        }
+      }
+
+      // Hardware value prediction for known-violating loads.
+      if (Opts.HwValuePredict && !Immune &&
+          HwTables.contains(Core, DI.StaticId, R.Cycle)) {
+        ValuePredictor::Outcome O =
+            Predictor.predictAndTrain(DI.StaticId, DI.Value);
+        if (O == ValuePredictor::Outcome::CorrectConfident) {
+          ++Stats.PredictorCorrect;
+          Immune = true;
+        } else if (O == ValuePredictor::Outcome::WrongConfident) {
+          ++Stats.PredictorWrong;
+          ++Stats.PredictRestarts;
+          squashFrom(R.Epoch, R.Cycle);
+          return; // R was reset; the epoch re-executes.
+        }
+      }
+
+      graduate(R);
+      unsigned Lat = Caches.accessLatency(Core, DI.Addr);
+      if (Lat > Config.L1HitLatency)
+        stall(R, Lat);
+
+      bool Exposed = !R.LocalWrites.count(DI.Addr);
+      if (Exposed && !Immune) {
+        Spec.markRead(DI.Addr, R.Epoch, DI.StaticId, DI.Context,
+                      DI.SyncId, R.Cycle);
+        // First reader wins, matching SpecState's mark (attribution keys on
+        // the load that established the mark).
+        MarkCompilerSynced.emplace(
+            std::make_pair(R.Epoch, Spec.lineOf(DI.Addr)),
+            isCompilerSyncedLoad(DI));
+      }
+      break;
+    }
+
+    case Opcode::Store: {
+      graduate(R);
+      unsigned Lat = Caches.accessLatency(Core, DI.Addr);
+      if (Lat > Config.L1HitLatency)
+        stall(R, Lat);
+
+      // Signaled-then-overwritten hazard: restart the consumer (or fix up
+      // the forward in place if the consumer has not started).
+      if (!Opts.OraclePerfectMemory && R.Sab.conflictsWithStore(DI.Addr)) {
+        auto ConsumerIt = Active.find(R.Epoch + 1);
+        if (ConsumerIt != Active.end()) {
+          ++Stats.SabViolations;
+          squashFrom(R.Epoch + 1, R.Cycle + Config.ViolationDetectLatency);
+          // The squashed consumer will re-wait; refresh the forward.
+        }
+        for (int G : R.SignaledGroups)
+          if (auto F = Channels.getMem(G, R.Epoch + 1))
+            if (F->Addr == DI.Addr)
+              Channels.updateMemValue(G, R.Epoch + 1, DI.Addr, DI.Value);
+      }
+
+      R.LocalWrites.insert(DI.Addr);
+      if (!Opts.OraclePerfectMemory)
+        checkStoreViolation(R, DI);
+      break;
+    }
+
+    case Opcode::Div:
+    case Opcode::Mod:
+      graduate(R);
+      stall(R, Config.IntDivLatency);
+      break;
+
+    default:
+      graduate(R);
+      break;
+    }
+
+    ++R.Idx;
+  }
+
+  // --- Region driver --------------------------------------------------------
+  TLSSimResult run(const RegionTrace &RT) {
+    Stats = TLSSimResult();
+    Region = &RT;
+    NumEpochs = RT.Epochs.size();
+    Active.clear();
+    StartCycle.assign(NumEpochs, 0);
+    NextToCommit = 0;
+    TokenFreeAt = 0;
+    Spec = SpecState(log2OfPow2(Config.CacheLineBytes));
+    Channels = SyncChannels();
+    MarkCompilerSynced.clear();
+
+    if (NumEpochs == 0)
+      return Stats;
+
+    for (uint64_t E = 0; E < std::min<uint64_t>(NumEpochs, Config.NumCores);
+         ++E)
+      dispatch(E, 0);
+
+    while (NextToCommit < NumEpochs) {
+      // Commit the head as soon as it is done.
+      auto HeadIt = Active.find(NextToCommit);
+      assert(HeadIt != Active.end() && "head epoch is not in flight");
+      if (HeadIt->second.State == EpochRun::St::Finished) {
+        commitHead();
+        continue;
+      }
+
+      // Step the runnable epoch with the smallest local clock.
+      EpochRun *Min = nullptr;
+      for (auto &[E, R] : Active)
+        if (R.State == EpochRun::St::Running &&
+            (!Min || R.Cycle < Min->Cycle))
+          Min = &R;
+      assert(Min && "all in-flight epochs blocked: scheduling deadlock");
+      if (!Min || Min->Cycle > Opts.MaxCycles) {
+        Stats.Completed = false;
+        break;
+      }
+      step(*Min);
+    }
+
+    Stats.Cycles = TokenFreeAt;
+    Stats.Slots.Total =
+        Stats.Cycles * Config.IssueWidth * Config.NumCores;
+    Stats.HwTableResets = HwTables.numResets();
+    return Stats;
+  }
+};
+
+TLSSimulator::TLSSimulator(const MachineConfig &Config,
+                           const TLSSimOptions &Opts)
+    : PImpl(std::make_unique<Impl>(Config, Opts)) {}
+
+TLSSimulator::~TLSSimulator() = default;
+
+TLSSimResult TLSSimulator::simulateRegion(const RegionTrace &Region) {
+  return PImpl->run(Region);
+}

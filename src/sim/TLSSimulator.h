@@ -1,0 +1,141 @@
+//===- sim/TLSSimulator.h - TLS chip-multiprocessor timing model -*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace-driven timing simulator for the paper's TLS hardware: epochs of
+/// the parallel region run round-robin on the cores of a chip
+/// multiprocessor, commit in order, and are squashed and restarted when an
+/// earlier epoch's store hits a cache line a later epoch has already read
+/// (line-granularity tracking through extended cache coherence).
+///
+/// The simulator honors the compiler-inserted synchronization in the trace
+/// (scalar and memory wait/signal, forwarded-value checks, the signal
+/// address buffer) and optionally models the hardware comparison
+/// techniques: hardware-inserted synchronization of violating loads and
+/// last-value prediction. Execution-mode flags select the paper's U / O /
+/// T / C / E / L / P / H / B configurations.
+///
+/// Slot accounting follows Figure 2: every cycle of every core contributes
+/// IssueWidth graduation slots, split into busy (graduated instructions),
+/// fail (all slots of squashed epoch attempts), sync (stalls at wait
+/// instructions and hardware-sync stalls), and other (everything else:
+/// cache misses, spawn/commit overheads, idle cores, load imbalance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SIM_TLSSIMULATOR_H
+#define SPECSYNC_SIM_TLSSIMULATOR_H
+
+#include "interp/Trace.h"
+#include "sim/CacheModel.h"
+#include "sim/HwSync.h"
+#include "sim/MachineConfig.h"
+#include "sim/SpecState.h"
+#include "sim/SyncChannels.h"
+#include "sim/ValuePredictor.h"
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace specsync {
+
+/// Loads named by (static id, context) — the keying used for oracle-immune
+/// sets (Figures 2/6) and compiler-sync attribution (Figure 11).
+using LoadNameSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+struct TLSSimOptions {
+  // Oracle / limit-study controls.
+  bool OraclePerfectMemory = false; ///< O: no memory violations or stalls.
+  const LoadNameSet *ImmuneLoads = nullptr; ///< Fig 6 threshold subsets.
+
+  // Compiler-sync idealizations (Figure 9).
+  bool PerfectSyncedValues = false; ///< E: waits free, synced loads immune.
+  bool StallSyncedUntilDone = false; ///< L: synced loads wait for commit.
+
+  // Hardware comparison techniques (Figure 10).
+  bool HwSyncStall = false;   ///< H (or B when the trace has compiler sync).
+  bool HwValuePredict = false; ///< P.
+  /// Use one broadcast-coherent table instead of per-CPU tables.
+  bool HwSyncSharedTable = false;
+
+  // The paper's proposed hybrid enhancements (Section 4.2, items iii/iv).
+  /// (iii) Hardware filters compiler-inserted synchronization whose
+  /// forwarded values rarely match: groups with a low check.fwd hit rate
+  /// stop stalling at wait.mem.
+  bool HybridFilterUselessSync = false;
+  /// (iv) Compiler-hinted violating loads survive the periodic table
+  /// reset (the compiler knows the dependence is frequent).
+  bool HybridStickyHints = false;
+
+  // Attribution (Figure 11): loads the compiler *would* synchronize.
+  const LoadNameSet *CompilerSyncSet = nullptr;
+
+  // Channel/group universe for commit-time auto-signals.
+  unsigned NumScalarChannels = 0;
+  unsigned NumMemGroups = 0;
+
+  uint64_t MaxCycles = 2'000'000'000ull; ///< Runaway guard.
+};
+
+struct SlotBreakdown {
+  uint64_t Busy = 0;
+  uint64_t Fail = 0;
+  uint64_t SyncScalar = 0;
+  uint64_t SyncMem = 0;
+  uint64_t Total = 0;
+
+  uint64_t sync() const { return SyncScalar + SyncMem; }
+  uint64_t other() const { return Total - Busy - Fail - sync(); }
+};
+
+struct TLSSimResult {
+  bool Completed = true;
+  uint64_t Cycles = 0;
+  SlotBreakdown Slots;
+
+  uint64_t EpochsCommitted = 0;
+  uint64_t Violations = 0;     ///< Read-after-write squashes.
+  uint64_t SabViolations = 0;  ///< Signaled-then-overwritten squashes.
+  uint64_t PredictRestarts = 0;
+
+  // Figure 11 attribution of violating loads.
+  uint64_t ViolCompilerOnly = 0;
+  uint64_t ViolHwOnly = 0;
+  uint64_t ViolBoth = 0;
+  uint64_t ViolNeither = 0;
+
+  uint64_t SabMaxOccupancy = 0;
+  uint64_t SabOverflows = 0;
+  uint64_t HwTableResets = 0;
+  uint64_t PredictorCorrect = 0;
+  uint64_t PredictorWrong = 0;
+  uint64_t FilteredWaits = 0; ///< Waits skipped by hybrid filter (iii).
+
+  void accumulate(const TLSSimResult &RHS);
+};
+
+/// The simulator. Cache, hardware-sync and predictor state persist across
+/// simulateRegion calls (region instances of one program run); speculative
+/// state and channels are per-region.
+class TLSSimulator {
+public:
+  TLSSimulator(const MachineConfig &Config, const TLSSimOptions &Opts);
+  ~TLSSimulator();
+
+  /// Simulates one parallel region instance; returns its timing.
+  TLSSimResult simulateRegion(const RegionTrace &Region);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> PImpl;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_SIM_TLSSIMULATOR_H

@@ -1,0 +1,48 @@
+//===- sim/ValuePredictor.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ValuePredictor.h"
+
+#include <cassert>
+
+using namespace specsync;
+
+ValuePredictor::ValuePredictor(unsigned NumEntries) : Table(NumEntries) {
+  assert(NumEntries > 0 && "predictor needs at least one entry");
+}
+
+ValuePredictor::Outcome ValuePredictor::predictAndTrain(uint32_t LoadId,
+                                                        uint64_t ActualValue) {
+  ++Lookups;
+  Entry &E = Table[LoadId % Table.size()];
+
+  Outcome Result = Outcome::NoPrediction;
+  if (E.Tag == LoadId && E.Confidence >= 2) {
+    if (E.LastValue == ActualValue) {
+      Result = Outcome::CorrectConfident;
+      ++NumCorrect;
+    } else {
+      Result = Outcome::WrongConfident;
+      ++NumWrong;
+    }
+  }
+
+  // Train.
+  if (E.Tag != LoadId) {
+    E.Tag = LoadId;
+    E.LastValue = ActualValue;
+    E.Confidence = 0;
+    return Result;
+  }
+  if (E.LastValue == ActualValue) {
+    if (E.Confidence < 3)
+      ++E.Confidence;
+  } else {
+    E.LastValue = ActualValue;
+    E.Confidence = 0;
+  }
+  return Result;
+}

@@ -1,0 +1,57 @@
+//===- sim/ValuePredictor.h - Last-value prediction -------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardware value-prediction comparison point (paper Section 4.2, bar
+/// P): a direct-mapped, tagged, last-value predictor with 2-bit confidence.
+/// A confident, correct prediction lets a violating load proceed without
+/// synchronization; a confident, wrong prediction costs a restart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SIM_VALUEPREDICTOR_H
+#define SPECSYNC_SIM_VALUEPREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace specsync {
+
+class ValuePredictor {
+public:
+  explicit ValuePredictor(unsigned NumEntries);
+
+  /// Outcome of consulting the predictor for one dynamic load.
+  enum class Outcome {
+    NoPrediction,   ///< Cold/conflicting entry or low confidence.
+    CorrectConfident,
+    WrongConfident,
+  };
+
+  /// Consults and then trains the entry for \p LoadId with the load's
+  /// actual value.
+  Outcome predictAndTrain(uint32_t LoadId, uint64_t ActualValue);
+
+  uint64_t lookups() const { return Lookups; }
+  uint64_t confidentCorrect() const { return NumCorrect; }
+  uint64_t confidentWrong() const { return NumWrong; }
+
+private:
+  struct Entry {
+    uint32_t Tag = 0; ///< 0 = invalid (load ids start at 1).
+    uint64_t LastValue = 0;
+    uint8_t Confidence = 0; ///< Saturating 0..3; predict when >= 2.
+  };
+
+  std::vector<Entry> Table;
+  uint64_t Lookups = 0;
+  uint64_t NumCorrect = 0;
+  uint64_t NumWrong = 0;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_SIM_VALUEPREDICTOR_H

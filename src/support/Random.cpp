@@ -1,0 +1,38 @@
+//===- support/Random.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+using namespace specsync;
+
+uint64_t Random::next() {
+  // SplitMix64: passes BigCrush, two multiplies and three xorshifts.
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t Random::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  // Modulo bias is irrelevant for simulation workloads; keep it simple.
+  return next() % Bound;
+}
+
+int64_t Random::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + static_cast<int64_t>(nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+}
+
+bool Random::nextPercent(unsigned Percent) {
+  assert(Percent <= 100 && "percent out of range");
+  return nextBelow(100) < Percent;
+}
+
+double Random::nextDouble() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}

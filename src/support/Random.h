@@ -1,0 +1,54 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+//
+// Part of the SpecSync project: a reproduction of "Compiler Optimization of
+// Memory-Resident Value Communication Between Speculative Threads"
+// (Zhai, Colohan, Steffan, Mowry — CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64 core) used by workload kernels and
+/// property tests. std::mt19937_64 is avoided so that every platform and
+/// standard library produces identical workload behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SUPPORT_RANDOM_H
+#define SPECSYNC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace specsync {
+
+/// Deterministic 64-bit pseudo-random number generator.
+///
+/// The sequence depends only on the seed, never on the host platform, so
+/// simulated workloads are bit-reproducible across machines.
+class Random {
+public:
+  explicit Random(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a value in the closed interval [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns true with probability \p Percent / 100.
+  bool nextPercent(unsigned Percent);
+
+  /// Returns a double in [0, 1).
+  double nextDouble();
+
+private:
+  uint64_t State;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_SUPPORT_RANDOM_H

@@ -1,0 +1,46 @@
+//===- support/Statistics.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+
+using namespace specsync;
+
+Histogram::Histogram(unsigned NumBuckets) : Buckets(NumBuckets, 0) {
+  assert(NumBuckets > 0 && "histogram needs at least one bucket");
+}
+
+void Histogram::addSample(uint64_t Value, uint64_t Weight) {
+  unsigned Bucket = Value >= Buckets.size() - 1
+                        ? static_cast<unsigned>(Buckets.size() - 1)
+                        : static_cast<unsigned>(Value);
+  Buckets[Bucket] += Weight;
+  Total += Weight;
+}
+
+uint64_t Histogram::bucketCount(unsigned Bucket) const {
+  assert(Bucket < Buckets.size() && "bucket out of range");
+  return Buckets[Bucket];
+}
+
+double Histogram::bucketFraction(unsigned Bucket) const {
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(bucketCount(Bucket)) / static_cast<double>(Total);
+}
+
+void Histogram::clear() {
+  for (uint64_t &B : Buckets)
+    B = 0;
+  Total = 0;
+}
+
+double specsync::percentOf(uint64_t Num, uint64_t Denom) {
+  if (Denom == 0)
+    return 0.0;
+  return 100.0 * static_cast<double>(Num) / static_cast<double>(Denom);
+}

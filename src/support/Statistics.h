@@ -1,0 +1,52 @@
+//===- support/Statistics.h - Counters and histograms ----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight statistics helpers used by the profiler and the simulator:
+/// a bounded integer histogram (for dependence-distance distributions,
+/// Figure 7) and simple aggregate helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SUPPORT_STATISTICS_H
+#define SPECSYNC_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace specsync {
+
+/// Histogram over small non-negative integers with an overflow bucket.
+///
+/// Bucket i counts samples with value i for i < NumBuckets - 1; the final
+/// bucket counts everything >= NumBuckets - 1.
+class Histogram {
+public:
+  explicit Histogram(unsigned NumBuckets);
+
+  void addSample(uint64_t Value, uint64_t Weight = 1);
+
+  uint64_t bucketCount(unsigned Bucket) const;
+  unsigned numBuckets() const { return static_cast<unsigned>(Buckets.size()); }
+  uint64_t totalSamples() const { return Total; }
+
+  /// Fraction of all samples falling in \p Bucket; 0 if the histogram is
+  /// empty.
+  double bucketFraction(unsigned Bucket) const;
+
+  void clear();
+
+private:
+  std::vector<uint64_t> Buckets;
+  uint64_t Total = 0;
+};
+
+/// Returns \p Num / \p Denom as a percentage, or 0 when \p Denom is zero.
+double percentOf(uint64_t Num, uint64_t Denom);
+
+} // namespace specsync
+
+#endif // SPECSYNC_SUPPORT_STATISTICS_H

@@ -1,0 +1,77 @@
+//===- support/TextTable.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace specsync;
+
+void TextTable::setHeader(std::vector<std::string> Columns) {
+  assert(Rows.empty() && "header must be set before rows are added");
+  Header = std::move(Columns);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row width must match header");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < Row.size(); ++I) {
+      Line += Row[I];
+      if (I + 1 == Row.size())
+        break;
+      Line.append(Widths[I] - Row[I].size() + 2, ' ');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = renderRow(Header);
+  size_t TotalWidth = 0;
+  for (size_t I = 0; I < Widths.size(); ++I)
+    TotalWidth += Widths[I] + (I + 1 == Widths.size() ? 0 : 2);
+  Out.append(TotalWidth, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  return Out;
+}
+
+std::string TextTable::formatDouble(double Value, unsigned Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string specsync::renderStackedBar(const std::vector<BarSegment> &Segments,
+                                       double UnitsPerCell) {
+  assert(UnitsPerCell > 0 && "cell scale must be positive");
+  std::string Bar;
+  double Total = 0;
+  for (const BarSegment &Seg : Segments) {
+    Total += Seg.Value;
+    int Cells = static_cast<int>(std::lround(Seg.Value / UnitsPerCell));
+    Bar.append(static_cast<size_t>(Cells < 0 ? 0 : Cells), Seg.Tag);
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), " %.1f", Total);
+  Bar += Buf;
+  return Bar;
+}

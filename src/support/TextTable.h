@@ -1,0 +1,56 @@
+//===- support/TextTable.h - ASCII tables and stacked bars -----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text rendering helpers used by the benchmark harness: a column-aligned
+/// ASCII table and a stacked horizontal bar renderer that mimics the paper's
+/// normalized execution-time breakdown figures (busy / fail / sync / other).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SUPPORT_TEXTTABLE_H
+#define SPECSYNC_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+/// Column-aligned ASCII table builder.
+class TextTable {
+public:
+  /// Sets the header row. Must be called before any addRow.
+  void setHeader(std::vector<std::string> Columns);
+
+  /// Appends a data row; its size must match the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string formatDouble(double Value, unsigned Precision = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// One segment of a stacked bar: a label character and a magnitude.
+struct BarSegment {
+  char Tag;
+  double Value;
+};
+
+/// Renders a horizontal stacked bar scaled so that \p UnitsPerCell units map
+/// to one character cell. Example output for {busy=40, fail=30, other=10}:
+///   "BBBBBBBBFFFFFFOO" followed by the total.
+std::string renderStackedBar(const std::vector<BarSegment> &Segments,
+                             double UnitsPerCell);
+
+} // namespace specsync
+
+#endif // SPECSYNC_SUPPORT_TEXTTABLE_H

@@ -1,0 +1,77 @@
+//===- workloads/Gap.cpp - 254.gap analog ------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workspace bump allocator: every epoch computes a request size (variable
+/// work), reads the memory-resident `free_ptr`, advances it, and fills the
+/// allocated words. Epochs are short, so TLS overheads and the deep
+/// allocation point dominate: the baseline collapses under constant
+/// violations and even compiler sync only brings the region back to just
+/// under break-even (paper: coverage 57%, region speedup ~0.92, best with
+/// compiler sync).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildGap(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x254254 : 0x254042);
+
+  uint64_t FreePtr = P->addGlobal("free_ptr", 8);
+  uint64_t Heap = P->addGlobal("heap", 65536 * 8);
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  B.emitStore(FreePtr, Heap);
+
+  int64_t Epochs = Ref ? 1100 : 420;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 110;
+  emitCoverageFiller(B, RegionEstimate / 2, 57, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  {
+    Reg R = B.emitRand();
+
+    // Variable-length sizing work (1..12 rounds of a tight loop): epochs
+    // are short and the allocation point jitters widely, so the previous
+    // epoch's bump frequently lands after this epoch reads the pointer.
+    Reg Trip = B.emitAdd(B.emitAnd(R, 11), 1);
+    LoopBlocks Size = makeCountedLoop(B, Trip, "size");
+    Reg T = emitAluWork(B, 4, B.emitAdd(Size.IndVar, R));
+    B.emitStore(Scratch + 16, T);
+    closeLoop(B, Size);
+
+    Reg Words = B.emitAdd(B.emitAnd(R, 3), 1);
+
+    // The allocation: load free_ptr, bump, store (deep in the epoch).
+    Reg Ptr = B.emitLoad(FreePtr);
+    Reg NewPtr = B.emitAdd(Ptr, B.emitShl(Words, 3));
+    // Wrap within the heap so long runs stay in bounds.
+    Reg Off = B.emitAnd(B.emitSub(NewPtr, Heap), 65535 * 8);
+    B.emitStore(FreePtr, B.emitAdd(Off, Heap));
+
+    // Fill the allocated object (word-disjoint across epochs).
+    B.emitStore(Ptr, R);
+    B.emitStore(B.emitAdd(Ptr, 8), B.emitAdd(R, 1));
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 57, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

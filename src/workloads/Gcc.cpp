@@ -1,0 +1,117 @@
+//===- workloads/Gcc.cpp - 176.gcc analog ------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbol-table loop: each epoch looks a symbol up early (through a call
+/// chain: process_decl -> symtab_lookup) and on ~55% of epochs inserts a
+/// new binding late (process_decl -> symtab_insert). Only eight hot slots,
+/// so the lookup's dependence on earlier inserts is frequent and often
+/// close (distance 1-2) while the insert's store lands deep in the epoch:
+/// plain TLS violates constantly, compiler sync fixes it — and, because
+/// both references live two calls below the parallelized loop, this
+/// benchmark exercises call-path procedure cloning at depth 2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildGcc(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x176176 : 0x176042);
+
+  uint64_t Symtab = P->addGlobal("symtab", 8 * 8); // Eight hot slots.
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+  uint64_t Out = P->addGlobal("out", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+
+  // sym symtab_lookup(key): return symtab[key & 7];
+  Function &Lookup = P->addFunction("symtab_lookup", 1);
+  {
+    IRBuilder B(*P);
+    BasicBlock &Entry = Lookup.addBlock("entry");
+    B.setInsertPoint(&Lookup, &Entry);
+    Reg Slot = B.emitAnd(B.param(0), 7);
+    Reg V = B.emitLoad(B.emitAdd(B.emitShl(Slot, 3), Symtab));
+    B.emitRet(V);
+  }
+
+  // void symtab_insert(key, val): hash work; symtab[key & 7] = val;
+  Function &Insert = P->addFunction("symtab_insert", 2);
+  {
+    IRBuilder B(*P);
+    BasicBlock &Entry = Insert.addBlock("entry");
+    B.setInsertPoint(&Insert, &Entry);
+    Reg W = emitAluWork(B, 24, B.param(1)); // Rehash before the store.
+    Reg Slot = B.emitAnd(B.param(0), 7);
+    B.emitStore(B.emitAdd(B.emitShl(Slot, 3), Symtab), B.emitOr(W, 1));
+    B.emitRet(0);
+  }
+
+  // val process_decl(key, doinsert): the declaration kind (insert or not)
+  // is known on entry, so the no-insert path is store-free from its first
+  // instruction — the compiler's NULL signal fires immediately there. On
+  // the insert path the binding is only ready after the long analysis.
+  Function &Process = P->addFunction("process_decl", 2);
+  {
+    IRBuilder B(*P);
+    BasicBlock &Entry = Process.addBlock("entry");
+    BasicBlock &Ins = Process.addBlock("insert");
+    BasicBlock &Done = Process.addBlock("done");
+    B.setInsertPoint(&Process, &Entry);
+    B.emitCondBr(B.param(1), Ins, Done);
+    B.setInsertPoint(&Process, &Ins);
+    {
+      Reg V = B.emitCall(Lookup, {B.param(0)});
+      Reg W = emitAluWork(B, 100, B.emitXor(V, B.param(0)));
+      B.emitCall(Insert, {B.param(0), W});
+      B.emitRet(W);
+    }
+    B.setInsertPoint(&Process, &Done);
+    {
+      Reg V = B.emitCall(Lookup, {B.param(0)});
+      Reg W = emitAluWork(B, 110, B.emitAdd(V, B.param(0)));
+      B.emitRet(W);
+    }
+  }
+
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  {
+    LoopBlocks Init = makeCountedLoop(B, 8, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), Symtab);
+    B.emitStore(A, B.emitAdd(Init.IndVar, 3));
+    closeLoop(B, Init);
+  }
+
+  int64_t Epochs = Ref ? 800 : 320;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 230;
+  emitCoverageFiller(B, RegionEstimate / 2, 18, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  {
+    Reg R = B.emitRand();
+    Reg Key = B.emitAnd(R, 7);
+    Reg DoIns = emitPercentFlag(B, R, 0, 55);
+    Reg V = B.emitCall(Process, {Key, DoIns});
+    Reg T = emitAluWork(B, 40, V);
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(T, 63), 3), Out), T);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 18, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

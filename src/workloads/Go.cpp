@@ -1,0 +1,100 @@
+//===- workloads/Go.cpp - 099.go analog --------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Move-evaluation loop: every epoch reads a hot "influence" cell early and
+/// re-evaluates board positions; ~12% of epochs update the hot cell late in
+/// the epoch. The store-much-later-than-load pattern makes plain TLS
+/// violate whenever the producing epoch is close; compiler sync forwards
+/// the value (or an early NULL on the 88% of epochs that take the
+/// no-update branch, decided early), so GO is a compiler-sync winner
+/// (paper: C best; region speedup ~1.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildGo(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x990099 : 0x990042);
+
+  uint64_t Board = P->addGlobal("board", 64 * 8);
+  uint64_t Infl = P->addGlobal("influence", 64 * 8);
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+  uint64_t Out = P->addGlobal("out", 64 * 8);
+  const uint64_t HotCell = Infl + 5 * 8;
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+
+  // Board setup.
+  {
+    LoopBlocks Init = makeCountedLoop(B, 64, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), Board);
+    B.emitStore(A, B.emitMul(Init.IndVar, 2654435761));
+    closeLoop(B, Init);
+    B.emitStore(HotCell, 17);
+  }
+
+  int64_t Epochs = Ref ? 800 : 300;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 230;
+  emitCoverageFiller(B, RegionEstimate / 2, 22, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  BasicBlock *Update = &Main.addBlock("update");
+  BasicBlock *NoUpdate = &Main.addBlock("noupdate");
+  BasicBlock *Join = &Main.addBlock("join");
+  {
+    Reg R = B.emitRand();
+    // Early: read the hot influence cell (the synchronized load).
+    Reg V = B.emitLoad(HotCell);
+
+    // Decide early whether this move updates influence (~22% of epochs);
+    // the taken branch determines whether a value will be produced, which
+    // lets the compiler signal NULL right away on the common path.
+    Reg DoUpd = emitPercentFlag(B, R, 0, 22);
+    B.emitCondBr(DoUpd, *Update, *NoUpdate);
+
+    B.setInsertPoint(&Main, Update);
+    {
+      // Long evaluation before the influence update lands (late store).
+      Reg BAddr = B.emitAdd(B.emitShl(B.emitAnd(R, 63), 3), Board);
+      Reg BV = B.emitLoad(BAddr);
+      Reg W = emitAluWork(B, 150, B.emitXor(BV, V));
+      B.emitStore(HotCell, B.emitOr(W, 1)); // The synchronized store.
+      B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(W, 63), 3), Out), W);
+      B.emitBr(*Join);
+    }
+
+    B.setInsertPoint(&Main, NoUpdate);
+    {
+      Reg BAddr = B.emitAdd(B.emitShl(B.emitAnd(R, 63), 3), Board);
+      Reg BV = B.emitLoad(BAddr);
+      Reg W = emitAluWork(B, 110, B.emitAdd(BV, V));
+      B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(W, 63), 3), Out), W);
+      B.emitBr(*Join);
+    }
+
+    B.setInsertPoint(&Main, Join);
+    Reg T = emitAluWork(B, 40, L.IndVar);
+    B.emitStore(Out + 8, T);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 22, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

@@ -1,0 +1,92 @@
+//===- workloads/GzipDecomp.cpp - 164.gzip decompression analog --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decompression loop: every epoch decodes a token (mid-length work),
+/// advances the memory-resident window position `wpos`, then performs the
+/// window copy. The dependence occurs every epoch at distance 1, the load
+/// is the first thing the epoch does, and the new value is stored at ~45%
+/// of the epoch: the compiler's signal fires right after that store, while
+/// the hardware scheme can only release the consumer at the producer's
+/// *completion* — so compiler sync forwards the value much earlier and
+/// wins (paper Section 4.2's GZIP_DECOMP bullet; C > H > U).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildGzipDecomp(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x164dec : 0x164043);
+
+  constexpr uint64_t WindowWords = 2048;
+  uint64_t Wpos = P->addGlobal("wpos", 8);
+  uint64_t Window = P->addGlobal("window", WindowWords * 8);
+  uint64_t Src = P->addGlobal("src", 512 * 8); // Read-only literal bytes.
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  B.emitStore(Wpos, 512);
+  {
+    LoopBlocks Init = makeCountedLoop(B, 512, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), Src);
+    B.emitStore(A, B.emitMul(Init.IndVar, 40503));
+    closeLoop(B, Init);
+  }
+
+  int64_t Epochs = Ref ? 800 : 320;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 230;
+  emitCoverageFiller(B, RegionEstimate / 2, 99, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  {
+    Reg R = B.emitRand();
+
+    // The synchronized load: first instruction of the epoch's real work.
+    Reg Pos = B.emitLoad(Wpos);
+
+    // Token decode: this work determines the copy length, so the updated
+    // wpos cannot be stored any earlier than ~45% into the epoch.
+    Reg D = emitAluWork(B, 80, B.emitXor(R, Pos));
+    Reg Len = B.emitAdd(B.emitAnd(D, 7), 1);
+
+    // Advance the window position (the synchronized store + early signal).
+    B.emitStore(Wpos, B.emitAdd(Pos, Len));
+
+    // Emit Len words into the window, sourced from the (read-only) input
+    // stream: stores land in mostly-distinct words per epoch, so the only
+    // recurring inter-epoch dependence is the wpos chain above.
+    Reg SrcBase = B.emitAnd(B.emitShr(D, 4), 255);
+    LoopBlocks Copy = makeCountedLoop(B, Len, "copy");
+    {
+      Reg SrcIdx = B.emitAnd(B.emitAdd(SrcBase, Copy.IndVar), 511);
+      Reg DstIdx = B.emitAnd(B.emitAdd(Pos, Copy.IndVar), WindowWords - 1);
+      Reg V = B.emitLoad(B.emitAdd(B.emitShl(SrcIdx, 3), Src));
+      B.emitStore(B.emitAdd(B.emitShl(DstIdx, 3), Window),
+                  B.emitAdd(V, 1));
+    }
+    closeLoop(B, Copy);
+
+    Reg T = emitAluWork(B, 30, Len);
+    B.emitStore(Scratch + 8, T);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 99, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

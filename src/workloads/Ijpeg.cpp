@@ -1,0 +1,99 @@
+//===- workloads/Ijpeg.cpp - 132.ijpeg analog --------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-transform loop: epochs process independent image blocks (8 loads,
+/// transform, 8 stores to disjoint output words) — nearly perfectly
+/// parallel, so TLS wins out of the box (paper: region speedup ~1.7 at 97%
+/// coverage). A small quality-accumulator dependence (updated on ~7% of
+/// epochs, decided early) gives the compiler one group to synchronize so
+/// the sync-cost idealizations of Figure 9 have something to vary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildIjpeg(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x132132 : 0x132042);
+
+  constexpr unsigned Blocks = 512;
+  uint64_t Img = P->addGlobal("img", Blocks * 8 * 8);
+  uint64_t OutImg = P->addGlobal("out_img", Blocks * 8 * 8);
+  uint64_t QSum = P->addGlobal("qsum", 8);
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  {
+    LoopBlocks Init = makeCountedLoop(B, Blocks * 8, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), Img);
+    B.emitStore(A, B.emitMul(Init.IndVar, 2654435761));
+    closeLoop(B, Init);
+    B.emitStore(QSum, 0);
+  }
+
+  int64_t Epochs = Ref ? 900 : 350;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 220;
+  emitCoverageFiller(B, RegionEstimate / 2, 97, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  BasicBlock *Qual = &Main.addBlock("qual");
+  BasicBlock *NoQual = &Main.addBlock("noqual");
+  BasicBlock *Join = &Main.addBlock("join");
+  {
+    Reg R = B.emitRand();
+    Reg Blk = B.emitMod(L.IndVar, Blocks);
+    Reg Base = B.emitAdd(B.emitShl(B.emitShl(Blk, 3), 3), Img);
+    Reg OBase = B.emitAdd(B.emitShl(B.emitShl(Blk, 3), 3), OutImg);
+
+    // Quality-sum dependence: load early, decide early, and store early on
+    // the rare path — its value never arrives late, so neither plain TLS
+    // nor synchronized execution pays for it (IJPEG is essentially
+    // independent; the group exists so Figure 9's E/L idealizations have a
+    // knob).
+    Reg Q = B.emitLoad(QSum);
+    Reg DoQ = emitPercentFlag(B, R, 0, 7);
+    B.emitCondBr(DoQ, *Qual, *NoQual);
+    B.setInsertPoint(&Main, Qual);
+    {
+      B.emitStore(QSum, B.emitOr(B.emitAdd(Q, R), 1));
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, NoQual);
+    {
+      B.emitStore(Scratch + 8, Q);
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, Join);
+
+    // Transform: 8 loads, butterfly-ish mixing, 8 stores.
+    Reg Acc = B.emitConst(0);
+    for (unsigned K = 0; K < 8; ++K) {
+      Reg V = B.emitLoad(B.emitAdd(Base, K * 8));
+      Reg W = emitAluWork(B, 10, B.emitXor(V, Acc));
+      B.emitStore(B.emitAdd(OBase, K * 8), W);
+      Acc = B.emitAdd(Acc, W);
+    }
+    Reg T = emitAluWork(B, 20, Acc);
+    B.emitStore(Scratch + 16, T);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 97, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

@@ -1,0 +1,92 @@
+//===- workloads/KernelCommon.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+
+using namespace specsync;
+
+LoopBlocks specsync::makeCountedLoop(IRBuilder &B, IRBuilder::V TripCount,
+                                     const std::string &Prefix) {
+  Function *F = B.getFunction();
+  assert(F && "builder has no insertion point");
+
+  LoopBlocks L;
+  L.Preheader = B.getBlock();
+  L.IndVar = B.emitConst(0);
+  Reg Bound = B.emitMove(TripCount);
+
+  L.Header = &F->addBlock(Prefix + ".header");
+  L.Body = &F->addBlock(Prefix + ".body");
+  L.Latch = &F->addBlock(Prefix + ".latch");
+  L.Exit = &F->addBlock(Prefix + ".exit");
+
+  B.emitBr(*L.Header);
+
+  B.setInsertPoint(F, L.Header);
+  Reg Cond = B.emitCmp(Opcode::CmpLT, L.IndVar, Bound);
+  B.emitCondBr(Cond, *L.Body, *L.Exit);
+
+  B.setInsertPoint(F, L.Latch);
+  B.emitBinaryInto(L.IndVar, Opcode::Add, L.IndVar, 1);
+  B.emitBr(*L.Header);
+
+  B.setInsertPoint(F, L.Body);
+  return L;
+}
+
+void specsync::closeLoop(IRBuilder &B, const LoopBlocks &L) {
+  B.emitBr(*L.Latch);
+  B.setInsertPoint(B.getFunction(), L.Exit);
+}
+
+Reg specsync::emitPercentFlag(IRBuilder &B, Reg R, unsigned Shift,
+                              unsigned Percent) {
+  assert(Percent <= 100 && "percent out of range");
+  Reg Bits = B.emitAnd(B.emitShr(R, static_cast<int64_t>(Shift)), 1023);
+  return B.emitCmp(Opcode::CmpLT, Bits,
+                   static_cast<int64_t>(Percent * 1024 / 100));
+}
+
+Reg specsync::emitAluWork(IRBuilder &B, unsigned Ops, Reg Seed) {
+  Reg X = Seed;
+  for (unsigned I = 0; I < Ops; ++I) {
+    switch (I % 4) {
+    case 0: X = B.emitMul(X, 0x9e37); break;
+    case 1: X = B.emitXor(X, B.emitShr(X, 7)); break; // Two instructions.
+    case 2: X = B.emitAdd(X, 0x7f4a7c15); break;
+    default: X = B.emitAnd(X, 0x7fffffff); break;
+    }
+  }
+  return X;
+}
+
+void specsync::emitSeqFiller(IRBuilder &B, int64_t Iters, unsigned OpsPerIter,
+                             uint64_t ScratchAddr, const std::string &Prefix) {
+  LoopBlocks L = makeCountedLoop(B, Iters, Prefix);
+  Reg Slot = B.emitAnd(L.IndVar, 63);
+  Reg Addr = B.emitAdd(B.emitShl(Slot, 3), ScratchAddr);
+  Reg V = B.emitLoad(Addr);
+  Reg W = emitAluWork(B, OpsPerIter, V);
+  B.emitStore(Addr, W);
+  closeLoop(B, L);
+}
+
+void specsync::emitCoverageFiller(IRBuilder &B, uint64_t RegionInstsEstimate,
+                                  unsigned CoveragePercent,
+                                  uint64_t ScratchAddr,
+                                  const std::string &Prefix) {
+  assert(CoveragePercent > 0 && CoveragePercent <= 100 &&
+         "coverage must be a percentage");
+  // ~22 ALU ops per iteration plus loop/memory overhead of ~11.
+  constexpr unsigned OpsPerIter = 22;
+  constexpr unsigned InstsPerIter = OpsPerIter + 11;
+  uint64_t SeqInsts =
+      RegionInstsEstimate * (100 - CoveragePercent) / CoveragePercent;
+  int64_t Iters = static_cast<int64_t>(SeqInsts / InstsPerIter);
+  if (Iters <= 0)
+    return;
+  emitSeqFiller(B, Iters, OpsPerIter, ScratchAddr, Prefix);
+}

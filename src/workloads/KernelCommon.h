@@ -1,0 +1,66 @@
+//===- workloads/KernelCommon.h - Kernel-building helpers ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_WORKLOADS_KERNELCOMMON_H
+#define SPECSYNC_WORKLOADS_KERNELCOMMON_H
+
+#include "ir/IRBuilder.h"
+
+#include <string>
+
+namespace specsync {
+
+/// Blocks of a counted loop created by makeCountedLoop. The caller fills
+/// Body (and must terminate it with a branch to Latch), then continues
+/// emitting at Exit.
+struct LoopBlocks {
+  BasicBlock *Preheader = nullptr; ///< Block that was current at creation.
+  BasicBlock *Header = nullptr;
+  BasicBlock *Body = nullptr;
+  BasicBlock *Latch = nullptr;
+  BasicBlock *Exit = nullptr;
+  Reg IndVar;
+};
+
+/// Creates `for (i = 0; i < TripCount; ++i)` scaffolding at the builder's
+/// current insertion point and leaves the insertion point at Body.
+LoopBlocks makeCountedLoop(IRBuilder &B, IRBuilder::V TripCount,
+                           const std::string &Prefix);
+
+/// Closes the body of \p L (branch to the latch) and moves the insertion
+/// point to the loop exit.
+void closeLoop(IRBuilder &B, const LoopBlocks &L);
+
+/// Emits \p Ops straight-line ALU instructions mixing \p Seed (dependency
+/// chain) — generic "compute" filler. Returns the chain's final register.
+Reg emitAluWork(IRBuilder &B, unsigned Ops, Reg Seed);
+
+/// Emits a cheap (divide-free) test that is true for ~\p Percent of the
+/// values of bits [Shift, Shift+10) of \p R: used for early path decisions
+/// whose timing matters (a Mod would stall the decision by the divide
+/// latency).
+Reg emitPercentFlag(IRBuilder &B, Reg R, unsigned Shift, unsigned Percent);
+
+/// Emits a self-contained sequential loop of \p Iters iterations, each with
+/// ~\p OpsPerIter ALU ops plus one load and one store on a private scratch
+/// array at \p ScratchAddr (sized >= 64 words). Used to give benchmarks
+/// realistic non-region coverage. Leaves the insertion point after the
+/// loop.
+void emitSeqFiller(IRBuilder &B, int64_t Iters, unsigned OpsPerIter,
+                   uint64_t ScratchAddr, const std::string &Prefix);
+
+/// Emits sequential filler sized so that a region of roughly
+/// \p RegionInstsEstimate dynamic instructions ends up covering about
+/// \p CoveragePercent of the program (the paper's Table 2 coverage
+/// column). Call once before and once after the parallel loop with half
+/// the region estimate each.
+void emitCoverageFiller(IRBuilder &B, uint64_t RegionInstsEstimate,
+                        unsigned CoveragePercent, uint64_t ScratchAddr,
+                        const std::string &Prefix);
+
+} // namespace specsync
+
+#endif // SPECSYNC_WORKLOADS_KERNELCOMMON_H

@@ -1,0 +1,38 @@
+//===- workloads/Kernels.h - Benchmark kernel builders ---------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the 15 SPEC-analog kernels (one per Table 2 row). Private
+/// to the workloads library; use the Workload registry from outside.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_WORKLOADS_KERNELS_H
+#define SPECSYNC_WORKLOADS_KERNELS_H
+
+#include "workloads/Workload.h"
+
+namespace specsync {
+
+std::unique_ptr<Program> buildGo(InputKind Input);          // 099.go
+std::unique_ptr<Program> buildM88ksim(InputKind Input);     // 124.m88ksim
+std::unique_ptr<Program> buildIjpeg(InputKind Input);       // 132.ijpeg
+std::unique_ptr<Program> buildGzipComp(InputKind Input);    // 164.gzip comp
+std::unique_ptr<Program> buildGzipDecomp(InputKind Input);  // 164.gzip decomp
+std::unique_ptr<Program> buildVprPlace(InputKind Input);    // 175.vpr place
+std::unique_ptr<Program> buildGcc(InputKind Input);         // 176.gcc
+std::unique_ptr<Program> buildMcf(InputKind Input);         // 181.mcf
+std::unique_ptr<Program> buildCrafty(InputKind Input);      // 186.crafty
+std::unique_ptr<Program> buildParser(InputKind Input);      // 197.parser
+std::unique_ptr<Program> buildPerlbmk(InputKind Input);     // 253.perlbmk
+std::unique_ptr<Program> buildGap(InputKind Input);         // 254.gap
+std::unique_ptr<Program> buildBzip2Comp(InputKind Input);   // 256.bzip2 comp
+std::unique_ptr<Program> buildBzip2Decomp(InputKind Input); // 256.bzip2 dec.
+std::unique_ptr<Program> buildTwolf(InputKind Input);       // 300.twolf
+
+} // namespace specsync
+
+#endif // SPECSYNC_WORKLOADS_KERNELS_H

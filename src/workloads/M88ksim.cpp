@@ -1,0 +1,112 @@
+//===- workloads/M88ksim.cpp - 124.m88ksim analog ----------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CPU-simulator loop: each epoch emulates one instruction, writing the
+/// destination entry of a 32-entry register file late in the epoch and
+/// reading a source entry somewhat earlier. Consecutive epochs write
+/// *adjacent* words, so reads and writes of different registers constantly
+/// share 32-byte cache lines: violations are dominated by **false
+/// sharing**, which word-granularity dependence profiling cannot see (true
+/// same-word dependences stay under the 5% threshold) but line-granularity
+/// hardware tracking trips on. Hardware-inserted synchronization therefore
+/// wins (paper Section 4.2's first bullet), while compiler sync only covers
+/// a small true dependence through the exception flag.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildM88ksim(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x124124 : 0x124042);
+
+  // 64 words = 16 lines. Emulated writes touch only even words; the
+  // source read touches the odd word next to the previous epoch's write —
+  // same line (false sharing), never a word any epoch writes.
+  uint64_t Regs = P->addGlobal("regfile", 64 * 8);
+  uint64_t Exc = P->addGlobal("exc_flag", 8);
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+  uint64_t Out = P->addGlobal("out", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+
+  {
+    LoopBlocks Init = makeCountedLoop(B, 64, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), Regs);
+    B.emitStore(A, B.emitAdd(Init.IndVar, 100));
+    closeLoop(B, Init);
+    B.emitStore(Exc, 0);
+  }
+
+  int64_t Epochs = Ref ? 900 : 350;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 260;
+  emitCoverageFiller(B, RegionEstimate / 2, 56, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  BasicBlock *Trap = &Main.addBlock("trap");
+  BasicBlock *NoTrap = &Main.addBlock("notrap");
+  BasicBlock *Join = &Main.addBlock("join");
+  {
+    Reg R = B.emitRand();
+    // Exception-flag true dependence (small; gives the compiler something
+    // to synchronize so the E/L idealizations of Figure 9 are visible).
+    Reg EV = B.emitLoad(Exc);
+
+    Reg DoTrap = emitPercentFlag(B, R, 0, 8);
+    B.emitCondBr(DoTrap, *Trap, *NoTrap);
+
+    B.setInsertPoint(&Main, Trap);
+    {
+      Reg W = emitAluWork(B, 30, B.emitAdd(EV, R));
+      B.emitStore(Exc, B.emitAnd(W, 255)); // Mid-epoch exception update.
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, NoTrap);
+    {
+      Reg W = emitAluWork(B, 30, B.emitXor(EV, R));
+      B.emitStore(Out + 16, W);
+      B.emitBr(*Join);
+    }
+
+    B.setInsertPoint(&Main, Join);
+    // Decode + execute emulation (long).
+    Reg W1 = emitAluWork(B, 110, R);
+
+    // Source register read: the odd word adjacent to the previous epoch's
+    // (even-word) write — never a word any epoch writes, so the
+    // word-granularity profile shows no dependence at all, yet it shares a
+    // 32-byte line with the write: pure false sharing, every epoch.
+    Reg Src = B.emitAdd(
+        B.emitShl(B.emitAnd(B.emitAdd(L.IndVar, 31), 31), 1), 1);
+    Reg SrcV = B.emitLoad(B.emitAdd(B.emitShl(Src, 3), Regs));
+
+    Reg W2 = emitAluWork(B, 60, B.emitXor(W1, SrcV));
+
+    // Destination register write, very late: even words only, adjacent
+    // lines cycled by consecutive epochs.
+    Reg Dst = B.emitShl(B.emitAnd(L.IndVar, 31), 1);
+    B.emitStore(B.emitAdd(B.emitShl(Dst, 3), Regs), W2);
+
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(W2, 63), 3), Out), W2);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 56, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

@@ -1,0 +1,77 @@
+//===- workloads/Perlbmk.cpp - 253.perlbmk analog ----------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpreter-style loop adjusting reference counts of a small set of
+/// shared objects: every epoch loads one of eight counters early and
+/// stores the adjusted value late, so any two nearby epochs touching the
+/// same object race. ~30% of epochs hit a recently-touched object, making
+/// failed speculation common; compiler sync converts it into a moderate
+/// forwarding chain (paper: modest C win, region speedup ~1.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildPerlbmk(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x253253 : 0x253042);
+
+  uint64_t RefCnt = P->addGlobal("refcnt", 8 * 8);
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+  uint64_t Out = P->addGlobal("out", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  {
+    LoopBlocks Init = makeCountedLoop(B, 8, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), RefCnt);
+    B.emitStore(A, 1);
+    closeLoop(B, Init);
+  }
+
+  int64_t Epochs = Ref ? 850 : 340;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 210;
+  emitCoverageFiller(B, RegionEstimate / 2, 29, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  {
+    Reg R = B.emitRand();
+
+    // Select the object: a skewed distribution keeps one counter hot.
+    Reg Raw = B.emitAnd(B.emitShr(R, 5), 15);
+    Reg IsHot = B.emitCmp(Opcode::CmpGE, Raw, 8);
+    Reg Obj = B.emitSelect(IsHot, 0, B.emitAnd(Raw, 7));
+    Reg Addr = B.emitAdd(B.emitShl(Obj, 3), RefCnt);
+
+    // Early load of the refcount (the synchronized load).
+    Reg C = B.emitLoad(Addr);
+
+    // Interpret an opcode body before the count can be written back.
+    Reg W = emitAluWork(B, 120, B.emitXor(C, R));
+
+    // Late store of the adjusted count (every epoch).
+    B.emitStore(Addr, B.emitAdd(C, 1));
+
+    Reg T = emitAluWork(B, 40, W);
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(T, 63), 3), Out), T);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 29, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

@@ -1,0 +1,90 @@
+//===- workloads/Twolf.cpp - 300.twolf analog --------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard-cell cost evaluation: ~9% of epochs update the shared net cost
+/// *early*, while every epoch reads it at the very end of its evaluation.
+/// Under plain TLS the producer's store always precedes the consumer's
+/// late load in time, so violations essentially never happen — the profile
+/// still reports the dependence as frequent, the compiler synchronizes it,
+/// and the synchronization code is pure overhead: the small performance
+/// degradation the paper reports for TWOLF (Section 4.2, third bullet).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildTwolf(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x300300 : 0x300042);
+
+  uint64_t NetCost = P->addGlobal("net_cost", 8);
+  uint64_t Cells = P->addGlobal("cells", 128 * 8);
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+  uint64_t Out = P->addGlobal("out", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  B.emitStore(NetCost, 500);
+  {
+    LoopBlocks Init = makeCountedLoop(B, 128, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), Cells);
+    B.emitStore(A, B.emitMul(Init.IndVar, 7));
+    closeLoop(B, Init);
+  }
+
+  int64_t Epochs = Ref ? 850 : 340;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 230;
+  emitCoverageFiller(B, RegionEstimate / 2, 19, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  BasicBlock *Upd = &Main.addBlock("update");
+  BasicBlock *Skip = &Main.addBlock("skip");
+  BasicBlock *Join = &Main.addBlock("join");
+  {
+    Reg R = B.emitRand();
+
+    // ~9% of epochs adjust the net cost right away (early store).
+    Reg DoUpd = emitPercentFlag(B, R, 0, 9);
+    B.emitCondBr(DoUpd, *Upd, *Skip);
+    B.setInsertPoint(&Main, Upd);
+    {
+      B.emitStore(NetCost, B.emitOr(B.emitAnd(R, 0xffff), 1));
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, Skip);
+    {
+      B.emitStore(Out + 16, R);
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, Join);
+
+    // Long placement evaluation.
+    Reg CV = B.emitLoad(
+        B.emitAdd(B.emitShl(B.emitAnd(R, 127), 3), Cells));
+    Reg W = emitAluWork(B, 160, B.emitXor(CV, R));
+
+    // The late cost read every epoch (profiled frequent; never violates).
+    Reg Cost = B.emitLoad(NetCost);
+    Reg T = emitAluWork(B, 15, B.emitAdd(W, Cost));
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(T, 63), 3), Out), T);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 19, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

@@ -1,0 +1,105 @@
+//===- workloads/VprPlace.cpp - 175.vpr placement analog ---------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated-annealing placement loop: epochs propose cell swaps, writing
+/// adjacent entries of a packed position array late in the epoch and
+/// reading other entries shortly before — so, as in M88KSIM, most
+/// violations come from cache-line false sharing the compiler's word-level
+/// profile cannot see. The profiled true dependence (the accepted-swap
+/// cost update) rarely violates because its store precedes the consumer's
+/// late load, so compiler sync only adds overhead; hardware-inserted
+/// synchronization of the actually-violating loads wins (paper:
+/// VPR_PLACE best with H).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildVprPlace(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x175175 : 0x175042);
+
+  // 64 words = 16 lines: swaps write even words, the neighbour check reads
+  // the adjacent odd word (same line, never written) — false sharing.
+  uint64_t Pos = P->addGlobal("positions", 64 * 8);
+  uint64_t Cost = P->addGlobal("cost", 8);
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+  uint64_t Out = P->addGlobal("out", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  {
+    LoopBlocks Init = makeCountedLoop(B, 64, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), Pos);
+    B.emitStore(A, B.emitMul(Init.IndVar, 3));
+    closeLoop(B, Init);
+    B.emitStore(Cost, 1000);
+  }
+
+  int64_t Epochs = Ref ? 900 : 350;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 240;
+  emitCoverageFiller(B, RegionEstimate / 2, 99, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  BasicBlock *Accept = &Main.addBlock("accept");
+  BasicBlock *Reject = &Main.addBlock("reject");
+  BasicBlock *Join = &Main.addBlock("join");
+  {
+    Reg R = B.emitRand();
+    // Cost read (early) + early accept decision (~10%): the profiled true
+    // dependence. Its store happens mid-epoch while the *next* epoch reads
+    // early — but the late position reads below dominate violations.
+    Reg CV = B.emitLoad(Cost);
+    Reg Acc = emitPercentFlag(B, R, 0, 10);
+    B.emitCondBr(Acc, *Accept, *Reject);
+
+    B.setInsertPoint(&Main, Accept);
+    {
+      Reg W = emitAluWork(B, 70, B.emitAdd(CV, R));
+      B.emitStore(Cost, B.emitOr(B.emitAnd(W, 0xffff), 1));
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, Reject);
+    {
+      Reg W = emitAluWork(B, 70, B.emitXor(CV, R));
+      B.emitStore(Out + 16, W);
+      B.emitBr(*Join);
+    }
+
+    B.setInsertPoint(&Main, Join);
+    Reg W1 = emitAluWork(B, 60, R);
+
+    // Late neighbour read: the odd word adjacent to the previous epoch's
+    // even-word write — same 32-byte line, never itself written (false
+    // sharing the compiler's word-level profile cannot see).
+    Reg Nb = B.emitAdd(
+        B.emitShl(B.emitAnd(B.emitAdd(L.IndVar, 31), 31), 1), 1);
+    Reg NV = B.emitLoad(B.emitAdd(B.emitShl(Nb, 3), Pos));
+    Reg W2 = emitAluWork(B, 40, B.emitXor(W1, NV));
+
+    // Very late position write (even words only).
+    Reg Cell = B.emitShl(B.emitAnd(L.IndVar, 31), 1);
+    B.emitStore(B.emitAdd(B.emitShl(Cell, 3), Pos), W2);
+
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(W2, 63), 3), Out), W2);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 99, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

@@ -1,0 +1,61 @@
+//===- workloads/Workload.h - SPEC-analog benchmark registry ---*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates on SPEC CPU95/2000 integer benchmarks. We cannot
+/// ship SPEC, so each benchmark is represented by a mini-kernel written in
+/// the SpecSync IR whose *parallelized loop has the dependence character
+/// the paper reports for that benchmark* (frequency, distance, position of
+/// loads/stores within the epoch, false sharing, input sensitivity) —
+/// realized by real computations (hash chains, free lists, bump
+/// allocators, ...), not by trace playback. See DESIGN.md, substitution
+/// table.
+///
+/// Each workload builds deterministically: two builds with the same input
+/// kind produce identical programs (identical static ids), and train/ref
+/// builds differ only in seeds/sizes/initial data — which is what lets a
+/// train-input profile drive a ref-input compilation (the paper's T bars).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_WORKLOADS_WORKLOAD_H
+#define SPECSYNC_WORKLOADS_WORKLOAD_H
+
+#include "ir/Program.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+enum class InputKind { Train, Ref };
+
+/// One benchmark: metadata plus a deterministic program builder.
+struct Workload {
+  std::string Name;     ///< Short name used in figures, e.g. "PARSER".
+  std::string SpecName; ///< The SPEC benchmark it stands in for.
+  std::string Character; ///< One-line dependence-character summary.
+
+  /// Sequential-region dilation modeling the paper's measurement artifact
+  /// (inline-asm instrumentation inhibiting gcc optimization; Table 2's
+  /// "sequential region speedup" column). Applied only in whole-program
+  /// accounting (Figure 12 / Table 2); 1.0 = no artifact.
+  double SeqDilation = 1.0;
+
+  std::function<std::unique_ptr<Program>(InputKind)> Build;
+};
+
+/// All 15 benchmarks in the paper's Table 2 order.
+const std::vector<Workload> &allWorkloads();
+
+/// Finds a workload by short name; nullptr if unknown.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace specsync
+
+#endif // SPECSYNC_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,183 @@
+//===- tests/cfg_test.cpp - CFG / dominators / loops / dataflow --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+#include "ir/Dataflow.h"
+#include "ir/Dominators.h"
+#include "ir/IRBuilder.h"
+#include "ir/LoopInfo.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+namespace {
+
+/// Builds a function with the given edge list; every block ends in Br or
+/// CondBr depending on its out-degree (0 -> Ret).
+struct GraphFixture {
+  Program P;
+  Function *F = nullptr;
+
+  explicit GraphFixture(unsigned NumBlocks,
+                        const std::vector<std::pair<unsigned, unsigned>> &Edges) {
+    F = &P.addFunction("g", 0);
+    F->newReg(); // Condition register r0.
+    for (unsigned I = 0; I < NumBlocks; ++I)
+      F->addBlock("b" + std::to_string(I));
+    std::vector<std::vector<unsigned>> Out(NumBlocks);
+    for (auto [From, To] : Edges)
+      Out[From].push_back(To);
+    for (unsigned I = 0; I < NumBlocks; ++I) {
+      BasicBlock &BB = F->getBlock(I);
+      if (Out[I].empty()) {
+        BB.append(Instruction(Opcode::Ret, -1, {}));
+      } else if (Out[I].size() == 1) {
+        Instruction Br(Opcode::Br, -1, {});
+        Br.setTarget(0, Out[I][0]);
+        BB.append(std::move(Br));
+      } else {
+        Instruction Br(Opcode::CondBr, -1, {Operand::reg(0)});
+        Br.setTarget(0, Out[I][0]);
+        Br.setTarget(1, Out[I][1]);
+        BB.append(std::move(Br));
+      }
+    }
+  }
+};
+
+} // namespace
+
+TEST(CFGTest, DiamondPredsSuccsAndRPO) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+  GraphFixture G(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  CFG C(*G.F);
+  EXPECT_EQ(C.successors(0).size(), 2u);
+  EXPECT_EQ(C.predecessors(3).size(), 2u);
+  const std::vector<unsigned> &RPO = C.reversePostOrder();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), 0u);
+  EXPECT_EQ(RPO.back(), 3u);
+}
+
+TEST(CFGTest, UnreachableBlockExcludedFromRPO) {
+  GraphFixture G(3, {{0, 1}}); // Block 2 unreachable.
+  CFG C(*G.F);
+  EXPECT_TRUE(C.isReachable(1));
+  EXPECT_FALSE(C.isReachable(2));
+  EXPECT_EQ(C.reversePostOrder().size(), 2u);
+}
+
+TEST(DominatorsTest, DiamondDominance) {
+  GraphFixture G(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  CFG C(*G.F);
+  Dominators D(C);
+  EXPECT_TRUE(D.dominates(0, 3));
+  EXPECT_FALSE(D.dominates(1, 3));
+  EXPECT_FALSE(D.dominates(2, 3));
+  EXPECT_TRUE(D.dominates(0, 0));
+  EXPECT_EQ(D.getIDom(3), 0u);
+  EXPECT_EQ(D.getIDom(1), 0u);
+}
+
+TEST(DominatorsTest, ChainDominance) {
+  GraphFixture G(3, {{0, 1}, {1, 2}});
+  CFG C(*G.F);
+  Dominators D(C);
+  EXPECT_TRUE(D.dominates(1, 2));
+  EXPECT_TRUE(D.dominates(0, 2));
+  EXPECT_FALSE(D.dominates(2, 1));
+}
+
+TEST(DominatorsTest, LoopDoesNotBreakDominance) {
+  // 0 -> 1 -> 2 -> 1 (back edge), 2 -> 3.
+  GraphFixture G(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  CFG C(*G.F);
+  Dominators D(C);
+  EXPECT_TRUE(D.dominates(1, 2));
+  EXPECT_TRUE(D.dominates(2, 3));
+  EXPECT_FALSE(D.dominates(3, 1));
+}
+
+TEST(LoopInfoTest, SimpleNaturalLoop) {
+  // Preheader 0; loop: 1 (header) -> 2 -> 1; exit from 1 -> 3.
+  GraphFixture G(4, {{0, 1}, {1, 2}, {1, 3}, {2, 1}});
+  CFG C(*G.F);
+  Dominators D(C);
+  LoopInfo LI(*G.F, C, D);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop *L = LI.getLoopByHeader(1);
+  ASSERT_NE(L, nullptr);
+  EXPECT_TRUE(L->contains(1));
+  EXPECT_TRUE(L->contains(2));
+  EXPECT_FALSE(L->contains(0));
+  EXPECT_FALSE(L->contains(3));
+  EXPECT_EQ(L->Latches, std::vector<unsigned>({2u}));
+  ASSERT_EQ(L->ExitBlocks.size(), 1u);
+  EXPECT_EQ(L->ExitBlocks[0], 1u);
+}
+
+TEST(LoopInfoTest, NestedLoopsHaveDistinctHeaders) {
+  // Outer: 1 -> 2 -> 4 -> 1; inner: 2 -> 3 -> 2; exit 1 -> 5.
+  GraphFixture G(6,
+                 {{0, 1}, {1, 2}, {1, 5}, {2, 3}, {3, 2}, {3, 4}, {4, 1}});
+  CFG C(*G.F);
+  Dominators D(C);
+  LoopInfo LI(*G.F, C, D);
+  EXPECT_EQ(LI.loops().size(), 2u);
+  const Loop *Outer = LI.getLoopByHeader(1);
+  const Loop *Inner = LI.getLoopByHeader(2);
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_TRUE(Outer->contains(3));
+  EXPECT_TRUE(Inner->contains(3));
+  EXPECT_FALSE(Inner->contains(4));
+}
+
+TEST(LoopInfoTest, NoLoopsInAcyclicGraph) {
+  GraphFixture G(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  CFG C(*G.F);
+  Dominators D(C);
+  LoopInfo LI(*G.F, C, D);
+  EXPECT_TRUE(LI.loops().empty());
+  EXPECT_EQ(LI.getLoopByHeader(0), nullptr);
+}
+
+TEST(DataflowTest, BackwardMayPropagatesAgainstEdges) {
+  // 0 -> 1 -> 2; Gen at 2. Expect In true at all three.
+  GraphFixture G(3, {{0, 1}, {1, 2}});
+  CFG C(*G.F);
+  std::vector<bool> Gen = {false, false, true};
+  std::vector<bool> Kill = {false, false, false};
+  std::vector<bool> All = {true, true, true};
+  std::vector<bool> In = solveBackwardMay(C, Gen, Kill, All, false);
+  EXPECT_TRUE(In[0]);
+  EXPECT_TRUE(In[1]);
+  EXPECT_TRUE(In[2]);
+}
+
+TEST(DataflowTest, KillStopsBackwardPropagation) {
+  GraphFixture G(3, {{0, 1}, {1, 2}});
+  CFG C(*G.F);
+  std::vector<bool> Gen = {false, false, true};
+  std::vector<bool> Kill = {false, true, false};
+  std::vector<bool> All = {true, true, true};
+  std::vector<bool> In = solveBackwardMay(C, Gen, Kill, All, false);
+  EXPECT_FALSE(In[0]);
+  EXPECT_TRUE(In[2]);
+}
+
+TEST(DataflowTest, ForwardMayReachesSuccessors) {
+  GraphFixture G(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  CFG C(*G.F);
+  std::vector<bool> Gen = {false, true, false, false};
+  std::vector<bool> Kill(4, false);
+  std::vector<bool> All(4, true);
+  std::vector<bool> Out = solveForwardMay(C, Gen, Kill, All, false);
+  EXPECT_TRUE(Out[1]);
+  EXPECT_TRUE(Out[3]); // Through the 1 -> 3 edge.
+  EXPECT_FALSE(Out[2]);
+}

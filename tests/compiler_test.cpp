@@ -1,0 +1,537 @@
+//===- tests/compiler_test.cpp - Compiler pass tests -------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for loop selection, unrolling, scalar synchronization,
+// dependence grouping, cloning and the last-site data flow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Cloning.h"
+#include "compiler/DepGraph.h"
+#include "compiler/EpochPaths.h"
+#include "compiler/LoopSelection.h"
+#include "compiler/LoopUnroll.h"
+#include "compiler/ScalarSync.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "profile/LoopProfiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+namespace {
+
+LoopProfile makeProfile(uint64_t Total, uint64_t Region, uint64_t Epochs,
+                        uint64_t Instances) {
+  LoopProfile P;
+  P.TotalDynInsts = Total;
+  P.RegionDynInsts = Region;
+  P.TotalEpochs = Epochs;
+  P.RegionInstances = Instances;
+  return P;
+}
+
+/// Counted region loop summing i into a register and a global.
+std::unique_ptr<Program> makeSumLoop(int64_t Iters) {
+  auto P = std::make_unique<Program>();
+  uint64_t G = P->addGlobal("g", 8);
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  BasicBlock &Header = Main.addBlock("header");
+  BasicBlock &Body = Main.addBlock("body");
+  BasicBlock &Exit = Main.addBlock("exit");
+
+  B.setInsertPoint(&Main, &Entry);
+  Reg I = B.emitConst(0);
+  Reg Acc = B.emitConst(0);
+  B.emitBr(Header);
+  B.setInsertPoint(&Main, &Header);
+  B.emitCondBr(B.emitCmp(Opcode::CmpLT, I, Iters), Body, Exit);
+  B.setInsertPoint(&Main, &Body);
+  B.emitBinaryInto(Acc, Opcode::Add, Acc, I);
+  B.emitStore(G, Acc);
+  B.emitBinaryInto(I, Opcode::Add, I, 1);
+  B.emitBr(Header);
+  B.setInsertPoint(&Main, &Exit);
+  B.emitRet(Acc);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), Header.getIndex()});
+  P->assignIds();
+  return P;
+}
+
+int64_t runProgram(Program &P, uint64_t *Checksum = nullptr) {
+  ContextTable Ctx;
+  InterpResult R = Interpreter(P, Ctx).run();
+  EXPECT_TRUE(R.Completed);
+  if (Checksum)
+    *Checksum = R.MemoryChecksum;
+  return R.ExitValue;
+}
+
+uint64_t countEpochs(Program &P) {
+  ContextTable Ctx;
+  InterpResult R = Interpreter(P, Ctx).run();
+  uint64_t N = 0;
+  for (const RegionTrace &Region : R.Trace.Regions)
+    N += Region.Epochs.size();
+  return N;
+}
+
+} // namespace
+
+// --- Loop selection -------------------------------------------------------
+
+TEST(LoopSelectionTest, AcceptsGoodLoop) {
+  LoopSelectionResult R =
+      selectLoop(makeProfile(/*Total=*/1000000, /*Region=*/500000,
+                             /*Epochs=*/1000, /*Instances=*/10));
+  EXPECT_TRUE(R.Selected);
+  EXPECT_EQ(R.UnrollFactor, 1u); // 500 insts/epoch: no unrolling.
+}
+
+TEST(LoopSelectionTest, RejectsLowCoverage) {
+  LoopSelectionResult R =
+      selectLoop(makeProfile(1000000, 500, 10, 1)); // 0.05% coverage.
+  EXPECT_FALSE(R.Selected);
+  EXPECT_NE(R.Reason.find("coverage"), std::string::npos);
+}
+
+TEST(LoopSelectionTest, RejectsFewEpochsPerInstance) {
+  LoopSelectionResult R = selectLoop(makeProfile(1000, 900, 10, 9));
+  EXPECT_FALSE(R.Selected); // 1.11 epochs per instance.
+}
+
+TEST(LoopSelectionTest, RejectsTinyEpochs) {
+  LoopSelectionResult R = selectLoop(makeProfile(1000, 900, 100, 10));
+  EXPECT_FALSE(R.Selected); // 9 insts per epoch < 15.
+}
+
+TEST(LoopSelectionTest, UnrollsSmallEpochsTowardTarget) {
+  // 18 insts/epoch: selected, but unrolled to reach ~30.
+  LoopSelectionResult R = selectLoop(makeProfile(10000, 9000, 500, 10));
+  EXPECT_TRUE(R.Selected);
+  EXPECT_EQ(R.UnrollFactor, 2u);
+}
+
+TEST(LoopSelectionTest, UnrollFactorIsCapped) {
+  LoopSelectionParams Params;
+  Params.MinInstsPerEpoch = 1.0;
+  Params.UnrollTargetInstsPerEpoch = 1000.0;
+  Params.MaxUnrollFactor = 8;
+  LoopSelectionResult R =
+      selectLoop(makeProfile(10000, 9000, 500, 10), Params);
+  EXPECT_TRUE(R.Selected);
+  EXPECT_EQ(R.UnrollFactor, 8u);
+}
+
+// --- Loop unrolling --------------------------------------------------------
+
+class UnrollFactorTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UnrollFactorTest, PreservesSemanticsAndShrinksEpochCount) {
+  unsigned Factor = GetParam();
+  auto Ref = makeSumLoop(37); // Deliberately not a multiple of the factor.
+  uint64_t RefSum = 0;
+  int64_t RefVal = runProgram(*Ref, &RefSum);
+  uint64_t RefEpochs = countEpochs(*Ref);
+
+  auto P = makeSumLoop(37);
+  ASSERT_TRUE(unrollParallelLoop(*P, Factor));
+  EXPECT_TRUE(isWellFormed(*P));
+  uint64_t Sum = 0;
+  EXPECT_EQ(runProgram(*P, &Sum), RefVal);
+  EXPECT_EQ(Sum, RefSum);
+  if (Factor > 1) {
+    EXPECT_LT(countEpochs(*P), RefEpochs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, UnrollFactorTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(UnrollTest, FailsGracefullyWithoutRegion) {
+  auto P = makeSumLoop(5);
+  P->setRegion(RegionSpec());
+  EXPECT_FALSE(unrollParallelLoop(*P, 2));
+}
+
+// --- Scalar synchronization -------------------------------------------------
+
+TEST(ScalarSyncTest, FindsCommunicatingScalars) {
+  auto P = makeSumLoop(10);
+  ScalarSyncResult R = insertScalarSync(*P);
+  // Both the induction variable and the accumulator are loop-carried.
+  EXPECT_EQ(R.NumChannels, 2u);
+  EXPECT_TRUE(isWellFormed(*P));
+}
+
+TEST(ScalarSyncTest, HoistsInductionUpdates) {
+  auto P = makeSumLoop(10);
+  ScalarSyncResult R = insertScalarSync(*P);
+  // i = i + 1 is hoistable; acc = acc + i is not (non-constant operand).
+  EXPECT_EQ(R.NumHoistedUpdates, 1u);
+}
+
+TEST(ScalarSyncTest, SchedulingCanBeDisabled) {
+  auto P = makeSumLoop(10);
+  ScalarSyncOptions Opts;
+  Opts.ScheduleInduction = false;
+  ScalarSyncResult R = insertScalarSync(*P, Opts);
+  EXPECT_EQ(R.NumHoistedUpdates, 0u);
+}
+
+TEST(ScalarSyncTest, WaitsPlacedAtHeaderTop) {
+  auto P = makeSumLoop(10);
+  insertScalarSync(*P);
+  const BasicBlock &Header =
+      P->getFunction(P->getRegion().Func).getBlock(P->getRegion().Header);
+  EXPECT_EQ(Header.instructions()[0].getOpcode(), Opcode::WaitScalar);
+}
+
+TEST(ScalarSyncTest, PreservesSemantics) {
+  auto Ref = makeSumLoop(23);
+  uint64_t RefSum = 0;
+  int64_t RefVal = runProgram(*Ref, &RefSum);
+
+  auto P = makeSumLoop(23);
+  insertScalarSync(*P);
+  uint64_t Sum = 0;
+  EXPECT_EQ(runProgram(*P, &Sum), RefVal);
+  EXPECT_EQ(Sum, RefSum);
+}
+
+TEST(ScalarSyncTest, SignalsEveryChannelSomewhere) {
+  auto P = makeSumLoop(10);
+  ScalarSyncResult R = insertScalarSync(*P);
+  unsigned Signals = 0;
+  const Function &F = P->getFunction(P->getRegion().Func);
+  for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI)
+    for (const Instruction &I : F.getBlock(BI).instructions())
+      if (I.getOpcode() == Opcode::SignalScalar)
+        ++Signals;
+  EXPECT_GE(Signals, R.NumChannels);
+}
+
+// --- Dependence grouping -----------------------------------------------------
+
+namespace {
+
+DepProfile makeProfileWithPairs(
+    uint64_t TotalEpochs,
+    const std::vector<std::tuple<RefName, RefName, uint64_t>> &Pairs) {
+  DepProfile P;
+  P.TotalEpochs = TotalEpochs;
+  for (const auto &[Load, Store, Epochs] : Pairs) {
+    DepPairStat S;
+    S.Load = Load;
+    S.Store = Store;
+    S.Count = Epochs;
+    S.EpochsWithDep = Epochs;
+    P.Pairs[{Load, Store}] = S;
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(DepGraphTest, ThresholdFiltersInfrequentPairs) {
+  DepProfile P = makeProfileWithPairs(
+      100, {{RefName{1, 0}, RefName{2, 0}, 50},   // 50%.
+            {RefName{3, 0}, RefName{4, 0}, 3}});  // 3%.
+  DepGrouping G = buildGroups(P, 5.0);
+  ASSERT_EQ(G.Groups.size(), 1u);
+  EXPECT_EQ(G.Groups[0].Loads.size(), 1u);
+  EXPECT_EQ(G.Groups[0].Loads[0].InstId, 1u);
+}
+
+TEST(DepGraphTest, ConnectedComponentsMerge) {
+  // load1 <- store2, load3 <- store2: one group of 2 loads + 1 store.
+  DepProfile P = makeProfileWithPairs(
+      100, {{RefName{1, 0}, RefName{2, 0}, 50},
+            {RefName{3, 0}, RefName{2, 0}, 40}});
+  DepGrouping G = buildGroups(P, 5.0);
+  ASSERT_EQ(G.Groups.size(), 1u);
+  EXPECT_EQ(G.Groups[0].Loads.size(), 2u);
+  EXPECT_EQ(G.Groups[0].Stores.size(), 1u);
+}
+
+TEST(DepGraphTest, DisjointPairsFormSeparateGroups) {
+  DepProfile P = makeProfileWithPairs(
+      100, {{RefName{1, 0}, RefName{2, 0}, 50},
+            {RefName{3, 0}, RefName{4, 0}, 40}});
+  DepGrouping G = buildGroups(P, 5.0);
+  EXPECT_EQ(G.Groups.size(), 2u);
+  EXPECT_NE(G.groupOfLoad(RefName{1, 0}), nullptr);
+  EXPECT_NE(G.groupOfStore(RefName{4, 0}), nullptr);
+  EXPECT_EQ(G.groupOfLoad(RefName{99, 0}), nullptr);
+}
+
+TEST(DepGraphTest, ContextsDistinguishVertices) {
+  // The same instruction id through different call stacks is two vertices.
+  DepProfile P = makeProfileWithPairs(
+      100, {{RefName{1, 1}, RefName{2, 1}, 50},
+            {RefName{1, 2}, RefName{2, 2}, 40}});
+  DepGrouping G = buildGroups(P, 5.0);
+  EXPECT_EQ(G.Groups.size(), 2u);
+}
+
+TEST(DepGraphTest, TransitiveChainMergesIntoOneGroup) {
+  // l1 <- s2; l3 <- s2; l3 <- s4 => all in one component.
+  DepProfile P = makeProfileWithPairs(
+      100, {{RefName{1, 0}, RefName{2, 0}, 50},
+            {RefName{3, 0}, RefName{2, 0}, 40},
+            {RefName{3, 0}, RefName{4, 0}, 30}});
+  DepGrouping G = buildGroups(P, 5.0);
+  ASSERT_EQ(G.Groups.size(), 1u);
+  EXPECT_EQ(G.Groups[0].Stores.size(), 2u);
+}
+
+// --- Last-site data flow -----------------------------------------------------
+
+TEST(EpochPathsTest, LastStoreInStraightLine) {
+  Program P;
+  uint64_t G = P.addGlobal("g", 8);
+  Function &F = P.addFunction("f", 0);
+  BasicBlock &A = F.addBlock("a");
+  IRBuilder B(P);
+  B.setInsertPoint(&F, &A);
+  B.emitStore(G, 1);
+  B.emitStore(G, 2);
+  B.emitRet(0);
+  std::vector<unsigned> Blocks = {0};
+  auto IsStore = [](const Instruction &I, SitePos) {
+    return I.getOpcode() == Opcode::Store;
+  };
+  std::vector<SitePos> Last = findLastSites(F, Blocks, ~0u, IsStore);
+  ASSERT_EQ(Last.size(), 1u);
+  EXPECT_EQ(Last[0].Pos, 1u); // Only the second store is "last".
+}
+
+TEST(EpochPathsTest, StoreInsideLoopIsNeverLast) {
+  Program P;
+  uint64_t G = P.addGlobal("g", 8);
+  Function &F = P.addFunction("f", 0);
+  F.newReg();
+  BasicBlock &A = F.addBlock("a");
+  BasicBlock &LoopB = F.addBlock("loop");
+  BasicBlock &Done = F.addBlock("done");
+  IRBuilder B(P);
+  B.setInsertPoint(&F, &A);
+  B.emitBr(LoopB);
+  B.setInsertPoint(&F, &LoopB);
+  B.emitStore(G, 1);
+  B.emitCondBr(Reg{0}, LoopB, Done);
+  B.setInsertPoint(&F, &Done);
+  B.emitRet(0);
+
+  std::vector<unsigned> Blocks = {0, 1, 2};
+  auto IsStore = [](const Instruction &I, SitePos) {
+    return I.getOpcode() == Opcode::Store;
+  };
+  // The store can be followed by itself around the inner cycle.
+  EXPECT_TRUE(findLastSites(F, Blocks, ~0u, IsStore).empty());
+}
+
+TEST(EpochPathsTest, EpochScopeTruncatesAtHeader) {
+  // Loop: header(1) -> body(2) -> header. A store in the body *is* last
+  // within one epoch even though the loop repeats.
+  Program P;
+  uint64_t G = P.addGlobal("g", 8);
+  Function &F = P.addFunction("f", 0);
+  F.newReg();
+  BasicBlock &Entry = F.addBlock("entry");
+  BasicBlock &Header = F.addBlock("header");
+  BasicBlock &Body = F.addBlock("body");
+  BasicBlock &Exit = F.addBlock("exit");
+  IRBuilder B(P);
+  B.setInsertPoint(&F, &Entry);
+  B.emitBr(Header);
+  B.setInsertPoint(&F, &Header);
+  B.emitCondBr(Reg{0}, Body, Exit);
+  B.setInsertPoint(&F, &Body);
+  B.emitStore(G, 1);
+  B.emitBr(Header);
+  B.setInsertPoint(&F, &Exit);
+  B.emitRet(0);
+
+  std::vector<unsigned> LoopBlocks = {Header.getIndex(), Body.getIndex()};
+  auto IsStore = [](const Instruction &I, SitePos) {
+    return I.getOpcode() == Opcode::Store;
+  };
+  std::vector<SitePos> Last =
+      findLastSites(F, LoopBlocks, Header.getIndex(), IsStore);
+  ASSERT_EQ(Last.size(), 1u);
+  EXPECT_EQ(Last[0].Block, Body.getIndex());
+}
+
+// --- Cloning -----------------------------------------------------------------
+
+TEST(CloningTest, ClonesCallChainAndRedirects) {
+  Program P;
+  uint64_t G = P.addGlobal("g", 8);
+
+  Function &Leaf = P.addFunction("leaf", 0);
+  {
+    IRBuilder B(P);
+    BasicBlock &E = Leaf.addBlock("e");
+    B.setInsertPoint(&Leaf, &E);
+    B.emitStore(G, 1);
+    B.emitRet(0);
+  }
+  Function &Mid = P.addFunction("mid", 0);
+  uint32_t MidCallId = 0;
+  {
+    IRBuilder B(P);
+    BasicBlock &E = Mid.addBlock("e");
+    B.setInsertPoint(&Mid, &E);
+    B.emitCall(Leaf, {});
+    B.emitRet(0);
+  }
+  Function &Main = P.addFunction("main", 0);
+  BasicBlock *Header = nullptr;
+  uint32_t MainCallId = 0;
+  {
+    IRBuilder B(P);
+    BasicBlock &Entry = Main.addBlock("entry");
+    Header = &Main.addBlock("header");
+    BasicBlock &Body = Main.addBlock("body");
+    BasicBlock &Exit = Main.addBlock("exit");
+    B.setInsertPoint(&Main, &Entry);
+    Reg I = B.emitConst(0);
+    B.emitBr(*Header);
+    B.setInsertPoint(&Main, Header);
+    B.emitCondBr(B.emitCmp(Opcode::CmpLT, I, 3), Body, Exit);
+    B.setInsertPoint(&Main, &Body);
+    B.emitCall(Mid, {});
+    B.emitBinaryInto(I, Opcode::Add, I, 1);
+    B.emitBr(*Header);
+    B.setInsertPoint(&Main, &Exit);
+    B.emitRet(0);
+  }
+  P.setEntry(Main.getIndex());
+  P.setRegion(RegionSpec{Main.getIndex(), Header->getIndex()});
+  P.assignIds();
+  MainCallId = Main.getBlock(2).instructions()[0].getId();
+  MidCallId = Mid.getBlock(0).instructions()[0].getId();
+
+  ContextTable Contexts;
+  uint32_t Ctx1 = Contexts.child(ContextTable::RootContext, MainCallId);
+  uint32_t Ctx2 = Contexts.child(Ctx1, MidCallId);
+
+  unsigned FuncsBefore = P.getNumFunctions();
+  CloneResult R = cloneForContexts(P, Contexts, {Ctx2});
+  EXPECT_EQ(R.NumClonedFunctions, 2u);
+  EXPECT_EQ(P.getNumFunctions(), FuncsBefore + 2);
+  EXPECT_TRUE(isWellFormed(P));
+
+  // The loop-body call now targets the clone of `mid`, whose call targets
+  // the clone of `leaf`; the originals are untouched.
+  unsigned MidClone = R.ContextFunc.at(Ctx1);
+  unsigned LeafClone = R.ContextFunc.at(Ctx2);
+  EXPECT_NE(MidClone, Mid.getIndex());
+  EXPECT_NE(LeafClone, Leaf.getIndex());
+  EXPECT_EQ(Main.getBlock(2).instructions()[0].getCallee(), MidClone);
+  EXPECT_EQ(P.getFunction(MidClone).getBlock(0).instructions()[0].getCallee(),
+            LeafClone);
+  EXPECT_EQ(Mid.getBlock(0).instructions()[0].getCallee(), Leaf.getIndex());
+
+  // Semantics unchanged.
+  ContextTable RunCtx;
+  InterpResult Run = Interpreter(P, RunCtx).run();
+  EXPECT_TRUE(Run.Completed);
+
+  // Code expansion was measured.
+  EXPECT_GT(R.InstsAfter, R.InstsBefore);
+}
+
+TEST(CloningTest, SharedPrefixClonedOnce) {
+  // Two contexts through the same first call site share the first clone.
+  Program P;
+  uint64_t G = P.addGlobal("g", 8);
+  Function &LeafA = P.addFunction("leafA", 0);
+  Function &LeafB = P.addFunction("leafB", 0);
+  for (Function *L : {&LeafA, &LeafB}) {
+    IRBuilder B(P);
+    BasicBlock &E = L->addBlock("e");
+    B.setInsertPoint(L, &E);
+    B.emitStore(G, 1);
+    B.emitRet(0);
+  }
+  Function &Mid = P.addFunction("mid", 0);
+  {
+    IRBuilder B(P);
+    BasicBlock &E = Mid.addBlock("e");
+    B.setInsertPoint(&Mid, &E);
+    B.emitCall(LeafA, {});
+    B.emitCall(LeafB, {});
+    B.emitRet(0);
+  }
+  Function &Main = P.addFunction("main", 0);
+  BasicBlock *Header = nullptr;
+  {
+    IRBuilder B(P);
+    BasicBlock &Entry = Main.addBlock("entry");
+    Header = &Main.addBlock("header");
+    BasicBlock &Body = Main.addBlock("body");
+    BasicBlock &Exit = Main.addBlock("exit");
+    B.setInsertPoint(&Main, &Entry);
+    Reg I = B.emitConst(0);
+    B.emitBr(*Header);
+    B.setInsertPoint(&Main, Header);
+    B.emitCondBr(B.emitCmp(Opcode::CmpLT, I, 3), Body, Exit);
+    B.setInsertPoint(&Main, &Body);
+    B.emitCall(Mid, {});
+    B.emitBinaryInto(I, Opcode::Add, I, 1);
+    B.emitBr(*Header);
+    B.setInsertPoint(&Main, &Exit);
+    B.emitRet(0);
+  }
+  P.setEntry(Main.getIndex());
+  P.setRegion(RegionSpec{Main.getIndex(), Header->getIndex()});
+  P.assignIds();
+
+  uint32_t MainCall = Main.getBlock(2).instructions()[0].getId();
+  uint32_t CallA = Mid.getBlock(0).instructions()[0].getId();
+  uint32_t CallB = Mid.getBlock(0).instructions()[1].getId();
+
+  ContextTable Contexts;
+  uint32_t CtxMid = Contexts.child(ContextTable::RootContext, MainCall);
+  uint32_t CtxA = Contexts.child(CtxMid, CallA);
+  uint32_t CtxB = Contexts.child(CtxMid, CallB);
+
+  CloneResult R = cloneForContexts(P, Contexts, {CtxA, CtxB});
+  // mid cloned once; leafA and leafB cloned once each.
+  EXPECT_EQ(R.NumClonedFunctions, 3u);
+  EXPECT_TRUE(isWellFormed(P));
+}
+
+TEST(ContextClosureTest, OrdersParentsFirst) {
+  ContextTable Contexts;
+  uint32_t C1 = Contexts.child(ContextTable::RootContext, 10);
+  uint32_t C2 = Contexts.child(C1, 20);
+  uint32_t C3 = Contexts.child(C2, 30);
+  std::vector<uint32_t> Closure = contextAncestorClosure(Contexts, {C3});
+  ASSERT_EQ(Closure.size(), 3u);
+  EXPECT_EQ(Closure[0], C1);
+  EXPECT_EQ(Closure[1], C2);
+  EXPECT_EQ(Closure[2], C3);
+}
+
+TEST(ContextTableTest, InterningAndPaths) {
+  ContextTable T;
+  uint32_t A = T.child(ContextTable::RootContext, 5);
+  uint32_t B = T.child(A, 7);
+  EXPECT_EQ(T.child(ContextTable::RootContext, 5), A); // Interned.
+  EXPECT_EQ(T.parentOf(B), A);
+  EXPECT_EQ(T.callSiteOf(B), 7u);
+  EXPECT_EQ(T.pathOf(B), std::vector<uint32_t>({5, 7}));
+  EXPECT_EQ(T.pathOf(ContextTable::RootContext).size(), 0u);
+}

@@ -1,0 +1,115 @@
+//===- tests/harness_test.cpp - Harness and reporting tests ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+#include "harness/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+TEST(ExperimentTest, ModeNamesAreStable) {
+  EXPECT_STREQ(modeName(ExecMode::U), "U");
+  EXPECT_STREQ(modeName(ExecMode::O), "O");
+  EXPECT_STREQ(modeName(ExecMode::T), "T");
+  EXPECT_STREQ(modeName(ExecMode::C), "C");
+  EXPECT_STREQ(modeName(ExecMode::E), "E");
+  EXPECT_STREQ(modeName(ExecMode::L), "L");
+  EXPECT_STREQ(modeName(ExecMode::P), "P");
+  EXPECT_STREQ(modeName(ExecMode::H), "H");
+  EXPECT_STREQ(modeName(ExecMode::B), "B");
+}
+
+namespace {
+
+ModeRunResult makeResult(uint64_t Cycles, uint64_t SeqCycles, uint64_t Busy,
+                         uint64_t Fail, uint64_t Sync) {
+  ModeRunResult R;
+  R.Sim.Cycles = Cycles;
+  R.Sim.Slots.Total = Cycles * 16; // 4 cores x 4-wide.
+  R.Sim.Slots.Busy = Busy;
+  R.Sim.Slots.Fail = Fail;
+  R.Sim.Slots.SyncMem = Sync;
+  R.SeqRegionCycles = SeqCycles;
+  return R;
+}
+
+} // namespace
+
+TEST(ExperimentTest, NormalizedTimeAndSpeedupAgree) {
+  ModeRunResult R = makeResult(/*Cycles=*/50, /*Seq=*/100, 100, 0, 0);
+  EXPECT_DOUBLE_EQ(R.normalizedRegionTime(), 50.0);
+  EXPECT_DOUBLE_EQ(R.regionSpeedup(), 2.0);
+}
+
+TEST(ExperimentTest, SegmentsSumToBarHeight) {
+  ModeRunResult R = makeResult(100, 100, 400, 300, 100);
+  double Sum =
+      R.busyPct() + R.failPct() + R.syncPct() + R.otherPct();
+  EXPECT_NEAR(Sum, R.normalizedRegionTime(), 1e-9);
+  EXPECT_NEAR(R.busyPct(), 100.0 * 400 / 1600, 1e-9);
+  EXPECT_NEAR(R.failPct(), 100.0 * 300 / 1600, 1e-9);
+}
+
+TEST(ExperimentTest, ZeroDenominatorsAreSafe) {
+  ModeRunResult R;
+  EXPECT_DOUBLE_EQ(R.normalizedRegionTime(), 0.0);
+  EXPECT_DOUBLE_EQ(R.regionSpeedup(), 0.0);
+  EXPECT_DOUBLE_EQ(R.busyPct(), 0.0);
+}
+
+TEST(ReportTest, ModeBarRendersSegmentsAndTotal) {
+  ModeRunResult R = makeResult(100, 100, 800, 400, 200);
+  std::string Bar = renderModeBar("U", R);
+  EXPECT_NE(Bar.find('B'), std::string::npos);
+  EXPECT_NE(Bar.find('F'), std::string::npos);
+  EXPECT_NE(Bar.find("100.0"), std::string::npos);
+}
+
+TEST(ReportTest, BenchmarkBarsIncludeHeading) {
+  ModeRunResult R = makeResult(50, 100, 800, 0, 0);
+  R.Mode = ExecMode::C;
+  std::string Out = renderBenchmarkBars("PARSER", {R});
+  EXPECT_EQ(Out.rfind("PARSER\n", 0), 0u);
+  EXPECT_NE(Out.find("C "), std::string::npos);
+}
+
+TEST(PipelineTest, RunBeforePrepareIsRejectedInDebug) {
+  // prepare() gates run(); in assert builds this is enforced. Here we
+  // just check the happy path end to end on the smallest benchmark
+  // configuration available.
+  MachineConfig Config;
+  BenchmarkPipeline P(*findWorkload("BZIP2_DECOMP"), Config);
+  P.prepare();
+  ModeRunResult U = P.run(ExecMode::U);
+  EXPECT_GT(U.Sim.EpochsCommitted, 0u);
+  EXPECT_GT(U.CoveragePercent, 0.0);
+  EXPECT_GT(U.ProgramSpeedup, 0.0);
+}
+
+TEST(PipelineTest, ModesShareOneBaselineAndProfile) {
+  MachineConfig Config;
+  BenchmarkPipeline P(*findWorkload("TWOLF"), Config);
+  P.prepare();
+  ModeRunResult A = P.run(ExecMode::U);
+  ModeRunResult B = P.run(ExecMode::C);
+  EXPECT_EQ(A.SeqRegionCycles, B.SeqRegionCycles);
+  EXPECT_DOUBLE_EQ(A.CoveragePercent, B.CoveragePercent);
+  // Deterministic: re-running a mode reproduces its timing exactly.
+  ModeRunResult A2 = P.run(ExecMode::U);
+  EXPECT_EQ(A.Sim.Cycles, A2.Sim.Cycles);
+  EXPECT_EQ(A.Sim.Violations, A2.Sim.Violations);
+}
+
+TEST(PipelineTest, ThresholdSweepIsMonotoneInImmunitySetSize) {
+  MachineConfig Config;
+  BenchmarkPipeline P(*findWorkload("GZIP_COMP"), Config);
+  P.prepare();
+  // A lower threshold immunizes a superset of loads.
+  size_t N25 = P.refProfile().loadsAboveThreshold(25.0).size();
+  size_t N5 = P.refProfile().loadsAboveThreshold(5.0).size();
+  EXPECT_GE(N5, N25);
+}

@@ -1,0 +1,329 @@
+//===- tests/integration_test.cpp - Full-pipeline integration ----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end tests over the 15 benchmark workloads: semantic equivalence
+// of every transformed binary with the original program, well-formedness,
+// pipeline invariants, and the headline qualitative results the paper
+// reports per benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/PassManager.h"
+#include "harness/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+using namespace specsync;
+
+namespace {
+
+struct Observed {
+  int64_t ExitValue = 0;
+  uint64_t Checksum = 0;
+  bool Completed = false;
+};
+
+Observed observe(Program &P) {
+  ContextTable Ctx;
+  InterpResult R = Interpreter(P, Ctx).run();
+  return Observed{R.ExitValue, R.MemoryChecksum, R.Completed};
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<const Workload *> {};
+
+/// Pipelines are expensive to prepare; share one per workload across the
+/// qualitative tests below.
+BenchmarkPipeline &pipelineFor(const Workload &W) {
+  static std::map<std::string, std::unique_ptr<BenchmarkPipeline>> Cache;
+  static MachineConfig Config;
+  auto It = Cache.find(W.Name);
+  if (It == Cache.end()) {
+    auto P = std::make_unique<BenchmarkPipeline>(W, Config);
+    P->prepare();
+    It = Cache.emplace(W.Name, std::move(P)).first;
+  }
+  return *It->second;
+}
+
+} // namespace
+
+TEST_P(WorkloadSuite, OriginalProgramIsWellFormedAndTerminates) {
+  const Workload &W = *GetParam();
+  std::unique_ptr<Program> P = W.Build(InputKind::Ref);
+  EXPECT_TRUE(isWellFormed(*P));
+  EXPECT_TRUE(observe(*P).Completed);
+}
+
+TEST_P(WorkloadSuite, BuildsAreDeterministic) {
+  const Workload &W = *GetParam();
+  std::unique_ptr<Program> A = W.Build(InputKind::Ref);
+  std::unique_ptr<Program> B = W.Build(InputKind::Ref);
+  Observed OA = observe(*A), OB = observe(*B);
+  EXPECT_EQ(OA.ExitValue, OB.ExitValue);
+  EXPECT_EQ(OA.Checksum, OB.Checksum);
+  EXPECT_EQ(A->numIds(), B->numIds());
+}
+
+TEST_P(WorkloadSuite, TrainAndRefShareStaticIds) {
+  const Workload &W = *GetParam();
+  std::unique_ptr<Program> T = W.Build(InputKind::Train);
+  std::unique_ptr<Program> R = W.Build(InputKind::Ref);
+  EXPECT_EQ(T->numIds(), R->numIds());
+  EXPECT_EQ(T->getNumFunctions(), R->getNumFunctions());
+}
+
+TEST_P(WorkloadSuite, BaseTransformsPreserveSemantics) {
+  const Workload &W = *GetParam();
+  Observed Ref = observe(*W.Build(InputKind::Ref));
+
+  for (unsigned Factor : {1u, 2u, 4u}) {
+    std::unique_ptr<Program> P = W.Build(InputKind::Ref);
+    applyBaseTransforms(*P, Factor);
+    EXPECT_TRUE(isWellFormed(*P)) << W.Name << " factor " << Factor;
+    Observed Got = observe(*P);
+    EXPECT_TRUE(Got.Completed);
+    EXPECT_EQ(Got.ExitValue, Ref.ExitValue) << W.Name;
+    EXPECT_EQ(Got.Checksum, Ref.Checksum) << W.Name;
+  }
+}
+
+TEST_P(WorkloadSuite, MemSyncPreservesSemantics) {
+  const Workload &W = *GetParam();
+  Observed Ref = observe(*W.Build(InputKind::Ref));
+
+  ContextTable Ctx;
+  DepProfile Profile;
+  {
+    std::unique_ptr<Program> P = W.Build(InputKind::Ref);
+    applyBaseTransforms(*P, 1);
+    DepProfiler DP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    Interpreter(*P, Ctx).run(Opts, &DP);
+    Profile = DP.takeProfile();
+  }
+  std::unique_ptr<Program> P = W.Build(InputKind::Ref);
+  applyBaseTransforms(*P, 1);
+  applyMemSync(*P, Ctx, Profile);
+  EXPECT_TRUE(isWellFormed(*P)) << W.Name;
+  Observed Got = observe(*P);
+  EXPECT_TRUE(Got.Completed);
+  EXPECT_EQ(Got.ExitValue, Ref.ExitValue) << W.Name;
+  EXPECT_EQ(Got.Checksum, Ref.Checksum) << W.Name;
+}
+
+TEST_P(WorkloadSuite, PipelineInvariantsHold) {
+  const Workload &W = *GetParam();
+  BenchmarkPipeline &P = pipelineFor(W);
+
+  // Every epoch commits in every mode; slot accounting is closed.
+  for (ExecMode M : {ExecMode::U, ExecMode::C, ExecMode::H, ExecMode::B}) {
+    ModeRunResult R = P.run(M);
+    EXPECT_TRUE(R.Sim.Completed) << W.Name << " " << modeName(M);
+    EXPECT_EQ(R.Sim.Slots.Total,
+              R.Sim.Cycles * 4u * 4u) // IssueWidth * NumCores.
+        << W.Name;
+    EXPECT_LE(R.Sim.Slots.Busy + R.Sim.Slots.Fail + R.Sim.Slots.sync(),
+              R.Sim.Slots.Total)
+        << W.Name;
+    EXPECT_GT(R.Sim.EpochsCommitted, 0u) << W.Name;
+  }
+
+  // The oracle never loses to the baseline.
+  EXPECT_LE(P.run(ExecMode::O).Sim.Cycles, P.run(ExecMode::U).Sim.Cycles)
+      << W.Name;
+
+  // The signal address buffer never exceeds the paper's 10 entries.
+  ModeRunResult C = P.run(ExecMode::C);
+  EXPECT_LE(C.Sim.SabMaxOccupancy, 10u) << W.Name;
+  EXPECT_EQ(C.Sim.SabOverflows, 0u) << W.Name;
+}
+
+TEST_P(WorkloadSuite, CompilerSyncEliminatesSyncedViolations) {
+  const Workload &W = *GetParam();
+  BenchmarkPipeline &P = pipelineFor(W);
+  ModeRunResult U = P.run(ExecMode::U);
+  ModeRunResult C = P.run(ExecMode::C);
+  // Compiler sync must never *increase* violations.
+  EXPECT_LE(C.Sim.Violations, U.Sim.Violations + C.Sim.SabViolations)
+      << W.Name;
+}
+
+TEST_P(WorkloadSuite, LoopSelectionAcceptsEveryBenchmarkLoop) {
+  const Workload &W = *GetParam();
+  BenchmarkPipeline &P = pipelineFor(W);
+  EXPECT_TRUE(P.selection().Selected) << P.selection().Reason;
+  EXPECT_GT(P.loopProfile().coveragePercent(), 5.0) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadSuite,
+    ::testing::ValuesIn([] {
+      std::vector<const Workload *> Ptrs;
+      for (const Workload &W : allWorkloads())
+        Ptrs.push_back(&W);
+      return Ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const Workload *> &Info) {
+      return Info.param->Name;
+    });
+
+// --- Paper-specific qualitative results -----------------------------------
+
+TEST(PaperResults, ParserCompilerSyncWinsBig) {
+  BenchmarkPipeline &P = pipelineFor(*findWorkload("PARSER"));
+  ModeRunResult U = P.run(ExecMode::U);
+  ModeRunResult C = P.run(ExecMode::C);
+  EXPECT_LT(C.Sim.Cycles, U.Sim.Cycles);
+  EXPECT_LT(C.failPct(), U.failPct() / 2); // Fail segment collapses.
+  EXPECT_GT(C.regionSpeedup(), 1.5);       // Paper: ~2.1.
+}
+
+TEST(PaperResults, ParserExercisesCloningAndSab) {
+  BenchmarkPipeline &P = pipelineFor(*findWorkload("PARSER"));
+  EXPECT_GE(P.refMemSync().NumClonedFunctions, 1u); // free_element clone.
+  // use_element's aliased store after the signal restarts the consumer.
+  EXPECT_GT(P.run(ExecMode::C).Sim.SabViolations, 0u);
+}
+
+TEST(PaperResults, M88ksimFalseSharingOnlyHardwareHelps) {
+  BenchmarkPipeline &P = pipelineFor(*findWorkload("M88KSIM"));
+  ModeRunResult U = P.run(ExecMode::U);
+  ModeRunResult C = P.run(ExecMode::C);
+  ModeRunResult H = P.run(ExecMode::H);
+  EXPECT_GT(U.failPct(), 40.0);                  // Violations dominate.
+  EXPECT_GT(C.failPct(), 40.0);                  // C cannot see them.
+  EXPECT_LT(H.Sim.Cycles, U.Sim.Cycles / 2);     // H wins big.
+}
+
+TEST(PaperResults, GzipCompTrainProfileMissesThePairs) {
+  BenchmarkPipeline &P = pipelineFor(*findWorkload("GZIP_COMP"));
+  ModeRunResult U = P.run(ExecMode::U);
+  ModeRunResult T = P.run(ExecMode::T);
+  ModeRunResult C = P.run(ExecMode::C);
+  // T (train profile) behaves like U; C (ref profile) clearly better.
+  EXPECT_LT(C.Sim.Cycles, U.Sim.Cycles * 8 / 10);
+  EXPECT_GT(T.Sim.Cycles, C.Sim.Cycles * 11 / 10);
+}
+
+TEST(PaperResults, GzipDecompCompilerForwardsEarlierThanHardware) {
+  BenchmarkPipeline &P = pipelineFor(*findWorkload("GZIP_DECOMP"));
+  ModeRunResult C = P.run(ExecMode::C);
+  ModeRunResult H = P.run(ExecMode::H);
+  EXPECT_LT(C.Sim.Cycles, H.Sim.Cycles);
+}
+
+TEST(PaperResults, TwolfSyncIsPureOverhead) {
+  BenchmarkPipeline &P = pipelineFor(*findWorkload("TWOLF"));
+  ModeRunResult U = P.run(ExecMode::U);
+  ModeRunResult C = P.run(ExecMode::C);
+  EXPECT_EQ(U.Sim.Violations, 0u);
+  // Small degradation, not a collapse (paper Section 4.2, third bullet).
+  EXPECT_GE(C.Sim.Cycles, U.Sim.Cycles);
+  EXPECT_LT(C.Sim.Cycles, U.Sim.Cycles * 11 / 10);
+}
+
+TEST(PaperResults, Bzip2DecompNeverFailsSpeculation) {
+  BenchmarkPipeline &P = pipelineFor(*findWorkload("BZIP2_DECOMP"));
+  ModeRunResult U = P.run(ExecMode::U);
+  EXPECT_EQ(U.Sim.Violations, 0u);
+  EXPECT_GT(U.regionSpeedup(), 1.5);
+}
+
+TEST(PaperResults, GccExercisesDepthTwoCloning) {
+  BenchmarkPipeline &P = pipelineFor(*findWorkload("GCC"));
+  EXPECT_GE(P.refMemSync().NumClonedFunctions, 2u);
+  EXPECT_LT(P.run(ExecMode::C).Sim.Cycles, P.run(ExecMode::U).Sim.Cycles);
+}
+
+TEST(PaperResults, Figure6ThresholdOrderingHolds) {
+  BenchmarkPipeline &P = pipelineFor(*findWorkload("BZIP2_COMP"));
+  ModeRunResult T25 = P.runWithPerfectLoads(25.0);
+  ModeRunResult T5 = P.runWithPerfectLoads(5.0);
+  ModeRunResult U = P.run(ExecMode::U);
+  // Immunizing only the >25% loads barely helps (it can even slip a
+  // little: more overlap exposes the bursty 5-15%-band dependences — the
+  // paper notes the same effect for its E idealization).
+  EXPECT_LE(T25.Sim.Cycles, U.Sim.Cycles * 105 / 100);
+  EXPECT_LT(T5.Sim.Cycles, T25.Sim.Cycles * 7 / 10); // The 5% step is big.
+}
+
+TEST(PaperResults, Figure9OrderingHoldsWhereSyncMatters) {
+  for (const char *Name : {"GZIP_DECOMP", "PARSER", "PERLBMK"}) {
+    BenchmarkPipeline &P = pipelineFor(*findWorkload(Name));
+    ModeRunResult E = P.run(ExecMode::E);
+    ModeRunResult C = P.run(ExecMode::C);
+    ModeRunResult L = P.run(ExecMode::L);
+    EXPECT_LE(E.Sim.Cycles, C.Sim.Cycles * 101 / 100) << Name;
+    EXPECT_LT(C.Sim.Cycles, L.Sim.Cycles) << Name;
+  }
+}
+
+TEST(PaperResults, ValuePredictionIsInsignificant) {
+  for (const char *Name : {"PARSER", "GZIP_COMP", "GAP"}) {
+    BenchmarkPipeline &P = pipelineFor(*findWorkload(Name));
+    ModeRunResult U = P.run(ExecMode::U);
+    ModeRunResult Pred = P.run(ExecMode::P);
+    double Ratio = static_cast<double>(Pred.Sim.Cycles) /
+                   static_cast<double>(U.Sim.Cycles);
+    EXPECT_GT(Ratio, 0.9) << Name;
+    EXPECT_LT(Ratio, 1.1) << Name;
+  }
+}
+
+TEST(PaperResults, HybridTracksTheBestTechnique) {
+  // B should be within 30% of min(C, H) for the headline benchmarks.
+  for (const char *Name : {"M88KSIM", "GZIP_DECOMP", "GO"}) {
+    BenchmarkPipeline &P = pipelineFor(*findWorkload(Name));
+    uint64_t C = P.run(ExecMode::C).Sim.Cycles;
+    uint64_t H = P.run(ExecMode::H).Sim.Cycles;
+    uint64_t B = P.run(ExecMode::B).Sim.Cycles;
+    EXPECT_LE(B, std::min(C, H) * 13 / 10) << Name;
+  }
+}
+
+TEST(PaperResults, Figure11SchemesAreComplementary) {
+  // Across benchmarks, both compiler-only and hw-only attributions occur.
+  uint64_t CompilerOnly = 0, HwOnly = 0;
+  for (const char *Name : {"M88KSIM", "PARSER", "GZIP_COMP", "GO"}) {
+    BenchmarkPipeline &P = pipelineFor(*findWorkload(Name));
+    ModeRunResult U = P.run(ExecMode::U);
+    CompilerOnly += U.Sim.ViolCompilerOnly;
+    HwOnly += U.Sim.ViolHwOnly + U.Sim.ViolNeither;
+  }
+  EXPECT_GT(CompilerOnly, 0u);
+  EXPECT_GT(HwOnly, 0u);
+}
+
+TEST(PaperResults, DistanceOneDominatesOverall) {
+  uint64_t D1 = 0, Rest = 0;
+  for (const char *Name : {"PARSER", "GZIP_DECOMP", "GAP", "PERLBMK"}) {
+    BenchmarkPipeline &P = pipelineFor(*findWorkload(Name));
+    const Histogram &H = P.refProfile().DistanceHist;
+    D1 += H.bucketCount(1);
+    Rest += H.totalSamples() - H.bucketCount(1);
+  }
+  EXPECT_GT(D1, Rest); // Figure 7's shape.
+}
+
+TEST(PaperResults, CodeExpansionFromCloningIsBounded) {
+  // The paper reports < 1% on full SPEC programs; our kernels are a few
+  // hundred static instructions, so the same handful of cloned procedures
+  // is a larger fraction (GCC clones its whole analysis routine). The
+  // invariants that matter: the clone *count* stays small and expansion
+  // never doubles the program.
+  for (const Workload &W : allWorkloads()) {
+    BenchmarkPipeline &P = pipelineFor(W);
+    EXPECT_LE(P.refMemSync().NumClonedFunctions, 4u) << W.Name;
+    EXPECT_LT(P.refMemSync().CodeExpansionPercent, 100.0) << W.Name;
+  }
+}

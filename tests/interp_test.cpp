@@ -1,0 +1,315 @@
+//===- tests/interp_test.cpp - Interpreter semantics tests -------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+namespace {
+
+/// Runs a one-block program that computes `op(A, B)` and returns it.
+int64_t evalBinary(Opcode Op, int64_t A, int64_t B) {
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  BasicBlock &E = F.addBlock("e");
+  IRBuilder Builder(P);
+  Builder.setInsertPoint(&F, &E);
+  Reg R = Builder.emitBinary(Op, A, B);
+  Builder.emitRet(R);
+  P.setEntry(F.getIndex());
+  P.assignIds();
+  ContextTable Contexts;
+  Interpreter I(P, Contexts);
+  InterpResult Result = I.run();
+  EXPECT_TRUE(Result.Completed);
+  return Result.ExitValue;
+}
+
+struct BinaryCase {
+  Opcode Op;
+  int64_t A, B, Expected;
+};
+
+class BinarySemantics : public ::testing::TestWithParam<BinaryCase> {};
+
+} // namespace
+
+TEST_P(BinarySemantics, Evaluates) {
+  const BinaryCase &C = GetParam();
+  EXPECT_EQ(evalBinary(C.Op, C.A, C.B), C.Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, BinarySemantics,
+    ::testing::Values(
+        BinaryCase{Opcode::Add, 2, 3, 5}, BinaryCase{Opcode::Add, -2, 2, 0},
+        BinaryCase{Opcode::Sub, 2, 3, -1}, BinaryCase{Opcode::Mul, -4, 3, -12},
+        BinaryCase{Opcode::Div, 7, 2, 3}, BinaryCase{Opcode::Div, -7, 2, -3},
+        BinaryCase{Opcode::Div, 7, 0, 0},  // Defined total semantics.
+        BinaryCase{Opcode::Mod, 7, 3, 1}, BinaryCase{Opcode::Mod, 7, 0, 0},
+        BinaryCase{Opcode::And, 0b1100, 0b1010, 0b1000},
+        BinaryCase{Opcode::Or, 0b1100, 0b1010, 0b1110},
+        BinaryCase{Opcode::Xor, 0b1100, 0b1010, 0b0110},
+        BinaryCase{Opcode::Shl, 1, 4, 16},
+        BinaryCase{Opcode::Shl, 1, 68, 16}, // Shift masked mod 64.
+        BinaryCase{Opcode::Shr, 16, 4, 1},
+        BinaryCase{Opcode::Shr, -1, 60, 15}, // Logical shift.
+        BinaryCase{Opcode::CmpEQ, 3, 3, 1}, BinaryCase{Opcode::CmpEQ, 3, 4, 0},
+        BinaryCase{Opcode::CmpNE, 3, 4, 1},
+        BinaryCase{Opcode::CmpLT, -1, 0, 1},
+        BinaryCase{Opcode::CmpLE, 2, 2, 1},
+        BinaryCase{Opcode::CmpGT, 2, 2, 0},
+        BinaryCase{Opcode::CmpGE, 2, 2, 1}));
+
+TEST(InterpTest, SelectPicksByCondition) {
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  BasicBlock &E = F.addBlock("e");
+  IRBuilder B(P);
+  B.setInsertPoint(&F, &E);
+  Reg S1 = B.emitSelect(1, 10, 20);
+  Reg S2 = B.emitSelect(0, 10, 20);
+  B.emitRet(B.emitAdd(S1, S2));
+  P.setEntry(F.getIndex());
+  P.assignIds();
+  ContextTable Ctx;
+  EXPECT_EQ(Interpreter(P, Ctx).run().ExitValue, 30);
+}
+
+TEST(InterpTest, MemoryRoundTripAndDefaultZero) {
+  Program P;
+  uint64_t G = P.addGlobal("g", 16);
+  Function &F = P.addFunction("main", 0);
+  BasicBlock &E = F.addBlock("e");
+  IRBuilder B(P);
+  B.setInsertPoint(&F, &E);
+  B.emitStore(G, 77);
+  Reg A = B.emitLoad(G);
+  Reg Z = B.emitLoad(G + 8); // Never written: reads 0.
+  B.emitRet(B.emitAdd(A, Z));
+  P.setEntry(F.getIndex());
+  P.assignIds();
+  ContextTable Ctx;
+  EXPECT_EQ(Interpreter(P, Ctx).run().ExitValue, 77);
+}
+
+TEST(InterpTest, CallsPassArgsAndReturnValues) {
+  Program P;
+  Function &Add3 = P.addFunction("add3", 3);
+  {
+    IRBuilder B(P);
+    BasicBlock &E = Add3.addBlock("e");
+    B.setInsertPoint(&Add3, &E);
+    B.emitRet(B.emitAdd(B.emitAdd(B.param(0), B.param(1)), B.param(2)));
+  }
+  Function &Main = P.addFunction("main", 0);
+  {
+    IRBuilder B(P);
+    BasicBlock &E = Main.addBlock("e");
+    B.setInsertPoint(&Main, &E);
+    Reg R = B.emitCall(Add3, {IRBuilder::V(1), IRBuilder::V(2),
+                              IRBuilder::V(3)});
+    B.emitRet(R);
+  }
+  P.setEntry(Main.getIndex());
+  P.assignIds();
+  ContextTable Ctx;
+  EXPECT_EQ(Interpreter(P, Ctx).run().ExitValue, 6);
+}
+
+TEST(InterpTest, RandIsDeterministicPerSeed) {
+  auto Build = [](uint64_t Seed) {
+    auto P = std::make_unique<Program>();
+    Function &F = P->addFunction("main", 0);
+    BasicBlock &E = F.addBlock("e");
+    IRBuilder B(*P);
+    B.setInsertPoint(&F, &E);
+    Reg R1 = B.emitRand();
+    Reg R2 = B.emitRand();
+    B.emitRet(B.emitXor(R1, R2));
+    P->setEntry(F.getIndex());
+    P->setRandSeed(Seed);
+    P->assignIds();
+    return P;
+  };
+  ContextTable Ctx;
+  auto P1 = Build(5), P2 = Build(5), P3 = Build(6);
+  int64_t A = Interpreter(*P1, Ctx).run().ExitValue;
+  int64_t B = Interpreter(*P2, Ctx).run().ExitValue;
+  int64_t C = Interpreter(*P3, Ctx).run().ExitValue;
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST(InterpTest, RandValuesAreNonNegative) {
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  BasicBlock &E = F.addBlock("e");
+  IRBuilder B(P);
+  B.setInsertPoint(&F, &E);
+  Reg Acc = B.emitConst(0);
+  for (int I = 0; I < 8; ++I) {
+    Reg R = B.emitRand();
+    Reg Neg = B.emitCmp(Opcode::CmpLT, R, 0);
+    Acc = B.emitOr(Acc, Neg);
+  }
+  B.emitRet(Acc);
+  P.setEntry(F.getIndex());
+  P.assignIds();
+  ContextTable Ctx;
+  EXPECT_EQ(Interpreter(P, Ctx).run().ExitValue, 0);
+}
+
+TEST(InterpTest, MaxStepsGuardAborts) {
+  // while (true) {}
+  Program P;
+  Function &F = P.addFunction("main", 0);
+  BasicBlock &A = F.addBlock("a");
+  Instruction Br(Opcode::Br, -1, {});
+  Br.setTarget(0, 0);
+  A.append(std::move(Br));
+  P.setEntry(F.getIndex());
+  P.assignIds();
+  ContextTable Ctx;
+  InterpOptions Opts;
+  Opts.MaxSteps = 1000;
+  Opts.CollectTrace = false;
+  InterpResult R = Interpreter(P, Ctx).run(Opts);
+  EXPECT_FALSE(R.Completed);
+}
+
+namespace {
+
+/// A loop annotated as the parallel region, with a call in the body.
+std::unique_ptr<Program> makeRegionProgram(int64_t Iters) {
+  auto P = std::make_unique<Program>();
+  uint64_t G = P->addGlobal("g", 8);
+
+  Function &Helper = P->addFunction("helper", 1);
+  {
+    IRBuilder B(*P);
+    BasicBlock &E = Helper.addBlock("e");
+    B.setInsertPoint(&Helper, &E);
+    Reg V = B.emitLoad(G);
+    B.emitStore(G, B.emitAdd(V, B.param(0)));
+    B.emitRet(0);
+  }
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  BasicBlock &Header = Main.addBlock("header");
+  BasicBlock &Body = Main.addBlock("body");
+  BasicBlock &Exit = Main.addBlock("exit");
+
+  B.setInsertPoint(&Main, &Entry);
+  Reg I = B.emitConst(0);
+  B.emitBr(Header);
+
+  B.setInsertPoint(&Main, &Header);
+  Reg Cond = B.emitCmp(Opcode::CmpLT, I, Iters);
+  B.emitCondBr(Cond, Body, Exit);
+
+  B.setInsertPoint(&Main, &Body);
+  B.emitCall(Helper, {I});
+  B.emitBinaryInto(I, Opcode::Add, I, 1);
+  B.emitBr(Header);
+
+  B.setInsertPoint(&Main, &Exit);
+  B.emitRet(B.emitLoad(G));
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), Header.getIndex()});
+  P->assignIds();
+  return P;
+}
+
+} // namespace
+
+TEST(InterpRegionTest, EpochPerIterationAndCorrectSum) {
+  auto P = makeRegionProgram(10);
+  ContextTable Ctx;
+  InterpResult R = Interpreter(*P, Ctx).run();
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.ExitValue, 45); // 0 + 1 + ... + 9.
+  ASSERT_EQ(R.Trace.Regions.size(), 1u);
+  // 10 body iterations plus the final header evaluation that exits.
+  EXPECT_EQ(R.Trace.Regions[0].Epochs.size(), 11u);
+}
+
+TEST(InterpRegionTest, CalleeInstructionsBelongToEpochs) {
+  auto P = makeRegionProgram(3);
+  ContextTable Ctx;
+  InterpResult R = Interpreter(*P, Ctx).run();
+  bool SawCalleeStore = false;
+  for (const EpochTrace &E : R.Trace.Regions[0].Epochs)
+    for (const DynInst &DI : E.Insts)
+      if (DI.Op == Opcode::Store && DI.Context != ContextTable::RootContext)
+        SawCalleeStore = true;
+  EXPECT_TRUE(SawCalleeStore);
+}
+
+TEST(InterpRegionTest, ContextsAreInternedPerCallSite) {
+  auto P = makeRegionProgram(5);
+  ContextTable Ctx;
+  InterpResult R = Interpreter(*P, Ctx).run();
+  // Exactly one non-root context: the single call site in the loop body.
+  EXPECT_EQ(Ctx.numContexts(), 2u);
+  // The same context shows up in every epoch that executes the call.
+  uint32_t Seen = 0;
+  for (const EpochTrace &E : R.Trace.Regions[0].Epochs)
+    for (const DynInst &DI : E.Insts)
+      if (DI.Context != ContextTable::RootContext)
+        Seen = DI.Context;
+  EXPECT_EQ(Seen, 1u);
+}
+
+TEST(InterpRegionTest, SegmentsPartitionTheTrace) {
+  auto P = makeRegionProgram(4);
+  ContextTable Ctx;
+  InterpResult R = Interpreter(*P, Ctx).run();
+  uint64_t SeqCovered = 0;
+  unsigned RegionSegments = 0;
+  for (const ProgramTrace::Segment &S : R.Trace.Segments) {
+    if (S.IsRegion)
+      ++RegionSegments;
+    else
+      SeqCovered += S.SeqEnd - S.SeqBegin;
+  }
+  EXPECT_EQ(SeqCovered, R.Trace.SeqInsts.size());
+  EXPECT_EQ(RegionSegments, R.Trace.Regions.size());
+  EXPECT_EQ(R.DynInstCount, R.Trace.numDynInsts());
+}
+
+TEST(InterpRegionTest, ChecksumStableAcrossRuns) {
+  ContextTable Ctx;
+  auto P1 = makeRegionProgram(10);
+  auto P2 = makeRegionProgram(10);
+  EXPECT_EQ(Interpreter(*P1, Ctx).run().MemoryChecksum,
+            Interpreter(*P2, Ctx).run().MemoryChecksum);
+}
+
+TEST(InterpRegionTest, SyncOpsAreFunctionalNoOps) {
+  // Insert wait/signal markers manually; results must not change.
+  auto P = makeRegionProgram(6);
+  int64_t Before = [&] {
+    ContextTable Ctx;
+    return Interpreter(*P, Ctx).run().ExitValue;
+  }();
+
+  Function &Main = *P->findFunction("main");
+  BasicBlock &Header = Main.getBlock(P->getRegion().Header);
+  Instruction Wait(Opcode::WaitScalar, -1, {});
+  Wait.setSyncId(0);
+  Header.insertAt(0, std::move(Wait));
+  P->assignIds();
+
+  ContextTable Ctx;
+  EXPECT_EQ(Interpreter(*P, Ctx).run().ExitValue, Before);
+}

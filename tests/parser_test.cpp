@@ -1,0 +1,157 @@
+//===- tests/parser_test.cpp - Textual IR parser tests -----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+TEST(IRParserTest, ParsesMinimalProgram) {
+  ParseResult R = parseProgram("func @main(0 params, 1 regs) {\n"
+                               "entry:\n"
+                               "  r0 = const 42\n"
+                               "  ret r0\n"
+                               "}\n");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_TRUE(isWellFormed(*R.Prog));
+  ContextTable Ctx;
+  EXPECT_EQ(Interpreter(*R.Prog, Ctx).run().ExitValue, 42);
+}
+
+TEST(IRParserTest, ParsesBranchesAndLabels) {
+  ParseResult R = parseProgram(
+      "func @main(0 params, 2 regs) {\n"
+      "entry:\n"
+      "  r0 = const 1\n"
+      "  condbr r0 ^then, ^else\n"
+      "then:\n"
+      "  r1 = const 10\n"
+      "  ret r1\n"
+      "else:\n"
+      "  r1 = const 20\n"
+      "  ret r1\n"
+      "}\n");
+  ASSERT_TRUE(R) << R.Error;
+  ContextTable Ctx;
+  EXPECT_EQ(Interpreter(*R.Prog, Ctx).run().ExitValue, 10);
+}
+
+TEST(IRParserTest, ParsesCallsGlobalsAndSync) {
+  ParseResult R = parseProgram(
+      "global @g size=8 addr=0x10000\n"
+      "entry 1\n"
+      "func @inc(1 params, 2 regs) {\n"
+      "e:\n"
+      "  r1 = add r0, 1\n"
+      "  ret r1\n"
+      "}\n"
+      "func @main(0 params, 2 regs) {\n"
+      "e:\n"
+      "  wait.scalar #sync0\n"
+      "  r0 = call @0 5\n"
+      "  store 65536, r0\n"
+      "  r1 = load 65536\n"
+      "  signal.scalar r1 #sync0\n"
+      "  ret r1\n"
+      "}\n");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_TRUE(isWellFormed(*R.Prog));
+  ContextTable Ctx;
+  EXPECT_EQ(Interpreter(*R.Prog, Ctx).run().ExitValue, 6);
+}
+
+TEST(IRParserTest, NegativeImmediates) {
+  ParseResult R = parseProgram("func @main(0 params, 1 regs) {\n"
+                               "e:\n"
+                               "  r0 = add -5, -7\n"
+                               "  ret r0\n"
+                               "}\n");
+  ASSERT_TRUE(R) << R.Error;
+  ContextTable Ctx;
+  EXPECT_EQ(Interpreter(*R.Prog, Ctx).run().ExitValue, -12);
+}
+
+TEST(IRParserTest, DiagnosesErrors) {
+  EXPECT_FALSE(parseProgram("func @f(0 params, 0 regs) {\n")); // No brace.
+  EXPECT_FALSE(parseProgram("func @f(0 params, 0 regs) {\n"
+                            "e:\n"
+                            "  frobnicate\n"
+                            "}\n")); // Unknown mnemonic.
+  EXPECT_FALSE(parseProgram("func @f(0 params, 0 regs) {\n"
+                            "e:\n"
+                            "  br ^nowhere\n"
+                            "}\n")); // Unknown label.
+  EXPECT_FALSE(parseProgram("func @f(0 params, 1 regs) {\n"
+                            "e:\n"
+                            "  r0 = call @7\n"
+                            "}\n")); // Unknown callee.
+  EXPECT_FALSE(parseProgram("func @f(0 params, 0 regs) {\n"
+                            "e:\n"
+                            "  ret\n"
+                            "  ret\n"
+                            "}\n")); // Past the terminator.
+  ParseResult R = parseProgram("bogus line\n");
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Error.find("line 1"), std::string::npos);
+}
+
+TEST(IRParserTest, GlobalLayoutMustBeCanonical) {
+  // The printed address must match what the deterministic layout yields.
+  EXPECT_FALSE(parseProgram("global @g size=8 addr=0x99999\n"
+                            "func @main(0 params, 0 regs) {\n"
+                            "e:\n"
+                            "  ret\n"
+                            "}\n"));
+}
+
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<const Workload *> {};
+
+} // namespace
+
+TEST_P(RoundTrip, PrintParsePreservesTextAndSemantics) {
+  const Workload &W = *GetParam();
+  std::unique_ptr<Program> Orig = W.Build(InputKind::Ref);
+
+  std::string Text = printProgram(*Orig);
+  ParseResult Back = parseProgram(Text);
+  ASSERT_TRUE(Back) << W.Name << ": " << Back.Error;
+  EXPECT_TRUE(isWellFormed(*Back.Prog)) << W.Name;
+
+  // Text fixed point.
+  EXPECT_EQ(printProgram(*Back.Prog), Text) << W.Name;
+
+  // Same architectural results, including the full memory image, and the
+  // same region/epoch structure.
+  ContextTable C1, C2;
+  InterpResult R1 = Interpreter(*Orig, C1).run();
+  InterpResult R2 = Interpreter(*Back.Prog, C2).run();
+  EXPECT_EQ(R1.ExitValue, R2.ExitValue) << W.Name;
+  EXPECT_EQ(R1.MemoryChecksum, R2.MemoryChecksum) << W.Name;
+  EXPECT_EQ(R1.Trace.Regions.size(), R2.Trace.Regions.size()) << W.Name;
+  ASSERT_FALSE(R1.Trace.Regions.empty());
+  EXPECT_EQ(R1.Trace.Regions[0].Epochs.size(),
+            R2.Trace.Regions[0].Epochs.size())
+      << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, RoundTrip,
+    ::testing::ValuesIn([] {
+      std::vector<const Workload *> Ptrs;
+      for (const Workload &W : allWorkloads())
+        Ptrs.push_back(&W);
+      return Ptrs;
+    }()),
+    [](const ::testing::TestParamInfo<const Workload *> &Info) {
+      return Info.param->Name;
+    });

@@ -1,0 +1,210 @@
+//===- tests/profile_test.cpp - Dependence/loop profiler tests ---*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "profile/DepProfiler.h"
+#include "profile/LoopProfiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+namespace {
+
+/// A region loop whose body loads then stores one shared word every
+/// iteration — a distance-1 dependence in 100% of epochs.
+std::unique_ptr<Program> makeChainProgram(int64_t Iters, bool LocalFirst) {
+  auto P = std::make_unique<Program>();
+  uint64_t G = P->addGlobal("g", 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  BasicBlock &Header = Main.addBlock("header");
+  BasicBlock &Body = Main.addBlock("body");
+  BasicBlock &Exit = Main.addBlock("exit");
+
+  B.setInsertPoint(&Main, &Entry);
+  Reg I = B.emitConst(0);
+  B.emitBr(Header);
+  B.setInsertPoint(&Main, &Header);
+  B.emitCondBr(B.emitCmp(Opcode::CmpLT, I, Iters), Body, Exit);
+  B.setInsertPoint(&Main, &Body);
+  if (LocalFirst)
+    B.emitStore(G, I); // Same-epoch store makes the load non-exposed.
+  Reg V = B.emitLoad(G);
+  B.emitStore(G, B.emitAdd(V, 1));
+  B.emitBinaryInto(I, Opcode::Add, I, 1);
+  B.emitBr(Header);
+  B.setInsertPoint(&Main, &Exit);
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), Header.getIndex()});
+  P->assignIds();
+  return P;
+}
+
+DepProfile profileOf(Program &P) {
+  ContextTable Ctx;
+  DepProfiler DP;
+  InterpOptions Opts;
+  Opts.CollectTrace = false;
+  Interpreter(P, Ctx).run(Opts, &DP);
+  return DP.takeProfile();
+}
+
+} // namespace
+
+TEST(DepProfilerTest, FindsDistanceOneDependence) {
+  auto P = makeChainProgram(20, /*LocalFirst=*/false);
+  DepProfile Prof = profileOf(*P);
+  ASSERT_EQ(Prof.Pairs.size(), 1u);
+  const DepPairStat &Pair = Prof.Pairs.begin()->second;
+  // 19 consumer epochs depend on a predecessor (epoch 0 has no producer).
+  EXPECT_EQ(Pair.Count, 19u);
+  EXPECT_EQ(Pair.EpochsWithDep, 19u);
+  EXPECT_EQ(Pair.Distance1Count, 19u);
+  EXPECT_GT(Prof.pairFrequencyPercent(Pair), 85.0);
+}
+
+TEST(DepProfilerTest, SameEpochStoreHidesTheLoad) {
+  auto P = makeChainProgram(20, /*LocalFirst=*/true);
+  DepProfile Prof = profileOf(*P);
+  // The load always reads its own epoch's store: no inter-epoch pairs.
+  EXPECT_TRUE(Prof.Pairs.empty());
+  EXPECT_TRUE(Prof.Loads.empty());
+}
+
+TEST(DepProfilerTest, SequentialWritesDoNotFormDependences) {
+  // Initialization stores happen before the region; the first epoch's
+  // load must not be charged against them.
+  auto P = makeChainProgram(5, false);
+  DepProfile Prof = profileOf(*P);
+  const DepPairStat &Pair = Prof.Pairs.begin()->second;
+  EXPECT_EQ(Pair.Count, 4u); // Not 5: epoch 0 reads pre-region state.
+}
+
+TEST(DepProfilerTest, ThresholdQueries) {
+  auto P = makeChainProgram(40, false);
+  DepProfile Prof = profileOf(*P);
+  EXPECT_EQ(Prof.loadsAboveThreshold(5.0).size(), 1u);
+  EXPECT_EQ(Prof.loadsAboveThreshold(99.9).size(), 0u);
+  EXPECT_EQ(Prof.pairsAboveThreshold(5.0).size(), 1u);
+}
+
+TEST(DepProfilerTest, DistanceHistogramRecordsGaps) {
+  // Store every 3rd epoch, load every epoch -> distances 1, 2, 3 appear.
+  auto P = std::make_unique<Program>();
+  uint64_t G = P->addGlobal("g", 8);
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  BasicBlock &Header = Main.addBlock("header");
+  BasicBlock &Body = Main.addBlock("body");
+  BasicBlock &DoStore = Main.addBlock("dostore");
+  BasicBlock &Latch = Main.addBlock("latch");
+  BasicBlock &Exit = Main.addBlock("exit");
+
+  B.setInsertPoint(&Main, &Entry);
+  Reg I = B.emitConst(0);
+  B.emitBr(Header);
+  B.setInsertPoint(&Main, &Header);
+  B.emitCondBr(B.emitCmp(Opcode::CmpLT, I, 30), Body, Exit);
+  B.setInsertPoint(&Main, &Body);
+  B.emitLoad(G);
+  Reg Third = B.emitCmp(Opcode::CmpEQ, B.emitMod(I, 3), 0);
+  B.emitCondBr(Third, DoStore, Latch);
+  B.setInsertPoint(&Main, &DoStore);
+  B.emitStore(G, I);
+  B.emitBr(Latch);
+  B.setInsertPoint(&Main, &Latch);
+  B.emitBinaryInto(I, Opcode::Add, I, 1);
+  B.emitBr(Header);
+  B.setInsertPoint(&Main, &Exit);
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), Header.getIndex()});
+  P->assignIds();
+
+  DepProfile Prof = profileOf(*P);
+  EXPECT_GT(Prof.DistanceHist.bucketCount(1), 0u);
+  EXPECT_GT(Prof.DistanceHist.bucketCount(2), 0u);
+  EXPECT_GT(Prof.DistanceHist.bucketCount(3), 0u);
+  EXPECT_EQ(Prof.DistanceHist.bucketCount(4), 0u);
+}
+
+TEST(DepProfilerTest, ContextSensitiveNaming) {
+  // The same callee called from two sites yields two distinct load names.
+  auto P = std::make_unique<Program>();
+  uint64_t G = P->addGlobal("g", 8);
+
+  Function &Reader = P->addFunction("reader", 0);
+  {
+    IRBuilder B(*P);
+    BasicBlock &E = Reader.addBlock("e");
+    B.setInsertPoint(&Reader, &E);
+    B.emitRet(B.emitLoad(G));
+  }
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  BasicBlock &Header = Main.addBlock("header");
+  BasicBlock &Body = Main.addBlock("body");
+  BasicBlock &Exit = Main.addBlock("exit");
+  B.setInsertPoint(&Main, &Entry);
+  Reg I = B.emitConst(0);
+  B.emitBr(Header);
+  B.setInsertPoint(&Main, &Header);
+  B.emitCondBr(B.emitCmp(Opcode::CmpLT, I, 10), Body, Exit);
+  B.setInsertPoint(&Main, &Body);
+  B.emitCall(Reader, {}); // Call site 1.
+  B.emitCall(Reader, {}); // Call site 2.
+  B.emitStore(G, I);
+  B.emitBinaryInto(I, Opcode::Add, I, 1);
+  B.emitBr(Header);
+  B.setInsertPoint(&Main, &Exit);
+  B.emitRet(0);
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), Header.getIndex()});
+  P->assignIds();
+
+  DepProfile Prof = profileOf(*P);
+  EXPECT_EQ(Prof.Loads.size(), 2u); // One RefName per call path.
+  EXPECT_EQ(Prof.Pairs.size(), 2u);
+}
+
+TEST(LoopProfilerTest, CoverageAndEpochCounts) {
+  auto P = makeChainProgram(50, false);
+  ContextTable Ctx;
+  LoopProfiler LP;
+  InterpOptions Opts;
+  Opts.CollectTrace = false;
+  Interpreter(*P, Ctx).run(Opts, &LP);
+  const LoopProfile &Prof = LP.profile();
+  EXPECT_EQ(Prof.RegionInstances, 1u);
+  EXPECT_EQ(Prof.TotalEpochs, 51u);
+  EXPECT_GT(Prof.coveragePercent(), 80.0);
+  EXPECT_GT(Prof.avgInstsPerEpoch(), 1.0);
+  EXPECT_DOUBLE_EQ(Prof.avgEpochsPerInstance(), 51.0);
+}
+
+TEST(LoopProfilerTest, ObserverListFansOut) {
+  auto P = makeChainProgram(10, false);
+  ContextTable Ctx;
+  LoopProfiler A, B2;
+  ObserverList List;
+  List.add(&A);
+  List.add(&B2);
+  InterpOptions Opts;
+  Opts.CollectTrace = false;
+  Interpreter(*P, Ctx).run(Opts, &List);
+  EXPECT_EQ(A.profile().TotalEpochs, B2.profile().TotalEpochs);
+  EXPECT_GT(A.profile().TotalDynInsts, 0u);
+}

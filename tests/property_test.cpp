@@ -1,0 +1,222 @@
+//===- tests/property_test.cpp - Randomized property tests -------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based tests: a seeded generator builds random region-loop
+// programs (random shared/private accesses, conditional stores, helper
+// calls, variable inner loops), and for each we check the central
+// invariants of the whole system:
+//
+//  1. every transformation pipeline (unroll x scalar sync x memory sync)
+//     preserves the program's architectural results;
+//  2. transformed programs stay verifier-clean;
+//  3. the TLS simulator completes every mode without deadlock, commits
+//     every epoch, and keeps slot accounting closed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/PassManager.h"
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "sim/TLSSimulator.h"
+#include "support/Random.h"
+#include "workloads/KernelCommon.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+namespace {
+
+/// Generates a random but well-formed region-loop program.
+std::unique_ptr<Program> makeRandomProgram(uint64_t Seed) {
+  Random Rng(Seed);
+  auto P = std::make_unique<Program>();
+  P->setRandSeed(Seed * 977 + 3);
+
+  unsigned NumShared = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  std::vector<uint64_t> Shared;
+  for (unsigned I = 0; I < NumShared; ++I)
+    Shared.push_back(P->addGlobal("shared" + std::to_string(I), 8));
+  uint64_t Priv = P->addGlobal("priv", 64 * 8);
+
+  // Optional helper that touches one shared word (exercises cloning).
+  Function *Helper = nullptr;
+  if (Rng.nextPercent(60)) {
+    Helper = &P->addFunction("helper", 1);
+    IRBuilder B(*P);
+    BasicBlock &E = Helper->addBlock("e");
+    B.setInsertPoint(Helper, &E);
+    Reg V = B.emitLoad(Shared[0]);
+    B.emitStore(Shared[0], B.emitAdd(V, B.param(0)));
+    B.emitRet(V);
+  }
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  for (uint64_t G : Shared)
+    B.emitStore(G, static_cast<int64_t>(Rng.nextBelow(100)));
+
+  int64_t Epochs = 30 + static_cast<int64_t>(Rng.nextBelow(40));
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  {
+    Reg R = B.emitRand();
+
+    // A few random shared accesses with random conditionality.
+    for (uint64_t G : Shared) {
+      if (Rng.nextPercent(70)) {
+        Reg V = B.emitLoad(G);
+        if (Rng.nextPercent(60)) {
+          // Conditional store via a diamond.
+          BasicBlock *Yes = &Main.addBlock("yes" + std::to_string(G));
+          BasicBlock *No = &Main.addBlock("no" + std::to_string(G));
+          BasicBlock *Join = &Main.addBlock("join" + std::to_string(G));
+          Reg Cond = emitPercentFlag(
+              B, R, static_cast<unsigned>(Rng.nextBelow(20)),
+              10 + static_cast<unsigned>(Rng.nextBelow(80)));
+          B.emitCondBr(Cond, *Yes, *No);
+          B.setInsertPoint(&Main, Yes);
+          B.emitStore(G, B.emitAdd(V, 1));
+          B.emitBr(*Join);
+          B.setInsertPoint(&Main, No);
+          B.emitStore(Priv, V);
+          B.emitBr(*Join);
+          B.setInsertPoint(&Main, Join);
+        } else if (Rng.nextPercent(50)) {
+          B.emitStore(G, B.emitXor(V, R));
+        }
+      }
+    }
+
+    if (Helper && Rng.nextPercent(70))
+      B.emitCall(*Helper, {L.IndVar});
+
+    // Variable-trip inner loop of private work.
+    if (Rng.nextPercent(50)) {
+      Reg Trip = B.emitAdd(B.emitAnd(R, 3), 1);
+      LoopBlocks Inner = makeCountedLoop(B, Trip, "inner");
+      Reg T = emitAluWork(B, 4 + static_cast<unsigned>(Rng.nextBelow(8)),
+                          Inner.IndVar);
+      B.emitStore(Priv + 8 * (Seed % 8), T);
+      closeLoop(B, Inner);
+    }
+
+    Reg W = emitAluWork(B, 5 + static_cast<unsigned>(Rng.nextBelow(30)), R);
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(W, 63), 3), Priv), W);
+  }
+  closeLoop(B, L);
+
+  Reg Acc = B.emitConst(0);
+  for (uint64_t G : Shared)
+    Acc = B.emitXor(Acc, B.emitLoad(G));
+  B.emitRet(Acc);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}
+
+struct Observed {
+  int64_t ExitValue;
+  uint64_t Checksum;
+};
+
+Observed observe(Program &P) {
+  ContextTable Ctx;
+  InterpResult R = Interpreter(P, Ctx).run();
+  EXPECT_TRUE(R.Completed);
+  return Observed{R.ExitValue, R.MemoryChecksum};
+}
+
+class RandomProgramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RandomProgramProperty, GeneratedProgramIsWellFormed) {
+  auto P = makeRandomProgram(GetParam());
+  EXPECT_TRUE(isWellFormed(*P));
+}
+
+TEST_P(RandomProgramProperty, TransformsPreserveSemantics) {
+  uint64_t Seed = GetParam();
+  Observed Ref = observe(*makeRandomProgram(Seed));
+
+  for (unsigned Factor : {1u, 2u, 3u}) {
+    // Base transforms only.
+    auto P = makeRandomProgram(Seed);
+    applyBaseTransforms(*P, Factor);
+    ASSERT_TRUE(isWellFormed(*P)) << "seed " << Seed;
+    Observed Base = observe(*P);
+    EXPECT_EQ(Base.ExitValue, Ref.ExitValue) << "seed " << Seed;
+    EXPECT_EQ(Base.Checksum, Ref.Checksum) << "seed " << Seed;
+
+    // Plus memory synchronization driven by a real profile.
+    ContextTable Ctx;
+    DepProfile Profile;
+    {
+      auto Q = makeRandomProgram(Seed);
+      applyBaseTransforms(*Q, Factor);
+      DepProfiler DP;
+      InterpOptions Opts;
+      Opts.CollectTrace = false;
+      Interpreter(*Q, Ctx).run(Opts, &DP);
+      Profile = DP.takeProfile();
+    }
+    auto Q = makeRandomProgram(Seed);
+    applyBaseTransforms(*Q, Factor);
+    applyMemSync(*Q, Ctx, Profile);
+    ASSERT_TRUE(isWellFormed(*Q)) << "seed " << Seed;
+    Observed Synced = observe(*Q);
+    EXPECT_EQ(Synced.ExitValue, Ref.ExitValue) << "seed " << Seed;
+    EXPECT_EQ(Synced.Checksum, Ref.Checksum) << "seed " << Seed;
+  }
+}
+
+TEST_P(RandomProgramProperty, SimulatorCompletesEveryModeWithoutDeadlock) {
+  uint64_t Seed = GetParam();
+  ContextTable Ctx;
+
+  auto P = makeRandomProgram(Seed);
+  BaseTransformResult Base = applyBaseTransforms(*P, 2);
+  DepProfile Profile;
+  {
+    DepProfiler DP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    Interpreter(*P, Ctx).run(Opts, &DP);
+    Profile = DP.takeProfile();
+  }
+  MemSyncResult Mem = applyMemSync(*P, Ctx, Profile);
+  InterpResult R = Interpreter(*P, Ctx).run();
+  ASSERT_TRUE(R.Completed);
+
+  MachineConfig Config;
+  for (int ModeBits = 0; ModeBits < 4; ++ModeBits) {
+    TLSSimOptions Opts;
+    Opts.NumScalarChannels = Base.Scalar.NumChannels;
+    Opts.NumMemGroups = Mem.NumGroups;
+    Opts.HwSyncStall = ModeBits & 1;
+    Opts.HwValuePredict = ModeBits & 2;
+    TLSSimulator Sim(Config, Opts);
+    uint64_t TotalEpochs = 0, Committed = 0;
+    for (const RegionTrace &Region : R.Trace.Regions) {
+      TLSSimResult SR = Sim.simulateRegion(Region);
+      EXPECT_TRUE(SR.Completed) << "seed " << Seed;
+      Committed += SR.EpochsCommitted;
+      TotalEpochs += Region.Epochs.size();
+      EXPECT_EQ(SR.Slots.Total,
+                SR.Cycles * Config.IssueWidth * Config.NumCores);
+      EXPECT_LE(SR.Slots.Busy + SR.Slots.Fail + SR.Slots.sync(),
+                SR.Slots.Total);
+    }
+    EXPECT_EQ(Committed, TotalEpochs) << "seed " << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range<uint64_t>(1, 21));

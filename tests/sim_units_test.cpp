@@ -1,0 +1,264 @@
+//===- tests/sim_units_test.cpp - Simulator component tests ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheModel.h"
+#include "sim/HwSync.h"
+#include "sim/SpecState.h"
+#include "sim/SyncChannels.h"
+#include "sim/ValuePredictor.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+// --- Cache model ------------------------------------------------------------
+
+TEST(CacheTest, HitAfterFill) {
+  MachineConfig C;
+  CacheModel M(C);
+  EXPECT_GT(M.accessLatency(0, 0x1000), C.L1HitLatency); // Cold miss.
+  EXPECT_EQ(M.accessLatency(0, 0x1000), C.L1HitLatency); // Now hot.
+  EXPECT_EQ(M.accessLatency(0, 0x1008), C.L1HitLatency); // Same line.
+}
+
+TEST(CacheTest, ColdMissGoesToMemoryThenL2Serves) {
+  MachineConfig C;
+  CacheModel M(C);
+  EXPECT_EQ(M.accessLatency(0, 0x2000), C.MemLatency);
+  // Another core misses L1 but hits the shared L2.
+  EXPECT_EQ(M.accessLatency(1, 0x2000), C.L2HitLatency);
+  EXPECT_EQ(M.l2Misses(), 1u);
+  EXPECT_EQ(M.l1Misses(), 2u);
+}
+
+TEST(CacheTest, PrivateL1sAreIndependent) {
+  MachineConfig C;
+  CacheModel M(C);
+  M.accessLatency(0, 0x3000);
+  EXPECT_GT(M.accessLatency(1, 0x3000), C.L1HitLatency);
+}
+
+TEST(CacheTest, LruEvictsOldestWay) {
+  // 2-way tag array with 2 sets (tiny).
+  TagArray T(/*SizeKB=*/1, /*Assoc=*/2, /*LineBytes=*/256);
+  // Set 0 lines: 0, 2, 4 (same set, stride NumSets*LineBytes = 512B).
+  EXPECT_FALSE(T.accessAndFill(0));
+  EXPECT_FALSE(T.accessAndFill(512));
+  EXPECT_TRUE(T.probe(0));
+  EXPECT_FALSE(T.accessAndFill(1024)); // Evicts line 0 (LRU).
+  EXPECT_FALSE(T.probe(0));
+  EXPECT_TRUE(T.probe(512));
+  EXPECT_TRUE(T.probe(1024));
+}
+
+// --- Speculative state --------------------------------------------------------
+
+TEST(SpecStateTest, ViolationOnLaterReader) {
+  SpecState S(/*LineShift=*/5);
+  S.markRead(0x100, /*Epoch=*/3, /*LoadId=*/7, /*Ctx=*/0,
+             /*SyncId=*/-1, /*Cycle=*/10);
+  auto V = S.findViolatedReader(0x100, /*WriterEpoch=*/2);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Epoch, 3u);
+  EXPECT_EQ(V->LoadStaticId, 7u);
+}
+
+TEST(SpecStateTest, NoViolationForEarlierOrSameEpochReader) {
+  SpecState S(5);
+  S.markRead(0x100, 3, 7, 0, -1, 10);
+  EXPECT_FALSE(S.findViolatedReader(0x100, 3).has_value());
+  EXPECT_FALSE(S.findViolatedReader(0x100, 4).has_value());
+}
+
+TEST(SpecStateTest, LineGranularityCatchesFalseSharing) {
+  SpecState S(5); // 32-byte lines.
+  S.markRead(0x100, 5, 1, 0, -1, 1); // Word 0 of the line.
+  // A store to a *different word* of the same line still violates.
+  EXPECT_TRUE(S.findViolatedReader(0x118, 4).has_value());
+  // A store to the next line does not.
+  EXPECT_FALSE(S.findViolatedReader(0x120, 4).has_value());
+}
+
+TEST(SpecStateTest, OldestReaderWins) {
+  SpecState S(5);
+  S.markRead(0x100, 5, 1, 0, -1, 1);
+  S.markRead(0x100, 3, 2, 0, -1, 2);
+  auto V = S.findViolatedReader(0x100, 1);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Epoch, 3u);
+}
+
+TEST(SpecStateTest, ClearEpochRemovesMarks) {
+  SpecState S(5);
+  S.markRead(0x100, 3, 1, 0, -1, 1);
+  S.markRead(0x200, 3, 1, 0, -1, 1);
+  S.markRead(0x100, 4, 2, 0, -1, 2);
+  S.clearEpoch(3);
+  auto V = S.findViolatedReader(0x100, 2);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Epoch, 4u);
+  EXPECT_FALSE(S.findViolatedReader(0x200, 2).has_value());
+}
+
+TEST(SpecStateTest, FirstReaderOfEpochWins) {
+  SpecState S(5);
+  S.markRead(0x100, 3, /*LoadId=*/1, 0, -1, 1);
+  S.markRead(0x100, 3, /*LoadId=*/9, 0, -1, 2); // Ignored duplicate.
+  auto V = S.findViolatedReader(0x100, 2);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->LoadStaticId, 1u);
+}
+
+// --- Sync channels -------------------------------------------------------------
+
+TEST(SyncChannelsTest, ScalarSendAndReceive) {
+  SyncChannels C;
+  EXPECT_FALSE(C.getScalar(0, 5).has_value());
+  C.sendScalar(0, 5, 100);
+  ASSERT_TRUE(C.getScalar(0, 5).has_value());
+  EXPECT_EQ(C.getScalar(0, 5)->ArrivalCycle, 100u);
+  EXPECT_FALSE(C.getScalar(1, 5).has_value()); // Different channel.
+  EXPECT_FALSE(C.getScalar(0, 6).has_value()); // Different consumer.
+}
+
+TEST(SyncChannelsTest, EarliestArrivalWins) {
+  SyncChannels C;
+  C.sendScalar(0, 5, 100);
+  C.sendScalar(0, 5, 50); // E.g. a real signal beating the auto-signal.
+  EXPECT_EQ(C.getScalar(0, 5)->ArrivalCycle, 50u);
+  C.sendScalar(0, 5, 200); // Later arrival does not overwrite.
+  EXPECT_EQ(C.getScalar(0, 5)->ArrivalCycle, 50u);
+}
+
+TEST(SyncChannelsTest, MemForwardCarriesAddrValue) {
+  SyncChannels C;
+  C.sendMem(2, 7, 0xabc0, 42, 10);
+  auto F = C.getMem(2, 7);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->Addr, 0xabc0u);
+  EXPECT_EQ(F->Value, 42u);
+  C.updateMemValue(2, 7, 0xabc0, 43);
+  EXPECT_EQ(C.getMem(2, 7)->Value, 43u);
+}
+
+TEST(SyncChannelsTest, ClearForConsumerDropsOnlyThatEpoch) {
+  SyncChannels C;
+  C.sendMem(0, 7, 1, 1, 1);
+  C.sendMem(0, 8, 2, 2, 2);
+  C.sendScalar(0, 7, 3);
+  C.clearForConsumer(7);
+  EXPECT_FALSE(C.getMem(0, 7).has_value());
+  EXPECT_FALSE(C.getScalar(0, 7).has_value());
+  EXPECT_TRUE(C.getMem(0, 8).has_value());
+}
+
+TEST(SyncChannelsTest, CollectUpToGarbageCollects) {
+  SyncChannels C;
+  C.sendMem(0, 5, 1, 1, 1);
+  C.sendMem(0, 9, 2, 2, 2);
+  C.collectUpTo(5);
+  EXPECT_FALSE(C.getMem(0, 5).has_value());
+  EXPECT_TRUE(C.getMem(0, 9).has_value());
+}
+
+TEST(SignalAddressBufferTest, DetectsOverwriteHazard) {
+  SignalAddressBuffer B(10);
+  EXPECT_TRUE(B.recordSignal(0, 0x100));
+  EXPECT_TRUE(B.conflictsWithStore(0x100));
+  EXPECT_FALSE(B.conflictsWithStore(0x108));
+  B.clear();
+  EXPECT_FALSE(B.conflictsWithStore(0x100));
+}
+
+TEST(SignalAddressBufferTest, NullAddressNeverConflicts) {
+  SignalAddressBuffer B(10);
+  B.recordSignal(0, 0);
+  EXPECT_FALSE(B.conflictsWithStore(0));
+}
+
+TEST(SignalAddressBufferTest, ReportsOverflowBeyondCapacity) {
+  SignalAddressBuffer B(2);
+  EXPECT_TRUE(B.recordSignal(0, 8));
+  EXPECT_TRUE(B.recordSignal(1, 16));
+  EXPECT_FALSE(B.recordSignal(2, 24)); // Overflow reported...
+  EXPECT_TRUE(B.conflictsWithStore(24)); // ...but still tracked.
+}
+
+// --- Hardware sync table ---------------------------------------------------------
+
+TEST(HwSyncTest, RecordsAndFinds) {
+  HwViolationTable T(4, /*ResetInterval=*/0);
+  EXPECT_FALSE(T.contains(10, 0));
+  T.recordViolation(10, 5);
+  EXPECT_TRUE(T.contains(10, 6));
+}
+
+TEST(HwSyncTest, LruEviction) {
+  HwViolationTable T(2, 0);
+  T.recordViolation(1, 0);
+  T.recordViolation(2, 1);
+  T.recordViolation(3, 2); // Evicts 1.
+  EXPECT_FALSE(T.contains(1, 3));
+  EXPECT_TRUE(T.contains(2, 3));
+  EXPECT_TRUE(T.contains(3, 3));
+}
+
+TEST(HwSyncTest, ReinsertionRefreshesLru) {
+  HwViolationTable T(2, 0);
+  T.recordViolation(1, 0);
+  T.recordViolation(2, 1);
+  T.recordViolation(1, 2); // 1 becomes most recent.
+  T.recordViolation(3, 3); // Evicts 2.
+  EXPECT_TRUE(T.contains(1, 4));
+  EXPECT_FALSE(T.contains(2, 4));
+}
+
+TEST(HwSyncTest, PeriodicResetClearsTable) {
+  HwViolationTable T(4, /*ResetInterval=*/100);
+  T.recordViolation(1, 10);
+  EXPECT_TRUE(T.contains(1, 50));
+  EXPECT_FALSE(T.contains(1, 200)); // Past the reset interval.
+  EXPECT_EQ(T.numResets(), 1u);
+}
+
+// --- Value predictor ---------------------------------------------------------------
+
+TEST(ValuePredictorTest, BuildsConfidenceBeforePredicting) {
+  ValuePredictor P(64);
+  using O = ValuePredictor::Outcome;
+  EXPECT_EQ(P.predictAndTrain(5, 42), O::NoPrediction); // Cold.
+  EXPECT_EQ(P.predictAndTrain(5, 42), O::NoPrediction); // Conf 1.
+  EXPECT_EQ(P.predictAndTrain(5, 42), O::NoPrediction); // Conf 2.
+  EXPECT_EQ(P.predictAndTrain(5, 42), O::CorrectConfident);
+}
+
+TEST(ValuePredictorTest, WrongConfidentPredictionDetected) {
+  ValuePredictor P(64);
+  using O = ValuePredictor::Outcome;
+  for (int I = 0; I < 4; ++I)
+    P.predictAndTrain(5, 42);
+  EXPECT_EQ(P.predictAndTrain(5, 43), O::WrongConfident);
+  // Confidence resets: next access makes no prediction.
+  EXPECT_EQ(P.predictAndTrain(5, 43), O::NoPrediction);
+}
+
+TEST(ValuePredictorTest, ConflictingTagsDoNotAlias) {
+  ValuePredictor P(16);
+  for (int I = 0; I < 4; ++I)
+    P.predictAndTrain(1, 42);
+  // Id 17 maps to the same entry (17 % 16 == 1) but has a different tag.
+  EXPECT_EQ(P.predictAndTrain(17, 42), ValuePredictor::Outcome::NoPrediction);
+  // And it displaced the old entry.
+  EXPECT_EQ(P.predictAndTrain(1, 42), ValuePredictor::Outcome::NoPrediction);
+}
+
+TEST(ValuePredictorTest, AlternatingValuesNeverConfident) {
+  ValuePredictor P(64);
+  using O = ValuePredictor::Outcome;
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(P.predictAndTrain(9, I % 2), O::NoPrediction);
+  EXPECT_EQ(P.confidentCorrect(), 0u);
+}

@@ -1,0 +1,126 @@
+//===- tests/support_test.cpp - Support library tests ------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/TextTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random A(123), B(123);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(RandomTest, NextBelowStaysInRange) {
+  Random R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Random R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, PercentRoughlyCalibrated) {
+  Random R(11);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.nextPercent(30);
+  EXPECT_NEAR(Hits, 3000, 300);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random R(13);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram H(4); // Buckets 0,1,2 and ">=3".
+  H.addSample(0);
+  H.addSample(1);
+  H.addSample(1);
+  H.addSample(2);
+  H.addSample(3);
+  H.addSample(100);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 2u);
+  EXPECT_EQ(H.totalSamples(), 6u);
+}
+
+TEST(HistogramTest, WeightedSamples) {
+  Histogram H(3);
+  H.addSample(1, 10);
+  EXPECT_EQ(H.bucketCount(1), 10u);
+  EXPECT_EQ(H.totalSamples(), 10u);
+}
+
+TEST(HistogramTest, FractionsAndClear) {
+  Histogram H(3);
+  EXPECT_DOUBLE_EQ(H.bucketFraction(0), 0.0);
+  H.addSample(0);
+  H.addSample(1);
+  EXPECT_DOUBLE_EQ(H.bucketFraction(0), 0.5);
+  H.clear();
+  EXPECT_EQ(H.totalSamples(), 0u);
+}
+
+TEST(StatisticsTest, PercentOf) {
+  EXPECT_DOUBLE_EQ(percentOf(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(percentOf(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(percentOf(5, 0), 0.0);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"a", "long-header"});
+  T.addRow({"wide-cell", "x"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("a          long-header"), std::string::npos);
+  EXPECT_NE(Out.find("wide-cell  x"), std::string::npos);
+}
+
+TEST(TextTableTest, FormatDouble) {
+  EXPECT_EQ(TextTable::formatDouble(1.234, 1), "1.2");
+  EXPECT_EQ(TextTable::formatDouble(1.0, 2), "1.00");
+}
+
+TEST(TextTableTest, StackedBarScalesSegments) {
+  std::string Bar = renderStackedBar({{'B', 40.0}, {'F', 20.0}}, 10.0);
+  EXPECT_EQ(Bar, "BBBBFF 60.0");
+}
+
+TEST(TextTableTest, StackedBarEmpty) {
+  std::string Bar = renderStackedBar({}, 4.0);
+  EXPECT_EQ(Bar, " 0.0");
+}

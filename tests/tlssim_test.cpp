@@ -1,0 +1,504 @@
+//===- tests/tlssim_test.cpp - TLS timing simulator tests --------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the TLS simulator with hand-built epoch traces so every mechanism
+// (overlap, violation+restart, scalar/memory sync, forwarding immunity,
+// SAB hazard, hardware sync, value prediction, mode flags, slot
+// accounting) is exercised in isolation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SeqSimulator.h"
+#include "sim/TLSSimulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace specsync;
+
+namespace {
+
+DynInst alu(uint32_t Id = 1) {
+  DynInst D;
+  D.StaticId = Id;
+  D.OrigId = Id;
+  D.Op = Opcode::Add;
+  return D;
+}
+
+DynInst load(uint64_t Addr, uint32_t Id, uint64_t Value = 0,
+             int32_t SyncId = -1) {
+  DynInst D;
+  D.StaticId = Id;
+  D.OrigId = Id;
+  D.Op = Opcode::Load;
+  D.Addr = Addr;
+  D.Value = Value;
+  D.SyncId = SyncId;
+  return D;
+}
+
+DynInst store(uint64_t Addr, uint32_t Id, uint64_t Value = 0,
+              int32_t SyncId = -1) {
+  DynInst D = load(Addr, Id, Value, SyncId);
+  D.Op = Opcode::Store;
+  return D;
+}
+
+DynInst sync(Opcode Op, int32_t SyncId, uint64_t Addr = 0,
+             uint64_t Value = 0, uint32_t Id = 90) {
+  DynInst D;
+  D.StaticId = Id;
+  D.OrigId = Id;
+  D.Op = Op;
+  D.SyncId = SyncId;
+  D.Addr = Addr;
+  D.Value = Value;
+  return D;
+}
+
+/// Builds a region of \p NumEpochs identical epochs from a template.
+RegionTrace makeRegion(unsigned NumEpochs,
+                       const std::vector<DynInst> &EpochBody) {
+  RegionTrace R;
+  for (unsigned E = 0; E < NumEpochs; ++E) {
+    EpochTrace T;
+    T.Insts = EpochBody;
+    R.Epochs.push_back(std::move(T));
+  }
+  return R;
+}
+
+std::vector<DynInst> aluBody(unsigned N) {
+  std::vector<DynInst> Body;
+  for (unsigned I = 0; I < N; ++I)
+    Body.push_back(alu());
+  return Body;
+}
+
+} // namespace
+
+TEST(TLSSimTest, EmptyRegionCompletesImmediately) {
+  MachineConfig C;
+  TLSSimOptions O;
+  TLSSimulator S(C, O);
+  TLSSimResult R = S.simulateRegion(RegionTrace());
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.Cycles, 0u);
+}
+
+TEST(TLSSimTest, IndependentEpochsOverlap) {
+  MachineConfig C;
+  TLSSimOptions O;
+  TLSSimulator S(C, O);
+  // 16 epochs of 200 1-cycle-class instructions each: sequential would be
+  // 16*50 cycles; 4 cores should approach a 4x speedup.
+  TLSSimResult R = S.simulateRegion(makeRegion(16, aluBody(200)));
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.EpochsCommitted, 16u);
+  EXPECT_EQ(R.Violations, 0u);
+  uint64_t SeqApprox = 16 * 200 / C.IssueWidth;
+  EXPECT_LT(R.Cycles, SeqApprox / 2);      // Clearly parallel.
+  EXPECT_GT(R.Cycles, SeqApprox / 5);      // But not super-linear.
+}
+
+TEST(TLSSimTest, CommitsRespectProgramOrder) {
+  MachineConfig C;
+  TLSSimOptions O;
+  TLSSimulator S(C, O);
+  // Epoch 0 is long, epochs 1..3 are short: they must wait for the token.
+  RegionTrace R;
+  R.Epochs.push_back(EpochTrace{aluBody(400)});
+  for (int I = 0; I < 3; ++I)
+    R.Epochs.push_back(EpochTrace{aluBody(4)});
+  TLSSimResult Res = S.simulateRegion(R);
+  EXPECT_TRUE(Res.Completed);
+  // Total time is dominated by epoch 0 plus the commit chain.
+  EXPECT_GE(Res.Cycles, 400 / C.IssueWidth);
+}
+
+TEST(TLSSimTest, TrueDependenceViolatesAndRestarts) {
+  MachineConfig C;
+  TLSSimOptions O;
+  TLSSimulator S(C, O);
+  // Each epoch: early load of X, long work, late store of X.
+  std::vector<DynInst> Body;
+  Body.push_back(load(0x1000, /*Id=*/11));
+  for (int I = 0; I < 150; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, /*Id=*/12));
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_TRUE(R.Completed);
+  EXPECT_GT(R.Violations, 0u);
+  EXPECT_GT(R.Slots.Fail, 0u);
+  EXPECT_EQ(R.EpochsCommitted, 8u); // Restarts still commit eventually.
+}
+
+TEST(TLSSimTest, OracleSuppressesAllViolations) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.OraclePerfectMemory = true;
+  TLSSimulator S(C, O);
+  std::vector<DynInst> Body;
+  Body.push_back(load(0x1000, 11));
+  for (int I = 0; I < 150; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12));
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_EQ(R.Violations, 0u);
+  EXPECT_EQ(R.Slots.Fail, 0u);
+}
+
+TEST(TLSSimTest, ImmuneLoadSetSuppressesSelectedLoads) {
+  MachineConfig C;
+  LoadNameSet Immune;
+  Immune.insert({11u, 0u});
+  TLSSimOptions O;
+  O.ImmuneLoads = &Immune;
+  TLSSimulator S(C, O);
+  std::vector<DynInst> Body;
+  Body.push_back(load(0x1000, 11));
+  for (int I = 0; I < 150; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12));
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_EQ(R.Violations, 0u);
+}
+
+TEST(TLSSimTest, FalseSharingViolatesAtLineGranularity) {
+  MachineConfig C;
+  TLSSimOptions O;
+  TLSSimulator S(C, O);
+  // Loads and stores touch different words of one 32-byte line.
+  std::vector<DynInst> Body;
+  Body.push_back(load(0x1000, 11));
+  for (int I = 0; I < 150; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1008, 12)); // Different word, same line.
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_GT(R.Violations, 0u);
+}
+
+TEST(TLSSimTest, LocalStoreHidesLoadFromViolation) {
+  MachineConfig C;
+  TLSSimOptions O;
+  TLSSimulator S(C, O);
+  // Each epoch writes X before reading it: never exposed, no violations.
+  std::vector<DynInst> Body;
+  Body.push_back(store(0x1000, 10));
+  Body.push_back(load(0x1000, 11));
+  for (int I = 0; I < 100; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12));
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_EQ(R.Violations, 0u);
+}
+
+TEST(TLSSimTest, ScalarWaitStallsUntilSignal) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumScalarChannels = 1;
+  TLSSimulator S(C, O);
+  // wait; long work; signal at the very end -> serial chain.
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitScalar, 0));
+  for (int I = 0; I < 200; ++I)
+    Body.push_back(alu());
+  Body.push_back(sync(Opcode::SignalScalar, 0));
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_TRUE(R.Completed);
+  EXPECT_GT(R.Slots.SyncScalar, 0u);
+  // Serialized: roughly 8 * (202/4) cycles, far from 4x overlap.
+  EXPECT_GT(R.Cycles, 8 * 202 / C.IssueWidth * 8 / 10);
+}
+
+TEST(TLSSimTest, EarlySignalRestoresOverlap) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumScalarChannels = 1;
+  TLSSimulator S(C, O);
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitScalar, 0));
+  Body.push_back(sync(Opcode::SignalScalar, 0)); // Signal right away.
+  for (int I = 0; I < 200; ++I)
+    Body.push_back(alu());
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  uint64_t Serial = 8 * 202 / C.IssueWidth;
+  EXPECT_LT(R.Cycles, Serial / 2);
+}
+
+TEST(TLSSimTest, UnsignaledChannelAutoSignalsAtCommit) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumScalarChannels = 1;
+  TLSSimulator S(C, O);
+  // Consumers wait but producers never signal: the commit-time
+  // auto-signal must prevent deadlock (at serialization cost).
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitScalar, 0));
+  for (int I = 0; I < 50; ++I)
+    Body.push_back(alu());
+  TLSSimResult R = S.simulateRegion(makeRegion(6, Body));
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.EpochsCommitted, 6u);
+  EXPECT_GT(R.Slots.SyncScalar, 0u);
+}
+
+TEST(TLSSimTest, ForwardedValueMakesLoadImmune) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumMemGroups = 1;
+  TLSSimulator S(C, O);
+  // Producer signals (addr, value) right after its store; consumer checks
+  // and loads the same address: no violations despite the dependence.
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitMem, 0));
+  Body.push_back(sync(Opcode::CheckFwd, 0, /*Addr=*/0x1000));
+  Body.push_back(load(0x1000, 11, /*Value=*/5, /*SyncId=*/0));
+  Body.push_back(sync(Opcode::SelectFwd, 0));
+  for (int I = 0; I < 100; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12, /*Value=*/5, /*SyncId=*/0));
+  Body.push_back(sync(Opcode::SignalMem, 0, 0x1000, 5, 91));
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_EQ(R.Violations, 0u);
+  EXPECT_GT(R.Slots.SyncMem, 0u); // The waits are not free.
+}
+
+TEST(TLSSimTest, AddressMismatchForwardDoesNotProtect) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumMemGroups = 1;
+  TLSSimulator S(C, O);
+  // The producer forwards a *different* address early (so the consumer is
+  // released immediately), then stores the consumer's address late: the
+  // check fails, the load reads memory unprotected, and the late store
+  // violates it.
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitMem, 0));
+  Body.push_back(sync(Opcode::CheckFwd, 0, /*Addr=*/0x1000));
+  Body.push_back(load(0x1000, 11, 0, 0));
+  Body.push_back(sync(Opcode::SelectFwd, 0));
+  Body.push_back(sync(Opcode::SignalMem, 0, /*Addr=*/0x2000, 0, 91));
+  for (int I = 0; I < 100; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12));
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_GT(R.Violations, 0u);
+}
+
+TEST(TLSSimTest, NullSignalReleasesConsumerWithoutProtection) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumMemGroups = 1;
+  TLSSimulator S(C, O);
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitMem, 0));
+  Body.push_back(sync(Opcode::CheckFwd, 0, 0x1000));
+  Body.push_back(load(0x1000, 11, 0, 0));
+  Body.push_back(sync(Opcode::SelectFwd, 0));
+  Body.push_back(sync(Opcode::SignalMem, 0, /*Addr=*/0, 0, 91)); // NULL.
+  for (int I = 0; I < 60; ++I)
+    Body.push_back(alu());
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.Violations, 0u); // No stores at all.
+}
+
+TEST(TLSSimTest, SabHazardRestartsConsumer) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumMemGroups = 1;
+  TLSSimulator S(C, O);
+  // Producer signals, then stores the same address again (through an
+  // "alias"): the signal address buffer must restart the consumer.
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitMem, 0));
+  Body.push_back(sync(Opcode::CheckFwd, 0, 0x1000));
+  Body.push_back(load(0x1000, 11, 0, 0));
+  Body.push_back(sync(Opcode::SelectFwd, 0));
+  Body.push_back(store(0x1000, 12, 1, 0));
+  Body.push_back(sync(Opcode::SignalMem, 0, 0x1000, 1, 91));
+  for (int I = 0; I < 80; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 13, 2)); // The aliased late store.
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_GT(R.SabViolations, 0u);
+  EXPECT_EQ(R.EpochsCommitted, 8u);
+}
+
+TEST(TLSSimTest, LModeStallsSyncedLoadsToCommit) {
+  MachineConfig C;
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitMem, 0));
+  Body.push_back(sync(Opcode::CheckFwd, 0, 0x1000));
+  Body.push_back(load(0x1000, 11, 0, 0));
+  Body.push_back(sync(Opcode::SelectFwd, 0));
+  Body.push_back(store(0x1000, 12, 0, 0));
+  Body.push_back(sync(Opcode::SignalMem, 0, 0x1000, 0, 91));
+  for (int I = 0; I < 100; ++I)
+    Body.push_back(alu());
+
+  TLSSimOptions OC;
+  OC.NumMemGroups = 1;
+  TLSSimResult RC = TLSSimulator(C, OC).simulateRegion(makeRegion(8, Body));
+
+  TLSSimOptions OL = OC;
+  OL.StallSyncedUntilDone = true;
+  TLSSimResult RL = TLSSimulator(C, OL).simulateRegion(makeRegion(8, Body));
+
+  TLSSimOptions OE = OC;
+  OE.PerfectSyncedValues = true;
+  TLSSimResult RE = TLSSimulator(C, OE).simulateRegion(makeRegion(8, Body));
+
+  // The paper's Figure 9 ordering: E <= C <= L.
+  EXPECT_LE(RE.Cycles, RC.Cycles);
+  EXPECT_LT(RC.Cycles, RL.Cycles);
+}
+
+TEST(TLSSimTest, HwSyncStallsRepeatOffenders) {
+  MachineConfig C;
+  std::vector<DynInst> Body;
+  Body.push_back(load(0x1000, 11));
+  for (int I = 0; I < 150; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12));
+
+  TLSSimOptions OU;
+  TLSSimResult RU = TLSSimulator(C, OU).simulateRegion(makeRegion(16, Body));
+
+  TLSSimOptions OH;
+  OH.HwSyncStall = true;
+  TLSSimResult RH = TLSSimulator(C, OH).simulateRegion(makeRegion(16, Body));
+
+  EXPECT_LT(RH.Violations, RU.Violations);
+  EXPECT_GT(RH.Slots.SyncMem, 0u);
+}
+
+TEST(TLSSimTest, PredictorImmunizesConstantValues) {
+  MachineConfig C;
+  // The loaded value never changes: once the load lands in the violation
+  // table, the last-value predictor should neutralize it.
+  std::vector<DynInst> Body;
+  Body.push_back(load(0x1000, 11, /*Value=*/42));
+  for (int I = 0; I < 150; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12, /*Value=*/42));
+
+  TLSSimOptions OU;
+  TLSSimResult RU = TLSSimulator(C, OU).simulateRegion(makeRegion(32, Body));
+
+  TLSSimOptions OP;
+  OP.HwValuePredict = true;
+  TLSSimResult RP = TLSSimulator(C, OP).simulateRegion(makeRegion(32, Body));
+
+  EXPECT_LT(RP.Violations, RU.Violations);
+  EXPECT_GT(RP.PredictorCorrect, 0u);
+}
+
+TEST(TLSSimTest, AttributionClassifiesCompilerSyncedLoads) {
+  MachineConfig C;
+  LoadNameSet SyncSet;
+  SyncSet.insert({11u, 0u});
+
+  auto runWith = [&](uint32_t LoadId, uint64_t Addr) {
+    TLSSimOptions O;
+    O.CompilerSyncSet = &SyncSet;
+    TLSSimulator S(C, O);
+    std::vector<DynInst> Body;
+    Body.push_back(load(Addr, LoadId));
+    for (int I = 0; I < 150; ++I)
+      Body.push_back(alu());
+    Body.push_back(store(Addr, LoadId + 1));
+    return S.simulateRegion(makeRegion(8, Body));
+  };
+
+  // Violating load in the compiler's sync set.
+  TLSSimResult InSet = runWith(11, 0x1000);
+  EXPECT_GT(InSet.Violations, 0u);
+  EXPECT_GT(InSet.ViolCompilerOnly + InSet.ViolBoth, 0u);
+  EXPECT_EQ(InSet.ViolNeither, 0u);
+
+  // Violating load unknown to the compiler: first classified "neither",
+  // later ones "hw-only" once the table has learned it.
+  TLSSimResult OutSet = runWith(21, 0x2000);
+  EXPECT_GT(OutSet.Violations, 0u);
+  EXPECT_GT(OutSet.ViolNeither + OutSet.ViolHwOnly, 0u);
+  EXPECT_EQ(OutSet.ViolCompilerOnly + OutSet.ViolBoth, 0u);
+}
+
+TEST(TLSSimTest, SlotAccountingIsConsistent) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumScalarChannels = 1;
+  TLSSimulator S(C, O);
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitScalar, 0));
+  Body.push_back(load(0x1000, 11));
+  for (int I = 0; I < 80; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12));
+  Body.push_back(sync(Opcode::SignalScalar, 0));
+  TLSSimResult R = S.simulateRegion(makeRegion(12, Body));
+
+  EXPECT_EQ(R.Slots.Total, R.Cycles * C.IssueWidth * C.NumCores);
+  EXPECT_LE(R.Slots.Busy + R.Slots.Fail + R.Slots.sync(), R.Slots.Total);
+  EXPECT_EQ(R.Slots.other(), R.Slots.Total - R.Slots.Busy - R.Slots.Fail -
+                                 R.Slots.sync());
+  // Busy slots equal the committed instruction count.
+  EXPECT_EQ(R.Slots.Busy, 12u * Body.size());
+}
+
+TEST(SeqSimTest, CountsCyclesByWidthAndStalls) {
+  MachineConfig C;
+  ProgramTrace T;
+  for (int I = 0; I < 8; ++I)
+    T.SeqInsts.push_back(alu());
+  ProgramTrace::Segment S;
+  S.IsRegion = false;
+  S.SeqBegin = 0;
+  S.SeqEnd = 8;
+  T.Segments.push_back(S);
+  SeqSimResult R = simulateSequential(C, T);
+  EXPECT_EQ(R.TotalCycles, 2u); // 8 instructions at width 4.
+  EXPECT_EQ(R.SeqCycles, R.TotalCycles);
+  EXPECT_TRUE(R.RegionCycles.empty());
+}
+
+TEST(SeqSimTest, RegionSegmentsTimedSeparately) {
+  MachineConfig C;
+  ProgramTrace T;
+  for (int I = 0; I < 4; ++I)
+    T.SeqInsts.push_back(alu());
+  RegionTrace Region;
+  Region.Epochs.push_back(EpochTrace{aluBody(40)});
+  T.Regions.push_back(Region);
+  ProgramTrace::Segment S1;
+  S1.SeqBegin = 0;
+  S1.SeqEnd = 4;
+  T.Segments.push_back(S1);
+  ProgramTrace::Segment S2;
+  S2.IsRegion = true;
+  S2.RegionIdx = 0;
+  T.Segments.push_back(S2);
+  SeqSimResult R = simulateSequential(C, T);
+  ASSERT_EQ(R.RegionCycles.size(), 1u);
+  EXPECT_EQ(R.RegionCycles[0], 10u);
+  EXPECT_EQ(R.TotalCycles, R.SeqCycles + R.regionCyclesTotal());
+}
+
+TEST(SeqSimTest, DivStallsAreCharged) {
+  MachineConfig C;
+  ProgramTrace T;
+  DynInst Div;
+  Div.Op = Opcode::Div;
+  T.SeqInsts.push_back(Div);
+  ProgramTrace::Segment S;
+  S.SeqBegin = 0;
+  S.SeqEnd = 1;
+  T.Segments.push_back(S);
+  SeqSimResult R = simulateSequential(C, T);
+  EXPECT_GE(R.TotalCycles, C.IntDivLatency);
+}
