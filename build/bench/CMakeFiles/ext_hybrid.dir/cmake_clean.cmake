@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hybrid.dir/ext_hybrid.cpp.o"
+  "CMakeFiles/ext_hybrid.dir/ext_hybrid.cpp.o.d"
+  "ext_hybrid"
+  "ext_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

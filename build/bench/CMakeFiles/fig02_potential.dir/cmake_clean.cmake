@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_potential.dir/fig02_potential.cpp.o"
+  "CMakeFiles/fig02_potential.dir/fig02_potential.cpp.o.d"
+  "fig02_potential"
+  "fig02_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

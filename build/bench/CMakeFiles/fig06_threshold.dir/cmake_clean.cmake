@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_threshold.dir/fig06_threshold.cpp.o"
+  "CMakeFiles/fig06_threshold.dir/fig06_threshold.cpp.o.d"
+  "fig06_threshold"
+  "fig06_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

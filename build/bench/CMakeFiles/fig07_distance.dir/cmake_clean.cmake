@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_distance.dir/fig07_distance.cpp.o"
+  "CMakeFiles/fig07_distance.dir/fig07_distance.cpp.o.d"
+  "fig07_distance"
+  "fig07_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

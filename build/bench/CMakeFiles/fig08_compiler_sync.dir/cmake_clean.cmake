@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_compiler_sync.dir/fig08_compiler_sync.cpp.o"
+  "CMakeFiles/fig08_compiler_sync.dir/fig08_compiler_sync.cpp.o.d"
+  "fig08_compiler_sync"
+  "fig08_compiler_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_compiler_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_compiler_sync.
+# This may be replaced when dependencies are built.

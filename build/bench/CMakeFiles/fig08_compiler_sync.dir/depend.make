@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_compiler_sync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_idealized.dir/fig09_idealized.cpp.o"
+  "CMakeFiles/fig09_idealized.dir/fig09_idealized.cpp.o.d"
+  "fig09_idealized"
+  "fig09_idealized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_idealized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hw_comparison.dir/fig10_hw_comparison.cpp.o"
+  "CMakeFiles/fig10_hw_comparison.dir/fig10_hw_comparison.cpp.o.d"
+  "fig10_hw_comparison"
+  "fig10_hw_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hw_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

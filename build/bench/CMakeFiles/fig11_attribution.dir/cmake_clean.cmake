@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_attribution.dir/fig11_attribution.cpp.o"
+  "CMakeFiles/fig11_attribution.dir/fig11_attribution.cpp.o.d"
+  "fig11_attribution"
+  "fig11_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

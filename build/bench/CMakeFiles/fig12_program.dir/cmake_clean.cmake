@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_program.dir/fig12_program.cpp.o"
+  "CMakeFiles/fig12_program.dir/fig12_program.cpp.o.d"
+  "fig12_program"
+  "fig12_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_core.dir/microbench_core.cpp.o"
+  "CMakeFiles/microbench_core.dir/microbench_core.cpp.o.d"
+  "microbench_core"
+  "microbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_params.dir/table1_params.cpp.o"
+  "CMakeFiles/table1_params.dir/table1_params.cpp.o.d"
+  "table1_params"
+  "table1_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

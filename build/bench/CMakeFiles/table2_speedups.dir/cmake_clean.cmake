@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_speedups.dir/table2_speedups.cpp.o"
+  "CMakeFiles/table2_speedups.dir/table2_speedups.cpp.o.d"
+  "table2_speedups"
+  "table2_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

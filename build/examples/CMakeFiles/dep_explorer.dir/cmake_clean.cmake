@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_explorer.dir/dep_explorer.cpp.o"
+  "CMakeFiles/dep_explorer.dir/dep_explorer.cpp.o.d"
+  "dep_explorer"
+  "dep_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_list.dir/free_list.cpp.o"
+  "CMakeFiles/free_list.dir/free_list.cpp.o.d"
+  "free_list"
+  "free_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_sync.dir/hybrid_sync.cpp.o"
+  "CMakeFiles/hybrid_sync.dir/hybrid_sync.cpp.o.d"
+  "hybrid_sync"
+  "hybrid_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

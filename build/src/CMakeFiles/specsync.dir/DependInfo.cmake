@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/CallTree.cpp" "src/CMakeFiles/specsync.dir/compiler/CallTree.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/compiler/CallTree.cpp.o.d"
+  "/root/repo/src/compiler/Cloning.cpp" "src/CMakeFiles/specsync.dir/compiler/Cloning.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/compiler/Cloning.cpp.o.d"
+  "/root/repo/src/compiler/DepGraph.cpp" "src/CMakeFiles/specsync.dir/compiler/DepGraph.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/compiler/DepGraph.cpp.o.d"
+  "/root/repo/src/compiler/EpochPaths.cpp" "src/CMakeFiles/specsync.dir/compiler/EpochPaths.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/compiler/EpochPaths.cpp.o.d"
+  "/root/repo/src/compiler/LoopSelection.cpp" "src/CMakeFiles/specsync.dir/compiler/LoopSelection.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/compiler/LoopSelection.cpp.o.d"
+  "/root/repo/src/compiler/LoopUnroll.cpp" "src/CMakeFiles/specsync.dir/compiler/LoopUnroll.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/compiler/LoopUnroll.cpp.o.d"
+  "/root/repo/src/compiler/MemSync.cpp" "src/CMakeFiles/specsync.dir/compiler/MemSync.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/compiler/MemSync.cpp.o.d"
+  "/root/repo/src/compiler/PassManager.cpp" "src/CMakeFiles/specsync.dir/compiler/PassManager.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/compiler/PassManager.cpp.o.d"
+  "/root/repo/src/compiler/ScalarSync.cpp" "src/CMakeFiles/specsync.dir/compiler/ScalarSync.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/compiler/ScalarSync.cpp.o.d"
+  "/root/repo/src/harness/Experiment.cpp" "src/CMakeFiles/specsync.dir/harness/Experiment.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/harness/Experiment.cpp.o.d"
+  "/root/repo/src/harness/Pipeline.cpp" "src/CMakeFiles/specsync.dir/harness/Pipeline.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/harness/Pipeline.cpp.o.d"
+  "/root/repo/src/harness/RegionSelect.cpp" "src/CMakeFiles/specsync.dir/harness/RegionSelect.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/harness/RegionSelect.cpp.o.d"
+  "/root/repo/src/harness/Report.cpp" "src/CMakeFiles/specsync.dir/harness/Report.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/harness/Report.cpp.o.d"
+  "/root/repo/src/interp/ContextTable.cpp" "src/CMakeFiles/specsync.dir/interp/ContextTable.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/interp/ContextTable.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/specsync.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/interp/Memory.cpp" "src/CMakeFiles/specsync.dir/interp/Memory.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/interp/Memory.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/specsync.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/CFG.cpp" "src/CMakeFiles/specsync.dir/ir/CFG.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/CFG.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/CMakeFiles/specsync.dir/ir/Dominators.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/specsync.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/CMakeFiles/specsync.dir/ir/IRBuilder.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "src/CMakeFiles/specsync.dir/ir/IRParser.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/CMakeFiles/specsync.dir/ir/IRPrinter.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/specsync.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/LoopInfo.cpp" "src/CMakeFiles/specsync.dir/ir/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/LoopInfo.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/CMakeFiles/specsync.dir/ir/Program.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/Program.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/specsync.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/profile/DepProfiler.cpp" "src/CMakeFiles/specsync.dir/profile/DepProfiler.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/profile/DepProfiler.cpp.o.d"
+  "/root/repo/src/profile/LoopProfiler.cpp" "src/CMakeFiles/specsync.dir/profile/LoopProfiler.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/profile/LoopProfiler.cpp.o.d"
+  "/root/repo/src/profile/ProfileIO.cpp" "src/CMakeFiles/specsync.dir/profile/ProfileIO.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/profile/ProfileIO.cpp.o.d"
+  "/root/repo/src/sim/CacheModel.cpp" "src/CMakeFiles/specsync.dir/sim/CacheModel.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/sim/CacheModel.cpp.o.d"
+  "/root/repo/src/sim/HwSync.cpp" "src/CMakeFiles/specsync.dir/sim/HwSync.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/sim/HwSync.cpp.o.d"
+  "/root/repo/src/sim/MachineConfig.cpp" "src/CMakeFiles/specsync.dir/sim/MachineConfig.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/sim/MachineConfig.cpp.o.d"
+  "/root/repo/src/sim/SeqSimulator.cpp" "src/CMakeFiles/specsync.dir/sim/SeqSimulator.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/sim/SeqSimulator.cpp.o.d"
+  "/root/repo/src/sim/SpecState.cpp" "src/CMakeFiles/specsync.dir/sim/SpecState.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/sim/SpecState.cpp.o.d"
+  "/root/repo/src/sim/SyncChannels.cpp" "src/CMakeFiles/specsync.dir/sim/SyncChannels.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/sim/SyncChannels.cpp.o.d"
+  "/root/repo/src/sim/TLSSimulator.cpp" "src/CMakeFiles/specsync.dir/sim/TLSSimulator.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/sim/TLSSimulator.cpp.o.d"
+  "/root/repo/src/sim/ValuePredictor.cpp" "src/CMakeFiles/specsync.dir/sim/ValuePredictor.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/sim/ValuePredictor.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/CMakeFiles/specsync.dir/support/Random.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/support/Random.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/specsync.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/TextTable.cpp" "src/CMakeFiles/specsync.dir/support/TextTable.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/support/TextTable.cpp.o.d"
+  "/root/repo/src/workloads/Bzip2Comp.cpp" "src/CMakeFiles/specsync.dir/workloads/Bzip2Comp.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Bzip2Comp.cpp.o.d"
+  "/root/repo/src/workloads/Bzip2Decomp.cpp" "src/CMakeFiles/specsync.dir/workloads/Bzip2Decomp.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Bzip2Decomp.cpp.o.d"
+  "/root/repo/src/workloads/Crafty.cpp" "src/CMakeFiles/specsync.dir/workloads/Crafty.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Crafty.cpp.o.d"
+  "/root/repo/src/workloads/Gap.cpp" "src/CMakeFiles/specsync.dir/workloads/Gap.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Gap.cpp.o.d"
+  "/root/repo/src/workloads/Gcc.cpp" "src/CMakeFiles/specsync.dir/workloads/Gcc.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Gcc.cpp.o.d"
+  "/root/repo/src/workloads/Go.cpp" "src/CMakeFiles/specsync.dir/workloads/Go.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Go.cpp.o.d"
+  "/root/repo/src/workloads/GzipComp.cpp" "src/CMakeFiles/specsync.dir/workloads/GzipComp.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/GzipComp.cpp.o.d"
+  "/root/repo/src/workloads/GzipDecomp.cpp" "src/CMakeFiles/specsync.dir/workloads/GzipDecomp.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/GzipDecomp.cpp.o.d"
+  "/root/repo/src/workloads/Ijpeg.cpp" "src/CMakeFiles/specsync.dir/workloads/Ijpeg.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Ijpeg.cpp.o.d"
+  "/root/repo/src/workloads/KernelCommon.cpp" "src/CMakeFiles/specsync.dir/workloads/KernelCommon.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/KernelCommon.cpp.o.d"
+  "/root/repo/src/workloads/M88ksim.cpp" "src/CMakeFiles/specsync.dir/workloads/M88ksim.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/M88ksim.cpp.o.d"
+  "/root/repo/src/workloads/Mcf.cpp" "src/CMakeFiles/specsync.dir/workloads/Mcf.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Mcf.cpp.o.d"
+  "/root/repo/src/workloads/Parser.cpp" "src/CMakeFiles/specsync.dir/workloads/Parser.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Parser.cpp.o.d"
+  "/root/repo/src/workloads/Perlbmk.cpp" "src/CMakeFiles/specsync.dir/workloads/Perlbmk.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Perlbmk.cpp.o.d"
+  "/root/repo/src/workloads/Twolf.cpp" "src/CMakeFiles/specsync.dir/workloads/Twolf.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Twolf.cpp.o.d"
+  "/root/repo/src/workloads/VprPlace.cpp" "src/CMakeFiles/specsync.dir/workloads/VprPlace.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/VprPlace.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/CMakeFiles/specsync.dir/workloads/Workload.cpp.o" "gcc" "src/CMakeFiles/specsync.dir/workloads/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

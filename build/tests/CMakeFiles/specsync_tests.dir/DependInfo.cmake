@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cfg_test.cpp" "tests/CMakeFiles/specsync_tests.dir/cfg_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/cfg_test.cpp.o.d"
+  "/root/repo/tests/compiler_test.cpp" "tests/CMakeFiles/specsync_tests.dir/compiler_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/compiler_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/specsync_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/specsync_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/specsync_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/interp_test.cpp" "tests/CMakeFiles/specsync_tests.dir/interp_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/specsync_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/memsync_test.cpp" "tests/CMakeFiles/specsync_tests.dir/memsync_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/memsync_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/specsync_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/profile_test.cpp" "tests/CMakeFiles/specsync_tests.dir/profile_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/profile_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/specsync_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/regionselect_test.cpp" "tests/CMakeFiles/specsync_tests.dir/regionselect_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/regionselect_test.cpp.o.d"
+  "/root/repo/tests/sim_units_test.cpp" "tests/CMakeFiles/specsync_tests.dir/sim_units_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/sim_units_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/specsync_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tlssim_test.cpp" "tests/CMakeFiles/specsync_tests.dir/tlssim_test.cpp.o" "gcc" "tests/CMakeFiles/specsync_tests.dir/tlssim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/specsync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
