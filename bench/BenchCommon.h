@@ -16,12 +16,15 @@
 
 #include "harness/Pipeline.h"
 #include "harness/Report.h"
+#include "obs/ObsOptions.h"
 #include "support/TextTable.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace specsync {
 
@@ -35,6 +38,51 @@ inline void forEachBenchmark(
     Body(Pipeline);
   }
 }
+
+/// Per-binary observability wiring: parses --stats / --trace-out /
+/// --json-out (and their SPECSYNC_* environment fallbacks), activates the
+/// requested sinks for the binary's lifetime, collects mode results, and
+/// writes the JSON report at exit when one was requested. Declare one at
+/// the top of main().
+class BenchSession {
+public:
+  BenchSession(int argc, char **argv, std::string Title)
+      : Opts(obs::parseObsArgs(argc, argv)), Session(Opts),
+        Title(std::move(Title)) {}
+
+  ~BenchSession() {
+    if (Opts.JsonOut.empty())
+      return;
+    if (writeJsonReportFile(Opts.JsonOut, Title, Collected))
+      std::fprintf(stderr, "obs: wrote JSON report to %s\n",
+                   Opts.JsonOut.c_str());
+    else
+      std::fprintf(stderr, "obs: failed to write JSON report to %s\n",
+                   Opts.JsonOut.c_str());
+  }
+
+  /// Records one mode run under its mode letter.
+  void record(const std::string &Benchmark, const ModeRunResult &R) {
+    record(Benchmark, modeName(R.Mode), R);
+  }
+
+  /// Records one run under an explicit label (limit studies, sweeps).
+  void record(const std::string &Benchmark, std::string Label,
+              const ModeRunResult &R) {
+    for (BenchmarkModeResults &B : Collected)
+      if (B.Benchmark == Benchmark) {
+        B.Entries.push_back({std::move(Label), R});
+        return;
+      }
+    Collected.push_back({Benchmark, {{std::move(Label), R}}});
+  }
+
+private:
+  obs::ObsOptions Opts;
+  obs::ObsSession Session;
+  std::string Title;
+  std::vector<BenchmarkModeResults> Collected;
+};
 
 } // namespace specsync
 

@@ -95,7 +95,8 @@ double runConfigured(const Workload &W, const MachineConfig &Config,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "ablation_design");
   std::printf("=== Ablations: threshold / scheduling / unrolling "
               "(C-mode normalized region time) ===\n\n");
 

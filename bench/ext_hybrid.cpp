@@ -86,7 +86,8 @@ double runBar(const Prepared &Pre, const MachineConfig &Config,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "ext_hybrid");
   std::printf("=== Extension: the paper's proposed hybrid enhancements "
               "(Section 4.2 iii/iv) ===\n\n");
 

@@ -21,7 +21,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "fig02_potential");
   std::printf("=== Figure 2: U (TLS baseline) vs O (perfect memory value "
               "communication) ===\n%s\n",
               barLegend().c_str());
@@ -34,6 +35,8 @@ int main() {
   forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult O = P.run(ExecMode::O);
+    Obs.record(P.workload().Name, U);
+    Obs.record(P.workload().Name, O);
     std::printf("%s\n",
                 renderBenchmarkBars(P.workload().Name, {U, O}).c_str());
     Summary.addRow({P.workload().Name,

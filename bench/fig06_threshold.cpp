@@ -20,7 +20,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "fig06_threshold");
   std::printf("=== Figure 6: perfect prediction of loads above a "
               "dependence-frequency threshold ===\n%s\n",
               barLegend().c_str());
@@ -35,6 +36,12 @@ int main() {
     ModeRunResult T15 = P.runWithPerfectLoads(15.0);
     ModeRunResult T5 = P.runWithPerfectLoads(5.0);
     ModeRunResult O = P.run(ExecMode::O);
+
+    Obs.record(P.workload().Name, U);
+    Obs.record(P.workload().Name, "perfect>25%", T25);
+    Obs.record(P.workload().Name, "perfect>15%", T15);
+    Obs.record(P.workload().Name, "perfect>5%", T5);
+    Obs.record(P.workload().Name, O);
 
     std::printf("%s\n", P.workload().Name.c_str());
     std::printf("%s\n", renderModeBar("U", U).c_str());

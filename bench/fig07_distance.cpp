@@ -17,7 +17,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "fig07_distance");
   std::printf("=== Figure 7: inter-epoch dependence distance "
               "distribution ===\n\n");
 

@@ -21,7 +21,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "fig08_compiler_sync");
   std::printf("=== Figure 8: U vs T vs C (region time, normalized; ref "
               "input) ===\n%s\n",
               barLegend().c_str());
@@ -35,6 +36,10 @@ int main() {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult T = P.run(ExecMode::T);
     ModeRunResult C = P.run(ExecMode::C);
+
+    Obs.record(P.workload().Name, U);
+    Obs.record(P.workload().Name, T);
+    Obs.record(P.workload().Name, C);
 
     std::printf("%s\n", renderBenchmarkBars(P.workload().Name, {U, T, C})
                             .c_str());

@@ -21,7 +21,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "fig09_idealized");
   std::printf("=== Figure 9: E (perfect value) vs C (forwarded) vs L "
               "(stall to completion) ===\n%s\n",
               barLegend().c_str());
@@ -35,6 +36,9 @@ int main() {
     ModeRunResult E = P.run(ExecMode::E);
     ModeRunResult C = P.run(ExecMode::C);
     ModeRunResult L = P.run(ExecMode::L);
+    Obs.record(P.workload().Name, E);
+    Obs.record(P.workload().Name, C);
+    Obs.record(P.workload().Name, L);
     std::printf("%s\n",
                 renderBenchmarkBars(P.workload().Name, {E, C, L}).c_str());
     Summary.addRow({P.workload().Name,

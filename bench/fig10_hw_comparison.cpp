@@ -22,7 +22,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "fig10_hw_comparison");
   std::printf("=== Figure 10: U / P / H / C / B ===\n%s\n",
               barLegend().c_str());
 
@@ -37,6 +38,11 @@ int main() {
     ModeRunResult H = Pl.run(ExecMode::H);
     ModeRunResult C = Pl.run(ExecMode::C);
     ModeRunResult B = Pl.run(ExecMode::B);
+    Obs.record(Pl.workload().Name, U);
+    Obs.record(Pl.workload().Name, P);
+    Obs.record(Pl.workload().Name, H);
+    Obs.record(Pl.workload().Name, C);
+    Obs.record(Pl.workload().Name, B);
     std::printf("%s\n", renderBenchmarkBars(Pl.workload().Name,
                                             {U, P, H, C, B})
                             .c_str());

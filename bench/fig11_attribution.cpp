@@ -20,7 +20,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "fig11_attribution");
   std::printf("=== Figure 11: violating-load attribution under stall "
               "modes U / C / H / B ===\n\n");
 
@@ -33,6 +34,7 @@ int main() {
     for (ExecMode M :
          {ExecMode::U, ExecMode::C, ExecMode::H, ExecMode::B}) {
       ModeRunResult R = P.run(M);
+      Obs.record(P.workload().Name, R);
       T.addRow({P.workload().Name, modeName(M),
                 std::to_string(R.Sim.Violations),
                 std::to_string(R.Sim.ViolCompilerOnly),

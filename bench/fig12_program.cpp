@@ -19,7 +19,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "fig12_program");
   std::printf("=== Figure 12: whole-program speedup, U / C / H / B ===\n\n");
 
   MachineConfig Config;
@@ -31,6 +32,10 @@ int main() {
     ModeRunResult C = P.run(ExecMode::C);
     ModeRunResult H = P.run(ExecMode::H);
     ModeRunResult B = P.run(ExecMode::B);
+    Obs.record(P.workload().Name, U);
+    Obs.record(P.workload().Name, C);
+    Obs.record(P.workload().Name, H);
+    Obs.record(P.workload().Name, B);
     T.addRow({P.workload().Name,
               TextTable::formatDouble(U.CoveragePercent),
               TextTable::formatDouble(U.ProgramSpeedup, 2),

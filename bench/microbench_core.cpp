@@ -14,6 +14,7 @@
 
 #include "harness/Pipeline.h"
 #include "interp/Interpreter.h"
+#include "obs/ObsOptions.h"
 #include "sim/CacheModel.h"
 #include "sim/SpecState.h"
 #include "sim/TLSSimulator.h"
@@ -102,4 +103,16 @@ static void BM_FullPipelinePrepare(benchmark::State &State) {
 }
 BENCHMARK(BM_FullPipelinePrepare)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so --stats / --trace-out work here too:
+// google-benchmark rejects flags it does not recognize, so the obs flags
+// are consumed (and argv compacted) before Initialize sees them.
+int main(int argc, char **argv) {
+  obs::ObsSession Session(obs::parseObsArgs(argc, argv));
+  argc = obs::stripObsArgs(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

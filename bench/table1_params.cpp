@@ -8,13 +8,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/ObsOptions.h"
 #include "sim/MachineConfig.h"
 
 #include <cstdio>
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  obs::ObsSession Session(obs::parseObsArgs(argc, argv));
   std::printf("=== Table 1: simulation parameters ===\n\n%s\n",
               describeMachine(MachineConfig()).c_str());
   return 0;

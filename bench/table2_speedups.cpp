@@ -15,7 +15,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "table2_speedups");
   std::printf("=== Table 2: coverage and speedups (relative to sequential "
               "execution) ===\n\n");
 
@@ -27,6 +28,8 @@ int main() {
   forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
     ModeRunResult C = P.run(ExecMode::C);
     ModeRunResult B = P.run(ExecMode::B);
+    Obs.record(P.workload().Name, C);
+    Obs.record(P.workload().Name, B);
     T.addRow({P.workload().Name,
               TextTable::formatDouble(C.CoveragePercent),
               TextTable::formatDouble(B.regionSpeedup(), 2),

@@ -18,6 +18,7 @@
 
 #include "harness/Pipeline.h"
 #include "harness/Report.h"
+#include "obs/ObsOptions.h"
 #include "workloads/KernelCommon.h"
 
 #include <cstdio>
@@ -92,7 +93,8 @@ static std::unique_ptr<Program> buildLogAppend(InputKind Input) {
   return P;
 }
 
-int main() {
+int main(int argc, char **argv) {
+  obs::ObsSession Session(obs::parseObsArgs(argc, argv));
   Workload Custom;
   Custom.Name = "LOG_APPEND";
   Custom.SpecName = "(custom)";

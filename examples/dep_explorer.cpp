@@ -15,6 +15,7 @@
 
 #include "harness/Pipeline.h"
 #include "harness/Report.h"
+#include "obs/ObsOptions.h"
 #include "support/TextTable.h"
 
 #include <cstdio>
@@ -23,6 +24,8 @@
 using namespace specsync;
 
 int main(int argc, char **argv) {
+  obs::ObsSession Session(obs::parseObsArgs(argc, argv));
+  argc = obs::stripObsArgs(argc, argv);
   const char *Name = argc > 1 ? argv[1] : "PARSER";
   const Workload *W = findWorkload(Name);
   if (!W) {

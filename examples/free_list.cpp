@@ -21,6 +21,7 @@
 #include "compiler/PassManager.h"
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
+#include "obs/ObsOptions.h"
 #include "sim/SeqSimulator.h"
 #include "sim/TLSSimulator.h"
 #include "workloads/Workload.h"
@@ -29,7 +30,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char **argv) {
+  obs::ObsSession Session(obs::parseObsArgs(argc, argv));
   const Workload *W = findWorkload("PARSER");
   MachineConfig Config;
   ContextTable Contexts;

@@ -15,12 +15,15 @@
 
 #include "harness/Pipeline.h"
 #include "harness/Report.h"
+#include "obs/ObsOptions.h"
 
 #include <cstdio>
 
 using namespace specsync;
 
 int main(int argc, char **argv) {
+  obs::ObsSession Session(obs::parseObsArgs(argc, argv));
+  argc = obs::stripObsArgs(argc, argv);
   const char *Name = argc > 1 ? argv[1] : "M88KSIM";
   const Workload *W = findWorkload(Name);
   if (!W) {

@@ -15,6 +15,7 @@
 #include "harness/Report.h"
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
+#include "obs/ObsOptions.h"
 #include "sim/SeqSimulator.h"
 #include "sim/TLSSimulator.h"
 #include "workloads/KernelCommon.h"
@@ -53,7 +54,8 @@ static std::unique_ptr<Program> buildDemo() {
   return P;
 }
 
-int main() {
+int main(int argc, char **argv) {
+  obs::ObsSession Session(obs::parseObsArgs(argc, argv));
   MachineConfig Config;
   ContextTable Contexts;
 

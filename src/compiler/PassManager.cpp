@@ -8,6 +8,8 @@
 
 #include "compiler/LoopUnroll.h"
 #include "ir/Verifier.h"
+#include "obs/PhaseTimer.h"
+#include "obs/StatRegistry.h"
 
 #include <cassert>
 
@@ -15,6 +17,7 @@ using namespace specsync;
 
 BaseTransformResult specsync::applyBaseTransforms(
     Program &P, unsigned UnrollFactor, const ScalarSyncOptions &Scalar) {
+  obs::ScopedPhaseTimer Timer("compiler.base_transforms");
   BaseTransformResult Result;
   P.assignIds();
   assert(isWellFormed(P) && "malformed input program");
@@ -24,13 +27,31 @@ BaseTransformResult specsync::applyBaseTransforms(
 
   Result.Scalar = insertScalarSync(P, Scalar);
   assert(isWellFormed(P) && "base TLS transforms broke the program");
+
+  if (obs::statsEnabled()) {
+    obs::StatRegistry &R = obs::StatRegistry::global();
+    R.counter("compiler.base.runs")->add(1);
+    R.counter("compiler.scalarsync.channels")->add(Result.Scalar.NumChannels);
+  }
   return Result;
 }
 
 MemSyncResult specsync::applyMemSync(Program &P, const ContextTable &Contexts,
                                      const DepProfile &Profile,
                                      const MemSyncOptions &Opts) {
+  obs::ScopedPhaseTimer Timer("compiler.memsync");
   MemSyncResult Result = insertMemSync(P, Contexts, Profile, Opts);
   assert(isWellFormed(P) && "memory synchronization broke the program");
+
+  if (obs::statsEnabled()) {
+    obs::StatRegistry &R = obs::StatRegistry::global();
+    R.counter("compiler.memsync.runs")->add(1);
+    R.counter("compiler.memsync.groups")->add(Result.NumGroups);
+    R.counter("compiler.memsync.synced_loads")->add(Result.NumSyncedLoads);
+    R.counter("compiler.memsync.synced_stores")->add(Result.NumSyncedStores);
+    R.counter("compiler.memsync.signals_placed")->add(Result.NumSignalsPlaced);
+    R.counter("compiler.memsync.cloned_functions")
+        ->add(Result.NumClonedFunctions);
+  }
   return Result;
 }

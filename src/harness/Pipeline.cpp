@@ -8,6 +8,8 @@
 
 #include "compiler/PassManager.h"
 #include "interp/Interpreter.h"
+#include "obs/PhaseTimer.h"
+#include "obs/TraceLog.h"
 
 #include <cassert>
 
@@ -19,8 +21,11 @@ BenchmarkPipeline::BenchmarkPipeline(const Workload &W,
     : Bench(W), Config(Config), FreqThreshold(FreqThresholdPercent) {}
 
 void BenchmarkPipeline::prepare() {
+  obs::ScopedPhaseTimer PrepTimer("harness.prepare");
+
   // Phase 1: profile the original program and pick the unroll factor.
   {
+    obs::ScopedPhaseTimer Timer("harness.prepare.loop_profile");
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     Interpreter I(*P, Contexts);
     LoopProfiler LP;
@@ -39,6 +44,7 @@ void BenchmarkPipeline::prepare() {
   // ContextTable serves both runs so context ids line up; the builds are
   // deterministic so static ids line up too.
   {
+    obs::ScopedPhaseTimer Timer("harness.prepare.train_profile");
     std::unique_ptr<Program> P = Bench.Build(InputKind::Train);
     applyBaseTransforms(*P, Factor);
     Interpreter I(*P, Contexts);
@@ -49,6 +55,7 @@ void BenchmarkPipeline::prepare() {
     TrainProfile = DP.takeProfile();
   }
   {
+    obs::ScopedPhaseTimer Timer("harness.prepare.ref_profile");
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     BaseTransformResult Base = applyBaseTransforms(*P, Factor);
     NumScalarChannels = Base.Scalar.NumChannels;
@@ -64,6 +71,7 @@ void BenchmarkPipeline::prepare() {
 
   // Phase 3: sequential baseline on the original program.
   {
+    obs::ScopedPhaseTimer Timer("harness.prepare.seq_baseline");
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     P->assignIds();
     Interpreter I(*P, Contexts);
@@ -76,6 +84,7 @@ void BenchmarkPipeline::prepare() {
   MemSyncOptions MSOpts;
   MSOpts.FreqThresholdPercent = FreqThreshold;
   {
+    obs::ScopedPhaseTimer Timer("harness.prepare.build_c");
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     applyBaseTransforms(*P, Factor);
     RefMemSync = applyMemSync(*P, Contexts, RefProfile, MSOpts);
@@ -87,6 +96,7 @@ void BenchmarkPipeline::prepare() {
     CTrace = std::make_unique<ProgramTrace>(std::move(R.Trace));
   }
   {
+    obs::ScopedPhaseTimer Timer("harness.prepare.build_t");
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     applyBaseTransforms(*P, Factor);
     TrainMemSync = applyMemSync(*P, Contexts, TrainProfile, MSOpts);
@@ -103,6 +113,14 @@ ModeRunResult BenchmarkPipeline::simulate(const ProgramTrace &Trace,
                                           TLSSimOptions Opts, ExecMode Mode) {
   Opts.NumScalarChannels = NumScalarChannels;
   Opts.CompilerSyncSet = &RefSyncSet;
+
+  // Each (benchmark, mode) run gets its own timeline track group so the
+  // trace viewer shows one row of core tracks per simulated binary.
+  obs::TraceLog &TL = obs::TraceLog::global();
+  if (TL.active())
+    TL.beginProcess(Bench.Name + "/" + modeName(Mode));
+  obs::ScopedPhaseTimer Timer(std::string("harness.run.") + modeName(Mode));
+  Timer.setItems(Trace.numRegionDynInsts());
 
   ModeRunResult Result;
   Result.Mode = Mode;

@@ -6,9 +6,12 @@
 
 #include "harness/Report.h"
 
+#include "obs/Json.h"
+#include "obs/StatRegistry.h"
 #include "support/TextTable.h"
 
 #include <cstdio>
+#include <fstream>
 
 using namespace specsync;
 
@@ -36,4 +39,105 @@ std::string specsync::renderBenchmarkBars(
   for (const ModeRunResult &R : Results)
     Out += renderModeBar(modeName(R.Mode), R) + "\n";
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON report
+//===----------------------------------------------------------------------===//
+
+void specsync::writeModeRunResultJson(obs::JsonWriter &W,
+                                      const std::string &Label,
+                                      const ModeRunResult &R) {
+  W.beginObject();
+  W.keyValue("label", Label);
+  W.keyValue("mode", modeName(R.Mode));
+
+  // Derived figures — exactly what the text bars/tables print.
+  W.keyValue("normalized_region_time", R.normalizedRegionTime());
+  W.keyValue("busy_pct", R.busyPct());
+  W.keyValue("fail_pct", R.failPct());
+  W.keyValue("sync_pct", R.syncPct());
+  W.keyValue("other_pct", R.otherPct());
+  W.keyValue("region_speedup", R.regionSpeedup());
+  W.keyValue("program_speedup", R.ProgramSpeedup);
+  W.keyValue("coverage_percent", R.CoveragePercent);
+  W.keyValue("seq_region_speedup", R.SeqRegionSpeedup);
+  W.keyValue("seq_region_cycles", R.SeqRegionCycles);
+
+  const TLSSimResult &S = R.Sim;
+  W.key("sim");
+  W.beginObject();
+  W.keyValue("completed", S.Completed);
+  W.keyValue("cycles", S.Cycles);
+
+  W.key("slots");
+  W.beginObject();
+  W.keyValue("busy", S.Slots.Busy);
+  W.keyValue("fail", S.Slots.Fail);
+  W.keyValue("sync_scalar", S.Slots.SyncScalar);
+  W.keyValue("sync_mem", S.Slots.SyncMem);
+  W.keyValue("sync", S.Slots.sync());
+  W.keyValue("other", S.Slots.other());
+  W.keyValue("total", S.Slots.Total);
+  W.endObject();
+
+  W.keyValue("epochs_committed", S.EpochsCommitted);
+  W.keyValue("violations", S.Violations);
+  W.keyValue("sab_violations", S.SabViolations);
+  W.keyValue("predict_restarts", S.PredictRestarts);
+
+  W.key("violation_attribution"); // Figure 11.
+  W.beginObject();
+  W.keyValue("compiler_only", S.ViolCompilerOnly);
+  W.keyValue("hw_only", S.ViolHwOnly);
+  W.keyValue("both", S.ViolBoth);
+  W.keyValue("neither", S.ViolNeither);
+  W.endObject();
+
+  W.keyValue("sab_max_occupancy", S.SabMaxOccupancy);
+  W.keyValue("sab_overflows", S.SabOverflows);
+  W.keyValue("hw_table_resets", S.HwTableResets);
+  W.keyValue("predictor_correct", S.PredictorCorrect);
+  W.keyValue("predictor_wrong", S.PredictorWrong);
+  W.keyValue("filtered_waits", S.FilteredWaits);
+  W.endObject();
+
+  W.endObject();
+}
+
+void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
+                               const std::vector<BenchmarkModeResults> &All) {
+  obs::JsonWriter W(OS);
+  W.beginObject();
+  W.keyValue("report", Title);
+  W.keyValue("schema_version", 1);
+  W.key("benchmarks");
+  W.beginArray();
+  for (const BenchmarkModeResults &B : All) {
+    W.beginObject();
+    W.keyValue("name", B.Benchmark);
+    W.key("modes");
+    W.beginArray();
+    for (const BenchmarkModeResults::Entry &E : B.Entries)
+      writeModeRunResultJson(W, E.Label, E.Result);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  if (obs::statsEnabled()) {
+    W.key("stats");
+    obs::StatRegistry::global().writeJson(W);
+  }
+  W.endObject();
+  OS << "\n";
+}
+
+bool specsync::writeJsonReportFile(
+    const std::string &Path, const std::string &Title,
+    const std::vector<BenchmarkModeResults> &All) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeJsonReport(OS, Title, All);
+  return static_cast<bool>(OS);
 }

@@ -15,10 +15,15 @@
 
 #include "harness/Experiment.h"
 
+#include <ostream>
 #include <string>
 #include <vector>
 
 namespace specsync {
+
+namespace obs {
+class JsonWriter;
+} // namespace obs
 
 /// Renders one mode's bar: "U  |BBBBBFFFFSSOO| 123.4" style, where
 /// B=busy, F=fail, S=sync, O=other, scaled so 100 units = 25 cells.
@@ -30,6 +35,36 @@ std::string barLegend();
 /// Renders a group of bars under a benchmark heading.
 std::string renderBenchmarkBars(const std::string &Benchmark,
                                 const std::vector<ModeRunResult> &Results);
+
+//===----------------------------------------------------------------------===//
+// Machine-readable reports (--json-out / BENCH_*.json)
+//===----------------------------------------------------------------------===//
+
+/// The results a bench binary collected for one benchmark, with the label
+/// each run was presented under (usually the mode letter; limit studies
+/// use labels like "perfect>5%").
+struct BenchmarkModeResults {
+  std::string Benchmark;
+  struct Entry {
+    std::string Label;
+    ModeRunResult Result;
+  };
+  std::vector<Entry> Entries;
+};
+
+/// Serializes one mode run: every TLSSimResult counter, the slot
+/// breakdown, and the derived figures the text bars are drawn from.
+void writeModeRunResultJson(obs::JsonWriter &W, const std::string &Label,
+                            const ModeRunResult &R);
+
+/// Writes the full report document: title, per-benchmark mode entries,
+/// and — when `--stats` is active — a dump of the stat registry.
+void writeJsonReport(std::ostream &OS, const std::string &Title,
+                     const std::vector<BenchmarkModeResults> &All);
+
+/// File variant; returns false on I/O failure.
+bool writeJsonReportFile(const std::string &Path, const std::string &Title,
+                         const std::vector<BenchmarkModeResults> &All);
 
 } // namespace specsync
 

@@ -8,6 +8,8 @@
 
 #include "ir/Dominators.h"
 #include "ir/LoopInfo.h"
+#include "obs/PhaseTimer.h"
+#include "obs/StatRegistry.h"
 
 #include <vector>
 
@@ -31,6 +33,7 @@ struct Frame {
 InterpResult Interpreter::run(const InterpOptions &Opts,
                               ExecutionObserver *Observer) {
   InterpResult Result;
+  obs::ScopedPhaseTimer Timer("interp.run");
 
   // Resolve the parallel region's loop body, if annotated.
   const RegionSpec &Region = Prog.getRegion();
@@ -330,5 +333,13 @@ InterpResult Interpreter::run(const InterpOptions &Opts,
   closeSeqSegment();
   Result.Completed = true;
   Result.MemoryChecksum = Mem.checksum();
+
+  Timer.setItems(Result.DynInstCount);
+  if (obs::statsEnabled()) {
+    obs::StatRegistry &R = obs::StatRegistry::global();
+    R.counter("interp.runs")->add(1);
+    R.counter("interp.dyn_insts")->add(Result.DynInstCount);
+    R.counter("interp.region_dyn_insts")->add(Result.RegionDynInstCount);
+  }
   return Result;
 }

@@ -1,0 +1,372 @@
+//===- obs/Json.cpp ---------------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace specsync;
+using namespace specsync::obs;
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+std::string JsonWriter::escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+void JsonWriter::newlineIndent() {
+  if (!Pretty)
+    return;
+  OS << '\n';
+  for (size_t I = 0; I < Stack.size(); ++I)
+    OS << "  ";
+}
+
+void JsonWriter::prepareValue() {
+  if (Stack.empty())
+    return; // Top-level value.
+  Level &L = Stack.back();
+  if (L.IsObject) {
+    assert(L.KeyPending && "object value without a key");
+    L.KeyPending = false;
+    return; // key() already handled the comma.
+  }
+  if (L.HasItems)
+    OS << ',';
+  L.HasItems = true;
+  newlineIndent();
+}
+
+void JsonWriter::beginObject() {
+  prepareValue();
+  OS << '{';
+  Stack.push_back({/*IsObject=*/true, false, false});
+}
+
+void JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back().IsObject && "mismatched endObject");
+  bool HadItems = Stack.back().HasItems;
+  Stack.pop_back();
+  if (HadItems)
+    newlineIndent();
+  OS << '}';
+}
+
+void JsonWriter::beginArray() {
+  prepareValue();
+  OS << '[';
+  Stack.push_back({/*IsObject=*/false, false, false});
+}
+
+void JsonWriter::endArray() {
+  assert(!Stack.empty() && !Stack.back().IsObject && "mismatched endArray");
+  bool HadItems = Stack.back().HasItems;
+  Stack.pop_back();
+  if (HadItems)
+    newlineIndent();
+  OS << ']';
+}
+
+void JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back().IsObject && "key outside object");
+  Level &L = Stack.back();
+  assert(!L.KeyPending && "two keys in a row");
+  if (L.HasItems)
+    OS << ',';
+  L.HasItems = true;
+  newlineIndent();
+  OS << escape(K) << (Pretty ? ": " : ":");
+  L.KeyPending = true;
+}
+
+void JsonWriter::value(std::string_view V) {
+  prepareValue();
+  OS << escape(V);
+}
+
+void JsonWriter::value(uint64_t V) {
+  prepareValue();
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  OS << Buf;
+}
+
+void JsonWriter::value(int64_t V) {
+  prepareValue();
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  OS << Buf;
+}
+
+void JsonWriter::value(double V) {
+  prepareValue();
+  if (!std::isfinite(V)) { // JSON has no inf/nan.
+    OS << "null";
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  OS << Buf;
+}
+
+void JsonWriter::value(bool V) {
+  prepareValue();
+  OS << (V ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  prepareValue();
+  OS << "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+const JsonValue &JsonValue::operator[](const std::string &Key) const {
+  static const JsonValue Null;
+  auto It = Members.find(Key);
+  return It == Members.end() ? Null : It->second;
+}
+
+const JsonValue &JsonValue::at(size_t Idx) const {
+  static const JsonValue Null;
+  return Idx < Items.size() ? Items[Idx] : Null;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Error && Error->empty())
+      *Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(
+               static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return fail("invalid literal");
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return fail("expected '\"'");
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out.push_back('"'); break;
+      case '\\': Out.push_back('\\'); break;
+      case '/': Out.push_back('/'); break;
+      case 'b': Out.push_back('\b'); break;
+      case 'f': Out.push_back('\f'); break;
+      case 'n': Out.push_back('\n'); break;
+      case 'r': Out.push_back('\r'); break;
+      case 't': Out.push_back('\t'); break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code += static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code += static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code += static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape digit");
+        }
+        // UTF-8 encode (no surrogate-pair handling; the emitter only
+        // escapes control characters).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{': {
+      ++Pos;
+      Out.K = JsonValue::Kind::Object;
+      skipWs();
+      if (consume('}'))
+        return true;
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (!consume(':'))
+          return fail("expected ':'");
+        JsonValue Member;
+        if (!parseValue(Member))
+          return false;
+        Out.Members.emplace(std::move(Key), std::move(Member));
+        skipWs();
+        if (consume(','))
+          continue;
+        if (consume('}'))
+          return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    case '[': {
+      ++Pos;
+      Out.K = JsonValue::Kind::Array;
+      skipWs();
+      if (consume(']'))
+        return true;
+      while (true) {
+        JsonValue Item;
+        if (!parseValue(Item))
+          return false;
+        Out.Items.push_back(std::move(Item));
+        skipWs();
+        if (consume(','))
+          continue;
+        if (consume(']'))
+          return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.StrVal);
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolVal = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolVal = false;
+      return literal("false");
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    default: {
+      size_t Start = Pos;
+      if (consume('-')) {
+      }
+      while (Pos < Text.size() &&
+             (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+              Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos == Start)
+        return fail("invalid value");
+      Out.K = JsonValue::Kind::Number;
+      Out.NumVal = std::strtod(std::string(Text.substr(Start, Pos - Start))
+                                   .c_str(),
+                               nullptr);
+      return true;
+    }
+    }
+  }
+
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::unique_ptr<JsonValue> obs::parseJson(std::string_view Text,
+                                          std::string *Error) {
+  auto V = std::make_unique<JsonValue>();
+  Parser P(Text, Error);
+  if (!P.parse(*V))
+    return nullptr;
+  return V;
+}

@@ -1,0 +1,117 @@
+//===- obs/Json.h - Streaming JSON writer and small parser ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal JSON support for the observability layer: a streaming writer
+/// (comma/indent bookkeeping, string escaping) used by the trace-event and
+/// report emitters, and a small recursive-descent parser used by tests and
+/// tools that read the emitted files back (BENCH_*.json round-trips).
+///
+/// No external dependencies; numbers are written with enough precision to
+/// round-trip uint64 counters and doubles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_OBS_JSON_H
+#define SPECSYNC_OBS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specsync {
+namespace obs {
+
+/// Streaming JSON writer. Call begin/end pairs and key/value in document
+/// order; the writer inserts commas, quotes and escapes for you. Invalid
+/// sequences (value without key inside an object) are caught by asserts.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS, bool Pretty = true)
+      : OS(OS), Pretty(Pretty) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits the key of the next key/value pair (objects only).
+  void key(std::string_view K);
+
+  void value(std::string_view V);
+  void value(const char *V) { value(std::string_view(V)); }
+  void value(uint64_t V);
+  void value(int64_t V);
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(double V);
+  void value(bool V);
+  void null();
+
+  // Convenience: key + scalar value in one call.
+  template <typename T> void keyValue(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+
+  /// Escapes \p S as a JSON string literal (with quotes).
+  static std::string escape(std::string_view S);
+
+private:
+  void prepareValue(); ///< Comma/newline bookkeeping before any value.
+  void newlineIndent();
+
+  struct Level {
+    bool IsObject = false;
+    bool HasItems = false;
+    bool KeyPending = false;
+  };
+
+  std::ostream &OS;
+  bool Pretty;
+  std::vector<Level> Stack;
+};
+
+/// A parsed JSON document node (test/tooling use; not performance-minded).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool BoolVal = false;
+  double NumVal = 0.0;
+  std::string StrVal;
+  std::vector<JsonValue> Items;                ///< Kind::Array.
+  std::map<std::string, JsonValue> Members;    ///< Kind::Object.
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member access; returns a shared null value when absent.
+  const JsonValue &operator[](const std::string &Key) const;
+  /// Array element access; returns a shared null value when out of range.
+  const JsonValue &at(size_t Idx) const;
+
+  double asNumber() const { return NumVal; }
+  uint64_t asUint() const { return static_cast<uint64_t>(NumVal); }
+  const std::string &asString() const { return StrVal; }
+};
+
+/// Parses \p Text; on failure returns nullptr and, when \p Error is given,
+/// fills it with a message including the byte offset.
+std::unique_ptr<JsonValue> parseJson(std::string_view Text,
+                                     std::string *Error = nullptr);
+
+} // namespace obs
+} // namespace specsync
+
+#endif // SPECSYNC_OBS_JSON_H

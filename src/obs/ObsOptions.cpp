@@ -1,0 +1,90 @@
+//===- obs/ObsOptions.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ObsOptions.h"
+
+#include "obs/StatRegistry.h"
+#include "obs/TraceLog.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace specsync;
+using namespace specsync::obs;
+
+ObsOptions obs::parseObsArgs(int argc, char **argv) {
+  ObsOptions Opts;
+
+  if (const char *E = std::getenv("SPECSYNC_STATS"))
+    Opts.Stats = *E && std::strcmp(E, "0") != 0;
+  if (const char *E = std::getenv("SPECSYNC_TRACE_OUT"))
+    Opts.TraceOut = E;
+  if (const char *E = std::getenv("SPECSYNC_JSON_OUT"))
+    Opts.JsonOut = E;
+
+  auto valueOf = [](const char *Arg, const char *Prefix) -> const char * {
+    size_t N = std::strlen(Prefix);
+    return std::strncmp(Arg, Prefix, N) == 0 ? Arg + N : nullptr;
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strcmp(Arg, "--stats") == 0)
+      Opts.Stats = true;
+    else if (const char *V = valueOf(Arg, "--trace-out="))
+      Opts.TraceOut = V;
+    else if (const char *V = valueOf(Arg, "--json-out="))
+      Opts.JsonOut = V;
+    else if (const char *V = valueOf(Arg, "--trace-capacity="))
+      Opts.TraceCapacity = std::strtoull(V, nullptr, 10);
+  }
+  return Opts;
+}
+
+int obs::stripObsArgs(int argc, char **argv) {
+  auto isObsArg = [](const char *Arg) {
+    return std::strcmp(Arg, "--stats") == 0 ||
+           std::strncmp(Arg, "--trace-out=", 12) == 0 ||
+           std::strncmp(Arg, "--json-out=", 11) == 0 ||
+           std::strncmp(Arg, "--trace-capacity=", 17) == 0;
+  };
+  int Out = 1;
+  for (int I = 1; I < argc; ++I)
+    if (!isObsArg(argv[I]))
+      argv[Out++] = argv[I];
+  for (int I = Out; I < argc; ++I)
+    argv[I] = nullptr;
+  return Out;
+}
+
+ObsSession::ObsSession(const ObsOptions &O) : Opts(O) {
+  if (Opts.Stats)
+    StatRegistry::setEnabled(true);
+  if (!Opts.TraceOut.empty())
+    TraceLog::global().start(Opts.TraceCapacity ? Opts.TraceCapacity
+                                                : TraceLog::DefaultCapacity);
+}
+
+ObsSession::~ObsSession() {
+  TraceLog &T = TraceLog::global();
+  if (!Opts.TraceOut.empty() && T.active()) {
+    T.stop();
+    if (!T.writeChromeJson(Opts.TraceOut))
+      std::fprintf(stderr, "obs: failed to write trace to %s\n",
+                   Opts.TraceOut.c_str());
+    else
+      std::fprintf(stderr,
+                   "obs: wrote %zu trace events to %s (open in "
+                   "https://ui.perfetto.dev)\n",
+                   T.size(), Opts.TraceOut.c_str());
+  }
+  if (Opts.Stats) {
+    std::string Text = StatRegistry::global().renderText();
+    std::fprintf(stderr, "=== stats ===\n%s", Text.c_str());
+    StatRegistry::setEnabled(false);
+  }
+}

@@ -1,0 +1,63 @@
+//===- obs/ObsOptions.h - CLI/env wiring for observability ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line and environment plumbing shared by the bench and example
+/// binaries:
+///   --stats               dump the stat registry to stderr at exit
+///   --trace-out=<file>    write a Chrome trace-event timeline at exit
+///   --json-out=<file>     write the JSON report (benches that produce one)
+/// Environment fallbacks: SPECSYNC_STATS=1, SPECSYNC_TRACE_OUT=<file>,
+/// SPECSYNC_JSON_OUT=<file>. Flags win over the environment; unrecognized
+/// arguments are left alone (google-benchmark parses its own).
+///
+/// ObsSession is the RAII companion for main(): it enables the configured
+/// sinks on construction and flushes them on destruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_OBS_OBSOPTIONS_H
+#define SPECSYNC_OBS_OBSOPTIONS_H
+
+#include <string>
+
+namespace specsync {
+namespace obs {
+
+struct ObsOptions {
+  bool Stats = false;
+  std::string TraceOut; ///< Empty = tracing off.
+  std::string JsonOut;  ///< Empty = no JSON report.
+  size_t TraceCapacity = 0; ///< 0 = TraceLog::DefaultCapacity.
+};
+
+/// Reads the environment, then overrides from argv. Does not mutate argv.
+ObsOptions parseObsArgs(int argc, char **argv);
+
+/// Removes the observability flags from argv (compacting it in place) and
+/// returns the new argc — for binaries whose own flag parser rejects
+/// unknown arguments (google-benchmark).
+int stripObsArgs(int argc, char **argv);
+
+class ObsSession {
+public:
+  explicit ObsSession(const ObsOptions &Opts);
+  ~ObsSession();
+
+  ObsSession(const ObsSession &) = delete;
+  ObsSession &operator=(const ObsSession &) = delete;
+
+  const ObsOptions &options() const { return Opts; }
+  const std::string &jsonOut() const { return Opts.JsonOut; }
+
+private:
+  ObsOptions Opts;
+};
+
+} // namespace obs
+} // namespace specsync
+
+#endif // SPECSYNC_OBS_OBSOPTIONS_H

@@ -1,0 +1,48 @@
+//===- obs/PhaseTimer.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PhaseTimer.h"
+
+#include "obs/StatRegistry.h"
+#include "obs/TraceLog.h"
+
+#include <chrono>
+
+using namespace specsync;
+using namespace specsync::obs;
+
+uint64_t obs::hostClockNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Zero = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Zero)
+          .count());
+}
+
+ScopedPhaseTimer::ScopedPhaseTimer(std::string N) : Name(std::move(N)) {
+  Armed = statsEnabled() || TraceLog::global().active();
+  if (Armed)
+    StartNs = hostClockNs();
+}
+
+ScopedPhaseTimer::~ScopedPhaseTimer() {
+  if (!Armed)
+    return;
+  uint64_t EndNs = hostClockNs();
+  uint64_t DurNs = EndNs - StartNs;
+
+  if (statsEnabled()) {
+    StatRegistry &R = StatRegistry::global();
+    R.counter(Name + ".ns")->add(DurNs);
+    R.counter(Name + ".calls")->add(1);
+    if (Items)
+      R.counter(Name + ".items")->add(Items);
+  }
+  TraceLog::global().hostSpan(Name, StartNs / 1000, DurNs / 1000,
+                              Items ? "items" : nullptr,
+                              static_cast<int64_t>(Items));
+}

@@ -1,0 +1,53 @@
+//===- obs/PhaseTimer.h - Phase/pass wall-time instrumentation --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII wall-clock timer for compiler passes and harness pipeline phases.
+/// On destruction it folds the elapsed time into the stat registry as
+/// `<name>.ns` / `<name>.calls` / `<name>.items` and records a span on the
+/// trace log's host track. Free when observability is disabled (one branch
+/// in the constructor, no clock reads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_OBS_PHASETIMER_H
+#define SPECSYNC_OBS_PHASETIMER_H
+
+#include <cstdint>
+#include <string>
+
+namespace specsync {
+namespace obs {
+
+/// Nanoseconds since the first observability clock read in this process
+/// (a stable zero point so host-track trace timestamps start near 0).
+uint64_t hostClockNs();
+
+class ScopedPhaseTimer {
+public:
+  /// \p Name is a dotted stat path, e.g. "compiler.memsync" or
+  /// "harness.run.C".
+  explicit ScopedPhaseTimer(std::string Name);
+  ~ScopedPhaseTimer();
+
+  ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+  ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+  /// Attaches a work-size figure (e.g. instructions processed) reported as
+  /// `<name>.items` and as the trace span's argument.
+  void setItems(uint64_t N) { Items = N; }
+
+private:
+  std::string Name;
+  uint64_t StartNs = 0;
+  uint64_t Items = 0;
+  bool Armed = false;
+};
+
+} // namespace obs
+} // namespace specsync
+
+#endif // SPECSYNC_OBS_PHASETIMER_H

@@ -1,0 +1,117 @@
+//===- obs/StatRegistry.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StatRegistry.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace specsync;
+using namespace specsync::obs;
+
+bool obs::StatsEnabledFlag = false;
+
+StatRegistry &StatRegistry::global() {
+  static StatRegistry R;
+  return R;
+}
+
+void StatRegistry::setEnabled(bool Enabled) { StatsEnabledFlag = Enabled; }
+
+Counter *StatRegistry::counter(const std::string &Name) {
+  auto It = CounterIndex.find(Name);
+  if (It != CounterIndex.end())
+    return It->second;
+  Counters.emplace_back();
+  CounterIndex.emplace(Name, &Counters.back());
+  return &Counters.back();
+}
+
+Gauge *StatRegistry::gauge(const std::string &Name) {
+  auto It = GaugeIndex.find(Name);
+  if (It != GaugeIndex.end())
+    return It->second;
+  Gauges.emplace_back();
+  GaugeIndex.emplace(Name, &Gauges.back());
+  return &Gauges.back();
+}
+
+FixedHistogram *StatRegistry::histogram(const std::string &Name,
+                                        unsigned NumBuckets,
+                                        uint64_t BucketWidth) {
+  auto It = HistIndex.find(Name);
+  if (It != HistIndex.end())
+    return It->second;
+  Histograms.emplace_back(NumBuckets, BucketWidth);
+  HistIndex.emplace(Name, &Histograms.back());
+  return &Histograms.back();
+}
+
+void StatRegistry::reset() {
+  for (Counter &C : Counters)
+    C.Value = 0;
+  for (Gauge &G : Gauges) {
+    G.Value = 0;
+    G.Max = 0;
+  }
+  for (FixedHistogram &H : Histograms)
+    H.reset();
+}
+
+std::string StatRegistry::renderText() const {
+  // The per-kind indexes are already name-sorted; merge them.
+  std::ostringstream OS;
+  std::map<std::string, std::string> Lines;
+  for (const auto &[Name, C] : CounterIndex)
+    if (C->Value != 0)
+      Lines[Name] = std::to_string(C->Value);
+  for (const auto &[Name, G] : GaugeIndex)
+    if (G->Value != 0 || G->Max != 0)
+      Lines[Name] =
+          std::to_string(G->Value) + " (max " + std::to_string(G->Max) + ")";
+  for (const auto &[Name, H] : HistIndex) {
+    if (H->totalSamples() == 0)
+      continue;
+    std::string Body;
+    for (unsigned B = 0; B < H->numBuckets(); ++B) {
+      if (B)
+        Body += ' ';
+      Body += std::to_string(H->bucketCount(B));
+    }
+    Lines[Name] = "[" + Body + "]";
+  }
+  for (const auto &[Name, Text] : Lines)
+    OS << Name << " = " << Text << "\n";
+  return OS.str();
+}
+
+void StatRegistry::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  for (const auto &[Name, C] : CounterIndex)
+    W.keyValue(Name, C->Value);
+  for (const auto &[Name, G] : GaugeIndex) {
+    W.key(Name);
+    W.beginObject();
+    W.keyValue("value", G->Value);
+    W.keyValue("max", G->Max);
+    W.endObject();
+  }
+  for (const auto &[Name, H] : HistIndex) {
+    W.key(Name);
+    W.beginObject();
+    W.keyValue("bucket_width", H->bucketWidth());
+    W.keyValue("total", H->totalSamples());
+    W.key("buckets");
+    W.beginArray();
+    for (unsigned B = 0; B < H->numBuckets(); ++B)
+      W.value(H->bucketCount(B));
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+}

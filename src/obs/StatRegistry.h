@@ -1,0 +1,142 @@
+//===- obs/StatRegistry.h - Named counters/gauges/histograms ----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide statistics registry behind `--stats`. Components
+/// obtain stable handles (pointers into the registry) once, at
+/// construction time, and bump them from hot paths. Every mutation is
+/// gated on a single global flag so the disabled configuration costs one
+/// predictable branch per site — the registry must stay invisible in
+/// microbench_core when observability is off.
+///
+/// Naming scheme: dotted lowercase paths grouped by layer, e.g.
+///   sim.cache.l1_miss        sim.violations         interp.dyn_insts
+///   compiler.memsync.groups  harness.phase.prepare.ns
+/// Phase timers (PhaseTimer.h) append `.ns` / `.calls` / `.items`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_OBS_STATREGISTRY_H
+#define SPECSYNC_OBS_STATREGISTRY_H
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace specsync {
+namespace obs {
+
+class JsonWriter;
+
+/// Global observability switch (set via StatRegistry::setEnabled). Read
+/// from hot paths; keep it a plain bool load.
+extern bool StatsEnabledFlag;
+inline bool statsEnabled() { return StatsEnabledFlag; }
+
+/// A monotonically increasing named counter.
+struct Counter {
+  uint64_t Value = 0;
+
+  void add(uint64_t Delta = 1) {
+    if (statsEnabled())
+      Value += Delta;
+  }
+};
+
+/// A last-value / high-watermark gauge.
+struct Gauge {
+  int64_t Value = 0;
+  int64_t Max = 0;
+
+  void set(int64_t V) {
+    if (!statsEnabled())
+      return;
+    Value = V;
+    if (V > Max)
+      Max = V;
+  }
+};
+
+/// Linear fixed-bucket histogram: bucket i counts samples in
+/// [i*BucketWidth, (i+1)*BucketWidth); the final bucket is the overflow.
+class FixedHistogram {
+public:
+  FixedHistogram(unsigned NumBuckets, uint64_t BucketWidth)
+      : Width(BucketWidth ? BucketWidth : 1), Buckets(NumBuckets, 0) {}
+
+  void addSample(uint64_t V, uint64_t Weight = 1) {
+    if (!statsEnabled())
+      return;
+    uint64_t B = V / Width;
+    if (B >= Buckets.size())
+      B = Buckets.size() - 1;
+    Buckets[B] += Weight;
+    Total += Weight;
+  }
+
+  unsigned numBuckets() const { return static_cast<unsigned>(Buckets.size()); }
+  uint64_t bucketWidth() const { return Width; }
+  uint64_t bucketCount(unsigned B) const { return Buckets[B]; }
+  uint64_t totalSamples() const { return Total; }
+
+  void reset() {
+    std::fill(Buckets.begin(), Buckets.end(), 0);
+    Total = 0;
+  }
+
+private:
+  uint64_t Width;
+  std::vector<uint64_t> Buckets;
+  uint64_t Total = 0;
+};
+
+/// The registry. Handle lookups (counter()/gauge()/histogram()) are
+/// get-or-create by name and intended for construction-time use only; the
+/// returned pointers stay valid for the registry's lifetime.
+class StatRegistry {
+public:
+  static StatRegistry &global();
+
+  /// Flips the global enabled flag. Disabled (the default) makes every
+  /// handle mutation a no-op.
+  static void setEnabled(bool Enabled);
+
+  Counter *counter(const std::string &Name);
+  Gauge *gauge(const std::string &Name);
+  FixedHistogram *histogram(const std::string &Name, unsigned NumBuckets,
+                            uint64_t BucketWidth = 1);
+
+  /// Zeroes every registered value (handles stay valid). Test support.
+  void reset();
+
+  /// Renders `name value` lines, sorted by name, skipping zero counters.
+  std::string renderText() const;
+
+  /// Serializes all stats as one JSON object keyed by stat name.
+  void writeJson(JsonWriter &W) const;
+
+  size_t numStats() const {
+    return Counters.size() + Gauges.size() + Histograms.size();
+  }
+
+private:
+  StatRegistry() = default;
+
+  std::map<std::string, Counter *> CounterIndex;
+  std::map<std::string, Gauge *> GaugeIndex;
+  std::map<std::string, FixedHistogram *> HistIndex;
+  std::deque<Counter> Counters;   ///< Deques: stable handle addresses.
+  std::deque<Gauge> Gauges;
+  std::deque<FixedHistogram> Histograms;
+};
+
+} // namespace obs
+} // namespace specsync
+
+#endif // SPECSYNC_OBS_STATREGISTRY_H

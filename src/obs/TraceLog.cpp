@@ -1,0 +1,180 @@
+//===- obs/TraceLog.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceLog.h"
+
+#include "obs/Json.h"
+
+#include <fstream>
+
+using namespace specsync;
+using namespace specsync::obs;
+
+TraceLog &TraceLog::global() {
+  static TraceLog T;
+  return T;
+}
+
+void TraceLog::start(size_t Cap) {
+  Active = true;
+  Capacity = Cap ? Cap : 1;
+  Events.reserve(std::min<size_t>(Capacity, 4096));
+}
+
+void TraceLog::stop() { Active = false; }
+
+void TraceLog::clear() {
+  Events.clear();
+  Metadata.clear();
+  NamedThreads.clear();
+  InternedNames.clear();
+  HostTrackNamed = false;
+  Head = 0;
+  Dropped = 0;
+  TimeBase = 0;
+  CurPid = 1;
+  NextPid = 1;
+}
+
+uint32_t TraceLog::beginProcess(const std::string &Name) {
+  CurPid = NextPid++;
+  Metadata.push_back({CurPid, 0, Name, /*IsProcess=*/true});
+  return CurPid;
+}
+
+void TraceLog::nameThread(uint32_t Pid, uint32_t Tid,
+                          const std::string &Name) {
+  if (!NamedThreads.insert({Pid, Tid}).second)
+    return;
+  Metadata.push_back({Pid, Tid, Name, /*IsProcess=*/false});
+}
+
+void TraceLog::push(const TraceEvent &E) {
+  if (Events.size() < Capacity) {
+    Events.push_back(E);
+    return;
+  }
+  Events[Head] = E;
+  Head = (Head + 1) % Capacity;
+  ++Dropped;
+}
+
+void TraceLog::complete(uint32_t Tid, const char *Name, const char *Category,
+                        uint64_t Ts, uint64_t Dur, const char *ArgName,
+                        int64_t ArgValue) {
+  if (!Active)
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Phase = 'X';
+  E.Pid = CurPid;
+  E.Tid = Tid;
+  E.Ts = Ts;
+  E.Dur = Dur;
+  E.ArgName = ArgName;
+  E.ArgValue = ArgValue;
+  push(E);
+}
+
+void TraceLog::instant(uint32_t Tid, const char *Name, const char *Category,
+                       uint64_t Ts, const char *ArgName, int64_t ArgValue) {
+  if (!Active)
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Phase = 'i';
+  E.Pid = CurPid;
+  E.Tid = Tid;
+  E.Ts = Ts;
+  E.ArgName = ArgName;
+  E.ArgValue = ArgValue;
+  push(E);
+}
+
+void TraceLog::hostSpan(const std::string &Name, uint64_t TsUs, uint64_t DurUs,
+                        const char *ArgName, int64_t ArgValue) {
+  if (!Active)
+    return;
+  if (!HostTrackNamed) {
+    HostTrackNamed = true;
+    Metadata.push_back({0, 0, "host (wall clock)", /*IsProcess=*/true});
+  }
+  TraceEvent E;
+  E.Name = InternedNames.insert(Name).first->c_str();
+  E.Category = "host";
+  E.Phase = 'X';
+  E.Pid = 0;
+  E.Tid = 0;
+  E.Ts = TsUs;
+  E.Dur = DurUs;
+  E.ArgName = ArgName;
+  E.ArgValue = ArgValue;
+  push(E);
+}
+
+void TraceLog::writeChromeJson(std::ostream &OS) const {
+  JsonWriter W(OS, /*Pretty=*/false);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+
+  auto writeMeta = [&](const NamedTrack &M) {
+    W.beginObject();
+    W.keyValue("name", M.IsProcess ? "process_name" : "thread_name");
+    W.keyValue("ph", "M");
+    W.keyValue("pid", M.Pid);
+    W.keyValue("tid", M.Tid);
+    W.key("args");
+    W.beginObject();
+    W.keyValue("name", M.Name);
+    W.endObject();
+    W.endObject();
+  };
+  for (const NamedTrack &M : Metadata)
+    writeMeta(M);
+
+  auto writeEvent = [&](const TraceEvent &E) {
+    W.beginObject();
+    W.keyValue("name", E.Name);
+    W.keyValue("cat", E.Category);
+    W.keyValue("ph", std::string_view(&E.Phase, 1));
+    W.keyValue("pid", E.Pid);
+    W.keyValue("tid", E.Tid);
+    W.keyValue("ts", E.Ts);
+    if (E.Phase == 'X')
+      W.keyValue("dur", E.Dur);
+    if (E.Phase == 'i')
+      W.keyValue("s", "t"); // Thread-scoped instant.
+    if (E.ArgName) {
+      W.key("args");
+      W.beginObject();
+      W.keyValue(E.ArgName, E.ArgValue);
+      W.endObject();
+    }
+    W.endObject();
+  };
+  // Ring order: oldest first.
+  for (size_t I = Head; I < Events.size(); ++I)
+    writeEvent(Events[I]);
+  for (size_t I = 0; I < Head; ++I)
+    writeEvent(Events[I]);
+
+  W.endArray();
+  W.keyValue("displayTimeUnit", "ms");
+  if (Dropped)
+    W.keyValue("droppedEvents", Dropped);
+  W.endObject();
+}
+
+bool TraceLog::writeChromeJson(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeChromeJson(OS);
+  return static_cast<bool>(OS);
+}

@@ -1,0 +1,126 @@
+//===- obs/TraceLog.h - Epoch-timeline trace-event log ----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded ring-buffer event log behind `--trace-out`. The TLS simulator
+/// records epoch spans, commits, squashes, wait stalls and violation
+/// instants on one track per simulated core; phase timers record compiler/
+/// harness wall time on a separate host-clock track. The log serializes to
+/// Chrome trace-event JSON, viewable in Perfetto (https://ui.perfetto.dev)
+/// or chrome://tracing.
+///
+/// Timestamps on simulator tracks are simulated cycles (displayed as
+/// microseconds — the format has no unit field); a global time base keeps
+/// successive region instances from overlapping. Event names must be
+/// string literals (the buffer stores the pointers, not copies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_OBS_TRACELOG_H
+#define SPECSYNC_OBS_TRACELOG_H
+
+#include <cstdint>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace specsync {
+namespace obs {
+
+/// One logged event. Complete events ("X") carry a duration; instants
+/// ("i") do not. One optional integer argument is kept inline so the hot
+/// path never allocates.
+struct TraceEvent {
+  const char *Name = "";    ///< Static string.
+  const char *Category = "";///< Static string ("sim", "host", ...).
+  char Phase = 'X';         ///< 'X' complete, 'i' instant.
+  uint32_t Pid = 0;         ///< Track group (one per simulated binary/mode).
+  uint32_t Tid = 0;         ///< Track (simulated core, or 0 on host).
+  uint64_t Ts = 0;          ///< Start timestamp.
+  uint64_t Dur = 0;         ///< 'X' only.
+  const char *ArgName = nullptr; ///< Optional integer argument.
+  int64_t ArgValue = 0;
+};
+
+class TraceLog {
+public:
+  static TraceLog &global();
+
+  /// Starts recording into a ring of \p Capacity events. When the ring
+  /// fills, the oldest events are overwritten (and counted as dropped).
+  void start(size_t Capacity = DefaultCapacity);
+  void stop();
+  bool active() const { return Active; }
+
+  /// Opens a new track group (a Chrome "process") and makes it current;
+  /// emits its process_name metadata. Returns the pid.
+  uint32_t beginProcess(const std::string &Name);
+  uint32_t currentPid() const { return CurPid; }
+
+  /// Names track \p Tid of track group \p Pid (idempotent).
+  void nameThread(uint32_t Pid, uint32_t Tid, const std::string &Name);
+
+  void complete(uint32_t Tid, const char *Name, const char *Category,
+                uint64_t Ts, uint64_t Dur, const char *ArgName = nullptr,
+                int64_t ArgValue = 0);
+  void instant(uint32_t Tid, const char *Name, const char *Category,
+               uint64_t Ts, const char *ArgName = nullptr,
+               int64_t ArgValue = 0);
+
+  /// Records a span on the host wall-clock track (pid 0, microseconds) —
+  /// used by compiler/harness phase timers. The event name is copied into
+  /// an interned pool, so dynamic strings are fine here (phases are rare).
+  void hostSpan(const std::string &Name, uint64_t TsUs, uint64_t DurUs,
+                const char *ArgName = nullptr, int64_t ArgValue = 0);
+
+  /// Simulated-time base: successive simulator runs place their events
+  /// after everything already logged.
+  uint64_t timeBase() const { return TimeBase; }
+  void advanceTimeBase(uint64_t Cycles) { TimeBase += Cycles; }
+
+  size_t size() const { return Events.size(); }
+  uint64_t dropped() const { return Dropped; }
+
+  /// Serializes the log as Chrome trace-event JSON.
+  void writeChromeJson(std::ostream &OS) const;
+  /// Writes to \p Path; returns false (and keeps the log) on I/O error.
+  bool writeChromeJson(const std::string &Path) const;
+
+  /// Drops all recorded events and metadata (test support).
+  void clear();
+
+  static constexpr size_t DefaultCapacity = 1u << 20;
+
+private:
+  TraceLog() = default;
+
+  void push(const TraceEvent &E);
+
+  bool Active = false;
+  size_t Capacity = 0;
+  size_t Head = 0; ///< Next slot to overwrite once the ring is full.
+  std::vector<TraceEvent> Events;
+  uint64_t Dropped = 0;
+  uint64_t TimeBase = 0;
+  uint32_t CurPid = 1;
+  uint32_t NextPid = 1;
+
+  struct NamedTrack {
+    uint32_t Pid, Tid;
+    std::string Name;
+    bool IsProcess;
+  };
+  std::vector<NamedTrack> Metadata;
+  std::set<std::pair<uint32_t, uint32_t>> NamedThreads;
+  std::set<std::string> InternedNames; ///< Stable storage for hostSpan names.
+  bool HostTrackNamed = false;
+};
+
+} // namespace obs
+} // namespace specsync
+
+#endif // SPECSYNC_OBS_TRACELOG_H

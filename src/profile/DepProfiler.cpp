@@ -6,6 +6,8 @@
 
 #include "profile/DepProfiler.h"
 
+#include "obs/StatRegistry.h"
+
 #include <algorithm>
 
 using namespace specsync;
@@ -101,5 +103,13 @@ void DepProfiler::onDynInst(const DynInst &DI, bool InRegion, uint64_t) {
 DepProfile DepProfiler::takeProfile() {
   Profile.Pairs = std::move(Pairs);
   Profile.Loads = std::move(Loads);
+
+  if (obs::statsEnabled()) {
+    obs::StatRegistry &R = obs::StatRegistry::global();
+    R.counter("profile.runs")->add(1);
+    R.counter("profile.total_epochs")->add(Profile.TotalEpochs);
+    R.counter("profile.dep_pairs")->add(Profile.Pairs.size());
+    R.counter("profile.dep_loads")->add(Profile.Loads.size());
+  }
   return std::move(Profile);
 }

@@ -6,6 +6,8 @@
 
 #include "sim/CacheModel.h"
 
+#include "obs/StatRegistry.h"
+
 #include <cassert>
 
 using namespace specsync;
@@ -68,11 +70,14 @@ CacheModel::CacheModel(const MachineConfig &Config)
 
 unsigned CacheModel::accessLatency(unsigned Core, uint64_t Addr) {
   assert(Core < L1s.size() && "core index out of range");
+  CAccesses->add(1);
   if (L1s[Core].accessAndFill(Addr))
     return Config.L1HitLatency;
   ++L1Misses;
+  CL1Miss->add(1);
   if (L2.accessAndFill(Addr))
     return Config.L2HitLatency;
   ++L2Misses;
+  CL2Miss->add(1);
   return Config.MemLatency;
 }

@@ -15,6 +15,7 @@
 #ifndef SPECSYNC_SIM_CACHEMODEL_H
 #define SPECSYNC_SIM_CACHEMODEL_H
 
+#include "obs/StatRegistry.h"
 #include "sim/MachineConfig.h"
 
 #include <cstdint>
@@ -60,6 +61,14 @@ private:
   TagArray L2;
   uint64_t L1Misses = 0;
   uint64_t L2Misses = 0;
+
+  // Registry mirrors of the miss counters (no-ops unless --stats).
+  obs::Counter *CAccesses =
+      obs::StatRegistry::global().counter("sim.cache.accesses");
+  obs::Counter *CL1Miss =
+      obs::StatRegistry::global().counter("sim.cache.l1_miss");
+  obs::Counter *CL2Miss =
+      obs::StatRegistry::global().counter("sim.cache.l2_miss");
 };
 
 } // namespace specsync

@@ -6,6 +6,8 @@
 
 #include "sim/HwSync.h"
 
+#include "obs/StatRegistry.h"
+
 #include <cassert>
 
 using namespace specsync;
@@ -27,6 +29,9 @@ void HwViolationTable::maybeReset(uint64_t Cycle) {
   }
   LastReset = Cycle;
   ++Resets;
+  static obs::Counter *CResets =
+      obs::StatRegistry::global().counter("sim.hwsync.resets");
+  CResets->add(1);
 }
 
 void HwViolationTable::erase(uint32_t LoadId) {
@@ -40,6 +45,9 @@ void HwViolationTable::erase(uint32_t LoadId) {
 
 void HwViolationTable::recordViolation(uint32_t LoadId, uint64_t Cycle,
                                        bool Sticky) {
+  static obs::Counter *CRecorded =
+      obs::StatRegistry::global().counter("sim.hwsync.recorded_loads");
+  CRecorded->add(1);
   maybeReset(Cycle);
   erase(LoadId);
   if (Lru.size() >= Capacity) {

@@ -13,6 +13,7 @@ using namespace specsync;
 
 void SyncChannels::sendScalar(int Channel, uint64_t ConsumerEpoch,
                               uint64_t Arrival) {
+  CScalarSends->add(1);
   // Keep the earliest arrival: a signal beats the commit-time auto-signal.
   auto Key = std::make_pair(Channel, ConsumerEpoch);
   auto It = Scalars.find(Key);
@@ -30,6 +31,9 @@ SyncChannels::getScalar(int Channel, uint64_t ConsumerEpoch) const {
 
 void SyncChannels::sendMem(int Group, uint64_t ConsumerEpoch, uint64_t Addr,
                            uint64_t Value, uint64_t Arrival) {
+  CMemSends->add(1);
+  if (Addr == 0)
+    CNullSignals->add(1);
   auto Key = std::make_pair(Group, ConsumerEpoch);
   auto It = Mems.find(Key);
   if (It == Mems.end() || Arrival < It->second.ArrivalCycle)

@@ -20,6 +20,8 @@
 #ifndef SPECSYNC_SIM_SYNCCHANNELS_H
 #define SPECSYNC_SIM_SYNCCHANNELS_H
 
+#include "obs/StatRegistry.h"
+
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -65,6 +67,14 @@ public:
 private:
   std::map<std::pair<int, uint64_t>, ScalarForward> Scalars;
   std::map<std::pair<int, uint64_t>, MemForward> Mems;
+
+  // Registry counters (no-ops unless --stats).
+  obs::Counter *CScalarSends =
+      obs::StatRegistry::global().counter("sim.channels.scalar_sends");
+  obs::Counter *CMemSends =
+      obs::StatRegistry::global().counter("sim.channels.mem_sends");
+  obs::Counter *CNullSignals =
+      obs::StatRegistry::global().counter("sim.channels.null_signals");
 };
 
 /// The producer-side signal address buffer (bounded; the paper observes 10

@@ -6,6 +6,9 @@
 
 #include "sim/TLSSimulator.h"
 
+#include "obs/StatRegistry.h"
+#include "obs/TraceLog.h"
+
 #include <cassert>
 #include <map>
 
@@ -32,6 +35,7 @@ void TLSSimResult::accumulate(const TLSSimResult &RHS) {
   HwTableResets = std::max(HwTableResets, RHS.HwTableResets);
   PredictorCorrect += RHS.PredictorCorrect;
   PredictorWrong += RHS.PredictorWrong;
+  FilteredWaits += RHS.FilteredWaits;
 }
 
 namespace {
@@ -102,7 +106,48 @@ struct TLSSimulator::Impl {
   const RegionTrace *Region = nullptr;
   TLSSimResult Stats;
 
+  // Observability: epoch-timeline tracing (one track per core) and the
+  // registry counters this simulator folds its per-region totals into.
+  bool Tracing = false;
+  uint64_t TBase = 0; ///< Trace-time offset of this region instance.
+  obs::Counter *CRegions = obs::StatRegistry::global().counter("sim.regions");
+  obs::Counter *CRegionCycles =
+      obs::StatRegistry::global().counter("sim.region_cycles");
+  obs::Counter *CEpochs =
+      obs::StatRegistry::global().counter("sim.epochs_committed");
+  obs::Counter *CViolations =
+      obs::StatRegistry::global().counter("sim.violations");
+  obs::Counter *CSabViolations =
+      obs::StatRegistry::global().counter("sim.sab_violations");
+  obs::Counter *CSabOverflows =
+      obs::StatRegistry::global().counter("sim.sab_overflows");
+  obs::Counter *CPredictRestarts =
+      obs::StatRegistry::global().counter("sim.predict_restarts");
+  obs::Counter *CFilteredWaits =
+      obs::StatRegistry::global().counter("sim.filtered_waits");
+  obs::Gauge *GSabOccupancy =
+      obs::StatRegistry::global().gauge("sim.sab_occupancy");
+
   unsigned width() const { return Config.IssueWidth; }
+  unsigned coreOf(const EpochRun &R) const {
+    return static_cast<unsigned>(R.Epoch % Config.NumCores);
+  }
+
+  // --- Trace-event helpers ------------------------------------------------
+  void traceSpan(const EpochRun &R, const char *Name, uint64_t Start,
+                 uint64_t Dur, const char *ArgName = nullptr,
+                 int64_t Arg = 0) {
+    if (Tracing)
+      obs::TraceLog::global().complete(coreOf(R), Name, "sim", TBase + Start,
+                                       Dur, ArgName, Arg);
+  }
+
+  void traceInstant(const EpochRun &R, const char *Name, uint64_t At,
+                    const char *ArgName = nullptr, int64_t Arg = 0) {
+    if (Tracing)
+      obs::TraceLog::global().instant(coreOf(R), Name, "sim", TBase + At,
+                                      ArgName, Arg);
+  }
 
   // --- Per-instruction slot helpers --------------------------------------
   void graduate(EpochRun &R) {
@@ -124,6 +169,8 @@ struct TLSSimulator::Impl {
   void syncStall(EpochRun &R, uint64_t Cycles, bool IsMem) {
     if (Cycles == 0)
       return;
+    traceSpan(R, IsMem ? "wait.mem" : "wait.scalar", R.Cycle, Cycles,
+              "epoch", static_cast<int64_t>(R.Epoch));
     stall(R, Cycles);
     if (IsMem)
       R.SyncMemSlots += Cycles * width();
@@ -168,6 +215,8 @@ struct TLSSimulator::Impl {
         continue;
       uint64_t Wasted = Now > R.AttemptStart ? Now - R.AttemptStart : 0;
       Stats.Slots.Fail += Wasted * width();
+      traceSpan(R, "squash", R.AttemptStart, Wasted, "epoch",
+                static_cast<int64_t>(E));
       Spec.clearEpoch(E);
       Channels.clearForConsumer(E + 1);
       clearMarkAttribution(E);
@@ -182,6 +231,8 @@ struct TLSSimulator::Impl {
     if (!Reader)
       return;
     ++Stats.Violations;
+    traceInstant(R, "violation", R.Cycle, "reader_epoch",
+                 static_cast<int64_t>(Reader->Epoch));
 
     bool CompilerWould =
         MarkCompilerSynced[{Reader->Epoch, Spec.lineOf(DI.Addr)}];
@@ -260,6 +311,9 @@ struct TLSSimulator::Impl {
   void wake(EpochRun &R, uint64_t Arrival, bool IsMem) {
     uint64_t NewCycle = std::max(R.Cycle, Arrival);
     uint64_t Stalled = NewCycle - R.Cycle;
+    if (Stalled)
+      traceSpan(R, IsMem ? "wait.mem" : "wait.scalar", R.Cycle, Stalled,
+                "epoch", static_cast<int64_t>(R.Epoch));
     if (IsMem)
       R.SyncMemSlots += Stalled * width();
     else
@@ -292,6 +346,14 @@ struct TLSSimulator::Impl {
     uint64_t CommitStart = std::max(R.FinishCycle, TokenFreeAt);
     uint64_t CommitEnd = CommitStart + Config.CommitLatency;
     TokenFreeAt = CommitEnd;
+
+    // Timeline: the successful attempt's span plus the commit handoff.
+    traceSpan(R, "epoch", R.AttemptStart,
+              R.FinishCycle > R.AttemptStart ? R.FinishCycle - R.AttemptStart
+                                             : 0,
+              "epoch", static_cast<int64_t>(R.Epoch));
+    traceSpan(R, "commit", CommitStart, Config.CommitLatency, "epoch",
+              static_cast<int64_t>(R.Epoch));
 
     // Fold attempt statistics.
     Stats.Slots.Busy += R.BusyInsts;
@@ -430,6 +492,7 @@ struct TLSSimulator::Impl {
         R.SignaledScalars.insert(DI.SyncId);
         Channels.sendScalar(DI.SyncId, R.Epoch + 1,
                             R.Cycle + Config.SignalLatency);
+        traceInstant(R, "signal.scalar", R.Cycle, "channel", DI.SyncId);
         tryWakeChannelWaiters(R.Epoch + 1, R.Cycle);
       }
       break;
@@ -441,6 +504,7 @@ struct TLSSimulator::Impl {
       R.SignaledGroups.insert(DI.SyncId);
       Channels.sendMem(DI.SyncId, R.Epoch + 1, DI.Addr, DI.Value,
                        R.Cycle + Config.SignalLatency);
+      traceInstant(R, "signal.mem", R.Cycle, "group", DI.SyncId);
       if (DI.Addr != 0 && !R.Sab.recordSignal(DI.SyncId, DI.Addr))
         ++Stats.SabOverflows;
       tryWakeChannelWaiters(R.Epoch + 1, R.Cycle);
@@ -519,6 +583,8 @@ struct TLSSimulator::Impl {
         auto ConsumerIt = Active.find(R.Epoch + 1);
         if (ConsumerIt != Active.end()) {
           ++Stats.SabViolations;
+          traceInstant(R, "sab_violation", R.Cycle, "epoch",
+                       static_cast<int64_t>(R.Epoch));
           squashFrom(R.Epoch + 1, R.Cycle + Config.ViolationDetectLatency);
           // The squashed consumer will re-wait; refresh the forward.
         }
@@ -561,6 +627,14 @@ struct TLSSimulator::Impl {
     Channels = SyncChannels();
     MarkCompilerSynced.clear();
 
+    obs::TraceLog &TL = obs::TraceLog::global();
+    Tracing = TL.active();
+    if (Tracing) {
+      TBase = TL.timeBase();
+      for (unsigned C = 0; C < Config.NumCores; ++C)
+        TL.nameThread(TL.currentPid(), C, "core " + std::to_string(C));
+    }
+
     if (NumEpochs == 0)
       return Stats;
 
@@ -595,6 +669,20 @@ struct TLSSimulator::Impl {
     Stats.Slots.Total =
         Stats.Cycles * Config.IssueWidth * Config.NumCores;
     Stats.HwTableResets = HwTables.numResets();
+
+    if (Tracing) // Later regions stack after this one on the timeline.
+      TL.advanceTimeBase(Stats.Cycles + 1);
+    if (obs::statsEnabled()) {
+      CRegions->add(1);
+      CRegionCycles->add(Stats.Cycles);
+      CEpochs->add(Stats.EpochsCommitted);
+      CViolations->add(Stats.Violations);
+      CSabViolations->add(Stats.SabViolations);
+      CSabOverflows->add(Stats.SabOverflows);
+      CPredictRestarts->add(Stats.PredictRestarts);
+      CFilteredWaits->add(Stats.FilteredWaits);
+      GSabOccupancy->set(static_cast<int64_t>(Stats.SabMaxOccupancy));
+    }
     return Stats;
   }
 };

@@ -37,6 +37,7 @@
 #include "sim/SyncChannels.h"
 #include "sim/ValuePredictor.h"
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -91,7 +92,13 @@ struct SlotBreakdown {
   uint64_t Total = 0;
 
   uint64_t sync() const { return SyncScalar + SyncMem; }
-  uint64_t other() const { return Total - Busy - Fail - sync(); }
+  uint64_t other() const {
+    uint64_t Used = Busy + Fail + sync();
+    assert(Used <= Total && "slot accounting drift: busy+fail+sync > total");
+    // Clamp in release builds: a drifted breakdown must not wrap to a huge
+    // "other" segment.
+    return Used <= Total ? Total - Used : 0;
+  }
 };
 
 struct TLSSimResult {

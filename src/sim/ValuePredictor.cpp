@@ -6,6 +6,8 @@
 
 #include "sim/ValuePredictor.h"
 
+#include "obs/StatRegistry.h"
+
 #include <cassert>
 
 using namespace specsync;
@@ -17,6 +19,13 @@ ValuePredictor::ValuePredictor(unsigned NumEntries) : Table(NumEntries) {
 ValuePredictor::Outcome ValuePredictor::predictAndTrain(uint32_t LoadId,
                                                         uint64_t ActualValue) {
   ++Lookups;
+  static obs::Counter *CLookups =
+      obs::StatRegistry::global().counter("sim.predictor.lookups");
+  static obs::Counter *CCorrect =
+      obs::StatRegistry::global().counter("sim.predictor.correct");
+  static obs::Counter *CWrong =
+      obs::StatRegistry::global().counter("sim.predictor.wrong");
+  CLookups->add(1);
   Entry &E = Table[LoadId % Table.size()];
 
   Outcome Result = Outcome::NoPrediction;
@@ -24,9 +33,11 @@ ValuePredictor::Outcome ValuePredictor::predictAndTrain(uint32_t LoadId,
     if (E.LastValue == ActualValue) {
       Result = Outcome::CorrectConfident;
       ++NumCorrect;
+      CCorrect->add(1);
     } else {
       Result = Outcome::WrongConfident;
       ++NumWrong;
+      CWrong->add(1);
     }
   }
 

@@ -1,0 +1,438 @@
+//===- tests/obs_test.cpp - Observability layer tests -----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests for src/obs/: stat registry semantics (including the
+// disabled-mode no-op guarantee), JSON writer/parser round trips,
+// Chrome trace-event well-formedness, and a golden round trip of the
+// harness JSON report for a known TLSSimResult.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Report.h"
+#include "obs/Json.h"
+#include "obs/ObsOptions.h"
+#include "obs/StatRegistry.h"
+#include "obs/TraceLog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+using namespace specsync;
+
+namespace {
+
+/// Enables stats for one test and restores the disabled default after,
+/// so obs tests cannot leak state into unrelated tests.
+class StatsEnabledScope {
+public:
+  StatsEnabledScope() { obs::StatRegistry::setEnabled(true); }
+  ~StatsEnabledScope() {
+    obs::StatRegistry::setEnabled(false);
+    obs::StatRegistry::global().reset();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// StatRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(StatRegistry, CounterSemantics) {
+  StatsEnabledScope Scope;
+  obs::StatRegistry &R = obs::StatRegistry::global();
+
+  obs::Counter *C = R.counter("test.counter_semantics");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Value, 0u);
+  C->add();
+  C->add(41);
+  EXPECT_EQ(C->Value, 42u);
+
+  // Get-or-create returns the same stable handle.
+  EXPECT_EQ(R.counter("test.counter_semantics"), C);
+
+  R.reset();
+  EXPECT_EQ(C->Value, 0u) << "reset zeroes values but keeps handles";
+}
+
+TEST(StatRegistry, GaugeTracksMax) {
+  StatsEnabledScope Scope;
+  obs::Gauge *G = obs::StatRegistry::global().gauge("test.gauge_max");
+  G->set(7);
+  G->set(3);
+  EXPECT_EQ(G->Value, 3);
+  EXPECT_EQ(G->Max, 7);
+}
+
+TEST(StatRegistry, HistogramBucketsAndOverflow) {
+  StatsEnabledScope Scope;
+  obs::FixedHistogram *H =
+      obs::StatRegistry::global().histogram("test.hist", 4, 10);
+  H->addSample(0);
+  H->addSample(9);    // Bucket 0.
+  H->addSample(10);   // Bucket 1.
+  H->addSample(35);   // Bucket 3.
+  H->addSample(1000); // Overflow -> last bucket.
+  EXPECT_EQ(H->bucketCount(0), 2u);
+  EXPECT_EQ(H->bucketCount(1), 1u);
+  EXPECT_EQ(H->bucketCount(2), 0u);
+  EXPECT_EQ(H->bucketCount(3), 2u);
+  EXPECT_EQ(H->totalSamples(), 5u);
+}
+
+TEST(StatRegistry, DisabledMutationsAreNoOps) {
+  ASSERT_FALSE(obs::statsEnabled()) << "tests run with stats disabled";
+  obs::StatRegistry &R = obs::StatRegistry::global();
+
+  obs::Counter *C = R.counter("test.disabled_counter");
+  obs::Gauge *G = R.gauge("test.disabled_gauge");
+  obs::FixedHistogram *H = R.histogram("test.disabled_hist", 4, 1);
+
+  C->add(100);
+  G->set(100);
+  H->addSample(2);
+
+  EXPECT_EQ(C->Value, 0u);
+  EXPECT_EQ(G->Value, 0);
+  EXPECT_EQ(G->Max, 0);
+  EXPECT_EQ(H->totalSamples(), 0u);
+}
+
+TEST(StatRegistry, RenderTextSkipsZeroCounters) {
+  StatsEnabledScope Scope;
+  obs::StatRegistry &R = obs::StatRegistry::global();
+  R.counter("test.render.zero");
+  R.counter("test.render.nonzero")->add(5);
+
+  std::string Text = R.renderText();
+  EXPECT_NE(Text.find("test.render.nonzero"), std::string::npos);
+  EXPECT_EQ(Text.find("test.render.zero "), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON writer / parser
+//===----------------------------------------------------------------------===//
+
+TEST(Json, WriterEscapesAndParserRoundTrips) {
+  std::ostringstream OS;
+  obs::JsonWriter W(OS);
+  W.beginObject();
+  W.keyValue("plain", "value");
+  W.keyValue("escaped", "quote\" slash\\ newline\n tab\t ctrl\x01");
+  W.keyValue("num", static_cast<uint64_t>(12345678901234ull));
+  W.keyValue("neg", static_cast<int64_t>(-42));
+  W.keyValue("pi", 3.5);
+  W.keyValue("yes", true);
+  W.key("arr");
+  W.beginArray();
+  W.value(static_cast<uint64_t>(1));
+  W.null();
+  W.endArray();
+  W.endObject();
+
+  std::string Error;
+  std::unique_ptr<obs::JsonValue> V = obs::parseJson(OS.str(), &Error);
+  ASSERT_NE(V, nullptr) << Error;
+  EXPECT_EQ((*V)["plain"].asString(), "value");
+  EXPECT_EQ((*V)["escaped"].asString(),
+            "quote\" slash\\ newline\n tab\t ctrl\x01");
+  EXPECT_EQ((*V)["num"].asUint(), 12345678901234ull);
+  EXPECT_EQ((*V)["neg"].asNumber(), -42.0);
+  EXPECT_EQ((*V)["pi"].asNumber(), 3.5);
+  EXPECT_TRUE((*V)["yes"].BoolVal);
+  ASSERT_TRUE((*V)["arr"].isArray());
+  EXPECT_EQ((*V)["arr"].at(0).asUint(), 1u);
+  EXPECT_TRUE((*V)["arr"].at(1).isNull());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  std::string Error;
+  EXPECT_EQ(obs::parseJson("{\"unterminated\": ", &Error), nullptr);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_EQ(obs::parseJson("[1, 2,]", &Error), nullptr);
+  EXPECT_EQ(obs::parseJson("", &Error), nullptr);
+  EXPECT_EQ(obs::parseJson("{} trailing", &Error), nullptr);
+}
+
+TEST(Json, ParserHandlesUnicodeEscapes) {
+  std::unique_ptr<obs::JsonValue> V = obs::parseJson("\"a\\u00e9b\"");
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->asString(), "a\xc3\xa9" "b"); // U+00E9 as UTF-8.
+}
+
+//===----------------------------------------------------------------------===//
+// TraceLog
+//===----------------------------------------------------------------------===//
+
+TEST(TraceLog, EmitsWellFormedChromeJson) {
+  obs::TraceLog &TL = obs::TraceLog::global();
+  TL.clear();
+  TL.start(/*Capacity=*/64);
+
+  uint32_t Pid = TL.beginProcess("TEST/U");
+  TL.nameThread(Pid, 0, "core 0");
+  TL.nameThread(Pid, 1, "core 1");
+  TL.complete(0, "epoch", "sim", 0, 100, "epoch", 1);
+  TL.complete(1, "wait.mem", "sim", 20, 30);
+  TL.instant(1, "violation", "sim", 55, "reader_epoch", 2);
+  TL.hostSpan("compiler.memsync", 0, 500, "items", 3);
+
+  std::ostringstream OS;
+  TL.writeChromeJson(OS);
+  TL.stop();
+  TL.clear();
+
+  std::string Error;
+  std::unique_ptr<obs::JsonValue> V = obs::parseJson(OS.str(), &Error);
+  ASSERT_NE(V, nullptr) << Error;
+
+  const obs::JsonValue &Events = (*V)["traceEvents"];
+  ASSERT_TRUE(Events.isArray());
+  EXPECT_EQ((*V)["droppedEvents"].asUint(), 0u);
+
+  size_t NumComplete = 0, NumInstant = 0, NumMeta = 0;
+  bool SawCore0Name = false, SawProcessName = false;
+  for (const obs::JsonValue &E : Events.Items) {
+    const std::string &Ph = E["ph"].asString();
+    if (Ph == "X") {
+      ++NumComplete;
+      EXPECT_TRUE(E["dur"].isNumber());
+    } else if (Ph == "i") {
+      ++NumInstant;
+    } else if (Ph == "M") {
+      ++NumMeta;
+      if (E["name"].asString() == "thread_name" &&
+          E["args"]["name"].asString() == "core 0")
+        SawCore0Name = true;
+      if (E["name"].asString() == "process_name" &&
+          E["args"]["name"].asString() == "TEST/U")
+        SawProcessName = true;
+    }
+  }
+  EXPECT_EQ(NumComplete, 3u); // Two sim spans + one host span.
+  EXPECT_EQ(NumInstant, 1u);
+  EXPECT_GE(NumMeta, 3u); // Process + two named cores (+ host track).
+  EXPECT_TRUE(SawCore0Name);
+  EXPECT_TRUE(SawProcessName);
+}
+
+TEST(TraceLog, RingOverwritesOldestAndCountsDropped) {
+  obs::TraceLog &TL = obs::TraceLog::global();
+  TL.clear();
+  TL.start(/*Capacity=*/8);
+  TL.beginProcess("TEST/ring");
+  for (uint64_t I = 0; I < 20; ++I)
+    TL.complete(0, "e", "sim", I, 1);
+  EXPECT_EQ(TL.size(), 8u);
+  EXPECT_EQ(TL.dropped(), 12u);
+
+  // Serialized events come out oldest-first.
+  std::ostringstream OS;
+  TL.writeChromeJson(OS);
+  TL.stop();
+  TL.clear();
+
+  std::unique_ptr<obs::JsonValue> V = obs::parseJson(OS.str());
+  ASSERT_NE(V, nullptr);
+  uint64_t PrevTs = 0;
+  for (const obs::JsonValue &E : (*V)["traceEvents"].Items) {
+    if (E["ph"].asString() != "X")
+      continue;
+    EXPECT_GE(E["ts"].asUint(), PrevTs);
+    PrevTs = E["ts"].asUint();
+  }
+  EXPECT_EQ((*V)["droppedEvents"].asUint(), 12u);
+}
+
+TEST(TraceLog, InactiveLogRecordsNothing) {
+  obs::TraceLog &TL = obs::TraceLog::global();
+  TL.clear();
+  ASSERT_FALSE(TL.active());
+  TL.complete(0, "e", "sim", 0, 1);
+  TL.instant(0, "i", "sim", 0);
+  EXPECT_EQ(TL.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Option parsing
+//===----------------------------------------------------------------------===//
+
+TEST(ObsOptions, ParsesAndStripsFlags) {
+  const char *Raw[] = {"prog", "--stats", "POSITIONAL",
+                       "--trace-out=t.json", "--json-out=r.json",
+                       "--trace-capacity=1024"};
+  char *Argv[6];
+  std::vector<std::string> Storage(std::begin(Raw), std::end(Raw));
+  for (int I = 0; I < 6; ++I)
+    Argv[I] = Storage[I].data();
+
+  obs::ObsOptions Opts = obs::parseObsArgs(6, Argv);
+  EXPECT_TRUE(Opts.Stats);
+  EXPECT_EQ(Opts.TraceOut, "t.json");
+  EXPECT_EQ(Opts.JsonOut, "r.json");
+  EXPECT_EQ(Opts.TraceCapacity, 1024u);
+
+  int Argc = obs::stripObsArgs(6, Argv);
+  ASSERT_EQ(Argc, 2);
+  EXPECT_STREQ(Argv[0], "prog");
+  EXPECT_STREQ(Argv[1], "POSITIONAL");
+}
+
+//===----------------------------------------------------------------------===//
+// JSON report golden round trip
+//===----------------------------------------------------------------------===//
+
+/// Builds a fully known ModeRunResult whose every serialized field has a
+/// distinct value, so the round trip below catches any field mix-up.
+ModeRunResult makeKnownResult() {
+  ModeRunResult R;
+  R.Mode = ExecMode::C;
+  R.SeqRegionCycles = 2000;
+  R.ProgramSpeedup = 1.25;
+  R.CoveragePercent = 60.5;
+  R.SeqRegionSpeedup = 0.95;
+
+  R.Sim.Completed = true;
+  R.Sim.Cycles = 1000;
+  R.Sim.Slots.Busy = 800;
+  R.Sim.Slots.Fail = 100;
+  R.Sim.Slots.SyncScalar = 40;
+  R.Sim.Slots.SyncMem = 30;
+  R.Sim.Slots.Total = 1200;
+  R.Sim.EpochsCommitted = 50;
+  R.Sim.Violations = 7;
+  R.Sim.SabViolations = 2;
+  R.Sim.PredictRestarts = 3;
+  R.Sim.ViolCompilerOnly = 4;
+  R.Sim.ViolHwOnly = 1;
+  R.Sim.ViolBoth = 2;
+  R.Sim.ViolNeither = 0;
+  R.Sim.SabMaxOccupancy = 5;
+  R.Sim.SabOverflows = 1;
+  R.Sim.HwTableResets = 6;
+  R.Sim.PredictorCorrect = 11;
+  R.Sim.PredictorWrong = 9;
+  R.Sim.FilteredWaits = 8;
+  return R;
+}
+
+TEST(Report, JsonRoundTripsKnownResult) {
+  ModeRunResult R = makeKnownResult();
+
+  BenchmarkModeResults B;
+  B.Benchmark = "KNOWN";
+  B.Entries.push_back({"C", R});
+
+  std::ostringstream OS;
+  writeJsonReport(OS, "golden_test", {B});
+
+  std::string Error;
+  std::unique_ptr<obs::JsonValue> V = obs::parseJson(OS.str(), &Error);
+  ASSERT_NE(V, nullptr) << Error;
+
+  EXPECT_EQ((*V)["report"].asString(), "golden_test");
+  EXPECT_EQ((*V)["schema_version"].asUint(), 1u);
+
+  const obs::JsonValue &Bench = (*V)["benchmarks"].at(0);
+  EXPECT_EQ(Bench["name"].asString(), "KNOWN");
+
+  const obs::JsonValue &M = Bench["modes"].at(0);
+  EXPECT_EQ(M["label"].asString(), "C");
+  EXPECT_EQ(M["mode"].asString(), "C");
+
+  // Derived figures match the ModeRunResult math exactly.
+  EXPECT_DOUBLE_EQ(M["normalized_region_time"].asNumber(),
+                   R.normalizedRegionTime());
+  EXPECT_DOUBLE_EQ(M["busy_pct"].asNumber(), R.busyPct());
+  EXPECT_DOUBLE_EQ(M["fail_pct"].asNumber(), R.failPct());
+  EXPECT_DOUBLE_EQ(M["sync_pct"].asNumber(), R.syncPct());
+  EXPECT_DOUBLE_EQ(M["other_pct"].asNumber(), R.otherPct());
+  EXPECT_DOUBLE_EQ(M["region_speedup"].asNumber(), R.regionSpeedup());
+  EXPECT_DOUBLE_EQ(M["program_speedup"].asNumber(), 1.25);
+  EXPECT_DOUBLE_EQ(M["coverage_percent"].asNumber(), 60.5);
+  EXPECT_DOUBLE_EQ(M["seq_region_speedup"].asNumber(), 0.95);
+  EXPECT_EQ(M["seq_region_cycles"].asUint(), 2000u);
+
+  // The bar segments sum to the bar height.
+  EXPECT_NEAR(M["busy_pct"].asNumber() + M["fail_pct"].asNumber() +
+                  M["sync_pct"].asNumber() + M["other_pct"].asNumber(),
+              M["normalized_region_time"].asNumber(), 1e-9);
+
+  const obs::JsonValue &S = M["sim"];
+  EXPECT_TRUE(S["completed"].BoolVal);
+  EXPECT_EQ(S["cycles"].asUint(), 1000u);
+  EXPECT_EQ(S["slots"]["busy"].asUint(), 800u);
+  EXPECT_EQ(S["slots"]["fail"].asUint(), 100u);
+  EXPECT_EQ(S["slots"]["sync_scalar"].asUint(), 40u);
+  EXPECT_EQ(S["slots"]["sync_mem"].asUint(), 30u);
+  EXPECT_EQ(S["slots"]["sync"].asUint(), 70u);
+  EXPECT_EQ(S["slots"]["other"].asUint(), 230u);
+  EXPECT_EQ(S["slots"]["total"].asUint(), 1200u);
+  EXPECT_EQ(S["epochs_committed"].asUint(), 50u);
+  EXPECT_EQ(S["violations"].asUint(), 7u);
+  EXPECT_EQ(S["sab_violations"].asUint(), 2u);
+  EXPECT_EQ(S["predict_restarts"].asUint(), 3u);
+  EXPECT_EQ(S["violation_attribution"]["compiler_only"].asUint(), 4u);
+  EXPECT_EQ(S["violation_attribution"]["hw_only"].asUint(), 1u);
+  EXPECT_EQ(S["violation_attribution"]["both"].asUint(), 2u);
+  EXPECT_EQ(S["violation_attribution"]["neither"].asUint(), 0u);
+  EXPECT_EQ(S["sab_max_occupancy"].asUint(), 5u);
+  EXPECT_EQ(S["sab_overflows"].asUint(), 1u);
+  EXPECT_EQ(S["hw_table_resets"].asUint(), 6u);
+  EXPECT_EQ(S["predictor_correct"].asUint(), 11u);
+  EXPECT_EQ(S["predictor_wrong"].asUint(), 9u);
+  EXPECT_EQ(S["filtered_waits"].asUint(), 8u);
+}
+
+TEST(Report, StatsSectionPresentOnlyWhenEnabled) {
+  BenchmarkModeResults B;
+  B.Benchmark = "X";
+  B.Entries.push_back({"U", ModeRunResult()});
+
+  {
+    std::ostringstream OS;
+    writeJsonReport(OS, "t", {B});
+    std::unique_ptr<obs::JsonValue> V = obs::parseJson(OS.str());
+    ASSERT_NE(V, nullptr);
+    EXPECT_TRUE((*V)["stats"].isNull()) << "no stats block when disabled";
+  }
+  {
+    StatsEnabledScope Scope;
+    obs::StatRegistry::global().counter("test.report.stat")->add(3);
+    std::ostringstream OS;
+    writeJsonReport(OS, "t", {B});
+    std::unique_ptr<obs::JsonValue> V = obs::parseJson(OS.str());
+    ASSERT_NE(V, nullptr);
+    ASSERT_TRUE((*V)["stats"].isObject());
+    EXPECT_EQ((*V)["stats"]["test.report.stat"].asUint(), 3u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SlotBreakdown invariant (satellite fix)
+//===----------------------------------------------------------------------===//
+
+TEST(SlotBreakdown, OtherNeverUnderflows) {
+  SlotBreakdown S;
+  S.Busy = 10;
+  S.Fail = 5;
+  S.SyncScalar = 3;
+  S.SyncMem = 2;
+  S.Total = 100;
+  EXPECT_EQ(S.other(), 80u);
+
+  S.Total = 20;
+  EXPECT_EQ(S.other(), 0u); // Exactly used up.
+
+#ifdef NDEBUG
+  // Release builds clamp instead of wrapping to ~2^64.
+  S.Total = 10;
+  EXPECT_EQ(S.other(), 0u);
+#endif
+}
+
+} // namespace
