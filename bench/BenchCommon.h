@@ -39,6 +39,19 @@ inline void forEachBenchmark(
   }
 }
 
+/// Variant applying fault-injection / watchdog settings to every pipeline
+/// (inert options leave behavior bit-identical to the plain overload).
+inline void forEachBenchmark(
+    const MachineConfig &Config, const RobustnessOptions &Robust,
+    const std::function<void(BenchmarkPipeline &)> &Body) {
+  for (const Workload &W : allWorkloads()) {
+    BenchmarkPipeline Pipeline(W, Config);
+    Pipeline.setRobustness(Robust);
+    Pipeline.prepare();
+    Body(Pipeline);
+  }
+}
+
 /// Per-binary observability wiring: parses --stats / --trace-out /
 /// --json-out (and their SPECSYNC_* environment fallbacks), activates the
 /// requested sinks for the binary's lifetime, collects mode results, and
@@ -48,17 +61,31 @@ class BenchSession {
 public:
   BenchSession(int argc, char **argv, std::string Title)
       : Opts(obs::parseObsArgs(argc, argv)), Session(Opts),
-        Title(std::move(Title)) {}
+        Robust(parseRobustnessArgs(argc, argv)), Title(std::move(Title)) {}
 
   ~BenchSession() {
     if (Opts.JsonOut.empty())
       return;
-    if (writeJsonReportFile(Opts.JsonOut, Title, Collected))
+    if (writeJsonReportFile(Opts.JsonOut, Title, Collected,
+                            Robust.active() || ForceRobustReport ? &Robust
+                                                                 : nullptr))
       std::fprintf(stderr, "obs: wrote JSON report to %s\n",
                    Opts.JsonOut.c_str());
     else
       std::fprintf(stderr, "obs: failed to write JSON report to %s\n",
                    Opts.JsonOut.c_str());
+  }
+
+  /// Fault-injection / watchdog settings parsed from --fault-* /
+  /// --watchdog-* / --degrade-* flags (and SPECSYNC_* env fallbacks).
+  const RobustnessOptions &robustness() const { return Robust; }
+
+  /// Sweep binaries that vary the plan per run register the settings to
+  /// record in the report here (forces the replay block even when the
+  /// session-level flags alone are inert).
+  void setReportRobustness(const RobustnessOptions &R) {
+    Robust = R;
+    ForceRobustReport = true;
   }
 
   /// Records one mode run under its mode letter.
@@ -69,17 +96,33 @@ public:
   /// Records one run under an explicit label (limit studies, sweeps).
   void record(const std::string &Benchmark, std::string Label,
               const ModeRunResult &R) {
-    for (BenchmarkModeResults &B : Collected)
-      if (B.Benchmark == Benchmark) {
-        B.Entries.push_back({std::move(Label), R});
-        return;
-      }
-    Collected.push_back({Benchmark, {{std::move(Label), R}}});
+    bucket(Benchmark).Entries.push_back({std::move(Label), R});
+  }
+
+  /// Pipeline variants: also capture the workload seed for replay.
+  void record(const BenchmarkPipeline &P, const ModeRunResult &R) {
+    record(P, modeName(R.Mode), R);
+  }
+  void record(const BenchmarkPipeline &P, std::string Label,
+              const ModeRunResult &R) {
+    BenchmarkModeResults &B = bucket(P.workload().Name);
+    B.WorkloadSeed = P.workloadSeed();
+    B.Entries.push_back({std::move(Label), R});
   }
 
 private:
+  BenchmarkModeResults &bucket(const std::string &Benchmark) {
+    for (BenchmarkModeResults &B : Collected)
+      if (B.Benchmark == Benchmark)
+        return B;
+    Collected.push_back({Benchmark, {}});
+    return Collected.back();
+  }
+
   obs::ObsOptions Opts;
   obs::ObsSession Session;
+  RobustnessOptions Robust;
+  bool ForceRobustReport = false;
   std::string Title;
   std::vector<BenchmarkModeResults> Collected;
 };

@@ -32,11 +32,11 @@ int main(int argc, char **argv) {
   Summary.setHeader({"benchmark", "U", "O", "fail U%", "U speedup",
                      "O speedup"});
 
-  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult O = P.run(ExecMode::O);
-    Obs.record(P.workload().Name, U);
-    Obs.record(P.workload().Name, O);
+    Obs.record(P, U);
+    Obs.record(P, O);
     std::printf("%s\n",
                 renderBenchmarkBars(P.workload().Name, {U, O}).c_str());
     Summary.addRow({P.workload().Name,

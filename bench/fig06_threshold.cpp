@@ -30,18 +30,18 @@ int main(int argc, char **argv) {
   TextTable Summary;
   Summary.setHeader({"benchmark", "U", ">25%", ">15%", ">5%", "O"});
 
-  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult T25 = P.runWithPerfectLoads(25.0);
     ModeRunResult T15 = P.runWithPerfectLoads(15.0);
     ModeRunResult T5 = P.runWithPerfectLoads(5.0);
     ModeRunResult O = P.run(ExecMode::O);
 
-    Obs.record(P.workload().Name, U);
-    Obs.record(P.workload().Name, "perfect>25%", T25);
-    Obs.record(P.workload().Name, "perfect>15%", T15);
-    Obs.record(P.workload().Name, "perfect>5%", T5);
-    Obs.record(P.workload().Name, O);
+    Obs.record(P, U);
+    Obs.record(P, "perfect>25%", T25);
+    Obs.record(P, "perfect>15%", T15);
+    Obs.record(P, "perfect>5%", T5);
+    Obs.record(P, O);
 
     std::printf("%s\n", P.workload().Name.c_str());
     std::printf("%s\n", renderModeBar("U", U).c_str());

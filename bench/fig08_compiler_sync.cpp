@@ -32,14 +32,14 @@ int main(int argc, char **argv) {
   Summary.setHeader({"benchmark", "U", "T", "C", "fail U%", "fail C%",
                      "sync C%", "C speedup"});
 
-  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult T = P.run(ExecMode::T);
     ModeRunResult C = P.run(ExecMode::C);
 
-    Obs.record(P.workload().Name, U);
-    Obs.record(P.workload().Name, T);
-    Obs.record(P.workload().Name, C);
+    Obs.record(P, U);
+    Obs.record(P, T);
+    Obs.record(P, C);
 
     std::printf("%s\n", renderBenchmarkBars(P.workload().Name, {U, T, C})
                             .c_str());

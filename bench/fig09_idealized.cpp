@@ -32,13 +32,13 @@ int main(int argc, char **argv) {
   Summary.setHeader({"benchmark", "E", "C", "L", "sync E%", "sync C%",
                      "sync L%"});
 
-  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
     ModeRunResult E = P.run(ExecMode::E);
     ModeRunResult C = P.run(ExecMode::C);
     ModeRunResult L = P.run(ExecMode::L);
-    Obs.record(P.workload().Name, E);
-    Obs.record(P.workload().Name, C);
-    Obs.record(P.workload().Name, L);
+    Obs.record(P, E);
+    Obs.record(P, C);
+    Obs.record(P, L);
     std::printf("%s\n",
                 renderBenchmarkBars(P.workload().Name, {E, C, L}).c_str());
     Summary.addRow({P.workload().Name,

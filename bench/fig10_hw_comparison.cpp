@@ -32,17 +32,17 @@ int main(int argc, char **argv) {
   Summary.setHeader(
       {"benchmark", "U", "P", "H", "C", "B", "best", "pred.correct%"});
 
-  forEachBenchmark(Config, [&](BenchmarkPipeline &Pl) {
+  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &Pl) {
     ModeRunResult U = Pl.run(ExecMode::U);
     ModeRunResult P = Pl.run(ExecMode::P);
     ModeRunResult H = Pl.run(ExecMode::H);
     ModeRunResult C = Pl.run(ExecMode::C);
     ModeRunResult B = Pl.run(ExecMode::B);
-    Obs.record(Pl.workload().Name, U);
-    Obs.record(Pl.workload().Name, P);
-    Obs.record(Pl.workload().Name, H);
-    Obs.record(Pl.workload().Name, C);
-    Obs.record(Pl.workload().Name, B);
+    Obs.record(Pl, U);
+    Obs.record(Pl, P);
+    Obs.record(Pl, H);
+    Obs.record(Pl, C);
+    Obs.record(Pl, B);
     std::printf("%s\n", renderBenchmarkBars(Pl.workload().Name,
                                             {U, P, H, C, B})
                             .c_str());

@@ -30,11 +30,11 @@ int main(int argc, char **argv) {
   T.setHeader({"benchmark", "mode", "violations", "compiler-only",
                "hw-only", "both", "neither"});
 
-  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
     for (ExecMode M :
          {ExecMode::U, ExecMode::C, ExecMode::H, ExecMode::B}) {
       ModeRunResult R = P.run(M);
-      Obs.record(P.workload().Name, R);
+      Obs.record(P, R);
       T.addRow({P.workload().Name, modeName(M),
                 std::to_string(R.Sim.Violations),
                 std::to_string(R.Sim.ViolCompilerOnly),

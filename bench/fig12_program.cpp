@@ -27,15 +27,15 @@ int main(int argc, char **argv) {
   TextTable T;
   T.setHeader({"benchmark", "coverage%", "U", "C", "H", "B (hybrid)"});
 
-  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult C = P.run(ExecMode::C);
     ModeRunResult H = P.run(ExecMode::H);
     ModeRunResult B = P.run(ExecMode::B);
-    Obs.record(P.workload().Name, U);
-    Obs.record(P.workload().Name, C);
-    Obs.record(P.workload().Name, H);
-    Obs.record(P.workload().Name, B);
+    Obs.record(P, U);
+    Obs.record(P, C);
+    Obs.record(P, H);
+    Obs.record(P, B);
     T.addRow({P.workload().Name,
               TextTable::formatDouble(U.CoveragePercent),
               TextTable::formatDouble(U.ProgramSpeedup, 2),

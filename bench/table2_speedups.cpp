@@ -25,11 +25,11 @@ int main(int argc, char **argv) {
   T.setHeader({"benchmark", "coverage%", "region x (B)", "region x (C)",
                "seq-region x", "program x (B)", "program x (C)"});
 
-  forEachBenchmark(Config, [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
     ModeRunResult C = P.run(ExecMode::C);
     ModeRunResult B = P.run(ExecMode::B);
-    Obs.record(P.workload().Name, C);
-    Obs.record(P.workload().Name, B);
+    Obs.record(P, C);
+    Obs.record(P, B);
     T.addRow({P.workload().Name,
               TextTable::formatDouble(C.CoveragePercent),
               TextTable::formatDouble(B.regionSpeedup(), 2),

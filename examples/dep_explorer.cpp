@@ -4,29 +4,49 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Usage: dep_explorer [BENCHMARK]
+// Usage: dep_explorer [BENCHMARK] [--profile-in=FILE] [--profile-out=FILE]
 //
 // Dumps everything the compiler learns and decides for one benchmark:
 // loop-selection numbers, the dependence profile (pairs with frequencies
 // and distances), the grouping, the synchronization insertion statistics,
 // and per-mode simulator counters.
 //
+// --profile-out=FILE writes the train-input dependence profile after the
+// profiling phases; --profile-in=FILE replaces the train profile with one
+// parsed from FILE (the PGO separate-process workflow). A malformed file
+// is reported with its line number and the tool exits nonzero.
+//
 //===----------------------------------------------------------------------===//
 
 #include "harness/Pipeline.h"
 #include "harness/Report.h"
 #include "obs/ObsOptions.h"
+#include "profile/ProfileIO.h"
 #include "support/TextTable.h"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 using namespace specsync;
 
 int main(int argc, char **argv) {
   obs::ObsSession Session(obs::parseObsArgs(argc, argv));
   argc = obs::stripObsArgs(argc, argv);
-  const char *Name = argc > 1 ? argv[1] : "PARSER";
+  const char *Name = nullptr;
+  const char *ProfileIn = nullptr;
+  const char *ProfileOut = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--profile-in=", 13) == 0)
+      ProfileIn = argv[I] + 13;
+    else if (std::strncmp(argv[I], "--profile-out=", 14) == 0)
+      ProfileOut = argv[I] + 14;
+    else if (!Name)
+      Name = argv[I];
+  }
+  if (!Name)
+    Name = "PARSER";
   const Workload *W = findWorkload(Name);
   if (!W) {
     std::fprintf(stderr, "unknown benchmark '%s'; available:", Name);
@@ -38,7 +58,36 @@ int main(int argc, char **argv) {
 
   MachineConfig Config;
   BenchmarkPipeline Pipeline(*W, Config);
+
+  if (ProfileIn) {
+    std::ifstream In(ProfileIn);
+    if (!In) {
+      std::fprintf(stderr, "dep_explorer: cannot open profile '%s'\n",
+                   ProfileIn);
+      return 1;
+    }
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    ProfileParseResult Parsed = parseDepProfileVerbose(Text.str());
+    if (!Parsed) {
+      std::fprintf(stderr, "dep_explorer: %s:%s\n", ProfileIn,
+                   Parsed.Error.c_str());
+      return 1;
+    }
+    Pipeline.setTrainProfile(std::move(*Parsed.Profile));
+  }
+
   Pipeline.prepare();
+
+  if (ProfileOut) {
+    std::ofstream Out(ProfileOut);
+    if (!Out || !(Out << serializeDepProfile(Pipeline.trainProfile()))) {
+      std::fprintf(stderr, "dep_explorer: cannot write profile '%s'\n",
+                   ProfileOut);
+      return 1;
+    }
+    std::printf("wrote train profile to %s\n", ProfileOut);
+  }
 
   std::printf("=== %s (%s) ===\n%s\n\n", W->Name.c_str(),
               W->SpecName.c_str(), W->Character.c_str());

@@ -1,0 +1,294 @@
+//===- compiler/SignalAudit.cpp ---------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/SignalAudit.h"
+
+#include "compiler/EpochPaths.h"
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+#include "obs/StatRegistry.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+using namespace specsync;
+
+namespace {
+
+std::string locStr(const Function &F, unsigned Block, size_t Pos) {
+  std::ostringstream OS;
+  OS << F.getName() << ":" << F.getBlock(Block).getName() << ":i" << Pos;
+  return OS.str();
+}
+
+/// Walks the chain of signal-only blocks (SignalMem* + Br) starting at
+/// \p Start, looking for a signal.mem of \p Group. Chained edge splits put
+/// several such blocks in a row on one original edge, one per group.
+bool chainCarriesSignal(const Function &F, unsigned Start, int Group) {
+  unsigned Cur = Start;
+  // A chain longer than the block count would mean a signal-only cycle;
+  // bail rather than spin.
+  for (unsigned Steps = 0; Steps < F.getNumBlocks(); ++Steps) {
+    const BasicBlock &BB = F.getBlock(Cur);
+    unsigned Next = ~0u;
+    for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+      const Instruction &I = BB.instructions()[Pos];
+      if (I.getOpcode() == Opcode::SignalMem) {
+        if (I.getSyncId() == Group)
+          return true;
+        continue;
+      }
+      if (I.getOpcode() == Opcode::Br && Pos + 1 == BB.size()) {
+        Next = I.getTarget(0);
+        continue;
+      }
+      return false; // First non-signal-only block ends the chain.
+    }
+    if (Next == ~0u)
+      return false;
+    Cur = Next;
+  }
+  return false;
+}
+
+} // namespace
+
+std::string SignalAuditResult::summary(size_t MaxItems) const {
+  std::string S;
+  size_t N = std::min(MaxItems, Errors.size());
+  for (size_t I = 0; I < N; ++I) {
+    if (I)
+      S += "; ";
+    S += Errors[I];
+  }
+  if (Errors.size() > N)
+    S += "; ... (" + std::to_string(Errors.size() - N) + " more)";
+  return S;
+}
+
+SignalAuditResult specsync::auditSignalPlacement(const Program &P,
+                                                 unsigned NumMemGroups) {
+  SignalAuditResult R;
+  R.GroupsChecked = NumMemGroups;
+  if (NumMemGroups == 0)
+    return R;
+  const RegionSpec &Region = P.getRegion();
+  if (!Region.isValid()) {
+    R.Errors.push_back("memory groups exist but the program has no region");
+    return R;
+  }
+
+  auto err = [&](std::string M) { R.Errors.push_back(std::move(M)); };
+  unsigned NumFuncs = P.getNumFunctions();
+
+  // --- Check 1: sync-id ranges; collect consumer/producer universes -------
+  std::set<int> ConsumerGroups, SignaledGroups;
+  for (unsigned FI = 0; FI < NumFuncs; ++FI) {
+    const Function &F = P.getFunction(FI);
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      const BasicBlock &BB = F.getBlock(BI);
+      for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+        const Instruction &I = BB.instructions()[Pos];
+        Opcode Op = I.getOpcode();
+        bool IsProto = Op == Opcode::WaitMem || Op == Opcode::CheckFwd ||
+                       Op == Opcode::SelectFwd || Op == Opcode::SignalMem;
+        bool IsSyncedRef = (Op == Opcode::Load || Op == Opcode::Store) &&
+                           I.getSyncId() >= 0;
+        if (!IsProto && !IsSyncedRef)
+          continue;
+        int G = I.getSyncId();
+        if (G < 0 || G >= static_cast<int>(NumMemGroups)) {
+          err("sync id " + std::to_string(G) + " out of range [0, " +
+              std::to_string(NumMemGroups) + ") at " + locStr(F, BI, Pos));
+          continue;
+        }
+        if (Op == Opcode::WaitMem)
+          ConsumerGroups.insert(G);
+        if (Op == Opcode::SignalMem)
+          SignaledGroups.insert(G);
+      }
+    }
+  }
+
+  // --- Check 2: consumer shape (wait.mem, check.fwd, load, select.fwd) ----
+  for (unsigned FI = 0; FI < NumFuncs; ++FI) {
+    const Function &F = P.getFunction(FI);
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      const BasicBlock &BB = F.getBlock(BI);
+      for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+        const Instruction &I = BB.instructions()[Pos];
+        if (I.getOpcode() != Opcode::Load || I.getSyncId() < 0)
+          continue;
+        int G = I.getSyncId();
+        auto is = [&](size_t At, Opcode Op) {
+          return At < BB.size() && BB.instructions()[At].getOpcode() == Op &&
+                 BB.instructions()[At].getSyncId() == G;
+        };
+        if (Pos < 2 || !is(Pos - 2, Opcode::WaitMem) ||
+            !is(Pos - 1, Opcode::CheckFwd) || !is(Pos + 1, Opcode::SelectFwd))
+          err("synchronized load of group " + std::to_string(G) + " at " +
+              locStr(F, BI, Pos) +
+              " lacks the wait.mem/check.fwd/select.fwd protocol");
+      }
+    }
+  }
+
+  // --- May-store / may-signal transitive closures (mirrors MemSync) -------
+  std::vector<std::set<int>> MayStore(NumFuncs), MaySignal(NumFuncs);
+  for (unsigned FI = 0; FI < NumFuncs; ++FI) {
+    const Function &F = P.getFunction(FI);
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI)
+      for (const Instruction &I : F.getBlock(BI).instructions()) {
+        if (I.getOpcode() == Opcode::Store && I.getSyncId() >= 0)
+          MayStore[FI].insert(I.getSyncId());
+        if (I.getOpcode() == Opcode::SignalMem && I.getSyncId() >= 0)
+          MaySignal[FI].insert(I.getSyncId());
+      }
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned FI = 0; FI < NumFuncs; ++FI) {
+      const Function &F = P.getFunction(FI);
+      for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI)
+        for (const Instruction &I : F.getBlock(BI).instructions()) {
+          if (I.getOpcode() != Opcode::Call)
+            continue;
+          for (int G : MayStore[I.getCallee()])
+            if (MayStore[FI].insert(G).second)
+              Changed = true;
+          for (int G : MaySignal[I.getCallee()])
+            if (MaySignal[FI].insert(G).second)
+              Changed = true;
+        }
+    }
+  }
+
+  for (int G : SignaledGroups)
+    if (!ConsumerGroups.count(G))
+      R.Warnings.push_back("group " + std::to_string(G) +
+                           " is signaled but never awaited");
+
+  // --- Region epoch scope --------------------------------------------------
+  const Function &RegionFunc = P.getFunction(Region.Func);
+  CFG RG(RegionFunc);
+  Dominators RDT(RG);
+  LoopInfo RLI(RegionFunc, RG, RDT);
+  const Loop *L = RLI.getLoopByHeader(Region.Header);
+  if (!L) {
+    err("region header b" + std::to_string(Region.Header) + " of " +
+        RegionFunc.getName() + " is not a loop header");
+    return R;
+  }
+
+  // --- Checks 3-5: per-scope path audit, descending exactly where signal
+  // placement descended (last sites that are calls).
+  std::set<std::pair<unsigned, int>> Visited;
+  std::function<void(unsigned, int, const std::vector<unsigned> &, unsigned)>
+      auditScope = [&](unsigned FuncIdx, int G,
+                       const std::vector<unsigned> &ScopeBlocks,
+                       unsigned Header) {
+        ++R.ScopesChecked;
+        const Function &F = P.getFunction(FuncIdx);
+        auto IsSite = [&](const Instruction &I, SitePos) {
+          if (I.getOpcode() == Opcode::Store && I.getSyncId() == G)
+            return true;
+          return I.getOpcode() == Opcode::Call &&
+                 MayStore[I.getCallee()].count(G) > 0;
+        };
+        SiteFlowResult Flow = analyzeSiteFlow(F, ScopeBlocks, Header, IsSite);
+
+        bool AnySite = false;
+        for (unsigned B : ScopeBlocks)
+          AnySite = AnySite || Flow.HasSite[B];
+        if (Header != ~0u && !AnySite) {
+          if (ConsumerGroups.count(G))
+            err("group " + std::to_string(G) +
+                " has consumers but no producer site in the epoch: every "
+                "wait.mem would stall until the producer commits");
+          return;
+        }
+
+        // Check 4: every last store is followed by its signal in-block; a
+        // last-site call must transitively signal the group.
+        for (const SitePos &S : Flow.LastSites) {
+          const Instruction &I = F.getBlock(S.Block).instructions()[S.Pos];
+          if (I.getOpcode() == Opcode::Store) {
+            const BasicBlock &BB = F.getBlock(S.Block);
+            bool Found = false;
+            for (size_t Pos = S.Pos + 1; Pos < BB.size(); ++Pos) {
+              const Instruction &J = BB.instructions()[Pos];
+              if (J.getOpcode() == Opcode::SignalMem && J.getSyncId() == G) {
+                Found = true;
+                break;
+              }
+            }
+            if (!Found)
+              err("last store of group " + std::to_string(G) + " at " +
+                  locStr(F, S.Block, S.Pos) +
+                  " has no following signal.mem in its block");
+            continue;
+          }
+          unsigned Callee = I.getCallee();
+          if (!MaySignal[Callee].count(G))
+            err("last site of group " + std::to_string(G) + " at " +
+                locStr(F, S.Block, S.Pos) + " calls " +
+                P.getFunction(Callee).getName() +
+                ", which never signals the group");
+          if (Visited.insert({Callee, G}).second) {
+            const Function &CF = P.getFunction(Callee);
+            std::vector<unsigned> AllBlocks(CF.getNumBlocks());
+            for (unsigned B = 0; B < CF.getNumBlocks(); ++B)
+              AllBlocks[B] = B;
+            auditScope(Callee, G, AllBlocks, ~0u);
+          }
+        }
+
+        // Check 5: every store-bypassing edge (where "a site may still
+        // follow" flips off) must run through a NULL signal for the group.
+        // Back edges into the header are exempt: the commit-time auto-signal
+        // is the epoch-end NULL signal.
+        std::vector<bool> InScope(F.getNumBlocks(), false);
+        for (unsigned B : ScopeBlocks)
+          InScope[B] = true;
+        for (unsigned B : ScopeBlocks) {
+          if (!Flow.MayFollowOut[B])
+            continue;
+          const Instruction &Term = F.getBlock(B).back();
+          unsigned NumTargets = Term.getOpcode() == Opcode::Br       ? 1u
+                                : Term.getOpcode() == Opcode::CondBr ? 2u
+                                                                     : 0u;
+          for (unsigned Slot = 0; Slot < NumTargets; ++Slot) {
+            unsigned Succ = Term.getTarget(Slot);
+            if (Succ >= F.getNumBlocks() || !InScope[Succ] || Succ == Header)
+              continue;
+            if (Flow.HasSite[Succ] || Flow.MayFollowOut[Succ])
+              continue;
+            if (!chainCarriesSignal(F, Succ, G))
+              err("store-bypassing edge " + F.getBlock(B).getName() + " -> " +
+                  F.getBlock(Succ).getName() + " in " + F.getName() +
+                  " lacks a NULL signal for group " + std::to_string(G));
+          }
+        }
+      };
+
+  for (int G = 0; G < static_cast<int>(NumMemGroups); ++G)
+    auditScope(Region.Func, G, L->Blocks, Region.Header);
+
+  if (obs::statsEnabled()) {
+    static obs::Counter *CScopes =
+        obs::StatRegistry::global().counter("compiler.audit.scopes");
+    static obs::Counter *CErrors =
+        obs::StatRegistry::global().counter("compiler.audit.errors");
+    static obs::Counter *CWarnings =
+        obs::StatRegistry::global().counter("compiler.audit.warnings");
+    CScopes->add(R.ScopesChecked);
+    CErrors->add(R.Errors.size());
+    CWarnings->add(R.Warnings.size());
+  }
+  return R;
+}

@@ -1,0 +1,60 @@
+//===- compiler/SignalAudit.h - Signal-placement verification ---*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Verifier-style audit of the memory-resident synchronization protocol
+/// after MemSync ran: a malformed placement (a wait that can never be
+/// signaled, a path that stores after its last signal point without
+/// signaling, a missing NULL signal on a store-free path) deadlocks or
+/// stalls the consumer epoch at simulation time, so the harness checks the
+/// protocol statically before handing a binary to the simulator.
+///
+/// Checks:
+///  1. sync ids of all protocol instructions are within the group universe;
+///  2. consumer shape: every synchronized load is immediately preceded by
+///     wait.mem + check.fwd and followed by select.fwd of its group;
+///  3. producer liveness: each group with a consumer has at least one
+///     signal site (signal.mem or a call that may signal) in the epoch;
+///  4. last-store rule (paper Section 2.3): on every audited scope, each
+///     last store of a group is followed in its block by that group's
+///     signal.mem — descending into callees exactly where signal placement
+///     descended;
+///  5. NULL-signal rule: every CFG edge where "a group store may still
+///     follow" flips to false carries the group's NULL signal (epoch
+///     back-edges excepted — the runtime's commit-time auto-signal is the
+///     epoch-end NULL signal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_SIGNALAUDIT_H
+#define SPECSYNC_COMPILER_SIGNALAUDIT_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+struct SignalAuditResult {
+  unsigned GroupsChecked = 0;
+  unsigned ScopesChecked = 0; ///< (function, group) scopes audited.
+  std::vector<std::string> Errors;
+  std::vector<std::string> Warnings;
+
+  bool clean() const { return Errors.empty(); }
+  /// First few errors joined for assertion/diagnostic messages.
+  std::string summary(size_t MaxItems = 4) const;
+};
+
+/// Audits the signal placement of \p P for groups [0, NumMemGroups).
+/// A program with no groups or no region audits clean trivially.
+SignalAuditResult auditSignalPlacement(const Program &P,
+                                       unsigned NumMemGroups);
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_SIGNALAUDIT_H

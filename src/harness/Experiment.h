@@ -56,6 +56,12 @@ struct ModeRunResult {
   double ProgramSpeedup = 0.0;
   double CoveragePercent = 0.0;
   double SeqRegionSpeedup = 1.0; ///< The modeled dilation artifact.
+
+  // Robustness: populated when the pipeline ran with fault injection or a
+  // watchdog budget (all-default otherwise).
+  bool FaultsActive = false;    ///< A fault plan was injected this run.
+  uint64_t FaultSeed = 0;       ///< Fault-plan seed (replay handle).
+  uint64_t DegradedRegions = 0; ///< Regions re-run via the sequential path.
 };
 
 } // namespace specsync

@@ -9,16 +9,36 @@
 #include "compiler/PassManager.h"
 #include "interp/Interpreter.h"
 #include "obs/PhaseTimer.h"
+#include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
 
+#include <algorithm>
 #include <cassert>
+#include <iostream>
 
 using namespace specsync;
+
+namespace {
+
+void reportAudit(const char *Binary, const Workload &W,
+                 const SignalAuditResult &Audit) {
+  if (Audit.clean())
+    return;
+  std::cerr << "signal-placement audit failed (" << Binary << " binary, "
+            << W.Name << "): " << Audit.summary() << "\n";
+}
+
+} // namespace
 
 BenchmarkPipeline::BenchmarkPipeline(const Workload &W,
                                      const MachineConfig &Config,
                                      double FreqThresholdPercent)
     : Bench(W), Config(Config), FreqThreshold(FreqThresholdPercent) {}
+
+void BenchmarkPipeline::setTrainProfile(DepProfile P) {
+  assert(!Prepared && "setTrainProfile must be called before prepare()");
+  TrainOverride = std::make_unique<DepProfile>(std::move(P));
+}
 
 void BenchmarkPipeline::prepare() {
   obs::ScopedPhaseTimer PrepTimer("harness.prepare");
@@ -36,6 +56,7 @@ void BenchmarkPipeline::prepare() {
     (void)R;
     RefLoop = LP.profile();
     Selection = selectLoop(RefLoop);
+    WorkloadSeed = P->getRandSeed();
   }
 
   unsigned Factor = Selection.Selected ? Selection.UnrollFactor : 1;
@@ -53,6 +74,11 @@ void BenchmarkPipeline::prepare() {
     Opts.CollectTrace = false;
     I.run(Opts, &DP);
     TrainProfile = DP.takeProfile();
+    // An externally supplied profile replaces the result, not the run: the
+    // profiling run still populates the shared ContextTable so context ids
+    // downstream stay aligned with a normal pipeline.
+    if (TrainOverride)
+      TrainProfile = std::move(*TrainOverride);
   }
   {
     obs::ScopedPhaseTimer Timer("harness.prepare.ref_profile");
@@ -88,6 +114,9 @@ void BenchmarkPipeline::prepare() {
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     applyBaseTransforms(*P, Factor);
     RefMemSync = applyMemSync(*P, Contexts, RefProfile, MSOpts);
+    RefAudit = auditSignalPlacement(*P, RefMemSync.NumGroups);
+    reportAudit("C", Bench, RefAudit);
+    assert(RefAudit.clean() && "C binary failed the signal-placement audit");
     for (const auto &[Name, Group] : RefMemSync.SyncedLoadSet)
       RefSyncSet.insert({Name.InstId, Name.Context});
     Interpreter I(*P, Contexts);
@@ -100,6 +129,9 @@ void BenchmarkPipeline::prepare() {
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     applyBaseTransforms(*P, Factor);
     TrainMemSync = applyMemSync(*P, Contexts, TrainProfile, MSOpts);
+    TrainAudit = auditSignalPlacement(*P, TrainMemSync.NumGroups);
+    reportAudit("T", Bench, TrainAudit);
+    assert(TrainAudit.clean() && "T binary failed the signal-placement audit");
     Interpreter I(*P, Contexts);
     InterpResult R = I.run();
     assert(R.Completed && "T binary did not terminate");
@@ -109,10 +141,44 @@ void BenchmarkPipeline::prepare() {
   Prepared = true;
 }
 
+TLSSimResult
+BenchmarkPipeline::sequentialFallback(const TLSSimResult &Attempt,
+                                      const RegionTrace &Region,
+                                      size_t RegionIdx) const {
+  TLSSimResult S = Attempt; // Keep the fault/watchdog accounting.
+  S.Completed = true;
+  S.DegradedToSequential = true;
+  uint64_t SeqCycles = RegionIdx < SeqBaseline.RegionCycles.size()
+                           ? SeqBaseline.RegionCycles[RegionIdx]
+                           : Attempt.Cycles;
+  S.Cycles = SeqCycles;
+  S.Slots.Total =
+      SeqCycles * Config.IssueWidth * Config.NumCores;
+  uint64_t Insts = 0;
+  for (const EpochTrace &E : Region.Epochs)
+    Insts += E.Insts.size();
+  S.Slots.Busy = std::min(Insts, S.Slots.Total);
+  S.Slots.Fail = 0;
+  S.Slots.SyncScalar = 0;
+  S.Slots.SyncMem = 0;
+  S.EpochsCommitted = Region.Epochs.size();
+  return S;
+}
+
 ModeRunResult BenchmarkPipeline::simulate(const ProgramTrace &Trace,
                                           TLSSimOptions Opts, ExecMode Mode) {
   Opts.NumScalarChannels = NumScalarChannels;
   Opts.CompilerSyncSet = &RefSyncSet;
+
+  bool Robustness = Robust.active();
+  if (Robustness) {
+    Opts.Faults = &Robust.Plan;
+    Opts.WatchdogBudget = Robust.WatchdogBudget;
+    Opts.WatchdogBackoffBase = Robust.WatchdogBackoffBase;
+    Opts.EpochRetryLimit = Robust.EpochRetryLimit;
+    Opts.GroupDemoteThreshold = Robust.GroupDemoteThreshold;
+    Opts.DegradeSquashRate = Robust.DegradeSquashRate;
+  }
 
   // Each (benchmark, mode) run gets its own timeline track group so the
   // trace viewer shows one row of core tracks per simulated binary.
@@ -125,8 +191,25 @@ ModeRunResult BenchmarkPipeline::simulate(const ProgramTrace &Trace,
   ModeRunResult Result;
   Result.Mode = Mode;
   TLSSimulator Sim(Config, Opts);
-  for (const RegionTrace &R : Trace.Regions)
-    Result.Sim.accumulate(Sim.simulateRegion(R));
+  for (size_t I = 0; I < Trace.Regions.size(); ++I) {
+    TLSSimResult SR = Sim.simulateRegion(Trace.Regions[I]);
+    // Graceful degradation: when the watchdog gave up on a region (or a
+    // faulted run failed to complete), charge the region at its
+    // sequential-baseline timing instead of the broken parallel attempt.
+    if (Robustness && (SR.DegradedToSequential || !SR.Completed)) {
+      SR = sequentialFallback(SR, Trace.Regions[I], I);
+      ++Result.DegradedRegions;
+      if (obs::statsEnabled())
+        obs::StatRegistry::global()
+            .counter("harness.degraded_regions")
+            ->add(1);
+    }
+    Result.Sim.accumulate(SR);
+  }
+  if (Robustness) {
+    Result.FaultsActive = Robust.Plan.enabled();
+    Result.FaultSeed = Robust.Plan.Seed;
+  }
 
   Result.SeqRegionCycles = SeqBaseline.regionCyclesTotal();
   Result.CoveragePercent = RefLoop.coveragePercent();

@@ -24,6 +24,7 @@
 
 #include "compiler/LoopSelection.h"
 #include "compiler/MemSync.h"
+#include "compiler/SignalAudit.h"
 #include "harness/Experiment.h"
 #include "interp/ContextTable.h"
 #include "profile/DepProfiler.h"
@@ -46,6 +47,18 @@ public:
   /// Runs one execution mode on the ref input.
   ModeRunResult run(ExecMode Mode);
 
+  /// Applies fault-injection / watchdog settings to subsequent run() calls.
+  /// With the default (inert) options every simulation is bit-identical to
+  /// a pipeline without the robustness subsystem.
+  void setRobustness(const RobustnessOptions &R) { Robust = R; }
+  const RobustnessOptions &robustness() const { return Robust; }
+
+  /// Replaces the train-input dependence profile (e.g. one parsed from a
+  /// file) after the profiling phases run; call before prepare(). Context
+  /// ids in the profile must match this workload's context numbering, as
+  /// produced by serializeDepProfile on the same workload.
+  void setTrainProfile(DepProfile P);
+
   /// Figure 2/6 limit study: U-mode execution with perfect prediction of
   /// all loads whose dependence frequency exceeds \p Percent.
   ModeRunResult runWithPerfectLoads(double Percent);
@@ -60,14 +73,26 @@ public:
   const SeqSimResult &seqBaseline() const { return SeqBaseline; }
   unsigned numScalarChannels() const { return NumScalarChannels; }
   const Workload &workload() const { return Bench; }
+  /// The workload's PRNG seed (recorded for replay in JSON reports).
+  uint64_t workloadSeed() const { return WorkloadSeed; }
+  /// Signal-placement audits of the ref- and train-profiled binaries.
+  const SignalAuditResult &refAudit() const { return RefAudit; }
+  const SignalAuditResult &trainAudit() const { return TrainAudit; }
 
 private:
   ModeRunResult simulate(const ProgramTrace &Trace, TLSSimOptions Opts,
                          ExecMode Mode);
+  /// Synthetic per-region result standing in for a degraded parallel
+  /// attempt: the region's sequential-baseline timing with the attempt's
+  /// fault/watchdog accounting preserved.
+  TLSSimResult sequentialFallback(const TLSSimResult &Attempt,
+                                  const RegionTrace &Region,
+                                  size_t RegionIdx) const;
 
   const Workload &Bench;
   const MachineConfig &Config;
   double FreqThreshold;
+  RobustnessOptions Robust;
 
   ContextTable Contexts;
   LoopProfile RefLoop;
@@ -78,6 +103,10 @@ private:
   MemSyncResult TrainMemSync;
   unsigned NumScalarChannels = 0;
   SeqSimResult SeqBaseline;
+  uint64_t WorkloadSeed = 0;
+  SignalAuditResult RefAudit;
+  SignalAuditResult TrainAudit;
+  std::unique_ptr<DepProfile> TrainOverride; ///< Set via setTrainProfile.
 
   LoadNameSet RefSyncSet;
 

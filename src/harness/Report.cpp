@@ -102,20 +102,79 @@ void specsync::writeModeRunResultJson(obs::JsonWriter &W,
   W.keyValue("filtered_waits", S.FilteredWaits);
   W.endObject();
 
+  // Emitted only for robustness runs: with fault injection and the
+  // watchdog off, the document stays byte-identical to earlier schemas.
+  if (R.FaultsActive || R.DegradedRegions > 0 || S.WatchdogTrips > 0) {
+    W.key("robustness");
+    W.beginObject();
+    W.keyValue("fault_seed", R.FaultSeed);
+    W.key("injected");
+    W.beginObject();
+    W.keyValue("signal_drops", S.Faults.SignalDrops);
+    W.keyValue("signal_delays", S.Faults.SignalDelays);
+    W.keyValue("corruptions", S.Faults.Corruptions);
+    W.keyValue("mispredicts", S.Faults.Mispredicts);
+    W.keyValue("spurious_violations", S.Faults.SpuriousViolations);
+    W.keyValue("hw_drops", S.Faults.HwDrops);
+    W.keyValue("total", S.Faults.total());
+    W.endObject();
+    W.key("recovered");
+    W.beginObject();
+    W.keyValue("watchdog_trips", S.WatchdogTrips);
+    W.keyValue("watchdog_wakes", S.WatchdogWakes);
+    W.keyValue("corruptions_detected", S.CorruptionsDetected);
+    W.keyValue("backoff_retries", S.BackoffRetries);
+    W.keyValue("livelock_breaks", S.LivelockBreaks);
+    W.endObject();
+    W.key("degraded");
+    W.beginObject();
+    W.keyValue("demoted_syncs", S.DemotedSyncs);
+    W.keyValue("demoted_waits", S.DemotedWaits);
+    W.keyValue("regions_sequential", R.DegradedRegions);
+    W.endObject();
+    W.endObject();
+  }
+
   W.endObject();
 }
 
 void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
-                               const std::vector<BenchmarkModeResults> &All) {
+                               const std::vector<BenchmarkModeResults> &All,
+                               const RobustnessOptions *Robust) {
+  bool Robustness = Robust != nullptr;
   obs::JsonWriter W(OS);
   W.beginObject();
   W.keyValue("report", Title);
   W.keyValue("schema_version", 1);
+  if (Robustness) {
+    // Replay handle: the exact plan and watchdog settings of this run.
+    W.key("fault_plan");
+    W.beginObject();
+    W.keyValue("seed", Robust->Plan.Seed);
+    W.keyValue("signal_drop_pct", Robust->Plan.SignalDropPct);
+    W.keyValue("signal_delay_pct", Robust->Plan.SignalDelayPct);
+    W.keyValue("signal_delay_cycles", Robust->Plan.SignalDelayCycles);
+    W.keyValue("signal_corrupt_pct", Robust->Plan.SignalCorruptPct);
+    W.keyValue("mispredict_pct", Robust->Plan.MispredictPct);
+    W.keyValue("spurious_violation_pct", Robust->Plan.SpuriousViolationPct);
+    W.keyValue("hw_update_drop_pct", Robust->Plan.HwUpdateDropPct);
+    W.endObject();
+    W.key("watchdog");
+    W.beginObject();
+    W.keyValue("budget", Robust->WatchdogBudget);
+    W.keyValue("backoff_base", Robust->WatchdogBackoffBase);
+    W.keyValue("retry_limit", Robust->EpochRetryLimit);
+    W.keyValue("demote_threshold", Robust->GroupDemoteThreshold);
+    W.keyValue("degrade_squash_rate", Robust->DegradeSquashRate);
+    W.endObject();
+  }
   W.key("benchmarks");
   W.beginArray();
   for (const BenchmarkModeResults &B : All) {
     W.beginObject();
     W.keyValue("name", B.Benchmark);
+    if (Robustness)
+      W.keyValue("workload_seed", B.WorkloadSeed);
     W.key("modes");
     W.beginArray();
     for (const BenchmarkModeResults::Entry &E : B.Entries)
@@ -134,10 +193,11 @@ void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
 
 bool specsync::writeJsonReportFile(
     const std::string &Path, const std::string &Title,
-    const std::vector<BenchmarkModeResults> &All) {
+    const std::vector<BenchmarkModeResults> &All,
+    const RobustnessOptions *Robust) {
   std::ofstream OS(Path);
   if (!OS)
     return false;
-  writeJsonReport(OS, Title, All);
+  writeJsonReport(OS, Title, All, Robust);
   return static_cast<bool>(OS);
 }

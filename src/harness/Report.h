@@ -50,6 +50,9 @@ struct BenchmarkModeResults {
     ModeRunResult Result;
   };
   std::vector<Entry> Entries;
+  /// The workload's PRNG seed; emitted (with the fault seed) when a
+  /// robustness run is being reported so the run can be replayed exactly.
+  uint64_t WorkloadSeed = 0;
 };
 
 /// Serializes one mode run: every TLSSimResult counter, the slot
@@ -59,12 +62,20 @@ void writeModeRunResultJson(obs::JsonWriter &W, const std::string &Label,
 
 /// Writes the full report document: title, per-benchmark mode entries,
 /// and — when `--stats` is active — a dump of the stat registry.
+///
+/// When \p Robust is non-null and active, the document additionally
+/// records the fault plan, watchdog settings and per-benchmark workload
+/// seeds so a faulted run can be replayed bit-exactly; with Robust null or
+/// inert the output is byte-identical to a build without the robustness
+/// subsystem.
 void writeJsonReport(std::ostream &OS, const std::string &Title,
-                     const std::vector<BenchmarkModeResults> &All);
+                     const std::vector<BenchmarkModeResults> &All,
+                     const RobustnessOptions *Robust = nullptr);
 
 /// File variant; returns false on I/O failure.
 bool writeJsonReportFile(const std::string &Path, const std::string &Title,
-                         const std::vector<BenchmarkModeResults> &All);
+                         const std::vector<BenchmarkModeResults> &All,
+                         const RobustnessOptions *Robust = nullptr);
 
 } // namespace specsync
 

@@ -41,15 +41,28 @@ std::string specsync::serializeDepProfile(const DepProfile &Profile) {
   return Out;
 }
 
-std::optional<DepProfile>
-specsync::parseDepProfile(const std::string &Text) {
+ProfileParseResult
+specsync::parseDepProfileVerbose(const std::string &Text) {
+  ProfileParseResult Result;
+  unsigned LineNo = 0;
+  auto fail = [&](const std::string &Msg) {
+    Result.Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    Result.Profile.reset();
+    return Result;
+  };
+
   std::istringstream In(Text);
   std::string Line;
-  if (!std::getline(In, Line) || Line != "specsync-depprofile v1")
-    return std::nullopt;
+  ++LineNo;
+  if (!std::getline(In, Line))
+    return fail("empty input, expected magic 'specsync-depprofile v1'");
+  if (Line != "specsync-depprofile v1")
+    return fail("bad magic '" + Line +
+                "', expected 'specsync-depprofile v1'");
 
   DepProfile Profile;
   while (std::getline(In, Line)) {
+    ++LineNo;
     if (Line.empty())
       continue;
     std::istringstream LS(Line);
@@ -57,33 +70,46 @@ specsync::parseDepProfile(const std::string &Text) {
     LS >> Kind;
     if (Kind == "epochs") {
       if (!(LS >> Profile.TotalEpochs))
-        return std::nullopt;
+        return fail("malformed 'epochs' record, expected: epochs <N>");
     } else if (Kind == "pair") {
       DepPairStat P;
       if (!(LS >> P.Load.InstId >> P.Load.Context >> P.Store.InstId >>
             P.Store.Context >> P.Count >> P.EpochsWithDep >>
             P.Distance1Count))
-        return std::nullopt;
+        return fail("malformed 'pair' record, expected 7 integer fields");
       Profile.Pairs[{P.Load, P.Store}] = P;
     } else if (Kind == "load") {
       RefName Name;
       LoadStat L;
       if (!(LS >> Name.InstId >> Name.Context >> L.Count >>
             L.EpochsWithDep))
-        return std::nullopt;
+        return fail("malformed 'load' record, expected 4 integer fields");
       Profile.Loads[Name] = L;
     } else if (Kind == "dist") {
       unsigned Bucket;
       uint64_t N;
-      if (!(LS >> Bucket >> N) ||
-          Bucket >= Profile.DistanceHist.numBuckets())
-        return std::nullopt;
+      if (!(LS >> Bucket >> N))
+        return fail("malformed 'dist' record, expected: dist <bucket> <N>");
+      if (Bucket >= Profile.DistanceHist.numBuckets())
+        return fail("dist bucket " + std::to_string(Bucket) +
+                    " out of range [0, " +
+                    std::to_string(Profile.DistanceHist.numBuckets()) + ")");
       // Re-add: the overflow bucket round-trips because addSample
       // saturates at the same index.
       Profile.DistanceHist.addSample(Bucket, N);
     } else {
-      return std::nullopt;
+      return fail("unknown record kind '" + Kind + "'");
     }
+    std::string Extra;
+    if (LS >> Extra)
+      return fail("trailing tokens after '" + Kind +
+                  "' record, starting at '" + Extra + "'");
   }
-  return Profile;
+  Result.Profile = std::move(Profile);
+  return Result;
+}
+
+std::optional<DepProfile>
+specsync::parseDepProfile(const std::string &Text) {
+  return parseDepProfileVerbose(Text).Profile;
 }

@@ -32,8 +32,22 @@ namespace specsync {
 /// Renders \p Profile in the textual format above.
 std::string serializeDepProfile(const DepProfile &Profile);
 
+/// Result of a verbose parse: either a profile, or a structured diagnostic
+/// of the form "line <N>: <message>" naming the first malformed line
+/// (1-based, counting the magic line).
+struct ProfileParseResult {
+  std::optional<DepProfile> Profile;
+  std::string Error; ///< Empty exactly when Profile has a value.
+
+  explicit operator bool() const { return Profile.has_value(); }
+};
+
+/// Parses the textual format, reporting what and where parsing failed.
+ProfileParseResult parseDepProfileVerbose(const std::string &Text);
+
 /// Parses the textual format; returns std::nullopt on any malformed
-/// input (wrong magic, bad record, trailing garbage).
+/// input (wrong magic, bad record, trailing garbage). Compatibility
+/// wrapper around parseDepProfileVerbose that discards the diagnostic.
 std::optional<DepProfile> parseDepProfile(const std::string &Text);
 
 } // namespace specsync

@@ -1,0 +1,140 @@
+//===- sim/FaultInjector.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/FaultInjector.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace specsync;
+
+FaultPlan FaultPlan::uniform(uint64_t Seed, double RatePct) {
+  FaultPlan P;
+  P.Seed = Seed;
+  P.SignalDropPct = RatePct;
+  P.SignalDelayPct = RatePct;
+  P.SignalCorruptPct = RatePct;
+  P.MispredictPct = RatePct;
+  P.SpuriousViolationPct = RatePct;
+  P.HwUpdateDropPct = RatePct;
+  return P;
+}
+
+namespace {
+/// Stream id separating fault draws from workload PRNG streams (which use
+/// the program's RandSeed directly, i.e. stream semantics of "no stream").
+constexpr uint64_t FaultStreamId = 0xfa017;
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &Plan)
+    : Enabled(Plan.enabled()), Plan(Plan),
+      Rng(Random::stream(Plan.Seed, FaultStreamId)) {}
+
+bool FaultInjector::roll(double Pct, uint64_t &Count) {
+  if (!Enabled || Pct <= 0)
+    return false;
+  if (Rng.nextDouble() * 100.0 >= Pct)
+    return false;
+  ++Count;
+  return true;
+}
+
+bool FaultInjector::dropSignal() {
+  return roll(Plan.SignalDropPct, Counts.SignalDrops);
+}
+
+uint64_t FaultInjector::delaySignal() {
+  return roll(Plan.SignalDelayPct, Counts.SignalDelays)
+             ? Plan.SignalDelayCycles
+             : 0;
+}
+
+bool FaultInjector::corruptForward() {
+  return roll(Plan.SignalCorruptPct, Counts.Corruptions);
+}
+
+bool FaultInjector::forceMispredict() {
+  return roll(Plan.MispredictPct, Counts.Mispredicts);
+}
+
+bool FaultInjector::spuriousViolation() {
+  return roll(Plan.SpuriousViolationPct, Counts.SpuriousViolations);
+}
+
+bool FaultInjector::dropHwUpdate() {
+  return roll(Plan.HwUpdateDropPct, Counts.HwDrops);
+}
+
+//===----------------------------------------------------------------------===//
+// Argument parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool matchU64(const char *Arg, const char *Prefix, uint64_t &Out) {
+  size_t N = std::strlen(Prefix);
+  if (std::strncmp(Arg, Prefix, N) != 0)
+    return false;
+  Out = std::strtoull(Arg + N, nullptr, 10);
+  return true;
+}
+
+bool matchDouble(const char *Arg, const char *Prefix, double &Out) {
+  size_t N = std::strlen(Prefix);
+  if (std::strncmp(Arg, Prefix, N) != 0)
+    return false;
+  Out = std::strtod(Arg + N, nullptr);
+  return true;
+}
+
+bool matchUnsigned(const char *Arg, const char *Prefix, unsigned &Out) {
+  uint64_t V;
+  if (!matchU64(Arg, Prefix, V))
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+} // namespace
+
+RobustnessOptions specsync::parseRobustnessArgs(int argc, char **argv) {
+  RobustnessOptions R;
+  // --fault-rate sets every class; per-class flags refine it afterwards,
+  // so order the uniform expansion before the per-class overrides.
+  double UniformRate = -1.0;
+
+  if (const char *E = std::getenv("SPECSYNC_FAULT_SEED"))
+    R.Plan.Seed = std::strtoull(E, nullptr, 10);
+  if (const char *E = std::getenv("SPECSYNC_FAULT_RATE"))
+    UniformRate = std::strtod(E, nullptr);
+  if (const char *E = std::getenv("SPECSYNC_WATCHDOG_BUDGET"))
+    R.WatchdogBudget = std::strtoull(E, nullptr, 10);
+
+  for (int I = 1; I < argc; ++I)
+    matchDouble(argv[I], "--fault-rate=", UniformRate);
+  if (UniformRate >= 0) {
+    uint64_t Seed = R.Plan.Seed;
+    R.Plan = FaultPlan::uniform(Seed, UniformRate);
+  }
+
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    matchU64(A, "--fault-seed=", R.Plan.Seed);
+    matchDouble(A, "--fault-drop=", R.Plan.SignalDropPct);
+    matchDouble(A, "--fault-delay=", R.Plan.SignalDelayPct);
+    matchU64(A, "--fault-delay-cycles=", R.Plan.SignalDelayCycles);
+    matchDouble(A, "--fault-corrupt=", R.Plan.SignalCorruptPct);
+    matchDouble(A, "--fault-mispredict=", R.Plan.MispredictPct);
+    matchDouble(A, "--fault-spurious=", R.Plan.SpuriousViolationPct);
+    matchDouble(A, "--fault-hw-drop=", R.Plan.HwUpdateDropPct);
+    matchU64(A, "--watchdog-budget=", R.WatchdogBudget);
+    matchUnsigned(A, "--watchdog-retry-limit=", R.EpochRetryLimit);
+    matchUnsigned(A, "--watchdog-demote-threshold=", R.GroupDemoteThreshold);
+    matchDouble(A, "--degrade-squash-rate=", R.DegradeSquashRate);
+  }
+  return R;
+}

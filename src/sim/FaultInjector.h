@@ -1,0 +1,148 @@
+//===- sim/FaultInjector.h - Deterministic fault injection ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, deterministic fault injection for the TLS pipeline. A FaultPlan
+/// describes *what* can go wrong and how often; a FaultInjector draws from
+/// its own PRNG stream (independent of workload randomness — see
+/// Random::stream) to decide *when* each fault fires, so a given
+/// (plan, trace) pair replays exactly.
+///
+/// Fault classes:
+///  - drop: a wait/signal forward is lost on the wire (the consumer would
+///    deadlock without the simulator's watchdog);
+///  - delay: a forward arrives late by a fixed number of cycles;
+///  - corrupt: a forwarded (addr, value) pair is damaged in flight — the
+///    consumer's hardware detects the mismatch at use time and recovers by
+///    squash-and-retry (the timing simulator never holds architectural
+///    state, so corruption is modeled as a detectable recoverable event);
+///  - mispredict: a confident value prediction is forced wrong;
+///  - spurious violation: the coherence logic reports a dependence
+///    violation that never happened;
+///  - hw drop: a violating-load table update is lost.
+///
+/// The injector also carries the watchdog/recovery knobs (RobustnessOptions)
+/// shared by the bench binaries' --fault-* / --watchdog-* flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SIM_FAULTINJECTOR_H
+#define SPECSYNC_SIM_FAULTINJECTOR_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+
+namespace specsync {
+
+/// What to inject and how often. All rates are percentages in [0, 100] of
+/// the corresponding events (signal sends, confident predictions, stores,
+/// table updates). A default-constructed plan injects nothing.
+struct FaultPlan {
+  uint64_t Seed = 0; ///< Fault-stream seed (independent of workload seeds).
+
+  double SignalDropPct = 0.0;    ///< Scalar/memory forward lost.
+  double SignalDelayPct = 0.0;   ///< Forward arrives late.
+  uint64_t SignalDelayCycles = 64; ///< Lateness applied to delayed forwards.
+  double SignalCorruptPct = 0.0; ///< Memory forward damaged in flight.
+  double MispredictPct = 0.0;    ///< Confident value prediction forced wrong.
+  double SpuriousViolationPct = 0.0; ///< False dependence violation per store.
+  double HwUpdateDropPct = 0.0;  ///< Violating-load table update lost.
+
+  bool enabled() const {
+    return SignalDropPct > 0 || SignalDelayPct > 0 || SignalCorruptPct > 0 ||
+           MispredictPct > 0 || SpuriousViolationPct > 0 ||
+           HwUpdateDropPct > 0;
+  }
+
+  /// A plan injecting every fault class at \p RatePct (the --fault-rate
+  /// sweep shape).
+  static FaultPlan uniform(uint64_t Seed, double RatePct);
+};
+
+/// Per-class injection counts (what actually fired, not the plan).
+struct FaultCounts {
+  uint64_t SignalDrops = 0;
+  uint64_t SignalDelays = 0;
+  uint64_t Corruptions = 0;
+  uint64_t Mispredicts = 0;
+  uint64_t SpuriousViolations = 0;
+  uint64_t HwDrops = 0;
+
+  uint64_t total() const {
+    return SignalDrops + SignalDelays + Corruptions + Mispredicts +
+           SpuriousViolations + HwDrops;
+  }
+};
+
+/// Draws fault decisions from the plan. One injector per simulator; its
+/// counts accumulate across region instances of one run.
+class FaultInjector {
+public:
+  FaultInjector() = default; ///< Disabled: every draw returns false.
+  explicit FaultInjector(const FaultPlan &Plan);
+
+  bool enabled() const { return Enabled; }
+  const FaultPlan &plan() const { return Plan; }
+  const FaultCounts &counts() const { return Counts; }
+
+  // Each query consumes at most one PRNG draw (none when the class rate is
+  // zero), so disabling one fault class never shifts another's schedule
+  // pattern more than the removed draws themselves.
+  bool dropSignal();
+  /// Returns the delay in cycles (0 = on time).
+  uint64_t delaySignal();
+  bool corruptForward();
+  bool forceMispredict();
+  bool spuriousViolation();
+  bool dropHwUpdate();
+
+private:
+  bool roll(double Pct, uint64_t &Count);
+
+  bool Enabled = false;
+  FaultPlan Plan;
+  Random Rng{0};
+  FaultCounts Counts;
+};
+
+/// The recovery knobs that pair with a FaultPlan: watchdog budget,
+/// retry/backoff limits, and the degradation thresholds. Defaults keep the
+/// simulator's behavior bit-identical to a build without this subsystem.
+struct RobustnessOptions {
+  FaultPlan Plan;
+
+  /// Per-region cycle budget; past it the region degrades to the
+  /// sequential fallback instead of dying on MaxCycles. 0 = off.
+  uint64_t WatchdogBudget = 0;
+  /// Base backoff (cycles) for watchdog wakes and repeated squashes of the
+  /// same epoch; doubles per retry, capped at base << 6.
+  unsigned WatchdogBackoffBase = 32;
+  /// Squashes of one epoch attempt before the epoch is "protected" (no
+  /// further faults target it), breaking injected livelocks.
+  unsigned EpochRetryLimit = 8;
+  /// Watchdog trips on one channel/group before it is demoted to plain
+  /// speculation (waits on it stop blocking).
+  unsigned GroupDemoteThreshold = 3;
+  /// Average squashes per epoch beyond which the region degrades to the
+  /// sequential fallback. 0 = off.
+  double DegradeSquashRate = 0.0;
+
+  bool active() const { return Plan.enabled() || WatchdogBudget > 0; }
+};
+
+/// Parses --fault-seed=N, --fault-rate=P, --fault-drop=P, --fault-delay=P,
+/// --fault-delay-cycles=N, --fault-corrupt=P, --fault-mispredict=P,
+/// --fault-spurious=P, --fault-hw-drop=P, --watchdog-budget=N,
+/// --watchdog-retry-limit=N, --watchdog-demote-threshold=N and
+/// --degrade-squash-rate=R. Environment fallbacks (flags win):
+/// SPECSYNC_FAULT_SEED, SPECSYNC_FAULT_RATE, SPECSYNC_WATCHDOG_BUDGET.
+/// Unrecognized arguments are left alone; argv is not mutated.
+RobustnessOptions parseRobustnessArgs(int argc, char **argv);
+
+} // namespace specsync
+
+#endif // SPECSYNC_SIM_FAULTINJECTOR_H

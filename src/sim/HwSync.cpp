@@ -7,6 +7,7 @@
 #include "sim/HwSync.h"
 
 #include "obs/StatRegistry.h"
+#include "sim/FaultInjector.h"
 
 #include <cassert>
 
@@ -76,6 +77,10 @@ HwSyncTables::HwSyncTables(unsigned NumCores, unsigned CapacityPerTable,
 
 void HwSyncTables::recordViolation(unsigned Core, uint32_t LoadId,
                                    uint64_t Cycle, bool Sticky) {
+  // A dropped update models a lost coherence message: the table simply
+  // never learns this violation (degrades accuracy, never correctness).
+  if (Faults && Faults->dropHwUpdate())
+    return;
   Tables[Shared ? 0 : Core].recordViolation(LoadId, Cycle, Sticky);
 }
 

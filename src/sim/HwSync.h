@@ -30,6 +30,8 @@
 
 namespace specsync {
 
+class FaultInjector;
+
 class HwViolationTable {
 public:
   HwViolationTable(unsigned Capacity, uint64_t ResetInterval)
@@ -68,6 +70,10 @@ public:
   HwSyncTables(unsigned NumCores, unsigned CapacityPerTable,
                uint64_t ResetInterval, bool Shared);
 
+  /// Routes table updates through \p FI (dropped updates model lost
+  /// coherence messages). nullptr disables injection.
+  void setFaultInjector(FaultInjector *FI) { Faults = FI; }
+
   void recordViolation(unsigned Core, uint32_t LoadId, uint64_t Cycle,
                        bool Sticky = false);
   bool contains(unsigned Core, uint32_t LoadId, uint64_t Cycle);
@@ -79,6 +85,7 @@ public:
 private:
   bool Shared;
   std::vector<HwViolationTable> Tables; ///< One, or one per core.
+  FaultInjector *Faults = nullptr;
 };
 
 } // namespace specsync

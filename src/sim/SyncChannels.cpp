@@ -6,14 +6,21 @@
 
 #include "sim/SyncChannels.h"
 
+#include "sim/FaultInjector.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace specsync;
 
 void SyncChannels::sendScalar(int Channel, uint64_t ConsumerEpoch,
-                              uint64_t Arrival) {
+                              uint64_t Arrival, bool Faultable) {
   CScalarSends->add(1);
+  if (Faultable && Faults) {
+    if (Faults->dropSignal())
+      return; // Lost on the wire; the watchdog recovers the consumer.
+    Arrival += Faults->delaySignal();
+  }
   // Keep the earliest arrival: a signal beats the commit-time auto-signal.
   auto Key = std::make_pair(Channel, ConsumerEpoch);
   auto It = Scalars.find(Key);
@@ -30,14 +37,22 @@ SyncChannels::getScalar(int Channel, uint64_t ConsumerEpoch) const {
 }
 
 void SyncChannels::sendMem(int Group, uint64_t ConsumerEpoch, uint64_t Addr,
-                           uint64_t Value, uint64_t Arrival) {
+                           uint64_t Value, uint64_t Arrival, bool Faultable) {
   CMemSends->add(1);
   if (Addr == 0)
     CNullSignals->add(1);
+  bool Corrupted = false;
+  if (Faultable && Faults) {
+    if (Faults->dropSignal())
+      return;
+    Arrival += Faults->delaySignal();
+    // NULL signals carry no value, so there is nothing to corrupt.
+    Corrupted = Addr != 0 && Faults->corruptForward();
+  }
   auto Key = std::make_pair(Group, ConsumerEpoch);
   auto It = Mems.find(Key);
   if (It == Mems.end() || Arrival < It->second.ArrivalCycle)
-    Mems[Key] = MemForward{Addr, Value, Arrival};
+    Mems[Key] = MemForward{Addr, Value, Arrival, Corrupted};
 }
 
 std::optional<MemForward> SyncChannels::getMem(int Group,
@@ -54,6 +69,12 @@ void SyncChannels::updateMemValue(int Group, uint64_t ConsumerEpoch,
   assert(It != Mems.end() && "updating a forward that was never sent");
   It->second.Addr = Addr;
   It->second.Value = Value;
+}
+
+void SyncChannels::clearCorrupted(int Group, uint64_t ConsumerEpoch) {
+  auto It = Mems.find(std::make_pair(Group, ConsumerEpoch));
+  if (It != Mems.end())
+    It->second.Corrupted = false;
 }
 
 void SyncChannels::clearForConsumer(uint64_t ConsumerEpoch) {

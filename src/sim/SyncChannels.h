@@ -29,11 +29,17 @@
 
 namespace specsync {
 
+class FaultInjector;
+
 /// A forwarded memory-resident value.
 struct MemForward {
   uint64_t Addr = 0; ///< 0 = NULL signal.
   uint64_t Value = 0;
   uint64_t ArrivalCycle = 0;
+  /// Damaged in flight by fault injection. The timing simulator holds no
+  /// architectural state, so corruption is a flag the consumer's check
+  /// hardware detects at use time (and recovers from by squashing).
+  bool Corrupted = false;
 };
 
 /// A forwarded scalar (timing only; values live in the trace).
@@ -43,19 +49,29 @@ struct ScalarForward {
 
 class SyncChannels {
 public:
+  /// Routes sends through \p FI (drop / delay / corrupt). nullptr disables
+  /// injection; the pointer must outlive this object.
+  void setFaultInjector(FaultInjector *FI) { Faults = FI; }
+
   // --- Scalar channels --------------------------------------------------
-  void sendScalar(int Channel, uint64_t ConsumerEpoch, uint64_t Arrival);
+  /// \p Faultable = false bypasses injection (watchdog recovery signals
+  /// must not themselves be dropped).
+  void sendScalar(int Channel, uint64_t ConsumerEpoch, uint64_t Arrival,
+                  bool Faultable = true);
   std::optional<ScalarForward> getScalar(int Channel,
                                          uint64_t ConsumerEpoch) const;
 
   // --- Memory groups ----------------------------------------------------
   void sendMem(int Group, uint64_t ConsumerEpoch, uint64_t Addr,
-               uint64_t Value, uint64_t Arrival);
+               uint64_t Value, uint64_t Arrival, bool Faultable = true);
   std::optional<MemForward> getMem(int Group, uint64_t ConsumerEpoch) const;
   /// Updates an already-sent forward in place (producer stored again before
   /// the consumer started).
   void updateMemValue(int Group, uint64_t ConsumerEpoch, uint64_t Addr,
                       uint64_t Value);
+  /// Clears the corruption flag after the consumer detected it (the
+  /// hardware refetches the true value as part of recovery).
+  void clearCorrupted(int Group, uint64_t ConsumerEpoch);
 
   /// Drops everything produced *for* \p ConsumerEpoch (called when that
   /// epoch's producer is squashed and will re-send).
@@ -67,6 +83,7 @@ public:
 private:
   std::map<std::pair<int, uint64_t>, ScalarForward> Scalars;
   std::map<std::pair<int, uint64_t>, MemForward> Mems;
+  FaultInjector *Faults = nullptr;
 
   // Registry counters (no-ops unless --stats).
   obs::Counter *CScalarSends =

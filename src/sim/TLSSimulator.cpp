@@ -9,6 +9,7 @@
 #include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 
@@ -36,6 +37,20 @@ void TLSSimResult::accumulate(const TLSSimResult &RHS) {
   PredictorCorrect += RHS.PredictorCorrect;
   PredictorWrong += RHS.PredictorWrong;
   FilteredWaits += RHS.FilteredWaits;
+  Faults.SignalDrops += RHS.Faults.SignalDrops;
+  Faults.SignalDelays += RHS.Faults.SignalDelays;
+  Faults.Corruptions += RHS.Faults.Corruptions;
+  Faults.Mispredicts += RHS.Faults.Mispredicts;
+  Faults.SpuriousViolations += RHS.Faults.SpuriousViolations;
+  Faults.HwDrops += RHS.Faults.HwDrops;
+  WatchdogTrips += RHS.WatchdogTrips;
+  WatchdogWakes += RHS.WatchdogWakes;
+  CorruptionsDetected += RHS.CorruptionsDetected;
+  BackoffRetries += RHS.BackoffRetries;
+  LivelockBreaks += RHS.LivelockBreaks;
+  DemotedSyncs += RHS.DemotedSyncs;
+  DemotedWaits += RHS.DemotedWaits;
+  DegradedToSequential = DegradedToSequential || RHS.DegradedToSequential;
 }
 
 namespace {
@@ -57,6 +72,7 @@ struct TLSSimulator::Impl {
   CacheModel Caches;
   HwSyncTables HwTables;
   ValuePredictor Predictor;
+  FaultInjector Faults; ///< Disabled (all draws false) without a plan.
   /// Per-group check.fwd outcome counters for the hybrid filter (iii).
   std::map<int, std::pair<uint64_t, uint64_t>> FwdChecks; // (total, hits).
 
@@ -64,12 +80,37 @@ struct TLSSimulator::Impl {
   SpecState Spec;
   SyncChannels Channels;
 
+  // Watchdog state, all per-region. Protected epochs take no further
+  // injected faults (livelock break); demoted channels/groups stop
+  // blocking at waits (graceful degradation to plain speculation).
+  bool WatchdogOn = false;
+  std::unordered_map<uint64_t, unsigned> SquashCount; ///< Per epoch.
+  std::unordered_set<uint64_t> ProtectedEpochs;
+  std::map<int, unsigned> MemGroupTrips, ScalarTrips;
+  std::set<int> DemotedMemGroups, DemotedScalarChannels;
+  uint64_t TotalSquashes = 0;
+  FaultCounts RegionStartCounts; ///< Injector totals at region entry.
+
   Impl(const MachineConfig &Config, const TLSSimOptions &Opts)
       : Config(Config), Opts(Opts), Caches(Config),
         HwTables(Config.NumCores, Config.HwSyncTableEntries,
                  Config.HwSyncResetInterval, Opts.HwSyncSharedTable),
         Predictor(Config.PredictorTableEntries),
-        Spec(log2OfPow2(Config.CacheLineBytes)) {}
+        Faults(Opts.Faults ? FaultInjector(*Opts.Faults) : FaultInjector()),
+        Spec(log2OfPow2(Config.CacheLineBytes)) {
+    FaultInjector *FI = Faults.enabled() ? &Faults : nullptr;
+    HwTables.setFaultInjector(FI);
+    Predictor.setFaultInjector(FI);
+  }
+
+  bool isProtected(uint64_t Epoch) const {
+    return ProtectedEpochs.count(Epoch) > 0;
+  }
+
+  bool isDemoted(int Id, bool IsMem) const {
+    return IsMem ? DemotedMemGroups.count(Id) > 0
+                 : DemotedScalarChannels.count(Id) > 0;
+  }
 
   // ----------------------------------------------------------------------
   struct EpochRun {
@@ -127,6 +168,24 @@ struct TLSSimulator::Impl {
       obs::StatRegistry::global().counter("sim.filtered_waits");
   obs::Gauge *GSabOccupancy =
       obs::StatRegistry::global().gauge("sim.sab_occupancy");
+  obs::Counter *CFaultsInjected =
+      obs::StatRegistry::global().counter("sim.fault.injected");
+  obs::Counter *CWatchdogTrips =
+      obs::StatRegistry::global().counter("sim.watchdog.trips");
+  obs::Counter *CWatchdogWakes =
+      obs::StatRegistry::global().counter("sim.watchdog.wakes");
+  obs::Counter *CCorruptDetected =
+      obs::StatRegistry::global().counter("sim.fault.corruptions_detected");
+  obs::Counter *CBackoffRetries =
+      obs::StatRegistry::global().counter("sim.watchdog.backoff_retries");
+  obs::Counter *CLivelockBreaks =
+      obs::StatRegistry::global().counter("sim.watchdog.livelock_breaks");
+  obs::Counter *CDemotedSyncs =
+      obs::StatRegistry::global().counter("sim.watchdog.demoted_syncs");
+  obs::Counter *CDemotedWaits =
+      obs::StatRegistry::global().counter("sim.watchdog.demoted_waits");
+  obs::Counter *CDegradedRegions =
+      obs::StatRegistry::global().counter("sim.watchdog.degraded_regions");
 
   unsigned width() const { return Config.IssueWidth; }
   unsigned coreOf(const EpochRun &R) const {
@@ -220,7 +279,26 @@ struct TLSSimulator::Impl {
       Spec.clearEpoch(E);
       Channels.clearForConsumer(E + 1);
       clearMarkAttribution(E);
-      resetAttempt(R, Now + Config.ViolationRestartPenalty);
+      uint64_t RestartAt = Now + Config.ViolationRestartPenalty;
+      if (WatchdogOn) {
+        unsigned N = ++SquashCount[E];
+        ++TotalSquashes;
+        if (N > 1) {
+          // Bounded exponential backoff keeps repeated retries of the same
+          // epoch from colliding with the faulting producer again.
+          RestartAt += static_cast<uint64_t>(Opts.WatchdogBackoffBase)
+                       << std::min(N - 2, 6u);
+          ++Stats.BackoffRetries;
+        }
+        if (N >= Opts.EpochRetryLimit && ProtectedEpochs.insert(E).second) {
+          // Livelock break: this epoch takes no further injected faults,
+          // so its next retry can only fail for real (workload) reasons.
+          ++Stats.LivelockBreaks;
+          traceInstant(R, "watchdog.protect", Now, "epoch",
+                       static_cast<int64_t>(E));
+        }
+      }
+      resetAttempt(R, RestartAt);
     }
   }
 
@@ -413,6 +491,11 @@ struct TLSSimulator::Impl {
         graduate(R);
         break;
       }
+      if (WatchdogOn && isDemoted(DI.SyncId, /*IsMem=*/false)) {
+        ++Stats.DemotedWaits; // Demoted: plain speculation, no blocking.
+        graduate(R);
+        break;
+      }
       auto F = Channels.getScalar(DI.SyncId, R.Epoch);
       if (!F) {
         parkOnChannel(R, DI.SyncId, /*IsMem=*/false);
@@ -440,6 +523,11 @@ struct TLSSimulator::Impl {
         break;
       }
       if (R.Epoch == 0) {
+        graduate(R);
+        break;
+      }
+      if (WatchdogOn && isDemoted(DI.SyncId, /*IsMem=*/true)) {
+        ++Stats.DemotedWaits;
         graduate(R);
         break;
       }
@@ -532,6 +620,22 @@ struct TLSSimulator::Impl {
         auto It = R.UseFwd.find(DI.SyncId);
         if (It != R.UseFwd.end() && It->second &&
             !R.LocalWrites.count(DI.Addr)) {
+          if (WatchdogOn) {
+            // An injected in-flight corruption is caught here, where the
+            // load consumes the forward: the check hardware refetches the
+            // true value and squashes this epoch to retry cleanly.
+            auto F = Channels.getMem(DI.SyncId, R.Epoch);
+            if (F && F->Corrupted) {
+              Channels.clearCorrupted(DI.SyncId, R.Epoch);
+              ++Stats.CorruptionsDetected;
+              traceInstant(R, "fault.corrupt_detected", R.Cycle, "group",
+                           DI.SyncId);
+              if (!isProtected(R.Epoch)) {
+                squashFrom(R.Epoch, R.Cycle + Config.ViolationDetectLatency);
+                return; // R was reset; the epoch re-executes.
+              }
+            }
+          }
           Immune = true; // Reads the forwarded value; cannot be violated.
           It->second = false;
         }
@@ -540,8 +644,8 @@ struct TLSSimulator::Impl {
       // Hardware value prediction for known-violating loads.
       if (Opts.HwValuePredict && !Immune &&
           HwTables.contains(Core, DI.StaticId, R.Cycle)) {
-        ValuePredictor::Outcome O =
-            Predictor.predictAndTrain(DI.StaticId, DI.Value);
+        ValuePredictor::Outcome O = Predictor.predictAndTrain(
+            DI.StaticId, DI.Value, /*AllowFault=*/!isProtected(R.Epoch));
         if (O == ValuePredictor::Outcome::CorrectConfident) {
           ++Stats.PredictorCorrect;
           Immune = true;
@@ -597,6 +701,20 @@ struct TLSSimulator::Impl {
       R.LocalWrites.insert(DI.Addr);
       if (!Opts.OraclePerfectMemory)
         checkStoreViolation(R, DI);
+
+      // Injected spurious violation: the coherence logic wrongly reports
+      // this store as conflicting with the next epoch's reads. Recovery is
+      // the ordinary squash-and-retry; protected epochs are spared so
+      // injection cannot livelock an epoch past its retry limit.
+      if (Faults.enabled() && !Opts.OraclePerfectMemory) {
+        uint64_t Victim = R.Epoch + 1;
+        if (Active.count(Victim) && !isProtected(Victim) &&
+            Faults.spuriousViolation()) {
+          traceInstant(R, "fault.spurious_violation", R.Cycle, "victim",
+                       static_cast<int64_t>(Victim));
+          squashFrom(Victim, R.Cycle + Config.ViolationDetectLatency);
+        }
+      }
       break;
     }
 
@@ -614,6 +732,60 @@ struct TLSSimulator::Impl {
     ++R.Idx;
   }
 
+  // --- Watchdog recovery ----------------------------------------------------
+  /// Called when no epoch is runnable. The head epoch is never parked on a
+  /// commit (checked at park time), so a total stall means some epoch waits
+  /// on a channel whose signal was lost. Wake the earliest such epoch with
+  /// a synthetic (trusted) NULL signal; per-channel backoff grows with each
+  /// trip, and a channel that keeps tripping is demoted to plain
+  /// speculation so later waits stop blocking at all.
+  bool recoverFromDeadlock() {
+    for (auto &[E, R] : Active) {
+      if (R.State != EpochRun::St::ParkedChannel)
+        continue;
+      ++Stats.WatchdogTrips;
+      unsigned &Trips =
+          R.ParkIsMem ? MemGroupTrips[R.ParkId] : ScalarTrips[R.ParkId];
+      ++Trips;
+      uint64_t Backoff = static_cast<uint64_t>(Opts.WatchdogBackoffBase)
+                         << std::min(Trips - 1, 6u);
+      uint64_t Arrival = R.Cycle + Backoff;
+      traceInstant(R, "watchdog.wake", R.Cycle,
+                   R.ParkIsMem ? "group" : "channel", R.ParkId);
+      if (R.ParkIsMem)
+        Channels.sendMem(R.ParkId, E, /*Addr=*/0, /*Value=*/0, Arrival,
+                         /*Faultable=*/false);
+      else
+        Channels.sendScalar(R.ParkId, E, Arrival, /*Faultable=*/false);
+      ++Stats.WatchdogWakes;
+      if (Trips >= Opts.GroupDemoteThreshold) {
+        std::set<int> &Demoted =
+            R.ParkIsMem ? DemotedMemGroups : DemotedScalarChannels;
+        if (Demoted.insert(R.ParkId).second) {
+          ++Stats.DemotedSyncs;
+          traceInstant(R, "watchdog.demote", R.Cycle,
+                       R.ParkIsMem ? "group" : "channel", R.ParkId);
+        }
+      }
+      tryWakeChannelWaiters(E, Arrival);
+      return true;
+    }
+    return false;
+  }
+
+  /// Degradation triggers: the region blew its cycle budget, or faults are
+  /// squashing faster than retries converge. The harness substitutes the
+  /// sequential baseline for a degraded region.
+  bool shouldDegrade(uint64_t Now) const {
+    if (Opts.WatchdogBudget && Now > Opts.WatchdogBudget)
+      return true;
+    if (Opts.DegradeSquashRate > 0 && NumEpochs > 0 &&
+        static_cast<double>(TotalSquashes) >
+            Opts.DegradeSquashRate * static_cast<double>(NumEpochs))
+      return true;
+    return false;
+  }
+
   // --- Region driver --------------------------------------------------------
   TLSSimResult run(const RegionTrace &RT) {
     Stats = TLSSimResult();
@@ -625,7 +797,18 @@ struct TLSSimulator::Impl {
     TokenFreeAt = 0;
     Spec = SpecState(log2OfPow2(Config.CacheLineBytes));
     Channels = SyncChannels();
+    Channels.setFaultInjector(Faults.enabled() ? &Faults : nullptr);
     MarkCompilerSynced.clear();
+    WatchdogOn = Faults.enabled() || Opts.WatchdogBudget > 0 ||
+                 Opts.DegradeSquashRate > 0;
+    SquashCount.clear();
+    ProtectedEpochs.clear();
+    MemGroupTrips.clear();
+    ScalarTrips.clear();
+    DemotedMemGroups.clear();
+    DemotedScalarChannels.clear();
+    TotalSquashes = 0;
+    RegionStartCounts = Faults.counts();
 
     obs::TraceLog &TL = obs::TraceLog::global();
     Tracing = TL.active();
@@ -657,9 +840,18 @@ struct TLSSimulator::Impl {
         if (R.State == EpochRun::St::Running &&
             (!Min || R.Cycle < Min->Cycle))
           Min = &R;
+      if (!Min && WatchdogOn && recoverFromDeadlock())
+        continue; // A parked epoch was force-woken; rescan.
       assert(Min && "all in-flight epochs blocked: scheduling deadlock");
       if (!Min || Min->Cycle > Opts.MaxCycles) {
         Stats.Completed = false;
+        break;
+      }
+      if (WatchdogOn && shouldDegrade(Min->Cycle)) {
+        Stats.DegradedToSequential = true;
+        Stats.Completed = false;
+        traceInstant(*Min, "watchdog.degrade", Min->Cycle, "epoch",
+                     static_cast<int64_t>(Min->Epoch));
         break;
       }
       step(*Min);
@@ -669,6 +861,17 @@ struct TLSSimulator::Impl {
     Stats.Slots.Total =
         Stats.Cycles * Config.IssueWidth * Config.NumCores;
     Stats.HwTableResets = HwTables.numResets();
+
+    // Injector totals accumulate across regions; report this region's share.
+    const FaultCounts &FC = Faults.counts();
+    Stats.Faults.SignalDrops = FC.SignalDrops - RegionStartCounts.SignalDrops;
+    Stats.Faults.SignalDelays =
+        FC.SignalDelays - RegionStartCounts.SignalDelays;
+    Stats.Faults.Corruptions = FC.Corruptions - RegionStartCounts.Corruptions;
+    Stats.Faults.Mispredicts = FC.Mispredicts - RegionStartCounts.Mispredicts;
+    Stats.Faults.SpuriousViolations =
+        FC.SpuriousViolations - RegionStartCounts.SpuriousViolations;
+    Stats.Faults.HwDrops = FC.HwDrops - RegionStartCounts.HwDrops;
 
     if (Tracing) // Later regions stack after this one on the timeline.
       TL.advanceTimeBase(Stats.Cycles + 1);
@@ -682,6 +885,18 @@ struct TLSSimulator::Impl {
       CPredictRestarts->add(Stats.PredictRestarts);
       CFilteredWaits->add(Stats.FilteredWaits);
       GSabOccupancy->set(static_cast<int64_t>(Stats.SabMaxOccupancy));
+      if (WatchdogOn) {
+        CFaultsInjected->add(Stats.Faults.total());
+        CWatchdogTrips->add(Stats.WatchdogTrips);
+        CWatchdogWakes->add(Stats.WatchdogWakes);
+        CCorruptDetected->add(Stats.CorruptionsDetected);
+        CBackoffRetries->add(Stats.BackoffRetries);
+        CLivelockBreaks->add(Stats.LivelockBreaks);
+        CDemotedSyncs->add(Stats.DemotedSyncs);
+        CDemotedWaits->add(Stats.DemotedWaits);
+        if (Stats.DegradedToSequential)
+          CDegradedRegions->add(1);
+      }
     }
     return Stats;
   }

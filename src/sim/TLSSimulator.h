@@ -31,6 +31,7 @@
 
 #include "interp/Trace.h"
 #include "sim/CacheModel.h"
+#include "sim/FaultInjector.h"
 #include "sim/HwSync.h"
 #include "sim/MachineConfig.h"
 #include "sim/SpecState.h"
@@ -82,6 +83,16 @@ struct TLSSimOptions {
   unsigned NumMemGroups = 0;
 
   uint64_t MaxCycles = 2'000'000'000ull; ///< Runaway guard.
+
+  // Robustness (fault injection + watchdog recovery). With Faults null and
+  // WatchdogBudget 0 every new path below is inert and timing is
+  // bit-identical to a simulator without the subsystem.
+  const FaultPlan *Faults = nullptr; ///< Must outlive the simulator.
+  uint64_t WatchdogBudget = 0;       ///< Per-region cycle budget (0 = off).
+  unsigned WatchdogBackoffBase = 32; ///< Base retry backoff, cycles.
+  unsigned EpochRetryLimit = 8;      ///< Squashes before epoch protection.
+  unsigned GroupDemoteThreshold = 3; ///< Watchdog trips before demotion.
+  double DegradeSquashRate = 0.0;    ///< Squashes/epoch degrade cap (0 = off).
 };
 
 struct SlotBreakdown {
@@ -123,6 +134,21 @@ struct TLSSimResult {
   uint64_t PredictorCorrect = 0;
   uint64_t PredictorWrong = 0;
   uint64_t FilteredWaits = 0; ///< Waits skipped by hybrid filter (iii).
+
+  // Robustness accounting (all zero when fault injection and the watchdog
+  // are off). Faults: what the injector fired during this region.
+  FaultCounts Faults;
+  uint64_t WatchdogTrips = 0; ///< Deadlocks detected (no runnable epoch).
+  uint64_t WatchdogWakes = 0; ///< Parked epochs force-woken by the watchdog.
+  uint64_t CorruptionsDetected = 0; ///< Corrupted forwards caught at use.
+  uint64_t BackoffRetries = 0; ///< Squash retries that paid extra backoff.
+  uint64_t LivelockBreaks = 0; ///< Epochs protected past the retry limit.
+  uint64_t DemotedSyncs = 0;   ///< Channels/groups demoted to plain spec.
+  uint64_t DemotedWaits = 0;   ///< Waits skipped because of demotion.
+  /// The watchdog gave up on parallel execution of this region (cycle
+  /// budget or squash-rate threshold exceeded); the harness substitutes
+  /// the sequential baseline.
+  bool DegradedToSequential = false;
 
   void accumulate(const TLSSimResult &RHS);
 };

@@ -7,6 +7,7 @@
 #include "sim/ValuePredictor.h"
 
 #include "obs/StatRegistry.h"
+#include "sim/FaultInjector.h"
 
 #include <cassert>
 
@@ -16,8 +17,9 @@ ValuePredictor::ValuePredictor(unsigned NumEntries) : Table(NumEntries) {
   assert(NumEntries > 0 && "predictor needs at least one entry");
 }
 
-ValuePredictor::Outcome ValuePredictor::predictAndTrain(uint32_t LoadId,
-                                                        uint64_t ActualValue) {
+ValuePredictor::Outcome
+ValuePredictor::predictAndTrain(uint32_t LoadId, uint64_t ActualValue,
+                                bool AllowFault) {
   ++Lookups;
   static obs::Counter *CLookups =
       obs::StatRegistry::global().counter("sim.predictor.lookups");
@@ -30,7 +32,14 @@ ValuePredictor::Outcome ValuePredictor::predictAndTrain(uint32_t LoadId,
 
   Outcome Result = Outcome::NoPrediction;
   if (E.Tag == LoadId && E.Confidence >= 2) {
-    if (E.LastValue == ActualValue) {
+    // An injected fault flips a would-be-correct confident prediction: the
+    // predictor confidently supplies a stale value and pays the restart.
+    if (E.LastValue == ActualValue && AllowFault && Faults &&
+        Faults->forceMispredict()) {
+      Result = Outcome::WrongConfident;
+      ++NumWrong;
+      CWrong->add(1);
+    } else if (E.LastValue == ActualValue) {
       Result = Outcome::CorrectConfident;
       ++NumCorrect;
       CCorrect->add(1);

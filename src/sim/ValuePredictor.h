@@ -20,6 +20,8 @@
 
 namespace specsync {
 
+class FaultInjector;
+
 class ValuePredictor {
 public:
   explicit ValuePredictor(unsigned NumEntries);
@@ -31,9 +33,15 @@ public:
     WrongConfident,
   };
 
+  /// Routes confident predictions through \p FI, which may force them
+  /// wrong. nullptr disables injection.
+  void setFaultInjector(FaultInjector *FI) { Faults = FI; }
+
   /// Consults and then trains the entry for \p LoadId with the load's
-  /// actual value.
-  Outcome predictAndTrain(uint32_t LoadId, uint64_t ActualValue);
+  /// actual value. \p AllowFault = false bypasses forced mispredictions
+  /// (the simulator protects livelocked epochs from further injection).
+  Outcome predictAndTrain(uint32_t LoadId, uint64_t ActualValue,
+                          bool AllowFault = true);
 
   uint64_t lookups() const { return Lookups; }
   uint64_t confidentCorrect() const { return NumCorrect; }
@@ -50,6 +58,7 @@ private:
   uint64_t Lookups = 0;
   uint64_t NumCorrect = 0;
   uint64_t NumWrong = 0;
+  FaultInjector *Faults = nullptr;
 };
 
 } // namespace specsync

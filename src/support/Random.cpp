@@ -36,3 +36,14 @@ bool Random::nextPercent(unsigned Percent) {
 double Random::nextDouble() {
   return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
 }
+
+Random Random::stream(uint64_t Seed, uint64_t StreamId) {
+  // Run the stream id through the SplitMix64 finalizer before mixing it
+  // into the seed: consecutive ids (0, 1, 2, ...) must not produce
+  // correlated states.
+  uint64_t Z = StreamId + 0x9e3779b97f4a7c15ull;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  Z ^= Z >> 31;
+  return Random(Seed ^ Z);
+}

@@ -45,6 +45,13 @@ public:
   /// Returns a double in [0, 1).
   double nextDouble();
 
+  /// Returns a generator for an independent stream derived from (\p Seed,
+  /// \p StreamId). Streams with distinct ids land in unrelated parts of
+  /// the SplitMix64 state space, so drawing from one stream never perturbs
+  /// another — e.g. fault-injection schedules must not disturb workload
+  /// randomness even though both descend from user-supplied seeds.
+  static Random stream(uint64_t Seed, uint64_t StreamId);
+
 private:
   uint64_t State;
 };

@@ -204,6 +204,55 @@ TEST(ProfileIOTest, RejectsMalformedRecords) {
       parseDepProfile("specsync-depprofile v1\ndist 999 5\n").has_value());
 }
 
+TEST(ProfileIOTest, VerboseParserReportsLineAndCause) {
+  ProfileParseResult R = parseDepProfileVerbose("");
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Error, "line 1: empty input, expected magic "
+                     "'specsync-depprofile v1'");
+
+  R = parseDepProfileVerbose("nope v1\nepochs 3\n");
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Error,
+            "line 1: bad magic 'nope v1', expected 'specsync-depprofile v1'");
+
+  R = parseDepProfileVerbose("specsync-depprofile v1\nepochs 3\npair 1 2 3\n");
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Error,
+            "line 3: malformed 'pair' record, expected 7 integer fields");
+
+  R = parseDepProfileVerbose("specsync-depprofile v1\nload 1 2 3\n");
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Error,
+            "line 2: malformed 'load' record, expected 4 integer fields");
+
+  R = parseDepProfileVerbose("specsync-depprofile v1\ndist 999 5\n");
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.Error.find("line 2: dist bucket 999 out of range"),
+            std::string::npos);
+
+  R = parseDepProfileVerbose("specsync-depprofile v1\nbogus 1\n");
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Error, "line 2: unknown record kind 'bogus'");
+
+  R = parseDepProfileVerbose("specsync-depprofile v1\nepochs 3 junk\n");
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Error, "line 2: trailing tokens after 'epochs' record, "
+                     "starting at 'junk'");
+
+  // Blank lines do not shift the reported line number.
+  R = parseDepProfileVerbose("specsync-depprofile v1\n\n\nbogus\n");
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Error, "line 4: unknown record kind 'bogus'");
+}
+
+TEST(ProfileIOTest, VerboseParserSucceedsOnValidInput) {
+  ProfileParseResult R =
+      parseDepProfileVerbose("specsync-depprofile v1\nepochs 7\n");
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R.Error.empty());
+  EXPECT_EQ(R.Profile->TotalEpochs, 7u);
+}
+
 TEST(ProfileIOTest, EmptyProfileRoundTrips) {
   DepProfile P;
   P.TotalEpochs = 0;

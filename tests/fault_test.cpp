@@ -1,0 +1,503 @@
+//===- tests/fault_test.cpp - Fault injection & watchdog tests --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the robustness subsystem in isolation: the deterministic
+// FaultInjector streams, the --fault-*/--watchdog-* flag parsing, and the
+// TLS simulator's recovery paths (watchdog wake-up from dropped signals,
+// delayed and corrupted forwards, forced mispredictions, spurious
+// violations, livelock protection, demotion, and degradation to the
+// sequential fallback).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/FaultInjector.h"
+#include "sim/TLSSimulator.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace specsync;
+
+namespace {
+
+DynInst alu(uint32_t Id = 1) {
+  DynInst D;
+  D.StaticId = Id;
+  D.OrigId = Id;
+  D.Op = Opcode::Add;
+  return D;
+}
+
+DynInst load(uint64_t Addr, uint32_t Id, uint64_t Value = 0,
+             int32_t SyncId = -1) {
+  DynInst D;
+  D.StaticId = Id;
+  D.OrigId = Id;
+  D.Op = Opcode::Load;
+  D.Addr = Addr;
+  D.Value = Value;
+  D.SyncId = SyncId;
+  return D;
+}
+
+DynInst store(uint64_t Addr, uint32_t Id, uint64_t Value = 0,
+              int32_t SyncId = -1) {
+  DynInst D = load(Addr, Id, Value, SyncId);
+  D.Op = Opcode::Store;
+  return D;
+}
+
+DynInst sync(Opcode Op, int32_t SyncId, uint64_t Addr = 0,
+             uint64_t Value = 0, uint32_t Id = 90) {
+  DynInst D;
+  D.StaticId = Id;
+  D.OrigId = Id;
+  D.Op = Op;
+  D.SyncId = SyncId;
+  D.Addr = Addr;
+  D.Value = Value;
+  return D;
+}
+
+RegionTrace makeRegion(unsigned NumEpochs,
+                       const std::vector<DynInst> &EpochBody) {
+  RegionTrace R;
+  for (unsigned E = 0; E < NumEpochs; ++E) {
+    EpochTrace T;
+    T.Insts = EpochBody;
+    R.Epochs.push_back(std::move(T));
+  }
+  return R;
+}
+
+std::vector<DynInst> aluBody(unsigned N) {
+  std::vector<DynInst> Body;
+  for (unsigned I = 0; I < N; ++I)
+    Body.push_back(alu());
+  return Body;
+}
+
+/// The canonical compiler-synchronized dependence: wait/check, protected
+/// load, long work, store, real signal (ForwardedValueMakesLoadImmune).
+std::vector<DynInst> memSyncBody() {
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitMem, 0));
+  Body.push_back(sync(Opcode::CheckFwd, 0, /*Addr=*/0x1000));
+  Body.push_back(load(0x1000, 11, /*Value=*/5, /*SyncId=*/0));
+  Body.push_back(sync(Opcode::SelectFwd, 0));
+  for (int I = 0; I < 100; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12, /*Value=*/5, /*SyncId=*/0));
+  Body.push_back(sync(Opcode::SignalMem, 0, 0x1000, 5, 91));
+  return Body;
+}
+
+/// Runs a mem-synchronized region under \p Plan with default watchdog knobs.
+TLSSimResult runFaulted(const FaultPlan &Plan, const std::vector<DynInst> &Body,
+                        unsigned Epochs = 8) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumMemGroups = 1;
+  O.Faults = &Plan;
+  TLSSimulator S(C, O);
+  return S.simulateRegion(makeRegion(Epochs, Body));
+}
+
+/// Helper to drive parseRobustnessArgs with a flag list.
+RobustnessOptions parseFlags(std::initializer_list<const char *> Flags) {
+  std::vector<std::string> Store = {"prog"};
+  for (const char *F : Flags)
+    Store.emplace_back(F);
+  std::vector<char *> Argv;
+  for (std::string &S : Store)
+    Argv.push_back(S.data());
+  return parseRobustnessArgs(static_cast<int>(Argv.size()), Argv.data());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Random streams
+//===----------------------------------------------------------------------===//
+
+TEST(FaultRandomTest, StreamsAreReproducible) {
+  Random A = Random::stream(5, 1);
+  Random B = Random::stream(5, 1);
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(FaultRandomTest, DistinctStreamIdsAreIndependent) {
+  Random A = Random::stream(5, 1);
+  Random B = Random::stream(5, 2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 16 && !AnyDiff; ++I)
+    AnyDiff = A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(FaultRandomTest, StreamDiffersFromRawSeedSequence) {
+  // The fault stream must not replay the workload PRNG even when both
+  // descend from the same user seed.
+  Random Stream = Random::stream(5, 0xfa017);
+  Random Raw(5);
+  bool AnyDiff = false;
+  for (int I = 0; I < 16 && !AnyDiff; ++I)
+    AnyDiff = Stream.next() != Raw.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultPlan / FaultInjector
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlanTest, DefaultPlanInjectsNothing) {
+  FaultPlan P;
+  EXPECT_FALSE(P.enabled());
+  FaultInjector FI(P);
+  EXPECT_FALSE(FI.enabled());
+  for (int I = 0; I < 32; ++I) {
+    EXPECT_FALSE(FI.dropSignal());
+    EXPECT_EQ(FI.delaySignal(), 0u);
+    EXPECT_FALSE(FI.corruptForward());
+    EXPECT_FALSE(FI.forceMispredict());
+    EXPECT_FALSE(FI.spuriousViolation());
+    EXPECT_FALSE(FI.dropHwUpdate());
+  }
+  EXPECT_EQ(FI.counts().total(), 0u);
+}
+
+TEST(FaultPlanTest, UniformSetsEveryClass) {
+  FaultPlan P = FaultPlan::uniform(42, 2.5);
+  EXPECT_EQ(P.Seed, 42u);
+  EXPECT_DOUBLE_EQ(P.SignalDropPct, 2.5);
+  EXPECT_DOUBLE_EQ(P.SignalDelayPct, 2.5);
+  EXPECT_DOUBLE_EQ(P.SignalCorruptPct, 2.5);
+  EXPECT_DOUBLE_EQ(P.MispredictPct, 2.5);
+  EXPECT_DOUBLE_EQ(P.SpuriousViolationPct, 2.5);
+  EXPECT_DOUBLE_EQ(P.HwUpdateDropPct, 2.5);
+  EXPECT_TRUE(P.enabled());
+  EXPECT_FALSE(FaultPlan::uniform(42, 0.0).enabled());
+}
+
+TEST(FaultInjectorTest, SamePlanReplaysIdentically) {
+  FaultPlan P = FaultPlan::uniform(42, 33.0);
+  FaultInjector A(P), B(P);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_EQ(A.dropSignal(), B.dropSignal());
+    EXPECT_EQ(A.delaySignal(), B.delaySignal());
+    EXPECT_EQ(A.corruptForward(), B.corruptForward());
+    EXPECT_EQ(A.forceMispredict(), B.forceMispredict());
+    EXPECT_EQ(A.spuriousViolation(), B.spuriousViolation());
+    EXPECT_EQ(A.dropHwUpdate(), B.dropHwUpdate());
+  }
+  EXPECT_EQ(A.counts().total(), B.counts().total());
+  EXPECT_GT(A.counts().total(), 0u);
+}
+
+TEST(FaultInjectorTest, HundredPercentClassAlwaysFires) {
+  FaultPlan P;
+  P.Seed = 7;
+  P.SignalDropPct = 100.0;
+  FaultInjector FI(P);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_TRUE(FI.dropSignal());
+  EXPECT_EQ(FI.counts().SignalDrops, 32u);
+}
+
+TEST(FaultInjectorTest, ZeroRateClassesConsumeNoDraws) {
+  // Interleaving queries of disabled classes must not shift the schedule
+  // of the enabled class.
+  FaultPlan P;
+  P.Seed = 99;
+  P.SignalDropPct = 37.0;
+  FaultInjector Plain(P), Interleaved(P);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(Interleaved.corruptForward());
+    EXPECT_FALSE(Interleaved.spuriousViolation());
+    EXPECT_EQ(Interleaved.delaySignal(), 0u);
+    EXPECT_EQ(Plain.dropSignal(), Interleaved.dropSignal());
+  }
+}
+
+TEST(FaultInjectorTest, DelayReturnsConfiguredCycles) {
+  FaultPlan P;
+  P.Seed = 3;
+  P.SignalDelayPct = 100.0;
+  P.SignalDelayCycles = 500;
+  FaultInjector FI(P);
+  EXPECT_EQ(FI.delaySignal(), 500u);
+  EXPECT_EQ(FI.counts().SignalDelays, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flag parsing
+//===----------------------------------------------------------------------===//
+
+TEST(RobustnessArgsTest, DefaultsAreInert) {
+  RobustnessOptions R = parseFlags({});
+  EXPECT_FALSE(R.active());
+  EXPECT_FALSE(R.Plan.enabled());
+  EXPECT_EQ(R.Plan.Seed, 0u);
+  EXPECT_EQ(R.WatchdogBudget, 0u);
+  EXPECT_EQ(R.WatchdogBackoffBase, 32u);
+  EXPECT_EQ(R.EpochRetryLimit, 8u);
+  EXPECT_EQ(R.GroupDemoteThreshold, 3u);
+  EXPECT_DOUBLE_EQ(R.DegradeSquashRate, 0.0);
+}
+
+TEST(RobustnessArgsTest, UniformRateExpandsToEveryClass) {
+  RobustnessOptions R = parseFlags({"--fault-seed=777", "--fault-rate=2.5"});
+  EXPECT_TRUE(R.active());
+  EXPECT_EQ(R.Plan.Seed, 777u);
+  EXPECT_DOUBLE_EQ(R.Plan.SignalDropPct, 2.5);
+  EXPECT_DOUBLE_EQ(R.Plan.SignalCorruptPct, 2.5);
+  EXPECT_DOUBLE_EQ(R.Plan.HwUpdateDropPct, 2.5);
+}
+
+TEST(RobustnessArgsTest, PerClassFlagsRefineTheUniformRate) {
+  RobustnessOptions R = parseFlags(
+      {"--fault-rate=1", "--fault-drop=10", "--fault-delay-cycles=99"});
+  EXPECT_DOUBLE_EQ(R.Plan.SignalDropPct, 10.0);
+  EXPECT_DOUBLE_EQ(R.Plan.SignalDelayPct, 1.0);
+  EXPECT_DOUBLE_EQ(R.Plan.MispredictPct, 1.0);
+  EXPECT_EQ(R.Plan.SignalDelayCycles, 99u);
+}
+
+TEST(RobustnessArgsTest, WatchdogAndDegradeFlags) {
+  RobustnessOptions R = parseFlags(
+      {"--watchdog-budget=123456", "--watchdog-retry-limit=4",
+       "--watchdog-demote-threshold=2", "--degrade-squash-rate=1.5"});
+  EXPECT_TRUE(R.active()); // A budget alone arms the watchdog.
+  EXPECT_EQ(R.WatchdogBudget, 123456u);
+  EXPECT_EQ(R.EpochRetryLimit, 4u);
+  EXPECT_EQ(R.GroupDemoteThreshold, 2u);
+  EXPECT_DOUBLE_EQ(R.DegradeSquashRate, 1.5);
+  EXPECT_FALSE(R.Plan.enabled());
+}
+
+TEST(RobustnessArgsTest, UnrelatedFlagsAreIgnored) {
+  RobustnessOptions R =
+      parseFlags({"--stats", "--json-out=x.json", "BZIP2_DECOMP"});
+  EXPECT_FALSE(R.active());
+}
+
+//===----------------------------------------------------------------------===//
+// Simulator recovery paths
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSimTest, InertOptionsAreBitIdentical) {
+  // An all-zero plan plus an ample watchdog budget must not perturb timing
+  // or accounting relative to a simulator without the subsystem.
+  MachineConfig C;
+  std::vector<DynInst> Body = memSyncBody();
+
+  TLSSimOptions Plain;
+  Plain.NumMemGroups = 1;
+  TLSSimResult R0 = TLSSimulator(C, Plain).simulateRegion(makeRegion(8, Body));
+
+  FaultPlan Zero; // enabled() == false.
+  Zero.Seed = 1;
+  TLSSimOptions Armed;
+  Armed.NumMemGroups = 1;
+  Armed.Faults = &Zero;
+  Armed.WatchdogBudget = 1'000'000'000ull;
+  TLSSimResult R1 = TLSSimulator(C, Armed).simulateRegion(makeRegion(8, Body));
+
+  EXPECT_EQ(R0.Cycles, R1.Cycles);
+  EXPECT_EQ(R0.Slots.Busy, R1.Slots.Busy);
+  EXPECT_EQ(R0.Slots.Fail, R1.Slots.Fail);
+  EXPECT_EQ(R0.Slots.SyncMem, R1.Slots.SyncMem);
+  EXPECT_EQ(R0.Violations, R1.Violations);
+  EXPECT_EQ(R1.Faults.total(), 0u);
+  EXPECT_EQ(R1.WatchdogTrips, 0u);
+  EXPECT_FALSE(R1.DegradedToSequential);
+}
+
+TEST(FaultSimTest, WatchdogRecoversFromTotalSignalLoss) {
+  // Every signal (including the commit-time auto-signals) is dropped: the
+  // consumers would park forever without the watchdog's forced NULL wakes.
+  FaultPlan P;
+  P.Seed = 11;
+  P.SignalDropPct = 100.0;
+  TLSSimResult R = runFaulted(P, memSyncBody());
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.EpochsCommitted, 8u);
+  EXPECT_GT(R.Faults.SignalDrops, 0u);
+  EXPECT_GT(R.WatchdogTrips, 0u);
+  EXPECT_GT(R.WatchdogWakes, 0u);
+}
+
+TEST(FaultSimTest, RepeatedTripsDemoteTheChannel) {
+  FaultPlan P;
+  P.Seed = 11;
+  P.SignalDropPct = 100.0;
+  TLSSimResult R = runFaulted(P, memSyncBody(), /*Epochs=*/16);
+  EXPECT_TRUE(R.Completed);
+  EXPECT_GT(R.DemotedSyncs, 0u); // Trips passed the demote threshold...
+  EXPECT_GT(R.DemotedWaits, 0u); // ...so later waits stopped blocking.
+}
+
+TEST(FaultSimTest, ScalarChannelLossAlsoRecovers) {
+  FaultPlan P;
+  P.Seed = 4;
+  P.SignalDropPct = 100.0;
+  std::vector<DynInst> Body;
+  Body.push_back(sync(Opcode::WaitScalar, 0));
+  for (int I = 0; I < 100; ++I)
+    Body.push_back(alu());
+  Body.push_back(sync(Opcode::SignalScalar, 0));
+
+  MachineConfig C;
+  TLSSimOptions O;
+  O.NumScalarChannels = 1;
+  O.Faults = &P;
+  TLSSimResult R = TLSSimulator(C, O).simulateRegion(makeRegion(8, Body));
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.EpochsCommitted, 8u);
+  EXPECT_GT(R.WatchdogWakes, 0u);
+}
+
+TEST(FaultSimTest, DelayedSignalsSlowTheRegionDown) {
+  std::vector<DynInst> Body = memSyncBody();
+  FaultPlan None; // Baseline timing (injector disabled).
+  None.Seed = 8;
+  TLSSimResult Clean = runFaulted(None, Body);
+
+  FaultPlan P;
+  P.Seed = 8;
+  P.SignalDelayPct = 100.0;
+  P.SignalDelayCycles = 500;
+  TLSSimResult R = runFaulted(P, Body);
+  EXPECT_TRUE(R.Completed);
+  EXPECT_GT(R.Faults.SignalDelays, 0u);
+  EXPECT_GT(R.Cycles, Clean.Cycles);
+}
+
+TEST(FaultSimTest, CorruptedForwardsAreDetectedAndSquashed) {
+  FaultPlan P;
+  P.Seed = 21;
+  P.SignalCorruptPct = 100.0;
+  TLSSimResult R = runFaulted(P, memSyncBody());
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.EpochsCommitted, 8u);
+  EXPECT_GT(R.Faults.Corruptions, 0u);
+  EXPECT_GT(R.CorruptionsDetected, 0u);
+}
+
+TEST(FaultSimTest, SpuriousViolationsAreBrokenByEpochProtection) {
+  // No true dependence at all: every squash is injected. An early store
+  // plus a tight retry limit makes each epoch cross the limit, so the
+  // livelock breaker must protect it (after which injection spares it)
+  // for the region to finish.
+  FaultPlan P;
+  P.Seed = 31;
+  P.SpuriousViolationPct = 100.0;
+  std::vector<DynInst> Body;
+  Body.push_back(store(0x2000, 12));
+  for (int I = 0; I < 100; ++I)
+    Body.push_back(alu());
+
+  MachineConfig C;
+  TLSSimOptions O;
+  O.Faults = &P;
+  O.EpochRetryLimit = 1;
+  TLSSimResult R = TLSSimulator(C, O).simulateRegion(makeRegion(16, Body));
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.EpochsCommitted, 16u);
+  EXPECT_GT(R.Faults.SpuriousViolations, 0u);
+  EXPECT_GT(R.LivelockBreaks, 0u);
+}
+
+TEST(FaultSimTest, ForcedMispredictionsRestartConsumers) {
+  // Constant value, predictor on: clean runs predict perfectly, forced
+  // mispredictions turn predictions into restarts.
+  std::vector<DynInst> Body;
+  Body.push_back(load(0x1000, 11, /*Value=*/42));
+  for (int I = 0; I < 150; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12, /*Value=*/42));
+
+  FaultPlan P;
+  P.Seed = 13;
+  P.MispredictPct = 100.0;
+  MachineConfig C;
+  TLSSimOptions O;
+  O.HwValuePredict = true;
+  O.Faults = &P;
+  TLSSimResult R = TLSSimulator(C, O).simulateRegion(makeRegion(32, Body));
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.EpochsCommitted, 32u);
+  EXPECT_GT(R.Faults.Mispredicts, 0u);
+  EXPECT_GT(R.PredictorWrong, 0u);
+}
+
+TEST(FaultSimTest, DroppedHwUpdatesKeepTheTableCold) {
+  // With every violating-load table update lost, hardware sync never
+  // learns and the violating pattern keeps squashing — the run must still
+  // finish, with the drops accounted.
+  std::vector<DynInst> Body;
+  Body.push_back(load(0x1000, 11));
+  for (int I = 0; I < 150; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12));
+
+  FaultPlan P;
+  P.Seed = 17;
+  P.HwUpdateDropPct = 100.0;
+  MachineConfig C;
+  TLSSimOptions O;
+  O.HwSyncStall = true;
+  O.Faults = &P;
+  TLSSimResult R = TLSSimulator(C, O).simulateRegion(makeRegion(8, Body));
+  EXPECT_TRUE(R.Completed);
+  EXPECT_GT(R.Faults.HwDrops, 0u);
+}
+
+TEST(FaultSimTest, TinyWatchdogBudgetDegradesToSequential) {
+  MachineConfig C;
+  TLSSimOptions O;
+  O.WatchdogBudget = 10; // Far below the region's natural length.
+  TLSSimulator S(C, O);
+  TLSSimResult R = S.simulateRegion(makeRegion(8, aluBody(200)));
+  EXPECT_TRUE(R.DegradedToSequential);
+  EXPECT_FALSE(R.Completed);
+}
+
+TEST(FaultSimTest, SquashRateThresholdDegradesToSequential) {
+  // A violating pattern with an aggressive squash-rate cap: the watchdog
+  // gives up on parallel execution instead of burning cycles.
+  std::vector<DynInst> Body;
+  Body.push_back(load(0x1000, 11));
+  for (int I = 0; I < 150; ++I)
+    Body.push_back(alu());
+  Body.push_back(store(0x1000, 12));
+
+  MachineConfig C;
+  TLSSimOptions O;
+  O.DegradeSquashRate = 0.01;
+  TLSSimulator S(C, O);
+  TLSSimResult R = S.simulateRegion(makeRegion(8, Body));
+  EXPECT_TRUE(R.DegradedToSequential);
+  EXPECT_FALSE(R.Completed);
+}
+
+TEST(FaultSimTest, SameSeedReplaysTheSameRun) {
+  FaultPlan P = FaultPlan::uniform(12345, 5.0);
+  TLSSimResult A = runFaulted(P, memSyncBody());
+  TLSSimResult B = runFaulted(P, memSyncBody());
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.Faults.total(), B.Faults.total());
+  EXPECT_EQ(A.WatchdogTrips, B.WatchdogTrips);
+  EXPECT_EQ(A.Violations, B.Violations);
+
+  FaultPlan Q = FaultPlan::uniform(54321, 5.0);
+  TLSSimResult D = runFaulted(Q, memSyncBody());
+  EXPECT_TRUE(D.Completed); // Different schedule, same guarantees.
+}

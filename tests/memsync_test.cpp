@@ -6,12 +6,15 @@
 
 #include "compiler/MemSync.h"
 #include "compiler/PassManager.h"
+#include "compiler/SignalAudit.h"
 #include "interp/Interpreter.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
 #include "profile/DepProfiler.h"
 
 #include <gtest/gtest.h>
+
+#include <functional>
 
 using namespace specsync;
 
@@ -296,6 +299,102 @@ TEST(MemSyncTest, ClonesCalleeContainingDependence) {
   InterpResult Run = Interpreter(*P, Ctx).run();
   EXPECT_TRUE(Run.Completed);
   EXPECT_EQ(Run.ExitValue, 0);
+}
+
+namespace {
+
+/// Removes the first signal.mem matched by \p Pred from the region
+/// function; returns true if one was removed.
+bool stripSignal(Program &P,
+                 const std::function<bool(const BasicBlock &,
+                                          const Instruction &)> &Pred) {
+  Function &F = P.getFunction(P.getRegion().Func);
+  for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+    BasicBlock &B = F.getBlock(BI);
+    std::vector<Instruction> &Insts = B.instructions();
+    for (size_t Pos = 0; Pos < Insts.size(); ++Pos)
+      if (Insts[Pos].getOpcode() == Opcode::SignalMem &&
+          Pred(B, Insts[Pos])) {
+        Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Pos));
+        return true;
+      }
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(MemSyncAuditTest, AcceptsInsertedSynchronization) {
+  ConditionalStoreKernel K(80);
+  ContextTable Ctx;
+  DepProfile Prof = profileOf(*K.P, Ctx);
+  MemSyncResult R = insertMemSync(*K.P, Ctx, Prof);
+  ASSERT_EQ(R.NumGroups, 1u);
+
+  SignalAuditResult A = auditSignalPlacement(*K.P, R.NumGroups);
+  EXPECT_TRUE(A.clean()) << A.summary();
+  EXPECT_EQ(A.GroupsChecked, 1u);
+  EXPECT_GT(A.ScopesChecked, 0u);
+  EXPECT_TRUE(A.Warnings.empty());
+}
+
+TEST(MemSyncAuditTest, FlagsStoreFreePathWithoutNullSignal) {
+  // Epoch paths that never store must still release the consumer: strip
+  // the NULL signal from the store-free edge and the audit must flag the
+  // bypassing edge.
+  ConditionalStoreKernel K(80);
+  ContextTable Ctx;
+  DepProfile Prof = profileOf(*K.P, Ctx);
+  MemSyncResult R = insertMemSync(*K.P, Ctx, Prof);
+  ASSERT_TRUE(auditSignalPlacement(*K.P, R.NumGroups).clean());
+
+  ASSERT_TRUE(stripSignal(*K.P, [](const BasicBlock &, const Instruction &I) {
+    return I.getOperand(0).isImm() && I.getOperand(0).getImm() == 0;
+  }));
+  SignalAuditResult A = auditSignalPlacement(*K.P, R.NumGroups);
+  ASSERT_FALSE(A.clean());
+  EXPECT_NE(A.Errors[0].find("store-bypassing edge"), std::string::npos)
+      << A.summary();
+}
+
+TEST(MemSyncAuditTest, FlagsLastStoreWithoutSignal) {
+  ConditionalStoreKernel K(80);
+  ContextTable Ctx;
+  DepProfile Prof = profileOf(*K.P, Ctx);
+  MemSyncResult R = insertMemSync(*K.P, Ctx, Prof);
+
+  // Strip the real (non-NULL) signal that follows the synchronized store.
+  ASSERT_TRUE(stripSignal(*K.P, [](const BasicBlock &, const Instruction &I) {
+    return !(I.getOperand(0).isImm() && I.getOperand(0).getImm() == 0);
+  }));
+  SignalAuditResult A = auditSignalPlacement(*K.P, R.NumGroups);
+  ASSERT_FALSE(A.clean());
+  EXPECT_NE(A.Errors[0].find("last store"), std::string::npos) << A.summary();
+}
+
+TEST(MemSyncAuditTest, FlagsBrokenConsumerProtocol) {
+  ConditionalStoreKernel K(80);
+  ContextTable Ctx;
+  DepProfile Prof = profileOf(*K.P, Ctx);
+  MemSyncResult R = insertMemSync(*K.P, Ctx, Prof);
+
+  // Remove the check.fwd so the synchronized load loses its protocol.
+  Function &F = K.P->getFunction(K.P->getRegion().Func);
+  bool Removed = false;
+  for (unsigned BI = 0; BI < F.getNumBlocks() && !Removed; ++BI) {
+    std::vector<Instruction> &Insts = F.getBlock(BI).instructions();
+    for (size_t Pos = 0; Pos < Insts.size(); ++Pos)
+      if (Insts[Pos].getOpcode() == Opcode::CheckFwd) {
+        Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Pos));
+        Removed = true;
+        break;
+      }
+  }
+  ASSERT_TRUE(Removed);
+  SignalAuditResult A = auditSignalPlacement(*K.P, R.NumGroups);
+  ASSERT_FALSE(A.clean());
+  EXPECT_NE(A.Errors[0].find("synchronized load"), std::string::npos)
+      << A.summary();
 }
 
 TEST(MemSyncTest, SyncedLoadSetUsesProfileNames) {

@@ -218,5 +218,60 @@ TEST_P(RandomProgramProperty, SimulatorCompletesEveryModeWithoutDeadlock) {
   }
 }
 
+TEST_P(RandomProgramProperty, FaultedSimulatorTerminatesAndPreservesState) {
+  uint64_t Seed = GetParam();
+  ContextTable Ctx;
+
+  auto P = makeRandomProgram(Seed);
+  BaseTransformResult Base = applyBaseTransforms(*P, 2);
+  DepProfile Profile;
+  {
+    DepProfiler DP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    Interpreter(*P, Ctx).run(Opts, &DP);
+    Profile = DP.takeProfile();
+  }
+  MemSyncResult Mem = applyMemSync(*P, Ctx, Profile);
+  InterpResult R = Interpreter(*P, Ctx).run();
+  ASSERT_TRUE(R.Completed);
+
+  // Fault injection is timing-only: the architectural results of the
+  // faulted run are those of the (synced) interpretation, which must match
+  // the original sequential program.
+  Observed Ref = observe(*makeRandomProgram(Seed));
+  EXPECT_EQ(R.ExitValue, Ref.ExitValue) << "seed " << Seed;
+  EXPECT_EQ(R.MemoryChecksum, Ref.Checksum) << "seed " << Seed;
+
+  // A moderate uniform plan and a total-signal-loss plan, both derived
+  // from the case seed: every run must terminate within the cycle bound
+  // with every epoch committed, whatever the schedule.
+  FaultPlan Uniform = FaultPlan::uniform(Seed * 7919 + 1, 5.0);
+  FaultPlan AllDrops;
+  AllDrops.Seed = Seed * 104729 + 7;
+  AllDrops.SignalDropPct = 100.0;
+
+  MachineConfig Config;
+  for (const FaultPlan *Plan : {&Uniform, &AllDrops}) {
+    TLSSimOptions Opts;
+    Opts.NumScalarChannels = Base.Scalar.NumChannels;
+    Opts.NumMemGroups = Mem.NumGroups;
+    Opts.Faults = Plan;
+    Opts.MaxCycles = 50'000'000ull; // Hard termination bound.
+    TLSSimulator Sim(Config, Opts);
+    uint64_t TotalEpochs = 0, Committed = 0;
+    for (const RegionTrace &Region : R.Trace.Regions) {
+      TLSSimResult SR = Sim.simulateRegion(Region);
+      EXPECT_TRUE(SR.Completed) << "seed " << Seed;
+      EXPECT_FALSE(SR.DegradedToSequential) << "seed " << Seed;
+      Committed += SR.EpochsCommitted;
+      TotalEpochs += Region.Epochs.size();
+      EXPECT_LE(SR.Slots.Busy + SR.Slots.Fail + SR.Slots.sync(),
+                SR.Slots.Total);
+    }
+    EXPECT_EQ(Committed, TotalEpochs) << "seed " << Seed;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
                          ::testing::Range<uint64_t>(1, 21));
