@@ -52,6 +52,21 @@ inline void forEachBenchmark(
   }
 }
 
+/// Variant additionally applying static-analysis / oracle settings (inert
+/// options again leave behavior bit-identical to the overloads above).
+inline void forEachBenchmark(
+    const MachineConfig &Config, const RobustnessOptions &Robust,
+    const analysis::StaticAnalysisOptions &Static,
+    const std::function<void(BenchmarkPipeline &)> &Body) {
+  for (const Workload &W : allWorkloads()) {
+    BenchmarkPipeline Pipeline(W, Config);
+    Pipeline.setRobustness(Robust);
+    Pipeline.setStaticAnalysis(Static);
+    Pipeline.prepare();
+    Body(Pipeline);
+  }
+}
+
 /// Per-binary observability wiring: parses --stats / --trace-out /
 /// --json-out (and their SPECSYNC_* environment fallbacks), activates the
 /// requested sinks for the binary's lifetime, collects mode results, and
@@ -61,7 +76,9 @@ class BenchSession {
 public:
   BenchSession(int argc, char **argv, std::string Title)
       : Opts(obs::parseObsArgs(argc, argv)), Session(Opts),
-        Robust(parseRobustnessArgs(argc, argv)), Title(std::move(Title)) {}
+        Robust(parseRobustnessArgs(argc, argv)),
+        Static(analysis::parseStaticAnalysisArgs(argc, argv)),
+        Title(std::move(Title)) {}
 
   ~BenchSession() {
     if (Opts.JsonOut.empty())
@@ -79,6 +96,12 @@ public:
   /// Fault-injection / watchdog settings parsed from --fault-* /
   /// --watchdog-* / --degrade-* flags (and SPECSYNC_* env fallbacks).
   const RobustnessOptions &robustness() const { return Robust; }
+
+  /// Static-analysis / oracle settings parsed from --static-oracle /
+  /// --audit-no-werror / --static-stale-demo (and SPECSYNC_* fallbacks).
+  const analysis::StaticAnalysisOptions &staticAnalysis() const {
+    return Static;
+  }
 
   /// Sweep binaries that vary the plan per run register the settings to
   /// record in the report here (forces the replay block even when the
@@ -107,6 +130,17 @@ public:
               const ModeRunResult &R) {
     BenchmarkModeResults &B = bucket(P.workload().Name);
     B.WorkloadSeed = P.workloadSeed();
+    // Attach the pipeline's oracle verdicts and diagnostics (once per
+    // benchmark) so oracle-enabled runs self-document in the report.
+    if (!B.OracleRef && P.refOracle()) {
+      B.OracleRef =
+          std::make_shared<analysis::DepOracleResult>(*P.refOracle());
+      if (P.trainOracle())
+        B.OracleTrain =
+            std::make_shared<analysis::DepOracleResult>(*P.trainOracle());
+      B.AnalysisDiags =
+          std::make_shared<analysis::DiagEngine>(P.analysisDiags());
+    }
     B.Entries.push_back({std::move(Label), R});
   }
 
@@ -115,13 +149,15 @@ private:
     for (BenchmarkModeResults &B : Collected)
       if (B.Benchmark == Benchmark)
         return B;
-    Collected.push_back({Benchmark, {}});
+    Collected.emplace_back();
+    Collected.back().Benchmark = Benchmark;
     return Collected.back();
   }
 
   obs::ObsOptions Opts;
   obs::ObsSession Session;
   RobustnessOptions Robust;
+  analysis::StaticAnalysisOptions Static;
   bool ForceRobustReport = false;
   std::string Title;
   std::vector<BenchmarkModeResults> Collected;

@@ -32,7 +32,7 @@ int main(int argc, char **argv) {
   Summary.setHeader({"benchmark", "U", "O", "fail U%", "U speedup",
                      "O speedup"});
 
-  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult O = P.run(ExecMode::O);
     Obs.record(P, U);

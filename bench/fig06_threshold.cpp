@@ -30,7 +30,7 @@ int main(int argc, char **argv) {
   TextTable Summary;
   Summary.setHeader({"benchmark", "U", ">25%", ">15%", ">5%", "O"});
 
-  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult T25 = P.runWithPerfectLoads(25.0);
     ModeRunResult T15 = P.runWithPerfectLoads(15.0);

@@ -26,7 +26,7 @@ int main(int argc, char **argv) {
   TextTable T;
   T.setHeader({"benchmark", "deps", "d=1 %", "d=2 %", "d=3 %", "d>=4 %"});
 
-  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &P) {
     const Histogram &H = P.refProfile().DistanceHist;
     uint64_t Total = H.totalSamples();
     if (Total == 0) {

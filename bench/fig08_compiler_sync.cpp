@@ -32,7 +32,7 @@ int main(int argc, char **argv) {
   Summary.setHeader({"benchmark", "U", "T", "C", "fail U%", "fail C%",
                      "sync C%", "C speedup"});
 
-  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult T = P.run(ExecMode::T);
     ModeRunResult C = P.run(ExecMode::C);

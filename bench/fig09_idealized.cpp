@@ -32,7 +32,7 @@ int main(int argc, char **argv) {
   Summary.setHeader({"benchmark", "E", "C", "L", "sync E%", "sync C%",
                      "sync L%"});
 
-  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &P) {
     ModeRunResult E = P.run(ExecMode::E);
     ModeRunResult C = P.run(ExecMode::C);
     ModeRunResult L = P.run(ExecMode::L);

@@ -32,7 +32,7 @@ int main(int argc, char **argv) {
   Summary.setHeader(
       {"benchmark", "U", "P", "H", "C", "B", "best", "pred.correct%"});
 
-  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &Pl) {
+  forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &Pl) {
     ModeRunResult U = Pl.run(ExecMode::U);
     ModeRunResult P = Pl.run(ExecMode::P);
     ModeRunResult H = Pl.run(ExecMode::H);

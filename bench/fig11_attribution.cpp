@@ -30,7 +30,7 @@ int main(int argc, char **argv) {
   T.setHeader({"benchmark", "mode", "violations", "compiler-only",
                "hw-only", "both", "neither"});
 
-  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &P) {
     for (ExecMode M :
          {ExecMode::U, ExecMode::C, ExecMode::H, ExecMode::B}) {
       ModeRunResult R = P.run(M);

@@ -27,7 +27,7 @@ int main(int argc, char **argv) {
   TextTable T;
   T.setHeader({"benchmark", "coverage%", "U", "C", "H", "B (hybrid)"});
 
-  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
     ModeRunResult C = P.run(ExecMode::C);
     ModeRunResult H = P.run(ExecMode::H);

@@ -1,0 +1,80 @@
+//===- bench/static_agreement.cpp - Static/profile agreement sweep --------===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: static_agreement [--static-stale-demo] [--stats] [--json-out=FILE]
+//
+// Runs the static may-dependence engine against every benchmark (the
+// Table 2 set plus the STATIC_DEMO extra) with the DepOracle enabled and
+// prints the per-region agreement between the dynamic dependence profile
+// and the static verdicts: confirmed / pruned / forced / speculated
+// counts for both the ref- and train-profile fusions, plus the C-mode
+// region time so forced synchronization shows its cost. The JSON report
+// carries the full verdict tables under each benchmark's
+// `static_analysis` block.
+//
+// --static-stale-demo additionally appends a synthetic stale entry to
+// each profile before fusion; the oracle must refute and prune it
+// (IMPOSSIBLE), which the "pruned" column then shows for every row.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace specsync;
+
+int main(int argc, char **argv) {
+  BenchSession Obs(argc, argv, "static_agreement");
+  MachineConfig Config;
+
+  // The oracle is the point of this binary: force it on regardless of
+  // flags (--static-stale-demo still selects the stale-profile demo).
+  analysis::StaticAnalysisOptions Static = Obs.staticAnalysis();
+  Static.EnableOracle = true;
+
+  std::printf("static/profile dependence agreement (threshold 5%%%s)\n\n",
+              Static.InjectStalePair ? ", stale-profile entry injected"
+                                     : "");
+  TextTable Table;
+  Table.setHeader({"benchmark", "refs", "complete", "ref C/P/F/S",
+                   "train C/P/F/S", "diags", "C time"});
+
+  auto runOne = [&](const Workload &W) {
+    BenchmarkPipeline Pipeline(W, Config);
+    Pipeline.setRobustness(Obs.robustness());
+    Pipeline.setStaticAnalysis(Static);
+    Pipeline.prepare();
+
+    ModeRunResult C = Pipeline.run(ExecMode::C);
+    Obs.record(Pipeline, C);
+    ModeRunResult T = Pipeline.run(ExecMode::T);
+    Obs.record(Pipeline, T);
+
+    const analysis::DepOracleResult &R = *Pipeline.refOracle();
+    const analysis::DepOracleResult &Tr = *Pipeline.trainOracle();
+    auto fmtCounts = [](const analysis::DepOracleResult &O) {
+      return std::to_string(O.StaticConfirmed) + "/" +
+             std::to_string(O.StaticPruned) + "/" +
+             std::to_string(O.StaticForced) + "/" +
+             std::to_string(O.Speculated);
+    };
+    Table.addRow({W.Name, std::to_string(R.NumRefs),
+                  R.Complete ? "yes" : "no", fmtCounts(R), fmtCounts(Tr),
+                  std::to_string(Pipeline.analysisDiags().diags().size()),
+                  TextTable::formatDouble(C.normalizedRegionTime())});
+  };
+
+  for (const Workload &W : allWorkloads())
+    runOne(W);
+  for (const Workload &W : extraWorkloads())
+    runOne(W);
+
+  std::printf("%s", Table.render().c_str());
+  std::printf("\n  C/P/F/S = static-confirmed / static-pruned / "
+              "static-forced / speculated verdicts\n");
+  return 0;
+}

@@ -25,7 +25,7 @@ int main(int argc, char **argv) {
   T.setHeader({"benchmark", "coverage%", "region x (B)", "region x (C)",
                "seq-region x", "program x (B)", "program x (C)"});
 
-  forEachBenchmark(Config, Obs.robustness(), [&](BenchmarkPipeline &P) {
+  forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &P) {
     ModeRunResult C = P.run(ExecMode::C);
     ModeRunResult B = P.run(ExecMode::B);
     Obs.record(P, C);

@@ -1,0 +1,183 @@
+//===- examples/static_deps.cpp - Static-analysis inspector ---------------===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: static_deps [BENCHMARK] [--threshold=PCT] [--stale] [--all]
+//
+// Runs the static may-dependence engine on one benchmark (STATIC_DEMO by
+// default) and dumps everything it derives:
+//  - the points-to fixpoint summary (iterations, per-global contents),
+//  - the enumerated region memory references with their abstract
+//    addresses and must-execute facts,
+//  - the fused oracle verdict tables against the ref- and train-input
+//    dependence profiles,
+//  - the structured diagnostics the engine emitted.
+//
+// --stale appends the synthetic stale profile entry before fusion (the
+// IMPOSSIBLE-pruning demo); --threshold overrides the 5% frequency
+// threshold; --all loops over every Table 2 benchmark plus the extras.
+// Add --json-out=FILE (obs flag) for the machine-readable report.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+#include "harness/Pipeline.h"
+#include "harness/Report.h"
+#include "obs/Json.h"
+#include "obs/ObsOptions.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace specsync;
+
+namespace {
+
+std::string refName(const RefName &N) {
+  return "#" + std::to_string(N.InstId) + "@ctx" + std::to_string(N.Context);
+}
+
+void dumpOne(const Workload &W, double Threshold, bool Stale,
+             std::vector<BenchmarkModeResults> &Collected) {
+  MachineConfig Config;
+  BenchmarkPipeline Pipeline(W, Config, Threshold);
+  analysis::StaticAnalysisOptions Opts;
+  Opts.EnableOracle = true;
+  Opts.InjectStalePair = Stale;
+  Pipeline.setStaticAnalysis(Opts);
+  Pipeline.prepare();
+
+  const analysis::StaticAnalysisEngine &E = *Pipeline.staticEngine();
+  const analysis::AliasAnalysis &AA = E.alias();
+  const analysis::DepTester &T = E.tester();
+  const Program &P = E.program();
+
+  std::printf("=== %s (%s) ===\n%s\n\n", W.Name.c_str(), W.SpecName.c_str(),
+              W.Character.c_str());
+
+  std::printf("points-to fixpoint: %u pass(es) over %zu function(s), "
+              "%zu global(s)\n",
+              AA.numIterations(), static_cast<size_t>(P.getNumFunctions()),
+              P.globals().size());
+  TextTable Globals;
+  Globals.setHeader({"global", "bytes", "contents summary"});
+  for (size_t G = 0; G < P.globals().size(); ++G)
+    Globals.addRow({P.globals()[G].Name,
+                    std::to_string(P.globals()[G].SizeBytes),
+                    AA.renderValue(AA.contentsOf(static_cast<unsigned>(G)))});
+  std::printf("%s\n", Globals.render().c_str());
+
+  std::printf("region memory references (%s enumeration):\n",
+              T.isComplete() ? "complete" : "INCOMPLETE");
+  TextTable Refs;
+  Refs.setHeader({"ref", "kind", "where", "must-exec", "address"});
+  for (const analysis::MemRef &R : T.refs())
+    Refs.addRow({refName(R.Name), R.IsLoad ? "load" : "store",
+                 P.getFunction(R.Func).getName() + ":" +
+                     P.getFunction(R.Func).getBlock(R.Block).getName(),
+                 R.MustExec ? "yes" : "no", R.Addr.render(P)});
+  std::printf("%s\n", Refs.render().c_str());
+
+  for (bool Ref : {true, false}) {
+    const analysis::DepOracleResult *O =
+        Ref ? Pipeline.refOracle() : Pipeline.trainOracle();
+    std::printf("verdicts vs %s profile (threshold %.1f%%, %u refs): "
+                "%u confirmed, %u pruned, %u forced, %u speculated\n",
+                Ref ? "ref" : "train", O->ThresholdPercent, O->NumRefs,
+                O->StaticConfirmed, O->StaticPruned, O->StaticForced,
+                O->Speculated);
+    TextTable V;
+    V.setHeader({"load", "store", "verdict", "static", "freq%", "reason"});
+    for (const analysis::OracleEntry &En : O->Entries)
+      V.addRow({refName(En.Load), refName(En.Store),
+                depVerdictName(En.Verdict), staticDepKindName(En.Static),
+                En.InProfile ? TextTable::formatDouble(En.FreqPercent) : "-",
+                En.Reason});
+    std::printf("%s\n", V.render().c_str());
+  }
+
+  const analysis::DiagEngine &DE = Pipeline.analysisDiags();
+  std::printf("diagnostics: %zu error(s), %zu warning(s), %zu total\n",
+              DE.numErrors(), DE.numWarnings(), DE.diags().size());
+  if (!DE.diags().empty())
+    std::printf("%s", DE.renderAll(&P).c_str());
+  std::printf("\n");
+
+  // Record a minimal entry so --json-out reports carry the verdict tables.
+  ModeRunResult R = Pipeline.run(ExecMode::C);
+  BenchmarkModeResults B;
+  B.Benchmark = W.Name;
+  B.WorkloadSeed = Pipeline.workloadSeed();
+  B.OracleRef =
+      std::make_shared<analysis::DepOracleResult>(*Pipeline.refOracle());
+  B.OracleTrain =
+      std::make_shared<analysis::DepOracleResult>(*Pipeline.trainOracle());
+  B.AnalysisDiags =
+      std::make_shared<analysis::DiagEngine>(Pipeline.analysisDiags());
+  B.Entries.push_back({modeName(R.Mode), R});
+  Collected.push_back(std::move(B));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  obs::ObsOptions ObsOpts = obs::parseObsArgs(argc, argv);
+  obs::ObsSession Session(ObsOpts);
+  argc = obs::stripObsArgs(argc, argv);
+
+  const char *Name = nullptr;
+  double Threshold = 5.0;
+  bool Stale = false;
+  bool All = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--threshold=", 12) == 0)
+      Threshold = std::atof(argv[I] + 12);
+    else if (std::strcmp(argv[I], "--stale") == 0)
+      Stale = true;
+    else if (std::strcmp(argv[I], "--all") == 0)
+      All = true;
+    else if (!Name)
+      Name = argv[I];
+  }
+
+  std::vector<BenchmarkModeResults> Collected;
+  if (All) {
+    for (const Workload &W : allWorkloads())
+      dumpOne(W, Threshold, Stale, Collected);
+    for (const Workload &W : extraWorkloads())
+      dumpOne(W, Threshold, Stale, Collected);
+  } else {
+    if (!Name)
+      Name = "STATIC_DEMO";
+    const Workload *W = findWorkload(Name);
+    if (!W) {
+      std::fprintf(stderr, "unknown benchmark '%s'; available:", Name);
+      for (const Workload &Each : allWorkloads())
+        std::fprintf(stderr, " %s", Each.Name.c_str());
+      for (const Workload &Each : extraWorkloads())
+        std::fprintf(stderr, " %s", Each.Name.c_str());
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    dumpOne(*W, Threshold, Stale, Collected);
+  }
+
+  if (!ObsOpts.JsonOut.empty()) {
+    if (writeJsonReportFile(ObsOpts.JsonOut, "static_deps", Collected))
+      std::fprintf(stderr, "obs: wrote JSON report to %s\n",
+                   ObsOpts.JsonOut.c_str());
+    else {
+      std::fprintf(stderr, "obs: failed to write JSON report to %s\n",
+                   ObsOpts.JsonOut.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

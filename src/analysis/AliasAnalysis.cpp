@@ -1,0 +1,566 @@
+//===- analysis/AliasAnalysis.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace specsync;
+using namespace specsync::analysis;
+
+//===----------------------------------------------------------------------===//
+// Lattice elements
+//===----------------------------------------------------------------------===//
+
+bool OffsetSet::join(const OffsetSet &RHS) {
+  if (Unknown)
+    return false;
+  if (RHS.Unknown) {
+    widen();
+    return true;
+  }
+  bool Changed = false;
+  for (int64_t Off : RHS.Offsets)
+    Changed |= insert(Off);
+  return Changed;
+}
+
+bool OffsetSet::insert(int64_t Off) {
+  if (Unknown)
+    return false;
+  if (!Offsets.insert(Off).second)
+    return false;
+  if (Offsets.size() > MaxEnumerated)
+    widen();
+  return true;
+}
+
+bool ValueInfo::join(const ValueInfo &RHS) {
+  if (Top)
+    return false;
+  if (RHS.Top) {
+    setTop();
+    return true;
+  }
+  bool Changed = false;
+  if (RHS.ScalarTop && !ScalarTop) {
+    ScalarTop = true;
+    ScalarConsts.clear();
+    Changed = true;
+  }
+  if (!ScalarTop) {
+    for (int64_t C : RHS.ScalarConsts) {
+      size_t Before = ScalarConsts.size();
+      addScalarConst(C);
+      Changed |= ScalarTop || ScalarConsts.size() != Before;
+      if (ScalarTop)
+        break;
+    }
+  }
+  for (const auto &KV : RHS.Ptrs) {
+    auto It = Ptrs.find(KV.first);
+    if (It == Ptrs.end()) {
+      Ptrs.emplace(KV.first, KV.second);
+      Changed = true;
+    } else {
+      Changed |= It->second.join(KV.second);
+    }
+  }
+  return Changed;
+}
+
+void ValueInfo::addScalarConst(int64_t V) {
+  if (Top || ScalarTop)
+    return;
+  ScalarConsts.insert(V);
+  if (ScalarConsts.size() > MaxScalarConsts) {
+    ScalarTop = true;
+    ScalarConsts.clear();
+  }
+}
+
+const char *analysis::aliasResultName(AliasResult R) {
+  switch (R) {
+  case AliasResult::NoAlias:
+    return "no-alias";
+  case AliasResult::MayAlias:
+    return "may-alias";
+  case AliasResult::MustAlias:
+    return "must-alias";
+  }
+  return "<invalid>";
+}
+
+//===----------------------------------------------------------------------===//
+// AddrInfo
+//===----------------------------------------------------------------------===//
+
+bool AddrInfo::isSingleton() const {
+  if (Unknown)
+    return false;
+  size_t NumTargets = RawAddrs.size();
+  for (const auto &KV : ByGlobal) {
+    if (KV.second.Unknown)
+      return false;
+    NumTargets += KV.second.Offsets.size();
+  }
+  return NumTargets == 1;
+}
+
+std::string AddrInfo::render(const Program &P) const {
+  if (Unknown)
+    return "?";
+  std::vector<std::string> Parts;
+  for (const auto &KV : ByGlobal) {
+    const std::string &G = KV.first < P.globals().size()
+                               ? P.globals()[KV.first].Name
+                               : "<g?>";
+    if (KV.second.Unknown) {
+      Parts.push_back(G + "[*]");
+      continue;
+    }
+    for (int64_t Off : KV.second.Offsets) {
+      std::ostringstream OS;
+      OS << G << "[+" << Off << "]";
+      Parts.push_back(OS.str());
+    }
+  }
+  for (int64_t A : RawAddrs) {
+    std::ostringstream OS;
+    OS << "0x" << std::hex << A;
+    Parts.push_back(OS.str());
+  }
+  if (Parts.empty())
+    return "<none>";
+  if (Parts.size() == 1)
+    return Parts.front();
+  std::string Out = "{";
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += Parts[I];
+  }
+  Out += "}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// AliasAnalysis
+//===----------------------------------------------------------------------===//
+
+AliasAnalysis::AliasAnalysis(const Program &P) : Prog(P) {
+  Regs.resize(P.getNumFunctions());
+  Returns.resize(P.getNumFunctions());
+  for (unsigned F = 0; F < P.getNumFunctions(); ++F)
+    Regs[F].resize(P.getFunction(F).getNumRegs());
+  Contents.resize(P.globals().size());
+}
+
+const ValueInfo &AliasAnalysis::valueOf(unsigned Func, unsigned Reg) const {
+  assert(Func < Regs.size() && Reg < Regs[Func].size() &&
+         "register out of range");
+  return Regs[Func][Reg];
+}
+
+const ValueInfo &AliasAnalysis::contentsOf(unsigned G) const {
+  assert(G < Contents.size() && "global index out of range");
+  return Contents[G];
+}
+
+ValueInfo AliasAnalysis::classifyConstant(int64_t C) const {
+  ValueInfo V;
+  const auto &Globals = Prog.globals();
+  for (unsigned G = 0; G < Globals.size(); ++G) {
+    int64_t Base = static_cast<int64_t>(Globals[G].BaseAddr);
+    int64_t Size = static_cast<int64_t>(Globals[G].SizeBytes);
+    if (C >= Base && C < Base + Size) {
+      V.Ptrs[G].insert(C - Base);
+      return V;
+    }
+  }
+  V.addScalarConst(C);
+  return V;
+}
+
+ValueInfo AliasAnalysis::evalOperand(unsigned Func, const Operand &Op) const {
+  if (Op.isReg())
+    return Regs[Func][Op.getReg()];
+  return classifyConstant(Op.getImm());
+}
+
+AddrInfo AliasAnalysis::toAddr(const ValueInfo &V) const {
+  AddrInfo A;
+  if (V.Top || V.ScalarTop) {
+    A.Unknown = true;
+    return A;
+  }
+  A.ByGlobal = V.Ptrs;
+  // Scalar constants used as addresses: arithmetic can fold a value into a
+  // global's range (e.g. base computed by shifts), so reclassify each one.
+  for (int64_t C : V.ScalarConsts) {
+    ValueInfo CV = classifyConstant(C);
+    if (CV.Ptrs.empty()) {
+      A.RawAddrs.insert(C);
+    } else {
+      for (const auto &KV : CV.Ptrs) {
+        auto It = A.ByGlobal.find(KV.first);
+        if (It == A.ByGlobal.end())
+          A.ByGlobal.emplace(KV.first, KV.second);
+        else
+          It->second.join(KV.second);
+      }
+    }
+  }
+  return A;
+}
+
+AddrInfo AliasAnalysis::addressOf(unsigned Func, const Instruction &I) const {
+  assert((I.getOpcode() == Opcode::Load || I.getOpcode() == Opcode::Store) &&
+         "addressOf expects a memory instruction");
+  return toAddr(evalOperand(Func, I.getOperand(0)));
+}
+
+ValueInfo AliasAnalysis::loadFrom(const AddrInfo &Addr) const {
+  // Memory starts zeroed, so every load may observe 0.
+  ValueInfo V;
+  V.addScalarConst(0);
+  if (Addr.Unknown) {
+    for (const ValueInfo &C : Contents)
+      V.join(C);
+    V.join(OutOfRangeContents);
+    return V;
+  }
+  for (const auto &KV : Addr.ByGlobal)
+    V.join(Contents[KV.first]);
+  if (!Addr.RawAddrs.empty())
+    V.join(OutOfRangeContents);
+  return V;
+}
+
+bool AliasAnalysis::storeTo(const AddrInfo &Addr, const ValueInfo &Val) {
+  bool Changed = false;
+  if (Addr.Unknown) {
+    for (ValueInfo &C : Contents)
+      Changed |= C.join(Val);
+    Changed |= OutOfRangeContents.join(Val);
+    return Changed;
+  }
+  for (const auto &KV : Addr.ByGlobal)
+    Changed |= Contents[KV.first].join(Val);
+  if (!Addr.RawAddrs.empty())
+    Changed |= OutOfRangeContents.join(Val);
+  return Changed;
+}
+
+namespace {
+
+int64_t foldOne(Opcode Op, int64_t A, int64_t B) {
+  uint64_t UA = static_cast<uint64_t>(A), UB = static_cast<uint64_t>(B);
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<int64_t>(UA + UB);
+  case Opcode::Sub:
+    return static_cast<int64_t>(UA - UB);
+  case Opcode::Mul:
+    return static_cast<int64_t>(UA * UB);
+  case Opcode::Div:
+    return B == 0 ? 0 : A / B;
+  case Opcode::Mod:
+    return B == 0 ? 0 : A % B;
+  case Opcode::And:
+    return static_cast<int64_t>(UA & UB);
+  case Opcode::Or:
+    return static_cast<int64_t>(UA | UB);
+  case Opcode::Xor:
+    return static_cast<int64_t>(UA ^ UB);
+  case Opcode::Shl:
+    return static_cast<int64_t>(UA << (UB & 63));
+  case Opcode::Shr:
+    return static_cast<int64_t>(UA >> (UB & 63));
+  case Opcode::CmpEQ:
+    return A == B;
+  case Opcode::CmpNE:
+    return A != B;
+  case Opcode::CmpLT:
+    return A < B;
+  case Opcode::CmpLE:
+    return A <= B;
+  case Opcode::CmpGT:
+    return A > B;
+  case Opcode::CmpGE:
+    return A >= B;
+  default:
+    assert(false && "not a foldable binary opcode");
+    return 0;
+  }
+}
+
+} // namespace
+
+bool AliasAnalysis::transfer(unsigned Func, const Instruction &I) {
+  std::vector<ValueInfo> &R = Regs[Func];
+  auto Eval = [&](unsigned OpIdx) {
+    return evalOperand(Func, I.getOperand(OpIdx));
+  };
+
+  switch (I.getOpcode()) {
+  case Opcode::Const:
+    return R[I.getDest()].join(classifyConstant(I.getOperand(0).getImm()));
+
+  case Opcode::Move:
+    return R[I.getDest()].join(Eval(0));
+
+  case Opcode::Add:
+  case Opcode::Sub: {
+    ValueInfo L = Eval(0), Rhs = Eval(1);
+    ValueInfo Out;
+    if (L.Top || Rhs.Top) {
+      Out.setTop();
+      return R[I.getDest()].join(Out);
+    }
+    bool Sub = I.getOpcode() == Opcode::Sub;
+    // pointer ± scalar: shift the offsets (in-bounds assumption: the result
+    // still addresses the same global).
+    auto Shift = [&](const ValueInfo &Ptr, const ValueInfo &Idx,
+                     bool Negate) {
+      for (const auto &KV : Ptr.Ptrs) {
+        OffsetSet &Dst = Out.Ptrs[KV.first];
+        if (KV.second.Unknown || Idx.ScalarTop) {
+          Dst.widen();
+          continue;
+        }
+        for (int64_t Off : KV.second.Offsets)
+          for (int64_t C : Idx.ScalarConsts)
+            Dst.insert(Negate ? Off - C : Off + C);
+        // pointer with no scalar component on the other side contributes
+        // nothing (the operand was a pure pointer; handled below as ptr-ptr).
+      }
+    };
+    bool LPtr = !L.Ptrs.empty(), RPtr = !Rhs.Ptrs.empty();
+    if (LPtr && Rhs.mayBeScalar())
+      Shift(L, Rhs, Sub);
+    if (RPtr && L.mayBeScalar() && !Sub)
+      Shift(Rhs, L, false);
+    if (RPtr && Sub) {
+      // scalar - ptr or ptr - ptr: a scrambled address or a distance.
+      // Soundness demands Top (the result could be re-used as an address);
+      // no workload does this, so precision loss is irrelevant.
+      Out.setTop();
+    }
+    if (LPtr && RPtr && !Sub)
+      Out.setTop(); // ptr + ptr: no useful structure.
+    // scalar ± scalar.
+    if (L.mayBeScalar() && Rhs.mayBeScalar() && !Out.Top) {
+      if (L.ScalarTop || Rhs.ScalarTop) {
+        Out.ScalarTop = true;
+        Out.ScalarConsts.clear();
+      } else {
+        for (int64_t A : L.ScalarConsts)
+          for (int64_t B : Rhs.ScalarConsts)
+            Out.join(classifyConstant(foldOne(I.getOpcode(), A, B)));
+      }
+    }
+    if (Out.isBottom() && (!L.isBottom() || !Rhs.isBottom()))
+      Out.ScalarTop = true; // degenerate mix; stay sound.
+    return R[I.getDest()].join(Out);
+  }
+
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE: {
+    ValueInfo L = Eval(0), Rhs = Eval(1);
+    ValueInfo Out;
+    if (I.getOpcode() >= Opcode::CmpEQ && I.getOpcode() <= Opcode::CmpGE) {
+      // Comparisons always yield 0/1 regardless of operand kinds.
+      Out.addScalarConst(0);
+      Out.addScalarConst(1);
+      return R[I.getDest()].join(Out);
+    }
+    if (L.mayBePointer() || Rhs.mayBePointer()) {
+      // Non-additive math on a possible pointer can manufacture any
+      // address.
+      Out.setTop();
+      return R[I.getDest()].join(Out);
+    }
+    if (!L.ScalarTop && !Rhs.ScalarTop) {
+      for (int64_t A : L.ScalarConsts)
+        for (int64_t B : Rhs.ScalarConsts)
+          Out.join(classifyConstant(foldOne(I.getOpcode(), A, B)));
+      if (!L.ScalarConsts.empty() && !Rhs.ScalarConsts.empty())
+        return R[I.getDest()].join(Out);
+    }
+    Out.ScalarTop = true;
+    Out.ScalarConsts.clear();
+    return R[I.getDest()].join(Out);
+  }
+
+  case Opcode::Select: {
+    ValueInfo Out = Eval(1);
+    Out.join(Eval(2));
+    return R[I.getDest()].join(Out);
+  }
+
+  case Opcode::Rand: {
+    ValueInfo Out;
+    Out.ScalarTop = true;
+    return R[I.getDest()].join(Out);
+  }
+
+  case Opcode::Load:
+    return R[I.getDest()].join(loadFrom(toAddr(Eval(0))));
+
+  case Opcode::Store:
+    return storeTo(toAddr(Eval(0)), Eval(1));
+
+  case Opcode::Call: {
+    unsigned Callee = I.getCallee();
+    bool Changed = false;
+    const Function &CF = Prog.getFunction(Callee);
+    for (unsigned A = 0; A < I.getNumOperands() && A < CF.getNumParams(); ++A)
+      Changed |= Regs[Callee][A].join(Eval(A));
+    if (I.hasDest())
+      Changed |= R[I.getDest()].join(Returns[Callee]);
+    return Changed;
+  }
+
+  case Opcode::Ret: {
+    ValueInfo Out;
+    if (I.getNumOperands() > 0)
+      Out = Eval(0);
+    else
+      Out.addScalarConst(0);
+    return Returns[Func].join(Out);
+  }
+
+  // Control flow and TLS synchronization neither define registers nor write
+  // program-visible memory (SignalMem forwards a value the Store already
+  // wrote; WaitScalar is timing-only).
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::WaitScalar:
+  case Opcode::SignalScalar:
+  case Opcode::WaitMem:
+  case Opcode::CheckFwd:
+  case Opcode::SelectFwd:
+  case Opcode::SignalMem:
+    return false;
+  }
+  return false;
+}
+
+void AliasAnalysis::run() {
+  if (Ran)
+    return;
+  Ran = true;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Iterations;
+    for (unsigned F = 0; F < Prog.getNumFunctions(); ++F) {
+      const Function &Fn = Prog.getFunction(F);
+      for (unsigned B = 0; B < Fn.getNumBlocks(); ++B)
+        for (const Instruction &I : Fn.getBlock(B).instructions())
+          Changed |= transfer(F, I);
+    }
+    // The lattice is finite-height (capped sets with widening), so this
+    // terminates; the guard is against a lattice bug, not real programs.
+    assert(Iterations < 10000 && "alias analysis failed to converge");
+  }
+}
+
+AliasResult AliasAnalysis::alias(const AddrInfo &A, const AddrInfo &B) const {
+  if (A.Unknown || B.Unknown)
+    return AliasResult::MayAlias;
+
+  // Expand each side to absolute byte intervals [begin, end).
+  auto Intervals = [&](const AddrInfo &X) {
+    std::vector<std::pair<int64_t, int64_t>> Out;
+    for (const auto &KV : X.ByGlobal) {
+      if (KV.first >= Prog.globals().size())
+        continue;
+      int64_t Base = static_cast<int64_t>(Prog.globals()[KV.first].BaseAddr);
+      int64_t Size = static_cast<int64_t>(Prog.globals()[KV.first].SizeBytes);
+      if (KV.second.Unknown) {
+        Out.emplace_back(Base, Base + Size);
+      } else {
+        for (int64_t Off : KV.second.Offsets)
+          Out.emplace_back(Base + Off, Base + Off + Program::WordBytes);
+      }
+    }
+    for (int64_t Raw : X.RawAddrs)
+      Out.emplace_back(Raw, Raw + Program::WordBytes);
+    return Out;
+  };
+  std::vector<std::pair<int64_t, int64_t>> IA = Intervals(A), IB = Intervals(B);
+  if (IA.empty() || IB.empty())
+    return AliasResult::NoAlias; // A dead address expression cannot alias.
+
+  bool Overlap = false;
+  for (const auto &PA : IA) {
+    for (const auto &PB : IB) {
+      if (PA.first < PB.second && PB.first < PA.second) {
+        Overlap = true;
+        break;
+      }
+    }
+    if (Overlap)
+      break;
+  }
+  if (!Overlap)
+    return AliasResult::NoAlias;
+  if (A.isSingleton() && B.isSingleton() && IA.front() == IB.front())
+    return AliasResult::MustAlias;
+  return AliasResult::MayAlias;
+}
+
+std::string AliasAnalysis::renderValue(const ValueInfo &V) const {
+  if (V.Top)
+    return "T";
+  if (V.isBottom())
+    return "_";
+  std::ostringstream OS;
+  bool First = true;
+  auto Sep = [&]() {
+    if (!First)
+      OS << " | ";
+    First = false;
+  };
+  if (V.ScalarTop) {
+    Sep();
+    OS << "scalar";
+  } else if (!V.ScalarConsts.empty()) {
+    Sep();
+    OS << "{";
+    bool FirstC = true;
+    for (int64_t C : V.ScalarConsts) {
+      if (!FirstC)
+        OS << ",";
+      FirstC = false;
+      OS << C;
+    }
+    OS << "}";
+  }
+  if (!V.Ptrs.empty()) {
+    Sep();
+    AddrInfo A;
+    A.ByGlobal = V.Ptrs;
+    OS << "&" << A.render(Prog);
+  }
+  return OS.str();
+}

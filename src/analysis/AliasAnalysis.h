@@ -1,0 +1,170 @@
+//===- analysis/AliasAnalysis.h - Points-to / alias analysis ----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow-insensitive, interprocedural, Andersen-style points-to analysis
+/// over SpecSync IR values. The IR has no address-of operator and no heap
+/// allocator: every pointer is ultimately a global's base address
+/// (an immediate laid out by Program::addGlobal) plus arithmetic, so the
+/// abstract objects are exactly the program's globals, summarized per
+/// array/field offset.
+///
+/// The abstract value of a register (or of a memory word) is a ValueInfo:
+///  - a set of (global, byte-offset-set) pointer targets, where an offset
+///    set is either a small enumerated set or "unknown offset within the
+///    global" (array summarization with widening);
+///  - a scalar component (known constant set, widened to "unknown scalar");
+///  - or Top (any value, including any address).
+///
+/// Registers are merged over all their definitions (flow-insensitive, as in
+/// Andersen's analysis); calls propagate argument values into parameters
+/// and return operands into call destinations; stores merge the stored
+/// value into the summarized contents of every global the address may
+/// reference, and loads read those contents back — so pointers that travel
+/// through memory (free lists, work queues) are tracked.
+///
+/// Soundness caveat (documented, standard for named-object analyses): an
+/// address formed as `global + index` is assumed to stay within that
+/// global's allocation. Out-of-bounds arithmetic that lands in a *different*
+/// global would not be seen — acceptable here because the engine's strong
+/// verdicts are cross-checked against the dynamic dependence profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_ANALYSIS_ALIASANALYSIS_H
+#define SPECSYNC_ANALYSIS_ALIASANALYSIS_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace specsync {
+namespace analysis {
+
+/// Byte offsets of a pointer within one global: a small enumerated set,
+/// widened to Unknown ("anywhere in the global") past MaxEnumerated.
+struct OffsetSet {
+  static constexpr size_t MaxEnumerated = 64;
+
+  bool Unknown = false;
+  std::set<int64_t> Offsets; ///< Meaningful only when !Unknown.
+
+  /// Union-in; returns true if this set changed.
+  bool join(const OffsetSet &RHS);
+  bool insert(int64_t Off);
+  void widen() {
+    Unknown = true;
+    Offsets.clear();
+  }
+  bool operator==(const OffsetSet &RHS) const {
+    return Unknown == RHS.Unknown && Offsets == RHS.Offsets;
+  }
+};
+
+/// The abstract value lattice element (see file comment).
+struct ValueInfo {
+  static constexpr size_t MaxScalarConsts = 16;
+
+  bool Top = false;       ///< Any value, including any address.
+  bool ScalarTop = false; ///< Any non-pointer value.
+  std::set<int64_t> ScalarConsts;     ///< Known possible scalar constants.
+  std::map<unsigned, OffsetSet> Ptrs; ///< Global index -> byte offsets.
+
+  bool isBottom() const {
+    return !Top && !ScalarTop && ScalarConsts.empty() && Ptrs.empty();
+  }
+  bool mayBePointer() const { return Top || !Ptrs.empty(); }
+  bool mayBeScalar() const {
+    return Top || ScalarTop || !ScalarConsts.empty();
+  }
+
+  /// Union-in; returns true if this value changed.
+  bool join(const ValueInfo &RHS);
+  void setTop() {
+    Top = true;
+    ScalarTop = false;
+    ScalarConsts.clear();
+    Ptrs.clear();
+  }
+  void addScalarConst(int64_t V);
+  bool operator==(const ValueInfo &RHS) const {
+    return Top == RHS.Top && ScalarTop == RHS.ScalarTop &&
+           ScalarConsts == RHS.ScalarConsts && Ptrs == RHS.Ptrs;
+  }
+  bool operator!=(const ValueInfo &RHS) const { return !(*this == RHS); }
+};
+
+enum class AliasResult { NoAlias, MayAlias, MustAlias };
+
+const char *aliasResultName(AliasResult R);
+
+/// A memory address abstracted for alias queries: pointer targets by
+/// global, plus exact raw word addresses that fall outside every global
+/// (possible only in hand-built test programs), plus an "anything" flag.
+struct AddrInfo {
+  bool Unknown = false;               ///< May be any address.
+  std::map<unsigned, OffsetSet> ByGlobal;
+  std::set<int64_t> RawAddrs;         ///< Absolute addrs outside all globals.
+
+  /// True when the address is provably the same single word on every
+  /// execution (a singleton target).
+  bool isSingleton() const;
+
+  /// Renders e.g. "potential[+8]", "arcs[*]", "{out[+24],out[+32]}", "?".
+  std::string render(const Program &P) const;
+};
+
+/// The analysis: construct, run once, then query.
+class AliasAnalysis {
+public:
+  explicit AliasAnalysis(const Program &P);
+
+  /// Runs the fixpoint. Idempotent.
+  void run();
+
+  /// Abstract value of register \p Reg of function \p Func.
+  const ValueInfo &valueOf(unsigned Func, unsigned Reg) const;
+
+  /// Summarized contents of global \p G's words.
+  const ValueInfo &contentsOf(unsigned G) const;
+
+  /// The address abstraction of a Load/Store instruction's address operand.
+  AddrInfo addressOf(unsigned Func, const Instruction &I) const;
+
+  /// Classifies two addresses. Accesses are 8-byte words.
+  AliasResult alias(const AddrInfo &A, const AddrInfo &B) const;
+
+  /// Number of fixpoint passes the solver took (introspection / stats).
+  unsigned numIterations() const { return Iterations; }
+
+  /// Renders one value (for alias-set dumps).
+  std::string renderValue(const ValueInfo &V) const;
+
+private:
+  ValueInfo evalOperand(unsigned Func, const Operand &Op) const;
+  ValueInfo classifyConstant(int64_t C) const;
+  AddrInfo toAddr(const ValueInfo &V) const;
+  bool transfer(unsigned Func, const Instruction &I);
+  bool storeTo(const AddrInfo &Addr, const ValueInfo &Val);
+  ValueInfo loadFrom(const AddrInfo &Addr) const;
+
+  const Program &Prog;
+  std::vector<std::vector<ValueInfo>> Regs; ///< [func][reg].
+  std::vector<ValueInfo> Returns;           ///< [func]: joined Ret values.
+  std::vector<ValueInfo> Contents;          ///< [global index].
+  ValueInfo OutOfRangeContents; ///< Words outside every global (raw addrs).
+  bool Ran = false;
+  unsigned Iterations = 0;
+};
+
+} // namespace analysis
+} // namespace specsync
+
+#endif // SPECSYNC_ANALYSIS_ALIASANALYSIS_H

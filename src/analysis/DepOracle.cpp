@@ -1,0 +1,219 @@
+//===- analysis/DepOracle.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepOracle.h"
+
+#include "analysis/Diag.h"
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace specsync;
+using namespace specsync::analysis;
+
+const char *analysis::depVerdictName(DepVerdict V) {
+  switch (V) {
+  case DepVerdict::MustSync:
+    return "must-sync";
+  case DepVerdict::Speculate:
+    return "speculate";
+  case DepVerdict::Impossible:
+    return "impossible";
+  }
+  return "<invalid>";
+}
+
+std::vector<DepPairStat> DepOracleResult::forcedPairs() const {
+  std::vector<DepPairStat> Out;
+  for (const OracleEntry &E : Entries) {
+    if (!E.Forced)
+      continue;
+    DepPairStat P;
+    P.Load = E.Load;
+    P.Store = E.Store;
+    // Profile-known counts carry over so group TotalDepCount attribution
+    // stays meaningful; statically discovered pairs contribute 0.
+    P.Count = 0;
+    P.EpochsWithDep = 0;
+    if (E.Distance1)
+      P.Distance1Count = 1;
+    Out.push_back(P);
+  }
+  return Out;
+}
+
+void DepOracleResult::writeJson(obs::JsonWriter &W) const {
+  W.beginObject();
+  W.keyValue("threshold_percent", ThresholdPercent);
+  W.keyValue("complete", Complete);
+  W.keyValue("num_refs", static_cast<uint64_t>(NumRefs));
+  W.key("counters");
+  W.beginObject();
+  W.keyValue("static_confirmed", static_cast<uint64_t>(StaticConfirmed));
+  W.keyValue("static_pruned", static_cast<uint64_t>(StaticPruned));
+  W.keyValue("static_forced", static_cast<uint64_t>(StaticForced));
+  W.keyValue("speculated", static_cast<uint64_t>(Speculated));
+  W.endObject();
+  W.key("verdicts");
+  W.beginArray();
+  for (const OracleEntry &E : Entries) {
+    W.beginObject();
+    W.keyValue("load_id", static_cast<uint64_t>(E.Load.InstId));
+    W.keyValue("load_ctx", static_cast<uint64_t>(E.Load.Context));
+    W.keyValue("store_id", static_cast<uint64_t>(E.Store.InstId));
+    W.keyValue("store_ctx", static_cast<uint64_t>(E.Store.Context));
+    W.keyValue("verdict", depVerdictName(E.Verdict));
+    W.keyValue("static", staticDepKindName(E.Static));
+    W.keyValue("in_profile", E.InProfile);
+    W.keyValue("freq_percent", E.FreqPercent);
+    W.keyValue("forced", E.Forced);
+    W.keyValue("pruned", E.Pruned);
+    if (E.Distance1)
+      W.keyValue("distance1", true);
+    W.keyValue("reason", E.Reason);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+DepOracleResult DepOracle::fuse(const DepProfile &Profile,
+                                double ThresholdPercent,
+                                DiagEngine *DE) const {
+  DepOracleResult R;
+  R.ThresholdPercent = ThresholdPercent;
+  R.Complete = Tester.isComplete();
+  R.NumRefs = static_cast<unsigned>(Tester.refs().size());
+
+  auto describeRef = [](const RefName &N) {
+    std::ostringstream OS;
+    OS << "#" << N.InstId << "@ctx" << N.Context;
+    return OS.str();
+  };
+
+  // Pass 1: every profile pair gets a row.
+  for (const auto &KV : Profile.Pairs) {
+    const DepPairStat &P = KV.second;
+    OracleEntry E;
+    E.Load = P.Load;
+    E.Store = P.Store;
+    E.InProfile = true;
+    E.FreqPercent = Profile.pairFrequencyPercent(P);
+    bool Frequent = E.FreqPercent > ThresholdPercent;
+
+    const MemRef *LR = Tester.findRef(P.Load);
+    const MemRef *SR = Tester.findRef(P.Store);
+    if (!LR || !SR) {
+      if (R.Complete) {
+        // The region provably contains no such reference: the profile is
+        // stale or corrupted. Prune — this also protects MemSync, whose
+        // clone-and-mark step hard-asserts on unknown profile names.
+        E.Verdict = DepVerdict::Impossible;
+        E.Pruned = true;
+        E.Static = StaticDepKind::NoDep;
+        E.Reason = "ref-not-in-region";
+      } else {
+        E.Static = StaticDepKind::May;
+        E.Verdict = Frequent ? DepVerdict::MustSync : DepVerdict::Speculate;
+        E.Reason = Frequent ? "frequent-unverifiable" : "below-threshold";
+      }
+    } else {
+      StaticDepResult SD = Tester.classify(*SR, *LR);
+      E.Static = SD.Kind;
+      E.Distance1 = SD.Distance1;
+      switch (SD.Kind) {
+      case StaticDepKind::NoDep:
+        E.Verdict = DepVerdict::Impossible;
+        E.Pruned = true;
+        E.Reason = "statically-refuted";
+        break;
+      case StaticDepKind::Must:
+      case StaticDepKind::MustAddr:
+        E.Verdict = DepVerdict::MustSync;
+        if (!Frequent) {
+          E.Forced = true;
+          E.Reason = "forced-under-threshold";
+        } else {
+          E.Reason = "confirmed";
+        }
+        break;
+      case StaticDepKind::May:
+        E.Verdict = Frequent ? DepVerdict::MustSync : DepVerdict::Speculate;
+        E.Reason = Frequent ? "confirmed" : "below-threshold";
+        break;
+      }
+    }
+
+    if (E.Pruned) {
+      R.PrunedPairs.insert({E.Load, E.Store});
+      if (DE)
+        DE->warning("dep-oracle", "pruned-profile-entry",
+                    "profile dependence " + describeRef(E.Store) + " -> " +
+                        describeRef(E.Load) +
+                        " is statically impossible (" + E.Reason +
+                        "); pruned from synchronization");
+    }
+    R.Entries.push_back(std::move(E));
+  }
+
+  // Pass 2: statically proven same-address loop-carried pairs the profile
+  // does not already cover get forced rows.
+  const std::vector<MemRef> &Refs = Tester.refs();
+  for (const MemRef &S : Refs) {
+    if (S.IsLoad)
+      continue;
+    for (const MemRef &L : Refs) {
+      if (!L.IsLoad)
+        continue;
+      if (Profile.Pairs.count({L.Name, S.Name}))
+        continue; // Row already emitted in pass 1.
+      StaticDepResult SD = Tester.classify(S, L);
+      if (SD.Kind != StaticDepKind::Must &&
+          SD.Kind != StaticDepKind::MustAddr)
+        continue;
+      OracleEntry E;
+      E.Load = L.Name;
+      E.Store = S.Name;
+      E.Static = SD.Kind;
+      E.Distance1 = SD.Distance1;
+      E.Verdict = DepVerdict::MustSync;
+      E.Forced = true;
+      E.Reason = "forced-absent-from-profile";
+      if (DE)
+        DE->note("dep-oracle", "forced-static-pair",
+                 "static " + std::string(staticDepKindName(SD.Kind)) +
+                     " dependence " + describeRef(E.Store) + " -> " +
+                     describeRef(E.Load) +
+                     " absent from profile; forcing synchronization");
+      R.Entries.push_back(std::move(E));
+    }
+  }
+
+  for (const OracleEntry &E : R.Entries) {
+    switch (E.Verdict) {
+    case DepVerdict::MustSync:
+      if (E.Forced)
+        ++R.StaticForced;
+      else
+        ++R.StaticConfirmed;
+      break;
+    case DepVerdict::Impossible:
+      ++R.StaticPruned;
+      break;
+    case DepVerdict::Speculate:
+      ++R.Speculated;
+      break;
+    }
+  }
+
+  // Deterministic table order: by (load, store).
+  std::sort(R.Entries.begin(), R.Entries.end(),
+            [](const OracleEntry &A, const OracleEntry &B) {
+              return std::tie(A.Load, A.Store) < std::tie(B.Load, B.Store);
+            });
+  return R;
+}

@@ -1,0 +1,115 @@
+//===- analysis/DepOracle.h - Static/profile dependence fusion --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DepOracle fuses the static dependence tester's results with the
+/// dynamic dependence profile into one verdict per (store, load) pair:
+///
+///  - MUST_SYNC:  synchronize. Either the profile says the dependence is
+///                frequent and the static analysis does not refute it
+///                (static-confirmed), or the static analysis proves a
+///                loop-carried same-address dependence the profile missed
+///                or left under the frequency threshold (static-forced).
+///  - IMPOSSIBLE: the profile entry is statically refuted — the addresses
+///                cannot overlap, the store provably kills the dependence
+///                within the epoch, or (when the static enumeration is
+///                complete) the reference does not exist in the region at
+///                all. Pruned from grouping and reported; this is the
+///                defense against stale or corrupted profiles.
+///  - SPECULATE:  a may-dependence below the threshold: left to hardware.
+///
+/// A sound profiler on the same binary never produces refutable entries, so
+/// IMPOSSIBLE verdicts specifically flag profile staleness/corruption; the
+/// counters (static-confirmed / static-pruned / static-forced) quantify
+/// profile-vs-static agreement per region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_ANALYSIS_DEPORACLE_H
+#define SPECSYNC_ANALYSIS_DEPORACLE_H
+
+#include "analysis/DepTester.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+namespace obs {
+class JsonWriter;
+} // namespace obs
+
+namespace analysis {
+
+class DiagEngine;
+
+enum class DepVerdict : uint8_t { MustSync, Speculate, Impossible };
+
+const char *depVerdictName(DepVerdict V);
+
+/// One row of the verdict table.
+struct OracleEntry {
+  RefName Load;
+  RefName Store;
+  DepVerdict Verdict = DepVerdict::Speculate;
+  StaticDepKind Static = StaticDepKind::May;
+  bool InProfile = false;   ///< The pair appears in the dynamic profile.
+  double FreqPercent = 0.0; ///< Profile frequency (0 when absent).
+  bool Forced = false;      ///< MUST_SYNC forced by static proof alone.
+  bool Pruned = false;      ///< Profile entry statically refuted.
+  bool Distance1 = false;   ///< Static distance-1 proof.
+  std::string Reason;       ///< Stable reason tag, e.g. "statically-refuted".
+};
+
+/// The fused verdict table plus agreement counters.
+struct DepOracleResult {
+  std::vector<OracleEntry> Entries;
+  double ThresholdPercent = 0.0;
+  bool Complete = false;       ///< Static enumeration covered the region.
+  unsigned NumRefs = 0;        ///< Region memory references enumerated.
+  unsigned StaticConfirmed = 0; ///< Frequent profile pairs kept.
+  unsigned StaticPruned = 0;    ///< Profile entries refuted.
+  unsigned StaticForced = 0;    ///< MUST_SYNC pairs the profile missed.
+  unsigned Speculated = 0;      ///< Pairs left to hardware.
+
+  /// True if the (load, store) profile pair was refuted.
+  bool isPruned(const RefName &Load, const RefName &Store) const {
+    return PrunedPairs.count({Load, Store}) != 0;
+  }
+
+  /// Synthetic pair stats for the statically-forced MUST_SYNC pairs, for
+  /// splicing into DepGraph grouping alongside the frequent profile pairs.
+  std::vector<DepPairStat> forcedPairs() const;
+
+  /// Serializes the full verdict table + counters ("static_analysis" block
+  /// body: the caller opens/closes the enclosing object key).
+  void writeJson(obs::JsonWriter &W) const;
+
+  std::set<std::pair<RefName, RefName>> PrunedPairs; ///< (load, store).
+};
+
+/// Fuses static and dynamic dependence information (see file comment).
+class DepOracle {
+public:
+  /// \p T must have analyzeRegion() already run.
+  explicit DepOracle(const DepTester &T) : Tester(T) {}
+
+  /// Fuses against \p Profile at the compiler's frequency threshold.
+  /// Verdict-table rows cover every profile pair plus every statically
+  /// proven (Must/MustAddr) pair. Diagnostics for pruned entries go to
+  /// \p DE if given.
+  DepOracleResult fuse(const DepProfile &Profile, double ThresholdPercent,
+                       DiagEngine *DE = nullptr) const;
+
+private:
+  const DepTester &Tester;
+};
+
+} // namespace analysis
+} // namespace specsync
+
+#endif // SPECSYNC_ANALYSIS_DEPORACLE_H

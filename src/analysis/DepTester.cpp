@@ -1,0 +1,240 @@
+//===- analysis/DepTester.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepTester.h"
+
+#include "analysis/Diag.h"
+#include "ir/CFG.h"
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace specsync;
+using namespace specsync::analysis;
+
+/// Recursion depth cap for the region call walk; deeper nests abandon
+/// completeness rather than the analysis.
+static constexpr size_t MaxCallDepth = 64;
+
+const char *analysis::staticDepKindName(StaticDepKind K) {
+  switch (K) {
+  case StaticDepKind::NoDep:
+    return "no-dep";
+  case StaticDepKind::May:
+    return "may";
+  case StaticDepKind::MustAddr:
+    return "must-addr";
+  case StaticDepKind::Must:
+    return "must";
+  }
+  return "<invalid>";
+}
+
+DepTester::DepTester(const Program &P, const AliasAnalysis &AA,
+                     ContextTable &Contexts)
+    : Prog(P), AA(AA), Contexts(Contexts) {
+  Facts.resize(P.getNumFunctions());
+}
+
+DepTester::FuncFacts &DepTester::factsFor(unsigned Func) const {
+  FuncFacts &FF = Facts[Func];
+  if (FF.Built)
+    return FF;
+  FF.Built = true;
+  const Function &F = Prog.getFunction(Func);
+  CFG G(F);
+  Dominators DT(G);
+  unsigned N = F.getNumBlocks();
+  FF.Reachable.resize(N);
+  FF.DominatesAllRets.assign(N, false);
+  FF.Dom.assign(N, std::vector<bool>(N, false));
+  std::vector<unsigned> RetBlocks;
+  for (unsigned B = 0; B < N; ++B) {
+    FF.Reachable[B] = G.isReachable(B);
+    if (FF.Reachable[B] && !F.getBlock(B).empty() &&
+        F.getBlock(B).back().getOpcode() == Opcode::Ret)
+      RetBlocks.push_back(B);
+  }
+  for (unsigned A = 0; A < N; ++A) {
+    if (!FF.Reachable[A])
+      continue;
+    for (unsigned B = 0; B < N; ++B)
+      FF.Dom[A][B] = FF.Reachable[B] && DT.dominates(A, B);
+    bool All = !RetBlocks.empty();
+    for (unsigned RB : RetBlocks)
+      All &= FF.Dom[A][RB];
+    FF.DominatesAllRets[A] = All;
+  }
+  return FF;
+}
+
+void DepTester::analyzeRegion(DiagEngine *DE) {
+  if (Analyzed)
+    return;
+  Analyzed = true;
+
+  const RegionSpec &Region = Prog.getRegion();
+  if (!Region.isValid()) {
+    Complete = false;
+    if (DE)
+      DE->error("dep-tester", "no-region",
+                "program has no parallel region annotation");
+    return;
+  }
+
+  const Function &F = Prog.getFunction(Region.Func);
+  CFG G(F);
+  Dominators DT(G);
+  LoopInfo LI(F, G, DT);
+  const Loop *L = LI.getLoopByHeader(Region.Header);
+  if (!L) {
+    Complete = false;
+    if (DE)
+      DE->error("dep-tester", "no-region-loop",
+                "region header " + F.getBlock(Region.Header).getName() +
+                    " heads no natural loop");
+    return;
+  }
+
+  // A region block must-executes each iteration iff it dominates every
+  // latch (every completed iteration passed through it).
+  RegionMustExec.assign(F.getNumBlocks(), false);
+  for (unsigned B : L->Blocks) {
+    bool All = !L->Latches.empty();
+    for (unsigned Latch : L->Latches)
+      All &= DT.dominates(B, Latch);
+    RegionMustExec[B] = All;
+  }
+
+  std::vector<unsigned> CallPath;
+  walkFunction(Region.Func, ContextTable::RootContext, true, &L->Blocks,
+               CallPath, DE);
+
+  std::sort(Refs.begin(), Refs.end(),
+            [](const MemRef &A, const MemRef &B) { return A.Name < B.Name; });
+}
+
+void DepTester::walkFunction(unsigned Func, uint32_t Context,
+                             bool CtxMustExec,
+                             const std::vector<unsigned> *RestrictBlocks,
+                             std::vector<unsigned> &CallPath, DiagEngine *DE) {
+  const Function &F = Prog.getFunction(Func);
+  FuncFacts &FF = factsFor(Func);
+
+  std::vector<unsigned> AllBlocks;
+  if (!RestrictBlocks) {
+    for (unsigned B = 0; B < F.getNumBlocks(); ++B)
+      if (FF.Reachable[B])
+        AllBlocks.push_back(B);
+    RestrictBlocks = &AllBlocks;
+  }
+
+  for (unsigned B : *RestrictBlocks) {
+    if (!FF.Reachable[B])
+      continue;
+    bool BlockMust =
+        CtxMustExec && (Context == ContextTable::RootContext
+                            ? RegionMustExec[B]
+                            : FF.DominatesAllRets[B]);
+    const BasicBlock &BB = F.getBlock(B);
+    for (size_t Pos = 0; Pos < BB.size(); ++Pos) {
+      const Instruction &I = BB.instructions()[Pos];
+      if (I.getOpcode() == Opcode::Load || I.getOpcode() == Opcode::Store) {
+        MemRef R;
+        R.Name = RefName{I.getId(), Context};
+        R.Func = Func;
+        R.Block = B;
+        R.Pos = Pos;
+        R.IsLoad = I.getOpcode() == Opcode::Load;
+        R.MustExec = BlockMust;
+        R.Addr = AA.addressOf(Func, I);
+        Refs.push_back(std::move(R));
+        continue;
+      }
+      if (I.getOpcode() != Opcode::Call)
+        continue;
+      unsigned Callee = I.getCallee();
+      if (std::find(CallPath.begin(), CallPath.end(), Callee) !=
+              CallPath.end() ||
+          CallPath.size() >= MaxCallDepth) {
+        // Recursion (or absurd depth): references below this call cannot be
+        // enumerated with finite contexts. Abandon completeness claims.
+        Complete = false;
+        if (DE) {
+          Diag &D = DE->warning(
+              "dep-tester", "recursive-call",
+              "call to " + Prog.getFunction(Callee).getName() +
+                  " cut off (recursion); region enumeration is incomplete");
+          D.Func = Func;
+          D.Block = B;
+          D.InstId = I.getId();
+        }
+        continue;
+      }
+      CallPath.push_back(Callee);
+      walkFunction(Callee, Contexts.child(Context, I.getId()),
+                   BlockMust, nullptr, CallPath, DE);
+      CallPath.pop_back();
+    }
+  }
+}
+
+const MemRef *DepTester::findRef(const RefName &Name) const {
+  auto It = std::lower_bound(
+      Refs.begin(), Refs.end(), Name,
+      [](const MemRef &R, const RefName &N) { return R.Name < N; });
+  if (It != Refs.end() && It->Name == Name)
+    return &*It;
+  return nullptr;
+}
+
+bool DepTester::precedes(const MemRef &A, const MemRef &B) const {
+  // Ordering is only meaningful within one function activation: same
+  // function reached through the same call path.
+  if (A.Func != B.Func || A.Name.Context != B.Name.Context)
+    return false;
+  if (A.Block == B.Block)
+    return A.Pos < B.Pos;
+  // Block dominance within the iteration: every path that reaches B's block
+  // (without re-entering the region header, i.e. within one iteration) has
+  // already passed A's block.
+  const FuncFacts &FF = factsFor(A.Func);
+  return FF.Dom[A.Block][B.Block];
+}
+
+StaticDepResult DepTester::classify(const MemRef &Store,
+                                    const MemRef &Load) const {
+  assert(!Store.IsLoad && Load.IsLoad && "classify expects (store, load)");
+  StaticDepResult R;
+  AliasResult A = AA.alias(Store.Addr, Load.Addr);
+  if (A == AliasResult::NoAlias) {
+    R.Kind = StaticDepKind::NoDep;
+    return R;
+  }
+  if (A == AliasResult::MayAlias) {
+    R.Kind = StaticDepKind::May;
+    return R;
+  }
+  // Must-alias: one invariant address.
+  if (Store.MustExec && precedes(Store, Load)) {
+    // The store is executed earlier in *every* iteration that reaches the
+    // load, so the load always observes the current epoch's value: the
+    // loop-carried (inter-epoch) dependence from this store is impossible.
+    R.Kind = StaticDepKind::NoDep;
+    return R;
+  }
+  if (Store.MustExec && Load.MustExec) {
+    R.Kind = StaticDepKind::Must;
+    // If the load additionally precedes the store within the iteration, the
+    // consumed value is always the immediately previous epoch's store.
+    R.Distance1 = precedes(Load, Store);
+  } else {
+    R.Kind = StaticDepKind::MustAddr;
+  }
+  return R;
+}

@@ -1,0 +1,128 @@
+//===- analysis/DepTester.h - Loop-carried dependence testing ---*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop-carried may/must-dependence tester for the parallelized region.
+///
+/// It enumerates every memory reference (Load/Store) the region can execute
+/// — the loop body of the selected region plus every function reachable
+/// through its call sites, each named by the same (static id, call-path
+/// context) scheme the dynamic profiler uses, so static and dynamic
+/// reference names line up exactly — and classifies each (store, load) pair:
+///
+///  - NoDep:    the addresses cannot overlap (alias analysis), or the store
+///              provably executes before the load within every iteration so
+///              the load can never observe a *previous* epoch's store.
+///  - May:      the addresses may overlap; nothing stronger is provable.
+///  - MustAddr: same single address on every execution (the flow-insensitive
+///              value is a singleton, hence loop-invariant — the
+///              "value-numbered address expression" proof), but at least one
+///              side executes only conditionally.
+///  - Must:     same single address AND both sides execute on every
+///              iteration: the loop-carried dependence is certain. When the
+///              load also provably precedes the store within the iteration,
+///              the dependence distance is exactly 1.
+///
+/// Must-execution is dominance-based: a region block must-executes if it
+/// dominates every latch of the region loop; a callee block must-executes
+/// if its call site does and it dominates every reachable Ret block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_ANALYSIS_DEPTESTER_H
+#define SPECSYNC_ANALYSIS_DEPTESTER_H
+
+#include "analysis/AliasAnalysis.h"
+#include "interp/ContextTable.h"
+#include "profile/DepProfiler.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specsync {
+namespace analysis {
+
+class DiagEngine;
+
+/// One memory reference the region can execute.
+struct MemRef {
+  RefName Name;          ///< Same naming scheme as the dynamic profile.
+  unsigned Func = ~0u;   ///< Enclosing function index.
+  unsigned Block = ~0u;  ///< Enclosing block index.
+  size_t Pos = 0;        ///< Position within the block.
+  bool IsLoad = false;
+  bool MustExec = false; ///< Executes on every region iteration.
+  AddrInfo Addr;
+};
+
+enum class StaticDepKind : uint8_t { NoDep, May, MustAddr, Must };
+
+const char *staticDepKindName(StaticDepKind K);
+
+/// Classification of one (store, load) pair.
+struct StaticDepResult {
+  StaticDepKind Kind = StaticDepKind::May;
+  bool Distance1 = false; ///< Distance provably exactly 1 (Must pairs only).
+};
+
+/// The enumerated region references plus classification queries.
+class DepTester {
+public:
+  /// \p Contexts must be the table shared with the profiler runs so context
+  /// ids agree. \p AA must have been run on the same (base-transformed)
+  /// program the profile ids refer to.
+  DepTester(const Program &P, const AliasAnalysis &AA, ContextTable &Contexts);
+
+  /// Walks the region and enumerates its memory references. Emits
+  /// diagnostics (recursion cuts, missing region/loop) to \p DE if given.
+  void analyzeRegion(DiagEngine *DE = nullptr);
+
+  const std::vector<MemRef> &refs() const { return Refs; }
+
+  /// True when the enumeration provably covers every reference the region
+  /// can execute (no recursion cut-offs); only then can a profile entry
+  /// with an unknown name be declared statically impossible.
+  bool isComplete() const { return Complete; }
+
+  /// Looks up an enumerated reference by profile name, or nullptr.
+  const MemRef *findRef(const RefName &Name) const;
+
+  /// Classifies the loop-carried dependence from \p Store to \p Load.
+  StaticDepResult classify(const MemRef &Store, const MemRef &Load) const;
+
+private:
+  void walkFunction(unsigned Func, uint32_t Context, bool CtxMustExec,
+                    const std::vector<unsigned> *RestrictBlocks,
+                    std::vector<unsigned> &CallPath, DiagEngine *DE);
+
+  /// True if \p A provably executes before \p B within a single iteration
+  /// (same function + context, dominance + block position).
+  bool precedes(const MemRef &A, const MemRef &B) const;
+
+  const Program &Prog;
+  const AliasAnalysis &AA;
+  ContextTable &Contexts;
+  std::vector<MemRef> Refs;
+  bool Complete = true;
+  bool Analyzed = false;
+
+  /// Per-function cached dominator facts, built lazily during the walk.
+  struct FuncFacts {
+    bool Built = false;
+    std::vector<bool> Reachable;       ///< By block.
+    std::vector<bool> DominatesAllRets; ///< By block (callee must-exec).
+    std::vector<std::vector<bool>> Dom; ///< Dom[A][B]: A dominates B.
+  };
+  FuncFacts &factsFor(unsigned Func) const;
+  mutable std::vector<FuncFacts> Facts; ///< Lazily built dominator cache.
+  std::vector<bool> RegionMustExec; ///< By region-func block index.
+};
+
+} // namespace analysis
+} // namespace specsync
+
+#endif // SPECSYNC_ANALYSIS_DEPTESTER_H

@@ -1,0 +1,116 @@
+//===- analysis/Diag.cpp ----------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diag.h"
+
+#include "ir/Program.h"
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace specsync;
+using namespace specsync::analysis;
+
+const char *analysis::diagSeverityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "<invalid>";
+}
+
+std::string Diag::render(const Program *P) const {
+  std::ostringstream OS;
+  OS << Pass << ": " << diagSeverityName(Severity) << ": " << Message;
+  if (!Code.empty())
+    OS << " [" << Code << "]";
+  bool HaveFunc = P && Func != ~0u && Func < P->getNumFunctions();
+  if (HaveFunc) {
+    const Function &F = P->getFunction(Func);
+    OS << " (at " << F.getName();
+    if (Block != ~0u && Block < F.getNumBlocks())
+      OS << ":" << F.getBlock(Block).getName();
+    OS << ")";
+  }
+  if (InstId != 0) {
+    OS << " [inst #" << InstId;
+    if (P)
+      OS << " = " << P->describeInstruction(InstId);
+    OS << "]";
+  }
+  return OS.str();
+}
+
+Diag &DiagEngine::report(DiagSeverity Severity, std::string Pass,
+                         std::string Code, std::string Message) {
+  Diag D;
+  D.Severity = Severity;
+  D.Pass = std::move(Pass);
+  D.Code = std::move(Code);
+  D.Message = std::move(Message);
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  else if (Severity == DiagSeverity::Warning)
+    ++NumWarnings;
+  Diags.push_back(std::move(D));
+  return Diags.back();
+}
+
+void DiagEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  NumWarnings = 0;
+}
+
+void DiagEngine::merge(const DiagEngine &Other) {
+  Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+  NumErrors += Other.NumErrors;
+  NumWarnings += Other.NumWarnings;
+}
+
+std::string DiagEngine::renderAll(const Program *P) const {
+  // Stable sort: errors first, then warnings, then notes; emission order
+  // within each severity.
+  std::vector<const Diag *> Sorted;
+  Sorted.reserve(Diags.size());
+  for (const Diag &D : Diags)
+    Sorted.push_back(&D);
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const Diag *A, const Diag *B) {
+                     return static_cast<int>(A->Severity) >
+                            static_cast<int>(B->Severity);
+                   });
+  std::string Out;
+  for (const Diag *D : Sorted) {
+    Out += D->render(P);
+    Out += "\n";
+  }
+  return Out;
+}
+
+void DiagEngine::writeJson(obs::JsonWriter &W) const {
+  W.beginArray();
+  for (const Diag &D : Diags) {
+    W.beginObject();
+    W.keyValue("severity", diagSeverityName(D.Severity));
+    W.keyValue("pass", D.Pass);
+    W.keyValue("code", D.Code);
+    W.keyValue("message", D.Message);
+    if (D.Func != ~0u)
+      W.keyValue("func", D.Func);
+    if (D.Block != ~0u)
+      W.keyValue("block", D.Block);
+    if (D.InstId != 0)
+      W.keyValue("inst_id", D.InstId);
+    W.endObject();
+  }
+  W.endArray();
+}

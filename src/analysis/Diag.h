@@ -1,0 +1,104 @@
+//===- analysis/Diag.h - Structured analysis diagnostics --------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured diagnostics layer shared by the static-analysis engine,
+/// the IR verifier and the signal-placement audit. A Diag is a lint
+/// finding, not an assert: it carries a severity, the emitting pass, an IR
+/// location (function / block / static instruction id where known) and a
+/// stable machine-readable code, and renders both as compiler-style text
+/// (`pass: severity: message [code] at func:block`) and as JSON inside the
+/// report's `static_analysis` block.
+///
+/// DiagEngine collects findings; the caller decides the policy (a
+/// --werror-style flag promotes errors to a hard stop, the default for CI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_ANALYSIS_DIAG_H
+#define SPECSYNC_ANALYSIS_DIAG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+class Program;
+
+namespace obs {
+class JsonWriter;
+} // namespace obs
+
+namespace analysis {
+
+enum class DiagSeverity : uint8_t { Note, Warning, Error };
+
+const char *diagSeverityName(DiagSeverity S);
+
+/// One finding. Location fields are optional; ~0u / 0 mean "not attached to
+/// a specific function / block / instruction".
+struct Diag {
+  DiagSeverity Severity = DiagSeverity::Warning;
+  std::string Pass;    ///< Emitting pass, e.g. "signal-audit", "dep-oracle".
+  std::string Code;    ///< Stable machine-readable code, e.g. "missing-null-signal".
+  std::string Message; ///< Human-readable one-liner.
+  unsigned Func = ~0u;   ///< Function index, or ~0u.
+  unsigned Block = ~0u;  ///< Block index within Func, or ~0u.
+  uint32_t InstId = 0;   ///< Program-unique static id, or 0.
+
+  /// `pass: severity: message [code] (at func:block, inst #id)`.
+  std::string render(const Program *P = nullptr) const;
+};
+
+/// Collects diagnostics from one or more passes. Not thread-safe (the
+/// compiler pipeline is single-threaded).
+class DiagEngine {
+public:
+  /// Builder-style emission helpers.
+  Diag &report(DiagSeverity Severity, std::string Pass, std::string Code,
+               std::string Message);
+  Diag &error(std::string Pass, std::string Code, std::string Message) {
+    return report(DiagSeverity::Error, std::move(Pass), std::move(Code),
+                  std::move(Message));
+  }
+  Diag &warning(std::string Pass, std::string Code, std::string Message) {
+    return report(DiagSeverity::Warning, std::move(Pass), std::move(Code),
+                  std::move(Message));
+  }
+  Diag &note(std::string Pass, std::string Code, std::string Message) {
+    return report(DiagSeverity::Note, std::move(Pass), std::move(Code),
+                  std::move(Message));
+  }
+
+  const std::vector<Diag> &diags() const { return Diags; }
+  size_t numErrors() const { return NumErrors; }
+  size_t numWarnings() const { return NumWarnings; }
+  bool hasErrors() const { return NumErrors > 0; }
+
+  void clear();
+
+  /// Appends every finding of \p Other (the pipeline aggregates the
+  /// engine's findings with the audit's and the verifier's this way).
+  void merge(const DiagEngine &Other);
+
+  /// Renders every finding, one per line (worst severity first, stable
+  /// within a severity). \p P resolves instruction ids to source locators.
+  std::string renderAll(const Program *P = nullptr) const;
+
+  /// Serializes the findings as a JSON array of objects.
+  void writeJson(obs::JsonWriter &W) const;
+
+private:
+  std::vector<Diag> Diags;
+  size_t NumErrors = 0;
+  size_t NumWarnings = 0;
+};
+
+} // namespace analysis
+} // namespace specsync
+
+#endif // SPECSYNC_ANALYSIS_DIAG_H

@@ -1,0 +1,80 @@
+//===- analysis/StaticAnalysis.cpp ------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+
+#include "ir/Verifier.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace specsync;
+using namespace specsync::analysis;
+
+StaticAnalysisOptions analysis::parseStaticAnalysisArgs(int argc,
+                                                        char **argv) {
+  StaticAnalysisOptions O;
+  auto EnvSet = [](const char *Name) {
+    const char *E = std::getenv(Name);
+    return E && E[0] && std::strcmp(E, "0") != 0;
+  };
+  if (EnvSet("SPECSYNC_STATIC_ORACLE"))
+    O.EnableOracle = true;
+  if (EnvSet("SPECSYNC_AUDIT_NO_WERROR"))
+    O.AuditWerror = false;
+  if (EnvSet("SPECSYNC_STATIC_STALE_DEMO"))
+    O.InjectStalePair = true;
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (std::strcmp(A, "--static-oracle") == 0)
+      O.EnableOracle = true;
+    else if (std::strcmp(A, "--audit-no-werror") == 0)
+      O.AuditWerror = false;
+    else if (std::strcmp(A, "--static-stale-demo") == 0)
+      O.InjectStalePair = true;
+  }
+  return O;
+}
+
+StaticAnalysisEngine::StaticAnalysisEngine(const Program &P,
+                                           ContextTable &Contexts)
+    : Prog(P), AA(std::make_unique<AliasAnalysis>(P)),
+      Tester(std::make_unique<DepTester>(P, *AA, Contexts)) {}
+
+StaticAnalysisEngine::~StaticAnalysisEngine() = default;
+
+void StaticAnalysisEngine::analyze() {
+  if (Analyzed)
+    return;
+  Analyzed = true;
+  AA->run();
+  Tester->analyzeRegion(&Diags);
+}
+
+DepOracleResult StaticAnalysisEngine::fuse(const DepProfile &Profile,
+                                           double ThresholdPercent) {
+  DepOracle Oracle(*Tester);
+  return Oracle.fuse(Profile, ThresholdPercent, &Diags);
+}
+
+void analysis::appendStaleProfilePair(DepProfile &Profile) {
+  // Ids far above any program's dense id space, so the pair can never name
+  // a real reference; the oracle must refute it as "ref-not-in-region".
+  RefName StaleLoad{0x7FFFFFF0u, 0};
+  RefName StaleStore{0x7FFFFFF1u, 0};
+  DepPairStat P;
+  P.Load = StaleLoad;
+  P.Store = StaleStore;
+  P.Count = Profile.TotalEpochs ? Profile.TotalEpochs : 1;
+  P.EpochsWithDep = P.Count; // Reads as a 100%-frequent dependence.
+  P.Distance1Count = P.Count;
+  Profile.Pairs[{StaleLoad, StaleStore}] = P;
+}
+
+void analysis::verifyProgramToDiags(const Program &P, DiagEngine &DE) {
+  for (const std::string &Problem : verifyProgram(P))
+    DE.error("verifier", "ir-invariant", Problem);
+}

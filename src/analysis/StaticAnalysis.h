@@ -1,0 +1,102 @@
+//===- analysis/StaticAnalysis.h - Engine façade + options ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bundles the static-analysis engine (alias analysis + dependence tester +
+/// oracle) behind one object with a single policy knob set, so the harness
+/// pipeline and the example tools drive it identically, plus the
+/// command-line/environment parsing for the engine's flags:
+///
+///   --static-oracle      enable the DepOracle (fuse static results into
+///                        sync grouping; default off — the compiled
+///                        binaries are then bit-identical to a pipeline
+///                        without the analysis subsystem)
+///   --audit-no-werror    demote signal-placement audit errors from a hard
+///                        stop to printed diagnostics (default: strict)
+///   --static-stale-demo  append a synthetic stale entry to each dependence
+///                        profile before fusion, demonstrating (and
+///                        regression-testing) IMPOSSIBLE pruning
+///
+/// Environment fallbacks: SPECSYNC_STATIC_ORACLE=1,
+/// SPECSYNC_AUDIT_NO_WERROR=1, SPECSYNC_STATIC_STALE_DEMO=1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_ANALYSIS_STATICANALYSIS_H
+#define SPECSYNC_ANALYSIS_STATICANALYSIS_H
+
+#include "analysis/DepOracle.h"
+#include "analysis/Diag.h"
+
+#include <memory>
+
+namespace specsync {
+namespace analysis {
+
+struct StaticAnalysisOptions {
+  /// Fuse static dependence results into the sync grouping. Off by default:
+  /// the paper's profile-only pipeline is the baseline configuration.
+  bool EnableOracle = false;
+  /// Treat signal-placement audit errors as fatal (CI-strict default).
+  bool AuditWerror = true;
+  /// Stale-profile simulation: append one synthetic profile entry naming a
+  /// nonexistent reference, to exercise IMPOSSIBLE pruning end to end.
+  /// Only meaningful with EnableOracle (an unpruned stale entry would trip
+  /// MemSync's profile-name assert by design).
+  bool InjectStalePair = false;
+
+  bool active() const { return EnableOracle; }
+};
+
+/// Parses the flags above from \p argv (non-destructive; unknown flags are
+/// left for other parsers, matching the obs/robustness flag style).
+StaticAnalysisOptions parseStaticAnalysisArgs(int argc, char **argv);
+
+/// One engine instance: owns the alias analysis and dependence tester for
+/// one (base-transformed) program and answers oracle fusions against any
+/// number of profiles.
+class StaticAnalysisEngine {
+public:
+  /// \p Contexts must be the table shared with the profiler runs; \p P must
+  /// be base-transformed identically to the profiled binaries so static ids
+  /// agree, and must outlive the engine.
+  StaticAnalysisEngine(const Program &P, ContextTable &Contexts);
+  ~StaticAnalysisEngine();
+
+  /// Runs points-to analysis and region enumeration. Idempotent.
+  void analyze();
+
+  /// Fuses the engine's static results against \p Profile; pruning and
+  /// forcing findings land in diags().
+  DepOracleResult fuse(const DepProfile &Profile, double ThresholdPercent);
+
+  const AliasAnalysis &alias() const { return *AA; }
+  const DepTester &tester() const { return *Tester; }
+  const Program &program() const { return Prog; }
+  DiagEngine &diags() { return Diags; }
+  const DiagEngine &diags() const { return Diags; }
+
+private:
+  const Program &Prog;
+  std::unique_ptr<AliasAnalysis> AA;
+  std::unique_ptr<DepTester> Tester;
+  DiagEngine Diags;
+  bool Analyzed = false;
+};
+
+/// Appends the stale-profile-simulation entry: a dependence pair whose
+/// instruction ids exist in no program (the id space is dense from 1).
+/// Mimics a profile gathered on a different build of the workload.
+void appendStaleProfilePair(DepProfile &Profile);
+
+/// Bridges ir/Verifier findings into structured diagnostics: each verifier
+/// error string becomes a Diag error in pass "verifier".
+void verifyProgramToDiags(const Program &P, DiagEngine &DE);
+
+} // namespace analysis
+} // namespace specsync
+
+#endif // SPECSYNC_ANALYSIS_STATICANALYSIS_H

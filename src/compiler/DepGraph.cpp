@@ -6,6 +6,8 @@
 
 #include "compiler/DepGraph.h"
 
+#include "analysis/DepOracle.h"
+
 #include <algorithm>
 #include <map>
 
@@ -51,9 +53,26 @@ private:
 
 DepGrouping specsync::buildGroups(const DepProfile &Profile,
                                   double FreqThresholdPercent) {
+  return buildGroups(Profile, FreqThresholdPercent, nullptr);
+}
+
+DepGrouping specsync::buildGroups(const DepProfile &Profile,
+                                  double FreqThresholdPercent,
+                                  const analysis::DepOracleResult *Oracle) {
   DepGrouping Result;
   std::vector<DepPairStat> Frequent =
       Profile.pairsAboveThreshold(FreqThresholdPercent);
+  if (Oracle) {
+    Frequent.erase(std::remove_if(Frequent.begin(), Frequent.end(),
+                                  [&](const DepPairStat &P) {
+                                    return Oracle->isPruned(P.Load, P.Store);
+                                  }),
+                   Frequent.end());
+    // Forced pairs are under-threshold or profile-absent by construction,
+    // so they never duplicate a frequent pair.
+    std::vector<DepPairStat> Forced = Oracle->forcedPairs();
+    Frequent.insert(Frequent.end(), Forced.begin(), Forced.end());
+  }
   if (Frequent.empty())
     return Result;
 

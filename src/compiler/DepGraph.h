@@ -22,6 +22,10 @@
 
 namespace specsync {
 
+namespace analysis {
+struct DepOracleResult;
+} // namespace analysis
+
 /// One synchronization group: a connected component of the frequent-
 /// dependence graph.
 struct SyncGroup {
@@ -45,6 +49,13 @@ struct DepGrouping {
 /// \p FreqThresholdPercent of epochs (the paper settles on 5%).
 DepGrouping buildGroups(const DepProfile &Profile,
                         double FreqThresholdPercent);
+
+/// Oracle-aware variant: frequent profile pairs the oracle pruned as
+/// statically IMPOSSIBLE are dropped, and the oracle's statically-forced
+/// MUST_SYNC pairs are spliced in as additional edges. With a null oracle
+/// this is exactly the overload above.
+DepGrouping buildGroups(const DepProfile &Profile, double FreqThresholdPercent,
+                        const analysis::DepOracleResult *Oracle);
 
 } // namespace specsync
 

@@ -75,7 +75,8 @@ MemSyncResult specsync::insertMemSync(Program &P,
   if (!Region.isValid())
     return Result;
 
-  Result.Grouping = buildGroups(Profile, Opts.FreqThresholdPercent);
+  Result.Grouping = buildGroups(Profile, Opts.FreqThresholdPercent,
+                                Opts.Oracle);
   Result.NumGroups = static_cast<unsigned>(Result.Grouping.Groups.size());
   if (Result.NumGroups == 0)
     return Result;

@@ -40,6 +40,12 @@ struct MemSyncOptions {
   /// A dependence is "frequent" when it occurs in more than this percentage
   /// of epochs (the paper's experiments settle on 5%).
   double FreqThresholdPercent = 5.0;
+
+  /// Fused static/dynamic dependence verdicts: frequent pairs the oracle
+  /// refuted are pruned from grouping and statically-forced MUST_SYNC
+  /// pairs are added. Null (the default) reproduces the paper's
+  /// profile-only behavior exactly.
+  const analysis::DepOracleResult *Oracle = nullptr;
 };
 
 struct MemSyncResult {

@@ -6,6 +6,8 @@
 
 #include "compiler/SignalAudit.h"
 
+#include "analysis/Diag.h"
+
 #include "compiler/EpochPaths.h"
 #include "ir/Dominators.h"
 #include "ir/LoopInfo.h"
@@ -291,4 +293,13 @@ SignalAuditResult specsync::auditSignalPlacement(const Program &P,
     CWarnings->add(R.Warnings.size());
   }
   return R;
+}
+
+void specsync::auditToDiags(const SignalAuditResult &R,
+                            const std::string &Binary,
+                            analysis::DiagEngine &DE) {
+  for (const std::string &E : R.Errors)
+    DE.error("signal-audit", "placement-error", Binary + " binary: " + E);
+  for (const std::string &W : R.Warnings)
+    DE.warning("signal-audit", "placement-warning", Binary + " binary: " + W);
 }

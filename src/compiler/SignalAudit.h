@@ -39,6 +39,10 @@
 
 namespace specsync {
 
+namespace analysis {
+class DiagEngine;
+} // namespace analysis
+
 struct SignalAuditResult {
   unsigned GroupsChecked = 0;
   unsigned ScopesChecked = 0; ///< (function, group) scopes audited.
@@ -54,6 +58,13 @@ struct SignalAuditResult {
 /// A program with no groups or no region audits clean trivially.
 SignalAuditResult auditSignalPlacement(const Program &P,
                                        unsigned NumMemGroups);
+
+/// Re-emits an audit result through the structured diagnostics layer:
+/// errors become Diag errors, warnings Diag warnings, all in pass
+/// "signal-audit" tagged with \p Binary (e.g. "C", "T"). The caller's
+/// werror policy then decides whether errors stop the pipeline.
+void auditToDiags(const SignalAuditResult &R, const std::string &Binary,
+                  analysis::DiagEngine &DE);
 
 } // namespace specsync
 

@@ -14,21 +14,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <iostream>
 
 using namespace specsync;
 
-namespace {
-
-void reportAudit(const char *Binary, const Workload &W,
-                 const SignalAuditResult &Audit) {
-  if (Audit.clean())
-    return;
-  std::cerr << "signal-placement audit failed (" << Binary << " binary, "
-            << W.Name << "): " << Audit.summary() << "\n";
-}
-
-} // namespace
 
 BenchmarkPipeline::BenchmarkPipeline(const Workload &W,
                                      const MachineConfig &Config,
@@ -106,6 +96,45 @@ void BenchmarkPipeline::prepare() {
     SeqBaseline = simulateSequential(Config, R.Trace);
   }
 
+  // Phase 3.5: static may-dependence analysis + oracle fusion. Runs on a
+  // fresh base-transformed ref build — deterministic builds make its static
+  // ids identical to the profiled binaries' — and cross-checks both
+  // profiles before they drive synchronization.
+  if (StaticOpts.EnableOracle) {
+    obs::ScopedPhaseTimer Timer("harness.prepare.static_analysis");
+    if (StaticOpts.InjectStalePair) {
+      // Stale-profile simulation: the oracle must refute these entries, or
+      // MemSync's profile-name lookup below would assert.
+      analysis::appendStaleProfilePair(RefProfile);
+      analysis::appendStaleProfilePair(TrainProfile);
+    }
+    AnalysisProg = Bench.Build(InputKind::Ref);
+    applyBaseTransforms(*AnalysisProg, Factor);
+    Engine = std::make_unique<analysis::StaticAnalysisEngine>(*AnalysisProg,
+                                                              Contexts);
+    Engine->analyze();
+    RefOracle = std::make_unique<analysis::DepOracleResult>(
+        Engine->fuse(RefProfile, FreqThreshold));
+    TrainOracle = std::make_unique<analysis::DepOracleResult>(
+        Engine->fuse(TrainProfile, FreqThreshold));
+    // The engine collected its region/fusion findings internally; fold
+    // them into the pipeline's aggregate so the report and the werror
+    // policy see one stream.
+    Diags.merge(Engine->diags());
+    if (obs::statsEnabled()) {
+      obs::StatRegistry &SR = obs::StatRegistry::global();
+      SR.counter("analysis.region.refs")->add(RefOracle->NumRefs);
+      for (const analysis::DepOracleResult *O :
+           {RefOracle.get(), TrainOracle.get()}) {
+        SR.counter("analysis.oracle.static_confirmed")
+            ->add(O->StaticConfirmed);
+        SR.counter("analysis.oracle.static_pruned")->add(O->StaticPruned);
+        SR.counter("analysis.oracle.static_forced")->add(O->StaticForced);
+        SR.counter("analysis.oracle.speculated")->add(O->Speculated);
+      }
+    }
+  }
+
   // Phase 4: compiler-synchronized binaries (ref and train profiles).
   MemSyncOptions MSOpts;
   MSOpts.FreqThresholdPercent = FreqThreshold;
@@ -113,10 +142,13 @@ void BenchmarkPipeline::prepare() {
     obs::ScopedPhaseTimer Timer("harness.prepare.build_c");
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     applyBaseTransforms(*P, Factor);
+    MSOpts.Oracle = RefOracle.get();
     RefMemSync = applyMemSync(*P, Contexts, RefProfile, MSOpts);
     RefAudit = auditSignalPlacement(*P, RefMemSync.NumGroups);
-    reportAudit("C", Bench, RefAudit);
-    assert(RefAudit.clean() && "C binary failed the signal-placement audit");
+    auditToDiags(RefAudit, "C", Diags);
+    if (StaticOpts.EnableOracle)
+      analysis::verifyProgramToDiags(*P, Diags);
+    checkWerror("C");
     for (const auto &[Name, Group] : RefMemSync.SyncedLoadSet)
       RefSyncSet.insert({Name.InstId, Name.Context});
     Interpreter I(*P, Contexts);
@@ -128,10 +160,13 @@ void BenchmarkPipeline::prepare() {
     obs::ScopedPhaseTimer Timer("harness.prepare.build_t");
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     applyBaseTransforms(*P, Factor);
+    MSOpts.Oracle = TrainOracle.get();
     TrainMemSync = applyMemSync(*P, Contexts, TrainProfile, MSOpts);
     TrainAudit = auditSignalPlacement(*P, TrainMemSync.NumGroups);
-    reportAudit("T", Bench, TrainAudit);
-    assert(TrainAudit.clean() && "T binary failed the signal-placement audit");
+    auditToDiags(TrainAudit, "T", Diags);
+    if (StaticOpts.EnableOracle)
+      analysis::verifyProgramToDiags(*P, Diags);
+    checkWerror("T");
     Interpreter I(*P, Contexts);
     InterpResult R = I.run();
     assert(R.Completed && "T binary did not terminate");
@@ -139,6 +174,27 @@ void BenchmarkPipeline::prepare() {
   }
 
   Prepared = true;
+}
+
+/// Applies the pipeline's werror policy after a build's checks ran: with
+/// AuditWerror (the default, keeping CI strict) any accumulated error
+/// diagnostic stops the run; otherwise findings are printed and the
+/// pipeline continues, matching the lint-not-assert contract.
+void BenchmarkPipeline::checkWerror(const char *Binary) {
+  // Print findings that arrived since the last check (notes are kept for
+  // the JSON report only; stderr gets warnings and errors).
+  for (size_t I = DiagsReported; I < Diags.diags().size(); ++I) {
+    const analysis::Diag &D = Diags.diags()[I];
+    if (D.Severity != analysis::DiagSeverity::Note)
+      std::cerr << Bench.Name << ": " << D.render() << "\n";
+  }
+  DiagsReported = Diags.diags().size();
+  if (StaticOpts.AuditWerror && Diags.hasErrors()) {
+    std::cerr << "fatal: " << Diags.numErrors() << " analysis error(s) on "
+              << Bench.Name << " (" << Binary
+              << " binary); rerun with --audit-no-werror to continue\n";
+    std::abort();
+  }
 }
 
 TLSSimResult

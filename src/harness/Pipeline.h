@@ -22,6 +22,7 @@
 #ifndef SPECSYNC_HARNESS_PIPELINE_H
 #define SPECSYNC_HARNESS_PIPELINE_H
 
+#include "analysis/StaticAnalysis.h"
 #include "compiler/LoopSelection.h"
 #include "compiler/MemSync.h"
 #include "compiler/SignalAudit.h"
@@ -59,6 +60,17 @@ public:
   /// produced by serializeDepProfile on the same workload.
   void setTrainProfile(DepProfile P);
 
+  /// Configures the static-analysis engine / DepOracle and the audit
+  /// werror policy; call before prepare(). With the defaults (oracle off)
+  /// the compiled binaries are bit-identical to a pipeline without the
+  /// analysis subsystem.
+  void setStaticAnalysis(const analysis::StaticAnalysisOptions &O) {
+    StaticOpts = O;
+  }
+  const analysis::StaticAnalysisOptions &staticAnalysis() const {
+    return StaticOpts;
+  }
+
   /// Figure 2/6 limit study: U-mode execution with perfect prediction of
   /// all loads whose dependence frequency exceeds \p Percent.
   ModeRunResult runWithPerfectLoads(double Percent);
@@ -78,6 +90,22 @@ public:
   /// Signal-placement audits of the ref- and train-profiled binaries.
   const SignalAuditResult &refAudit() const { return RefAudit; }
   const SignalAuditResult &trainAudit() const { return TrainAudit; }
+  /// Oracle verdict tables for the C (ref-profile) and T (train-profile)
+  /// builds; null unless the oracle was enabled before prepare().
+  const analysis::DepOracleResult *refOracle() const {
+    return RefOracle.get();
+  }
+  const analysis::DepOracleResult *trainOracle() const {
+    return TrainOracle.get();
+  }
+  /// Structured diagnostics accumulated by the analysis engine, the
+  /// verifier bridge and the signal-placement audit during prepare().
+  const analysis::DiagEngine &analysisDiags() const { return Diags; }
+  /// The engine itself (alias sets, enumerated refs); null unless the
+  /// oracle was enabled before prepare().
+  const analysis::StaticAnalysisEngine *staticEngine() const {
+    return Engine.get();
+  }
 
 private:
   ModeRunResult simulate(const ProgramTrace &Trace, TLSSimOptions Opts,
@@ -88,6 +116,8 @@ private:
   TLSSimResult sequentialFallback(const TLSSimResult &Attempt,
                                   const RegionTrace &Region,
                                   size_t RegionIdx) const;
+  /// Prints new diagnostics and aborts on errors when werror is active.
+  void checkWerror(const char *Binary);
 
   const Workload &Bench;
   const MachineConfig &Config;
@@ -107,6 +137,16 @@ private:
   SignalAuditResult RefAudit;
   SignalAuditResult TrainAudit;
   std::unique_ptr<DepProfile> TrainOverride; ///< Set via setTrainProfile.
+
+  analysis::StaticAnalysisOptions StaticOpts;
+  analysis::DiagEngine Diags;
+  /// The analysis build (base-transformed ref program) must outlive the
+  /// engine, which must outlive the oracle results that reference neither.
+  std::unique_ptr<Program> AnalysisProg;
+  std::unique_ptr<analysis::StaticAnalysisEngine> Engine;
+  std::unique_ptr<analysis::DepOracleResult> RefOracle;
+  std::unique_ptr<analysis::DepOracleResult> TrainOracle;
+  size_t DiagsReported = 0; ///< Diags already printed by checkWerror.
 
   LoadNameSet RefSyncSet;
 

@@ -180,6 +180,25 @@ void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
     for (const BenchmarkModeResults::Entry &E : B.Entries)
       writeModeRunResultJson(W, E.Label, E.Result);
     W.endArray();
+    // Present only when the static oracle ran for this benchmark; absent,
+    // the document stays byte-identical to pre-analysis schemas.
+    if (B.OracleRef || B.OracleTrain) {
+      W.key("static_analysis");
+      W.beginObject();
+      if (B.OracleRef) {
+        W.key("ref");
+        B.OracleRef->writeJson(W);
+      }
+      if (B.OracleTrain) {
+        W.key("train");
+        B.OracleTrain->writeJson(W);
+      }
+      if (B.AnalysisDiags) {
+        W.key("diagnostics");
+        B.AnalysisDiags->writeJson(W);
+      }
+      W.endObject();
+    }
     W.endObject();
   }
   W.endArray();

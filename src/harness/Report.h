@@ -13,8 +13,11 @@
 #ifndef SPECSYNC_HARNESS_REPORT_H
 #define SPECSYNC_HARNESS_REPORT_H
 
+#include "analysis/DepOracle.h"
+#include "analysis/Diag.h"
 #include "harness/Experiment.h"
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -53,6 +56,14 @@ struct BenchmarkModeResults {
   /// The workload's PRNG seed; emitted (with the fault seed) when a
   /// robustness run is being reported so the run can be replayed exactly.
   uint64_t WorkloadSeed = 0;
+
+  /// Static-analysis payload: the oracle verdict tables of the C
+  /// (ref-profile) and T (train-profile) builds plus the accumulated
+  /// diagnostics. Null (the default) omits the `static_analysis` block
+  /// entirely, keeping reports byte-identical to pre-analysis schemas.
+  std::shared_ptr<const analysis::DepOracleResult> OracleRef;
+  std::shared_ptr<const analysis::DepOracleResult> OracleTrain;
+  std::shared_ptr<const analysis::DiagEngine> AnalysisDiags;
 };
 
 /// Serializes one mode run: every TLSSimResult counter, the slot

@@ -26,7 +26,10 @@ namespace specsync {
 /// In[b] = Gen[b] || (!Kill[b] && Out[b]);  Out[b] = OR over succs' In.
 ///
 /// \p Restrict limits propagation to a block subset (e.g. a loop body);
-/// successors outside the subset contribute \p BoundaryValue.
+/// successors outside the subset contribute \p BoundaryValue. Blocks
+/// unreachable from the function entry are excluded entirely (their facts
+/// stay false): they can never execute, so they must neither receive the
+/// boundary value nor contribute facts to live blocks.
 /// \returns the In[] vector indexed by block.
 std::vector<bool> solveBackwardMay(const CFG &G, const std::vector<bool> &Gen,
                                    const std::vector<bool> &Kill,
@@ -35,6 +38,9 @@ std::vector<bool> solveBackwardMay(const CFG &G, const std::vector<bool> &Gen,
 
 /// Solves a forward "may" (union) problem over single-bit facts:
 /// Out[b] = Gen[b] || (!Kill[b] && In[b]);  In[b] = OR over preds' Out.
+/// Unreachable blocks are excluded as in solveBackwardMay — in particular
+/// a dead predecessor-less block no longer masquerades as a subproblem
+/// entry and leaks the boundary value into live successors.
 /// \returns the Out[] vector indexed by block.
 std::vector<bool> solveForwardMay(const CFG &G, const std::vector<bool> &Gen,
                                   const std::vector<bool> &Kill,
@@ -52,7 +58,7 @@ inline std::vector<bool> solveBackwardMay(const CFG &G,
   while (Changed) {
     Changed = false;
     for (unsigned B = 0; B < N; ++B) {
-      if (!Restrict[B])
+      if (!Restrict[B] || !G.isReachable(B))
         continue;
       bool NewOut = false;
       for (unsigned S : G.successors(B))
@@ -81,11 +87,15 @@ inline std::vector<bool> solveForwardMay(const CFG &G,
   while (Changed) {
     Changed = false;
     for (unsigned B = 0; B < N; ++B) {
-      if (!Restrict[B])
+      if (!Restrict[B] || !G.isReachable(B))
         continue;
       bool NewIn = false;
       bool HasPred = false;
       for (unsigned P : G.predecessors(B)) {
+        // A dead predecessor's edge can never transfer control: it must
+        // not inject the boundary value (or anything else) here.
+        if (!G.isReachable(P))
+          continue;
         HasPred = true;
         NewIn = NewIn || (Restrict[P] ? Out[P] : BoundaryValue);
       }

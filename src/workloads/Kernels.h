@@ -33,6 +33,11 @@ std::unique_ptr<Program> buildBzip2Comp(InputKind Input);   // 256.bzip2 comp
 std::unique_ptr<Program> buildBzip2Decomp(InputKind Input); // 256.bzip2 dec.
 std::unique_ptr<Program> buildTwolf(InputKind Input);       // 300.twolf
 
+/// Static-analysis demo (extraWorkloads(), not a Table 2 row): an
+/// input-gated producer the train profile never sees but the static
+/// engine proves must-alias — exercising the oracle's forced-sync path.
+std::unique_ptr<Program> buildStaticDemo(InputKind Input);
+
 } // namespace specsync
 
 #endif // SPECSYNC_WORKLOADS_KERNELS_H

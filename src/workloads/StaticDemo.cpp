@@ -1,0 +1,101 @@
+//===- workloads/StaticDemo.cpp - Static-analysis demo kernel ----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstration kernel for the static may-dependence engine. Every epoch
+/// loads a shared accumulator early; an *input-gated* conditional store
+/// updates it late in the epoch. The gate global is part of the input
+/// data: the ref input enables the update path (~40% of epochs fire it,
+/// so the ref profile reports the dependence as frequent), while the
+/// train input never takes it — the (load, store) pair is completely
+/// absent from the train profile. The static engine proves the pair
+/// must-alias regardless of input (both references use the same constant
+/// address), so the train-profile fusion force-synchronizes it: the
+/// "statically-forced MUST_SYNC pair absent from the profile" case the
+/// oracle exists to catch.
+///
+/// Not part of the paper's Table 2 set — registered via extraWorkloads()
+/// so figure/table binaries are unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildStaticDemo(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x57A71CD0 : 0x57A71C42);
+
+  uint64_t Shared = P->addGlobal("shared_acc", 8);
+  uint64_t Gate = P->addGlobal("gate", 8);
+  uint64_t Table = P->addGlobal("table", 64 * 8);
+  uint64_t Scratch = P->addGlobal("scratch", 64 * 8);
+  uint64_t Out = P->addGlobal("out", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  B.emitStore(Shared, 7);
+  // The gate is input data, not code: train input never enables the
+  // update path, so the dependence below never reaches the train profile.
+  B.emitStore(Gate, Ref ? 1 : 0);
+  {
+    LoopBlocks Init = makeCountedLoop(B, 64, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), Table);
+    B.emitStore(A, B.emitMul(Init.IndVar, 13));
+    closeLoop(B, Init);
+  }
+
+  int64_t Epochs = Ref ? 800 : 320;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 120;
+  emitCoverageFiller(B, RegionEstimate / 2, 20, Scratch, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  BasicBlock *Upd = &Main.addBlock("update");
+  BasicBlock *Skip = &Main.addBlock("skip");
+  BasicBlock *Join = &Main.addBlock("join");
+  {
+    Reg R = B.emitRand();
+
+    // The consumer: every epoch reads the shared accumulator up front.
+    Reg Acc = B.emitLoad(Shared);
+    Reg W = emitAluWork(B, 60, B.emitXor(Acc, R));
+    Reg TV =
+        B.emitLoad(B.emitAdd(B.emitShl(B.emitAnd(R, 63), 3), Table));
+    Reg W2 = emitAluWork(B, 20, B.emitAdd(W, TV));
+
+    // The producer: gated on input data AND a ~40% per-epoch coin.
+    Reg G = B.emitLoad(Gate);
+    Reg Hot = emitPercentFlag(B, R, 3, 40);
+    Reg Do = B.emitAnd(G, Hot);
+    B.emitCondBr(Do, *Upd, *Skip);
+    B.setInsertPoint(&Main, Upd);
+    {
+      B.emitStore(Shared, B.emitOr(B.emitAnd(W2, 0xffff), 1));
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, Skip);
+    {
+      B.emitStore(Out + 24, W2);
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, Join);
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(W2, 63), 3), Out), W2);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 20, Scratch, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

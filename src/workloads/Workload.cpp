@@ -63,8 +63,21 @@ const std::vector<Workload> &specsync::allWorkloads() {
   return Workloads;
 }
 
+const std::vector<Workload> &specsync::extraWorkloads() {
+  static const std::vector<Workload> Extras = {
+      {"STATIC_DEMO", "(none; analysis demo)",
+       "input-gated producer: absent from the train profile, provably "
+       "must-alias — forces a static MUST_SYNC",
+       1.00, buildStaticDemo},
+  };
+  return Extras;
+}
+
 const Workload *specsync::findWorkload(const std::string &Name) {
   for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return &W;
+  for (const Workload &W : extraWorkloads())
     if (W.Name == Name)
       return &W;
   return nullptr;

@@ -53,7 +53,13 @@ struct Workload {
 /// All 15 benchmarks in the paper's Table 2 order.
 const std::vector<Workload> &allWorkloads();
 
-/// Finds a workload by short name; nullptr if unknown.
+/// Demonstration workloads that are not part of the paper's Table 2 set.
+/// Kept out of allWorkloads() so every figure/table binary's output is
+/// unchanged; findWorkload() searches them too.
+const std::vector<Workload> &extraWorkloads();
+
+/// Finds a workload by short name (Table 2 set first, then the extras);
+/// nullptr if unknown.
 const Workload *findWorkload(const std::string &Name);
 
 } // namespace specsync

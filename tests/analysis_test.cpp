@@ -1,0 +1,518 @@
+//===- tests/analysis_test.cpp - Static-analysis engine tests ---*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the static may-dependence engine: alias analysis verdicts, the
+// loop-carried dependence tester's classification lattice, oracle fusion
+// against hand-built and real profiles (golden verdict tables), the
+// threshold-invariance property of MUST_SYNC pairs, the structured
+// diagnostics layer, and the pipeline-level demos (forced-absent pair on
+// STATIC_DEMO, stale-profile pruning, oracle-off bit-identity).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+#include "analysis/DepOracle.h"
+#include "analysis/DepTester.h"
+#include "analysis/Diag.h"
+#include "analysis/StaticAnalysis.h"
+#include "compiler/SignalAudit.h"
+#include "harness/Pipeline.h"
+#include "obs/Json.h"
+#include "workloads/KernelCommon.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+using namespace specsync;
+using namespace specsync::analysis;
+
+namespace {
+
+enum class StoreShape {
+  Conditional, ///< Store to the shared word on ~half the iterations.
+  AfterLoad,   ///< Unconditional store, after the load (distance-1 dep).
+  BeforeLoad,  ///< Unconditional store, before the load (intra-epoch kill).
+};
+
+/// A minimal region: `for (i) { load shared; ...; store shared; store
+/// arr[i] }` with the shared-word store shaped per \p Shape.
+struct RegionFixture {
+  Program P;
+  ContextTable Contexts;
+  DiagEngine DE;
+  std::unique_ptr<AliasAnalysis> AA;
+  std::unique_ptr<DepTester> Tester;
+  unsigned SharedIdx = 0;
+
+  explicit RegionFixture(StoreShape Shape) {
+    uint64_t Shared = P.addGlobal("shared", 8);
+    uint64_t Arr = P.addGlobal("arr", 64 * 8);
+    Function &Main = P.addFunction("main", 0);
+    IRBuilder B(P);
+    BasicBlock &Entry = Main.addBlock("entry");
+    B.setInsertPoint(&Main, &Entry);
+    B.emitStore(Shared, 5);
+
+    LoopBlocks L = makeCountedLoop(B, 10, "par");
+    Reg R = B.emitRand();
+    if (Shape == StoreShape::BeforeLoad)
+      B.emitStore(Shared, B.emitAnd(R, 0xff));
+    Reg V = B.emitLoad(Shared);
+    Reg W = B.emitXor(V, R);
+    switch (Shape) {
+    case StoreShape::Conditional: {
+      BasicBlock *Upd = &Main.addBlock("upd");
+      BasicBlock *Join = &Main.addBlock("join");
+      B.emitCondBr(B.emitAnd(R, 1), *Upd, *Join);
+      B.setInsertPoint(&Main, Upd);
+      B.emitStore(Shared, W);
+      B.emitBr(*Join);
+      B.setInsertPoint(&Main, Join);
+      break;
+    }
+    case StoreShape::AfterLoad:
+      B.emitStore(Shared, W);
+      break;
+    case StoreShape::BeforeLoad:
+      break;
+    }
+    B.emitStore(B.emitAdd(B.emitShl(L.IndVar, 3), Arr), W);
+    closeLoop(B, L);
+    B.emitRet(0);
+
+    P.setEntry(Main.getIndex());
+    P.setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+    P.assignIds();
+
+    AA = std::make_unique<AliasAnalysis>(P);
+    AA->run();
+    Tester = std::make_unique<DepTester>(P, *AA, Contexts);
+    Tester->analyzeRegion(&DE);
+  }
+
+  /// The unique ref matching (IsLoad, targets the shared word?).
+  const MemRef &ref(bool IsLoad, bool Shared) const {
+    const MemRef *Found = nullptr;
+    for (const MemRef &R : Tester->refs()) {
+      if (R.IsLoad != IsLoad)
+        continue;
+      bool TargetsShared = R.Addr.ByGlobal.count(SharedIdx) != 0;
+      if (TargetsShared != Shared)
+        continue;
+      EXPECT_EQ(Found, nullptr) << "ambiguous ref query";
+      Found = &R;
+    }
+    EXPECT_NE(Found, nullptr);
+    return *Found;
+  }
+
+  DepProfile profileWith(const MemRef &Load, const MemRef &Store,
+                         uint64_t EpochsWithDep, uint64_t TotalEpochs) {
+    DepProfile Prof;
+    Prof.TotalEpochs = TotalEpochs;
+    DepPairStat S;
+    S.Load = Load.Name;
+    S.Store = Store.Name;
+    S.Count = EpochsWithDep;
+    S.EpochsWithDep = EpochsWithDep;
+    Prof.Pairs[{S.Load, S.Store}] = S;
+    return Prof;
+  }
+};
+
+const OracleEntry *findEntry(const DepOracleResult &R, const RefName &Load,
+                             const RefName &Store) {
+  for (const OracleEntry &E : R.Entries)
+    if (E.Load == Load && E.Store == Store)
+      return &E;
+  return nullptr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Alias analysis
+//===----------------------------------------------------------------------===//
+
+TEST(AliasAnalysisTest, SharedWordIsSingletonDistinctGlobalsDisjoint) {
+  RegionFixture F(StoreShape::Conditional);
+  const MemRef &Load = F.ref(/*IsLoad=*/true, /*Shared=*/true);
+  const MemRef &StoreShared = F.ref(false, true);
+  const MemRef &StoreArr = F.ref(false, false);
+
+  EXPECT_TRUE(Load.Addr.isSingleton());
+  EXPECT_TRUE(StoreShared.Addr.isSingleton());
+  EXPECT_FALSE(StoreArr.Addr.isSingleton()); // Indexed by the indvar.
+
+  EXPECT_EQ(F.AA->alias(Load.Addr, StoreShared.Addr),
+            AliasResult::MustAlias);
+  EXPECT_EQ(F.AA->alias(Load.Addr, StoreArr.Addr), AliasResult::NoAlias);
+}
+
+TEST(AliasAnalysisTest, RendersHumanReadableAddresses) {
+  RegionFixture F(StoreShape::Conditional);
+  EXPECT_EQ(F.ref(true, true).Addr.render(F.P), "shared[+0]");
+  std::string Arr = F.ref(false, false).Addr.render(F.P);
+  EXPECT_NE(Arr.find("arr"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Dependence tester
+//===----------------------------------------------------------------------===//
+
+TEST(DepTesterTest, ConditionalStoreIsMustAddr) {
+  RegionFixture F(StoreShape::Conditional);
+  EXPECT_TRUE(F.Tester->isComplete());
+  const MemRef &Load = F.ref(true, true);
+  const MemRef &Store = F.ref(false, true);
+  EXPECT_TRUE(Load.MustExec);
+  EXPECT_FALSE(Store.MustExec);
+  StaticDepResult R = F.Tester->classify(Store, Load);
+  EXPECT_EQ(R.Kind, StaticDepKind::MustAddr);
+  EXPECT_FALSE(R.Distance1);
+}
+
+TEST(DepTesterTest, UnconditionalStoreAfterLoadIsMustDistance1) {
+  RegionFixture F(StoreShape::AfterLoad);
+  StaticDepResult R =
+      F.Tester->classify(F.ref(false, true), F.ref(true, true));
+  EXPECT_EQ(R.Kind, StaticDepKind::Must);
+  EXPECT_TRUE(R.Distance1);
+}
+
+TEST(DepTesterTest, MustExecStoreBeforeLoadKillsTheDependence) {
+  // The store writes the shared word on every iteration *before* the load
+  // reads it: the load always observes the current epoch's value, so no
+  // loop-carried dependence can exist.
+  RegionFixture F(StoreShape::BeforeLoad);
+  StaticDepResult R =
+      F.Tester->classify(F.ref(false, true), F.ref(true, true));
+  EXPECT_EQ(R.Kind, StaticDepKind::NoDep);
+}
+
+TEST(DepTesterTest, DisjointGlobalsAreNoDep) {
+  RegionFixture F(StoreShape::Conditional);
+  StaticDepResult R =
+      F.Tester->classify(F.ref(false, false), F.ref(true, true));
+  EXPECT_EQ(R.Kind, StaticDepKind::NoDep);
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle fusion (golden verdicts on the hand-built region)
+//===----------------------------------------------------------------------===//
+
+TEST(DepOracleTest, FrequentProfilePairIsConfirmed) {
+  RegionFixture F(StoreShape::Conditional);
+  const MemRef &Load = F.ref(true, true);
+  const MemRef &Store = F.ref(false, true);
+  DepProfile Prof = F.profileWith(Load, Store, 50, 100);
+
+  DepOracleResult R = DepOracle(*F.Tester).fuse(Prof, 5.0, &F.DE);
+  ASSERT_EQ(R.Entries.size(), 1u);
+  const OracleEntry &E = R.Entries[0];
+  EXPECT_EQ(E.Verdict, DepVerdict::MustSync);
+  EXPECT_EQ(E.Reason, "confirmed");
+  EXPECT_FALSE(E.Forced);
+  EXPECT_EQ(R.StaticConfirmed, 1u);
+  EXPECT_DOUBLE_EQ(E.FreqPercent, 50.0);
+}
+
+TEST(DepOracleTest, UnderThresholdMustAddrPairIsForced) {
+  RegionFixture F(StoreShape::Conditional);
+  const MemRef &Load = F.ref(true, true);
+  const MemRef &Store = F.ref(false, true);
+  DepProfile Prof = F.profileWith(Load, Store, 2, 100); // 2% < 5%.
+
+  DepOracleResult R = DepOracle(*F.Tester).fuse(Prof, 5.0, &F.DE);
+  const OracleEntry *E = findEntry(R, Load.Name, Store.Name);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Verdict, DepVerdict::MustSync);
+  EXPECT_TRUE(E->Forced);
+  EXPECT_EQ(E->Reason, "forced-under-threshold");
+  EXPECT_EQ(R.StaticForced, 1u);
+}
+
+TEST(DepOracleTest, PairAbsentFromProfileIsForced) {
+  RegionFixture F(StoreShape::Conditional);
+  DepProfile Empty;
+  Empty.TotalEpochs = 100;
+
+  DepOracleResult R = DepOracle(*F.Tester).fuse(Empty, 5.0, &F.DE);
+  const OracleEntry *E =
+      findEntry(R, F.ref(true, true).Name, F.ref(false, true).Name);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Verdict, DepVerdict::MustSync);
+  EXPECT_TRUE(E->Forced);
+  EXPECT_FALSE(E->InProfile);
+  EXPECT_EQ(E->Reason, "forced-absent-from-profile");
+
+  // forcedPairs() feeds DepGraph grouping: it must carry both names.
+  std::vector<DepPairStat> Forced = R.forcedPairs();
+  ASSERT_EQ(Forced.size(), 1u);
+  EXPECT_EQ(Forced[0].Load, E->Load);
+  EXPECT_EQ(Forced[0].Store, E->Store);
+}
+
+TEST(DepOracleTest, StaleProfileEntryIsPrunedWithDiagnostic) {
+  RegionFixture F(StoreShape::AfterLoad);
+  const MemRef &Load = F.ref(true, true);
+  const MemRef &Store = F.ref(false, true);
+  DepProfile Prof = F.profileWith(Load, Store, 90, 100);
+  appendStaleProfilePair(Prof);
+  ASSERT_EQ(Prof.Pairs.size(), 2u);
+
+  size_t WarningsBefore = F.DE.numWarnings();
+  DepOracleResult R = DepOracle(*F.Tester).fuse(Prof, 5.0, &F.DE);
+
+  unsigned Pruned = 0;
+  for (const OracleEntry &E : R.Entries)
+    if (E.Pruned) {
+      ++Pruned;
+      EXPECT_EQ(E.Verdict, DepVerdict::Impossible);
+      EXPECT_EQ(E.Reason, "ref-not-in-region");
+      EXPECT_TRUE(R.isPruned(E.Load, E.Store));
+    }
+  EXPECT_EQ(Pruned, 1u);
+  EXPECT_EQ(R.StaticPruned, 1u);
+  EXPECT_EQ(R.StaticConfirmed, 1u); // The real pair is untouched.
+  EXPECT_GT(F.DE.numWarnings(), WarningsBefore);
+  EXPECT_FALSE(R.isPruned(Load.Name, Store.Name));
+}
+
+TEST(DepOracleTest, StaticallyRefutedKilledPairIsPruned) {
+  // Profile claims a loop-carried dep on a pair the tester proves is
+  // killed intra-epoch (must-exec store precedes the load).
+  RegionFixture F(StoreShape::BeforeLoad);
+  const MemRef &Load = F.ref(true, true);
+  const MemRef &Store = F.ref(false, true);
+  DepProfile Prof = F.profileWith(Load, Store, 80, 100);
+
+  DepOracleResult R = DepOracle(*F.Tester).fuse(Prof, 5.0, &F.DE);
+  const OracleEntry *E = findEntry(R, Load.Name, Store.Name);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Verdict, DepVerdict::Impossible);
+  EXPECT_EQ(E->Reason, "statically-refuted");
+  EXPECT_TRUE(R.isPruned(Load.Name, Store.Name));
+}
+
+//===----------------------------------------------------------------------===//
+// Property: MUST_SYNC pairs survive every threshold
+//===----------------------------------------------------------------------===//
+
+TEST(DepOracleTest, MustSyncPairsAreThresholdInvariant) {
+  for (StoreShape Shape :
+       {StoreShape::Conditional, StoreShape::AfterLoad}) {
+    RegionFixture F(Shape);
+    const MemRef &Load = F.ref(true, true);
+    const MemRef &Store = F.ref(false, true);
+    DepProfile Prof = F.profileWith(Load, Store, 3, 100); // 3% frequency.
+
+    DepOracle Oracle(*F.Tester);
+    for (double Threshold : {0.5, 1.0, 5.0, 20.0, 80.0, 99.0}) {
+      DepOracleResult R = Oracle.fuse(Prof, Threshold, nullptr);
+      const OracleEntry *E = findEntry(R, Load.Name, Store.Name);
+      ASSERT_NE(E, nullptr) << "threshold " << Threshold;
+      // A statically proven same-address pair is MUST_SYNC at *every*
+      // threshold and can never be pruned by threshold motion.
+      EXPECT_EQ(E->Verdict, DepVerdict::MustSync)
+          << "threshold " << Threshold;
+      EXPECT_FALSE(E->Pruned) << "threshold " << Threshold;
+      EXPECT_TRUE(E->Static == StaticDepKind::Must ||
+                  E->Static == StaticDepKind::MustAddr);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics layer
+//===----------------------------------------------------------------------===//
+
+TEST(DiagTest, CountsAndRendersBySeverity) {
+  DiagEngine DE;
+  DE.note("p", "c1", "a note");
+  DE.error("signal-audit", "placement-error", "boom").Func = 0;
+  DE.warning("dep-oracle", "pruned-profile-entry", "meh");
+  EXPECT_EQ(DE.numErrors(), 1u);
+  EXPECT_EQ(DE.numWarnings(), 1u);
+  EXPECT_TRUE(DE.hasErrors());
+
+  std::string All = DE.renderAll();
+  // Errors first, then warnings, then notes.
+  EXPECT_LT(All.find("error"), All.find("warning"));
+  EXPECT_LT(All.find("warning"), All.find("note"));
+  EXPECT_NE(All.find("[placement-error]"), std::string::npos);
+}
+
+TEST(DiagTest, MergeAggregatesCounts) {
+  DiagEngine A, B;
+  A.error("p", "c", "x");
+  B.warning("q", "d", "y");
+  B.note("q", "e", "z");
+  A.merge(B);
+  EXPECT_EQ(A.diags().size(), 3u);
+  EXPECT_EQ(A.numErrors(), 1u);
+  EXPECT_EQ(A.numWarnings(), 1u);
+}
+
+TEST(DiagTest, WritesJsonArray) {
+  DiagEngine DE;
+  DE.warning("dep-oracle", "pruned-profile-entry", "msg");
+  std::ostringstream OS;
+  {
+    obs::JsonWriter W(OS);
+    DE.writeJson(W);
+  }
+  EXPECT_NE(OS.str().find("\"pruned-profile-entry\""), std::string::npos);
+  EXPECT_NE(OS.str().find("\"warning\""), std::string::npos);
+}
+
+TEST(DiagTest, AuditFindingsBecomeDiags) {
+  SignalAuditResult A;
+  A.Errors.push_back("group 0 reaches exit without signaling");
+  A.Warnings.push_back("redundant null signal");
+  DiagEngine DE;
+  auditToDiags(A, "C", DE);
+  EXPECT_EQ(DE.numErrors(), 1u);
+  EXPECT_EQ(DE.numWarnings(), 1u);
+  EXPECT_NE(DE.renderAll().find("C binary"), std::string::npos);
+}
+
+TEST(DiagTest, VerifierBridgeReportsOnCleanProgram) {
+  RegionFixture F(StoreShape::Conditional);
+  DiagEngine DE;
+  verifyProgramToDiags(F.P, DE);
+  EXPECT_FALSE(DE.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline-level demos (STATIC_DEMO workload + real benchmarks)
+//===----------------------------------------------------------------------===//
+
+TEST(StaticPipelineTest, StaticDemoForcesTrainPairAbsentFromProfile) {
+  StaticAnalysisOptions Opts;
+  Opts.EnableOracle = true;
+  const Workload *W = findWorkload("STATIC_DEMO");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline Pipeline(*W, Config);
+  Pipeline.setStaticAnalysis(Opts);
+  Pipeline.prepare();
+
+  const DepOracleResult *Ref = Pipeline.refOracle();
+  const DepOracleResult *Train = Pipeline.trainOracle();
+  ASSERT_NE(Ref, nullptr);
+  ASSERT_NE(Train, nullptr);
+  EXPECT_TRUE(Ref->Complete);
+
+  // Golden verdict table: the ref input exercises the gated store (the
+  // pair is hot and confirmed); the train input never does (the pair is
+  // missing and must be statically forced).
+  ASSERT_EQ(Ref->Entries.size(), 1u);
+  EXPECT_EQ(Ref->Entries[0].Reason, "confirmed");
+  EXPECT_EQ(Ref->Entries[0].Static, StaticDepKind::MustAddr);
+  EXPECT_GT(Ref->Entries[0].FreqPercent, 50.0);
+
+  ASSERT_EQ(Train->Entries.size(), 1u);
+  EXPECT_EQ(Train->Entries[0].Reason, "forced-absent-from-profile");
+  EXPECT_TRUE(Train->Entries[0].Forced);
+  EXPECT_FALSE(Train->Entries[0].InProfile);
+  EXPECT_EQ(Train->StaticForced, 1u);
+
+  // Both fusions name the same (load, store) pair.
+  EXPECT_EQ(Ref->Entries[0].Load, Train->Entries[0].Load);
+  EXPECT_EQ(Ref->Entries[0].Store, Train->Entries[0].Store);
+
+  // With the pair forced, the train-profile binary (mode T) synchronizes
+  // it and must complete.
+  ModeRunResult T = Pipeline.run(ExecMode::T);
+  EXPECT_TRUE(T.Sim.Completed);
+}
+
+TEST(StaticPipelineTest, StaleDemoPrunesInjectedPairEndToEnd) {
+  StaticAnalysisOptions Opts;
+  Opts.EnableOracle = true;
+  Opts.InjectStalePair = true;
+  const Workload *W = findWorkload("GO");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline Pipeline(*W, Config);
+  Pipeline.setStaticAnalysis(Opts);
+  Pipeline.prepare(); // Unpruned, the stale entry would assert in MemSync.
+
+  ASSERT_NE(Pipeline.refOracle(), nullptr);
+  EXPECT_EQ(Pipeline.refOracle()->StaticPruned, 1u);
+  EXPECT_EQ(Pipeline.trainOracle()->StaticPruned, 1u);
+
+  bool SawPrunedDiag = false;
+  for (const Diag &D : Pipeline.analysisDiags().diags())
+    SawPrunedDiag |= D.Code == "pruned-profile-entry";
+  EXPECT_TRUE(SawPrunedDiag);
+
+  ModeRunResult C = Pipeline.run(ExecMode::C);
+  EXPECT_TRUE(C.Sim.Completed);
+}
+
+TEST(StaticPipelineTest, OracleOffIsBitIdenticalAndAbsent) {
+  const Workload *W = findWorkload("GO");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+
+  BenchmarkPipeline Plain(*W, Config);
+  Plain.prepare();
+  EXPECT_EQ(Plain.refOracle(), nullptr);
+  EXPECT_EQ(Plain.staticEngine(), nullptr);
+  ModeRunResult PlainC = Plain.run(ExecMode::C);
+
+  // Oracle on: GO's only verdict is "confirmed", so grouping — and hence
+  // the simulated schedule — is unchanged.
+  StaticAnalysisOptions Opts;
+  Opts.EnableOracle = true;
+  BenchmarkPipeline WithOracle(*W, Config);
+  WithOracle.setStaticAnalysis(Opts);
+  WithOracle.prepare();
+  ASSERT_NE(WithOracle.refOracle(), nullptr);
+  EXPECT_EQ(WithOracle.refOracle()->StaticForced, 0u);
+  EXPECT_EQ(WithOracle.refOracle()->StaticPruned, 0u);
+  ModeRunResult OracleC = WithOracle.run(ExecMode::C);
+
+  EXPECT_EQ(PlainC.Sim.Cycles, OracleC.Sim.Cycles);
+  EXPECT_EQ(PlainC.Sim.Violations, OracleC.Sim.Violations);
+  EXPECT_EQ(PlainC.Sim.EpochsCommitted, OracleC.Sim.EpochsCommitted);
+}
+
+TEST(StaticPipelineTest, ExtraWorkloadsRegistryIsSeparate) {
+  // STATIC_DEMO must be findable but must not appear in allWorkloads()
+  // (figure/table outputs would change otherwise).
+  EXPECT_NE(findWorkload("STATIC_DEMO"), nullptr);
+  for (const Workload &W : allWorkloads())
+    EXPECT_NE(W.Name, "STATIC_DEMO");
+  EXPECT_EQ(allWorkloads().size(), 15u);
+  EXPECT_EQ(findWorkload("NO_SUCH_BENCH"), nullptr);
+}
+
+TEST(StaticPipelineTest, OracleJsonCarriesVerdictsAndCounters) {
+  StaticAnalysisOptions Opts;
+  Opts.EnableOracle = true;
+  const Workload *W = findWorkload("STATIC_DEMO");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline Pipeline(*W, Config);
+  Pipeline.setStaticAnalysis(Opts);
+  Pipeline.prepare();
+
+  std::ostringstream OS;
+  {
+    obs::JsonWriter Wr(OS);
+    Pipeline.trainOracle()->writeJson(Wr);
+  }
+  std::string J = OS.str();
+  EXPECT_NE(J.find("\"forced-absent-from-profile\""), std::string::npos);
+  EXPECT_NE(J.find("\"counters\""), std::string::npos);
+  EXPECT_NE(J.find("\"static_forced\""), std::string::npos);
+}

@@ -181,3 +181,88 @@ TEST(DataflowTest, ForwardMayReachesSuccessors) {
   EXPECT_TRUE(Out[3]); // Through the 1 -> 3 edge.
   EXPECT_FALSE(Out[2]);
 }
+
+TEST(DataflowTest, ForwardUnreachableBlockDoesNotLeakBoundary) {
+  // 0 -> 2; block 1 is unreachable but also branches to 2. Before the
+  // reachability guard, predecessor-less block 1 was treated as a
+  // subproblem entry, received BoundaryValue=true, and leaked it into
+  // live block 2.
+  GraphFixture G(3, {{0, 2}, {1, 2}});
+  CFG C(*G.F);
+  ASSERT_FALSE(C.isReachable(1));
+  std::vector<bool> Gen(3, false);
+  std::vector<bool> Kill(3, false);
+  std::vector<bool> All(3, true);
+  std::vector<bool> Out = solveForwardMay(C, Gen, Kill, All,
+                                          /*BoundaryValue=*/true);
+  EXPECT_TRUE(Out[0]); // Real entry still seeded with the boundary.
+  EXPECT_FALSE(Out[1]); // Dead block holds no facts at all...
+  EXPECT_TRUE(Out[2]); // ...but 2 still gets the boundary through 0.
+
+  // With Gen planted only in the dead block nothing may escape it.
+  Gen[1] = true;
+  Out = solveForwardMay(C, Gen, Kill, All, /*BoundaryValue=*/false);
+  EXPECT_FALSE(Out[0]);
+  EXPECT_FALSE(Out[1]);
+  EXPECT_FALSE(Out[2]);
+}
+
+TEST(DataflowTest, BackwardUnreachableBlockHoldsNoFacts) {
+  // Dead block 1 generates a fact and precedes live block 2; the solver
+  // must not compute anything for it (nor diverge).
+  GraphFixture G(3, {{0, 2}, {1, 2}});
+  CFG C(*G.F);
+  std::vector<bool> Gen = {false, true, false};
+  std::vector<bool> Kill(3, false);
+  std::vector<bool> All(3, true);
+  std::vector<bool> In = solveBackwardMay(C, Gen, Kill, All,
+                                          /*BoundaryValue=*/true);
+  EXPECT_TRUE(In[0]); // Boundary flows back from exit block 2.
+  EXPECT_FALSE(In[1]); // Excluded: stays at the lattice bottom.
+  EXPECT_TRUE(In[2]);
+}
+
+TEST(DataflowTest, SelfLoopConvergesBothDirections) {
+  // 0 -> 1, 1 -> 1 (self-loop), 1 -> 2. The self-edge feeds each block's
+  // own value back into itself; both solvers must still reach a fixpoint
+  // and propagate facts through the loop.
+  GraphFixture G(3, {{0, 1}, {1, 1}, {1, 2}});
+  CFG C(*G.F);
+  std::vector<bool> Kill(3, false);
+  std::vector<bool> All(3, true);
+
+  std::vector<bool> GenFwd = {true, false, false};
+  std::vector<bool> Out = solveForwardMay(C, GenFwd, Kill, All, false);
+  EXPECT_TRUE(Out[1]);
+  EXPECT_TRUE(Out[2]);
+
+  std::vector<bool> GenBwd = {false, false, true};
+  std::vector<bool> In = solveBackwardMay(C, GenBwd, Kill, All, false);
+  EXPECT_TRUE(In[0]);
+  EXPECT_TRUE(In[1]);
+
+  // A kill on the self-looping block still stops propagation through it.
+  std::vector<bool> KillLoop = {false, true, false};
+  Out = solveForwardMay(C, GenFwd, KillLoop, All, false);
+  EXPECT_FALSE(Out[1]);
+  EXPECT_FALSE(Out[2]);
+}
+
+TEST(DataflowTest, RestrictedSelfLoopUsesBoundaryNotSelfFact) {
+  // Restrict = {1} where 1 has a self-edge plus an out-of-subset pred
+  // and successor: the boundary value must enter through the 0 -> 1 edge
+  // while the self-edge contributes 1's own (restricted) fact.
+  GraphFixture G(3, {{0, 1}, {1, 1}, {1, 2}});
+  CFG C(*G.F);
+  std::vector<bool> Gen(3, false);
+  std::vector<bool> Kill(3, false);
+  std::vector<bool> Restrict = {false, true, false};
+  std::vector<bool> Out = solveForwardMay(C, Gen, Kill, Restrict,
+                                          /*BoundaryValue=*/true);
+  EXPECT_TRUE(Out[1]);
+  std::vector<bool> In = solveBackwardMay(C, Gen, Kill, Restrict,
+                                          /*BoundaryValue=*/true);
+  EXPECT_TRUE(In[1]);
+  In = solveBackwardMay(C, Gen, Kill, Restrict, /*BoundaryValue=*/false);
+  EXPECT_FALSE(In[1]);
+}
