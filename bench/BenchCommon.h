@@ -14,6 +14,7 @@
 #ifndef SPECSYNC_BENCH_BENCHCOMMON_H
 #define SPECSYNC_BENCH_BENCHCOMMON_H
 
+#include "harness/ExperimentRunner.h"
 #include "harness/Pipeline.h"
 #include "harness/Report.h"
 #include "obs/ObsOptions.h"
@@ -28,15 +29,14 @@
 
 namespace specsync {
 
-/// Runs \p Body with a prepared pipeline for every benchmark.
+/// Runs \p Body with a prepared pipeline for every benchmark, sharded
+/// across --jobs workers and backed by the --cache-dir result cache (see
+/// ExperimentRunner.h) — output stays byte-identical to a serial run.
 inline void forEachBenchmark(
     const MachineConfig &Config,
     const std::function<void(BenchmarkPipeline &)> &Body) {
-  for (const Workload &W : allWorkloads()) {
-    BenchmarkPipeline Pipeline(W, Config);
-    Pipeline.prepare();
-    Body(Pipeline);
-  }
+  runBenchmarkGrid(Config, RobustnessOptions(),
+                   analysis::StaticAnalysisOptions(), Body);
 }
 
 /// Variant applying fault-injection / watchdog settings to every pipeline
@@ -44,12 +44,7 @@ inline void forEachBenchmark(
 inline void forEachBenchmark(
     const MachineConfig &Config, const RobustnessOptions &Robust,
     const std::function<void(BenchmarkPipeline &)> &Body) {
-  for (const Workload &W : allWorkloads()) {
-    BenchmarkPipeline Pipeline(W, Config);
-    Pipeline.setRobustness(Robust);
-    Pipeline.prepare();
-    Body(Pipeline);
-  }
+  runBenchmarkGrid(Config, Robust, analysis::StaticAnalysisOptions(), Body);
 }
 
 /// Variant additionally applying static-analysis / oracle settings (inert
@@ -58,13 +53,7 @@ inline void forEachBenchmark(
     const MachineConfig &Config, const RobustnessOptions &Robust,
     const analysis::StaticAnalysisOptions &Static,
     const std::function<void(BenchmarkPipeline &)> &Body) {
-  for (const Workload &W : allWorkloads()) {
-    BenchmarkPipeline Pipeline(W, Config);
-    Pipeline.setRobustness(Robust);
-    Pipeline.setStaticAnalysis(Static);
-    Pipeline.prepare();
-    Body(Pipeline);
-  }
+  runBenchmarkGrid(Config, Robust, Static, Body);
 }
 
 /// Per-binary observability wiring: parses --stats / --trace-out /
@@ -78,7 +67,11 @@ public:
       : Opts(obs::parseObsArgs(argc, argv)), Session(Opts),
         Robust(parseRobustnessArgs(argc, argv)),
         Static(analysis::parseStaticAnalysisArgs(argc, argv)),
-        Title(std::move(Title)) {}
+        Title(std::move(Title)) {
+    // Every bench binary gains --jobs / --cache-dir / --workloads through
+    // the session-wide options the grid helpers consult.
+    setSessionExperimentOptions(parseExperimentArgs(argc, argv));
+  }
 
   ~BenchSession() {
     if (Opts.JsonOut.empty())

@@ -101,26 +101,48 @@ int main(int argc, char **argv) {
               "(C-mode normalized region time) ===\n\n");
 
   MachineConfig Config;
-  const char *Names[] = {"GO", "GZIP_COMP", "GCC", "PARSER", "PERLBMK",
-                         "GAP"};
+
+  std::vector<const Workload *> Cells;
+  for (const char *Name : {"GO", "GZIP_COMP", "GCC", "PARSER", "PERLBMK",
+                           "GAP"})
+    Cells.push_back(findWorkload(Name));
+  Cells = filterWorkloads(std::move(Cells),
+                          sessionExperimentOptions().WorkloadFilter);
+
+  // One grid cell per (benchmark, configuration): 5 columns per row.
+  struct Column {
+    double Threshold;
+    bool ScheduleInduction;
+    bool AllowUnroll;
+  };
+  const Column Columns[] = {{1.0, true, true},
+                            {5.0, true, true},
+                            {25.0, true, true},
+                            {5.0, false, true},
+                            {5.0, true, false}};
+  constexpr size_t NumCols = sizeof(Columns) / sizeof(Columns[0]);
 
   TextTable T;
   T.setHeader({"benchmark", "C @1%", "C @5% (paper)", "C @25%",
                "no sched", "no unroll"});
-  for (const char *Name : Names) {
-    const Workload *W = findWorkload(Name);
-    T.addRow({Name,
-              TextTable::formatDouble(
-                  runConfigured(*W, Config, 1.0, true, true)),
-              TextTable::formatDouble(
-                  runConfigured(*W, Config, 5.0, true, true)),
-              TextTable::formatDouble(
-                  runConfigured(*W, Config, 25.0, true, true)),
-              TextTable::formatDouble(
-                  runConfigured(*W, Config, 5.0, false, true)),
-              TextTable::formatDouble(
-                  runConfigured(*W, Config, 5.0, true, false))});
-  }
+
+  std::vector<double> Times(Cells.size() * NumCols);
+  runCellsOrdered(
+      Cells.size() * NumCols, sessionExperimentOptions().effectiveJobs(),
+      [&](size_t I) {
+        const Column &C = Columns[I % NumCols];
+        Times[I] = runConfigured(*Cells[I / NumCols], Config, C.Threshold,
+                                 C.ScheduleInduction, C.AllowUnroll);
+      },
+      [&](size_t I) {
+        if (I % NumCols != NumCols - 1)
+          return; // Row completes with its last column.
+        std::vector<std::string> Row{Cells[I / NumCols]->Name};
+        for (size_t Col = 0; Col < NumCols; ++Col)
+          Row.push_back(
+              TextTable::formatDouble(Times[I - (NumCols - 1) + Col]));
+        T.addRow(Row);
+      });
   std::printf("%s\n", T.render().c_str());
   return 0;
 }

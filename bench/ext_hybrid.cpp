@@ -25,6 +25,8 @@
 #include "interp/Interpreter.h"
 #include "sim/SeqSimulator.h"
 
+#include <array>
+
 using namespace specsync;
 
 namespace {
@@ -96,35 +98,52 @@ int main(int argc, char **argv) {
   T.setHeader({"benchmark", "B (plain)", "B+filter(iii)", "B+sticky(iv)",
                "B+both", "H shared-table", "H per-CPU"});
 
+  std::vector<const Workload *> Cells;
   for (const char *Name : {"M88KSIM", "VPR_PLACE", "GZIP_COMP", "GCC",
-                           "GZIP_DECOMP", "GO", "PARSER", "BZIP2_COMP"}) {
-    const Workload *W = findWorkload(Name);
-    Prepared Pre = prepare(*W, Config);
+                           "GZIP_DECOMP", "GO", "PARSER", "BZIP2_COMP"})
+    Cells.push_back(findWorkload(Name));
+  Cells = filterWorkloads(std::move(Cells),
+                          sessionExperimentOptions().WorkloadFilter);
 
-    TLSSimOptions B;
-    B.HwSyncStall = true;
+  // Six bars per benchmark; each cell computes its whole row off-thread.
+  std::vector<std::array<double, 6>> Bars(Cells.size());
 
-    TLSSimOptions BF = B;
-    BF.HybridFilterUselessSync = true;
-    TLSSimOptions BS = B;
-    BS.HybridStickyHints = true;
-    TLSSimOptions BB = BF;
-    BB.HybridStickyHints = true;
+  runCellsOrdered(
+      Cells.size(), sessionExperimentOptions().effectiveJobs(),
+      [&](size_t I) {
+        Prepared Pre = prepare(*Cells[I], Config);
 
-    TLSSimOptions HShared;
-    HShared.HwSyncStall = true;
-    HShared.HwSyncSharedTable = true;
-    TLSSimOptions HPerCpu;
-    HPerCpu.HwSyncStall = true;
+        TLSSimOptions B;
+        B.HwSyncStall = true;
 
-    T.addRow({Name,
-              TextTable::formatDouble(runBar(Pre, Config, true, B)),
-              TextTable::formatDouble(runBar(Pre, Config, true, BF)),
-              TextTable::formatDouble(runBar(Pre, Config, true, BS)),
-              TextTable::formatDouble(runBar(Pre, Config, true, BB)),
-              TextTable::formatDouble(runBar(Pre, Config, false, HShared)),
-              TextTable::formatDouble(runBar(Pre, Config, false, HPerCpu))});
-  }
+        TLSSimOptions BF = B;
+        BF.HybridFilterUselessSync = true;
+        TLSSimOptions BS = B;
+        BS.HybridStickyHints = true;
+        TLSSimOptions BB = BF;
+        BB.HybridStickyHints = true;
+
+        TLSSimOptions HShared;
+        HShared.HwSyncStall = true;
+        HShared.HwSyncSharedTable = true;
+        TLSSimOptions HPerCpu;
+        HPerCpu.HwSyncStall = true;
+
+        Bars[I] = {runBar(Pre, Config, true, B),
+                   runBar(Pre, Config, true, BF),
+                   runBar(Pre, Config, true, BS),
+                   runBar(Pre, Config, true, BB),
+                   runBar(Pre, Config, false, HShared),
+                   runBar(Pre, Config, false, HPerCpu)};
+      },
+      [&](size_t I) {
+        T.addRow({Cells[I]->Name, TextTable::formatDouble(Bars[I][0]),
+                  TextTable::formatDouble(Bars[I][1]),
+                  TextTable::formatDouble(Bars[I][2]),
+                  TextTable::formatDouble(Bars[I][3]),
+                  TextTable::formatDouble(Bars[I][4]),
+                  TextTable::formatDouble(Bars[I][5])});
+      });
 
   std::printf("%s\n", T.render().c_str());
   std::printf("(iii) helps where profiled groups stopped forwarding useful "

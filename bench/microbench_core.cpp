@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "harness/ExperimentRunner.h"
 #include "harness/Pipeline.h"
 #include "interp/Interpreter.h"
 #include "obs/ObsOptions.h"
@@ -109,6 +110,8 @@ BENCHMARK(BM_FullPipelinePrepare)->Unit(benchmark::kMillisecond);
 int main(int argc, char **argv) {
   obs::ObsSession Session(obs::parseObsArgs(argc, argv));
   argc = obs::stripObsArgs(argc, argv);
+  setSessionExperimentOptions(parseExperimentArgs(argc, argv));
+  argc = stripExperimentArgs(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

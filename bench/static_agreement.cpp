@@ -23,7 +23,10 @@
 
 #include "BenchCommon.h"
 
+#include "harness/ResultCache.h"
+
 #include <cstdio>
+#include <memory>
 
 using namespace specsync;
 
@@ -43,35 +46,51 @@ int main(int argc, char **argv) {
   Table.setHeader({"benchmark", "refs", "complete", "ref C/P/F/S",
                    "train C/P/F/S", "diags", "C time"});
 
-  auto runOne = [&](const Workload &W) {
-    BenchmarkPipeline Pipeline(W, Config);
-    Pipeline.setRobustness(Obs.robustness());
-    Pipeline.setStaticAnalysis(Static);
-    Pipeline.prepare();
-
-    ModeRunResult C = Pipeline.run(ExecMode::C);
-    Obs.record(Pipeline, C);
-    ModeRunResult T = Pipeline.run(ExecMode::T);
-    Obs.record(Pipeline, T);
-
-    const analysis::DepOracleResult &R = *Pipeline.refOracle();
-    const analysis::DepOracleResult &Tr = *Pipeline.trainOracle();
-    auto fmtCounts = [](const analysis::DepOracleResult &O) {
-      return std::to_string(O.StaticConfirmed) + "/" +
-             std::to_string(O.StaticPruned) + "/" +
-             std::to_string(O.StaticForced) + "/" +
-             std::to_string(O.Speculated);
-    };
-    Table.addRow({W.Name, std::to_string(R.NumRefs),
-                  R.Complete ? "yes" : "no", fmtCounts(R), fmtCounts(Tr),
-                  std::to_string(Pipeline.analysisDiags().diags().size()),
-                  TextTable::formatDouble(C.normalizedRegionTime())});
-  };
-
+  std::vector<const Workload *> Cells;
   for (const Workload &W : allWorkloads())
-    runOne(W);
+    Cells.push_back(&W);
   for (const Workload &W : extraWorkloads())
-    runOne(W);
+    Cells.push_back(&W);
+  Cells = filterWorkloads(std::move(Cells),
+                          sessionExperimentOptions().WorkloadFilter);
+
+  std::unique_ptr<ResultCache> Cache = makeSessionResultCache();
+  std::vector<std::unique_ptr<BenchmarkPipeline>> Pipes(Cells.size());
+  std::vector<ModeRunResult> CRuns(Cells.size()), TRuns(Cells.size());
+
+  runCellsOrdered(
+      Cells.size(), sessionExperimentOptions().effectiveJobs(),
+      [&](size_t I) {
+        auto P = std::make_unique<BenchmarkPipeline>(*Cells[I], Config);
+        P->setRobustness(Obs.robustness());
+        P->setStaticAnalysis(Static);
+        P->setResultCache(Cache.get());
+        P->prepare(); // The oracle tables below are prepared state.
+        CRuns[I] = P->run(ExecMode::C);
+        TRuns[I] = P->run(ExecMode::T);
+        Pipes[I] = std::move(P);
+      },
+      [&](size_t I) {
+        BenchmarkPipeline &Pipeline = *Pipes[I];
+        Obs.record(Pipeline, CRuns[I]);
+        Obs.record(Pipeline, TRuns[I]);
+
+        const analysis::DepOracleResult &R = *Pipeline.refOracle();
+        const analysis::DepOracleResult &Tr = *Pipeline.trainOracle();
+        auto fmtCounts = [](const analysis::DepOracleResult &O) {
+          return std::to_string(O.StaticConfirmed) + "/" +
+                 std::to_string(O.StaticPruned) + "/" +
+                 std::to_string(O.StaticForced) + "/" +
+                 std::to_string(O.Speculated);
+        };
+        Table.addRow({Cells[I]->Name, std::to_string(R.NumRefs),
+                      R.Complete ? "yes" : "no", fmtCounts(R), fmtCounts(Tr),
+                      std::to_string(Pipeline.analysisDiags().diags().size()),
+                      TextTable::formatDouble(
+                          CRuns[I].normalizedRegionTime())});
+        Pipes[I].reset();
+      });
+  reportCacheStats(Cache.get());
 
   std::printf("%s", Table.render().c_str());
   std::printf("\n  C/P/F/S = static-confirmed / static-pruned / "

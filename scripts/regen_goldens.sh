@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates the golden-report files under tests/goldens/.
+#
+# Run this after a change that intentionally shifts simulated numbers,
+# then review the golden diff like any other code change:
+#
+#   scripts/regen_goldens.sh [BUILD_DIR]   # default: build
+#
+# The flag sets here must stay in sync with the golden tests registered
+# in bench/CMakeLists.txt.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+goldens="$repo/tests/goldens"
+
+[ -x "$build/bench/table2_speedups" ] || {
+  echo "error: $build/bench/table2_speedups not built (cmake --build $build)" >&2
+  exit 1
+}
+
+"$build/bench/table2_speedups" --workloads=GZIP_COMP,PARSER \
+  > "$goldens/table2_small.out"
+"$build/bench/static_agreement" --workloads=GZIP_COMP,STATIC_DEMO \
+  > "$goldens/static_agreement_small.out"
+
+echo "regenerated:"
+git -C "$repo" status --short tests/goldens

@@ -282,15 +282,13 @@ SignalAuditResult specsync::auditSignalPlacement(const Program &P,
     auditScope(Region.Func, G, L->Blocks, Region.Header);
 
   if (obs::statsEnabled()) {
-    static obs::Counter *CScopes =
-        obs::StatRegistry::global().counter("compiler.audit.scopes");
-    static obs::Counter *CErrors =
-        obs::StatRegistry::global().counter("compiler.audit.errors");
-    static obs::Counter *CWarnings =
-        obs::StatRegistry::global().counter("compiler.audit.warnings");
-    CScopes->add(R.ScopesChecked);
-    CErrors->add(R.Errors.size());
-    CWarnings->add(R.Warnings.size());
+    // Resolve fresh each call: under the parallel experiment runner the
+    // calling thread's current registry is per-cell, so a static handle
+    // would pin the first cell's registry.
+    obs::StatRegistry &SR = obs::StatRegistry::global();
+    SR.counter("compiler.audit.scopes")->add(R.ScopesChecked);
+    SR.counter("compiler.audit.errors")->add(R.Errors.size());
+    SR.counter("compiler.audit.warnings")->add(R.Warnings.size());
   }
   return R;
 }

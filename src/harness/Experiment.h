@@ -64,6 +64,23 @@ struct ModeRunResult {
   uint64_t DegradedRegions = 0; ///< Regions re-run via the sequential path.
 };
 
+/// One recorded pipeline run call — the experiment runner's capture/replay
+/// unit, and one axis of the result-cache key. Captures the robustness
+/// settings in effect at the call (sweep binaries vary them per run).
+struct RunStep {
+  RobustnessOptions Robust;
+  bool Perfect = false; ///< runWithPerfectLoads() instead of run(Mode).
+  ExecMode Mode = ExecMode::U;
+  double Percent = 0.0; ///< Perfect-load frequency threshold (Perfect only).
+};
+
+/// A run step executed ahead of time by an experiment-runner worker,
+/// consumed when the main thread replays the bench body.
+struct PrecomputedRun {
+  RunStep Step;
+  ModeRunResult Result;
+};
+
 } // namespace specsync
 
 #endif // SPECSYNC_HARNESS_EXPERIMENT_H

@@ -1,0 +1,301 @@
+//===- harness/ExperimentRunner.cpp -----------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ExperimentRunner.h"
+
+#include "harness/ResultCache.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+using namespace specsync;
+
+unsigned ExperimentOptions::effectiveJobs() const {
+  return Jobs == 0 ? ThreadPool::defaultJobs() : Jobs;
+}
+
+ExperimentOptions specsync::parseExperimentArgs(int argc, char **argv) {
+  ExperimentOptions Opts;
+
+  if (const char *E = std::getenv("SPECSYNC_JOBS")) {
+    long V = std::strtol(E, nullptr, 10);
+    if (V >= 0)
+      Opts.Jobs = static_cast<unsigned>(V);
+  }
+  if (const char *E = std::getenv("SPECSYNC_CACHE_DIR"))
+    Opts.CacheDir = E;
+  if (const char *E = std::getenv("SPECSYNC_WORKLOADS"))
+    Opts.WorkloadFilter = E;
+
+  auto valueOf = [](const char *Arg, const char *Prefix) -> const char * {
+    size_t N = std::strlen(Prefix);
+    return std::strncmp(Arg, Prefix, N) == 0 ? Arg + N : nullptr;
+  };
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (const char *V = valueOf(Arg, "--jobs="))
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (const char *V = valueOf(Arg, "--cache-dir="))
+      Opts.CacheDir = V;
+    else if (const char *V = valueOf(Arg, "--workloads="))
+      Opts.WorkloadFilter = V;
+  }
+  return Opts;
+}
+
+int specsync::stripExperimentArgs(int argc, char **argv) {
+  auto isExpArg = [](const char *Arg) {
+    return std::strncmp(Arg, "--jobs=", 7) == 0 ||
+           std::strncmp(Arg, "--cache-dir=", 12) == 0 ||
+           std::strncmp(Arg, "--workloads=", 12) == 0;
+  };
+  int Out = 1;
+  for (int I = 1; I < argc; ++I)
+    if (!isExpArg(argv[I]))
+      argv[Out++] = argv[I];
+  for (int I = Out; I < argc; ++I)
+    argv[I] = nullptr;
+  return Out;
+}
+
+namespace {
+ExperimentOptions SessionOptions;
+} // namespace
+
+void specsync::setSessionExperimentOptions(const ExperimentOptions &Opts) {
+  SessionOptions = Opts;
+}
+
+const ExperimentOptions &specsync::sessionExperimentOptions() {
+  return SessionOptions;
+}
+
+std::vector<const Workload *>
+specsync::filterWorkloads(std::vector<const Workload *> All,
+                          const std::string &Filter) {
+  if (Filter.empty())
+    return All;
+
+  std::vector<std::string> Names;
+  size_t Pos = 0;
+  while (Pos <= Filter.size()) {
+    size_t Comma = Filter.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Filter.size();
+    if (Comma > Pos)
+      Names.push_back(Filter.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+
+  // Canonical order: iterate the grid, not the filter.
+  std::vector<const Workload *> Out;
+  for (const Workload *W : All)
+    for (const std::string &N : Names)
+      if (W->Name == N) {
+        Out.push_back(W);
+        break;
+      }
+  for (const std::string &N : Names) {
+    bool Known = false;
+    for (const Workload *W : All)
+      if (W->Name == N)
+        Known = true;
+    if (!Known)
+      std::fprintf(stderr, "runner: --workloads name %s not in this grid\n",
+                   N.c_str());
+  }
+  return Out;
+}
+
+std::vector<const Workload *>
+specsync::filterWorkloads(const std::vector<Workload> &All,
+                          const std::string &Filter) {
+  std::vector<const Workload *> Ptrs;
+  Ptrs.reserve(All.size());
+  for (const Workload &W : All)
+    Ptrs.push_back(&W);
+  return filterWorkloads(std::move(Ptrs), Filter);
+}
+
+std::unique_ptr<ResultCache> specsync::makeSessionResultCache() {
+  const ExperimentOptions &Opts = sessionExperimentOptions();
+  if (Opts.CacheDir.empty())
+    return nullptr;
+  if (obs::statsEnabled() || obs::TraceLog::process().active()) {
+    std::fprintf(stderr, "cache: disabled while --stats or --trace-out "
+                         "is active (cached runs record nothing)\n");
+    return nullptr;
+  }
+  return std::make_unique<ResultCache>(Opts.CacheDir);
+}
+
+void specsync::reportCacheStats(const ResultCache *Cache) {
+  if (!Cache)
+    return;
+  std::fprintf(stderr,
+               "cache: %llu hit(s), %llu miss(es), %llu store(s) in %s\n",
+               static_cast<unsigned long long>(Cache->hits()),
+               static_cast<unsigned long long>(Cache->misses()),
+               static_cast<unsigned long long>(Cache->stores()),
+               Cache->dir().c_str());
+}
+
+CellObs::CellObs() {
+  // Mirror the process trace sink: a cell records events only if the
+  // process is recording, with the same ring capacity so drop accounting
+  // matches a serial run.
+  obs::TraceLog &P = obs::TraceLog::process();
+  if (P.active())
+    Trace.start(P.capacity());
+}
+
+void CellObs::mergeIntoProcess() {
+  obs::StatRegistry::process().mergeFrom(Stats);
+  if (Trace.active()) {
+    Trace.stop();
+    obs::TraceLog::process().mergeFrom(Trace);
+  }
+}
+
+void specsync::runCellsOrdered(size_t NumCells, unsigned Jobs,
+                               const std::function<void(size_t)> &Prepare,
+                               const std::function<void(size_t)> &Consume) {
+  if (NumCells == 0)
+    return;
+
+  std::vector<std::unique_ptr<CellObs>> Obs;
+  Obs.reserve(NumCells);
+  for (size_t I = 0; I < NumCells; ++I)
+    Obs.push_back(std::make_unique<CellObs>());
+
+  if (Jobs <= 1 || NumCells == 1) {
+    // Serial: identical scoping and merge order, no threads involved.
+    for (size_t I = 0; I < NumCells; ++I) {
+      {
+        CellObsScope Scope(*Obs[I]);
+        Prepare(I);
+        Consume(I);
+      }
+      Obs[I]->mergeIntoProcess();
+      Obs[I].reset();
+    }
+    return;
+  }
+
+  std::mutex M;
+  std::condition_variable Cv;
+  std::vector<uint8_t> Done(NumCells, 0);
+  std::vector<std::exception_ptr> Errors(NumCells);
+
+  ThreadPool Pool(static_cast<unsigned>(
+      std::min<size_t>(Jobs, NumCells)));
+  for (size_t I = 0; I < NumCells; ++I)
+    Pool.submit([&, I] {
+      try {
+        CellObsScope Scope(*Obs[I]);
+        Prepare(I);
+      } catch (...) {
+        Errors[I] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        Done[I] = 1;
+      }
+      Cv.notify_all();
+    });
+
+  for (size_t I = 0; I < NumCells; ++I) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      Cv.wait(Lock, [&] { return Done[I] != 0; });
+    }
+    if (Errors[I]) {
+      Pool.waitIdle(); // Don't tear down under running cells.
+      std::rethrow_exception(Errors[I]);
+    }
+    {
+      CellObsScope Scope(*Obs[I]);
+      Consume(I);
+    }
+    Obs[I]->mergeIntoProcess();
+    Obs[I].reset();
+  }
+}
+
+void specsync::runBenchmarkGrid(
+    const MachineConfig &Config, const RobustnessOptions &Robust,
+    const analysis::StaticAnalysisOptions &Static,
+    const std::function<void(BenchmarkPipeline &)> &Body) {
+  const ExperimentOptions &Opts = sessionExperimentOptions();
+  std::vector<const Workload *> Cells =
+      filterWorkloads(allWorkloads(), Opts.WorkloadFilter);
+  if (Cells.empty())
+    return;
+
+  std::unique_ptr<ResultCache> Cache = makeSessionResultCache();
+
+  // Cell 0 runs the body live on this thread and records the run plan
+  // the workers execute for the remaining cells. Prepared eagerly: the
+  // body may introspect pipeline state before (or without) running a
+  // mode, and this is also the cell that discovers werror aborts early.
+  std::vector<RunStep> Plan;
+  {
+    CellObs Obs0;
+    {
+      CellObsScope Scope(Obs0);
+      BenchmarkPipeline P(*Cells[0], Config);
+      P.setRobustness(Robust);
+      P.setStaticAnalysis(Static);
+      P.setResultCache(Cache.get());
+      P.setRecordPlan(&Plan);
+      P.prepare();
+      Body(P);
+    }
+    Obs0.mergeIntoProcess();
+  }
+
+  size_t Rest = Cells.size() - 1;
+  std::vector<std::unique_ptr<BenchmarkPipeline>> Pipes(Rest);
+  std::vector<std::vector<PrecomputedRun>> Results(Rest);
+
+  runCellsOrdered(
+      Rest, Opts.effectiveJobs(),
+      [&](size_t I) {
+        const Workload &W = *Cells[I + 1];
+        auto P = std::make_unique<BenchmarkPipeline>(W, Config);
+        P->setRobustness(Robust);
+        P->setStaticAnalysis(Static);
+        P->setResultCache(Cache.get());
+        // A body with no recorded runs only introspects (always needs a
+        // prepared pipeline); oracle verdicts also live in prepared
+        // state. Otherwise preparation is lazy — fully cached cells skip
+        // it entirely.
+        if (Plan.empty() || Static.EnableOracle)
+          P->prepare();
+        for (const RunStep &Step : Plan) {
+          P->setRobustness(Step.Robust);
+          ModeRunResult R = Step.Perfect
+                                ? P->runWithPerfectLoads(Step.Percent)
+                                : P->run(Step.Mode);
+          Results[I].push_back({Step, R});
+        }
+        P->setRobustness(Robust); // The replayed body starts from here.
+        Pipes[I] = std::move(P);
+      },
+      [&](size_t I) {
+        Pipes[I]->setPrecomputed(std::move(Results[I]));
+        Body(*Pipes[I]);
+        Pipes[I].reset();
+      });
+
+  reportCacheStats(Cache.get());
+}

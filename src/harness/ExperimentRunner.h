@@ -1,0 +1,139 @@
+//===- harness/ExperimentRunner.h - Parallel experiment runner -*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shards an experiment grid — (benchmark, mode, config, seed) cells —
+/// across a work-stealing thread pool while keeping the output of every
+/// bench binary byte-identical to a serial run:
+///
+///  - every cell runs with its own StatRegistry and TraceLog (installed
+///    as the worker thread's current sinks), merged into the process
+///    sinks in canonical grid order;
+///  - all user-visible side effects (stdout tables, report recording)
+///    happen on the calling thread, in canonical order, via
+///    capture/replay: cell 0 of a grid records the body's run() calls as
+///    a plan, workers execute the plan for the remaining cells, and the
+///    body is replayed against worker-prepared pipelines whose run()
+///    calls return the precomputed results;
+///  - with a --cache-dir, each run step is first looked up in the
+///    content-addressed ResultCache, skipping prepare+simulate entirely
+///    for fully cached cells.
+///
+/// Flags (parsed by BenchSession for every bench binary):
+///   --jobs=N           concurrent cells (default 1; 0 = all cores)
+///   --cache-dir=DIR    reuse simulated results across invocations
+///   --workloads=A,B    restrict grids to a comma-separated subset
+/// Environment fallbacks: SPECSYNC_JOBS, SPECSYNC_CACHE_DIR,
+/// SPECSYNC_WORKLOADS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_HARNESS_EXPERIMENTRUNNER_H
+#define SPECSYNC_HARNESS_EXPERIMENTRUNNER_H
+
+#include "analysis/StaticAnalysis.h"
+#include "harness/Pipeline.h"
+#include "obs/StatRegistry.h"
+#include "obs/TraceLog.h"
+#include "sim/FaultInjector.h"
+#include "workloads/Workload.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+struct ExperimentOptions {
+  unsigned Jobs = 1;          ///< Concurrent cells; 0 = ThreadPool default.
+  std::string CacheDir;       ///< Empty = result caching off.
+  std::string WorkloadFilter; ///< Comma-separated names; empty = all.
+
+  /// Jobs with the 0-means-default rule applied.
+  unsigned effectiveJobs() const;
+};
+
+/// Reads the environment, then overrides from argv. Does not mutate argv.
+ExperimentOptions parseExperimentArgs(int argc, char **argv);
+
+/// Removes the experiment flags from argv (compacting in place) and
+/// returns the new argc — companion to obs::stripObsArgs for binaries
+/// whose own flag parser rejects unknown arguments.
+int stripExperimentArgs(int argc, char **argv);
+
+/// Session-wide options, installed by BenchSession so the free-function
+/// grid helpers (forEachBenchmark) pick them up with zero per-binary
+/// wiring. Defaults to a serial, uncached run when never set.
+void setSessionExperimentOptions(const ExperimentOptions &Opts);
+const ExperimentOptions &sessionExperimentOptions();
+
+/// Applies \p Filter (comma-separated names, empty = all) to \p All,
+/// preserving canonical order. Unknown names warn on stderr once.
+std::vector<const Workload *>
+filterWorkloads(const std::vector<Workload> &All, const std::string &Filter);
+std::vector<const Workload *>
+filterWorkloads(std::vector<const Workload *> All, const std::string &Filter);
+
+class ResultCache;
+
+/// Builds the session's ResultCache from --cache-dir, or null when
+/// caching is off — also null (with a warning) while an observability
+/// sink is active, since cached runs record no stats or trace events.
+std::unique_ptr<ResultCache> makeSessionResultCache();
+
+/// Prints the cache's hit/miss/store tallies to stderr (no-op on null).
+void reportCacheStats(const ResultCache *Cache);
+
+/// One cell's private observability sinks plus their canonical-order
+/// merge into the process sinks.
+class CellObs {
+public:
+  CellObs();
+
+  obs::StatRegistry &stats() { return Stats; }
+  obs::TraceLog &trace() { return Trace; }
+
+  /// Folds this cell's stats and trace into the process sinks. Call in
+  /// canonical grid order, after synchronizing with the cell's worker.
+  void mergeIntoProcess();
+
+private:
+  obs::StatRegistry Stats;
+  obs::TraceLog Trace;
+};
+
+/// RAII: while alive, the calling thread's obs sinks resolve to \p O.
+class CellObsScope {
+public:
+  explicit CellObsScope(CellObs &O) : S(&O.stats()), T(&O.trace()) {}
+
+private:
+  obs::ScopedStatRegistry S;
+  obs::ScopedTraceLog T;
+};
+
+/// The deterministic-sharding scaffold: \p Prepare(i) runs on pool
+/// workers in any order; \p Consume(i) runs on the calling thread in
+/// index order. Each cell's Prepare and Consume run under that cell's
+/// own obs scope, which is merged into the process sinks right after
+/// Consume(i) — so stats, traces, and every Consume side effect land in
+/// canonical order regardless of \p Jobs. Exceptions from Prepare(i) are
+/// rethrown on the calling thread at cell i's consume point.
+void runCellsOrdered(size_t NumCells, unsigned Jobs,
+                     const std::function<void(size_t)> &Prepare,
+                     const std::function<void(size_t)> &Consume);
+
+/// The forEachBenchmark engine: runs \p Body once per (filtered) Table 2
+/// workload with a prepared pipeline, sharded per the session options.
+void runBenchmarkGrid(const MachineConfig &Config,
+                      const RobustnessOptions &Robust,
+                      const analysis::StaticAnalysisOptions &Static,
+                      const std::function<void(BenchmarkPipeline &)> &Body);
+
+} // namespace specsync
+
+#endif // SPECSYNC_HARNESS_EXPERIMENTRUNNER_H

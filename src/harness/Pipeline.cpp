@@ -7,6 +7,7 @@
 #include "harness/Pipeline.h"
 
 #include "compiler/PassManager.h"
+#include "harness/ResultCache.h"
 #include "interp/Interpreter.h"
 #include "obs/PhaseTimer.h"
 #include "obs/StatRegistry.h"
@@ -15,7 +16,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <sstream>
 
 using namespace specsync;
 
@@ -31,6 +34,8 @@ void BenchmarkPipeline::setTrainProfile(DepProfile P) {
 }
 
 void BenchmarkPipeline::prepare() {
+  if (Prepared)
+    return;
   obs::ScopedPhaseTimer PrepTimer("harness.prepare");
 
   // Phase 1: profile the original program and pick the unroll factor.
@@ -283,11 +288,58 @@ ModeRunResult BenchmarkPipeline::simulate(const ProgramTrace &Trace,
 }
 
 ModeRunResult BenchmarkPipeline::run(ExecMode Mode) {
-  assert(Prepared && "call prepare() first");
+  RunStep Step;
+  Step.Robust = Robust;
+  Step.Mode = Mode;
+  return runStep(Step);
+}
+
+ModeRunResult BenchmarkPipeline::runWithPerfectLoads(double Percent) {
+  RunStep Step;
+  Step.Robust = Robust;
+  Step.Perfect = true;
+  Step.Percent = Percent;
+  return runStep(Step);
+}
+
+ModeRunResult BenchmarkPipeline::runStep(const RunStep &Step) {
+  if (RecordPlan)
+    RecordPlan->push_back(Step);
+
+  ModeRunResult Out;
+  if (consumePrecomputed(Step, Out))
+    return Out;
+
+  std::string Key;
+  if (cacheUsable()) {
+    Key = cacheKey(Step);
+    if (std::optional<CachedRun> E = Cache->lookup(Key)) {
+      restoreWorkloadSeed(E->WorkloadSeed);
+      return E->Result;
+    }
+  }
+
+  Out = simulateStep(Step);
+  if (!Key.empty())
+    Cache->store(Key, {Out, WorkloadSeed});
+  return Out;
+}
+
+ModeRunResult BenchmarkPipeline::simulateStep(const RunStep &Step) {
+  prepare();
+
+  if (Step.Perfect) {
+    LoadNameSet Immune; // Outlives the simulate() call below.
+    for (const RefName &Name : RefProfile.loadsAboveThreshold(Step.Percent))
+      Immune.insert({Name.InstId, Name.Context});
+    TLSSimOptions Opts;
+    Opts.ImmuneLoads = &Immune;
+    return simulate(*UTrace, Opts, ExecMode::U);
+  }
+
   TLSSimOptions Opts;
   const ProgramTrace *Trace = UTrace.get();
-
-  switch (Mode) {
+  switch (Step.Mode) {
   case ExecMode::U:
     break;
   case ExecMode::O:
@@ -323,15 +375,72 @@ ModeRunResult BenchmarkPipeline::run(ExecMode Mode) {
     Opts.HwSyncStall = true;
     break;
   }
-  return simulate(*Trace, Opts, Mode);
+  return simulate(*Trace, Opts, Step.Mode);
 }
 
-ModeRunResult BenchmarkPipeline::runWithPerfectLoads(double Percent) {
-  assert(Prepared && "call prepare() first");
-  LoadNameSet Immune; // Outlives the simulate() call below.
-  for (const RefName &Name : RefProfile.loadsAboveThreshold(Percent))
-    Immune.insert({Name.InstId, Name.Context});
-  TLSSimOptions Opts;
-  Opts.ImmuneLoads = &Immune;
-  return simulate(*UTrace, Opts, ExecMode::U);
+bool BenchmarkPipeline::consumePrecomputed(const RunStep &Step,
+                                           ModeRunResult &Out) {
+  if (Precomputed.empty())
+    return false;
+  const PrecomputedRun &Front = Precomputed.front();
+  if (Front.Step.Perfect != Step.Perfect || Front.Step.Mode != Step.Mode ||
+      Front.Step.Percent != Step.Percent || Front.Step.Robust != Step.Robust)
+    return false;
+  Out = Front.Result;
+  Precomputed.pop_front();
+  return true;
+}
+
+bool BenchmarkPipeline::cacheUsable() const {
+  // Observability sinks see nothing from a cached run, and an injected
+  // train profile's contents are not part of the key; both force live
+  // simulation.
+  return Cache && Cache->valid() && !TrainOverride && !obs::statsEnabled() &&
+         !obs::TraceLog::global().active();
+}
+
+std::string BenchmarkPipeline::cacheKey(const RunStep &Step) const {
+  auto bits = [](double D) {
+    uint64_t U;
+    std::memcpy(&U, &D, sizeof(U));
+    return U;
+  };
+  std::ostringstream OS;
+  OS << "v=" << ResultCacheSchema;
+  OS << "|w=" << Bench.Name << "|dil=" << bits(Bench.SeqDilation);
+  const MachineConfig &C = Config;
+  OS << "|cores=" << C.NumCores << "|iw=" << C.IssueWidth
+     << "|rob=" << C.ReorderBuffer << "|mul=" << C.IntMulLatency
+     << "|div=" << C.IntDivLatency << "|line=" << C.CacheLineBytes
+     << "|l1=" << C.L1SizeKB << "," << C.L1Assoc << "," << C.L1HitLatency
+     << "|l2=" << C.L2SizeKB << "," << C.L2Assoc << "," << C.L2HitLatency
+     << "|mem=" << C.MemLatency << "|spawn=" << C.EpochSpawnOverhead
+     << "|vdet=" << C.ViolationDetectLatency
+     << "|vpen=" << C.ViolationRestartPenalty
+     << "|commit=" << C.CommitLatency << "|sig=" << C.SignalLatency
+     << "|sab=" << C.SignalAddrBufferEntries
+     << "|hwt=" << C.HwSyncTableEntries << "," << C.HwSyncResetInterval
+     << "|pred=" << C.PredictorTableEntries;
+  OS << "|freq=" << bits(FreqThreshold);
+  OS << "|oracle=" << StaticOpts.EnableOracle
+     << "|werror=" << StaticOpts.AuditWerror
+     << "|stale=" << StaticOpts.InjectStalePair;
+  const RobustnessOptions &R = Step.Robust;
+  OS << "|fseed=" << R.Plan.Seed << "|fdrop=" << bits(R.Plan.SignalDropPct)
+     << "|fdelay=" << bits(R.Plan.SignalDelayPct) << ","
+     << R.Plan.SignalDelayCycles
+     << "|fcorrupt=" << bits(R.Plan.SignalCorruptPct)
+     << "|fmiss=" << bits(R.Plan.MispredictPct)
+     << "|fspur=" << bits(R.Plan.SpuriousViolationPct)
+     << "|fhw=" << bits(R.Plan.HwUpdateDropPct)
+     << "|wbudget=" << R.WatchdogBudget
+     << "|wbackoff=" << R.WatchdogBackoffBase
+     << "|wretry=" << R.EpochRetryLimit
+     << "|wdemote=" << R.GroupDemoteThreshold
+     << "|wdegrade=" << bits(R.DegradeSquashRate);
+  if (Step.Perfect)
+    OS << "|step=perfect," << bits(Step.Percent);
+  else
+    OS << "|step=mode," << modeName(Step.Mode);
+  return OS.str();
 }

@@ -33,20 +33,55 @@
 #include "sim/SeqSimulator.h"
 #include "workloads/Workload.h"
 
+#include <deque>
 #include <memory>
+#include <vector>
 
 namespace specsync {
+
+class ResultCache;
 
 class BenchmarkPipeline {
 public:
   BenchmarkPipeline(const Workload &W, const MachineConfig &Config,
                     double FreqThresholdPercent = 5.0);
 
-  /// Runs phases 1-3. Must be called before run().
+  /// Runs phases 1-4 (profiling, baselines, builds). Idempotent; run()
+  /// calls it lazily, so explicit calls are only needed before using the
+  /// introspection accessors without running a mode.
   void prepare();
+  bool prepared() const { return Prepared; }
 
-  /// Runs one execution mode on the ref input.
+  /// Runs one execution mode on the ref input. Consults the precomputed
+  /// queue, then the result cache, then prepares (if needed) and
+  /// simulates.
   ModeRunResult run(ExecMode Mode);
+
+  /// Attaches a content-addressed result cache: run() returns cached
+  /// results without preparing or simulating, and stores fresh ones. The
+  /// cache is bypassed while an observability sink is active (a cached
+  /// run records no stats or trace events) and when a train-profile
+  /// override is installed (its contents are not part of the key).
+  void setResultCache(ResultCache *C) { Cache = C; }
+
+  /// Capture mode (experiment runner, cell 0): every run() /
+  /// runWithPerfectLoads() call appends its descriptor to \p Plan while
+  /// executing normally.
+  void setRecordPlan(std::vector<RunStep> *Plan) { RecordPlan = Plan; }
+
+  /// Replay mode (experiment runner, worker-prepared cells): run() calls
+  /// whose descriptor matches the front of \p Runs consume it instead of
+  /// simulating; mismatches fall back to live simulation.
+  void setPrecomputed(std::vector<PrecomputedRun> Runs) {
+    Precomputed.assign(Runs.begin(), Runs.end());
+  }
+
+  /// Restores pipeline-level state a cache hit carries (the workload PRNG
+  /// seed) into a pipeline that skipped prepare(). No-op once prepared.
+  void restoreWorkloadSeed(uint64_t Seed) {
+    if (!Prepared)
+      WorkloadSeed = Seed;
+  }
 
   /// Applies fault-injection / watchdog settings to subsequent run() calls.
   /// With the default (inert) options every simulation is bit-identical to
@@ -110,6 +145,16 @@ public:
 private:
   ModeRunResult simulate(const ProgramTrace &Trace, TLSSimOptions Opts,
                          ExecMode Mode);
+  /// Dispatches one run step through the precomputed queue, the cache,
+  /// or a live simulation (the body shared by run and runWithPerfectLoads).
+  ModeRunResult runStep(const RunStep &Step);
+  ModeRunResult simulateStep(const RunStep &Step);
+  /// True when consulting/feeding the result cache is sound right now.
+  bool cacheUsable() const;
+  /// The full key material for \p Step (workload, config, options, step).
+  std::string cacheKey(const RunStep &Step) const;
+  /// Pops the front of the precomputed queue if it matches \p Step.
+  bool consumePrecomputed(const RunStep &Step, ModeRunResult &Out);
   /// Synthetic per-region result standing in for a degraded parallel
   /// attempt: the region's sequential-baseline timing with the attempt's
   /// fault/watchdog accounting preserved.
@@ -156,6 +201,11 @@ private:
   std::unique_ptr<ProgramTrace> TTrace; ///< + mem sync (train profile).
 
   bool Prepared = false;
+
+  // Experiment-runner hooks (all inert by default).
+  ResultCache *Cache = nullptr;
+  std::vector<RunStep> *RecordPlan = nullptr;
+  std::deque<PrecomputedRun> Precomputed;
 };
 
 } // namespace specsync

@@ -1,0 +1,329 @@
+//===- harness/ResultCache.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ResultCache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+using namespace specsync;
+
+uint64_t specsync::fnv1a64(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+namespace {
+
+/// Doubles travel as bit patterns: decimal text would round.
+uint64_t bitsOf(double D) {
+  uint64_t U;
+  std::memcpy(&U, &D, sizeof(U));
+  return U;
+}
+
+double doubleOf(uint64_t U) {
+  double D;
+  std::memcpy(&D, &U, sizeof(D));
+  return D;
+}
+
+void emit(std::ostringstream &OS, const char *Name, uint64_t V) {
+  OS << Name << ' ' << V << '\n';
+}
+
+void emitD(std::ostringstream &OS, const char *Name, double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(bitsOf(V)));
+  OS << Name << ' ' << Buf << '\n';
+}
+
+/// Strict line reader: each expected field must appear, in order, with
+/// the expected name. The same code writes and reads the format, so any
+/// divergence means a stale or damaged entry.
+class FieldReader {
+public:
+  explicit FieldReader(std::istringstream &IS) : IS(IS) {}
+
+  bool read(const char *Name, uint64_t &Out) {
+    std::string Line;
+    if (!std::getline(IS, Line))
+      return false;
+    size_t Sp = Line.find(' ');
+    if (Sp == std::string::npos || Line.compare(0, Sp, Name) != 0)
+      return false;
+    errno = 0;
+    char *End = nullptr;
+    const char *Val = Line.c_str() + Sp + 1;
+    unsigned long long V = std::strtoull(Val, &End, 10);
+    if (End == Val || *End != '\0' || errno != 0)
+      return false;
+    Out = V;
+    return true;
+  }
+
+  bool readD(const char *Name, double &Out) {
+    std::string Line;
+    if (!std::getline(IS, Line))
+      return false;
+    size_t Sp = Line.find(' ');
+    if (Sp == std::string::npos || Line.compare(0, Sp, Name) != 0)
+      return false;
+    const std::string Val = Line.substr(Sp + 1);
+    if (Val.size() != 16 ||
+        Val.find_first_not_of("0123456789abcdef") != std::string::npos)
+      return false;
+    Out = doubleOf(std::strtoull(Val.c_str(), nullptr, 16));
+    return true;
+  }
+
+private:
+  std::istringstream &IS;
+};
+
+} // namespace
+
+std::string specsync::serializeCachedRun(const std::string &KeyMaterial,
+                                         const CachedRun &Run) {
+  const ModeRunResult &R = Run.Result;
+  const TLSSimResult &S = R.Sim;
+  std::ostringstream OS;
+  OS << "specsync-result-cache " << ResultCacheSchema << '\n';
+  OS << "key " << KeyMaterial << '\n';
+  emit(OS, "workload_seed", Run.WorkloadSeed);
+  emit(OS, "mode", static_cast<uint64_t>(R.Mode));
+  emit(OS, "seq_region_cycles", R.SeqRegionCycles);
+  emitD(OS, "program_speedup", R.ProgramSpeedup);
+  emitD(OS, "coverage_percent", R.CoveragePercent);
+  emitD(OS, "seq_region_speedup", R.SeqRegionSpeedup);
+  emit(OS, "faults_active", R.FaultsActive ? 1 : 0);
+  emit(OS, "fault_seed", R.FaultSeed);
+  emit(OS, "degraded_regions", R.DegradedRegions);
+  emit(OS, "completed", S.Completed ? 1 : 0);
+  emit(OS, "cycles", S.Cycles);
+  emit(OS, "slots_busy", S.Slots.Busy);
+  emit(OS, "slots_fail", S.Slots.Fail);
+  emit(OS, "slots_sync_scalar", S.Slots.SyncScalar);
+  emit(OS, "slots_sync_mem", S.Slots.SyncMem);
+  emit(OS, "slots_total", S.Slots.Total);
+  emit(OS, "epochs_committed", S.EpochsCommitted);
+  emit(OS, "violations", S.Violations);
+  emit(OS, "sab_violations", S.SabViolations);
+  emit(OS, "predict_restarts", S.PredictRestarts);
+  emit(OS, "viol_compiler_only", S.ViolCompilerOnly);
+  emit(OS, "viol_hw_only", S.ViolHwOnly);
+  emit(OS, "viol_both", S.ViolBoth);
+  emit(OS, "viol_neither", S.ViolNeither);
+  emit(OS, "sab_max_occupancy", S.SabMaxOccupancy);
+  emit(OS, "sab_overflows", S.SabOverflows);
+  emit(OS, "hw_table_resets", S.HwTableResets);
+  emit(OS, "predictor_correct", S.PredictorCorrect);
+  emit(OS, "predictor_wrong", S.PredictorWrong);
+  emit(OS, "filtered_waits", S.FilteredWaits);
+  emit(OS, "fault_signal_drops", S.Faults.SignalDrops);
+  emit(OS, "fault_signal_delays", S.Faults.SignalDelays);
+  emit(OS, "fault_corruptions", S.Faults.Corruptions);
+  emit(OS, "fault_mispredicts", S.Faults.Mispredicts);
+  emit(OS, "fault_spurious_violations", S.Faults.SpuriousViolations);
+  emit(OS, "fault_hw_drops", S.Faults.HwDrops);
+  emit(OS, "watchdog_trips", S.WatchdogTrips);
+  emit(OS, "watchdog_wakes", S.WatchdogWakes);
+  emit(OS, "corruptions_detected", S.CorruptionsDetected);
+  emit(OS, "backoff_retries", S.BackoffRetries);
+  emit(OS, "livelock_breaks", S.LivelockBreaks);
+  emit(OS, "demoted_syncs", S.DemotedSyncs);
+  emit(OS, "demoted_waits", S.DemotedWaits);
+  emit(OS, "degraded_to_sequential", S.DegradedToSequential ? 1 : 0);
+  OS << "end\n";
+  return OS.str();
+}
+
+std::optional<CachedRun>
+specsync::deserializeCachedRun(const std::string &KeyMaterial,
+                               const std::string &Text) {
+  std::istringstream IS(Text);
+  std::string Line;
+  if (!std::getline(IS, Line) ||
+      Line != "specsync-result-cache " + std::to_string(ResultCacheSchema))
+    return std::nullopt;
+  if (!std::getline(IS, Line) || Line != "key " + KeyMaterial)
+    return std::nullopt;
+
+  CachedRun Run;
+  ModeRunResult &R = Run.Result;
+  TLSSimResult &S = R.Sim;
+  FieldReader F(IS);
+  uint64_t U = 0;
+
+  auto readBool = [&](const char *Name, bool &B) {
+    if (!F.read(Name, U) || U > 1)
+      return false;
+    B = U != 0;
+    return true;
+  };
+  auto readMode = [&]() {
+    if (!F.read("mode", U) || U > static_cast<uint64_t>(ExecMode::B))
+      return false;
+    R.Mode = static_cast<ExecMode>(U);
+    return true;
+  };
+
+  bool OkAll = F.read("workload_seed", Run.WorkloadSeed) && readMode() &&
+               F.read("seq_region_cycles", R.SeqRegionCycles) &&
+               F.readD("program_speedup", R.ProgramSpeedup) &&
+               F.readD("coverage_percent", R.CoveragePercent) &&
+               F.readD("seq_region_speedup", R.SeqRegionSpeedup) &&
+               readBool("faults_active", R.FaultsActive) &&
+               F.read("fault_seed", R.FaultSeed) &&
+               F.read("degraded_regions", R.DegradedRegions) &&
+               readBool("completed", S.Completed) &&
+               F.read("cycles", S.Cycles) &&
+               F.read("slots_busy", S.Slots.Busy) &&
+               F.read("slots_fail", S.Slots.Fail) &&
+               F.read("slots_sync_scalar", S.Slots.SyncScalar) &&
+               F.read("slots_sync_mem", S.Slots.SyncMem) &&
+               F.read("slots_total", S.Slots.Total) &&
+               F.read("epochs_committed", S.EpochsCommitted) &&
+               F.read("violations", S.Violations) &&
+               F.read("sab_violations", S.SabViolations) &&
+               F.read("predict_restarts", S.PredictRestarts) &&
+               F.read("viol_compiler_only", S.ViolCompilerOnly) &&
+               F.read("viol_hw_only", S.ViolHwOnly) &&
+               F.read("viol_both", S.ViolBoth) &&
+               F.read("viol_neither", S.ViolNeither) &&
+               F.read("sab_max_occupancy", S.SabMaxOccupancy) &&
+               F.read("sab_overflows", S.SabOverflows) &&
+               F.read("hw_table_resets", S.HwTableResets) &&
+               F.read("predictor_correct", S.PredictorCorrect) &&
+               F.read("predictor_wrong", S.PredictorWrong) &&
+               F.read("filtered_waits", S.FilteredWaits) &&
+               F.read("fault_signal_drops", S.Faults.SignalDrops) &&
+               F.read("fault_signal_delays", S.Faults.SignalDelays) &&
+               F.read("fault_corruptions", S.Faults.Corruptions) &&
+               F.read("fault_mispredicts", S.Faults.Mispredicts) &&
+               F.read("fault_spurious_violations",
+                      S.Faults.SpuriousViolations) &&
+               F.read("fault_hw_drops", S.Faults.HwDrops) &&
+               F.read("watchdog_trips", S.WatchdogTrips) &&
+               F.read("watchdog_wakes", S.WatchdogWakes) &&
+               F.read("corruptions_detected", S.CorruptionsDetected) &&
+               F.read("backoff_retries", S.BackoffRetries) &&
+               F.read("livelock_breaks", S.LivelockBreaks) &&
+               F.read("demoted_syncs", S.DemotedSyncs) &&
+               F.read("demoted_waits", S.DemotedWaits) &&
+               readBool("degraded_to_sequential", S.DegradedToSequential);
+  if (!OkAll)
+    return std::nullopt;
+  if (!std::getline(IS, Line) || Line != "end")
+    return std::nullopt;
+  return Run;
+}
+
+ResultCache::ResultCache(std::string Dir) : Directory(std::move(Dir)) {
+  if (Directory.empty())
+    return;
+#ifdef _WIN32
+  Ok = false;
+#else
+  struct stat St;
+  if (::stat(Directory.c_str(), &St) == 0)
+    Ok = S_ISDIR(St.st_mode);
+  else
+    Ok = ::mkdir(Directory.c_str(), 0755) == 0;
+#endif
+  if (!Ok)
+    std::fprintf(stderr,
+                 "cache: cannot use directory %s; caching disabled\n",
+                 Directory.c_str());
+}
+
+std::string ResultCache::entryPath(const std::string &KeyMaterial) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "%016llx.srun",
+                static_cast<unsigned long long>(fnv1a64(KeyMaterial)));
+  return Directory + "/" + Name;
+}
+
+std::optional<CachedRun> ResultCache::lookup(const std::string &KeyMaterial) {
+  if (!Ok)
+    return std::nullopt;
+  std::optional<CachedRun> Run;
+  {
+    std::ifstream IS(entryPath(KeyMaterial));
+    if (IS) {
+      std::ostringstream Buf;
+      Buf << IS.rdbuf();
+      Run = deserializeCachedRun(KeyMaterial, Buf.str());
+    }
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  if (Run)
+    ++Hits;
+  else
+    ++Misses;
+  return Run;
+}
+
+void ResultCache::store(const std::string &KeyMaterial,
+                        const CachedRun &Run) {
+  if (!Ok)
+    return;
+  uint64_t Tmp;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Tmp = ++TmpCounter;
+    ++Stores;
+  }
+  std::string Path = entryPath(KeyMaterial);
+  // Unique tmp name per (process, store): concurrent writers of the same
+  // key race benignly — both rename identical content into place.
+  std::string TmpPath = Path + ".tmp." +
+#ifndef _WIN32
+                        std::to_string(::getpid()) + "." +
+#endif
+                        std::to_string(Tmp);
+  {
+    std::ofstream OS(TmpPath, std::ios::trunc);
+    if (!OS)
+      return;
+    OS << serializeCachedRun(KeyMaterial, Run);
+    if (!OS) {
+      OS.close();
+      std::remove(TmpPath.c_str());
+      return;
+    }
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0)
+    std::remove(TmpPath.c_str());
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Hits;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Misses;
+}
+
+uint64_t ResultCache::stores() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Stores;
+}

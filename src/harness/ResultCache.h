@@ -1,0 +1,92 @@
+//===- harness/ResultCache.h - Content-addressed run cache ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-disk cache of simulated mode runs, keyed by the content of
+/// everything that determines the result: the workload, the machine
+/// configuration, the sync-frequency threshold, the robustness plan, the
+/// static-analysis options, the run step itself, and a schema/code
+/// version. The pipeline is deterministic, so a key hit may replace the
+/// whole prepare+simulate chain for that step; `specsync_bench --jobs N
+/// --cache-dir D` reuses entries across bench invocations.
+///
+/// Entries are one small text file per key under the cache directory,
+/// written atomically (tmp + rename) so concurrent workers — or
+/// concurrent bench processes sharing a directory — never observe a
+/// partial entry. Each file embeds the full key material; a lookup whose
+/// stored material mismatches (hash collision, schema drift) is a miss.
+///
+/// Doubles are serialized as their IEEE-754 bit patterns, never as
+/// decimal text, so a cached result replays bit-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_HARNESS_RESULTCACHE_H
+#define SPECSYNC_HARNESS_RESULTCACHE_H
+
+#include "harness/Experiment.h"
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace specsync {
+
+/// Bump whenever the simulator, pipeline, or workload definitions change
+/// observable results — stale entries then miss on the key material.
+constexpr unsigned ResultCacheSchema = 1;
+
+/// One cached run step: the mode result plus the pipeline-level workload
+/// seed (restored into pipelines that skipped prepare()).
+struct CachedRun {
+  ModeRunResult Result;
+  uint64_t WorkloadSeed = 0;
+};
+
+/// Exact text serialization (round-trips every bit; see file comment).
+std::string serializeCachedRun(const std::string &KeyMaterial,
+                               const CachedRun &Run);
+/// Returns nullopt on any malformed, truncated or key-mismatched input.
+std::optional<CachedRun> deserializeCachedRun(const std::string &KeyMaterial,
+                                              const std::string &Text);
+
+/// FNV-1a 64-bit — names the entry file; the embedded key material
+/// disambiguates collisions.
+uint64_t fnv1a64(const std::string &S);
+
+/// The cache. All methods are safe to call from concurrent workers.
+class ResultCache {
+public:
+  /// Creates \p Dir (one level) if missing. An unusable directory leaves
+  /// the cache permanently missing (valid() false) rather than failing.
+  explicit ResultCache(std::string Dir);
+
+  bool valid() const { return Ok; }
+  const std::string &dir() const { return Directory; }
+
+  std::optional<CachedRun> lookup(const std::string &KeyMaterial);
+  void store(const std::string &KeyMaterial, const CachedRun &Run);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t stores() const;
+
+private:
+  std::string entryPath(const std::string &KeyMaterial) const;
+
+  std::string Directory;
+  bool Ok = false;
+  mutable std::mutex M; ///< Guards the counters (file ops are atomic).
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Stores = 0;
+  uint64_t TmpCounter = 0; ///< Unique tmp-file suffix per store.
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_HARNESS_RESULTCACHE_H

@@ -16,14 +16,31 @@ using namespace specsync::obs;
 
 bool obs::StatsEnabledFlag = false;
 
-StatRegistry &StatRegistry::global() {
+namespace {
+/// The innermost ScopedStatRegistry override on this thread (if any).
+thread_local StatRegistry *CurrentRegistry = nullptr;
+} // namespace
+
+StatRegistry &StatRegistry::process() {
   static StatRegistry R;
   return R;
 }
 
+StatRegistry &StatRegistry::global() {
+  return CurrentRegistry ? *CurrentRegistry : process();
+}
+
+ScopedStatRegistry::ScopedStatRegistry(StatRegistry *R)
+    : Prev(CurrentRegistry) {
+  CurrentRegistry = R;
+}
+
+ScopedStatRegistry::~ScopedStatRegistry() { CurrentRegistry = Prev; }
+
 void StatRegistry::setEnabled(bool Enabled) { StatsEnabledFlag = Enabled; }
 
 Counter *StatRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> L(LookupM);
   auto It = CounterIndex.find(Name);
   if (It != CounterIndex.end())
     return It->second;
@@ -33,6 +50,7 @@ Counter *StatRegistry::counter(const std::string &Name) {
 }
 
 Gauge *StatRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> L(LookupM);
   auto It = GaugeIndex.find(Name);
   if (It != GaugeIndex.end())
     return It->second;
@@ -44,12 +62,35 @@ Gauge *StatRegistry::gauge(const std::string &Name) {
 FixedHistogram *StatRegistry::histogram(const std::string &Name,
                                         unsigned NumBuckets,
                                         uint64_t BucketWidth) {
+  std::lock_guard<std::mutex> L(LookupM);
   auto It = HistIndex.find(Name);
   if (It != HistIndex.end())
     return It->second;
   Histograms.emplace_back(NumBuckets, BucketWidth);
   HistIndex.emplace(Name, &Histograms.back());
   return &Histograms.back();
+}
+
+void StatRegistry::mergeFrom(const StatRegistry &Cell) {
+  // Handles mutate directly (no enabled-flag gate): merging must work
+  // even if stats were flipped off between the cell run and the merge.
+  for (const auto &[Name, C] : Cell.CounterIndex)
+    if (C->Value != 0)
+      counter(Name)->Value += C->Value;
+  for (const auto &[Name, G] : Cell.GaugeIndex) {
+    if (G->Value == 0 && G->Max == 0)
+      continue; // Untouched in the cell; keep the current last-writer.
+    Gauge *Dst = gauge(Name);
+    Dst->Value = G->Value;
+    if (G->Max > Dst->Max)
+      Dst->Max = G->Max;
+  }
+  for (const auto &[Name, H] : Cell.HistIndex) {
+    if (H->totalSamples() == 0)
+      continue;
+    FixedHistogram *Dst = histogram(Name, H->numBuckets(), H->bucketWidth());
+    Dst->addMerged(*H);
+  }
 }
 
 void StatRegistry::reset() {

@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,18 @@ public:
   uint64_t bucketCount(unsigned B) const { return Buckets[B]; }
   uint64_t totalSamples() const { return Total; }
 
+  /// Adds \p Other bucket-wise, ignoring the enabled flag (merge path).
+  /// Buckets beyond this histogram's range land in its overflow bucket.
+  void addMerged(const FixedHistogram &Other) {
+    for (unsigned B = 0; B < Other.numBuckets(); ++B) {
+      unsigned Dst = B < Buckets.size() ? B
+                                        : static_cast<unsigned>(
+                                              Buckets.size() - 1);
+      Buckets[Dst] += Other.Buckets[B];
+    }
+    Total += Other.Total;
+  }
+
   void reset() {
     std::fill(Buckets.begin(), Buckets.end(), 0);
     Total = 0;
@@ -99,9 +112,28 @@ private:
 /// The registry. Handle lookups (counter()/gauge()/histogram()) are
 /// get-or-create by name and intended for construction-time use only; the
 /// returned pointers stay valid for the registry's lifetime.
+///
+/// Threading model (see ExperimentRunner): the *process* registry is the
+/// default target of global(). The parallel experiment runner gives each
+/// worker-side cell its own registry instance, installed as the calling
+/// thread's current registry via ScopedStatRegistry, and merges the cell
+/// registries back into the process registry in canonical grid order —
+/// so a parallel sweep renders byte-identical stats to a serial one
+/// (wall-clock phase timers excepted; those measure the host). Handle
+/// mutations are therefore always thread-confined and stay unlocked; the
+/// get-or-create path is mutex-protected as defense in depth.
 class StatRegistry {
 public:
+  StatRegistry() = default; ///< Per-cell instances (experiment runner).
+  StatRegistry(const StatRegistry &) = delete;
+  StatRegistry &operator=(const StatRegistry &) = delete;
+
+  /// The calling thread's current registry: the innermost
+  /// ScopedStatRegistry override, else the process-wide registry.
   static StatRegistry &global();
+
+  /// The process-wide registry, ignoring any thread-local override.
+  static StatRegistry &process();
 
   /// Flips the global enabled flag. Disabled (the default) makes every
   /// handle mutation a no-op.
@@ -111,6 +143,13 @@ public:
   Gauge *gauge(const std::string &Name);
   FixedHistogram *histogram(const std::string &Name, unsigned NumBuckets,
                             uint64_t BucketWidth = 1);
+
+  /// Folds \p Cell into this registry: counters and histograms add;
+  /// touched gauges (nonzero value or max) overwrite, matching
+  /// last-writer-wins semantics of a serial run when cells are merged in
+  /// canonical order. The caller must have synchronized with all writers
+  /// of \p Cell (the runner merges only completed cells).
+  void mergeFrom(const StatRegistry &Cell);
 
   /// Zeroes every registered value (handles stay valid). Test support.
   void reset();
@@ -126,14 +165,28 @@ public:
   }
 
 private:
-  StatRegistry() = default;
-
+  mutable std::mutex LookupM; ///< Guards the get-or-create path only.
   std::map<std::string, Counter *> CounterIndex;
   std::map<std::string, Gauge *> GaugeIndex;
   std::map<std::string, FixedHistogram *> HistIndex;
   std::deque<Counter> Counters;   ///< Deques: stable handle addresses.
   std::deque<Gauge> Gauges;
   std::deque<FixedHistogram> Histograms;
+};
+
+/// RAII thread-local registry override: while alive, global() on this
+/// thread resolves to \p R. Used by the experiment runner to confine one
+/// cell's stats to one registry instance.
+class ScopedStatRegistry {
+public:
+  explicit ScopedStatRegistry(StatRegistry *R);
+  ~ScopedStatRegistry();
+
+  ScopedStatRegistry(const ScopedStatRegistry &) = delete;
+  ScopedStatRegistry &operator=(const ScopedStatRegistry &) = delete;
+
+private:
+  StatRegistry *Prev;
 };
 
 } // namespace obs

@@ -13,10 +13,23 @@
 using namespace specsync;
 using namespace specsync::obs;
 
-TraceLog &TraceLog::global() {
+namespace {
+/// The innermost ScopedTraceLog override on this thread (if any).
+thread_local TraceLog *CurrentLog = nullptr;
+} // namespace
+
+TraceLog &TraceLog::process() {
   static TraceLog T;
   return T;
 }
+
+TraceLog &TraceLog::global() { return CurrentLog ? *CurrentLog : process(); }
+
+ScopedTraceLog::ScopedTraceLog(TraceLog *T) : Prev(CurrentLog) {
+  CurrentLog = T;
+}
+
+ScopedTraceLog::~ScopedTraceLog() { CurrentLog = Prev; }
 
 void TraceLog::start(size_t Cap) {
   Active = true;
@@ -115,6 +128,56 @@ void TraceLog::hostSpan(const std::string &Name, uint64_t TsUs, uint64_t DurUs,
   E.ArgName = ArgName;
   E.ArgValue = ArgValue;
   push(E);
+}
+
+void TraceLog::mergeFrom(const TraceLog &Cell) {
+  if (Capacity == 0)
+    return; // This log never started recording; nothing to merge into.
+  if (Cell.Events.empty() && Cell.Metadata.empty())
+    return;
+  // Simulator track groups: cell pids are 1..Cell.NextPid-1; a serial run
+  // would have assigned them NextPid..NextPid+Cell.NextPid-2 here.
+  uint32_t PidBase = NextPid; // Maps cell pid p (>=1) to PidBase + p - 1.
+  auto remapPid = [&](uint32_t P) { return P == 0 ? 0 : PidBase + P - 1; };
+
+  for (const NamedTrack &M : Cell.Metadata) {
+    if (M.Pid == 0 && M.IsProcess) {
+      if (HostTrackNamed)
+        continue;
+      HostTrackNamed = true;
+      Metadata.push_back(M);
+      continue;
+    }
+    NamedTrack Remapped = M;
+    Remapped.Pid = remapPid(M.Pid);
+    if (!Remapped.IsProcess &&
+        !NamedThreads.insert({Remapped.Pid, Remapped.Tid}).second)
+      continue;
+    Metadata.push_back(std::move(Remapped));
+  }
+
+  // Events in the cell's ring order (oldest first), rebased. Host-track
+  // names were interned in the cell; re-intern so they outlive it.
+  auto rebase = [&](TraceEvent E) {
+    if (E.Pid == 0) {
+      E.Name = InternedNames.insert(E.Name).first->c_str();
+    } else {
+      E.Pid = remapPid(E.Pid);
+      E.Ts += TimeBase;
+    }
+    push(E);
+  };
+  for (size_t I = Cell.Head; I < Cell.Events.size(); ++I)
+    rebase(Cell.Events[I]);
+  for (size_t I = 0; I < Cell.Head; ++I)
+    rebase(Cell.Events[I]);
+
+  if (Cell.NextPid > 1) {
+    NextPid = PidBase + Cell.NextPid - 1;
+    CurPid = remapPid(Cell.CurPid);
+  }
+  TimeBase += Cell.TimeBase;
+  Dropped += Cell.Dropped;
 }
 
 void TraceLog::writeChromeJson(std::ostream &OS) const {

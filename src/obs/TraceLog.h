@@ -46,15 +46,31 @@ struct TraceEvent {
   int64_t ArgValue = 0;
 };
 
+/// Threading model mirrors StatRegistry: the process log is the default
+/// target of global(); the experiment runner installs a per-cell log as
+/// the thread's current via ScopedTraceLog and merges completed cells
+/// into the process log in canonical grid order (mergeFrom rebases each
+/// cell's track-group ids and simulated-time base exactly as a serial
+/// run would have assigned them).
 class TraceLog {
 public:
+  TraceLog() = default; ///< Per-cell instances (experiment runner).
+  TraceLog(const TraceLog &) = delete;
+  TraceLog &operator=(const TraceLog &) = delete;
+
+  /// The calling thread's current log: the innermost ScopedTraceLog
+  /// override, else the process-wide log.
   static TraceLog &global();
+
+  /// The process-wide log, ignoring any thread-local override.
+  static TraceLog &process();
 
   /// Starts recording into a ring of \p Capacity events. When the ring
   /// fills, the oldest events are overwritten (and counted as dropped).
   void start(size_t Capacity = DefaultCapacity);
   void stop();
   bool active() const { return Active; }
+  size_t capacity() const { return Capacity; }
 
   /// Opens a new track group (a Chrome "process") and makes it current;
   /// emits its process_name metadata. Returns the pid.
@@ -90,14 +106,22 @@ public:
   /// Writes to \p Path; returns false (and keeps the log) on I/O error.
   bool writeChromeJson(const std::string &Path) const;
 
+  /// Appends everything \p Cell recorded, as if it had been recorded
+  /// here: simulator track groups get fresh pids continuing this log's
+  /// sequence, simulator timestamps are rebased onto this log's time
+  /// base (which then advances by the cell's), and host-track (pid 0)
+  /// events pass through unchanged — the host wall clock is process-wide
+  /// already. Cell events pass through this log's ring, so capacity
+  /// accounting matches a serial recording. The caller must have
+  /// synchronized with all writers of \p Cell.
+  void mergeFrom(const TraceLog &Cell);
+
   /// Drops all recorded events and metadata (test support).
   void clear();
 
   static constexpr size_t DefaultCapacity = 1u << 20;
 
 private:
-  TraceLog() = default;
-
   void push(const TraceEvent &E);
 
   bool Active = false;
@@ -118,6 +142,21 @@ private:
   std::set<std::pair<uint32_t, uint32_t>> NamedThreads;
   std::set<std::string> InternedNames; ///< Stable storage for hostSpan names.
   bool HostTrackNamed = false;
+};
+
+/// RAII thread-local log override: while alive, global() on this thread
+/// resolves to \p T. Used by the experiment runner to confine one cell's
+/// trace events to one log instance.
+class ScopedTraceLog {
+public:
+  explicit ScopedTraceLog(TraceLog *T);
+  ~ScopedTraceLog();
+
+  ScopedTraceLog(const ScopedTraceLog &) = delete;
+  ScopedTraceLog &operator=(const ScopedTraceLog &) = delete;
+
+private:
+  TraceLog *Prev;
 };
 
 } // namespace obs

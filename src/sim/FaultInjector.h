@@ -63,6 +63,20 @@ struct FaultPlan {
   static FaultPlan uniform(uint64_t Seed, double RatePct);
 };
 
+/// Field-wise equality (experiment-runner replay matching).
+inline bool operator==(const FaultPlan &A, const FaultPlan &B) {
+  return A.Seed == B.Seed && A.SignalDropPct == B.SignalDropPct &&
+         A.SignalDelayPct == B.SignalDelayPct &&
+         A.SignalDelayCycles == B.SignalDelayCycles &&
+         A.SignalCorruptPct == B.SignalCorruptPct &&
+         A.MispredictPct == B.MispredictPct &&
+         A.SpuriousViolationPct == B.SpuriousViolationPct &&
+         A.HwUpdateDropPct == B.HwUpdateDropPct;
+}
+inline bool operator!=(const FaultPlan &A, const FaultPlan &B) {
+  return !(A == B);
+}
+
 /// Per-class injection counts (what actually fired, not the plan).
 struct FaultCounts {
   uint64_t SignalDrops = 0;
@@ -133,6 +147,19 @@ struct RobustnessOptions {
 
   bool active() const { return Plan.enabled() || WatchdogBudget > 0; }
 };
+
+inline bool operator==(const RobustnessOptions &A,
+                       const RobustnessOptions &B) {
+  return A.Plan == B.Plan && A.WatchdogBudget == B.WatchdogBudget &&
+         A.WatchdogBackoffBase == B.WatchdogBackoffBase &&
+         A.EpochRetryLimit == B.EpochRetryLimit &&
+         A.GroupDemoteThreshold == B.GroupDemoteThreshold &&
+         A.DegradeSquashRate == B.DegradeSquashRate;
+}
+inline bool operator!=(const RobustnessOptions &A,
+                       const RobustnessOptions &B) {
+  return !(A == B);
+}
 
 /// Parses --fault-seed=N, --fault-rate=P, --fault-drop=P, --fault-delay=P,
 /// --fault-delay-cycles=N, --fault-corrupt=P, --fault-mispredict=P,

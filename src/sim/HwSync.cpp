@@ -13,6 +13,12 @@
 
 using namespace specsync;
 
+HwViolationTable::HwViolationTable(unsigned Capacity, uint64_t ResetInterval)
+    : Capacity(Capacity), ResetInterval(ResetInterval),
+      CResets(obs::StatRegistry::global().counter("sim.hwsync.resets")),
+      CRecorded(
+          obs::StatRegistry::global().counter("sim.hwsync.recorded_loads")) {}
+
 void HwViolationTable::maybeReset(uint64_t Cycle) {
   if (ResetInterval == 0 || Cycle - LastReset < ResetInterval)
     return;
@@ -30,8 +36,6 @@ void HwViolationTable::maybeReset(uint64_t Cycle) {
   }
   LastReset = Cycle;
   ++Resets;
-  static obs::Counter *CResets =
-      obs::StatRegistry::global().counter("sim.hwsync.resets");
   CResets->add(1);
 }
 
@@ -46,8 +50,6 @@ void HwViolationTable::erase(uint32_t LoadId) {
 
 void HwViolationTable::recordViolation(uint32_t LoadId, uint64_t Cycle,
                                        bool Sticky) {
-  static obs::Counter *CRecorded =
-      obs::StatRegistry::global().counter("sim.hwsync.recorded_loads");
   CRecorded->add(1);
   maybeReset(Cycle);
   erase(LoadId);

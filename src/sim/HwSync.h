@@ -31,11 +31,13 @@
 namespace specsync {
 
 class FaultInjector;
+namespace obs {
+struct Counter;
+} // namespace obs
 
 class HwViolationTable {
 public:
-  HwViolationTable(unsigned Capacity, uint64_t ResetInterval)
-      : Capacity(Capacity), ResetInterval(ResetInterval) {}
+  HwViolationTable(unsigned Capacity, uint64_t ResetInterval);
 
   /// Records that load \p LoadId caused a violation at \p Cycle. A
   /// \p Sticky entry survives periodic resets (the paper's future-work
@@ -61,6 +63,11 @@ private:
   std::list<uint32_t> Lru; ///< Front = most recent.
   std::unordered_map<uint32_t, std::list<uint32_t>::iterator> Index;
   std::unordered_map<uint32_t, bool> StickyFlags;
+
+  // Registry handles bound at construction to the constructing thread's
+  // current registry (per-cell under the parallel experiment runner).
+  obs::Counter *CResets;
+  obs::Counter *CRecorded;
 };
 
 /// The per-core organization: each core consults and trains its own

@@ -13,7 +13,15 @@
 
 using namespace specsync;
 
-ValuePredictor::ValuePredictor(unsigned NumEntries) : Table(NumEntries) {
+// Handles resolve at construction time against the constructing thread's
+// current registry (per-cell under the parallel experiment runner) —
+// never cache them in function-local statics, which would pin one cell's
+// registry across threads.
+ValuePredictor::ValuePredictor(unsigned NumEntries)
+    : Table(NumEntries),
+      CLookups(obs::StatRegistry::global().counter("sim.predictor.lookups")),
+      CCorrect(obs::StatRegistry::global().counter("sim.predictor.correct")),
+      CWrong(obs::StatRegistry::global().counter("sim.predictor.wrong")) {
   assert(NumEntries > 0 && "predictor needs at least one entry");
 }
 
@@ -21,12 +29,6 @@ ValuePredictor::Outcome
 ValuePredictor::predictAndTrain(uint32_t LoadId, uint64_t ActualValue,
                                 bool AllowFault) {
   ++Lookups;
-  static obs::Counter *CLookups =
-      obs::StatRegistry::global().counter("sim.predictor.lookups");
-  static obs::Counter *CCorrect =
-      obs::StatRegistry::global().counter("sim.predictor.correct");
-  static obs::Counter *CWrong =
-      obs::StatRegistry::global().counter("sim.predictor.wrong");
   CLookups->add(1);
   Entry &E = Table[LoadId % Table.size()];
 

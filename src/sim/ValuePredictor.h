@@ -21,6 +21,9 @@
 namespace specsync {
 
 class FaultInjector;
+namespace obs {
+struct Counter;
+} // namespace obs
 
 class ValuePredictor {
 public:
@@ -59,6 +62,12 @@ private:
   uint64_t NumCorrect = 0;
   uint64_t NumWrong = 0;
   FaultInjector *Faults = nullptr;
+
+  // Registry handles bound to the constructing thread's current registry
+  // (per-cell under the parallel runner).
+  obs::Counter *CLookups;
+  obs::Counter *CCorrect;
+  obs::Counter *CWrong;
 };
 
 } // namespace specsync

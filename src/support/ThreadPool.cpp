@@ -1,0 +1,178 @@
+//===- support/ThreadPool.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+#include <exception>
+
+using namespace specsync;
+
+namespace {
+/// Which worker (if any) the current thread is; -1 on external threads.
+thread_local int CurrentWorker = -1;
+/// The pool the current worker thread belongs to.
+thread_local ThreadPool *CurrentPool = nullptr;
+} // namespace
+
+unsigned ThreadPool::defaultJobs() {
+  if (const char *Env = std::getenv("SPECSYNC_JOBS")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  Threads.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  waitIdle();
+  {
+    std::lock_guard<std::mutex> L(IdleM);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  unsigned Target;
+  if (CurrentPool == this && CurrentWorker >= 0)
+    Target = static_cast<unsigned>(CurrentWorker);
+  else
+    Target = NextVictim.fetch_add(1, std::memory_order_relaxed) %
+             Workers.size();
+  {
+    std::lock_guard<std::mutex> L(IdleM);
+    ++Outstanding;
+  }
+  {
+    std::lock_guard<std::mutex> L(Workers[Target]->M);
+    Workers[Target]->Queue.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
+}
+
+bool ThreadPool::popOwn(unsigned Me, std::function<void()> &Task) {
+  Worker &W = *Workers[Me];
+  std::lock_guard<std::mutex> L(W.M);
+  if (W.Queue.empty())
+    return false;
+  Task = std::move(W.Queue.back());
+  W.Queue.pop_back();
+  return true;
+}
+
+bool ThreadPool::stealOther(unsigned Me, std::function<void()> &Task) {
+  for (size_t Off = 1; Off < Workers.size(); ++Off) {
+    Worker &V = *Workers[(Me + Off) % Workers.size()];
+    std::lock_guard<std::mutex> L(V.M);
+    if (V.Queue.empty())
+      continue;
+    Task = std::move(V.Queue.front());
+    V.Queue.pop_front();
+    Steals.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Me) {
+  CurrentWorker = static_cast<int>(Me);
+  CurrentPool = this;
+  for (;;) {
+    std::function<void()> Task;
+    if (popOwn(Me, Task) || stealOther(Me, Task)) {
+      Task();
+      std::lock_guard<std::mutex> L(IdleM);
+      if (--Outstanding == 0)
+        IdleCv.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> L(IdleM);
+    if (Stopping)
+      return;
+    // Re-check under the lock: a submit between our scan and here would
+    // otherwise be missed.
+    bool AnyQueued = false;
+    for (const std::unique_ptr<Worker> &W : Workers) {
+      std::lock_guard<std::mutex> QL(W->M);
+      if (!W->Queue.empty()) {
+        AnyQueued = true;
+        break;
+      }
+    }
+    if (AnyQueued)
+      continue;
+    WorkCv.wait(L);
+  }
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> L(IdleM);
+  IdleCv.wait(L, [this] { return Outstanding == 0; });
+}
+
+void specsync::parallelFor(ThreadPool *Pool, size_t N,
+                           const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (!Pool || Pool->numThreads() <= 1 || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+    std::mutex M;
+    std::condition_variable Cv;
+    std::exception_ptr FirstError;
+  };
+  auto S = std::make_shared<Shared>();
+
+  auto Run = [S, N, &Fn] {
+    for (;;) {
+      size_t I = S->Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        break;
+      try {
+        Fn(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> L(S->M);
+        if (!S->FirstError)
+          S->FirstError = std::current_exception();
+      }
+      if (S->Done.fetch_add(1, std::memory_order_acq_rel) + 1 == N) {
+        std::lock_guard<std::mutex> L(S->M);
+        S->Cv.notify_all();
+      }
+    }
+  };
+
+  size_t Helpers = std::min<size_t>(Pool->numThreads(), N) - 1;
+  for (size_t H = 0; H < Helpers; ++H)
+    Pool->submit(Run);
+  Run(); // The caller participates.
+
+  std::unique_lock<std::mutex> L(S->M);
+  S->Cv.wait(L, [&] { return S->Done.load(std::memory_order_acquire) == N; });
+  if (S->FirstError)
+    std::rethrow_exception(S->FirstError);
+}

@@ -1,0 +1,105 @@
+//===- support/ThreadPool.h - Work-stealing thread pool --------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the experiment runner and other
+/// embarrassingly parallel host-side work. Each worker owns a deque; it
+/// pops from the back of its own deque (LIFO, cache-friendly) and steals
+/// from the front of a victim's deque (FIFO, oldest-first) when its own
+/// runs dry. Tasks are coarse (whole benchmark cells), so the deques are
+/// mutex-protected rather than lock-free — contention is negligible at
+/// this granularity and the implementation stays obviously correct under
+/// ThreadSanitizer.
+///
+/// Determinism note: the pool schedules *execution*; it must never be the
+/// source of result ordering. Callers that need deterministic output
+/// (the experiment runner) consume results in their own canonical order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SUPPORT_THREADPOOL_H
+#define SPECSYNC_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specsync {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers. 0 is clamped to 1. The pool is
+  /// intentionally cheap to construct per experiment grid.
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains nothing: outstanding tasks are completed before destruction
+  /// returns (the pool joins its workers).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues one task. Tasks submitted from a worker thread go to that
+  /// worker's own deque (depth-first help); external submissions are
+  /// distributed round-robin.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished executing.
+  void waitIdle();
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Total tasks stolen from another worker's deque (test/diagnostics).
+  uint64_t stealCount() const { return Steals.load(std::memory_order_relaxed); }
+
+  /// The job count used when a caller asks for "0" jobs: the
+  /// SPECSYNC_JOBS environment override, else std::thread::hardware_concurrency.
+  static unsigned defaultJobs();
+
+private:
+  struct Worker {
+    std::mutex M;
+    std::deque<std::function<void()>> Queue;
+  };
+
+  void workerLoop(unsigned Me);
+  bool popOwn(unsigned Me, std::function<void()> &Task);
+  bool stealOther(unsigned Me, std::function<void()> &Task);
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+
+  // Sleep/wake and completion accounting.
+  std::mutex IdleM;
+  std::condition_variable WorkCv;  ///< Signaled when work arrives / stops.
+  std::condition_variable IdleCv;  ///< Signaled when Outstanding hits zero.
+  size_t Outstanding = 0;          ///< Submitted but not yet finished.
+  bool Stopping = false;
+
+  std::atomic<uint64_t> Steals{0};
+  std::atomic<unsigned> NextVictim{0}; ///< Round-robin submission cursor.
+};
+
+/// Runs Fn(I) for every I in [0, N) on the pool, with the calling thread
+/// participating. Iterations are claimed one at a time from a shared
+/// atomic cursor (coarse tasks; no need for range splitting). The first
+/// exception thrown by any iteration is rethrown on the caller after all
+/// claimed iterations finish. With a null pool or one that has a single
+/// thread the loop still executes every iteration (the caller does the
+/// work).
+void parallelFor(ThreadPool *Pool, size_t N,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace specsync
+
+#endif // SPECSYNC_SUPPORT_THREADPOOL_H

@@ -1,0 +1,341 @@
+//===- tests/resultcache_test.cpp - Result cache properties -----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests for the content-addressed result cache: serialization
+// round-trips every bit (doubles included), any perturbation of the key
+// material changes the key hash, and malformed or key-mismatched entries
+// are rejected as misses rather than deserialized wrongly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ResultCache.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <string>
+
+using namespace specsync;
+
+namespace {
+
+double bitsToDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+uint64_t doubleToBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+/// Fills every serialized field with a distinct, draw-dependent value.
+CachedRun makeRandomRun(uint64_t Seed) {
+  Random Rng(Seed);
+  CachedRun Run;
+  Run.WorkloadSeed = Rng.next();
+
+  ModeRunResult &R = Run.Result;
+  R.Mode = static_cast<ExecMode>(Rng.nextBelow(4));
+  R.SeqRegionCycles = Rng.next();
+  // Arbitrary bit patterns, skipping NaNs (NaN != NaN breaks EXPECT_EQ;
+  // bit-level identity for NaN is covered by the explicit test below).
+  auto randomFinite = [&] {
+    double D = bitsToDouble(Rng.next());
+    return std::isnan(D) ? 0.25 : D;
+  };
+  R.ProgramSpeedup = randomFinite();
+  R.CoveragePercent = randomFinite();
+  R.SeqRegionSpeedup = randomFinite();
+  R.FaultsActive = Rng.nextBelow(2) != 0;
+  R.FaultSeed = Rng.next();
+  R.DegradedRegions = Rng.next();
+
+  TLSSimResult &S = R.Sim;
+  S.Completed = Rng.nextBelow(2) != 0;
+  S.Cycles = Rng.next();
+  S.Slots.Busy = Rng.nextBelow(1u << 20);
+  S.Slots.Fail = Rng.nextBelow(1u << 20);
+  S.Slots.SyncScalar = Rng.nextBelow(1u << 20);
+  S.Slots.SyncMem = Rng.nextBelow(1u << 20);
+  S.Slots.Total = S.Slots.Busy + S.Slots.Fail + S.Slots.SyncScalar +
+                  S.Slots.SyncMem + Rng.nextBelow(1u << 20);
+  S.EpochsCommitted = Rng.next();
+  S.Violations = Rng.next();
+  S.SabViolations = Rng.next();
+  S.PredictRestarts = Rng.next();
+  S.ViolCompilerOnly = Rng.next();
+  S.ViolHwOnly = Rng.next();
+  S.ViolBoth = Rng.next();
+  S.ViolNeither = Rng.next();
+  S.SabMaxOccupancy = Rng.next();
+  S.SabOverflows = Rng.next();
+  S.HwTableResets = Rng.next();
+  S.PredictorCorrect = Rng.next();
+  S.PredictorWrong = Rng.next();
+  S.FilteredWaits = Rng.next();
+  S.Faults.SignalDrops = Rng.next();
+  S.Faults.SignalDelays = Rng.next();
+  S.Faults.Corruptions = Rng.next();
+  S.Faults.Mispredicts = Rng.next();
+  S.Faults.SpuriousViolations = Rng.next();
+  S.Faults.HwDrops = Rng.next();
+  S.WatchdogTrips = Rng.next();
+  S.WatchdogWakes = Rng.next();
+  S.CorruptionsDetected = Rng.next();
+  S.BackoffRetries = Rng.next();
+  S.LivelockBreaks = Rng.next();
+  S.DemotedSyncs = Rng.next();
+  S.DemotedWaits = Rng.next();
+  S.DegradedToSequential = Rng.nextBelow(2) != 0;
+  return Run;
+}
+
+void expectBitIdentical(const CachedRun &A, const CachedRun &B) {
+  EXPECT_EQ(A.WorkloadSeed, B.WorkloadSeed);
+  EXPECT_EQ(A.Result.Mode, B.Result.Mode);
+  EXPECT_EQ(A.Result.SeqRegionCycles, B.Result.SeqRegionCycles);
+  EXPECT_EQ(doubleToBits(A.Result.ProgramSpeedup),
+            doubleToBits(B.Result.ProgramSpeedup));
+  EXPECT_EQ(doubleToBits(A.Result.CoveragePercent),
+            doubleToBits(B.Result.CoveragePercent));
+  EXPECT_EQ(doubleToBits(A.Result.SeqRegionSpeedup),
+            doubleToBits(B.Result.SeqRegionSpeedup));
+  EXPECT_EQ(A.Result.FaultsActive, B.Result.FaultsActive);
+  EXPECT_EQ(A.Result.FaultSeed, B.Result.FaultSeed);
+  EXPECT_EQ(A.Result.DegradedRegions, B.Result.DegradedRegions);
+
+  const TLSSimResult &X = A.Result.Sim, &Y = B.Result.Sim;
+  EXPECT_EQ(X.Completed, Y.Completed);
+  EXPECT_EQ(X.Cycles, Y.Cycles);
+  EXPECT_EQ(X.Slots.Busy, Y.Slots.Busy);
+  EXPECT_EQ(X.Slots.Fail, Y.Slots.Fail);
+  EXPECT_EQ(X.Slots.SyncScalar, Y.Slots.SyncScalar);
+  EXPECT_EQ(X.Slots.SyncMem, Y.Slots.SyncMem);
+  EXPECT_EQ(X.Slots.Total, Y.Slots.Total);
+  EXPECT_EQ(X.EpochsCommitted, Y.EpochsCommitted);
+  EXPECT_EQ(X.Violations, Y.Violations);
+  EXPECT_EQ(X.SabViolations, Y.SabViolations);
+  EXPECT_EQ(X.PredictRestarts, Y.PredictRestarts);
+  EXPECT_EQ(X.ViolCompilerOnly, Y.ViolCompilerOnly);
+  EXPECT_EQ(X.ViolHwOnly, Y.ViolHwOnly);
+  EXPECT_EQ(X.ViolBoth, Y.ViolBoth);
+  EXPECT_EQ(X.ViolNeither, Y.ViolNeither);
+  EXPECT_EQ(X.SabMaxOccupancy, Y.SabMaxOccupancy);
+  EXPECT_EQ(X.SabOverflows, Y.SabOverflows);
+  EXPECT_EQ(X.HwTableResets, Y.HwTableResets);
+  EXPECT_EQ(X.PredictorCorrect, Y.PredictorCorrect);
+  EXPECT_EQ(X.PredictorWrong, Y.PredictorWrong);
+  EXPECT_EQ(X.FilteredWaits, Y.FilteredWaits);
+  EXPECT_EQ(X.Faults.SignalDrops, Y.Faults.SignalDrops);
+  EXPECT_EQ(X.Faults.SignalDelays, Y.Faults.SignalDelays);
+  EXPECT_EQ(X.Faults.Corruptions, Y.Faults.Corruptions);
+  EXPECT_EQ(X.Faults.Mispredicts, Y.Faults.Mispredicts);
+  EXPECT_EQ(X.Faults.SpuriousViolations, Y.Faults.SpuriousViolations);
+  EXPECT_EQ(X.Faults.HwDrops, Y.Faults.HwDrops);
+  EXPECT_EQ(X.WatchdogTrips, Y.WatchdogTrips);
+  EXPECT_EQ(X.WatchdogWakes, Y.WatchdogWakes);
+  EXPECT_EQ(X.CorruptionsDetected, Y.CorruptionsDetected);
+  EXPECT_EQ(X.BackoffRetries, Y.BackoffRetries);
+  EXPECT_EQ(X.LivelockBreaks, Y.LivelockBreaks);
+  EXPECT_EQ(X.DemotedSyncs, Y.DemotedSyncs);
+  EXPECT_EQ(X.DemotedWaits, Y.DemotedWaits);
+  EXPECT_EQ(X.DegradedToSequential, Y.DegradedToSequential);
+}
+
+} // namespace
+
+TEST(ResultCacheSerialization, RandomRunsRoundTripExactly) {
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    CachedRun Run = makeRandomRun(Seed);
+    std::string Key = "key-for-seed-" + std::to_string(Seed);
+    std::optional<CachedRun> Back =
+        deserializeCachedRun(Key, serializeCachedRun(Key, Run));
+    ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
+    expectBitIdentical(Run, *Back);
+  }
+}
+
+TEST(ResultCacheSerialization, AwkwardDoublesRoundTripBitExactly) {
+  const double Cases[] = {0.0,
+                          -0.0,
+                          0.1,
+                          1.0 / 3.0,
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::quiet_NaN()};
+  for (double D : Cases) {
+    CachedRun Run;
+    Run.Result.ProgramSpeedup = D;
+    std::optional<CachedRun> Back =
+        deserializeCachedRun("k", serializeCachedRun("k", Run));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(doubleToBits(D), doubleToBits(Back->Result.ProgramSpeedup))
+        << "double " << D;
+  }
+}
+
+TEST(ResultCacheSerialization, KeyMismatchIsRejected) {
+  CachedRun Run = makeRandomRun(7);
+  std::string Text = serializeCachedRun("the-real-key", Run);
+  EXPECT_TRUE(deserializeCachedRun("the-real-key", Text).has_value());
+  EXPECT_FALSE(deserializeCachedRun("another-key", Text).has_value());
+  EXPECT_FALSE(deserializeCachedRun("", Text).has_value());
+}
+
+TEST(ResultCacheSerialization, TruncationIsRejectedAtEveryLength) {
+  CachedRun Run = makeRandomRun(11);
+  std::string Text = serializeCachedRun("k", Run);
+  // Any strict prefix must fail: the format ends with an explicit "end".
+  for (size_t Len = 0; Len < Text.size(); Len += 7)
+    EXPECT_FALSE(deserializeCachedRun("k", Text.substr(0, Len)).has_value())
+        << "prefix length " << Len;
+}
+
+TEST(ResultCacheSerialization, SingleCharacterCorruptionNeverMisparses) {
+  CachedRun Run = makeRandomRun(13);
+  std::string Key = "k";
+  std::string Text = serializeCachedRun(Key, Run);
+  Random Rng(99);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    std::string Bad = Text;
+    size_t Pos = Rng.nextBelow(Bad.size());
+    char Orig = Bad[Pos];
+    char Repl = static_cast<char>('0' + Rng.nextBelow(75));
+    // Hex digits parse case-insensitively; a case flip is the same value.
+    if (std::tolower(Repl) == std::tolower(Orig))
+      continue;
+    Bad[Pos] = Repl;
+    std::optional<CachedRun> Back = deserializeCachedRun(Key, Bad);
+    if (!Back)
+      continue; // Rejected outright: fine.
+    // Accepted: the flip must have changed the decoded payload — a
+    // corrupt entry may be detected or may decode differently, but it
+    // must never silently decode back to the original bits.
+    EXPECT_NE(serializeCachedRun(Key, *Back), serializeCachedRun(Key, Run))
+        << "flip at " << Pos << " ('" << Orig << "' -> '" << Repl
+        << "') decoded back to the original";
+  }
+}
+
+TEST(ResultCacheKeys, AnyPerturbationChangesTheHash) {
+  // Model key material the way the pipeline builds it: many |-separated
+  // fields. Flipping, inserting, or deleting any character must change
+  // the FNV-1a key, else two different configurations share a cache file
+  // name (still caught by the embedded material, but hash quality is
+  // what makes that path rare).
+  Random Rng(42);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    std::string Material = "v1|wl=GO|cfg=";
+    size_t Len = 10 + Rng.nextBelow(100);
+    for (size_t I = 0; I < Len; ++I)
+      Material += static_cast<char>('!' + Rng.nextBelow(90));
+    uint64_t H = fnv1a64(Material);
+
+    // Flip one character.
+    std::string Flip = Material;
+    size_t Pos = Rng.nextBelow(Flip.size());
+    Flip[Pos] = static_cast<char>(Flip[Pos] ^ 0x11);
+    EXPECT_NE(fnv1a64(Flip), H) << Material;
+
+    // Append and prepend.
+    EXPECT_NE(fnv1a64(Material + "x"), H);
+    EXPECT_NE(fnv1a64("x" + Material), H);
+
+    // Delete one character.
+    std::string Del = Material;
+    Del.erase(Rng.nextBelow(Del.size()), 1);
+    EXPECT_NE(fnv1a64(Del), H);
+  }
+}
+
+TEST(ResultCacheKeys, DistinctFieldsDoNotCollideInPractice) {
+  // 4096 structured key variants must produce 4096 distinct hashes.
+  std::set<uint64_t> Hashes;
+  for (unsigned Seed = 0; Seed < 64; ++Seed)
+    for (unsigned Mode = 0; Mode < 8; ++Mode)
+      for (unsigned Cfg = 0; Cfg < 8; ++Cfg)
+        Hashes.insert(fnv1a64("v1|wl=GO|seed=" + std::to_string(Seed) +
+                              "|mode=" + std::to_string(Mode) +
+                              "|cfg=" + std::to_string(Cfg)));
+  EXPECT_EQ(Hashes.size(), 64u * 8u * 8u);
+}
+
+TEST(ResultCacheDisk, StoreLookupAndCounters) {
+  std::string Dir = testing::TempDir() + "specsync_cache_unit";
+  std::filesystem::remove_all(Dir);
+  ResultCache Cache(Dir);
+  ASSERT_TRUE(Cache.valid());
+
+  CachedRun Run = makeRandomRun(21);
+  EXPECT_FALSE(Cache.lookup("key-a").has_value());
+  EXPECT_EQ(Cache.misses(), 1u);
+
+  Cache.store("key-a", Run);
+  EXPECT_EQ(Cache.stores(), 1u);
+
+  std::optional<CachedRun> Back = Cache.lookup("key-a");
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Cache.hits(), 1u);
+  expectBitIdentical(Run, *Back);
+
+  // A different key misses even though an entry file exists.
+  EXPECT_FALSE(Cache.lookup("key-b").has_value());
+  EXPECT_EQ(Cache.misses(), 2u);
+}
+
+TEST(ResultCacheDisk, EntriesSurviveAFreshCacheObject) {
+  std::string Dir = testing::TempDir() + "specsync_cache_persist";
+  std::filesystem::remove_all(Dir);
+  CachedRun Run = makeRandomRun(33);
+  {
+    ResultCache Writer(Dir);
+    ASSERT_TRUE(Writer.valid());
+    Writer.store("persisted", Run);
+  }
+  ResultCache Reader(Dir); // Fresh process, same directory.
+  std::optional<CachedRun> Back = Reader.lookup("persisted");
+  ASSERT_TRUE(Back.has_value());
+  expectBitIdentical(Run, *Back);
+}
+
+TEST(ResultCacheDisk, CorruptEntryFileIsAMissNotACrash) {
+  std::string Dir = testing::TempDir() + "specsync_cache_corrupt";
+  std::filesystem::remove_all(Dir);
+  ResultCache Cache(Dir);
+  ASSERT_TRUE(Cache.valid());
+  Cache.store("key", makeRandomRun(5));
+
+  // Clobber every entry file in the directory.
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().extension() == ".srun") {
+      std::ofstream Out(E.path());
+      Out << "not a cache entry\n";
+    }
+  EXPECT_FALSE(Cache.lookup("key").has_value());
+}
+
+TEST(ResultCacheDisk, UnusableDirectoryDegradesGracefully) {
+  // A path whose parent does not exist cannot be created (mkdir is one
+  // level); the cache must stay permanently missing, not crash.
+  ResultCache Cache("/nonexistent-root/sub/dir");
+  EXPECT_FALSE(Cache.valid());
+  EXPECT_FALSE(Cache.lookup("k").has_value());
+  Cache.store("k", CachedRun{}); // Must be a safe no-op.
+  EXPECT_EQ(Cache.hits(), 0u);
+}

@@ -1,0 +1,233 @@
+//===- tests/runner_test.cpp - Experiment runner determinism ----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The contract under test: runCellsOrdered produces the same observable
+// side effects (consume order, stat totals, gauge last-writer values) for
+// any job count, and the experiment flags parse/strip/filter correctly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ExperimentRunner.h"
+#include "harness/ResultCache.h"
+#include "obs/StatRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+using namespace specsync;
+
+namespace {
+
+/// Restores the stats-enabled flag and clears the process registry.
+struct StatsGuard {
+  explicit StatsGuard(bool Enabled) {
+    obs::StatRegistry::setEnabled(Enabled);
+    obs::StatRegistry::process().reset();
+  }
+  ~StatsGuard() {
+    obs::StatRegistry::process().reset();
+    obs::StatRegistry::setEnabled(false);
+  }
+};
+
+} // namespace
+
+TEST(RunCellsOrdered, ConsumeRunsInIndexOrderAtAnyJobCount) {
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    std::vector<size_t> Order;
+    runCellsOrdered(
+        16, Jobs,
+        [&](size_t I) {
+          // Reverse-staggered delays: without ordering, high indices
+          // would consume first.
+          std::this_thread::sleep_for(std::chrono::microseconds((16 - I)));
+        },
+        [&](size_t I) { Order.push_back(I); });
+    ASSERT_EQ(Order.size(), 16u) << "jobs=" << Jobs;
+    for (size_t I = 0; I < Order.size(); ++I)
+      EXPECT_EQ(Order[I], I) << "jobs=" << Jobs;
+  }
+}
+
+TEST(RunCellsOrdered, ZeroCellsIsANoop) {
+  runCellsOrdered(0, 4, [&](size_t) { FAIL(); }, [&](size_t) { FAIL(); });
+}
+
+TEST(RunCellsOrdered, PrepareExceptionRethrownAtConsumePoint) {
+  for (unsigned Jobs : {1u, 4u}) {
+    std::vector<size_t> Consumed;
+    try {
+      runCellsOrdered(
+          8, Jobs,
+          [&](size_t I) {
+            if (I == 3)
+              throw std::runtime_error("cell 3 failed");
+          },
+          [&](size_t I) { Consumed.push_back(I); });
+      FAIL() << "expected rethrow, jobs=" << Jobs;
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "cell 3 failed");
+    }
+    // Cells before the failing one were consumed, in order; none after.
+    EXPECT_EQ(Consumed, (std::vector<size_t>{0, 1, 2})) << "jobs=" << Jobs;
+  }
+}
+
+TEST(RunCellsOrdered, CounterTotalsMatchSerialRun) {
+  StatsGuard Guard(true);
+
+  auto runAt = [&](unsigned Jobs) {
+    obs::StatRegistry::process().reset();
+    runCellsOrdered(
+        12, Jobs,
+        [&](size_t I) {
+          // Writes go to the cell's scoped registry, not the process one.
+          obs::StatRegistry::global().counter("test.cells")->add(I + 1);
+        },
+        [&](size_t) {});
+    return obs::StatRegistry::process().renderText();
+  };
+
+  std::string Serial = runAt(1);
+  EXPECT_NE(Serial.find("test.cells"), std::string::npos);
+  EXPECT_EQ(runAt(4), Serial);
+  EXPECT_EQ(runAt(8), Serial);
+}
+
+TEST(RunCellsOrdered, GaugeLastWriterMatchesCanonicalOrder) {
+  StatsGuard Guard(true);
+
+  auto runAt = [&](unsigned Jobs) {
+    obs::StatRegistry::process().reset();
+    runCellsOrdered(
+        10, Jobs,
+        [&](size_t I) {
+          obs::StatRegistry::global().gauge("test.last")->set(
+              static_cast<int64_t>(I));
+        },
+        [&](size_t) {});
+    return obs::StatRegistry::process().gauge("test.last")->Value;
+  };
+
+  // Merged in canonical order, the last cell's write wins regardless of
+  // which worker finished last.
+  EXPECT_EQ(runAt(1), 9);
+  EXPECT_EQ(runAt(4), 9);
+}
+
+TEST(RunCellsOrdered, ConsumeSeesItsOwnCellScope) {
+  StatsGuard Guard(true);
+  runCellsOrdered(
+      4, 2, [&](size_t I) { obs::StatRegistry::global().counter("c")->add(I); },
+      [&](size_t I) {
+        // Consume runs under the same cell scope Prepare used.
+        EXPECT_EQ(obs::StatRegistry::global().counter("c")->Value, I);
+      });
+}
+
+TEST(ExperimentOptions, ParseReadsFlagsOverEnv) {
+  setenv("SPECSYNC_JOBS", "2", 1);
+  setenv("SPECSYNC_CACHE_DIR", "/tmp/envcache", 1);
+  const char *Argv[] = {"bench", "--jobs=6", "--workloads=GO,GCC"};
+  ExperimentOptions Opts =
+      parseExperimentArgs(3, const_cast<char **>(Argv));
+  EXPECT_EQ(Opts.Jobs, 6u);                    // Flag beats env.
+  EXPECT_EQ(Opts.CacheDir, "/tmp/envcache");   // Env fallback survives.
+  EXPECT_EQ(Opts.WorkloadFilter, "GO,GCC");
+  unsetenv("SPECSYNC_JOBS");
+  unsetenv("SPECSYNC_CACHE_DIR");
+}
+
+TEST(ExperimentOptions, StripRemovesOnlyExperimentFlags) {
+  char A0[] = "bench", A1[] = "--jobs=4", A2[] = "--keep=1",
+       A3[] = "--cache-dir=/tmp/x", A4[] = "--workloads=GO", A5[] = "pos";
+  char *Argv[] = {A0, A1, A2, A3, A4, A5};
+  int Argc = stripExperimentArgs(6, Argv);
+  ASSERT_EQ(Argc, 3);
+  EXPECT_STREQ(Argv[1], "--keep=1");
+  EXPECT_STREQ(Argv[2], "pos");
+}
+
+TEST(ExperimentOptions, EffectiveJobsAppliesZeroDefault) {
+  ExperimentOptions Opts;
+  Opts.Jobs = 3;
+  EXPECT_EQ(Opts.effectiveJobs(), 3u);
+  Opts.Jobs = 0;
+  EXPECT_GE(Opts.effectiveJobs(), 1u);
+}
+
+TEST(FilterWorkloads, EmptyFilterKeepsEverything) {
+  const std::vector<Workload> &All = allWorkloads();
+  std::vector<const Workload *> Out = filterWorkloads(All, "");
+  ASSERT_EQ(Out.size(), All.size());
+  for (size_t I = 0; I < All.size(); ++I)
+    EXPECT_EQ(Out[I], &All[I]);
+}
+
+TEST(FilterWorkloads, SubsetKeepsCanonicalOrderNotFilterOrder) {
+  const std::vector<Workload> &All = allWorkloads();
+  ASSERT_GE(All.size(), 3u);
+  // Ask for the 3rd then the 1st workload; canonical order must win.
+  std::string Filter = All[2].Name + "," + All[0].Name;
+  std::vector<const Workload *> Out = filterWorkloads(All, Filter);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0], &All[0]);
+  EXPECT_EQ(Out[1], &All[2]);
+}
+
+TEST(FilterWorkloads, UnknownNamesYieldEmptyNotCrash) {
+  std::vector<const Workload *> Out =
+      filterWorkloads(allWorkloads(), "NO_SUCH_BENCHMARK");
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(RunnerCache, PipelineColdThenWarmBitIdenticalResult) {
+  std::string Dir = testing::TempDir() + "specsync_runner_cache";
+  std::filesystem::remove_all(Dir); // Start cold even across test reruns.
+  ResultCache Cache(Dir);
+  ASSERT_TRUE(Cache.valid());
+
+  const Workload *W = findWorkload("GZIP_COMP");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+
+  auto runOnce = [&]() {
+    BenchmarkPipeline P(*W, Config);
+    P.setResultCache(&Cache);
+    return P.run(ExecMode::C);
+  };
+
+  ModeRunResult Cold = runOnce();
+  uint64_t StoresAfterCold = Cache.stores();
+  EXPECT_GE(StoresAfterCold, 1u);
+
+  ModeRunResult Warm = runOnce();
+  EXPECT_GE(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.stores(), StoresAfterCold); // Hit stores nothing new.
+
+  // The cached replay must be bit-identical, doubles included. (Compare
+  // fields, not memcmp: struct padding is not meaningful.)
+  EXPECT_EQ(Cold.Sim.Cycles, Warm.Sim.Cycles);
+  EXPECT_EQ(Cold.Sim.Completed, Warm.Sim.Completed);
+  EXPECT_EQ(Cold.Sim.Slots.Busy, Warm.Sim.Slots.Busy);
+  EXPECT_EQ(Cold.Sim.Slots.Fail, Warm.Sim.Slots.Fail);
+  EXPECT_EQ(Cold.Sim.Slots.SyncScalar, Warm.Sim.Slots.SyncScalar);
+  EXPECT_EQ(Cold.Sim.Slots.SyncMem, Warm.Sim.Slots.SyncMem);
+  EXPECT_EQ(Cold.Sim.Slots.Total, Warm.Sim.Slots.Total);
+  EXPECT_EQ(Cold.Sim.EpochsCommitted, Warm.Sim.EpochsCommitted);
+  EXPECT_EQ(Cold.Sim.Violations, Warm.Sim.Violations);
+  EXPECT_EQ(Cold.Sim.SabViolations, Warm.Sim.SabViolations);
+  EXPECT_EQ(Cold.SeqRegionCycles, Warm.SeqRegionCycles);
+  EXPECT_EQ(Cold.ProgramSpeedup, Warm.ProgramSpeedup);
+  EXPECT_EQ(Cold.CoveragePercent, Warm.CoveragePercent);
+  EXPECT_EQ(Cold.normalizedRegionTime(), Warm.normalizedRegionTime());
+}

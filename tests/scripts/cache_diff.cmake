@@ -1,0 +1,61 @@
+# Differential test: cache-cold versus cache-warm runs of one bench
+# binary must be byte-identical, and the second run must be served
+# entirely from the cache.
+#
+# Usage:
+#   cmake -DBIN=<bench binary> [-DARGS="--workloads=GO"]
+#         -DWORKDIR=<scratch dir> -P cache_diff.cmake
+
+foreach(var BIN WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cache_diff.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+if(DEFINED ARGS)
+  separate_arguments(args UNIX_COMMAND "${ARGS}")
+endif()
+
+foreach(side cold warm)
+  execute_process(
+    COMMAND "${BIN}" ${args} "--cache-dir=${WORKDIR}/cache"
+            "--json-out=${WORKDIR}/${side}.json"
+    OUTPUT_FILE "${WORKDIR}/${side}.out"
+    ERROR_FILE "${WORKDIR}/${side}.err"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    file(READ "${WORKDIR}/${side}.err" err)
+    message(FATAL_ERROR "${side} run failed (${rc}):\n${err}")
+  endif()
+endforeach()
+
+foreach(ext out json)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORKDIR}/cold.${ext}" "${WORKDIR}/warm.${ext}"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+      "${BIN}: .${ext} output differs cold vs warm "
+      "(kept under ${WORKDIR} for inspection)")
+  endif()
+endforeach()
+
+# The cold run must have stored entries and the warm one must not have
+# missed; the cache stats line on stderr reports both.
+file(READ "${WORKDIR}/cold.err" cold_err)
+if(NOT cold_err MATCHES "cache: 0 hit")
+  message(FATAL_ERROR "cold run was not cold:\n${cold_err}")
+endif()
+file(READ "${WORKDIR}/warm.err" warm_err)
+if(NOT warm_err MATCHES "cache: [1-9][0-9]* hit")
+  message(FATAL_ERROR "warm run hit nothing:\n${warm_err}")
+endif()
+if(NOT warm_err MATCHES "0 miss")
+  message(FATAL_ERROR "warm run missed entries:\n${warm_err}")
+endif()
+
+message(STATUS "cache cold/warm byte-identical, warm fully cached")

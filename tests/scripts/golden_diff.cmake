@@ -1,0 +1,50 @@
+# Golden-report regression test: a bench binary's stdout on a small,
+# fixed configuration must match the checked-in golden file exactly.
+#
+# Usage:
+#   cmake -DBIN=<bench binary> -DARGS="--workloads=GZIP_COMP,PARSER"
+#         -DGOLDEN=<tests/goldens/... file> -DWORKDIR=<scratch dir>
+#         -P golden_diff.cmake
+#
+# When a simulator or compiler change intentionally shifts the numbers,
+# regenerate every golden with scripts/regen_goldens.sh and review the
+# diff like any other code change.
+
+foreach(var BIN GOLDEN WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_diff.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+if(DEFINED ARGS)
+  separate_arguments(args UNIX_COMMAND "${ARGS}")
+endif()
+
+execute_process(
+  COMMAND "${BIN}" ${args}
+  OUTPUT_FILE "${WORKDIR}/actual.out"
+  ERROR_FILE "${WORKDIR}/actual.err"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  file(READ "${WORKDIR}/actual.err" err)
+  message(FATAL_ERROR "golden run failed (${rc}):\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORKDIR}/actual.out" "${GOLDEN}"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  file(READ "${WORKDIR}/actual.out" actual)
+  file(READ "${GOLDEN}" golden)
+  message(FATAL_ERROR
+    "${BIN} output no longer matches ${GOLDEN}.\n"
+    "If the change is intentional, run scripts/regen_goldens.sh and "
+    "commit the updated goldens.\n"
+    "--- golden ---\n${golden}\n--- actual ---\n${actual}")
+endif()
+
+message(STATUS "matches golden: ${GOLDEN}")

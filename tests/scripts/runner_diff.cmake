@@ -1,0 +1,52 @@
+# Differential test: one bench binary, two flag sets, byte-identical
+# stdout and JSON report required.
+#
+# Usage:
+#   cmake -DBIN=<bench binary> -DARGS_A="--jobs=1" -DARGS_B="--jobs=8"
+#         [-DARGS_COMMON="--workloads=GO,GCC"] -DWORKDIR=<scratch dir>
+#         -P runner_diff.cmake
+#
+# The obs phase timers are wall-clock, so the runs must not use --stats;
+# everything else the binaries print is deterministic by design.
+
+foreach(var BIN ARGS_A ARGS_B WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "runner_diff.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+separate_arguments(args_a UNIX_COMMAND "${ARGS_A}")
+separate_arguments(args_b UNIX_COMMAND "${ARGS_B}")
+if(DEFINED ARGS_COMMON)
+  separate_arguments(args_common UNIX_COMMAND "${ARGS_COMMON}")
+endif()
+
+foreach(side a b)
+  execute_process(
+    COMMAND "${BIN}" ${args_${side}} ${args_common}
+            "--json-out=${WORKDIR}/${side}.json"
+    OUTPUT_FILE "${WORKDIR}/${side}.out"
+    ERROR_FILE "${WORKDIR}/${side}.err"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    file(READ "${WORKDIR}/${side}.err" err)
+    message(FATAL_ERROR "run ${side} (${ARGS_${side}}) failed (${rc}):\n${err}")
+  endif()
+endforeach()
+
+foreach(ext out json)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORKDIR}/a.${ext}" "${WORKDIR}/b.${ext}"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+      "${BIN}: .${ext} output differs between '${ARGS_A}' and '${ARGS_B}' "
+      "(kept under ${WORKDIR} for inspection)")
+  endif()
+endforeach()
+
+message(STATUS "byte-identical: '${ARGS_A}' vs '${ARGS_B}'")

@@ -1,0 +1,179 @@
+//===- tests/threadpool_test.cpp - Work-stealing pool tests ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace specsync;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.waitIdle();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::atomic<int> Count{0};
+  Pool.submit([&] { Count = 7; });
+  Pool.waitIdle();
+  EXPECT_EQ(Count.load(), 7);
+}
+
+TEST(ThreadPool, WaitIdleWithNothingSubmitted) {
+  ThreadPool Pool(2);
+  Pool.waitIdle(); // Must not hang or crash.
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int Round = 0; Round < 5; ++Round) {
+    for (int I = 0; I < 20; ++I)
+      Pool.submit([&] { Count.fetch_add(1); });
+    Pool.waitIdle();
+    EXPECT_EQ(Count.load(), 20 * (Round + 1));
+  }
+}
+
+TEST(ThreadPool, DestructorCompletesOutstandingTasks) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(3);
+    for (int I = 0; I < 50; ++I)
+      Pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        Count.fetch_add(1);
+      });
+    // No waitIdle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(Count.load(), 50);
+}
+
+TEST(ThreadPool, TasksRunOnMultipleThreads) {
+  ThreadPool Pool(4);
+  std::mutex M;
+  std::set<std::thread::id> Ids;
+  std::atomic<int> Blocked{0};
+  // Tasks rendezvous so no single worker can drain the whole queue.
+  for (int I = 0; I < 4; ++I)
+    Pool.submit([&] {
+      Blocked.fetch_add(1);
+      while (Blocked.load() < 4)
+        std::this_thread::yield();
+      std::lock_guard<std::mutex> Lock(M);
+      Ids.insert(std::this_thread::get_id());
+    });
+  Pool.waitIdle();
+  EXPECT_EQ(Ids.size(), 4u);
+}
+
+TEST(ThreadPool, SubmitFromWorkerTask) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 10; ++I)
+    Pool.submit([&] {
+      Count.fetch_add(1);
+      Pool.submit([&] { Count.fetch_add(1); });
+    });
+  Pool.waitIdle();
+  EXPECT_EQ(Count.load(), 20);
+}
+
+TEST(ThreadPool, StealHappensWhenOneWorkerIsSlow) {
+  // Submissions round-robin across workers; a worker stuck on a slow
+  // task forces others to steal its remaining queue entries.
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Count.fetch_add(1);
+  });
+  for (int I = 0; I < 40; ++I)
+    Pool.submit([&] { Count.fetch_add(1); });
+  Pool.waitIdle();
+  EXPECT_EQ(Count.load(), 41);
+  if (std::thread::hardware_concurrency() > 1) {
+    EXPECT_GT(Pool.stealCount(), 0u);
+  }
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvOverride) {
+  setenv("SPECSYNC_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+  unsetenv("SPECSYNC_JOBS");
+  EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(1000);
+  parallelFor(&Pool, Hits.size(),
+              [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ParallelFor, NullPoolRunsOnCaller) {
+  std::vector<int> Hits(64, 0);
+  std::thread::id Caller = std::this_thread::get_id();
+  parallelFor(nullptr, Hits.size(), [&](size_t I) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    Hits[I] = 1;
+  });
+  EXPECT_EQ(std::accumulate(Hits.begin(), Hits.end(), 0), 64);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  ThreadPool Pool(2);
+  parallelFor(&Pool, 0, [&](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelFor, FirstExceptionPropagatesAfterCompletion) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(parallelFor(&Pool, 100,
+                           [&](size_t I) {
+                             Ran.fetch_add(1);
+                             if (I == 17)
+                               throw std::runtime_error("cell 17");
+                           }),
+               std::runtime_error);
+  // Every claimed iteration finished before the rethrow; nothing is
+  // still touching Ran.
+  int Snapshot = Ran.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(Ran.load(), Snapshot);
+}
+
+TEST(ParallelFor, ResultsMatchSerialReference) {
+  std::vector<uint64_t> Serial(257), Parallel(257);
+  auto Fn = [](size_t I) {
+    uint64_t X = I * 2654435761u + 1;
+    for (int K = 0; K < 100; ++K)
+      X = X * 6364136223846793005ull + 1442695040888963407ull;
+    return X;
+  };
+  for (size_t I = 0; I < Serial.size(); ++I)
+    Serial[I] = Fn(I);
+  ThreadPool Pool(4);
+  parallelFor(&Pool, Parallel.size(),
+              [&](size_t I) { Parallel[I] = Fn(I); });
+  EXPECT_EQ(Serial, Parallel);
+}
