@@ -84,6 +84,7 @@ void BenchmarkPipeline::prepare() {
     DepProfiler DP;
     InterpOptions Opts;
     Opts.CollectTrace = true; // Doubles as the U binary's trace.
+    I.setTraceArena(&Arena);
     InterpResult R = I.run(Opts, &DP);
     assert(R.Completed && "U binary did not terminate");
     RefProfile = DP.takeProfile();
@@ -96,9 +97,12 @@ void BenchmarkPipeline::prepare() {
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     P->assignIds();
     Interpreter I(*P, Contexts);
+    I.setTraceArena(&Arena);
     InterpResult R = I.run();
     assert(R.Completed && "sequential baseline did not terminate");
     SeqBaseline = simulateSequential(Config, R.Trace);
+    // The baseline trace is fully consumed; its buffers feed later runs.
+    Arena.recycle(std::move(R.Trace));
   }
 
   // Phase 3.5: static may-dependence analysis + oracle fusion. Runs on a
@@ -157,6 +161,7 @@ void BenchmarkPipeline::prepare() {
     for (const auto &[Name, Group] : RefMemSync.SyncedLoadSet)
       RefSyncSet.insert({Name.InstId, Name.Context});
     Interpreter I(*P, Contexts);
+    I.setTraceArena(&Arena);
     InterpResult R = I.run();
     assert(R.Completed && "C binary did not terminate");
     CTrace = std::make_unique<ProgramTrace>(std::move(R.Trace));
@@ -173,6 +178,7 @@ void BenchmarkPipeline::prepare() {
       analysis::verifyProgramToDiags(*P, Diags);
     checkWerror("T");
     Interpreter I(*P, Contexts);
+    I.setTraceArena(&Arena);
     InterpResult R = I.run();
     assert(R.Completed && "T binary did not terminate");
     TTrace = std::make_unique<ProgramTrace>(std::move(R.Trace));

@@ -170,6 +170,10 @@ private:
   RobustnessOptions Robust;
 
   ContextTable Contexts;
+  /// Recycles DynInst buffers between the trace-collecting runs: the
+  /// sequential baseline's trace is consumed by the simulator and its
+  /// buffers feed the C and T binary runs instead of being freed.
+  TraceArena Arena;
   LoopProfile RefLoop;
   LoopSelectionResult Selection;
   DepProfile TrainProfile;

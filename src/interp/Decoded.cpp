@@ -1,0 +1,191 @@
+//===- interp/Decoded.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Decoded.h"
+
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+#include "ir/Program.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace specsync;
+
+static DInstKind kindFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Load:
+    return DInstKind::Load;
+  case Opcode::Store:
+    return DInstKind::Store;
+  case Opcode::SignalScalar:
+    return DInstKind::SigScalar;
+  case Opcode::CheckFwd:
+    return DInstKind::ChkFwd;
+  case Opcode::SignalMem:
+    return DInstKind::SigMem;
+  default:
+    return DInstKind::Plain;
+  }
+}
+
+uint64_t DecodedProgram::fingerprint(const Program &P) {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  auto mix = [&Hash](uint64_t V) {
+    Hash ^= V;
+    Hash *= 0x100000001b3ull;
+  };
+  mix(P.getNumFunctions());
+  mix(P.getEntry());
+  mix(P.getRegion().isValid() ? P.getRegion().Func : ~0u);
+  mix(P.getRegion().isValid() ? P.getRegion().Header : ~0u);
+  for (unsigned FI = 0; FI < P.getNumFunctions(); ++FI) {
+    const Function &F = P.getFunction(FI);
+    mix(F.getNumParams());
+    mix(F.getNumRegs());
+    mix(F.getNumBlocks());
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      const BasicBlock &BB = F.getBlock(BI);
+      mix(BB.size());
+      for (const Instruction &I : BB.instructions()) {
+        mix(static_cast<uint64_t>(I.getOpcode()));
+        mix(static_cast<uint64_t>(I.hasDest() ? static_cast<int>(I.getDest())
+                                              : -1));
+        mix(I.getNumOperands());
+        for (const Operand &Op : I.operands()) {
+          mix(Op.isReg() ? 1 : 2);
+          mix(Op.isReg() ? Op.getReg()
+                         : static_cast<uint64_t>(Op.getImm()));
+        }
+        if (I.getOpcode() == Opcode::Br) {
+          mix(I.getTarget(0));
+        } else if (I.getOpcode() == Opcode::CondBr) {
+          mix(I.getTarget(0));
+          mix(I.getTarget(1));
+        } else if (I.getOpcode() == Opcode::Call) {
+          mix(I.getCallee());
+        }
+        mix(I.getId());
+        mix(I.getOrigId());
+        mix(static_cast<uint64_t>(static_cast<int64_t>(I.getSyncId())));
+      }
+    }
+  }
+  return Hash;
+}
+
+DecodedProgram::DecodedProgram(const Program &P, uint64_t FP)
+    : Entry(P.getEntry()), Fingerprint(FP) {
+  const RegionSpec &Region = P.getRegion();
+
+  // Region-loop membership, mirroring the reference engine's per-run
+  // LoopInfo query (Interpreter::runReference).
+  std::vector<bool> LoopBlocks;
+  if (Region.isValid()) {
+    const Function &RF = P.getFunction(Region.Func);
+    CFG G(RF);
+    Dominators DT(G);
+    LoopInfo LI(RF, G, DT);
+    const Loop *L = LI.getLoopByHeader(Region.Header);
+    assert(L && "region header is not a natural loop header");
+    LoopBlocks.assign(RF.getNumBlocks(), false);
+    for (unsigned B : L->Blocks)
+      LoopBlocks[B] = true;
+  }
+
+  Funcs.resize(P.getNumFunctions());
+  for (unsigned FI = 0; FI < P.getNumFunctions(); ++FI) {
+    const Function &F = P.getFunction(FI);
+    DecodedFunction &DF = Funcs[FI];
+    DF.NumRegs = F.getNumRegs();
+    DF.NumParams = F.getNumParams();
+    DF.IsRegionFunc = Region.isValid() && FI == Region.Func;
+
+    DF.BlockStart.resize(F.getNumBlocks());
+    uint32_t Flat = 0;
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      DF.BlockStart[BI] = Flat;
+      Flat += static_cast<uint32_t>(F.getBlock(BI).size());
+    }
+    DF.Insts.reserve(Flat);
+
+    // Immediates become (deduplicated) constant slots. Slot K ends up at
+    // frame offset K - numConsts (constants sit just below the registers);
+    // the provisional index -(K+1) is rebased once the pool size is known.
+    std::unordered_map<int64_t, int32_t> ConstSlots;
+    auto operandIndex = [&](const Operand &Op) -> int32_t {
+      if (Op.isReg())
+        return static_cast<int32_t>(Op.getReg());
+      auto [It, New] = ConstSlots.try_emplace(
+          Op.getImm(), static_cast<int32_t>(DF.Consts.size()));
+      if (New)
+        DF.Consts.push_back(Op.getImm());
+      return -(It->second + 1);
+    };
+
+    // Per-target region flags: bit0 = target is the region header block,
+    // bit1 = target block is inside the region loop.
+    auto targetFlags = [&](unsigned Block) -> uint8_t {
+      if (!DF.IsRegionFunc)
+        return 0;
+      uint8_t Fl = 0;
+      if (Block == Region.Header)
+        Fl |= 1;
+      if (LoopBlocks[Block])
+        Fl |= 2;
+      return Fl;
+    };
+
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      for (const Instruction &I : F.getBlock(BI).instructions()) {
+        DecodedInst D;
+        D.Op = I.getOpcode();
+        D.Kind = kindFor(D.Op);
+        D.NumOps = static_cast<uint8_t>(I.getNumOperands());
+        D.Dest = I.hasDest() ? static_cast<int32_t>(I.getDest()) : -1;
+        D.SyncId = I.getSyncId();
+        D.StaticId = I.getId();
+        D.OrigId = I.getOrigId();
+        D.OpBegin = static_cast<uint32_t>(DF.Ops.size());
+        for (const Operand &Op : I.operands())
+          DF.Ops.push_back(operandIndex(Op));
+        switch (D.Op) {
+        case Opcode::Br:
+          D.T0 = DF.BlockStart[I.getTarget(0)];
+          D.TFlags = targetFlags(I.getTarget(0));
+          break;
+        case Opcode::CondBr:
+          D.T0 = DF.BlockStart[I.getTarget(0)];
+          D.T1 = DF.BlockStart[I.getTarget(1)];
+          D.TFlags = static_cast<uint8_t>(
+              targetFlags(I.getTarget(0)) |
+              (targetFlags(I.getTarget(1)) << 2));
+          break;
+        case Opcode::Call:
+          D.T0 = I.getCallee();
+          break;
+        default:
+          break;
+        }
+        DF.Insts.push_back(D);
+      }
+    }
+
+    // Rebase constant-slot indices now that the pool size is final: slot K
+    // sits at frame offset K - numConsts, so -(K+1) becomes K - numConsts.
+    const int32_t NumConsts = static_cast<int32_t>(DF.Consts.size());
+    for (DecodedOp &O : DF.Ops)
+      if (O < 0)
+        O = -(O + 1) - NumConsts;
+  }
+}
+
+const DecodedProgram &Program::getDecoded() const {
+  uint64_t FP = DecodedProgram::fingerprint(*this);
+  if (!Decoded || Decoded->getFingerprint() != FP)
+    Decoded = std::make_shared<const DecodedProgram>(*this, FP);
+  return *Decoded;
+}

@@ -1,0 +1,117 @@
+//===- interp/Decoded.h - Pre-decoded executable form -----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter's fast-path representation: each Function lowered into a
+/// flat array of fixed-size DecodedInst records with operands resolved to
+/// register indices or immediates, branch targets flattened to instruction
+/// indices, and the parallel-region block properties (is-header /
+/// in-region-loop) folded into per-target flag bits. The dispatch loop then
+/// never touches BasicBlock objects, operand vectors, or accessor asserts,
+/// and region bookkeeping is two bit tests instead of a LoopInfo query.
+///
+/// A DecodedProgram is built once per Program and cached on it
+/// (Program::getDecoded). The cache is validated by a full-content
+/// fingerprint so in-place IR mutation (new sync ids, rewritten operands,
+/// added blocks) transparently triggers a re-decode instead of executing
+/// stale code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_INTERP_DECODED_H
+#define SPECSYNC_INTERP_DECODED_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specsync {
+
+class Program;
+
+/// Pre-resolved operand: an index into the frame's value window, relative
+/// to the register base. Indices >= 0 name registers; negative indices
+/// reach the function's constant slots, which the engine copies just below
+/// the registers when it pushes a frame (immediate -(K+1) = constant K).
+/// Either way the engine reads R[Idx] — no reg-vs-imm branch on the hot
+/// path, which matters because that branch site is shared by every
+/// instruction and mispredicts heavily.
+using DecodedOp = int32_t;
+
+/// Which DynInst payload fields an instruction produces when the engine has
+/// to materialize a trace/observer record for it.
+enum class DInstKind : uint8_t {
+  Plain,     ///< No Addr/Value payload.
+  Load,      ///< Addr = effective address, Value = loaded word.
+  Store,     ///< Addr = effective address, Value = stored word.
+  SigScalar, ///< Value = forwarded scalar (when an operand is present).
+  ChkFwd,    ///< Addr = compared address.
+  SigMem,    ///< Addr = forwarded address, Value = forwarded word.
+};
+
+/// One pre-decoded instruction (32 bytes). Branch targets T0/T1 are flat
+/// instruction indices into the enclosing DecodedFunction; for Call, T0 is
+/// the callee's function index.
+struct DecodedInst {
+  Opcode Op = Opcode::Const;
+  DInstKind Kind = DInstKind::Plain;
+  uint8_t NumOps = 0;
+  /// Region-control flags, valid only within the region function:
+  /// bit 0: T0 is the region header block; bit 1: T0 is inside the region
+  /// loop. Bits 2-3: the same for T1.
+  uint8_t TFlags = 0;
+  int32_t Dest = -1;   ///< Destination register, -1 if none.
+  int32_t SyncId = -1;
+  uint32_t StaticId = 0;
+  uint32_t OrigId = 0;
+  uint32_t OpBegin = 0; ///< First operand in DecodedFunction::Ops.
+  uint32_t T0 = 0;
+  uint32_t T1 = 0;
+};
+
+/// A function lowered to a flat instruction array plus an operand pool.
+/// An activation occupies NumConsts + NumRegs contiguous stack words laid
+/// out as [constants][registers]; Consts holds the deduplicated immediate
+/// values to copy into the constant slots on frame entry.
+struct DecodedFunction {
+  std::vector<DecodedInst> Insts;
+  std::vector<DecodedOp> Ops;
+  std::vector<int64_t> Consts;      ///< Values for the constant slots.
+  std::vector<uint32_t> BlockStart; ///< Block index -> flat inst index.
+  unsigned NumRegs = 0;
+  unsigned NumParams = 0;
+  bool IsRegionFunc = false; ///< Hosts the annotated parallel loop.
+
+  unsigned numConsts() const { return static_cast<unsigned>(Consts.size()); }
+  unsigned frameSize() const { return numConsts() + NumRegs; }
+};
+
+/// The pre-decoded form of a whole Program.
+class DecodedProgram {
+public:
+  /// Builds the decoded form; \p FP is the fingerprint of \p P at build
+  /// time (as computed by fingerprint()).
+  DecodedProgram(const Program &P, uint64_t FP);
+
+  const DecodedFunction &function(unsigned I) const { return Funcs[I]; }
+  unsigned getEntry() const { return Entry; }
+  uint64_t getFingerprint() const { return Fingerprint; }
+
+  /// Content hash over everything decoding depends on (structure, opcodes,
+  /// operands, targets, ids, sync ids, region annotation). Cheap relative
+  /// to executing the program even once.
+  static uint64_t fingerprint(const Program &P);
+
+private:
+  std::vector<DecodedFunction> Funcs;
+  unsigned Entry = 0;
+  uint64_t Fingerprint = 0;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_INTERP_DECODED_H

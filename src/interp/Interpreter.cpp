@@ -3,19 +3,441 @@
 // Part of the SpecSync project (CGO 2004 reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Two execution engines share this file:
+//
+//  - runFast: the default. Executes the Program's pre-decoded form
+//    (interp/Decoded.h): a flat DecodedInst array per function, operands
+//    resolved to register indices/immediates, branch targets flattened to
+//    instruction indices, and region-control decisions reduced to bit
+//    tests. Register frames live in one contiguous stack. DynInst records
+//    are materialized only when the trace or an attached observer actually
+//    consumes them (see ObserverDemand).
+//
+//  - runReference: the original tree-walking loop, kept verbatim as the
+//    semantic baseline. The differential property tests execute random
+//    programs on both engines and require identical results, traces and
+//    profiles.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
 
+#include "interp/Decoded.h"
 #include "ir/Dominators.h"
 #include "ir/LoopInfo.h"
 #include "obs/PhaseTimer.h"
 #include "obs/StatRegistry.h"
 
+#include <algorithm>
 #include <vector>
 
 using namespace specsync;
 
 ExecutionObserver::~ExecutionObserver() = default;
+
+InterpResult Interpreter::run(const InterpOptions &Opts,
+                              ExecutionObserver *Observer) {
+  return Opts.UseReferenceEngine ? runReference(Opts, Observer)
+                                 : runFast(Opts, Observer);
+}
+
+//===----------------------------------------------------------------------===//
+// Fast engine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A suspended (or bottom) activation record of the fast engine. The
+/// frame's values live in the engine's contiguous register stack: constant
+/// slots at [Base - numConsts, Base), registers at [Base, Base + NumRegs).
+struct DFrame {
+  const DecodedFunction *Func = nullptr;
+  uint32_t Base = 0;          ///< Register base within the register stack.
+  int32_t RetReg = -1;        ///< Destination register in the caller.
+  uint32_t SavedContext = 0;  ///< Caller context to restore on return.
+  uint32_t ResumePC = 0;      ///< Set when this frame performs a call.
+};
+
+} // namespace
+
+InterpResult Interpreter::runFast(const InterpOptions &Opts,
+                                  ExecutionObserver *Observer) {
+  InterpResult Result;
+  obs::ScopedPhaseTimer Timer("interp.run");
+  const bool Stats = obs::statsEnabled();
+  const uint64_t StartNs = Stats ? obs::hostClockNs() : 0;
+
+  const DecodedProgram &DP = Prog.getDecoded();
+
+  const bool CollectTrace = Opts.CollectTrace;
+  const bool MemOnlyObs =
+      Observer && Observer->demand() == ObserverDemand::MemoryOnly;
+  // EmitAll: a DynInst must be materialized for every instruction.
+  // EmitMem: one must be materialized at least for loads/stores.
+  const bool EmitAll = CollectTrace || (Observer && !MemOnlyObs);
+  const bool EmitMem = CollectTrace || Observer != nullptr;
+
+  bool RegionActive = false;
+  size_t RegionDepth = 0;
+  uint64_t EpochIndex = 0;
+  uint32_t CurContext = ContextTable::RootContext;
+  unsigned RegionInstance = 0;
+  uint64_t RegionMark = 0; ///< Steps at region begin (for derived counts).
+  uint64_t Steps = 0;
+
+  ProgramTrace &Trace = Result.Trace;
+  uint64_t SeqSegStart = 0;
+  EpochTrace *CurEpoch = nullptr;
+  if (CollectTrace && Arena)
+    Trace.SeqInsts = Arena->acquire();
+
+  auto closeSeqSegment = [&] {
+    if (!CollectTrace)
+      return;
+    if (Trace.SeqInsts.size() > SeqSegStart) {
+      ProgramTrace::Segment S;
+      S.IsRegion = false;
+      S.SeqBegin = SeqSegStart;
+      S.SeqEnd = Trace.SeqInsts.size();
+      Trace.Segments.push_back(S);
+    }
+    SeqSegStart = Trace.SeqInsts.size();
+  };
+
+  auto newEpochBuffer = [&] {
+    Trace.Regions.back().Epochs.emplace_back();
+    CurEpoch = &Trace.Regions.back().Epochs.back();
+    if (Arena)
+      CurEpoch->Insts = Arena->acquire();
+  };
+
+  auto beginRegion = [&](size_t Depth) {
+    RegionActive = true;
+    RegionDepth = Depth;
+    RegionMark = Steps;
+    CurContext = ContextTable::RootContext;
+    EpochIndex = 0;
+    if (CollectTrace) {
+      closeSeqSegment();
+      ProgramTrace::Segment S;
+      S.IsRegion = true;
+      S.RegionIdx = static_cast<unsigned>(Trace.Regions.size());
+      Trace.Segments.push_back(S);
+      Trace.Regions.emplace_back();
+      newEpochBuffer();
+    }
+    if (Observer) {
+      Observer->onRegionBegin(RegionInstance);
+      Observer->onEpochBegin(0);
+    }
+    ++RegionInstance;
+  };
+
+  auto beginEpoch = [&] {
+    ++EpochIndex;
+    if (CollectTrace)
+      newEpochBuffer();
+    if (Observer)
+      Observer->onEpochBegin(EpochIndex);
+  };
+
+  auto endRegion = [&] {
+    RegionActive = false;
+    Result.RegionDynInstCount += Steps - RegionMark;
+    CurContext = ContextTable::RootContext;
+    CurEpoch = nullptr;
+    if (CollectTrace)
+      SeqSegStart = Trace.SeqInsts.size();
+    if (Observer)
+      Observer->onRegionEnd();
+  };
+
+  /// Routes a materialized record to the observer and/or trace. \p IsMem
+  /// gates MemoryOnly observers.
+  auto deliver = [&](const DynInst &DI, bool IsMem) {
+    if (Observer && (IsMem || !MemOnlyObs))
+      Observer->onDynInst(DI, RegionActive, EpochIndex);
+    if (!CollectTrace)
+      return;
+    if (RegionActive)
+      CurEpoch->Insts.push_back(DI);
+    else
+      Trace.SeqInsts.push_back(DI);
+  };
+
+  auto makeDI = [&](const DecodedInst &I) {
+    DynInst DI;
+    DI.StaticId = I.StaticId;
+    DI.OrigId = I.OrigId;
+    DI.Context = RegionActive ? CurContext : ContextTable::RootContext;
+    DI.Op = I.Op;
+    DI.SyncId = I.SyncId;
+    return DI;
+  };
+
+  // The contiguous register stack and frame stack.
+  std::vector<int64_t> RegStack;
+  std::vector<DFrame> Frames;
+  Frames.reserve(16);
+  const DecodedFunction *F = &DP.function(DP.getEntry());
+  assert(F->NumParams == 0 && "entry function takes no parameters");
+  RegStack.assign(std::max<size_t>(1024, F->frameSize()), 0);
+  std::copy(F->Consts.begin(), F->Consts.end(), RegStack.begin());
+  uint32_t Base = F->numConsts();
+  Frames.push_back(DFrame{F, Base, -1, ContextTable::RootContext, 0});
+  uint32_t PC = 0;
+  int64_t *R = RegStack.data() + Base;
+  const DecodedOp *FOps = F->Ops.data();
+
+  // Operand indices address registers (>= 0) and constant slots (< 0)
+  // through the same base pointer.
+  auto opval = [&](DecodedOp Idx) -> int64_t { return R[Idx]; };
+
+  // Instruction counts are derived, not maintained per instruction: every
+  // loop iteration executes exactly one instruction, so DynInstCount ==
+  // Steps, and the region count is the distance between begin/end marks
+  // (the region-entering branch is pre-region, the exiting one in-region,
+  // matching the reference engine's emit-before-transition ordering).
+  const uint64_t MaxSteps = Opts.MaxSteps;
+  bool Exited = false;
+  while (!Exited) {
+    if (++Steps > MaxSteps) {
+      Result.Completed = false;
+      Result.DynInstCount = Steps - 1;
+      if (RegionActive)
+        Result.RegionDynInstCount += (Steps - 1) - RegionMark;
+      return Result;
+    }
+
+    const DecodedInst &I = F->Insts[PC];
+
+    switch (I.Op) {
+    case Opcode::Const:
+      R[I.Dest] = opval(FOps[I.OpBegin]);
+      break;
+    case Opcode::Move:
+      R[I.Dest] = opval(FOps[I.OpBegin]);
+      break;
+
+#define SPECSYNC_BINOP(OPC, EXPR)                                            \
+  case Opcode::OPC: {                                                        \
+    int64_t A = opval(FOps[I.OpBegin]);                                      \
+    int64_t B = opval(FOps[I.OpBegin + 1]);                                  \
+    R[I.Dest] = (EXPR);                                                      \
+    break;                                                                   \
+  }
+      SPECSYNC_BINOP(Add, A + B)
+      SPECSYNC_BINOP(Sub, A - B)
+      SPECSYNC_BINOP(Mul, A *B)
+      // Division/modulo by zero are defined to yield 0 so that arbitrary
+      // (e.g. randomly generated) programs have total semantics.
+      SPECSYNC_BINOP(Div, B == 0 ? 0 : A / B)
+      SPECSYNC_BINOP(Mod, B == 0 ? 0 : A % B)
+      SPECSYNC_BINOP(And, A &B)
+      SPECSYNC_BINOP(Or, A | B)
+      SPECSYNC_BINOP(Xor, A ^ B)
+      SPECSYNC_BINOP(Shl, static_cast<int64_t>(static_cast<uint64_t>(A)
+                                               << (static_cast<uint64_t>(B) &
+                                                   63)))
+      SPECSYNC_BINOP(Shr, static_cast<int64_t>(static_cast<uint64_t>(A) >>
+                                               (static_cast<uint64_t>(B) &
+                                                63)))
+      SPECSYNC_BINOP(CmpEQ, A == B)
+      SPECSYNC_BINOP(CmpNE, A != B)
+      SPECSYNC_BINOP(CmpLT, A < B)
+      SPECSYNC_BINOP(CmpLE, A <= B)
+      SPECSYNC_BINOP(CmpGT, A > B)
+      SPECSYNC_BINOP(CmpGE, A >= B)
+#undef SPECSYNC_BINOP
+
+    case Opcode::Select:
+      R[I.Dest] = opval(FOps[I.OpBegin]) != 0 ? opval(FOps[I.OpBegin + 1])
+                                              : opval(FOps[I.OpBegin + 2]);
+      break;
+    case Opcode::Rand:
+      // Keep the value non-negative so Mod-based bucketing behaves.
+      R[I.Dest] =
+          static_cast<int64_t>(Rng.next() & 0x7fffffffffffffffull);
+      break;
+
+    case Opcode::Load: {
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      int64_t V = Mem.loadWord(Addr);
+      R[I.Dest] = V;
+      ++Result.MemAccessCount;
+      if (EmitMem) {
+        DynInst DI = makeDI(I);
+        DI.Addr = Addr;
+        DI.Value = static_cast<uint64_t>(V);
+        deliver(DI, true);
+      }
+      ++PC;
+      continue;
+    }
+    case Opcode::Store: {
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      int64_t V = opval(FOps[I.OpBegin + 1]);
+      Mem.storeWord(Addr, V);
+      ++Result.MemAccessCount;
+      if (EmitMem) {
+        DynInst DI = makeDI(I);
+        DI.Addr = Addr;
+        DI.Value = static_cast<uint64_t>(V);
+        deliver(DI, true);
+      }
+      ++PC;
+      continue;
+    }
+
+    case Opcode::WaitScalar:
+    case Opcode::WaitMem:
+    case Opcode::SelectFwd:
+      break; // Timing-only markers; functionally no-ops.
+    case Opcode::SignalScalar:
+      if (EmitAll) {
+        DynInst DI = makeDI(I);
+        if (I.NumOps == 1)
+          DI.Value = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+        deliver(DI, false);
+      }
+      ++PC;
+      continue;
+    case Opcode::CheckFwd:
+      if (EmitAll) {
+        DynInst DI = makeDI(I);
+        DI.Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+        deliver(DI, false);
+      }
+      ++PC;
+      continue;
+    case Opcode::SignalMem:
+      if (EmitAll) {
+        DynInst DI = makeDI(I);
+        DI.Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+        DI.Value = static_cast<uint64_t>(opval(FOps[I.OpBegin + 1]));
+        deliver(DI, false);
+      }
+      ++PC;
+      continue;
+
+    case Opcode::Br:
+    case Opcode::CondBr: {
+      uint32_t T;
+      uint8_t Fl;
+      if (I.Op == Opcode::Br || opval(FOps[I.OpBegin]) != 0) {
+        T = I.T0;
+        Fl = I.TFlags & 3;
+      } else {
+        T = I.T1;
+        Fl = (I.TFlags >> 2) & 3;
+      }
+      // The branch itself belongs to the pre-transition epoch/segment.
+      if (EmitAll)
+        deliver(makeDI(I), false);
+      if (F->IsRegionFunc) {
+        if (!RegionActive) {
+          if (Fl & 1)
+            beginRegion(Frames.size());
+        } else if (Frames.size() == RegionDepth) {
+          if (Fl & 1)
+            beginEpoch();
+          else if (!(Fl & 2))
+            endRegion();
+        }
+      }
+      PC = T;
+      continue;
+    }
+
+    case Opcode::Call: {
+      if (EmitAll)
+        deliver(makeDI(I), false);
+      const DecodedFunction &Callee = DP.function(I.T0);
+      uint32_t NewBase = Base + F->NumRegs + Callee.numConsts();
+      if (RegStack.size() < static_cast<size_t>(NewBase) + Callee.NumRegs) {
+        RegStack.resize(std::max(static_cast<size_t>(NewBase) +
+                                     Callee.NumRegs,
+                                 RegStack.size() * 2));
+        R = RegStack.data() + Base;
+      }
+      int64_t *CR = RegStack.data() + NewBase;
+      std::copy(Callee.Consts.begin(), Callee.Consts.end(),
+                CR - Callee.numConsts());
+      std::fill_n(CR, Callee.NumRegs, 0);
+      for (unsigned A = 0; A < I.NumOps; ++A)
+        CR[A] = R[FOps[I.OpBegin + A]];
+      Frames.back().ResumePC = PC + 1;
+      Frames.push_back(DFrame{&Callee, NewBase, I.Dest, CurContext, 0});
+      if (RegionActive)
+        CurContext = Contexts.child(CurContext, I.StaticId);
+      F = &Callee;
+      FOps = F->Ops.data();
+      PC = 0;
+      Base = NewBase;
+      R = CR;
+      continue;
+    }
+
+    case Opcode::Ret: {
+      int64_t RetVal = I.NumOps == 1 ? opval(FOps[I.OpBegin]) : 0;
+      if (EmitAll)
+        deliver(makeDI(I), false);
+      DFrame Done = Frames.back();
+      if (RegionActive && Frames.size() == RegionDepth)
+        endRegion(); // Loop exited via return (degenerate but legal).
+      Frames.pop_back();
+      if (Frames.empty()) {
+        Result.ExitValue = RetVal;
+        Exited = true;
+        continue;
+      }
+      const DFrame &Parent = Frames.back();
+      F = Parent.Func;
+      FOps = F->Ops.data();
+      PC = Parent.ResumePC;
+      Base = Parent.Base;
+      R = RegStack.data() + Base;
+      CurContext =
+          RegionActive ? Done.SavedContext : ContextTable::RootContext;
+      if (Done.RetReg >= 0)
+        R[Done.RetReg] = RetVal;
+      continue;
+    }
+    }
+
+    // Common tail for payload-free value instructions.
+    assert(I.Kind == DInstKind::Plain && "payload opcode fell to plain tail");
+    if (EmitAll)
+      deliver(makeDI(I), false);
+    ++PC;
+  }
+
+  closeSeqSegment();
+  Result.Completed = true;
+  Result.DynInstCount = Steps;
+  Result.MemoryChecksum = Mem.checksum();
+
+  Timer.setItems(Result.DynInstCount);
+  if (Stats) {
+    uint64_t ElapsedNs = obs::hostClockNs() - StartNs;
+    obs::StatRegistry &SR = obs::StatRegistry::global();
+    SR.counter("interp.runs")->add(1);
+    SR.counter("interp.dyn_insts")->add(Result.DynInstCount);
+    SR.counter("interp.region_dyn_insts")->add(Result.RegionDynInstCount);
+    if (Result.DynInstCount)
+      SR.gauge("interp.ns_per_inst")->set(static_cast<int64_t>(
+          ElapsedNs / Result.DynInstCount));
+    if (Observer && Result.MemAccessCount)
+      SR.gauge("profile.ns_per_access")->set(static_cast<int64_t>(
+          ElapsedNs / Result.MemAccessCount));
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Reference engine
+//===----------------------------------------------------------------------===//
 
 namespace {
 
@@ -30,10 +452,12 @@ struct Frame {
 
 } // namespace
 
-InterpResult Interpreter::run(const InterpOptions &Opts,
-                              ExecutionObserver *Observer) {
+InterpResult Interpreter::runReference(const InterpOptions &Opts,
+                                       ExecutionObserver *Observer) {
   InterpResult Result;
   obs::ScopedPhaseTimer Timer("interp.run");
+  const bool Stats = obs::statsEnabled();
+  const uint64_t StartNs = Stats ? obs::hostClockNs() : 0;
 
   // Resolve the parallel region's loop body, if annotated.
   const RegionSpec &Region = Prog.getRegion();
@@ -234,6 +658,7 @@ InterpResult Interpreter::run(const InterpOptions &Opts,
       F.Regs[I.getDest()] = V;
       DI.Addr = Addr;
       DI.Value = static_cast<uint64_t>(V);
+      ++Result.MemAccessCount;
       break;
     }
     case Opcode::Store: {
@@ -242,6 +667,7 @@ InterpResult Interpreter::run(const InterpOptions &Opts,
       Mem.storeWord(Addr, V);
       DI.Addr = Addr;
       DI.Value = static_cast<uint64_t>(V);
+      ++Result.MemAccessCount;
       break;
     }
     case Opcode::WaitScalar:
@@ -335,11 +761,18 @@ InterpResult Interpreter::run(const InterpOptions &Opts,
   Result.MemoryChecksum = Mem.checksum();
 
   Timer.setItems(Result.DynInstCount);
-  if (obs::statsEnabled()) {
+  if (Stats) {
+    uint64_t ElapsedNs = obs::hostClockNs() - StartNs;
     obs::StatRegistry &R = obs::StatRegistry::global();
     R.counter("interp.runs")->add(1);
     R.counter("interp.dyn_insts")->add(Result.DynInstCount);
     R.counter("interp.region_dyn_insts")->add(Result.RegionDynInstCount);
+    if (Result.DynInstCount)
+      R.gauge("interp.ns_per_inst")->set(static_cast<int64_t>(
+          ElapsedNs / Result.DynInstCount));
+    if (Observer && Result.MemAccessCount)
+      R.gauge("profile.ns_per_access")->set(static_cast<int64_t>(
+          ElapsedNs / Result.MemAccessCount));
   }
   return Result;
 }

@@ -27,10 +27,23 @@
 
 namespace specsync {
 
+/// Which onDynInst events an observer needs. The fast engine uses this to
+/// avoid materializing DynInst records (and paying a virtual call) for
+/// instructions the observer would ignore anyway.
+enum class ObserverDemand : uint8_t {
+  AllInsts,   ///< onDynInst for every executed instruction (default).
+  MemoryOnly, ///< onDynInst only for Load/Store (e.g. DepProfiler).
+};
+
 /// Callback interface for instrumentation (the dependence profiler).
 class ExecutionObserver {
 public:
   virtual ~ExecutionObserver();
+
+  /// Declares which instruction events this observer consumes. An observer
+  /// returning MemoryOnly must not rely on onDynInst for non-memory
+  /// opcodes; region/epoch callbacks are always delivered.
+  virtual ObserverDemand demand() const { return ObserverDemand::AllInsts; }
 
   /// Called when control enters the parallelized loop.
   virtual void onRegionBegin(unsigned RegionInstance) { (void)RegionInstance; }
@@ -51,6 +64,9 @@ public:
 struct InterpOptions {
   bool CollectTrace = true;
   uint64_t MaxSteps = 200'000'000; ///< Runaway guard.
+  /// Run the original tree-walking loop instead of the pre-decoded fast
+  /// engine. Slower; kept as the semantic baseline for differential tests.
+  bool UseReferenceEngine = false;
 };
 
 struct InterpResult {
@@ -58,6 +74,7 @@ struct InterpResult {
   int64_t ExitValue = 0;
   uint64_t DynInstCount = 0;
   uint64_t RegionDynInstCount = 0;
+  uint64_t MemAccessCount = 0; ///< Loads + stores executed.
   uint64_t MemoryChecksum = 0;
   ProgramTrace Trace; ///< Populated when InterpOptions::CollectTrace.
 };
@@ -73,14 +90,23 @@ public:
   /// Adds a pre-execution memory initialization (workload input data).
   void initWord(uint64_t Addr, int64_t Value) { Mem.storeWord(Addr, Value); }
 
+  /// Recycles trace buffers through \p A (may be nullptr to detach). The
+  /// arena must outlive the run; traces are identical with or without it.
+  void setTraceArena(TraceArena *A) { Arena = A; }
+
   InterpResult run(const InterpOptions &Opts = InterpOptions(),
                    ExecutionObserver *Observer = nullptr);
 
 private:
+  InterpResult runFast(const InterpOptions &Opts, ExecutionObserver *Observer);
+  InterpResult runReference(const InterpOptions &Opts,
+                            ExecutionObserver *Observer);
+
   const Program &Prog;
   ContextTable &Contexts;
   Memory Mem;
   Random Rng;
+  TraceArena *Arena = nullptr;
 };
 
 } // namespace specsync

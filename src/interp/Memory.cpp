@@ -6,49 +6,25 @@
 
 #include "interp/Memory.h"
 
-#include <algorithm>
-#include <cassert>
-#include <vector>
-
 using namespace specsync;
 
-int64_t Memory::loadWord(uint64_t Addr) const {
-  assert((Addr & 7) == 0 && "misaligned word access");
-  auto It = Pages.find(Addr >> PageShift);
-  if (It == Pages.end())
-    return 0;
-  return It->second->Words[(Addr & (PageBytes - 1)) >> 3];
-}
-
-void Memory::storeWord(uint64_t Addr, int64_t Value) {
-  assert((Addr & 7) == 0 && "misaligned word access");
-  auto &Page = Pages[Addr >> PageShift];
-  if (!Page)
-    Page = std::make_unique<Memory::Page>();
-  Page->Words[(Addr & (PageBytes - 1)) >> 3] = Value;
-}
-
 uint64_t Memory::checksum() const {
-  // Deterministic: iterate pages in sorted order.
-  std::vector<uint64_t> PageIds;
-  PageIds.reserve(Pages.size());
-  for (const auto &[Id, Page] : Pages)
-    PageIds.push_back(Id);
-  std::sort(PageIds.begin(), PageIds.end());
-
+  // Deterministic: iterate pages in sorted order. The digest only mixes
+  // nonzero words keyed by their global word index, so it is independent
+  // of which pages happen to exist (an all-zero page contributes nothing)
+  // and of page-table iteration order.
   uint64_t Hash = 0xcbf29ce484222325ull;
   auto mix = [&Hash](uint64_t V) {
     Hash ^= V;
     Hash *= 0x100000001b3ull;
   };
-  for (uint64_t Id : PageIds) {
-    const Page &P = *Pages.at(Id);
+  Pages.forEachSorted([&](uint64_t Id, const Page &P) {
     for (uint64_t W = 0; W < WordsPerPage; ++W) {
       if (P.Words[W] == 0)
         continue;
       mix(Id * WordsPerPage + W);
       mix(static_cast<uint64_t>(P.Words[W]));
     }
-  }
+  });
   return Hash;
 }

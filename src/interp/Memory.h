@@ -7,35 +7,68 @@
 #ifndef SPECSYNC_INTERP_MEMORY_H
 #define SPECSYNC_INTERP_MEMORY_H
 
+#include "support/PageMap.h"
+
+#include <cassert>
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 
 namespace specsync {
 
 /// Sparse paged memory holding 8-byte words. Uninitialized memory reads 0.
 /// All accesses must be 8-byte aligned (the IR is a word machine).
+///
+/// The hot path is a single-entry last-page cache in front of an
+/// open-addressing page table (PageMap): runs that stay within one 64 KiB
+/// page — the common case for the workload models — touch no hash at all.
+/// The cache also remembers a *missing* page (LastPage == nullptr), which
+/// is safe because storeWord is the only way a page comes into existence
+/// and it refreshes the cache when it creates one.
 class Memory {
 public:
   static constexpr unsigned PageShift = 16; // 64 KiB pages.
   static constexpr uint64_t PageBytes = 1ull << PageShift;
   static constexpr uint64_t WordsPerPage = PageBytes / 8;
 
-  int64_t loadWord(uint64_t Addr) const;
-  void storeWord(uint64_t Addr, int64_t Value);
+  int64_t loadWord(uint64_t Addr) const {
+    assert((Addr & 7) == 0 && "misaligned word access");
+    uint64_t Id = Addr >> PageShift;
+    if (Id != LastId) {
+      LastId = Id;
+      LastPage = Pages.lookup(Id);
+    }
+    return LastPage ? LastPage->Words[(Addr & (PageBytes - 1)) >> 3] : 0;
+  }
+
+  void storeWord(uint64_t Addr, int64_t Value) {
+    assert((Addr & 7) == 0 && "misaligned word access");
+    uint64_t Id = Addr >> PageShift;
+    if (Id != LastId || !LastPage) {
+      LastId = Id;
+      LastPage = &Pages.getOrCreate(Id);
+    }
+    LastPage->Words[(Addr & (PageBytes - 1)) >> 3] = Value;
+  }
 
   /// Order-independent digest of all touched pages; used by tests to check
   /// that transformed programs compute the same final memory image.
   uint64_t checksum() const;
 
-  void clear() { Pages.clear(); }
+  void clear() {
+    Pages.clear();
+    LastId = ~0ull;
+    LastPage = nullptr;
+  }
 
 private:
   struct Page {
     int64_t Words[WordsPerPage] = {};
   };
 
-  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+  PageMap<Page> Pages;
+  // Last-page cache; mutable so the (logically const) loadWord can refresh
+  // it. A cached nullptr means "page known absent".
+  mutable uint64_t LastId = ~0ull;
+  mutable Page *LastPage = nullptr;
 };
 
 } // namespace specsync

@@ -76,6 +76,43 @@ struct ProgramTrace {
   }
 };
 
+/// Recycles DynInst buffers across interpreter runs so a pipeline that
+/// interprets several binaries back to back (harness/Pipeline) or a
+/// benchmark that re-runs the same program does not re-grow every epoch
+/// vector from zero. Freed buffers keep their capacity; acquire() hands one
+/// back cleared. Purely an allocation cache: traces built with or without
+/// an arena have identical contents.
+class TraceArena {
+public:
+  /// Returns an empty vector, reusing a recycled buffer's capacity when one
+  /// is available.
+  std::vector<DynInst> acquire() {
+    if (Free.empty())
+      return {};
+    std::vector<DynInst> V = std::move(Free.back());
+    Free.pop_back();
+    V.clear();
+    return V;
+  }
+
+  /// Takes ownership of a buffer's storage for later reuse.
+  void recycle(std::vector<DynInst> &&V) {
+    if (V.capacity() != 0)
+      Free.push_back(std::move(V));
+  }
+
+  /// Recycles every buffer of a trace that is no longer needed.
+  void recycle(ProgramTrace &&T) {
+    recycle(std::move(T.SeqInsts));
+    for (RegionTrace &R : T.Regions)
+      for (EpochTrace &E : R.Epochs)
+        recycle(std::move(E.Insts));
+  }
+
+private:
+  std::vector<std::vector<DynInst>> Free;
+};
+
 } // namespace specsync
 
 #endif // SPECSYNC_INTERP_TRACE_H

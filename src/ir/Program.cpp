@@ -33,6 +33,7 @@ Function *Program::findFunction(const std::string &Name) {
 }
 
 void Program::assignIds() {
+  invalidateDecoded();
   for (auto &F : Funcs) {
     for (unsigned B = 0; B < F->getNumBlocks(); ++B) {
       for (Instruction &I : F->getBlock(B).instructions()) {

@@ -16,6 +16,8 @@
 
 namespace specsync {
 
+class DecodedProgram;
+
 /// A named global data object with an assigned base address.
 struct GlobalVar {
   std::string Name;
@@ -91,6 +93,13 @@ public:
   /// or "<unknown>"; linear scan, for diagnostics only.
   std::string describeInstruction(uint32_t Id) const;
 
+  /// Returns the pre-decoded executable form (interp/Decoded.h), building
+  /// it on first use. The cache is fingerprint-validated, so IR mutated
+  /// after a previous decode is re-decoded transparently; passes may also
+  /// call invalidateDecoded() to drop it eagerly. Defined in Decoded.cpp.
+  const DecodedProgram &getDecoded() const;
+  void invalidateDecoded() const { Decoded.reset(); }
+
 private:
   std::vector<std::unique_ptr<Function>> Funcs;
   std::vector<GlobalVar> Globals;
@@ -99,6 +108,9 @@ private:
   RegionSpec Region;
   uint64_t RandSeed = 1;
   uint32_t NextId = 1;
+  /// Lazily built decoded form (shared_ptr: DecodedProgram is incomplete
+  /// here and runs can outlive a re-decode).
+  mutable std::shared_ptr<const DecodedProgram> Decoded;
 };
 
 } // namespace specsync

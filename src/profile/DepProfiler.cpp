@@ -9,6 +9,7 @@
 #include "obs/StatRegistry.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace specsync;
 
@@ -37,10 +38,10 @@ std::vector<DepPairStat> DepProfile::pairsAboveThreshold(double Percent) const {
 }
 
 void DepProfiler::onRegionBegin(unsigned) {
-  // Dependences never cross region instances: writers from sequential code
-  // or earlier instances are not inter-epoch dependences.
-  LastWriter.clear();
-  LocalWriteEpoch.clear();
+  // Dependences never cross region instances: advancing the epoch floor
+  // expires every shadow entry from sequential code or earlier instances
+  // at once (the pages themselves are reused as-is).
+  RegionFloor = GlobalEpoch;
   InRegionNow = true;
 }
 
@@ -51,49 +52,61 @@ void DepProfiler::onEpochBegin(uint64_t) {
 
 void DepProfiler::onRegionEnd() { InRegionNow = false; }
 
+DepProfiler::ShadowEntry &DepProfiler::shadowFor(uint64_t Addr) {
+  uint64_t Id = Addr >> PageShift;
+  if (Id != LastShadowId || !LastShadowPage) {
+    LastShadowId = Id;
+    LastShadowPage = &Shadow.getOrCreate(Id);
+  }
+  return LastShadowPage->Entries[(Addr & ((1ull << PageShift) - 1)) >> 3];
+}
+
 void DepProfiler::onDynInst(const DynInst &DI, bool InRegion, uint64_t) {
   if (!InRegion || !InRegionNow)
     return;
   if (DI.Op == Opcode::Store) {
-    LastWriter[DI.Addr] = WriterInfo{GlobalEpoch, {DI.StaticId, DI.Context}};
-    LocalWriteEpoch[DI.Addr] = GlobalEpoch;
+    ShadowEntry &E = shadowFor(DI.Addr);
+    E.Epoch = GlobalEpoch;
+    E.Writer = pack(DI.StaticId, DI.Context);
     return;
   }
   if (DI.Op != Opcode::Load)
     return;
 
+  const ShadowEntry &E = shadowFor(DI.Addr);
+  // Dead entry: no store to this word in the current region instance.
+  if (E.Epoch <= RegionFloor)
+    return;
   // A load whose word was already written by its own epoch is not exposed.
-  auto LocalIt = LocalWriteEpoch.find(DI.Addr);
-  if (LocalIt != LocalWriteEpoch.end() && LocalIt->second == GlobalEpoch)
+  if (E.Epoch == GlobalEpoch)
     return;
+  assert(E.Epoch < GlobalEpoch && "exposed load with same-epoch writer");
 
-  auto WriterIt = LastWriter.find(DI.Addr);
-  if (WriterIt == LastWriter.end())
-    return;
-  const WriterInfo &W = WriterIt->second;
-  assert(W.Epoch < GlobalEpoch && "exposed load with same-epoch writer");
+  uint64_t LoadPacked = pack(DI.StaticId, DI.Context);
+  uint64_t Distance = GlobalEpoch - E.Epoch;
 
-  RefName LoadName{DI.StaticId, DI.Context};
-  uint64_t Distance = GlobalEpoch - W.Epoch;
-
-  auto Key = std::make_pair(LoadName, W.Store);
-  DepPairStat &P = Pairs[Key];
-  if (P.Count == 0) {
-    P.Load = LoadName;
-    P.Store = W.Store;
-  }
+  auto [PairIt, PairNew] =
+      PairIds.try_emplace({LoadPacked, E.Writer},
+                          static_cast<uint32_t>(PairRecs.size()));
+  if (PairNew)
+    PairRecs.push_back(PairRec{LoadPacked, E.Writer, 0, 0, 0, 0});
+  PairRec &P = PairRecs[PairIt->second];
   ++P.Count;
   if (Distance == 1)
     ++P.Distance1Count;
-  if (PairLastEpoch[Key] != GlobalEpoch) {
-    PairLastEpoch[Key] = GlobalEpoch;
+  if (P.LastEpoch != GlobalEpoch) {
+    P.LastEpoch = GlobalEpoch;
     ++P.EpochsWithDep;
   }
 
-  LoadStat &L = Loads[LoadName];
+  auto [LoadIt, LoadNew] =
+      LoadIds.try_emplace(LoadPacked, static_cast<uint32_t>(LoadRecs.size()));
+  if (LoadNew)
+    LoadRecs.push_back(LoadRec{LoadPacked, 0, 0, 0});
+  LoadRec &L = LoadRecs[LoadIt->second];
   ++L.Count;
-  if (LoadLastEpoch[LoadName] != GlobalEpoch) {
-    LoadLastEpoch[LoadName] = GlobalEpoch;
+  if (L.LastEpoch != GlobalEpoch) {
+    L.LastEpoch = GlobalEpoch;
     ++L.EpochsWithDep;
   }
 
@@ -101,8 +114,28 @@ void DepProfiler::onDynInst(const DynInst &DI, bool InRegion, uint64_t) {
 }
 
 DepProfile DepProfiler::takeProfile() {
-  Profile.Pairs = std::move(Pairs);
-  Profile.Loads = std::move(Loads);
+  // Materialize the ordered maps consumers iterate; the flat aggregation
+  // records carry exactly the same statistics, so the result is identical
+  // to the former map-per-access implementation.
+  for (const PairRec &P : PairRecs) {
+    DepPairStat S;
+    S.Load = unpack(P.LoadPacked);
+    S.Store = unpack(P.StorePacked);
+    S.Count = P.Count;
+    S.EpochsWithDep = P.EpochsWithDep;
+    S.Distance1Count = P.Distance1Count;
+    Profile.Pairs.emplace(std::make_pair(S.Load, S.Store), S);
+  }
+  for (const LoadRec &L : LoadRecs) {
+    LoadStat S;
+    S.Count = L.Count;
+    S.EpochsWithDep = L.EpochsWithDep;
+    Profile.Loads.emplace(unpack(L.Packed), S);
+  }
+  PairIds.clear();
+  PairRecs.clear();
+  LoadIds.clear();
+  LoadRecs.clear();
 
   if (obs::statsEnabled()) {
     obs::StatRegistry &R = obs::StatRegistry::global();

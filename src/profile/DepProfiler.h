@@ -18,12 +18,23 @@
 /// the pair occurs (the paper's dependence *frequency* denominator is the
 /// total number of epochs), and the epoch distance (Figure 7).
 ///
+/// The per-access bookkeeping is a paged shadow memory: each data word has
+/// a shadow entry holding the epoch and identity of its last writer. An
+/// entry is live only if its epoch is newer than the epoch floor recorded
+/// when the current region instance began — because the global epoch
+/// counter is monotonic across instances, starting a new instance
+/// invalidates every old entry for free (no clearing), and shadow pages
+/// are naturally reused across instances. Aggregation interns reference
+/// names into dense ids over flat vectors; the ordered maps the rest of
+/// the toolchain consumes are materialized once in takeProfile().
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPECSYNC_PROFILE_DEPPROFILER_H
 #define SPECSYNC_PROFILE_DEPPROFILER_H
 
 #include "interp/Interpreter.h"
+#include "support/PageMap.h"
 #include "support/Statistics.h"
 
 #include <cstdint>
@@ -90,6 +101,10 @@ struct DepProfile {
 /// Observer implementation that builds a DepProfile.
 class DepProfiler : public ExecutionObserver {
 public:
+  /// Only loads and stores matter; lets the fast engine skip every other
+  /// instruction's observer dispatch.
+  ObserverDemand demand() const override { return ObserverDemand::MemoryOnly; }
+
   void onRegionBegin(unsigned RegionInstance) override;
   void onEpochBegin(uint64_t EpochIndex) override;
   void onDynInst(const DynInst &DI, bool InRegion,
@@ -99,21 +114,73 @@ public:
   /// Finalizes and returns the collected profile.
   DepProfile takeProfile();
 
+  /// Number of live shadow pages (test hook: pages are reused, not
+  /// recreated, across region instances).
+  size_t numShadowPages() const { return Shadow.size(); }
+
 private:
-  struct WriterInfo {
+  /// Per-word shadow state: epoch and packed RefName of the last store.
+  /// Live iff Epoch > RegionFloor (zero-initialized pages are all dead,
+  /// and old region instances expire wholesale when the floor advances).
+  /// A single entry serves both the "written this epoch" check and the
+  /// writer lookup: the profiler always updated both with the same epoch.
+  struct ShadowEntry {
     uint64_t Epoch = 0;
-    RefName Store;
+    uint64_t Writer = 0; ///< pack(StaticId, Context) of the last store.
+  };
+  static constexpr unsigned PageShift = 16; // Mirrors Memory's page size.
+  static constexpr uint64_t WordsPerPage = (1ull << PageShift) / 8;
+  struct ShadowPage {
+    ShadowEntry Entries[WordsPerPage] = {};
+  };
+
+  static uint64_t pack(uint32_t InstId, uint32_t Context) {
+    return (static_cast<uint64_t>(InstId) << 32) | Context;
+  }
+  static RefName unpack(uint64_t Packed) {
+    return RefName{static_cast<uint32_t>(Packed >> 32),
+                   static_cast<uint32_t>(Packed)};
+  }
+
+  ShadowEntry &shadowFor(uint64_t Addr);
+
+  /// Flat per-load aggregation record (interned by packed RefName).
+  struct LoadRec {
+    uint64_t Packed = 0;
+    uint64_t Count = 0;
+    uint64_t EpochsWithDep = 0;
+    uint64_t LastEpoch = 0;
+  };
+  /// Flat per-pair aggregation record (interned by packed (load, store)).
+  struct PairRec {
+    uint64_t LoadPacked = 0;
+    uint64_t StorePacked = 0;
+    uint64_t Count = 0;
+    uint64_t EpochsWithDep = 0;
+    uint64_t Distance1Count = 0;
+    uint64_t LastEpoch = 0;
+  };
+  struct PairKeyHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t> &K) const {
+      uint64_t H = K.first * 0x9e3779b97f4a7c15ull;
+      H ^= K.second + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+      return static_cast<size_t>(H);
+    }
   };
 
   DepProfile Profile;
-  std::map<std::pair<RefName, RefName>, DepPairStat> Pairs;
-  std::map<RefName, LoadStat> Loads;
-  std::map<std::pair<RefName, RefName>, uint64_t> PairLastEpoch;
-  std::map<RefName, uint64_t> LoadLastEpoch;
-  std::unordered_map<uint64_t, WriterInfo> LastWriter; ///< By word address.
-  std::unordered_map<uint64_t, uint64_t> LocalWriteEpoch; ///< addr -> epoch.
+  PageMap<ShadowPage> Shadow;
+  mutable uint64_t LastShadowId = ~0ull;
+  mutable ShadowPage *LastShadowPage = nullptr;
+  uint64_t RegionFloor = 0; ///< GlobalEpoch when the instance began.
   uint64_t GlobalEpoch = 0; ///< Monotonic across region instances.
   bool InRegionNow = false;
+
+  std::unordered_map<uint64_t, uint32_t> LoadIds;
+  std::vector<LoadRec> LoadRecs;
+  std::unordered_map<std::pair<uint64_t, uint64_t>, uint32_t, PairKeyHash>
+      PairIds;
+  std::vector<PairRec> PairRecs;
 };
 
 } // namespace specsync

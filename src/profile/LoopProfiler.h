@@ -53,6 +53,16 @@ class ObserverList : public ExecutionObserver {
 public:
   void add(ExecutionObserver *Observer) { Observers.push_back(Observer); }
 
+  /// The list is memory-only exactly when every member is.
+  ObserverDemand demand() const override {
+    if (Observers.empty())
+      return ObserverDemand::AllInsts;
+    for (const ExecutionObserver *O : Observers)
+      if (O->demand() != ObserverDemand::MemoryOnly)
+        return ObserverDemand::AllInsts;
+    return ObserverDemand::MemoryOnly;
+  }
+
   void onRegionBegin(unsigned RegionInstance) override;
   void onEpochBegin(uint64_t EpochIndex) override;
   void onDynInst(const DynInst &DI, bool InRegion,

@@ -11,7 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <deque>
 
 using namespace specsync;
 
@@ -73,8 +73,11 @@ struct TLSSimulator::Impl {
   HwSyncTables HwTables;
   ValuePredictor Predictor;
   FaultInjector Faults; ///< Disabled (all draws false) without a plan.
-  /// Per-group check.fwd outcome counters for the hybrid filter (iii).
-  std::map<int, std::pair<uint64_t, uint64_t>> FwdChecks; // (total, hits).
+  /// Per-group check.fwd outcome counters for the hybrid filter (iii),
+  /// indexed by sync id: (total, hits). An all-zero entry is
+  /// indistinguishable from "no history", which is exactly the reset the
+  /// violation feedback path wants.
+  std::vector<std::pair<uint64_t, uint64_t>> FwdChecks;
 
   // Per-region state (reset in simulateRegion).
   SpecState Spec;
@@ -84,10 +87,10 @@ struct TLSSimulator::Impl {
   // injected faults (livelock break); demoted channels/groups stop
   // blocking at waits (graceful degradation to plain speculation).
   bool WatchdogOn = false;
-  std::unordered_map<uint64_t, unsigned> SquashCount; ///< Per epoch.
-  std::unordered_set<uint64_t> ProtectedEpochs;
-  std::map<int, unsigned> MemGroupTrips, ScalarTrips;
-  std::set<int> DemotedMemGroups, DemotedScalarChannels;
+  std::vector<unsigned> SquashCount;    ///< Indexed by epoch.
+  std::vector<uint8_t> ProtectedEpochs; ///< Indexed by epoch.
+  std::vector<unsigned> MemGroupTrips, ScalarTrips;           ///< By id.
+  std::vector<uint8_t> DemotedMemGroups, DemotedScalarChannels; ///< By id.
   uint64_t TotalSquashes = 0;
   FaultCounts RegionStartCounts; ///< Injector totals at region entry.
 
@@ -104,12 +107,14 @@ struct TLSSimulator::Impl {
   }
 
   bool isProtected(uint64_t Epoch) const {
-    return ProtectedEpochs.count(Epoch) > 0;
+    return Epoch < ProtectedEpochs.size() && ProtectedEpochs[Epoch];
   }
 
   bool isDemoted(int Id, bool IsMem) const {
-    return IsMem ? DemotedMemGroups.count(Id) > 0
-                 : DemotedScalarChannels.count(Id) > 0;
+    const std::vector<uint8_t> &D =
+        IsMem ? DemotedMemGroups : DemotedScalarChannels;
+    size_t I = static_cast<size_t>(Id);
+    return I < D.size() && D[I];
   }
 
   // ----------------------------------------------------------------------
@@ -125,9 +130,16 @@ struct TLSSimulator::Impl {
     uint64_t SyncMemSlots = 0;
     std::unordered_set<uint64_t> LocalWrites; ///< Word addresses.
     SignalAddressBuffer Sab;
-    std::set<int> SignaledScalars;
-    std::set<int> SignaledGroups;
-    std::unordered_map<int, bool> UseFwd;
+    /// Signal dedup flags, indexed by channel / group id. Ascending index
+    /// scans reproduce the ordered-set iteration they replace.
+    std::vector<uint8_t> SignaledScalars;
+    std::vector<uint8_t> SignaledGroups;
+    /// check.fwd verdict per group id: 0 = no check yet, 1 = do not use
+    /// the forward, 2 = use it.
+    std::vector<int8_t> UseFwd;
+    /// Cache line -> "read mark was made by a compiler-synchronized load",
+    /// for Figure 11 attribution of this epoch's exposed reads.
+    std::unordered_map<uint64_t, bool> LineMarkSynced;
 
     enum class St { Running, ParkedChannel, ParkedCommit, Finished };
     St State = St::Running;
@@ -139,7 +151,12 @@ struct TLSSimulator::Impl {
     EpochRun(unsigned SabEntries) : Sab(SabEntries) {}
   };
 
-  std::map<uint64_t, EpochRun> Active;
+  /// In-flight epochs. Epochs dispatch in ascending order and only the
+  /// head ever leaves, so the active set is always the contiguous window
+  /// [NextToCommit, NextToCommit + Active.size()) and a deque replaces the
+  /// ordered map: find is an index subtraction and iteration is already in
+  /// ascending-epoch order.
+  std::deque<EpochRun> Active;
   std::vector<uint64_t> StartCycle; ///< First-dispatch time per epoch.
   uint64_t NextToCommit = 0;
   uint64_t NumEpochs = 0;
@@ -188,6 +205,13 @@ struct TLSSimulator::Impl {
       obs::StatRegistry::global().counter("sim.watchdog.degraded_regions");
 
   unsigned width() const { return Config.IssueWidth; }
+
+  EpochRun *activeFind(uint64_t Epoch) {
+    if (Epoch < NextToCommit || Epoch >= NextToCommit + Active.size())
+      return nullptr;
+    return &Active[static_cast<size_t>(Epoch - NextToCommit)];
+  }
+
   unsigned coreOf(const EpochRun &R) const {
     return static_cast<unsigned>(R.Epoch % Config.NumCores);
   }
@@ -248,7 +272,9 @@ struct TLSSimulator::Impl {
     R.Cycle = std::max(EarliestStart, SpawnReady);
     R.AttemptStart = R.Cycle;
     StartCycle[Epoch] = R.Cycle;
-    Active.emplace(Epoch, std::move(R));
+    assert(Epoch == NextToCommit + Active.size() &&
+           "epochs must dispatch in ascending order");
+    Active.push_back(std::move(R));
   }
 
   void resetAttempt(EpochRun &R, uint64_t RestartAt) {
@@ -264,12 +290,14 @@ struct TLSSimulator::Impl {
     R.SignaledScalars.clear();
     R.SignaledGroups.clear();
     R.UseFwd.clear();
+    R.LineMarkSynced.clear();
     R.State = EpochRun::St::Running;
   }
 
   /// Squashes epochs \p From and all later in-flight epochs at time \p Now.
   void squashFrom(uint64_t From, uint64_t Now) {
-    for (auto &[E, R] : Active) {
+    for (EpochRun &R : Active) {
+      const uint64_t E = R.Epoch;
       if (E < From)
         continue;
       uint64_t Wasted = Now > R.AttemptStart ? Now - R.AttemptStart : 0;
@@ -278,7 +306,6 @@ struct TLSSimulator::Impl {
                 static_cast<int64_t>(E));
       Spec.clearEpoch(E);
       Channels.clearForConsumer(E + 1);
-      clearMarkAttribution(E);
       uint64_t RestartAt = Now + Config.ViolationRestartPenalty;
       if (WatchdogOn) {
         unsigned N = ++SquashCount[E];
@@ -290,9 +317,10 @@ struct TLSSimulator::Impl {
                        << std::min(N - 2, 6u);
           ++Stats.BackoffRetries;
         }
-        if (N >= Opts.EpochRetryLimit && ProtectedEpochs.insert(E).second) {
+        if (N >= Opts.EpochRetryLimit && !ProtectedEpochs[E]) {
           // Livelock break: this epoch takes no further injected faults,
           // so its next retry can only fail for real (workload) reasons.
+          ProtectedEpochs[E] = 1;
           ++Stats.LivelockBreaks;
           traceInstant(R, "watchdog.protect", Now, "epoch",
                        static_cast<int64_t>(E));
@@ -312,8 +340,12 @@ struct TLSSimulator::Impl {
     traceInstant(R, "violation", R.Cycle, "reader_epoch",
                  static_cast<int64_t>(Reader->Epoch));
 
+    EpochRun *ReaderRun = activeFind(Reader->Epoch);
+    assert(ReaderRun && "violated reader epoch is not in flight");
     bool CompilerWould =
-        MarkCompilerSynced[{Reader->Epoch, Spec.lineOf(DI.Addr)}];
+        ReaderRun->LineMarkSynced
+            .try_emplace(Spec.lineOf(DI.Addr), false)
+            .first->second;
     bool HwWould = HwTables.containsAny(Reader->LoadStaticId, R.Cycle);
     if (CompilerWould && HwWould)
       ++Stats.ViolBoth;
@@ -327,8 +359,9 @@ struct TLSSimulator::Impl {
     // Negative feedback for the hybrid filter (iii): if a filtered
     // group's load just got violated, its synchronization was not useless
     // after all — forget the low match-rate history so waits resume.
-    if (Opts.HybridFilterUselessSync && Reader->LoadSyncId >= 0)
-      FwdChecks.erase(Reader->LoadSyncId);
+    if (Opts.HybridFilterUselessSync && Reader->LoadSyncId >= 0 &&
+        static_cast<size_t>(Reader->LoadSyncId) < FwdChecks.size())
+      FwdChecks[Reader->LoadSyncId] = {0, 0};
 
     // The core that ran the violated epoch learns the load; a
     // compiler-hinted frequent violator survives periodic resets (iv).
@@ -339,16 +372,6 @@ struct TLSSimulator::Impl {
                              Sticky);
     // The squash takes effect when the invalidation reaches the reader.
     squashFrom(Reader->Epoch, R.Cycle + Config.ViolationDetectLatency);
-  }
-
-  // Whether the mark (epoch, line) was made by a compiler-synchronized
-  // load; consulted for Figure 11 attribution.
-  std::map<std::pair<uint64_t, uint64_t>, bool> MarkCompilerSynced;
-
-  void clearMarkAttribution(uint64_t Epoch) {
-    auto Begin = MarkCompilerSynced.lower_bound({Epoch, 0});
-    auto End = MarkCompilerSynced.lower_bound({Epoch + 1, 0});
-    MarkCompilerSynced.erase(Begin, End);
   }
 
   bool isCompilerSyncedLoad(const DynInst &DI) const {
@@ -402,10 +425,10 @@ struct TLSSimulator::Impl {
   }
 
   void tryWakeChannelWaiters(uint64_t Epoch, uint64_t /*Now*/) {
-    auto It = Active.find(Epoch);
-    if (It == Active.end())
+    EpochRun *RP = activeFind(Epoch);
+    if (!RP)
       return;
-    EpochRun &R = It->second;
+    EpochRun &R = *RP;
     if (R.State != EpochRun::St::ParkedChannel)
       return;
     if (R.ParkIsMem) {
@@ -419,7 +442,9 @@ struct TLSSimulator::Impl {
 
   // --- Commit -------------------------------------------------------------
   void commitHead() {
-    EpochRun &R = Active.at(NextToCommit);
+    assert(!Active.empty() && "committing with no epoch in flight");
+    EpochRun &R = Active.front();
+    assert(R.Epoch == NextToCommit && "head epoch mismatch");
     assert(R.State == EpochRun::St::Finished && "committing unfinished epoch");
     uint64_t CommitStart = std::max(R.FinishCycle, TokenFreeAt);
     uint64_t CommitEnd = CommitStart + Config.CommitLatency;
@@ -447,21 +472,20 @@ struct TLSSimulator::Impl {
     // commit time (the paper's epoch-end NULL signal for memory groups; for
     // scalars the committed value is architecturally visible).
     for (unsigned Ch = 0; Ch < Opts.NumScalarChannels; ++Ch)
-      if (!R.SignaledScalars.count(static_cast<int>(Ch)))
+      if (!(Ch < R.SignaledScalars.size() && R.SignaledScalars[Ch]))
         Channels.sendScalar(static_cast<int>(Ch), E + 1, CommitEnd);
     for (unsigned G = 0; G < Opts.NumMemGroups; ++G)
-      if (!R.SignaledGroups.count(static_cast<int>(G)))
+      if (!(G < R.SignaledGroups.size() && R.SignaledGroups[G]))
         Channels.sendMem(static_cast<int>(G), E + 1, /*Addr=*/0, /*Value=*/0,
                          CommitEnd);
 
     Spec.clearEpoch(E);
-    clearMarkAttribution(E);
-    Active.erase(NextToCommit);
+    Active.pop_front();
     ++NextToCommit;
     Channels.collectUpTo(E);
 
     // Wake successors blocked on this commit or on the auto-signals.
-    for (auto &[OE, OR] : Active) {
+    for (EpochRun &OR : Active) {
       if (OR.State == EpochRun::St::ParkedCommit && OR.ParkCommitTarget <= E)
         wake(OR, CommitEnd, OR.ParkIsMem);
     }
@@ -535,9 +559,9 @@ struct TLSSimulator::Impl {
         // (iii) The hardware filters compiler synchronization that rarely
         // forwards a useful value: once enough check.fwd outcomes show a
         // low match rate, waits on this group proceed speculatively.
-        auto It = FwdChecks.find(DI.SyncId);
-        if (It != FwdChecks.end() && It->second.first >= 32 &&
-            It->second.second * 4 < It->second.first) {
+        size_t Id = static_cast<size_t>(DI.SyncId);
+        if (Id < FwdChecks.size() && FwdChecks[Id].first >= 32 &&
+            FwdChecks[Id].second * 4 < FwdChecks[Id].first) {
           ++Stats.FilteredWaits;
           graduate(R);
           break;
@@ -562,8 +586,13 @@ struct TLSSimulator::Impl {
         if (auto F = Channels.getMem(DI.SyncId, R.Epoch))
           Use = F->Addr != 0 && F->Addr == DI.Addr;
       }
-      R.UseFwd[DI.SyncId] = Use;
-      auto &Counts = FwdChecks[DI.SyncId];
+      size_t Id = static_cast<size_t>(DI.SyncId);
+      if (Id >= R.UseFwd.size())
+        R.UseFwd.resize(Id + 1, 0);
+      R.UseFwd[Id] = Use ? 2 : 1;
+      if (Id >= FwdChecks.size())
+        FwdChecks.resize(Id + 1, {0, 0});
+      auto &Counts = FwdChecks[Id];
       ++Counts.first;
       if (Use)
         ++Counts.second;
@@ -574,22 +603,29 @@ struct TLSSimulator::Impl {
       graduate(R);
       break;
 
-    case Opcode::SignalScalar:
+    case Opcode::SignalScalar: {
       graduate(R);
-      if (!R.SignaledScalars.count(DI.SyncId)) {
-        R.SignaledScalars.insert(DI.SyncId);
+      size_t Id = static_cast<size_t>(DI.SyncId);
+      if (Id >= R.SignaledScalars.size())
+        R.SignaledScalars.resize(Id + 1, 0);
+      if (!R.SignaledScalars[Id]) {
+        R.SignaledScalars[Id] = 1;
         Channels.sendScalar(DI.SyncId, R.Epoch + 1,
                             R.Cycle + Config.SignalLatency);
         traceInstant(R, "signal.scalar", R.Cycle, "channel", DI.SyncId);
         tryWakeChannelWaiters(R.Epoch + 1, R.Cycle);
       }
       break;
+    }
 
     case Opcode::SignalMem: {
       graduate(R);
-      if (R.SignaledGroups.count(DI.SyncId))
+      size_t Id = static_cast<size_t>(DI.SyncId);
+      if (Id >= R.SignaledGroups.size())
+        R.SignaledGroups.resize(Id + 1, 0);
+      if (R.SignaledGroups[Id])
         break; // At most one signal per group per epoch reaches the wire.
-      R.SignaledGroups.insert(DI.SyncId);
+      R.SignaledGroups[Id] = 1;
       Channels.sendMem(DI.SyncId, R.Epoch + 1, DI.Addr, DI.Value,
                        R.Cycle + Config.SignalLatency);
       traceInstant(R, "signal.mem", R.Cycle, "group", DI.SyncId);
@@ -617,8 +653,8 @@ struct TLSSimulator::Impl {
       if (SyncedLoad && (Opts.PerfectSyncedValues))
         Immune = true;
       if (SyncedLoad && !Immune) {
-        auto It = R.UseFwd.find(DI.SyncId);
-        if (It != R.UseFwd.end() && It->second &&
+        size_t Id = static_cast<size_t>(DI.SyncId);
+        if (Id < R.UseFwd.size() && R.UseFwd[Id] == 2 &&
             !R.LocalWrites.count(DI.Addr)) {
           if (WatchdogOn) {
             // An injected in-flight corruption is caught here, where the
@@ -637,7 +673,7 @@ struct TLSSimulator::Impl {
             }
           }
           Immune = true; // Reads the forwarded value; cannot be violated.
-          It->second = false;
+          R.UseFwd[Id] = 1;
         }
       }
 
@@ -668,9 +704,8 @@ struct TLSSimulator::Impl {
                       DI.SyncId, R.Cycle);
         // First reader wins, matching SpecState's mark (attribution keys on
         // the load that established the mark).
-        MarkCompilerSynced.emplace(
-            std::make_pair(R.Epoch, Spec.lineOf(DI.Addr)),
-            isCompilerSyncedLoad(DI));
+        R.LineMarkSynced.emplace(Spec.lineOf(DI.Addr),
+                                 isCompilerSyncedLoad(DI));
       }
       break;
     }
@@ -684,18 +719,19 @@ struct TLSSimulator::Impl {
       // Signaled-then-overwritten hazard: restart the consumer (or fix up
       // the forward in place if the consumer has not started).
       if (!Opts.OraclePerfectMemory && R.Sab.conflictsWithStore(DI.Addr)) {
-        auto ConsumerIt = Active.find(R.Epoch + 1);
-        if (ConsumerIt != Active.end()) {
+        if (activeFind(R.Epoch + 1)) {
           ++Stats.SabViolations;
           traceInstant(R, "sab_violation", R.Cycle, "epoch",
                        static_cast<int64_t>(R.Epoch));
           squashFrom(R.Epoch + 1, R.Cycle + Config.ViolationDetectLatency);
           // The squashed consumer will re-wait; refresh the forward.
         }
-        for (int G : R.SignaledGroups)
-          if (auto F = Channels.getMem(G, R.Epoch + 1))
-            if (F->Addr == DI.Addr)
-              Channels.updateMemValue(G, R.Epoch + 1, DI.Addr, DI.Value);
+        for (size_t G = 0; G < R.SignaledGroups.size(); ++G)
+          if (R.SignaledGroups[G])
+            if (auto F = Channels.getMem(static_cast<int>(G), R.Epoch + 1))
+              if (F->Addr == DI.Addr)
+                Channels.updateMemValue(static_cast<int>(G), R.Epoch + 1,
+                                        DI.Addr, DI.Value);
       }
 
       R.LocalWrites.insert(DI.Addr);
@@ -708,7 +744,7 @@ struct TLSSimulator::Impl {
       // injection cannot livelock an epoch past its retry limit.
       if (Faults.enabled() && !Opts.OraclePerfectMemory) {
         uint64_t Victim = R.Epoch + 1;
-        if (Active.count(Victim) && !isProtected(Victim) &&
+        if (activeFind(Victim) && !isProtected(Victim) &&
             Faults.spuriousViolation()) {
           traceInstant(R, "fault.spurious_violation", R.Cycle, "victim",
                        static_cast<int64_t>(Victim));
@@ -740,12 +776,17 @@ struct TLSSimulator::Impl {
   /// trip, and a channel that keeps tripping is demoted to plain
   /// speculation so later waits stop blocking at all.
   bool recoverFromDeadlock() {
-    for (auto &[E, R] : Active) {
+    for (EpochRun &R : Active) {
+      const uint64_t E = R.Epoch;
       if (R.State != EpochRun::St::ParkedChannel)
         continue;
       ++Stats.WatchdogTrips;
-      unsigned &Trips =
-          R.ParkIsMem ? MemGroupTrips[R.ParkId] : ScalarTrips[R.ParkId];
+      std::vector<unsigned> &TripVec =
+          R.ParkIsMem ? MemGroupTrips : ScalarTrips;
+      size_t Id = static_cast<size_t>(R.ParkId);
+      if (Id >= TripVec.size())
+        TripVec.resize(Id + 1, 0);
+      unsigned &Trips = TripVec[Id];
       ++Trips;
       uint64_t Backoff = static_cast<uint64_t>(Opts.WatchdogBackoffBase)
                          << std::min(Trips - 1, 6u);
@@ -759,9 +800,12 @@ struct TLSSimulator::Impl {
         Channels.sendScalar(R.ParkId, E, Arrival, /*Faultable=*/false);
       ++Stats.WatchdogWakes;
       if (Trips >= Opts.GroupDemoteThreshold) {
-        std::set<int> &Demoted =
+        std::vector<uint8_t> &Demoted =
             R.ParkIsMem ? DemotedMemGroups : DemotedScalarChannels;
-        if (Demoted.insert(R.ParkId).second) {
+        if (Id >= Demoted.size())
+          Demoted.resize(Id + 1, 0);
+        if (!Demoted[Id]) {
+          Demoted[Id] = 1;
           ++Stats.DemotedSyncs;
           traceInstant(R, "watchdog.demote", R.Cycle,
                        R.ParkIsMem ? "group" : "channel", R.ParkId);
@@ -798,11 +842,10 @@ struct TLSSimulator::Impl {
     Spec = SpecState(log2OfPow2(Config.CacheLineBytes));
     Channels = SyncChannels();
     Channels.setFaultInjector(Faults.enabled() ? &Faults : nullptr);
-    MarkCompilerSynced.clear();
     WatchdogOn = Faults.enabled() || Opts.WatchdogBudget > 0 ||
                  Opts.DegradeSquashRate > 0;
-    SquashCount.clear();
-    ProtectedEpochs.clear();
+    SquashCount.assign(NumEpochs, 0);
+    ProtectedEpochs.assign(NumEpochs, 0);
     MemGroupTrips.clear();
     ScalarTrips.clear();
     DemotedMemGroups.clear();
@@ -827,16 +870,15 @@ struct TLSSimulator::Impl {
 
     while (NextToCommit < NumEpochs) {
       // Commit the head as soon as it is done.
-      auto HeadIt = Active.find(NextToCommit);
-      assert(HeadIt != Active.end() && "head epoch is not in flight");
-      if (HeadIt->second.State == EpochRun::St::Finished) {
+      assert(!Active.empty() && "head epoch is not in flight");
+      if (Active.front().State == EpochRun::St::Finished) {
         commitHead();
         continue;
       }
 
       // Step the runnable epoch with the smallest local clock.
       EpochRun *Min = nullptr;
-      for (auto &[E, R] : Active)
+      for (EpochRun &R : Active)
         if (R.State == EpochRun::St::Running &&
             (!Min || R.Cycle < Min->Cycle))
           Min = &R;

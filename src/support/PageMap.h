@@ -1,0 +1,124 @@
+//===- support/PageMap.h - Open-addressing page table -----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hash-free-on-hit page table shared by the interpreter's sparse memory
+/// and the dependence profiler's shadow memory. Pages are owned by the
+/// table (stable addresses across growth, so callers may cache the most
+/// recently used page) and looked up by page id through a power-of-two
+/// open-addressing index with linear probing — the PROMPT-style flat
+/// design that replaces per-access node-based `unordered_map` lookups on
+/// the execution engine's hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SUPPORT_PAGEMAP_H
+#define SPECSYNC_SUPPORT_PAGEMAP_H
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace specsync {
+
+/// Maps 64-bit page ids to heap-allocated pages of type \p PageT (which
+/// must be value-initializable; a freshly created page is zero state).
+template <typename PageT> class PageMap {
+public:
+  PageMap() { Slots.resize(InitialSlots); }
+
+  /// Returns the page for \p Id, or nullptr if it was never created.
+  /// Never allocates; safe on const hot paths.
+  PageT *lookup(uint64_t Id) const {
+    size_t Mask = Slots.size() - 1;
+    for (size_t Pos = hashId(Id) & Mask;; Pos = (Pos + 1) & Mask) {
+      const Slot &S = Slots[Pos];
+      if (!S.Page)
+        return nullptr;
+      if (S.Id == Id)
+        return S.Page;
+    }
+  }
+
+  /// Returns the page for \p Id, creating a zeroed one on first use.
+  PageT &getOrCreate(uint64_t Id) {
+    if (PageT *P = lookup(Id))
+      return *P;
+    if ((NumPages + 1) * 2 >= Slots.size())
+      grow();
+    Pages.push_back(std::make_unique<PageT>());
+    Ids.push_back(Id);
+    PageT *P = Pages.back().get();
+    insertSlot(Id, P);
+    ++NumPages;
+    return *P;
+  }
+
+  size_t size() const { return NumPages; }
+  bool empty() const { return NumPages == 0; }
+
+  /// Visits every page as (id, page) in ascending id order — the
+  /// deterministic iteration checksums and serialization rely on.
+  template <typename F> void forEachSorted(F &&Fn) const {
+    std::vector<size_t> Order(Pages.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(),
+              [&](size_t A, size_t B) { return Ids[A] < Ids[B]; });
+    for (size_t I : Order)
+      Fn(Ids[I], *Pages[I]);
+  }
+
+  /// Drops every page and resets the index.
+  void clear() {
+    Pages.clear();
+    Ids.clear();
+    NumPages = 0;
+    Slots.assign(InitialSlots, Slot());
+  }
+
+private:
+  struct Slot {
+    uint64_t Id = 0;
+    PageT *Page = nullptr; ///< nullptr marks an empty slot.
+  };
+
+  static constexpr size_t InitialSlots = 64;
+
+  static uint64_t hashId(uint64_t X) {
+    // splitmix64 finalizer: cheap, well-distributed for sequential ids.
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+  void insertSlot(uint64_t Id, PageT *P) {
+    size_t Mask = Slots.size() - 1;
+    size_t Pos = hashId(Id) & Mask;
+    while (Slots[Pos].Page)
+      Pos = (Pos + 1) & Mask;
+    Slots[Pos] = Slot{Id, P};
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.size() * 2, Slot());
+    for (const Slot &S : Old)
+      if (S.Page)
+        insertSlot(S.Id, S.Page);
+  }
+
+  std::vector<Slot> Slots;
+  std::vector<std::unique_ptr<PageT>> Pages; ///< Stable page addresses.
+  std::vector<uint64_t> Ids;                 ///< Parallel to Pages.
+  size_t NumPages = 0;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_SUPPORT_PAGEMAP_H

@@ -1,0 +1,345 @@
+//===- tests/engine_test.cpp - Fast execution engine tests ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The fast-path execution engine (pre-decoded interpreter, paged memory,
+// shadow-memory dependence profiler) must be observationally identical to
+// the reference tree-walking engine. This file checks that:
+//
+//  1. on random programs — plain, base-transformed, and memory-synchronized
+//     — both engines produce the same exit value, memory checksum,
+//     instruction counts, per-epoch trace contents, and dependence profile;
+//  2. the Memory page table handles page-boundary addresses, clear()
+//     invalidates the last-page cache, and the checksum is independent of
+//     write order;
+//  3. the DepProfiler reuses shadow pages across region instances instead
+//     of growing its footprint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/PassManager.h"
+#include "interp/Interpreter.h"
+#include "profile/DepProfiler.h"
+#include "support/PageMap.h"
+
+#include "RandomProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace specsync;
+
+namespace {
+
+void expectSameTrace(const ProgramTrace &A, const ProgramTrace &B,
+                     uint64_t Seed) {
+  auto SameInst = [](const DynInst &X, const DynInst &Y) {
+    return X.StaticId == Y.StaticId && X.OrigId == Y.OrigId &&
+           X.Context == Y.Context && X.Op == Y.Op && X.SyncId == Y.SyncId &&
+           X.Addr == Y.Addr && X.Value == Y.Value;
+  };
+
+  ASSERT_EQ(A.SeqInsts.size(), B.SeqInsts.size()) << "seed " << Seed;
+  for (size_t I = 0; I < A.SeqInsts.size(); ++I)
+    ASSERT_TRUE(SameInst(A.SeqInsts[I], B.SeqInsts[I]))
+        << "seed " << Seed << " seq inst " << I;
+
+  ASSERT_EQ(A.Segments.size(), B.Segments.size()) << "seed " << Seed;
+  for (size_t I = 0; I < A.Segments.size(); ++I) {
+    EXPECT_EQ(A.Segments[I].IsRegion, B.Segments[I].IsRegion);
+    EXPECT_EQ(A.Segments[I].SeqBegin, B.Segments[I].SeqBegin);
+    EXPECT_EQ(A.Segments[I].SeqEnd, B.Segments[I].SeqEnd);
+    EXPECT_EQ(A.Segments[I].RegionIdx, B.Segments[I].RegionIdx);
+  }
+
+  ASSERT_EQ(A.Regions.size(), B.Regions.size()) << "seed " << Seed;
+  for (size_t R = 0; R < A.Regions.size(); ++R) {
+    ASSERT_EQ(A.Regions[R].Epochs.size(), B.Regions[R].Epochs.size())
+        << "seed " << Seed << " region " << R;
+    for (size_t E = 0; E < A.Regions[R].Epochs.size(); ++E) {
+      const auto &EA = A.Regions[R].Epochs[E].Insts;
+      const auto &EB = B.Regions[R].Epochs[E].Insts;
+      ASSERT_EQ(EA.size(), EB.size())
+          << "seed " << Seed << " region " << R << " epoch " << E;
+      for (size_t I = 0; I < EA.size(); ++I)
+        ASSERT_TRUE(SameInst(EA[I], EB[I]))
+            << "seed " << Seed << " region " << R << " epoch " << E
+            << " inst " << I;
+    }
+  }
+}
+
+void expectSameProfile(const DepProfile &A, const DepProfile &B,
+                       uint64_t Seed) {
+  EXPECT_EQ(A.TotalEpochs, B.TotalEpochs) << "seed " << Seed;
+  ASSERT_EQ(A.Pairs.size(), B.Pairs.size()) << "seed " << Seed;
+  auto BP = B.Pairs.begin();
+  for (const auto &[Key, S] : A.Pairs) {
+    ASSERT_TRUE(BP->first == Key) << "seed " << Seed;
+    EXPECT_EQ(S.Count, BP->second.Count) << "seed " << Seed;
+    EXPECT_EQ(S.EpochsWithDep, BP->second.EpochsWithDep) << "seed " << Seed;
+    EXPECT_EQ(S.Distance1Count, BP->second.Distance1Count)
+        << "seed " << Seed;
+    ++BP;
+  }
+  ASSERT_EQ(A.Loads.size(), B.Loads.size()) << "seed " << Seed;
+  auto BL = B.Loads.begin();
+  for (const auto &[Name, S] : A.Loads) {
+    ASSERT_TRUE(BL->first == Name) << "seed " << Seed;
+    EXPECT_EQ(S.Count, BL->second.Count) << "seed " << Seed;
+    EXPECT_EQ(S.EpochsWithDep, BL->second.EpochsWithDep) << "seed " << Seed;
+    ++BL;
+  }
+}
+
+/// Runs \p P on both engines with identical options and checks every
+/// observable output matches. Each engine gets its own interpreter (and so
+/// its own memory/RNG) but shares the context table so ids line up.
+void diffEngines(Program &P, uint64_t Seed, bool WithProfiler) {
+  ContextTable Ctx;
+
+  InterpOptions Opts;
+  Opts.CollectTrace = true;
+
+  DepProfiler FastDP, RefDP;
+  Interpreter Fast(P, Ctx);
+  InterpResult FR = Fast.run(Opts, WithProfiler ? &FastDP : nullptr);
+
+  Opts.UseReferenceEngine = true;
+  Interpreter Ref(P, Ctx);
+  InterpResult RR = Ref.run(Opts, WithProfiler ? &RefDP : nullptr);
+
+  ASSERT_TRUE(FR.Completed) << "seed " << Seed;
+  ASSERT_TRUE(RR.Completed) << "seed " << Seed;
+  EXPECT_EQ(FR.ExitValue, RR.ExitValue) << "seed " << Seed;
+  EXPECT_EQ(FR.MemoryChecksum, RR.MemoryChecksum) << "seed " << Seed;
+  EXPECT_EQ(FR.DynInstCount, RR.DynInstCount) << "seed " << Seed;
+  EXPECT_EQ(FR.RegionDynInstCount, RR.RegionDynInstCount) << "seed " << Seed;
+  EXPECT_EQ(FR.MemAccessCount, RR.MemAccessCount) << "seed " << Seed;
+  expectSameTrace(FR.Trace, RR.Trace, Seed);
+  if (WithProfiler)
+    expectSameProfile(FastDP.takeProfile(), RefDP.takeProfile(), Seed);
+}
+
+class EngineDiffProperty : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(EngineDiffProperty, FastMatchesReferenceOnPlainProgram) {
+  uint64_t Seed = GetParam();
+  auto P = makeRandomProgram(Seed);
+  diffEngines(*P, Seed, /*WithProfiler=*/false);
+}
+
+TEST_P(EngineDiffProperty, FastMatchesReferenceOnTransformedProgram) {
+  uint64_t Seed = GetParam();
+  auto P = makeRandomProgram(Seed);
+  applyBaseTransforms(*P, 2);
+  diffEngines(*P, Seed, /*WithProfiler=*/true);
+}
+
+TEST_P(EngineDiffProperty, FastMatchesReferenceOnSyncedProgram) {
+  uint64_t Seed = GetParam();
+  ContextTable Ctx;
+  DepProfile Profile;
+  {
+    auto Q = makeRandomProgram(Seed);
+    applyBaseTransforms(*Q, 2);
+    DepProfiler DP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    Interpreter(*Q, Ctx).run(Opts, &DP);
+    Profile = DP.takeProfile();
+  }
+  auto P = makeRandomProgram(Seed);
+  applyBaseTransforms(*P, 2);
+  applyMemSync(*P, Ctx, Profile);
+  diffEngines(*P, Seed, /*WithProfiler=*/true);
+}
+
+TEST_P(EngineDiffProperty, ArenaReuseKeepsTraceContentsIdentical) {
+  uint64_t Seed = GetParam();
+  auto P = makeRandomProgram(Seed);
+  ContextTable Ctx;
+
+  Interpreter Plain(*P, Ctx);
+  InterpResult RPlain = Plain.run();
+
+  // Two runs through one arena: the second reuses the first's buffers.
+  TraceArena Arena;
+  Interpreter First(*P, Ctx);
+  First.setTraceArena(&Arena);
+  InterpResult R1 = First.run();
+  Arena.recycle(std::move(R1.Trace));
+  Interpreter Second(*P, Ctx);
+  Second.setTraceArena(&Arena);
+  InterpResult R2 = Second.run();
+
+  ASSERT_TRUE(RPlain.Completed);
+  ASSERT_TRUE(R2.Completed);
+  EXPECT_EQ(R2.ExitValue, RPlain.ExitValue);
+  EXPECT_EQ(R2.MemoryChecksum, RPlain.MemoryChecksum);
+  expectSameTrace(R2.Trace, RPlain.Trace, Seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDiffProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(MemoryPageTable, PageBoundaryAddressesLandOnDistinctWords) {
+  Memory M;
+  // Last word of page 0, first word of page 1, and a far page.
+  uint64_t A = Memory::PageBytes - 8;
+  uint64_t B = Memory::PageBytes;
+  uint64_t C = 37 * Memory::PageBytes + 128;
+  M.storeWord(A, 111);
+  M.storeWord(B, 222);
+  M.storeWord(C, 333);
+  EXPECT_EQ(M.loadWord(A), 111);
+  EXPECT_EQ(M.loadWord(B), 222);
+  EXPECT_EQ(M.loadWord(C), 333);
+  // Neighbors within the same pages stay zero-initialized.
+  EXPECT_EQ(M.loadWord(A - 8), 0);
+  EXPECT_EQ(M.loadWord(B + 8), 0);
+  EXPECT_EQ(M.loadWord(C - 8), 0);
+}
+
+TEST(MemoryPageTable, ManyPagesSurviveTableGrowth) {
+  // Enough distinct pages to force several open-addressing rehashes.
+  Memory M;
+  for (uint64_t I = 0; I < 300; ++I)
+    M.storeWord(I * Memory::PageBytes + 8 * (I % 16),
+                static_cast<int64_t>(I + 1));
+  for (uint64_t I = 0; I < 300; ++I)
+    EXPECT_EQ(M.loadWord(I * Memory::PageBytes + 8 * (I % 16)),
+              static_cast<int64_t>(I + 1));
+}
+
+TEST(MemoryPageTable, ClearInvalidatesLastPageCache) {
+  Memory M;
+  M.storeWord(64, 7);
+  EXPECT_EQ(M.loadWord(64), 7); // Primes the last-page cache.
+  M.clear();
+  EXPECT_EQ(M.loadWord(64), 0); // Must not read the stale cached page.
+  M.storeWord(64, 9);           // Must create a fresh page, not write the
+  EXPECT_EQ(M.loadWord(64), 9); // old (freed) one.
+  EXPECT_EQ(M.checksum(), [] {
+    Memory N;
+    N.storeWord(64, 9);
+    return N.checksum();
+  }());
+}
+
+TEST(MemoryPageTable, ChecksumIsIndependentOfWriteOrder) {
+  // Same final image built in three different page/word orders.
+  std::vector<std::pair<uint64_t, int64_t>> Writes;
+  for (uint64_t I = 0; I < 40; ++I)
+    Writes.push_back({(I % 7) * Memory::PageBytes + 8 * (I * 13 % 50),
+                      static_cast<int64_t>(I * 1000003)});
+
+  Memory Fwd, Rev, Twice;
+  for (const auto &[A, V] : Writes)
+    Fwd.storeWord(A, V);
+  for (auto It = Writes.rbegin(); It != Writes.rend(); ++It)
+    Rev.storeWord(It->first, It->second);
+  for (const auto &[A, V] : Writes) // Overwrites must not change the digest.
+    Twice.storeWord(A, 0);
+  for (const auto &[A, V] : Writes)
+    Twice.storeWord(A, V);
+
+  // The reversed build ends with Writes[0]'s value at any aliased address;
+  // rebuild forward-last to compare like with like.
+  Memory Fwd2;
+  for (const auto &[A, V] : Writes)
+    Fwd2.storeWord(A, V);
+  EXPECT_EQ(Fwd.checksum(), Fwd2.checksum());
+  EXPECT_EQ(Fwd.checksum(), Twice.checksum());
+  EXPECT_NE(Fwd.checksum(), Memory().checksum());
+}
+
+TEST(PageMapTest, ForEachSortedVisitsInIdOrder) {
+  PageMap<int> PM;
+  for (uint64_t Id : {42ull, 3ull, 17ull, 1000000007ull, 0ull})
+    PM.getOrCreate(Id) = static_cast<int>(Id % 97);
+  std::vector<uint64_t> Ids;
+  PM.forEachSorted([&](uint64_t Id, const int &V) {
+    EXPECT_EQ(V, static_cast<int>(Id % 97));
+    Ids.push_back(Id);
+  });
+  ASSERT_EQ(Ids.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(Ids.begin(), Ids.end()));
+  EXPECT_EQ(PM.lookup(42ull) != nullptr, true);
+  EXPECT_EQ(PM.lookup(43ull), nullptr);
+}
+
+TEST(DepProfilerShadow, PagesAreReusedAcrossRegionInstances) {
+  DepProfiler DP;
+  auto Store = [&](uint64_t Addr, uint32_t Id) {
+    DynInst DI;
+    DI.Op = Opcode::Store;
+    DI.StaticId = Id;
+    DI.Addr = Addr;
+    DP.onDynInst(DI, /*InRegion=*/true, /*EpochIndex=*/0);
+  };
+  auto Load = [&](uint64_t Addr, uint32_t Id, uint64_t Epoch) {
+    DynInst DI;
+    DI.Op = Opcode::Load;
+    DI.StaticId = Id;
+    DI.Addr = Addr;
+    DP.onDynInst(DI, /*InRegion=*/true, Epoch);
+  };
+
+  // Many region instances over the same two pages: the shadow footprint
+  // must not grow with the instance count (epoch-floor invalidation, no
+  // clearing, page reuse).
+  for (unsigned Inst = 0; Inst < 50; ++Inst) {
+    DP.onRegionBegin(Inst);
+    DP.onEpochBegin(0);
+    Store(0x100, 1);
+    Store(0x10000 + 0x100, 2); // Second page.
+    DP.onEpochBegin(1);
+    Load(0x100, 3, 1);
+    Load(0x10000 + 0x100, 4, 1);
+    DP.onRegionEnd();
+  }
+  EXPECT_EQ(DP.numShadowPages(), 2u);
+
+  DepProfile P = DP.takeProfile();
+  EXPECT_EQ(P.TotalEpochs, 100u);
+  ASSERT_EQ(P.Pairs.size(), 2u);
+  for (const auto &[Key, S] : P.Pairs) {
+    EXPECT_EQ(S.Count, 50u);          // One hit per instance.
+    EXPECT_EQ(S.EpochsWithDep, 50u);  // One consumer epoch per instance.
+    EXPECT_EQ(S.Distance1Count, 50u); // Always distance 1.
+  }
+}
+
+TEST(DepProfilerShadow, StaleWritersFromPriorInstancesAreDead) {
+  DepProfiler DP;
+  DynInst St;
+  St.Op = Opcode::Store;
+  St.StaticId = 1;
+  St.Addr = 0x200;
+  DynInst Ld;
+  Ld.Op = Opcode::Load;
+  Ld.StaticId = 2;
+  Ld.Addr = 0x200;
+
+  // Instance 0 writes the word; instance 1 only reads it. The stale shadow
+  // entry must not produce a cross-instance dependence.
+  DP.onRegionBegin(0);
+  DP.onEpochBegin(0);
+  DP.onDynInst(St, true, 0);
+  DP.onRegionEnd();
+  DP.onRegionBegin(1);
+  DP.onEpochBegin(0);
+  DP.onEpochBegin(1);
+  DP.onDynInst(Ld, true, 1);
+  DP.onRegionEnd();
+
+  DepProfile P = DP.takeProfile();
+  EXPECT_TRUE(P.Pairs.empty());
+  EXPECT_TRUE(P.Loads.empty());
+}

@@ -24,102 +24,13 @@
 #include "support/Random.h"
 #include "workloads/KernelCommon.h"
 
+#include "RandomProgram.h"
+
 #include <gtest/gtest.h>
 
 using namespace specsync;
 
 namespace {
-
-/// Generates a random but well-formed region-loop program.
-std::unique_ptr<Program> makeRandomProgram(uint64_t Seed) {
-  Random Rng(Seed);
-  auto P = std::make_unique<Program>();
-  P->setRandSeed(Seed * 977 + 3);
-
-  unsigned NumShared = 1 + static_cast<unsigned>(Rng.nextBelow(3));
-  std::vector<uint64_t> Shared;
-  for (unsigned I = 0; I < NumShared; ++I)
-    Shared.push_back(P->addGlobal("shared" + std::to_string(I), 8));
-  uint64_t Priv = P->addGlobal("priv", 64 * 8);
-
-  // Optional helper that touches one shared word (exercises cloning).
-  Function *Helper = nullptr;
-  if (Rng.nextPercent(60)) {
-    Helper = &P->addFunction("helper", 1);
-    IRBuilder B(*P);
-    BasicBlock &E = Helper->addBlock("e");
-    B.setInsertPoint(Helper, &E);
-    Reg V = B.emitLoad(Shared[0]);
-    B.emitStore(Shared[0], B.emitAdd(V, B.param(0)));
-    B.emitRet(V);
-  }
-
-  Function &Main = P->addFunction("main", 0);
-  IRBuilder B(*P);
-  BasicBlock &Entry = Main.addBlock("entry");
-  B.setInsertPoint(&Main, &Entry);
-  for (uint64_t G : Shared)
-    B.emitStore(G, static_cast<int64_t>(Rng.nextBelow(100)));
-
-  int64_t Epochs = 30 + static_cast<int64_t>(Rng.nextBelow(40));
-  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
-  {
-    Reg R = B.emitRand();
-
-    // A few random shared accesses with random conditionality.
-    for (uint64_t G : Shared) {
-      if (Rng.nextPercent(70)) {
-        Reg V = B.emitLoad(G);
-        if (Rng.nextPercent(60)) {
-          // Conditional store via a diamond.
-          BasicBlock *Yes = &Main.addBlock("yes" + std::to_string(G));
-          BasicBlock *No = &Main.addBlock("no" + std::to_string(G));
-          BasicBlock *Join = &Main.addBlock("join" + std::to_string(G));
-          Reg Cond = emitPercentFlag(
-              B, R, static_cast<unsigned>(Rng.nextBelow(20)),
-              10 + static_cast<unsigned>(Rng.nextBelow(80)));
-          B.emitCondBr(Cond, *Yes, *No);
-          B.setInsertPoint(&Main, Yes);
-          B.emitStore(G, B.emitAdd(V, 1));
-          B.emitBr(*Join);
-          B.setInsertPoint(&Main, No);
-          B.emitStore(Priv, V);
-          B.emitBr(*Join);
-          B.setInsertPoint(&Main, Join);
-        } else if (Rng.nextPercent(50)) {
-          B.emitStore(G, B.emitXor(V, R));
-        }
-      }
-    }
-
-    if (Helper && Rng.nextPercent(70))
-      B.emitCall(*Helper, {L.IndVar});
-
-    // Variable-trip inner loop of private work.
-    if (Rng.nextPercent(50)) {
-      Reg Trip = B.emitAdd(B.emitAnd(R, 3), 1);
-      LoopBlocks Inner = makeCountedLoop(B, Trip, "inner");
-      Reg T = emitAluWork(B, 4 + static_cast<unsigned>(Rng.nextBelow(8)),
-                          Inner.IndVar);
-      B.emitStore(Priv + 8 * (Seed % 8), T);
-      closeLoop(B, Inner);
-    }
-
-    Reg W = emitAluWork(B, 5 + static_cast<unsigned>(Rng.nextBelow(30)), R);
-    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(W, 63), 3), Priv), W);
-  }
-  closeLoop(B, L);
-
-  Reg Acc = B.emitConst(0);
-  for (uint64_t G : Shared)
-    Acc = B.emitXor(Acc, B.emitLoad(G));
-  B.emitRet(Acc);
-
-  P->setEntry(Main.getIndex());
-  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
-  P->assignIds();
-  return P;
-}
 
 struct Observed {
   int64_t ExitValue;
