@@ -57,10 +57,12 @@ inline void forEachBenchmark(
 }
 
 /// Per-binary observability wiring: parses --stats / --trace-out /
-/// --json-out (and their SPECSYNC_* environment fallbacks), activates the
-/// requested sinks for the binary's lifetime, collects mode results, and
-/// writes the JSON report at exit when one was requested. Declare one at
-/// the top of main().
+/// --events-out / --events-cap / --json-out (and their SPECSYNC_*
+/// environment fallbacks), activates the requested sinks for the binary's
+/// lifetime, collects mode results, and writes the JSON report (with a
+/// forensics block per mode when the event ledger was active) and the
+/// binary event ledger at exit when requested. Declare one at the top of
+/// main().
 class BenchSession {
 public:
   BenchSession(int argc, char **argv, std::string Title)

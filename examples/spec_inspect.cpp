@@ -1,0 +1,443 @@
+//===- examples/spec_inspect.cpp - Speculation forensics inspector --------===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Usage: spec_inspect [BENCHMARK] [MODE] [options]
+//        spec_inspect --events-in=FILE [options]
+//
+//   --events-in=FILE  analyze a recorded `--events-out` ledger instead of
+//                     running the pipeline (one report per recorded run)
+//   --run=SUBSTR      with --events-in, restrict to runs whose label
+//                     contains SUBSTR
+//   --top=K           rows in the violating-pair table (default 10)
+//   --width=N         issue width for slot math in --events-in mode
+//                     (default 4; live runs use the machine config)
+//   --flow-out=FILE   write a Chrome trace reconstructing the epoch
+//                     timeline from the ledger, with squash-causality
+//                     arrows from each cause record to the epochs it
+//                     squashed (open in Perfetto / chrome://tracing)
+//
+// The live mode (default GZIP_COMP, mode U) runs one benchmark x mode with
+// the event ledger on, prints the squash-attribution and critical-path
+// analyses, verifies that they reconcile exactly with the simulator's
+// aggregate counters, and cross-checks the top violating pairs against the
+// dependence profiler's frequent pairs (the paper's >5% sync candidates).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+#include "obs/CriticalPath.h"
+#include "obs/EventLog.h"
+#include "obs/ObsOptions.h"
+#include "obs/SquashAttribution.h"
+#include "obs/TraceLog.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace specsync;
+
+namespace {
+
+bool parseMode(const char *Name, ExecMode &Out) {
+  if (std::strlen(Name) != 1)
+    return false;
+  switch (Name[0]) {
+  case 'U': Out = ExecMode::U; return true;
+  case 'O': Out = ExecMode::O; return true;
+  case 'T': Out = ExecMode::T; return true;
+  case 'C': Out = ExecMode::C; return true;
+  case 'E': Out = ExecMode::E; return true;
+  case 'L': Out = ExecMode::L; return true;
+  case 'P': Out = ExecMode::P; return true;
+  case 'H': Out = ExecMode::H; return true;
+  case 'B': Out = ExecMode::B; return true;
+  default: return false;
+  }
+}
+
+std::string refStr(uint32_t Id, uint32_t Ctx) {
+  return std::to_string(Id) + ":" + std::to_string(Ctx);
+}
+
+/// Prints the two ledger analyses for one run slice.
+void printAnalyses(const obs::SquashAttributionResult &A,
+                   const obs::CriticalPathResult &C, size_t TopK) {
+  std::printf("top violating pairs (by wasted cycles):\n");
+  TextTable Pairs;
+  Pairs.setHeader({"store(id:ctx)", "load(id:ctx)", "violations",
+                   "epochs.squashed", "wasted.cycles", "addrs"});
+  for (const auto &[Key, P] : A.topPairs(TopK))
+    Pairs.addRow({refStr(std::get<0>(Key), std::get<1>(Key)),
+                  refStr(std::get<2>(Key), std::get<3>(Key)),
+                  std::to_string(P->Violations),
+                  std::to_string(P->EpochsSquashed),
+                  std::to_string(P->WastedCycles),
+                  std::to_string(P->AddrHeat.size())});
+  std::printf("%s\n", Pairs.render().c_str());
+
+  std::printf("squash causes:\n");
+  TextTable Causes;
+  Causes.setHeader({"cause", "count", "epochs.squashed", "wasted.cycles"});
+  uint64_t PairSquashed = 0, PairWasted = 0;
+  for (const auto &[Key, P] : A.Pairs) {
+    (void)Key;
+    PairSquashed += P.EpochsSquashed;
+    PairWasted += P.WastedCycles;
+  }
+  auto causeRow = [&](const char *Name, uint64_t Count,
+                      const obs::CauseSquashStats &S) {
+    Causes.addRow({Name, std::to_string(Count),
+                   std::to_string(S.EpochsSquashed),
+                   std::to_string(S.WastedCycles)});
+  };
+  Causes.addRow({"pair-violation", std::to_string(A.Violations),
+                 std::to_string(PairSquashed), std::to_string(PairWasted)});
+  causeRow("sab-violation", A.SabViolations, A.Sab);
+  causeRow("mispredict", A.PredictRestarts, A.Predict);
+  causeRow("corrupt-detected", A.CorruptionsDetected, A.Corrupt);
+  causeRow("spurious", A.SpuriousViolations, A.Spurious);
+  std::printf("%s\n", Causes.render().c_str());
+
+  uint64_t Committed = C.SyncBound + C.SquashBound + C.CommitBound + C.Busy;
+  auto pct = [&](uint64_t N) {
+    return Committed ? 100.0 * static_cast<double>(N) /
+                           static_cast<double>(Committed)
+                     : 0.0;
+  };
+  std::printf("epoch bounds (%llu committed): sync %llu (%s%%), squash %llu "
+              "(%s%%), commit %llu (%s%%), busy %llu (%s%%)\n",
+              static_cast<unsigned long long>(Committed),
+              static_cast<unsigned long long>(C.SyncBound),
+              TextTable::formatDouble(pct(C.SyncBound)).c_str(),
+              static_cast<unsigned long long>(C.SquashBound),
+              TextTable::formatDouble(pct(C.SquashBound)).c_str(),
+              static_cast<unsigned long long>(C.CommitBound),
+              TextTable::formatDouble(pct(C.CommitBound)).c_str(),
+              static_cast<unsigned long long>(C.Busy),
+              TextTable::formatDouble(pct(C.Busy)).c_str());
+  std::printf("longest stall chain: %llu epoch(s), %llu cycle(s), region "
+              "%u\n\n",
+              static_cast<unsigned long long>(C.MaxChainLen),
+              static_cast<unsigned long long>(C.MaxChainCycles),
+              static_cast<unsigned>(C.MaxChainRegion));
+
+  std::printf("worst stall chains per region instance:\n");
+  std::vector<const obs::RegionCriticalPath *> Worst;
+  for (const obs::RegionCriticalPath &R : C.Regions)
+    Worst.push_back(&R);
+  std::stable_sort(Worst.begin(), Worst.end(),
+                   [](const obs::RegionCriticalPath *L,
+                      const obs::RegionCriticalPath *R) {
+                     if (L->ChainCycles != R->ChainCycles)
+                       return L->ChainCycles > R->ChainCycles;
+                     return L->Region < R->Region;
+                   });
+  if (Worst.size() > 8)
+    Worst.resize(8);
+  TextTable Regions;
+  Regions.setHeader({"region", "epochs", "committed", "chain.len",
+                     "chain.cycles", "chain.end", "sync", "squash", "commit",
+                     "busy"});
+  for (const obs::RegionCriticalPath *R : Worst)
+    Regions.addRow({std::to_string(R->Region), std::to_string(R->NumEpochs),
+                    std::to_string(R->EpochsCommitted),
+                    std::to_string(R->ChainLen),
+                    std::to_string(R->ChainCycles),
+                    std::to_string(R->ChainEndEpoch),
+                    std::to_string(R->SyncBound),
+                    std::to_string(R->SquashBound),
+                    std::to_string(R->CommitBound),
+                    std::to_string(R->Busy)});
+  std::printf("%s\n", Regions.render().c_str());
+}
+
+/// Rebuilds a Chrome-trace epoch timeline from one run's ledger slice and
+/// overlays squash-causality flow arrows: one arrow per (cause record,
+/// squashed epoch attempt). Epochs map to tracks round-robin, mirroring
+/// the simulator's dispatch rule.
+void buildFlowTrace(obs::TraceLog &T, const std::vector<obs::SpecEvent> &Ev,
+                    unsigned NumCores, const std::string &RunName,
+                    uint64_t &NextFlowId) {
+  T.beginProcess(RunName);
+  uint32_t Pid = T.currentPid();
+  for (unsigned Core = 0; Core < NumCores; ++Core)
+    T.nameThread(Pid, Core, "core " + std::to_string(Core));
+
+  auto tid = [&](uint64_t Epoch) {
+    return static_cast<uint32_t>(Epoch % NumCores);
+  };
+
+  uint64_t Base = 0;          ///< Region instances laid out end to end.
+  uint64_t RegionSpan = 0;    ///< Largest cycle seen in this instance.
+  std::map<uint64_t, uint64_t> AttemptStart;
+  const obs::SpecEvent *Cause = nullptr; ///< Most recent squash cause.
+  uint64_t CauseFlow = 0;     ///< Flow id, allocated at the first squash.
+
+  for (const obs::SpecEvent &E : Ev) {
+    RegionSpan = std::max(RegionSpan, E.Cycle + E.Aux);
+    switch (E.kind()) {
+    case obs::EventKind::RegionBegin:
+      AttemptStart.clear();
+      Cause = nullptr;
+      break;
+    case obs::EventKind::RegionEnd:
+      Base += RegionSpan + 1;
+      RegionSpan = 0;
+      break;
+    case obs::EventKind::EpochStart:
+    case obs::EventKind::EpochRestart:
+      AttemptStart[E.Epoch] = E.Cycle;
+      break;
+    case obs::EventKind::EpochCommit: {
+      uint64_t Start = AttemptStart[E.Epoch];
+      uint64_t Finish = std::max(E.Addr, Start);
+      T.complete(tid(E.Epoch), "epoch", "spec", Base + Start, Finish - Start,
+                 "epoch", static_cast<int64_t>(E.Epoch));
+      if (E.Aux > E.Cycle)
+        T.complete(tid(E.Epoch), "commit", "spec", Base + E.Cycle,
+                   E.Aux - E.Cycle, "epoch", static_cast<int64_t>(E.Epoch));
+      break;
+    }
+    case obs::EventKind::EpochSquash: {
+      uint64_t Start = E.Cycle > E.Aux ? E.Cycle - E.Aux : 0;
+      T.complete(tid(E.Epoch), "squashed", "spec", Base + Start, E.Aux,
+                 "epoch", static_cast<int64_t>(E.Epoch));
+      if (Cause) {
+        // Arrow from the cause record to every epoch it squashed. The
+        // start endpoint is re-emitted per arrow under a fresh id so each
+        // arrow binds unambiguously.
+        CauseFlow = ++NextFlowId;
+        T.flow(tid(Cause->Epoch), "squash-cause", "spec",
+               Base + Cause->Cycle, CauseFlow, /*Start=*/true);
+        T.flow(tid(E.Epoch), "squash-cause", "spec", Base + E.Cycle,
+               CauseFlow, /*Start=*/false, "epoch",
+               static_cast<int64_t>(E.Epoch));
+      }
+      break;
+    }
+    case obs::EventKind::WaitStall:
+      T.complete(tid(E.Epoch), "wait", "spec", Base + E.Cycle, E.Aux,
+                 "pred", static_cast<int64_t>(E.OtherEpoch));
+      break;
+    case obs::EventKind::Violation:
+      T.instant(tid(E.Epoch), "violation", "spec", Base + E.Cycle, "victim",
+                static_cast<int64_t>(E.OtherEpoch));
+      Cause = &E;
+      break;
+    case obs::EventKind::SabViolation:
+      T.instant(tid(E.Epoch), "sab-violation", "spec", Base + E.Cycle,
+                "victim", static_cast<int64_t>(E.OtherEpoch));
+      Cause = &E;
+      break;
+    case obs::EventKind::PredictRestart:
+      T.instant(tid(E.Epoch), "mispredict", "spec", Base + E.Cycle);
+      Cause = &E;
+      break;
+    case obs::EventKind::CorruptDetected:
+      T.instant(tid(E.Epoch), "corrupt", "spec", Base + E.Cycle);
+      Cause = &E;
+      break;
+    case obs::EventKind::SpuriousViolation:
+      T.instant(tid(E.Epoch), "spurious", "spec", Base + E.Cycle);
+      Cause = &E;
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+int inspectFile(const char *Path, const char *RunFilter, size_t TopK,
+                unsigned Width, const char *FlowOut) {
+  obs::EventFile File;
+  std::string Error;
+  if (!obs::EventLog::read(Path, File, &Error)) {
+    std::fprintf(stderr, "spec_inspect: %s: %s\n", Path, Error.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu event(s), %llu dropped, %zu run(s)\n\n", Path,
+              File.Events.size(),
+              static_cast<unsigned long long>(File.Dropped),
+              File.Runs.size());
+
+  obs::TraceLog Flow;
+  uint64_t NextFlowId = 0;
+  if (FlowOut)
+    Flow.start();
+
+  bool Matched = false;
+  for (size_t R = 0; R < File.Runs.size(); ++R) {
+    const obs::RunMark &Run = File.Runs[R];
+    if (RunFilter && Run.Label.find(RunFilter) == std::string::npos)
+      continue;
+    Matched = true;
+    uint64_t End = R + 1 < File.Runs.size() ? File.Runs[R + 1].Seq
+                                            : File.FirstSeq +
+                                                  File.Events.size();
+    bool Truncated = Run.Seq < File.FirstSeq;
+    uint64_t Begin = Truncated ? File.FirstSeq : Run.Seq;
+    std::vector<obs::SpecEvent> Slice(
+        File.Events.begin() + static_cast<size_t>(Begin - File.FirstSeq),
+        File.Events.begin() + static_cast<size_t>(End - File.FirstSeq));
+    std::printf("=== %s ===%s\n", Run.Label.c_str(),
+                Truncated ? " (oldest events recycled; totals partial)"
+                          : "");
+    std::printf("events: %zu recorded\n\n", Slice.size());
+    printAnalyses(attributeSquashes(Slice, Width),
+                  obs::analyzeCriticalPath(Slice), TopK);
+    if (FlowOut)
+      buildFlowTrace(Flow, Slice, MachineConfig().NumCores, Run.Label,
+                     NextFlowId);
+  }
+  if (!Matched) {
+    std::fprintf(stderr, "spec_inspect: no run matches '%s'; recorded:\n",
+                 RunFilter ? RunFilter : "");
+    for (const obs::RunMark &Run : File.Runs)
+      std::fprintf(stderr, "  %s\n", Run.Label.c_str());
+    return 1;
+  }
+  if (FlowOut) {
+    if (!Flow.writeChromeJson(FlowOut)) {
+      std::fprintf(stderr, "spec_inspect: cannot write trace '%s'\n",
+                   FlowOut);
+      return 1;
+    }
+    std::printf("wrote causality trace to %s\n", FlowOut);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  obs::ObsSession Session(obs::parseObsArgs(argc, argv));
+  argc = obs::stripObsArgs(argc, argv);
+
+  const char *Name = nullptr;
+  const char *ModeStr = nullptr;
+  const char *EventsIn = nullptr;
+  const char *RunFilter = nullptr;
+  const char *FlowOut = nullptr;
+  size_t TopK = 10;
+  unsigned Width = 4;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--events-in=", 12) == 0)
+      EventsIn = argv[I] + 12;
+    else if (std::strncmp(argv[I], "--run=", 6) == 0)
+      RunFilter = argv[I] + 6;
+    else if (std::strncmp(argv[I], "--top=", 6) == 0)
+      TopK = std::strtoul(argv[I] + 6, nullptr, 10);
+    else if (std::strncmp(argv[I], "--width=", 8) == 0)
+      Width = static_cast<unsigned>(std::strtoul(argv[I] + 8, nullptr, 10));
+    else if (std::strncmp(argv[I], "--flow-out=", 11) == 0)
+      FlowOut = argv[I] + 11;
+    else if (!Name)
+      Name = argv[I];
+    else if (!ModeStr)
+      ModeStr = argv[I];
+  }
+
+  if (EventsIn)
+    return inspectFile(EventsIn, RunFilter, TopK, Width, FlowOut);
+
+  if (!Name)
+    Name = "GZIP_COMP";
+  ExecMode Mode = ExecMode::U;
+  if (ModeStr && !parseMode(ModeStr, Mode)) {
+    std::fprintf(stderr, "spec_inspect: unknown mode '%s' (U O T C E L P H "
+                         "B)\n",
+                 ModeStr);
+    return 1;
+  }
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown benchmark '%s'; available:", Name);
+    for (const Workload &Each : allWorkloads())
+      std::fprintf(stderr, " %s", Each.Name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  // The inspector needs the ledger regardless of --events-out; start the
+  // process ledger itself when the session did not.
+  obs::EventLog &Ev = obs::EventLog::process();
+  if (!Ev.active())
+    Ev.start();
+
+  MachineConfig Config;
+  BenchmarkPipeline Pipeline(*W, Config);
+  Pipeline.prepare();
+  uint64_t StartSeq = Ev.nextSeq();
+  ModeRunResult R = Pipeline.run(Mode);
+  if (!R.Forensics) {
+    std::fprintf(stderr, "spec_inspect: run recorded no forensics\n");
+    return 1;
+  }
+  const ForensicsResult &F = *R.Forensics;
+
+  std::printf("=== %s / %s ===\n", W->Name.c_str(), modeName(Mode));
+  std::printf("events: %llu recorded, %llu dropped\n",
+              static_cast<unsigned long long>(F.EventCount),
+              static_cast<unsigned long long>(F.DroppedEvents));
+  std::string Why;
+  bool Ok = F.reconciles(&Why);
+  std::printf("reconciles with simulator counters: %s%s%s\n\n",
+              Ok ? "yes" : "NO", Ok ? "" : " — ", Ok ? "" : Why.c_str());
+
+  printAnalyses(F.Attribution, F.CriticalPath, TopK);
+
+  // Cross-check against the dependence profiler: every pair the profiler
+  // flags above the paper's 5% sync threshold, with the rank the ledger
+  // assigns it. In mode U (no memory sync) the dominant ranks must agree.
+  const DepProfile &DP = Pipeline.refProfile();
+  auto Ranked = F.Attribution.topPairs(F.Attribution.Pairs.size());
+  std::printf("dependence-profiler cross-check (ref input, pairs above "
+              "5%%):\n");
+  TextTable Cross;
+  Cross.setHeader({"store(id:ctx)", "load(id:ctx)", "freq%",
+                   "ledger.violations", "ledger.rank"});
+  for (const DepPairStat &P : DP.pairsAboveThreshold(5.0)) {
+    obs::ViolationPairKey Key{P.Store.InstId, P.Store.Context,
+                              P.Load.InstId, P.Load.Context};
+    size_t Rank = 0;
+    for (size_t I = 0; I < Ranked.size(); ++I)
+      if (Ranked[I].first == Key) {
+        Rank = I + 1;
+        break;
+      }
+    auto It = F.Attribution.Pairs.find(Key);
+    Cross.addRow(
+        {refStr(P.Store.InstId, P.Store.Context),
+         refStr(P.Load.InstId, P.Load.Context),
+         TextTable::formatDouble(DP.pairFrequencyPercent(P)),
+         std::to_string(It == F.Attribution.Pairs.end()
+                            ? 0
+                            : It->second.Violations),
+         Rank ? std::to_string(Rank) : "-"});
+  }
+  std::printf("%s", Cross.render().c_str());
+
+  if (FlowOut) {
+    obs::TraceLog Flow;
+    Flow.start();
+    uint64_t NextFlowId = 0;
+    std::vector<obs::SpecEvent> Slice = Ev.eventsSince(StartSeq);
+    buildFlowTrace(Flow, Slice, Config.NumCores,
+                   W->Name + "/" + modeName(Mode), NextFlowId);
+    if (!Flow.writeChromeJson(FlowOut)) {
+      std::fprintf(stderr, "spec_inspect: cannot write trace '%s'\n",
+                   FlowOut);
+      return 1;
+    }
+    std::printf("\nwrote causality trace to %s\n", FlowOut);
+  }
+  return 0;
+}

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Bench-history ledger: track gauge values across runs and gate regressions.
+
+Every bench binary writes a JSON report (--json-out, schema documented in
+docs/REPORT_SCHEMA.md) whose `stats` block carries throughput gauges such
+as `interp.ns_per_inst` and the `engine.*.ps_per_inst` family. This tool
+maintains an append-only JSONL ledger of those gauges so performance can
+be tracked across commits, and compares the latest figures against a
+pinned baseline with per-gauge tolerances.
+
+    # Record a run (microbench_engine or table2_speedups --stats):
+    scripts/bench_history.py append build/BENCH_engine.json
+
+    # Gate: fail (exit 1) when any tracked gauge regressed past its
+    # tolerance relative to bench/history/baseline.json:
+    scripts/bench_history.py compare --report build/BENCH_engine.json
+
+    # Re-pin the baseline after an intentional change (review the diff
+    # like any golden update):
+    scripts/bench_history.py update-baseline --report build/BENCH_engine.json
+
+All gauges tracked here are lower-is-better times; a regression is an
+increase. Only the Python standard library is used.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_HISTORY = os.path.join(REPO, "bench", "history", "BENCH_history.jsonl")
+DEFAULT_BASELINE = os.path.join(REPO, "bench", "history", "baseline.json")
+
+# Default per-gauge tolerance (percent increase allowed) when pinning a
+# fresh baseline. The two named gauges are the CI gate from the engine
+# fast-path work; the engine means are noisier end-to-end figures.
+DEFAULT_TOLERANCES = [
+    ("interp.ns_per_inst", 15.0),
+    ("profile.ns_per_access", 15.0),
+    ("engine.mean.interp.ps_per_inst", 50.0),
+    ("engine.mean.prof.ps_per_inst", 50.0),
+    ("engine.mean.sim.ps_per_inst", 50.0),
+]
+
+
+def git_head():
+    """Returns (sha, dirty) for the repo, or (None, False) outside git."""
+    try:
+        sha = subprocess.run(
+            ["git", "-C", REPO, "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "-C", REPO, "status", "--porcelain"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        return sha, bool(status.strip())
+    except (OSError, subprocess.CalledProcessError):
+        return None, False
+
+
+def extract_gauges(report):
+    """All gauges from a report's stats block: {"value": v, "max": m}."""
+    stats = report.get("stats", {})
+    return {
+        name: entry["value"]
+        for name, entry in stats.items()
+        if isinstance(entry, dict) and "value" in entry and "max" in entry
+    }
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    gauges = extract_gauges(report)
+    if not gauges:
+        sys.exit(f"error: {path} has no gauges — was it written with --stats?")
+    return report, gauges
+
+
+def read_history(path):
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                print(f"warning: {path}:{line_no}: unparseable line skipped",
+                      file=sys.stderr)
+    return entries
+
+
+def cmd_append(args):
+    sha, dirty = git_head()
+    os.makedirs(os.path.dirname(args.history), exist_ok=True)
+    with open(args.history, "a", encoding="utf-8") as out:
+        for path in args.reports:
+            report, gauges = load_report(path)
+            entry = {
+                "timestamp": datetime.datetime.now(
+                    datetime.timezone.utc).isoformat(timespec="seconds"),
+                "git_sha": sha,
+                "dirty": dirty,
+                "report": report.get("report", ""),
+                "source": os.path.basename(path),
+                "gauges": gauges,
+            }
+            if args.note:
+                entry["note"] = args.note
+            out.write(json.dumps(entry, sort_keys=True) + "\n")
+            print(f"appended {len(gauges)} gauge(s) from {path} "
+                  f"to {os.path.relpath(args.history, REPO)}")
+    return 0
+
+
+def latest_gauges(args):
+    """Gauges to compare: --report wins, else the newest history entry."""
+    if args.report:
+        _, gauges = load_report(args.report)
+        return gauges, args.report
+    entries = read_history(args.history)
+    if not entries:
+        sys.exit(f"error: no --report given and {args.history} is empty")
+    entry = entries[-1]
+    label = f"{args.history} (entry {len(entries)}, {entry.get('timestamp')})"
+    return entry.get("gauges", {}), label
+
+
+def cmd_compare(args):
+    if not os.path.exists(args.baseline):
+        sys.exit(f"error: baseline {args.baseline} does not exist "
+                 "(pin one with update-baseline)")
+    with open(args.baseline, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+    gauges, label = latest_gauges(args)
+
+    failures = []
+    missing = []
+    print(f"comparing {label}\n  against {os.path.relpath(args.baseline, REPO)}")
+    for name, pin in sorted(baseline.get("gauges", {}).items()):
+        base = float(pin["value"])
+        tol = float(pin.get("tolerance_pct", args.tolerance))
+        if name not in gauges:
+            missing.append(name)
+            continue
+        new = float(gauges[name])
+        delta = 0.0 if base == 0 else (new - base) / base * 100.0
+        verdict = "ok"
+        if delta > tol:
+            verdict = "REGRESSION"
+            failures.append(name)
+        elif delta < -tol:
+            verdict = "improved (consider re-pinning the baseline)"
+        print(f"  {name}: {base:g} -> {new:g} "
+              f"({delta:+.1f}%, tolerance {tol:g}%) {verdict}")
+
+    for name in missing:
+        print(f"  {name}: not present in this run", file=sys.stderr)
+    if missing and args.strict:
+        failures.extend(missing)
+    if failures:
+        print(f"FAIL: {len(failures)} gauge(s) out of tolerance: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print("all tracked gauges within tolerance")
+    return 0
+
+
+def cmd_update_baseline(args):
+    gauges, label = latest_gauges(args)
+    old_tols = {}
+    if os.path.exists(args.baseline):
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            old = json.load(f)
+        old_tols = {n: p.get("tolerance_pct")
+                    for n, p in old.get("gauges", {}).items()}
+
+    pinned = {}
+    for name, default_tol in DEFAULT_TOLERANCES:
+        if name not in gauges:
+            print(f"warning: tracked gauge {name} absent from {label}",
+                  file=sys.stderr)
+            continue
+        tol = old_tols.get(name)
+        pinned[name] = {
+            "value": gauges[name],
+            "tolerance_pct": tol if tol is not None else default_tol,
+        }
+    if not pinned:
+        sys.exit("error: none of the tracked gauges present; nothing to pin")
+
+    sha, _ = git_head()
+    doc = {
+        "pinned_at": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": sha,
+        "source": label,
+        "gauges": pinned,
+    }
+    os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+    with open(args.baseline, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"pinned {len(pinned)} gauge(s) to "
+          f"{os.path.relpath(args.baseline, REPO)}")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--history", default=DEFAULT_HISTORY,
+                       help="JSONL ledger path (default: bench/history/)")
+        p.add_argument("--baseline", default=DEFAULT_BASELINE,
+                       help="pinned baseline path (default: bench/history/)")
+
+    p_append = sub.add_parser("append", help="record a report's gauges")
+    p_append.add_argument("reports", nargs="+", metavar="REPORT.json")
+    p_append.add_argument("--note", default="", help="free-form annotation")
+    common(p_append)
+    p_append.set_defaults(func=cmd_append)
+
+    p_compare = sub.add_parser(
+        "compare", help="gate the newest figures against the baseline")
+    p_compare.add_argument("--report", help="compare this report instead of "
+                           "the newest history entry")
+    p_compare.add_argument("--tolerance", type=float, default=15.0,
+                           help="fallback tolerance %% for gauges whose "
+                           "baseline pin has none (default 15)")
+    p_compare.add_argument("--strict", action="store_true",
+                           help="baseline gauges missing from the run fail")
+    common(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_pin = sub.add_parser(
+        "update-baseline", help="re-pin the baseline from the newest figures")
+    p_pin.add_argument("--report", help="pin from this report instead of "
+                       "the newest history entry")
+    common(p_pin)
+    p_pin.set_defaults(func=cmd_update_baseline)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -23,6 +23,8 @@ goldens="$repo/tests/goldens"
   > "$goldens/table2_small.out"
 "$build/bench/static_agreement" --workloads=GZIP_COMP,STATIC_DEMO \
   > "$goldens/static_agreement_small.out"
+"$build/examples/spec_inspect" GZIP_COMP U \
+  > "$goldens/spec_inspect_gzip.out"
 
 echo "regenerated:"
 git -C "$repo" status --short tests/goldens

@@ -6,7 +6,51 @@
 
 #include "harness/Experiment.h"
 
+#include <sstream>
+
 using namespace specsync;
+
+bool ForensicsResult::reconciles(std::string *Why) const {
+  auto fail = [&](const char *What, uint64_t Ledger, uint64_t Sim) {
+    if (Why) {
+      std::ostringstream OS;
+      OS << What << ": ledger " << Ledger << " != sim " << Sim;
+      *Why = OS.str();
+    }
+    return false;
+  };
+  if (DroppedEvents != 0)
+    return fail("dropped", DroppedEvents, 0);
+
+  const obs::SquashAttributionResult &A = Attribution;
+  if (A.Violations != RawSim.Violations)
+    return fail("violations", A.Violations, RawSim.Violations);
+  if (A.SabViolations != RawSim.SabViolations)
+    return fail("sab_violations", A.SabViolations, RawSim.SabViolations);
+  if (A.PredictRestarts != RawSim.PredictRestarts)
+    return fail("predict_restarts", A.PredictRestarts,
+                RawSim.PredictRestarts);
+  if (A.CorruptionsDetected != RawSim.CorruptionsDetected)
+    return fail("corruptions_detected", A.CorruptionsDetected,
+                RawSim.CorruptionsDetected);
+  if (A.EpochsCommitted != RawSim.EpochsCommitted)
+    return fail("epochs_committed", A.EpochsCommitted,
+                RawSim.EpochsCommitted);
+  // Spurious squashes have no dedicated sim counter; injector rolls bound
+  // them from above (a roll is skipped when the victim is absent or
+  // protected).
+  if (A.SpuriousViolations > RawSim.Faults.SpuriousViolations)
+    return fail("spurious_violations", A.SpuriousViolations,
+                RawSim.Faults.SpuriousViolations);
+  if (A.FailSlots != RawSim.Slots.Fail)
+    return fail("fail_slots", A.FailSlots, RawSim.Slots.Fail);
+  if (A.SyncScalarSlots != RawSim.Slots.SyncScalar)
+    return fail("sync_scalar_slots", A.SyncScalarSlots,
+                RawSim.Slots.SyncScalar);
+  if (A.SyncMemSlots != RawSim.Slots.SyncMem)
+    return fail("sync_mem_slots", A.SyncMemSlots, RawSim.Slots.SyncMem);
+  return true;
+}
 
 const char *specsync::modeName(ExecMode Mode) {
   switch (Mode) {

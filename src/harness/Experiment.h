@@ -14,8 +14,11 @@
 #ifndef SPECSYNC_HARNESS_EXPERIMENT_H
 #define SPECSYNC_HARNESS_EXPERIMENT_H
 
+#include "obs/CriticalPath.h"
+#include "obs/SquashAttribution.h"
 #include "sim/TLSSimulator.h"
 
+#include <memory>
 #include <string>
 
 namespace specsync {
@@ -33,6 +36,24 @@ enum class ExecMode {
 };
 
 const char *modeName(ExecMode Mode);
+
+/// Event-ledger analyses for one run (benchmark x mode), produced by the
+/// pipeline when the EventLog is active. RawSim accumulates the simulator's
+/// per-region attempt results *before* degraded regions are replaced by the
+/// sequential fallback — the ledger recorded the parallel attempts, so that
+/// is the accumulation the stream must reconcile with.
+struct ForensicsResult {
+  uint64_t EventCount = 0;     ///< Live records of this run's slice.
+  uint64_t DroppedEvents = 0;  ///< Records recycled out of the ring mid-run.
+  obs::SquashAttributionResult Attribution;
+  obs::CriticalPathResult CriticalPath;
+  TLSSimResult RawSim;
+
+  /// Exact reconciliation of the attribution totals against RawSim's
+  /// aggregate counters. Only meaningful on a complete stream: with
+  /// DroppedEvents != 0 this returns false with \p Why = "dropped".
+  bool reconciles(std::string *Why = nullptr) const;
+};
 
 /// One mode's measurement for one benchmark.
 struct ModeRunResult {
@@ -62,6 +83,11 @@ struct ModeRunResult {
   bool FaultsActive = false;    ///< A fault plan was injected this run.
   uint64_t FaultSeed = 0;       ///< Fault-plan seed (replay handle).
   uint64_t DegradedRegions = 0; ///< Regions re-run via the sequential path.
+
+  /// Ledger analyses; null unless the EventLog was active during the run
+  /// (shared_ptr keeps ModeRunResult cheaply copyable through the
+  /// experiment runner's capture/replay plumbing).
+  std::shared_ptr<const ForensicsResult> Forensics;
 };
 
 /// One recorded pipeline run call — the experiment runner's capture/replay

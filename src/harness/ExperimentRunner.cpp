@@ -130,9 +130,11 @@ std::unique_ptr<ResultCache> specsync::makeSessionResultCache() {
   const ExperimentOptions &Opts = sessionExperimentOptions();
   if (Opts.CacheDir.empty())
     return nullptr;
-  if (obs::statsEnabled() || obs::TraceLog::process().active()) {
-    std::fprintf(stderr, "cache: disabled while --stats or --trace-out "
-                         "is active (cached runs record nothing)\n");
+  if (obs::statsEnabled() || obs::TraceLog::process().active() ||
+      obs::EventLog::process().active()) {
+    std::fprintf(stderr, "cache: disabled while --stats, --trace-out or "
+                         "--events-out is active (cached runs record "
+                         "nothing)\n");
     return nullptr;
   }
   return std::make_unique<ResultCache>(Opts.CacheDir);
@@ -150,12 +152,15 @@ void specsync::reportCacheStats(const ResultCache *Cache) {
 }
 
 CellObs::CellObs() {
-  // Mirror the process trace sink: a cell records events only if the
-  // process is recording, with the same ring capacity so drop accounting
-  // matches a serial run.
+  // Mirror the process sinks: a cell records events only if the process
+  // is recording, with the same ring capacity so drop accounting matches
+  // a serial run.
   obs::TraceLog &P = obs::TraceLog::process();
   if (P.active())
     Trace.start(P.capacity());
+  obs::EventLog &E = obs::EventLog::process();
+  if (E.active())
+    Events.start(E.capacity());
 }
 
 void CellObs::mergeIntoProcess() {
@@ -163,6 +168,10 @@ void CellObs::mergeIntoProcess() {
   if (Trace.active()) {
     Trace.stop();
     obs::TraceLog::process().mergeFrom(Trace);
+  }
+  if (Events.active()) {
+    Events.stop();
+    obs::EventLog::process().mergeFrom(Events);
   }
 }
 

@@ -36,6 +36,7 @@
 
 #include "analysis/StaticAnalysis.h"
 #include "harness/Pipeline.h"
+#include "obs/EventLog.h"
 #include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
 #include "sim/FaultInjector.h"
@@ -96,24 +97,29 @@ public:
 
   obs::StatRegistry &stats() { return Stats; }
   obs::TraceLog &trace() { return Trace; }
+  obs::EventLog &events() { return Events; }
 
-  /// Folds this cell's stats and trace into the process sinks. Call in
-  /// canonical grid order, after synchronizing with the cell's worker.
+  /// Folds this cell's stats, trace, and event ledger into the process
+  /// sinks. Call in canonical grid order, after synchronizing with the
+  /// cell's worker.
   void mergeIntoProcess();
 
 private:
   obs::StatRegistry Stats;
   obs::TraceLog Trace;
+  obs::EventLog Events;
 };
 
 /// RAII: while alive, the calling thread's obs sinks resolve to \p O.
 class CellObsScope {
 public:
-  explicit CellObsScope(CellObs &O) : S(&O.stats()), T(&O.trace()) {}
+  explicit CellObsScope(CellObs &O)
+      : S(&O.stats()), T(&O.trace()), E(&O.events()) {}
 
 private:
   obs::ScopedStatRegistry S;
   obs::ScopedTraceLog T;
+  obs::ScopedEventLog E;
 };
 
 /// The deterministic-sharding scaffold: \p Prepare(i) runs on pool

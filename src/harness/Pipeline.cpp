@@ -9,6 +9,7 @@
 #include "compiler/PassManager.h"
 #include "harness/ResultCache.h"
 #include "interp/Interpreter.h"
+#include "obs/EventLog.h"
 #include "obs/PhaseTimer.h"
 #include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
@@ -252,14 +253,27 @@ ModeRunResult BenchmarkPipeline::simulate(const ProgramTrace &Trace,
   obs::TraceLog &TL = obs::TraceLog::global();
   if (TL.active())
     TL.beginProcess(Bench.Name + "/" + modeName(Mode));
+  obs::EventLog &Ev = obs::EventLog::global();
+  bool EventsOn = Ev.active();
+  uint64_t EvStartSeq = 0;
+  if (EventsOn) {
+    Ev.beginRun(Bench.Name + "/" + std::string(modeName(Mode)));
+    EvStartSeq = Ev.nextSeq();
+  }
   obs::ScopedPhaseTimer Timer(std::string("harness.run.") + modeName(Mode));
   Timer.setItems(Trace.numRegionDynInsts());
 
   ModeRunResult Result;
   Result.Mode = Mode;
+  // What the simulator actually did, before degraded regions are swapped
+  // for the sequential fallback — the accumulation the event stream
+  // reconciles against.
+  TLSSimResult RawSim;
   TLSSimulator Sim(Config, Opts);
   for (size_t I = 0; I < Trace.Regions.size(); ++I) {
     TLSSimResult SR = Sim.simulateRegion(Trace.Regions[I]);
+    if (EventsOn)
+      RawSim.accumulate(SR);
     // Graceful degradation: when the watchdog gave up on a region (or a
     // faulted run failed to complete), charge the region at its
     // sequential-baseline timing instead of the broken parallel attempt.
@@ -272,6 +286,17 @@ ModeRunResult BenchmarkPipeline::simulate(const ProgramTrace &Trace,
             ->add(1);
     }
     Result.Sim.accumulate(SR);
+  }
+  if (EventsOn) {
+    auto F = std::make_shared<ForensicsResult>();
+    std::vector<obs::SpecEvent> Events = Ev.eventsSince(EvStartSeq);
+    F->EventCount = Events.size();
+    F->DroppedEvents =
+        Ev.firstSeq() > EvStartSeq ? Ev.firstSeq() - EvStartSeq : 0;
+    F->Attribution = obs::attributeSquashes(Events, Config.IssueWidth);
+    F->CriticalPath = obs::analyzeCriticalPath(Events);
+    F->RawSim = RawSim;
+    Result.Forensics = std::move(F);
   }
   if (Robustness) {
     Result.FaultsActive = Robust.Plan.enabled();
@@ -402,7 +427,8 @@ bool BenchmarkPipeline::cacheUsable() const {
   // train profile's contents are not part of the key; both force live
   // simulation.
   return Cache && Cache->valid() && !TrainOverride && !obs::statsEnabled() &&
-         !obs::TraceLog::global().active();
+         !obs::TraceLog::global().active() &&
+         !obs::EventLog::global().active();
 }
 
 std::string BenchmarkPipeline::cacheKey(const RunStep &Step) const {

@@ -135,6 +135,63 @@ void specsync::writeModeRunResultJson(obs::JsonWriter &W,
     W.endObject();
   }
 
+  // Event-ledger analyses; present only when the run recorded events
+  // (--events-out), so default-off documents stay byte-identical.
+  if (R.Forensics) {
+    const ForensicsResult &F = *R.Forensics;
+    const obs::SquashAttributionResult &A = F.Attribution;
+    W.key("forensics");
+    W.beginObject();
+    W.keyValue("event_count", F.EventCount);
+    W.keyValue("dropped_events", F.DroppedEvents);
+    W.keyValue("reconciles", F.reconciles());
+
+    W.key("squash_attribution");
+    W.beginObject();
+    W.keyValue("violations", A.Violations);
+    W.keyValue("sab_violations", A.SabViolations);
+    W.keyValue("predict_restarts", A.PredictRestarts);
+    W.keyValue("corruptions_detected", A.CorruptionsDetected);
+    W.keyValue("spurious_violations", A.SpuriousViolations);
+    W.keyValue("epochs_committed", A.EpochsCommitted);
+    W.keyValue("epochs_squashed", A.EpochsSquashed);
+    W.keyValue("wasted_cycles", A.TotalWastedCycles);
+    W.keyValue("fail_slots", A.FailSlots);
+    W.keyValue("sync_scalar_slots", A.SyncScalarSlots);
+    W.keyValue("sync_mem_slots", A.SyncMemSlots);
+    W.key("top_pairs");
+    W.beginArray();
+    for (const auto &[Key, P] : A.topPairs(10)) {
+      W.beginObject();
+      W.keyValue("store_id", std::get<0>(Key));
+      W.keyValue("store_ctx", std::get<1>(Key));
+      W.keyValue("load_id", std::get<2>(Key));
+      W.keyValue("load_ctx", std::get<3>(Key));
+      W.keyValue("violations", P->Violations);
+      W.keyValue("epochs_squashed", P->EpochsSquashed);
+      W.keyValue("wasted_cycles", P->WastedCycles);
+      W.keyValue("distinct_addrs", static_cast<uint64_t>(P->AddrHeat.size()));
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+
+    const obs::CriticalPathResult &C = F.CriticalPath;
+    W.key("critical_path");
+    W.beginObject();
+    W.keyValue("regions", static_cast<uint64_t>(C.Regions.size()));
+    W.keyValue("sync_bound", C.SyncBound);
+    W.keyValue("squash_bound", C.SquashBound);
+    W.keyValue("commit_bound", C.CommitBound);
+    W.keyValue("busy", C.Busy);
+    W.keyValue("max_chain_len", C.MaxChainLen);
+    W.keyValue("max_chain_cycles", C.MaxChainCycles);
+    W.keyValue("max_chain_region", C.MaxChainRegion);
+    W.endObject();
+
+    W.endObject();
+  }
+
   W.endObject();
 }
 

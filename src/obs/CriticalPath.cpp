@@ -1,0 +1,137 @@
+//===- obs/CriticalPath.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/CriticalPath.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace specsync;
+using namespace specsync::obs;
+
+namespace {
+
+/// Per-epoch working state while scanning one region's records.
+struct EpochAccum {
+  uint64_t FinalStall = 0;    ///< Sync-stall cycles of the current attempt.
+  uint64_t SquashWasted = 0;  ///< Wasted cycles across discarded attempts.
+};
+
+struct RegionScan {
+  RegionCriticalPath Out;
+  std::map<uint64_t, EpochAccum> Epochs;
+  // Commit-order chain state: epochs commit in ascending order, so the DP
+  // over "stalled on predecessor" edges runs as commits arrive.
+  uint64_t PrevChainLen = 0;
+  uint64_t PrevChainCycles = 0;
+
+  void finishInto(CriticalPathResult &R) {
+    R.Regions.push_back(Out);
+    R.SyncBound += Out.SyncBound;
+    R.SquashBound += Out.SquashBound;
+    R.CommitBound += Out.CommitBound;
+    R.Busy += Out.Busy;
+    if (Out.ChainLen > R.MaxChainLen ||
+        (Out.ChainLen == R.MaxChainLen &&
+         Out.ChainCycles > R.MaxChainCycles)) {
+      R.MaxChainLen = Out.ChainLen;
+      R.MaxChainCycles = Out.ChainCycles;
+      R.MaxChainRegion = Out.Region;
+    }
+  }
+};
+
+} // namespace
+
+CriticalPathResult
+obs::analyzeCriticalPath(const std::vector<SpecEvent> &Events) {
+  CriticalPathResult R;
+  RegionScan *Cur = nullptr;
+  RegionScan Scan;
+
+  auto open = [&](uint16_t Region) {
+    if (Cur)
+      Cur->finishInto(R);
+    Scan = RegionScan();
+    Scan.Out.Region = Region;
+    Cur = &Scan;
+  };
+
+  for (const SpecEvent &E : Events) {
+    // Tolerate streams whose RegionBegin was recycled out of the ring:
+    // any record with a new region stamp opens that region's scan.
+    if (!Cur || E.Region != Cur->Out.Region)
+      open(E.Region);
+
+    switch (E.kind()) {
+    case EventKind::RegionBegin:
+      Cur->Out.NumEpochs = E.Aux;
+      break;
+    case EventKind::RegionEnd:
+      Cur->Out.FinishCycle = E.Cycle;
+      break;
+
+    case EventKind::WaitStall:
+      Cur->Epochs[E.Epoch].FinalStall += E.Aux;
+      break;
+
+    case EventKind::EpochSquash: {
+      EpochAccum &A = Cur->Epochs[E.Epoch];
+      A.SquashWasted += E.Aux;
+      A.FinalStall = 0; // The discarded attempt's stalls do not survive.
+      break;
+    }
+
+    case EventKind::EpochCommit: {
+      EpochAccum &A = Cur->Epochs[E.Epoch];
+      ++Cur->Out.EpochsCommitted;
+
+      // Chain DP: a stalled epoch extends its predecessor's chain (every
+      // wait edge targets the previous epoch by construction); an
+      // unstalled epoch breaks the chain.
+      if (A.FinalStall > 0) {
+        uint64_t Len = Cur->PrevChainLen + 1;
+        uint64_t Cycles = Cur->PrevChainCycles + A.FinalStall;
+        if (Len > Cur->Out.ChainLen ||
+            (Len == Cur->Out.ChainLen && Cycles > Cur->Out.ChainCycles)) {
+          Cur->Out.ChainLen = Len;
+          Cur->Out.ChainCycles = Cycles;
+          Cur->Out.ChainEndEpoch = E.Epoch;
+        }
+        Cur->PrevChainLen = Len;
+        Cur->PrevChainCycles = Cycles;
+      } else {
+        Cur->PrevChainLen = 0;
+        Cur->PrevChainCycles = 0;
+      }
+
+      // Bound classification: the dominant cost of getting this epoch
+      // committed. Commit wait = token serialization after finishing.
+      uint64_t CommitWait =
+          E.Cycle > E.Addr ? E.Cycle - E.Addr : 0; // CommitStart - Finish.
+      uint64_t M = std::max({A.FinalStall, A.SquashWasted, CommitWait});
+      if (M == 0)
+        ++Cur->Out.Busy;
+      else if (M == A.FinalStall)
+        ++Cur->Out.SyncBound;
+      else if (M == A.SquashWasted)
+        ++Cur->Out.SquashBound;
+      else
+        ++Cur->Out.CommitBound;
+
+      Cur->Epochs.erase(E.Epoch);
+      break;
+    }
+
+    default:
+      break;
+    }
+  }
+
+  if (Cur)
+    Cur->finishInto(R);
+  return R;
+}

@@ -1,0 +1,70 @@
+//===- obs/CriticalPath.h - Stall-chain / epoch-bound analysis --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks one run's EventLog slice and, per region instance, follows the
+/// signal/wait and commit-order edges to find the longest chain of
+/// consecutive epochs whose final attempts stalled on their predecessor —
+/// the critical forwarding path the paper's instruction scheduling attacks.
+/// Each committed epoch is also classified by what bounds it: sync stalls
+/// (waiting on a forwarded value), squash replay (wasted discarded
+/// attempts), commit serialization (finished but waiting for the homefree
+/// token), or busy (none of the above — compute bound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_OBS_CRITICALPATH_H
+#define SPECSYNC_OBS_CRITICALPATH_H
+
+#include "obs/EventLog.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace specsync {
+namespace obs {
+
+/// What bounds an epoch's completion.
+enum class EpochBound : uint8_t { Busy = 0, Sync, Squash, Commit };
+
+struct RegionCriticalPath {
+  uint16_t Region = 0;
+  uint64_t NumEpochs = 0;     ///< Epochs the region instance dispatched.
+  uint64_t EpochsCommitted = 0;
+  uint64_t FinishCycle = 0;   ///< From RegionEnd (0 if the region broke off).
+
+  /// Longest run of consecutive committed epochs whose final attempt
+  /// stalled at a wait (each stall is an edge to the predecessor epoch).
+  uint64_t ChainLen = 0;
+  uint64_t ChainCycles = 0;   ///< Total stall cycles along that chain.
+  uint64_t ChainEndEpoch = 0; ///< Last epoch of the chain.
+
+  // Epoch-bound classification counts (committed epochs only).
+  uint64_t SyncBound = 0;
+  uint64_t SquashBound = 0;
+  uint64_t CommitBound = 0;
+  uint64_t Busy = 0;
+};
+
+struct CriticalPathResult {
+  std::vector<RegionCriticalPath> Regions;
+
+  // Aggregates over all regions of the run.
+  uint64_t SyncBound = 0;
+  uint64_t SquashBound = 0;
+  uint64_t CommitBound = 0;
+  uint64_t Busy = 0;
+  uint64_t MaxChainLen = 0;
+  uint64_t MaxChainCycles = 0;
+  uint16_t MaxChainRegion = 0;
+};
+
+CriticalPathResult analyzeCriticalPath(const std::vector<SpecEvent> &Events);
+
+} // namespace obs
+} // namespace specsync
+
+#endif // SPECSYNC_OBS_CRITICALPATH_H

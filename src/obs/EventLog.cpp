@@ -1,0 +1,214 @@
+//===- obs/EventLog.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventLog.h"
+
+#include <cstring>
+#include <fstream>
+
+using namespace specsync;
+using namespace specsync::obs;
+
+namespace {
+/// The innermost ScopedEventLog override on this thread (if any).
+thread_local EventLog *CurrentLog = nullptr;
+
+constexpr char FileMagic[4] = {'S', 'S', 'E', 'V'};
+constexpr uint32_t FileVersion = 1;
+} // namespace
+
+EventLog &EventLog::process() {
+  static EventLog E;
+  return E;
+}
+
+EventLog &EventLog::global() { return CurrentLog ? *CurrentLog : process(); }
+
+ScopedEventLog::ScopedEventLog(EventLog *E) : Prev(CurrentLog) {
+  CurrentLog = E;
+}
+
+ScopedEventLog::~ScopedEventLog() { CurrentLog = Prev; }
+
+void EventLog::start(size_t Cap) {
+  Active = true;
+  if (Cap == 0)
+    Cap = 1;
+  // Whole-chunk recycling needs a whole number of chunks.
+  Capacity = (Cap + ChunkEvents - 1) / ChunkEvents * ChunkEvents;
+}
+
+void EventLog::clear() {
+  TailCount = ChunkEvents;
+  FirstSeq = 0;
+  NextSeq = 0;
+  Dropped = 0;
+  CurRegion = 0;
+  Chunks.clear();
+  FreeChunks.clear();
+  Runs.clear();
+}
+
+void EventLog::rollChunk() {
+  if (!Chunks.empty() && size() + ChunkEvents > Capacity) {
+    // At capacity: unlink the oldest chunk and reuse its storage. FirstSeq
+    // stays chunk-aligned, so at() keeps its two-index form.
+    FreeChunks.push_back(std::move(Chunks.front()));
+    Chunks.pop_front();
+    Dropped += ChunkEvents;
+    FirstSeq += ChunkEvents;
+  }
+  if (!FreeChunks.empty()) {
+    Chunks.push_back(std::move(FreeChunks.back()));
+    FreeChunks.pop_back();
+  } else {
+    Chunks.push_back(std::make_unique<Chunk>());
+  }
+  TailCount = 0;
+}
+
+void EventLog::pushRaw(const SpecEvent &E) {
+  if (TailCount == ChunkEvents)
+    rollChunk();
+  Chunks.back()->Events[TailCount++] = E;
+  ++NextSeq;
+}
+
+void EventLog::beginRun(const std::string &Label) {
+  if (!Active)
+    return;
+  Runs.push_back({NextSeq, Label});
+  CurRegion = 0;
+}
+
+std::vector<SpecEvent> EventLog::eventsSince(uint64_t Seq) const {
+  if (Seq < FirstSeq)
+    Seq = FirstSeq;
+  std::vector<SpecEvent> Out;
+  if (Seq >= NextSeq)
+    return Out;
+  Out.reserve(static_cast<size_t>(NextSeq - Seq));
+  for (uint64_t S = Seq; S < NextSeq; ++S)
+    Out.push_back(at(S));
+  return Out;
+}
+
+void EventLog::mergeFrom(const EventLog &Cell) {
+  if (Capacity == 0)
+    return; // This ledger never started recording; nothing to merge into.
+  for (const RunMark &M : Cell.Runs) {
+    // Marks pointing at recycled records clamp to the cell's oldest
+    // survivor — the run's prefix was dropped either way.
+    uint64_t Rel = M.Seq < Cell.FirstSeq ? 0 : M.Seq - Cell.FirstSeq;
+    Runs.push_back({NextSeq + Rel, M.Label});
+  }
+  // Records pass through raw: Region stamps are per-run and stay valid.
+  for (uint64_t S = Cell.FirstSeq; S < Cell.NextSeq; ++S)
+    pushRaw(Cell.at(S));
+  Dropped += Cell.Dropped;
+}
+
+//===----------------------------------------------------------------------===//
+// Binary serialization
+//===----------------------------------------------------------------------===//
+//
+// Layout (host-endian; the readers are the repo's own tools and tests):
+//   char[4]  magic "SSEV"
+//   u32      version
+//   u32      record size (sizeof(SpecEvent), guards layout drift)
+//   u32      run-mark count
+//   u64      event count
+//   u64      dropped count
+//   u64      first sequence number
+//   run marks: { u64 seq, u32 label length, label bytes } each
+//   records: event count * SpecEvent, raw
+
+namespace {
+
+template <typename T> void writePod(std::ostream &OS, const T &V) {
+  OS.write(reinterpret_cast<const char *>(&V), sizeof(T));
+}
+
+template <typename T> bool readPod(std::istream &IS, T &V) {
+  IS.read(reinterpret_cast<char *>(&V), sizeof(T));
+  return static_cast<bool>(IS);
+}
+
+} // namespace
+
+void EventLog::write(std::ostream &OS) const {
+  OS.write(FileMagic, 4);
+  writePod(OS, FileVersion);
+  writePod(OS, static_cast<uint32_t>(sizeof(SpecEvent)));
+  writePod(OS, static_cast<uint32_t>(Runs.size()));
+  writePod(OS, static_cast<uint64_t>(size()));
+  writePod(OS, Dropped);
+  writePod(OS, FirstSeq);
+  for (const RunMark &M : Runs) {
+    writePod(OS, M.Seq);
+    writePod(OS, static_cast<uint32_t>(M.Label.size()));
+    OS.write(M.Label.data(), static_cast<std::streamsize>(M.Label.size()));
+  }
+  for (uint64_t S = FirstSeq; S < NextSeq; ++S)
+    writePod(OS, at(S));
+}
+
+bool EventLog::write(const std::string &Path) const {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS)
+    return false;
+  write(OS);
+  return static_cast<bool>(OS);
+}
+
+bool EventLog::read(const std::string &Path, EventFile &Out,
+                    std::string *Error) {
+  auto fail = [&](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return fail("cannot open events file");
+
+  char Magic[4];
+  IS.read(Magic, 4);
+  if (!IS || std::memcmp(Magic, FileMagic, 4) != 0)
+    return fail("not an SSEV events file");
+  uint32_t Version = 0, RecordSize = 0, NumRuns = 0;
+  uint64_t NumEvents = 0;
+  if (!readPod(IS, Version) || Version != FileVersion)
+    return fail("unsupported SSEV version");
+  if (!readPod(IS, RecordSize) || RecordSize != sizeof(SpecEvent))
+    return fail("record size mismatch (file from another build?)");
+  if (!readPod(IS, NumRuns) || !readPod(IS, NumEvents) ||
+      !readPod(IS, Out.Dropped) || !readPod(IS, Out.FirstSeq))
+    return fail("truncated SSEV header");
+
+  Out.Runs.clear();
+  for (uint32_t I = 0; I < NumRuns; ++I) {
+    RunMark M;
+    uint32_t Len = 0;
+    if (!readPod(IS, M.Seq) || !readPod(IS, Len))
+      return fail("truncated run-mark table");
+    M.Label.resize(Len);
+    IS.read(M.Label.data(), Len);
+    if (!IS)
+      return fail("truncated run-mark label");
+    Out.Runs.push_back(std::move(M));
+  }
+
+  Out.Events.clear();
+  Out.Events.reserve(static_cast<size_t>(NumEvents));
+  for (uint64_t I = 0; I < NumEvents; ++I) {
+    SpecEvent E;
+    if (!readPod(IS, E))
+      return fail("truncated record stream");
+    Out.Events.push_back(E);
+  }
+  return true;
+}

@@ -1,0 +1,265 @@
+//===- obs/EventLog.h - Causal speculation event ledger ---------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded-memory binary event ledger behind `--events-out`. Where TraceLog
+/// renders a human-viewable timeline, the EventLog records machine-readable
+/// causality: every epoch lifecycle transition, every dependence violation
+/// with the full (store epoch+static id, victim load epoch+static id,
+/// address, cache line) tuple, every signal/wait edge with its stall
+/// duration, value-predictor outcomes and fault-injector interventions.
+/// The squash-attribution and critical-path analyses (SquashAttribution.h,
+/// CriticalPath.h) run over this stream and must reconcile exactly with the
+/// simulator's aggregate counters.
+///
+/// Records are fixed-size PODs stored in recycled ring chunks: when the
+/// ledger reaches capacity the oldest whole chunk is unlinked and reused
+/// for new records, so the steady-state hot path performs zero allocation.
+/// Each record carries an absolute sequence number implicitly (FirstSeq +
+/// index); whole-chunk recycling keeps FirstSeq chunk-aligned so lookup is
+/// two array indexes.
+///
+/// Threading model mirrors TraceLog/StatRegistry: one writer per simulator
+/// instance, global() resolves to the innermost ScopedEventLog override on
+/// the calling thread (else the process-wide ledger), and the experiment
+/// runner merges per-cell ledgers into the process ledger in canonical
+/// grid order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_OBS_EVENTLOG_H
+#define SPECSYNC_OBS_EVENTLOG_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace specsync {
+namespace obs {
+
+/// What happened. Stream order is causal order: the simulator emits the
+/// cause event (Violation, SabViolation, PredictRestart, CorruptDetected,
+/// SpuriousViolation) synchronously before the EpochSquash/EpochRestart
+/// records it triggers, so attribution never needs timestamps.
+enum class EventKind : uint8_t {
+  RegionBegin = 0,  ///< Aux = number of epochs in the region instance.
+  RegionEnd,        ///< Cycle = region finish cycle (commit-token free).
+  EpochStart,       ///< Cycle = attempt start (dispatch or restart resume).
+  EpochRestart,     ///< Epoch re-dispatched after a squash.
+  EpochSquash,      ///< Aux = wasted cycles of the discarded attempt.
+  EpochCommit,      ///< Cycle = commit start, Addr = finish cycle,
+                    ///< Aux = commit end (token handoff to the successor).
+  Violation,        ///< RAW violation: Epoch/StaticId/Context = store,
+                    ///< OtherEpoch/OtherStaticId/OtherContext = victim
+                    ///< load, Addr = word address, Aux = cache line,
+                    ///< SyncId = load's sync group (-1 unsynced),
+                    ///< Flags = attribution (kCompilerWould|kHwWould).
+  SabViolation,     ///< Signaled-then-overwritten: Epoch = storing epoch,
+                    ///< OtherEpoch = restarted consumer, Addr = store addr.
+  PredictRestart,   ///< Confident misprediction: Epoch = restarted epoch,
+                    ///< StaticId = load id.
+  CorruptDetected,  ///< Corrupted forward caught at use; Epoch = consumer.
+  SpuriousViolation,///< Injected false-positive violation; Epoch = store's.
+  WaitStall,        ///< Cycle = stall begin, Aux = stall duration,
+                    ///< Epoch = waiter, OtherEpoch = predecessor waited on,
+                    ///< SyncId = channel/group (-1 for commit waits),
+                    ///< Flags = kStallMem|kStallCommit.
+  SignalScalarSent, ///< Epoch = producer, OtherEpoch = consumer,
+                    ///< SyncId = channel, Cycle = arrival cycle.
+  SignalMemSent,    ///< As above plus Addr/Aux(value); Flags = kSig*.
+  PredictLookup,    ///< StaticId = load id, Flags = kPred* outcome.
+  HwLearn,          ///< Hardware table learned StaticId; Flags = sticky.
+  HwReset,          ///< Periodic table reset at Cycle; Aux = survivors.
+  FaultFired,       ///< Injected fault; Flags = fault class (kFault*).
+  WatchdogWake,     ///< Watchdog force-woke Epoch at Cycle.
+};
+
+/// Per-kind flag bits (one byte shared across kinds).
+namespace event_flags {
+// Violation attribution (Figure 11): which technique would have
+// synchronized the victim load.
+constexpr uint8_t kCompilerWould = 1u << 0;
+constexpr uint8_t kHwWould = 1u << 1;
+// WaitStall.
+constexpr uint8_t kStallMem = 1u << 0;    ///< wait.mem (else scalar wait).
+constexpr uint8_t kStallCommit = 1u << 1; ///< Stalled until commit/wake.
+// Signal sends.
+constexpr uint8_t kSigDropped = 1u << 0;
+constexpr uint8_t kSigDelayed = 1u << 1;
+constexpr uint8_t kSigCorrupted = 1u << 2;
+constexpr uint8_t kSigNull = 1u << 3; ///< NULL signal (no value produced).
+// PredictLookup outcome.
+constexpr uint8_t kPredNone = 0;
+constexpr uint8_t kPredCorrect = 1;
+constexpr uint8_t kPredWrong = 2;
+// FaultFired classes.
+constexpr uint8_t kFaultDrop = 1;
+constexpr uint8_t kFaultDelay = 2;
+constexpr uint8_t kFaultCorrupt = 3;
+constexpr uint8_t kFaultMispredict = 4;
+constexpr uint8_t kFaultSpurious = 5;
+constexpr uint8_t kFaultHwDrop = 6;
+} // namespace event_flags
+
+/// One ledger record. Exactly 64 bytes; field meaning depends on Kind (see
+/// EventKind). Unused fields are zero so streams compress and diff well.
+struct SpecEvent {
+  uint64_t Cycle = 0;      ///< Simulated cycle of the event.
+  uint64_t Epoch = 0;      ///< Primary epoch (see per-kind docs).
+  uint64_t OtherEpoch = 0; ///< Peer epoch (victim, consumer, ...).
+  uint64_t Addr = 0;       ///< Word address where applicable.
+  uint64_t Aux = 0;        ///< Kind-specific payload (durations, lines).
+  uint32_t StaticId = 0;   ///< Primary static instruction id.
+  uint32_t Context = 0;    ///< Primary calling context.
+  uint32_t OtherStaticId = 0; ///< Peer static instruction id.
+  uint32_t OtherContext = 0;  ///< Peer calling context.
+  int32_t SyncId = -1;     ///< Channel/group id (-1 = none).
+  uint16_t Region = 0;     ///< Region instance (stamped by the ledger).
+  uint8_t Kind = 0;        ///< EventKind.
+  uint8_t Flags = 0;       ///< event_flags bits.
+
+  EventKind kind() const { return static_cast<EventKind>(Kind); }
+};
+static_assert(sizeof(SpecEvent) == 64, "ledger records must stay 64 bytes");
+
+/// Marks where one pipeline run (benchmark x mode) begins in the stream.
+struct RunMark {
+  uint64_t Seq = 0;  ///< Sequence number of the run's first event.
+  std::string Label; ///< "GZIP_COMP/C" etc.
+};
+
+/// A parsed `--events-out` file (read-side companion of EventLog::write).
+struct EventFile {
+  uint64_t FirstSeq = 0;
+  uint64_t Dropped = 0;
+  std::vector<RunMark> Runs;
+  std::vector<SpecEvent> Events;
+};
+
+class EventLog {
+public:
+  EventLog() = default; ///< Per-cell instances (experiment runner).
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
+
+  /// The calling thread's current ledger: the innermost ScopedEventLog
+  /// override, else the process-wide ledger.
+  static EventLog &global();
+
+  /// The process-wide ledger, ignoring any thread-local override.
+  static EventLog &process();
+
+  /// Starts recording with room for \p Capacity events (rounded up to a
+  /// whole number of chunks). When full, the oldest chunk of records is
+  /// recycled and its events counted as dropped.
+  void start(size_t Capacity = DefaultCapacity);
+  void stop() { Active = false; }
+  bool active() const { return Active; }
+  size_t capacity() const { return Capacity; }
+
+  /// Appends one record, stamping the current region id. No-op when
+  /// inactive; never allocates once the ring has filled.
+  void push(SpecEvent E) {
+    if (!Active)
+      return;
+    E.Region = CurRegion;
+    if (TailCount == ChunkEvents)
+      rollChunk();
+    Chunks.back()->Events[TailCount++] = E;
+    ++NextSeq;
+  }
+
+  /// Marks the start of a pipeline run (benchmark x mode); resets the
+  /// region counter so Region stamps are per-run.
+  void beginRun(const std::string &Label);
+
+  /// Advances the region stamp for the next region instance; returns it.
+  uint16_t beginRegion() { return ++CurRegion; }
+  uint16_t currentRegion() const { return CurRegion; }
+
+  // --- Stream access ----------------------------------------------------
+  /// Sequence numbers are absolute: the Nth record ever pushed has seq N.
+  uint64_t firstSeq() const { return FirstSeq; }
+  uint64_t nextSeq() const { return NextSeq; }
+  size_t size() const { return static_cast<size_t>(NextSeq - FirstSeq); }
+  uint64_t dropped() const { return Dropped; }
+
+  /// Record with absolute sequence number \p Seq (must be live:
+  /// firstSeq() <= Seq < nextSeq()).
+  const SpecEvent &at(uint64_t Seq) const {
+    size_t Index = static_cast<size_t>(Seq - FirstSeq);
+    return Chunks[Index / ChunkEvents]->Events[Index % ChunkEvents];
+  }
+
+  /// Snapshot of all live records with seq >= \p Seq (oldest first).
+  std::vector<SpecEvent> eventsSince(uint64_t Seq) const;
+
+  const std::vector<RunMark> &runs() const { return Runs; }
+
+  /// Appends everything \p Cell recorded, as if it had been recorded here:
+  /// records pass through raw (Region stamps are per-run and survive the
+  /// merge), run marks are re-based onto this ledger's sequence space, and
+  /// the cell's drop count carries over. The caller must have synchronized
+  /// with all writers of \p Cell.
+  void mergeFrom(const EventLog &Cell);
+
+  /// Drops all records, marks, and recycled chunks (test support).
+  void clear();
+
+  // --- Binary serialization ("SSEV" format) -----------------------------
+  void write(std::ostream &OS) const;
+  /// Writes to \p Path; returns false (and keeps the ledger) on I/O error.
+  bool write(const std::string &Path) const;
+  /// Parses a file written by write(). Returns false with \p Error set on
+  /// malformed input.
+  static bool read(const std::string &Path, EventFile &Out,
+                   std::string *Error = nullptr);
+
+  static constexpr size_t ChunkEvents = 4096;
+  static constexpr size_t DefaultCapacity = 1u << 22; ///< 4M events, 256 MiB.
+
+private:
+  struct Chunk {
+    SpecEvent Events[ChunkEvents];
+  };
+  void rollChunk();
+  /// push() without the Active gate or Region restamp (mergeFrom).
+  void pushRaw(const SpecEvent &E);
+
+  bool Active = false;
+  size_t Capacity = 0;        ///< In events, chunk-rounded.
+  size_t TailCount = ChunkEvents; ///< Records used in the newest chunk.
+  uint64_t FirstSeq = 0;      ///< Seq of the oldest live record.
+  uint64_t NextSeq = 0;       ///< Seq the next record will get.
+  uint64_t Dropped = 0;
+  uint16_t CurRegion = 0;
+  std::deque<std::unique_ptr<Chunk>> Chunks;
+  std::vector<std::unique_ptr<Chunk>> FreeChunks; ///< Recycle list.
+  std::vector<RunMark> Runs;
+};
+
+/// RAII thread-local ledger override: while alive, global() on this thread
+/// resolves to \p E. Used by the experiment runner to confine one cell's
+/// events to one ledger instance.
+class ScopedEventLog {
+public:
+  explicit ScopedEventLog(EventLog *E);
+  ~ScopedEventLog();
+
+  ScopedEventLog(const ScopedEventLog &) = delete;
+  ScopedEventLog &operator=(const ScopedEventLog &) = delete;
+
+private:
+  EventLog *Prev;
+};
+
+} // namespace obs
+} // namespace specsync
+
+#endif // SPECSYNC_OBS_EVENTLOG_H

@@ -6,6 +6,7 @@
 
 #include "obs/ObsOptions.h"
 
+#include "obs/EventLog.h"
 #include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
 
@@ -25,6 +26,10 @@ ObsOptions obs::parseObsArgs(int argc, char **argv) {
     Opts.TraceOut = E;
   if (const char *E = std::getenv("SPECSYNC_JSON_OUT"))
     Opts.JsonOut = E;
+  if (const char *E = std::getenv("SPECSYNC_EVENTS_OUT"))
+    Opts.EventsOut = E;
+  if (const char *E = std::getenv("SPECSYNC_EVENTS_CAP"))
+    Opts.EventsCapacity = std::strtoull(E, nullptr, 10);
 
   auto valueOf = [](const char *Arg, const char *Prefix) -> const char * {
     size_t N = std::strlen(Prefix);
@@ -41,6 +46,10 @@ ObsOptions obs::parseObsArgs(int argc, char **argv) {
       Opts.JsonOut = V;
     else if (const char *V = valueOf(Arg, "--trace-capacity="))
       Opts.TraceCapacity = std::strtoull(V, nullptr, 10);
+    else if (const char *V = valueOf(Arg, "--events-out="))
+      Opts.EventsOut = V;
+    else if (const char *V = valueOf(Arg, "--events-cap="))
+      Opts.EventsCapacity = std::strtoull(V, nullptr, 10);
   }
   return Opts;
 }
@@ -50,7 +59,9 @@ int obs::stripObsArgs(int argc, char **argv) {
     return std::strcmp(Arg, "--stats") == 0 ||
            std::strncmp(Arg, "--trace-out=", 12) == 0 ||
            std::strncmp(Arg, "--json-out=", 11) == 0 ||
-           std::strncmp(Arg, "--trace-capacity=", 17) == 0;
+           std::strncmp(Arg, "--trace-capacity=", 17) == 0 ||
+           std::strncmp(Arg, "--events-out=", 13) == 0 ||
+           std::strncmp(Arg, "--events-cap=", 13) == 0;
   };
   int Out = 1;
   for (int I = 1; I < argc; ++I)
@@ -67,9 +78,25 @@ ObsSession::ObsSession(const ObsOptions &O) : Opts(O) {
   if (!Opts.TraceOut.empty())
     TraceLog::global().start(Opts.TraceCapacity ? Opts.TraceCapacity
                                                 : TraceLog::DefaultCapacity);
+  if (!Opts.EventsOut.empty())
+    EventLog::global().start(Opts.EventsCapacity ? Opts.EventsCapacity
+                                                 : EventLog::DefaultCapacity);
 }
 
 ObsSession::~ObsSession() {
+  EventLog &E = EventLog::global();
+  if (!Opts.EventsOut.empty() && E.active()) {
+    E.stop();
+    if (!E.write(Opts.EventsOut))
+      std::fprintf(stderr, "obs: failed to write event ledger to %s\n",
+                   Opts.EventsOut.c_str());
+    else
+      std::fprintf(stderr,
+                   "obs: wrote %zu ledger events to %s (%llu dropped; "
+                   "inspect with spec_inspect)\n",
+                   E.size(), Opts.EventsOut.c_str(),
+                   static_cast<unsigned long long>(E.dropped()));
+  }
   TraceLog &T = TraceLog::global();
   if (!Opts.TraceOut.empty() && T.active()) {
     T.stop();

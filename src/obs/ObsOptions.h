@@ -10,8 +10,11 @@
 ///   --stats               dump the stat registry to stderr at exit
 ///   --trace-out=<file>    write a Chrome trace-event timeline at exit
 ///   --json-out=<file>     write the JSON report (benches that produce one)
+///   --events-out=<file>   write the binary speculation event ledger at exit
+///   --events-cap=<n>      ledger ring capacity in events (default 4M)
 /// Environment fallbacks: SPECSYNC_STATS=1, SPECSYNC_TRACE_OUT=<file>,
-/// SPECSYNC_JSON_OUT=<file>. Flags win over the environment; unrecognized
+/// SPECSYNC_JSON_OUT=<file>, SPECSYNC_EVENTS_OUT=<file>,
+/// SPECSYNC_EVENTS_CAP=<n>. Flags win over the environment; unrecognized
 /// arguments are left alone (google-benchmark parses its own).
 ///
 /// ObsSession is the RAII companion for main(): it enables the configured
@@ -29,9 +32,11 @@ namespace obs {
 
 struct ObsOptions {
   bool Stats = false;
-  std::string TraceOut; ///< Empty = tracing off.
-  std::string JsonOut;  ///< Empty = no JSON report.
-  size_t TraceCapacity = 0; ///< 0 = TraceLog::DefaultCapacity.
+  std::string TraceOut;  ///< Empty = tracing off.
+  std::string JsonOut;   ///< Empty = no JSON report.
+  std::string EventsOut; ///< Empty = event ledger off.
+  size_t TraceCapacity = 0;  ///< 0 = TraceLog::DefaultCapacity.
+  size_t EventsCapacity = 0; ///< 0 = EventLog::DefaultCapacity.
 };
 
 /// Reads the environment, then overrides from argv. Does not mutate argv.

@@ -1,0 +1,148 @@
+//===- obs/SquashAttribution.cpp --------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/SquashAttribution.h"
+
+#include <algorithm>
+
+using namespace specsync;
+using namespace specsync::obs;
+
+namespace {
+
+/// What the most recent cause record was, for attributing the EpochSquash
+/// records that follow it.
+struct CurrentCause {
+  enum class Kind { None, Pair, Sab, Predict, Corrupt, Spurious };
+  Kind K = Kind::None;
+  ViolationPairKey Pair{};
+};
+
+} // namespace
+
+SquashAttributionResult
+obs::attributeSquashes(const std::vector<SpecEvent> &Events,
+                       unsigned IssueWidth) {
+  SquashAttributionResult R;
+  CurrentCause Cause;
+  // Pending sync-stall cycles (scalar, mem) of the current attempt of each
+  // (region, epoch). Folded into the totals only at commit — squashed
+  // attempts discard theirs, exactly like EpochRun's slot counters.
+  std::map<std::pair<uint16_t, uint64_t>, std::pair<uint64_t, uint64_t>>
+      Pending;
+
+  for (const SpecEvent &E : Events) {
+    switch (E.kind()) {
+    case EventKind::Violation: {
+      ++R.Violations;
+      Cause.K = CurrentCause::Kind::Pair;
+      Cause.Pair = ViolationPairKey{E.StaticId, E.Context, E.OtherStaticId,
+                                    E.OtherContext};
+      PairSquashStats &P = R.Pairs[Cause.Pair];
+      ++P.Violations;
+      ++P.AddrHeat[E.Addr];
+      break;
+    }
+    case EventKind::SabViolation:
+      ++R.SabViolations;
+      ++R.Sab.Causes;
+      Cause.K = CurrentCause::Kind::Sab;
+      break;
+    case EventKind::PredictRestart:
+      ++R.PredictRestarts;
+      ++R.Predict.Causes;
+      Cause.K = CurrentCause::Kind::Predict;
+      break;
+    case EventKind::CorruptDetected:
+      ++R.CorruptionsDetected;
+      ++R.Corrupt.Causes;
+      Cause.K = CurrentCause::Kind::Corrupt;
+      break;
+    case EventKind::SpuriousViolation:
+      ++R.SpuriousViolations;
+      ++R.Spurious.Causes;
+      Cause.K = CurrentCause::Kind::Spurious;
+      break;
+
+    case EventKind::EpochSquash: {
+      ++R.EpochsSquashed;
+      R.TotalWastedCycles += E.Aux;
+      Pending.erase({E.Region, E.Epoch});
+      switch (Cause.K) {
+      case CurrentCause::Kind::Pair: {
+        PairSquashStats &P = R.Pairs[Cause.Pair];
+        ++P.EpochsSquashed;
+        P.WastedCycles += E.Aux;
+        break;
+      }
+      case CurrentCause::Kind::Sab:
+        ++R.Sab.EpochsSquashed;
+        R.Sab.WastedCycles += E.Aux;
+        break;
+      case CurrentCause::Kind::Predict:
+        ++R.Predict.EpochsSquashed;
+        R.Predict.WastedCycles += E.Aux;
+        break;
+      case CurrentCause::Kind::Corrupt:
+        ++R.Corrupt.EpochsSquashed;
+        R.Corrupt.WastedCycles += E.Aux;
+        break;
+      case CurrentCause::Kind::Spurious:
+        ++R.Spurious.EpochsSquashed;
+        R.Spurious.WastedCycles += E.Aux;
+        break;
+      case CurrentCause::Kind::None:
+        break; // Truncated stream: the cause record was recycled.
+      }
+      break;
+    }
+
+    case EventKind::WaitStall: {
+      auto &P = Pending[{E.Region, E.Epoch}];
+      if (E.Flags & event_flags::kStallMem)
+        P.second += E.Aux;
+      else
+        P.first += E.Aux;
+      break;
+    }
+
+    case EventKind::EpochCommit: {
+      ++R.EpochsCommitted;
+      auto It = Pending.find({E.Region, E.Epoch});
+      if (It != Pending.end()) {
+        R.SyncScalarSlots += It->second.first * IssueWidth;
+        R.SyncMemSlots += It->second.second * IssueWidth;
+        Pending.erase(It);
+      }
+      break;
+    }
+
+    default:
+      break; // Lifecycle/signal/predictor records carry no squash weight.
+    }
+  }
+
+  R.FailSlots = R.TotalWastedCycles * IssueWidth;
+  return R;
+}
+
+std::vector<std::pair<ViolationPairKey, const PairSquashStats *>>
+SquashAttributionResult::topPairs(size_t K) const {
+  std::vector<std::pair<ViolationPairKey, const PairSquashStats *>> Out;
+  Out.reserve(Pairs.size());
+  for (const auto &[Key, Stats] : Pairs)
+    Out.push_back({Key, &Stats});
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    if (A.second->WastedCycles != B.second->WastedCycles)
+      return A.second->WastedCycles > B.second->WastedCycles;
+    if (A.second->Violations != B.second->Violations)
+      return A.second->Violations > B.second->Violations;
+    return A.first < B.first;
+  });
+  if (Out.size() > K)
+    Out.resize(K);
+  return Out;
+}

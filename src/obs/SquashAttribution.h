@@ -1,0 +1,93 @@
+//===- obs/SquashAttribution.h - Per-pair squash accounting -----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregates an EventLog stream into per static (store, load) pair squash
+/// statistics: how many violations the pair caused, how many epoch attempts
+/// those squashed, the wasted cycles of the discarded attempts, and a
+/// per-address heatmap — the causal refinement of the simulator's aggregate
+/// Violations/Fail counters that Figure 11's attribution argument needs.
+///
+/// Attribution uses the stream's causal order: the simulator emits each
+/// cause record (Violation, SabViolation, PredictRestart, CorruptDetected,
+/// SpuriousViolation) synchronously before the EpochSquash records it
+/// triggers, so the most recent cause owns every squash. Sync-stall slots
+/// replicate the simulator's fold-at-commit rule: stalls of an attempt
+/// count only if that attempt commits (squashed and never-finished attempts
+/// discard their pending stalls), which makes the totals reconcile exactly
+/// with TLSSimResult's slot breakdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_OBS_SQUASHATTRIBUTION_H
+#define SPECSYNC_OBS_SQUASHATTRIBUTION_H
+
+#include "obs/EventLog.h"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace specsync {
+namespace obs {
+
+/// A static (store, load) pair, each side named by (instruction id,
+/// calling context) — the same keying the dependence profiler uses.
+using ViolationPairKey =
+    std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>; // store id/ctx, load id/ctx
+
+struct PairSquashStats {
+  uint64_t Violations = 0;     ///< Cause records naming this pair.
+  uint64_t EpochsSquashed = 0; ///< Epoch attempts those violations discarded.
+  uint64_t WastedCycles = 0;   ///< Sum of the discarded attempts' lengths.
+  std::map<uint64_t, uint64_t> AddrHeat; ///< Word address -> violations.
+};
+
+/// Wasted work attributed to one non-pair cause class.
+struct CauseSquashStats {
+  uint64_t Causes = 0;
+  uint64_t EpochsSquashed = 0;
+  uint64_t WastedCycles = 0;
+};
+
+struct SquashAttributionResult {
+  std::map<ViolationPairKey, PairSquashStats> Pairs;
+  CauseSquashStats Sab;       ///< Signaled-then-overwritten restarts.
+  CauseSquashStats Predict;   ///< Confident mispredictions.
+  CauseSquashStats Corrupt;   ///< Corrupted forwards caught at use.
+  CauseSquashStats Spurious;  ///< Injected false-positive violations.
+
+  // Reconciliation totals (== the TLSSimResult counters when no records
+  // were dropped; see ForensicsResult::reconciles()).
+  uint64_t Violations = 0;
+  uint64_t SabViolations = 0;
+  uint64_t PredictRestarts = 0;
+  uint64_t CorruptionsDetected = 0;
+  uint64_t SpuriousViolations = 0;
+  uint64_t EpochsCommitted = 0;
+  uint64_t EpochsSquashed = 0;
+  uint64_t TotalWastedCycles = 0;
+  uint64_t FailSlots = 0;       ///< TotalWastedCycles * issue width.
+  uint64_t SyncScalarSlots = 0; ///< Committed attempts only.
+  uint64_t SyncMemSlots = 0;
+
+  /// Pairs ordered by wasted cycles (then violations, then key), worst
+  /// first, truncated to \p K.
+  std::vector<std::pair<ViolationPairKey, const PairSquashStats *>>
+  topPairs(size_t K) const;
+};
+
+/// Runs the attribution over one run's event slice. \p IssueWidth converts
+/// stall/waste cycles into graduation slots (the simulator accounts slots
+/// as cycles * width).
+SquashAttributionResult
+attributeSquashes(const std::vector<SpecEvent> &Events, unsigned IssueWidth);
+
+} // namespace obs
+} // namespace specsync
+
+#endif // SPECSYNC_OBS_SQUASHATTRIBUTION_H

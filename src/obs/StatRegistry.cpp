@@ -104,6 +104,20 @@ void StatRegistry::reset() {
     H.reset();
 }
 
+std::vector<std::string> StatRegistry::names() const {
+  std::lock_guard<std::mutex> Lock(LookupM);
+  std::vector<std::string> Out;
+  Out.reserve(numStats());
+  for (const auto &[Name, C] : CounterIndex)
+    Out.push_back(Name);
+  for (const auto &[Name, G] : GaugeIndex)
+    Out.push_back(Name);
+  for (const auto &[Name, H] : HistIndex)
+    Out.push_back(Name);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
 std::string StatRegistry::renderText() const {
   // The per-kind indexes are already name-sorted; merge them.
   std::ostringstream OS;

@@ -157,6 +157,10 @@ public:
   /// Renders `name value` lines, sorted by name, skipping zero counters.
   std::string renderText() const;
 
+  /// All registered stat names (counters, gauges, histograms), sorted.
+  /// Used by the report-schema conformance check.
+  std::vector<std::string> names() const;
+
   /// Serializes all stats as one JSON object keyed by stat name.
   void writeJson(JsonWriter &W) const;
 

@@ -109,6 +109,24 @@ void TraceLog::instant(uint32_t Tid, const char *Name, const char *Category,
   push(E);
 }
 
+void TraceLog::flow(uint32_t Tid, const char *Name, const char *Category,
+                    uint64_t Ts, uint64_t FlowId, bool Start,
+                    const char *ArgName, int64_t ArgValue) {
+  if (!Active)
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Phase = Start ? 's' : 'f';
+  E.Pid = CurPid;
+  E.Tid = Tid;
+  E.Ts = Ts;
+  E.FlowId = FlowId;
+  E.ArgName = ArgName;
+  E.ArgValue = ArgValue;
+  push(E);
+}
+
 void TraceLog::hostSpan(const std::string &Name, uint64_t TsUs, uint64_t DurUs,
                         const char *ArgName, int64_t ArgValue) {
   if (!Active)
@@ -213,6 +231,11 @@ void TraceLog::writeChromeJson(std::ostream &OS) const {
       W.keyValue("dur", E.Dur);
     if (E.Phase == 'i')
       W.keyValue("s", "t"); // Thread-scoped instant.
+    if (E.Phase == 's' || E.Phase == 'f') {
+      W.keyValue("id", E.FlowId);
+      if (E.Phase == 'f')
+        W.keyValue("bp", "e"); // Bind the arrow head to the enclosing slice.
+    }
     if (E.ArgName) {
       W.key("args");
       W.beginObject();

@@ -32,16 +32,18 @@ namespace specsync {
 namespace obs {
 
 /// One logged event. Complete events ("X") carry a duration; instants
-/// ("i") do not. One optional integer argument is kept inline so the hot
-/// path never allocates.
+/// ("i") do not; flow events ("s"/"f") carry a flow id and render as
+/// arrows between tracks. One optional integer argument is kept inline so
+/// the hot path never allocates.
 struct TraceEvent {
   const char *Name = "";    ///< Static string.
   const char *Category = "";///< Static string ("sim", "host", ...).
-  char Phase = 'X';         ///< 'X' complete, 'i' instant.
+  char Phase = 'X';         ///< 'X' complete, 'i' instant, 's'/'f' flow.
   uint32_t Pid = 0;         ///< Track group (one per simulated binary/mode).
   uint32_t Tid = 0;         ///< Track (simulated core, or 0 on host).
   uint64_t Ts = 0;          ///< Start timestamp.
   uint64_t Dur = 0;         ///< 'X' only.
+  uint64_t FlowId = 0;      ///< 's'/'f' only: pairs the arrow's endpoints.
   const char *ArgName = nullptr; ///< Optional integer argument.
   int64_t ArgValue = 0;
 };
@@ -86,6 +88,14 @@ public:
   void instant(uint32_t Tid, const char *Name, const char *Category,
                uint64_t Ts, const char *ArgName = nullptr,
                int64_t ArgValue = 0);
+
+  /// Records one endpoint of a flow arrow (Chrome "s" = start at the
+  /// cause, "f" = finish at the effect). Both endpoints must share
+  /// \p FlowId and Name; the viewer draws the arrow between them. Used by
+  /// spec_inspect to overlay squash causality onto the epoch timeline.
+  void flow(uint32_t Tid, const char *Name, const char *Category,
+            uint64_t Ts, uint64_t FlowId, bool Start,
+            const char *ArgName = nullptr, int64_t ArgValue = 0);
 
   /// Records a span on the host wall-clock track (pid 0, microseconds) —
   /// used by compiler/harness phase timers. The event name is copied into

@@ -6,6 +6,8 @@
 
 #include "sim/FaultInjector.h"
 
+#include "obs/EventLog.h"
+
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -32,7 +34,8 @@ constexpr uint64_t FaultStreamId = 0xfa017;
 
 FaultInjector::FaultInjector(const FaultPlan &Plan)
     : Enabled(Plan.enabled()), Plan(Plan),
-      Rng(Random::stream(Plan.Seed, FaultStreamId)) {}
+      Rng(Random::stream(Plan.Seed, FaultStreamId)),
+      Ev(&obs::EventLog::global()) {}
 
 bool FaultInjector::roll(double Pct, uint64_t &Count) {
   if (!Enabled || Pct <= 0)
@@ -43,30 +46,58 @@ bool FaultInjector::roll(double Pct, uint64_t &Count) {
   return true;
 }
 
+// The injector does not know the simulated cycle; a FaultFired record is a
+// class marker in stream order (it lands adjacent to the signal/predictor
+// event it perturbed), not a timestamped sample.
+void FaultInjector::noteFired(uint8_t Class) {
+  if (!Ev || !Ev->active())
+    return;
+  obs::SpecEvent E;
+  E.Kind = static_cast<uint8_t>(obs::EventKind::FaultFired);
+  E.Flags = Class;
+  Ev->push(E);
+}
+
 bool FaultInjector::dropSignal() {
-  return roll(Plan.SignalDropPct, Counts.SignalDrops);
+  if (!roll(Plan.SignalDropPct, Counts.SignalDrops))
+    return false;
+  noteFired(obs::event_flags::kFaultDrop);
+  return true;
 }
 
 uint64_t FaultInjector::delaySignal() {
-  return roll(Plan.SignalDelayPct, Counts.SignalDelays)
-             ? Plan.SignalDelayCycles
-             : 0;
+  if (!roll(Plan.SignalDelayPct, Counts.SignalDelays))
+    return 0;
+  noteFired(obs::event_flags::kFaultDelay);
+  return Plan.SignalDelayCycles;
 }
 
 bool FaultInjector::corruptForward() {
-  return roll(Plan.SignalCorruptPct, Counts.Corruptions);
+  if (!roll(Plan.SignalCorruptPct, Counts.Corruptions))
+    return false;
+  noteFired(obs::event_flags::kFaultCorrupt);
+  return true;
 }
 
 bool FaultInjector::forceMispredict() {
-  return roll(Plan.MispredictPct, Counts.Mispredicts);
+  if (!roll(Plan.MispredictPct, Counts.Mispredicts))
+    return false;
+  noteFired(obs::event_flags::kFaultMispredict);
+  return true;
 }
 
 bool FaultInjector::spuriousViolation() {
-  return roll(Plan.SpuriousViolationPct, Counts.SpuriousViolations);
+  if (!roll(Plan.SpuriousViolationPct, Counts.SpuriousViolations))
+    return false;
+  noteFired(obs::event_flags::kFaultSpurious);
+  return true;
 }
 
 bool FaultInjector::dropHwUpdate() {
-  return roll(Plan.HwUpdateDropPct, Counts.HwDrops);
+  if (!roll(Plan.HwUpdateDropPct, Counts.HwDrops))
+    return false;
+  noteFired(obs::event_flags::kFaultHwDrop);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//

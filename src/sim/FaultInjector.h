@@ -38,6 +38,10 @@
 
 namespace specsync {
 
+namespace obs {
+class EventLog;
+} // namespace obs
+
 /// What to inject and how often. All rates are percentages in [0, 100] of
 /// the corresponding events (signal sends, confident predictions, stores,
 /// table updates). A default-constructed plan injects nothing.
@@ -116,11 +120,15 @@ public:
 
 private:
   bool roll(double Pct, uint64_t &Count);
+  void noteFired(uint8_t Class);
 
   bool Enabled = false;
   FaultPlan Plan;
   Random Rng{0};
   FaultCounts Counts;
+  /// Causal ledger, bound at construction (default ctor never fires, so
+  /// a null handle is fine there).
+  obs::EventLog *Ev = nullptr;
 };
 
 /// The recovery knobs that pair with a FaultPlan: watchdog budget,

@@ -6,6 +6,7 @@
 
 #include "sim/HwSync.h"
 
+#include "obs/EventLog.h"
 #include "obs/StatRegistry.h"
 #include "sim/FaultInjector.h"
 
@@ -17,7 +18,8 @@ HwViolationTable::HwViolationTable(unsigned Capacity, uint64_t ResetInterval)
     : Capacity(Capacity), ResetInterval(ResetInterval),
       CResets(obs::StatRegistry::global().counter("sim.hwsync.resets")),
       CRecorded(
-          obs::StatRegistry::global().counter("sim.hwsync.recorded_loads")) {}
+          obs::StatRegistry::global().counter("sim.hwsync.recorded_loads")),
+      Ev(&obs::EventLog::global()) {}
 
 void HwViolationTable::maybeReset(uint64_t Cycle) {
   if (ResetInterval == 0 || Cycle - LastReset < ResetInterval)
@@ -37,6 +39,13 @@ void HwViolationTable::maybeReset(uint64_t Cycle) {
   LastReset = Cycle;
   ++Resets;
   CResets->add(1);
+  if (Ev->active()) {
+    obs::SpecEvent E;
+    E.Kind = static_cast<uint8_t>(obs::EventKind::HwReset);
+    E.Cycle = Cycle;
+    E.Aux = Lru.size(); // Survivors (sticky entries) after the sweep.
+    Ev->push(E);
+  }
 }
 
 void HwViolationTable::erase(uint32_t LoadId) {
@@ -51,6 +60,14 @@ void HwViolationTable::erase(uint32_t LoadId) {
 void HwViolationTable::recordViolation(uint32_t LoadId, uint64_t Cycle,
                                        bool Sticky) {
   CRecorded->add(1);
+  if (Ev->active()) {
+    obs::SpecEvent E;
+    E.Kind = static_cast<uint8_t>(obs::EventKind::HwLearn);
+    E.Cycle = Cycle;
+    E.StaticId = LoadId;
+    E.Flags = Sticky ? 1 : 0;
+    Ev->push(E);
+  }
   maybeReset(Cycle);
   erase(LoadId);
   if (Lru.size() >= Capacity) {

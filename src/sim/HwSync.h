@@ -33,6 +33,7 @@ namespace specsync {
 class FaultInjector;
 namespace obs {
 struct Counter;
+class EventLog;
 } // namespace obs
 
 class HwViolationTable {
@@ -68,6 +69,7 @@ private:
   // current registry (per-cell under the parallel experiment runner).
   obs::Counter *CResets;
   obs::Counter *CRecorded;
+  obs::EventLog *Ev; ///< Causal ledger, same binding rule.
 };
 
 /// The per-core organization: each core consults and trains its own

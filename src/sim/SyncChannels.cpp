@@ -13,14 +13,47 @@
 
 using namespace specsync;
 
+namespace {
+
+/// Builds the common part of a signal-edge ledger record: producer epoch
+/// on one side, consumer on the other, the channel/group id, and the
+/// (post-injection) arrival cycle.
+obs::SpecEvent signalEvent(obs::EventKind Kind, int Id,
+                           uint64_t ConsumerEpoch, uint64_t Arrival,
+                           uint8_t Flags) {
+  obs::SpecEvent E;
+  E.Kind = static_cast<uint8_t>(Kind);
+  E.Cycle = Arrival;
+  E.Epoch = ConsumerEpoch ? ConsumerEpoch - 1 : 0;
+  E.OtherEpoch = ConsumerEpoch;
+  E.SyncId = Id;
+  E.Flags = Flags;
+  return E;
+}
+
+} // namespace
+
 void SyncChannels::sendScalar(int Channel, uint64_t ConsumerEpoch,
                               uint64_t Arrival, bool Faultable) {
   CScalarSends->add(1);
+  uint8_t EvFlags = 0;
   if (Faultable && Faults) {
-    if (Faults->dropSignal())
-      return; // Lost on the wire; the watchdog recovers the consumer.
-    Arrival += Faults->delaySignal();
+    if (Faults->dropSignal()) {
+      // Lost on the wire; the watchdog recovers the consumer.
+      if (Ev->active())
+        Ev->push(signalEvent(obs::EventKind::SignalScalarSent, Channel,
+                             ConsumerEpoch, Arrival,
+                             obs::event_flags::kSigDropped));
+      return;
+    }
+    uint64_t Delay = Faults->delaySignal();
+    if (Delay)
+      EvFlags |= obs::event_flags::kSigDelayed;
+    Arrival += Delay;
   }
+  if (Ev->active())
+    Ev->push(signalEvent(obs::EventKind::SignalScalarSent, Channel,
+                         ConsumerEpoch, Arrival, EvFlags));
   // Keep the earliest arrival: a signal beats the commit-time auto-signal.
   auto Key = std::make_pair(Channel, ConsumerEpoch);
   auto It = Scalars.find(Key);
@@ -41,13 +74,35 @@ void SyncChannels::sendMem(int Group, uint64_t ConsumerEpoch, uint64_t Addr,
   CMemSends->add(1);
   if (Addr == 0)
     CNullSignals->add(1);
+  uint8_t EvFlags = Addr == 0 ? obs::event_flags::kSigNull : uint8_t(0);
   bool Corrupted = false;
   if (Faultable && Faults) {
-    if (Faults->dropSignal())
+    if (Faults->dropSignal()) {
+      if (Ev->active()) {
+        obs::SpecEvent E =
+            signalEvent(obs::EventKind::SignalMemSent, Group, ConsumerEpoch,
+                        Arrival, EvFlags | obs::event_flags::kSigDropped);
+        E.Addr = Addr;
+        E.Aux = Value;
+        Ev->push(E);
+      }
       return;
-    Arrival += Faults->delaySignal();
+    }
+    uint64_t Delay = Faults->delaySignal();
+    if (Delay)
+      EvFlags |= obs::event_flags::kSigDelayed;
+    Arrival += Delay;
     // NULL signals carry no value, so there is nothing to corrupt.
     Corrupted = Addr != 0 && Faults->corruptForward();
+    if (Corrupted)
+      EvFlags |= obs::event_flags::kSigCorrupted;
+  }
+  if (Ev->active()) {
+    obs::SpecEvent E = signalEvent(obs::EventKind::SignalMemSent, Group,
+                                   ConsumerEpoch, Arrival, EvFlags);
+    E.Addr = Addr;
+    E.Aux = Value;
+    Ev->push(E);
   }
   auto Key = std::make_pair(Group, ConsumerEpoch);
   auto It = Mems.find(Key);

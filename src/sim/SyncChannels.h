@@ -20,6 +20,7 @@
 #ifndef SPECSYNC_SIM_SYNCCHANNELS_H
 #define SPECSYNC_SIM_SYNCCHANNELS_H
 
+#include "obs/EventLog.h"
 #include "obs/StatRegistry.h"
 
 #include <cstdint>
@@ -92,6 +93,9 @@ private:
       obs::StatRegistry::global().counter("sim.channels.mem_sends");
   obs::Counter *CNullSignals =
       obs::StatRegistry::global().counter("sim.channels.null_signals");
+  /// Causal event ledger handle (--events-out); binds to the constructing
+  /// thread's current ledger like the counters above.
+  obs::EventLog *Ev = &obs::EventLog::global();
 };
 
 /// The producer-side signal address buffer (bounded; the paper observes 10

@@ -6,6 +6,7 @@
 
 #include "sim/TLSSimulator.h"
 
+#include "obs/EventLog.h"
 #include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
 
@@ -168,6 +169,12 @@ struct TLSSimulator::Impl {
   // registry counters this simulator folds its per-region totals into.
   bool Tracing = false;
   uint64_t TBase = 0; ///< Trace-time offset of this region instance.
+  // Causal event ledger (--events-out). The handle binds at construction
+  // to the constructing thread's current ledger (per-cell under the
+  // parallel experiment runner); EventsOn is re-cached per region so the
+  // off path costs one predictable branch per emission site.
+  obs::EventLog *Ev = &obs::EventLog::global();
+  bool EventsOn = false;
   obs::Counter *CRegions = obs::StatRegistry::global().counter("sim.regions");
   obs::Counter *CRegionCycles =
       obs::StatRegistry::global().counter("sim.region_cycles");
@@ -232,6 +239,25 @@ struct TLSSimulator::Impl {
                                       ArgName, Arg);
   }
 
+  // --- Ledger helpers -----------------------------------------------------
+  static obs::SpecEvent makeEvent(obs::EventKind K, uint64_t Cycle,
+                                  uint64_t Epoch) {
+    obs::SpecEvent E;
+    E.Kind = static_cast<uint8_t>(K);
+    E.Cycle = Cycle;
+    E.Epoch = Epoch;
+    return E;
+  }
+
+  void eventLifecycle(obs::EventKind K, uint64_t Cycle, uint64_t Epoch,
+                      uint64_t Aux = 0) {
+    if (!EventsOn)
+      return;
+    obs::SpecEvent E = makeEvent(K, Cycle, Epoch);
+    E.Aux = Aux;
+    Ev->push(E);
+  }
+
   // --- Per-instruction slot helpers --------------------------------------
   void graduate(EpochRun &R) {
     if (R.SlotsUsed == width()) {
@@ -249,11 +275,20 @@ struct TLSSimulator::Impl {
     R.SlotsUsed = 0;
   }
 
-  void syncStall(EpochRun &R, uint64_t Cycles, bool IsMem) {
+  void syncStall(EpochRun &R, uint64_t Cycles, bool IsMem, int SyncId) {
     if (Cycles == 0)
       return;
     traceSpan(R, IsMem ? "wait.mem" : "wait.scalar", R.Cycle, Cycles,
               "epoch", static_cast<int64_t>(R.Epoch));
+    if (EventsOn) {
+      obs::SpecEvent E =
+          makeEvent(obs::EventKind::WaitStall, R.Cycle, R.Epoch);
+      E.OtherEpoch = R.Epoch - 1; // Waits target the previous epoch.
+      E.Aux = Cycles;
+      E.SyncId = SyncId;
+      E.Flags = IsMem ? obs::event_flags::kStallMem : 0;
+      Ev->push(E);
+    }
     stall(R, Cycles);
     if (IsMem)
       R.SyncMemSlots += Cycles * width();
@@ -272,6 +307,7 @@ struct TLSSimulator::Impl {
     R.Cycle = std::max(EarliestStart, SpawnReady);
     R.AttemptStart = R.Cycle;
     StartCycle[Epoch] = R.Cycle;
+    eventLifecycle(obs::EventKind::EpochStart, R.Cycle, Epoch);
     assert(Epoch == NextToCommit + Active.size() &&
            "epochs must dispatch in ascending order");
     Active.push_back(std::move(R));
@@ -304,6 +340,7 @@ struct TLSSimulator::Impl {
       Stats.Slots.Fail += Wasted * width();
       traceSpan(R, "squash", R.AttemptStart, Wasted, "epoch",
                 static_cast<int64_t>(E));
+      eventLifecycle(obs::EventKind::EpochSquash, Now, E, Wasted);
       Spec.clearEpoch(E);
       Channels.clearForConsumer(E + 1);
       uint64_t RestartAt = Now + Config.ViolationRestartPenalty;
@@ -327,6 +364,7 @@ struct TLSSimulator::Impl {
         }
       }
       resetAttempt(R, RestartAt);
+      eventLifecycle(obs::EventKind::EpochRestart, RestartAt, E);
     }
   }
 
@@ -355,6 +393,25 @@ struct TLSSimulator::Impl {
       ++Stats.ViolHwOnly;
     else
       ++Stats.ViolNeither;
+
+    if (EventsOn) {
+      // Full causality: violating store, victim load, address, line, and
+      // the Figure 11 attribution verdict. Emitted before the squash so
+      // stream order ties the EpochSquash records to this cause.
+      obs::SpecEvent E =
+          makeEvent(obs::EventKind::Violation, R.Cycle, R.Epoch);
+      E.StaticId = DI.StaticId;
+      E.Context = DI.Context;
+      E.OtherEpoch = Reader->Epoch;
+      E.OtherStaticId = Reader->LoadStaticId;
+      E.OtherContext = Reader->LoadContext;
+      E.SyncId = Reader->LoadSyncId;
+      E.Addr = DI.Addr;
+      E.Aux = Spec.lineOf(DI.Addr);
+      E.Flags = (CompilerWould ? obs::event_flags::kCompilerWould : 0) |
+                (HwWould ? obs::event_flags::kHwWould : 0);
+      Ev->push(E);
+    }
 
     // Negative feedback for the hybrid filter (iii): if a filtered
     // group's load just got violated, its synchronization was not useless
@@ -415,6 +472,19 @@ struct TLSSimulator::Impl {
     if (Stalled)
       traceSpan(R, IsMem ? "wait.mem" : "wait.scalar", R.Cycle, Stalled,
                 "epoch", static_cast<int64_t>(R.Epoch));
+    if (EventsOn && Stalled) {
+      obs::SpecEvent E = makeEvent(obs::EventKind::WaitStall, R.Cycle, R.Epoch);
+      E.Aux = Stalled;
+      E.Flags = IsMem ? obs::event_flags::kStallMem : 0;
+      if (R.State == EpochRun::St::ParkedCommit) {
+        E.OtherEpoch = R.ParkCommitTarget;
+        E.Flags |= obs::event_flags::kStallCommit;
+      } else {
+        E.OtherEpoch = R.Epoch - 1;
+        E.SyncId = R.ParkId;
+      }
+      Ev->push(E);
+    }
     if (IsMem)
       R.SyncMemSlots += Stalled * width();
     else
@@ -465,6 +535,16 @@ struct TLSSimulator::Impl {
     Stats.SabMaxOccupancy =
         std::max<uint64_t>(Stats.SabMaxOccupancy, R.Sab.size());
     ++Stats.EpochsCommitted;
+
+    if (EventsOn) {
+      // Addr carries the finish cycle so the analyses can separate commit
+      // serialization (CommitStart - Finish) from the commit latency.
+      obs::SpecEvent E =
+          makeEvent(obs::EventKind::EpochCommit, CommitStart, R.Epoch);
+      E.Addr = R.FinishCycle;
+      E.Aux = CommitEnd;
+      Ev->push(E);
+    }
 
     uint64_t E = R.Epoch;
 
@@ -527,7 +607,7 @@ struct TLSSimulator::Impl {
       }
       graduate(R);
       if (F->ArrivalCycle > R.Cycle)
-        syncStall(R, F->ArrivalCycle - R.Cycle, /*IsMem=*/false);
+        syncStall(R, F->ArrivalCycle - R.Cycle, /*IsMem=*/false, DI.SyncId);
       break;
     }
 
@@ -574,7 +654,7 @@ struct TLSSimulator::Impl {
       }
       graduate(R);
       if (F->ArrivalCycle > R.Cycle)
-        syncStall(R, F->ArrivalCycle - R.Cycle, /*IsMem=*/true);
+        syncStall(R, F->ArrivalCycle - R.Cycle, /*IsMem=*/true, DI.SyncId);
       break;
     }
 
@@ -666,6 +746,15 @@ struct TLSSimulator::Impl {
               ++Stats.CorruptionsDetected;
               traceInstant(R, "fault.corrupt_detected", R.Cycle, "group",
                            DI.SyncId);
+              if (EventsOn) {
+                obs::SpecEvent E = makeEvent(obs::EventKind::CorruptDetected,
+                                             R.Cycle, R.Epoch);
+                E.StaticId = DI.StaticId;
+                E.Context = DI.Context;
+                E.Addr = DI.Addr;
+                E.SyncId = DI.SyncId;
+                Ev->push(E);
+              }
               if (!isProtected(R.Epoch)) {
                 squashFrom(R.Epoch, R.Cycle + Config.ViolationDetectLatency);
                 return; // R was reset; the epoch re-executes.
@@ -688,6 +777,14 @@ struct TLSSimulator::Impl {
         } else if (O == ValuePredictor::Outcome::WrongConfident) {
           ++Stats.PredictorWrong;
           ++Stats.PredictRestarts;
+          if (EventsOn) {
+            obs::SpecEvent E = makeEvent(obs::EventKind::PredictRestart,
+                                         R.Cycle, R.Epoch);
+            E.StaticId = DI.StaticId;
+            E.Context = DI.Context;
+            E.Addr = DI.Addr;
+            Ev->push(E);
+          }
           squashFrom(R.Epoch, R.Cycle);
           return; // R was reset; the epoch re-executes.
         }
@@ -723,6 +820,15 @@ struct TLSSimulator::Impl {
           ++Stats.SabViolations;
           traceInstant(R, "sab_violation", R.Cycle, "epoch",
                        static_cast<int64_t>(R.Epoch));
+          if (EventsOn) {
+            obs::SpecEvent E = makeEvent(obs::EventKind::SabViolation,
+                                         R.Cycle, R.Epoch);
+            E.OtherEpoch = R.Epoch + 1;
+            E.StaticId = DI.StaticId;
+            E.Context = DI.Context;
+            E.Addr = DI.Addr;
+            Ev->push(E);
+          }
           squashFrom(R.Epoch + 1, R.Cycle + Config.ViolationDetectLatency);
           // The squashed consumer will re-wait; refresh the forward.
         }
@@ -748,6 +854,15 @@ struct TLSSimulator::Impl {
             Faults.spuriousViolation()) {
           traceInstant(R, "fault.spurious_violation", R.Cycle, "victim",
                        static_cast<int64_t>(Victim));
+          if (EventsOn) {
+            obs::SpecEvent E = makeEvent(obs::EventKind::SpuriousViolation,
+                                         R.Cycle, R.Epoch);
+            E.OtherEpoch = Victim;
+            E.StaticId = DI.StaticId;
+            E.Context = DI.Context;
+            E.Addr = DI.Addr;
+            Ev->push(E);
+          }
           squashFrom(Victim, R.Cycle + Config.ViolationDetectLatency);
         }
       }
@@ -793,6 +908,14 @@ struct TLSSimulator::Impl {
       uint64_t Arrival = R.Cycle + Backoff;
       traceInstant(R, "watchdog.wake", R.Cycle,
                    R.ParkIsMem ? "group" : "channel", R.ParkId);
+      if (EventsOn) {
+        obs::SpecEvent EV =
+            makeEvent(obs::EventKind::WatchdogWake, R.Cycle, E);
+        EV.Aux = Arrival;
+        EV.SyncId = R.ParkId;
+        EV.Flags = R.ParkIsMem ? obs::event_flags::kStallMem : 0;
+        Ev->push(EV);
+      }
       if (R.ParkIsMem)
         Channels.sendMem(R.ParkId, E, /*Addr=*/0, /*Value=*/0, Arrival,
                          /*Faultable=*/false);
@@ -860,9 +983,16 @@ struct TLSSimulator::Impl {
       for (unsigned C = 0; C < Config.NumCores; ++C)
         TL.nameThread(TL.currentPid(), C, "core " + std::to_string(C));
     }
+    EventsOn = Ev->active();
+    if (EventsOn) {
+      Ev->beginRegion();
+      eventLifecycle(obs::EventKind::RegionBegin, 0, 0, NumEpochs);
+    }
 
-    if (NumEpochs == 0)
+    if (NumEpochs == 0) {
+      eventLifecycle(obs::EventKind::RegionEnd, 0, 0);
       return Stats;
+    }
 
     for (uint64_t E = 0; E < std::min<uint64_t>(NumEpochs, Config.NumCores);
          ++E)
@@ -903,6 +1033,7 @@ struct TLSSimulator::Impl {
     Stats.Slots.Total =
         Stats.Cycles * Config.IssueWidth * Config.NumCores;
     Stats.HwTableResets = HwTables.numResets();
+    eventLifecycle(obs::EventKind::RegionEnd, TokenFreeAt, 0);
 
     // Injector totals accumulate across regions; report this region's share.
     const FaultCounts &FC = Faults.counts();

@@ -6,6 +6,7 @@
 
 #include "sim/ValuePredictor.h"
 
+#include "obs/EventLog.h"
 #include "obs/StatRegistry.h"
 #include "sim/FaultInjector.h"
 
@@ -21,7 +22,8 @@ ValuePredictor::ValuePredictor(unsigned NumEntries)
     : Table(NumEntries),
       CLookups(obs::StatRegistry::global().counter("sim.predictor.lookups")),
       CCorrect(obs::StatRegistry::global().counter("sim.predictor.correct")),
-      CWrong(obs::StatRegistry::global().counter("sim.predictor.wrong")) {
+      CWrong(obs::StatRegistry::global().counter("sim.predictor.wrong")),
+      Ev(&obs::EventLog::global()) {
   assert(NumEntries > 0 && "predictor needs at least one entry");
 }
 
@@ -50,6 +52,19 @@ ValuePredictor::predictAndTrain(uint32_t LoadId, uint64_t ActualValue,
       ++NumWrong;
       CWrong->add(1);
     }
+  }
+
+  if (Ev->active()) {
+    obs::SpecEvent LE;
+    LE.Kind = static_cast<uint8_t>(obs::EventKind::PredictLookup);
+    LE.StaticId = LoadId;
+    LE.Aux = ActualValue;
+    LE.Flags = Result == Outcome::CorrectConfident
+                   ? obs::event_flags::kPredCorrect
+                   : Result == Outcome::WrongConfident
+                         ? obs::event_flags::kPredWrong
+                         : obs::event_flags::kPredNone;
+    Ev->push(LE);
   }
 
   // Train.

@@ -23,6 +23,7 @@ namespace specsync {
 class FaultInjector;
 namespace obs {
 struct Counter;
+class EventLog;
 } // namespace obs
 
 class ValuePredictor {
@@ -68,6 +69,7 @@ private:
   obs::Counter *CLookups;
   obs::Counter *CCorrect;
   obs::Counter *CWrong;
+  obs::EventLog *Ev; ///< Causal ledger, same binding rule.
 };
 
 } // namespace specsync

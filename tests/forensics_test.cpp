@@ -1,0 +1,393 @@
+//===- tests/forensics_test.cpp - Event-ledger forensics tests --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The speculation-forensics stack: EventLog ring/serialization semantics,
+// the squash-attribution and critical-path analyses on hand-built streams,
+// and the load-bearing differential — for random programs and for every
+// Table 2 workload across modes, the analyses computed from the event
+// stream must reconcile EXACTLY with the simulator's aggregate counters
+// (ForensicsResult::reconciles), including under fault injection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+#include "obs/CriticalPath.h"
+#include "obs/EventLog.h"
+#include "obs/SquashAttribution.h"
+#include "RandomProgram.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace specsync;
+using obs::EventKind;
+using obs::EventLog;
+using obs::SpecEvent;
+
+namespace {
+
+SpecEvent ev(EventKind K, uint64_t Cycle = 0, uint64_t Epoch = 0,
+             uint64_t Aux = 0) {
+  SpecEvent E;
+  E.Kind = static_cast<uint8_t>(K);
+  E.Cycle = Cycle;
+  E.Epoch = Epoch;
+  E.Aux = Aux;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// EventLog ring semantics
+//===----------------------------------------------------------------------===//
+
+TEST(EventLog, InactiveRecordsNothing) {
+  EventLog Log;
+  Log.push(ev(EventKind::EpochStart));
+  EXPECT_EQ(Log.size(), 0u);
+  EXPECT_EQ(Log.nextSeq(), 0u);
+}
+
+TEST(EventLog, SequenceNumbersAreAbsolute) {
+  EventLog Log;
+  Log.start(8); // Rounds up to one whole chunk.
+  EXPECT_EQ(Log.capacity(), EventLog::ChunkEvents);
+  for (uint64_t I = 0; I < 10; ++I)
+    Log.push(ev(EventKind::EpochStart, /*Cycle=*/I));
+  EXPECT_EQ(Log.firstSeq(), 0u);
+  EXPECT_EQ(Log.nextSeq(), 10u);
+  EXPECT_EQ(Log.at(7).Cycle, 7u);
+  std::vector<SpecEvent> Tail = Log.eventsSince(6);
+  ASSERT_EQ(Tail.size(), 4u);
+  EXPECT_EQ(Tail[0].Cycle, 6u);
+}
+
+TEST(EventLog, RecyclesOldestChunkAndKeepsSeqAligned) {
+  EventLog Log;
+  Log.start(2 * EventLog::ChunkEvents);
+  uint64_t Total = 5 * EventLog::ChunkEvents + 17;
+  for (uint64_t I = 0; I < Total; ++I)
+    Log.push(ev(EventKind::EpochStart, I));
+  EXPECT_EQ(Log.nextSeq(), Total);
+  // The ring holds at most Capacity live records and recycles whole
+  // chunks, so the oldest live seq stays chunk-aligned.
+  EXPECT_LE(Log.size(), Log.capacity());
+  EXPECT_EQ(Log.firstSeq() % EventLog::ChunkEvents, 0u);
+  EXPECT_EQ(Log.dropped(), Log.firstSeq());
+  // Live records still read back by absolute seq.
+  EXPECT_EQ(Log.at(Log.firstSeq()).Cycle, Log.firstSeq());
+  EXPECT_EQ(Log.at(Total - 1).Cycle, Total - 1);
+}
+
+TEST(EventLog, RegionStampsAndRunMarks) {
+  EventLog Log;
+  Log.start();
+  Log.beginRun("A/U");
+  Log.beginRegion();
+  Log.push(ev(EventKind::RegionBegin));
+  Log.beginRegion();
+  Log.push(ev(EventKind::RegionBegin));
+  Log.beginRun("A/C");
+  Log.beginRegion();
+  Log.push(ev(EventKind::RegionBegin));
+
+  ASSERT_EQ(Log.runs().size(), 2u);
+  EXPECT_EQ(Log.runs()[0].Seq, 0u);
+  EXPECT_EQ(Log.runs()[0].Label, "A/U");
+  EXPECT_EQ(Log.runs()[1].Seq, 2u);
+  // beginRun resets the region counter, so stamps are per-run.
+  EXPECT_EQ(Log.at(0).Region, 1u);
+  EXPECT_EQ(Log.at(1).Region, 2u);
+  EXPECT_EQ(Log.at(2).Region, 1u);
+}
+
+TEST(EventLog, MergeRebasesRunMarksAndCarriesDrops) {
+  EventLog Host;
+  Host.start();
+  Host.beginRun("HOST/U");
+  Host.push(ev(EventKind::EpochStart, 1));
+
+  EventLog Cell;
+  Cell.start();
+  Cell.beginRun("CELL/U");
+  Cell.push(ev(EventKind::EpochStart, 2));
+  Cell.push(ev(EventKind::EpochCommit, 3));
+  Cell.stop();
+
+  Host.mergeFrom(Cell);
+  ASSERT_EQ(Host.runs().size(), 2u);
+  EXPECT_EQ(Host.runs()[1].Label, "CELL/U");
+  EXPECT_EQ(Host.runs()[1].Seq, 1u); // Rebased onto the host's sequence.
+  ASSERT_EQ(Host.size(), 3u);
+  EXPECT_EQ(Host.at(1).Cycle, 2u);
+  EXPECT_EQ(Host.at(2).Cycle, 3u);
+}
+
+TEST(EventLog, ScopedOverrideRedirectsGlobal) {
+  EventLog Cell;
+  Cell.start();
+  {
+    obs::ScopedEventLog Scope(&Cell);
+    EXPECT_EQ(&EventLog::global(), &Cell);
+    EventLog::global().push(ev(EventKind::EpochStart));
+  }
+  EXPECT_EQ(&EventLog::global(), &EventLog::process());
+  EXPECT_EQ(Cell.size(), 1u);
+}
+
+TEST(EventLog, BinaryRoundTrip) {
+  EventLog Log;
+  Log.start(EventLog::ChunkEvents);
+  Log.beginRun("RT/U");
+  for (uint64_t I = 0; I < EventLog::ChunkEvents + 100; ++I) {
+    SpecEvent E = ev(EventKind::Violation, I, I % 7, I * 3);
+    E.StaticId = static_cast<uint32_t>(I);
+    E.Addr = 0x1000 + I;
+    Log.push(E);
+  }
+  Log.beginRun("RT/C");
+  Log.push(ev(EventKind::EpochCommit, 99));
+
+  std::string Path = testing::TempDir() + "forensics_roundtrip.ssev";
+  ASSERT_TRUE(Log.write(Path));
+
+  obs::EventFile File;
+  std::string Error;
+  ASSERT_TRUE(EventLog::read(Path, File, &Error)) << Error;
+  EXPECT_EQ(File.FirstSeq, Log.firstSeq());
+  EXPECT_EQ(File.Dropped, Log.dropped());
+  ASSERT_EQ(File.Events.size(), Log.size());
+  ASSERT_EQ(File.Runs.size(), 2u);
+  EXPECT_EQ(File.Runs[0].Label, "RT/U");
+  EXPECT_EQ(File.Runs[1].Label, "RT/C");
+  for (size_t I = 0; I < File.Events.size(); ++I) {
+    const SpecEvent &A = File.Events[I];
+    const SpecEvent &B = Log.at(Log.firstSeq() + I);
+    EXPECT_EQ(A.Cycle, B.Cycle);
+    EXPECT_EQ(A.StaticId, B.StaticId);
+    EXPECT_EQ(A.Addr, B.Addr);
+    EXPECT_EQ(A.Kind, B.Kind);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(EventLog, ReadRejectsGarbage) {
+  std::string Path = testing::TempDir() + "forensics_garbage.ssev";
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("not an event file at all", F);
+  std::fclose(F);
+  obs::EventFile File;
+  std::string Error;
+  EXPECT_FALSE(EventLog::read(Path, File, &Error));
+  EXPECT_FALSE(Error.empty());
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Analyses on hand-built streams
+//===----------------------------------------------------------------------===//
+
+TEST(SquashAttribution, MostRecentCauseOwnsEverySquash) {
+  std::vector<SpecEvent> S;
+  SpecEvent V = ev(EventKind::Violation, 100, /*store epoch*/ 2);
+  V.StaticId = 7;
+  V.Context = 1;
+  V.OtherStaticId = 9;
+  V.OtherContext = 2;
+  V.Addr = 0x40;
+  S.push_back(V);
+  S.push_back(ev(EventKind::EpochSquash, 100, 3, /*wasted*/ 50));
+  S.push_back(ev(EventKind::EpochSquash, 100, 4, /*wasted*/ 30));
+  S.push_back(ev(EventKind::PredictRestart, 200, 5));
+  S.push_back(ev(EventKind::EpochSquash, 200, 5, /*wasted*/ 20));
+
+  obs::SquashAttributionResult R = obs::attributeSquashes(S, /*Width=*/4);
+  EXPECT_EQ(R.Violations, 1u);
+  EXPECT_EQ(R.PredictRestarts, 1u);
+  EXPECT_EQ(R.EpochsSquashed, 3u);
+  EXPECT_EQ(R.TotalWastedCycles, 100u);
+  EXPECT_EQ(R.FailSlots, 400u);
+
+  obs::ViolationPairKey Key{7, 1, 9, 2};
+  ASSERT_EQ(R.Pairs.count(Key), 1u);
+  const obs::PairSquashStats &P = R.Pairs.at(Key);
+  EXPECT_EQ(P.Violations, 1u);
+  EXPECT_EQ(P.EpochsSquashed, 2u); // Both squashes before the mispredict.
+  EXPECT_EQ(P.WastedCycles, 80u);
+  EXPECT_EQ(P.AddrHeat.at(0x40), 1u);
+  EXPECT_EQ(R.Predict.EpochsSquashed, 1u);
+  EXPECT_EQ(R.Predict.WastedCycles, 20u);
+}
+
+TEST(SquashAttribution, StallsFoldOnlyAtCommit) {
+  using namespace obs::event_flags;
+  std::vector<SpecEvent> S;
+  // Epoch 1: stalls 10 scalar cycles, then its attempt is squashed — the
+  // stall is discarded. The retry stalls 5 mem cycles and commits.
+  SpecEvent W1 = ev(EventKind::WaitStall, 10, 1, 10);
+  S.push_back(W1);
+  S.push_back(ev(EventKind::Violation, 20, 0));
+  S.push_back(ev(EventKind::EpochSquash, 20, 1, 15));
+  SpecEvent W2 = ev(EventKind::WaitStall, 30, 1, 5);
+  W2.Flags = kStallMem;
+  S.push_back(W2);
+  S.push_back(ev(EventKind::EpochCommit, 40, 1));
+  // Epoch 2 stalls but never commits (region broke off): discarded too.
+  S.push_back(ev(EventKind::WaitStall, 50, 2, 7));
+
+  obs::SquashAttributionResult R = obs::attributeSquashes(S, /*Width=*/2);
+  EXPECT_EQ(R.SyncScalarSlots, 0u);
+  EXPECT_EQ(R.SyncMemSlots, 10u); // 5 cycles * width 2.
+  EXPECT_EQ(R.EpochsCommitted, 1u);
+}
+
+TEST(CriticalPath, ChainFollowsConsecutiveStalledCommits) {
+  std::vector<SpecEvent> S;
+  auto commit = [&](uint64_t Epoch, uint64_t Finish, uint64_t CommitStart) {
+    SpecEvent E = ev(EventKind::EpochCommit, CommitStart, Epoch);
+    E.Addr = Finish;
+    S.push_back(E);
+  };
+  S.push_back(ev(EventKind::RegionBegin, 0, 0, /*epochs*/ 5));
+  commit(0, 100, 100); // Busy head.
+  S.push_back(ev(EventKind::WaitStall, 10, 1, 40));
+  commit(1, 150, 150);
+  S.push_back(ev(EventKind::WaitStall, 60, 2, 60));
+  commit(2, 200, 200);
+  commit(3, 210, 220); // No stall: breaks the chain; commit-bound (wait 10).
+  S.push_back(ev(EventKind::WaitStall, 220, 4, 30));
+  commit(4, 260, 260);
+  S.push_back(ev(EventKind::RegionEnd, 300, 0));
+
+  obs::CriticalPathResult R = obs::analyzeCriticalPath(S);
+  ASSERT_EQ(R.Regions.size(), 1u);
+  const obs::RegionCriticalPath &Reg = R.Regions[0];
+  EXPECT_EQ(Reg.NumEpochs, 5u);
+  EXPECT_EQ(Reg.EpochsCommitted, 5u);
+  EXPECT_EQ(Reg.FinishCycle, 300u);
+  EXPECT_EQ(Reg.ChainLen, 2u); // Epochs 1-2.
+  EXPECT_EQ(Reg.ChainCycles, 100u);
+  EXPECT_EQ(Reg.ChainEndEpoch, 2u);
+  EXPECT_EQ(Reg.SyncBound, 3u);
+  EXPECT_EQ(Reg.CommitBound, 1u);
+  EXPECT_EQ(Reg.Busy, 1u);
+  EXPECT_EQ(R.MaxChainRegion, Reg.Region);
+}
+
+TEST(CriticalPath, SquashedAttemptStallsDoNotSurvive) {
+  std::vector<SpecEvent> S;
+  S.push_back(ev(EventKind::RegionBegin, 0, 0, 1));
+  S.push_back(ev(EventKind::WaitStall, 10, 0, 100));
+  S.push_back(ev(EventKind::Violation, 20, 0));
+  S.push_back(ev(EventKind::EpochSquash, 20, 0, /*wasted*/ 500));
+  SpecEvent C = ev(EventKind::EpochCommit, 600, 0);
+  C.Addr = 600;
+  S.push_back(C);
+  S.push_back(ev(EventKind::RegionEnd, 700, 0));
+
+  obs::CriticalPathResult R = obs::analyzeCriticalPath(S);
+  // The final attempt never stalled; the epoch is squash-bound and no
+  // chain forms from the discarded attempt's wait.
+  EXPECT_EQ(R.MaxChainLen, 0u);
+  EXPECT_EQ(R.SquashBound, 1u);
+  EXPECT_EQ(R.SyncBound, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reconciliation differential: stream analyses == simulator counters
+//===----------------------------------------------------------------------===//
+
+void expectReconciles(const Workload &W, ExecMode Mode,
+                      const RobustnessOptions &Robust = {}) {
+  EventLog Log;
+  Log.start();
+  obs::ScopedEventLog Scope(&Log);
+
+  MachineConfig Config;
+  BenchmarkPipeline P(W, Config);
+  P.setRobustness(Robust);
+  P.prepare();
+  ModeRunResult R = P.run(Mode);
+
+  ASSERT_TRUE(R.Forensics) << W.Name << ": ledger active but no forensics";
+  std::string Why;
+  EXPECT_TRUE(R.Forensics->reconciles(&Why))
+      << W.Name << "/" << modeName(Mode) << ": " << Why;
+  EXPECT_GT(R.Forensics->EventCount, 0u) << W.Name;
+}
+
+Workload randomWorkload(uint64_t Seed) {
+  Workload W;
+  W.Name = "RAND" + std::to_string(Seed);
+  W.SpecName = "random";
+  W.Character = "seeded random region loop";
+  W.Build = [Seed](InputKind) { return makeRandomProgram(Seed); };
+  return W;
+}
+
+TEST(ForensicsDifferential, RandomProgramsReconcileExactly) {
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Workload W = randomWorkload(Seed);
+    for (ExecMode M : {ExecMode::U, ExecMode::C, ExecMode::P, ExecMode::B})
+      expectReconciles(W, M);
+  }
+}
+
+TEST(ForensicsDifferential, AllTable2WorkloadsReconcileExactly) {
+  for (const Workload &W : allWorkloads())
+    for (ExecMode M : {ExecMode::U, ExecMode::O, ExecMode::T, ExecMode::C,
+                       ExecMode::E, ExecMode::L, ExecMode::P, ExecMode::H,
+                       ExecMode::B})
+      expectReconciles(W, M);
+}
+
+TEST(ForensicsDifferential, ReconcilesUnderFaultInjection) {
+  RobustnessOptions Robust;
+  Robust.Plan = FaultPlan::uniform(/*Seed=*/42, /*RatePct=*/2.0);
+  Robust.WatchdogBudget = 1u << 20;
+  for (const char *Name : {"GZIP_COMP", "PARSER", "MCF"}) {
+    const Workload *W = findWorkload(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    for (ExecMode M : {ExecMode::C, ExecMode::B})
+      expectReconciles(*W, M, Robust);
+  }
+  for (uint64_t Seed = 20; Seed < 26; ++Seed)
+    expectReconciles(randomWorkload(Seed), ExecMode::B, Robust);
+}
+
+TEST(ForensicsDifferential, NoForensicsWhenLedgerInactive) {
+  const Workload *W = findWorkload("GZIP_COMP");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline P(*W, Config);
+  P.prepare();
+  ModeRunResult R = P.run(ExecMode::U);
+  EXPECT_EQ(R.Forensics, nullptr);
+}
+
+TEST(ForensicsDifferential, DroppedEventsFailReconciliationWithReason) {
+  EventLog Log;
+  Log.start(EventLog::ChunkEvents); // Far too small for a full run.
+  obs::ScopedEventLog Scope(&Log);
+
+  const Workload *W = findWorkload("GZIP_COMP");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline P(*W, Config);
+  P.prepare();
+  ModeRunResult R = P.run(ExecMode::U); // Records ~13k events.
+
+  ASSERT_TRUE(R.Forensics);
+  ASSERT_GT(R.Forensics->DroppedEvents, 0u);
+  std::string Why;
+  EXPECT_FALSE(R.Forensics->reconciles(&Why));
+  EXPECT_NE(Why.find("dropped"), std::string::npos) << Why;
+}
+
+} // namespace

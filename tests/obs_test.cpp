@@ -6,20 +6,25 @@
 //
 // Unit tests for src/obs/: stat registry semantics (including the
 // disabled-mode no-op guarantee), JSON writer/parser round trips,
-// Chrome trace-event well-formedness, and a golden round trip of the
-// harness JSON report for a known TLSSimResult.
+// Chrome trace-event well-formedness (including the multi-shard merge
+// property the --jobs runner relies on), a golden round trip of the
+// harness JSON report for a known TLSSimResult, and conformance of every
+// emitted stat name against docs/REPORT_SCHEMA.md.
 //
 //===----------------------------------------------------------------------===//
 
+#include "harness/Pipeline.h"
 #include "harness/Report.h"
 #include "obs/Json.h"
 #include "obs/ObsOptions.h"
 #include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
+#include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 using namespace specsync;
@@ -248,6 +253,66 @@ TEST(TraceLog, RingOverwritesOldestAndCountsDropped) {
   EXPECT_EQ((*V)["droppedEvents"].asUint(), 12u);
 }
 
+TEST(TraceLog, MultiShardMergeMatchesSerialRecording) {
+  constexpr unsigned NumCells = 4;
+
+  // What one grid cell's pipeline would log: a simulator track group
+  // with spans, an instant, a squash-causality flow arrow, and a host
+  // phase span; the cell then advances the simulated-time base.
+  const char *CellNames[NumCells] = {"WL/A", "WL/B", "WL/C", "WL/D"};
+  auto recordCell = [&](obs::TraceLog &T, unsigned I) {
+    uint32_t Pid = T.beginProcess(CellNames[I]);
+    T.nameThread(Pid, 0, "core 0");
+    T.nameThread(Pid, 1, "core 1");
+    uint64_t Base = T.timeBase();
+    for (uint64_t E = 0; E < 4; ++E)
+      T.complete(E % 2, "epoch", "sim", Base + E * 10, 8, "epoch",
+                 static_cast<int64_t>(E));
+    T.instant(1, "violation", "sim", Base + 13);
+    T.flow(1, "squash-cause", "sim", Base + 13, /*FlowId=*/I + 1,
+           /*Start=*/true);
+    T.flow(0, "squash-cause", "sim", Base + 20, /*FlowId=*/I + 1,
+           /*Start=*/false);
+    T.hostSpan("harness.run", 100 * I, 50, "items", static_cast<int64_t>(I));
+    T.advanceTimeBase(64);
+  };
+
+  // Serial reference: one log records every cell back to back, exactly
+  // as a --jobs=1 run would.
+  obs::TraceLog Serial;
+  Serial.start(/*Capacity=*/256);
+  for (unsigned I = 0; I < NumCells; ++I)
+    recordCell(Serial, I);
+
+  // Sharded run: each cell records into its own log (what worker
+  // threads do under --jobs=N), then the host merges them in canonical
+  // grid order.
+  obs::TraceLog Host;
+  Host.start(/*Capacity=*/256);
+  size_t TotalCellEvents = 0;
+  for (unsigned I = 0; I < NumCells; ++I) {
+    obs::TraceLog Cell;
+    Cell.start(/*Capacity=*/256);
+    recordCell(Cell, I);
+    Cell.stop();
+    TotalCellEvents += Cell.size();
+    Host.mergeFrom(Cell);
+  }
+
+  // Event-count preserving: nothing is lost or duplicated by the merge.
+  EXPECT_EQ(Host.size(), TotalCellEvents);
+  EXPECT_EQ(Host.size(), Serial.size());
+  EXPECT_EQ(Host.dropped(), 0u);
+
+  // Order-canonical: the merged log serializes byte-identically to the
+  // serial recording — same pid assignment, same rebased timestamps,
+  // same metadata order, flow ids intact.
+  std::ostringstream SerialJson, MergedJson;
+  Serial.writeChromeJson(SerialJson);
+  Host.writeChromeJson(MergedJson);
+  EXPECT_EQ(MergedJson.str(), SerialJson.str());
+}
+
 TEST(TraceLog, InactiveLogRecordsNothing) {
   obs::TraceLog &TL = obs::TraceLog::global();
   TL.clear();
@@ -262,21 +327,25 @@ TEST(TraceLog, InactiveLogRecordsNothing) {
 //===----------------------------------------------------------------------===//
 
 TEST(ObsOptions, ParsesAndStripsFlags) {
-  const char *Raw[] = {"prog", "--stats", "POSITIONAL",
-                       "--trace-out=t.json", "--json-out=r.json",
-                       "--trace-capacity=1024"};
-  char *Argv[6];
+  const char *Raw[] = {"prog",              "--stats",
+                       "POSITIONAL",        "--trace-out=t.json",
+                       "--json-out=r.json", "--trace-capacity=1024",
+                       "--events-out=e.bin", "--events-cap=8192"};
+  constexpr int N = sizeof(Raw) / sizeof(Raw[0]);
+  char *Argv[N];
   std::vector<std::string> Storage(std::begin(Raw), std::end(Raw));
-  for (int I = 0; I < 6; ++I)
+  for (int I = 0; I < N; ++I)
     Argv[I] = Storage[I].data();
 
-  obs::ObsOptions Opts = obs::parseObsArgs(6, Argv);
+  obs::ObsOptions Opts = obs::parseObsArgs(N, Argv);
   EXPECT_TRUE(Opts.Stats);
   EXPECT_EQ(Opts.TraceOut, "t.json");
   EXPECT_EQ(Opts.JsonOut, "r.json");
   EXPECT_EQ(Opts.TraceCapacity, 1024u);
+  EXPECT_EQ(Opts.EventsOut, "e.bin");
+  EXPECT_EQ(Opts.EventsCapacity, 8192u);
 
-  int Argc = obs::stripObsArgs(6, Argv);
+  int Argc = obs::stripObsArgs(N, Argv);
   ASSERT_EQ(Argc, 2);
   EXPECT_STREQ(Argv[0], "prog");
   EXPECT_STREQ(Argv[1], "POSITIONAL");
@@ -433,6 +502,65 @@ TEST(SlotBreakdown, OtherNeverUnderflows) {
   S.Total = 10;
   EXPECT_EQ(S.other(), 0u);
 #endif
+}
+
+//===----------------------------------------------------------------------===//
+// Report-schema documentation conformance
+//===----------------------------------------------------------------------===//
+
+/// Folds the run-varying segments of a stat name into the placeholders
+/// docs/REPORT_SCHEMA.md uses: the single mode letter in harness.run.*
+/// becomes <MODE>, the workload segment in engine.* becomes <WORKLOAD>.
+std::string documentedStatName(const std::string &Name) {
+  const std::string RunPrefix = "harness.run.";
+  if (Name.compare(0, RunPrefix.size(), RunPrefix) == 0) {
+    size_t Dot = Name.find('.', RunPrefix.size());
+    if (Dot == RunPrefix.size() + 1) // One-letter mode segment.
+      return RunPrefix + "<MODE>" + Name.substr(Dot);
+  }
+  const std::string EnginePrefix = "engine.";
+  if (Name.compare(0, EnginePrefix.size(), EnginePrefix) == 0) {
+    size_t Dot = Name.find('.', EnginePrefix.size());
+    if (Dot != std::string::npos &&
+        Name.compare(EnginePrefix.size(), Dot - EnginePrefix.size(),
+                     "mean") != 0)
+      return EnginePrefix + "<WORKLOAD>" + Name.substr(Dot);
+  }
+  return Name;
+}
+
+TEST(ReportSchema, EveryEmittedStatNameIsDocumented) {
+  std::ifstream DocFile(SPECSYNC_SOURCE_DIR "/docs/REPORT_SCHEMA.md");
+  ASSERT_TRUE(DocFile.is_open()) << "docs/REPORT_SCHEMA.md is missing";
+  std::stringstream Buf;
+  Buf << DocFile.rdbuf();
+  const std::string Schema = Buf.str();
+
+  // Run a full Table 2 cell grid for one workload into a private
+  // registry; every name it interns must appear in the documented set.
+  StatsEnabledScope Scope;
+  obs::StatRegistry Cell;
+  obs::ScopedStatRegistry Reg(&Cell);
+
+  const Workload *W = findWorkload("GZIP_COMP");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline P(*W, Config);
+  P.prepare();
+  for (ExecMode M : {ExecMode::U, ExecMode::O, ExecMode::T, ExecMode::C,
+                     ExecMode::E, ExecMode::L, ExecMode::P, ExecMode::H,
+                     ExecMode::B})
+    P.run(M);
+
+  std::vector<std::string> Names = Cell.names();
+  ASSERT_FALSE(Names.empty());
+  for (const std::string &Name : Names) {
+    std::string Documented = documentedStatName(Name);
+    EXPECT_NE(Schema.find("`" + Documented + "`"), std::string::npos)
+        << "stat \"" << Name << "\" (documented form `" << Documented
+        << "`) is not listed in docs/REPORT_SCHEMA.md — extend the "
+           "stat-name table when adding instrumentation";
+  }
 }
 
 } // namespace

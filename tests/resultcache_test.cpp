@@ -11,7 +11,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "harness/ExperimentRunner.h"
 #include "harness/ResultCache.h"
+#include "obs/EventLog.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -338,4 +340,38 @@ TEST(ResultCacheDisk, UnusableDirectoryDegradesGracefully) {
   EXPECT_FALSE(Cache.lookup("k").has_value());
   Cache.store("k", CachedRun{}); // Must be a safe no-op.
   EXPECT_EQ(Cache.hits(), 0u);
+}
+
+TEST(ResultCacheSession, DisabledWhileEventLedgerIsActive) {
+  // A cached replay serves simulator results while recording no events,
+  // so a run that would have produced an event stream must never be
+  // answered from the cache: makeSessionResultCache — the single path by
+  // which bench binaries obtain a cache — refuses while the process
+  // event ledger is recording.
+  std::string Dir = testing::TempDir() + "specsync_cache_events";
+  std::filesystem::remove_all(Dir);
+  ExperimentOptions Opts;
+  Opts.CacheDir = Dir;
+  setSessionExperimentOptions(Opts);
+
+  // Sanity: with no observability sink active the cache comes up.
+  {
+    std::unique_ptr<ResultCache> Cache = makeSessionResultCache();
+    ASSERT_NE(Cache, nullptr);
+    EXPECT_TRUE(Cache->valid());
+  }
+
+  // --events-out active: no cache, even with CacheDir configured, so
+  // every run truly executes and feeds the ledger.
+  obs::EventLog &Ledger = obs::EventLog::process();
+  Ledger.start(obs::EventLog::ChunkEvents);
+  EXPECT_EQ(makeSessionResultCache(), nullptr);
+  Ledger.stop();
+  Ledger.clear();
+
+  // With the ledger stopped again the cache is available as before.
+  EXPECT_NE(makeSessionResultCache(), nullptr);
+
+  setSessionExperimentOptions(ExperimentOptions{});
+  std::filesystem::remove_all(Dir);
 }
