@@ -117,6 +117,16 @@ public:
     bucket(Benchmark).Entries.push_back({std::move(Label), R});
   }
 
+  /// Records one real-threads backend run (the report's `real_threads`
+  /// block; label is usually the mode letter the binary was built as).
+  void recordRealThreads(const BenchmarkPipeline &P, std::string Label,
+                         const rt::RtRunResult &R) {
+    BenchmarkModeResults &B = bucket(P.workload().Name);
+    B.WorkloadSeed = P.workloadSeed();
+    B.RealThreads.push_back(
+        {std::move(Label), std::make_shared<rt::RtRunResult>(R)});
+  }
+
   /// Pipeline variants: also capture the workload seed for replay.
   void record(const BenchmarkPipeline &P, const ModeRunResult &R) {
     record(P, modeName(R.Mode), R);

@@ -13,10 +13,18 @@
 
 #include "BenchCommon.h"
 
+#include "support/ThreadPool.h"
+
+#include <cstring>
+
 using namespace specsync;
 
 int main(int argc, char **argv) {
   BenchSession Obs(argc, argv, "table2_speedups");
+  bool ThreadsBackend = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--backend=threads") == 0)
+      ThreadsBackend = true;
   std::printf("=== Table 2: coverage and speedups (relative to sequential "
               "execution) ===\n\n");
 
@@ -40,5 +48,39 @@ int main(int argc, char **argv) {
   });
 
   std::printf("%s\n", T.render().c_str());
+
+  // --backend=threads: after the simulated grid, run the C binaries on the
+  // real-threads backend (src/rt/) and cross-validate each run against the
+  // sequential checksum and the trace-driven replay reference. Sequential
+  // over fresh pipelines: the rt runs measure wall time, so they are never
+  // sharded or cache-served.
+  if (ThreadsBackend) {
+    rt::RtOptions RtOpts;
+    RtOpts.Threads = sessionExperimentOptions().effectiveJobs();
+    RtOpts.Faults = Obs.robustness().Plan;
+    rt::parseRtArgs(argc, argv, RtOpts);
+
+    std::printf("=== Real-threads backend (C binaries, %u workers) ===\n\n",
+                RtOpts.Threads ? RtOpts.Threads : ThreadPool::defaultJobs());
+    TextTable RT;
+    RT.setHeader({"benchmark", "epochs", "squashed", "raw-viol", "checksum",
+                  "counts", "wall x"});
+    for (const Workload *WP : filterWorkloads(
+             allWorkloads(), sessionExperimentOptions().WorkloadFilter)) {
+      const Workload &W = *WP;
+      BenchmarkPipeline P(W, Config);
+      P.setStaticAnalysis(Obs.staticAnalysis());
+      rt::RtRunResult R = P.runThreads(ExecMode::C, RtOpts);
+      Obs.recordRealThreads(P, "C", R);
+      RT.addRow({W.Name, std::to_string(R.Counts.EpochsCommitted),
+                 std::to_string(R.Counts.EpochsSquashed),
+                 std::to_string(R.Counts.Violations),
+                 R.ChecksumMatch ? "ok" : "MISMATCH",
+                 R.CountsMatch ? "ok" : "MISMATCH",
+                 TextTable::formatDouble(
+                     R.RtWallMs > 0 ? R.SeqWallMs / R.RtWallMs : 0.0, 2)});
+    }
+    std::printf("%s\n", RT.render().c_str());
+  }
   return 0;
 }

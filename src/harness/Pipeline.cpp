@@ -13,9 +13,12 @@
 #include "obs/PhaseTimer.h"
 #include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
+#include "rt/Replay.h"
+#include "rt/RtEngine.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -331,6 +334,132 @@ ModeRunResult BenchmarkPipeline::runWithPerfectLoads(double Percent) {
   Step.Perfect = true;
   Step.Percent = Percent;
   return runStep(Step);
+}
+
+rt::RtRunResult BenchmarkPipeline::runThreads(ExecMode Mode,
+                                              const rt::RtOptions &O) {
+  prepare();
+  assert((Mode == ExecMode::U || Mode == ExecMode::C ||
+          Mode == ExecMode::T) &&
+         "threads backend runs real binaries only (U/C/T)");
+
+  unsigned Factor = Selection.Selected ? Selection.UnrollFactor : 1;
+  // Deterministic rebuild of the mode binary. Builds are byte-identical
+  // per call, so the oracle-recording run and the threaded run execute the
+  // same decoded program — and the cached prepare() trace of the same mode
+  // is its committed execution, usable as the replay reference.
+  auto makeBinary = [&] {
+    std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
+    applyBaseTransforms(*P, Factor);
+    if (Mode != ExecMode::U) {
+      MemSyncOptions MSOpts;
+      MSOpts.FreqThresholdPercent = FreqThreshold;
+      MSOpts.Oracle = Mode == ExecMode::C ? RefOracle.get() : TrainOracle.get();
+      applyMemSync(*P, Contexts,
+                   Mode == ExecMode::C ? RefProfile : TrainProfile, MSOpts);
+    }
+    return P;
+  };
+  auto wallMs = [](std::chrono::steady_clock::time_point Since) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Since)
+        .count();
+  };
+
+  rt::RtRunResult R;
+  obs::ScopedPhaseTimer Timer("harness.run.rt");
+
+  // Sequential reference run: records the region oracle (per-epoch entry
+  // frames / RNG states, exit continuations) and the final-memory checksum
+  // the threaded run must reproduce.
+  RegionOracle Oracle;
+  {
+    std::unique_ptr<Program> P = makeBinary();
+    Interpreter I(*P, Contexts);
+    InterpOptions IOpts;
+    IOpts.CollectTrace = false;
+    IOpts.RecordOracle = &Oracle;
+    auto T0 = std::chrono::steady_clock::now();
+    InterpResult SR = I.run(IOpts);
+    R.SeqWallMs = wallMs(T0);
+    assert(SR.Completed && "sequential oracle run did not terminate");
+    R.SeqChecksum = SR.MemoryChecksum;
+  }
+
+  obs::EventLog &Ev = obs::EventLog::global();
+  bool EventsOn = Ev.active();
+  uint64_t EvStartSeq = 0;
+  if (EventsOn) {
+    Ev.beginRun(Bench.Name + "/" + std::string(modeName(Mode)) + "/rt");
+    EvStartSeq = Ev.nextSeq();
+  }
+
+  // Threaded run: the interpreter delegates every region instance to the
+  // coordinator, which farms epochs out to the worker pool.
+  {
+    std::unique_ptr<Program> P = makeBinary();
+    rt::RtEngine Engine(P->getDecoded(), Oracle, O);
+    Interpreter I(*P, Contexts);
+    InterpOptions IOpts;
+    IOpts.CollectTrace = false;
+    IOpts.RegionHook = &Engine;
+    auto T0 = std::chrono::steady_clock::now();
+    InterpResult TR = I.run(IOpts);
+    R.RtWallMs = wallMs(T0);
+    R.Completed = TR.Completed;
+    R.RtChecksum = TR.MemoryChecksum;
+    R.ChecksumMatch = R.Completed && R.RtChecksum == R.SeqChecksum;
+    Engine.fill(R);
+
+    // Replay reference over the cached committed trace, with the window
+    // geometry the live run used. Regions the engine runs sequentially
+    // (ret-exit or zero-epoch instances) are excluded on both sides.
+    const ProgramTrace &Trace = *(Mode == ExecMode::C   ? CTrace
+                                  : Mode == ExecMode::T ? TTrace
+                                                        : UTrace);
+    size_t NumRegions = std::min(Trace.Regions.size(), Oracle.Regions.size());
+    for (size_t RI = 0; RI < NumRegions; ++RI) {
+      const RegionOracleRec &Rec = Oracle.Regions[RI];
+      if (Rec.ExitViaRet || Rec.Epochs.empty())
+        continue;
+      R.Replay +=
+          rt::replayRegion(Trace.Regions[RI], Engine.window(), O.LineShift);
+    }
+    R.CountsMatch = R.Counts == R.Replay;
+
+    if (EventsOn) {
+      auto F = std::make_shared<ForensicsResult>();
+      std::vector<obs::SpecEvent> Events = Ev.eventsSince(EvStartSeq);
+      F->EventCount = Events.size();
+      F->DroppedEvents =
+          Ev.firstSeq() > EvStartSeq ? Ev.firstSeq() - EvStartSeq : 0;
+      // The coordinator thread is the only event emitter and stamps one
+      // logical cycle per slot, so the attribution runs at issue width 1.
+      F->Attribution = obs::attributeSquashes(Events, /*IssueWidth=*/1);
+      F->CriticalPath = obs::analyzeCriticalPath(Events);
+      F->RawSim = Engine.rawSim();
+      R.Forensics = std::move(F);
+    }
+  }
+
+  if (obs::statsEnabled()) {
+    obs::StatRegistry &SR = obs::StatRegistry::global();
+    SR.counter("rt.regions_parallel")->add(R.RegionsParallel);
+    SR.counter("rt.regions_sequential")->add(R.RegionsSequential);
+    SR.counter("rt.regions_demoted")->add(R.RegionsDemoted);
+    SR.counter("rt.epochs_committed")->add(R.Counts.EpochsCommitted);
+    SR.counter("rt.epochs_squashed")->add(R.Counts.EpochsSquashed);
+    SR.counter("rt.violations")->add(R.Counts.Violations);
+    SR.counter("rt.sab_violations")->add(R.Counts.SabViolations);
+    SR.counter("rt.sync_stalls_scalar")->add(R.Counts.SyncStallsScalar);
+    SR.counter("rt.sync_stalls_mem")->add(R.Counts.SyncStallsMem);
+    SR.counter("rt.wasted_steps")->add(R.WastedSteps);
+    SR.counter("rt.watchdog_trips")->add(R.WatchdogTrips);
+    SR.counter("rt.backoff_retries")->add(R.BackoffRetries);
+    SR.counter("rt.counts_match")->add(R.CountsMatch ? 1 : 0);
+    SR.counter("rt.checksum_match")->add(R.ChecksumMatch ? 1 : 0);
+  }
+  return R;
 }
 
 ModeRunResult BenchmarkPipeline::runStep(const RunStep &Step) {

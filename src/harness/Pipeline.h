@@ -30,6 +30,7 @@
 #include "interp/ContextTable.h"
 #include "profile/DepProfiler.h"
 #include "profile/LoopProfiler.h"
+#include "rt/RtOptions.h"
 #include "sim/SeqSimulator.h"
 #include "workloads/Workload.h"
 
@@ -109,6 +110,17 @@ public:
   /// Figure 2/6 limit study: U-mode execution with perfect prediction of
   /// all loads whose dependence frequency exceeds \p Percent.
   ModeRunResult runWithPerfectLoads(double Percent);
+
+  /// Real-threads backend: runs the mode binary with its parallel regions
+  /// executed on actual OS threads (src/rt/) instead of the timing
+  /// simulator, then cross-validates the run three ways — final-memory
+  /// checksum against a sequential run of the same binary, protocol counts
+  /// against the trace-driven replay reference, and (when the event ledger
+  /// is active) ledger analyses against the coordinator's raw accounting.
+  /// Only the modes naming real binaries are supported: U (base
+  /// transforms), C (ref-profile memory sync) and T (train-profile memory
+  /// sync); the remaining modes are simulator-only idealizations.
+  rt::RtRunResult runThreads(ExecMode Mode, const rt::RtOptions &O);
 
   // Introspection for benches and tests.
   const LoopProfile &loopProfile() const { return RefLoop; }

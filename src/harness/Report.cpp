@@ -195,6 +195,68 @@ void specsync::writeModeRunResultJson(obs::JsonWriter &W,
   W.endObject();
 }
 
+/// Serializes one real-threads run (the `real_threads` block entries):
+/// geometry, the three cross-validation verdicts, live and replay protocol
+/// counts, recovery/fault tallies, and wall-clock times.
+static void writeRealThreadsJson(obs::JsonWriter &W, const std::string &Label,
+                                 const rt::RtRunResult &R) {
+  auto counts = [&W](const char *Key, const rt::ProtocolCounts &C) {
+    W.key(Key);
+    W.beginObject();
+    W.keyValue("regions", C.Regions);
+    W.keyValue("epochs_committed", C.EpochsCommitted);
+    W.keyValue("epochs_squashed", C.EpochsSquashed);
+    W.keyValue("violations", C.Violations);
+    W.keyValue("sab_violations", C.SabViolations);
+    W.keyValue("sync_stalls_scalar", C.SyncStallsScalar);
+    W.keyValue("sync_stalls_mem", C.SyncStallsMem);
+    W.endObject();
+  };
+
+  W.beginObject();
+  W.keyValue("label", Label);
+  W.keyValue("completed", R.Completed);
+  W.keyValue("threads", static_cast<uint64_t>(R.Threads));
+  W.keyValue("window", static_cast<uint64_t>(R.Window));
+
+  // Cross-validation verdicts.
+  W.keyValue("checksum_match", R.ChecksumMatch);
+  W.keyValue("counts_match", R.CountsMatch);
+  W.keyValue("rt_checksum", R.RtChecksum);
+  W.keyValue("seq_checksum", R.SeqChecksum);
+
+  counts("counts", R.Counts);
+  counts("replay", R.Replay);
+
+  W.keyValue("wasted_steps", R.WastedSteps);
+  W.keyValue("regions_parallel", R.RegionsParallel);
+  W.keyValue("regions_sequential", R.RegionsSequential);
+  W.keyValue("regions_demoted", R.RegionsDemoted);
+  W.keyValue("watchdog_trips", R.WatchdogTrips);
+  W.keyValue("backoff_retries", R.BackoffRetries);
+
+  W.key("faults_fired");
+  W.beginObject();
+  W.keyValue("spurious_aborts", R.SpuriousAborts);
+  W.keyValue("delayed_commits", R.DelayedCommits);
+  W.keyValue("worker_stalls", R.WorkerStalls);
+  W.endObject();
+
+  W.keyValue("seq_wall_ms", R.SeqWallMs);
+  W.keyValue("rt_wall_ms", R.RtWallMs);
+  W.keyValue("wall_speedup", R.RtWallMs > 0 ? R.SeqWallMs / R.RtWallMs : 0.0);
+
+  if (R.Forensics) {
+    W.key("forensics");
+    W.beginObject();
+    W.keyValue("event_count", R.Forensics->EventCount);
+    W.keyValue("dropped_events", R.Forensics->DroppedEvents);
+    W.keyValue("reconciles", R.Forensics->reconciles());
+    W.endObject();
+  }
+  W.endObject();
+}
+
 void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
                                const std::vector<BenchmarkModeResults> &All,
                                const RobustnessOptions *Robust) {
@@ -255,6 +317,16 @@ void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
         B.AnalysisDiags->writeJson(W);
       }
       W.endObject();
+    }
+    // Present only when a real-threads sweep ran for this benchmark;
+    // absent, the document stays byte-identical to pre-backend schemas.
+    if (!B.RealThreads.empty()) {
+      W.key("real_threads");
+      W.beginArray();
+      for (const BenchmarkModeResults::RtEntry &E : B.RealThreads)
+        if (E.Result)
+          writeRealThreadsJson(W, E.Label, *E.Result);
+      W.endArray();
     }
     W.endObject();
   }

@@ -16,6 +16,7 @@
 #include "analysis/DepOracle.h"
 #include "analysis/Diag.h"
 #include "harness/Experiment.h"
+#include "rt/RtOptions.h"
 
 #include <memory>
 #include <ostream>
@@ -64,6 +65,15 @@ struct BenchmarkModeResults {
   std::shared_ptr<const analysis::DepOracleResult> OracleRef;
   std::shared_ptr<const analysis::DepOracleResult> OracleTrain;
   std::shared_ptr<const analysis::DiagEngine> AnalysisDiags;
+
+  /// Real-threads backend runs for this benchmark (one per mode swept).
+  /// Empty (the default) omits the `real_threads` block entirely, keeping
+  /// reports byte-identical to pre-backend schemas.
+  struct RtEntry {
+    std::string Label;
+    std::shared_ptr<const rt::RtRunResult> Result;
+  };
+  std::vector<RtEntry> RealThreads;
 };
 
 /// Serializes one mode run: every TLSSimResult counter, the slot

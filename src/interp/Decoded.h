@@ -98,6 +98,7 @@ public:
   DecodedProgram(const Program &P, uint64_t FP);
 
   const DecodedFunction &function(unsigned I) const { return Funcs[I]; }
+  unsigned numFunctions() const { return static_cast<unsigned>(Funcs.size()); }
   unsigned getEntry() const { return Entry; }
   uint64_t getFingerprint() const { return Fingerprint; }
 

@@ -35,9 +35,12 @@
 using namespace specsync;
 
 ExecutionObserver::~ExecutionObserver() = default;
+RegionExecutor::~RegionExecutor() = default;
 
 InterpResult Interpreter::run(const InterpOptions &Opts,
                               ExecutionObserver *Observer) {
+  assert(!((Opts.RecordOracle || Opts.RegionHook) && Opts.UseReferenceEngine) &&
+         "region oracle/hook are fast-engine features");
   return Opts.UseReferenceEngine ? runReference(Opts, Observer)
                                  : runFast(Opts, Observer);
 }
@@ -67,6 +70,11 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
   obs::ScopedPhaseTimer Timer("interp.run");
   const bool Stats = obs::statsEnabled();
   const uint64_t StartNs = Stats ? obs::hostClockNs() : 0;
+
+  RegionOracle *Oracle = Opts.RecordOracle;
+  RegionExecutor *Hook = Opts.RegionHook;
+  assert(!(Hook && (Opts.CollectTrace || Observer)) &&
+         "region hook is mutually exclusive with tracing/observers");
 
   const DecodedProgram &DP = Prog.getDecoded();
 
@@ -110,6 +118,28 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
     CurEpoch = &Trace.Regions.back().Epochs.back();
     if (Arena)
       CurEpoch->Insts = Arena->acquire();
+  };
+
+  // Oracle recording (real-threads backend support). Frames/RNG are
+  // snapshotted at epoch boundaries; the current frame pointer and
+  // function are rebound below, so the helpers take them as parameters.
+  uint64_t EpochStepMark = 0;
+  auto oracleEpochStart = [&](const int64_t *R, unsigned NumRegs) {
+    RegionOracleRec &Rec = Oracle->Regions.back();
+    if (!Rec.Epochs.empty())
+      Rec.Epochs.back().SeqSteps = Steps - EpochStepMark;
+    EpochStepMark = Steps;
+    Rec.Epochs.push_back(
+        EpochStart{std::vector<int64_t>(R, R + NumRegs), Rng.state(), 0});
+  };
+  auto oracleExit = [&](uint32_t ExitPC, bool ViaRet, const int64_t *R,
+                        unsigned NumRegs) {
+    RegionOracleRec &Rec = Oracle->Regions.back();
+    Rec.Epochs.back().SeqSteps = Steps - EpochStepMark;
+    Rec.ExitPC = ExitPC;
+    Rec.ExitViaRet = ViaRet;
+    Rec.ExitRngState = Rng.state();
+    Rec.ExitFrame.assign(R, R + NumRegs);
   };
 
   auto beginRegion = [&](size_t Depth) {
@@ -337,13 +367,35 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
         deliver(makeDI(I), false);
       if (F->IsRegionFunc) {
         if (!RegionActive) {
-          if (Fl & 1)
+          if (Fl & 1) {
+            if (Hook) {
+              // Real-threads backend: the engine executes the whole region
+              // instance and leaves the exit state in Mem/Rng/R; resume at
+              // the recorded continuation. False = sequential fallback.
+              uint32_t ExitPC = 0;
+              if (Hook->executeRegion(RegionInstance, Mem, Rng, R,
+                                      F->NumRegs, ExitPC)) {
+                ++RegionInstance;
+                PC = ExitPC;
+                continue;
+              }
+            }
             beginRegion(Frames.size());
+            if (Oracle) {
+              Oracle->Regions.emplace_back();
+              oracleEpochStart(R, F->NumRegs);
+            }
+          }
         } else if (Frames.size() == RegionDepth) {
-          if (Fl & 1)
+          if (Fl & 1) {
             beginEpoch();
-          else if (!(Fl & 2))
+            if (Oracle)
+              oracleEpochStart(R, F->NumRegs);
+          } else if (!(Fl & 2)) {
             endRegion();
+            if (Oracle)
+              oracleExit(T, /*ViaRet=*/false, R, F->NumRegs);
+          }
         }
       }
       PC = T;
@@ -384,8 +436,11 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
       if (EmitAll)
         deliver(makeDI(I), false);
       DFrame Done = Frames.back();
-      if (RegionActive && Frames.size() == RegionDepth)
+      if (RegionActive && Frames.size() == RegionDepth) {
         endRegion(); // Loop exited via return (degenerate but legal).
+        if (Oracle)
+          oracleExit(0, /*ViaRet=*/true, R, F->NumRegs);
+      }
       Frames.pop_back();
       if (Frames.empty()) {
         Result.ExitValue = RetVal;

@@ -19,6 +19,7 @@
 
 #include "interp/ContextTable.h"
 #include "interp/Memory.h"
+#include "interp/RegionOracle.h"
 #include "interp/Trace.h"
 #include "ir/Program.h"
 #include "support/Random.h"
@@ -67,6 +68,14 @@ struct InterpOptions {
   /// Run the original tree-walking loop instead of the pre-decoded fast
   /// engine. Slower; kept as the semantic baseline for differential tests.
   bool UseReferenceEngine = false;
+  /// When set, the fast engine records per-epoch entry frames / RNG states
+  /// and region-exit continuations into this oracle (see RegionOracle.h).
+  /// Fast engine only; does not perturb execution or the trace.
+  RegionOracle *RecordOracle = nullptr;
+  /// When set, the fast engine delegates whole region instances to this
+  /// executor (the real-threads backend) instead of interpreting them.
+  /// Mutually exclusive with CollectTrace and observers; fast engine only.
+  RegionExecutor *RegionHook = nullptr;
 };
 
 struct InterpResult {

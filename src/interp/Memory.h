@@ -53,6 +53,14 @@ public:
   /// that transformed programs compute the same final memory image.
   uint64_t checksum() const;
 
+  /// Visits every touched page in ascending id order as (PageId, Words
+  /// array of WordsPerPage int64_t) — the real-threads backend seeds its
+  /// shared memory image from this.
+  template <typename Fn> void forEachPage(Fn &&F) const {
+    Pages.forEachSorted(
+        [&](uint64_t Id, const Page &P) { F(Id, P.Words); });
+  }
+
   void clear() {
     Pages.clear();
     LastId = ~0ull;

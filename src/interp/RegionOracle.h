@@ -1,0 +1,85 @@
+//===- interp/RegionOracle.h - Epoch frame oracle + region hook -*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Support for the real-threads backend (`src/rt/`):
+///
+///  - `RegionOracle` — per-region-instance epoch entry frames, RNG states,
+///    and the region-exit continuation, recorded during a sequential
+///    interpreter run (`InterpOptions::RecordOracle`). This is the
+///    stand-in for the paper's compiler-inserted *scalar* value
+///    communication: induction variables and loop-carried scalars are
+///    forwarded between epochs by generated code in the paper, so the
+///    runtime treats them as known-at-epoch-start. Memory-resident values
+///    — the paper's subject — are *not* in the oracle; speculative epochs
+///    read them from (possibly stale) shared memory and the conflict
+///    rules catch mis-speculation.
+///
+///  - `RegionExecutor` — the interpreter hook (`InterpOptions::RegionHook`)
+///    that lets an external engine execute a whole region instance in
+///    place of the sequential loop, resuming the interpreter at the
+///    recorded continuation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_INTERP_REGIONORACLE_H
+#define SPECSYNC_INTERP_REGIONORACLE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace specsync {
+
+class Memory;
+class Random;
+
+/// The scalar state an epoch starts from: the region function's register
+/// frame and the interpreter RNG at the epoch's first instruction.
+struct EpochStart {
+  std::vector<int64_t> Frame;
+  uint64_t RngState = 0;
+  /// Instructions the epoch executed in the sequential recording run —
+  /// the basis for the rt backend's runaway-attempt cap (a mis-speculated
+  /// epoch can loop forever on a stale trip count; a committed-prefix
+  /// attempt cannot exceed the sequential count).
+  uint64_t SeqSteps = 0;
+};
+
+/// One dynamic instance of the parallel region.
+struct RegionOracleRec {
+  std::vector<EpochStart> Epochs; ///< One entry per epoch, in order.
+  std::vector<int64_t> ExitFrame; ///< Register frame after the region.
+  uint64_t ExitRngState = 0;
+  uint32_t ExitPC = 0;    ///< Decoded PC execution resumes at.
+  bool ExitViaRet = false; ///< Degenerate exit; rt falls back to sequential.
+};
+
+/// All region instances of one program run, in execution order.
+struct RegionOracle {
+  std::vector<RegionOracleRec> Regions;
+};
+
+/// Interpreter hook that executes a region instance out-of-line.
+class RegionExecutor {
+public:
+  virtual ~RegionExecutor();
+
+  /// Executes region instance \p Instance against \p Mem / \p Rng in place
+  /// of the interpreter's sequential loop. \p Frame points at the region
+  /// function's \p NumRegs live registers; on success the implementation
+  /// must leave the region-exit register state in it, advance \p Rng to
+  /// the region-exit RNG state, update \p Mem to the region-exit memory
+  /// image, and set \p ExitPC to the decoded instruction index execution
+  /// resumes at. Returning false falls back to sequential interpretation
+  /// of this instance (always legal).
+  virtual bool executeRegion(unsigned Instance, Memory &Mem, Random &Rng,
+                             int64_t *Frame, unsigned NumRegs,
+                             uint32_t &ExitPC) = 0;
+};
+
+} // namespace specsync
+
+#endif // SPECSYNC_INTERP_REGIONORACLE_H

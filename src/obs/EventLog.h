@@ -105,6 +105,10 @@ constexpr uint8_t kFaultCorrupt = 3;
 constexpr uint8_t kFaultMispredict = 4;
 constexpr uint8_t kFaultSpurious = 5;
 constexpr uint8_t kFaultHwDrop = 6;
+// Thread-targeted classes (real-threads backend).
+constexpr uint8_t kFaultRtDelayCommit = 7;
+constexpr uint8_t kFaultRtSpuriousAbort = 8;
+constexpr uint8_t kFaultRtWorkerStall = 9;
 } // namespace event_flags
 
 /// One ledger record. Exactly 64 bytes; field meaning depends on Kind (see

@@ -1,0 +1,314 @@
+//===- rt/EpochEngine.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// One epoch attempt, executed with the fast interpreter's pre-decoded
+// semantics (the arithmetic/branch/call cases mirror Interpreter.cpp's
+// runFast exactly — the differential suite depends on bit-equal results)
+// plus the speculation layer: private write buffer, forward consumption,
+// exposed-read/write line summaries, abort polling, and the step cap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/EpochEngine.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace specsync;
+using namespace specsync::rt;
+
+SyncPort::~SyncPort() = default;
+
+namespace {
+
+/// A suspended activation record (same layout discipline as the fast
+/// engine's DFrame: constant slots at [Base - numConsts, Base), registers
+/// at [Base, Base + NumRegs)).
+struct AFrame {
+  const DecodedFunction *Func = nullptr;
+  uint32_t Base = 0;
+  int32_t RetReg = -1;
+  uint32_t ResumePC = 0;
+};
+
+} // namespace
+
+EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
+                                  uint64_t StepCap, bool UseForwards,
+                                  SyncPort &Port,
+                                  std::atomic<uint64_t> &StepsOut) {
+  EpochExec Out(Env.LineShift);
+  EpochObs &Obs = Out.Obs;
+  auto &WriteBuf = Out.WriteBuf;
+
+  Random Rng(0);
+  Rng.setState(Entry.RngState);
+
+  // Forwarding state: per group, the armed address (check.fwd matched) and
+  // value, plus which groups this epoch waited on / signaled itself.
+  std::map<int32_t, uint64_t> FwdAddr; // Armed: group -> address.
+  std::map<int32_t, int64_t> FwdVal;
+  std::map<int32_t, uint64_t> OwnSignalAddr; // First own signal per group.
+  std::vector<int32_t> WaitedMem;
+
+  auto waitedOn = [&](int32_t G) {
+    return std::find(WaitedMem.begin(), WaitedMem.end(), G) != WaitedMem.end();
+  };
+
+  // Register/frame stacks. The region function's frame is the base; its
+  // constants sit below the oracle-provided registers.
+  const DecodedFunction *F = &Env.DP.function(Env.RegionFunc);
+  std::vector<int64_t> RegStack;
+  RegStack.assign(std::max<size_t>(1024, F->frameSize()), 0);
+  std::copy(F->Consts.begin(), F->Consts.end(), RegStack.begin());
+  uint32_t Base = F->numConsts();
+  if (RegStack.size() < static_cast<size_t>(Base) + F->NumRegs)
+    RegStack.resize(Base + F->NumRegs);
+  std::copy(Entry.Frame.begin(), Entry.Frame.end(), RegStack.begin() + Base);
+
+  std::vector<AFrame> Frames;
+  Frames.reserve(16);
+  Frames.push_back(AFrame{F, Base, -1, 0});
+  uint32_t PC = Env.HeaderPC;
+  int64_t *R = RegStack.data() + Base;
+  const DecodedOp *FOps = F->Ops.data();
+
+  auto opval = [&](DecodedOp Idx) -> int64_t { return R[Idx]; };
+
+  uint64_t Steps = 0;
+  for (;;) {
+    if ((Steps & 63) == 0) {
+      StepsOut.store(Steps, std::memory_order_relaxed);
+      if (Port.aborted()) {
+        Out.Kind = EpochExitKind::Aborted;
+        return Out;
+      }
+    }
+    if (++Steps > StepCap) {
+      // Runaway mis-speculation (e.g. a stale trip count): forced fail.
+      Obs.Overran = true;
+      Out.Kind = EpochExitKind::ForcedFail;
+      break;
+    }
+
+    const DecodedInst &I = F->Insts[PC];
+
+    switch (I.Op) {
+    case Opcode::Const:
+    case Opcode::Move:
+      R[I.Dest] = opval(FOps[I.OpBegin]);
+      break;
+
+#define SPECSYNC_RT_BINOP(OPC, EXPR)                                         \
+  case Opcode::OPC: {                                                        \
+    int64_t A = opval(FOps[I.OpBegin]);                                      \
+    int64_t B = opval(FOps[I.OpBegin + 1]);                                  \
+    R[I.Dest] = (EXPR);                                                      \
+    break;                                                                   \
+  }
+      SPECSYNC_RT_BINOP(Add, A + B)
+      SPECSYNC_RT_BINOP(Sub, A - B)
+      SPECSYNC_RT_BINOP(Mul, A *B)
+      // Division/modulo by zero yield 0, matching both interpreters.
+      SPECSYNC_RT_BINOP(Div, B == 0 ? 0 : A / B)
+      SPECSYNC_RT_BINOP(Mod, B == 0 ? 0 : A % B)
+      SPECSYNC_RT_BINOP(And, A &B)
+      SPECSYNC_RT_BINOP(Or, A | B)
+      SPECSYNC_RT_BINOP(Xor, A ^ B)
+      SPECSYNC_RT_BINOP(Shl, static_cast<int64_t>(static_cast<uint64_t>(A)
+                                                  << (static_cast<uint64_t>(
+                                                          B) &
+                                                      63)))
+      SPECSYNC_RT_BINOP(Shr, static_cast<int64_t>(static_cast<uint64_t>(A) >>
+                                                  (static_cast<uint64_t>(B) &
+                                                   63)))
+      SPECSYNC_RT_BINOP(CmpEQ, A == B)
+      SPECSYNC_RT_BINOP(CmpNE, A != B)
+      SPECSYNC_RT_BINOP(CmpLT, A < B)
+      SPECSYNC_RT_BINOP(CmpLE, A <= B)
+      SPECSYNC_RT_BINOP(CmpGT, A > B)
+      SPECSYNC_RT_BINOP(CmpGE, A >= B)
+#undef SPECSYNC_RT_BINOP
+
+    case Opcode::Select:
+      R[I.Dest] = opval(FOps[I.OpBegin]) != 0 ? opval(FOps[I.OpBegin + 1])
+                                              : opval(FOps[I.OpBegin + 2]);
+      break;
+    case Opcode::Rand:
+      R[I.Dest] = static_cast<int64_t>(Rng.next() & 0x7fffffffffffffffull);
+      break;
+
+    case Opcode::Load: {
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      auto WB = WriteBuf.find(Addr);
+      if (WB != WriteBuf.end()) {
+        R[I.Dest] = WB->second; // Own store covers the read (rule 2).
+      } else {
+        auto FA = I.SyncId >= 0 ? FwdAddr.find(I.SyncId) : FwdAddr.end();
+        if (FA != FwdAddr.end() && FA->second == Addr) {
+          // Memory-resident value communication: consume the forward and
+          // stay immune to the producer's buffered store of this line.
+          R[I.Dest] = FwdVal[I.SyncId];
+          if (std::find(Obs.FwdUsed.begin(), Obs.FwdUsed.end(), I.SyncId) ==
+              Obs.FwdUsed.end())
+            Obs.FwdUsed.push_back(I.SyncId);
+        } else {
+          R[I.Dest] = Env.Shared.loadWord(Addr);
+          Obs.Reads.insert(
+              Addr, conflict::LineTable::Entry{I.StaticId, 0, I.SyncId});
+        }
+      }
+      break;
+    }
+    case Opcode::Store: {
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      int64_t V = opval(FOps[I.OpBegin + 1]);
+      WriteBuf[Addr] = V;
+      Obs.Writes.insert(Addr,
+                        conflict::LineTable::Entry{I.StaticId, 0, I.SyncId});
+      // Forward-then-overwrite: a store to an address this epoch already
+      // signaled dirties the forward (consumers fail SAB validation).
+      for (auto &[G, SigAddr] : OwnSignalAddr)
+        if (SigAddr == Addr)
+          Obs.MemSignals[G].SabDirty = true;
+      break;
+    }
+
+    case Opcode::WaitScalar:
+      // Scalars travel via the epoch-entry frame oracle; the wait is
+      // recorded for analytic stall accounting and never blocks.
+      Obs.Waits.push_back(WaitRec{false, I.SyncId});
+      break;
+    case Opcode::WaitMem:
+      Obs.Waits.push_back(WaitRec{true, I.SyncId});
+      if (!waitedOn(I.SyncId))
+        WaitedMem.push_back(I.SyncId);
+      if (UseForwards && !Port.waitMem(I.SyncId)) {
+        Out.Kind = EpochExitKind::Aborted;
+        return Out;
+      }
+      break;
+    case Opcode::SelectFwd:
+      break; // Timing-only marker.
+
+    case Opcode::SignalScalar:
+      Obs.ScalarSignals.insert(I.SyncId);
+      break;
+    case Opcode::SignalMem: {
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      int64_t V = opval(FOps[I.OpBegin + 1]);
+      if (!Obs.MemSignals.count(I.SyncId)) { // First signal wins.
+        Obs.MemSignals[I.SyncId] = MemSignal{Addr, V, false};
+        OwnSignalAddr[I.SyncId] = Addr;
+        Port.publishSignal(I.SyncId, Addr, V);
+      }
+      break;
+    }
+    case Opcode::CheckFwd: {
+      uint64_t A = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      bool Armed = false;
+      if (UseForwards && A != 0 && waitedOn(I.SyncId)) {
+        uint64_t SigAddr = 0;
+        int64_t SigVal = 0;
+        if (Port.lookupSignal(I.SyncId, SigAddr, SigVal) && SigAddr == A) {
+          FwdAddr[I.SyncId] = A;
+          FwdVal[I.SyncId] = SigVal;
+          Armed = true;
+        }
+      }
+      if (!Armed)
+        FwdAddr.erase(I.SyncId);
+      break;
+    }
+
+    case Opcode::Br:
+    case Opcode::CondBr: {
+      uint32_t T;
+      uint8_t Fl;
+      if (I.Op == Opcode::Br || opval(FOps[I.OpBegin]) != 0) {
+        T = I.T0;
+        Fl = I.TFlags & 3;
+      } else {
+        T = I.T1;
+        Fl = (I.TFlags >> 2) & 3;
+      }
+      if (F->IsRegionFunc && Frames.size() == 1) {
+        if (Fl & 1) {
+          // Back edge: this branch closes the epoch (it belongs to it,
+          // matching the trace's epoch boundary convention).
+          Out.Kind = EpochExitKind::NextEpoch;
+          goto done;
+        }
+        if (!(Fl & 2)) {
+          Out.Kind = EpochExitKind::RegionExit;
+          Out.ExitPC = T;
+          goto done;
+        }
+      }
+      PC = T;
+      continue;
+    }
+
+    case Opcode::Call: {
+      const DecodedFunction &Callee = Env.DP.function(I.T0);
+      uint32_t NewBase = Base + F->NumRegs + Callee.numConsts();
+      if (RegStack.size() < static_cast<size_t>(NewBase) + Callee.NumRegs) {
+        RegStack.resize(std::max(
+            static_cast<size_t>(NewBase) + Callee.NumRegs,
+            RegStack.size() * 2));
+        R = RegStack.data() + Base;
+      }
+      int64_t *CR = RegStack.data() + NewBase;
+      std::copy(Callee.Consts.begin(), Callee.Consts.end(),
+                CR - Callee.numConsts());
+      std::fill_n(CR, Callee.NumRegs, 0);
+      for (unsigned A = 0; A < I.NumOps; ++A)
+        CR[A] = R[FOps[I.OpBegin + A]];
+      Frames.back().ResumePC = PC + 1;
+      Frames.push_back(AFrame{&Callee, NewBase, I.Dest, 0});
+      F = &Callee;
+      FOps = F->Ops.data();
+      PC = 0;
+      Base = NewBase;
+      R = CR;
+      continue;
+    }
+
+    case Opcode::Ret: {
+      if (Frames.size() == 1) {
+        // A mis-speculated attempt fell out of the region; the committed
+        // execution cannot do this (ret-exit regions never reach the rt
+        // path), so fail it deterministically.
+        Obs.Overran = true;
+        Out.Kind = EpochExitKind::ForcedFail;
+        goto done;
+      }
+      int64_t RetVal = I.NumOps == 1 ? opval(FOps[I.OpBegin]) : 0;
+      AFrame Done = Frames.back();
+      Frames.pop_back();
+      const AFrame &Parent = Frames.back();
+      F = Parent.Func;
+      FOps = F->Ops.data();
+      PC = Parent.ResumePC;
+      Base = Parent.Base;
+      R = RegStack.data() + Base;
+      if (Done.RetReg >= 0)
+        R[Done.RetReg] = RetVal;
+      continue;
+    }
+    }
+
+    ++PC;
+  }
+
+done:
+  Obs.Steps = Steps;
+  StepsOut.store(Steps, std::memory_order_relaxed);
+  return Out;
+}

@@ -1,0 +1,109 @@
+//===- rt/EpochEngine.h - Speculative epoch execution -----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes one epoch attempt of the parallel region on a worker thread,
+/// mirroring the fast interpreter's pre-decoded execution semantics
+/// (interp/Interpreter.cpp runFast) with speculation plumbed in:
+///
+///  - Stores buffer privately (never touch shared memory); loads check the
+///    private buffer, then an armed forward, then committed shared memory.
+///  - Exposed reads and buffered writes are summarized at line granularity
+///    into the EpochObs the ordered-commit validation consumes
+///    (sim/ConflictRules.h rules 1-2).
+///  - wait.mem / signal.mem / check.fwd route through a SyncPort so the
+///    coordinator's protocol state stays behind one mutex; all other
+///    instructions run lock-free.
+///  - The attempt aborts promptly when the coordinator squashes it
+///    (polled every few instructions) and force-fails when it overruns
+///    the oracle-derived step cap or diverges out of the region shape.
+///
+/// Scalar state (entry register frame, RNG) comes from the region oracle
+/// (interp/RegionOracle.h) — the stand-in for the paper's compiler-
+/// forwarded scalars. Memory-resident values are fully speculative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_RT_EPOCHENGINE_H
+#define SPECSYNC_RT_EPOCHENGINE_H
+
+#include "interp/Decoded.h"
+#include "interp/RegionOracle.h"
+#include "rt/Protocol.h"
+#include "rt/SharedMemory.h"
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+
+namespace specsync {
+namespace rt {
+
+/// Immutable per-region execution environment shared by all attempts.
+struct EpochEnv {
+  const DecodedProgram &DP;
+  unsigned RegionFunc;   ///< Decoded function index of the region function.
+  uint32_t HeaderPC;     ///< Decoded PC of the region header block.
+  SharedMemory &Shared;  ///< Committed memory image.
+  unsigned LineShift;    ///< Conflict-detection granularity.
+};
+
+/// The attempt's rare-path connection to the protocol coordinator. All
+/// calls may block (waitMem does; the others just take the protocol lock).
+class SyncPort {
+public:
+  virtual ~SyncPort();
+
+  /// wait.mem on group \p G: blocks until the producer epoch's current
+  /// attempt has signaled G, finished, or committed — or this attempt was
+  /// aborted (returns false). Never blocks when forwarding is off or the
+  /// producer is committed.
+  virtual bool waitMem(int32_t G) = 0;
+
+  /// Publishes this attempt's forward for \p G (first signal wins; later
+  /// signals to the same group are ignored by the caller).
+  virtual void publishSignal(int32_t G, uint64_t Addr, int64_t Value) = 0;
+
+  /// check.fwd query against the producer's post-wait signal state.
+  /// Returns true with the forward's (Addr, Value) when the producer
+  /// signaled \p G. Only meaningful after a completed waitMem(G).
+  virtual bool lookupSignal(int32_t G, uint64_t &Addr, int64_t &Value) = 0;
+
+  /// Squash poll (relaxed; checked every few instructions).
+  virtual bool aborted() const = 0;
+};
+
+/// How the attempt's execution ended.
+enum class EpochExitKind : uint8_t {
+  NextEpoch,  ///< Back-edge taken at region depth (normal epoch boundary).
+  RegionExit, ///< Region-exiting branch taken; ExitPC holds the target.
+  Aborted,    ///< Squashed mid-flight (observation is partial; discard).
+  ForcedFail, ///< Step-cap overrun or shape divergence; must fail validation.
+};
+
+struct EpochExec {
+  EpochExitKind Kind = EpochExitKind::ForcedFail;
+  uint32_t ExitPC = 0; ///< Valid for RegionExit.
+  EpochObs Obs;
+  std::unordered_map<uint64_t, int64_t> WriteBuf; ///< Addr -> value.
+
+  explicit EpochExec(unsigned LineShift) : Obs(LineShift) {}
+};
+
+/// Runs one speculative epoch attempt. \p UseForwards must be the
+/// protocol's dispatch-time flag (snapshot < epoch); when false, sync ops
+/// are recorded for stall accounting but never block and never arm a
+/// forward. \p StepsOut is bumped periodically so the coordinator can
+/// charge wasted work for squashed attempts.
+EpochExec runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
+                              uint64_t StepCap, bool UseForwards,
+                              SyncPort &Port,
+                              std::atomic<uint64_t> &StepsOut);
+
+} // namespace rt
+} // namespace specsync
+
+#endif // SPECSYNC_RT_EPOCHENGINE_H

@@ -1,0 +1,243 @@
+//===- rt/Protocol.h - Deterministic ordered-commit protocol ----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The speculation protocol shared by the real-threads engine (RtEngine)
+/// and the trace-driven replay reference (Replay). The load-bearing design
+/// property is *schedule independence*: every protocol-visible decision —
+/// which epochs a cascade squashes, what snapshot a retry runs with,
+/// whether forwarding is available, the validation verdict — is a pure
+/// function of protocol state transitions, never of thread timing. Both
+/// backends drive the same CommitWindow/validateAtHead/countStalls code,
+/// so their ProtocolCounts agree exactly on every workload.
+///
+/// Protocol sketch (W = window size, epochs commit strictly in order):
+///  - Epoch j's attempt carries a *snapshot* s <= j: the committed prefix
+///    it was dispatched against. Initial dispatches use s = NextToCommit
+///    at dispatch time.
+///  - Validation happens only at the head (j == NextToCommit), after the
+///    attempt finishes: RAW-fail iff the attempt's exposed read-line set
+///    intersects the committed write-line set of any epoch in [s, j);
+///    then the SAB rule (forward used from a group the producer later
+///    overwrote). Order is fixed: RAW first, then SAB.
+///  - On failure the cascade squashes *every* dispatched epoch >= j and
+///    reassigns their snapshots to j. The head's retry (s == j) has an
+///    empty conflict range, runs with forwarding disabled, and therefore
+///    validates clean — the protocol is livelock-free by construction.
+///  - Forwarding is enabled exactly when s < j (there is a producer whose
+///    signals the attempt may consume). Attempts with s == j never block.
+///
+/// Verdict equality with the replay reference: an attempt is sequential-
+/// equivalent up to its first read of a line later invalidated by [s, j)
+/// commits; such a read appears in the committed trace's read set at the
+/// same position, so both sides see a non-empty intersection. An attempt
+/// with no such read *is* the committed execution and both sides pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_RT_PROTOCOL_H
+#define SPECSYNC_RT_PROTOCOL_H
+
+#include "rt/RtOptions.h"
+#include "sim/ConflictRules.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+namespace specsync {
+namespace rt {
+
+/// A memory forward published by `signal.mem`: the first signal per
+/// (epoch, group) wins on both backends; Addr 0 is the NULL signal.
+struct MemSignal {
+  uint64_t Addr = 0;
+  int64_t Value = 0;
+  /// The producer stored to Addr after signaling — consumers that used the
+  /// forward fail SAB validation.
+  bool SabDirty = false;
+};
+
+/// One executed wait, in program order (stall accounting is analytic: a
+/// committed wait stalls iff the committed producer never explicitly
+/// signaled that channel/group).
+struct WaitRec {
+  bool IsMem = false;
+  int32_t Id = -1;
+};
+
+/// The protocol-visible summary of one epoch attempt's execution — the
+/// engine builds it from a real speculative run, the replay derives it
+/// from the committed trace. Validation and stall counting consume only
+/// this record.
+struct EpochObs {
+  conflict::LineTable Reads;  ///< Exposed read lines (forwarded uses excluded).
+  conflict::LineTable Writes; ///< Written lines (first writer owns the line).
+  std::vector<WaitRec> Waits;
+  std::unordered_set<int32_t> ScalarSignals; ///< Explicitly signaled channels.
+  std::map<int32_t, MemSignal> MemSignals;   ///< Group -> first forward.
+  std::vector<int32_t> FwdUsed; ///< Groups whose forward this epoch consumed.
+  /// Replay only: the sequentially-loaded value of each consumed group's
+  /// first forwarded load — the replay's stand-in for reading committed
+  /// shared memory during the forward value check (see validateAtHead).
+  std::map<int32_t, int64_t> FwdFirstValue;
+  uint64_t Steps = 0;           ///< Executed instructions (waste currency).
+  bool Overran = false;         ///< Step cap hit (engine only): forced fail.
+
+  explicit EpochObs(unsigned LineShift)
+      : Reads(LineShift), Writes(LineShift) {}
+};
+
+/// Validation outcome at the commit point.
+struct Verdict {
+  enum Kind : uint8_t { Pass, RawConflict, SabConflict } K = Pass;
+  uint64_t Line = 0;        ///< RawConflict: the conflicting cache line.
+  uint64_t WriterEpoch = 0; ///< RawConflict: committed epoch that wrote it.
+  int32_t Group = -1;       ///< SabConflict: the dirty forward group.
+
+  bool passed() const { return K == Pass; }
+};
+
+/// Validates epoch \p Epoch's finished attempt (snapshot \p Snapshot) at
+/// the head of the commit order. \p ObsOf returns the *committed*
+/// observation of any epoch < Epoch. \p UseForwards must be the attempt's
+/// dispatch-time forwarding flag (Snapshot < Epoch); when false the SAB
+/// check is skipped because the attempt consumed nothing.
+/// \p CommittedValue returns the sequential (all-prior-epochs-committed)
+/// value of a consumed forward's address; a forward whose signaled value
+/// went stale — the producer signaled before its last def, or an older
+/// epoch owned the final value — fails like a SAB conflict. The engine
+/// reads committed shared memory; the replay reads the consumer's
+/// sequentially-traced load value (provably the same quantity).
+///
+/// Deterministic tie-breaks: the RAW scan walks writer epochs ascending
+/// and reports the smallest conflicting line of the first conflicting
+/// writer; the SAB scan walks FwdUsed in recorded order.
+inline Verdict
+validateAtHead(const EpochObs &Obs, uint64_t Epoch, uint64_t Snapshot,
+               bool UseForwards,
+               const std::function<const EpochObs &(uint64_t)> &ObsOf,
+               const std::function<int64_t(int32_t, uint64_t)>
+                   &CommittedValue) {
+  for (uint64_t W = Snapshot; W < Epoch; ++W) {
+    const EpochObs &Writer = ObsOf(W);
+    if (Obs.Reads.intersects(Writer.Writes)) {
+      Verdict V;
+      V.K = Verdict::RawConflict;
+      V.Line = Obs.Reads.firstConflict(Writer.Writes);
+      V.WriterEpoch = W;
+      return V;
+    }
+  }
+  if (Obs.Overran) {
+    // A mis-speculated runaway whose divergence point raced out of the
+    // conflict range above (cannot happen for a correctly summarized
+    // attempt — see the header comment — but the cap must fail safe).
+    Verdict V;
+    V.K = Verdict::RawConflict;
+    V.Line = ~0ull;
+    V.WriterEpoch = Snapshot;
+    return V;
+  }
+  if (UseForwards && Epoch > 0) {
+    const EpochObs &Producer = ObsOf(Epoch - 1);
+    for (int32_t G : Obs.FwdUsed) {
+      auto It = Producer.MemSignals.find(G);
+      if (It == Producer.MemSignals.end())
+        continue; // Unreachable: a forward can only come from a signal.
+      Verdict V;
+      V.K = Verdict::SabConflict;
+      V.Group = G;
+      if (It->second.SabDirty)
+        return V;
+      if (CommittedValue &&
+          CommittedValue(G, It->second.Addr) != It->second.Value)
+        return V; // Stale forward: signaled value != sequential value.
+    }
+  }
+  return Verdict{};
+}
+
+/// Analytic sync-stall counts for a *committed* epoch: a wait stalls iff
+/// the committed producer (epoch - 1) never explicitly signaled that
+/// channel/group. Epoch 0 has no producer and never stalls (its waits
+/// complete against pre-region state on both backends).
+struct StallCounts {
+  uint64_t Scalar = 0;
+  uint64_t Mem = 0;
+};
+
+inline StallCounts countStalls(const EpochObs &Obs, const EpochObs *Producer) {
+  StallCounts S;
+  if (!Producer)
+    return S;
+  for (const WaitRec &W : Obs.Waits) {
+    if (W.IsMem) {
+      if (!Producer->MemSignals.count(W.Id))
+        ++S.Mem;
+    } else {
+      if (!Producer->ScalarSignals.count(W.Id))
+        ++S.Scalar;
+    }
+  }
+  return S;
+}
+
+/// Ordered-commit window bookkeeping: which epochs are dispatched, what
+/// snapshot each current attempt carries, and the squash/commit
+/// transitions. Driven identically by both backends; all methods are
+/// called under the coordinator's protocol lock (or single-threaded in
+/// the replay).
+class CommitWindow {
+public:
+  CommitWindow(uint64_t NumEpochs, unsigned Window)
+      : N(NumEpochs), Snap(NumEpochs, 0) {
+    Dispatched = Window < N ? Window : N;
+    // Initial dispatches all observe NextToCommit == 0.
+  }
+
+  uint64_t numEpochs() const { return N; }
+  uint64_t head() const { return Head; }
+  uint64_t dispatched() const { return Dispatched; }
+  bool done() const { return Head == N; }
+
+  uint64_t snapshot(uint64_t Epoch) const { return Snap[Epoch]; }
+  bool useForwards(uint64_t Epoch) const { return Snap[Epoch] < Epoch; }
+
+  /// The head attempt failed validation (or was spuriously aborted):
+  /// squash [head, dispatched) and reassign every snapshot to head.
+  /// Returns the number of attempts squashed.
+  uint64_t squashFromHead() {
+    for (uint64_t E = Head; E < Dispatched; ++E)
+      Snap[E] = Head;
+    return Dispatched - Head;
+  }
+
+  /// The head attempt committed. Advances the head and dispatches at most
+  /// one new epoch (snapshot = the new NextToCommit). Returns the newly
+  /// dispatched epoch, or ~0 when none remain.
+  uint64_t commitHead() {
+    ++Head;
+    if (Dispatched < N) {
+      Snap[Dispatched] = Head;
+      return Dispatched++;
+    }
+    return ~0ull;
+  }
+
+private:
+  uint64_t N;
+  uint64_t Head = 0;
+  uint64_t Dispatched = 0;
+  std::vector<uint64_t> Snap;
+};
+
+} // namespace rt
+} // namespace specsync
+
+#endif // SPECSYNC_RT_PROTOCOL_H

@@ -1,0 +1,154 @@
+//===- rt/Replay.cpp --------------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Replay.h"
+
+#include "ir/Opcode.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace specsync;
+using namespace specsync::rt;
+
+std::vector<EpochObs> rt::deriveEpochObs(const RegionTrace &Region,
+                                         unsigned LineShift) {
+  std::vector<EpochObs> Out;
+  Out.reserve(Region.Epochs.size());
+
+  // Pass 1: signals, waits and steps (no cross-epoch dependence).
+  for (const EpochTrace &E : Region.Epochs) {
+    EpochObs Obs(LineShift);
+    Obs.Steps = E.Insts.size();
+    // Addresses this epoch has signaled so far -> signaling groups, for
+    // the forward-then-overwrite dirty rule.
+    std::unordered_map<uint64_t, std::vector<int32_t>> SignaledAddrs;
+    for (const DynInst &DI : E.Insts) {
+      switch (DI.Op) {
+      case Opcode::SignalScalar:
+        Obs.ScalarSignals.insert(DI.SyncId);
+        break;
+      case Opcode::SignalMem:
+        if (!Obs.MemSignals.count(DI.SyncId)) { // First signal wins.
+          Obs.MemSignals[DI.SyncId] =
+              MemSignal{DI.Addr, static_cast<int64_t>(DI.Value), false};
+          SignaledAddrs[DI.Addr].push_back(DI.SyncId);
+        }
+        break;
+      case Opcode::WaitScalar:
+        Obs.Waits.push_back(WaitRec{false, DI.SyncId});
+        break;
+      case Opcode::WaitMem:
+        Obs.Waits.push_back(WaitRec{true, DI.SyncId});
+        break;
+      case Opcode::Store: {
+        auto It = SignaledAddrs.find(DI.Addr);
+        if (It != SignaledAddrs.end())
+          for (int32_t G : It->second)
+            Obs.MemSignals[G].SabDirty = true;
+        break;
+      }
+      default:
+        break;
+      }
+    }
+    Out.push_back(std::move(Obs));
+  }
+
+  // Pass 2: read/write line sets with the forwarding rules applied against
+  // the producer's (now known) signal set — mirroring EpochEngine's load
+  // classification exactly.
+  for (size_t J = 0; J < Region.Epochs.size(); ++J) {
+    EpochObs &Obs = Out[J];
+    const EpochObs *Producer = J > 0 ? &Out[J - 1] : nullptr;
+    std::unordered_set<uint64_t> LocalWrites;
+    std::unordered_set<int32_t> WaitedMem;
+    std::unordered_map<int32_t, uint64_t> FwdAddr; // Armed forwards.
+    for (const DynInst &DI : Region.Epochs[J].Insts) {
+      switch (DI.Op) {
+      case Opcode::WaitMem:
+        WaitedMem.insert(DI.SyncId);
+        break;
+      case Opcode::CheckFwd: {
+        bool Armed = false;
+        if (DI.Addr != 0 && Producer && WaitedMem.count(DI.SyncId)) {
+          auto Sig = Producer->MemSignals.find(DI.SyncId);
+          if (Sig != Producer->MemSignals.end() &&
+              Sig->second.Addr == DI.Addr) {
+            FwdAddr[DI.SyncId] = DI.Addr;
+            Armed = true;
+          }
+        }
+        if (!Armed)
+          FwdAddr.erase(DI.SyncId);
+        break;
+      }
+      case Opcode::Load: {
+        if (!conflict::exposedRead(LocalWrites, DI.Addr))
+          break; // Own store covers the read.
+        auto FA = DI.SyncId >= 0 ? FwdAddr.find(DI.SyncId) : FwdAddr.end();
+        if (FA != FwdAddr.end() && FA->second == DI.Addr) {
+          if (!Obs.FwdFirstValue.count(DI.SyncId)) {
+            Obs.FwdUsed.push_back(DI.SyncId);
+            Obs.FwdFirstValue[DI.SyncId] = static_cast<int64_t>(DI.Value);
+          }
+          break; // Consumed forward: immune, not an exposed read.
+        }
+        Obs.Reads.insert(DI.Addr, conflict::LineTable::Entry{
+                                      DI.StaticId, DI.Context, DI.SyncId});
+        break;
+      }
+      case Opcode::Store:
+        LocalWrites.insert(DI.Addr);
+        Obs.Writes.insert(DI.Addr, conflict::LineTable::Entry{
+                                       DI.StaticId, DI.Context, DI.SyncId});
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return Out;
+}
+
+ProtocolCounts rt::replayRegion(const RegionTrace &Region, unsigned Window,
+                                unsigned LineShift) {
+  ProtocolCounts C;
+  C.Regions = 1;
+  std::vector<EpochObs> Obs = deriveEpochObs(Region, LineShift);
+  const uint64_t N = Obs.size();
+  if (N == 0)
+    return C;
+
+  CommitWindow CW(N, Window == 0 ? 1 : Window);
+  auto ObsOf = [&](uint64_t E) -> const EpochObs & { return Obs[E]; };
+
+  while (!CW.done()) {
+    uint64_t J = CW.head();
+    // The consumer's own sequentially-recorded first forwarded load IS the
+    // committed value of that address at its read point (the consumer has
+    // not stored it yet — consumption requires an uncovered word).
+    auto CommittedValue = [&](int32_t G, uint64_t) -> int64_t {
+      return Obs[J].FwdFirstValue.at(G);
+    };
+    Verdict V = validateAtHead(Obs[J], J, CW.snapshot(J), CW.useForwards(J),
+                               ObsOf, CommittedValue);
+    if (!V.passed()) {
+      if (V.K == Verdict::RawConflict)
+        ++C.Violations;
+      else
+        ++C.SabViolations;
+      C.EpochsSquashed += CW.squashFromHead();
+      continue;
+    }
+    StallCounts S = countStalls(Obs[J], J > 0 ? &Obs[J - 1] : nullptr);
+    C.SyncStallsScalar += S.Scalar;
+    C.SyncStallsMem += S.Mem;
+    ++C.EpochsCommitted;
+    CW.commitHead();
+  }
+  return C;
+}

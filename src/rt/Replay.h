@@ -1,0 +1,46 @@
+//===- rt/Replay.h - Trace-driven protocol replay reference ----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-validation reference for the real-threads backend: derives
+/// per-epoch protocol observations (rt/Protocol.h EpochObs) from the
+/// committed sequential trace of the same binary, then drives the exact
+/// same CommitWindow/validateAtHead/countStalls machinery the live engine
+/// drives. Because the protocol is schedule-independent, the resulting
+/// ProtocolCounts must equal the threaded run's counts exactly on every
+/// workload — the differential suite in tests/rt_differential_test.cpp
+/// asserts this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_RT_REPLAY_H
+#define SPECSYNC_RT_REPLAY_H
+
+#include "interp/Trace.h"
+#include "rt/Protocol.h"
+
+#include <vector>
+
+namespace specsync {
+namespace rt {
+
+/// Derives the forwards-enabled observation of every epoch of one region
+/// instance from its committed trace: exposed read/write line sets (loads
+/// that would consume a forward are excluded, exactly like the engine),
+/// waits, first-wins signals with forward-then-overwrite dirty bits, and
+/// the consumed-forward groups with their sequentially-loaded values.
+std::vector<EpochObs> deriveEpochObs(const RegionTrace &Region,
+                                     unsigned LineShift);
+
+/// Runs the ordered-commit protocol reference over one region instance.
+/// \p Window is the in-flight epoch window the live run used.
+ProtocolCounts replayRegion(const RegionTrace &Region, unsigned Window,
+                            unsigned LineShift);
+
+} // namespace rt
+} // namespace specsync
+
+#endif // SPECSYNC_RT_REPLAY_H

@@ -1,0 +1,493 @@
+//===- rt/RtEngine.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/RtEngine.h"
+
+#include "interp/Memory.h"
+#include "obs/EventLog.h"
+#include "rt/EpochEngine.h"
+#include "rt/Protocol.h"
+#include "rt/SharedMemory.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+using namespace specsync;
+using namespace specsync::rt;
+
+namespace {
+
+/// One dispatched epoch attempt. Heap-allocated per dispatch and never
+/// reused: a squashed attempt's worker may still be running (a "zombie"
+/// polling its abort flag); it writes only into this private object, which
+/// the shared_ptr keeps alive until the task exits.
+struct Attempt {
+  uint64_t Epoch = 0;
+  uint64_t Snapshot = 0;
+  bool UseForwards = false;
+  uint64_t StallMicros = 0; ///< Pre-rolled worker-stall fault (coordinator).
+  std::atomic<bool> Aborted{false};
+  std::atomic<uint64_t> Steps{0}; ///< Published periodically by the worker.
+  // Guarded by the region mutex:
+  bool Finished = false;
+  std::map<int32_t, MemSignal> LiveSignals; ///< First signal per group.
+  std::optional<EpochExec> Result;
+};
+
+/// Shared coordination state of one region instance. One mutex serializes
+/// every protocol transition; workers touch it only on the rare sync-op
+/// paths (wait.mem / signal.mem / check.fwd), never per instruction.
+struct RegionCtx {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  CommitWindow &CW;
+  std::vector<std::shared_ptr<Attempt>> &Cur;
+  std::vector<std::unique_ptr<EpochObs>> &Committed;
+};
+
+class AttemptPort : public SyncPort {
+public:
+  AttemptPort(RegionCtx &Ctx, Attempt &Self) : Ctx(Ctx), Self(Self) {}
+
+  bool waitMem(int32_t G) override {
+    std::unique_lock<std::mutex> L(Ctx.Mu);
+    for (;;) {
+      if (Self.Aborted.load(std::memory_order_relaxed))
+        return false;
+      // UseForwards implies Snapshot < Epoch, so Epoch >= 1.
+      uint64_t P = Self.Epoch - 1;
+      if (P < Ctx.CW.head())
+        return true; // Producer committed: signal state is final.
+      Attempt *Prod = Ctx.Cur[P].get();
+      if (Prod && (Prod->Finished || Prod->LiveSignals.count(G)))
+        return true;
+      Ctx.Cv.wait(L);
+    }
+  }
+
+  void publishSignal(int32_t G, uint64_t Addr, int64_t Value) override {
+    std::lock_guard<std::mutex> L(Ctx.Mu);
+    Self.LiveSignals.emplace(G, MemSignal{Addr, Value, false});
+    Ctx.Cv.notify_all();
+  }
+
+  bool lookupSignal(int32_t G, uint64_t &Addr, int64_t &Value) override {
+    std::lock_guard<std::mutex> L(Ctx.Mu);
+    uint64_t P = Self.Epoch - 1;
+    if (P < Ctx.CW.head()) {
+      const EpochObs *O = Ctx.Committed[P].get();
+      auto It = O->MemSignals.find(G);
+      if (It == O->MemSignals.end())
+        return false;
+      Addr = It->second.Addr;
+      Value = It->second.Value;
+      return true;
+    }
+    Attempt *Prod = Ctx.Cur[P].get();
+    if (!Prod)
+      return false;
+    auto It = Prod->LiveSignals.find(G);
+    if (It == Prod->LiveSignals.end())
+      return false;
+    Addr = It->second.Addr;
+    Value = It->second.Value;
+    return true;
+  }
+
+  bool aborted() const override {
+    return Self.Aborted.load(std::memory_order_relaxed);
+  }
+
+private:
+  RegionCtx &Ctx;
+  Attempt &Self;
+};
+
+obs::SpecEvent mkEvent(obs::EventKind K, uint64_t Cycle) {
+  obs::SpecEvent E;
+  E.Kind = static_cast<uint8_t>(K);
+  E.Cycle = Cycle;
+  return E;
+}
+
+} // namespace
+
+RtEngine::RtEngine(const DecodedProgram &DP, const RegionOracle &Oracle,
+                   const RtOptions &Opts)
+    : DP(DP), Oracle(Oracle), Opts(Opts),
+      Pool(Opts.Threads ? Opts.Threads : ThreadPool::defaultJobs()),
+      Injector(Opts.Faults) {
+  Window = Opts.Window ? Opts.Window : Pool.numThreads();
+  // A window wider than the pool could park every worker in a blocked
+  // wait with the unblocking attempt still queued; clamp.
+  Window = std::max(1u, std::min(Window, Pool.numThreads()));
+
+  // Locate the region function and its header block: any region-control
+  // branch whose taken target carries the is-header flag names it.
+  for (unsigned FI = 0; FI < DP.numFunctions() && !HaveRegion; ++FI) {
+    const DecodedFunction &F = DP.function(FI);
+    if (!F.IsRegionFunc)
+      continue;
+    for (const DecodedInst &I : F.Insts) {
+      if (I.Op != Opcode::Br && I.Op != Opcode::CondBr)
+        continue;
+      if (I.TFlags & 1) {
+        RegionFunc = FI;
+        HeaderPC = I.T0;
+        HaveRegion = true;
+        break;
+      }
+      if ((I.TFlags >> 2) & 1) {
+        RegionFunc = FI;
+        HeaderPC = I.T1;
+        HaveRegion = true;
+        break;
+      }
+    }
+  }
+}
+
+RtEngine::~RtEngine() = default;
+
+bool RtEngine::executeRegion(unsigned Instance, Memory &Mem, Random &Rng,
+                             int64_t *Frame, unsigned NumRegs,
+                             uint32_t &ExitPC) {
+  if (!HaveRegion || Instance >= Oracle.Regions.size()) {
+    ++RegionsSequential;
+    return false;
+  }
+  const RegionOracleRec &Rec = Oracle.Regions[Instance];
+  const uint64_t N = Rec.Epochs.size();
+  if (Rec.ExitViaRet || N == 0) {
+    ++RegionsSequential;
+    return false;
+  }
+  // Scalar-state sanity: the recording run and this run must agree on the
+  // region-entry frame and RNG state (they can diverge only if execution
+  // is nondeterministic outside the oracle's model — fall back rather than
+  // mis-speculate from a wrong base).
+  const EpochStart &E0 = Rec.Epochs[0];
+  if (E0.Frame.size() != NumRegs ||
+      !std::equal(E0.Frame.begin(), E0.Frame.end(), Frame) ||
+      E0.RngState != Rng.state()) {
+    ++RegionsSequential;
+    return false;
+  }
+
+  obs::EventLog &Ev = obs::EventLog::global();
+  Ev.beginRegion();
+  {
+    obs::SpecEvent E = mkEvent(obs::EventKind::RegionBegin, LC++);
+    E.Aux = N;
+    Ev.push(E);
+  }
+
+  SharedMemory Shared;
+  Shared.copyFrom(Mem);
+  EpochEnv Env{DP, RegionFunc, HeaderPC, Shared, Opts.LineShift};
+
+  CommitWindow CW(N, Window);
+  std::vector<std::shared_ptr<Attempt>> Cur(N);
+  std::vector<std::unique_ptr<EpochObs>> Committed(N);
+  RegionCtx Ctx{{}, {}, CW, Cur, Committed};
+
+  uint64_t RegionSquashes = 0;
+  std::map<uint64_t, unsigned> HeadRetries;    ///< Cascades headed at epoch.
+  std::map<uint64_t, unsigned> InjectedAborts; ///< Per-epoch fault cap.
+
+  // Dispatches a fresh attempt for epoch E (protocol lock held). Zombie
+  // attempts from earlier dispatches keep their own objects.
+  auto dispatch = [&](uint64_t E, bool Restart) {
+    auto A = std::make_shared<Attempt>();
+    A->Epoch = E;
+    A->Snapshot = CW.snapshot(E);
+    A->UseForwards = CW.useForwards(E);
+    if (Injector.rtEnabled() && Injector.stallWorker()) {
+      A->StallMicros = Opts.Faults.RtStallMicros;
+      ++RawSim.Faults.WorkerStalls;
+    }
+    if (Restart) {
+      obs::SpecEvent S = mkEvent(obs::EventKind::EpochRestart, LC++);
+      S.Epoch = E;
+      Ev.push(S);
+    }
+    {
+      obs::SpecEvent S = mkEvent(obs::EventKind::EpochStart, LC++);
+      S.Epoch = E;
+      Ev.push(S);
+    }
+    Cur[E] = A;
+    const EpochStart *Entry = &Rec.Epochs[E];
+    uint64_t StepCap = Entry->SeqSteps * Opts.StepCapMultiplier + 10000;
+    Pool.submit([A, &Ctx, &Env, Entry, StepCap] {
+      if (A->StallMicros)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(A->StallMicros));
+      AttemptPort Port(Ctx, *A);
+      EpochExec R = runSpeculativeEpoch(Env, *Entry, StepCap, A->UseForwards,
+                                        Port, A->Steps);
+      std::lock_guard<std::mutex> L(Ctx.Mu);
+      A->Result.emplace(std::move(R));
+      A->Finished = true;
+      Ctx.Cv.notify_all();
+    });
+  };
+
+  // Cascade squash of [head, dispatched): abort every current attempt,
+  // charge its wasted steps (the value read here is the one charged
+  // everywhere — ledger Aux, RawSim fail slots, WastedSteps — so the
+  // racy-but-published counter stays internally consistent), reassign
+  // snapshots to the head, and re-dispatch. The cause event was already
+  // pushed by the caller, keeping the stream's causal order.
+  auto cascade = [&] {
+    uint64_t From, To;
+    {
+      std::lock_guard<std::mutex> L(Ctx.Mu);
+      From = CW.head();
+      To = CW.dispatched();
+      for (uint64_t E = From; E < To; ++E) {
+        Attempt *A = Cur[E].get();
+        A->Aborted.store(true, std::memory_order_relaxed);
+        uint64_t W = A->Steps.load(std::memory_order_relaxed);
+        WastedSteps += W;
+        RawSim.Slots.Fail += W;
+        RawSim.Slots.Total += W;
+        obs::SpecEvent S = mkEvent(obs::EventKind::EpochSquash, LC++);
+        S.Epoch = E;
+        S.Aux = W;
+        Ev.push(S);
+      }
+      Counts.EpochsSquashed += CW.squashFromHead();
+      RegionSquashes += To - From;
+      Ctx.Cv.notify_all();
+      for (uint64_t E = From; E < To; ++E)
+        dispatch(E, /*Restart=*/true);
+    }
+    unsigned R = HeadRetries[From]++;
+    if (Injector.rtEnabled()) {
+      // Bounded exponential backoff between fault-driven retries so an
+      // injected livelock cannot spin the coordinator hot.
+      ++BackoffRetries;
+      ++RawSim.BackoffRetries;
+      uint64_t Us = uint64_t(Opts.BackoffBaseMicros)
+                    << std::min(R, 6u);
+      std::this_thread::sleep_for(std::chrono::microseconds(Us));
+    }
+  };
+
+  // Watchdog demotion: abort everything, quiesce the pool, and hand the
+  // instance back to the interpreter's sequential path. Mem was never
+  // touched (commits go to Shared; copy-back happens only on success), so
+  // the fallback is bit-identical to a sequential run by construction.
+  auto demote = [&] {
+    {
+      std::lock_guard<std::mutex> L(Ctx.Mu);
+      for (uint64_t E = CW.head(); E < CW.dispatched(); ++E)
+        if (Cur[E])
+          Cur[E]->Aborted.store(true, std::memory_order_relaxed);
+      Ctx.Cv.notify_all();
+    }
+    Pool.waitIdle();
+    ++WatchdogTrips;
+    ++RawSim.WatchdogTrips;
+    ++RegionsDemoted;
+    obs::SpecEvent W = mkEvent(obs::EventKind::WatchdogWake, LC++);
+    W.Epoch = CW.head();
+    Ev.push(W);
+    return false;
+  };
+
+  {
+    std::lock_guard<std::mutex> L(Ctx.Mu);
+    for (uint64_t E = 0; E < CW.dispatched(); ++E)
+      dispatch(E, /*Restart=*/false);
+  }
+
+  while (!CW.done()) {
+    const uint64_t J = CW.head();
+    std::shared_ptr<Attempt> A = Cur[J];
+    {
+      std::unique_lock<std::mutex> L(Ctx.Mu);
+      if (!Ctx.Cv.wait_for(L, std::chrono::milliseconds(Opts.NoProgressMillis),
+                           [&] { return A->Finished; }))
+        return demote(); // Livelock: nothing committed for the whole budget.
+    }
+    if (Opts.RegionSquashBudget && RegionSquashes > Opts.RegionSquashBudget)
+      return demote();
+
+    // Injected spurious abort (pre-validation). Capped per epoch by the
+    // retry limit — a "protected" epoch takes no more injected aborts, so
+    // even a 100% rate terminates.
+    if (Injector.rtEnabled() && InjectedAborts[J] < Opts.EpochRetryLimit &&
+        Injector.spuriousAbort()) {
+      ++InjectedAborts[J];
+      ++RawSim.Faults.SpuriousViolations;
+      ++RawSim.Faults.SpuriousAborts;
+      obs::SpecEvent S = mkEvent(obs::EventKind::SpuriousViolation, LC++);
+      S.Epoch = J;
+      Ev.push(S);
+      cascade();
+      continue;
+    }
+
+    EpochExec &Res = *A->Result;
+    assert(Res.Kind != EpochExitKind::Aborted &&
+           "head attempt cannot be a zombie");
+    Verdict V = validateAtHead(
+        Res.Obs, J, A->Snapshot, A->UseForwards,
+        [&](uint64_t E) -> const EpochObs & { return *Committed[E]; },
+        [&](int32_t, uint64_t Addr) { return Shared.loadWord(Addr); });
+
+    if (!V.passed()) {
+      if (V.K == Verdict::RawConflict) {
+        ++Counts.Violations;
+        ++RawSim.Violations;
+        obs::SpecEvent S = mkEvent(obs::EventKind::Violation, LC++);
+        S.Epoch = V.WriterEpoch;
+        S.OtherEpoch = J;
+        if (V.Line != ~0ull) {
+          S.Addr = V.Line << Opts.LineShift;
+          S.Aux = V.Line;
+          if (const auto *WE = Committed[V.WriterEpoch]->Writes.find(V.Line)) {
+            S.StaticId = WE->StaticId;
+            S.Context = WE->Context;
+          }
+          if (const auto *RE = Res.Obs.Reads.find(V.Line)) {
+            S.OtherStaticId = RE->StaticId;
+            S.OtherContext = RE->Context;
+            S.SyncId = RE->SyncId;
+          }
+        }
+        Ev.push(S);
+      } else {
+        ++Counts.SabViolations;
+        ++RawSim.SabViolations;
+        obs::SpecEvent S = mkEvent(obs::EventKind::SabViolation, LC++);
+        S.Epoch = J - 1; // The storing (producer) epoch.
+        S.OtherEpoch = J;
+        S.SyncId = V.Group;
+        auto It = Committed[J - 1]->MemSignals.find(V.Group);
+        if (It != Committed[J - 1]->MemSignals.end())
+          S.Addr = It->second.Addr;
+        Ev.push(S);
+      }
+      cascade();
+      continue;
+    }
+
+    // Commit. The injected commit delay models a slow committer; it only
+    // stretches wall time, never protocol decisions.
+    if (Injector.rtEnabled() && Injector.delayCommit()) {
+      ++RawSim.Faults.DelayedCommits;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(Opts.Faults.RtDelayedCommitMicros));
+    }
+    for (const auto &[Addr, Val] : Res.WriteBuf)
+      Shared.storeWord(Addr, Val);
+
+    StallCounts SC =
+        countStalls(Res.Obs, J > 0 ? Committed[J - 1].get() : nullptr);
+    Counts.SyncStallsScalar += SC.Scalar;
+    Counts.SyncStallsMem += SC.Mem;
+    RawSim.Slots.SyncScalar += SC.Scalar;
+    RawSim.Slots.SyncMem += SC.Mem;
+    RawSim.Slots.Busy += Res.Obs.Steps;
+    RawSim.Slots.Total += Res.Obs.Steps + SC.Scalar + SC.Mem;
+    for (uint64_t K = 0; K < SC.Scalar + SC.Mem; ++K) {
+      obs::SpecEvent S = mkEvent(obs::EventKind::WaitStall, LC++);
+      S.Epoch = J;
+      S.OtherEpoch = J - 1;
+      S.Aux = 1; // Unit stall: the rt backend has no cycle model.
+      S.Flags = obs::event_flags::kStallCommit;
+      if (K >= SC.Scalar)
+        S.Flags |= obs::event_flags::kStallMem;
+      Ev.push(S);
+    }
+    ++Counts.EpochsCommitted;
+    ++RawSim.EpochsCommitted;
+    {
+      obs::SpecEvent S = mkEvent(obs::EventKind::EpochCommit, LC);
+      S.Epoch = J;
+      S.Addr = LC; // Finish == start == end: logical clock, no cycle model.
+      S.Aux = LC;
+      ++LC;
+      Ev.push(S);
+    }
+    Committed[J] = std::make_unique<EpochObs>(std::move(Res.Obs));
+    {
+      std::lock_guard<std::mutex> L(Ctx.Mu);
+      uint64_t NewE = CW.commitHead();
+      Ctx.Cv.notify_all();
+      if (NewE != ~0ull)
+        dispatch(NewE, /*Restart=*/false);
+    }
+  }
+
+  // Quiesce zombies before Shared (captured by reference in worker tasks)
+  // leaves scope, then install the region-exit state.
+  Pool.waitIdle();
+  Ev.push(mkEvent(obs::EventKind::RegionEnd, LC++));
+  Shared.copyTo(Mem);
+  assert(Rec.ExitFrame.size() == NumRegs && "oracle frame geometry mismatch");
+  std::copy(Rec.ExitFrame.begin(), Rec.ExitFrame.end(), Frame);
+  Rng.setState(Rec.ExitRngState);
+  ExitPC = Rec.ExitPC;
+  ++Counts.Regions;
+  ++RegionsParallel;
+  RawSim.Cycles = LC;
+  return true;
+}
+
+void RtEngine::fill(RtRunResult &R) const {
+  R.Counts = Counts;
+  R.WastedSteps = WastedSteps;
+  R.RegionsParallel = RegionsParallel;
+  R.RegionsSequential = RegionsSequential;
+  R.RegionsDemoted = RegionsDemoted;
+  R.WatchdogTrips = WatchdogTrips;
+  R.BackoffRetries = BackoffRetries;
+  const FaultCounts &FC = Injector.counts();
+  R.SpuriousAborts = FC.SpuriousAborts;
+  R.DelayedCommits = FC.DelayedCommits;
+  R.WorkerStalls = FC.WorkerStalls;
+  R.Threads = Pool.numThreads();
+  R.Window = Window;
+}
+
+//===----------------------------------------------------------------------===//
+// Flag parsing
+//===----------------------------------------------------------------------===//
+
+void rt::parseRtArgs(int argc, char **argv, RtOptions &O) {
+  auto valueOf = [](const char *Arg, const char *Prefix) -> const char * {
+    size_t L = std::strlen(Prefix);
+    return std::strncmp(Arg, Prefix, L) == 0 ? Arg + L : nullptr;
+  };
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (const char *V = valueOf(A, "--rt-threads="))
+      O.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (const char *V = valueOf(A, "--rt-window="))
+      O.Window = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    else if (const char *V = valueOf(A, "--rt-squash-budget="))
+      O.RegionSquashBudget = std::strtoull(V, nullptr, 10);
+    else if (const char *V = valueOf(A, "--rt-no-progress-ms="))
+      O.NoProgressMillis = std::strtoull(V, nullptr, 10);
+    else if (const char *V = valueOf(A, "--rt-step-cap-mult="))
+      O.StepCapMultiplier = std::strtoull(V, nullptr, 10);
+  }
+}

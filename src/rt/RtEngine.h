@@ -1,0 +1,95 @@
+//===- rt/RtEngine.h - Real-threads region coordinator ----------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real-threads execution backend's coordinator: a RegionExecutor that
+/// runs each parallel region instance's epochs on a worker thread pool
+/// under the deterministic ordered-commit protocol (rt/Protocol.h).
+///
+/// Division of labor:
+///  - Worker threads run speculative epoch attempts (rt/EpochEngine.h)
+///    against committed shared memory with private write buffers.
+///  - The coordinator (the interpreter's calling thread) owns all protocol
+///    decisions: head validation, write-buffer commit, cascade squashes,
+///    re-dispatch, watchdog/demotion, fault-injector rolls, and every
+///    ledger event — so EventLog::global() resolves exactly as it does on
+///    the simulator paths and the injector never races.
+///
+/// Recovery ladder: squash cascades retry with reassigned snapshots
+/// (livelock-free by construction); thread-targeted faults add bounded
+/// exponential backoff; the watchdog demotes a region to sequential
+/// execution on a wall-clock no-progress timeout or a squash-budget
+/// overflow. Demotion returns false from executeRegion, which makes the
+/// interpreter run the region instance sequentially on its own untouched
+/// memory — bit-identical output by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_RT_RTENGINE_H
+#define SPECSYNC_RT_RTENGINE_H
+
+#include "interp/Decoded.h"
+#include "interp/RegionOracle.h"
+#include "rt/RtOptions.h"
+#include "sim/FaultInjector.h"
+#include "sim/TLSSimulator.h"
+#include "support/ThreadPool.h"
+
+namespace specsync {
+namespace rt {
+
+class RtEngine : public RegionExecutor {
+public:
+  /// \p DP and \p Oracle must outlive the engine; the oracle comes from a
+  /// RecordOracle run of the same decoded program.
+  RtEngine(const DecodedProgram &DP, const RegionOracle &Oracle,
+           const RtOptions &Opts);
+  ~RtEngine() override;
+
+  bool executeRegion(unsigned Instance, Memory &Mem, Random &Rng,
+                     int64_t *Frame, unsigned NumRegs,
+                     uint32_t &ExitPC) override;
+
+  /// Copies the run-level aggregates (protocol counts, waste, region and
+  /// watchdog tallies, fired fault counts, geometry) into \p R.
+  void fill(RtRunResult &R) const;
+
+  /// The coordinator's own accumulation of what the parallel attempts did
+  /// — the numbers the event-ledger analyses must reconcile with
+  /// (ForensicsResult::RawSim; IssueWidth 1).
+  const TLSSimResult &rawSim() const { return RawSim; }
+
+  unsigned threads() const { return Pool.numThreads(); }
+  unsigned window() const { return Window; }
+  const ProtocolCounts &counts() const { return Counts; }
+
+private:
+  const DecodedProgram &DP;
+  const RegionOracle &Oracle;
+  RtOptions Opts;
+  ThreadPool Pool;
+  FaultInjector Injector;
+  unsigned Window = 1;
+  unsigned RegionFunc = 0;
+  uint32_t HeaderPC = 0;
+  bool HaveRegion = false;
+
+  // Run-level aggregates (coordinator-only).
+  ProtocolCounts Counts;
+  uint64_t WastedSteps = 0;
+  uint64_t RegionsParallel = 0;
+  uint64_t RegionsSequential = 0;
+  uint64_t RegionsDemoted = 0;
+  uint64_t WatchdogTrips = 0;
+  uint64_t BackoffRetries = 0;
+  uint64_t LC = 0; ///< Logical clock stamped into event Cycle fields.
+  TLSSimResult RawSim;
+};
+
+} // namespace rt
+} // namespace specsync
+
+#endif // SPECSYNC_RT_RTENGINE_H

@@ -1,0 +1,135 @@
+//===- rt/RtOptions.h - Real-threads backend options/results ----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration and result records for the real-threads execution backend
+/// (`src/rt/`), which runs a program's parallel regions on actual OS
+/// threads under the deterministic ordered-commit speculation protocol
+/// (see Protocol.h). ProtocolCounts is the cross-validation currency: the
+/// threaded run and the trace-driven replay reference must produce equal
+/// counts on every workload, schedule-independently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_RT_RTOPTIONS_H
+#define SPECSYNC_RT_RTOPTIONS_H
+
+#include "sim/FaultInjector.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace specsync {
+
+struct ForensicsResult;
+
+namespace rt {
+
+/// Tuning knobs for one real-threads run. Defaults give a deterministic,
+/// fault-free run sized to the host.
+struct RtOptions {
+  unsigned Threads = 0; ///< Worker threads; 0 = ThreadPool::defaultJobs().
+  /// In-flight epoch window. 0 = same as Threads. Always clamped to
+  /// Threads: a window wider than the pool could park every worker in a
+  /// blocked wait with the unblocking epoch still queued behind them.
+  unsigned Window = 0;
+  /// Total squashes per region before the watchdog demotes the region to
+  /// sequential execution. 0 = off (protocol-level livelock freedom makes
+  /// this a fault-containment bound, not a correctness requirement).
+  uint64_t RegionSquashBudget = 0;
+  /// Backoff sleep base (microseconds) applied by the coordinator after a
+  /// squash when thread-targeted faults are active; doubles per retry of
+  /// the same head epoch, capped at base << 6.
+  unsigned BackoffBaseMicros = 32;
+  /// Spurious aborts targeting one epoch before it is protected (no more
+  /// injected aborts), mirroring the simulator's retry-limit rule.
+  unsigned EpochRetryLimit = 8;
+  /// Wall-clock milliseconds without a commit before the watchdog declares
+  /// the region livelocked and demotes it to sequential execution.
+  uint64_t NoProgressMillis = 10'000;
+  /// Per-attempt step cap = SeqSteps * multiplier + 10000. A mis-speculated
+  /// attempt can loop forever on a stale trip count; overrunning attempts
+  /// are forced to fail validation (see Protocol.h for why this preserves
+  /// count equality with the replay reference).
+  uint64_t StepCapMultiplier = 16;
+  /// Conflict-detection line granularity (log2 bytes); must match the
+  /// simulator's cache-line shift for like-for-like violation counting.
+  unsigned LineShift = 5;
+  /// Thread-targeted fault plan (FaultPlan::rtEnabled() classes).
+  FaultPlan Faults;
+};
+
+/// Schedule-independent protocol event counts — the quantities the
+/// differential suite compares between the threaded run and the replay.
+/// Deliberately excludes wasted-step totals: cascade victims are aborted
+/// mid-flight, so their partial step counts depend on thread timing (they
+/// live in RtRunResult::WastedSteps instead).
+struct ProtocolCounts {
+  uint64_t Regions = 0;
+  uint64_t EpochsCommitted = 0;
+  uint64_t EpochsSquashed = 0;   ///< Attempts discarded by cascades.
+  uint64_t Violations = 0;       ///< RAW validation failures at the head.
+  uint64_t SabViolations = 0;    ///< Forward-then-overwrite failures.
+  uint64_t SyncStallsScalar = 0; ///< Committed waits with no producer signal.
+  uint64_t SyncStallsMem = 0;
+
+  bool operator==(const ProtocolCounts &) const = default;
+
+  ProtocolCounts &operator+=(const ProtocolCounts &O) {
+    Regions += O.Regions;
+    EpochsCommitted += O.EpochsCommitted;
+    EpochsSquashed += O.EpochsSquashed;
+    Violations += O.Violations;
+    SabViolations += O.SabViolations;
+    SyncStallsScalar += O.SyncStallsScalar;
+    SyncStallsMem += O.SyncStallsMem;
+    return *this;
+  }
+};
+
+/// Outcome of running one program's regions on the threads backend.
+struct RtRunResult {
+  bool Completed = false;
+  bool ChecksumMatch = false; ///< Final memory == sequential run's.
+  uint64_t RtChecksum = 0;
+  uint64_t SeqChecksum = 0;
+  ProtocolCounts Counts;
+  /// Instructions executed by discarded attempts (timing-dependent —
+  /// excluded from the replay comparison on purpose).
+  uint64_t WastedSteps = 0;
+  uint64_t RegionsParallel = 0; ///< Region instances run speculatively.
+  uint64_t RegionsSequential = 0; ///< Degenerate (ret-exit) instances.
+  uint64_t RegionsDemoted = 0;  ///< Watchdog fallbacks to sequential.
+  uint64_t WatchdogTrips = 0;
+  uint64_t BackoffRetries = 0;
+  uint64_t SpuriousAborts = 0;  ///< Injected head aborts that fired.
+  uint64_t DelayedCommits = 0;
+  uint64_t WorkerStalls = 0;
+  /// The trace-driven replay reference's counts for the same program, and
+  /// whether they equal Counts exactly (the cross-validation criterion).
+  /// Only meaningful on fault-free runs: injected aborts perturb the
+  /// protocol stream by design.
+  ProtocolCounts Replay;
+  bool CountsMatch = false;
+  unsigned Threads = 0;
+  unsigned Window = 0;
+  double SeqWallMs = 0.0; ///< Oracle-recording sequential run wall time.
+  double RtWallMs = 0.0;  ///< Threaded run wall time.
+  /// Ledger analyses over the rt event stream (null when the EventLog was
+  /// inactive); reconciles() holds against the coordinator's RawSim.
+  std::shared_ptr<const ForensicsResult> Forensics;
+};
+
+/// Parses --rt-threads=N, --rt-window=N, --rt-squash-budget=N,
+/// --rt-no-progress-ms=N, --rt-step-cap-mult=N into \p O. Unrecognized
+/// arguments are left alone; argv is not mutated. Fault rates ride in via
+/// parseRobustnessArgs (--fault-rt-*).
+void parseRtArgs(int argc, char **argv, RtOptions &O);
+
+} // namespace rt
+} // namespace specsync
+
+#endif // SPECSYNC_RT_RTOPTIONS_H

@@ -1,0 +1,127 @@
+//===- rt/SharedMemory.h - Thread-shared committed memory -------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The committed memory image shared by all worker threads of the
+/// real-threads backend. interp::Memory's single-entry page cache makes it
+/// unusable concurrently, so the rt backend keeps its own sparse paged
+/// store of relaxed atomics:
+///
+///  - Speculative epochs never write here (they buffer writes privately),
+///    so every word a worker loads is committed state. Relaxed ordering is
+///    sufficient because the protocol orders commits and dispatches through
+///    the coordinator mutex: an attempt dispatched with snapshot S
+///    happens-after the commit of every epoch < S, and reads racing with a
+///    younger-epoch commit are exactly the mis-speculation the validation
+///    rules catch by line intersection, not a data race on the word itself.
+///  - Page creation takes a mutex (cold path: first store to a fresh
+///    64 KiB page); page lookup is lock-free on a shared_mutex-free
+///    read-mostly map guarded by the same mutex only on miss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_RT_SHAREDMEMORY_H
+#define SPECSYNC_RT_SHAREDMEMORY_H
+
+#include "interp/Memory.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace specsync {
+namespace rt {
+
+/// Word-addressable paged memory with atomic words. Page geometry matches
+/// interp::Memory so images copy across losslessly.
+class SharedMemory {
+public:
+  static constexpr unsigned PageShift = Memory::PageShift;
+  static constexpr uint64_t PageBytes = Memory::PageBytes;
+  static constexpr uint64_t WordsPerPage = Memory::WordsPerPage;
+
+  SharedMemory() = default;
+  SharedMemory(const SharedMemory &) = delete;
+  SharedMemory &operator=(const SharedMemory &) = delete;
+
+  /// Seeds the image from a sequential interpreter memory (coordinator
+  /// only, before workers start).
+  void copyFrom(const Memory &M) {
+    M.forEachPage([&](uint64_t Id, const int64_t *Words) {
+      Page &P = getOrCreatePage(Id);
+      for (uint64_t W = 0; W < WordsPerPage; ++W)
+        P.Words[W].store(Words[W], std::memory_order_relaxed);
+    });
+  }
+
+  /// Writes every nonzero word back into \p M (coordinator only, after
+  /// workers quiesce) so interp::Memory::checksum applies unchanged.
+  void copyTo(Memory &M) const {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    for (const auto &[Id, P] : Pages) {
+      uint64_t Base = Id << PageShift;
+      for (uint64_t W = 0; W < WordsPerPage; ++W) {
+        int64_t V = P->Words[W].load(std::memory_order_relaxed);
+        // storeWord unconditionally: the sequential run may have written a
+        // zero over a nonzero word, and checksum skips zero words anyway.
+        M.storeWord(Base + (W << 3), V);
+      }
+    }
+  }
+
+  int64_t loadWord(uint64_t Addr) const {
+    assert((Addr & 7) == 0 && "misaligned word access");
+    const Page *P = lookupPage(Addr >> PageShift);
+    if (!P)
+      return 0;
+    return P->Words[(Addr & (PageBytes - 1)) >> 3].load(
+        std::memory_order_relaxed);
+  }
+
+  void storeWord(uint64_t Addr, int64_t Value) {
+    assert((Addr & 7) == 0 && "misaligned word access");
+    getOrCreatePage(Addr >> PageShift)
+        .Words[(Addr & (PageBytes - 1)) >> 3]
+        .store(Value, std::memory_order_relaxed);
+  }
+
+private:
+  struct Page {
+    std::atomic<int64_t> Words[WordsPerPage] = {};
+  };
+
+  const Page *lookupPage(uint64_t Id) const {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    auto It = Pages.find(Id);
+    return It == Pages.end() ? nullptr : It->second.get();
+  }
+
+  Page &getOrCreatePage(uint64_t Id) {
+    {
+      std::shared_lock<std::shared_mutex> Lock(Mutex);
+      auto It = Pages.find(Id);
+      if (It != Pages.end())
+        return *It->second;
+    }
+    std::unique_lock<std::shared_mutex> Lock(Mutex);
+    auto &Slot = Pages[Id];
+    if (!Slot)
+      Slot = std::make_unique<Page>();
+    return *Slot;
+  }
+
+  mutable std::shared_mutex Mutex;
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+};
+
+} // namespace rt
+} // namespace specsync
+
+#endif // SPECSYNC_RT_SHAREDMEMORY_H

@@ -1,0 +1,155 @@
+//===- sim/ConflictRules.h - Shared TLS conflict-detection rules -*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The line-granularity conflict-detection rules shared by the timing
+/// simulator (`SpecState`/`TLSSimulator`) and the real-threads backend
+/// (`src/rt/`). Keeping the rules in one header means the two backends
+/// cannot silently diverge; `tests/conflict_rules_test.cpp` pins them:
+///
+///  1. Conflicts are detected at cache-line granularity (`lineOf`) — false
+///     sharing is visible, exactly as the paper's M88KSIM discussion
+///     requires.
+///  2. A load is an *exposed* speculative read iff the same epoch has not
+///     already stored to that word (`exposedRead`; word granularity, so a
+///     store to a neighboring word in the line does not cover the load).
+///  3. Per line, the *first* exposed reader of an epoch establishes the
+///     read mark; later reads by the same epoch do not replace it
+///     (`addFirstReadMark`; violation attribution keys on that load).
+///  4. A store by epoch W violates the *oldest* marked reader that is
+///     logically later than W (`oldestLaterReader`; older and same-epoch
+///     readers are never violated).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_SIM_CONFLICTRULES_H
+#define SPECSYNC_SIM_CONFLICTRULES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace specsync {
+
+/// Identity of the load that established a speculative read mark (kept for
+/// violation attribution, Figure 11).
+struct ReadMark {
+  uint64_t Epoch = 0;
+  uint32_t LoadStaticId = 0;
+  uint32_t LoadContext = 0;
+  int32_t LoadSyncId = -1; ///< The load's compiler sync group, if any.
+  uint64_t Cycle = 0;
+};
+
+namespace conflict {
+
+/// Rule 1: the conflict-detection granule.
+inline uint64_t lineOf(uint64_t Addr, unsigned LineShift) {
+  return Addr >> LineShift;
+}
+
+/// Rule 2: a load is exposed iff its word was not previously stored by the
+/// same epoch. \p LocalWrites is the epoch's set of written word addresses.
+template <typename WriteSet>
+inline bool exposedRead(const WriteSet &LocalWrites, uint64_t Addr) {
+  return LocalWrites.count(Addr) == 0;
+}
+
+/// Rule 3: appends \p Mark to a line's mark list unless the epoch already
+/// has a mark there (first reader wins). Returns true when the mark was
+/// established.
+inline bool addFirstReadMark(std::vector<ReadMark> &Marks,
+                             const ReadMark &Mark) {
+  for (const ReadMark &M : Marks)
+    if (M.Epoch == Mark.Epoch)
+      return false;
+  Marks.push_back(Mark);
+  return true;
+}
+
+/// Rule 4: the violated reader of a store by \p WriterEpoch — the oldest
+/// mark logically later than the writer, or null.
+inline const ReadMark *oldestLaterReader(const std::vector<ReadMark> &Marks,
+                                         uint64_t WriterEpoch) {
+  const ReadMark *Best = nullptr;
+  for (const ReadMark &M : Marks) {
+    if (M.Epoch <= WriterEpoch)
+      continue;
+    if (!Best || M.Epoch < Best->Epoch)
+      Best = &M;
+  }
+  return Best;
+}
+
+/// Per-epoch line table applying rules 1 and 3 for a single epoch attempt:
+/// the real-threads backend uses one instance per attempt for its exposed
+/// read-line set (and another for its write-line set, where the first
+/// writer analogously owns the line).
+class LineTable {
+public:
+  struct Entry {
+    uint32_t StaticId = 0;
+    uint32_t Context = 0;
+    int32_t SyncId = -1;
+  };
+
+  explicit LineTable(unsigned LineShift) : LineShift(LineShift) {}
+
+  /// Records an access to \p Addr; the first access to a line wins.
+  /// Returns true when this access established the line's entry.
+  bool insert(uint64_t Addr, const Entry &E) {
+    return Lines.try_emplace(lineOf(Addr, LineShift), E).second;
+  }
+
+  const Entry *find(uint64_t Line) const {
+    auto It = Lines.find(Line);
+    return It == Lines.end() ? nullptr : &It->second;
+  }
+
+  bool containsLine(uint64_t Line) const { return Lines.count(Line) != 0; }
+  bool containsAddr(uint64_t Addr) const {
+    return containsLine(lineOf(Addr, LineShift));
+  }
+
+  size_t size() const { return Lines.size(); }
+  bool empty() const { return Lines.empty(); }
+  unsigned lineShift() const { return LineShift; }
+
+  const std::unordered_map<uint64_t, Entry> &lines() const { return Lines; }
+
+  /// True when any line is present in both tables — the ordered-commit
+  /// validation predicate of the real-threads backend (reader ∩ writer).
+  bool intersects(const LineTable &Other) const {
+    const LineTable &Small = size() <= Other.size() ? *this : Other;
+    const LineTable &Large = size() <= Other.size() ? Other : *this;
+    for (const auto &[Line, E] : Small.Lines)
+      if (Large.containsLine(Line))
+        return true;
+    return false;
+  }
+
+  /// The smallest conflicting line, or ~0 when disjoint. Smallest (rather
+  /// than hash order) keeps real-run violation events deterministic.
+  uint64_t firstConflict(const LineTable &Other) const {
+    uint64_t Best = ~0ull;
+    const LineTable &Small = size() <= Other.size() ? *this : Other;
+    const LineTable &Large = size() <= Other.size() ? Other : *this;
+    for (const auto &[Line, E] : Small.Lines)
+      if (Large.containsLine(Line) && Line < Best)
+        Best = Line;
+    return Best;
+  }
+
+private:
+  unsigned LineShift;
+  std::unordered_map<uint64_t, Entry> Lines;
+};
+
+} // namespace conflict
+} // namespace specsync
+
+#endif // SPECSYNC_SIM_CONFLICTRULES_H

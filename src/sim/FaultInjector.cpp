@@ -33,12 +33,23 @@ constexpr uint64_t FaultStreamId = 0xfa017;
 } // namespace
 
 FaultInjector::FaultInjector(const FaultPlan &Plan)
-    : Enabled(Plan.enabled()), Plan(Plan),
+    : Enabled(Plan.enabled()), RtEnabled(Plan.rtEnabled()), Plan(Plan),
       Rng(Random::stream(Plan.Seed, FaultStreamId)),
       Ev(&obs::EventLog::global()) {}
 
 bool FaultInjector::roll(double Pct, uint64_t &Count) {
   if (!Enabled || Pct <= 0)
+    return false;
+  if (Rng.nextDouble() * 100.0 >= Pct)
+    return false;
+  ++Count;
+  return true;
+}
+
+// Thread-targeted classes gate on rtEnabled() so an rt-only plan works even
+// though enabled() (the timing-simulator gate) stays false.
+bool FaultInjector::rollRt(double Pct, uint64_t &Count) {
+  if (!RtEnabled || Pct <= 0)
     return false;
   if (Rng.nextDouble() * 100.0 >= Pct)
     return false;
@@ -97,6 +108,27 @@ bool FaultInjector::dropHwUpdate() {
   if (!roll(Plan.HwUpdateDropPct, Counts.HwDrops))
     return false;
   noteFired(obs::event_flags::kFaultHwDrop);
+  return true;
+}
+
+bool FaultInjector::delayCommit() {
+  if (!rollRt(Plan.RtDelayedCommitPct, Counts.DelayedCommits))
+    return false;
+  noteFired(obs::event_flags::kFaultRtDelayCommit);
+  return true;
+}
+
+bool FaultInjector::spuriousAbort() {
+  if (!rollRt(Plan.RtSpuriousAbortPct, Counts.SpuriousAborts))
+    return false;
+  noteFired(obs::event_flags::kFaultRtSpuriousAbort);
+  return true;
+}
+
+bool FaultInjector::stallWorker() {
+  if (!rollRt(Plan.RtStalledWorkerPct, Counts.WorkerStalls))
+    return false;
+  noteFired(obs::event_flags::kFaultRtWorkerStall);
   return true;
 }
 
@@ -162,6 +194,11 @@ RobustnessOptions specsync::parseRobustnessArgs(int argc, char **argv) {
     matchDouble(A, "--fault-mispredict=", R.Plan.MispredictPct);
     matchDouble(A, "--fault-spurious=", R.Plan.SpuriousViolationPct);
     matchDouble(A, "--fault-hw-drop=", R.Plan.HwUpdateDropPct);
+    matchDouble(A, "--fault-rt-delay-commit=", R.Plan.RtDelayedCommitPct);
+    matchU64(A, "--fault-rt-delay-micros=", R.Plan.RtDelayedCommitMicros);
+    matchDouble(A, "--fault-rt-spurious-abort=", R.Plan.RtSpuriousAbortPct);
+    matchDouble(A, "--fault-rt-stall-worker=", R.Plan.RtStalledWorkerPct);
+    matchU64(A, "--fault-rt-stall-micros=", R.Plan.RtStallMicros);
     matchU64(A, "--watchdog-budget=", R.WatchdogBudget);
     matchUnsigned(A, "--watchdog-retry-limit=", R.EpochRetryLimit);
     matchUnsigned(A, "--watchdog-demote-threshold=", R.GroupDemoteThreshold);

@@ -56,10 +56,25 @@ struct FaultPlan {
   double SpuriousViolationPct = 0.0; ///< False dependence violation per store.
   double HwUpdateDropPct = 0.0;  ///< Violating-load table update lost.
 
+  // Thread-targeted faults, fired only by the real-threads backend
+  // (src/rt/). Deliberately excluded from enabled(): they must not flip
+  // RobustnessOptions::active() and perturb the timing-simulator paths.
+  double RtDelayedCommitPct = 0.0; ///< Commit of the head epoch is delayed.
+  uint64_t RtDelayedCommitMicros = 200; ///< Sleep applied per delayed commit.
+  double RtSpuriousAbortPct = 0.0; ///< Head attempt aborted pre-validation.
+  double RtStalledWorkerPct = 0.0; ///< Worker sleeps before its attempt.
+  uint64_t RtStallMicros = 500;    ///< Sleep applied per stalled worker.
+
   bool enabled() const {
     return SignalDropPct > 0 || SignalDelayPct > 0 || SignalCorruptPct > 0 ||
            MispredictPct > 0 || SpuriousViolationPct > 0 ||
            HwUpdateDropPct > 0;
+  }
+
+  /// True when any thread-targeted (rt) fault class can fire.
+  bool rtEnabled() const {
+    return RtDelayedCommitPct > 0 || RtSpuriousAbortPct > 0 ||
+           RtStalledWorkerPct > 0;
   }
 
   /// A plan injecting every fault class at \p RatePct (the --fault-rate
@@ -75,7 +90,12 @@ inline bool operator==(const FaultPlan &A, const FaultPlan &B) {
          A.SignalCorruptPct == B.SignalCorruptPct &&
          A.MispredictPct == B.MispredictPct &&
          A.SpuriousViolationPct == B.SpuriousViolationPct &&
-         A.HwUpdateDropPct == B.HwUpdateDropPct;
+         A.HwUpdateDropPct == B.HwUpdateDropPct &&
+         A.RtDelayedCommitPct == B.RtDelayedCommitPct &&
+         A.RtDelayedCommitMicros == B.RtDelayedCommitMicros &&
+         A.RtSpuriousAbortPct == B.RtSpuriousAbortPct &&
+         A.RtStalledWorkerPct == B.RtStalledWorkerPct &&
+         A.RtStallMicros == B.RtStallMicros;
 }
 inline bool operator!=(const FaultPlan &A, const FaultPlan &B) {
   return !(A == B);
@@ -89,10 +109,16 @@ struct FaultCounts {
   uint64_t Mispredicts = 0;
   uint64_t SpuriousViolations = 0;
   uint64_t HwDrops = 0;
+  // Thread-targeted classes (real-threads backend only; always zero on the
+  // timing-simulator paths, keeping their reports byte-identical).
+  uint64_t DelayedCommits = 0;
+  uint64_t SpuriousAborts = 0;
+  uint64_t WorkerStalls = 0;
 
   uint64_t total() const {
     return SignalDrops + SignalDelays + Corruptions + Mispredicts +
-           SpuriousViolations + HwDrops;
+           SpuriousViolations + HwDrops + DelayedCommits + SpuriousAborts +
+           WorkerStalls;
   }
 };
 
@@ -104,6 +130,7 @@ public:
   explicit FaultInjector(const FaultPlan &Plan);
 
   bool enabled() const { return Enabled; }
+  bool rtEnabled() const { return RtEnabled; }
   const FaultPlan &plan() const { return Plan; }
   const FaultCounts &counts() const { return Counts; }
 
@@ -118,11 +145,20 @@ public:
   bool spuriousViolation();
   bool dropHwUpdate();
 
+  // Thread-targeted queries (real-threads backend). Rolled only by the rt
+  // coordinator thread — the injector is not thread-safe; worker-visible
+  // decisions are pre-rolled at dispatch and handed to the attempt.
+  bool delayCommit();
+  bool spuriousAbort();
+  bool stallWorker();
+
 private:
   bool roll(double Pct, uint64_t &Count);
+  bool rollRt(double Pct, uint64_t &Count);
   void noteFired(uint8_t Class);
 
   bool Enabled = false;
+  bool RtEnabled = false;
   FaultPlan Plan;
   Random Rng{0};
   FaultCounts Counts;
@@ -171,7 +207,9 @@ inline bool operator!=(const RobustnessOptions &A,
 
 /// Parses --fault-seed=N, --fault-rate=P, --fault-drop=P, --fault-delay=P,
 /// --fault-delay-cycles=N, --fault-corrupt=P, --fault-mispredict=P,
-/// --fault-spurious=P, --fault-hw-drop=P, --watchdog-budget=N,
+/// --fault-spurious=P, --fault-hw-drop=P, --fault-rt-delay-commit=P,
+/// --fault-rt-delay-micros=N, --fault-rt-spurious-abort=P,
+/// --fault-rt-stall-worker=P, --fault-rt-stall-micros=N, --watchdog-budget=N,
 /// --watchdog-retry-limit=N, --watchdog-demote-threshold=N and
 /// --degrade-squash-rate=R. Environment fallbacks (flags win):
 /// SPECSYNC_FAULT_SEED, SPECSYNC_FAULT_RATE, SPECSYNC_WATCHDOG_BUDGET.

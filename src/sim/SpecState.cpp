@@ -14,13 +14,11 @@ void SpecState::markRead(uint64_t Addr, uint64_t Epoch, uint32_t LoadStaticId,
                          uint32_t LoadContext, int32_t LoadSyncId,
                          uint64_t Cycle) {
   uint64_t Line = lineOf(Addr);
-  std::vector<ReadMark> &Marks = Readers[Line];
-  for (const ReadMark &M : Marks)
-    if (M.Epoch == Epoch)
-      return; // Already marked by this epoch; first reader wins.
-  Marks.push_back(ReadMark{Epoch, LoadStaticId, LoadContext, LoadSyncId,
-                           Cycle});
-  EpochLines[Epoch].push_back(Line);
+  // Rule 3 (shared with the rt backend): first reader per line wins.
+  if (conflict::addFirstReadMark(Readers[Line],
+                                 ReadMark{Epoch, LoadStaticId, LoadContext,
+                                          LoadSyncId, Cycle}))
+    EpochLines[Epoch].push_back(Line);
 }
 
 std::optional<ReadMark>
@@ -28,13 +26,8 @@ SpecState::findViolatedReader(uint64_t Addr, uint64_t WriterEpoch) const {
   auto It = Readers.find(lineOf(Addr));
   if (It == Readers.end())
     return std::nullopt;
-  const ReadMark *Best = nullptr;
-  for (const ReadMark &M : It->second) {
-    if (M.Epoch <= WriterEpoch)
-      continue;
-    if (!Best || M.Epoch < Best->Epoch)
-      Best = &M;
-  }
+  // Rule 4 (shared): the oldest reader logically later than the writer.
+  const ReadMark *Best = conflict::oldestLaterReader(It->second, WriterEpoch);
   if (!Best)
     return std::nullopt;
   return *Best;

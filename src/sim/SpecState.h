@@ -17,6 +17,8 @@
 #ifndef SPECSYNC_SIM_SPECSTATE_H
 #define SPECSYNC_SIM_SPECSTATE_H
 
+#include "sim/ConflictRules.h"
+
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -24,21 +26,16 @@
 
 namespace specsync {
 
-/// Identity of the load that established a speculative read mark (kept for
-/// violation attribution, Figure 11).
-struct ReadMark {
-  uint64_t Epoch = 0;
-  uint32_t LoadStaticId = 0;
-  uint32_t LoadContext = 0;
-  int32_t LoadSyncId = -1; ///< The load's compiler sync group, if any.
-  uint64_t Cycle = 0;
-};
+// ReadMark (the mark identity record) lives in sim/ConflictRules.h, the
+// header shared with the real-threads backend.
 
 class SpecState {
 public:
   explicit SpecState(unsigned LineShift) : LineShift(LineShift) {}
 
-  uint64_t lineOf(uint64_t Addr) const { return Addr >> LineShift; }
+  uint64_t lineOf(uint64_t Addr) const {
+    return conflict::lineOf(Addr, LineShift);
+  }
 
   /// Records an exposed speculative read of \p Addr by \p Epoch.
   void markRead(uint64_t Addr, uint64_t Epoch, uint32_t LoadStaticId,

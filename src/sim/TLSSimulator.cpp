@@ -9,6 +9,7 @@
 #include "obs/EventLog.h"
 #include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
+#include "sim/ConflictRules.h"
 
 #include <algorithm>
 #include <cassert>
@@ -735,7 +736,7 @@ struct TLSSimulator::Impl {
       if (SyncedLoad && !Immune) {
         size_t Id = static_cast<size_t>(DI.SyncId);
         if (Id < R.UseFwd.size() && R.UseFwd[Id] == 2 &&
-            !R.LocalWrites.count(DI.Addr)) {
+            conflict::exposedRead(R.LocalWrites, DI.Addr)) {
           if (WatchdogOn) {
             // An injected in-flight corruption is caught here, where the
             // load consumes the forward: the check hardware refetches the
@@ -795,7 +796,7 @@ struct TLSSimulator::Impl {
       if (Lat > Config.L1HitLatency)
         stall(R, Lat);
 
-      bool Exposed = !R.LocalWrites.count(DI.Addr);
+      bool Exposed = conflict::exposedRead(R.LocalWrites, DI.Addr);
       if (Exposed && !Immune) {
         Spec.markRead(DI.Addr, R.Epoch, DI.StaticId, DI.Context,
                       DI.SyncId, R.Cycle);

@@ -52,6 +52,12 @@ public:
   /// randomness even though both descend from user-supplied seeds.
   static Random stream(uint64_t Seed, uint64_t StreamId);
 
+  /// The raw SplitMix64 state, for checkpoint/restore. The real-threads
+  /// backend snapshots the interpreter RNG at each epoch boundary so
+  /// speculative epochs can re-execute `rand` deterministically.
+  uint64_t state() const { return State; }
+  void setState(uint64_t S) { State = S; }
+
 private:
   uint64_t State;
 };

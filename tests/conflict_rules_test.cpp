@@ -1,0 +1,122 @@
+//===- tests/conflict_rules_test.cpp - Shared conflict-rule pinning ------===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins the line-granularity conflict-detection rules shared by the timing
+// simulator (SpecState) and the real-threads backend (sim/ConflictRules.h
+// rules 1-4 plus the per-attempt LineTable). These semantics are the
+// cross-backend contract: a change here silently shifts violation counts
+// in BOTH backends, so each rule gets an explicit behavioral pin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ConflictRules.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace specsync;
+using namespace specsync::conflict;
+
+namespace {
+
+constexpr unsigned Shift = 5; // 32-byte lines, the default machine config.
+
+TEST(ConflictRules, LineGranularityIncludesFalseSharing) {
+  // Rule 1: two different words in the same 32-byte line conflict.
+  EXPECT_EQ(lineOf(0x100, Shift), lineOf(0x118, Shift));
+  EXPECT_NE(lineOf(0x100, Shift), lineOf(0x120, Shift));
+  // Shift is honored: with 8-byte granules the same pair is disjoint.
+  EXPECT_NE(lineOf(0x100, 3), lineOf(0x118, 3));
+}
+
+TEST(ConflictRules, ExposedReadIsWordGranular) {
+  // Rule 2: a store covers only its own word — a load from a neighboring
+  // word in the same line is still an exposed speculative read.
+  std::unordered_set<uint64_t> Writes{0x100};
+  EXPECT_FALSE(exposedRead(Writes, 0x100));
+  EXPECT_TRUE(exposedRead(Writes, 0x108));
+  EXPECT_TRUE(exposedRead(Writes, 0x200));
+}
+
+TEST(ConflictRules, FirstReaderOwnsTheMark) {
+  // Rule 3: the first exposed read of an epoch establishes the mark and
+  // keeps its attribution identity; later reads do not replace it.
+  std::vector<ReadMark> Marks;
+  EXPECT_TRUE(addFirstReadMark(Marks, {/*Epoch=*/3, /*StaticId=*/7,
+                                       /*Context=*/1, /*SyncId=*/-1,
+                                       /*Cycle=*/10}));
+  EXPECT_FALSE(addFirstReadMark(Marks, {3, 99, 2, 4, 20}));
+  ASSERT_EQ(Marks.size(), 1u);
+  EXPECT_EQ(Marks[0].LoadStaticId, 7u);
+  // A different epoch coexists on the same line.
+  EXPECT_TRUE(addFirstReadMark(Marks, {4, 8, 1, -1, 30}));
+  EXPECT_EQ(Marks.size(), 2u);
+}
+
+TEST(ConflictRules, StoreViolatesOldestLaterReaderOnly) {
+  // Rule 4: older and same-epoch readers are never violated; among later
+  // readers the logically oldest is the victim.
+  std::vector<ReadMark> Marks;
+  addFirstReadMark(Marks, {2, 1, 0, -1, 0});
+  addFirstReadMark(Marks, {6, 2, 0, -1, 0});
+  addFirstReadMark(Marks, {4, 3, 0, -1, 0});
+
+  EXPECT_EQ(oldestLaterReader(Marks, /*Writer=*/6), nullptr);
+  const ReadMark *V = oldestLaterReader(Marks, /*Writer=*/3);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->Epoch, 4u);
+  V = oldestLaterReader(Marks, /*Writer=*/1);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->Epoch, 2u);
+  // Same-epoch stores never self-violate.
+  V = oldestLaterReader(Marks, /*Writer=*/4);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(V->Epoch, 6u);
+}
+
+TEST(ConflictRules, LineTableFirstAccessWinsPerLine) {
+  conflict::LineTable T(Shift);
+  EXPECT_TRUE(T.insert(0x100, {/*StaticId=*/1, /*Context=*/0, /*SyncId=*/-1}));
+  // Same line, different word: the first entry keeps the line.
+  EXPECT_FALSE(T.insert(0x118, {2, 0, -1}));
+  EXPECT_TRUE(T.insert(0x120, {3, 0, -1}));
+  ASSERT_NE(T.find(lineOf(0x100, Shift)), nullptr);
+  EXPECT_EQ(T.find(lineOf(0x100, Shift))->StaticId, 1u);
+  EXPECT_TRUE(T.containsAddr(0x11f));
+  EXPECT_FALSE(T.containsAddr(0x140));
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(ConflictRules, IntersectionAndFirstConflictAreDeterministic) {
+  conflict::LineTable Reads(Shift), Writes(Shift);
+  Reads.insert(0x400, {1, 0, -1});
+  Reads.insert(0x200, {2, 0, -1});
+  Writes.insert(0x600, {3, 0, -1});
+  EXPECT_FALSE(Reads.intersects(Writes));
+  EXPECT_EQ(Reads.firstConflict(Writes), ~0ull);
+
+  // Overlap on two lines: firstConflict reports the SMALLEST line, not
+  // hash order, so real-run violation events stay deterministic.
+  Writes.insert(0x210, {4, 0, -1});
+  Writes.insert(0x410, {5, 0, -1});
+  EXPECT_TRUE(Reads.intersects(Writes));
+  EXPECT_TRUE(Writes.intersects(Reads));
+  EXPECT_EQ(Reads.firstConflict(Writes), lineOf(0x200, Shift));
+  EXPECT_EQ(Writes.firstConflict(Reads), lineOf(0x200, Shift));
+}
+
+TEST(ConflictRules, FalseSharingProducesALineConflict) {
+  // The M88KSIM scenario: reader and writer touch DIFFERENT words of the
+  // same line; word-granular detection would miss it, line-granular must
+  // not.
+  conflict::LineTable Reads(Shift), Writes(Shift);
+  Reads.insert(0x1000, {1, 0, -1});
+  Writes.insert(0x1008, {2, 0, -1});
+  EXPECT_TRUE(Reads.intersects(Writes));
+}
+
+} // namespace

@@ -184,5 +184,86 @@ TEST_P(RandomProgramProperty, FaultedSimulatorTerminatesAndPreservesState) {
   }
 }
 
+TEST_P(RandomProgramProperty, WatchdogKnobSweepTerminatesAndOffIsInert) {
+  uint64_t Seed = GetParam();
+  ContextTable Ctx;
+
+  auto P = makeRandomProgram(Seed);
+  BaseTransformResult Base = applyBaseTransforms(*P, 2);
+  DepProfile Profile;
+  {
+    DepProfiler DP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    Interpreter(*P, Ctx).run(Opts, &DP);
+    Profile = DP.takeProfile();
+  }
+  MemSyncResult Mem = applyMemSync(*P, Ctx, Profile);
+  InterpResult R = Interpreter(*P, Ctx).run();
+  ASSERT_TRUE(R.Completed);
+
+  MachineConfig Config;
+  TLSSimOptions BaseOpts;
+  BaseOpts.NumScalarChannels = Base.Scalar.NumChannels;
+  BaseOpts.NumMemGroups = Mem.NumGroups;
+
+  // Fingerprint of everything a run produces that downstream reporting
+  // consumes; equality means bit-identical output.
+  auto fingerprint = [&](const TLSSimOptions &Opts) {
+    TLSSimulator Sim(Config, Opts);
+    std::vector<uint64_t> FP;
+    for (const RegionTrace &Region : R.Trace.Regions) {
+      TLSSimResult SR = Sim.simulateRegion(Region);
+      EXPECT_TRUE(SR.Completed) << "seed " << Seed;
+      for (uint64_t V :
+           {SR.Cycles, SR.EpochsCommitted, SR.Violations, SR.SabViolations,
+            SR.Slots.Busy, SR.Slots.Fail, SR.Slots.SyncScalar,
+            SR.Slots.SyncMem, SR.Slots.Total})
+        FP.push_back(V);
+    }
+    return FP;
+  };
+
+  // With the watchdog off (budget 0, no faults, no degrade rate) the
+  // remaining knobs must be completely inert: whatever their values, the
+  // output is bit-identical to a simulator without the robustness
+  // subsystem.
+  std::vector<uint64_t> Ref = fingerprint(BaseOpts);
+  for (unsigned Backoff : {1u, 64u, 1024u})
+    for (unsigned Demote : {1u, 2u, 8u}) {
+      TLSSimOptions Opts = BaseOpts;
+      Opts.WatchdogBackoffBase = Backoff;
+      Opts.GroupDemoteThreshold = Demote;
+      Opts.EpochRetryLimit = Backoff % 3 + 1;
+      EXPECT_EQ(fingerprint(Opts), Ref)
+          << "seed " << Seed << " backoff " << Backoff << " demote "
+          << Demote;
+    }
+
+  // Fault-driven sweep across the watchdog space: every combination must
+  // terminate (possibly by degrading) with slot accounting still closed.
+  FaultPlan Plan = FaultPlan::uniform(Seed * 7919 + 31, 5.0);
+  for (uint64_t Budget : {20'000ull, 5'000'000ull})
+    for (unsigned Backoff : {1u, 256u})
+      for (unsigned Demote : {1u, 4u}) {
+        TLSSimOptions Opts = BaseOpts;
+        Opts.Faults = &Plan;
+        Opts.WatchdogBudget = Budget;
+        Opts.WatchdogBackoffBase = Backoff;
+        Opts.GroupDemoteThreshold = Demote;
+        Opts.MaxCycles = 50'000'000ull; // Hard termination bound.
+        TLSSimulator Sim(Config, Opts);
+        for (const RegionTrace &Region : R.Trace.Regions) {
+          TLSSimResult SR = Sim.simulateRegion(Region);
+          EXPECT_TRUE(SR.Completed || SR.DegradedToSequential)
+              << "seed " << Seed << " budget " << Budget << " backoff "
+              << Backoff << " demote " << Demote;
+          EXPECT_LE(SR.Slots.Busy + SR.Slots.Fail + SR.Slots.sync(),
+                    SR.Slots.Total)
+              << "seed " << Seed;
+        }
+      }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
                          ::testing::Range<uint64_t>(1, 21));

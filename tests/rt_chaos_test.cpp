@@ -1,0 +1,165 @@
+//===- tests/rt_chaos_test.cpp - Real-threads fault-injection chaos ------===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Chaos gate for the recovery ladder of the real-threads backend: under
+// thread-targeted fault injection (delayed commits, spurious head aborts,
+// stalled workers) every run must still terminate and leave final memory
+// exactly equal to the sequential run's — squash cascades, bounded
+// backoff, and watchdog demotion to sequential execution are all
+// exercised, and demotion must be bit-identical by construction.
+//
+// Iteration counts scale with SPECSYNC_CHAOS_ITERS (CI sanitizer jobs run
+// elevated sweeps; the default keeps the local suite fast).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+#include "obs/EventLog.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+using namespace specsync;
+using obs::EventLog;
+
+namespace {
+
+unsigned chaosIters(unsigned Default) {
+  if (const char *E = std::getenv("SPECSYNC_CHAOS_ITERS"))
+    if (int N = std::atoi(E); N > 0)
+      return static_cast<unsigned>(N);
+  return Default;
+}
+
+/// Short fault sleeps keep the suite fast while still forcing the
+/// scheduling perturbations the faults exist to create.
+rt::RtOptions chaosOptions(uint64_t Seed) {
+  rt::RtOptions O;
+  O.Threads = 4;
+  O.BackoffBaseMicros = 1;
+  O.Faults.Seed = Seed;
+  O.Faults.RtDelayedCommitMicros = 20;
+  O.Faults.RtStallMicros = 50;
+  return O;
+}
+
+rt::RtRunResult runChaos(const Workload &W, ExecMode Mode,
+                         const rt::RtOptions &O) {
+  MachineConfig Config;
+  BenchmarkPipeline P(W, Config);
+  rt::RtRunResult R = P.runThreads(Mode, O);
+  const std::string Tag = W.Name + "/" + modeName(Mode) + " seed=" +
+                          std::to_string(O.Faults.Seed);
+  EXPECT_TRUE(R.Completed) << Tag;
+  EXPECT_TRUE(R.ChecksumMatch)
+      << Tag << ": rt checksum " << R.RtChecksum << " != sequential "
+      << R.SeqChecksum;
+  return R;
+}
+
+TEST(RtChaos, SpuriousAbortsAlwaysRecover) {
+  const Workload *W = findWorkload("GZIP_COMP");
+  ASSERT_NE(W, nullptr);
+  unsigned Iters = chaosIters(2);
+  for (unsigned I = 0; I < Iters; ++I) {
+    rt::RtOptions O = chaosOptions(/*Seed=*/100 + I);
+    O.Faults.RtSpuriousAbortPct = 25.0;
+    rt::RtRunResult R = runChaos(*W, ExecMode::C, O);
+    EXPECT_GT(R.SpuriousAborts, 0u);
+    EXPECT_GE(R.Counts.EpochsSquashed, R.SpuriousAborts);
+    EXPECT_GT(R.BackoffRetries, 0u);
+  }
+}
+
+TEST(RtChaos, CertainAbortRateStillTerminates) {
+  // 100% spurious aborts: the per-epoch retry limit must protect every
+  // head epoch after EpochRetryLimit injections, so the run terminates
+  // with correct memory instead of livelocking.
+  const Workload *W = findWorkload("PARSER");
+  ASSERT_NE(W, nullptr);
+  rt::RtOptions O = chaosOptions(/*Seed=*/7);
+  O.Faults.RtSpuriousAbortPct = 100.0;
+  O.EpochRetryLimit = 2;
+  rt::RtRunResult R = runChaos(*W, ExecMode::U, O);
+  EXPECT_GT(R.SpuriousAborts, 0u);
+  EXPECT_EQ(R.RegionsDemoted, 0u); // Retry limit recovers without demotion.
+}
+
+TEST(RtChaos, DelayedCommitsAndStalledWorkersPreserveMemory) {
+  const Workload *W = findWorkload("MCF");
+  ASSERT_NE(W, nullptr);
+  unsigned Iters = chaosIters(2);
+  for (unsigned I = 0; I < Iters; ++I) {
+    rt::RtOptions O = chaosOptions(/*Seed=*/300 + I);
+    O.Faults.RtDelayedCommitPct = 20.0;
+    O.Faults.RtStalledWorkerPct = 20.0;
+    rt::RtRunResult R = runChaos(*W, ExecMode::C, O);
+    EXPECT_GT(R.DelayedCommits + R.WorkerStalls, 0u);
+    // Scheduling-only faults never change protocol outcomes: the replay
+    // still matches exactly.
+    EXPECT_TRUE(R.CountsMatch);
+  }
+}
+
+TEST(RtChaos, CombinedFaultsReconcileWithLedger) {
+  // All three fault classes at once, under an active event ledger: the
+  // stream analyses must still reconcile with the coordinator's raw
+  // accounting (injected aborts are ledgered as SpuriousViolation causes).
+  const Workload *W = findWorkload("TWOLF");
+  ASSERT_NE(W, nullptr);
+  unsigned Iters = chaosIters(2);
+  for (unsigned I = 0; I < Iters; ++I) {
+    EventLog Log;
+    Log.start();
+    obs::ScopedEventLog Scope(&Log);
+
+    MachineConfig Config;
+    BenchmarkPipeline P(*W, Config);
+    rt::RtOptions O = chaosOptions(/*Seed=*/500 + I);
+    O.Faults.RtSpuriousAbortPct = 10.0;
+    O.Faults.RtDelayedCommitPct = 10.0;
+    O.Faults.RtStalledWorkerPct = 10.0;
+    rt::RtRunResult R = P.runThreads(ExecMode::C, O);
+    EXPECT_TRUE(R.Completed);
+    EXPECT_TRUE(R.ChecksumMatch);
+    ASSERT_TRUE(R.Forensics != nullptr);
+    std::string Why;
+    EXPECT_TRUE(R.Forensics->reconciles(&Why)) << "seed " << (500 + I)
+                                               << ": " << Why;
+  }
+}
+
+TEST(RtChaos, SquashBudgetDemotionIsBitIdentical) {
+  // A one-squash budget with certain aborts trips the watchdog on every
+  // region; demoted regions run sequentially on the interpreter's own
+  // memory, so the final state is bit-identical by construction.
+  const Workload *W = findWorkload("GO");
+  ASSERT_NE(W, nullptr);
+  rt::RtOptions O = chaosOptions(/*Seed=*/11);
+  O.Faults.RtSpuriousAbortPct = 100.0;
+  O.RegionSquashBudget = 1;
+  rt::RtRunResult R = runChaos(*W, ExecMode::U, O);
+  EXPECT_GT(R.RegionsDemoted, 0u);
+  EXPECT_GT(R.WatchdogTrips, 0u);
+}
+
+TEST(RtChaos, InertPlanFiresNothing) {
+  const Workload *W = findWorkload("CRAFTY");
+  ASSERT_NE(W, nullptr);
+  rt::RtOptions O;
+  O.Threads = 4;
+  rt::RtRunResult R = runChaos(*W, ExecMode::C, O);
+  EXPECT_EQ(R.SpuriousAborts, 0u);
+  EXPECT_EQ(R.DelayedCommits, 0u);
+  EXPECT_EQ(R.WorkerStalls, 0u);
+  EXPECT_EQ(R.BackoffRetries, 0u);
+  EXPECT_TRUE(R.CountsMatch);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===- tests/rt_differential_test.cpp - Real-threads cross-validation ----===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The load-bearing differential for the real-threads backend (src/rt/):
+// for every Table 2 workload, running the mode binary's parallel regions
+// on actual OS threads must
+//
+//  1. reproduce the sequential run's final memory exactly (checksum),
+//  2. produce protocol counts (commits, squashes, RAW/SAB violations,
+//     sync stalls) EQUAL to the trace-driven replay reference — the
+//     protocol is schedule-independent by construction, so real thread
+//     interleavings must not change any of these numbers, and
+//  3. emit an event stream whose ledger analyses reconcile exactly with
+//     the coordinator's own accounting (ForensicsResult::reconciles).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Pipeline.h"
+#include "obs/EventLog.h"
+#include "rt/Replay.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace specsync;
+using obs::EventLog;
+
+namespace {
+
+std::string describe(const rt::ProtocolCounts &C) {
+  std::string S;
+  S += "regions=" + std::to_string(C.Regions);
+  S += " committed=" + std::to_string(C.EpochsCommitted);
+  S += " squashed=" + std::to_string(C.EpochsSquashed);
+  S += " raw=" + std::to_string(C.Violations);
+  S += " sab=" + std::to_string(C.SabViolations);
+  S += " stall_scalar=" + std::to_string(C.SyncStallsScalar);
+  S += " stall_mem=" + std::to_string(C.SyncStallsMem);
+  return S;
+}
+
+/// Runs one mode on the threads backend under an active ledger and checks
+/// all three cross-validation contracts.
+rt::RtRunResult expectCrossValidates(BenchmarkPipeline &P, ExecMode Mode,
+                                     unsigned Threads) {
+  EventLog Log;
+  Log.start();
+  obs::ScopedEventLog Scope(&Log);
+
+  rt::RtOptions O;
+  O.Threads = Threads;
+  rt::RtRunResult R = P.runThreads(Mode, O);
+  const std::string Tag =
+      P.workload().Name + "/" + modeName(Mode) + " threads=" +
+      std::to_string(Threads);
+
+  EXPECT_TRUE(R.Completed) << Tag;
+  EXPECT_TRUE(R.ChecksumMatch)
+      << Tag << ": rt checksum " << R.RtChecksum << " != sequential "
+      << R.SeqChecksum;
+  EXPECT_EQ(R.RegionsDemoted, 0u) << Tag << ": fault-free run demoted";
+  EXPECT_EQ(R.WatchdogTrips, 0u) << Tag;
+  EXPECT_TRUE(R.CountsMatch) << Tag << "\n  live:   " << describe(R.Counts)
+                             << "\n  replay: " << describe(R.Replay);
+
+  EXPECT_TRUE(R.Forensics != nullptr) << Tag;
+  if (R.Forensics) {
+    std::string Why;
+    EXPECT_TRUE(R.Forensics->reconciles(&Why)) << Tag << ": " << Why;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Table 2 differential
+//===----------------------------------------------------------------------===//
+
+class RtDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RtDifferential, LiveCountsEqualReplayReference) {
+  const Workload &W = allWorkloads()[GetParam()];
+  MachineConfig Config;
+  BenchmarkPipeline P(W, Config);
+  P.prepare();
+
+  uint64_t Committed = 0;
+  for (ExecMode Mode : {ExecMode::U, ExecMode::C, ExecMode::T}) {
+    rt::RtRunResult R = expectCrossValidates(P, Mode, /*Threads=*/4);
+    Committed += R.Counts.EpochsCommitted;
+    EXPECT_GT(R.RegionsParallel, 0u) << W.Name << "/" << modeName(Mode);
+  }
+  EXPECT_GT(Committed, 0u) << W.Name;
+}
+
+std::string workloadName(const ::testing::TestParamInfo<size_t> &Info) {
+  return allWorkloads()[Info.param].Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable2Workloads, RtDifferential,
+                         ::testing::Range<size_t>(0, 15), workloadName);
+
+//===----------------------------------------------------------------------===//
+// Schedule independence
+//===----------------------------------------------------------------------===//
+
+TEST(RtDifferential, CountsAreThreadCountInvariant) {
+  // The protocol counts depend on the window geometry, never on the
+  // interleaving: at a fixed window, 2 threads and 8 threads must agree
+  // with each other and with the replay at that window.
+  const Workload *W = findWorkload("GZIP_COMP");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline P(*W, Config);
+  P.prepare();
+
+  rt::ProtocolCounts Base;
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    rt::RtOptions O;
+    O.Threads = Threads;
+    O.Window = 2; // Fixed geometry across the sweep.
+    rt::RtRunResult R = P.runThreads(ExecMode::C, O);
+    EXPECT_TRUE(R.ChecksumMatch) << Threads;
+    EXPECT_TRUE(R.CountsMatch)
+        << Threads << "\n  live:   " << describe(R.Counts)
+        << "\n  replay: " << describe(R.Replay);
+    if (Threads == 2u)
+      Base = R.Counts;
+    else
+      EXPECT_TRUE(Base == R.Counts)
+          << Threads << " threads\n  2 threads: " << describe(Base)
+          << "\n  now:       " << describe(R.Counts);
+  }
+}
+
+TEST(RtDifferential, SingleThreadDegeneratesToInOrder) {
+  // Window clamps to the pool: one worker means one in-flight epoch, so
+  // every epoch validates against a fully committed predecessor — no
+  // squashes are possible and the replay agrees.
+  const Workload *W = findWorkload("PARSER");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline P(*W, Config);
+  rt::RtOptions O;
+  O.Threads = 1;
+  rt::RtRunResult R = P.runThreads(ExecMode::U, O);
+  EXPECT_TRUE(R.ChecksumMatch);
+  EXPECT_TRUE(R.CountsMatch) << "\n  live:   " << describe(R.Counts)
+                             << "\n  replay: " << describe(R.Replay);
+  EXPECT_EQ(R.Counts.EpochsSquashed, 0u);
+  EXPECT_EQ(R.Counts.Violations, 0u);
+  EXPECT_EQ(R.Window, 1u);
+}
+
+TEST(RtDifferential, SpeculationActuallyHappens) {
+  // Guard against a vacuous pass: across the table the U binaries must
+  // hit real cross-epoch RAW conflicts (the paper's entire subject).
+  MachineConfig Config;
+  uint64_t Violations = 0;
+  for (const char *Name : {"GZIP_COMP", "MCF", "TWOLF"}) {
+    const Workload *W = findWorkload(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    BenchmarkPipeline P(*W, Config);
+    rt::RtOptions O;
+    O.Threads = 4;
+    rt::RtRunResult R = P.runThreads(ExecMode::U, O);
+    EXPECT_TRUE(R.CountsMatch) << Name;
+    Violations += R.Counts.Violations;
+  }
+  EXPECT_GT(Violations, 0u);
+}
+
+} // namespace
