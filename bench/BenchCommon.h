@@ -14,9 +14,11 @@
 #ifndef SPECSYNC_BENCH_BENCHCOMMON_H
 #define SPECSYNC_BENCH_BENCHCOMMON_H
 
+#include "analysis/Remediator.h"
 #include "harness/ExperimentRunner.h"
 #include "harness/Pipeline.h"
 #include "harness/Report.h"
+#include "ir/Remedy.h"
 #include "obs/ObsOptions.h"
 #include "support/TextTable.h"
 #include "workloads/Workload.h"
@@ -28,6 +30,30 @@
 #include <vector>
 
 namespace specsync {
+
+/// Renders a remedy plan's pair dispositions as one summary cell, e.g.
+/// "2 sync, 1 privatize, 1 reduce". Every label is remedyName() of the
+/// corresponding RemedyKind — the same vocabulary the JSON report's
+/// `remedies` block uses — never an ad-hoc string, so bench output and
+/// report fields cannot drift apart.
+inline std::string renderRemedyMix(const analysis::RemedyPlan &Plan) {
+  const std::pair<RemedyKind, unsigned> Mix[] = {
+      {RemedyKind::Sync, Plan.NumSynced},
+      {RemedyKind::Speculate, Plan.NumSpeculated},
+      {RemedyKind::Privatize, Plan.NumPrivatized},
+      {RemedyKind::Pad, Plan.NumPadded},
+      {RemedyKind::Reduce, Plan.NumReduced},
+  };
+  std::string Cell;
+  for (const auto &Entry : Mix) {
+    if (Entry.second == 0)
+      continue;
+    if (!Cell.empty())
+      Cell += ", ";
+    Cell += std::to_string(Entry.second) + " " + remedyName(Entry.first);
+  }
+  return Cell.empty() ? remedyName(RemedyKind::None) : Cell;
+}
 
 /// Runs \p Body with a prepared pipeline for every benchmark, sharded
 /// across --jobs workers and backed by the --cache-dir result cache (see
@@ -143,9 +169,12 @@ public:
       if (P.trainOracle())
         B.OracleTrain =
             std::make_shared<analysis::DepOracleResult>(*P.trainOracle());
+    }
+    if (!B.AnalysisDiags && P.staticAnalysis().active())
       B.AnalysisDiags =
           std::make_shared<analysis::DiagEngine>(P.analysisDiags());
-    }
+    if (!B.Remedies && P.remedyPlan().Enabled)
+      B.Remedies = std::make_shared<analysis::RemedyPlan>(P.remedyPlan());
     B.Entries.push_back({std::move(Label), R});
   }
 

@@ -15,6 +15,11 @@
 // everywhere except GZIP_COMP, whose input-sensitive control flow makes
 // the train profile pick different load/store pairs.
 //
+// With --static-remedies the C/T builds run under the remediator plan, and
+// the summary gains a per-benchmark remedy-mix column. Its labels come
+// from remedyName() — the same vocabulary the JSON report's `remedies`
+// block uses — so bench output and report fields cannot drift apart.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -27,10 +32,17 @@ int main(int argc, char **argv) {
               "input) ===\n%s\n",
               barLegend().c_str());
 
+  // The extra column appears only under --static-remedies, keeping the
+  // default output byte-identical to the plain compiler-sync figure.
+  const bool WithRemedies = Obs.staticAnalysis().EnableRemedies;
+
   MachineConfig Config;
   TextTable Summary;
-  Summary.setHeader({"benchmark", "U", "T", "C", "fail U%", "fail C%",
-                     "sync C%", "C speedup"});
+  std::vector<std::string> Header = {"benchmark", "U", "T", "C", "fail U%",
+                                     "fail C%", "sync C%", "C speedup"};
+  if (WithRemedies)
+    Header.push_back("remedies (C/T)");
+  Summary.setHeader(std::move(Header));
 
   forEachBenchmark(Config, Obs.robustness(), Obs.staticAnalysis(), [&](BenchmarkPipeline &P) {
     ModeRunResult U = P.run(ExecMode::U);
@@ -44,14 +56,18 @@ int main(int argc, char **argv) {
     std::printf("%s\n", renderBenchmarkBars(P.workload().Name, {U, T, C})
                             .c_str());
 
-    Summary.addRow({P.workload().Name,
-                    TextTable::formatDouble(U.normalizedRegionTime()),
-                    TextTable::formatDouble(T.normalizedRegionTime()),
-                    TextTable::formatDouble(C.normalizedRegionTime()),
-                    TextTable::formatDouble(U.failPct()),
-                    TextTable::formatDouble(C.failPct()),
-                    TextTable::formatDouble(C.syncPct()),
-                    TextTable::formatDouble(C.regionSpeedup(), 2)});
+    std::vector<std::string> Row = {
+        P.workload().Name,
+        TextTable::formatDouble(U.normalizedRegionTime()),
+        TextTable::formatDouble(T.normalizedRegionTime()),
+        TextTable::formatDouble(C.normalizedRegionTime()),
+        TextTable::formatDouble(U.failPct()),
+        TextTable::formatDouble(C.failPct()),
+        TextTable::formatDouble(C.syncPct()),
+        TextTable::formatDouble(C.regionSpeedup(), 2)};
+    if (WithRemedies)
+      Row.push_back(renderRemedyMix(P.remedyPlan()));
+    Summary.addRow(std::move(Row));
   });
 
   std::printf("%s\n", Summary.render().c_str());

@@ -13,6 +13,9 @@
 //    addresses and must-execute facts,
 //  - the fused oracle verdict tables against the ref- and train-input
 //    dependence profiles,
+//  - the remedy plan (per-pair cheapest-adequate decisions) and, for every
+//    decided pair, the full remediator chain: each module's independent
+//    answer with its remedy and cost,
 //  - the structured diagnostics the engine emitted.
 //
 // --stale appends the synthetic stale profile entry before fusion (the
@@ -22,6 +25,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Remediator.h"
 #include "analysis/StaticAnalysis.h"
 #include "harness/Pipeline.h"
 #include "harness/Report.h"
@@ -50,6 +54,7 @@ void dumpOne(const Workload &W, double Threshold, bool Stale,
   BenchmarkPipeline Pipeline(W, Config, Threshold);
   analysis::StaticAnalysisOptions Opts;
   Opts.EnableOracle = true;
+  Opts.EnableRemedies = true;
   Opts.InjectStalePair = Stale;
   Pipeline.setStaticAnalysis(Opts);
   Pipeline.prepare();
@@ -103,6 +108,63 @@ void dumpOne(const Workload &W, double Threshold, bool Stale,
     std::printf("%s\n", V.render().c_str());
   }
 
+  // The assembled remedy plan: one cheapest-adequate decision per pair.
+  const analysis::RemedyPlan &Plan = Pipeline.remedyPlan();
+  std::printf("remedy plan: %u synced, %u speculated, %u privatized, "
+              "%u padded, %u reduced (%u gate-rejected); cache %llu/%llu "
+              "hits\n",
+              Plan.NumSynced, Plan.NumSpeculated, Plan.NumPrivatized,
+              Plan.NumPadded, Plan.NumReduced, Plan.GateRejected,
+              static_cast<unsigned long long>(Plan.CacheHits),
+              static_cast<unsigned long long>(Plan.CacheLookups));
+  TextTable PT;
+  PT.setHeader({"load", "store", "freq%", "remedy", "cost", "sync-cost",
+                "module", "detail"});
+  for (const analysis::RemedyDecision &D : Plan.Decisions)
+    PT.addRow({refName(D.Load), refName(D.Store),
+               D.InProfile ? TextTable::formatDouble(D.FreqPercent) : "-",
+               remedyName(D.Remedy), std::to_string(D.Cost),
+               std::to_string(D.SyncCost),
+               D.Module.empty() ? "-" : D.Module, D.Detail});
+  std::printf("%s\n", PT.render().c_str());
+
+  // Full chain per decided pair: every module's independent answer, in
+  // chain order, with the remedy and cost it would charge.
+  unsigned LineShift = 0;
+  while ((1u << LineShift) < Config.CacheLineBytes)
+    ++LineShift;
+  analysis::RemedyContext RCtx{P, AA, T, &Pipeline.refProfile(), Threshold,
+                               LineShift};
+  analysis::RemedyChain Chain(RCtx);
+  for (const analysis::RemedyDecision &D : Plan.Decisions) {
+    const analysis::MemRef *LR = T.findRef(D.Load);
+    const analysis::MemRef *SR = T.findRef(D.Store);
+    if (!LR || !SR)
+      continue;
+    std::printf("chain for load %s store %s%s:\n", refName(D.Load).c_str(),
+                refName(D.Store).c_str(),
+                D.InProfile
+                    ? (" (freq " + TextTable::formatDouble(D.FreqPercent) +
+                       "%)")
+                          .c_str()
+                    : "");
+    analysis::RemedyQuery Q;
+    Q.Store = SR;
+    Q.Load = LR;
+    Q.InProfile = D.InProfile;
+    Q.FreqPercent = D.FreqPercent;
+    unsigned Idx = 0;
+    for (const analysis::RemedyVerdict &V : Chain.queryAll(Q)) {
+      if (V.NoDep)
+        std::printf("  %u. %-10s NO-DEP remedy=%s cost=%u  %s\n", ++Idx,
+                    V.Module.c_str(), remedyName(V.Remedy), V.Cost,
+                    V.Detail.c_str());
+      else
+        std::printf("  %u. %-10s no answer\n", ++Idx, V.Module.c_str());
+    }
+  }
+  std::printf("\n");
+
   const analysis::DiagEngine &DE = Pipeline.analysisDiags();
   std::printf("diagnostics: %zu error(s), %zu warning(s), %zu total\n",
               DE.numErrors(), DE.numWarnings(), DE.diags().size());
@@ -121,6 +183,7 @@ void dumpOne(const Workload &W, double Threshold, bool Stale,
       std::make_shared<analysis::DepOracleResult>(*Pipeline.trainOracle());
   B.AnalysisDiags =
       std::make_shared<analysis::DiagEngine>(Pipeline.analysisDiags());
+  B.Remedies = std::make_shared<analysis::RemedyPlan>(Pipeline.remedyPlan());
   B.Entries.push_back({modeName(R.Mode), R});
   Collected.push_back(std::move(B));
 }

@@ -428,6 +428,15 @@ bool AliasAnalysis::transfer(unsigned Func, const Instruction &I) {
   case Opcode::Store:
     return storeTo(toAddr(Eval(0)), Eval(1));
 
+  case Opcode::Reduce: {
+    // mem[op0] = mem[op0] <op> op1: reads and rewrites the location. The
+    // result is always a scalar (reduction chains never combine pointers),
+    // so merging "unknown scalar" into the contents is sound and cheap.
+    ValueInfo V;
+    V.ScalarTop = true;
+    return storeTo(toAddr(Eval(0)), V);
+  }
+
   case Opcode::Call: {
     unsigned Callee = I.getCallee();
     bool Changed = false;

@@ -1,0 +1,1219 @@
+//===- analysis/Remediator.cpp - Dependence-remediator ensemble -*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Remediator.h"
+
+#include "analysis/Diag.h"
+#include "ir/CFG.h"
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <string_view>
+
+using namespace specsync;
+using namespace specsync::analysis;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+const Instruction &instAt(const Program &P, const MemRef &R) {
+  return P.getFunction(R.Func).getBlock(R.Block).instructions()[R.Pos];
+}
+
+/// The single concrete word address of a singleton AddrInfo.
+std::optional<uint64_t> singletonAddr(const AddrInfo &A, const Program &P) {
+  if (!A.isSingleton())
+    return std::nullopt;
+  if (!A.RawAddrs.empty())
+    return static_cast<uint64_t>(*A.RawAddrs.begin());
+  for (const auto &[G, Offs] : A.ByGlobal)
+    if (!Offs.Unknown && !Offs.Offsets.empty())
+      return P.globals()[G].BaseAddr +
+             static_cast<uint64_t>(*Offs.Offsets.begin());
+  return std::nullopt;
+}
+
+std::optional<ReduceOpKind> reduceKindFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add: return ReduceOpKind::Add;
+  case Opcode::Mul: return ReduceOpKind::Mul;
+  case Opcode::And: return ReduceOpKind::And;
+  case Opcode::Or: return ReduceOpKind::Or;
+  case Opcode::Xor: return ReduceOpKind::Xor;
+  default: return std::nullopt;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Known-bits over address computations (residue module)
+//===----------------------------------------------------------------------===//
+
+/// Per-value known-bits: bit i of Zeros (Ones) set means the value's bit i
+/// is 0 (1) on every execution. Unset in both means unknown.
+struct KnownBits {
+  uint64_t Zeros = 0;
+  uint64_t Ones = 0;
+  uint64_t known() const { return Zeros | Ones; }
+};
+
+KnownBits kbExact(uint64_t V) { return {~V, V}; }
+KnownBits kbUnknown() { return {0, 0}; }
+KnownBits kbJoin(KnownBits A, KnownBits B) {
+  return {A.Zeros & B.Zeros, A.Ones & B.Ones};
+}
+KnownBits kbNot(KnownBits A) { return {A.Ones, A.Zeros}; }
+KnownBits kbAnd(KnownBits A, KnownBits B) {
+  return {A.Zeros | B.Zeros, A.Ones & B.Ones};
+}
+KnownBits kbOr(KnownBits A, KnownBits B) {
+  return {A.Zeros & B.Zeros, A.Ones | B.Ones};
+}
+KnownBits kbXor(KnownBits A, KnownBits B) {
+  uint64_t K = A.known() & B.known();
+  uint64_t V = (A.Ones ^ B.Ones) & K;
+  return {K & ~V, V};
+}
+
+/// Ripple-carry: bits are known from the bottom until the first unknown
+/// operand bit (the carry becomes unknown there).
+KnownBits kbAdd(KnownBits A, KnownBits B, unsigned CarryIn) {
+  KnownBits R;
+  unsigned Carry = CarryIn;
+  for (unsigned I = 0; I < 64; ++I) {
+    if (!((A.known() >> I) & 1) || !((B.known() >> I) & 1))
+      break;
+    unsigned S = ((A.Ones >> I) & 1) + ((B.Ones >> I) & 1) + Carry;
+    Carry = S >> 1;
+    if (S & 1)
+      R.Ones |= 1ull << I;
+    else
+      R.Zeros |= 1ull << I;
+  }
+  return R;
+}
+KnownBits kbSub(KnownBits A, KnownBits B) { return kbAdd(A, kbNot(B), 1); }
+
+/// Count of consecutive known-zero low bits.
+unsigned kbLowZeros(KnownBits A) {
+  unsigned N = 0;
+  while (N < 64 && ((A.Zeros >> N) & 1))
+    ++N;
+  return N;
+}
+
+KnownBits kbMul(KnownBits A, KnownBits B) {
+  if (A.known() == ~0ull && B.known() == ~0ull)
+    return kbExact(A.Ones * B.Ones);
+  unsigned T = kbLowZeros(A) + kbLowZeros(B);
+  if (T >= 64)
+    return kbExact(0);
+  KnownBits R;
+  R.Zeros = (1ull << T) - 1;
+  return R;
+}
+
+KnownBits kbShl(KnownBits A, unsigned C) {
+  if (C == 0)
+    return A;
+  return {(A.Zeros << C) | ((1ull << C) - 1), A.Ones << C};
+}
+KnownBits kbShr(KnownBits A, unsigned C) { // Logical (engines mask & shift
+  if (C == 0)                              // unsigned), see Interpreter.
+    return A;
+  return {(A.Zeros >> C) | ~(~0ull >> C), A.Ones >> C};
+}
+
+/// Flow-insensitive interprocedural known-bits: one lattice cell per
+/// (function, register), joined over every definition, with call-site
+/// argument -> parameter and Ret -> call-destination propagation.
+///
+/// Registers read before their first definition hold 0 at runtime (frames
+/// are zero-initialized), which a join over definitions alone would miss.
+/// A must-defined forward dataflow over the CFG finds the registers some
+/// path can read before any definition; exactly those are zero-seeded —
+/// every other register's reads only ever observe defined values, so the
+/// join over its definitions covers them.
+class KnownBitsAnalysis {
+public:
+  explicit KnownBitsAnalysis(const Program &P) : Prog(P) {
+    Regs.resize(P.getNumFunctions());
+    Rets.resize(P.getNumFunctions());
+    for (unsigned FI = 0; FI < P.getNumFunctions(); ++FI)
+      seedFunction(FI);
+    run();
+  }
+
+  KnownBits operandBits(unsigned Func, const Operand &Op) const {
+    if (Op.isImm())
+      return kbExact(static_cast<uint64_t>(Op.getImm()));
+    const Cell &C = Regs[Func][Op.getReg()];
+    return C.Defined ? C.KB : kbUnknown();
+  }
+
+private:
+  struct Cell {
+    KnownBits KB;
+    bool Defined = false;
+  };
+
+  static bool joinInto(Cell &C, KnownBits KB) {
+    if (!C.Defined) {
+      C.Defined = true;
+      C.KB = KB;
+      return true;
+    }
+    KnownBits J = kbJoin(C.KB, KB);
+    if (J.Zeros == C.KB.Zeros && J.Ones == C.KB.Ones)
+      return false;
+    C.KB = J;
+    return true;
+  }
+
+  void seedFunction(unsigned FI) {
+    const Function &F = Prog.getFunction(FI);
+    Regs[FI].resize(F.getNumRegs());
+    // Entry-function parameters are externally supplied: unknown.
+    if (FI == Prog.getEntry())
+      for (unsigned R = 0; R < F.getNumParams(); ++R)
+        joinInto(Regs[FI][R], kbUnknown());
+    std::vector<bool> Uninit = maybeReadBeforeDef(F);
+    for (unsigned R = 0; R < F.getNumRegs(); ++R)
+      if (Uninit[R])
+        joinInto(Regs[FI][R], kbExact(0));
+  }
+
+  /// Registers some execution can read before any definition (they then
+  /// hold 0). Must-defined forward dataflow: a register is defined on
+  /// block entry iff it is defined on exit of every reachable predecessor
+  /// (function entry: the parameters). Reads of a not-must-defined
+  /// register are flagged; unreachable blocks never execute and are
+  /// ignored.
+  static std::vector<bool> maybeReadBeforeDef(const Function &F) {
+    unsigned NR = F.getNumRegs();
+    std::vector<bool> Flagged(NR, false);
+    if (F.getNumBlocks() == 0 || NR == 0)
+      return Flagged;
+    CFG G(F);
+    const std::vector<unsigned> &RPO = G.reversePostOrder();
+    if (RPO.empty())
+      return Flagged;
+    unsigned EntryBlock = RPO.front();
+    // Optimistic start (all defined); intersections only shrink, so a
+    // read flagged at any iteration is still undefined at the fixpoint.
+    std::vector<std::vector<bool>> Out(F.getNumBlocks(),
+                                       std::vector<bool>(NR, true));
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned BI : RPO) {
+        std::vector<bool> In(NR, false);
+        if (BI == EntryBlock) {
+          // A back-edge into the entry cannot undefine anything (defs
+          // only accumulate), so the call-entry state is the meet.
+          for (unsigned R = 0; R < F.getNumParams(); ++R)
+            In[R] = true;
+        } else {
+          In.assign(NR, true);
+          for (unsigned P : G.predecessors(BI)) {
+            if (!G.isReachable(P))
+              continue;
+            for (unsigned R = 0; R < NR; ++R)
+              In[R] = In[R] && Out[P][R];
+          }
+        }
+        for (const Instruction &I : F.getBlock(BI).instructions()) {
+          for (const Operand &Op : I.operands())
+            if (Op.isReg() && !In[Op.getReg()])
+              Flagged[Op.getReg()] = true;
+          if (I.hasDest())
+            In[I.getDest()] = true;
+        }
+        if (In != Out[BI]) {
+          Out[BI] = std::move(In);
+          Changed = true;
+        }
+      }
+    }
+    return Flagged;
+  }
+
+  KnownBits transfer(unsigned FI, const Instruction &I) const {
+    auto Bits = [&](unsigned Idx) { return operandBits(FI, I.getOperand(Idx)); };
+    switch (I.getOpcode()) {
+    case Opcode::Const:
+    case Opcode::Move:
+      return Bits(0);
+    case Opcode::Add:
+      return kbAdd(Bits(0), Bits(1), 0);
+    case Opcode::Sub:
+      return kbSub(Bits(0), Bits(1));
+    case Opcode::Mul:
+      return kbMul(Bits(0), Bits(1));
+    case Opcode::And:
+      return kbAnd(Bits(0), Bits(1));
+    case Opcode::Or:
+      return kbOr(Bits(0), Bits(1));
+    case Opcode::Xor:
+      return kbXor(Bits(0), Bits(1));
+    case Opcode::Shl:
+    case Opcode::Shr: {
+      KnownBits B = Bits(1);
+      if ((B.known() & 63) != 63)
+        return kbUnknown(); // Engines mask the amount with & 63.
+      unsigned C = static_cast<unsigned>(B.Ones & 63);
+      return I.getOpcode() == Opcode::Shl ? kbShl(Bits(0), C)
+                                          : kbShr(Bits(0), C);
+    }
+    case Opcode::CmpEQ:
+    case Opcode::CmpNE:
+    case Opcode::CmpLT:
+    case Opcode::CmpLE:
+    case Opcode::CmpGT:
+    case Opcode::CmpGE:
+      return {~1ull, 0}; // 0 or 1: every bit but bit 0 is known zero.
+    case Opcode::Select:
+      return kbJoin(Bits(1), Bits(2));
+    default:
+      return kbUnknown(); // Div/Mod/Rand/Load/forwarding markers/...
+    }
+  }
+
+  void run() {
+    bool Changed = true;
+    for (unsigned Pass = 0; Changed && Pass < 256; ++Pass) {
+      Changed = false;
+      for (unsigned FI = 0; FI < Prog.getNumFunctions(); ++FI) {
+        const Function &F = Prog.getFunction(FI);
+        for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+          for (const Instruction &I : F.getBlock(BI).instructions()) {
+            if (I.getOpcode() == Opcode::Call) {
+              unsigned Callee = I.getCallee();
+              unsigned NP = Prog.getFunction(Callee).getNumParams();
+              for (unsigned A = 0; A < NP; ++A)
+                Changed |= joinInto(Regs[Callee][A],
+                                    A < I.getNumOperands()
+                                        ? operandBits(FI, I.getOperand(A))
+                                        : kbExact(0));
+              if (I.hasDest() && Rets[Callee].Defined)
+                Changed |= joinInto(Regs[FI][I.getDest()], Rets[Callee].KB);
+              continue;
+            }
+            if (I.getOpcode() == Opcode::Ret) {
+              Changed |= joinInto(Rets[FI], I.getNumOperands() == 1
+                                                ? operandBits(FI, I.getOperand(0))
+                                                : kbExact(0));
+              continue;
+            }
+            if (I.hasDest())
+              Changed |= joinInto(Regs[FI][I.getDest()], transfer(FI, I));
+          }
+        }
+      }
+    }
+  }
+
+  const Program &Prog;
+  std::vector<std::vector<Cell>> Regs; ///< [func][reg].
+  std::vector<Cell> Rets;              ///< [func]: joined Ret values.
+};
+
+//===----------------------------------------------------------------------===//
+// Module 1: alias-line (Andersen points-to disjointness)
+//===----------------------------------------------------------------------===//
+
+class AliasLineRemediator : public Remediator {
+public:
+  explicit AliasLineRemediator(const RemedyContext &Ctx) : Ctx(Ctx) {}
+  const char *name() const override { return "alias-line"; }
+
+  bool answer(const RemedyQuery &Q, RemedyVerdict &V) override {
+    if (!Q.Store || !Q.Load)
+      return false;
+    if (Ctx.AA.alias(Q.Store->Addr, Q.Load->Addr) != AliasResult::NoAlias)
+      return false;
+    V.NoDep = true;
+    V.Remedy = RemedyKind::None;
+    V.Cost = 0;
+    V.Detail = "points-to disjoint: store " + Q.Store->Addr.render(Ctx.Prog) +
+               " vs load " + Q.Load->Addr.render(Ctx.Prog);
+    return true;
+  }
+
+private:
+  const RemedyContext &Ctx;
+};
+
+//===----------------------------------------------------------------------===//
+// Module 2: kill (intra-epoch must-execute kill refutation)
+//===----------------------------------------------------------------------===//
+
+class KillRemediator : public Remediator {
+public:
+  explicit KillRemediator(const RemedyContext &Ctx) : Ctx(Ctx) {}
+  const char *name() const override { return "kill"; }
+
+  bool answer(const RemedyQuery &Q, RemedyVerdict &V) override {
+    if (!Q.Store || !Q.Load)
+      return false;
+    if (Ctx.AA.alias(Q.Store->Addr, Q.Load->Addr) != AliasResult::MustAlias)
+      return false;
+    if (Ctx.Tester.classify(*Q.Store, *Q.Load).Kind != StaticDepKind::NoDep)
+      return false;
+    V.NoDep = true;
+    V.Remedy = RemedyKind::None;
+    V.Cost = 0;
+    V.Detail = "killed: the store must-executes before the load within every "
+               "iteration, so the load never observes a previous epoch";
+    return true;
+  }
+
+private:
+  const RemedyContext &Ctx;
+};
+
+//===----------------------------------------------------------------------===//
+// Module 3: readonly (the load reads data no region store can write)
+//===----------------------------------------------------------------------===//
+
+class ReadOnlyRemediator : public Remediator {
+public:
+  explicit ReadOnlyRemediator(const RemedyContext &Ctx) : Ctx(Ctx) {}
+  const char *name() const override { return "readonly"; }
+
+  bool answer(const RemedyQuery &Q, RemedyVerdict &V) override {
+    if (!Q.Store || !Q.Load)
+      return false;
+    if (!Ctx.Tester.isComplete())
+      return false; // The write summary could miss references.
+    build();
+    if (AnyUnknownWrite || Q.Load->Addr.Unknown)
+      return false;
+    for (const auto &[G, Offs] : Q.Load->Addr.ByGlobal)
+      if (WrittenGlobals.count(G))
+        return false;
+    for (int64_t A : Q.Load->Addr.RawAddrs)
+      if (WrittenRaw.count(A))
+        return false;
+    V.NoDep = true;
+    V.Remedy = RemedyKind::None;
+    V.Cost = 0;
+    V.Detail = "read-only: " + Q.Load->Addr.render(Ctx.Prog) +
+               " is disjoint from every global the region writes";
+    return true;
+  }
+
+private:
+  void build() {
+    if (Built)
+      return;
+    Built = true;
+    for (const MemRef &R : Ctx.Tester.refs()) {
+      if (R.IsLoad)
+        continue;
+      if (R.Addr.Unknown) {
+        AnyUnknownWrite = true;
+        return;
+      }
+      for (const auto &[G, Offs] : R.Addr.ByGlobal)
+        WrittenGlobals.insert(G);
+      for (int64_t A : R.Addr.RawAddrs)
+        WrittenRaw.insert(A);
+    }
+  }
+
+  const RemedyContext &Ctx;
+  bool Built = false;
+  bool AnyUnknownWrite = false;
+  std::set<unsigned> WrittenGlobals;
+  std::set<int64_t> WrittenRaw;
+};
+
+//===----------------------------------------------------------------------===//
+// Module 4: reduction (x = x op e chains -> per-epoch accumulator)
+//===----------------------------------------------------------------------===//
+
+class ReductionRemediator : public Remediator {
+public:
+  explicit ReductionRemediator(const RemedyContext &Ctx) : Ctx(Ctx) {}
+  const char *name() const override { return "reduction"; }
+
+  bool answer(const RemedyQuery &Q, RemedyVerdict &V) override {
+    if (!Q.Store || !Q.Load)
+      return false;
+    if (Q.Store->Func != Q.Load->Func)
+      return false;
+    StaticDepResult DR = Ctx.Tester.classify(*Q.Store, *Q.Load);
+    if (DR.Kind != StaticDepKind::Must || !DR.Distance1)
+      return false;
+    std::optional<uint64_t> X = singletonAddr(Q.Load->Addr, Ctx.Prog);
+    if (!X)
+      return false;
+    const ChainInfo &CI = chainFor(Q.Load->Func, *X, Q.Load->Addr);
+    if (!CI.Matched)
+      return false;
+    if (!CI.Ids.count(Q.Load->Name.InstId) || !CI.Ids.count(Q.Store->Name.InstId))
+      return false;
+    V.NoDep = true;
+    V.Remedy = RemedyKind::Reduce;
+    V.Cost = RemedyCost::Reduce;
+    V.Reductions = CI.Triples;
+    std::ostringstream D;
+    D << "reduction chain over " << Q.Load->Addr.render(Ctx.Prog) << " ("
+      << reduceOpName(CI.Op) << ", " << CI.Triples.size()
+      << " triple(s)): per-epoch partial accumulator folded at commit";
+    V.Detail = D.str();
+    return true;
+  }
+
+private:
+  struct ChainInfo {
+    bool Matched = false;
+    ReduceOpKind Op = ReduceOpKind::Add;
+    std::vector<ReductionRewrite> Triples;
+    std::set<uint32_t> Ids; ///< Load + op + store ids of every triple.
+  };
+
+  /// True when \p I reads or writes register \p R.
+  static bool touches(const Instruction &I, unsigned R) {
+    for (const Operand &Op : I.operands())
+      if (Op.isReg() && Op.getReg() == R)
+        return true;
+    return I.hasDest() && I.getDest() == R;
+  }
+
+  const ChainInfo &chainFor(unsigned Func, uint64_t X, const AddrInfo &XAddr) {
+    auto [It, New] = Cache.try_emplace({Func, X});
+    if (!New)
+      return It->second;
+    match(Func, XAddr, It->second);
+    return It->second;
+  }
+
+  /// Matches the complete reduction chain of location \p XAddr inside
+  /// function \p Func: every access to X must be part of a
+  /// load-binop-store triple (unrolled loop bodies contribute one triple
+  /// each, all with the same operator), the chain registers must not
+  /// escape, and no other region reference may touch X. All-or-nothing:
+  /// rewriting a subset of the triples would leave the remaining copies
+  /// reading a shared location that misses the private accumulation.
+  void match(unsigned FuncIdx, const AddrInfo &XAddr, ChainInfo &CI) {
+    if (!Ctx.Tester.isComplete())
+      return;
+    const Function &F = Ctx.Prog.getFunction(FuncIdx);
+    std::vector<ReductionRewrite> Triples;
+    std::optional<ReduceOpKind> ChainOp;
+    // Per chain register: the ids allowed to read / write it.
+    std::map<unsigned, std::set<uint32_t>> AllowedReaders, AllowedWriters;
+
+    // Only region references participate: accesses to X outside the
+    // region (entry-block initialization, post-loop readout) run
+    // sequentially, where a rewritten Reduce is exactly load-op-store.
+    // The region closure below re-checks that every in-region toucher of
+    // X joined the chain.
+    std::set<uint32_t> RegionIds;
+    for (const MemRef &R : Ctx.Tester.refs())
+      RegionIds.insert(R.Name.InstId);
+
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      const auto &Insts = F.getBlock(BI).instructions();
+      for (size_t P1 = 0; P1 < Insts.size(); ++P1) {
+        const Instruction &IL = Insts[P1];
+        bool IsMem = IL.getOpcode() == Opcode::Load ||
+                     IL.getOpcode() == Opcode::Store ||
+                     IL.getOpcode() == Opcode::Reduce;
+        if (!IsMem || !RegionIds.count(IL.getId()))
+          continue;
+        AliasResult AR = Ctx.AA.alias(Ctx.AA.addressOf(FuncIdx, IL), XAddr);
+        if (AR == AliasResult::NoAlias)
+          continue;
+        // Every X access must open a triple: a must-alias load.
+        if (IL.getOpcode() != Opcode::Load || AR != AliasResult::MustAlias)
+          return;
+        unsigned RV = IL.getDest();
+
+        // P2: the next touch of RV must be the reduction binop.
+        size_t P2 = P1 + 1;
+        while (P2 < Insts.size() && !touches(Insts[P2], RV))
+          ++P2;
+        if (P2 == Insts.size())
+          return;
+        const Instruction &IOp = Insts[P2];
+        std::optional<ReduceOpKind> K = reduceKindFor(IOp.getOpcode());
+        if (!K || !IOp.hasDest() || IOp.getNumOperands() != 2)
+          return;
+        unsigned RB = IOp.getDest();
+        unsigned NumRV = 0;
+        Operand E = Operand::imm(0);
+        for (const Operand &Op : IOp.operands()) {
+          if (Op.isReg() && Op.getReg() == RV)
+            ++NumRV;
+          else
+            E = Op;
+        }
+        if (NumRV != 1 || RB == RV)
+          return;
+        if (E.isReg() && (E.getReg() == RV || E.getReg() == RB))
+          return;
+
+        // P3: the next touch of RB must be the store back to X.
+        size_t P3 = P2 + 1;
+        while (P3 < Insts.size() && !touches(Insts[P3], RB))
+          ++P3;
+        if (P3 == Insts.size())
+          return;
+        const Instruction &IS = Insts[P3];
+        if (IS.getOpcode() != Opcode::Store)
+          return;
+        const Operand &SAddr = IS.getOperand(0);
+        const Operand &SVal = IS.getOperand(1);
+        if (!SVal.isReg() || SVal.getReg() != RB)
+          return;
+        if (SAddr.isReg() && SAddr.getReg() == RB)
+          return;
+        if (Ctx.AA.alias(Ctx.AA.addressOf(FuncIdx, IS), XAddr) !=
+            AliasResult::MustAlias)
+          return;
+
+        // Window (P1, P3): nothing else may touch RV/RB, call out, access
+        // anything aliasing X, or (past the binop, where the rewritten
+        // Reduce will re-evaluate it) redefine E.
+        for (size_t P = P1 + 1; P < P3; ++P) {
+          if (P == P2)
+            continue;
+          const Instruction &IW = Insts[P];
+          if (touches(IW, RV) || touches(IW, RB))
+            return;
+          if (IW.getOpcode() == Opcode::Call)
+            return;
+          bool WMem = IW.getOpcode() == Opcode::Load ||
+                      IW.getOpcode() == Opcode::Store ||
+                      IW.getOpcode() == Opcode::Reduce;
+          if (WMem && Ctx.AA.alias(Ctx.AA.addressOf(FuncIdx, IW), XAddr) !=
+                          AliasResult::NoAlias)
+            return;
+          if (P > P2 && E.isReg() && IW.hasDest() && IW.getDest() == E.getReg())
+            return;
+        }
+
+        if (ChainOp && *ChainOp != *K)
+          return;
+        ChainOp = *K;
+        Triples.push_back({IL.getId(), IOp.getId(), IS.getId(), *K});
+        AllowedReaders[RV].insert(IOp.getId());
+        AllowedWriters[RV].insert(IL.getId());
+        AllowedReaders[RB].insert(IS.getId());
+        AllowedWriters[RB].insert(IOp.getId());
+        P1 = P3; // Continue past this triple.
+      }
+    }
+    if (Triples.empty())
+      return;
+
+    // Escape closure: the chain registers must not be read or written by
+    // anything outside their own triples (the load/binop values cease to
+    // exist after the rewrite).
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      for (const Instruction &I : F.getBlock(BI).instructions()) {
+        for (const Operand &Op : I.operands()) {
+          if (!Op.isReg())
+            continue;
+          auto RIt = AllowedReaders.find(Op.getReg());
+          if (RIt != AllowedReaders.end() && !RIt->second.count(I.getId()))
+            return;
+        }
+        if (I.hasDest()) {
+          auto WIt = AllowedWriters.find(I.getDest());
+          if (WIt != AllowedWriters.end() && !WIt->second.count(I.getId()))
+            return;
+        }
+      }
+    }
+
+    std::set<uint32_t> Ids;
+    for (const ReductionRewrite &T : Triples) {
+      Ids.insert(T.LoadId);
+      Ids.insert(T.OpId);
+      Ids.insert(T.StoreId);
+    }
+    // Region closure: every enumerated reference that may touch X must be
+    // one of the chain's own loads/stores (other functions included).
+    for (const MemRef &R : Ctx.Tester.refs()) {
+      if (Ctx.AA.alias(R.Addr, XAddr) == AliasResult::NoAlias)
+        continue;
+      if (!Ids.count(R.Name.InstId))
+        return;
+    }
+
+    CI.Matched = true;
+    CI.Op = *ChainOp;
+    CI.Triples = std::move(Triples);
+    CI.Ids = std::move(Ids);
+  }
+
+  const RemedyContext &Ctx;
+  std::map<std::pair<unsigned, uint64_t>, ChainInfo> Cache;
+};
+
+//===----------------------------------------------------------------------===//
+// Module 5: shortlived (epoch-local locations -> privatization)
+//===----------------------------------------------------------------------===//
+
+class ShortLivedRemediator : public Remediator {
+public:
+  explicit ShortLivedRemediator(const RemedyContext &Ctx) : Ctx(Ctx) {}
+  const char *name() const override { return "shortlived"; }
+
+  bool answer(const RemedyQuery &Q, RemedyVerdict &V) override {
+    if (!Q.Store || !Q.Load)
+      return false;
+    std::optional<uint64_t> X = singletonAddr(Q.Load->Addr, Ctx.Prog);
+    if (!X)
+      return false;
+    // The store must actually target the location for the remedy payload
+    // to be about this pair.
+    if (Ctx.AA.alias(Q.Store->Addr, Q.Load->Addr) == AliasResult::NoAlias)
+      return false;
+    const Proof &P = proofFor(*X, Q.Load->Addr);
+    if (!P.Local)
+      return false;
+    V.NoDep = true;
+    if (P.StoreIds.empty()) {
+      V.Remedy = RemedyKind::None;
+      V.Cost = 0;
+    } else {
+      V.Remedy = RemedyKind::Privatize;
+      V.Cost = RemedyCost::Privatize;
+      V.PrivatizeStoreIds = P.StoreIds;
+    }
+    std::ostringstream D;
+    D << "epoch-local: every read of " << Q.Load->Addr.render(Ctx.Prog)
+      << " is covered by a same-epoch store; privatizing "
+      << P.StoreIds.size() << " store(s)";
+    V.Detail = D.str();
+    return true;
+  }
+
+  /// The plan builder's per-location sweep entry point.
+  bool proveLocal(const AddrInfo &Addr, std::vector<uint32_t> &StoreIds) {
+    std::optional<uint64_t> X = singletonAddr(Addr, Ctx.Prog);
+    if (!X)
+      return false;
+    const Proof &P = proofFor(*X, Addr);
+    if (!P.Local || P.StoreIds.empty())
+      return false;
+    StoreIds.insert(StoreIds.end(), P.StoreIds.begin(), P.StoreIds.end());
+    return true;
+  }
+
+private:
+  struct Proof {
+    bool Local = false;
+    std::vector<uint32_t> StoreIds; ///< Must-alias stores of the location.
+  };
+
+  /// Location X is epoch-local iff every enumerated load that may read X
+  /// is killed by a must-alias store within its own iteration (the
+  /// DepTester's must-execute + dominance NoDep case). Then no load ever
+  /// observes a previous epoch's value of X and X's stores need no
+  /// conflict tracking.
+  const Proof &proofFor(uint64_t X, const AddrInfo &XAddr) {
+    auto [It, New] = Cache.try_emplace(X);
+    Proof &P = It->second;
+    if (!New)
+      return P;
+    if (!Ctx.Tester.isComplete())
+      return P; // Unenumerated references could read X.
+    for (const MemRef &LR : Ctx.Tester.refs()) {
+      if (!LR.IsLoad)
+        continue;
+      if (Ctx.AA.alias(LR.Addr, XAddr) == AliasResult::NoAlias)
+        continue;
+      bool Covered = false;
+      for (const MemRef &SR : Ctx.Tester.refs()) {
+        if (SR.IsLoad)
+          continue;
+        if (Ctx.AA.alias(SR.Addr, LR.Addr) != AliasResult::MustAlias)
+          continue;
+        if (Ctx.Tester.classify(SR, LR).Kind == StaticDepKind::NoDep) {
+          Covered = true;
+          break;
+        }
+      }
+      if (!Covered)
+        return P;
+    }
+    P.Local = true;
+    std::set<uint32_t> Ids;
+    for (const MemRef &SR : Ctx.Tester.refs())
+      if (!SR.IsLoad &&
+          Ctx.AA.alias(SR.Addr, XAddr) == AliasResult::MustAlias)
+        Ids.insert(SR.Name.InstId);
+    P.StoreIds.assign(Ids.begin(), Ids.end());
+    return P;
+  }
+
+  const RemedyContext &Ctx;
+  std::map<uint64_t, Proof> Cache;
+};
+
+//===----------------------------------------------------------------------===//
+// Module 6: residue (known-bits word disjointness -> padding)
+//===----------------------------------------------------------------------===//
+
+class ResidueRemediator : public Remediator {
+public:
+  explicit ResidueRemediator(const RemedyContext &Ctx) : Ctx(Ctx) {}
+  const char *name() const override { return "residue"; }
+
+  bool answer(const RemedyQuery &Q, RemedyVerdict &V) override {
+    if (!Q.Store || !Q.Load)
+      return false;
+    if (!KB)
+      KB = std::make_unique<KnownBitsAnalysis>(Ctx.Prog);
+    const Instruction &SI = instAt(Ctx.Prog, *Q.Store);
+    const Instruction &LI = instAt(Ctx.Prog, *Q.Load);
+    KnownBits KS = KB->operandBits(Q.Store->Func, SI.getOperand(0));
+    KnownBits KL = KB->operandBits(Q.Load->Func, LI.getOperand(0));
+    // Bits provably different between the two addresses.
+    uint64_t Diff = (KS.Ones & KL.Zeros) | (KS.Zeros & KL.Ones);
+    if (Diff >> Ctx.LineShift) {
+      V.NoDep = true;
+      V.Remedy = RemedyKind::None;
+      V.Cost = 0;
+      V.Detail = "known address bits differ at or above the line granule: "
+                 "the accesses can never share a conflict line";
+      return true;
+    }
+    uint64_t WordDiff = Diff & ~7ull & ((1ull << Ctx.LineShift) - 1);
+    if (!WordDiff)
+      return false;
+    // Word-disjoint but possibly line-sharing: grant the load's words
+    // their own conflict granule. Padding is symmetric by address, so a
+    // (statically refuted) same-word dependence would still be caught at
+    // word granularity — the remedy is unconditionally sound.
+    std::vector<std::pair<uint64_t, uint64_t>> Ranges;
+    if (!collectLoadWords(*Q.Load, KL, Ranges) || Ranges.empty())
+      return false;
+    V.NoDep = true;
+    V.Remedy = RemedyKind::Pad;
+    V.Cost = RemedyCost::Pad;
+    V.PadRanges = std::move(Ranges);
+    std::ostringstream D;
+    D << "word-disjoint by known address bits (differing word bit "
+      << lowestBit(WordDiff) << "); padding " << V.PadRanges.size()
+      << " word range(s) of " << Q.Load->Addr.render(Ctx.Prog)
+      << " onto private conflict granules";
+    V.Detail = D.str();
+    return true;
+  }
+
+private:
+  static unsigned lowestBit(uint64_t V) {
+    unsigned N = 0;
+    while (N < 64 && !((V >> N) & 1))
+      ++N;
+    return N;
+  }
+
+  /// The concrete words the load can touch. Unknown-offset globals are
+  /// enumerated and filtered through the load's known address bits; the
+  /// total is capped so a pad set never degenerates into "pad everything".
+  bool collectLoadWords(const MemRef &L, KnownBits KL,
+                        std::vector<std::pair<uint64_t, uint64_t>> &Ranges) {
+    static constexpr size_t MaxWords = 4096;
+    if (L.Addr.Unknown)
+      return false;
+    size_t Count = 0;
+    auto AddWord = [&](uint64_t W) {
+      Ranges.emplace_back(W, W + Program::WordBytes);
+      return ++Count <= MaxWords;
+    };
+    for (const auto &[G, Offs] : L.Addr.ByGlobal) {
+      const GlobalVar &GV = Ctx.Prog.globals()[G];
+      if (Offs.Unknown) {
+        for (uint64_t W = GV.BaseAddr; W < GV.BaseAddr + GV.SizeBytes;
+             W += Program::WordBytes) {
+          if ((W & KL.Zeros) || (~W & KL.Ones))
+            continue; // Incompatible with the load's known bits.
+          if (!AddWord(W))
+            return false;
+        }
+      } else {
+        for (int64_t Off : Offs.Offsets)
+          if (!AddWord(GV.BaseAddr + static_cast<uint64_t>(Off)))
+            return false;
+      }
+    }
+    for (int64_t A : L.Addr.RawAddrs)
+      if (!AddWord(static_cast<uint64_t>(A)))
+        return false;
+    return true;
+  }
+
+  const RemedyContext &Ctx;
+  std::unique_ptr<KnownBitsAnalysis> KB;
+};
+
+//===----------------------------------------------------------------------===//
+// Module 7: profile (LAMP-style infrequent-dependence speculation)
+//===----------------------------------------------------------------------===//
+
+class ProfileRemediator : public Remediator {
+public:
+  explicit ProfileRemediator(const RemedyContext &Ctx) : Ctx(Ctx) {}
+  const char *name() const override { return "profile"; }
+
+  bool answer(const RemedyQuery &Q, RemedyVerdict &V) override {
+    if (!Ctx.Profile || Ctx.Profile->TotalEpochs == 0)
+      return false;
+    if (Q.FreqPercent > Ctx.ThresholdPercent)
+      return false;
+    V.NoDep = true;
+    V.Remedy = RemedyKind::Speculate;
+    V.Cost = RemedyCost::speculate(Q.FreqPercent);
+    std::ostringstream D;
+    if (Q.InProfile)
+      D << "profile: observed in " << Q.FreqPercent
+        << "% of epochs (threshold " << Ctx.ThresholdPercent
+        << "%); left to TLS hardware at expected squash cost";
+    else
+      D << "profile: never observed in " << Ctx.Profile->TotalEpochs
+        << " profiled epochs; left to TLS hardware";
+    V.Detail = D.str();
+    return true;
+  }
+
+private:
+  const RemedyContext &Ctx;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RemedyChain
+//===----------------------------------------------------------------------===//
+
+RemedyChain::RemedyChain(const RemedyContext &Ctx) : Ctx(Ctx) {
+  Modules.push_back(std::make_unique<AliasLineRemediator>(Ctx));
+  Modules.push_back(std::make_unique<KillRemediator>(Ctx));
+  Modules.push_back(std::make_unique<ReadOnlyRemediator>(Ctx));
+  Modules.push_back(std::make_unique<ReductionRemediator>(Ctx));
+  Modules.push_back(std::make_unique<ShortLivedRemediator>(Ctx));
+  Modules.push_back(std::make_unique<ResidueRemediator>(Ctx));
+  Modules.push_back(std::make_unique<ProfileRemediator>(Ctx));
+}
+
+RemedyChain::~RemedyChain() = default;
+
+RemedyVerdict RemedyChain::query(const RemedyQuery &Q) {
+  ++Lookups;
+  Key K{Q.Store ? Q.Store->Name.InstId : 0, Q.Store ? Q.Store->Name.Context : 0,
+        Q.Load ? Q.Load->Name.InstId : 0, Q.Load ? Q.Load->Name.Context : 0,
+        Q.Budget};
+  auto It = Memo.find(K);
+  if (It != Memo.end()) {
+    ++Hits;
+    return It->second;
+  }
+  RemedyVerdict Best;
+  for (const std::unique_ptr<Remediator> &M : Modules) {
+    RemedyVerdict V;
+    if (!M->answer(Q, V))
+      continue;
+    V.Module = M->name();
+    if (V.Cost > Q.Budget)
+      continue;
+    if (!Best.NoDep || V.Cost < Best.Cost) // Ties go to the earlier module.
+      Best = std::move(V);
+  }
+  Memo.emplace(K, Best);
+  return Best;
+}
+
+std::vector<RemedyVerdict> RemedyChain::queryAll(const RemedyQuery &Q) {
+  std::vector<RemedyVerdict> Out;
+  for (const std::unique_ptr<Remediator> &M : Modules) {
+    RemedyVerdict V;
+    if (!M->answer(Q, V))
+      V = RemedyVerdict{}; // The contract allows partial writes on "no".
+    V.Module = M->name();
+    if (!V.NoDep && V.Detail.empty())
+      V.Detail = "no answer";
+    Out.push_back(std::move(V));
+  }
+  return Out;
+}
+
+bool RemedyChain::proveEpochLocal(const AddrInfo &Addr,
+                                  std::vector<uint32_t> &StoreIds) {
+  for (const std::unique_ptr<Remediator> &M : Modules)
+    if (std::string_view(M->name()) == "shortlived")
+      return static_cast<ShortLivedRemediator &>(*M).proveLocal(Addr,
+                                                                StoreIds);
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Plan building
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A candidate pair posed to the chain.
+struct Candidate {
+  const MemRef *Store = nullptr;
+  const MemRef *Load = nullptr;
+  bool InProfile = false;
+  double FreqPercent = 0.0;
+};
+
+void gateWarning(DiagEngine *DE, const RefName &Load, const RefName &Store,
+                 const std::string &Module, double Freq, const char *What) {
+  if (!DE)
+    return;
+  std::ostringstream M;
+  M << "module '" << Module << "' claims " << What << " for pair (load #"
+    << Load.InstId << ", store #" << Store.InstId
+    << ") the profiler observed in " << Freq
+    << "% of epochs; verdict discarded (stale profile?)";
+  Diag &D = DE->warning("remediator", "soundness-gate", M.str());
+  D.InstId = Load.InstId;
+}
+
+} // namespace
+
+RemedyPlan specsync::analysis::buildRemedyPlan(const RemedyContext &Ctx,
+                                               DiagEngine *DE) {
+  RemedyPlan Plan;
+  Plan.Enabled = true;
+  RemedyChain Chain(Ctx);
+
+  // The word-exact profile is ground truth: the static ids of stores it
+  // observed sourcing a cross-epoch dependence. A store on this list can
+  // never be soundly exempted from conflict tracking.
+  std::set<uint32_t> ProfileStoreIds;
+  if (Ctx.Profile)
+    for (const auto &[K, PS] : Ctx.Profile->Pairs)
+      if (PS.EpochsWithDep > 0)
+        ProfileStoreIds.insert(K.second.InstId);
+
+  // Candidates: every profiled pair, plus the full static cross product —
+  // false-sharing pairs never show up in the word-exact profile, and the
+  // padding/privatization remedies exist exactly for those.
+  std::map<std::pair<RefName, RefName>, Candidate> Cands;
+  if (Ctx.Profile) {
+    for (const auto &[K, PS] : Ctx.Profile->Pairs) {
+      const MemRef *L = Ctx.Tester.findRef(K.first);
+      const MemRef *S = Ctx.Tester.findRef(K.second);
+      if (!L || !S)
+        continue; // Stale profile name; the dep-oracle audits these.
+      Cands[K] = {S, L, true, Ctx.Profile->pairFrequencyPercent(PS)};
+    }
+  }
+  for (const MemRef &S : Ctx.Tester.refs()) {
+    if (S.IsLoad)
+      continue;
+    for (const MemRef &L : Ctx.Tester.refs()) {
+      if (!L.IsLoad)
+        continue;
+      Cands.try_emplace({L.Name, S.Name}, Candidate{&S, &L, false, 0.0});
+    }
+  }
+
+  auto mergePrivatized = [&](std::vector<uint32_t> &Ids, const RefName &L,
+                             const RefName &S, const std::string &Module,
+                             double Freq) {
+    // Gate: a store the profiler saw sourcing a dependence cannot be
+    // exempted from tracking, whatever the static proof says.
+    for (uint32_t Id : Ids)
+      if (ProfileStoreIds.count(Id)) {
+        ++Plan.GateRejected;
+        gateWarning(DE, L, S, Module, Freq,
+                    "epoch-locality of a profiled store");
+        return false;
+      }
+    for (uint32_t Id : Ids)
+      Plan.PrivatizedStores.insert(Id);
+    return true;
+  };
+
+  for (auto &[K, C] : Cands) {
+    unsigned Budget = RemedyCost::budget(C.FreqPercent);
+    RemedyQuery Q{C.Store, C.Load, C.InProfile, C.FreqPercent, Budget};
+    RemedyVerdict V = Chain.query(Q);
+
+    // Soundness gate: a word-disjointness claim (None/Privatize/Pad)
+    // against a profiler-observed dependence means the profile and the
+    // static model disagree about the program; trust the profile.
+    if (V.NoDep && C.InProfile &&
+        (V.Remedy == RemedyKind::None || V.Remedy == RemedyKind::Privatize ||
+         V.Remedy == RemedyKind::Pad)) {
+      ++Plan.GateRejected;
+      gateWarning(DE, K.first, K.second, V.Module, C.FreqPercent,
+                  "word-disjointness");
+      V = RemedyVerdict{};
+    }
+
+    RemedyDecision Dec;
+    Dec.Load = K.first;
+    Dec.Store = K.second;
+    Dec.InProfile = C.InProfile;
+    Dec.FreqPercent = C.FreqPercent;
+    Dec.SyncCost = RemedyCost::sync(C.FreqPercent);
+
+    if (V.NoDep) {
+      switch (V.Remedy) {
+      case RemedyKind::None:
+        break; // Refuted outright; nothing to record or transform.
+      case RemedyKind::Privatize:
+        if (!V.PrivatizeStoreIds.empty() &&
+            mergePrivatized(V.PrivatizeStoreIds, K.first, K.second, V.Module,
+                            C.FreqPercent)) {
+          Plan.RemediedPairs.insert(K);
+          ++Plan.NumPrivatized;
+          Dec.Remedy = RemedyKind::Privatize;
+          Dec.Cost = V.Cost;
+          Dec.Module = V.Module;
+          Dec.Detail = V.Detail;
+          Plan.Decisions.push_back(std::move(Dec));
+        }
+        break;
+      case RemedyKind::Pad:
+        for (const auto &[B, E] : V.PadRanges)
+          Plan.Pads.add(B, E);
+        Plan.RemediedPairs.insert(K);
+        ++Plan.NumPadded;
+        Dec.Remedy = RemedyKind::Pad;
+        Dec.Cost = V.Cost;
+        Dec.Module = V.Module;
+        Dec.Detail = V.Detail;
+        Plan.Decisions.push_back(std::move(Dec));
+        break;
+      case RemedyKind::Reduce: {
+        for (const ReductionRewrite &T : V.Reductions) {
+          bool Seen = false;
+          for (const ReductionRewrite &Have : Plan.Reductions)
+            if (Have.StoreId == T.StoreId)
+              Seen = true;
+          if (!Seen)
+            Plan.Reductions.push_back(T);
+        }
+        Plan.RemediedPairs.insert(K);
+        ++Plan.NumReduced;
+        Dec.Remedy = RemedyKind::Reduce;
+        Dec.Cost = V.Cost;
+        Dec.Module = V.Module;
+        Dec.Detail = V.Detail;
+        Plan.Decisions.push_back(std::move(Dec));
+        break;
+      }
+      case RemedyKind::Speculate:
+        if (C.InProfile) { // Unobserved pairs need no decision row.
+          ++Plan.NumSpeculated;
+          Dec.Remedy = RemedyKind::Speculate;
+          Dec.Cost = V.Cost;
+          Dec.Module = V.Module;
+          Dec.Detail = V.Detail;
+          Plan.Decisions.push_back(std::move(Dec));
+        }
+        break;
+      case RemedyKind::Sync:
+        break; // Modules never grant Sync; it is the default below.
+      }
+      continue;
+    }
+
+    // No verdict within budget: the compiler's defaults. Frequent profiled
+    // pairs get memory-resident synchronization (the paper's core
+    // technique); infrequent ones ride on speculation. Unobserved pairs
+    // with no verdict are left untracked (the TLS hardware covers them).
+    if (C.InProfile && C.FreqPercent > Ctx.ThresholdPercent) {
+      ++Plan.NumSynced;
+      Dec.Remedy = RemedyKind::Sync;
+      Dec.Cost = Dec.SyncCost;
+      Dec.Detail = "frequent dependence: memory-resident synchronization";
+      Plan.Decisions.push_back(std::move(Dec));
+    } else if (C.InProfile) {
+      ++Plan.NumSpeculated;
+      Dec.Remedy = RemedyKind::Speculate;
+      Dec.Cost = RemedyCost::speculate(C.FreqPercent);
+      Dec.Detail = "no cheaper remedy within budget: left to speculation";
+      Plan.Decisions.push_back(std::move(Dec));
+    }
+  }
+
+  // Location sweep: privatize every provably epoch-local location even
+  // when no candidate pair names it — cutting a store's write-summary
+  // traffic (and its false-sharing squashes) needs no load witness.
+  {
+    std::set<uint64_t> SweptAddrs;
+    for (const MemRef &S : Ctx.Tester.refs()) {
+      if (S.IsLoad)
+        continue;
+      std::optional<uint64_t> X = singletonAddr(S.Addr, Ctx.Prog);
+      if (!X || !SweptAddrs.insert(*X).second)
+        continue;
+      std::vector<uint32_t> Ids;
+      if (Chain.proveEpochLocal(S.Addr, Ids) && !Ids.empty())
+        mergePrivatized(Ids, S.Name, S.Name, "shortlived", 0.0);
+    }
+  }
+
+  Plan.CacheLookups = Chain.cacheLookups();
+  Plan.CacheHits = Chain.cacheHits();
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Report serialization
+//===----------------------------------------------------------------------===//
+
+void RemedyPlan::writeJson(obs::JsonWriter &W) const {
+  W.beginObject();
+  W.keyValue("enabled", Enabled);
+  W.key("counters");
+  W.beginObject();
+  W.keyValue("synced", static_cast<uint64_t>(NumSynced));
+  W.keyValue("speculated", static_cast<uint64_t>(NumSpeculated));
+  W.keyValue("privatized", static_cast<uint64_t>(NumPrivatized));
+  W.keyValue("padded", static_cast<uint64_t>(NumPadded));
+  W.keyValue("reduced", static_cast<uint64_t>(NumReduced));
+  W.keyValue("gate_rejected", static_cast<uint64_t>(GateRejected));
+  W.endObject();
+  W.keyValue("privatized_stores", static_cast<uint64_t>(PrivatizedStores.size()));
+  W.keyValue("reductions", static_cast<uint64_t>(Reductions.size()));
+  W.keyValue("pad_ranges", static_cast<uint64_t>(Pads.numRanges()));
+  W.key("cache");
+  W.beginObject();
+  W.keyValue("lookups", CacheLookups);
+  W.keyValue("hits", CacheHits);
+  W.endObject();
+  W.key("decisions");
+  W.beginArray();
+  for (const RemedyDecision &D : Decisions) {
+    W.beginObject();
+    W.keyValue("load_id", static_cast<uint64_t>(D.Load.InstId));
+    W.keyValue("load_ctx", static_cast<uint64_t>(D.Load.Context));
+    W.keyValue("store_id", static_cast<uint64_t>(D.Store.InstId));
+    W.keyValue("store_ctx", static_cast<uint64_t>(D.Store.Context));
+    W.keyValue("in_profile", D.InProfile);
+    W.keyValue("freq_percent", D.FreqPercent);
+    W.keyValue("remedy", remedyName(D.Remedy));
+    W.keyValue("cost", static_cast<uint64_t>(D.Cost));
+    W.keyValue("sync_cost", static_cast<uint64_t>(D.SyncCost));
+    W.keyValue("module", D.Module);
+    W.keyValue("detail", D.Detail);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}

@@ -1,0 +1,270 @@
+//===- analysis/Remediator.h - Dependence-remediator ensemble ---*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SCAF-style remediator ensemble: instead of the single yes/no question
+/// "is there a loop-carried dependence from this store to this load?", each
+/// module of an ordered chain answers the richer question "is there NO
+/// dependence, *given this remedy at this cost*?". A plain refutation is a
+/// verdict with RemedyKind::None at cost 0; weaker modules buy their
+/// refutation with a transform (privatization, padding, reduction
+/// expansion) or with profile-backed speculation.
+///
+/// The chain, in order:
+///   1. alias-line  — Andersen points-to: the addresses cannot overlap.
+///   2. kill        — the store must-executes and dominates the load within
+///                    every iteration (intra-epoch kill).
+///   3. readonly    — the load reads only data no region store can write.
+///   4. reduction   — the pair is the self-dependence of an `x = x op e`
+///                    chain; remedy: per-epoch partial accumulator folded
+///                    at in-order commit (RemedyKind::Reduce).
+///   5. shortlived  — the location is epoch-local (every read is dominated
+///                    by a same-epoch store); remedy: privatize its stores
+///                    (RemedyKind::Privatize).
+///   6. residue     — known-bits over the address computations prove the
+///                    accesses word-disjoint; if they may still share a
+///                    cache line, remedy: pad the words onto private
+///                    conflict granules (RemedyKind::Pad).
+///   7. profile     — LAMP-style: the dependence occurs in at most the
+///                    threshold fraction of profiled epochs; remedy: leave
+///                    it to the TLS hardware (RemedyKind::Speculate) at the
+///                    expected squash cost.
+///
+/// The chain front-end memoizes verdicts on (store, load, budget); the
+/// parallelized region is a property of the whole Program here, so it is an
+/// implicit key component. A cost model (RemedyCost) selects the cheapest
+/// adequate remedy per pair against the default alternative (sync stall for
+/// frequent pairs, expected squash cost otherwise), and buildRemedyPlan
+/// turns the per-pair decisions into one executable RemedyPlan: stores to
+/// privatize, load/op/store triples to rewrite into Reduce, a PadSet of
+/// words granted private conflict granules, and the set of pairs excluded
+/// from MemSync grouping.
+///
+/// Soundness gate: the dynamic dependence profiler is word-exact ground
+/// truth, so a pair it observed may only receive Sync, Speculate or Reduce
+/// — a module claiming word-disjointness (None, Privatize, Pad) against an
+/// observed dependence indicates a stale profile and the verdict is
+/// discarded (and counted) rather than applied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_ANALYSIS_REMEDIATOR_H
+#define SPECSYNC_ANALYSIS_REMEDIATOR_H
+
+#include "analysis/DepTester.h"
+#include "ir/Remedy.h"
+#include "sim/ConflictRules.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace specsync {
+
+namespace obs {
+class JsonWriter;
+} // namespace obs
+
+namespace analysis {
+
+class DiagEngine;
+
+/// Everything the chain modules share. All referenced objects must outlive
+/// the chain; \p Tester must have analyzeRegion() already run.
+struct RemedyContext {
+  const Program &Prog;
+  const AliasAnalysis &AA;
+  const DepTester &Tester;
+  /// Dynamic dependence profile feeding the LAMP-style module and the cost
+  /// model; may be null (the profile module then never answers).
+  const DepProfile *Profile = nullptr;
+  /// The compiler's sync frequency threshold, in percent of epochs.
+  double ThresholdPercent = 5.0;
+  /// log2 of the conflict-detection line size (for the residue module's
+  /// line-disjointness reasoning and PadSet construction).
+  unsigned LineShift = 5;
+};
+
+/// The deterministic cost model remedies compete under. Units are abstract
+/// "overhead points" per epoch; only the ordering matters.
+struct RemedyCost {
+  static constexpr unsigned Pad = 1;       ///< Bigger footprint only.
+  static constexpr unsigned Privatize = 2; ///< Private copy + commit merge.
+  static constexpr unsigned Reduce = 2;    ///< Accumulator + commit fold.
+
+  /// Modeled cost of memory-resident synchronization for a pair occurring
+  /// in \p FreqPercent of epochs: the consumer stalls until the producer
+  /// signals, roughly scaling with how often the dependence is live.
+  static unsigned sync(double FreqPercent) {
+    return 4 + static_cast<unsigned>(FreqPercent / 4.0);
+  }
+  /// Modeled expected cost of leaving the pair to speculation: squashes
+  /// are expensive, so this grows steeply with frequency. The floor keeps
+  /// cheap transforms (Pad/Privatize) adequate for pairs the word-exact
+  /// profile cannot see at all (pure false sharing has frequency 0).
+  static unsigned speculate(double FreqPercent) {
+    return 2 + static_cast<unsigned>(3.0 * FreqPercent);
+  }
+  /// The budget a remedy must beat for a pair: the cheaper of the two
+  /// default actions the compiler could take instead.
+  static unsigned budget(double FreqPercent) {
+    return std::min(sync(FreqPercent), speculate(FreqPercent));
+  }
+};
+
+/// One (store, load) question posed to the chain.
+struct RemedyQuery {
+  const MemRef *Store = nullptr; ///< Enumerated region store reference.
+  const MemRef *Load = nullptr;  ///< Enumerated region load reference.
+  bool InProfile = false;        ///< The profiler observed this pair.
+  double FreqPercent = 0.0;      ///< Profile frequency (0 when absent).
+  unsigned Budget = ~0u;         ///< Max acceptable remedy cost.
+};
+
+/// A reduction-expansion rewrite: the matched load / binop / store triple
+/// (original static ids) and the reduction operator.
+struct ReductionRewrite {
+  uint32_t LoadId = 0;
+  uint32_t OpId = 0;
+  uint32_t StoreId = 0;
+  ReduceOpKind Op = ReduceOpKind::Add;
+};
+
+/// One module's answer. NoDep=false means "no answer" (the module cannot
+/// refute the pair); NoDep=true means the dependence is refuted provided
+/// Remedy is applied at Cost.
+struct RemedyVerdict {
+  bool NoDep = false;
+  RemedyKind Remedy = RemedyKind::None;
+  unsigned Cost = 0;
+  std::string Module;
+  std::string Detail;
+
+  // Remedy payloads, filled by the granting module.
+  std::vector<uint32_t> PrivatizeStoreIds; ///< Privatize: stores to mark.
+  std::vector<std::pair<uint64_t, uint64_t>> PadRanges; ///< Pad: byte ranges.
+  /// Reduce: every triple of the location's reduction chain (unrolled loop
+  /// copies contribute one triple each; all must be rewritten together).
+  std::vector<ReductionRewrite> Reductions;
+};
+
+/// Chain-module interface: a named oracle answering remedy queries.
+class Remediator {
+public:
+  virtual ~Remediator() = default;
+  virtual const char *name() const = 0;
+  /// Fills \p V and returns true when the module refutes the pair (V.NoDep
+  /// set, remedy + cost attached). Returning false leaves V untouched.
+  virtual bool answer(const RemedyQuery &Q, RemedyVerdict &V) = 0;
+};
+
+/// The ordered ensemble plus the memoizing front-end.
+class RemedyChain {
+public:
+  explicit RemedyChain(const RemedyContext &Ctx);
+  ~RemedyChain();
+
+  /// The cheapest adequate verdict (Cost <= Q.Budget) across all modules;
+  /// ties go to the earlier module. Returns a NoDep=false verdict when no
+  /// module answers within budget. Memoized on (store, load, budget) — the
+  /// region is per-Program and thus an implicit key component.
+  RemedyVerdict query(const RemedyQuery &Q);
+
+  /// Every module's independent answer in chain order (non-answers have
+  /// NoDep=false and Detail "no answer"). Not memoized; this is the
+  /// introspection path behind `examples/static_deps`.
+  std::vector<RemedyVerdict> queryAll(const RemedyQuery &Q);
+
+  uint64_t cacheLookups() const { return Lookups; }
+  uint64_t cacheHits() const { return Hits; }
+
+  /// Epoch-locality proof shared with plan building: when location
+  /// \p Addr (a singleton address abstraction) is provably epoch-local —
+  /// every region load that may read it is dominated by a same-epoch
+  /// must-alias store — returns true and appends the static ids of its
+  /// (singleton-addressed) stores to \p StoreIds.
+  bool proveEpochLocal(const AddrInfo &Addr, std::vector<uint32_t> &StoreIds);
+
+private:
+  const RemedyContext &Ctx;
+  std::vector<std::unique_ptr<Remediator>> Modules;
+  using Key = std::tuple<uint32_t, uint32_t, uint32_t, uint32_t, unsigned>;
+  std::map<Key, RemedyVerdict> Memo;
+  uint64_t Lookups = 0;
+  uint64_t Hits = 0;
+};
+
+/// One row of the plan: what the compiler decided for one pair.
+struct RemedyDecision {
+  RefName Load;
+  RefName Store;
+  bool InProfile = false;
+  double FreqPercent = 0.0;
+  RemedyKind Remedy = RemedyKind::Sync;
+  unsigned Cost = 0;
+  unsigned SyncCost = 0; ///< The modeled sync alternative, for comparison.
+  std::string Module;    ///< Granting chain module ("" for defaults).
+  std::string Detail;
+};
+
+/// The executable remedy plan for one (program, profile) pair.
+struct RemedyPlan {
+  bool Enabled = false;
+
+  std::vector<RemedyDecision> Decisions; ///< Sorted by (load, store).
+  /// Pairs excluded from MemSync grouping because a remedy replaced
+  /// synchronization, keyed (load, store) like the profile.
+  std::set<std::pair<RefName, RefName>> RemediedPairs;
+  /// Static ids of stores to mark RemedyKind::Privatize (matched by id or
+  /// original id, so post-MemSync clones are covered).
+  std::set<uint32_t> PrivatizedStores;
+  /// Load/op/store triples to rewrite into Reduce instructions.
+  std::vector<ReductionRewrite> Reductions;
+  /// Words granted private conflict granules (the Pad remedy). Backends
+  /// hold pointers into this set; it must outlive every run using it.
+  conflict::PadSet Pads;
+
+  unsigned NumSynced = 0;     ///< Pairs left to memory-resident sync.
+  unsigned NumSpeculated = 0; ///< Pairs left to hardware speculation.
+  unsigned NumPrivatized = 0; ///< Pairs remedied by privatization.
+  unsigned NumPadded = 0;     ///< Pairs remedied by padding.
+  unsigned NumReduced = 0;    ///< Pairs remedied by reduction expansion.
+  /// Soundness-gate hits: verdicts claiming word-disjointness against a
+  /// profiler-observed dependence (stale profile); discarded, not applied.
+  unsigned GateRejected = 0;
+  uint64_t CacheLookups = 0;
+  uint64_t CacheHits = 0;
+
+  bool isRemedied(const RefName &Load, const RefName &Store) const {
+    return RemediedPairs.count({Load, Store}) != 0;
+  }
+
+  /// True when the plan changes any binary or any conflict granule.
+  bool transforms() const {
+    return !PrivatizedStores.empty() || !Reductions.empty() || !Pads.empty();
+  }
+
+  /// Serializes the "remedies" report block body (the caller opens/closes
+  /// the enclosing object key). Schema: docs/REPORT_SCHEMA.md.
+  void writeJson(obs::JsonWriter &W) const;
+};
+
+/// Runs the chain over every candidate pair — all profile pairs plus the
+/// full (store, load) cross product of the enumerated region references
+/// (false-sharing pairs are invisible to the word-exact profile) — plus a
+/// per-location privatization sweep, and assembles the cheapest-adequate
+/// decisions into one plan. Gate findings go to \p DE if given.
+RemedyPlan buildRemedyPlan(const RemedyContext &Ctx, DiagEngine *DE = nullptr);
+
+} // namespace analysis
+} // namespace specsync
+
+#endif // SPECSYNC_ANALYSIS_REMEDIATOR_H

@@ -23,6 +23,8 @@ StaticAnalysisOptions analysis::parseStaticAnalysisArgs(int argc,
   };
   if (EnvSet("SPECSYNC_STATIC_ORACLE"))
     O.EnableOracle = true;
+  if (EnvSet("SPECSYNC_STATIC_REMEDIES"))
+    O.EnableRemedies = true;
   if (EnvSet("SPECSYNC_AUDIT_NO_WERROR"))
     O.AuditWerror = false;
   if (EnvSet("SPECSYNC_STATIC_STALE_DEMO"))
@@ -31,6 +33,8 @@ StaticAnalysisOptions analysis::parseStaticAnalysisArgs(int argc,
     const char *A = argv[I];
     if (std::strcmp(A, "--static-oracle") == 0)
       O.EnableOracle = true;
+    else if (std::strcmp(A, "--static-remedies") == 0)
+      O.EnableRemedies = true;
     else if (std::strcmp(A, "--audit-no-werror") == 0)
       O.AuditWerror = false;
     else if (std::strcmp(A, "--static-stale-demo") == 0)

@@ -14,6 +14,10 @@
 ///                        sync grouping; default off — the compiled
 ///                        binaries are then bit-identical to a pipeline
 ///                        without the analysis subsystem)
+///   --static-remedies    enable the remediator chain (analysis/Remediator):
+///                        build a RemedyPlan per workload and apply its
+///                        transforms (privatization, padding, reduction
+///                        expansion) to the compiled binaries
 ///   --audit-no-werror    demote signal-placement audit errors from a hard
 ///                        stop to printed diagnostics (default: strict)
 ///   --static-stale-demo  append a synthetic stale entry to each dependence
@@ -21,7 +25,8 @@
 ///                        regression-testing) IMPOSSIBLE pruning
 ///
 /// Environment fallbacks: SPECSYNC_STATIC_ORACLE=1,
-/// SPECSYNC_AUDIT_NO_WERROR=1, SPECSYNC_STATIC_STALE_DEMO=1.
+/// SPECSYNC_STATIC_REMEDIES=1, SPECSYNC_AUDIT_NO_WERROR=1,
+/// SPECSYNC_STATIC_STALE_DEMO=1.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +45,10 @@ struct StaticAnalysisOptions {
   /// Fuse static dependence results into the sync grouping. Off by default:
   /// the paper's profile-only pipeline is the baseline configuration.
   bool EnableOracle = false;
+  /// Build a remediator plan (analysis/Remediator) and apply its transforms
+  /// to the compiled binaries. Off by default: remedies-off output is
+  /// byte-identical to a pipeline without the subsystem.
+  bool EnableRemedies = false;
   /// Treat signal-placement audit errors as fatal (CI-strict default).
   bool AuditWerror = true;
   /// Stale-profile simulation: append one synthetic profile entry naming a
@@ -48,7 +57,7 @@ struct StaticAnalysisOptions {
   /// MemSync's profile-name assert by design).
   bool InjectStalePair = false;
 
-  bool active() const { return EnableOracle; }
+  bool active() const { return EnableOracle || EnableRemedies; }
 };
 
 /// Parses the flags above from \p argv (non-destructive; unknown flags are

@@ -1,0 +1,130 @@
+//===- compiler/ApplyRemedies.cpp -------------------------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/ApplyRemedies.h"
+
+#include "ir/Remedy.h"
+
+#include <optional>
+
+using namespace specsync;
+using namespace specsync::analysis;
+
+namespace {
+
+bool idMatches(const Instruction &I, uint32_t Id) {
+  return I.getId() == Id || I.getOrigId() == Id;
+}
+
+std::optional<ReduceOpKind> reduceKindFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add: return ReduceOpKind::Add;
+  case Opcode::Mul: return ReduceOpKind::Mul;
+  case Opcode::And: return ReduceOpKind::And;
+  case Opcode::Or: return ReduceOpKind::Or;
+  case Opcode::Xor: return ReduceOpKind::Xor;
+  default: return std::nullopt;
+  }
+}
+
+/// Rewrites one occurrence of triple \p T inside \p B (positions \p L <
+/// \p O < \p S). Re-verifies the exact shape the analysis matched — the
+/// program has been through MemSync since — and declines on any mismatch.
+bool rewriteTriple(BasicBlock &B, size_t L, size_t O, size_t S,
+                   const ReductionRewrite &T) {
+  std::vector<Instruction> &Insts = B.instructions();
+  const Instruction &IL = Insts[L];
+  const Instruction &IOp = Insts[O];
+  const Instruction &IS = Insts[S];
+
+  if (IL.getOpcode() != Opcode::Load || !IL.hasDest())
+    return false;
+  if (IS.getOpcode() != Opcode::Store || IS.getNumOperands() != 2)
+    return false;
+  if (IL.getSyncId() != -1 || IOp.getSyncId() != -1 || IS.getSyncId() != -1)
+    return false;
+  std::optional<ReduceOpKind> K = reduceKindFor(IOp.getOpcode());
+  if (!K || *K != T.Op || !IOp.hasDest() || IOp.getNumOperands() != 2)
+    return false;
+
+  unsigned RV = IL.getDest();
+  unsigned RB = IOp.getDest();
+  unsigned NumRV = 0;
+  Operand E = Operand::imm(0);
+  for (const Operand &Op : IOp.operands()) {
+    if (Op.isReg() && Op.getReg() == RV)
+      ++NumRV;
+    else
+      E = Op;
+  }
+  if (NumRV != 1 || RB == RV)
+    return false;
+  const Operand &SVal = IS.getOperand(1);
+  if (!SVal.isReg() || SVal.getReg() != RB)
+    return false;
+
+  Instruction NI(Opcode::Reduce, /*Dst=*/-1,
+                 {IS.getOperand(0), E, Operand::imm(static_cast<int64_t>(T.Op))});
+  NI.setId(IS.getId());
+  NI.setOrigId(IS.getOrigId());
+  NI.setRemedy(static_cast<uint8_t>(RemedyKind::Reduce));
+  Insts[S] = std::move(NI);
+  Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(O));
+  Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(L));
+  return true;
+}
+
+} // namespace
+
+ApplyRemediesResult specsync::applyRemedies(Program &P,
+                                            const RemedyPlan &Plan) {
+  ApplyRemediesResult R;
+
+  for (unsigned FI = 0; FI < P.getNumFunctions(); ++FI) {
+    Function &F = P.getFunction(FI);
+    for (unsigned BI = 0; BI < F.getNumBlocks(); ++BI) {
+      BasicBlock &B = F.getBlock(BI);
+
+      // Privatization markers.
+      if (!Plan.PrivatizedStores.empty())
+        for (Instruction &I : B.instructions())
+          if (I.getOpcode() == Opcode::Store && I.getRemedy() == 0 &&
+              (Plan.PrivatizedStores.count(I.getId()) ||
+               Plan.PrivatizedStores.count(I.getOrigId()))) {
+            I.setRemedy(static_cast<uint8_t>(RemedyKind::Privatize));
+            ++R.NumPrivatizedStores;
+          }
+
+      // Reduction expansion: anchor on each triple's store occurrence in
+      // this block, then locate its load and binop before it. A block holds
+      // at most one occurrence of an original id (clones are whole cloned
+      // functions), so first-match is exact.
+      for (const ReductionRewrite &T : Plan.Reductions) {
+        std::vector<Instruction> &Insts = B.instructions();
+        size_t L = Insts.size(), O = Insts.size(), S = Insts.size();
+        for (size_t I = 0; I < Insts.size(); ++I) {
+          if (Insts[I].getOpcode() == Opcode::Store && idMatches(Insts[I], T.StoreId))
+            S = I;
+          else if (Insts[I].getOpcode() == Opcode::Load && idMatches(Insts[I], T.LoadId))
+            L = I;
+          else if (Insts[I].hasDest() && idMatches(Insts[I], T.OpId) &&
+                   reduceKindFor(Insts[I].getOpcode()))
+            O = I;
+        }
+        if (S == Insts.size())
+          continue; // Triple not in this block.
+        if (L < O && O < S && rewriteTriple(B, L, O, S, T))
+          ++R.NumReductionsRewritten;
+        else
+          ++R.NumReductionsSkipped;
+      }
+    }
+  }
+
+  if (R.changedProgram())
+    P.invalidateDecoded();
+  return R;
+}

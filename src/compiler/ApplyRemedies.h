@@ -1,0 +1,64 @@
+//===- compiler/ApplyRemedies.h - Remedy plan IR transforms -----*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the program-level transforms of a RemedyPlan (built by
+/// analysis::buildRemedyPlan) on a compiled binary, after MemSync:
+///
+///  - Privatization: every store whose static id (or original id, so
+///    post-MemSync clones are covered) is on the plan's privatized list is
+///    marked RemedyKind::Privatize. Backends keep the store's data path
+///    (write buffer / speculative page) but skip its conflict bookkeeping —
+///    the location is provably epoch-local, so the store can neither source
+///    a true violation nor deserve a false-sharing one.
+///
+///  - Reduction expansion: each matched load / binop / store triple is
+///    rewritten into a single Reduce instruction at the store's position
+///    (keeping the store's ids), and the load and binop are deleted. The
+///    sequential semantics are identical (load-op-store of the same word);
+///    parallel backends accumulate into a per-epoch partial accumulator and
+///    fold it into memory at in-order commit. Every clone of a triple is
+///    rewritten; a triple whose shape was perturbed (or that acquired a
+///    sync id) is skipped safely — the pair is then simply left to
+///    speculation.
+///
+///  - Padding needs no IR change: the plan's PadSet travels beside the
+///    binary into every backend's conflict-granule function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_COMPILER_APPLYREMEDIES_H
+#define SPECSYNC_COMPILER_APPLYREMEDIES_H
+
+#include "analysis/Remediator.h"
+#include "ir/Program.h"
+
+namespace specsync {
+
+struct ApplyRemediesResult {
+  /// Store instructions marked Privatize (clones counted individually).
+  unsigned NumPrivatizedStores = 0;
+  /// Triples rewritten into Reduce (clones counted individually).
+  unsigned NumReductionsRewritten = 0;
+  /// Triple occurrences skipped because the post-MemSync pattern no longer
+  /// matched (defensive; the pair falls back to plain speculation).
+  unsigned NumReductionsSkipped = 0;
+
+  bool changedProgram() const {
+    return NumPrivatizedStores > 0 || NumReductionsRewritten > 0;
+  }
+};
+
+/// Applies \p Plan's transforms to \p P (idempotent on a program already
+/// transformed). Instruction ids are preserved — the Reduce keeps its
+/// store's id/orig-id and deletions leave gaps, which every consumer of
+/// static ids tolerates. Invalidate-decodes on change.
+ApplyRemediesResult applyRemedies(Program &P,
+                                  const analysis::RemedyPlan &Plan);
+
+} // namespace specsync
+
+#endif // SPECSYNC_COMPILER_APPLYREMEDIES_H

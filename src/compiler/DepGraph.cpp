@@ -59,6 +59,13 @@ DepGrouping specsync::buildGroups(const DepProfile &Profile,
 DepGrouping specsync::buildGroups(const DepProfile &Profile,
                                   double FreqThresholdPercent,
                                   const analysis::DepOracleResult *Oracle) {
+  return buildGroups(Profile, FreqThresholdPercent, Oracle, nullptr);
+}
+
+DepGrouping specsync::buildGroups(
+    const DepProfile &Profile, double FreqThresholdPercent,
+    const analysis::DepOracleResult *Oracle,
+    const std::set<std::pair<RefName, RefName>> *RemediedPairs) {
   DepGrouping Result;
   std::vector<DepPairStat> Frequent =
       Profile.pairsAboveThreshold(FreqThresholdPercent);
@@ -73,6 +80,13 @@ DepGrouping specsync::buildGroups(const DepProfile &Profile,
     std::vector<DepPairStat> Forced = Oracle->forcedPairs();
     Frequent.insert(Frequent.end(), Forced.begin(), Forced.end());
   }
+  if (RemediedPairs && !RemediedPairs->empty())
+    Frequent.erase(std::remove_if(Frequent.begin(), Frequent.end(),
+                                  [&](const DepPairStat &P) {
+                                    return RemediedPairs->count(
+                                               {P.Load, P.Store}) != 0;
+                                  }),
+                   Frequent.end());
   if (Frequent.empty())
     return Result;
 

@@ -18,6 +18,8 @@
 
 #include "profile/DepProfiler.h"
 
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace specsync {
@@ -56,6 +58,15 @@ DepGrouping buildGroups(const DepProfile &Profile,
 /// this is exactly the overload above.
 DepGrouping buildGroups(const DepProfile &Profile, double FreqThresholdPercent,
                         const analysis::DepOracleResult *Oracle);
+
+/// Remedy-aware variant: additionally drops frequent pairs the remediator
+/// replaced with a cheaper transform (privatization, padding, reduction
+/// expansion), keyed (load, store) like the profile. With both extras null
+/// this is exactly the profile-only overload.
+DepGrouping
+buildGroups(const DepProfile &Profile, double FreqThresholdPercent,
+            const analysis::DepOracleResult *Oracle,
+            const std::set<std::pair<RefName, RefName>> *RemediedPairs);
 
 } // namespace specsync
 

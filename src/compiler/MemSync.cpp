@@ -6,6 +6,7 @@
 
 #include "compiler/MemSync.h"
 
+#include "analysis/Remediator.h"
 #include "compiler/Cloning.h"
 #include "compiler/EpochPaths.h"
 #include "ir/Dominators.h"
@@ -75,8 +76,9 @@ MemSyncResult specsync::insertMemSync(Program &P,
   if (!Region.isValid())
     return Result;
 
-  Result.Grouping = buildGroups(Profile, Opts.FreqThresholdPercent,
-                                Opts.Oracle);
+  Result.Grouping =
+      buildGroups(Profile, Opts.FreqThresholdPercent, Opts.Oracle,
+                  Opts.Plan ? &Opts.Plan->RemediedPairs : nullptr);
   Result.NumGroups = static_cast<unsigned>(Result.Grouping.Groups.size());
   if (Result.NumGroups == 0)
     return Result;

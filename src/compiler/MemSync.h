@@ -36,6 +36,10 @@
 
 namespace specsync {
 
+namespace analysis {
+struct RemedyPlan;
+} // namespace analysis
+
 struct MemSyncOptions {
   /// A dependence is "frequent" when it occurs in more than this percentage
   /// of epochs (the paper's experiments settle on 5%).
@@ -46,6 +50,12 @@ struct MemSyncOptions {
   /// pairs are added. Null (the default) reproduces the paper's
   /// profile-only behavior exactly.
   const analysis::DepOracleResult *Oracle = nullptr;
+
+  /// The remediator's plan: frequent pairs it replaced with a transform
+  /// (privatization, padding, reduction expansion) are excluded from
+  /// grouping — the transform, applied afterwards by applyRemedies, makes
+  /// the synchronization unnecessary. Null leaves grouping untouched.
+  const analysis::RemedyPlan *Plan = nullptr;
 };
 
 struct MemSyncResult {

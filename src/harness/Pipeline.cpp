@@ -6,6 +6,7 @@
 
 #include "harness/Pipeline.h"
 
+#include "compiler/ApplyRemedies.h"
 #include "compiler/PassManager.h"
 #include "harness/ResultCache.h"
 #include "interp/Interpreter.h"
@@ -109,13 +110,14 @@ void BenchmarkPipeline::prepare() {
     Arena.recycle(std::move(R.Trace));
   }
 
-  // Phase 3.5: static may-dependence analysis + oracle fusion. Runs on a
-  // fresh base-transformed ref build — deterministic builds make its static
-  // ids identical to the profiled binaries' — and cross-checks both
-  // profiles before they drive synchronization.
-  if (StaticOpts.EnableOracle) {
+  // Phase 3.5: static may-dependence analysis (oracle fusion and/or the
+  // remediator chain). Runs on a fresh base-transformed ref build —
+  // deterministic builds make its static ids identical to the profiled
+  // binaries' — and cross-checks both profiles before they drive
+  // synchronization.
+  if (StaticOpts.active()) {
     obs::ScopedPhaseTimer Timer("harness.prepare.static_analysis");
-    if (StaticOpts.InjectStalePair) {
+    if (StaticOpts.EnableOracle && StaticOpts.InjectStalePair) {
       // Stale-profile simulation: the oracle must refute these entries, or
       // MemSync's profile-name lookup below would assert.
       analysis::appendStaleProfilePair(RefProfile);
@@ -126,40 +128,80 @@ void BenchmarkPipeline::prepare() {
     Engine = std::make_unique<analysis::StaticAnalysisEngine>(*AnalysisProg,
                                                               Contexts);
     Engine->analyze();
-    RefOracle = std::make_unique<analysis::DepOracleResult>(
-        Engine->fuse(RefProfile, FreqThreshold));
-    TrainOracle = std::make_unique<analysis::DepOracleResult>(
-        Engine->fuse(TrainProfile, FreqThreshold));
-    // The engine collected its region/fusion findings internally; fold
-    // them into the pipeline's aggregate so the report and the werror
-    // policy see one stream.
+    if (StaticOpts.EnableOracle) {
+      RefOracle = std::make_unique<analysis::DepOracleResult>(
+          Engine->fuse(RefProfile, FreqThreshold));
+      TrainOracle = std::make_unique<analysis::DepOracleResult>(
+          Engine->fuse(TrainProfile, FreqThreshold));
+    }
+    if (StaticOpts.EnableRemedies) {
+      // One plan from the ref profile serves both compiler-synchronized
+      // builds; the word-exact profile is the soundness gate's ground
+      // truth, so the gate sees the same dependences the C build syncs.
+      unsigned LineShift = 0;
+      while ((1u << LineShift) < Config.CacheLineBytes)
+        ++LineShift;
+      analysis::RemedyContext RCtx{*AnalysisProg, Engine->alias(),
+                                   Engine->tester(), &RefProfile,
+                                   FreqThreshold, LineShift};
+      Plan = analysis::buildRemedyPlan(RCtx, &Engine->diags());
+    }
+    // The engine collected its region/fusion/gate findings internally;
+    // fold them into the pipeline's aggregate so the report and the
+    // werror policy see one stream.
     Diags.merge(Engine->diags());
     if (obs::statsEnabled()) {
       obs::StatRegistry &SR = obs::StatRegistry::global();
-      SR.counter("analysis.region.refs")->add(RefOracle->NumRefs);
-      for (const analysis::DepOracleResult *O :
-           {RefOracle.get(), TrainOracle.get()}) {
-        SR.counter("analysis.oracle.static_confirmed")
-            ->add(O->StaticConfirmed);
-        SR.counter("analysis.oracle.static_pruned")->add(O->StaticPruned);
-        SR.counter("analysis.oracle.static_forced")->add(O->StaticForced);
-        SR.counter("analysis.oracle.speculated")->add(O->Speculated);
+      if (RefOracle) {
+        SR.counter("analysis.region.refs")->add(RefOracle->NumRefs);
+        for (const analysis::DepOracleResult *O :
+             {RefOracle.get(), TrainOracle.get()}) {
+          SR.counter("analysis.oracle.static_confirmed")
+              ->add(O->StaticConfirmed);
+          SR.counter("analysis.oracle.static_pruned")->add(O->StaticPruned);
+          SR.counter("analysis.oracle.static_forced")->add(O->StaticForced);
+          SR.counter("analysis.oracle.speculated")->add(O->Speculated);
+        }
+      }
+      if (Plan.Enabled) {
+        SR.counter("remedy.pairs_synced")->add(Plan.NumSynced);
+        SR.counter("remedy.pairs_speculated")->add(Plan.NumSpeculated);
+        SR.counter("remedy.pairs_privatized")->add(Plan.NumPrivatized);
+        SR.counter("remedy.pairs_padded")->add(Plan.NumPadded);
+        SR.counter("remedy.pairs_reduced")->add(Plan.NumReduced);
+        SR.counter("remedy.gate_rejected")->add(Plan.GateRejected);
+        SR.counter("remedy.cache_lookups")->add(Plan.CacheLookups);
+        SR.counter("remedy.cache_hits")->add(Plan.CacheHits);
       }
     }
   }
 
   // Phase 4: compiler-synchronized binaries (ref and train profiles).
+  // Remedies (when planned) apply after MemSync: the plan's pairs were
+  // already excluded from grouping via MSOpts.Plan, and the IR transforms
+  // run on the synchronized program so audit + verify see the final form.
   MemSyncOptions MSOpts;
   MSOpts.FreqThresholdPercent = FreqThreshold;
+  MSOpts.Plan = Plan.Enabled ? &Plan : nullptr;
   {
     obs::ScopedPhaseTimer Timer("harness.prepare.build_c");
     std::unique_ptr<Program> P = Bench.Build(InputKind::Ref);
     applyBaseTransforms(*P, Factor);
     MSOpts.Oracle = RefOracle.get();
     RefMemSync = applyMemSync(*P, Contexts, RefProfile, MSOpts);
+    if (Plan.Enabled) {
+      ApplyRemediesResult AR = applyRemedies(*P, Plan);
+      if (obs::statsEnabled()) {
+        obs::StatRegistry &SR = obs::StatRegistry::global();
+        SR.counter("remedy.stores_privatized")->add(AR.NumPrivatizedStores);
+        SR.counter("remedy.reductions_rewritten")
+            ->add(AR.NumReductionsRewritten);
+        SR.counter("remedy.reductions_skipped")->add(AR.NumReductionsSkipped);
+      }
+    }
     RefAudit = auditSignalPlacement(*P, RefMemSync.NumGroups);
     auditToDiags(RefAudit, "C", Diags);
-    if (StaticOpts.EnableOracle)
+    if (StaticOpts.active())
       analysis::verifyProgramToDiags(*P, Diags);
     checkWerror("C");
     for (const auto &[Name, Group] : RefMemSync.SyncedLoadSet)
@@ -176,9 +218,11 @@ void BenchmarkPipeline::prepare() {
     applyBaseTransforms(*P, Factor);
     MSOpts.Oracle = TrainOracle.get();
     TrainMemSync = applyMemSync(*P, Contexts, TrainProfile, MSOpts);
+    if (Plan.Enabled)
+      applyRemedies(*P, Plan);
     TrainAudit = auditSignalPlacement(*P, TrainMemSync.NumGroups);
     auditToDiags(TrainAudit, "T", Diags);
-    if (StaticOpts.EnableOracle)
+    if (StaticOpts.active())
       analysis::verifyProgramToDiags(*P, Diags);
     checkWerror("T");
     Interpreter I(*P, Contexts);
@@ -355,11 +399,19 @@ rt::RtRunResult BenchmarkPipeline::runThreads(ExecMode Mode,
       MemSyncOptions MSOpts;
       MSOpts.FreqThresholdPercent = FreqThreshold;
       MSOpts.Oracle = Mode == ExecMode::C ? RefOracle.get() : TrainOracle.get();
+      MSOpts.Plan = Plan.Enabled ? &Plan : nullptr;
       applyMemSync(*P, Contexts,
                    Mode == ExecMode::C ? RefProfile : TrainProfile, MSOpts);
+      if (Plan.Enabled)
+        applyRemedies(*P, Plan);
     }
     return P;
   };
+  // The remedy plan's pad set travels with the remedied binaries (U stays
+  // unremedied, matching the simulator paths).
+  rt::RtOptions RtOpts = O;
+  if (Mode != ExecMode::U && Plan.Enabled && !Plan.Pads.empty())
+    RtOpts.Pads = &Plan.Pads;
   auto wallMs = [](std::chrono::steady_clock::time_point Since) {
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - Since)
@@ -398,7 +450,7 @@ rt::RtRunResult BenchmarkPipeline::runThreads(ExecMode Mode,
   // coordinator, which farms epochs out to the worker pool.
   {
     std::unique_ptr<Program> P = makeBinary();
-    rt::RtEngine Engine(P->getDecoded(), Oracle, O);
+    rt::RtEngine Engine(P->getDecoded(), Oracle, RtOpts);
     Interpreter I(*P, Contexts);
     InterpOptions IOpts;
     IOpts.CollectTrace = false;
@@ -422,8 +474,8 @@ rt::RtRunResult BenchmarkPipeline::runThreads(ExecMode Mode,
       const RegionOracleRec &Rec = Oracle.Regions[RI];
       if (Rec.ExitViaRet || Rec.Epochs.empty())
         continue;
-      R.Replay +=
-          rt::replayRegion(Trace.Regions[RI], Engine.window(), O.LineShift);
+      R.Replay += rt::replayRegion(Trace.Regions[RI], Engine.window(),
+                                   RtOpts.LineShift, RtOpts.Pads);
     }
     R.CountsMatch = R.Counts == R.Replay;
 
@@ -499,6 +551,10 @@ ModeRunResult BenchmarkPipeline::simulateStep(const RunStep &Step) {
 
   TLSSimOptions Opts;
   const ProgramTrace *Trace = UTrace.get();
+  // Every mode tracing a remedied binary (CTrace/TTrace-based) carries the
+  // plan's pad set so conflict granules match the binary's remedies.
+  const conflict::PadSet *RemedyPads =
+      Plan.Enabled && !Plan.Pads.empty() ? &Plan.Pads : nullptr;
   switch (Step.Mode) {
   case ExecMode::U:
     break;
@@ -508,19 +564,23 @@ ModeRunResult BenchmarkPipeline::simulateStep(const RunStep &Step) {
   case ExecMode::T:
     Trace = TTrace.get();
     Opts.NumMemGroups = TrainMemSync.NumGroups;
+    Opts.Pads = RemedyPads;
     break;
   case ExecMode::C:
     Trace = CTrace.get();
     Opts.NumMemGroups = RefMemSync.NumGroups;
+    Opts.Pads = RemedyPads;
     break;
   case ExecMode::E:
     Trace = CTrace.get();
     Opts.NumMemGroups = RefMemSync.NumGroups;
+    Opts.Pads = RemedyPads;
     Opts.PerfectSyncedValues = true;
     break;
   case ExecMode::L:
     Trace = CTrace.get();
     Opts.NumMemGroups = RefMemSync.NumGroups;
+    Opts.Pads = RemedyPads;
     Opts.StallSyncedUntilDone = true;
     break;
   case ExecMode::P:
@@ -532,6 +592,7 @@ ModeRunResult BenchmarkPipeline::simulateStep(const RunStep &Step) {
   case ExecMode::B:
     Trace = CTrace.get();
     Opts.NumMemGroups = RefMemSync.NumGroups;
+    Opts.Pads = RemedyPads;
     Opts.HwSyncStall = true;
     break;
   }
@@ -584,6 +645,7 @@ std::string BenchmarkPipeline::cacheKey(const RunStep &Step) const {
      << "|pred=" << C.PredictorTableEntries;
   OS << "|freq=" << bits(FreqThreshold);
   OS << "|oracle=" << StaticOpts.EnableOracle
+     << "|remedies=" << StaticOpts.EnableRemedies
      << "|werror=" << StaticOpts.AuditWerror
      << "|stale=" << StaticOpts.InjectStalePair;
   const RobustnessOptions &R = Step.Robust;

@@ -22,6 +22,7 @@
 #ifndef SPECSYNC_HARNESS_PIPELINE_H
 #define SPECSYNC_HARNESS_PIPELINE_H
 
+#include "analysis/Remediator.h"
 #include "analysis/StaticAnalysis.h"
 #include "compiler/LoopSelection.h"
 #include "compiler/MemSync.h"
@@ -145,6 +146,10 @@ public:
   const analysis::DepOracleResult *trainOracle() const {
     return TrainOracle.get();
   }
+  /// The remediator plan applied to the C and T builds (Enabled=false and
+  /// empty unless --static-remedies was set before prepare()). Stable
+  /// address: backends hold pointers into its PadSet across runs.
+  const analysis::RemedyPlan &remedyPlan() const { return Plan; }
   /// Structured diagnostics accumulated by the analysis engine, the
   /// verifier bridge and the signal-placement audit during prepare().
   const analysis::DiagEngine &analysisDiags() const { return Diags; }
@@ -207,6 +212,10 @@ private:
   std::unique_ptr<analysis::StaticAnalysisEngine> Engine;
   std::unique_ptr<analysis::DepOracleResult> RefOracle;
   std::unique_ptr<analysis::DepOracleResult> TrainOracle;
+  /// Remediator plan built in phase 3.5 from the ref profile (one plan for
+  /// both compiler-synchronized builds; U stays unremedied). Owns the
+  /// PadSet the simulator and rt backend point into.
+  analysis::RemedyPlan Plan;
   size_t DiagsReported = 0; ///< Diags already printed by checkWerror.
 
   LoadNameSet RefSyncSet;

@@ -299,9 +299,9 @@ void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
     for (const BenchmarkModeResults::Entry &E : B.Entries)
       writeModeRunResultJson(W, E.Label, E.Result);
     W.endArray();
-    // Present only when the static oracle ran for this benchmark; absent,
+    // Present only when the static engine ran for this benchmark; absent,
     // the document stays byte-identical to pre-analysis schemas.
-    if (B.OracleRef || B.OracleTrain) {
+    if (B.OracleRef || B.OracleTrain || B.AnalysisDiags) {
       W.key("static_analysis");
       W.beginObject();
       if (B.OracleRef) {
@@ -317,6 +317,12 @@ void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
         B.AnalysisDiags->writeJson(W);
       }
       W.endObject();
+    }
+    // Present only when the remediator chain ran for this benchmark;
+    // absent, the document stays byte-identical to pre-remediator schemas.
+    if (B.Remedies) {
+      W.key("remedies");
+      B.Remedies->writeJson(W);
     }
     // Present only when a real-threads sweep ran for this benchmark;
     // absent, the document stays byte-identical to pre-backend schemas.

@@ -15,6 +15,7 @@
 
 #include "analysis/DepOracle.h"
 #include "analysis/Diag.h"
+#include "analysis/Remediator.h"
 #include "harness/Experiment.h"
 #include "rt/RtOptions.h"
 
@@ -65,6 +66,11 @@ struct BenchmarkModeResults {
   std::shared_ptr<const analysis::DepOracleResult> OracleRef;
   std::shared_ptr<const analysis::DepOracleResult> OracleTrain;
   std::shared_ptr<const analysis::DiagEngine> AnalysisDiags;
+
+  /// Remediator plan payload (per-pair decisions, counters, cache stats).
+  /// Null (the default) omits the `remedies` block entirely, keeping
+  /// reports byte-identical to pre-remediator schemas.
+  std::shared_ptr<const analysis::RemedyPlan> Remedies;
 
   /// Real-threads backend runs for this benchmark (one per mode swept).
   /// Empty (the default) omits the `real_threads` block entirely, keeping

@@ -27,6 +27,8 @@ static DInstKind kindFor(Opcode Op) {
     return DInstKind::ChkFwd;
   case Opcode::SignalMem:
     return DInstKind::SigMem;
+  case Opcode::Reduce:
+    return DInstKind::Reduce;
   default:
     return DInstKind::Plain;
   }
@@ -71,6 +73,7 @@ uint64_t DecodedProgram::fingerprint(const Program &P) {
         mix(I.getId());
         mix(I.getOrigId());
         mix(static_cast<uint64_t>(static_cast<int64_t>(I.getSyncId())));
+        mix(I.getRemedy());
       }
     }
   }
@@ -166,6 +169,11 @@ DecodedProgram::DecodedProgram(const Program &P, uint64_t FP)
           break;
         case Opcode::Call:
           D.T0 = I.getCallee();
+          break;
+        case Opcode::Load:
+        case Opcode::Store:
+        case Opcode::Reduce:
+          D.TFlags = I.getRemedy(); // Branch-only byte reused as remedy.
           break;
         default:
           break;

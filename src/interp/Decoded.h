@@ -51,6 +51,7 @@ enum class DInstKind : uint8_t {
   SigScalar, ///< Value = forwarded scalar (when an operand is present).
   ChkFwd,    ///< Addr = compared address.
   SigMem,    ///< Addr = forwarded address, Value = forwarded word.
+  Reduce,    ///< Addr = effective address, Value = reduced (new) word.
 };
 
 /// One pre-decoded instruction (32 bytes). Branch targets T0/T1 are flat
@@ -62,7 +63,9 @@ struct DecodedInst {
   uint8_t NumOps = 0;
   /// Region-control flags, valid only within the region function:
   /// bit 0: T0 is the region header block; bit 1: T0 is inside the region
-  /// loop. Bits 2-3: the same for T1.
+  /// loop. Bits 2-3: the same for T1. Branches never carry remedies and
+  /// memory ops never branch, so for Load/Store/Reduce the same byte holds
+  /// the instruction's RemedyKind annotation instead.
   uint8_t TFlags = 0;
   int32_t Dest = -1;   ///< Destination register, -1 if none.
   int32_t SyncId = -1;

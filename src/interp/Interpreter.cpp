@@ -26,6 +26,7 @@
 #include "interp/Decoded.h"
 #include "ir/Dominators.h"
 #include "ir/LoopInfo.h"
+#include "ir/Remedy.h"
 #include "obs/PhaseTimer.h"
 #include "obs/StatRegistry.h"
 
@@ -298,6 +299,7 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
       ++Result.MemAccessCount;
       if (EmitMem) {
         DynInst DI = makeDI(I);
+        DI.Remedy = I.TFlags;
         DI.Addr = Addr;
         DI.Value = static_cast<uint64_t>(V);
         deliver(DI, true);
@@ -312,8 +314,26 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
       ++Result.MemAccessCount;
       if (EmitMem) {
         DynInst DI = makeDI(I);
+        DI.Remedy = I.TFlags;
         DI.Addr = Addr;
         DI.Value = static_cast<uint64_t>(V);
+        deliver(DI, true);
+      }
+      ++PC;
+      continue;
+    }
+    case Opcode::Reduce: {
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      int64_t V = opval(FOps[I.OpBegin + 1]);
+      auto K = static_cast<ReduceOpKind>(opval(FOps[I.OpBegin + 2]));
+      int64_t NewV = applyReduceOp(K, Mem.loadWord(Addr), V);
+      Mem.storeWord(Addr, NewV);
+      ++Result.MemAccessCount;
+      if (EmitMem) {
+        DynInst DI = makeDI(I);
+        DI.Remedy = I.TFlags;
+        DI.Addr = Addr;
+        DI.Value = static_cast<uint64_t>(NewV);
         deliver(DI, true);
       }
       ++PC;
@@ -711,6 +731,7 @@ InterpResult Interpreter::runReference(const InterpOptions &Opts,
       uint64_t Addr = static_cast<uint64_t>(val(I.getOperand(0)));
       int64_t V = Mem.loadWord(Addr);
       F.Regs[I.getDest()] = V;
+      DI.Remedy = I.getRemedy();
       DI.Addr = Addr;
       DI.Value = static_cast<uint64_t>(V);
       ++Result.MemAccessCount;
@@ -720,8 +741,20 @@ InterpResult Interpreter::runReference(const InterpOptions &Opts,
       uint64_t Addr = static_cast<uint64_t>(val(I.getOperand(0)));
       int64_t V = val(I.getOperand(1));
       Mem.storeWord(Addr, V);
+      DI.Remedy = I.getRemedy();
       DI.Addr = Addr;
       DI.Value = static_cast<uint64_t>(V);
+      ++Result.MemAccessCount;
+      break;
+    }
+    case Opcode::Reduce: {
+      uint64_t Addr = static_cast<uint64_t>(val(I.getOperand(0)));
+      auto K = static_cast<ReduceOpKind>(I.getOperand(2).getImm());
+      int64_t NewV = applyReduceOp(K, Mem.loadWord(Addr), val(I.getOperand(1)));
+      Mem.storeWord(Addr, NewV);
+      DI.Remedy = I.getRemedy();
+      DI.Addr = Addr;
+      DI.Value = static_cast<uint64_t>(NewV);
       ++Result.MemAccessCount;
       break;
     }

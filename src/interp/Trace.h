@@ -28,6 +28,7 @@ struct DynInst {
   uint32_t OrigId = 0;   ///< Pre-cloning id (stable across transformations).
   uint32_t Context = 0;  ///< Call-path context relative to the region root.
   Opcode Op = Opcode::Const;
+  uint8_t Remedy = 0;    ///< RemedyKind annotation (memory ops only).
   int32_t SyncId = -1;   ///< Scalar channel / memory group, -1 = none.
   uint64_t Addr = 0;     ///< Load/Store/SignalMem/CheckFwd address.
   uint64_t Value = 0;    ///< Load result / stored / forwarded value.

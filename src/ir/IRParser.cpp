@@ -227,6 +227,7 @@ private:
     std::vector<unsigned> Targets;
     unsigned Callee = ~0u;
     int SyncId = -1;
+    uint8_t Remedy = 0;
 
     for (; Pos < Tokens.size(); ++Pos) {
       const std::string &T = Tokens[Pos];
@@ -240,6 +241,8 @@ private:
         Targets.push_back(It->second);
       } else if (T.rfind("#sync", 0) == 0) {
         SyncId = static_cast<int>(std::strtol(T.c_str() + 5, nullptr, 10));
+      } else if (T.rfind("#remedy", 0) == 0) {
+        Remedy = static_cast<uint8_t>(std::strtoul(T.c_str() + 7, nullptr, 10));
       } else if (T[0] == 'r' && T.size() > 1 &&
                  std::isdigit(static_cast<unsigned char>(T[1]))) {
         Ops.push_back(Operand::reg(static_cast<unsigned>(
@@ -270,6 +273,7 @@ private:
       I.setCallee(Callee);
     }
     I.setSyncId(SyncId);
+    I.setRemedy(Remedy);
     if (BB.isTerminated())
       return error("instruction after terminator in block " +
                    BB.getName()),

@@ -39,6 +39,8 @@ std::string specsync::printInstruction(const Function &F, const Instruction &I) 
   }
   if (I.getSyncId() >= 0)
     Out += " #sync" + std::to_string(I.getSyncId());
+  if (I.getRemedy() != 0)
+    Out += " #remedy" + std::to_string(I.getRemedy());
   return Out;
 }
 

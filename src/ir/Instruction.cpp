@@ -42,6 +42,7 @@ const char *specsync::opcodeName(Opcode Op) {
   case Opcode::CheckFwd: return "check.fwd";
   case Opcode::SelectFwd: return "select.fwd";
   case Opcode::SignalMem: return "signal.mem";
+  case Opcode::Reduce: return "reduce";
   }
   return "<invalid>";
 }
@@ -81,7 +82,7 @@ bool specsync::opcodeIsTerminator(Opcode Op) {
 }
 
 bool specsync::opcodeIsMemory(Opcode Op) {
-  return Op == Opcode::Load || Op == Opcode::Store;
+  return Op == Opcode::Load || Op == Opcode::Store || Op == Opcode::Reduce;
 }
 
 bool specsync::opcodeIsBinary(Opcode Op) {

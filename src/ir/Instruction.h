@@ -114,6 +114,13 @@ public:
   int getSyncId() const { return SyncId; }
   void setSyncId(int NewSyncId) { SyncId = NewSyncId; }
 
+  /// Remedy annotation applied by the compiler (a RemedyKind value; see
+  /// ir/Remedy.h). Nonzero only on memory instructions the remediator
+  /// marked: backends use it to elide conflict bookkeeping that the
+  /// analysis proved unnecessary (e.g. privatized stores).
+  uint8_t getRemedy() const { return Remedy; }
+  void setRemedy(uint8_t R) { Remedy = R; }
+
   bool isTerminator() const { return opcodeIsTerminator(Op); }
 
 private:
@@ -125,6 +132,7 @@ private:
   uint32_t Id = 0;
   uint32_t OrigId = 0;
   int SyncId = -1;
+  uint8_t Remedy = 0;
 };
 
 } // namespace specsync

@@ -50,10 +50,14 @@ enum class Opcode : uint8_t {
   CheckFwd,  ///< compare forwarded address against op0; sets use-fwd flag
   SelectFwd, ///< choose forwarded vs memory value (timing overhead marker)
   SignalMem, ///< forward (addr=op0, value=op1) for group imm0; addr 0 = NULL
+
+  // Remedy execution (compiler-inserted; see ir/Remedy.h).
+  Reduce, ///< mem[op0] = mem[op0] <imm op2> op1; op2 names a ReduceOpKind.
+          ///< TLS backends accumulate per epoch and fold at in-order commit.
 };
 
 /// Number of distinct opcodes (for table sizing).
-constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::SignalMem) + 1;
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Reduce) + 1;
 
 /// Returns the mnemonic for \p Op (e.g. "add").
 const char *opcodeName(Opcode Op);
@@ -64,7 +68,7 @@ bool opcodeHasDest(Opcode Op);
 /// Returns true for Br / CondBr / Ret.
 bool opcodeIsTerminator(Opcode Op);
 
-/// Returns true for Load / Store.
+/// Returns true for Load / Store / Reduce.
 bool opcodeIsMemory(Opcode Op);
 
 /// Returns true for binary arithmetic / comparison opcodes.

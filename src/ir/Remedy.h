@@ -1,0 +1,106 @@
+//===- ir/Remedy.h - Dependence-remedy annotations --------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The remedy vocabulary shared by the analysis chain (which selects a
+/// remedy per dependence pair), the compiler (which applies remedies as IR
+/// transforms beside MemSync), and every execution backend (interpreter,
+/// timing simulator, real-threads engine), which must all interpret the
+/// annotations identically. Lives in ir/ because a remedy, once applied,
+/// is part of the program: a marker byte on a memory instruction
+/// (privatization), a rewritten opcode (reduction expansion), or a
+/// conflict-granularity annotation carried beside the binary (padding).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_IR_REMEDY_H
+#define SPECSYNC_IR_REMEDY_H
+
+#include <cstdint>
+
+namespace specsync {
+
+/// How a dependence pair is made safe to run speculatively. Sync and
+/// Speculate are plan-level outcomes (they configure MemSync / the TLS
+/// hardware model); Privatize, Pad and Reduce are program-level transforms
+/// whose execution semantics live in the backends.
+enum class RemedyKind : uint8_t {
+  None = 0,  ///< No remedy needed (dependence refuted outright).
+  Sync,      ///< Forward through memory-resident synchronization (MemSync).
+  Privatize, ///< Per-epoch private location; commit-time merge is a no-op
+             ///< because the location is provably epoch-local.
+  Pad,       ///< Word is line-disjoint from all conflicting accesses once
+             ///< padded to its own conflict granule (false sharing only).
+  Reduce,    ///< x = x op e chain; per-epoch partial accumulator folded
+             ///< into memory at in-order commit.
+  Speculate, ///< Leave to the TLS hardware (squash on violation).
+};
+
+inline const char *remedyName(RemedyKind K) {
+  switch (K) {
+  case RemedyKind::None: return "none";
+  case RemedyKind::Sync: return "sync";
+  case RemedyKind::Privatize: return "privatize";
+  case RemedyKind::Pad: return "pad";
+  case RemedyKind::Reduce: return "reduce";
+  case RemedyKind::Speculate: return "speculate";
+  }
+  return "<invalid>";
+}
+
+/// The associative/commutative operator of a Reduce instruction, carried as
+/// its third (immediate) operand. All operate on 64-bit words with wraparound
+/// semantics, so per-epoch partial accumulation folded in commit order is
+/// bit-identical to the sequential chain.
+enum class ReduceOpKind : uint8_t { Add = 0, Mul, And, Or, Xor };
+
+constexpr unsigned NumReduceOps = static_cast<unsigned>(ReduceOpKind::Xor) + 1;
+
+inline const char *reduceOpName(ReduceOpKind K) {
+  switch (K) {
+  case ReduceOpKind::Add: return "add";
+  case ReduceOpKind::Mul: return "mul";
+  case ReduceOpKind::And: return "and";
+  case ReduceOpKind::Or: return "or";
+  case ReduceOpKind::Xor: return "xor";
+  }
+  return "<invalid>";
+}
+
+/// mem[X] = applyReduceOp(K, mem[X], V) — the single definition of Reduce
+/// semantics; every engine (fast/reference interpreter, rt accumulator and
+/// commit fold) must use this.
+inline int64_t applyReduceOp(ReduceOpKind K, int64_t Old, int64_t V) {
+  switch (K) {
+  case ReduceOpKind::Add:
+    return static_cast<int64_t>(static_cast<uint64_t>(Old) +
+                                static_cast<uint64_t>(V));
+  case ReduceOpKind::Mul:
+    return static_cast<int64_t>(static_cast<uint64_t>(Old) *
+                                static_cast<uint64_t>(V));
+  case ReduceOpKind::And: return Old & V;
+  case ReduceOpKind::Or: return Old | V;
+  case ReduceOpKind::Xor: return Old ^ V;
+  }
+  return Old;
+}
+
+/// The identity element of \p K: folding any number of identity-initialized
+/// partial accumulators into memory is a no-op.
+inline int64_t reduceIdentity(ReduceOpKind K) {
+  switch (K) {
+  case ReduceOpKind::Add: return 0;
+  case ReduceOpKind::Mul: return 1;
+  case ReduceOpKind::And: return -1;
+  case ReduceOpKind::Or: return 0;
+  case ReduceOpKind::Xor: return 0;
+  }
+  return 0;
+}
+
+} // namespace specsync
+
+#endif // SPECSYNC_IR_REMEDY_H

@@ -6,6 +6,8 @@
 
 #include "ir/Verifier.h"
 
+#include "ir/Remedy.h"
+
 using namespace specsync;
 
 namespace {
@@ -139,6 +141,13 @@ private:
       checkArity(F, BB, Pos, I, 2);
       if (I.getSyncId() < 0)
         report(F, BB, Pos, "signal.mem without a group id");
+      break;
+    case Opcode::Reduce:
+      checkArity(F, BB, Pos, I, 3);
+      if (I.getNumOperands() == 3 &&
+          (!I.getOperand(2).isImm() || I.getOperand(2).getImm() < 0 ||
+           I.getOperand(2).getImm() >= static_cast<int64_t>(NumReduceOps)))
+        report(F, BB, Pos, "reduce requires an immediate op-kind operand");
       break;
     default:
       if (opcodeIsBinary(I.getOpcode()))

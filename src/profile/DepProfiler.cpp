@@ -64,53 +64,58 @@ DepProfiler::ShadowEntry &DepProfiler::shadowFor(uint64_t Addr) {
 void DepProfiler::onDynInst(const DynInst &DI, bool InRegion, uint64_t) {
   if (!InRegion || !InRegionNow)
     return;
-  if (DI.Op == Opcode::Store) {
+  // A reduce op is a load-then-store of its word: the read side can observe
+  // a prior-epoch writer (keeping the exact profiler ground truth on
+  // remedied binaries), then the write side claims the word.
+  const bool Reads = DI.Op == Opcode::Load || DI.Op == Opcode::Reduce;
+  const bool Writes = DI.Op == Opcode::Store || DI.Op == Opcode::Reduce;
+  if (!Reads && !Writes)
+    return;
+
+  if (Reads) {
+    const ShadowEntry &E = shadowFor(DI.Addr);
+    // Live entry (a store in this region instance), not covered by the
+    // reading epoch's own store: an exposed cross-epoch dependence.
+    if (E.Epoch > RegionFloor && E.Epoch != GlobalEpoch) {
+      assert(E.Epoch < GlobalEpoch && "exposed load with same-epoch writer");
+
+      uint64_t LoadPacked = pack(DI.StaticId, DI.Context);
+      uint64_t Distance = GlobalEpoch - E.Epoch;
+
+      auto [PairIt, PairNew] =
+          PairIds.try_emplace({LoadPacked, E.Writer},
+                              static_cast<uint32_t>(PairRecs.size()));
+      if (PairNew)
+        PairRecs.push_back(PairRec{LoadPacked, E.Writer, 0, 0, 0, 0});
+      PairRec &P = PairRecs[PairIt->second];
+      ++P.Count;
+      if (Distance == 1)
+        ++P.Distance1Count;
+      if (P.LastEpoch != GlobalEpoch) {
+        P.LastEpoch = GlobalEpoch;
+        ++P.EpochsWithDep;
+      }
+
+      auto [LoadIt, LoadNew] = LoadIds.try_emplace(
+          LoadPacked, static_cast<uint32_t>(LoadRecs.size()));
+      if (LoadNew)
+        LoadRecs.push_back(LoadRec{LoadPacked, 0, 0, 0});
+      LoadRec &L = LoadRecs[LoadIt->second];
+      ++L.Count;
+      if (L.LastEpoch != GlobalEpoch) {
+        L.LastEpoch = GlobalEpoch;
+        ++L.EpochsWithDep;
+      }
+
+      Profile.DistanceHist.addSample(Distance);
+    }
+  }
+
+  if (Writes) {
     ShadowEntry &E = shadowFor(DI.Addr);
     E.Epoch = GlobalEpoch;
     E.Writer = pack(DI.StaticId, DI.Context);
-    return;
   }
-  if (DI.Op != Opcode::Load)
-    return;
-
-  const ShadowEntry &E = shadowFor(DI.Addr);
-  // Dead entry: no store to this word in the current region instance.
-  if (E.Epoch <= RegionFloor)
-    return;
-  // A load whose word was already written by its own epoch is not exposed.
-  if (E.Epoch == GlobalEpoch)
-    return;
-  assert(E.Epoch < GlobalEpoch && "exposed load with same-epoch writer");
-
-  uint64_t LoadPacked = pack(DI.StaticId, DI.Context);
-  uint64_t Distance = GlobalEpoch - E.Epoch;
-
-  auto [PairIt, PairNew] =
-      PairIds.try_emplace({LoadPacked, E.Writer},
-                          static_cast<uint32_t>(PairRecs.size()));
-  if (PairNew)
-    PairRecs.push_back(PairRec{LoadPacked, E.Writer, 0, 0, 0, 0});
-  PairRec &P = PairRecs[PairIt->second];
-  ++P.Count;
-  if (Distance == 1)
-    ++P.Distance1Count;
-  if (P.LastEpoch != GlobalEpoch) {
-    P.LastEpoch = GlobalEpoch;
-    ++P.EpochsWithDep;
-  }
-
-  auto [LoadIt, LoadNew] =
-      LoadIds.try_emplace(LoadPacked, static_cast<uint32_t>(LoadRecs.size()));
-  if (LoadNew)
-    LoadRecs.push_back(LoadRec{LoadPacked, 0, 0, 0});
-  LoadRec &L = LoadRecs[LoadIt->second];
-  ++L.Count;
-  if (L.LastEpoch != GlobalEpoch) {
-    L.LastEpoch = GlobalEpoch;
-    ++L.EpochsWithDep;
-  }
-
-  Profile.DistanceHist.addSample(Distance);
 }
 
 DepProfile DepProfiler::takeProfile() {

@@ -14,6 +14,7 @@
 
 #include "rt/EpochEngine.h"
 
+#include "ir/Remedy.h"
 #include "support/Random.h"
 
 #include <algorithm>
@@ -43,7 +44,7 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
                                   uint64_t StepCap, bool UseForwards,
                                   SyncPort &Port,
                                   std::atomic<uint64_t> &StepsOut) {
-  EpochExec Out(Env.LineShift);
+  EpochExec Out(Env.LineShift, Env.Pads);
   EpochObs &Obs = Out.Obs;
   auto &WriteBuf = Out.WriteBuf;
 
@@ -170,13 +171,35 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
       uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
       int64_t V = opval(FOps[I.OpBegin + 1]);
       WriteBuf[Addr] = V;
-      Obs.Writes.insert(Addr,
-                        conflict::LineTable::Entry{I.StaticId, 0, I.SyncId});
+      // A privatized store writes a provably epoch-local (or false-shared)
+      // location: the write buffer still carries the value to commit, but
+      // the line never enters the write summary, so it cannot violate a
+      // later epoch's read mark.
+      if (I.TFlags != static_cast<uint8_t>(RemedyKind::Privatize))
+        Obs.Writes.insert(
+            Addr, conflict::LineTable::Entry{I.StaticId, 0, I.SyncId});
       // Forward-then-overwrite: a store to an address this epoch already
       // signaled dirties the forward (consumers fail SAB validation).
       for (auto &[G, SigAddr] : OwnSignalAddr)
         if (SigAddr == Addr)
           Obs.MemSignals[G].SabDirty = true;
+      break;
+    }
+    case Opcode::Reduce: {
+      // Reduction expansion: accumulate a per-epoch partial instead of the
+      // load-modify-store the compiler rewrote away. The location never
+      // enters the read or write summaries (the matcher proved no other
+      // reference aliases it); the partial folds into shared memory at
+      // in-order commit, which reproduces the sequential value exactly
+      // (wraparound uint64 ops are associative).
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      int64_t V = opval(FOps[I.OpBegin + 1]);
+      auto K = static_cast<ReduceOpKind>(opval(FOps[I.OpBegin + 2]));
+      auto It = Out.ReduceAcc
+                    .try_emplace(Addr, static_cast<uint8_t>(K),
+                                 reduceIdentity(K))
+                    .first;
+      It->second.second = applyReduceOp(K, It->second.second, V);
       break;
     }
 

@@ -37,7 +37,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <unordered_map>
+#include <utility>
 
 namespace specsync {
 namespace rt {
@@ -49,6 +51,8 @@ struct EpochEnv {
   uint32_t HeaderPC;     ///< Decoded PC of the region header block.
   SharedMemory &Shared;  ///< Committed memory image.
   unsigned LineShift;    ///< Conflict-detection granularity.
+  /// Words the Pad remedy granted private conflict granules, or null.
+  const conflict::PadSet *Pads = nullptr;
 };
 
 /// The attempt's rare-path connection to the protocol coordinator. All
@@ -89,8 +93,14 @@ struct EpochExec {
   uint32_t ExitPC = 0; ///< Valid for RegionExit.
   EpochObs Obs;
   std::unordered_map<uint64_t, int64_t> WriteBuf; ///< Addr -> value.
+  /// Reduction-expansion partials: Addr -> (ReduceOpKind, accumulated
+  /// value, starting from the op's identity). Folded into shared memory at
+  /// in-order commit; ordered so the fold is deterministic.
+  std::map<uint64_t, std::pair<uint8_t, int64_t>> ReduceAcc;
 
-  explicit EpochExec(unsigned LineShift) : Obs(LineShift) {}
+  explicit EpochExec(unsigned LineShift,
+                     const conflict::PadSet *Pads = nullptr)
+      : Obs(LineShift, Pads) {}
 };
 
 /// Runs one speculative epoch attempt. \p UseForwards must be the

@@ -89,8 +89,9 @@ struct EpochObs {
   uint64_t Steps = 0;           ///< Executed instructions (waste currency).
   bool Overran = false;         ///< Step cap hit (engine only): forced fail.
 
-  explicit EpochObs(unsigned LineShift)
-      : Reads(LineShift), Writes(LineShift) {}
+  explicit EpochObs(unsigned LineShift,
+                    const conflict::PadSet *Pads = nullptr)
+      : Reads(LineShift, Pads), Writes(LineShift, Pads) {}
 };
 
 /// Validation outcome at the commit point.

@@ -7,6 +7,7 @@
 #include "rt/Replay.h"
 
 #include "ir/Opcode.h"
+#include "ir/Remedy.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -15,13 +16,14 @@ using namespace specsync;
 using namespace specsync::rt;
 
 std::vector<EpochObs> rt::deriveEpochObs(const RegionTrace &Region,
-                                         unsigned LineShift) {
+                                         unsigned LineShift,
+                                         const conflict::PadSet *Pads) {
   std::vector<EpochObs> Out;
   Out.reserve(Region.Epochs.size());
 
   // Pass 1: signals, waits and steps (no cross-epoch dependence).
   for (const EpochTrace &E : Region.Epochs) {
-    EpochObs Obs(LineShift);
+    EpochObs Obs(LineShift, Pads);
     Obs.Steps = E.Insts.size();
     // Addresses this epoch has signaled so far -> signaling groups, for
     // the forward-then-overwrite dirty rule.
@@ -103,8 +105,11 @@ std::vector<EpochObs> rt::deriveEpochObs(const RegionTrace &Region,
       }
       case Opcode::Store:
         LocalWrites.insert(DI.Addr);
-        Obs.Writes.insert(DI.Addr, conflict::LineTable::Entry{
-                                       DI.StaticId, DI.Context, DI.SyncId});
+        // Privatized stores still cover the epoch's own later reads (rule
+        // 2) but never enter the write summary — mirroring the engine.
+        if (DI.Remedy != static_cast<uint8_t>(RemedyKind::Privatize))
+          Obs.Writes.insert(DI.Addr, conflict::LineTable::Entry{
+                                         DI.StaticId, DI.Context, DI.SyncId});
         break;
       default:
         break;
@@ -115,10 +120,11 @@ std::vector<EpochObs> rt::deriveEpochObs(const RegionTrace &Region,
 }
 
 ProtocolCounts rt::replayRegion(const RegionTrace &Region, unsigned Window,
-                                unsigned LineShift) {
+                                unsigned LineShift,
+                                const conflict::PadSet *Pads) {
   ProtocolCounts C;
   C.Regions = 1;
-  std::vector<EpochObs> Obs = deriveEpochObs(Region, LineShift);
+  std::vector<EpochObs> Obs = deriveEpochObs(Region, LineShift, Pads);
   const uint64_t N = Obs.size();
   if (N == 0)
     return C;

@@ -32,13 +32,18 @@ namespace rt {
 /// that would consume a forward are excluded, exactly like the engine),
 /// waits, first-wins signals with forward-then-overwrite dirty bits, and
 /// the consumed-forward groups with their sequentially-loaded values.
+/// Remedy annotations mirror the engine: privatized stores and reduce ops
+/// never enter the line summaries, and \p Pads (when non-null) grants
+/// padded words private conflict granules.
 std::vector<EpochObs> deriveEpochObs(const RegionTrace &Region,
-                                     unsigned LineShift);
+                                     unsigned LineShift,
+                                     const conflict::PadSet *Pads = nullptr);
 
 /// Runs the ordered-commit protocol reference over one region instance.
 /// \p Window is the in-flight epoch window the live run used.
 ProtocolCounts replayRegion(const RegionTrace &Region, unsigned Window,
-                            unsigned LineShift);
+                            unsigned LineShift,
+                            const conflict::PadSet *Pads = nullptr);
 
 } // namespace rt
 } // namespace specsync

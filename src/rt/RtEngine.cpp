@@ -7,6 +7,7 @@
 #include "rt/RtEngine.h"
 
 #include "interp/Memory.h"
+#include "ir/Remedy.h"
 #include "obs/EventLog.h"
 #include "rt/EpochEngine.h"
 #include "rt/Protocol.h"
@@ -198,7 +199,7 @@ bool RtEngine::executeRegion(unsigned Instance, Memory &Mem, Random &Rng,
 
   SharedMemory Shared;
   Shared.copyFrom(Mem);
-  EpochEnv Env{DP, RegionFunc, HeaderPC, Shared, Opts.LineShift};
+  EpochEnv Env{DP, RegionFunc, HeaderPC, Shared, Opts.LineShift, Opts.Pads};
 
   CommitWindow CW(N, Window);
   std::vector<std::shared_ptr<Attempt>> Cur(N);
@@ -398,6 +399,14 @@ bool RtEngine::executeRegion(unsigned Instance, Memory &Mem, Random &Rng,
     }
     for (const auto &[Addr, Val] : Res.WriteBuf)
       Shared.storeWord(Addr, Val);
+    // Fold reduction-expansion partials in commit order: each epoch's
+    // accumulated value combines into the shared location exactly where
+    // the sequential load-modify-store chain would have left it.
+    for (const auto &[Addr, Acc] : Res.ReduceAcc) {
+      auto K = static_cast<ReduceOpKind>(Acc.first);
+      Shared.storeWord(Addr,
+                       applyReduceOp(K, Shared.loadWord(Addr), Acc.second));
+    }
 
     StallCounts SC =
         countStalls(Res.Obs, J > 0 ? Committed[J - 1].get() : nullptr);

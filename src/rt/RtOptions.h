@@ -17,6 +17,7 @@
 #ifndef SPECSYNC_RT_RTOPTIONS_H
 #define SPECSYNC_RT_RTOPTIONS_H
 
+#include "sim/ConflictRules.h"
 #include "sim/FaultInjector.h"
 
 #include <cstdint>
@@ -58,6 +59,10 @@ struct RtOptions {
   /// Conflict-detection line granularity (log2 bytes); must match the
   /// simulator's cache-line shift for like-for-like violation counting.
   unsigned LineShift = 5;
+  /// Words the Pad remedy granted their own conflict granule (owned by the
+  /// remedy plan; null when remedies are off). Must match the simulator's
+  /// pad set for like-for-like violation counting.
+  const conflict::PadSet *Pads = nullptr;
   /// Thread-targeted fault plan (FaultPlan::rtEnabled() classes).
   FaultPlan Faults;
 };

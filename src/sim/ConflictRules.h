@@ -28,9 +28,11 @@
 #ifndef SPECSYNC_SIM_CONFLICTRULES_H
 #define SPECSYNC_SIM_CONFLICTRULES_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace specsync {
@@ -49,6 +51,61 @@ namespace conflict {
 
 /// Rule 1: the conflict-detection granule.
 inline uint64_t lineOf(uint64_t Addr, unsigned LineShift) {
+  return Addr >> LineShift;
+}
+
+/// Byte ranges the compiler granted their own conflict granule — the Pad
+/// remedy. A real compiler would pad such a location out to a cache line of
+/// its own; this model keeps addresses (and therefore final memory)
+/// unchanged and instead gives each padded *word* a private granule id, so
+/// line-granularity conflict detection can no longer see false sharing
+/// between a padded word and its line neighbors. Ranges are sorted and
+/// merged; lookup is a binary search.
+class PadSet {
+public:
+  /// Adds the byte range [Begin, End); overlapping/adjacent ranges merge.
+  void add(uint64_t Begin, uint64_t End) {
+    if (Begin >= End)
+      return;
+    Ranges.emplace_back(Begin, End);
+    std::sort(Ranges.begin(), Ranges.end());
+    std::vector<std::pair<uint64_t, uint64_t>> Merged;
+    for (const auto &[B, E] : Ranges) {
+      if (!Merged.empty() && B <= Merged.back().second)
+        Merged.back().second = std::max(Merged.back().second, E);
+      else
+        Merged.emplace_back(B, E);
+    }
+    Ranges = std::move(Merged);
+  }
+
+  bool contains(uint64_t Addr) const {
+    auto It = std::upper_bound(
+        Ranges.begin(), Ranges.end(), Addr,
+        [](uint64_t A, const std::pair<uint64_t, uint64_t> &R) {
+          return A < R.first;
+        });
+    return It != Ranges.begin() && Addr < std::prev(It)->second;
+  }
+
+  bool empty() const { return Ranges.empty(); }
+  size_t numRanges() const { return Ranges.size(); }
+  const std::vector<std::pair<uint64_t, uint64_t>> &ranges() const {
+    return Ranges;
+  }
+
+private:
+  std::vector<std::pair<uint64_t, uint64_t>> Ranges; ///< Sorted, disjoint.
+};
+
+/// Rule 1 with the Pad remedy applied: a padded address lives in a private
+/// word-sized granule (bit 62 tags the padded id space so it can never
+/// collide with a real line number); everything else detects conflicts at
+/// line granularity as before. With no pad set this is exactly lineOf.
+inline uint64_t granuleOf(uint64_t Addr, unsigned LineShift,
+                          const PadSet *Pads) {
+  if (Pads && Pads->contains(Addr))
+    return (Addr >> 3) | (1ull << 62);
   return Addr >> LineShift;
 }
 
@@ -97,12 +154,13 @@ public:
     int32_t SyncId = -1;
   };
 
-  explicit LineTable(unsigned LineShift) : LineShift(LineShift) {}
+  explicit LineTable(unsigned LineShift, const PadSet *Pads = nullptr)
+      : LineShift(LineShift), Pads(Pads) {}
 
-  /// Records an access to \p Addr; the first access to a line wins.
-  /// Returns true when this access established the line's entry.
+  /// Records an access to \p Addr; the first access to a granule wins.
+  /// Returns true when this access established the granule's entry.
   bool insert(uint64_t Addr, const Entry &E) {
-    return Lines.try_emplace(lineOf(Addr, LineShift), E).second;
+    return Lines.try_emplace(granuleOf(Addr, LineShift, Pads), E).second;
   }
 
   const Entry *find(uint64_t Line) const {
@@ -112,7 +170,7 @@ public:
 
   bool containsLine(uint64_t Line) const { return Lines.count(Line) != 0; }
   bool containsAddr(uint64_t Addr) const {
-    return containsLine(lineOf(Addr, LineShift));
+    return containsLine(granuleOf(Addr, LineShift, Pads));
   }
 
   size_t size() const { return Lines.size(); }
@@ -146,6 +204,7 @@ public:
 
 private:
   unsigned LineShift;
+  const PadSet *Pads = nullptr;
   std::unordered_map<uint64_t, Entry> Lines;
 };
 

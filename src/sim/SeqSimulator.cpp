@@ -21,7 +21,8 @@ public:
   void execute(const DynInst &DI) {
     switch (DI.Op) {
     case Opcode::Load:
-    case Opcode::Store: {
+    case Opcode::Store:
+    case Opcode::Reduce: {
       graduate();
       unsigned Lat = Caches.accessLatency(/*Core=*/0, DI.Addr);
       if (Lat > Config.L1HitLatency)

@@ -31,10 +31,13 @@ namespace specsync {
 
 class SpecState {
 public:
-  explicit SpecState(unsigned LineShift) : LineShift(LineShift) {}
+  explicit SpecState(unsigned LineShift, const conflict::PadSet *Pads = nullptr)
+      : LineShift(LineShift), Pads(Pads) {}
 
+  /// The conflict granule of \p Addr — the cache line, unless the compiler
+  /// padded the word into a granule of its own (conflict::granuleOf).
   uint64_t lineOf(uint64_t Addr) const {
-    return conflict::lineOf(Addr, LineShift);
+    return conflict::granuleOf(Addr, LineShift, Pads);
   }
 
   /// Records an exposed speculative read of \p Addr by \p Epoch.
@@ -54,6 +57,7 @@ public:
 
 private:
   unsigned LineShift;
+  const conflict::PadSet *Pads = nullptr;
   /// Line -> active read marks (at most one per epoch).
   std::unordered_map<uint64_t, std::vector<ReadMark>> Readers;
   /// Epoch -> lines it marked (for O(marks) cleanup).

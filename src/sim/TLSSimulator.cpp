@@ -6,6 +6,7 @@
 
 #include "sim/TLSSimulator.h"
 
+#include "ir/Remedy.h"
 #include "obs/EventLog.h"
 #include "obs/StatRegistry.h"
 #include "obs/TraceLog.h"
@@ -842,7 +843,12 @@ struct TLSSimulator::Impl {
       }
 
       R.LocalWrites.insert(DI.Addr);
-      if (!Opts.OraclePerfectMemory)
+      // A privatized store writes a provably epoch-local (or false-shared)
+      // location into the epoch's speculative buffer: it still covers the
+      // epoch's own later reads, but can never violate a later epoch's
+      // read mark. Mirrors the rt engine's write-summary exclusion.
+      if (!Opts.OraclePerfectMemory &&
+          DI.Remedy != static_cast<uint8_t>(RemedyKind::Privatize))
         checkStoreViolation(R, DI);
 
       // Injected spurious violation: the coherence logic wrongly reports
@@ -869,6 +875,17 @@ struct TLSSimulator::Impl {
       }
       break;
     }
+
+    case Opcode::Reduce:
+      // Reduction expansion: a per-epoch partial accumulation the commit
+      // folds into memory. The matcher proved no other reference aliases
+      // the location, so the access neither marks a read nor checks for
+      // store violations — it only pays one memory access of timing.
+      graduate(R);
+      if (unsigned Lat = Caches.accessLatency(Core, DI.Addr);
+          Lat > Config.L1HitLatency)
+        stall(R, Lat);
+      break;
 
     case Opcode::Div:
     case Opcode::Mod:
@@ -963,7 +980,7 @@ struct TLSSimulator::Impl {
     StartCycle.assign(NumEpochs, 0);
     NextToCommit = 0;
     TokenFreeAt = 0;
-    Spec = SpecState(log2OfPow2(Config.CacheLineBytes));
+    Spec = SpecState(log2OfPow2(Config.CacheLineBytes), Opts.Pads);
     Channels = SyncChannels();
     Channels.setFaultInjector(Faults.enabled() ? &Faults : nullptr);
     WatchdogOn = Faults.enabled() || Opts.WatchdogBudget > 0 ||

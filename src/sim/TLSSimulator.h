@@ -84,6 +84,10 @@ struct TLSSimOptions {
 
   uint64_t MaxCycles = 2'000'000'000ull; ///< Runaway guard.
 
+  /// Words the Pad remedy granted their own conflict granule (owned by the
+  /// remedy plan; null when remedies are off). Must outlive the simulator.
+  const conflict::PadSet *Pads = nullptr;
+
   // Robustness (fault injection + watchdog recovery). With Faults null and
   // WatchdogBudget 0 every new path below is inert and timing is
   // bit-identical to a simulator without the subsystem.

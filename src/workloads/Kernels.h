@@ -38,6 +38,12 @@ std::unique_ptr<Program> buildTwolf(InputKind Input);       // 300.twolf
 /// engine proves must-alias — exercising the oracle's forced-sync path.
 std::unique_ptr<Program> buildStaticDemo(InputKind Input);
 
+/// Remediator-ensemble demo (extraWorkloads(), not a Table 2 row): a
+/// 100%-frequent reduction chain plus an epoch-local scratch word that
+/// false-shares a line with a hot read-only word — exercising the Reduce
+/// rewrite and store privatization end-to-end.
+std::unique_ptr<Program> buildRemedyDemo(InputKind Input);
+
 } // namespace specsync
 
 #endif // SPECSYNC_WORKLOADS_KERNELS_H

@@ -1,0 +1,121 @@
+//===- workloads/RemedyDemo.cpp - Remediator ensemble demo ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstration kernel for the remediator ensemble: one workload whose
+/// speculation problems are cured by *transforming* remedies rather than
+/// synchronization.
+///
+///  - Reduction: every epoch appends a contribution to a shared `total`
+///    word through a textbook `x = x + e` load-add-store triple. The
+///    word-exact profile sees a 100%-frequent distance-1 dependence, so
+///    without remedies the compiler serializes the region on it; the
+///    reduction module instead rewrites the triple into a commit-time
+///    folded Reduce, dissolving the dependence entirely.
+///
+///  - Privatization: a scratch word is rewritten at the top of every
+///    epoch (plus a ~25% conditional second store) and re-read later in
+///    the same epoch — provably epoch-local, yet it shares a 32-byte
+///    cache line with a hot read-only word every epoch loads up front.
+///    The line-granularity conflict tracker squashes on that false
+///    sharing until the shortlived module privatizes the scratch stores,
+///    exempting them from write tracking.
+///
+/// Not part of the paper's Table 2 set — registered via extraWorkloads()
+/// so figure/table binaries are unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+using namespace specsync;
+
+std::unique_ptr<Program> specsync::buildRemedyDemo(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x4ED0DE00 : 0x4ED0DE42);
+
+  // Globals are 64-byte aligned, so this 32-byte global is exactly one
+  // cache line: `hot` (word 0, read-only in the region) false-shares it
+  // with `scratch` (word 2, stored every epoch).
+  uint64_t HotLine = P->addGlobal("hot_line", 32);
+  uint64_t Hot = HotLine;
+  uint64_t Scratch = HotLine + 16;
+  uint64_t Total = P->addGlobal("total", 8);
+  uint64_t Table = P->addGlobal("table", 64 * 8);
+  uint64_t Seq = P->addGlobal("seq_scratch", 64 * 8);
+  uint64_t Out = P->addGlobal("out", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  B.emitStore(Hot, 0x1234);
+  B.emitStore(Scratch, 0);
+  B.emitStore(Total, 0);
+  {
+    LoopBlocks Init = makeCountedLoop(B, 64, "init");
+    Reg A = B.emitAdd(B.emitShl(Init.IndVar, 3), Table);
+    B.emitStore(A, B.emitMul(Init.IndVar, 29));
+    closeLoop(B, Init);
+  }
+
+  int64_t Epochs = Ref ? 800 : 320;
+  uint64_t RegionEstimate = static_cast<uint64_t>(Epochs) * 110;
+  emitCoverageFiller(B, RegionEstimate / 2, 25, Seq, "pre");
+
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  BasicBlock *Retune = &Main.addBlock("retune");
+  BasicBlock *Join = &Main.addBlock("join");
+  {
+    Reg R = B.emitRand();
+
+    // Early: read the hot word — the load whose line the scratch stores
+    // keep dirtying.
+    Reg H = B.emitLoad(Hot);
+
+    // The scratch word's unconditional kill: every epoch overwrites it
+    // before any read, making the location epoch-local.
+    B.emitStore(Scratch, B.emitXor(H, R));
+
+    Reg W = emitAluWork(B, 50, B.emitXor(H, R));
+    Reg TV = B.emitLoad(B.emitAdd(B.emitShl(B.emitAnd(R, 63), 3), Table));
+
+    // ~25% of epochs retune the scratch value; privatization must cover
+    // this conditional store too (the kill above keeps it epoch-local).
+    Reg Tune = emitPercentFlag(B, R, 4, 25);
+    B.emitCondBr(Tune, *Retune, *Join);
+    B.setInsertPoint(&Main, Retune);
+    {
+      B.emitStore(Scratch, B.emitAdd(TV, 5));
+      B.emitBr(*Join);
+    }
+    B.setInsertPoint(&Main, Join);
+
+    Reg SV = B.emitLoad(Scratch);
+    Reg W2 = emitAluWork(B, 30, B.emitAdd(W, SV));
+    Reg E = B.emitAnd(W2, 0xffff);
+
+    // Late: the reduction triple. Kept contiguous so the matcher's
+    // clean-window requirement holds; the rewrite turns it into a single
+    // Reduce folded at commit.
+    Reg TotV = B.emitLoad(Total);
+    Reg TotN = B.emitAdd(TotV, E);
+    B.emitStore(Total, TotN);
+
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(W2, 63), 3), Out), W2);
+  }
+  closeLoop(B, L);
+
+  emitCoverageFiller(B, RegionEstimate / 2, 25, Seq, "post");
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

@@ -69,6 +69,10 @@ const std::vector<Workload> &specsync::extraWorkloads() {
        "input-gated producer: absent from the train profile, provably "
        "must-alias — forces a static MUST_SYNC",
        1.00, buildStaticDemo},
+      {"REMEDY_DEMO", "(none; remediator demo)",
+       "always-firing reduction chain plus an epoch-local scratch word "
+       "false-sharing a hot line — cured by Reduce + privatization",
+       1.00, buildRemedyDemo},
   };
   return Extras;
 }

@@ -35,9 +35,11 @@ using namespace specsync::analysis;
 namespace {
 
 enum class StoreShape {
-  Conditional, ///< Store to the shared word on ~half the iterations.
-  AfterLoad,   ///< Unconditional store, after the load (distance-1 dep).
-  BeforeLoad,  ///< Unconditional store, before the load (intra-epoch kill).
+  Conditional,   ///< Store to the shared word on ~half the iterations.
+  AfterLoad,     ///< Unconditional store, after the load (distance-1 dep).
+  BeforeLoad,    ///< Unconditional store, before the load (intra-epoch kill).
+  CondKill,      ///< Store before the load, but on a conditional path.
+  SameStatement, ///< `shared = shared`: store right after the load it reads.
 };
 
 /// A minimal region: `for (i) { load shared; ...; store shared; store
@@ -63,7 +65,21 @@ struct RegionFixture {
     Reg R = B.emitRand();
     if (Shape == StoreShape::BeforeLoad)
       B.emitStore(Shared, B.emitAnd(R, 0xff));
+    if (Shape == StoreShape::CondKill) {
+      // Same store-before-load order, but the store only happens on ~half
+      // the iterations: iterations that skip it still read the previous
+      // epoch's value, so this shape must NOT kill the dependence.
+      BasicBlock *Kill = &Main.addBlock("kill");
+      BasicBlock *Pre = &Main.addBlock("preload");
+      B.emitCondBr(B.emitAnd(R, 1), *Kill, *Pre);
+      B.setInsertPoint(&Main, Kill);
+      B.emitStore(Shared, B.emitAnd(R, 0xff));
+      B.emitBr(*Pre);
+      B.setInsertPoint(&Main, Pre);
+    }
     Reg V = B.emitLoad(Shared);
+    if (Shape == StoreShape::SameStatement)
+      B.emitStore(Shared, V); // Adjacent positions: one source statement.
     Reg W = B.emitXor(V, R);
     switch (Shape) {
     case StoreShape::Conditional: {
@@ -80,6 +96,8 @@ struct RegionFixture {
       B.emitStore(Shared, W);
       break;
     case StoreShape::BeforeLoad:
+    case StoreShape::CondKill:
+    case StoreShape::SameStatement:
       break;
     }
     B.emitStore(B.emitAdd(B.emitShl(L.IndVar, 3), Arr), W);
@@ -201,6 +219,134 @@ TEST(DepTesterTest, DisjointGlobalsAreNoDep) {
   StaticDepResult R =
       F.Tester->classify(F.ref(false, false), F.ref(true, true));
   EXPECT_EQ(R.Kind, StaticDepKind::NoDep);
+}
+
+//===----------------------------------------------------------------------===//
+// Dependence tester: distance-1 classification edge cases
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class SelfLoopShape {
+  LoadThenStore, ///< load; work; store — the classic distance-1 chain.
+  StoreThenLoad, ///< store; load — intra-epoch kill inside one block.
+};
+
+/// The smallest natural loop LoopInfo can report: one block that is
+/// simultaneously header, body and latch (`self: ...; i += 1; if (i < 10)
+/// goto self`). Every same-block ordering question in precedes() must be
+/// settled by instruction position alone — block dominance is a tie
+/// (a block dominates itself) and would get the kill direction wrong.
+struct SelfLoopFixture {
+  Program P;
+  ContextTable Contexts;
+  DiagEngine DE;
+  std::unique_ptr<AliasAnalysis> AA;
+  std::unique_ptr<DepTester> Tester;
+
+  explicit SelfLoopFixture(SelfLoopShape Shape) {
+    uint64_t Shared = P.addGlobal("shared", 8);
+    Function &Main = P.addFunction("main", 0);
+    IRBuilder B(P);
+    BasicBlock &Entry = Main.addBlock("entry");
+    BasicBlock &Self = Main.addBlock("self");
+    BasicBlock &Exit = Main.addBlock("exit");
+
+    B.setInsertPoint(&Main, &Entry);
+    B.emitStore(Shared, 5);
+    Reg I = B.emitConst(0);
+    B.emitBr(Self);
+
+    B.setInsertPoint(&Main, &Self);
+    Reg R = B.emitRand();
+    if (Shape == SelfLoopShape::StoreThenLoad)
+      B.emitStore(Shared, B.emitAnd(R, 0xff));
+    Reg V = B.emitLoad(Shared);
+    if (Shape == SelfLoopShape::LoadThenStore)
+      B.emitStore(Shared, B.emitXor(V, R));
+    B.emitBinaryInto(I, Opcode::Add, I, 1);
+    B.emitCondBr(B.emitCmp(Opcode::CmpLT, I, 10), Self, Exit);
+
+    B.setInsertPoint(&Main, &Exit);
+    B.emitRet(0);
+
+    P.setEntry(Main.getIndex());
+    P.setRegion(RegionSpec{Main.getIndex(), Self.getIndex()});
+    P.assignIds();
+
+    AA = std::make_unique<AliasAnalysis>(P);
+    AA->run();
+    Tester = std::make_unique<DepTester>(P, *AA, Contexts);
+    Tester->analyzeRegion(&DE);
+  }
+
+  /// The region's unique load (or store) of the shared word.
+  const MemRef &ref(bool IsLoad) const {
+    const MemRef *Found = nullptr;
+    for (const MemRef &R : Tester->refs()) {
+      if (R.IsLoad != IsLoad)
+        continue;
+      EXPECT_EQ(Found, nullptr) << "ambiguous ref query";
+      Found = &R;
+    }
+    EXPECT_NE(Found, nullptr);
+    return *Found;
+  }
+};
+
+} // namespace
+
+TEST(DepTesterTest, SelfLoopRegionLoadThenStoreIsMustDistance1) {
+  SelfLoopFixture F(SelfLoopShape::LoadThenStore);
+  EXPECT_TRUE(F.Tester->isComplete());
+  const MemRef &Load = F.ref(/*IsLoad=*/true);
+  const MemRef &Store = F.ref(/*IsLoad=*/false);
+  EXPECT_TRUE(Load.MustExec);
+  EXPECT_TRUE(Store.MustExec);
+  StaticDepResult R = F.Tester->classify(Store, Load);
+  EXPECT_EQ(R.Kind, StaticDepKind::Must);
+  EXPECT_TRUE(R.Distance1);
+}
+
+TEST(DepTesterTest, SelfLoopRegionStoreBeforeLoadStillKills) {
+  // Same single-block loop, opposite order: the must-exec store precedes
+  // the load by position, so the load can only see the current epoch's
+  // value even though the two share a block with itself as the latch.
+  SelfLoopFixture F(SelfLoopShape::StoreThenLoad);
+  StaticDepResult R =
+      F.Tester->classify(F.ref(/*IsLoad=*/false), F.ref(/*IsLoad=*/true));
+  EXPECT_EQ(R.Kind, StaticDepKind::NoDep);
+}
+
+TEST(DepTesterTest, KillOnAConditionalPathDoesNotRefute) {
+  // Store-before-load program order, but the store sits on a conditional
+  // path: iterations that skip it observe the previous epoch's store, so
+  // the kill rule (which needs the store on *every* path to the load) must
+  // not fire. The pair stays MustAddr — same invariant address, one side
+  // conditional — and never reports a provable distance.
+  RegionFixture F(StoreShape::CondKill);
+  const MemRef &Load = F.ref(/*IsLoad=*/true, /*Shared=*/true);
+  const MemRef &Store = F.ref(/*IsLoad=*/false, /*Shared=*/true);
+  EXPECT_TRUE(Load.MustExec);
+  EXPECT_FALSE(Store.MustExec);
+  StaticDepResult R = F.Tester->classify(Store, Load);
+  EXPECT_EQ(R.Kind, StaticDepKind::MustAddr);
+  EXPECT_FALSE(R.Distance1);
+}
+
+TEST(DepTesterTest, StoreAndLoadInTheSameStatementIsMustDistance1) {
+  // `shared = shared`: the load and store of a single source statement sit
+  // at adjacent positions in one block. The load precedes the store, so
+  // the dependence is Must at distance exactly 1 — and the kill rule must
+  // not fire backwards off the store that follows the load.
+  RegionFixture F(StoreShape::SameStatement);
+  const MemRef &Load = F.ref(/*IsLoad=*/true, /*Shared=*/true);
+  const MemRef &Store = F.ref(/*IsLoad=*/false, /*Shared=*/true);
+  ASSERT_EQ(Load.Block, Store.Block);
+  EXPECT_EQ(Load.Pos + 1, Store.Pos);
+  StaticDepResult R = F.Tester->classify(Store, Load);
+  EXPECT_EQ(R.Kind, StaticDepKind::Must);
+  EXPECT_TRUE(R.Distance1);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,678 @@
+//===- tests/remedy_test.cpp - Remediator ensemble tests --------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the SCAF-style remediator ensemble end to end:
+//  - per-module unit tests on hand-built regions (alias-line, kill,
+//    readonly, reduction matcher, shortlived, residue, profile),
+//  - the chain front-end (min-cost selection, tie order, budget pruning,
+//    memoization),
+//  - plan building (soundness gate against the word-exact profile, the
+//    epoch-local location sweep, MemSync exclusion of remedied pairs),
+//  - the REMEDY_DEMO pipeline (Reduce + privatization both fire and the
+//    remedied build beats the synchronized one),
+//  - the full differential: with remedies enabled, every Table 2 workload
+//    (plus the extras) must produce a final memory image bit-identical to
+//    the original sequential program, for the sequential interpretation
+//    feeding the simulator AND for the real-threads backend, in U, C and
+//    T modes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+#include "analysis/DepTester.h"
+#include "analysis/Diag.h"
+#include "analysis/Remediator.h"
+#include "analysis/StaticAnalysis.h"
+#include "harness/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "workloads/KernelCommon.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+using namespace specsync;
+using namespace specsync::analysis;
+
+namespace {
+
+/// A buildable mini-region fixture: subclasses emit the loop body, then
+/// the fixture runs alias analysis + the dependence tester and builds a
+/// remedy chain over the result.
+struct ChainFixture {
+  Program P;
+  ContextTable Contexts;
+  DiagEngine DE;
+  std::unique_ptr<AliasAnalysis> AA;
+  std::unique_ptr<DepTester> Tester;
+  std::unique_ptr<RemedyContext> Ctx;
+  std::unique_ptr<RemedyChain> Chain;
+  DepProfile Profile; ///< Default: empty profile over 100 epochs.
+
+  /// Calls \p EmitBody inside `for (i = 0; i < 10; ++i)` scaffolding and
+  /// finishes the analyses. \p EmitBody receives the builder and the
+  /// induction variable.
+  template <typename Fn> void build(Fn &&EmitBody, double Threshold = 5.0) {
+    Function &Main = P.addFunction("main", 0);
+    IRBuilder B(P);
+    BasicBlock &Entry = Main.addBlock("entry");
+    B.setInsertPoint(&Main, &Entry);
+    LoopBlocks L = makeCountedLoop(B, 10, "par");
+    EmitBody(B, Main, L);
+    closeLoop(B, L);
+    B.emitRet(0);
+    P.setEntry(Main.getIndex());
+    P.setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+    P.assignIds();
+
+    AA = std::make_unique<AliasAnalysis>(P);
+    AA->run();
+    Tester = std::make_unique<DepTester>(P, *AA, Contexts);
+    Tester->analyzeRegion(&DE);
+    Profile.TotalEpochs = 100;
+    Ctx = std::make_unique<RemedyContext>(
+        RemedyContext{P, *AA, *Tester, &Profile, Threshold, /*LineShift=*/5});
+    Chain = std::make_unique<RemedyChain>(*Ctx);
+  }
+
+  /// The unique enumerated ref with (IsLoad, global index) — fails the
+  /// test on ambiguity.
+  const MemRef *ref(bool IsLoad, unsigned GlobalIdx) const {
+    const MemRef *Found = nullptr;
+    for (const MemRef &R : Tester->refs()) {
+      if (R.IsLoad != IsLoad || !R.Addr.ByGlobal.count(GlobalIdx))
+        continue;
+      EXPECT_EQ(Found, nullptr) << "ambiguous ref query";
+      Found = &R;
+    }
+    return Found;
+  }
+
+  RemedyVerdict query(const MemRef *S, const MemRef *L, bool InProfile = false,
+                      double Freq = 0.0) {
+    RemedyQuery Q;
+    Q.Store = S;
+    Q.Load = L;
+    Q.InProfile = InProfile;
+    Q.FreqPercent = Freq;
+    Q.Budget = RemedyCost::budget(Freq);
+    return Chain->query(Q);
+  }
+
+  /// The named module's answer from queryAll, or nullopt if it declined.
+  std::optional<RemedyVerdict> moduleAnswer(const MemRef *S, const MemRef *L,
+                                            const std::string &Module,
+                                            bool InProfile = false,
+                                            double Freq = 0.0) {
+    RemedyQuery Q;
+    Q.Store = S;
+    Q.Load = L;
+    Q.InProfile = InProfile;
+    Q.FreqPercent = Freq;
+    for (const RemedyVerdict &V : Chain->queryAll(Q))
+      if (V.Module == Module)
+        return V.NoDep ? std::optional<RemedyVerdict>(V) : std::nullopt;
+    return std::nullopt;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Module units
+//===----------------------------------------------------------------------===//
+
+TEST(RemedyModules, AliasLineRefutesDisjointGlobals) {
+  ChainFixture F;
+  uint64_t A = F.P.addGlobal("a", 8);
+  uint64_t Bg = F.P.addGlobal("b", 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &) {
+    Reg V = B.emitLoad(A);
+    B.emitStore(Bg, B.emitAdd(V, 1));
+  });
+  RemedyVerdict V = F.query(F.ref(false, 1), F.ref(true, 0));
+  ASSERT_TRUE(V.NoDep);
+  EXPECT_EQ(V.Module, "alias-line");
+  EXPECT_EQ(V.Remedy, RemedyKind::None);
+  EXPECT_EQ(V.Cost, 0u);
+}
+
+TEST(RemedyModules, KillRefutesStoreBeforeLoad) {
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("x", 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &L) {
+    B.emitStore(X, B.emitAnd(L.IndVar, 0xff));
+    Reg V = B.emitLoad(X);
+    B.emitStore(F.P.addGlobal("out", 8), V);
+  });
+  RemedyVerdict V = F.query(F.ref(false, 0), F.ref(true, 0));
+  ASSERT_TRUE(V.NoDep);
+  EXPECT_EQ(V.Module, "kill");
+  EXPECT_EQ(V.Remedy, RemedyKind::None);
+  EXPECT_EQ(V.Cost, 0u);
+}
+
+TEST(RemedyModules, ReadOnlyAnswersForUnwrittenGlobal) {
+  ChainFixture F;
+  uint64_t T = F.P.addGlobal("table", 64 * 8);
+  uint64_t O = F.P.addGlobal("out", 64 * 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &L) {
+    // Symbolic offsets into both globals (so alias-line alone cannot rely
+    // on constant-offset disjointness inside a global).
+    Reg A = B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 63), 3), T);
+    Reg V = B.emitLoad(A);
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(V, 63), 3), O), V);
+  });
+  // The readonly module independently refutes any (store, table-load)
+  // pair: the region writes `out` only.
+  auto V = F.moduleAnswer(F.ref(false, 1), F.ref(true, 0), "readonly");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Remedy, RemedyKind::None);
+  EXPECT_EQ(V->Cost, 0u);
+}
+
+TEST(RemedyModules, ReductionMatchesContiguousTriple) {
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("total", 8);
+  uint64_t O = F.P.addGlobal("out", 64 * 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &L) {
+    Reg E = B.emitAnd(L.IndVar, 0xf);
+    Reg V = B.emitLoad(X);
+    Reg S = B.emitAdd(V, E);
+    B.emitStore(X, S);
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 63), 3), O), E);
+  });
+  // The pair is a 100%-frequent profiled dependence; sync budget is ample.
+  RemedyVerdict V = F.query(F.ref(false, 0), F.ref(true, 0), true, 100.0);
+  ASSERT_TRUE(V.NoDep);
+  EXPECT_EQ(V.Module, "reduction");
+  EXPECT_EQ(V.Remedy, RemedyKind::Reduce);
+  EXPECT_EQ(V.Cost, RemedyCost::Reduce);
+  ASSERT_EQ(V.Reductions.size(), 1u);
+  EXPECT_EQ(V.Reductions[0].Op, ReduceOpKind::Add);
+}
+
+TEST(RemedyModules, ReductionRejectsEscapingChainRegister) {
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("total", 8);
+  uint64_t O = F.P.addGlobal("out", 64 * 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &L) {
+    Reg E = B.emitAnd(L.IndVar, 0xf);
+    Reg V = B.emitLoad(X);
+    Reg S = B.emitAdd(V, E);
+    B.emitStore(X, S);
+    // The loaded value escapes into another store: rewriting the triple
+    // into a Reduce would lose it.
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 63), 3), O), V);
+  });
+  EXPECT_FALSE(
+      F.moduleAnswer(F.ref(false, 0), F.ref(true, 0), "reduction", true, 100.0)
+          .has_value());
+}
+
+TEST(RemedyModules, ReductionRejectsMixedOperators) {
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("total", 8);
+  F.build([&](IRBuilder &B, Function &Main, LoopBlocks &L) {
+    // Two triples over the same location with different operators: the
+    // commit-time fold has a single operator, so the chain must reject.
+    Reg E = B.emitAnd(L.IndVar, 0xf);
+    Reg V1 = B.emitLoad(X);
+    Reg S1 = B.emitAdd(V1, E);
+    B.emitStore(X, S1);
+    Reg V2 = B.emitLoad(X);
+    Reg S2 = B.emitXor(V2, E);
+    B.emitStore(X, S2);
+    (void)Main;
+  });
+  for (const MemRef &S : F.Tester->refs()) {
+    if (S.IsLoad)
+      continue;
+    for (const MemRef &L : F.Tester->refs())
+      if (L.IsLoad)
+        EXPECT_FALSE(
+            F.moduleAnswer(&S, &L, "reduction", true, 100.0).has_value());
+  }
+}
+
+TEST(RemedyModules, ReductionIgnoresAccessesOutsideTheRegion) {
+  // The entry block initializes the accumulator; only region references
+  // participate in the chain match (sequential code executes Reduce as a
+  // plain load-op-store, so out-of-region accesses are unaffected).
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("total", 8);
+  F.build([&](IRBuilder &B, Function &Main, LoopBlocks &L) {
+    Reg E = B.emitAnd(L.IndVar, 0xf);
+    Reg V = B.emitLoad(X);
+    Reg S = B.emitAdd(V, E);
+    B.emitStore(X, S);
+    (void)Main;
+  });
+  // NB: the fixture's entry block has no accumulator init; emulate one by
+  // checking REMEDY_DEMO in the pipeline tests below. Here assert the
+  // plain triple matches.
+  auto V = F.moduleAnswer(F.ref(false, 0), F.ref(true, 0), "reduction", true,
+                          100.0);
+  EXPECT_TRUE(V.has_value());
+}
+
+TEST(RemedyModules, ShortLivedPrivatizesEpochLocalScratch) {
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("scratch", 8);
+  uint64_t O = F.P.addGlobal("out", 64 * 8);
+  F.build([&](IRBuilder &B, Function &Main, LoopBlocks &L) {
+    // Unconditional kill at the top of every epoch...
+    B.emitStore(X, B.emitAnd(L.IndVar, 0xff));
+    // ...plus a conditional second store: the (cond-store, load) pair is
+    // not killed, so the shortlived module must carry it.
+    BasicBlock *Upd = &Main.addBlock("upd");
+    BasicBlock *Join = &Main.addBlock("join");
+    B.emitCondBr(B.emitAnd(L.IndVar, 1), *Upd, *Join);
+    B.setInsertPoint(&Main, Upd);
+    B.emitStore(X, B.emitAdd(L.IndVar, 7));
+    B.emitBr(*Join);
+    B.setInsertPoint(&Main, Join);
+    Reg V = B.emitLoad(X);
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 63), 3), O), V);
+  });
+  // The conditional store's pair: killed-by must not apply, shortlived
+  // must privatize both stores of the location.
+  const MemRef *CondStore = nullptr;
+  for (const MemRef &R : F.Tester->refs())
+    if (!R.IsLoad && R.Addr.ByGlobal.count(0) && !R.MustExec)
+      CondStore = &R;
+  ASSERT_NE(CondStore, nullptr);
+  RemedyVerdict V = F.query(CondStore, F.ref(true, 0));
+  ASSERT_TRUE(V.NoDep);
+  EXPECT_EQ(V.Module, "shortlived");
+  EXPECT_EQ(V.Remedy, RemedyKind::Privatize);
+  EXPECT_EQ(V.Cost, RemedyCost::Privatize);
+  EXPECT_EQ(V.PrivatizeStoreIds.size(), 2u);
+
+  // proveEpochLocal (the plan builder's sweep entry) agrees.
+  std::vector<uint32_t> Ids;
+  EXPECT_TRUE(F.Chain->proveEpochLocal(CondStore->Addr, Ids));
+  EXPECT_EQ(Ids.size(), 2u);
+}
+
+TEST(RemedyModules, ShortLivedDeclinesWhenALoadIsUncovered) {
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("scratch", 8);
+  uint64_t O = F.P.addGlobal("out", 64 * 8);
+  F.build([&](IRBuilder &B, Function &Main, LoopBlocks &L) {
+    // Load FIRST (reads the previous epoch), then store: not epoch-local.
+    Reg V = B.emitLoad(X);
+    B.emitStore(X, B.emitAdd(V, 1));
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 63), 3), O), V);
+    (void)Main;
+  });
+  EXPECT_FALSE(
+      F.moduleAnswer(F.ref(false, 0), F.ref(true, 0), "shortlived")
+          .has_value());
+  std::vector<uint32_t> Ids;
+  EXPECT_FALSE(F.Chain->proveEpochLocal(F.ref(true, 0)->Addr, Ids));
+}
+
+TEST(RemedyModules, ResiduePadsWordDisjointLineSharers) {
+  // The M88KSIM shape: stores hit even words, loads hit odd words of the
+  // same array — word-disjoint by known bit 3, but on shared 32-byte
+  // lines. The residue module must grant Pad with a pad range.
+  ChainFixture F;
+  uint64_t A = F.P.addGlobal("arr", 64 * 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &L) {
+    Reg Even = B.emitShl(B.emitAnd(L.IndVar, 31), 4);       // 16*i: bit3=0
+    Reg Odd = B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 31), 4), 8); // bit3=1
+    Reg V = B.emitLoad(B.emitAdd(Odd, A));
+    B.emitStore(B.emitAdd(Even, A), B.emitAdd(V, 1));
+  });
+  RemedyVerdict V = F.query(F.ref(false, 0), F.ref(true, 0));
+  ASSERT_TRUE(V.NoDep);
+  EXPECT_EQ(V.Module, "residue");
+  EXPECT_EQ(V.Remedy, RemedyKind::Pad);
+  EXPECT_EQ(V.Cost, RemedyCost::Pad);
+  EXPECT_FALSE(V.PadRanges.empty());
+}
+
+TEST(RemedyModules, ResidueRefutesLineDisjointAccesses) {
+  // Known bits differ at or above the line granule: no pad needed at all.
+  // The unknown index bits sit ABOVE the +32 line offset (known-bits
+  // addition ripples from the bottom and stops at the first unknown bit),
+  // so bit 5 stays provably different between the two addresses.
+  ChainFixture F;
+  uint64_t A = F.P.addGlobal("arr", 64 * 64);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &L) {
+    Reg Blk = B.emitShl(B.emitAnd(L.IndVar, 3), 9); // 512-byte blocks
+    Reg V = B.emitLoad(B.emitAdd(Blk, A));
+    B.emitStore(B.emitAdd(B.emitAdd(Blk, 32), A), B.emitAdd(V, 1));
+  });
+  auto V = F.moduleAnswer(F.ref(false, 0), F.ref(true, 0), "residue");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Remedy, RemedyKind::None);
+  EXPECT_EQ(V->Cost, 0u);
+}
+
+TEST(RemedyModules, ProfileSpeculatesBelowThresholdOnly) {
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("x", 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &) {
+    Reg V = B.emitLoad(X);
+    B.emitStore(X, B.emitMul(V, 3)); // Mul triple; reduction also answers.
+  });
+  auto Low = F.moduleAnswer(F.ref(false, 0), F.ref(true, 0), "profile", true,
+                            2.0);
+  ASSERT_TRUE(Low.has_value());
+  EXPECT_EQ(Low->Remedy, RemedyKind::Speculate);
+  EXPECT_EQ(Low->Cost, RemedyCost::speculate(2.0));
+  EXPECT_FALSE(
+      F.moduleAnswer(F.ref(false, 0), F.ref(true, 0), "profile", true, 50.0)
+          .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Chain front-end
+//===----------------------------------------------------------------------===//
+
+TEST(RemedyChainTest, MemoizesOnStoreLoadBudget) {
+  ChainFixture F;
+  uint64_t A = F.P.addGlobal("a", 8);
+  uint64_t Bg = F.P.addGlobal("b", 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &) {
+    Reg V = B.emitLoad(A);
+    B.emitStore(Bg, B.emitAdd(V, 1));
+  });
+  const MemRef *S = F.ref(false, 1);
+  const MemRef *L = F.ref(true, 0);
+  (void)F.query(S, L);
+  EXPECT_EQ(F.Chain->cacheHits(), 0u);
+  (void)F.query(S, L);
+  EXPECT_EQ(F.Chain->cacheLookups(), 2u);
+  EXPECT_EQ(F.Chain->cacheHits(), 1u);
+  // A different budget is a different cache line.
+  RemedyQuery Q;
+  Q.Store = S;
+  Q.Load = L;
+  Q.Budget = 1;
+  (void)F.Chain->query(Q);
+  EXPECT_EQ(F.Chain->cacheLookups(), 3u);
+  EXPECT_EQ(F.Chain->cacheHits(), 1u);
+}
+
+TEST(RemedyChainTest, BudgetPrunesExpensiveRemedies) {
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("total", 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &L) {
+    Reg E = B.emitAnd(L.IndVar, 0xf);
+    Reg V = B.emitLoad(X);
+    Reg S = B.emitAdd(V, E);
+    B.emitStore(X, S);
+  });
+  RemedyQuery Q;
+  Q.Store = F.ref(false, 0);
+  Q.Load = F.ref(true, 0);
+  Q.InProfile = true;
+  Q.FreqPercent = 100.0;
+  Q.Budget = RemedyCost::Reduce - 1; // Too tight for the reduction.
+  RemedyVerdict V = F.Chain->query(Q);
+  EXPECT_FALSE(V.NoDep);
+}
+
+TEST(RemedyChainTest, CostTiesGoToTheEarlierModule) {
+  // An epoch-local scratch pair where shortlived (cost 2) ties with the
+  // never-observed profile answer (speculate floor, cost 2): the earlier
+  // module must win so the transforming remedy is preferred.
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("scratch", 8);
+  uint64_t O = F.P.addGlobal("out", 64 * 8);
+  F.build([&](IRBuilder &B, Function &Main, LoopBlocks &L) {
+    B.emitStore(X, B.emitAnd(L.IndVar, 0xff));
+    BasicBlock *Upd = &Main.addBlock("upd");
+    BasicBlock *Join = &Main.addBlock("join");
+    B.emitCondBr(B.emitAnd(L.IndVar, 1), *Upd, *Join);
+    B.setInsertPoint(&Main, Upd);
+    B.emitStore(X, B.emitAdd(L.IndVar, 7));
+    B.emitBr(*Join);
+    B.setInsertPoint(&Main, Join);
+    Reg V = B.emitLoad(X);
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 63), 3), O), V);
+  });
+  const MemRef *CondStore = nullptr;
+  for (const MemRef &R : F.Tester->refs())
+    if (!R.IsLoad && R.Addr.ByGlobal.count(0) && !R.MustExec)
+      CondStore = &R;
+  ASSERT_NE(CondStore, nullptr);
+  RemedyVerdict V = F.query(CondStore, F.ref(true, 0));
+  ASSERT_TRUE(V.NoDep);
+  EXPECT_EQ(RemedyCost::speculate(0.0), RemedyCost::Privatize); // The tie.
+  EXPECT_EQ(V.Module, "shortlived");
+}
+
+//===----------------------------------------------------------------------===//
+// Plan building and the soundness gate
+//===----------------------------------------------------------------------===//
+
+TEST(RemedyPlanTest, GateRejectsDisjointnessClaimsAgainstTheProfile) {
+  // Same epoch-local scratch region, but with a *stale* profile claiming
+  // the profiler once saw a cross-epoch dependence through the scratch
+  // word. The gate must reject the privatization and leave GateRejected
+  // breadcrumbs instead of unsoundly exempting a profiled store.
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("scratch", 8);
+  uint64_t O = F.P.addGlobal("out", 64 * 8);
+  F.build([&](IRBuilder &B, Function &Main, LoopBlocks &L) {
+    B.emitStore(X, B.emitAnd(L.IndVar, 0xff));
+    BasicBlock *Upd = &Main.addBlock("upd");
+    BasicBlock *Join = &Main.addBlock("join");
+    B.emitCondBr(B.emitAnd(L.IndVar, 1), *Upd, *Join);
+    B.setInsertPoint(&Main, Upd);
+    B.emitStore(X, B.emitAdd(L.IndVar, 7));
+    B.emitBr(*Join);
+    B.setInsertPoint(&Main, Join);
+    Reg V = B.emitLoad(X);
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 63), 3), O), V);
+  });
+  const MemRef *CondStore = nullptr;
+  for (const MemRef &R : F.Tester->refs())
+    if (!R.IsLoad && R.Addr.ByGlobal.count(0) && !R.MustExec)
+      CondStore = &R;
+  ASSERT_NE(CondStore, nullptr);
+
+  DepPairStat S;
+  S.Load = F.ref(true, 0)->Name;
+  S.Store = CondStore->Name;
+  S.Count = 30;
+  S.EpochsWithDep = 30;
+  F.Profile.Pairs[{S.Load, S.Store}] = S;
+
+  DiagEngine DE;
+  RemedyPlan Plan = buildRemedyPlan(*F.Ctx, &DE);
+  EXPECT_GT(Plan.GateRejected, 0u);
+  EXPECT_EQ(Plan.NumPrivatized, 0u);
+  EXPECT_TRUE(Plan.PrivatizedStores.empty());
+  EXPECT_GT(DE.numWarnings(), 0u);
+}
+
+TEST(RemedyPlanTest, SweepPrivatizesEpochLocalLocationsWithoutAWitness) {
+  // A store-only epoch-local location (never read in the region): no
+  // (store, load) candidate names it, but the location sweep must still
+  // privatize it to cut its write-tracking traffic.
+  ChainFixture F;
+  uint64_t X = F.P.addGlobal("writeonly", 8);
+  uint64_t T = F.P.addGlobal("table", 64 * 8);
+  uint64_t O = F.P.addGlobal("out", 64 * 8);
+  F.build([&](IRBuilder &B, Function &, LoopBlocks &L) {
+    B.emitStore(X, B.emitAnd(L.IndVar, 0xff));
+    Reg V = B.emitLoad(B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 63), 3), T));
+    B.emitStore(B.emitAdd(B.emitShl(B.emitAnd(L.IndVar, 63), 3), O), V);
+  });
+  RemedyPlan Plan = buildRemedyPlan(*F.Ctx);
+  EXPECT_EQ(Plan.PrivatizedStores.size(), 1u);
+  EXPECT_TRUE(Plan.transforms());
+}
+
+TEST(RemedyPlanTest, ChainIsSoundAgainstTheExactProfiler) {
+  // The acceptance property: against every workload's own word-exact ref
+  // profile, the chain must never claim word-disjointness for a pair the
+  // profiler actually observed — zero gate rejections on fresh profiles,
+  // and every profiled decision carries an order-respecting remedy.
+  MachineConfig Config;
+  for (const Workload &W : allWorkloads()) {
+    BenchmarkPipeline P(W, Config);
+    StaticAnalysisOptions Opts;
+    Opts.EnableRemedies = true;
+    P.setStaticAnalysis(Opts);
+    P.prepare();
+    const RemedyPlan &Plan = P.remedyPlan();
+    ASSERT_TRUE(Plan.Enabled) << W.Name;
+    EXPECT_EQ(Plan.GateRejected, 0u)
+        << W.Name << ": static model disagrees with the exact profiler";
+    for (const RemedyDecision &D : Plan.Decisions)
+      if (D.InProfile)
+        EXPECT_TRUE(D.Remedy == RemedyKind::Sync ||
+                    D.Remedy == RemedyKind::Speculate ||
+                    D.Remedy == RemedyKind::Reduce)
+            << W.Name << ": profiled pair got " << remedyName(D.Remedy);
+    // Privatized stores must be disjoint from profiled-dependence sources.
+    for (const auto &[K, PS] : P.refProfile().Pairs)
+      if (PS.EpochsWithDep > 0)
+        EXPECT_EQ(Plan.PrivatizedStores.count(K.second.InstId), 0u)
+            << W.Name << ": profiled store #" << K.second.InstId
+            << " exempted from tracking";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// REMEDY_DEMO pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(RemedyPipelineTest, RemedyDemoGetsBothTransformingRemedies) {
+  const Workload *W = findWorkload("REMEDY_DEMO");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline P(*W, Config);
+  StaticAnalysisOptions Opts;
+  Opts.EnableRemedies = true;
+  P.setStaticAnalysis(Opts);
+  P.prepare();
+
+  const RemedyPlan &Plan = P.remedyPlan();
+  EXPECT_EQ(Plan.NumReduced, 1u);
+  EXPECT_EQ(Plan.NumPrivatized, 1u);
+  EXPECT_EQ(Plan.NumSynced, 0u);
+  EXPECT_EQ(Plan.GateRejected, 0u);
+  EXPECT_EQ(Plan.PrivatizedStores.size(), 2u);
+  EXPECT_EQ(Plan.Reductions.size(), 1u);
+  EXPECT_GT(Plan.CacheLookups, 0u);
+
+  // The reduction replaced the region's only frequent sync group.
+  EXPECT_EQ(P.refMemSync().NumGroups, 0u);
+}
+
+TEST(RemedyPipelineTest, RemediesBeatSynchronizationOnRemedyDemo) {
+  const Workload *W = findWorkload("REMEDY_DEMO");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+
+  BenchmarkPipeline Plain(*W, Config);
+  ModeRunResult PlainC = Plain.run(ExecMode::C);
+
+  BenchmarkPipeline Remedied(*W, Config);
+  StaticAnalysisOptions Opts;
+  Opts.EnableRemedies = true;
+  Remedied.setStaticAnalysis(Opts);
+  ModeRunResult RemC = Remedied.run(ExecMode::C);
+
+  // Without remedies the 100%-frequent reduction dependence serializes
+  // the region (sync-bound); with Reduce + privatization it parallelizes.
+  EXPECT_GT(RemC.regionSpeedup(), PlainC.regionSpeedup())
+      << "remedied " << RemC.regionSpeedup() << " vs plain "
+      << PlainC.regionSpeedup();
+  EXPECT_GT(RemC.regionSpeedup(), 1.5);
+}
+
+TEST(RemedyPipelineTest, RemedyDemoThreadsBackendHonorsThePlan) {
+  const Workload *W = findWorkload("REMEDY_DEMO");
+  ASSERT_NE(W, nullptr);
+  MachineConfig Config;
+  BenchmarkPipeline P(*W, Config);
+  StaticAnalysisOptions Opts;
+  Opts.EnableRemedies = true;
+  P.setStaticAnalysis(Opts);
+
+  rt::RtOptions O;
+  O.Threads = 4;
+  rt::RtRunResult R = P.runThreads(ExecMode::C, O);
+  EXPECT_TRUE(R.Completed);
+  EXPECT_TRUE(R.ChecksumMatch);
+  EXPECT_TRUE(R.CountsMatch);
+  // The remedied binary's sequential image matches the untransformed
+  // program: the Reduce rewrite and privatize marks are semantics-free
+  // sequentially.
+  ContextTable Ctx;
+  auto Orig = W->Build(InputKind::Ref);
+  InterpResult OR = Interpreter(*Orig, Ctx).run();
+  ASSERT_TRUE(OR.Completed);
+  EXPECT_EQ(R.SeqChecksum, OR.MemoryChecksum);
+}
+
+//===----------------------------------------------------------------------===//
+// Full differential: remedied ≡ sequential, sim-side and threads-side
+//===----------------------------------------------------------------------===//
+
+class RemedyDifferential : public ::testing::TestWithParam<const Workload *> {
+};
+
+TEST_P(RemedyDifferential, RemediedBinariesPreserveFinalMemory) {
+  const Workload &W = *GetParam();
+  MachineConfig Config;
+
+  // The untransformed sequential image every remedied run must hit.
+  ContextTable Ctx;
+  auto Orig = W.Build(InputKind::Ref);
+  InterpResult OR = Interpreter(*Orig, Ctx).run();
+  ASSERT_TRUE(OR.Completed) << W.Name;
+
+  BenchmarkPipeline P(W, Config);
+  StaticAnalysisOptions Opts;
+  Opts.EnableRemedies = true;
+  P.setStaticAnalysis(Opts);
+  P.prepare();
+
+  for (ExecMode Mode : {ExecMode::U, ExecMode::C, ExecMode::T}) {
+    rt::RtOptions O;
+    O.Threads = 4;
+    rt::RtRunResult R = P.runThreads(Mode, O);
+    const std::string Tag = W.Name + "/" + modeName(Mode);
+    EXPECT_TRUE(R.Completed) << Tag;
+    // Sim side: the sequential interpretation of the remedied binary (the
+    // execution the timing simulator consumes) is bit-identical to the
+    // original program's final memory.
+    EXPECT_EQ(R.SeqChecksum, OR.MemoryChecksum) << Tag;
+    // Threads side: the speculative parallel execution reproduces it.
+    EXPECT_TRUE(R.ChecksumMatch)
+        << Tag << ": rt checksum " << R.RtChecksum << " != sequential "
+        << R.SeqChecksum;
+    EXPECT_TRUE(R.CountsMatch) << Tag;
+  }
+}
+
+std::vector<const Workload *> differentialWorkloads() {
+  std::vector<const Workload *> Out;
+  for (const Workload &W : allWorkloads())
+    Out.push_back(&W);
+  for (const Workload &W : extraWorkloads())
+    Out.push_back(&W);
+  return Out;
+}
+
+std::string differentialName(
+    const ::testing::TestParamInfo<const Workload *> &Info) {
+  return Info.param->Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, RemedyDifferential,
+                         ::testing::ValuesIn(differentialWorkloads()),
+                         differentialName);
+
+} // namespace
