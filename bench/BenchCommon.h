@@ -173,6 +173,19 @@ public:
     if (!B.AnalysisDiags && P.staticAnalysis().active())
       B.AnalysisDiags =
           std::make_shared<analysis::DiagEngine>(P.analysisDiags());
+    // Sampled-profile provenance (once per benchmark). prepared() guards
+    // fully-cached cells, whose pipelines never gathered the profiles.
+    if (!B.Sampling && P.sampling().active() && P.prepared()) {
+      auto S = std::make_shared<ProfileSamplingSummary>();
+      S->SampleEvery = P.sampling().SampleEvery;
+      S->SampleSeed = P.sampling().SampleSeed;
+      S->MinObserveEpochs = P.sampling().MinObserveEpochs;
+      S->RefSampledEpochs = P.refProfile().SampledEpochs;
+      S->RefTotalEpochs = P.refProfile().TotalEpochs;
+      S->TrainSampledEpochs = P.trainProfile().SampledEpochs;
+      S->TrainTotalEpochs = P.trainProfile().TotalEpochs;
+      B.Sampling = S;
+    }
     if (!B.Remedies && P.remedyPlan().Enabled)
       B.Remedies = std::make_shared<analysis::RemedyPlan>(P.remedyPlan());
     B.Entries.push_back({std::move(Label), R});

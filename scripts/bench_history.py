@@ -56,11 +56,23 @@ DEFAULT_TOLERANCES = [
     # (bench/remedy_smoke). Simulated cycles are deterministic, so the
     # band only needs to absorb intentional model changes.
     ("remedy.speedup_m88ksim", 10.0),
+    # Sampled-profiling gates (bench/profile_scaling). Decision agreement
+    # is exact arithmetic over seeded runs — any drift from 1000 is a
+    # correctness regression, so zero tolerance. The overhead speedup is
+    # wall-clock but saturated at 10000 (10x) by the benchmark itself;
+    # the 50% band gates "still at least 5x".
+    ("profile.decision_agreement", 0.0),
+    ("profile.sample_speedup", 50.0),
 ]
 
 # Gauges where larger is better (throughput/speedup figures): the
 # regression direction is inverted relative to the time gauges above.
-HIGHER_IS_BETTER = {"rt.wall_speedup", "remedy.speedup_m88ksim"}
+HIGHER_IS_BETTER = {
+    "rt.wall_speedup",
+    "remedy.speedup_m88ksim",
+    "profile.decision_agreement",
+    "profile.sample_speedup",
+}
 
 
 def git_head():

@@ -49,6 +49,15 @@ std::vector<DepPairStat> DepOracleResult::forcedPairs() const {
 void DepOracleResult::writeJson(obs::JsonWriter &W) const {
   W.beginObject();
   W.keyValue("threshold_percent", ThresholdPercent);
+  if (ProfileSampled) {
+    // Absent for exact profiles so their reports stay byte-identical.
+    W.key("profile_sampling");
+    W.beginObject();
+    W.keyValue("sample_every", ProfileSampleEvery);
+    W.keyValue("sampled_epochs", ProfileSampledEpochs);
+    W.keyValue("total_epochs", ProfileTotalEpochs);
+    W.endObject();
+  }
   W.keyValue("complete", Complete);
   W.keyValue("num_refs", static_cast<uint64_t>(NumRefs));
   W.key("counters");
@@ -70,6 +79,10 @@ void DepOracleResult::writeJson(obs::JsonWriter &W) const {
     W.keyValue("static", staticDepKindName(E.Static));
     W.keyValue("in_profile", E.InProfile);
     W.keyValue("freq_percent", E.FreqPercent);
+    if (ProfileSampled && E.InProfile) {
+      W.keyValue("freq_low_percent", E.FreqLowPercent);
+      W.keyValue("freq_high_percent", E.FreqHighPercent);
+    }
     W.keyValue("forced", E.Forced);
     W.keyValue("pruned", E.Pruned);
     if (E.Distance1)
@@ -86,6 +99,10 @@ DepOracleResult DepOracle::fuse(const DepProfile &Profile,
                                 DiagEngine *DE) const {
   DepOracleResult R;
   R.ThresholdPercent = ThresholdPercent;
+  R.ProfileSampled = Profile.isSampled();
+  R.ProfileSampleEvery = Profile.SampleEvery;
+  R.ProfileSampledEpochs = Profile.SampledEpochs;
+  R.ProfileTotalEpochs = Profile.TotalEpochs;
   R.Complete = Tester.isComplete();
   R.NumRefs = static_cast<unsigned>(Tester.refs().size());
 
@@ -103,7 +120,11 @@ DepOracleResult DepOracle::fuse(const DepProfile &Profile,
     E.Store = P.Store;
     E.InProfile = true;
     E.FreqPercent = Profile.pairFrequencyPercent(P);
-    bool Frequent = E.FreqPercent > ThresholdPercent;
+    E.FreqLowPercent = Profile.pairFrequencyLowerPercent(P);
+    E.FreqHighPercent = Profile.pairFrequencyUpperPercent(P);
+    // Sampled profiles must clear the threshold at the lower confidence
+    // bound; for exact profiles the bound is the point estimate.
+    bool Frequent = E.FreqLowPercent > ThresholdPercent;
 
     const MemRef *LR = Tester.findRef(P.Load);
     const MemRef *SR = Tester.findRef(P.Store);

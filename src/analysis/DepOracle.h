@@ -59,6 +59,11 @@ struct OracleEntry {
   StaticDepKind Static = StaticDepKind::May;
   bool InProfile = false;   ///< The pair appears in the dynamic profile.
   double FreqPercent = 0.0; ///< Profile frequency (0 when absent).
+  /// 95% confidence bounds on FreqPercent. Equal to FreqPercent for exact
+  /// profiles; for sampled profiles the frequency threshold is applied to
+  /// FreqLowPercent, so syncs are only inserted with confidence.
+  double FreqLowPercent = 0.0;
+  double FreqHighPercent = 0.0;
   bool Forced = false;      ///< MUST_SYNC forced by static proof alone.
   bool Pruned = false;      ///< Profile entry statically refuted.
   bool Distance1 = false;   ///< Static distance-1 proof.
@@ -69,6 +74,13 @@ struct OracleEntry {
 struct DepOracleResult {
   std::vector<OracleEntry> Entries;
   double ThresholdPercent = 0.0;
+  /// Sampling provenance of the fused profile: when true, FreqPercent is a
+  /// sampled estimate over SampledEpochs of TotalEpochs observed epochs
+  /// and verdicts used the lower confidence bound.
+  bool ProfileSampled = false;
+  uint64_t ProfileSampleEvery = 1;
+  uint64_t ProfileSampledEpochs = 0;
+  uint64_t ProfileTotalEpochs = 0;
   bool Complete = false;       ///< Static enumeration covered the region.
   unsigned NumRefs = 0;        ///< Region memory references enumerated.
   unsigned StaticConfirmed = 0; ///< Frequent profile pairs kept.

@@ -48,7 +48,10 @@ struct DepGrouping {
 };
 
 /// Forms groups from all dependences whose frequency exceeds
-/// \p FreqThresholdPercent of epochs (the paper settles on 5%).
+/// \p FreqThresholdPercent of epochs (the paper settles on 5%). For a
+/// sampled profile the comparison uses the Wilson lower confidence bound
+/// (DepProfile::pairsAboveThreshold), so grouping only synchronizes pairs
+/// that clear the threshold with confidence.
 DepGrouping buildGroups(const DepProfile &Profile,
                         double FreqThresholdPercent);
 

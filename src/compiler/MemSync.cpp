@@ -72,6 +72,9 @@ MemSyncResult specsync::insertMemSync(Program &P,
                                       const DepProfile &Profile,
                                       const MemSyncOptions &Opts) {
   MemSyncResult Result;
+  Result.ProfileSampled = Profile.isSampled();
+  Result.ProfileSampledEpochs = Profile.SampledEpochs;
+  Result.ProfileTotalEpochs = Profile.TotalEpochs;
   const RegionSpec &Region = P.getRegion();
   if (!Region.isValid())
     return Result;

@@ -59,6 +59,14 @@ struct MemSyncOptions {
 };
 
 struct MemSyncResult {
+  /// Sampling provenance of the profile the grouping was built from. When
+  /// ProfileSampled, the frequency threshold was applied to the Wilson
+  /// lower confidence bound over ProfileSampledEpochs observed epochs (of
+  /// ProfileTotalEpochs), not to a point estimate.
+  bool ProfileSampled = false;
+  uint64_t ProfileSampledEpochs = 0;
+  uint64_t ProfileTotalEpochs = 0;
+
   unsigned NumGroups = 0;
   unsigned NumClonedFunctions = 0;
   unsigned NumSyncedLoads = 0;

@@ -22,6 +22,16 @@ unsigned ExperimentOptions::effectiveJobs() const {
   return Jobs == 0 ? ThreadPool::defaultJobs() : Jobs;
 }
 
+ProfileSamplingOptions ExperimentOptions::profileSampling() const {
+  ProfileSamplingOptions S;
+  S.SampleEvery = ProfileSampleEvery == 0 ? 1 : ProfileSampleEvery;
+  S.SampleSeed = ProfileSampleSeed;
+  // Sharding is result-invariant, so tying it to --jobs keeps sampled
+  // runs byte-identical across job counts while using the same budget.
+  S.Shards = S.active() ? effectiveJobs() : 1;
+  return S;
+}
+
 ExperimentOptions specsync::parseExperimentArgs(int argc, char **argv) {
   ExperimentOptions Opts;
 
@@ -34,6 +44,14 @@ ExperimentOptions specsync::parseExperimentArgs(int argc, char **argv) {
     Opts.CacheDir = E;
   if (const char *E = std::getenv("SPECSYNC_WORKLOADS"))
     Opts.WorkloadFilter = E;
+  if (const char *E = std::getenv("SPECSYNC_PROFILE_SAMPLE")) {
+    long V = std::strtol(E, nullptr, 10);
+    if (V >= 1)
+      Opts.ProfileSampleEvery = static_cast<uint64_t>(V);
+  }
+  if (const char *E = std::getenv("SPECSYNC_PROFILE_SAMPLE_SEED"))
+    Opts.ProfileSampleSeed =
+        static_cast<uint64_t>(std::strtoull(E, nullptr, 10));
 
   auto valueOf = [](const char *Arg, const char *Prefix) -> const char * {
     size_t N = std::strlen(Prefix);
@@ -48,6 +66,12 @@ ExperimentOptions specsync::parseExperimentArgs(int argc, char **argv) {
       Opts.CacheDir = V;
     else if (const char *V = valueOf(Arg, "--workloads="))
       Opts.WorkloadFilter = V;
+    else if (const char *V = valueOf(Arg, "--profile-sample=")) {
+      unsigned long long N = std::strtoull(V, nullptr, 10);
+      Opts.ProfileSampleEvery = N >= 1 ? N : 1;
+    } else if (const char *V = valueOf(Arg, "--profile-sample-seed="))
+      Opts.ProfileSampleSeed =
+          static_cast<uint64_t>(std::strtoull(V, nullptr, 10));
   }
   return Opts;
 }
@@ -56,7 +80,9 @@ int specsync::stripExperimentArgs(int argc, char **argv) {
   auto isExpArg = [](const char *Arg) {
     return std::strncmp(Arg, "--jobs=", 7) == 0 ||
            std::strncmp(Arg, "--cache-dir=", 12) == 0 ||
-           std::strncmp(Arg, "--workloads=", 12) == 0;
+           std::strncmp(Arg, "--workloads=", 12) == 0 ||
+           std::strncmp(Arg, "--profile-sample=", 17) == 0 ||
+           std::strncmp(Arg, "--profile-sample-seed=", 22) == 0;
   };
   int Out = 1;
   for (int I = 1; I < argc; ++I)
@@ -262,6 +288,7 @@ void specsync::runBenchmarkGrid(
     {
       CellObsScope Scope(Obs0);
       BenchmarkPipeline P(*Cells[0], Config);
+      P.setSampling(Opts.profileSampling());
       P.setRobustness(Robust);
       P.setStaticAnalysis(Static);
       P.setResultCache(Cache.get());
@@ -281,6 +308,7 @@ void specsync::runBenchmarkGrid(
       [&](size_t I) {
         const Workload &W = *Cells[I + 1];
         auto P = std::make_unique<BenchmarkPipeline>(W, Config);
+        P->setSampling(Opts.profileSampling());
         P->setRobustness(Robust);
         P->setStaticAnalysis(Static);
         P->setResultCache(Cache.get());

@@ -23,11 +23,15 @@
 ///    for fully cached cells.
 ///
 /// Flags (parsed by BenchSession for every bench binary):
-///   --jobs=N           concurrent cells (default 1; 0 = all cores)
-///   --cache-dir=DIR    reuse simulated results across invocations
-///   --workloads=A,B    restrict grids to a comma-separated subset
+///   --jobs=N                  concurrent cells (default 1; 0 = all cores)
+///   --cache-dir=DIR           reuse simulated results across invocations
+///   --workloads=A,B           restrict grids to a comma-separated subset
+///   --profile-sample=N        sample 1-in-N epochs when dep profiling
+///                             (default 1 = exact)
+///   --profile-sample-seed=S   epoch-selection seed (default 0)
 /// Environment fallbacks: SPECSYNC_JOBS, SPECSYNC_CACHE_DIR,
-/// SPECSYNC_WORKLOADS.
+/// SPECSYNC_WORKLOADS, SPECSYNC_PROFILE_SAMPLE,
+/// SPECSYNC_PROFILE_SAMPLE_SEED.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,8 +58,19 @@ struct ExperimentOptions {
   std::string CacheDir;       ///< Empty = result caching off.
   std::string WorkloadFilter; ///< Comma-separated names; empty = all.
 
+  /// Dependence-profiler epoch sampling: observe the load side of one
+  /// epoch in N (1 = exact, the default). Applied to every pipeline the
+  /// grid helpers construct.
+  uint64_t ProfileSampleEvery = 1;
+  uint64_t ProfileSampleSeed = 0; ///< Stream seed for epoch selection.
+
   /// Jobs with the 0-means-default rule applied.
   unsigned effectiveJobs() const;
+
+  /// The profiler configuration these options imply. Sharding follows
+  /// the job count only when sampling is on — the exact profiler keeps
+  /// its single-shard direct path (and its byte-identical output).
+  ProfileSamplingOptions profileSampling() const;
 };
 
 /// Reads the environment, then overrides from argv. Does not mutate argv.

@@ -69,7 +69,7 @@ void BenchmarkPipeline::prepare() {
     std::unique_ptr<Program> P = Bench.Build(InputKind::Train);
     applyBaseTransforms(*P, Factor);
     Interpreter I(*P, Contexts);
-    DepProfiler DP;
+    DepProfiler DP(SamplingOpts);
     InterpOptions Opts;
     Opts.CollectTrace = false;
     I.run(Opts, &DP);
@@ -86,7 +86,7 @@ void BenchmarkPipeline::prepare() {
     BaseTransformResult Base = applyBaseTransforms(*P, Factor);
     NumScalarChannels = Base.Scalar.NumChannels;
     Interpreter I(*P, Contexts);
-    DepProfiler DP;
+    DepProfiler DP(SamplingOpts);
     InterpOptions Opts;
     Opts.CollectTrace = true; // Doubles as the U binary's trace.
     I.setTraceArena(&Arena);
@@ -644,6 +644,10 @@ std::string BenchmarkPipeline::cacheKey(const RunStep &Step) const {
      << "|hwt=" << C.HwSyncTableEntries << "," << C.HwSyncResetInterval
      << "|pred=" << C.PredictorTableEntries;
   OS << "|freq=" << bits(FreqThreshold);
+  // Shadow sharding is result-invariant, so Shards is deliberately not
+  // part of the key: sampled results cache-hit across --jobs values.
+  OS << "|psample=" << SamplingOpts.SampleEvery << ","
+     << SamplingOpts.SampleSeed << "," << SamplingOpts.MinObserveEpochs;
   OS << "|oracle=" << StaticOpts.EnableOracle
      << "|remedies=" << StaticOpts.EnableRemedies
      << "|werror=" << StaticOpts.AuditWerror

@@ -91,6 +91,14 @@ public:
   void setRobustness(const RobustnessOptions &R) { Robust = R; }
   const RobustnessOptions &robustness() const { return Robust; }
 
+  /// Configures epoch sampling for both dependence-profiling runs (train
+  /// and ref); call before prepare(). With the default (exact) options the
+  /// profiles — and everything built from them — are bit-identical to a
+  /// pipeline without the sampling subsystem. Shards only parallelizes the
+  /// profiler's shadow processing; it never affects results.
+  void setSampling(const ProfileSamplingOptions &S) { SamplingOpts = S; }
+  const ProfileSamplingOptions &sampling() const { return SamplingOpts; }
+
   /// Replaces the train-input dependence profile (e.g. one parsed from a
   /// file) after the profiling phases run; call before prepare(). Context
   /// ids in the profile must match this workload's context numbering, as
@@ -185,6 +193,7 @@ private:
   const MachineConfig &Config;
   double FreqThreshold;
   RobustnessOptions Robust;
+  ProfileSamplingOptions SamplingOpts; ///< Set via setSampling.
 
   ContextTable Contexts;
   /// Recycles DynInst buffers between the trace-collecting runs: the

@@ -318,6 +318,26 @@ void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
       }
       W.endObject();
     }
+    // Present only when the dependence profiles were sampled; absent,
+    // the document stays byte-identical to exact-profiling schemas.
+    if (B.Sampling) {
+      W.key("profile_sampling");
+      W.beginObject();
+      W.keyValue("sample_every", B.Sampling->SampleEvery);
+      W.keyValue("sample_seed", B.Sampling->SampleSeed);
+      W.keyValue("min_observe_epochs", B.Sampling->MinObserveEpochs);
+      W.key("ref");
+      W.beginObject();
+      W.keyValue("sampled_epochs", B.Sampling->RefSampledEpochs);
+      W.keyValue("total_epochs", B.Sampling->RefTotalEpochs);
+      W.endObject();
+      W.key("train");
+      W.beginObject();
+      W.keyValue("sampled_epochs", B.Sampling->TrainSampledEpochs);
+      W.keyValue("total_epochs", B.Sampling->TrainTotalEpochs);
+      W.endObject();
+      W.endObject();
+    }
     // Present only when the remediator chain ran for this benchmark;
     // absent, the document stays byte-identical to pre-remediator schemas.
     if (B.Remedies) {

@@ -45,6 +45,20 @@ std::string renderBenchmarkBars(const std::string &Benchmark,
 // Machine-readable reports (--json-out / BENCH_*.json)
 //===----------------------------------------------------------------------===//
 
+/// Sampling provenance of a benchmark's dependence profiles: the sampling
+/// configuration plus the observed/total epoch tallies of the ref and
+/// train profiling runs (the denominators behind every confidence bound
+/// in the report).
+struct ProfileSamplingSummary {
+  uint64_t SampleEvery = 1;
+  uint64_t SampleSeed = 0;
+  uint64_t MinObserveEpochs = 0;
+  uint64_t RefSampledEpochs = 0;
+  uint64_t RefTotalEpochs = 0;
+  uint64_t TrainSampledEpochs = 0;
+  uint64_t TrainTotalEpochs = 0;
+};
+
 /// The results a bench binary collected for one benchmark, with the label
 /// each run was presented under (usually the mode letter; limit studies
 /// use labels like "perfect>5%").
@@ -66,6 +80,11 @@ struct BenchmarkModeResults {
   std::shared_ptr<const analysis::DepOracleResult> OracleRef;
   std::shared_ptr<const analysis::DepOracleResult> OracleTrain;
   std::shared_ptr<const analysis::DiagEngine> AnalysisDiags;
+
+  /// Sampled-profiling payload. Null (the default) omits the
+  /// `profile_sampling` block entirely, keeping reports byte-identical
+  /// to exact-profiling schemas.
+  std::shared_ptr<const ProfileSamplingSummary> Sampling;
 
   /// Remediator plan payload (per-pair decisions, counters, cache stats).
   /// Null (the default) omits the `remedies` block entirely, keeping

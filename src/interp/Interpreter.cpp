@@ -86,6 +86,14 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
   // EmitMem: one must be materialized at least for loads/stores.
   const bool EmitAll = CollectTrace || (Observer && !MemOnlyObs);
   const bool EmitMem = CollectTrace || Observer != nullptr;
+  // EmitLoads: like EmitMem but re-queried at every epoch boundary, so a
+  // sampling observer can turn off load delivery for epochs it will not
+  // observe. Stores/reduces stay on EmitMem.
+  bool EmitLoads = EmitMem;
+  auto refreshEmitLoads = [&] {
+    EmitLoads =
+        CollectTrace || (Observer && Observer->wantsLoadsThisEpoch());
+  };
 
   bool RegionActive = false;
   size_t RegionDepth = 0;
@@ -161,6 +169,7 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
     if (Observer) {
       Observer->onRegionBegin(RegionInstance);
       Observer->onEpochBegin(0);
+      refreshEmitLoads();
     }
     ++RegionInstance;
   };
@@ -169,8 +178,10 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
     ++EpochIndex;
     if (CollectTrace)
       newEpochBuffer();
-    if (Observer)
+    if (Observer) {
       Observer->onEpochBegin(EpochIndex);
+      refreshEmitLoads();
+    }
   };
 
   auto endRegion = [&] {
@@ -180,8 +191,10 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
     CurEpoch = nullptr;
     if (CollectTrace)
       SeqSegStart = Trace.SeqInsts.size();
-    if (Observer)
+    if (Observer) {
       Observer->onRegionEnd();
+      EmitLoads = EmitMem; // Sequential code is never sampled away.
+    }
   };
 
   /// Routes a materialized record to the observer and/or trace. \p IsMem
@@ -297,7 +310,7 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
       int64_t V = Mem.loadWord(Addr);
       R[I.Dest] = V;
       ++Result.MemAccessCount;
-      if (EmitMem) {
+      if (EmitLoads) {
         DynInst DI = makeDI(I);
         DI.Remedy = I.TFlags;
         DI.Addr = Addr;

@@ -46,6 +46,16 @@ public:
   /// opcodes; region/epoch callbacks are always delivered.
   virtual ObserverDemand demand() const { return ObserverDemand::AllInsts; }
 
+  /// Epoch-granular load gating for sampling observers. Queried by the
+  /// fast engine after each onRegionBegin/onEpochBegin; when it returns
+  /// false the engine skips materializing and delivering Load records for
+  /// the rest of the epoch (stores and reduces are always delivered — the
+  /// sampled dependence profiler tracks writers in every epoch so that
+  /// long-distance dependences keep exact writer identity). Purely an
+  /// optimization: an observer must behave identically if loads arrive in
+  /// an epoch it declined, since the reference engine delivers everything.
+  virtual bool wantsLoadsThisEpoch() const { return true; }
+
   /// Called when control enters the parallelized loop.
   virtual void onRegionBegin(unsigned RegionInstance) { (void)RegionInstance; }
   /// Called at the start of each epoch (loop iteration), including the

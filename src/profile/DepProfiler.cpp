@@ -7,6 +7,8 @@
 #include "profile/DepProfiler.h"
 
 #include "obs/StatRegistry.h"
+#include "support/Random.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -14,17 +16,45 @@
 using namespace specsync;
 
 double DepProfile::pairFrequencyPercent(const DepPairStat &P) const {
-  return percentOf(P.EpochsWithDep, TotalEpochs);
+  return percentOf(P.EpochsWithDep, denominatorEpochs());
 }
 
 double DepProfile::loadFrequencyPercent(const LoadStat &L) const {
-  return percentOf(L.EpochsWithDep, TotalEpochs);
+  return percentOf(L.EpochsWithDep, denominatorEpochs());
+}
+
+double DepProfile::pairFrequencyLowerPercent(const DepPairStat &P) const {
+  if (!isSampled())
+    return pairFrequencyPercent(P);
+  return 100.0 *
+         wilsonInterval(P.EpochsWithDep, SampledEpochs, TotalEpochs).Lower;
+}
+
+double DepProfile::pairFrequencyUpperPercent(const DepPairStat &P) const {
+  if (!isSampled())
+    return pairFrequencyPercent(P);
+  return 100.0 *
+         wilsonInterval(P.EpochsWithDep, SampledEpochs, TotalEpochs).Upper;
+}
+
+double DepProfile::loadFrequencyLowerPercent(const LoadStat &L) const {
+  if (!isSampled())
+    return loadFrequencyPercent(L);
+  return 100.0 *
+         wilsonInterval(L.EpochsWithDep, SampledEpochs, TotalEpochs).Lower;
+}
+
+double DepProfile::loadFrequencyUpperPercent(const LoadStat &L) const {
+  if (!isSampled())
+    return loadFrequencyPercent(L);
+  return 100.0 *
+         wilsonInterval(L.EpochsWithDep, SampledEpochs, TotalEpochs).Upper;
 }
 
 std::vector<RefName> DepProfile::loadsAboveThreshold(double Percent) const {
   std::vector<RefName> Result;
   for (const auto &[Name, Stat] : Loads)
-    if (loadFrequencyPercent(Stat) > Percent)
+    if (loadFrequencyLowerPercent(Stat) > Percent)
       Result.push_back(Name);
   return Result;
 }
@@ -32,25 +62,155 @@ std::vector<RefName> DepProfile::loadsAboveThreshold(double Percent) const {
 std::vector<DepPairStat> DepProfile::pairsAboveThreshold(double Percent) const {
   std::vector<DepPairStat> Result;
   for (const auto &[Key, Stat] : Pairs)
-    if (pairFrequencyPercent(Stat) > Percent)
+    if (pairFrequencyLowerPercent(Stat) > Percent)
       Result.push_back(Stat);
   return Result;
 }
 
+DepProfiler::DepProfiler() : DepProfiler(ProfileSamplingOptions()) {}
+
+DepProfiler::DepProfiler(const ProfileSamplingOptions &Sampling)
+    : Sampling(Sampling), Buffered(Sampling.Shards > 1) {
+  if (Buffered)
+    Shards.resize(std::max(1u, Sampling.Shards));
+}
+
+DepProfiler::~DepProfiler() = default;
+
+size_t DepProfiler::numShadowPages() const {
+  if (!Buffered)
+    return Shadow.size();
+  size_t N = 0;
+  for (const Shard &S : Shards)
+    N += S.Shadow.size();
+  return N;
+}
+
+uint64_t DepProfiler::stratumOffset(uint64_t Stratum) const {
+  // Depends only on (seed, instance, stratum) — never on shard count or
+  // jobs, so sampled profiles are reproducible.
+  return Random::stream(Sampling.SampleSeed,
+                        ((Profile.InstancesTotal - 1) << 32) ^ Stratum)
+      .nextBelow(Sampling.SampleEvery);
+}
+
+bool DepProfiler::observesEpoch(uint64_t EpochInInstance) const {
+  if (!Sampling.active())
+    return true;
+  // Burn-in: the leading epochs of the first instance are always observed.
+  if (Profile.InstancesTotal == 1 &&
+      EpochInInstance < Sampling.MinObserveEpochs)
+    return true;
+  // Stratified: one observed epoch per stratum of SampleEvery.
+  const uint64_t Stratum = EpochInInstance / Sampling.SampleEvery;
+  return EpochInInstance % Sampling.SampleEvery == stratumOffset(Stratum);
+}
+
+void DepProfiler::discardPendingInstance() {
+  // An instance that never reached onRegionEnd (watchdog demotion,
+  // MaxSteps truncation) contributes nothing: its epochs leave the
+  // frequency denominator and its dependences the numerators. Shadow
+  // entries need no undo — the next instance's floor expires them.
+  for (Shard &S : Shards) {
+    S.Buf.clear();
+    S.Events.clear();
+  }
+  BufferedRecords = 0;
+  PendPairs.clear();
+  PendLoads.clear();
+  std::fill(std::begin(PendHist), std::end(PendHist), 0);
+  PendEpochs = 0;
+  PendSampled = 0;
+}
+
 void DepProfiler::onRegionBegin(unsigned) {
+  if (InRegionNow)
+    discardPendingInstance();
   // Dependences never cross region instances: advancing the epoch floor
   // expires every shadow entry from sequential code or earlier instances
   // at once (the pages themselves are reused as-is).
   RegionFloor = GlobalEpoch;
   InRegionNow = true;
+  EpochInInstance = 0;
+  ++Profile.InstancesTotal;
+  if (Sampling.active()) {
+    PosInStratum = 0;
+    CurStratum = 0;
+    CurOffset = stratumOffset(0);
+  }
 }
 
 void DepProfiler::onEpochBegin(uint64_t) {
   ++GlobalEpoch;
-  ++Profile.TotalEpochs;
+  if (!InRegionNow)
+    return;
+  ++PendEpochs;
+  if (!Sampling.active()) { // CurObserved stays true for exact runs.
+    ++EpochInInstance;
+    ++PendSampled;
+    return;
+  }
+  // Incremental form of observesEpoch(EpochInInstance): draw the observed
+  // position once per stratum and walk the stratum with a counter, so the
+  // per-epoch cost is a compare, not a hash and two divisions.
+  if (PosInStratum == Sampling.SampleEvery) {
+    PosInStratum = 0;
+    ++CurStratum;
+    CurOffset = stratumOffset(CurStratum);
+  }
+  CurObserved = PosInStratum == CurOffset ||
+                (Profile.InstancesTotal == 1 &&
+                 EpochInInstance < Sampling.MinObserveEpochs);
+  assert(CurObserved == observesEpoch(EpochInInstance) &&
+         "incremental selection diverged from the reference rule");
+  ++EpochInInstance;
+  ++PosInStratum;
+  if (CurObserved)
+    ++PendSampled;
 }
 
-void DepProfiler::onRegionEnd() { InRegionNow = false; }
+void DepProfiler::onRegionEnd() {
+  if (!InRegionNow)
+    return;
+  InRegionNow = false;
+  CurObserved = true;
+  if (Buffered)
+    flushShards();
+  // Commit: fold this instance's pending aggregation into the run-wide
+  // flat records. (Intern order is irrelevant; takeProfile materializes
+  // ordered maps.)
+  for (const auto &[Key, Pend] : PendPairs) {
+    auto [It, New] =
+        PairIds.try_emplace(Key, static_cast<uint32_t>(PairRecs.size()));
+    if (New)
+      PairRecs.push_back(PairRec{Key.first, Key.second, 0, 0, 0});
+    PairRec &P = PairRecs[It->second];
+    P.Count += Pend.Count;
+    P.EpochsWithDep += Pend.EpochsWithDep;
+    P.Distance1Count += Pend.Distance1Count;
+  }
+  for (const auto &[Packed, Pend] : PendLoads) {
+    auto [It, New] =
+        LoadIds.try_emplace(Packed, static_cast<uint32_t>(LoadRecs.size()));
+    if (New)
+      LoadRecs.push_back(LoadRec{Packed, 0, 0});
+    LoadRec &L = LoadRecs[It->second];
+    L.Count += Pend.Count;
+    L.EpochsWithDep += Pend.EpochsWithDep;
+  }
+  for (unsigned B = 0; B < 17; ++B)
+    if (PendHist[B])
+      Profile.DistanceHist.addSample(B, PendHist[B]);
+  Profile.TotalEpochs += PendEpochs;
+  Profile.SampledEpochs += PendSampled;
+  ++Profile.InstancesObserved;
+
+  PendPairs.clear();
+  PendLoads.clear();
+  std::fill(std::begin(PendHist), std::end(PendHist), 0);
+  PendEpochs = 0;
+  PendSampled = 0;
+}
 
 DepProfiler::ShadowEntry &DepProfiler::shadowFor(uint64_t Addr) {
   uint64_t Id = Addr >> PageShift;
@@ -59,6 +219,91 @@ DepProfiler::ShadowEntry &DepProfiler::shadowFor(uint64_t Addr) {
     LastShadowPage = &Shadow.getOrCreate(Id);
   }
   return LastShadowPage->Entries[(Addr & ((1ull << PageShift) - 1)) >> 3];
+}
+
+void DepProfiler::recordDep(uint64_t Epoch, uint64_t LoadPacked,
+                            uint64_t StorePacked, uint64_t Distance) {
+  PendPair &P = PendPairs[{LoadPacked, StorePacked}];
+  ++P.Count;
+  if (Distance == 1)
+    ++P.Distance1Count;
+  if (P.LastEpoch != Epoch) {
+    P.LastEpoch = Epoch;
+    ++P.EpochsWithDep;
+  }
+  PendLoad &L = PendLoads[LoadPacked];
+  ++L.Count;
+  if (L.LastEpoch != Epoch) {
+    L.LastEpoch = Epoch;
+    ++L.EpochsWithDep;
+  }
+  ++PendHist[Distance >= 16 ? 16 : Distance];
+}
+
+void DepProfiler::flushShards() {
+  if (BufferedRecords == 0)
+    return;
+  // Replay each shard's buffered accesses through its own shadow pages.
+  // Shards own disjoint page sets, so the replays are independent; each
+  // produces its dependence events in program (hence epoch) order.
+  if (!Pool && Shards.size() > 1)
+    Pool = std::make_unique<ThreadPool>(
+        std::min(Shards.size(), static_cast<size_t>(ThreadPool::defaultJobs())));
+  const uint64_t Floor = RegionFloor;
+  parallelFor(Pool.get(), Shards.size(), [&](size_t Idx) {
+    Shard &S = Shards[Idx];
+    for (const AccessRec &A : S.Buf) {
+      const uint64_t Epoch = A.EpochAndKind >> 2;
+      const uint64_t Kind = A.EpochAndKind & 3;
+      uint64_t Id = A.Addr >> PageShift;
+      if (Id != S.LastShadowId || !S.LastShadowPage) {
+        S.LastShadowId = Id;
+        S.LastShadowPage = &S.Shadow.getOrCreate(Id);
+      }
+      ShadowEntry &E =
+          S.LastShadowPage
+              ->Entries[(A.Addr & ((1ull << PageShift) - 1)) >> 3];
+      if (Kind != AKStore) { // Load or reduce: read side first.
+        if (E.Epoch > Floor && E.Epoch != Epoch) {
+          assert(E.Epoch < Epoch && "exposed load with same-epoch writer");
+          S.Events.push_back(DepEvent{Epoch, A.Packed, E.Writer,
+                                      Epoch - E.Epoch});
+        }
+      }
+      if (Kind != AKLoad) { // Store or reduce: claim the word.
+        E.Epoch = Epoch;
+        E.Writer = A.Packed;
+      }
+    }
+    S.Buf.clear();
+  });
+  BufferedRecords = 0;
+
+  // Merge the shards' dependence events in global epoch order (ties by
+  // shard index). Aggregation itself is commutative except for the
+  // distinct-epoch dedup, which only needs all events of one epoch to be
+  // processed contiguously — the epoch-ordered merge guarantees that, so
+  // the committed statistics are independent of the shard count.
+  std::vector<size_t> Cursor(Shards.size(), 0);
+  for (;;) {
+    size_t Best = Shards.size();
+    uint64_t BestEpoch = ~0ull;
+    for (size_t I = 0; I < Shards.size(); ++I) {
+      if (Cursor[I] >= Shards[I].Events.size())
+        continue;
+      const uint64_t E = Shards[I].Events[Cursor[I]].Epoch;
+      if (Best == Shards.size() || E < BestEpoch) {
+        Best = I;
+        BestEpoch = E;
+      }
+    }
+    if (Best == Shards.size())
+      break;
+    const DepEvent &Ev = Shards[Best].Events[Cursor[Best]++];
+    recordDep(Ev.Epoch, Ev.LoadPacked, Ev.StorePacked, Ev.Distance);
+  }
+  for (Shard &S : Shards)
+    S.Events.clear();
 }
 
 void DepProfiler::onDynInst(const DynInst &DI, bool InRegion, uint64_t) {
@@ -72,42 +317,36 @@ void DepProfiler::onDynInst(const DynInst &DI, bool InRegion, uint64_t) {
   if (!Reads && !Writes)
     return;
 
-  if (Reads) {
+  if (Buffered) {
+    // In an epoch whose load side is unobserved, loads are dropped and a
+    // reduce degrades to its store side (the write must still claim the
+    // word so later observed epochs see the true last writer).
+    uint64_t Kind;
+    if (Writes)
+      Kind = (Reads && CurObserved) ? AKReduce : AKStore;
+    else if (CurObserved)
+      Kind = AKLoad;
+    else
+      return;
+    Shard &S = Shards[(DI.Addr >> PageShift) % Shards.size()];
+    S.Buf.push_back(AccessRec{DI.Addr, pack(DI.StaticId, DI.Context),
+                              (GlobalEpoch << 2) | Kind});
+    if (++BufferedRecords >= FlushThreshold)
+      flushShards();
+    return;
+  }
+
+  // The load side only counts in observed epochs (an engine may deliver
+  // loads the gate would elide, and a reduce always arrives; both degrade
+  // to the write side below). Exact runs observe every epoch.
+  if (Reads && CurObserved) {
     const ShadowEntry &E = shadowFor(DI.Addr);
     // Live entry (a store in this region instance), not covered by the
     // reading epoch's own store: an exposed cross-epoch dependence.
     if (E.Epoch > RegionFloor && E.Epoch != GlobalEpoch) {
       assert(E.Epoch < GlobalEpoch && "exposed load with same-epoch writer");
-
-      uint64_t LoadPacked = pack(DI.StaticId, DI.Context);
-      uint64_t Distance = GlobalEpoch - E.Epoch;
-
-      auto [PairIt, PairNew] =
-          PairIds.try_emplace({LoadPacked, E.Writer},
-                              static_cast<uint32_t>(PairRecs.size()));
-      if (PairNew)
-        PairRecs.push_back(PairRec{LoadPacked, E.Writer, 0, 0, 0, 0});
-      PairRec &P = PairRecs[PairIt->second];
-      ++P.Count;
-      if (Distance == 1)
-        ++P.Distance1Count;
-      if (P.LastEpoch != GlobalEpoch) {
-        P.LastEpoch = GlobalEpoch;
-        ++P.EpochsWithDep;
-      }
-
-      auto [LoadIt, LoadNew] = LoadIds.try_emplace(
-          LoadPacked, static_cast<uint32_t>(LoadRecs.size()));
-      if (LoadNew)
-        LoadRecs.push_back(LoadRec{LoadPacked, 0, 0, 0});
-      LoadRec &L = LoadRecs[LoadIt->second];
-      ++L.Count;
-      if (L.LastEpoch != GlobalEpoch) {
-        L.LastEpoch = GlobalEpoch;
-        ++L.EpochsWithDep;
-      }
-
-      Profile.DistanceHist.addSample(Distance);
+      recordDep(GlobalEpoch, pack(DI.StaticId, DI.Context), E.Writer,
+                GlobalEpoch - E.Epoch);
     }
   }
 
@@ -119,6 +358,13 @@ void DepProfiler::onDynInst(const DynInst &DI, bool InRegion, uint64_t) {
 }
 
 DepProfile DepProfiler::takeProfile() {
+  // An instance still open when the run ended (MaxSteps truncation) was
+  // only partially observed; drop it from the statistics entirely.
+  if (InRegionNow) {
+    discardPendingInstance();
+    InRegionNow = false;
+  }
+
   // Materialize the ordered maps consumers iterate; the flat aggregation
   // records carry exactly the same statistics, so the result is identical
   // to the former map-per-access implementation.
@@ -142,12 +388,26 @@ DepProfile DepProfiler::takeProfile() {
   LoadIds.clear();
   LoadRecs.clear();
 
+  if (Sampling.active()) {
+    Profile.SampleEvery = Sampling.SampleEvery;
+    Profile.SampleSeed = Sampling.SampleSeed;
+    Profile.MinObserveEpochs = Sampling.MinObserveEpochs;
+  } else {
+    // Exact runs observe every epoch by definition.
+    Profile.SampledEpochs = Profile.TotalEpochs;
+  }
+
   if (obs::statsEnabled()) {
     obs::StatRegistry &R = obs::StatRegistry::global();
     R.counter("profile.runs")->add(1);
     R.counter("profile.total_epochs")->add(Profile.TotalEpochs);
     R.counter("profile.dep_pairs")->add(Profile.Pairs.size());
     R.counter("profile.dep_loads")->add(Profile.Loads.size());
+    if (Sampling.active()) {
+      R.counter("profile.sampled_epochs")->add(Profile.SampledEpochs);
+      R.counter("profile.instances_observed")->add(Profile.InstancesObserved);
+      R.counter("profile.instances_total")->add(Profile.InstancesTotal);
+    }
   }
   return std::move(Profile);
 }

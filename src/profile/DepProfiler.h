@@ -24,9 +24,33 @@
 /// when the current region instance began — because the global epoch
 /// counter is monotonic across instances, starting a new instance
 /// invalidates every old entry for free (no clearing), and shadow pages
-/// are naturally reused across instances. Aggregation interns reference
-/// names into dense ids over flat vectors; the ordered maps the rest of
-/// the toolchain consumes are materialized once in takeProfile().
+/// are naturally reused across instances.
+///
+/// Aggregation is two-level: each region instance accumulates into pending
+/// records that are folded into the run-wide flat records only when the
+/// instance completes (onRegionEnd). An instance abandoned mid-flight —
+/// watchdog demotion, MaxSteps truncation — is discarded wholesale, so
+/// partially-observed instances never skew the frequency denominator. The
+/// ordered maps the rest of the toolchain consumes are materialized once
+/// in takeProfile().
+///
+/// Sampled mode (ProfileSamplingOptions::SampleEvery > 1) observes the
+/// load side of roughly 1/N of the epochs: the first MinObserveEpochs of
+/// the first region instance are always observed (burn-in, so short runs
+/// stay near-exact), after which each stratum of N consecutive epochs
+/// contributes one observed epoch at a position drawn from
+/// Random::stream(SampleSeed, instance/stratum). Stores are shadow-tracked
+/// in *every* epoch, so writer identity and epoch distances stay exact for
+/// dependences of arbitrary distance; only load-side observation is
+/// sampled. Frequencies are then estimated over the observed epochs with
+/// Wilson-score confidence intervals (finite-population corrected), and
+/// the threshold accessors apply the paper's 5% cutoff to the lower
+/// confidence bound.
+///
+/// In sampled or multi-shard mode, accesses are buffered as compact
+/// records bucketed by shadow page and replayed through per-shard shadows
+/// on a ThreadPool; the resulting dependence events are merged in global
+/// epoch order, so the profile is bit-identical for any shard count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,12 +63,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace specsync {
+
+class ThreadPool;
 
 /// A memory reference name: static instruction + call-stack context.
 struct RefName {
@@ -75,35 +102,92 @@ struct LoadStat {
   uint64_t Count = 0;
 };
 
+/// Epoch-sampling configuration for the dependence profiler.
+struct ProfileSamplingOptions {
+  /// Observe the load side of ~1 epoch out of every SampleEvery. 1 = exact.
+  uint64_t SampleEvery = 1;
+  /// Seed for the Random::stream that places observed epochs in strata.
+  uint64_t SampleSeed = 0;
+  /// Burn-in: observe at least this many leading epochs of the first
+  /// region instance before stratified skipping starts, so short runs
+  /// (the table2 workloads) keep tight estimates while million-epoch runs
+  /// converge to the 1/SampleEvery asymptotic rate.
+  uint64_t MinObserveEpochs = 256;
+  /// Shadow pages are distributed over this many shards, replayed in
+  /// parallel on a thread pool. Results are identical for any value.
+  unsigned Shards = 1;
+
+  bool active() const { return SampleEvery > 1; }
+};
+
 /// The complete dependence profile of one program run.
 struct DepProfile {
-  uint64_t TotalEpochs = 0;
+  uint64_t TotalEpochs = 0;   ///< Epochs in fully-observed instances.
+  uint64_t SampledEpochs = 0; ///< Load-observed epochs (== TotalEpochs
+                              ///< for exact profiles).
+  /// Sampling metadata (defaults describe an exact profile).
+  uint64_t SampleEvery = 1;
+  uint64_t SampleSeed = 0;
+  uint64_t MinObserveEpochs = 0;
+  uint64_t InstancesObserved = 0; ///< Region instances fully observed.
+  uint64_t InstancesTotal = 0;    ///< Region instances started.
+
   std::map<std::pair<RefName, RefName>, DepPairStat> Pairs; ///< (load,store).
   std::map<RefName, LoadStat> Loads;
   Histogram DistanceHist{17}; ///< Buckets 0..15, last = ">=16".
 
+  /// True when this profile was collected with epoch sampling on.
+  bool isSampled() const { return SampleEvery > 1; }
+
+  /// The frequency denominator: observed epochs when sampled, all epochs
+  /// otherwise. (Hand-built profiles that only set TotalEpochs keep the
+  /// historical semantics.)
+  uint64_t denominatorEpochs() const {
+    return isSampled() ? SampledEpochs : TotalEpochs;
+  }
+
   /// Paper definition: fraction of all epochs in which the pair's
-  /// dependence occurs, in percent.
+  /// dependence occurs, in percent. For sampled profiles this is the
+  /// point estimate extrapolated from the observed epochs.
   double pairFrequencyPercent(const DepPairStat &P) const;
+
+  /// 95% Wilson lower/upper confidence bounds on the pair frequency, in
+  /// percent. Exact profiles collapse to the point estimate.
+  double pairFrequencyLowerPercent(const DepPairStat &P) const;
+  double pairFrequencyUpperPercent(const DepPairStat &P) const;
 
   /// Fraction of all epochs in which the load consumes any inter-epoch
   /// dependence, in percent.
   double loadFrequencyPercent(const LoadStat &L) const;
+  double loadFrequencyLowerPercent(const LoadStat &L) const;
+  double loadFrequencyUpperPercent(const LoadStat &L) const;
 
   /// Loads whose dependence frequency exceeds \p Percent (Figures 2/6 use
-  /// 5/15/25).
+  /// 5/15/25). Sampled profiles compare the lower confidence bound, so a
+  /// sync is only inserted when the threshold is exceeded with confidence.
   std::vector<RefName> loadsAboveThreshold(double Percent) const;
 
   /// Pairs whose frequency exceeds \p Percent (compiler sync candidates).
+  /// Same lower-bound rule as loadsAboveThreshold.
   std::vector<DepPairStat> pairsAboveThreshold(double Percent) const;
 };
 
 /// Observer implementation that builds a DepProfile.
 class DepProfiler : public ExecutionObserver {
 public:
+  DepProfiler();
+  explicit DepProfiler(const ProfileSamplingOptions &Sampling);
+  ~DepProfiler() override;
+
   /// Only loads and stores matter; lets the fast engine skip every other
   /// instruction's observer dispatch.
   ObserverDemand demand() const override { return ObserverDemand::MemoryOnly; }
+
+  /// In sampled mode the engine may skip load delivery for epochs whose
+  /// load side is not observed (stores are always wanted).
+  bool wantsLoadsThisEpoch() const override {
+    return !InRegionNow || CurObserved;
+  }
 
   void onRegionBegin(unsigned RegionInstance) override;
   void onEpochBegin(uint64_t EpochIndex) override;
@@ -115,8 +199,8 @@ public:
   DepProfile takeProfile();
 
   /// Number of live shadow pages (test hook: pages are reused, not
-  /// recreated, across region instances).
-  size_t numShadowPages() const { return Shadow.size(); }
+  /// recreated, across region instances). Sums all shards.
+  size_t numShadowPages() const;
 
 private:
   /// Per-word shadow state: epoch and packed RefName of the last store.
@@ -149,7 +233,6 @@ private:
     uint64_t Packed = 0;
     uint64_t Count = 0;
     uint64_t EpochsWithDep = 0;
-    uint64_t LastEpoch = 0;
   };
   /// Flat per-pair aggregation record (interned by packed (load, store)).
   struct PairRec {
@@ -158,7 +241,6 @@ private:
     uint64_t Count = 0;
     uint64_t EpochsWithDep = 0;
     uint64_t Distance1Count = 0;
-    uint64_t LastEpoch = 0;
   };
   struct PairKeyHash {
     size_t operator()(const std::pair<uint64_t, uint64_t> &K) const {
@@ -168,19 +250,94 @@ private:
     }
   };
 
+  /// Pending (uncommitted) per-instance aggregation; folded into the flat
+  /// records at onRegionEnd and discarded when an instance is abandoned.
+  struct PendPair {
+    uint64_t Count = 0;
+    uint64_t EpochsWithDep = 0;
+    uint64_t Distance1Count = 0;
+    uint64_t LastEpoch = 0;
+  };
+  struct PendLoad {
+    uint64_t Count = 0;
+    uint64_t EpochsWithDep = 0;
+    uint64_t LastEpoch = 0;
+  };
+
+  /// One buffered access awaiting sharded replay (buffered mode).
+  /// EpochAndKind packs (GlobalEpoch << 2) | Kind.
+  struct AccessRec {
+    uint64_t Addr;
+    uint64_t Packed;
+    uint64_t EpochAndKind;
+  };
+  enum AccessKind : uint64_t { AKLoad = 0, AKStore = 1, AKReduce = 2 };
+
+  /// One inter-epoch dependence found during sharded replay.
+  struct DepEvent {
+    uint64_t Epoch;
+    uint64_t LoadPacked;
+    uint64_t StorePacked;
+    uint64_t Distance;
+  };
+
+  /// Per-shard state for the buffered path. Pages are assigned to shards
+  /// by page id, so a shard's replay sees every access to its pages in
+  /// program order and shards never share shadow state.
+  struct Shard {
+    std::vector<AccessRec> Buf;
+    std::vector<DepEvent> Events;
+    PageMap<ShadowPage> Shadow;
+    uint64_t LastShadowId = ~0ull;
+    ShadowPage *LastShadowPage = nullptr;
+  };
+
+  bool observesEpoch(uint64_t EpochInInstance) const;
+  /// The observed offset within \p Stratum of the current instance.
+  uint64_t stratumOffset(uint64_t Stratum) const;
+  void recordDep(uint64_t Epoch, uint64_t LoadPacked, uint64_t StorePacked,
+                 uint64_t Distance);
+  void flushShards();
+  void discardPendingInstance();
+
+  ProfileSamplingOptions Sampling;
+  const bool Buffered; ///< Multi-shard: buffer accesses, replay in parallel.
+
   DepProfile Profile;
-  PageMap<ShadowPage> Shadow;
+  PageMap<ShadowPage> Shadow; ///< Direct (unbuffered) path only.
   mutable uint64_t LastShadowId = ~0ull;
   mutable ShadowPage *LastShadowPage = nullptr;
   uint64_t RegionFloor = 0; ///< GlobalEpoch when the instance began.
   uint64_t GlobalEpoch = 0; ///< Monotonic across region instances.
   bool InRegionNow = false;
+  bool CurObserved = true;      ///< Load side observed this epoch.
+  uint64_t EpochInInstance = 0; ///< Next epoch's index within the instance.
+  // Incremental mirror of observesEpoch() for the per-epoch hot path: the
+  // observed position is drawn once per stratum, not once per epoch.
+  uint64_t PosInStratum = 0; ///< Next epoch's offset within its stratum.
+  uint64_t CurStratum = 0;
+  uint64_t CurOffset = 0; ///< Observed offset within CurStratum.
 
+  // Pending (per-instance) aggregation, committed at onRegionEnd.
+  std::unordered_map<std::pair<uint64_t, uint64_t>, PendPair, PairKeyHash>
+      PendPairs;
+  std::unordered_map<uint64_t, PendLoad> PendLoads;
+  uint64_t PendHist[17] = {};
+  uint64_t PendEpochs = 0;
+  uint64_t PendSampled = 0;
+
+  // Committed run-wide aggregation.
   std::unordered_map<uint64_t, uint32_t> LoadIds;
   std::vector<LoadRec> LoadRecs;
   std::unordered_map<std::pair<uint64_t, uint64_t>, uint32_t, PairKeyHash>
       PairIds;
   std::vector<PairRec> PairRecs;
+
+  // Buffered-mode machinery.
+  std::vector<Shard> Shards;
+  uint64_t BufferedRecords = 0;
+  std::unique_ptr<ThreadPool> Pool;
+  static constexpr uint64_t FlushThreshold = 1ull << 16;
 };
 
 } // namespace specsync

@@ -63,6 +63,14 @@ public:
     return ObserverDemand::MemoryOnly;
   }
 
+  /// Loads must be delivered if any member wants them this epoch.
+  bool wantsLoadsThisEpoch() const override {
+    for (const ExecutionObserver *O : Observers)
+      if (O->wantsLoadsThisEpoch())
+        return true;
+    return Observers.empty();
+  }
+
   void onRegionBegin(unsigned RegionInstance) override;
   void onEpochBegin(uint64_t EpochIndex) override;
   void onDynInst(const DynInst &DI, bool InRegion,

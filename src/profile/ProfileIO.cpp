@@ -8,37 +8,93 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <ostream>
 #include <sstream>
 
 using namespace specsync;
 
-std::string specsync::serializeDepProfile(const DepProfile &Profile) {
-  std::string Out = "specsync-depprofile v1\n";
-  char Buf[160];
+namespace {
+
+/// Bounded-memory text sink: accumulates formatted records and flushes to
+/// the stream whenever the chunk fills.
+class ChunkWriter {
+public:
+  explicit ChunkWriter(std::ostream &OS) : OS(OS) { Chunk.reserve(ChunkSize); }
+  ~ChunkWriter() { flush(); }
+
+  void append(const char *Buf) {
+    Chunk += Buf;
+    if (Chunk.size() >= ChunkSize)
+      flush();
+  }
+
+  void flush() {
+    if (Chunk.empty())
+      return;
+    OS.write(Chunk.data(), static_cast<std::streamsize>(Chunk.size()));
+    Chunk.clear();
+  }
+
+private:
+  static constexpr size_t ChunkSize = 64 * 1024;
+  std::ostream &OS;
+  std::string Chunk;
+};
+
+} // namespace
+
+void specsync::writeDepProfileStream(std::ostream &OS,
+                                     const DepProfile &Profile) {
+  ChunkWriter W(OS);
+  char Buf[200];
+  const bool V2 = Profile.isSampled();
+  W.append(V2 ? "specsync-depprofile v2\n" : "specsync-depprofile v1\n");
+  if (V2) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "sampling %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %" PRIu64 " %" PRIu64 "\n",
+                  Profile.SampleEvery, Profile.SampleSeed,
+                  Profile.MinObserveEpochs, Profile.SampledEpochs,
+                  Profile.InstancesObserved, Profile.InstancesTotal);
+    W.append(Buf);
+  }
   std::snprintf(Buf, sizeof(Buf), "epochs %" PRIu64 "\n",
                 Profile.TotalEpochs);
-  Out += Buf;
+  W.append(Buf);
   for (const auto &[Key, P] : Profile.Pairs) {
     std::snprintf(Buf, sizeof(Buf),
                   "pair %u %u %u %u %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
                   P.Load.InstId, P.Load.Context, P.Store.InstId,
                   P.Store.Context, P.Count, P.EpochsWithDep,
                   P.Distance1Count);
-    Out += Buf;
+    W.append(Buf);
   }
   for (const auto &[Name, L] : Profile.Loads) {
     std::snprintf(Buf, sizeof(Buf), "load %u %u %" PRIu64 " %" PRIu64 "\n",
                   Name.InstId, Name.Context, L.Count, L.EpochsWithDep);
-    Out += Buf;
+    W.append(Buf);
   }
+  uint64_t NumDists = 0;
   for (unsigned B = 0; B < Profile.DistanceHist.numBuckets(); ++B) {
     uint64_t N = Profile.DistanceHist.bucketCount(B);
     if (N == 0)
       continue;
+    ++NumDists;
     std::snprintf(Buf, sizeof(Buf), "dist %u %" PRIu64 "\n", B, N);
-    Out += Buf;
+    W.append(Buf);
   }
-  return Out;
+  if (V2) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "end %zu %zu %" PRIu64 "\n", Profile.Pairs.size(),
+                  Profile.Loads.size(), NumDists);
+    W.append(Buf);
+  }
+}
+
+std::string specsync::serializeDepProfile(const DepProfile &Profile) {
+  std::ostringstream OS;
+  writeDepProfileStream(OS, Profile);
+  return OS.str();
 }
 
 ProfileParseResult
@@ -56,21 +112,45 @@ specsync::parseDepProfileVerbose(const std::string &Text) {
   ++LineNo;
   if (!std::getline(In, Line))
     return fail("empty input, expected magic 'specsync-depprofile v1'");
-  if (Line != "specsync-depprofile v1")
+  unsigned Version;
+  if (Line == "specsync-depprofile v1")
+    Version = 1;
+  else if (Line == "specsync-depprofile v2")
+    Version = 2;
+  else
     return fail("bad magic '" + Line +
-                "', expected 'specsync-depprofile v1'");
+                "', expected 'specsync-depprofile v1' or 'v2'");
 
   DepProfile Profile;
+  bool SawSampling = false;
+  bool SawEnd = false;
+  uint64_t NumPairs = 0, NumLoads = 0, NumDists = 0;
   while (std::getline(In, Line)) {
     ++LineNo;
     if (Line.empty())
       continue;
+    if (SawEnd)
+      return fail("record after 'end' footer");
     std::istringstream LS(Line);
     std::string Kind;
     LS >> Kind;
     if (Kind == "epochs") {
       if (!(LS >> Profile.TotalEpochs))
         return fail("malformed 'epochs' record, expected: epochs <N>");
+    } else if (Kind == "sampling") {
+      if (Version < 2)
+        return fail("'sampling' record requires the v2 format");
+      if (SawSampling)
+        return fail("duplicate 'sampling' record");
+      if (!(LS >> Profile.SampleEvery >> Profile.SampleSeed >>
+            Profile.MinObserveEpochs >> Profile.SampledEpochs >>
+            Profile.InstancesObserved >> Profile.InstancesTotal))
+        return fail("malformed 'sampling' record, expected 6 integer fields");
+      if (Profile.SampleEvery < 2)
+        return fail("'sampling' record with rate " +
+                    std::to_string(Profile.SampleEvery) +
+                    " (exact profiles use the v1 format)");
+      SawSampling = true;
     } else if (Kind == "pair") {
       DepPairStat P;
       if (!(LS >> P.Load.InstId >> P.Load.Context >> P.Store.InstId >>
@@ -78,6 +158,7 @@ specsync::parseDepProfileVerbose(const std::string &Text) {
             P.Distance1Count))
         return fail("malformed 'pair' record, expected 7 integer fields");
       Profile.Pairs[{P.Load, P.Store}] = P;
+      ++NumPairs;
     } else if (Kind == "load") {
       RefName Name;
       LoadStat L;
@@ -85,6 +166,7 @@ specsync::parseDepProfileVerbose(const std::string &Text) {
             L.EpochsWithDep))
         return fail("malformed 'load' record, expected 4 integer fields");
       Profile.Loads[Name] = L;
+      ++NumLoads;
     } else if (Kind == "dist") {
       unsigned Bucket;
       uint64_t N;
@@ -97,6 +179,24 @@ specsync::parseDepProfileVerbose(const std::string &Text) {
       // Re-add: the overflow bucket round-trips because addSample
       // saturates at the same index.
       Profile.DistanceHist.addSample(Bucket, N);
+      ++NumDists;
+    } else if (Kind == "end") {
+      if (Version < 2)
+        return fail("'end' footer requires the v2 format");
+      uint64_t WantPairs, WantLoads, WantDists;
+      if (!(LS >> WantPairs >> WantLoads >> WantDists))
+        return fail("malformed 'end' footer, expected 3 integer fields");
+      if (WantPairs != NumPairs || WantLoads != NumLoads ||
+          WantDists != NumDists)
+        return fail("record counts do not match 'end' footer (stream "
+                    "truncated or corrupt): have " +
+                    std::to_string(NumPairs) + "/" +
+                    std::to_string(NumLoads) + "/" +
+                    std::to_string(NumDists) + " pair/load/dist, footer "
+                    "says " + std::to_string(WantPairs) + "/" +
+                    std::to_string(WantLoads) + "/" +
+                    std::to_string(WantDists));
+      SawEnd = true;
     } else {
       return fail("unknown record kind '" + Kind + "'");
     }
@@ -105,6 +205,11 @@ specsync::parseDepProfileVerbose(const std::string &Text) {
       return fail("trailing tokens after '" + Kind +
                   "' record, starting at '" + Extra + "'");
   }
+  ++LineNo;
+  if (Version >= 2 && !SawSampling)
+    return fail("v2 stream without a 'sampling' record");
+  if (Version >= 2 && !SawEnd)
+    return fail("v2 stream truncated: missing 'end' footer");
   Result.Profile = std::move(Profile);
   return Result;
 }

@@ -10,12 +10,25 @@
 /// profile-guided-optimization workflow; the paper's train-input profile
 /// is exactly such an artifact).
 ///
-/// Format: line-oriented, one record per line.
+/// Format: line-oriented, one record per line. Exact profiles use the
+/// original v1 format (byte-identical to what earlier releases wrote):
 ///   specsync-depprofile v1
 ///   epochs <N>
 ///   pair <loadId> <loadCtx> <storeId> <storeCtx> <count> <epochs> <d1>
 ///   load <loadId> <loadCtx> <count> <epochs>
 ///   dist <bucket> <count>
+///
+/// Sampled profiles use v2, which adds the sampling metadata needed to
+/// reconstruct confidence intervals, and an `end` footer carrying record
+/// counts so a truncated stream is detected instead of silently loading
+/// as a smaller profile:
+///   specsync-depprofile v2
+///   sampling <every> <seed> <minobserve> <sampled> <instObs> <instTotal>
+///   epochs <N>
+///   ... pair/load/dist records as in v1 ...
+///   end <numPairs> <numLoads> <numDists>
+///
+/// Both versions parse; v1 files from older releases load unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +37,7 @@
 
 #include "profile/DepProfiler.h"
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -31,6 +45,12 @@ namespace specsync {
 
 /// Renders \p Profile in the textual format above.
 std::string serializeDepProfile(const DepProfile &Profile);
+
+/// Streams \p Profile to \p OS in bounded memory: records are formatted
+/// into a small chunk buffer that is flushed as it fills, so writing a
+/// million-epoch profile never materializes the whole text. Byte-identical
+/// to serializeDepProfile.
+void writeDepProfileStream(std::ostream &OS, const DepProfile &Profile);
 
 /// Result of a verbose parse: either a profile, or a structured diagnostic
 /// of the form "line <N>: <message>" naming the first malformed line
@@ -42,7 +62,8 @@ struct ProfileParseResult {
   explicit operator bool() const { return Profile.has_value(); }
 };
 
-/// Parses the textual format, reporting what and where parsing failed.
+/// Parses the textual format (v1 or v2), reporting what and where parsing
+/// failed.
 ProfileParseResult parseDepProfileVerbose(const std::string &Text);
 
 /// Parses the textual format; returns std::nullopt on any malformed

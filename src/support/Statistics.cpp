@@ -6,7 +6,9 @@
 
 #include "support/Statistics.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace specsync;
 
@@ -43,4 +45,32 @@ double specsync::percentOf(uint64_t Num, uint64_t Denom) {
   if (Denom == 0)
     return 0.0;
   return 100.0 * static_cast<double>(Num) / static_cast<double>(Denom);
+}
+
+ConfidenceInterval specsync::wilsonInterval(uint64_t Successes,
+                                            uint64_t SampleSize,
+                                            uint64_t Population) {
+  assert(Successes <= SampleSize && "more successes than samples");
+  ConfidenceInterval CI;
+  if (SampleSize == 0)
+    return CI;
+  const double N = static_cast<double>(SampleSize);
+  const double P = static_cast<double>(Successes) / N;
+  // Census (or over-complete sample): the proportion is known exactly.
+  if (Population <= SampleSize || Population <= 1) {
+    CI.Lower = CI.Upper = P;
+    return CI;
+  }
+  // Finite-population correction folded into the critical value: the
+  // standard error of a without-replacement sample shrinks by
+  // sqrt((T - n) / (T - 1)).
+  const double T = static_cast<double>(Population);
+  const double Z = 1.96 * std::sqrt((T - N) / (T - 1.0));
+  const double Z2 = Z * Z;
+  const double Denom = 1.0 + Z2 / N;
+  const double Center = P + Z2 / (2.0 * N);
+  const double Half = Z * std::sqrt(P * (1.0 - P) / N + Z2 / (4.0 * N * N));
+  CI.Lower = std::max(0.0, (Center - Half) / Denom);
+  CI.Upper = std::min(1.0, (Center + Half) / Denom);
+  return CI;
 }

@@ -47,6 +47,29 @@ private:
 /// Returns \p Num / \p Denom as a percentage, or 0 when \p Denom is zero.
 double percentOf(uint64_t Num, uint64_t Denom);
 
+/// A two-sided confidence interval over a proportion, as fractions in
+/// [0, 1].
+struct ConfidenceInterval {
+  double Lower = 0.0;
+  double Upper = 0.0;
+};
+
+/// 95% Wilson score interval for a proportion estimated from a sample,
+/// with a finite-population correction.
+///
+/// \p Successes of \p SampleSize observed epochs exhibited the property;
+/// the run had \p Population epochs in total. The FPC shrinks the interval
+/// as the sample approaches the population (sampling without replacement),
+/// and when SampleSize >= Population the interval collapses to the point
+/// estimate — so exact profiles get back exactly their measured frequency.
+///
+/// The Wilson form is used instead of the normal approximation because
+/// sampled dependence counts near the paper's 5% sync threshold are small
+/// (a handful of successes), where the normal interval is badly anti-
+/// conservative.
+ConfidenceInterval wilsonInterval(uint64_t Successes, uint64_t SampleSize,
+                                  uint64_t Population);
+
 } // namespace specsync
 
 #endif // SPECSYNC_SUPPORT_STATISTICS_H

@@ -33,6 +33,12 @@ std::unique_ptr<Program> buildBzip2Comp(InputKind Input);   // 256.bzip2 comp
 std::unique_ptr<Program> buildBzip2Decomp(InputKind Input); // 256.bzip2 dec.
 std::unique_ptr<Program> buildTwolf(InputKind Input);       // 300.twolf
 
+/// Scaled load-heavy variants of the compressor / parser kernels for the
+/// profiling-cost study (extraWorkloads(), not Table 2 rows). Trip count
+/// is the parent's times SPECSYNC_SCALE (default 10x, clamp [1, 1000]).
+std::unique_ptr<Program> buildGzipCompXL(InputKind Input);
+std::unique_ptr<Program> buildParserXL(InputKind Input);
+
 /// Static-analysis demo (extraWorkloads(), not a Table 2 row): an
 /// input-gated producer the train profile never sees but the static
 /// engine proves must-alias — exercising the oracle's forced-sync path.

@@ -1,0 +1,133 @@
+//===- workloads/ScaledKernels.cpp - 10-100x trip-count variants -*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scaled variants of the compressor and parser kernels for profiling-cost
+/// studies (bench/profile_scaling): the parallel loop runs SPECSYNC_SCALE
+/// times the parent's trip count (default 10x, clamped to [1, 1000]), and
+/// each epoch is deliberately *load-heavy* — two dozen hash-probe loads per
+/// carried store — because sampled profiling only elides load-side
+/// observation; stores are shadow-tracked in every epoch to keep writer
+/// identities exact. The load:store ratio is what the measured profiling
+/// speedup scales with.
+///
+/// Not Table 2 rows: registered via extraWorkloads() so every existing
+/// figure/table binary's output is unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelCommon.h"
+#include "workloads/Kernels.h"
+
+#include <cstdlib>
+
+using namespace specsync;
+
+namespace {
+
+/// SPECSYNC_SCALE, defaulting to 10x and clamped to [1, 1000]. Read at
+/// build time, so two builds under the same environment are identical.
+int64_t scaleFactor() {
+  if (const char *E = std::getenv("SPECSYNC_SCALE")) {
+    long V = std::strtol(E, nullptr, 10);
+    if (V >= 1 && V <= 1000)
+      return V;
+  }
+  return 10;
+}
+
+/// Emits the probe chain: \p Probes dependent loads from the 64-slot
+/// table at \p TableAddr, each slot index derived from the running value.
+Reg emitProbeChain(IRBuilder &B, unsigned Probes, uint64_t TableAddr,
+                   Reg Seed) {
+  Reg V = Seed;
+  for (unsigned I = 0; I < Probes; ++I) {
+    Reg Slot = B.emitAnd(B.emitShr(V, (I % 5) + 3), 63);
+    Reg Word = B.emitLoad(B.emitAdd(B.emitShl(Slot, 3), TableAddr));
+    V = B.emitXor(V, B.emitAdd(Word, I + 1));
+  }
+  return V;
+}
+
+/// Pre-region table initialization: fills the 64 slots deterministically.
+void emitTableInit(IRBuilder &B, uint64_t TableAddr,
+                   const std::string &Prefix) {
+  LoopBlocks Init = makeCountedLoop(B, 64, Prefix);
+  Reg Word = B.emitXor(B.emitShl(Init.IndVar, 5), 0x9e37);
+  B.emitStore(B.emitAdd(B.emitShl(Init.IndVar, 3), TableAddr), Word);
+  closeLoop(B, Init);
+}
+
+} // namespace
+
+std::unique_ptr<Program> specsync::buildGzipCompXL(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x164c0fe1 : 0x16404271);
+
+  uint64_t Head = P->addGlobal("head", 8);
+  uint64_t Htab = P->addGlobal("htab", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  B.emitStore(Head, 1);
+  emitTableInit(B, Htab, "init");
+
+  int64_t Epochs = (Ref ? 800 : 320) * scaleFactor();
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  {
+    Reg R = B.emitRand();
+    // The carried pair: head loaded early, stored late every epoch.
+    Reg H = B.emitLoad(Head);
+    Reg V = emitProbeChain(B, 24, Htab, B.emitXor(H, R));
+    Reg W = emitAluWork(B, 40, V);
+    B.emitStore(Head, B.emitOr(W, 1));
+  }
+  closeLoop(B, L);
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}
+
+std::unique_ptr<Program> specsync::buildParserXL(InputKind Input) {
+  auto P = std::make_unique<Program>();
+  bool Ref = Input == InputKind::Ref;
+  P->setRandSeed(Ref ? 0x197c0fe1 : 0x19704271);
+
+  uint64_t FreeHead = P->addGlobal("free_head", 8);
+  uint64_t Dict = P->addGlobal("dict", 64 * 8);
+
+  Function &Main = P->addFunction("main", 0);
+  IRBuilder B(*P);
+  BasicBlock &Entry = Main.addBlock("entry");
+  B.setInsertPoint(&Main, &Entry);
+  B.emitStore(FreeHead, 1);
+  emitTableInit(B, Dict, "init");
+
+  int64_t Epochs = (Ref ? 600 : 240) * scaleFactor();
+  LoopBlocks L = makeCountedLoop(B, Epochs, "par");
+  {
+    Reg R = B.emitRand();
+    // Free-list pop: the store lands early in the epoch (the parent
+    // kernel's defining trait), then the epoch spends its time probing.
+    Reg F = B.emitLoad(FreeHead);
+    B.emitStore(FreeHead, B.emitOr(B.emitAdd(F, 3), 1));
+    Reg V = emitProbeChain(B, 24, Dict, B.emitXor(F, R));
+    emitAluWork(B, 40, V);
+  }
+  closeLoop(B, L);
+  B.emitRet(0);
+
+  P->setEntry(Main.getIndex());
+  P->setRegion(RegionSpec{Main.getIndex(), L.Header->getIndex()});
+  P->assignIds();
+  return P;
+}

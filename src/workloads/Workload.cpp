@@ -65,6 +65,14 @@ const std::vector<Workload> &specsync::allWorkloads() {
 
 const std::vector<Workload> &specsync::extraWorkloads() {
   static const std::vector<Workload> Extras = {
+      {"GZIP_COMP_XL", "164.gzip (compress, scaled)",
+       "load-heavy scaled compressor: carried head pair plus a 24-probe "
+       "hash chain per epoch; trip count scales with SPECSYNC_SCALE",
+       0.98, buildGzipCompXL},
+      {"PARSER_XL", "197.parser (scaled)",
+       "load-heavy scaled free-list pop (early store) plus a 24-probe "
+       "dictionary chain per epoch; trip count scales with SPECSYNC_SCALE",
+       0.84, buildParserXL},
       {"STATIC_DEMO", "(none; analysis demo)",
        "input-gated producer: absent from the train profile, provably "
        "must-alias — forces a static MUST_SYNC",

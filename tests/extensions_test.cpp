@@ -213,7 +213,7 @@ TEST(ProfileIOTest, VerboseParserReportsLineAndCause) {
   R = parseDepProfileVerbose("nope v1\nepochs 3\n");
   EXPECT_FALSE(R);
   EXPECT_EQ(R.Error,
-            "line 1: bad magic 'nope v1', expected 'specsync-depprofile v1'");
+            "line 1: bad magic 'nope v1', expected 'specsync-depprofile v1' or 'v2'");
 
   R = parseDepProfileVerbose("specsync-depprofile v1\nepochs 3\npair 1 2 3\n");
   EXPECT_FALSE(R);

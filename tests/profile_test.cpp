@@ -8,6 +8,7 @@
 #include "ir/IRBuilder.h"
 #include "profile/DepProfiler.h"
 #include "profile/LoopProfiler.h"
+#include "profile/ProfileIO.h"
 
 #include <gtest/gtest.h>
 
@@ -178,6 +179,158 @@ TEST(DepProfilerTest, ContextSensitiveNaming) {
   DepProfile Prof = profileOf(*P);
   EXPECT_EQ(Prof.Loads.size(), 2u); // One RefName per call path.
   EXPECT_EQ(Prof.Pairs.size(), 2u);
+}
+
+namespace {
+
+/// A hand-built sampled profile exercising every v2 record kind.
+DepProfile makeSampledProfile() {
+  DepProfile P;
+  P.TotalEpochs = 800;
+  P.SampledEpochs = 290;
+  P.SampleEvery = 16;
+  P.SampleSeed = 7;
+  P.MinObserveEpochs = 256;
+  P.InstancesObserved = 2;
+  P.InstancesTotal = 3;
+  DepPairStat Pair;
+  Pair.Load = {10, 1};
+  Pair.Store = {20, 2};
+  Pair.Count = 120;
+  Pair.EpochsWithDep = 100;
+  Pair.Distance1Count = 90;
+  P.Pairs[{Pair.Load, Pair.Store}] = Pair;
+  P.Loads[Pair.Load] = LoadStat{100, 120};
+  P.DistanceHist.addSample(1, 90);
+  P.DistanceHist.addSample(3, 30);
+  return P;
+}
+
+} // namespace
+
+TEST(ProfileIOV2Test, SampledProfileRoundTripsAllMetadata) {
+  DepProfile P = makeSampledProfile();
+  std::string Text = serializeDepProfile(P);
+  EXPECT_EQ(Text.rfind("specsync-depprofile v2\n", 0), 0u);
+  EXPECT_NE(Text.find("sampling 16 7 256 290 2 3\n"), std::string::npos);
+  EXPECT_NE(Text.find("end 1 1 2\n"), std::string::npos);
+
+  std::optional<DepProfile> Back = parseDepProfile(Text);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(Back->isSampled());
+  EXPECT_EQ(Back->TotalEpochs, 800u);
+  EXPECT_EQ(Back->SampledEpochs, 290u);
+  EXPECT_EQ(Back->SampleEvery, 16u);
+  EXPECT_EQ(Back->SampleSeed, 7u);
+  EXPECT_EQ(Back->MinObserveEpochs, 256u);
+  EXPECT_EQ(Back->InstancesObserved, 2u);
+  EXPECT_EQ(Back->InstancesTotal, 3u);
+  EXPECT_EQ(Back->denominatorEpochs(), 290u);
+  ASSERT_EQ(Back->Pairs.size(), 1u);
+  const DepPairStat &Pair = Back->Pairs.begin()->second;
+  EXPECT_EQ(Pair.Count, 120u);
+  EXPECT_EQ(Pair.EpochsWithDep, 100u);
+  EXPECT_EQ(Pair.Distance1Count, 90u);
+  // The reconstructed profile reproduces the confidence interval, so a
+  // separate compilation process makes the same lower-bound decisions.
+  EXPECT_DOUBLE_EQ(Back->pairFrequencyLowerPercent(Pair),
+                   P.pairFrequencyLowerPercent(Pair));
+  // Re-serialization is byte-identical (stable archive format).
+  EXPECT_EQ(serializeDepProfile(*Back), Text);
+}
+
+TEST(ProfileIOV2Test, ExactProfilesStillWriteV1) {
+  // Sampling off -> the PR-2-era v1 format, byte for byte: no sampling
+  // record, no end footer.
+  DepProfile P;
+  P.TotalEpochs = 40;
+  std::string Text = serializeDepProfile(P);
+  EXPECT_EQ(Text, "specsync-depprofile v1\nepochs 40\n");
+}
+
+TEST(ProfileIOV2Test, V1FilesFromOlderReleasesStillLoad) {
+  std::optional<DepProfile> P = parseDepProfile(
+      "specsync-depprofile v1\n"
+      "epochs 40\n"
+      "pair 10 1 20 2 30 25 20\n"
+      "load 10 1 30 25\n"
+      "dist 1 20\n");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_FALSE(P->isSampled());
+  EXPECT_EQ(P->denominatorEpochs(), 40u); // Exact semantics preserved.
+  EXPECT_EQ(P->Pairs.size(), 1u);
+}
+
+TEST(ProfileIOV2Test, TruncatedStreamIsRejectedWithLineNumber) {
+  std::string Text = serializeDepProfile(makeSampledProfile());
+
+  // Chop the end footer: the stream looks complete record-by-record, but
+  // the footer requirement catches it.
+  std::string NoFooter = Text.substr(0, Text.rfind("end "));
+  ProfileParseResult R = parseDepProfileVerbose(NoFooter);
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("missing 'end' footer"), std::string::npos)
+      << R.Error;
+  EXPECT_EQ(R.Error.rfind("line ", 0), 0u) << R.Error;
+
+  // Chop a record in the middle: the footer counts no longer match.
+  size_t LoadPos = Text.find("\nload ");
+  ASSERT_NE(LoadPos, std::string::npos);
+  std::string Dropped = Text.substr(0, LoadPos + 1) +
+                        Text.substr(Text.find('\n', LoadPos + 1) + 1);
+  R = parseDepProfileVerbose(Dropped);
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("do not match 'end' footer"), std::string::npos)
+      << R.Error;
+}
+
+TEST(ProfileIOV2Test, RecordsAfterTheFooterAreRejected) {
+  std::string Text = serializeDepProfile(makeSampledProfile());
+  ProfileParseResult R = parseDepProfileVerbose(Text + "load 1 2 3 4\n");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("record after 'end' footer"), std::string::npos)
+      << R.Error;
+}
+
+TEST(ProfileIOV2Test, V2RequiresSamplingRecord) {
+  ProfileParseResult R = parseDepProfileVerbose(
+      "specsync-depprofile v2\nepochs 10\nend 0 0 0\n");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("without a 'sampling' record"), std::string::npos)
+      << R.Error;
+}
+
+TEST(ProfileIOV2Test, V2RecordsAreRejectedUnderV1Magic) {
+  ProfileParseResult R = parseDepProfileVerbose(
+      "specsync-depprofile v1\nsampling 16 0 256 10 1 1\nepochs 10\n");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("requires the v2 format"), std::string::npos)
+      << R.Error;
+  R = parseDepProfileVerbose("specsync-depprofile v1\nepochs 10\nend 0 0 0\n");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("requires the v2 format"), std::string::npos)
+      << R.Error;
+}
+
+TEST(ProfileIOV2Test, MalformedSamplingRecordsAreRejected) {
+  // Too few fields.
+  EXPECT_FALSE(parseDepProfile("specsync-depprofile v2\nsampling 16 0\n"));
+  // Rate 1 contradicts the format choice (exact profiles are v1).
+  ProfileParseResult R = parseDepProfileVerbose(
+      "specsync-depprofile v2\nsampling 1 0 256 10 1 1\nepochs 10\n"
+      "end 0 0 0\n");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("exact profiles use the v1 format"),
+            std::string::npos)
+      << R.Error;
+  // Duplicate sampling record.
+  R = parseDepProfileVerbose(
+      "specsync-depprofile v2\nsampling 16 0 256 10 1 1\n"
+      "sampling 16 0 256 10 1 1\nepochs 10\nend 0 0 0\n");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("duplicate 'sampling' record"), std::string::npos)
+      << R.Error;
+  EXPECT_EQ(R.Error.rfind("line 3:", 0), 0u) << R.Error;
 }
 
 TEST(LoopProfilerTest, CoverageAndEpochCounts) {
