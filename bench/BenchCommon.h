@@ -18,18 +18,40 @@
 #include "harness/ExperimentRunner.h"
 #include "harness/Pipeline.h"
 #include "harness/Report.h"
+#include "interp/Interpreter.h"
 #include "ir/Remedy.h"
 #include "obs/ObsOptions.h"
 #include "support/TextTable.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace specsync {
+
+/// Parses --engine=reference|fast|native and installs it as the session
+/// default execution tier (overriding SPECSYNC_ENGINE). Every bench
+/// binary gets this through BenchSession; standalone mains (the
+/// microbenchmarks) call it directly. All tiers are differentially
+/// verified bit-identical, so the flag affects wall time and the
+/// report's provenance field only.
+inline void applyEngineFlag(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--engine=", 9) != 0)
+      continue;
+    InterpEngine E = parseInterpEngine(argv[I] + 9);
+    if (E == InterpEngine::Default)
+      std::fprintf(stderr,
+                   "warning: unknown --engine '%s' (want reference|fast|"
+                   "native); using session default\n",
+                   argv[I] + 9);
+    setDefaultInterpEngine(E);
+  }
+}
 
 /// Renders a remedy plan's pair dispositions as one summary cell, e.g.
 /// "2 sync, 1 privatize, 1 reduce". Every label is remedyName() of the
@@ -97,8 +119,11 @@ public:
         Static(analysis::parseStaticAnalysisArgs(argc, argv)),
         Title(std::move(Title)) {
     // Every bench binary gains --jobs / --cache-dir / --workloads through
-    // the session-wide options the grid helpers consult.
+    // the session-wide options the grid helpers consult, and
+    // --engine=reference|fast|native to pick the execution tier (default:
+    // SPECSYNC_ENGINE, else native).
     setSessionExperimentOptions(parseExperimentArgs(argc, argv));
+    applyEngineFlag(argc, argv);
   }
 
   ~BenchSession() {

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "harness/ExperimentRunner.h"
 #include "harness/Pipeline.h"
 #include "interp/Interpreter.h"
@@ -112,6 +113,14 @@ int main(int argc, char **argv) {
   argc = obs::stripObsArgs(argc, argv);
   setSessionExperimentOptions(parseExperimentArgs(argc, argv));
   argc = stripExperimentArgs(argc, argv);
+  applyEngineFlag(argc, argv);
+  {
+    int W = 1;
+    for (int I = 1; I < argc; ++I)
+      if (std::strncmp(argv[I], "--engine=", 9) != 0)
+        argv[W++] = argv[I];
+    argc = W;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

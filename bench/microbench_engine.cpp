@@ -7,7 +7,11 @@
 // Measures the host-side cost of the execution engine in ns per dynamic
 // instruction for the three hot configurations of the toolchain:
 //
-//   interp        plain interpretation (no trace, no observer)
+//   interp        plain interpretation (no trace, no observer) under the
+//                 session engine (--engine / SPECSYNC_ENGINE, default
+//                 native)
+//   fast/native   the same run pinned to each tier explicitly — their
+//                 ratio is the native tier's speedup over runFast
 //   interp+prof   interpretation with the dependence profiler attached
 //                 (the paper's "software-only instrumentation-based tool")
 //   interp+sim    trace collection plus the TLS timing simulation
@@ -20,9 +24,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "compiler/PassManager.h"
 #include "harness/Report.h"
 #include "interp/Interpreter.h"
+#include "interp/Native.h"
 #include "obs/ObsOptions.h"
 #include "obs/StatRegistry.h"
 #include "profile/DepProfiler.h"
@@ -58,9 +64,12 @@ struct ConfigResult {
 /// Runs \p Body (one full engine run, returning its dyn-inst count) until
 /// the accumulated wall time passes ~0.4s (at least MinReps), and returns
 /// the best (minimum) ns/inst observed — the standard microbenchmark
-/// estimator, robust against scheduler noise.
+/// estimator, robust against scheduler noise. One untimed warm-up run
+/// precedes the timed reps: it pays the one-shot costs (program decode,
+/// native lowering, page allocation) outside the measurement.
 template <typename F> ConfigResult bestOf(F &&Body, unsigned MinReps = 3) {
   ConfigResult R;
+  Body(); // Warm-up (untimed).
   uint64_t Budget = 400'000'000; // ns
   uint64_t Spent = 0;
   for (unsigned Rep = 0; Rep < MinReps || Spent < Budget; ++Rep) {
@@ -85,6 +94,7 @@ template <typename F> ConfigResult bestOf(F &&Body, unsigned MinReps = 3) {
 int main(int argc, char **argv) {
   obs::ObsOptions Opts = obs::parseObsArgs(argc, argv);
   obs::ObsSession Session(Opts);
+  applyEngineFlag(argc, argv);
   // Throughput figures go through the registry; always record them.
   obs::StatRegistry::setEnabled(true);
 
@@ -100,10 +110,11 @@ int main(int argc, char **argv) {
 
   obs::StatRegistry &SR = obs::StatRegistry::process();
   TextTable Table;
-  Table.setHeader({"workload", "dyn insts", "interp ns/i", "prof ns/i",
-                   "sim ns/i", "prof ns/acc"});
+  Table.setHeader({"workload", "dyn insts", "interp ns/i", "fast ns/i",
+                   "native ns/i", "speedup", "prof ns/i", "sim ns/i",
+                   "prof ns/acc"});
 
-  double SumInterp = 0, SumProf = 0, SumSim = 0;
+  double SumInterp = 0, SumFast = 0, SumNative = 0, SumProf = 0, SumSim = 0;
   unsigned Counted = 0;
 
   for (const std::string &Name : Names) {
@@ -122,7 +133,7 @@ int main(int argc, char **argv) {
     std::unique_ptr<Program> BaseProg = W->Build(InputKind::Train);
     applyBaseTransforms(*BaseProg, 2);
 
-    // interp: no trace, no observer.
+    // interp: no trace, no observer, session engine.
     ConfigResult Interp = bestOf([&] {
       ContextTable Ctx;
       Interpreter I(*PlainProg, Ctx);
@@ -130,6 +141,23 @@ int main(int argc, char **argv) {
       IO.CollectTrace = false;
       return I.run(IO).DynInstCount;
     });
+
+    // The same run pinned to each tier: the ratio is the native tier's
+    // speedup over runFast (the perf-smoke gate's subject). With no
+    // native backend on the host the native run transparently falls back
+    // to runFast and the ratio reads ~1.
+    auto pinned = [&](InterpEngine E) {
+      return bestOf([&, E] {
+        ContextTable Ctx;
+        Interpreter I(*PlainProg, Ctx);
+        InterpOptions IO;
+        IO.CollectTrace = false;
+        IO.Engine = E;
+        return I.run(IO).DynInstCount;
+      });
+    };
+    ConfigResult FastCfg = pinned(InterpEngine::Fast);
+    ConfigResult NativeCfg = pinned(InterpEngine::Native);
 
     // interp+prof: dependence profiler attached, no trace.
     uint64_t ProfAccesses = 0;
@@ -167,17 +195,26 @@ int main(int argc, char **argv) {
       std::snprintf(Buf, sizeof(Buf), "%.2f", V);
       return std::string(Buf);
     };
+    double Speedup = NativeCfg.NsPerInst > 0
+                         ? FastCfg.NsPerInst / NativeCfg.NsPerInst
+                         : 0;
     Table.addRow({Name, std::to_string(Interp.DynInsts), fmt(Interp.NsPerInst),
-                  fmt(Prof.NsPerInst), fmt(SimCfg.NsPerInst),
-                  fmt(Prof.NsPerAccess)});
+                  fmt(FastCfg.NsPerInst), fmt(NativeCfg.NsPerInst),
+                  fmt(Speedup) + "x", fmt(Prof.NsPerInst),
+                  fmt(SimCfg.NsPerInst), fmt(Prof.NsPerAccess)});
 
     auto ps = [](double Ns) { return static_cast<int64_t>(Ns * 1000.0); };
     SR.gauge("engine." + Name + ".interp.ps_per_inst")->set(ps(Interp.NsPerInst));
+    SR.gauge("engine." + Name + ".fast.ps_per_inst")->set(ps(FastCfg.NsPerInst));
+    SR.gauge("engine." + Name + ".native.ps_per_inst")
+        ->set(ps(NativeCfg.NsPerInst));
     SR.gauge("engine." + Name + ".prof.ps_per_inst")->set(ps(Prof.NsPerInst));
     SR.gauge("engine." + Name + ".prof.ps_per_access")
         ->set(ps(Prof.NsPerAccess));
     SR.gauge("engine." + Name + ".sim.ps_per_inst")->set(ps(SimCfg.NsPerInst));
     SumInterp += Interp.NsPerInst;
+    SumFast += FastCfg.NsPerInst;
+    SumNative += NativeCfg.NsPerInst;
     SumProf += Prof.NsPerInst;
     SumSim += SimCfg.NsPerInst;
     ++Counted;
@@ -188,8 +225,15 @@ int main(int argc, char **argv) {
       return static_cast<int64_t>(Sum / Counted * 1000.0);
     };
     SR.gauge("engine.mean.interp.ps_per_inst")->set(ps(SumInterp));
+    SR.gauge("engine.mean.fast.ps_per_inst")->set(ps(SumFast));
+    SR.gauge("engine.mean.native.ps_per_inst")->set(ps(SumNative));
     SR.gauge("engine.mean.prof.ps_per_inst")->set(ps(SumProf));
     SR.gauge("engine.mean.sim.ps_per_inst")->set(ps(SumSim));
+    // The perf-smoke gate's subject: aggregate native speedup over
+    // runFast, x1000 (bench_history.py pins it higher-is-better).
+    if (SumNative > 0)
+      SR.gauge("interp.native_speedup_vs_fast")
+          ->set(static_cast<int64_t>(SumFast / SumNative * 1000.0));
   }
 
   std::printf("=== Engine microbenchmark (host ns per dynamic instruction) "

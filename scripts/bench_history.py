@@ -45,8 +45,17 @@ DEFAULT_TOLERANCES = [
     ("interp.ns_per_inst", 15.0),
     ("profile.ns_per_access", 15.0),
     ("engine.mean.interp.ps_per_inst", 50.0),
+    ("engine.mean.fast.ps_per_inst", 50.0),
+    ("engine.mean.native.ps_per_inst", 50.0),
     ("engine.mean.prof.ps_per_inst", 50.0),
     ("engine.mean.sim.ps_per_inst", 50.0),
+    # Native-tier speedup over runFast x1000 (microbench_engine), the
+    # perf-smoke gate from the native execution tier work. Both sides of
+    # the ratio are measured on the same host in the same process, so it
+    # is far more stable than the absolute ps/inst gauges; the band still
+    # has to absorb host-dependent codegen quality (the pin is ~5x, the
+    # gate keeps "at least ~3x").
+    ("interp.native_speedup_vs_fast", 45.0),
     # Real-threads wall-clock speedup x1000 (rt_wallclock). End-to-end
     # threading figures are noisy on shared CI runners, hence the very
     # generous band; the differential tests, not this gauge, own
@@ -72,6 +81,7 @@ HIGHER_IS_BETTER = {
     "remedy.speedup_m88ksim",
     "profile.decision_agreement",
     "profile.sample_speedup",
+    "interp.native_speedup_vs_fast",
 }
 
 

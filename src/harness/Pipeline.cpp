@@ -10,6 +10,7 @@
 #include "compiler/PassManager.h"
 #include "harness/ResultCache.h"
 #include "interp/Interpreter.h"
+#include "interp/Native.h"
 #include "obs/EventLog.h"
 #include "obs/PhaseTimer.h"
 #include "obs/StatRegistry.h"
@@ -450,6 +451,12 @@ rt::RtRunResult BenchmarkPipeline::runThreads(ExecMode Mode,
   // coordinator, which farms epochs out to the worker pool.
   {
     std::unique_ptr<Program> P = makeBinary();
+    // Worker epoch attempts run on the Spec-mode native tier when the
+    // session engine is Native; the module shares P's decoded form, so
+    // it stays valid for the engine's lifetime.
+    if (defaultInterpEngine() == InterpEngine::Native &&
+        nativeBackendAvailable())
+      RtOpts.Native = P->getNative().module(NativeMode::Spec);
     rt::RtEngine Engine(P->getDecoded(), Oracle, RtOpts);
     Interpreter I(*P, Contexts);
     InterpOptions IOpts;
@@ -665,6 +672,10 @@ std::string BenchmarkPipeline::cacheKey(const RunStep &Step) const {
      << "|wretry=" << R.EpochRetryLimit
      << "|wdemote=" << R.GroupDemoteThreshold
      << "|wdegrade=" << bits(R.DegradeSquashRate);
+  // Engine choice cannot change any cached result (the tiers are
+  // differentially verified bit-equal), but keying on it keeps a stale
+  // entry from masking a tier divergence while one is being debugged.
+  OS << "|engine=" << interpEngineName(defaultInterpEngine());
   if (Step.Perfect)
     OS << "|step=perfect," << bits(Step.Percent);
   else

@@ -6,6 +6,8 @@
 
 #include "harness/Report.h"
 
+#include "interp/Interpreter.h"
+
 #include "obs/Json.h"
 #include "obs/StatRegistry.h"
 #include "support/TextTable.h"
@@ -265,6 +267,10 @@ void specsync::writeJsonReport(std::ostream &OS, const std::string &Title,
   W.beginObject();
   W.keyValue("report", Title);
   W.keyValue("schema_version", 1);
+  // Execution-tier provenance: which engine produced these numbers. The
+  // tiers are differentially verified bit-identical, so results never
+  // depend on it — wall-clock-derived fields do.
+  W.keyValue("engine", interpEngineName(defaultInterpEngine()));
   if (Robustness) {
     // Replay handle: the exact plan and watchdog settings of this run.
     W.key("fault_plan");

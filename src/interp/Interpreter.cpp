@@ -24,6 +24,8 @@
 #include "interp/Interpreter.h"
 
 #include "interp/Decoded.h"
+#include "interp/OpArith.h"
+#include "interp/Native.h"
 #include "ir/Dominators.h"
 #include "ir/LoopInfo.h"
 #include "ir/Remedy.h"
@@ -31,6 +33,8 @@
 #include "obs/StatRegistry.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 using namespace specsync;
@@ -38,12 +42,62 @@ using namespace specsync;
 ExecutionObserver::~ExecutionObserver() = default;
 RegionExecutor::~RegionExecutor() = default;
 
+InterpEngine specsync::parseInterpEngine(const char *Name) {
+  if (!Name)
+    return InterpEngine::Default;
+  if (std::strcmp(Name, "reference") == 0)
+    return InterpEngine::Reference;
+  if (std::strcmp(Name, "fast") == 0)
+    return InterpEngine::Fast;
+  if (std::strcmp(Name, "native") == 0)
+    return InterpEngine::Native;
+  return InterpEngine::Default;
+}
+
+const char *specsync::interpEngineName(InterpEngine E) {
+  switch (E) {
+  case InterpEngine::Reference:
+    return "reference";
+  case InterpEngine::Fast:
+    return "fast";
+  case InterpEngine::Native:
+    return "native";
+  case InterpEngine::Default:
+    break;
+  }
+  return "default";
+}
+
+namespace {
+InterpEngine initialDefaultEngine() {
+  InterpEngine E = parseInterpEngine(std::getenv("SPECSYNC_ENGINE"));
+  return E == InterpEngine::Default ? InterpEngine::Native : E;
+}
+InterpEngine DefaultEngine = initialDefaultEngine();
+} // namespace
+
+InterpEngine specsync::defaultInterpEngine() { return DefaultEngine; }
+void specsync::setDefaultInterpEngine(InterpEngine E) {
+  DefaultEngine = E == InterpEngine::Default ? initialDefaultEngine() : E;
+}
+
 InterpResult Interpreter::run(const InterpOptions &Opts,
                               ExecutionObserver *Observer) {
-  assert(!((Opts.RecordOracle || Opts.RegionHook) && Opts.UseReferenceEngine) &&
-         "region oracle/hook are fast-engine features");
-  return Opts.UseReferenceEngine ? runReference(Opts, Observer)
-                                 : runFast(Opts, Observer);
+  InterpEngine E = Opts.Engine == InterpEngine::Default ? DefaultEngine
+                                                        : Opts.Engine;
+  assert(!((Opts.RecordOracle || Opts.RegionHook) &&
+           E == InterpEngine::Reference) &&
+         "region oracle/hook are fast/native-engine features");
+  if (E == InterpEngine::Reference)
+    return runReference(Opts, Observer);
+  // The native tier serves untraced runs with at most a MemoryOnly
+  // observer; everything else falls back to the fast engine so trace
+  // consumers and AllInsts observers see identical behaviour as before.
+  if (E == InterpEngine::Native && !Opts.CollectTrace &&
+      (!Observer || Observer->demand() == ObserverDemand::MemoryOnly) &&
+      nativeBackendAvailable())
+    return runNative(Opts, Observer);
+  return runFast(Opts, Observer);
 }
 
 //===----------------------------------------------------------------------===//
@@ -271,13 +325,12 @@ InterpResult Interpreter::runFast(const InterpOptions &Opts,
     R[I.Dest] = (EXPR);                                                      \
     break;                                                                   \
   }
-      SPECSYNC_BINOP(Add, A + B)
-      SPECSYNC_BINOP(Sub, A - B)
-      SPECSYNC_BINOP(Mul, A *B)
-      // Division/modulo by zero are defined to yield 0 so that arbitrary
-      // (e.g. randomly generated) programs have total semantics.
-      SPECSYNC_BINOP(Div, B == 0 ? 0 : A / B)
-      SPECSYNC_BINOP(Mod, B == 0 ? 0 : A % B)
+      SPECSYNC_BINOP(Add, wrapAdd(A, B))
+      SPECSYNC_BINOP(Sub, wrapSub(A, B))
+      SPECSYNC_BINOP(Mul, wrapMul(A, B))
+      // Total wrapping semantics shared by every tier (interp/OpArith.h).
+      SPECSYNC_BINOP(Div, totalDiv(A, B))
+      SPECSYNC_BINOP(Mod, totalMod(A, B))
       SPECSYNC_BINOP(And, A &B)
       SPECSYNC_BINOP(Or, A | B)
       SPECSYNC_BINOP(Xor, A ^ B)
@@ -701,13 +754,12 @@ InterpResult Interpreter::runReference(const InterpOptions &Opts,
       int64_t B = val(I.getOperand(1));
       int64_t R = 0;
       switch (I.getOpcode()) {
-      case Opcode::Add: R = A + B; break;
-      case Opcode::Sub: R = A - B; break;
-      case Opcode::Mul: R = A * B; break;
-      // Division/modulo by zero are defined to yield 0 so that arbitrary
-      // (e.g. randomly generated) programs have total semantics.
-      case Opcode::Div: R = B == 0 ? 0 : A / B; break;
-      case Opcode::Mod: R = B == 0 ? 0 : A % B; break;
+      case Opcode::Add: R = wrapAdd(A, B); break;
+      case Opcode::Sub: R = wrapSub(A, B); break;
+      case Opcode::Mul: R = wrapMul(A, B); break;
+      // Total wrapping semantics shared by every tier (interp/OpArith.h).
+      case Opcode::Div: R = totalDiv(A, B); break;
+      case Opcode::Mod: R = totalMod(A, B); break;
       case Opcode::And: R = A & B; break;
       case Opcode::Or:  R = A | B; break;
       case Opcode::Xor: R = A ^ B; break;

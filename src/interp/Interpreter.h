@@ -72,12 +72,36 @@ public:
   virtual void onRegionEnd() {}
 };
 
+/// Which execution engine to run. All engines are architecturally
+/// bit-identical (enforced by the differential test suites); they differ
+/// only in speed and in which features they can serve directly.
+enum class InterpEngine : uint8_t {
+  Default,   ///< Use the session default (setDefaultInterpEngine).
+  Reference, ///< Original tree-walking loop: the semantic baseline.
+  Fast,      ///< Pre-decoded dispatch loop (runFast).
+  /// Lowered native code (interp/Native.h) with the fast engine's host
+  /// loop handling calls, region transitions and truncation. Requests
+  /// the native tier cannot serve (trace collection, AllInsts observers,
+  /// no backend on this host) transparently run on the fast engine.
+  Native,
+};
+
+/// Process-wide engine used when InterpOptions::Engine is Default.
+/// Initialized from SPECSYNC_ENGINE (reference|fast|native) when set,
+/// otherwise Native.
+InterpEngine defaultInterpEngine();
+void setDefaultInterpEngine(InterpEngine E);
+
+/// Parses "reference" / "fast" / "native" (anything else -> Default).
+InterpEngine parseInterpEngine(const char *Name);
+/// Name for reports/provenance ("reference", "fast", "native", "default").
+const char *interpEngineName(InterpEngine E);
+
 struct InterpOptions {
   bool CollectTrace = true;
   uint64_t MaxSteps = 200'000'000; ///< Runaway guard.
-  /// Run the original tree-walking loop instead of the pre-decoded fast
-  /// engine. Slower; kept as the semantic baseline for differential tests.
-  bool UseReferenceEngine = false;
+  /// Engine selection; Default defers to the session-wide setting.
+  InterpEngine Engine = InterpEngine::Default;
   /// When set, the fast engine records per-epoch entry frames / RNG states
   /// and region-exit continuations into this oracle (see RegionOracle.h).
   /// Fast engine only; does not perturb execution or the trace.
@@ -120,6 +144,10 @@ private:
   InterpResult runFast(const InterpOptions &Opts, ExecutionObserver *Observer);
   InterpResult runReference(const InterpOptions &Opts,
                             ExecutionObserver *Observer);
+  /// Native tier host loop (NativeEngine.cpp). Requires !CollectTrace and
+  /// an observer demand of at most MemoryOnly.
+  InterpResult runNative(const InterpOptions &Opts,
+                         ExecutionObserver *Observer);
 
   const Program &Prog;
   ContextTable &Contexts;

@@ -49,6 +49,24 @@ public:
     LastPage->Words[(Addr & (PageBytes - 1)) >> 3] = Value;
   }
 
+  /// Native-tier page-cache accessors: return the word array of the page
+  /// holding \p Addr (null when absent / creating it), refreshing the
+  /// last-page cache so interleaved loadWord/storeWord calls stay
+  /// coherent. jitPageWordsCreate preserves the invariant that a missing
+  /// page is only ever cached while it is actually absent.
+  int64_t *jitPageWords(uint64_t Addr) const {
+    uint64_t Id = Addr >> PageShift;
+    LastId = Id;
+    LastPage = Pages.lookup(Id);
+    return LastPage ? LastPage->Words : nullptr;
+  }
+  int64_t *jitPageWordsCreate(uint64_t Addr) {
+    uint64_t Id = Addr >> PageShift;
+    LastId = Id;
+    LastPage = &Pages.getOrCreate(Id);
+    return LastPage->Words;
+  }
+
   /// Order-independent digest of all touched pages; used by tests to check
   /// that transformed programs compute the same final memory image.
   uint64_t checksum() const;

@@ -1,0 +1,658 @@
+//===- interp/Native.cpp - Lowering driver + threaded backend --*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Backend-independent half of the native tier: the per-instruction
+// lowering plan (dispatch classes, straight-line segment step counts,
+// entry points), the portable computed-goto threaded executor, the C++
+// memory helpers the emitted code calls, and the fingerprint-validated
+// NativeImage cache on Program. The x86-64 template JIT consuming the
+// same plan lives in NativeX86.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Native.h"
+#include "interp/OpArith.h"
+
+#include "interp/ContextTable.h"
+#include "interp/Interpreter.h"
+#include "interp/Memory.h"
+#include "ir/Program.h"
+#include "ir/Remedy.h"
+#include "obs/StatRegistry.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+using namespace specsync;
+
+//===----------------------------------------------------------------------===//
+// Backend selection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class Backend { Jit, Threaded, None };
+
+Backend pickBackend() {
+#if !defined(__GNUC__) && !defined(__clang__)
+  return Backend::None; // Threaded executor needs computed goto.
+#else
+  const char *E = std::getenv("SPECSYNC_NATIVE_BACKEND");
+  if (E && std::strcmp(E, "threaded") == 0)
+    return Backend::Threaded;
+#if defined(__x86_64__)
+  return Backend::Jit;
+#else
+  return Backend::Threaded;
+#endif
+#endif
+}
+
+unsigned TestUnsupportedOp = NumOpcodes;
+
+alignas(64) const int64_t ZeroPage[Memory::WordsPerPage] = {};
+
+} // namespace
+
+bool specsync::nativeBackendAvailable() {
+  return pickBackend() != Backend::None;
+}
+
+const char *specsync::nativeBackendName() {
+  switch (pickBackend()) {
+  case Backend::Jit:
+    return "x86-64-jit";
+  case Backend::Threaded:
+    return "threaded";
+  case Backend::None:
+    return "none";
+  }
+  return "none";
+}
+
+void specsync::setNativeUnsupportedOpcodeForTest(unsigned Op) {
+  TestUnsupportedOp = Op;
+}
+
+const int64_t *specsync::nativeZeroPage() { return ZeroPage; }
+
+//===----------------------------------------------------------------------===//
+// Memory helpers (Plain slow paths and the Observed shadow hook)
+//===----------------------------------------------------------------------===//
+
+void NativeCtx::rebindPageCaches(uint64_t Addr) {
+  if (!Mem) {
+    LoadPageId = StorePageId = ~0ull;
+    LoadPageWords = StorePageWords = nullptr;
+    return;
+  }
+  uint64_t Id = Addr >> Memory::PageShift;
+  int64_t *W = Mem->jitPageWords(Addr);
+  LoadPageId = Id;
+  LoadPageWords = W ? W : const_cast<int64_t *>(nativeZeroPage());
+  StorePageId = Id;
+  StorePageWords = W; // Null: the inline store path falls to the helper.
+}
+
+namespace {
+
+/// Plain-mode load miss: rebind the load cache (zero page when the page
+/// is absent — safe, stores can only create pages through the store
+/// helper, which refreshes this cache) and read through it. The inline
+/// fast path does the MemAccessCount increment for both paths.
+int64_t loadPlainSlow(NativeCtx *C, uint64_t Addr, uint32_t) {
+  uint64_t Id = Addr >> Memory::PageShift;
+  int64_t *W = C->Mem->jitPageWords(Addr);
+  C->LoadPageId = Id;
+  C->LoadPageWords = W ? W : const_cast<int64_t *>(nativeZeroPage());
+  return C->LoadPageWords[(Addr & (Memory::PageBytes - 1)) >> 3];
+}
+
+/// Plain-mode store miss: create the page, rebind both caches (the load
+/// cache must never alias the zero page for a page that now exists).
+void storePlainSlow(NativeCtx *C, uint64_t Addr, int64_t V, uint32_t) {
+  uint64_t Id = Addr >> Memory::PageShift;
+  int64_t *W = C->Mem->jitPageWordsCreate(Addr);
+  C->StorePageId = Id;
+  C->StorePageWords = W;
+  C->LoadPageId = Id;
+  C->LoadPageWords = W;
+  W[(Addr & (Memory::PageBytes - 1)) >> 3] = V;
+}
+
+void reducePlain(NativeCtx *C, uint64_t Addr, int64_t V, int64_t Kind,
+                 uint32_t) {
+  auto K = static_cast<ReduceOpKind>(Kind);
+  C->Mem->storeWord(Addr, applyReduceOp(K, C->Mem->loadWord(Addr), V));
+  // The store may have created the page: the inline fast-path caches must
+  // not keep serving the zero page for it.
+  C->rebindPageCaches(Addr);
+}
+
+DynInst makeNativeDI(const NativeCtx *C, const DecodedInst &I) {
+  DynInst DI;
+  DI.StaticId = I.StaticId;
+  DI.OrigId = I.OrigId;
+  DI.Context = C->RegionActive ? C->CurContext : ContextTable::RootContext;
+  DI.Op = I.Op;
+  DI.SyncId = I.SyncId;
+  DI.Remedy = I.TFlags;
+  return DI;
+}
+
+/// Observed-mode hooks: perform the access, then deliver the DynInst the
+/// dependence profiler consumes (loads honor the per-epoch sampling gate).
+int64_t loadObserved(NativeCtx *C, uint64_t Addr, uint32_t InstIdx) {
+  int64_t V = C->Mem->loadWord(Addr);
+  ++C->MemAccessCount;
+  if (C->EmitLoads) {
+    DynInst DI = makeNativeDI(C, C->CurInsts[InstIdx]);
+    DI.Addr = Addr;
+    DI.Value = static_cast<uint64_t>(V);
+    C->Observer->onDynInst(DI, C->RegionActive != 0, C->EpochIndex);
+  }
+  return V;
+}
+
+void storeObserved(NativeCtx *C, uint64_t Addr, int64_t V, uint32_t InstIdx) {
+  C->Mem->storeWord(Addr, V);
+  ++C->MemAccessCount;
+  DynInst DI = makeNativeDI(C, C->CurInsts[InstIdx]);
+  DI.Addr = Addr;
+  DI.Value = static_cast<uint64_t>(V);
+  C->Observer->onDynInst(DI, C->RegionActive != 0, C->EpochIndex);
+}
+
+void reduceObserved(NativeCtx *C, uint64_t Addr, int64_t V, int64_t Kind,
+                    uint32_t InstIdx) {
+  auto K = static_cast<ReduceOpKind>(Kind);
+  int64_t NewV = applyReduceOp(K, C->Mem->loadWord(Addr), V);
+  C->Mem->storeWord(Addr, NewV);
+  ++C->MemAccessCount;
+  DynInst DI = makeNativeDI(C, C->CurInsts[InstIdx]);
+  DI.Addr = Addr;
+  DI.Value = static_cast<uint64_t>(NewV);
+  C->Observer->onDynInst(DI, C->RegionActive != 0, C->EpochIndex);
+}
+
+} // namespace
+
+void specsync::installNativeHelpers(NativeCtx &C, NativeMode M) {
+  switch (M) {
+  case NativeMode::Plain:
+    C.LoadHelper = loadPlainSlow;
+    C.StoreHelper = storePlainSlow;
+    C.ReduceHelper = reducePlain;
+    break;
+  case NativeMode::Observed:
+    C.LoadHelper = loadObserved;
+    C.StoreHelper = storeObserved;
+    C.ReduceHelper = reduceObserved;
+    break;
+  case NativeMode::Spec:
+    // The rt epoch engine installs its own helpers (EpochEngine.cpp).
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering plan
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// How a branch side with region flags \p Fl behaves. Mirrors runFast's
+/// transition conditions: header targets may begin a region/epoch, targets
+/// outside the loop may end the region. Both are *gated* on host-set
+/// context bytes rather than exiting unconditionally, because the
+/// transitions only fire when the region is active at the right frame
+/// depth — which is constant during a native segment.
+enum SideKind : uint8_t { SideGo = 0, SideHeader = 1, SideRexit = 2 };
+
+SideKind sideKind(bool IsRegionFunc, uint8_t Fl) {
+  if (!IsRegionFunc)
+    return SideGo;
+  if (Fl & 1)
+    return SideHeader;
+  return (Fl & 2) ? SideGo : SideRexit;
+}
+
+uint8_t classify(const DecodedInst &I, bool IsRegionFunc, NativeMode Mode) {
+  switch (I.Op) {
+  case Opcode::Const:
+  case Opcode::Move:
+    return TkCopy;
+  case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+  case Opcode::Mod: case Opcode::And: case Opcode::Or: case Opcode::Xor:
+  case Opcode::Shl: case Opcode::Shr: case Opcode::CmpEQ:
+  case Opcode::CmpNE: case Opcode::CmpLT: case Opcode::CmpLE:
+  case Opcode::CmpGT: case Opcode::CmpGE:
+    return static_cast<uint8_t>(
+        TkAdd + (static_cast<unsigned>(I.Op) -
+                 static_cast<unsigned>(Opcode::Add)));
+  case Opcode::Select:
+    return TkSelect;
+  case Opcode::Rand:
+    return TkRand;
+  case Opcode::Load:
+    return TkLoad;
+  case Opcode::Store:
+    return TkStore;
+  case Opcode::Reduce:
+    return TkReduce;
+  case Opcode::SelectFwd:
+    return TkNop; // Timing-only marker in every tier.
+  case Opcode::WaitScalar:
+  case Opcode::WaitMem:
+  case Opcode::SignalScalar:
+  case Opcode::SignalMem:
+  case Opcode::CheckFwd:
+    // Unobserved/MemoryOnly runs never materialize these (EmitAll is
+    // false), so they are pure steps; the speculative tier hands them to
+    // the epoch engine's protocol code.
+    return Mode == NativeMode::Spec ? TkExit : TkNop;
+  case Opcode::Br:
+    switch (sideKind(IsRegionFunc, I.TFlags & 3)) {
+    case SideHeader:
+      return TkBrHeader;
+    case SideRexit:
+      return TkBrRexit;
+    case SideGo:
+      break;
+    }
+    return TkBr;
+  case Opcode::CondBr: {
+    SideKind K0 = sideKind(IsRegionFunc, I.TFlags & 3);
+    SideKind K1 = sideKind(IsRegionFunc, (I.TFlags >> 2) & 3);
+    return K0 == SideGo && K1 == SideGo ? TkCondBr : TkCondBrMixed;
+  }
+  case Opcode::Call:
+    // The speculative tier keeps frame transitions on the host for now.
+    return Mode == NativeMode::Spec ? TkExit : TkCall;
+  case Opcode::Ret:
+    return Mode == NativeMode::Spec ? TkExit : TkRet;
+  }
+  return TkExit;
+}
+
+bool isTerminatorTok(uint8_t Cls) {
+  return Cls == TkBr || Cls == TkBrHeader || Cls == TkBrRexit ||
+         Cls == TkCondBr || Cls == TkCondBrMixed || Cls == TkCall ||
+         Cls == TkRet || Cls == TkExit;
+}
+
+/// Instruction classes the host may execute via its switch; native entry
+/// at such a position would bounce straight back, and the position after
+/// one is a segment entry (the host / a returning callee resumes there).
+bool isHostClass(uint8_t Cls) {
+  return Cls == TkExit || Cls == TkCall || Cls == TkRet;
+}
+
+/// Builds the per-instruction token stream for one function. Returns
+/// false when the function must stay on the host interpreter.
+bool lowerFunction(const DecodedFunction &F, NativeMode Mode,
+                   NativeFunc &NF, uint64_t &MaxSeg) {
+  const size_t N = F.Insts.size();
+  if (N == 0)
+    return false;
+  NF.Toks.assign(N, NativeTok{});
+  NF.EntryOff.assign(N, NativeFunc::NoOff);
+
+  std::vector<uint8_t> IsStart(N, 0);
+  for (uint32_t S : F.BlockStart)
+    if (S < N)
+      IsStart[S] = 1;
+
+  for (size_t I = 0; I < N; ++I) {
+    if (static_cast<unsigned>(F.Insts[I].Op) == TestUnsupportedOp)
+      return false;
+    NF.Toks[I].Cls = classify(F.Insts[I], F.IsRegionFunc, Mode);
+  }
+
+  // Straight-line segments: a segment starts at a block head or right
+  // after an exit-class instruction (the host re-enters there after
+  // executing it). Terminators charge the whole segment at once.
+  uint32_t SegLen = 0;
+  for (size_t I = 0; I < N; ++I) {
+    if (IsStart[I] || (I > 0 && isHostClass(NF.Toks[I - 1].Cls))) {
+      // Entry allowed (the JIT patches in real code offsets) — except at
+      // host-class instructions, where entering native code would bounce
+      // straight back; the host interprets those directly.
+      if (!isHostClass(NF.Toks[I].Cls))
+        NF.EntryOff[I] = 0;
+      SegLen = 0;
+    }
+    ++SegLen;
+    if (isTerminatorTok(NF.Toks[I].Cls)) {
+      if (SegLen > 0xffff)
+        return false; // Absurd straight-line block; keep it interpreted.
+      NF.Toks[I].StepAdd = static_cast<uint16_t>(SegLen);
+      MaxSeg = std::max<uint64_t>(MaxSeg, SegLen);
+    }
+  }
+  NF.Compiled = true;
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Threaded backend (portable computed-goto executor)
+//===----------------------------------------------------------------------===//
+
+#if defined(__GNUC__) || defined(__clang__)
+
+namespace {
+
+template <NativeMode Mode>
+NativeExit runThreadedImpl(NativeCtx &C, const NativeModule &M,
+                           uint32_t PC) {
+  static const void *Table[NumTok] = {
+      &&L_Nop,   &&L_Copy,  &&L_Add,   &&L_Sub,   &&L_Mul,   &&L_Div,
+      &&L_Mod,   &&L_And,   &&L_Or,    &&L_Xor,   &&L_Shl,   &&L_Shr,
+      &&L_CmpEQ, &&L_CmpNE, &&L_CmpLT, &&L_CmpLE, &&L_CmpGT, &&L_CmpGE,
+      &&L_Select, &&L_Rand, &&L_Load,  &&L_Store, &&L_Reduce, &&L_Br,
+      &&L_BrHeader, &&L_BrRexit, &&L_CondBr, &&L_CondBrMixed, &&L_Call,
+      &&L_Ret, &&L_Exit};
+
+  const DecodedFunction *F = &M.decodedFunction(C.FIdx);
+  const DecodedInst *Insts = F->Insts.data();
+  const NativeTok *Toks = M.funcTokens(C.FIdx).Toks.data();
+  const DecodedOp *Ops = F->Ops.data();
+  int64_t *R = C.R;
+  uint64_t Steps = C.Steps;
+
+#define SPECSYNC_TH_DISPATCH() goto *Table[Toks[PC].Cls]
+#define SPECSYNC_TH_NEXT()                                                   \
+  do {                                                                       \
+    ++PC;                                                                    \
+    SPECSYNC_TH_DISPATCH();                                                  \
+  } while (0)
+#define SPECSYNC_TH_I (Insts[PC])
+#define SPECSYNC_TH_BIN(LBL, EXPR)                                           \
+  LBL : {                                                                    \
+    int64_t A = R[Ops[SPECSYNC_TH_I.OpBegin]];                               \
+    int64_t B = R[Ops[SPECSYNC_TH_I.OpBegin + 1]];                           \
+    R[SPECSYNC_TH_I.Dest] = (EXPR);                                          \
+    SPECSYNC_TH_NEXT();                                                      \
+  }
+
+  SPECSYNC_TH_DISPATCH();
+
+L_Nop:
+  SPECSYNC_TH_NEXT();
+L_Copy:
+  R[SPECSYNC_TH_I.Dest] = R[Ops[SPECSYNC_TH_I.OpBegin]];
+  SPECSYNC_TH_NEXT();
+
+  SPECSYNC_TH_BIN(L_Add, wrapAdd(A, B))
+  SPECSYNC_TH_BIN(L_Sub, wrapSub(A, B))
+  SPECSYNC_TH_BIN(L_Mul, wrapMul(A, B))
+  // Total wrapping semantics shared by every tier (interp/OpArith.h).
+  SPECSYNC_TH_BIN(L_Div, totalDiv(A, B))
+  SPECSYNC_TH_BIN(L_Mod, totalMod(A, B))
+  SPECSYNC_TH_BIN(L_And, A &B)
+  SPECSYNC_TH_BIN(L_Or, A | B)
+  SPECSYNC_TH_BIN(L_Xor, A ^ B)
+  SPECSYNC_TH_BIN(L_Shl, static_cast<int64_t>(static_cast<uint64_t>(A)
+                                              << (static_cast<uint64_t>(B) &
+                                                  63)))
+  SPECSYNC_TH_BIN(L_Shr, static_cast<int64_t>(static_cast<uint64_t>(A) >>
+                                              (static_cast<uint64_t>(B) &
+                                               63)))
+  SPECSYNC_TH_BIN(L_CmpEQ, A == B)
+  SPECSYNC_TH_BIN(L_CmpNE, A != B)
+  SPECSYNC_TH_BIN(L_CmpLT, A < B)
+  SPECSYNC_TH_BIN(L_CmpLE, A <= B)
+  SPECSYNC_TH_BIN(L_CmpGT, A > B)
+  SPECSYNC_TH_BIN(L_CmpGE, A >= B)
+
+L_Select:
+  R[SPECSYNC_TH_I.Dest] = R[Ops[SPECSYNC_TH_I.OpBegin]] != 0
+                              ? R[Ops[SPECSYNC_TH_I.OpBegin + 1]]
+                              : R[Ops[SPECSYNC_TH_I.OpBegin + 2]];
+  SPECSYNC_TH_NEXT();
+
+L_Rand:
+  R[SPECSYNC_TH_I.Dest] = static_cast<int64_t>(
+      Random::advanceState(C.RngState) & 0x7fffffffffffffffull);
+  SPECSYNC_TH_NEXT();
+
+L_Load: {
+  uint64_t Addr = static_cast<uint64_t>(R[Ops[SPECSYNC_TH_I.OpBegin]]);
+  if constexpr (Mode == NativeMode::Plain) {
+    R[SPECSYNC_TH_I.Dest] = C.Mem->loadWord(Addr);
+    ++C.MemAccessCount;
+  } else {
+    R[SPECSYNC_TH_I.Dest] = C.LoadHelper(&C, Addr, PC);
+  }
+  SPECSYNC_TH_NEXT();
+}
+L_Store: {
+  uint64_t Addr = static_cast<uint64_t>(R[Ops[SPECSYNC_TH_I.OpBegin]]);
+  int64_t V = R[Ops[SPECSYNC_TH_I.OpBegin + 1]];
+  if constexpr (Mode == NativeMode::Plain) {
+    C.Mem->storeWord(Addr, V);
+    ++C.MemAccessCount;
+  } else {
+    C.StoreHelper(&C, Addr, V, PC);
+  }
+  SPECSYNC_TH_NEXT();
+}
+L_Reduce: {
+  uint64_t Addr = static_cast<uint64_t>(R[Ops[SPECSYNC_TH_I.OpBegin]]);
+  int64_t V = R[Ops[SPECSYNC_TH_I.OpBegin + 1]];
+  int64_t K = R[Ops[SPECSYNC_TH_I.OpBegin + 2]];
+  if constexpr (Mode == NativeMode::Plain) {
+    auto RK = static_cast<ReduceOpKind>(K);
+    C.Mem->storeWord(Addr, applyReduceOp(RK, C.Mem->loadWord(Addr), V));
+    ++C.MemAccessCount;
+  } else {
+    C.ReduceHelper(&C, Addr, V, K, PC);
+  }
+  SPECSYNC_TH_NEXT();
+}
+
+L_Br: {
+  Steps += Toks[PC].StepAdd;
+  uint32_t T = SPECSYNC_TH_I.T0;
+  if (Steps > C.StepLimit) {
+    C.Steps = Steps;
+    C.ExitPC = T;
+    return NativeExit::Budget;
+  }
+  PC = T;
+  SPECSYNC_TH_DISPATCH();
+}
+L_CondBr: {
+  Steps += Toks[PC].StepAdd;
+  uint32_t T =
+      R[Ops[SPECSYNC_TH_I.OpBegin]] != 0 ? SPECSYNC_TH_I.T0 : SPECSYNC_TH_I.T1;
+  if (Steps > C.StepLimit) {
+    C.Steps = Steps;
+    C.ExitPC = T;
+    return NativeExit::Budget;
+  }
+  PC = T;
+  SPECSYNC_TH_DISPATCH();
+}
+L_BrHeader: {
+  uint8_t A = C.HeaderAction;
+  if (A == NativeCtx::HeaderExit)
+    goto L_Exit; // Region/epoch transition: host executes the branch.
+  if (A == NativeCtx::HeaderIncGo)
+    ++C.EpochIndex; // Pure run: the whole epoch transition is this inc.
+  Steps += Toks[PC].StepAdd;
+  uint32_t T = SPECSYNC_TH_I.T0;
+  if (Steps > C.StepLimit) {
+    C.Steps = Steps;
+    C.ExitPC = T;
+    return NativeExit::Budget;
+  }
+  PC = T;
+  SPECSYNC_TH_DISPATCH();
+}
+L_BrRexit: {
+  if (C.ExitGate)
+    goto L_Exit; // Region active at this depth: host ends the region.
+  Steps += Toks[PC].StepAdd;
+  uint32_t T = SPECSYNC_TH_I.T0;
+  if (Steps > C.StepLimit) {
+    C.Steps = Steps;
+    C.ExitPC = T;
+    return NativeExit::Budget;
+  }
+  PC = T;
+  SPECSYNC_TH_DISPATCH();
+}
+L_CondBrMixed: {
+  bool Taken = R[Ops[SPECSYNC_TH_I.OpBegin]] != 0;
+  uint32_t T = Taken ? SPECSYNC_TH_I.T0 : SPECSYNC_TH_I.T1;
+  uint8_t Fl = Taken ? (SPECSYNC_TH_I.TFlags & 3)
+                     : ((SPECSYNC_TH_I.TFlags >> 2) & 3);
+  if (Fl & 1) {
+    uint8_t A = C.HeaderAction;
+    if (A == NativeCtx::HeaderExit)
+      goto L_Exit;
+    if (A == NativeCtx::HeaderIncGo)
+      ++C.EpochIndex;
+  } else if (!(Fl & 2)) {
+    if (C.ExitGate)
+      goto L_Exit;
+  }
+  Steps += Toks[PC].StepAdd;
+  if (Steps > C.StepLimit) {
+    C.Steps = Steps;
+    C.ExitPC = T;
+    return NativeExit::Budget;
+  }
+  PC = T;
+  SPECSYNC_TH_DISPATCH();
+}
+
+L_Call:
+L_Ret: {
+  uint16_t StepAdd = Toks[PC].StepAdd;
+  uint64_t Tgt = (Toks[PC].Cls == TkCall ? C.CallHelper : C.RetHelper)(
+      &C, PC);
+  if (Tgt == 0)
+    goto L_Exit; // Helper declined (untouched state): host executes it.
+  // The frame changed: rebind all per-function state.
+  R = C.R;
+  F = &M.decodedFunction(C.FIdx);
+  Insts = F->Insts.data();
+  Ops = F->Ops.data();
+  Toks = M.funcTokens(C.FIdx).Toks.data();
+  Steps += StepAdd;
+  if (Steps > C.StepLimit) {
+    C.Steps = Steps; // ExitPC already holds the resume position.
+    return NativeExit::Budget;
+  }
+  PC = C.ExitPC;
+  SPECSYNC_TH_DISPATCH();
+}
+
+L_Exit:
+  // The instruction at PC has not executed; the host switch runs it.
+  C.Steps = Steps + Toks[PC].StepAdd - 1;
+  C.ExitPC = PC;
+  return NativeExit::HostInst;
+
+#undef SPECSYNC_TH_BIN
+#undef SPECSYNC_TH_I
+#undef SPECSYNC_TH_NEXT
+#undef SPECSYNC_TH_DISPATCH
+}
+
+} // namespace
+
+#endif // __GNUC__ || __clang__
+
+//===----------------------------------------------------------------------===//
+// NativeModule / NativeImage
+//===----------------------------------------------------------------------===//
+
+NativeModule::~NativeModule() {
+  if (Code)
+    freeModuleCodeX86(Code, CodeSize);
+}
+
+const DecodedFunction &NativeModule::decodedFunction(unsigned F) const {
+  return DP->function(F);
+}
+
+NativeExit NativeModule::execute(NativeCtx &Ctx, unsigned Func,
+                                 uint32_t PC) const {
+  assert(entryOK(Func, PC) && "not a native entry point");
+  Ctx.FIdx = Func;
+  Ctx.Module = this;
+  if (Code) {
+    using EnterFn = uint64_t (*)(NativeCtx *, const void *);
+    auto Enter = reinterpret_cast<EnterFn>(
+        reinterpret_cast<uintptr_t>(Code));
+    return static_cast<NativeExit>(
+        Enter(&Ctx, Code + Funcs[Func].EntryOff[PC]));
+  }
+#if defined(__GNUC__) || defined(__clang__)
+  switch (Mode) {
+  case NativeMode::Plain:
+    return runThreadedImpl<NativeMode::Plain>(Ctx, *this, PC);
+  case NativeMode::Observed:
+    return runThreadedImpl<NativeMode::Observed>(Ctx, *this, PC);
+  case NativeMode::Spec:
+    return runThreadedImpl<NativeMode::Spec>(Ctx, *this, PC);
+  }
+#endif
+  assert(false && "no native backend available");
+  return NativeExit::HostInst;
+}
+
+const NativeModule *NativeImage::module(NativeMode M) const {
+  if (pickBackend() == Backend::None)
+    return nullptr;
+  unsigned Idx = static_cast<unsigned>(M);
+  std::call_once(Built[Idx], [&] {
+    auto T0 = std::chrono::steady_clock::now();
+    auto Mod = std::make_unique<NativeModule>();
+    Mod->DP = DP.get();
+    Mod->Mode = M;
+    Mod->Funcs.resize(DP->numFunctions());
+    uint64_t Insts = 0;
+    for (unsigned F = 0; F < DP->numFunctions(); ++F) {
+      const DecodedFunction &DF = DP->function(F);
+      if (lowerFunction(DF, M, Mod->Funcs[F], Mod->MaxSeg))
+        Insts += DF.Insts.size();
+      else
+        Mod->Funcs[F] = NativeFunc{}; // Host-interpreted fallback.
+    }
+    if (pickBackend() == Backend::Jit)
+      emitModuleX86(*Mod, *DP); // Leaves Code null on mmap failure.
+    Mod->LoweredInsts = Insts;
+    Mod->LowerNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+    if (obs::statsEnabled() && Insts) {
+      obs::StatRegistry &SR = obs::StatRegistry::global();
+      SR.counter("interp.lowered_insts")->add(Insts);
+      SR.gauge("interp.lower_ns_per_inst")
+          ->set(static_cast<int64_t>(Mod->LowerNs / Insts));
+    }
+    Modules[Idx] = std::move(Mod);
+  });
+  return Modules[Idx].get();
+}
+
+const NativeImage &Program::getNative() const {
+  const DecodedProgram &D = getDecoded();
+  if (!NativeCache || NativeCache->getFingerprint() != D.getFingerprint())
+    NativeCache = std::make_shared<NativeImage>(Decoded, D.getFingerprint());
+  return *NativeCache;
+}

@@ -1,0 +1,290 @@
+//===- interp/Native.h - Native-code execution tier -------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third execution tier: the pre-decoded instruction array
+/// (interp/Decoded.h) lowered to directly executable code. Two backends
+/// implement the same contract:
+///
+///  - an x86-64 template JIT (NativeX86.cpp): each DecodedInst expands to
+///    a short machine-code template operating on the frame's register
+///    window, with straight-line code inside basic blocks and direct jumps
+///    between them; and
+///  - a portable computed-goto threaded executor (Native.cpp) used where
+///    the template backend is unavailable (non-x86-64 hosts, or forced via
+///    SPECSYNC_NATIVE_BACKEND=threaded).
+///
+/// Native code is deliberately *not* a whole-program runtime: it executes
+/// the cheap majority (ALU, intra-function control flow, memory traffic)
+/// and exits to the interpreter host loop at every "exit-class"
+/// instruction — calls, returns, region-relevant branches, and (in the
+/// speculative mode) synchronization ops — leaving the PC parked on that
+/// instruction so the host's proven switch executes it. This keeps region
+/// and epoch bookkeeping, context tracking, oracle recording, and
+/// truncation semantics bit-identical to runFast by construction.
+///
+/// Lowered code is specialized per observer demand (NativeMode): the
+/// unobserved path has zero observer branches and inlines the memory
+/// fast path; the MemoryOnly path inlines only a shadow hook that feeds
+/// the dependence profiler; the speculative path routes every memory
+/// access through the epoch engine's write-buffer/forwarding helpers.
+/// A NativeImage is cached on Program next to the DecodedProgram and
+/// validated by the same content fingerprint, so IR mutation (remedies,
+/// online re-sync) transparently re-lowers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_INTERP_NATIVE_H
+#define SPECSYNC_INTERP_NATIVE_H
+
+#include "interp/Decoded.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace specsync {
+
+class Memory;
+class ExecutionObserver;
+class NativeModule;
+
+/// Which specialization of the lowered code to execute.
+enum class NativeMode : uint8_t {
+  Plain = 0,    ///< No trace, no observer: zero observer branches.
+  Observed = 1, ///< MemoryOnly observer: inline dependence-profiler hook.
+  Spec = 2,     ///< rt epoch engine: write-buffer/forwarding helpers.
+};
+constexpr unsigned NumNativeModes = 3;
+
+/// Why native execution handed control back to the host loop.
+enum class NativeExit : uint32_t {
+  /// The PC is parked on an exit-class instruction (call, ret,
+  /// region-relevant branch, sync op in Spec mode) for the host switch to
+  /// execute. Steps does not yet include that instruction.
+  HostInst = 0,
+  /// The step budget (NativeCtx::StepLimit) was reached at a branch; the
+  /// branch itself already executed and ExitPC is its taken target.
+  Budget = 1,
+};
+
+/// Shared mutable state between the host loop and native code. The first
+/// fields are at fixed offsets baked into emitted machine code (see the
+/// static_asserts in NativeX86.cpp); the remainder is only touched from
+/// C++ helpers.
+struct NativeCtx {
+  int64_t *R = nullptr;        ///< Current frame's register base.
+  uint64_t Steps = 0;          ///< Executed instruction count.
+  uint64_t StepLimit = 0;      ///< Budget-exit threshold (exit when >).
+  uint64_t MemAccessCount = 0; ///< Loads + stores + reduces.
+  uint64_t RngState = 0;       ///< SplitMix64 state (canonical during run).
+  /// Load fast-path page cache. Words never null: it points at the real
+  /// page, or at the shared zero page while the page is known absent.
+  uint64_t LoadPageId = ~0ull;
+  int64_t *LoadPageWords = nullptr;
+  /// Store fast-path page cache. Words is null or a real (created) page.
+  uint64_t StorePageId = ~0ull;
+  int64_t *StorePageWords = nullptr;
+  uint32_t ExitPC = 0; ///< Exit-class instruction index / budget target.
+  /// What lowered code does when a branch side targets the region header.
+  /// The host recomputes this at every native entry; it is constant while
+  /// native code runs because region state only changes at host-executed
+  /// instructions.
+  enum : uint8_t {
+    HeaderExit = 0,  ///< Hand the branch to the host (region/epoch logic).
+    HeaderGo = 1,    ///< Plain jump (nested invocation / wrong depth).
+    HeaderIncGo = 2, ///< ++EpochIndex, then jump (pure runs only).
+  };
+  uint8_t HeaderAction = HeaderExit;
+  /// Nonzero: branch sides leaving the region loop exit to the host
+  /// (region active at this frame depth); zero: they are plain jumps.
+  uint8_t ExitGate = 0;
+  uint16_t Pad0 = 0;
+  /// Mode-specific memory helpers (slow paths / observed / speculative).
+  int64_t (*LoadHelper)(NativeCtx *, uint64_t Addr, uint32_t InstIdx) =
+      nullptr;
+  void (*StoreHelper)(NativeCtx *, uint64_t Addr, int64_t V,
+                      uint32_t InstIdx) = nullptr;
+  void (*ReduceHelper)(NativeCtx *, uint64_t Addr, int64_t V, int64_t Kind,
+                       uint32_t InstIdx) = nullptr;
+  uint64_t EpochIndex = 0; ///< Baked: HeaderIncGo increments in place.
+  /// Call/return helpers (NativeEngine.cpp): perform the frame transition
+  /// on the host-owned frame state and return where native execution
+  /// continues — the absolute code address of the transfer target (the
+  /// threaded backend gets any nonzero value and re-reads FIdx/ExitPC), or
+  /// 0 to decline, leaving all state untouched so the host executes the
+  /// instruction. On success ExitPC/FIdx/R/CurInsts/CurContext are
+  /// updated in place.
+  uint64_t (*CallHelper)(NativeCtx *, uint32_t InstIdx) = nullptr;
+  uint64_t (*RetHelper)(NativeCtx *, uint32_t InstIdx) = nullptr;
+
+  // --- Host-side context (offsets not baked into emitted code). ---
+  Memory *Mem = nullptr;                 ///< Plain/Observed modes.
+  const DecodedInst *CurInsts = nullptr; ///< Current function's insts.
+  ExecutionObserver *Observer = nullptr; ///< Observed mode.
+  const NativeModule *Module = nullptr;  ///< Module being executed.
+  void *HostState = nullptr; ///< NativeEngine.cpp frame state (call/ret).
+  uint32_t FIdx = 0;         ///< Current function index.
+  uint32_t CurContext = 0;
+  uint8_t RegionActive = 0;
+  uint8_t EmitLoads = 0;
+  void *SpecState = nullptr; ///< rt::SpecEpochState (Spec mode).
+
+  /// Rebinds both page caches to the page holding \p Addr (zero page when
+  /// absent on the load side, empty on the store side). Call whenever the
+  /// host may have touched memory behind the cache's back.
+  void rebindPageCaches(uint64_t Addr);
+};
+
+/// Per-instruction lowering token, shared by both backends. Terminators
+/// and exit-class instructions carry the step count of their straight-line
+/// segment so the engines charge Steps in batches yet stay exact.
+struct NativeTok {
+  /// Dispatch class (TkXxx constants in Native.cpp / NativeX86.cpp).
+  uint8_t Cls = 0;
+  /// Instructions executed since the segment's entry point, including this
+  /// one. Exit-class instructions charge StepAdd - 1 (the host executes
+  /// and counts the instruction itself).
+  uint16_t StepAdd = 0;
+};
+
+// Dispatch classes. TkCopy..TkReduce map 1:1 onto the value/memory
+// opcodes; the terminator classes encode the region-relevance of each
+// branch side, resolved at lowering time. Region-relevant sides are
+// *gated*, not unconditional exits: lowered code consults the host-set
+// NativeCtx::HeaderAction / ExitGate bytes, so branches that runFast
+// would treat as plain jumps (sequential code in a region function,
+// nested invocations, epoch back-edges of pure runs) stay native.
+enum : uint8_t {
+  TkNop = 0,   ///< Functional no-op (timing markers, unobserved signals).
+  TkCopy,      ///< Const / Move.
+  TkAdd, TkSub, TkMul, TkDiv, TkMod, TkAnd, TkOr, TkXor, TkShl, TkShr,
+  TkCmpEQ, TkCmpNE, TkCmpLT, TkCmpLE, TkCmpGT, TkCmpGE,
+  TkSelect, TkRand, TkLoad, TkStore, TkReduce,
+  TkBr,          ///< Unconditional branch, side not region-relevant.
+  TkBrHeader,    ///< Unconditional branch to the region header (gated).
+  TkBrRexit,     ///< Unconditional branch leaving the region loop (gated).
+  TkCondBr,      ///< Conditional branch, neither side region-relevant.
+  TkCondBrMixed, ///< Conditional branch with >= 1 region-relevant side.
+  TkCall,        ///< Call via NativeCtx::CallHelper (host on decline).
+  TkRet,         ///< Return via NativeCtx::RetHelper (host on decline).
+  TkExit,        ///< Exit-class: host executes this instruction.
+  NumTok
+};
+
+/// One function's lowered form.
+struct NativeFunc {
+  static constexpr uint32_t NoOff = ~0u;
+  /// Per-instruction tokens (threaded backend executes these directly).
+  std::vector<NativeTok> Toks;
+  /// Per-instruction native entry offsets; NoOff where entering native
+  /// execution is not permitted (only segment entry points are enterable).
+  std::vector<uint32_t> EntryOff;
+  bool Compiled = false; ///< False: host interprets this whole function.
+};
+
+/// One specialization (mode) of a program's lowered code.
+class NativeModule {
+public:
+  NativeModule() = default;
+  ~NativeModule();
+  NativeModule(const NativeModule &) = delete;
+  NativeModule &operator=(const NativeModule &) = delete;
+
+  /// True when instruction \p PC of function \p Func is a valid native
+  /// entry point (the function lowered and PC starts a segment).
+  bool entryOK(unsigned Func, uint32_t PC) const {
+    const NativeFunc &F = Funcs[Func];
+    return F.Compiled && F.EntryOff[PC] != NativeFunc::NoOff;
+  }
+
+  /// Runs native code for function \p Func starting at instruction \p PC
+  /// (which must satisfy entryOK) until an exit condition; returns why.
+  /// State flows entirely through \p Ctx.
+  NativeExit execute(NativeCtx &Ctx, unsigned Func, uint32_t PC) const;
+
+  /// Longest straight-line segment in the module: the maximum Steps
+  /// overshoot past StepLimit a budget exit can incur. Hosts subtract
+  /// this (plus slack) from their hard cap when setting StepLimit.
+  uint64_t maxSegment() const { return MaxSeg; }
+
+  /// Accessors for the call/return helpers and the threaded executor.
+  const NativeFunc &funcTokens(unsigned F) const { return Funcs[F]; }
+  const DecodedFunction &decodedFunction(unsigned F) const;
+  /// Absolute code address of entry point (\p Func, \p PC), or null when
+  /// running on the threaded backend (no machine code).
+  const void *entryAddr(unsigned Func, uint32_t PC) const {
+    return Code ? Code + Funcs[Func].EntryOff[PC] : nullptr;
+  }
+
+  NativeMode mode() const { return Mode; }
+  bool usingJit() const { return Code != nullptr; }
+
+  uint64_t lowerNs() const { return LowerNs; }
+  uint64_t loweredInsts() const { return LoweredInsts; }
+
+private:
+  friend class NativeImage;
+  friend void emitModuleX86(NativeModule &M, const DecodedProgram &DP);
+
+  std::vector<NativeFunc> Funcs;
+  const DecodedProgram *DP = nullptr; ///< Owned by the enclosing image.
+  NativeMode Mode = NativeMode::Plain;
+  uint64_t MaxSeg = 0;
+  uint64_t LowerNs = 0;
+  uint64_t LoweredInsts = 0;
+  /// JIT backend: one executable mapping; entry trampoline at offset 0.
+  uint8_t *Code = nullptr;
+  size_t CodeSize = 0;
+};
+
+/// All lowered specializations of one Program, keyed by the decoded
+/// form's content fingerprint (Program::getNative re-lowers on mismatch).
+class NativeImage {
+public:
+  NativeImage(std::shared_ptr<const DecodedProgram> DP, uint64_t FP)
+      : DP(std::move(DP)), Fingerprint(FP) {}
+
+  /// Returns the module for \p M, lowering it on first use (thread-safe),
+  /// or null when no native backend is available on this host.
+  const NativeModule *module(NativeMode M) const;
+
+  uint64_t getFingerprint() const { return Fingerprint; }
+
+private:
+  std::shared_ptr<const DecodedProgram> DP;
+  uint64_t Fingerprint = 0;
+  mutable std::once_flag Built[NumNativeModes];
+  mutable std::unique_ptr<NativeModule> Modules[NumNativeModes];
+};
+
+/// True when some native backend (JIT or threaded) can run on this host.
+bool nativeBackendAvailable();
+
+/// Name of the backend the next lowering will use ("x86-64-jit" or
+/// "threaded"), honoring SPECSYNC_NATIVE_BACKEND=threaded.
+const char *nativeBackendName();
+
+/// Test hook: treat \p Op as unsupported by the lowerer, forcing every
+/// function containing it onto the host-interpreter fallback. Pass
+/// Opcode-count (NumOpcodes) to clear. Affects subsequent lowerings only.
+void setNativeUnsupportedOpcodeForTest(unsigned Op);
+
+/// Installs the Plain/Observed memory helpers for \p M into \p C. Spec
+/// mode is a no-op: the rt epoch engine provides its own helpers.
+void installNativeHelpers(NativeCtx &C, NativeMode M);
+
+/// The shared all-zero page backing load fast-path misses.
+const int64_t *nativeZeroPage();
+
+/// x86-64 JIT backend entry points (NativeX86.cpp; stubs off-x86).
+void emitModuleX86(NativeModule &M, const DecodedProgram &DP);
+void freeModuleCodeX86(uint8_t *Code, size_t CodeSize);
+
+} // namespace specsync
+
+#endif // SPECSYNC_INTERP_NATIVE_H

@@ -1,0 +1,582 @@
+//===- interp/NativeEngine.cpp - Native-tier host loop ---------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Interpreter::runNative: the fast engine's dispatch loop with a native
+// entry check at the top. Whenever the PC sits on a lowered segment entry
+// point, the loop hands the frame to the NativeModule, which executes the
+// cheap majority of instructions and returns with the PC parked on the
+// next exit-class instruction (call, return, region-relevant branch) —
+// which this loop then executes through the exact same code paths as
+// runFast. Region/epoch bookkeeping, context tracking, oracle recording,
+// the region hook, observer delivery and MaxSteps truncation therefore
+// stay bit-identical to the fast engine by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Decoded.h"
+#include "interp/Interpreter.h"
+#include "interp/Native.h"
+#include "interp/OpArith.h"
+#include "ir/Remedy.h"
+#include "obs/PhaseTimer.h"
+#include "obs/StatRegistry.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace specsync;
+
+namespace {
+
+/// A suspended (or bottom) activation record; layout mirrors the fast
+/// engine's (Interpreter.cpp).
+struct NFrame {
+  const DecodedFunction *Func = nullptr;
+  uint32_t Base = 0;
+  int32_t RetReg = -1;
+  uint32_t SavedContext = 0;
+  uint32_t ResumePC = 0;
+};
+
+/// Frame state shared between the host loop and the native call/return
+/// helpers (NativeCtx::HostState). The host syncs Base/RegionDepth before
+/// every native entry and reads Base back after every exit; the container
+/// pointers are stable for the whole run.
+struct NativeHostState {
+  std::vector<int64_t> *RegStack = nullptr;
+  std::vector<NFrame> *Frames = nullptr;
+  const DecodedProgram *DP = nullptr;
+  ContextTable *Contexts = nullptr;
+  uint32_t Base = 0;
+  size_t RegionDepth = 0;
+  bool PureRun = false; ///< No oracle and no observer (see runNative).
+};
+
+/// Recomputes the gate bytes lowered branches consult. The host sets them
+/// at every native entry, but native call/return transfers change the
+/// frame depth *during* a native run, so the helpers must refresh them on
+/// every successful transfer or epoch/region transitions at the region
+/// depth would run as plain jumps.
+void recomputeGates(NativeCtx *C, const NativeHostState &S) {
+  const bool AtDepth =
+      C->RegionActive && S.Frames->size() == S.RegionDepth;
+  C->HeaderAction = !C->RegionActive ? NativeCtx::HeaderExit
+                    : !AtDepth       ? NativeCtx::HeaderGo
+                    : S.PureRun      ? NativeCtx::HeaderIncGo
+                                     : NativeCtx::HeaderExit;
+  C->ExitGate = AtDepth ? 1 : 0;
+}
+
+/// NativeCtx::CallHelper: pushes the callee frame exactly like the host
+/// switch's Call case, then returns the callee's native entry. Declines
+/// (returns 0, no state touched) when the callee has no native entry at
+/// instruction 0.
+uint64_t nativeCallHelper(NativeCtx *C, uint32_t PC) {
+  auto &S = *static_cast<NativeHostState *>(C->HostState);
+  const NativeModule &M = *C->Module;
+  const DecodedFunction &F = M.decodedFunction(C->FIdx);
+  const DecodedInst &I = F.Insts[PC];
+  if (!M.entryOK(I.T0, 0))
+    return 0;
+
+  const DecodedFunction &Callee = M.decodedFunction(I.T0);
+  std::vector<int64_t> &RegStack = *S.RegStack;
+  uint32_t NewBase = S.Base + F.NumRegs + Callee.numConsts();
+  if (RegStack.size() < static_cast<size_t>(NewBase) + Callee.NumRegs)
+    RegStack.resize(std::max(static_cast<size_t>(NewBase) + Callee.NumRegs,
+                             RegStack.size() * 2));
+  int64_t *R = RegStack.data() + S.Base;
+  int64_t *CR = RegStack.data() + NewBase;
+  std::copy(Callee.Consts.begin(), Callee.Consts.end(),
+            CR - Callee.numConsts());
+  std::fill_n(CR, Callee.NumRegs, 0);
+  const DecodedOp *FOps = F.Ops.data();
+  for (unsigned A = 0; A < I.NumOps; ++A)
+    CR[A] = R[FOps[I.OpBegin + A]];
+  S.Frames->back().ResumePC = PC + 1;
+  S.Frames->push_back(NFrame{&Callee, NewBase, I.Dest, C->CurContext, 0});
+  if (C->RegionActive)
+    C->CurContext = S.Contexts->child(C->CurContext, I.StaticId);
+  S.Base = NewBase;
+  recomputeGates(C, S);
+
+  C->R = CR;
+  C->FIdx = I.T0;
+  C->CurInsts = Callee.Insts.data();
+  C->ExitPC = 0;
+  const void *Addr = M.entryAddr(I.T0, 0);
+  return Addr ? reinterpret_cast<uint64_t>(Addr) : 1;
+}
+
+/// NativeCtx::RetHelper: pops the frame exactly like the host switch's Ret
+/// case. Declines on the final return (program exit), on a region exit via
+/// return (endRegion/oracle bookkeeping), and when the caller's resume
+/// position is not a native entry.
+uint64_t nativeRetHelper(NativeCtx *C, uint32_t PC) {
+  auto &S = *static_cast<NativeHostState *>(C->HostState);
+  const NativeModule &M = *C->Module;
+  std::vector<NFrame> &Frames = *S.Frames;
+  if (Frames.size() <= 1)
+    return 0;
+  if (C->RegionActive && Frames.size() == S.RegionDepth)
+    return 0;
+  const NFrame &Parent = Frames[Frames.size() - 2];
+  auto ParentIdx =
+      static_cast<unsigned>(Parent.Func - &S.DP->function(0));
+  if (!M.entryOK(ParentIdx, Parent.ResumePC))
+    return 0;
+
+  const DecodedFunction &F = M.decodedFunction(C->FIdx);
+  const DecodedInst &I = F.Insts[PC];
+  int64_t *R = S.RegStack->data() + S.Base;
+  int64_t RetVal = I.NumOps == 1 ? R[F.Ops[I.OpBegin]] : 0;
+  NFrame Done = Frames.back();
+  Frames.pop_back();
+  S.Base = Parent.Base;
+  int64_t *PR = S.RegStack->data() + S.Base;
+  C->CurContext = C->RegionActive ? Done.SavedContext
+                                  : ContextTable::RootContext;
+  if (Done.RetReg >= 0)
+    PR[Done.RetReg] = RetVal;
+  recomputeGates(C, S);
+
+  C->R = PR;
+  C->FIdx = ParentIdx;
+  C->CurInsts = Parent.Func->Insts.data();
+  C->ExitPC = Parent.ResumePC;
+  const void *Addr = M.entryAddr(ParentIdx, Parent.ResumePC);
+  return Addr ? reinterpret_cast<uint64_t>(Addr) : 1;
+}
+
+} // namespace
+
+InterpResult Interpreter::runNative(const InterpOptions &Opts,
+                                    ExecutionObserver *Observer) {
+  InterpResult Result;
+  obs::ScopedPhaseTimer Timer("interp.run");
+  const bool Stats = obs::statsEnabled();
+  const uint64_t StartNs = Stats ? obs::hostClockNs() : 0;
+
+  RegionOracle *Oracle = Opts.RecordOracle;
+  RegionExecutor *Hook = Opts.RegionHook;
+  assert(!Opts.CollectTrace && "native engine does not collect traces");
+  assert((!Observer || Observer->demand() == ObserverDemand::MemoryOnly) &&
+         "native engine serves at most MemoryOnly observers");
+  assert(!(Hook && Observer) &&
+         "region hook is mutually exclusive with tracing/observers");
+
+  const DecodedProgram &DP = Prog.getDecoded();
+  const NativeMode Mode =
+      Observer ? NativeMode::Observed : NativeMode::Plain;
+  const NativeModule *NM = Prog.getNative().module(Mode);
+  if (!NM)
+    return runFast(Opts, Observer); // No backend on this host.
+
+  const bool EmitMem = Observer != nullptr;
+  bool EmitLoads = EmitMem;
+  auto refreshEmitLoads = [&] {
+    EmitLoads = Observer && Observer->wantsLoadsThisEpoch();
+  };
+
+  bool RegionActive = false;
+  size_t RegionDepth = 0;
+  uint64_t EpochIndex = 0;
+  uint32_t CurContext = ContextTable::RootContext;
+  unsigned RegionInstance = 0;
+  uint64_t RegionMark = 0;
+  uint64_t Steps = 0;
+
+  uint64_t EpochStepMark = 0;
+  auto oracleEpochStart = [&](const int64_t *R, unsigned NumRegs) {
+    RegionOracleRec &Rec = Oracle->Regions.back();
+    if (!Rec.Epochs.empty())
+      Rec.Epochs.back().SeqSteps = Steps - EpochStepMark;
+    EpochStepMark = Steps;
+    Rec.Epochs.push_back(
+        EpochStart{std::vector<int64_t>(R, R + NumRegs), Rng.state(), 0});
+  };
+  auto oracleExit = [&](uint32_t ExitPC, bool ViaRet, const int64_t *R,
+                        unsigned NumRegs) {
+    RegionOracleRec &Rec = Oracle->Regions.back();
+    Rec.Epochs.back().SeqSteps = Steps - EpochStepMark;
+    Rec.ExitPC = ExitPC;
+    Rec.ExitViaRet = ViaRet;
+    Rec.ExitRngState = Rng.state();
+    Rec.ExitFrame.assign(R, R + NumRegs);
+  };
+
+  auto beginRegion = [&](size_t Depth) {
+    RegionActive = true;
+    RegionDepth = Depth;
+    RegionMark = Steps;
+    CurContext = ContextTable::RootContext;
+    EpochIndex = 0;
+    if (Observer) {
+      Observer->onRegionBegin(RegionInstance);
+      Observer->onEpochBegin(0);
+      refreshEmitLoads();
+    }
+    ++RegionInstance;
+  };
+
+  auto beginEpoch = [&] {
+    ++EpochIndex;
+    if (Observer) {
+      Observer->onEpochBegin(EpochIndex);
+      refreshEmitLoads();
+    }
+  };
+
+  auto endRegion = [&] {
+    RegionActive = false;
+    Result.RegionDynInstCount += Steps - RegionMark;
+    CurContext = ContextTable::RootContext;
+    if (Observer) {
+      Observer->onRegionEnd();
+      EmitLoads = EmitMem; // Sequential code is never sampled away.
+    }
+  };
+
+  auto makeDI = [&](const DecodedInst &I) {
+    DynInst DI;
+    DI.StaticId = I.StaticId;
+    DI.OrigId = I.OrigId;
+    DI.Context = RegionActive ? CurContext : ContextTable::RootContext;
+    DI.Op = I.Op;
+    DI.SyncId = I.SyncId;
+    return DI;
+  };
+
+  // Native execution context. The step budget leaves room for the longest
+  // straight-line overshoot, so native code can never run past MaxSteps;
+  // the tail up to the cap is interpreted below with the exact per-step
+  // check, making truncation bit-identical to runFast.
+  NativeCtx Ctx;
+  Ctx.Mem = &Mem;
+  Ctx.Observer = Observer;
+  installNativeHelpers(Ctx, Mode);
+  const uint64_t MaxSteps = Opts.MaxSteps;
+  const uint64_t Margin = NM->maxSegment() + 2;
+  const uint64_t HostLimit = MaxSteps > Margin ? MaxSteps - Margin : 0;
+  Ctx.StepLimit = HostLimit;
+  bool MemDirty = true; ///< Host may have created pages behind the caches.
+  uint64_t NativeSteps = 0;
+
+  std::vector<int64_t> RegStack;
+  std::vector<NFrame> Frames;
+  Frames.reserve(16);
+  NativeHostState HS;
+  HS.RegStack = &RegStack;
+  HS.Frames = &Frames;
+  HS.DP = &DP;
+  HS.Contexts = &Contexts;
+  Ctx.HostState = &HS;
+  Ctx.CallHelper = nativeCallHelper;
+  Ctx.RetHelper = nativeRetHelper;
+  unsigned FIdx = DP.getEntry();
+  const DecodedFunction *F = &DP.function(FIdx);
+  assert(F->NumParams == 0 && "entry function takes no parameters");
+  RegStack.assign(std::max<size_t>(1024, F->frameSize()), 0);
+  std::copy(F->Consts.begin(), F->Consts.end(), RegStack.begin());
+  uint32_t Base = F->numConsts();
+  Frames.push_back(NFrame{F, Base, -1, ContextTable::RootContext, 0});
+  uint32_t PC = 0;
+  int64_t *R = RegStack.data() + Base;
+  const DecodedOp *FOps = F->Ops.data();
+
+  auto opval = [&](DecodedOp Idx) -> int64_t { return R[Idx]; };
+
+  bool Exited = false;
+  // Epoch back-edges of runs without an observer or oracle have no
+  // per-epoch host work, so native code handles them inline.
+  HS.PureRun = !Oracle && !Observer;
+
+  while (!Exited) {
+    if (Steps < HostLimit && NM->entryOK(FIdx, PC)) {
+      Ctx.R = R;
+      Ctx.Steps = Steps;
+      Ctx.RngState = Rng.state();
+      Ctx.MemAccessCount = Result.MemAccessCount;
+      Ctx.CurInsts = F->Insts.data();
+      Ctx.CurContext = CurContext;
+      Ctx.RegionActive = RegionActive;
+      Ctx.EmitLoads = EmitLoads;
+      Ctx.EpochIndex = EpochIndex;
+      HS.Base = Base;
+      HS.RegionDepth = RegionDepth;
+      // Region activity only changes at host-executed instructions, but
+      // the frame depth also changes at native call/return transfers —
+      // the helpers rerun this after each one.
+      recomputeGates(&Ctx, HS);
+      if (MemDirty) {
+        Ctx.rebindPageCaches(0);
+        MemDirty = false;
+      }
+      NativeExit E = NM->execute(Ctx, FIdx, PC);
+      Rng.setState(Ctx.RngState);
+      Result.MemAccessCount = Ctx.MemAccessCount;
+      EpochIndex = Ctx.EpochIndex;
+      CurContext = Ctx.CurContext;
+      NativeSteps += Ctx.Steps - Steps;
+      Steps = Ctx.Steps;
+      PC = Ctx.ExitPC;
+      // Native call/return transfers may have changed the frame: resync.
+      FIdx = Ctx.FIdx;
+      F = Frames.back().Func;
+      FOps = F->Ops.data();
+      Base = HS.Base;
+      R = RegStack.data() + Base;
+      if (E == NativeExit::Budget)
+        continue;
+      // HostInst: fall through and interpret the instruction at PC.
+    }
+
+    if (++Steps > MaxSteps) {
+      Result.Completed = false;
+      Result.DynInstCount = Steps - 1;
+      if (RegionActive)
+        Result.RegionDynInstCount += (Steps - 1) - RegionMark;
+      return Result;
+    }
+
+    const DecodedInst &I = F->Insts[PC];
+
+    switch (I.Op) {
+    case Opcode::Const:
+    case Opcode::Move:
+      R[I.Dest] = opval(FOps[I.OpBegin]);
+      break;
+
+#define SPECSYNC_BINOP(OPC, EXPR)                                            \
+  case Opcode::OPC: {                                                        \
+    int64_t A = opval(FOps[I.OpBegin]);                                      \
+    int64_t B = opval(FOps[I.OpBegin + 1]);                                  \
+    R[I.Dest] = (EXPR);                                                      \
+    break;                                                                   \
+  }
+      SPECSYNC_BINOP(Add, wrapAdd(A, B))
+      SPECSYNC_BINOP(Sub, wrapSub(A, B))
+      SPECSYNC_BINOP(Mul, wrapMul(A, B))
+      // Total wrapping semantics shared by every tier (interp/OpArith.h).
+      SPECSYNC_BINOP(Div, totalDiv(A, B))
+      SPECSYNC_BINOP(Mod, totalMod(A, B))
+      SPECSYNC_BINOP(And, A &B)
+      SPECSYNC_BINOP(Or, A | B)
+      SPECSYNC_BINOP(Xor, A ^ B)
+      SPECSYNC_BINOP(Shl, static_cast<int64_t>(static_cast<uint64_t>(A)
+                                               << (static_cast<uint64_t>(B) &
+                                                   63)))
+      SPECSYNC_BINOP(Shr, static_cast<int64_t>(static_cast<uint64_t>(A) >>
+                                               (static_cast<uint64_t>(B) &
+                                                63)))
+      SPECSYNC_BINOP(CmpEQ, A == B)
+      SPECSYNC_BINOP(CmpNE, A != B)
+      SPECSYNC_BINOP(CmpLT, A < B)
+      SPECSYNC_BINOP(CmpLE, A <= B)
+      SPECSYNC_BINOP(CmpGT, A > B)
+      SPECSYNC_BINOP(CmpGE, A >= B)
+#undef SPECSYNC_BINOP
+
+    case Opcode::Select:
+      R[I.Dest] = opval(FOps[I.OpBegin]) != 0 ? opval(FOps[I.OpBegin + 1])
+                                              : opval(FOps[I.OpBegin + 2]);
+      break;
+    case Opcode::Rand:
+      R[I.Dest] =
+          static_cast<int64_t>(Rng.next() & 0x7fffffffffffffffull);
+      break;
+
+    case Opcode::Load: {
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      int64_t V = Mem.loadWord(Addr);
+      R[I.Dest] = V;
+      ++Result.MemAccessCount;
+      if (EmitLoads) {
+        DynInst DI = makeDI(I);
+        DI.Remedy = I.TFlags;
+        DI.Addr = Addr;
+        DI.Value = static_cast<uint64_t>(V);
+        Observer->onDynInst(DI, RegionActive, EpochIndex);
+      }
+      ++PC;
+      continue;
+    }
+    case Opcode::Store: {
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      int64_t V = opval(FOps[I.OpBegin + 1]);
+      Mem.storeWord(Addr, V);
+      MemDirty = true;
+      ++Result.MemAccessCount;
+      if (EmitMem) {
+        DynInst DI = makeDI(I);
+        DI.Remedy = I.TFlags;
+        DI.Addr = Addr;
+        DI.Value = static_cast<uint64_t>(V);
+        Observer->onDynInst(DI, RegionActive, EpochIndex);
+      }
+      ++PC;
+      continue;
+    }
+    case Opcode::Reduce: {
+      uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
+      int64_t V = opval(FOps[I.OpBegin + 1]);
+      auto K = static_cast<ReduceOpKind>(opval(FOps[I.OpBegin + 2]));
+      int64_t NewV = applyReduceOp(K, Mem.loadWord(Addr), V);
+      Mem.storeWord(Addr, NewV);
+      MemDirty = true;
+      ++Result.MemAccessCount;
+      if (EmitMem) {
+        DynInst DI = makeDI(I);
+        DI.Remedy = I.TFlags;
+        DI.Addr = Addr;
+        DI.Value = static_cast<uint64_t>(NewV);
+        Observer->onDynInst(DI, RegionActive, EpochIndex);
+      }
+      ++PC;
+      continue;
+    }
+
+    case Opcode::WaitScalar:
+    case Opcode::WaitMem:
+    case Opcode::SelectFwd:
+      break; // Timing-only markers; functionally no-ops.
+    case Opcode::SignalScalar:
+    case Opcode::CheckFwd:
+    case Opcode::SignalMem:
+      // Untraced, at-most-MemoryOnly runs never materialize these.
+      ++PC;
+      continue;
+
+    case Opcode::Br:
+    case Opcode::CondBr: {
+      uint32_t T;
+      uint8_t Fl;
+      if (I.Op == Opcode::Br || opval(FOps[I.OpBegin]) != 0) {
+        T = I.T0;
+        Fl = I.TFlags & 3;
+      } else {
+        T = I.T1;
+        Fl = (I.TFlags >> 2) & 3;
+      }
+      if (F->IsRegionFunc) {
+        if (!RegionActive) {
+          if (Fl & 1) {
+            if (Hook) {
+              uint32_t ExitPC = 0;
+              if (Hook->executeRegion(RegionInstance, Mem, Rng, R,
+                                      F->NumRegs, ExitPC)) {
+                ++RegionInstance;
+                MemDirty = true;
+                PC = ExitPC;
+                continue;
+              }
+            }
+            beginRegion(Frames.size());
+            if (Oracle) {
+              Oracle->Regions.emplace_back();
+              oracleEpochStart(R, F->NumRegs);
+            }
+          }
+        } else if (Frames.size() == RegionDepth) {
+          if (Fl & 1) {
+            beginEpoch();
+            if (Oracle)
+              oracleEpochStart(R, F->NumRegs);
+          } else if (!(Fl & 2)) {
+            endRegion();
+            if (Oracle)
+              oracleExit(T, /*ViaRet=*/false, R, F->NumRegs);
+          }
+        }
+      }
+      PC = T;
+      continue;
+    }
+
+    case Opcode::Call: {
+      const DecodedFunction &Callee = DP.function(I.T0);
+      uint32_t NewBase = Base + F->NumRegs + Callee.numConsts();
+      if (RegStack.size() < static_cast<size_t>(NewBase) + Callee.NumRegs) {
+        RegStack.resize(std::max(static_cast<size_t>(NewBase) +
+                                     Callee.NumRegs,
+                                 RegStack.size() * 2));
+        R = RegStack.data() + Base;
+      }
+      int64_t *CR = RegStack.data() + NewBase;
+      std::copy(Callee.Consts.begin(), Callee.Consts.end(),
+                CR - Callee.numConsts());
+      std::fill_n(CR, Callee.NumRegs, 0);
+      for (unsigned A = 0; A < I.NumOps; ++A)
+        CR[A] = R[FOps[I.OpBegin + A]];
+      Frames.back().ResumePC = PC + 1;
+      Frames.push_back(NFrame{&Callee, NewBase, I.Dest, CurContext, 0});
+      if (RegionActive)
+        CurContext = Contexts.child(CurContext, I.StaticId);
+      FIdx = I.T0;
+      F = &Callee;
+      FOps = F->Ops.data();
+      PC = 0;
+      Base = NewBase;
+      R = CR;
+      continue;
+    }
+
+    case Opcode::Ret: {
+      int64_t RetVal = I.NumOps == 1 ? opval(FOps[I.OpBegin]) : 0;
+      NFrame Done = Frames.back();
+      if (RegionActive && Frames.size() == RegionDepth) {
+        endRegion(); // Loop exited via return (degenerate but legal).
+        if (Oracle)
+          oracleExit(0, /*ViaRet=*/true, R, F->NumRegs);
+      }
+      Frames.pop_back();
+      if (Frames.empty()) {
+        Result.ExitValue = RetVal;
+        Exited = true;
+        continue;
+      }
+      const NFrame &Parent = Frames.back();
+      F = Parent.Func;
+      FIdx = static_cast<unsigned>(F - &DP.function(0));
+      FOps = F->Ops.data();
+      PC = Parent.ResumePC;
+      Base = Parent.Base;
+      R = RegStack.data() + Base;
+      CurContext =
+          RegionActive ? Done.SavedContext : ContextTable::RootContext;
+      if (Done.RetReg >= 0)
+        R[Done.RetReg] = RetVal;
+      continue;
+    }
+    }
+
+    ++PC;
+  }
+
+  Result.Completed = true;
+  Result.DynInstCount = Steps;
+  Result.MemoryChecksum = Mem.checksum();
+
+  Timer.setItems(Result.DynInstCount);
+  if (Stats) {
+    uint64_t ElapsedNs = obs::hostClockNs() - StartNs;
+    obs::StatRegistry &SR = obs::StatRegistry::global();
+    SR.counter("interp.runs")->add(1);
+    SR.counter("interp.dyn_insts")->add(Result.DynInstCount);
+    SR.counter("interp.region_dyn_insts")->add(Result.RegionDynInstCount);
+    SR.counter("interp.native_dyn_insts")->add(NativeSteps);
+    if (Result.DynInstCount) {
+      auto PerInst =
+          static_cast<int64_t>(ElapsedNs / Result.DynInstCount);
+      SR.gauge("interp.ns_per_inst")->set(PerInst);
+      SR.gauge("interp.native_ns_per_inst")->set(PerInst);
+    }
+    if (Observer && Result.MemAccessCount)
+      SR.gauge("profile.ns_per_access")->set(static_cast<int64_t>(
+          ElapsedNs / Result.MemAccessCount));
+  }
+  return Result;
+}

@@ -1,0 +1,752 @@
+//===- interp/NativeX86.cpp - x86-64 template JIT backend ------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The template backend: each DecodedInst expands to a short fixed machine
+// code template over the lowering plan built in Native.cpp. Conventions
+// (baked into every template):
+//
+//   rbx = current frame's register base (NativeCtx::R)
+//   r12 = NativeCtx pointer
+//   r13 = Steps (written back in the epilogue)
+//   r14 = StepLimit
+//
+// Operands are frame slots [rbx + idx*8] (negative idx reaches constant
+// slots). All other registers are scratch. Helper calls go indirectly
+// through NativeCtx slots so the emitted code is position-independent
+// within its single mapping; internal control flow is rel32. The entry
+// trampoline at module offset 0 has C type
+// uint64_t(*)(NativeCtx *, const void *EntryPoint) and returns NativeExit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Native.h"
+
+#include "interp/Memory.h"
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SPECSYNC_X86_JIT 1
+#include <sys/mman.h>
+#endif
+
+using namespace specsync;
+
+// The templates hard-code these displacements off r12.
+static_assert(offsetof(NativeCtx, R) == 0, "ctx layout");
+static_assert(offsetof(NativeCtx, Steps) == 8, "ctx layout");
+static_assert(offsetof(NativeCtx, StepLimit) == 16, "ctx layout");
+static_assert(offsetof(NativeCtx, MemAccessCount) == 24, "ctx layout");
+static_assert(offsetof(NativeCtx, RngState) == 32, "ctx layout");
+static_assert(offsetof(NativeCtx, LoadPageId) == 40, "ctx layout");
+static_assert(offsetof(NativeCtx, LoadPageWords) == 48, "ctx layout");
+static_assert(offsetof(NativeCtx, StorePageId) == 56, "ctx layout");
+static_assert(offsetof(NativeCtx, StorePageWords) == 64, "ctx layout");
+static_assert(offsetof(NativeCtx, ExitPC) == 72, "ctx layout");
+static_assert(offsetof(NativeCtx, HeaderAction) == 76, "ctx layout");
+static_assert(offsetof(NativeCtx, ExitGate) == 77, "ctx layout");
+static_assert(offsetof(NativeCtx, LoadHelper) == 80, "ctx layout");
+static_assert(offsetof(NativeCtx, StoreHelper) == 88, "ctx layout");
+static_assert(offsetof(NativeCtx, ReduceHelper) == 96, "ctx layout");
+static_assert(offsetof(NativeCtx, EpochIndex) == 104, "ctx layout");
+static_assert(offsetof(NativeCtx, CallHelper) == 112, "ctx layout");
+static_assert(offsetof(NativeCtx, RetHelper) == 120, "ctx layout");
+
+#ifdef SPECSYNC_X86_JIT
+
+namespace {
+
+enum Reg : unsigned {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R12 = 12, R13 = 13, R14 = 14,
+};
+
+/// Minimal append-only x86-64 encoder: exactly the instruction forms the
+/// templates need, nothing more.
+class Asm {
+public:
+  std::vector<uint8_t> B;
+
+  size_t size() const { return B.size(); }
+  void u8(uint8_t V) { B.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      u8(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void rexW(unsigned R, unsigned Bb) {
+    u8(0x48 | ((R >> 3) << 2) | (Bb >> 3));
+  }
+  uint8_t modC0(unsigned R, unsigned Rm) {
+    return static_cast<uint8_t>(0xC0 | ((R & 7) << 3) | (Rm & 7));
+  }
+  /// ModRM (+SIB) for [Base + Disp]; Base is rbx or r12 here, so the
+  /// mod00-rbp special case never applies.
+  void mem(unsigned R, unsigned Base, int32_t Disp) {
+    unsigned Rm = Base & 7;
+    bool Sib = Rm == 4; // rsp/r12 encodings require a SIB byte.
+    if (Disp == 0 && Rm != 5) {
+      u8(static_cast<uint8_t>(((R & 7) << 3) | (Sib ? 4 : Rm)));
+    } else if (Disp >= -128 && Disp <= 127) {
+      u8(static_cast<uint8_t>(0x40 | ((R & 7) << 3) | (Sib ? 4 : Rm)));
+    } else {
+      u8(static_cast<uint8_t>(0x80 | ((R & 7) << 3) | (Sib ? 4 : Rm)));
+    }
+    if (Sib)
+      u8(0x24);
+    if (Disp == 0 && Rm != 5)
+      return;
+    if (Disp >= -128 && Disp <= 127)
+      u8(static_cast<uint8_t>(Disp));
+    else
+      u32(static_cast<uint32_t>(Disp));
+  }
+
+  // 64-bit reg <- [base+disp] / [base+disp] <- reg and ALU-with-memory.
+  void movRM(unsigned R, unsigned Base, int32_t D) { op(0x8B, R, Base, D); }
+  void movMR(unsigned Base, int32_t D, unsigned R) { op(0x89, R, Base, D); }
+  void addRM(unsigned R, unsigned Base, int32_t D) { op(0x03, R, Base, D); }
+  void subRM(unsigned R, unsigned Base, int32_t D) { op(0x2B, R, Base, D); }
+  void andRM(unsigned R, unsigned Base, int32_t D) { op(0x23, R, Base, D); }
+  void orRM(unsigned R, unsigned Base, int32_t D) { op(0x0B, R, Base, D); }
+  void xorRM(unsigned R, unsigned Base, int32_t D) { op(0x33, R, Base, D); }
+  void cmpRM(unsigned R, unsigned Base, int32_t D) { op(0x3B, R, Base, D); }
+  void imulRM(unsigned R, unsigned Base, int32_t D) {
+    rexW(R, Base);
+    u8(0x0F);
+    u8(0xAF);
+    mem(R, Base, D);
+  }
+  void op(uint8_t Opc, unsigned R, unsigned Base, int32_t D) {
+    rexW(R, Base);
+    u8(Opc);
+    mem(R, Base, D);
+  }
+
+  void movRR(unsigned Dst, unsigned Src) {
+    rexW(Src, Dst);
+    u8(0x89);
+    u8(modC0(Src, Dst));
+  }
+  void addRR(unsigned Dst, unsigned Src) {
+    rexW(Dst, Src);
+    u8(0x03);
+    u8(modC0(Dst, Src));
+  }
+  void mov32RR(unsigned Dst, unsigned Src) {
+    if (Dst > 7 || Src > 7)
+      u8(static_cast<uint8_t>(0x40 | ((Src >> 3) << 2) | (Dst >> 3)));
+    u8(0x89);
+    u8(modC0(Src, Dst));
+  }
+  void xorRR(unsigned Dst, unsigned Src) {
+    rexW(Dst, Src);
+    u8(0x33);
+    u8(modC0(Dst, Src));
+  }
+  void xor32RR(unsigned Dst, unsigned Src) {
+    if (Dst > 7 || Src > 7)
+      u8(static_cast<uint8_t>(0x40 | ((Src >> 3) << 2) | (Dst >> 3)));
+    u8(0x31);
+    u8(modC0(Src, Dst));
+  }
+  void testRR(unsigned A, unsigned Bb) {
+    rexW(Bb, A);
+    u8(0x85);
+    u8(modC0(Bb, A));
+  }
+  void cmpRR(unsigned A, unsigned Bb) { // cmp A, B
+    rexW(Bb, A);
+    u8(0x39);
+    u8(modC0(Bb, A));
+  }
+  void imulRR(unsigned Dst, unsigned Src) {
+    rexW(Dst, Src);
+    u8(0x0F);
+    u8(0xAF);
+    u8(modC0(Dst, Src));
+  }
+  void movImm64(unsigned R, uint64_t V) {
+    u8(static_cast<uint8_t>(0x48 | (R >> 3)));
+    u8(static_cast<uint8_t>(0xB8 | (R & 7)));
+    u64(V);
+  }
+  void movImm32(unsigned R, uint32_t V) { // 32-bit dest, zero-extends
+    if (R > 7)
+      u8(0x41);
+    u8(static_cast<uint8_t>(0xB8 | (R & 7)));
+    u32(V);
+  }
+  void addImm(unsigned R, int32_t V) {
+    rexW(0, R);
+    if (V >= -128 && V <= 127) {
+      u8(0x83);
+      u8(modC0(0, R));
+      u8(static_cast<uint8_t>(V));
+    } else {
+      u8(0x81);
+      u8(modC0(0, R));
+      u32(static_cast<uint32_t>(V));
+    }
+  }
+  void cmpImm8(unsigned R, int8_t V) {
+    rexW(0, R);
+    u8(0x83);
+    u8(modC0(7, R));
+    u8(static_cast<uint8_t>(V));
+  }
+  void cmpMemImm8(unsigned Base, int32_t D, int8_t V) {
+    rexW(0, Base);
+    u8(0x83);
+    mem(7, Base, D);
+    u8(static_cast<uint8_t>(V));
+  }
+  void movzxEaxMem8(unsigned Base, int32_t D) { // movzx eax, byte [B+D]
+    if (Base > 7)
+      u8(0x41);
+    u8(0x0F);
+    u8(0xB6);
+    mem(0, Base, D);
+  }
+  void cmpMem8Imm8(unsigned Base, int32_t D, uint8_t V) { // byte compare
+    if (Base > 7)
+      u8(0x41);
+    u8(0x80);
+    mem(7, Base, D);
+    u8(V);
+  }
+  void shrImm(unsigned R, uint8_t N) {
+    rexW(0, R);
+    u8(0xC1);
+    u8(modC0(5, R));
+    u8(N);
+  }
+  void shlCL(unsigned R) {
+    rexW(0, R);
+    u8(0xD3);
+    u8(modC0(4, R));
+  }
+  void shrCL(unsigned R) {
+    rexW(0, R);
+    u8(0xD3);
+    u8(modC0(5, R));
+  }
+  void negR(unsigned R) {
+    rexW(0, R);
+    u8(0xF7);
+    u8(modC0(3, R));
+  }
+  void cqo() {
+    u8(0x48);
+    u8(0x99);
+  }
+  void idivR(unsigned R) {
+    rexW(0, R);
+    u8(0xF7);
+    u8(modC0(7, R));
+  }
+  void setcc(uint8_t Cc) { // setcc al
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x90 | Cc));
+    u8(0xC0);
+  }
+  void movzxEaxAl() {
+    u8(0x0F);
+    u8(0xB6);
+    u8(0xC0);
+  }
+  void cmoveRR(unsigned Dst, unsigned Src) {
+    rexW(Dst, Src);
+    u8(0x0F);
+    u8(0x44);
+    u8(modC0(Dst, Src));
+  }
+  void btrImm(unsigned R, uint8_t Bit) {
+    rexW(0, R);
+    u8(0x0F);
+    u8(0xBA);
+    u8(modC0(6, R));
+    u8(Bit);
+  }
+  void andEaxImm(uint32_t V) {
+    u8(0x25);
+    u32(V);
+  }
+  /// mov Dst, [Base + Index] (scale 1). Base must not be rbp/r13.
+  void movRSIB(unsigned Dst, unsigned Base, unsigned Index) {
+    u8(static_cast<uint8_t>(0x48 | ((Dst >> 3) << 2) | ((Index >> 3) << 1) |
+                            (Base >> 3)));
+    u8(0x8B);
+    u8(static_cast<uint8_t>(0x04 | ((Dst & 7) << 3)));
+    u8(static_cast<uint8_t>(((Index & 7) << 3) | (Base & 7)));
+  }
+  /// mov [Base + Index], Src.
+  void movSIBR(unsigned Base, unsigned Index, unsigned Src) {
+    u8(static_cast<uint8_t>(0x48 | ((Src >> 3) << 2) | ((Index >> 3) << 1) |
+                            (Base >> 3)));
+    u8(0x89);
+    u8(static_cast<uint8_t>(0x04 | ((Src & 7) << 3)));
+    u8(static_cast<uint8_t>(((Index & 7) << 3) | (Base & 7)));
+  }
+  void incMem64(unsigned Base, int32_t D) {
+    rexW(0, Base);
+    u8(0xFF);
+    mem(0, Base, D);
+  }
+  void movMemImm32(unsigned Base, int32_t D, uint32_t V) {
+    if (Base > 7)
+      u8(0x41);
+    u8(0xC7);
+    mem(0, Base, D);
+    u32(V);
+  }
+  void callMem(unsigned Base, int32_t D) {
+    if (Base > 7)
+      u8(0x41);
+    u8(0xFF);
+    mem(2, Base, D);
+  }
+  void jmpReg(unsigned R) {
+    if (R > 7)
+      u8(0x41);
+    u8(0xFF);
+    u8(static_cast<uint8_t>(0xE0 | (R & 7)));
+  }
+  void pushR(unsigned R) {
+    if (R > 7)
+      u8(0x41);
+    u8(static_cast<uint8_t>(0x50 | (R & 7)));
+  }
+  void popR(unsigned R) {
+    if (R > 7)
+      u8(0x41);
+    u8(static_cast<uint8_t>(0x58 | (R & 7)));
+  }
+  void ret() { u8(0xC3); }
+
+  /// Emits jmp/jcc rel32 with a zero displacement; returns the patch
+  /// position of the 4-byte field.
+  size_t jmpRel32() {
+    u8(0xE9);
+    size_t P = size();
+    u32(0);
+    return P;
+  }
+  size_t jccRel32(uint8_t Cc) { // 0x84 je, 0x85 jne, 0x87 ja
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x80 | Cc));
+    size_t P = size();
+    u32(0);
+    return P;
+  }
+  void patchRel32(size_t At, size_t Target) {
+    uint32_t Rel = static_cast<uint32_t>(Target - (At + 4));
+    std::memcpy(B.data() + At, &Rel, 4);
+  }
+  void patchHere(size_t At) { patchRel32(At, size()); }
+};
+
+constexpr uint8_t CcE = 0x4, CcNE = 0x5, CcA = 0x7;
+constexpr uint32_t WordOffMask =
+    static_cast<uint32_t>(Memory::PageBytes - 8); // Addr -> byte offset.
+
+/// enter(ctx=rdi, entry=rsi): save callee-saved regs, load the pinned
+/// registers from ctx, jump into lowered code. Stack: entry rsp%16 == 8,
+/// four pushes keep it, sub 8 aligns to 16 so helper call sites see the
+/// ABI-required rsp%16 == 8 after their push of the return address.
+void emitTrampoline(Asm &A) {
+  A.pushR(RBX);
+  A.pushR(R12);
+  A.pushR(R13);
+  A.pushR(R14);
+  A.addImm(RSP, -8);
+  A.movRR(R12, RDI);
+  A.movRM(RBX, R12, 0);
+  A.movRM(R13, R12, 8);
+  A.movRM(R14, R12, 16);
+  A.jmpReg(RSI);
+}
+
+/// Shared exit path: write Steps back, restore, return eax (NativeExit).
+void emitEpilogue(Asm &A) {
+  A.movMR(R12, 8, R13);
+  A.addImm(RSP, 8);
+  A.popR(R14);
+  A.popR(R13);
+  A.popR(R12);
+  A.popR(RBX);
+  A.ret();
+}
+
+struct BranchFixup {
+  size_t Pos;
+  uint32_t Target; // Instruction index.
+};
+struct BudgetStub {
+  size_t JccPos;
+  uint32_t TargetPC; // ExitPC to report.
+};
+
+void emitFunction(Asm &A, const DecodedFunction &F, NativeFunc &NF,
+                  NativeMode Mode, size_t Epilogue) {
+  const uint32_t N = static_cast<uint32_t>(F.Insts.size());
+  std::vector<uint32_t> InstOff(N, 0);
+  std::vector<BranchFixup> Fixups;
+  std::vector<BudgetStub> Stubs;
+  std::vector<size_t> KeepPCStubs; // Budget exits where ExitPC is preset.
+
+  // Taken-branch tail: charge the segment, budget-check, jump to the
+  // target's code (cold stub on budget exhaustion reports the target PC).
+  auto emitGo = [&](uint16_t StepAdd, uint32_t Target) {
+    A.addImm(R13, StepAdd);
+    A.cmpRR(R13, R14);
+    Stubs.push_back({A.jccRel32(CcA), Target});
+    Fixups.push_back({A.jmpRel32(), Target});
+  };
+
+  // Exit-class instruction: park the PC on it for the host switch. The
+  // host executes (and counts) the instruction itself, hence StepAdd - 1.
+  auto emitHostExit = [&](uint32_t PC, uint16_t StepAdd) {
+    if (StepAdd > 1)
+      A.addImm(R13, StepAdd - 1);
+    A.movMemImm32(R12, 72, PC);
+    A.xor32RR(RAX, RAX);
+    A.patchRel32(A.jmpRel32(), Epilogue);
+  };
+
+  for (uint32_t PC = 0; PC < N; ++PC) {
+    InstOff[PC] = static_cast<uint32_t>(A.size());
+    if (NF.EntryOff[PC] != NativeFunc::NoOff)
+      NF.EntryOff[PC] = InstOff[PC]; // Replace marker with real offset.
+
+    const DecodedInst &I = F.Insts[PC];
+    const NativeTok &T = NF.Toks[PC];
+    const DecodedOp *Ops = F.Ops.data() + I.OpBegin;
+    auto opDisp = [&](unsigned K) { return Ops[K] * 8; };
+    const int32_t DstD = I.Dest * 8;
+
+    switch (T.Cls) {
+    case TkNop:
+      break;
+    case TkCopy:
+      A.movRM(RAX, RBX, opDisp(0));
+      A.movMR(RBX, DstD, RAX);
+      break;
+
+    case TkAdd:
+    case TkSub:
+    case TkMul:
+    case TkAnd:
+    case TkOr:
+    case TkXor:
+      A.movRM(RAX, RBX, opDisp(0));
+      switch (T.Cls) {
+      case TkAdd: A.addRM(RAX, RBX, opDisp(1)); break;
+      case TkSub: A.subRM(RAX, RBX, opDisp(1)); break;
+      case TkMul: A.imulRM(RAX, RBX, opDisp(1)); break;
+      case TkAnd: A.andRM(RAX, RBX, opDisp(1)); break;
+      case TkOr: A.orRM(RAX, RBX, opDisp(1)); break;
+      default: A.xorRM(RAX, RBX, opDisp(1)); break;
+      }
+      A.movMR(RBX, DstD, RAX);
+      break;
+
+    case TkDiv:
+    case TkMod: {
+      // B == 0 -> 0; B == -1 handled without idiv (INT64_MIN / -1 traps).
+      const bool IsDiv = T.Cls == TkDiv;
+      A.movRM(RAX, RBX, opDisp(0));
+      A.movRM(RCX, RBX, opDisp(1));
+      A.testRR(RCX, RCX);
+      size_t Jz = A.jccRel32(CcE);
+      A.cmpImm8(RCX, -1);
+      size_t Jn = A.jccRel32(CcE);
+      A.cqo();
+      A.idivR(RCX);
+      size_t Jd = A.jmpRel32();
+      A.patchHere(Jn);
+      if (IsDiv) { // A / -1 == -A (two's-complement wrap at INT64_MIN).
+        A.negR(RAX);
+        size_t Jd2 = A.jmpRel32();
+        A.patchHere(Jz);
+        A.xor32RR(RAX, RAX);
+        A.patchHere(Jd2);
+      } else { // A % -1 == 0, and A % 0 == 0 by definition.
+        A.patchHere(Jz);
+        A.xor32RR(RDX, RDX);
+      }
+      A.patchHere(Jd);
+      A.movMR(RBX, DstD, IsDiv ? RAX : RDX);
+      break;
+    }
+
+    case TkShl:
+    case TkShr:
+      // Hardware masks cl & 63, exactly the IR shift semantics.
+      A.movRM(RAX, RBX, opDisp(0));
+      A.movRM(RCX, RBX, opDisp(1));
+      if (T.Cls == TkShl)
+        A.shlCL(RAX);
+      else
+        A.shrCL(RAX);
+      A.movMR(RBX, DstD, RAX);
+      break;
+
+    case TkCmpEQ:
+    case TkCmpNE:
+    case TkCmpLT:
+    case TkCmpLE:
+    case TkCmpGT:
+    case TkCmpGE: {
+      static const uint8_t Cc[6] = {0x4, 0x5, 0xC, 0xE, 0xF, 0xD};
+      A.movRM(RAX, RBX, opDisp(0));
+      A.cmpRM(RAX, RBX, opDisp(1));
+      A.setcc(Cc[T.Cls - TkCmpEQ]);
+      A.movzxEaxAl();
+      A.movMR(RBX, DstD, RAX);
+      break;
+    }
+
+    case TkSelect:
+      A.movRM(RAX, RBX, opDisp(1));
+      A.movRM(RCX, RBX, opDisp(2));
+      A.cmpMemImm8(RBX, opDisp(0), 0);
+      A.cmoveRR(RAX, RCX);
+      A.movMR(RBX, DstD, RAX);
+      break;
+
+    case TkRand:
+      // Inline SplitMix64 on ctx.RngState (Random::advanceState), then
+      // clear the sign bit like the interpreter's Rand case.
+      A.movRM(RAX, R12, 32);
+      A.movImm64(RCX, 0x9e3779b97f4a7c15ull);
+      A.addRR(RAX, RCX);
+      A.movMR(R12, 32, RAX); // State += golden ratio; write back.
+      A.movRR(RCX, RAX);
+      A.shrImm(RCX, 30);
+      A.xorRR(RAX, RCX);
+      A.movImm64(RCX, 0xbf58476d1ce4e5b9ull);
+      A.imulRR(RAX, RCX);
+      A.movRR(RCX, RAX);
+      A.shrImm(RCX, 27);
+      A.xorRR(RAX, RCX);
+      A.movImm64(RCX, 0x94d049bb133111ebull);
+      A.imulRR(RAX, RCX);
+      A.movRR(RCX, RAX);
+      A.shrImm(RCX, 31);
+      A.xorRR(RAX, RCX);
+      A.btrImm(RAX, 63);
+      A.movMR(RBX, DstD, RAX);
+      break;
+
+    case TkLoad:
+      if (Mode == NativeMode::Plain) {
+        A.movRM(RSI, RBX, opDisp(0));
+        A.movRR(RCX, RSI);
+        A.shrImm(RCX, Memory::PageShift);
+        A.cmpRM(RCX, R12, 40);
+        size_t Slow = A.jccRel32(CcNE);
+        A.movRM(RDX, R12, 48);
+        A.mov32RR(RAX, RSI);
+        A.andEaxImm(WordOffMask);
+        A.movRSIB(RAX, RDX, RAX);
+        size_t Done = A.jmpRel32();
+        A.patchHere(Slow);
+        A.movRR(RDI, R12);
+        A.xor32RR(RDX, RDX);
+        A.callMem(R12, 80);
+        A.patchHere(Done);
+        A.movMR(RBX, DstD, RAX);
+        A.incMem64(R12, 24);
+      } else {
+        A.movRR(RDI, R12);
+        A.movRM(RSI, RBX, opDisp(0));
+        A.movImm32(RDX, PC);
+        A.callMem(R12, 80);
+        A.movMR(RBX, DstD, RAX);
+      }
+      break;
+
+    case TkStore:
+      if (Mode == NativeMode::Plain) {
+        A.movRM(RSI, RBX, opDisp(0));
+        A.movRM(RDX, RBX, opDisp(1));
+        A.movRR(RCX, RSI);
+        A.shrImm(RCX, Memory::PageShift);
+        A.cmpRM(RCX, R12, 56);
+        size_t Slow1 = A.jccRel32(CcNE);
+        A.movRM(R8, R12, 64);
+        A.testRR(R8, R8);
+        size_t Slow2 = A.jccRel32(CcE);
+        A.mov32RR(RAX, RSI);
+        A.andEaxImm(WordOffMask);
+        A.movSIBR(R8, RAX, RDX);
+        size_t Done = A.jmpRel32();
+        A.patchHere(Slow1);
+        A.patchHere(Slow2);
+        A.movRR(RDI, R12);
+        A.xor32RR(RCX, RCX);
+        A.callMem(R12, 88);
+        A.patchHere(Done);
+        A.incMem64(R12, 24);
+      } else {
+        A.movRR(RDI, R12);
+        A.movRM(RSI, RBX, opDisp(0));
+        A.movRM(RDX, RBX, opDisp(1));
+        A.movImm32(RCX, PC);
+        A.callMem(R12, 88);
+      }
+      break;
+
+    case TkReduce:
+      A.movRR(RDI, R12);
+      A.movRM(RSI, RBX, opDisp(0));
+      A.movRM(RDX, RBX, opDisp(1));
+      A.movRM(RCX, RBX, opDisp(2));
+      A.movImm32(R8, PC);
+      A.callMem(R12, 96);
+      if (Mode == NativeMode::Plain)
+        A.incMem64(R12, 24);
+      break;
+
+    case TkBr:
+      emitGo(T.StepAdd, I.T0);
+      break;
+    case TkCondBr: {
+      A.cmpMemImm8(RBX, opDisp(0), 0);
+      size_t Jf = A.jccRel32(CcE);
+      emitGo(T.StepAdd, I.T0);
+      A.patchHere(Jf);
+      emitGo(T.StepAdd, I.T1);
+      break;
+    }
+
+    case TkBrHeader:
+    case TkBrRexit:
+    case TkCondBrMixed: {
+      // Region-relevant sides are gated on the host-set context bytes:
+      // only transitions that actually fire (region begin/end, epoch
+      // boundaries of observed/oracle runs) leave native code.
+      std::vector<size_t> ToHostExit;
+      auto emitSide = [&](uint32_t Target, uint8_t Fl) {
+        if (F.IsRegionFunc && (Fl & 1)) { // Region-header side.
+          A.movzxEaxMem8(R12, 76);        // ctx.HeaderAction
+          A.testRR(RAX, RAX);
+          ToHostExit.push_back(A.jccRel32(CcE)); // HeaderExit
+          A.cmpImm8(RAX, NativeCtx::HeaderIncGo);
+          size_t Skip = A.jccRel32(CcNE);
+          A.incMem64(R12, 104); // ++ctx.EpochIndex (pure-run epoch begin)
+          A.patchHere(Skip);
+        } else if (F.IsRegionFunc && !(Fl & 2)) { // Leaves the loop.
+          A.cmpMem8Imm8(R12, 77, 0); // ctx.ExitGate
+          ToHostExit.push_back(A.jccRel32(CcNE));
+        }
+        emitGo(T.StepAdd, Target);
+      };
+      if (T.Cls == TkCondBrMixed) {
+        A.cmpMemImm8(RBX, opDisp(0), 0);
+        size_t Jf = A.jccRel32(CcE);
+        emitSide(I.T0, I.TFlags & 3);
+        A.patchHere(Jf);
+        emitSide(I.T1, (I.TFlags >> 2) & 3);
+      } else {
+        emitSide(I.T0, I.TFlags & 3);
+      }
+      if (!ToHostExit.empty()) {
+        for (size_t P : ToHostExit)
+          A.patchHere(P);
+        emitHostExit(PC, T.StepAdd);
+      }
+      break;
+    }
+
+    case TkCall:
+    case TkRet: {
+      // Native-to-native transfer: the helper mutates the host frame
+      // stack and returns the callee/resume code address, or 0 to
+      // decline (state untouched) so the host switch runs the inst.
+      A.movRR(RDI, R12);
+      A.movImm32(RSI, PC);
+      A.callMem(R12, T.Cls == TkCall ? 112 : 120);
+      A.testRR(RAX, RAX);
+      size_t Jz = A.jccRel32(CcE);
+      A.movRM(RBX, R12, 0); // The frame moved: reload the register base.
+      A.addImm(R13, T.StepAdd);
+      A.cmpRR(R13, R14);
+      KeepPCStubs.push_back(A.jccRel32(CcA));
+      A.jmpReg(RAX);
+      A.patchHere(Jz);
+      emitHostExit(PC, T.StepAdd);
+      break;
+    }
+
+    case TkExit:
+      emitHostExit(PC, T.StepAdd);
+      break;
+    }
+  }
+
+  // Shared budget stub for call/ret transfers: the helper already wrote
+  // ExitPC (the transfer target), so report Budget without touching it.
+  if (!KeepPCStubs.empty()) {
+    for (size_t P : KeepPCStubs)
+      A.patchHere(P);
+    A.movImm32(RAX, 1); // NativeExit::Budget
+    A.patchRel32(A.jmpRel32(), Epilogue);
+  }
+
+  // Cold budget stubs: report the taken target as the resume PC.
+  for (const BudgetStub &S : Stubs) {
+    A.patchHere(S.JccPos);
+    A.movMemImm32(R12, 72, S.TargetPC);
+    A.movImm32(RAX, 1); // NativeExit::Budget
+    A.patchRel32(A.jmpRel32(), Epilogue);
+  }
+  for (const BranchFixup &Fx : Fixups)
+    A.patchRel32(Fx.Pos, InstOff[Fx.Target]);
+}
+
+} // namespace
+
+void specsync::emitModuleX86(NativeModule &M, const DecodedProgram &DP) {
+  Asm A;
+  emitTrampoline(A);
+  const size_t Epilogue = A.size();
+  emitEpilogue(A);
+  for (unsigned F = 0; F < DP.numFunctions(); ++F)
+    if (M.Funcs[F].Compiled)
+      emitFunction(A, DP.function(F), M.Funcs[F], M.Mode, Epilogue);
+
+  void *Mem = mmap(nullptr, A.size(), PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return; // Code stays null: the threaded executor takes over.
+  std::memcpy(Mem, A.B.data(), A.size());
+  if (mprotect(Mem, A.size(), PROT_READ | PROT_EXEC) != 0) {
+    munmap(Mem, A.size());
+    return;
+  }
+  M.Code = static_cast<uint8_t *>(Mem);
+  M.CodeSize = A.size();
+}
+
+void specsync::freeModuleCodeX86(uint8_t *Code, size_t Size) {
+  if (Code)
+    munmap(Code, Size);
+}
+
+#else // !SPECSYNC_X86_JIT
+
+void specsync::emitModuleX86(NativeModule &, const DecodedProgram &) {}
+void specsync::freeModuleCodeX86(uint8_t *, size_t) {}
+
+#endif

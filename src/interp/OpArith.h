@@ -1,0 +1,58 @@
+//===- interp/OpArith.h - Scalar binop semantics ----------------*- C++ -*-===//
+//
+// Part of the SpecSync project (CGO 2004 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single definition of the IR's scalar arithmetic, shared by every
+/// execution tier's host loop (reference, fast, native host-fallback,
+/// threaded backend, rt epoch engine). Semantics are total two's-complement
+/// wrapping — exactly what the x86-64 template backend's emitted add/imul/
+/// idiv sequences compute — so the tiers cannot diverge on overflow and no
+/// tier executes signed-overflow UB:
+///
+///   add/sub/mul   wrap at 64 bits
+///   div           x / 0 == 0; x / -1 == -x with INT64_MIN negating to
+///                 itself (the idiv trap case, handled without idiv)
+///   mod           x % 0 == 0; x % -1 == 0
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPECSYNC_INTERP_OPARITH_H
+#define SPECSYNC_INTERP_OPARITH_H
+
+#include <cstdint>
+
+namespace specsync {
+
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t totalDiv(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  if (B == -1) // INT64_MIN / -1 traps in idiv; wrap to -A instead.
+    return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+  return A / B;
+}
+
+inline int64_t totalMod(int64_t A, int64_t B) {
+  return B == 0 || B == -1 ? 0 : A % B;
+}
+
+} // namespace specsync
+
+#endif // SPECSYNC_INTERP_OPARITH_H

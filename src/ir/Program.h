@@ -17,6 +17,7 @@
 namespace specsync {
 
 class DecodedProgram;
+class NativeImage;
 
 /// A named global data object with an assigned base address.
 struct GlobalVar {
@@ -98,7 +99,16 @@ public:
   /// after a previous decode is re-decoded transparently; passes may also
   /// call invalidateDecoded() to drop it eagerly. Defined in Decoded.cpp.
   const DecodedProgram &getDecoded() const;
-  void invalidateDecoded() const { Decoded.reset(); }
+  void invalidateDecoded() const {
+    Decoded.reset();
+    NativeCache.reset();
+  }
+
+  /// Returns the native-code image lowered from the decoded form
+  /// (interp/Native.h), building it on first use. Cached behind the same
+  /// content fingerprint as getDecoded, so IR mutation transparently
+  /// re-lowers. Defined in interp/Native.cpp.
+  const NativeImage &getNative() const;
 
 private:
   std::vector<std::unique_ptr<Function>> Funcs;
@@ -111,6 +121,8 @@ private:
   /// Lazily built decoded form (shared_ptr: DecodedProgram is incomplete
   /// here and runs can outlive a re-decode).
   mutable std::shared_ptr<const DecodedProgram> Decoded;
+  /// Lazily lowered native image (same lifetime rules as Decoded).
+  mutable std::shared_ptr<const NativeImage> NativeCache;
 };
 
 } // namespace specsync

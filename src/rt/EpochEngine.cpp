@@ -14,6 +14,8 @@
 
 #include "rt/EpochEngine.h"
 
+#include "interp/Native.h"
+#include "interp/OpArith.h"
 #include "ir/Remedy.h"
 #include "support/Random.h"
 
@@ -38,6 +40,88 @@ struct AFrame {
   uint32_t ResumePC = 0;
 };
 
+/// Attempt-local speculation state shared between the host switch and the
+/// Spec-mode native memory helpers (NativeCtx::SpecState): both call the
+/// spec*Impl functions below, so buffered-store / forwarding / summary
+/// semantics are one implementation.
+struct SpecState {
+  EpochExec *Out = nullptr;
+  const EpochEnv *Env = nullptr;
+  std::map<int32_t, uint64_t> *FwdAddr = nullptr;
+  std::map<int32_t, int64_t> *FwdVal = nullptr;
+  std::map<int32_t, uint64_t> *OwnSignalAddr = nullptr;
+};
+
+int64_t specLoadImpl(SpecState &S, uint64_t Addr, const DecodedInst &I) {
+  EpochObs &Obs = S.Out->Obs;
+  auto WB = S.Out->WriteBuf.find(Addr);
+  if (WB != S.Out->WriteBuf.end())
+    return WB->second; // Own store covers the read (rule 2).
+  auto FA = I.SyncId >= 0 ? S.FwdAddr->find(I.SyncId) : S.FwdAddr->end();
+  if (FA != S.FwdAddr->end() && FA->second == Addr) {
+    // Memory-resident value communication: consume the forward and stay
+    // immune to the producer's buffered store of this line.
+    if (std::find(Obs.FwdUsed.begin(), Obs.FwdUsed.end(), I.SyncId) ==
+        Obs.FwdUsed.end())
+      Obs.FwdUsed.push_back(I.SyncId);
+    return (*S.FwdVal)[I.SyncId];
+  }
+  int64_t V = S.Env->Shared.loadWord(Addr);
+  Obs.Reads.insert(Addr,
+                   conflict::LineTable::Entry{I.StaticId, 0, I.SyncId});
+  return V;
+}
+
+void specStoreImpl(SpecState &S, uint64_t Addr, int64_t V,
+                   const DecodedInst &I) {
+  EpochObs &Obs = S.Out->Obs;
+  S.Out->WriteBuf[Addr] = V;
+  // A privatized store writes a provably epoch-local (or false-shared)
+  // location: the write buffer still carries the value to commit, but
+  // the line never enters the write summary, so it cannot violate a
+  // later epoch's read mark.
+  if (I.TFlags != static_cast<uint8_t>(RemedyKind::Privatize))
+    Obs.Writes.insert(Addr,
+                      conflict::LineTable::Entry{I.StaticId, 0, I.SyncId});
+  // Forward-then-overwrite: a store to an address this epoch already
+  // signaled dirties the forward (consumers fail SAB validation).
+  for (auto &[G, SigAddr] : *S.OwnSignalAddr)
+    if (SigAddr == Addr)
+      Obs.MemSignals[G].SabDirty = true;
+}
+
+void specReduceImpl(SpecState &S, uint64_t Addr, int64_t V,
+                    ReduceOpKind K) {
+  // Reduction expansion: accumulate a per-epoch partial instead of the
+  // load-modify-store the compiler rewrote away. The location never
+  // enters the read or write summaries (the matcher proved no other
+  // reference aliases it); the partial folds into shared memory at
+  // in-order commit, which reproduces the sequential value exactly
+  // (wraparound uint64 ops are associative).
+  auto It =
+      S.Out->ReduceAcc
+          .try_emplace(Addr, static_cast<uint8_t>(K), reduceIdentity(K))
+          .first;
+  It->second.second = applyReduceOp(K, It->second.second, V);
+}
+
+int64_t nativeSpecLoad(NativeCtx *C, uint64_t Addr, uint32_t InstIdx) {
+  auto &S = *static_cast<SpecState *>(C->SpecState);
+  return specLoadImpl(S, Addr, C->CurInsts[InstIdx]);
+}
+
+void nativeSpecStore(NativeCtx *C, uint64_t Addr, int64_t V,
+                     uint32_t InstIdx) {
+  auto &S = *static_cast<SpecState *>(C->SpecState);
+  specStoreImpl(S, Addr, V, C->CurInsts[InstIdx]);
+}
+
+void nativeSpecReduce(NativeCtx *C, uint64_t Addr, int64_t V, int64_t Kind,
+                      uint32_t) {
+  auto &S = *static_cast<SpecState *>(C->SpecState);
+  specReduceImpl(S, Addr, V, static_cast<ReduceOpKind>(Kind));
+}
+
 } // namespace
 
 EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
@@ -46,7 +130,6 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
                                   std::atomic<uint64_t> &StepsOut) {
   EpochExec Out(Env.LineShift, Env.Pads);
   EpochObs &Obs = Out.Obs;
-  auto &WriteBuf = Out.WriteBuf;
 
   Random Rng(0);
   Rng.setState(Entry.RngState);
@@ -57,6 +140,8 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
   std::map<int32_t, int64_t> FwdVal;
   std::map<int32_t, uint64_t> OwnSignalAddr; // First own signal per group.
   std::vector<int32_t> WaitedMem;
+
+  SpecState SS{&Out, &Env, &FwdAddr, &FwdVal, &OwnSignalAddr};
 
   auto waitedOn = [&](int32_t G) {
     return std::find(WaitedMem.begin(), WaitedMem.end(), G) != WaitedMem.end();
@@ -77,10 +162,33 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
   Frames.reserve(16);
   Frames.push_back(AFrame{F, Base, -1, 0});
   uint32_t PC = Env.HeaderPC;
+  unsigned FIdx = Env.RegionFunc;
   int64_t *R = RegStack.data() + Base;
   const DecodedOp *FOps = F->Ops.data();
 
   auto opval = [&](DecodedOp Idx) -> int64_t { return R[Idx]; };
+
+  // Spec-mode native tier. Calls, returns, sync ops, and region-relevant
+  // branches are exit-class (the host switch below runs them, keeping the
+  // frame depth constant during a native run), so the gate bytes computed
+  // at entry stay valid until the next exit. StepLimit leaves the segment
+  // margin below StepCap so the exact ++Steps > StepCap overrun point is
+  // always reached by per-instruction host interpretation, and each run is
+  // chunked so abort polling keeps its latency bound.
+  const NativeModule *NM =
+      Env.Native && Env.Native->mode() == NativeMode::Spec ? Env.Native
+                                                           : nullptr;
+  uint64_t HostLimit = 0;
+  NativeCtx Ctx{};
+  if (NM) {
+    uint64_t Margin = NM->maxSegment() + 2;
+    HostLimit = StepCap > Margin ? StepCap - Margin : 0;
+    Ctx.LoadHelper = nativeSpecLoad;
+    Ctx.StoreHelper = nativeSpecStore;
+    Ctx.ReduceHelper = nativeSpecReduce;
+    Ctx.SpecState = &SS;
+  }
+  constexpr uint64_t PollChunk = 4096;
 
   uint64_t Steps = 0;
   for (;;) {
@@ -90,6 +198,29 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
         Out.Kind = EpochExitKind::Aborted;
         return Out;
       }
+    }
+    if (NM && Steps < HostLimit && NM->entryOK(FIdx, PC)) {
+      Ctx.R = R;
+      Ctx.Steps = Steps;
+      Ctx.StepLimit = std::min(HostLimit, Steps + PollChunk);
+      Ctx.RngState = Rng.state();
+      Ctx.CurInsts = F->Insts.data();
+      const bool AtDepth = Frames.size() == 1;
+      Ctx.HeaderAction =
+          AtDepth ? NativeCtx::HeaderExit : NativeCtx::HeaderGo;
+      Ctx.ExitGate = AtDepth ? 1 : 0;
+      NativeExit E = NM->execute(Ctx, FIdx, PC);
+      Rng.setState(Ctx.RngState);
+      Steps = Ctx.Steps;
+      PC = Ctx.ExitPC;
+      StepsOut.store(Steps, std::memory_order_relaxed);
+      if (Port.aborted()) {
+        Out.Kind = EpochExitKind::Aborted;
+        return Out;
+      }
+      if (E == NativeExit::Budget)
+        continue;
+      // HostInst: fall through and interpret the parked instruction.
     }
     if (++Steps > StepCap) {
       // Runaway mis-speculation (e.g. a stale trip count): forced fail.
@@ -113,12 +244,12 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
     R[I.Dest] = (EXPR);                                                      \
     break;                                                                   \
   }
-      SPECSYNC_RT_BINOP(Add, A + B)
-      SPECSYNC_RT_BINOP(Sub, A - B)
-      SPECSYNC_RT_BINOP(Mul, A *B)
-      // Division/modulo by zero yield 0, matching both interpreters.
-      SPECSYNC_RT_BINOP(Div, B == 0 ? 0 : A / B)
-      SPECSYNC_RT_BINOP(Mod, B == 0 ? 0 : A % B)
+      SPECSYNC_RT_BINOP(Add, wrapAdd(A, B))
+      SPECSYNC_RT_BINOP(Sub, wrapSub(A, B))
+      SPECSYNC_RT_BINOP(Mul, wrapMul(A, B))
+      // Total wrapping semantics shared by every tier (interp/OpArith.h).
+      SPECSYNC_RT_BINOP(Div, totalDiv(A, B))
+      SPECSYNC_RT_BINOP(Mod, totalMod(A, B))
       SPECSYNC_RT_BINOP(And, A &B)
       SPECSYNC_RT_BINOP(Or, A | B)
       SPECSYNC_RT_BINOP(Xor, A ^ B)
@@ -147,59 +278,19 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
 
     case Opcode::Load: {
       uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
-      auto WB = WriteBuf.find(Addr);
-      if (WB != WriteBuf.end()) {
-        R[I.Dest] = WB->second; // Own store covers the read (rule 2).
-      } else {
-        auto FA = I.SyncId >= 0 ? FwdAddr.find(I.SyncId) : FwdAddr.end();
-        if (FA != FwdAddr.end() && FA->second == Addr) {
-          // Memory-resident value communication: consume the forward and
-          // stay immune to the producer's buffered store of this line.
-          R[I.Dest] = FwdVal[I.SyncId];
-          if (std::find(Obs.FwdUsed.begin(), Obs.FwdUsed.end(), I.SyncId) ==
-              Obs.FwdUsed.end())
-            Obs.FwdUsed.push_back(I.SyncId);
-        } else {
-          R[I.Dest] = Env.Shared.loadWord(Addr);
-          Obs.Reads.insert(
-              Addr, conflict::LineTable::Entry{I.StaticId, 0, I.SyncId});
-        }
-      }
+      R[I.Dest] = specLoadImpl(SS, Addr, I);
       break;
     }
     case Opcode::Store: {
       uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
-      int64_t V = opval(FOps[I.OpBegin + 1]);
-      WriteBuf[Addr] = V;
-      // A privatized store writes a provably epoch-local (or false-shared)
-      // location: the write buffer still carries the value to commit, but
-      // the line never enters the write summary, so it cannot violate a
-      // later epoch's read mark.
-      if (I.TFlags != static_cast<uint8_t>(RemedyKind::Privatize))
-        Obs.Writes.insert(
-            Addr, conflict::LineTable::Entry{I.StaticId, 0, I.SyncId});
-      // Forward-then-overwrite: a store to an address this epoch already
-      // signaled dirties the forward (consumers fail SAB validation).
-      for (auto &[G, SigAddr] : OwnSignalAddr)
-        if (SigAddr == Addr)
-          Obs.MemSignals[G].SabDirty = true;
+      specStoreImpl(SS, Addr, opval(FOps[I.OpBegin + 1]), I);
       break;
     }
     case Opcode::Reduce: {
-      // Reduction expansion: accumulate a per-epoch partial instead of the
-      // load-modify-store the compiler rewrote away. The location never
-      // enters the read or write summaries (the matcher proved no other
-      // reference aliases it); the partial folds into shared memory at
-      // in-order commit, which reproduces the sequential value exactly
-      // (wraparound uint64 ops are associative).
       uint64_t Addr = static_cast<uint64_t>(opval(FOps[I.OpBegin]));
       int64_t V = opval(FOps[I.OpBegin + 1]);
-      auto K = static_cast<ReduceOpKind>(opval(FOps[I.OpBegin + 2]));
-      auto It = Out.ReduceAcc
-                    .try_emplace(Addr, static_cast<uint8_t>(K),
-                                 reduceIdentity(K))
-                    .first;
-      It->second.second = applyReduceOp(K, It->second.second, V);
+      specReduceImpl(SS, Addr, V,
+                     static_cast<ReduceOpKind>(opval(FOps[I.OpBegin + 2])));
       break;
     }
 
@@ -296,6 +387,7 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
       Frames.back().ResumePC = PC + 1;
       Frames.push_back(AFrame{&Callee, NewBase, I.Dest, 0});
       F = &Callee;
+      FIdx = I.T0;
       FOps = F->Ops.data();
       PC = 0;
       Base = NewBase;
@@ -317,6 +409,7 @@ EpochExec rt::runSpeculativeEpoch(const EpochEnv &Env, const EpochStart &Entry,
       Frames.pop_back();
       const AFrame &Parent = Frames.back();
       F = Parent.Func;
+      FIdx = static_cast<unsigned>(Parent.Func - &Env.DP.function(0));
       FOps = F->Ops.data();
       PC = Parent.ResumePC;
       Base = Parent.Base;

@@ -42,6 +42,9 @@
 #include <utility>
 
 namespace specsync {
+
+class NativeModule;
+
 namespace rt {
 
 /// Immutable per-region execution environment shared by all attempts.
@@ -53,6 +56,10 @@ struct EpochEnv {
   unsigned LineShift;    ///< Conflict-detection granularity.
   /// Words the Pad remedy granted private conflict granules, or null.
   const conflict::PadSet *Pads = nullptr;
+  /// Spec-mode lowered code (built over the same DecodedProgram as DP), or
+  /// null to interpret every attempt. Memory accesses route through the
+  /// speculative helpers; sync ops and frame transitions stay on the host.
+  const NativeModule *Native = nullptr;
 };
 
 /// The attempt's rare-path connection to the protocol coordinator. All

@@ -199,7 +199,8 @@ bool RtEngine::executeRegion(unsigned Instance, Memory &Mem, Random &Rng,
 
   SharedMemory Shared;
   Shared.copyFrom(Mem);
-  EpochEnv Env{DP, RegionFunc, HeaderPC, Shared, Opts.LineShift, Opts.Pads};
+  EpochEnv Env{DP,        RegionFunc, HeaderPC, Shared,
+               Opts.LineShift, Opts.Pads,  Opts.Native};
 
   CommitWindow CW(N, Window);
   std::vector<std::shared_ptr<Attempt>> Cur(N);

@@ -26,6 +26,7 @@
 namespace specsync {
 
 struct ForensicsResult;
+class NativeModule;
 
 namespace rt {
 
@@ -65,6 +66,9 @@ struct RtOptions {
   const conflict::PadSet *Pads = nullptr;
   /// Thread-targeted fault plan (FaultPlan::rtEnabled() classes).
   FaultPlan Faults;
+  /// Spec-mode lowered code for the worker epoch engine (must be built
+  /// over the same DecodedProgram the engine runs), or null to interpret.
+  const NativeModule *Native = nullptr;
 };
 
 /// Schedule-independent protocol event counts — the quantities the

@@ -10,11 +10,7 @@ using namespace specsync;
 
 uint64_t Random::next() {
   // SplitMix64: passes BigCrush, two multiplies and three xorshifts.
-  State += 0x9e3779b97f4a7c15ull;
-  uint64_t Z = State;
-  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
-  return Z ^ (Z >> 31);
+  return advanceState(State);
 }
 
 uint64_t Random::nextBelow(uint64_t Bound) {

@@ -58,6 +58,17 @@ public:
   uint64_t state() const { return State; }
   void setState(uint64_t S) { State = S; }
 
+  /// The SplitMix64 step on a raw state word — the single definition of
+  /// the sequence, shared by next() and the native execution tier (which
+  /// keeps the state in a NativeCtx slot / register while running).
+  static uint64_t advanceState(uint64_t &S) {
+    S += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = S;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
 private:
   uint64_t State;
 };

@@ -21,6 +21,7 @@
 
 #include "compiler/PassManager.h"
 #include "interp/Interpreter.h"
+#include "interp/Native.h"
 #include "profile/DepProfiler.h"
 #include "support/PageMap.h"
 
@@ -29,6 +30,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace specsync;
 
@@ -108,7 +110,7 @@ void diffEngines(Program &P, uint64_t Seed, bool WithProfiler) {
   Interpreter Fast(P, Ctx);
   InterpResult FR = Fast.run(Opts, WithProfiler ? &FastDP : nullptr);
 
-  Opts.UseReferenceEngine = true;
+  Opts.Engine = InterpEngine::Reference;
   Interpreter Ref(P, Ctx);
   InterpResult RR = Ref.run(Opts, WithProfiler ? &RefDP : nullptr);
 
@@ -124,7 +126,54 @@ void diffEngines(Program &P, uint64_t Seed, bool WithProfiler) {
     expectSameProfile(FastDP.takeProfile(), RefDP.takeProfile(), Seed);
 }
 
+/// Runs \p P on all three tiers (native, fast, reference) with identical
+/// options and checks every observable output matches pairwise. Trace
+/// collection is off (the native tier falls back to runFast under it);
+/// WithProfiler attaches the dependence profiler, exercising the
+/// Observed-mode lowering.
+void diffThreeWay(Program &P, uint64_t Seed, bool WithProfiler) {
+  ContextTable Ctx;
+  InterpOptions Opts;
+  Opts.CollectTrace = false;
+
+  auto runOn = [&](InterpEngine E, DepProfiler *DP) {
+    Opts.Engine = E;
+    Interpreter I(P, Ctx);
+    return I.run(Opts, DP);
+  };
+
+  DepProfiler NatDP, FastDP, RefDP;
+  InterpResult NR = runOn(InterpEngine::Native,
+                          WithProfiler ? &NatDP : nullptr);
+  InterpResult FR = runOn(InterpEngine::Fast, WithProfiler ? &FastDP : nullptr);
+  InterpResult RR = runOn(InterpEngine::Reference,
+                          WithProfiler ? &RefDP : nullptr);
+
+  auto expectSame = [&](const InterpResult &A, const InterpResult &B,
+                        const char *Legs) {
+    ASSERT_TRUE(A.Completed) << "seed " << Seed << " " << Legs;
+    ASSERT_TRUE(B.Completed) << "seed " << Seed << " " << Legs;
+    EXPECT_EQ(A.ExitValue, B.ExitValue) << "seed " << Seed << " " << Legs;
+    EXPECT_EQ(A.MemoryChecksum, B.MemoryChecksum)
+        << "seed " << Seed << " " << Legs;
+    EXPECT_EQ(A.DynInstCount, B.DynInstCount) << "seed " << Seed << " " << Legs;
+    EXPECT_EQ(A.RegionDynInstCount, B.RegionDynInstCount)
+        << "seed " << Seed << " " << Legs;
+    EXPECT_EQ(A.MemAccessCount, B.MemAccessCount)
+        << "seed " << Seed << " " << Legs;
+  };
+  expectSame(NR, FR, "native-vs-fast");
+  expectSame(FR, RR, "fast-vs-reference");
+  if (WithProfiler) {
+    DepProfile NP = NatDP.takeProfile();
+    DepProfile FP = FastDP.takeProfile();
+    expectSameProfile(NP, FP, Seed);
+    expectSameProfile(FP, RefDP.takeProfile(), Seed);
+  }
+}
+
 class EngineDiffProperty : public ::testing::TestWithParam<uint64_t> {};
+class NativeDiffProperty : public ::testing::TestWithParam<uint64_t> {};
 
 } // namespace
 
@@ -187,6 +236,97 @@ TEST_P(EngineDiffProperty, ArenaReuseKeepsTraceContentsIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineDiffProperty,
                          ::testing::Range<uint64_t>(1, 13));
+
+TEST_P(NativeDiffProperty, NativeMatchesBothTiersOnPlainProgram) {
+  uint64_t Seed = GetParam();
+  auto P = makeRandomProgram(Seed);
+  diffThreeWay(*P, Seed, /*WithProfiler=*/false);
+}
+
+TEST_P(NativeDiffProperty, NativeMatchesBothTiersOnTransformedProgram) {
+  uint64_t Seed = GetParam();
+  auto P = makeRandomProgram(Seed);
+  applyBaseTransforms(*P, 2);
+  diffThreeWay(*P, Seed, /*WithProfiler=*/true);
+}
+
+TEST_P(NativeDiffProperty, NativeMatchesBothTiersOnSyncedProgram) {
+  uint64_t Seed = GetParam();
+  ContextTable Ctx;
+  DepProfile Profile;
+  {
+    auto Q = makeRandomProgram(Seed);
+    applyBaseTransforms(*Q, 2);
+    DepProfiler DP;
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    Interpreter(*Q, Ctx).run(Opts, &DP);
+    Profile = DP.takeProfile();
+  }
+  auto P = makeRandomProgram(Seed);
+  applyBaseTransforms(*P, 2);
+  applyMemSync(*P, Ctx, Profile);
+  diffThreeWay(*P, Seed, /*WithProfiler=*/true);
+}
+
+TEST_P(NativeDiffProperty, ThreadedBackendMatchesBothTiers) {
+  // Force the portable computed-goto backend (read at lowering time, so
+  // the fresh Program below lowers threaded) and re-run the transformed
+  // differential on it.
+  uint64_t Seed = GetParam();
+  setenv("SPECSYNC_NATIVE_BACKEND", "threaded", 1);
+  auto P = makeRandomProgram(Seed);
+  applyBaseTransforms(*P, 2);
+  diffThreeWay(*P, Seed, /*WithProfiler=*/true);
+  unsetenv("SPECSYNC_NATIVE_BACKEND");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NativeDiffProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(NativeFallback, UnsupportedOpcodeRunsWholeFunctionOnHost) {
+  // Functions containing an opcode the lowerer rejects must transparently
+  // interpret on the host loop — bit-identical to the fast engine.
+  setNativeUnsupportedOpcodeForTest(static_cast<unsigned>(Opcode::Mul));
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    auto P = makeRandomProgram(Seed);
+    applyBaseTransforms(*P, 2);
+    diffThreeWay(*P, Seed, /*WithProfiler=*/true);
+  }
+  setNativeUnsupportedOpcodeForTest(NumOpcodes); // Clear the hook.
+}
+
+TEST(NativeFallback, StepBudgetTruncationIsBitExact) {
+  // Truncated runs must stop at exactly the same instruction on both
+  // tiers: the native engine leaves a margin below MaxSteps and lets the
+  // host interpret the tail per-instruction.
+  auto P = makeRandomProgram(7);
+  applyBaseTransforms(*P, 2);
+  ContextTable Ctx;
+
+  InterpOptions Full;
+  Full.CollectTrace = false;
+  Full.Engine = InterpEngine::Fast;
+  uint64_t Total = Interpreter(*P, Ctx).run(Full).DynInstCount;
+  ASSERT_GT(Total, 16u);
+
+  for (uint64_t Budget : {uint64_t(1), uint64_t(16), Total / 3, Total - 1}) {
+    InterpOptions Opts;
+    Opts.CollectTrace = false;
+    Opts.MaxSteps = Budget;
+
+    Opts.Engine = InterpEngine::Native;
+    InterpResult NR = Interpreter(*P, Ctx).run(Opts);
+    Opts.Engine = InterpEngine::Fast;
+    InterpResult FR = Interpreter(*P, Ctx).run(Opts);
+
+    EXPECT_FALSE(NR.Completed) << "budget " << Budget;
+    EXPECT_FALSE(FR.Completed) << "budget " << Budget;
+    EXPECT_EQ(NR.DynInstCount, FR.DynInstCount) << "budget " << Budget;
+    EXPECT_EQ(NR.MemAccessCount, FR.MemAccessCount) << "budget " << Budget;
+    EXPECT_EQ(NR.MemoryChecksum, FR.MemoryChecksum) << "budget " << Budget;
+  }
+}
 
 TEST(MemoryPageTable, PageBoundaryAddressesLandOnDistinctWords) {
   Memory M;
